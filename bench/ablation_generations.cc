@@ -1,0 +1,82 @@
+// Ablation: how many generations, and how to split a fixed block budget?
+//
+// The paper (§6): "The optimal number of generations and their sizes
+// depends on the application. We cannot offer any provably correct
+// analytical methods..." This bench maps the space empirically: a fixed
+// total budget split across 1..4 generations, plus several 2-generation
+// splits, all at the paper's 5% mix.
+
+#include <cstdio>
+#include <iostream>
+#include <numeric>
+
+#include "db/database.h"
+#include "harness/report.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+
+using namespace elog;
+
+namespace {
+
+void RunConfig(TableWriter* table, const workload::WorkloadSpec& spec,
+               const std::vector<uint32_t>& generations) {
+  db::DatabaseConfig config;
+  config.workload = spec;
+  config.log.generation_blocks = generations;
+  config.log.recirculation = true;
+  db::Database database(config);
+  db::RunStats stats = database.Run();
+
+  std::string layout;
+  for (size_t i = 0; i < generations.size(); ++i) {
+    layout += (i ? "+" : "") + std::to_string(generations[i]);
+  }
+  uint32_t total = std::accumulate(generations.begin(), generations.end(), 0u);
+  table->AddRow({layout, std::to_string(total),
+                 StrFormat("%.2f", stats.log_writes_per_sec),
+                 std::to_string(stats.records_forwarded),
+                 std::to_string(stats.records_recirculated),
+                 std::to_string(stats.kills),
+                 StrFormat("%.0f", stats.peak_memory_bytes)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t runtime_s = 150;
+  std::string csv;
+  FlagSet flags;
+  flags.AddInt64("runtime", &runtime_s, "simulated seconds of arrivals");
+  flags.AddString("csv", &csv, "write results as CSV to this path");
+  if (Status status = flags.Parse(argc, argv); !status.ok()) {
+    std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
+    return 2;
+  }
+
+  workload::WorkloadSpec spec = workload::PaperMix(0.05);
+  spec.runtime = SecondsToSimTime(runtime_s);
+
+  TableWriter table({"layout", "total_blocks", "writes_per_s", "forwarded",
+                     "recirculated", "killed", "peak_mem_bytes"});
+  // 30-block budget split across 1..4 generations.
+  RunConfig(&table, spec, {30});
+  RunConfig(&table, spec, {18, 12});
+  RunConfig(&table, spec, {14, 8, 8});
+  RunConfig(&table, spec, {12, 6, 6, 6});
+  // 2-generation split sensitivity at the same budget.
+  RunConfig(&table, spec, {24, 6});
+  RunConfig(&table, spec, {12, 18});
+  RunConfig(&table, spec, {6, 24});
+
+  harness::PrintTable(
+      "Ablation: generation count and split at a fixed 30-block budget "
+      "(5% mix)",
+      table);
+  Status status = harness::MaybeWriteCsv(csv, table);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Extension bench: automatic generation configuration (§6 future work).
+//
+// For several workload mixes, the tuner recommends the smallest EL layout
+// whose bandwidth stays within a budget relative to the FW baseline.
+
+#include <cstdio>
+#include <iostream>
+
+#include "harness/report.h"
+#include "harness/tuner.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+
+using namespace elog;
+
+int main(int argc, char** argv) {
+  int64_t runtime_s = 60;
+  double max_ratio = 1.15;
+  std::string csv;
+  FlagSet flags;
+  flags.AddInt64("runtime", &runtime_s, "simulated seconds of arrivals");
+  flags.AddDouble("max_ratio", &max_ratio,
+                  "bandwidth budget as a multiple of the FW baseline");
+  flags.AddString("csv", &csv, "write results as CSV to this path");
+  if (Status status = flags.Parse(argc, argv); !status.ok()) {
+    std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
+    return 2;
+  }
+
+  TableWriter table({"mix_pct_10s", "fw_blocks", "recommended_layout",
+                     "total_blocks", "bandwidth_ratio", "space_saving",
+                     "simulations"});
+  for (double mix : {0.05, 0.20, 0.40}) {
+    harness::TunerRequest request;
+    request.workload = workload::PaperMix(mix);
+    request.workload.runtime = SecondsToSimTime(runtime_s);
+    request.max_bandwidth_ratio = max_ratio;
+    harness::TunerResult result = harness::TuneGenerations(request);
+
+    std::string layout;
+    for (size_t i = 0; i < result.recommended.generation_blocks.size(); ++i) {
+      layout += (i ? "+" : "") +
+                std::to_string(result.recommended.generation_blocks[i]);
+    }
+    if (!result.recommended.meets_budget) layout += " (over budget)";
+    table.AddRow(
+        {StrFormat("%.0f", mix * 100),
+         std::to_string(result.fw_baseline.total_blocks), layout,
+         std::to_string(result.recommended.total_blocks),
+         StrFormat("%.3f", result.recommended.bandwidth_ratio),
+         StrFormat("%.2fx", static_cast<double>(
+                                result.fw_baseline.total_blocks) /
+                                result.recommended.total_blocks),
+         std::to_string(result.simulations)});
+    std::fprintf(stderr, "mix %.0f%%: recommended %s\n", mix * 100,
+                 layout.c_str());
+  }
+  harness::PrintTable(
+      StrFormat("Extension: automatic generation sizing "
+                "(bandwidth budget %.0f%% over FW)",
+                (max_ratio - 1.0) * 100),
+      table);
+  Status status = harness::MaybeWriteCsv(csv, table);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}

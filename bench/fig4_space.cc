@@ -1,0 +1,85 @@
+// Figure 4: minimum disk space (blocks) vs. transaction mix, FW vs EL
+// (two generations, recirculation disabled).
+//
+// Paper reference: at the 5% mix FW needs 123 blocks and EL ~34 — a 3.6x
+// reduction; EL's relative advantage shrinks as the fraction of 10 s
+// transactions grows.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "harness/figures.h"
+#include "harness/report.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+
+using namespace elog;
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string csv;
+  int64_t runtime_s = 500;
+  int64_t gen0_max = 40;
+  FlagSet flags;
+  flags.AddBool("quick", &quick, "fewer mixes, narrower search");
+  flags.AddString("csv", &csv, "write results as CSV to this path");
+  flags.AddInt64("runtime", &runtime_s, "simulated seconds of arrivals");
+  flags.AddInt64("gen0_max", &gen0_max, "largest generation-0 size scanned");
+  Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
+    return 2;
+  }
+
+  std::vector<double> mixes =
+      quick ? std::vector<double>{0.05, 0.20, 0.40} : harness::DefaultMixes();
+  LogManagerOptions base;  // paper defaults
+  if (quick) gen0_max = 26;
+
+  std::vector<harness::MixPoint> sweep;
+  {
+    std::vector<harness::MixPoint> points;
+    for (double mix : mixes) {
+      workload::WorkloadSpec probe = workload::PaperMix(mix);
+      probe.runtime = SecondsToSimTime(runtime_s);
+      // Re-run the sweep point with the adjusted runtime.
+      harness::MixPoint point;
+      point.long_fraction = mix;
+      point.fw = harness::MinFirewallSpace(MakeFirewallOptions(8, base), probe);
+      LogManagerOptions el = base;
+      el.recirculation = false;
+      point.el = harness::MinElSpace(el, probe, 4,
+                                     static_cast<uint32_t>(gen0_max));
+      points.push_back(std::move(point));
+      std::fprintf(stderr, "mix %.0f%%: FW=%u EL=%u+%u (sims %d/%d)\n",
+                   mix * 100, points.back().fw.total_blocks,
+                   points.back().el.generation_blocks[0],
+                   points.back().el.generation_blocks[1],
+                   points.back().fw.simulations, points.back().el.simulations);
+    }
+    sweep = std::move(points);
+  }
+
+  TableWriter table({"mix_pct_10s", "fw_blocks", "el_blocks", "el_gen0",
+                     "el_gen1", "space_ratio_fw_over_el"});
+  for (const harness::MixPoint& point : sweep) {
+    table.AddRow({StrFormat("%.0f", point.long_fraction * 100),
+                  std::to_string(point.fw.total_blocks),
+                  std::to_string(point.el.total_blocks),
+                  std::to_string(point.el.generation_blocks[0]),
+                  std::to_string(point.el.generation_blocks[1]),
+                  StrFormat("%.2f", static_cast<double>(point.fw.total_blocks) /
+                                        point.el.total_blocks)});
+  }
+  harness::PrintTable(
+      "Figure 4: minimum disk space vs transaction mix "
+      "(paper @5%: FW=123, EL=34, ratio 3.6)",
+      table);
+  status = harness::MaybeWriteCsv(csv, table);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}

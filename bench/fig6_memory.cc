@@ -1,0 +1,74 @@
+// Figure 6: main-memory requirements vs. transaction mix, at each
+// scheme's minimum-space configuration from Figure 4.
+//
+// Cost model from the paper (§4): FW needs 22 bytes per in-system
+// transaction; EL needs 40 bytes per transaction plus 40 bytes per
+// updated-but-unflushed object. The figure reports the requirement, i.e.
+// the peak over the run; the time average is shown for context.
+
+#include <cstdio>
+#include <iostream>
+
+#include "harness/figures.h"
+#include "harness/report.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+
+using namespace elog;
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string csv;
+  int64_t runtime_s = 500;
+  int64_t gen0_max = 40;
+  FlagSet flags;
+  flags.AddBool("quick", &quick, "fewer mixes, narrower search");
+  flags.AddString("csv", &csv, "write results as CSV to this path");
+  flags.AddInt64("runtime", &runtime_s, "simulated seconds of arrivals");
+  flags.AddInt64("gen0_max", &gen0_max, "largest generation-0 size scanned");
+  Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
+    return 2;
+  }
+
+  std::vector<double> mixes =
+      quick ? std::vector<double>{0.05, 0.20, 0.40} : harness::DefaultMixes();
+  if (quick) gen0_max = 26;
+  LogManagerOptions base;
+
+  TableWriter table({"mix_pct_10s", "fw_peak_bytes", "fw_avg_bytes",
+                     "el_peak_bytes", "el_avg_bytes", "el_over_fw_peak"});
+  for (double mix : mixes) {
+    workload::WorkloadSpec spec = workload::PaperMix(mix);
+    spec.runtime = SecondsToSimTime(runtime_s);
+    harness::MinSpaceResult fw =
+        harness::MinFirewallSpace(MakeFirewallOptions(8, base), spec);
+    LogManagerOptions el = base;
+    el.recirculation = false;
+    harness::MinSpaceResult el_min =
+        harness::MinElSpace(el, spec, 4, static_cast<uint32_t>(gen0_max));
+
+    table.AddRow({StrFormat("%.0f", mix * 100),
+                  StrFormat("%.0f", fw.stats.peak_memory_bytes),
+                  StrFormat("%.0f", fw.stats.avg_memory_bytes),
+                  StrFormat("%.0f", el_min.stats.peak_memory_bytes),
+                  StrFormat("%.0f", el_min.stats.avg_memory_bytes),
+                  StrFormat("%.2f", el_min.stats.peak_memory_bytes /
+                                        fw.stats.peak_memory_bytes)});
+    std::fprintf(stderr, "mix %.0f%%: FW peak %.0f B, EL peak %.0f B\n",
+                 mix * 100, fw.stats.peak_memory_bytes,
+                 el_min.stats.peak_memory_bytes);
+  }
+
+  harness::PrintTable(
+      "Figure 6: main-memory requirements vs transaction mix "
+      "(model: FW 22 B/tx; EL 40 B/tx + 40 B/unflushed object)",
+      table);
+  status = harness::MaybeWriteCsv(csv, table);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,214 @@
+// Microbenchmarks of the core data structures (google-benchmark):
+// the chained hash tables behind the LOT/LTT, the circular cell list, the
+// event queue, block encode/decode, CRC32C, and a whole-simulation
+// throughput measurement.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "db/database.h"
+#include "sim/event_queue.h"
+#include "util/chained_hash_map.h"
+#include "util/crc32c.h"
+#include "util/intrusive_list.h"
+#include "util/random.h"
+#include "wal/block_format.h"
+
+namespace {
+
+using namespace elog;
+
+void BM_ChainedHashMapInsertErase(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ChainedHashMap<uint64_t, uint64_t> map;
+    for (int i = 0; i < n; ++i) map.Insert(static_cast<uint64_t>(i), i * 3);
+    for (int i = 0; i < n; ++i) map.Erase(static_cast<uint64_t>(i));
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_ChainedHashMapInsertErase)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_ChainedHashMapFind(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  ChainedHashMap<uint64_t, uint64_t> map;
+  for (uint64_t i = 0; i < n; ++i) map.Insert(i, i);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.Find(rng.NextBounded(n)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChainedHashMapFind)->Arg(1 << 8)->Arg(1 << 16);
+
+struct BenchNode {
+  ListNode link;
+  uint64_t payload = 0;
+};
+
+void BM_CellListPushRemove(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<BenchNode> nodes(n);
+  for (auto _ : state) {
+    IntrusiveCircularList<BenchNode, &BenchNode::link> list;
+    for (auto& node : nodes) list.PushBack(&node);
+    while (!list.empty()) list.Remove(list.front());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_CellListPushRemove)->Arg(1 << 8)->Arg(1 << 14);
+
+void BM_CellListMoveToBack(benchmark::State& state) {
+  const int n = 1024;
+  std::vector<BenchNode> nodes(n);
+  IntrusiveCircularList<BenchNode, &BenchNode::link> list;
+  for (auto& node : nodes) list.PushBack(&node);
+  for (auto _ : state) {
+    list.MoveToBack(list.front());  // the recirculation primitive
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CellListMoveToBack);
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(13);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (int i = 0; i < n; ++i) {
+      queue.Schedule(static_cast<SimTime>(rng.NextBounded(1'000'000)), [] {});
+    }
+    SimTime t;
+    while (!queue.empty()) queue.PopNext(&t);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_BlockEncodeDecode(benchmark::State& state) {
+  std::vector<wal::LogRecord> records;
+  for (uint32_t i = 0; i < 20; ++i) {
+    records.push_back(wal::LogRecord::MakeData(
+        i, 1000 + i, i * 17, 100, wal::ComputeValueDigest(i, i * 17, 1000 + i)));
+  }
+  for (auto _ : state) {
+    wal::BlockImage image = wal::EncodeBlock(0, 42, records);
+    auto decoded = wal::DecodeBlock(image);
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * records.size());
+}
+BENCHMARK(BM_BlockEncodeDecode);
+
+void BM_Crc32c(benchmark::State& state) {
+  std::vector<uint8_t> data(static_cast<size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c::Value(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(2048)->Arg(1 << 16);
+
+/// Log-manager hot path: one begin + 2 updates + commit cycle per
+/// iteration, driven directly (no workload generator), with periodic
+/// simulated-time advancement so group commit and flushing progress.
+void BM_ElManagerTransactionCycle(benchmark::State& state) {
+  sim::Simulator sim;
+  LogManagerOptions options;
+  options.generation_blocks = {18, 12};
+  disk::LogStorage storage(options.generation_blocks);
+  disk::LogDevice device(&sim, &storage, options.log_write_latency, nullptr);
+  disk::DriveArray drives(&sim, options.num_flush_drives,
+                          options.num_objects, options.flush_transfer_time,
+                          nullptr);
+  EphemeralLogManager manager(&sim, options, &device, &drives, nullptr);
+  workload::TransactionType type;
+  type.lifetime = SecondsToSimTime(1);
+  Rng rng(3);
+  int64_t iterations = 0;
+  for (auto _ : state) {
+    TxId tid = manager.BeginTransaction(type);
+    manager.WriteUpdate(tid, rng.NextBounded(options.num_objects), 100);
+    manager.WriteUpdate(tid, rng.NextBounded(options.num_objects), 100);
+    manager.Commit(tid, [](TxId) {});
+    if (++iterations % 16 == 0) {
+      manager.ForceWriteOpenBuffers();
+      sim.RunUntil(sim.Now() + 50 * kMillisecond);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ElManagerTransactionCycle);
+
+/// Forwarding pressure: a long-lived transaction's records being pushed
+/// through a tiny generation 0 (head advance + relocation per record).
+void BM_ElManagerForwardingPressure(benchmark::State& state) {
+  sim::Simulator sim;
+  LogManagerOptions options;
+  options.generation_blocks = {4, 400};
+  disk::LogStorage storage(options.generation_blocks);
+  disk::LogDevice device(&sim, &storage, options.log_write_latency, nullptr);
+  disk::DriveArray drives(&sim, options.num_flush_drives,
+                          options.num_objects, options.flush_transfer_time,
+                          nullptr);
+  EphemeralLogManager manager(&sim, options, &device, &drives, nullptr);
+  // Rotate long-lived transactions (commit each after 500 updates) so the
+  // large generation 1 absorbs forwarded records without ever saturating.
+  class NullListener : public KillListener {
+   public:
+    void OnTransactionKilled(TxId) override {}
+  } listener;
+  manager.set_kill_listener(&listener);
+  workload::TransactionType type;
+  type.lifetime = SecondsToSimTime(100000);
+  TxId keeper = manager.BeginTransaction(type);
+  int updates = 0;
+  Rng rng(5);
+  for (auto _ : state) {
+    manager.WriteUpdate(keeper, rng.NextBounded(options.num_objects), 100);
+    if (++updates == 500) {
+      updates = 0;
+      manager.Commit(keeper, [](TxId) {});
+      manager.ForceWriteOpenBuffers();
+      sim.RunUntil(sim.Now() + SecondsToSimTime(1));  // flushes drain
+      keeper = manager.BeginTransaction(type);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  benchmark::DoNotOptimize(manager.records_forwarded());
+}
+BENCHMARK(BM_ElManagerForwardingPressure);
+
+/// End-to-end simulator throughput: one full paper workload (shortened to
+/// 50 simulated seconds) per iteration.
+void BM_FullSimulationEL(benchmark::State& state) {
+  for (auto _ : state) {
+    db::DatabaseConfig config;
+    config.workload = workload::PaperMix(0.05);
+    config.workload.runtime = SecondsToSimTime(50);
+    config.log.generation_blocks = {18, 12};
+    db::Database database(config);
+    db::RunStats stats = database.Run();
+    benchmark::DoNotOptimize(stats.log_writes_per_sec);
+  }
+}
+BENCHMARK(BM_FullSimulationEL)->Unit(benchmark::kMillisecond);
+
+void BM_FullSimulationFW(benchmark::State& state) {
+  for (auto _ : state) {
+    db::DatabaseConfig config;
+    config.workload = workload::PaperMix(0.05);
+    config.workload.runtime = SecondsToSimTime(50);
+    config.log = MakeFirewallOptions(123);
+    db::Database database(config);
+    db::RunStats stats = database.Run();
+    benchmark::DoNotOptimize(stats.log_writes_per_sec);
+  }
+}
+BENCHMARK(BM_FullSimulationFW)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Extra series: generation occupancy dynamics.
+//
+// The paper reports only configured sizes; this bench shows how much of
+// each generation's circular array is actually occupied over time (time-
+// weighted average and peak used blocks), for FW and for EL at several
+// configurations — where the reclaimed space really comes from.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/fw_manager.h"
+#include "db/database.h"
+#include "harness/report.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+
+using namespace elog;
+
+namespace {
+
+void Row(TableWriter* table, const char* name,
+         const db::DatabaseConfig& base_config) {
+  db::DatabaseConfig config = base_config;
+  db::Database database(config);
+  db::RunStats stats = database.Run();
+  SimTime now = database.simulator().Now();
+  for (uint32_t g = 0; g < database.manager().num_generations(); ++g) {
+    const TimeWeightedValue& occupancy = database.manager().occupancy(g);
+    uint32_t size = config.log.generation_blocks[g];
+    table->AddRow(
+        {name, std::to_string(g), std::to_string(size),
+         StrFormat("%.1f", occupancy.Average(now)),
+         StrFormat("%.0f", occupancy.peak()),
+         StrFormat("%.0f%%", 100.0 * occupancy.Average(now) / size),
+         std::to_string(stats.kills)});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t runtime_s = 150;
+  std::string csv;
+  FlagSet flags;
+  flags.AddInt64("runtime", &runtime_s, "simulated seconds of arrivals");
+  flags.AddString("csv", &csv, "write results as CSV to this path");
+  if (Status status = flags.Parse(argc, argv); !status.ok()) {
+    std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
+    return 2;
+  }
+
+  TableWriter table({"config", "generation", "size_blocks", "avg_used",
+                     "peak_used", "avg_utilization", "killed"});
+
+  db::DatabaseConfig base;
+  base.workload = workload::PaperMix(0.05);
+  base.workload.runtime = SecondsToSimTime(runtime_s);
+
+  {
+    db::DatabaseConfig config = base;
+    config.log = MakeFirewallOptions(123);
+    Row(&table, "fw_123", config);
+  }
+  {
+    db::DatabaseConfig config = base;
+    config.log.generation_blocks = {18, 16};
+    config.log.recirculation = false;
+    Row(&table, "el_34_norecirc", config);
+  }
+  {
+    db::DatabaseConfig config = base;
+    config.log.generation_blocks = {18, 10};
+    config.log.recirculation = true;
+    Row(&table, "el_28_recirc", config);
+  }
+  {
+    db::DatabaseConfig config = base;
+    config.log.generation_blocks = {36, 20};  // generously oversized
+    config.log.recirculation = true;
+    Row(&table, "el_56_oversized", config);
+  }
+
+  harness::PrintTable(
+      "Generation occupancy (time-weighted used blocks): FW fills to the "
+      "firewall horizon; EL generations stay near-full by design (the "
+      "circular array reuses space continuously)",
+      table);
+  Status status = harness::MaybeWriteCsv(csv, table);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}

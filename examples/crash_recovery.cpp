@@ -1,0 +1,82 @@
+// Crash and single-pass recovery walkthrough.
+//
+// Runs the paper workload, crashes the system mid-flight (optionally
+// tearing the in-flight log write), then recovers from the durable log +
+// stable database version and verifies the result against the state the
+// system had acknowledged. Also illustrates §4's recovery argument: the
+// whole EL log is a few dozen blocks, so one pass over it is trivial.
+
+#include <cstdio>
+#include <iostream>
+
+#include "db/database.h"
+#include "db/recovery.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+
+using namespace elog;
+
+int main(int argc, char** argv) {
+  int64_t crash_ms = 12'345;
+  int64_t seed = 42;
+  bool torn_write = true;
+  FlagSet flags;
+  flags.AddInt64("crash_ms", &crash_ms, "crash instant in simulated ms");
+  flags.AddInt64("seed", &seed, "workload RNG seed");
+  flags.AddBool("torn_write", &torn_write,
+                "tear the in-flight log write at the crash");
+  if (Status status = flags.Parse(argc, argv); !status.ok()) {
+    std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
+    return 2;
+  }
+
+  db::DatabaseConfig config;
+  config.workload = workload::PaperMix(0.05);
+  config.workload.runtime = SecondsToSimTime(3600);  // crash interrupts
+  config.workload.seed = static_cast<uint64_t>(seed);
+  config.log.generation_blocks = {18, 12};
+  config.log.recirculation = true;
+
+  db::Database database(config);
+  db::Database::CrashImage image = database.RunUntilCrash(
+      MillisecondsToSimTime(crash_ms), torn_write);
+
+  std::printf("Crashed at t=%.3f s: %lld transactions acknowledged, "
+              "%zu objects in the stable version.\n",
+              SimTimeToSeconds(image.crash_time),
+              (long long)image.committed_tids.size(),
+              image.stable.materialized_objects());
+
+  db::RecoveryResult result =
+      db::RecoveryManager::Recover(image.log, image.stable);
+
+  std::printf("Single-pass recovery over %zu blocks:\n",
+              result.scan.blocks_scanned);
+  std::printf("  blocks: %zu written, %zu never written, %zu torn/corrupt\n",
+              result.scan.blocks_scanned - result.scan.blocks_empty,
+              result.scan.blocks_empty, result.scan.blocks_corrupt);
+  std::printf("  records: %zu scanned, %zu committed updates applied, "
+              "%zu uncommitted ignored\n",
+              result.scan.records, result.records_applied,
+              result.uncommitted_records_ignored);
+  std::printf("  transactions with COMMIT in log: %zu\n",
+              result.committed_in_log.size());
+
+  // Verify: the recovered state must equal the acknowledged state.
+  size_t mismatches = 0;
+  for (const auto& [oid, expected] : image.expected_state) {
+    auto it = result.state.find(oid);
+    if (it == result.state.end() || it->second.lsn != expected.lsn ||
+        it->second.value_digest != expected.value_digest) {
+      ++mismatches;
+    }
+  }
+  for (const auto& [oid, recovered] : result.state) {
+    if (!image.expected_state.count(oid)) ++mismatches;
+  }
+  std::printf("verification: %zu objects expected, %zu recovered, "
+              "%zu mismatches -> %s\n",
+              image.expected_state.size(), result.state.size(), mismatches,
+              mismatches == 0 ? "EXACT MATCH" : "FAILED");
+  return mismatches == 0 ? 0 : 1;
+}

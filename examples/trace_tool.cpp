@@ -1,0 +1,177 @@
+// trace_tool: record a workload's transaction event stream to a CSV
+// trace, or replay a trace against a chosen log manager.
+//
+// Recording freezes an exact request stream (arrival jitter, oid choices,
+// type draws) so different log managers can be compared on *identical*
+// inputs, and interesting schedules become reproducible regression
+// inputs.
+//
+//   trace_tool --mode=record --out=paper5.trace --runtime=60
+//   trace_tool --mode=replay --in=paper5.trace --scheme=fw --gens=140
+//   trace_tool --mode=replay --in=paper5.trace --gens=18,12
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "core/fw_manager.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+#include "workload/trace.h"
+
+using namespace elog;
+
+namespace {
+
+struct Rig {
+  explicit Rig(const LogManagerOptions& options)
+      : storage(options.generation_blocks),
+        device(&sim, &storage, options.log_write_latency, &metrics),
+        drives(&sim, options.num_flush_drives, options.num_objects,
+               options.flush_transfer_time, &metrics),
+        manager(&sim, options, &device, &drives, &metrics) {}
+
+  sim::Simulator sim;
+  sim::MetricsRegistry metrics;
+  disk::LogStorage storage;
+  disk::LogDevice device;
+  disk::DriveArray drives;
+  EphemeralLogManager manager;
+};
+
+int Record(const std::string& out_path, int64_t runtime_s,
+           double long_fraction, int64_t seed) {
+  workload::WorkloadSpec spec = workload::PaperMix(long_fraction);
+  spec.runtime = SecondsToSimTime(runtime_s);
+  spec.seed = static_cast<uint64_t>(seed);
+
+  LogManagerOptions options;
+  options.generation_blocks = {18, 12};
+  Rig rig(options);
+
+  workload::Trace trace;
+  workload::RecordingSink recorder(&rig.sim, &rig.manager, &trace);
+  workload::WorkloadGenerator generator(&rig.sim, spec, &recorder, nullptr);
+  generator.Start();
+  rig.sim.RunUntil(spec.runtime);
+  for (int i = 0; i < 2000 && generator.active() > 0; ++i) {
+    rig.manager.ForceWriteOpenBuffers();
+    rig.sim.RunUntil(rig.sim.Now() + 100 * kMillisecond);
+  }
+  rig.sim.Run();
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << "\n";
+    return 1;
+  }
+  trace.Write(out);
+  std::printf("recorded %zu events (%lld transactions, %lld committed) "
+              "to %s\n",
+              trace.size(), (long long)generator.started(),
+              (long long)generator.committed(), out_path.c_str());
+  return 0;
+}
+
+int Replay(const std::string& in_path, const std::string& scheme,
+           const std::string& gens) {
+  std::ifstream in(in_path);
+  if (!in) {
+    std::cerr << "cannot open " << in_path << "\n";
+    return 1;
+  }
+  Result<workload::Trace> trace = workload::Trace::Read(in);
+  if (!trace.ok()) {
+    std::cerr << trace.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::vector<uint32_t> generation_blocks;
+  for (const std::string& part : StrSplit(gens, ',')) {
+    generation_blocks.push_back(
+        static_cast<uint32_t>(std::atoll(part.c_str())));
+  }
+  LogManagerOptions options;
+  if (scheme == "fw") {
+    options = MakeFirewallOptions(generation_blocks.at(0));
+  } else {
+    options.generation_blocks = generation_blocks;
+  }
+  if (Status status = options.Validate(); !status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  Rig rig(options);
+  workload::TraceReplayer replayer(&rig.sim, *trace, &rig.manager);
+
+  class Relay : public KillListener {
+   public:
+    explicit Relay(workload::TraceReplayer* r) : replayer(r) {}
+    void OnTransactionKilled(TxId tid) override {
+      ++kills;
+      replayer->NotifyKilled(tid);
+    }
+    workload::TraceReplayer* replayer;
+    int64_t kills = 0;
+  } relay(&replayer);
+  rig.manager.set_kill_listener(&relay);
+
+  replayer.Start();
+  rig.sim.Run();
+  rig.manager.ForceWriteOpenBuffers();
+  rig.sim.Run();
+  rig.manager.CheckInvariants();
+
+  double seconds = SimTimeToSeconds(rig.sim.Now());
+  std::printf("replayed %zu events against %s %s:\n", trace->size(),
+              scheme.c_str(), gens.c_str());
+  std::printf("  begins=%lld updates=%lld commits=%lld kills=%lld "
+              "skipped=%lld\n",
+              (long long)replayer.begins(), (long long)replayer.updates(),
+              (long long)replayer.commits_durable(), (long long)relay.kills,
+              (long long)replayer.skipped_after_kill());
+  std::printf("  log writes=%lld (%.2f/s over %.1fs)\n",
+              (long long)rig.device.writes_completed(),
+              rig.device.writes_completed() / seconds, seconds);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode = "record";
+  std::string in_path;
+  std::string out_path = "workload.trace";
+  std::string scheme = "el";
+  std::string gens = "18,12";
+  int64_t runtime_s = 60;
+  double long_fraction = 0.05;
+  int64_t seed = 42;
+  FlagSet flags;
+  flags.AddString("mode", &mode, "record | replay");
+  flags.AddString("in", &in_path, "trace file to replay");
+  flags.AddString("out", &out_path, "trace file to write");
+  flags.AddString("scheme", &scheme, "replay target: el | fw");
+  flags.AddString("gens", &gens, "replay generation sizes");
+  flags.AddInt64("runtime", &runtime_s, "recorded seconds of arrivals");
+  flags.AddDouble("long_fraction", &long_fraction,
+                  "fraction of 10 s transactions when recording");
+  flags.AddInt64("seed", &seed, "workload seed when recording");
+  if (Status status = flags.Parse(argc, argv); !status.ok()) {
+    std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
+    return 2;
+  }
+  if (mode == "record") {
+    return Record(out_path, runtime_s, long_fraction, seed);
+  }
+  if (mode == "replay") {
+    if (in_path.empty()) {
+      std::cerr << "--mode=replay requires --in\n";
+      return 2;
+    }
+    return Replay(in_path, scheme, gens);
+  }
+  std::cerr << "unknown --mode: " << mode << "\n";
+  return 2;
+}

@@ -1,0 +1,53 @@
+// Cells: the in-memory handles for non-garbage log records (§2.1–2.2).
+//
+// "A cell exists for every non-garbage record in any generation of the
+// log. Each cell resides in main memory and points to the record's
+// location on disk." Pointer resolution is deliberately coarse: "a cell
+// indicates merely the block to which its record belongs."
+//
+// Unlike the LFS cleaner or Hagmann & Garcia-Molina's forwarding scheme,
+// EL never reads the log from disk; the cell therefore also retains the
+// record's contents (the paper assumes main memory buffers the values of
+// every active transaction's updates), so forwarding and recirculation can
+// rewrite the record from RAM.
+
+#ifndef ELOG_CORE_CELL_H_
+#define ELOG_CORE_CELL_H_
+
+#include <cstdint>
+
+#include "util/intrusive_list.h"
+#include "wal/record.h"
+
+namespace elog {
+
+struct Cell {
+  /// Membership in the owning generation's circular cell list (the list
+  /// whose front is the paper's h_i pointer).
+  ListNode link;
+
+  /// In-memory copy of the record (rewritten on forward/recirculate).
+  wal::LogRecord record;
+
+  /// Coarse log position: generation index and block slot within it. The
+  /// slot is assigned the moment the record enters a buffer ("even though
+  /// the LM has not yet written the buffer to disk, it knows the position
+  /// of the disk block to which it will eventually be written").
+  uint32_t generation = 0;
+  uint32_t slot = 0;
+
+  /// UNDO/REDO mode: this uncommitted update was evicted ("stolen") to
+  /// the stable version; if its transaction aborts, a compensation must
+  /// restore the before-image.
+  bool stolen = false;
+
+  bool is_tx_cell() const { return record.is_tx(); }
+  bool is_data_cell() const { return record.is_data(); }
+};
+
+/// The cell list type for one generation; front() is h_i.
+using CellList = IntrusiveCircularList<Cell, &Cell::link>;
+
+}  // namespace elog
+
+#endif  // ELOG_CORE_CELL_H_

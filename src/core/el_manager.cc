@@ -1,0 +1,1029 @@
+#include "core/el_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace elog {
+
+EphemeralLogManager::EphemeralLogManager(sim::Simulator* simulator,
+                                         const LogManagerOptions& options,
+                                         disk::LogDevice* device,
+                                         disk::DriveArray* drives,
+                                         sim::MetricsRegistry* metrics)
+    : simulator_(simulator),
+      options_(options),
+      device_(device),
+      drives_(drives),
+      metrics_(metrics) {
+  ELOG_CHECK_OK(options.Validate());
+  generations_.reserve(options.generation_blocks.size());
+  occupancy_.resize(options.generation_blocks.size());
+  for (size_t i = 0; i < options.generation_blocks.size(); ++i) {
+    generations_.push_back(std::make_unique<Generation>(
+        static_cast<uint32_t>(i), options.generation_blocks[i]));
+    occupancy_[i].Set(simulator->Now(), 0.0);
+  }
+  UpdateMemoryGauge();
+}
+
+EphemeralLogManager::~EphemeralLogManager() {
+  // Cells are owned by the manager; sweep whatever is still live.
+  for (auto& gen : generations_) {
+    while (Cell* cell = gen->cells().front()) {
+      gen->cells().Remove(cell);
+      delete cell;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TransactionSink
+// ---------------------------------------------------------------------------
+
+TxId EphemeralLogManager::BeginTransaction(
+    const workload::TransactionType& type) {
+  TxId tid = next_tid_++;
+  uint32_t target = 0;
+  if (options_.lifetime_hints &&
+      type.lifetime >= options_.hint_lifetime_threshold) {
+    target = options_.hint_target_generation;
+  }
+
+  // Make space before the transaction exists, so it can never be chosen
+  // as a kill victim while being born.
+  PrepareExternalAppend(target, wal::kTxRecordBytes);
+
+  Cell* cell = new Cell;
+  cell->record = wal::LogRecord::MakeBegin(tid, NextLsn());
+
+  // Place the record before the LTT entry exists: the cell is then
+  // unreachable from the tables, so nested garbage collection during the
+  // append cannot kill the newborn or free the cell.
+  ELOG_CHECK(AppendCellOrKill(target, cell, kInvalidTxId))
+      << "BEGIN record could not be placed";
+  ++records_appended_;
+
+  LttEntry entry;
+  entry.state = TxState::kActive;
+  entry.begin_time = simulator_->Now();
+  entry.declared_lifetime = type.lifetime;
+  entry.target_generation = target;
+  entry.tx_cell = cell;
+  auto [slot_entry, inserted] = ltt_.Insert(tid, std::move(entry));
+  ELOG_CHECK(inserted);
+  (void)slot_entry;
+  UpdateMemoryGauge();
+  return tid;
+}
+
+void EphemeralLogManager::WriteUpdate(TxId tid, Oid oid,
+                                      uint32_t logged_size) {
+  LttEntry* entry = ltt_.Find(tid);
+  ELOG_CHECK(entry != nullptr) << "WriteUpdate for unknown tid " << tid;
+  ELOG_CHECK(entry->state == TxState::kActive)
+      << "WriteUpdate after commit/abort request for tid " << tid;
+  uint32_t target = entry->target_generation;
+
+  PrepareExternalAppend(target, logged_size);
+  // Making space may have killed this very transaction.
+  entry = ltt_.Find(tid);
+  if (entry == nullptr) return;
+
+  Lsn lsn = NextLsn();
+  Cell* cell = new Cell;
+  if (options_.undo_redo) {
+    // UNDO/REDO: account the before-image bytes.
+    logged_size += options_.undo_image_bytes;
+  }
+  cell->record = wal::LogRecord::MakeData(
+      tid, lsn, oid, logged_size, wal::ComputeValueDigest(tid, oid, lsn));
+
+  auto [obj, created] = lot_.Insert(oid, LotEntry{});
+  (void)created;
+  if (options_.undo_redo) {
+    // Before-image: the latest committed version — from the unflushed
+    // committed cell if one exists, else from the stable version (the
+    // facade answers with the committed view: a provisional stolen value
+    // resolves to its own stored before-image).
+    if (obj->committed != nullptr) {
+      cell->record.prev_lsn = obj->committed->record.lsn;
+      cell->record.prev_digest = obj->committed->record.value_digest;
+    } else if (version_query_) {
+      auto [prev_lsn, prev_digest] = version_query_(oid);
+      cell->record.prev_lsn = prev_lsn;
+      cell->record.prev_digest = prev_digest;
+    }
+  }
+  // A transaction that re-updates an object supersedes its own earlier
+  // uncommitted record immediately: recovery needs only the newest value
+  // per (transaction, object).
+  for (auto it = obj->uncommitted.begin(); it != obj->uncommitted.end();
+       ++it) {
+    if (it->tid == tid) {
+      Cell* old = it->cell;
+      // The before-image chains through a same-transaction re-update:
+      // undo must restore the pre-transaction committed value.
+      cell->record.prev_lsn = old->record.prev_lsn;
+      cell->record.prev_digest = old->record.prev_digest;
+      // If the superseded version was stolen into the stable store, it
+      // must be compensated now — its version number will never match a
+      // later compensation issued through the newer record.
+      if (old->stolen) EnqueueCompensation(old);
+      obj->uncommitted.erase(it);
+      Gen(old->generation).cells().Remove(old);
+      delete old;
+      break;
+    }
+  }
+  obj->uncommitted.push_back(LotEntry::Uncommitted{tid, cell});
+  entry->oids.insert(oid);
+
+  if (!AppendCellOrKill(target, cell, tid)) return;  // appender killed
+  ++records_appended_;
+  ArmStealTimer();
+  UpdateMemoryGauge();
+}
+
+void EphemeralLogManager::ArmStealTimer() {
+  if (!options_.undo_redo || options_.steal_interval <= 0) return;
+  if (steal_timer_armed_) return;
+  steal_timer_armed_ = true;
+  simulator_->ScheduleAfter(options_.steal_interval, [this] {
+    steal_timer_armed_ = false;
+    StealOnce();
+  });
+}
+
+void EphemeralLogManager::StealOnce() {
+  // Eviction pressure: the oldest unstolen uncommitted update goes to
+  // the stable version. Its log record stays non-garbage — it now also
+  // carries the undo obligation.
+  Cell* victim = nullptr;
+  lot_.ForEach([&](Oid, LotEntry& obj) {
+    for (const LotEntry::Uncommitted& u : obj.uncommitted) {
+      if (u.cell->stolen) continue;
+      if (victim == nullptr || u.cell->record.lsn < victim->record.lsn) {
+        victim = u.cell;
+      }
+    }
+  });
+  if (victim == nullptr) return;  // re-armed by the next update
+  victim->stolen = true;
+  ++steals_;
+  if (metrics_ != nullptr) metrics_->Incr("el.steals");
+  // A steal is an urgent write of an uncommitted value; the stable store
+  // records it provisionally with its writer and before-image.
+  const wal::LogRecord& record = victim->record;
+  disk::FlushRequest request;
+  request.oid = record.oid;
+  request.lsn = record.lsn;
+  request.value_digest = record.value_digest;
+  request.steal = true;
+  request.writer = record.tid;
+  request.prev_lsn = record.prev_lsn;
+  request.prev_digest = record.prev_digest;
+  request.on_durable = [this](const disk::FlushRequest& r) {
+    if (steal_apply_hook_) {
+      steal_apply_hook_(r.oid, r.lsn, r.value_digest, r.writer, r.prev_lsn,
+                        r.prev_digest);
+    }
+    ++updates_flushed_;
+  };
+  drives_->EnqueueUrgent(std::move(request));
+  ArmStealTimer();
+}
+
+void EphemeralLogManager::EnqueueCompensation(Cell* cell) {
+  ELOG_CHECK(cell->is_data_cell());
+  ELOG_CHECK(cell->stolen);
+  const wal::LogRecord& record = cell->record;
+  disk::FlushRequest request;
+  request.oid = record.oid;
+  request.lsn = record.lsn;
+  request.value_digest = record.value_digest;
+  request.undo = true;
+  request.prev_lsn = record.prev_lsn;
+  request.prev_digest = record.prev_digest;
+  request.on_durable = [this](const disk::FlushRequest& r) {
+    if (undo_apply_hook_) {
+      undo_apply_hook_(r.oid, r.lsn, r.prev_lsn, r.prev_digest);
+    }
+  };
+  drives_->EnqueueUrgent(std::move(request));
+  ++compensations_;
+  if (metrics_ != nullptr) metrics_->Incr("el.compensations");
+}
+
+void EphemeralLogManager::Commit(TxId tid,
+                                 std::function<void(TxId)> on_durable) {
+  LttEntry* entry = ltt_.Find(tid);
+  ELOG_CHECK(entry != nullptr) << "Commit for unknown tid " << tid;
+  ELOG_CHECK(entry->state == TxState::kActive)
+      << "double commit/abort for tid " << tid;
+  uint32_t target = entry->target_generation;
+
+  PrepareExternalAppend(target, wal::kTxRecordBytes);
+  entry = ltt_.Find(tid);
+  if (entry == nullptr) return;  // killed while making space
+
+  entry->state = TxState::kCommitting;
+  entry->on_commit_durable = std::move(on_durable);
+
+  // Reuse the transaction's tx cell: re-point it at the COMMIT record and
+  // move it to the tail of the target generation's cell list (§2.3).
+  Cell* cell = entry->tx_cell;
+  ELOG_CHECK(cell != nullptr);
+  // The BEGIN record becomes garbage in place (it will be counted as
+  // discarded when the head passes its block); only the cell moves.
+  Gen(cell->generation).cells().Remove(cell);
+  cell->record = wal::LogRecord::MakeCommit(tid, NextLsn());
+  if (!AppendCellOrKill(target, cell, tid)) return;  // appender killed
+  ++records_appended_;
+}
+
+void EphemeralLogManager::Abort(TxId tid) {
+  LttEntry* entry = ltt_.Find(tid);
+  ELOG_CHECK(entry != nullptr) << "Abort for unknown tid " << tid;
+  ELOG_CHECK(entry->state == TxState::kActive)
+      << "abort after commit request for tid " << tid;
+  uint32_t target = entry->target_generation;
+
+  PrepareExternalAppend(target, wal::kTxRecordBytes);
+  entry = ltt_.Find(tid);
+  if (entry == nullptr) return;  // killed while making space
+
+  // The ABORT record is garbage the instant it is written: no cell.
+  wal::LogRecord record = wal::LogRecord::MakeAbort(tid, NextLsn());
+  Generation& gen = Gen(target);
+  ELOG_CHECK(gen.builder().Add(record));
+  gen.NoteRecordAdded(gen.builder_slot());
+  ++records_appended_;
+
+  DisposeTransaction(tid, entry);
+  if (metrics_ != nullptr) metrics_->Incr("el.aborted");
+  UpdateMemoryGauge();
+}
+
+// ---------------------------------------------------------------------------
+// Append machinery
+// ---------------------------------------------------------------------------
+
+bool EphemeralLogManager::CanAppend(uint32_t g, uint32_t logged_size) const {
+  const Generation& gen = *generations_[g];
+  if (gen.has_open_builder() && gen.builder().Fits(logged_size)) return true;
+  return gen.free_blocks() >= 1;
+}
+
+void EphemeralLogManager::PrepareExternalAppend(uint32_t g,
+                                                uint32_t logged_size) {
+  const uint32_t k = options_.min_free_blocks;
+  for (int iteration = 0;; ++iteration) {
+    ELOG_CHECK_LT(iteration, 10000) << "PrepareExternalAppend cannot settle";
+    Generation& gen = Gen(g);
+    if (!gen.has_open_builder()) {
+      if (gen.free_blocks() < k) {
+        EnsureFree(g, k);
+        continue;
+      }
+      gen.OpenBuilder();
+      continue;
+    }
+    if (gen.builder().Fits(logged_size)) {
+      if (gen.free_blocks() >= k) return;
+      EnsureFree(g, k);
+      continue;
+    }
+    // Rotate to a fresh buffer; the write consumes one slot, so demand
+    // k+1 beforehand to preserve the gap afterwards.
+    if (gen.free_blocks() < k + 1) {
+      EnsureFree(g, k + 1);
+      continue;
+    }
+    WriteBuilder(g);
+  }
+}
+
+EphemeralLogManager::AppendOutcome EphemeralLogManager::TryAppendCell(
+    uint32_t g, Cell* cell, TxId owner_tid) {
+  Generation& gen = Gen(g);
+  // Capture everything needed from the cell up front: buffer rotations
+  // below can recurse into garbage collection, which may kill the cell's
+  // owner and FREE the cell.
+  const uint32_t logged_size = cell->record.logged_size;
+  // Writing a full buffer can recurse into head advance (via the gap
+  // restoration), which may itself reopen and partially refill this
+  // generation's buffer with recirculated records — so re-evaluate the
+  // buffer state until the record fits. If after ~2 cycles worth of
+  // buffer rotations the record still does not fit, every rotated block
+  // came back full of non-garbage: the generation is saturated.
+  const int max_rotations = static_cast<int>(gen.num_blocks()) * 2 + 8;
+  bool rotated = false;
+  for (int rotations = 0;; ++rotations) {
+    if (rotations >= max_rotations) return AppendOutcome::kSaturated;
+    if (!gen.has_open_builder()) {
+      if (gen.free_blocks() == 0) return AppendOutcome::kSaturated;
+      gen.OpenBuilder();
+      continue;
+    }
+    if (gen.builder().Fits(logged_size)) break;
+    if (gen.free_blocks() == 0) return AppendOutcome::kSaturated;
+    WriteBuilder(g);
+    rotated = true;
+  }
+  // Nested GC during a rotation may have killed the owner; every cell is
+  // reachable from its owner's entry, so a vanished owner means the cell
+  // was disposed.
+  if (rotated && owner_tid != kInvalidTxId &&
+      ltt_.Find(owner_tid) == nullptr) {
+    return AppendOutcome::kOwnerDied;
+  }
+  bool was_empty = gen.builder().empty();
+  ELOG_CHECK(gen.builder().Add(cell->record));
+  cell->generation = g;
+  cell->slot = gen.builder_slot();
+  gen.cells().PushBack(cell);
+  gen.NoteRecordAdded(cell->slot);
+
+  if (cell->record.type == wal::RecordType::kCommit) {
+    // Register for group-commit acknowledgement unless the transaction is
+    // already durably committed (possible when an old COMMIT record is
+    // forwarded onward).
+    LttEntry* owner = ltt_.Find(cell->record.tid);
+    if (owner != nullptr && owner->state == TxState::kCommitting) {
+      gen.pending_commit_tids().push_back(cell->record.tid);
+      // Group-commit timeout: a buffer holding an unacknowledged COMMIT
+      // is force-written after the linger even if it never fills (only
+      // relevant for sleepy generations, e.g. lifetime-hint targets).
+      ScheduleLinger(g);
+    }
+  }
+  (void)was_empty;
+  return AppendOutcome::kAppended;
+}
+
+bool EphemeralLogManager::AppendCellOrKill(uint32_t g, Cell* cell,
+                                           TxId appender) {
+  for (int guard = 0;; ++guard) {
+    ELOG_CHECK_LT(guard, 100000) << "AppendCellOrKill cannot settle";
+    switch (TryAppendCell(g, cell, appender)) {
+      case AppendOutcome::kAppended:
+        return true;
+      case AppendOutcome::kOwnerDied:
+        // Nested GC already killed the appender and freed the cell.
+        return false;
+      case AppendOutcome::kSaturated:
+        break;
+    }
+    if (!KillVictim(g, appender)) {
+      // The appender is the only thing left to sacrifice.
+      ELOG_CHECK(appender != kInvalidTxId)
+          << "log wedged while placing an ownerless record";
+      KillTransaction(appender);
+      return false;
+    }
+  }
+}
+
+void EphemeralLogManager::WriteBuilder(uint32_t g) {
+  Generation& gen = Gen(g);
+  Generation::ClosedBuffer closed = gen.CloseBuilder(next_write_seq_++);
+  disk::LogWriteRequest request;
+  request.address = disk::BlockAddress{g, closed.slot};
+  request.image = std::move(closed.image);
+  request.on_durable = [this, g, tids = std::move(closed.commit_tids)] {
+    OnBlockDurable(g, tids);
+  };
+  device_->Submit(std::move(request));
+  occupancy_[g].Set(simulator_->Now(),
+                    static_cast<double>(gen.used_blocks()));
+  // "After addition of new records to the tail of a generation, the LM
+  // advances the head ... so that there is always some gap between the
+  // head and tail" (§2.1). This is what drives head advance in
+  // generations that receive only forwarded traffic.
+  EnsureFree(g, options_.min_free_blocks);
+}
+
+void EphemeralLogManager::ScheduleLinger(uint32_t g) {
+  if (options_.group_commit_linger <= 0) return;
+  uint64_t epoch = Gen(g).builder_epoch();
+  simulator_->ScheduleAfter(options_.group_commit_linger, [this, g, epoch] {
+    Generation& gen = Gen(g);
+    if (!gen.has_open_builder() || gen.builder_epoch() != epoch) return;
+    if (gen.builder().empty()) return;
+    if (gen.free_blocks() == 0) EnsureFree(g, 1);
+    WriteBuilder(g);
+  });
+}
+
+void EphemeralLogManager::ForceWriteOpenBuffers() {
+  for (uint32_t g = 0; g < generations_.size(); ++g) {
+    Generation& gen = Gen(g);
+    if (gen.has_open_builder() && !gen.builder().empty()) {
+      if (gen.free_blocks() == 0) EnsureFree(g, 1);
+      WriteBuilder(g);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Head advance / garbage collection
+// ---------------------------------------------------------------------------
+
+void EphemeralLogManager::EnsureFree(uint32_t g, uint32_t need) {
+  Generation& gen = Gen(g);
+  ELOG_CHECK_LE(need, gen.num_blocks() - 1);
+  // Head advance triggers buffer writes (recirculation, forced forwards)
+  // which would recurse back here; the outer loop already restores the
+  // gap, so nested calls for the same generation are no-ops.
+  if (gc_active_.count(g) > 0) return;
+  gc_active_.insert(g);
+  uint32_t advances_without_gain = 0;
+  while (gen.free_blocks() < need) {
+    uint32_t before = gen.free_blocks();
+    AdvanceHeadOnce(g);
+    if (gen.free_blocks() > before) {
+      advances_without_gain = 0;
+    } else if (++advances_without_gain > gen.num_blocks()) {
+      // A full cycle of the generation reclaimed nothing: the log is
+      // genuinely out of space. Sacrifice a transaction (§2.1: "it may
+      // occasionally be necessary to kill a transaction if one of its log
+      // records cannot be recirculated because of an absence of space").
+      if (!KillVictim(g)) {
+        // Only transactions inside their commit window hold the space:
+        // unsafe last resort (counted; unreachable under the paper's
+        // workloads).
+        TxId victim = kInvalidTxId;
+        SimTime oldest_begin = 0;
+        ltt_.ForEach([&](TxId tid, const LttEntry& entry) {
+          if (IsTerminalState(entry.state)) return;
+          if (victim == kInvalidTxId || entry.begin_time < oldest_begin ||
+              (entry.begin_time == oldest_begin && tid < victim)) {
+            victim = tid;
+            oldest_begin = entry.begin_time;
+          }
+        });
+        ELOG_CHECK(victim != kInvalidTxId)
+            << "generation " << g << " wedged with nothing to sacrifice";
+        ++unsafe_committing_kills_;
+        if (metrics_ != nullptr) metrics_->Incr("el.unsafe_committing_kills");
+        KillTransaction(victim);
+      }
+      advances_without_gain = 0;
+    }
+  }
+  gc_active_.erase(g);
+}
+
+void EphemeralLogManager::AdvanceHeadOnce(uint32_t g) {
+  Generation& gen = Gen(g);
+  ELOG_CHECK_GT(gen.used_blocks(), 0u)
+      << "advancing the head of an empty generation " << g;
+  const uint32_t slot = gen.head_slot();
+  const int64_t forwarded_before = records_forwarded_;
+  // The head block's non-garbage records form a contiguous run at the
+  // front of the cell list (cells are appended in log order). Each
+  // relocation removes the front cell, so re-reading front() is safe
+  // under the nested buffer writes a relocation can trigger.
+  while (true) {
+    Cell* cell = gen.cells().front();
+    if (cell == nullptr || cell->slot != slot) break;
+    RelocateCell(g, cell);
+  }
+  records_discarded_ += gen.TakeSlotRecords(slot);
+  gen.AdvanceHead();
+  occupancy_[g].Set(simulator_->Now(),
+                    static_cast<double>(gen.used_blocks()));
+
+  // Forwarding must reach disk promptly: the forwarded records' old
+  // copies sit in blocks that are now free for reuse. Top up the next
+  // generation's buffer from this head (the paper "works backward from
+  // the head to gather enough other non-garbage log records to fill the
+  // buffer") and force the write. This applies only when this head
+  // advance actually forwarded something; recirculated records staged in
+  // the next generation's buffer do not need an early write (§2.2).
+  if (records_forwarded_ > forwarded_before && g + 1 < generations_.size()) {
+    Generation& next = Gen(g + 1);
+    if (next.has_open_builder() && !next.builder().empty() &&
+        pending_forward_flush_.insert(g + 1).second) {
+      // Gather more records from the head of g while they fit.
+      while (options_.forward_fill) {
+        Cell* cell = gen.cells().front();
+        if (cell == nullptr) break;
+        if (gen.has_open_builder() && cell->slot == gen.builder_slot()) break;
+        if (!next.builder().Fits(cell->record.logged_size)) break;
+        if (cell->is_data_cell()) {
+          LttEntry* owner = ltt_.Find(cell->record.tid);
+          ELOG_CHECK(owner != nullptr);
+          // Only records that would be forwarded anyway.
+          if (owner->state == TxState::kCommitted &&
+              options_.unflushed_policy == UnflushedPolicy::kFlushOnDemand) {
+            break;
+          }
+        }
+        gen.cells().Remove(cell);
+        gen.NoteRecordRemoved(cell->slot);
+        // Fits() pre-checked: no rotations, so the append cannot recurse.
+        ELOG_CHECK(TryAppendCell(g + 1, cell, cell->record.tid) ==
+                   AppendOutcome::kAppended);
+        ++records_forwarded_;
+      }
+      if (next.has_open_builder() && !next.builder().empty() &&
+          next.free_blocks() >= 1) {
+        WriteBuilder(g + 1);
+      }
+      pending_forward_flush_.erase(g + 1);
+    }
+  }
+}
+
+void EphemeralLogManager::RelocateCell(uint32_t g, Cell* cell) {
+  const bool is_last = (g == last_generation());
+  if (cell->is_tx_cell()) {
+    LttEntry* owner = ltt_.Find(cell->record.tid);
+    ELOG_CHECK(owner != nullptr) << "tx cell without LTT entry";
+    if (is_last && !options_.recirculation) {
+      if (owner->state == TxState::kCommitted) {
+        // Nowhere to keep the COMMIT record. Its remaining data records
+        // are being urgently flushed; drop the tx record and flag the
+        // durability window.
+        Gen(g).cells().Remove(cell);
+        owner->tx_cell = nullptr;
+        delete cell;
+        ++unsafe_commit_drops_;
+        if (metrics_ != nullptr) metrics_->Incr("el.unsafe_commit_drops");
+      } else {
+        // §3: recirculation disabled and a record of a still-executing
+        // transaction reached the head of the last generation. Killing a
+        // transaction inside its commit window is inherently unsafe
+        // (phantom-commit risk); it is counted, and only the
+        // no-recirculation experimental mode can reach it.
+        if (owner->state == TxState::kCommitting) {
+          ++unsafe_committing_kills_;
+          if (metrics_ != nullptr) {
+            metrics_->Incr("el.unsafe_committing_kills");
+          }
+        }
+        KillTransaction(cell->record.tid);
+      }
+      return;
+    }
+    ForwardOrRecirculate(g, cell);
+    return;
+  }
+
+  // Data record.
+  LttEntry* owner = ltt_.Find(cell->record.tid);
+  ELOG_CHECK(owner != nullptr) << "data cell without LTT entry";
+  if (!IsTerminalState(owner->state)) {
+    if (is_last && !options_.recirculation) {
+      if (owner->state == TxState::kCommitting) {
+        ++unsafe_committing_kills_;
+        if (metrics_ != nullptr) metrics_->Incr("el.unsafe_committing_kills");
+      }
+      KillTransaction(cell->record.tid);
+      return;
+    }
+    ForwardOrRecirculate(g, cell);
+    return;
+  }
+  // Terminal: a committed-but-unflushed update at the head.
+  if (options_.unflushed_policy == UnflushedPolicy::kFlushOnDemand ||
+      (is_last && !options_.recirculation)) {
+    UrgentFlushAndDrop(cell);
+    return;
+  }
+  ForwardOrRecirculate(g, cell);
+}
+
+void EphemeralLogManager::ForwardOrRecirculate(uint32_t g, Cell* cell) {
+  uint32_t target = g < last_generation() ? g + 1 : g;
+  if (target == g) ELOG_CHECK(options_.recirculation);
+  const TxId owner_tid = cell->record.tid;
+  for (int guard = 0;; ++guard) {
+    ELOG_CHECK_LT(guard, 100000) << "ForwardOrRecirculate cannot settle";
+    if (CanAppend(target, cell->record.logged_size)) {
+      const uint32_t source_slot = cell->slot;
+      Gen(g).cells().Remove(cell);
+      Gen(g).NoteRecordRemoved(source_slot);
+      switch (TryAppendCell(target, cell, owner_tid)) {
+        case AppendOutcome::kAppended:
+          if (target == g) {
+            ++records_recirculated_;
+            if (metrics_ != nullptr) metrics_->Incr("el.recirculated");
+          } else {
+            ++records_forwarded_;
+            if (metrics_ != nullptr) metrics_->Incr("el.forwarded");
+          }
+          return;
+        case AppendOutcome::kOwnerDied:
+          // Nested GC killed the owner; the cell is freed and its record
+          // is garbage in place. Nothing left to relocate.
+          return;
+        case AppendOutcome::kSaturated:
+          // Restore the cell at the head (its block cannot have been
+          // freed: this generation's own head is pinned while we
+          // relocate) and make room below.
+          cell->generation = g;
+          cell->slot = source_slot;
+          Gen(g).cells().PushFront(cell);
+          Gen(g).NoteRecordAdded(source_slot);
+          break;
+      }
+    }
+    if (HandleOverflow(cell)) return;  // the cell itself was sacrificed
+    // Otherwise a victim elsewhere made room; try again.
+  }
+}
+
+bool EphemeralLogManager::HandleOverflow(Cell* cell) {
+  LttEntry* owner = ltt_.Find(cell->record.tid);
+  ELOG_CHECK(owner != nullptr);
+  switch (owner->state) {
+    case TxState::kActive:
+      KillTransaction(cell->record.tid);
+      return true;
+    case TxState::kCommitted:
+      if (cell->is_data_cell()) {
+        UrgentFlushAndDrop(cell);
+      } else {
+        // Committed transaction's tx record with nowhere to go.
+        Gen(cell->generation).cells().Remove(cell);
+        owner->tx_cell = nullptr;
+        delete cell;
+        ++unsafe_commit_drops_;
+        if (metrics_ != nullptr) metrics_->Incr("el.unsafe_commit_drops");
+      }
+      return true;
+    case TxState::kCommitting:
+      // The COMMIT record may already be heading to disk: killing this
+      // transaction now could resurrect it at recovery as a phantom
+      // commit. Sacrifice someone else instead.
+      if (KillVictim(cell->generation, cell->record.tid)) return false;
+      // Nothing else to sacrifice: last resort. This is only reachable
+      // in the recirculation-disabled experimental mode (or under
+      // adversarial direct-API use) and is counted as unsafe.
+      ++unsafe_committing_kills_;
+      if (metrics_ != nullptr) metrics_->Incr("el.unsafe_committing_kills");
+      KillTransaction(cell->record.tid);
+      return true;
+  }
+  ELOG_UNREACHABLE();
+}
+
+bool EphemeralLogManager::KillVictim(uint32_t g, TxId except) {
+  // Oldest still-active transaction dies first (the System R remedy the
+  // paper adopts). Transactions in the commit window (kCommitting) are
+  // never victims: their COMMIT record may already be durable, and
+  // killing them could resurrect a phantom commit at recovery.
+  TxId victim = kInvalidTxId;
+  SimTime oldest = 0;
+  ltt_.ForEach([&](TxId tid, const LttEntry& entry) {
+    if (entry.state != TxState::kActive || tid == except) return;
+    if (victim == kInvalidTxId || entry.begin_time < oldest ||
+        (entry.begin_time == oldest && tid < victim)) {
+      victim = tid;
+      oldest = entry.begin_time;
+    }
+  });
+  if (victim != kInvalidTxId) {
+    KillTransaction(victim);
+    return true;
+  }
+  // No killable transaction: the generation is clogged with terminal
+  // transactions' unflushed/uncompensated updates. Drop the oldest one.
+  for (Cell& cell : Gen(g).cells()) {
+    if (!cell.is_data_cell()) continue;
+    LttEntry* owner = ltt_.Find(cell.record.tid);
+    ELOG_CHECK(owner != nullptr);
+    if (owner->state == TxState::kCommitted) {
+      UrgentFlushAndDrop(&cell);
+      return true;
+    }
+  }
+  return false;
+}
+
+void EphemeralLogManager::KillTransaction(TxId tid) {
+  LttEntry* entry = ltt_.Find(tid);
+  ELOG_CHECK(entry != nullptr);
+  ELOG_CHECK(!IsTerminalState(entry->state))
+      << "killing a transaction whose fate is already decided";
+  DisposeTransaction(tid, entry);
+  ++killed_;
+  if (metrics_ != nullptr) metrics_->Incr("el.killed");
+  UpdateMemoryGauge();
+  if (kill_listener_ != nullptr) kill_listener_->OnTransactionKilled(tid);
+}
+
+// ---------------------------------------------------------------------------
+// Commit / flush processing
+// ---------------------------------------------------------------------------
+
+void EphemeralLogManager::OnBlockDurable(uint32_t g,
+                                         const std::vector<TxId>& commit_tids) {
+  (void)g;
+  for (TxId tid : commit_tids) {
+    LttEntry* entry = ltt_.Find(tid);
+    // The transaction may have been killed while its COMMIT was in
+    // flight, or already acknowledged via an earlier copy of the record.
+    if (entry == nullptr || entry->state != TxState::kCommitting) continue;
+    ProcessCommitDurable(tid, entry);
+  }
+}
+
+void EphemeralLogManager::ProcessCommitDurable(TxId tid, LttEntry* entry) {
+  entry->state = TxState::kCommitted;
+
+  std::vector<Oid> oids(entry->oids.begin(), entry->oids.end());
+
+  // Report the transaction's final committed updates before any disposal.
+  if (commit_hook_) {
+    std::vector<wal::LogRecord> updates;
+    updates.reserve(oids.size());
+    for (Oid oid : oids) {
+      LotEntry* obj = lot_.Find(oid);
+      ELOG_CHECK(obj != nullptr);
+      auto it = std::find_if(
+          obj->uncommitted.begin(), obj->uncommitted.end(),
+          [tid](const LotEntry::Uncommitted& u) { return u.tid == tid; });
+      ELOG_CHECK(it != obj->uncommitted.end());
+      updates.push_back(it->cell->record);
+    }
+    commit_hook_(tid, updates);
+  }
+
+  if (options_.release_on_commit) {
+    // Firewall mode: all of the transaction's records are garbage now.
+    std::function<void(TxId)> callback = std::move(entry->on_commit_durable);
+    entry->on_commit_durable = nullptr;
+    for (Oid oid : oids) {
+      LotEntry* obj = lot_.Find(oid);
+      ELOG_CHECK(obj != nullptr);
+      auto it = std::find_if(
+          obj->uncommitted.begin(), obj->uncommitted.end(),
+          [tid](const LotEntry::Uncommitted& u) { return u.tid == tid; });
+      ELOG_CHECK(it != obj->uncommitted.end());
+      // Disposal auto-cleans the LTT entry when the oid set empties.
+      DisposeDataCell(it->cell);
+    }
+    if (oids.empty()) CleanupCommittedTransaction(tid, entry);
+    UpdateMemoryGauge();
+    if (callback) callback(tid);
+    return;
+  }
+
+  for (Oid oid : oids) {
+    LotEntry* obj = lot_.Find(oid);
+    ELOG_CHECK(obj != nullptr);
+    auto it = std::find_if(
+        obj->uncommitted.begin(), obj->uncommitted.end(),
+        [tid](const LotEntry::Uncommitted& u) { return u.tid == tid; });
+    ELOG_CHECK(it != obj->uncommitted.end());
+    Cell* cell = it->cell;
+    // An older committed-unflushed update of this object is now garbage
+    // (§2.3: "if a data log record for an earlier committed update
+    // existed, it is now garbage").
+    if (obj->committed != nullptr) {
+      DisposeDataCell(obj->committed);
+      obj = lot_.Find(oid);  // entry survives: `cell` still references it
+      ELOG_CHECK(obj != nullptr);
+      it = std::find_if(
+          obj->uncommitted.begin(), obj->uncommitted.end(),
+          [tid](const LotEntry::Uncommitted& u) { return u.tid == tid; });
+      ELOG_CHECK(it != obj->uncommitted.end());
+    }
+    obj->uncommitted.erase(it);
+    obj->committed = cell;
+    // Continuous flushing (§2.2): schedule the flush now so the record is
+    // usually garbage before it ever reaches a head. Under the naive
+    // flush-on-demand policy (§2.1), flushing instead happens only when
+    // the record arrives at a generation head.
+    if (options_.unflushed_policy != UnflushedPolicy::kFlushOnDemand) {
+      EnqueueFlush(*cell, /*urgent=*/false);
+    }
+  }
+
+  std::function<void(TxId)> callback = std::move(entry->on_commit_durable);
+  entry->on_commit_durable = nullptr;
+  if (entry->oids.empty()) {
+    CleanupCommittedTransaction(tid, entry);
+  }
+  UpdateMemoryGauge();
+  if (callback) callback(tid);
+}
+
+void EphemeralLogManager::EnqueueFlush(const Cell& cell, bool urgent) {
+  const wal::LogRecord& record = cell.record;
+  disk::FlushRequest request;
+  request.oid = record.oid;
+  request.lsn = record.lsn;
+  request.value_digest = record.value_digest;
+  request.on_durable = [this](const disk::FlushRequest& r) {
+    if (flush_apply_hook_) flush_apply_hook_(r.oid, r.lsn, r.value_digest);
+    OnFlushDurable(r);
+  };
+  if (urgent) {
+    drives_->EnqueueUrgent(std::move(request));
+    ++urgent_flushes_;
+    if (metrics_ != nullptr) metrics_->Incr("el.urgent_flushes");
+  } else {
+    drives_->Enqueue(std::move(request));
+    ++flushes_enqueued_;
+  }
+}
+
+void EphemeralLogManager::OnFlushDurable(const disk::FlushRequest& request) {
+  ++updates_flushed_;
+  LotEntry* obj = lot_.Find(request.oid);
+  if (obj == nullptr) return;  // superseded and disposed in the meantime
+  if (obj->committed != nullptr &&
+      obj->committed->record.lsn == request.lsn) {
+    DisposeDataCell(obj->committed);
+    UpdateMemoryGauge();
+  }
+}
+
+void EphemeralLogManager::UrgentFlushAndDrop(Cell* cell) {
+  ELOG_CHECK(cell->is_data_cell());
+  EnqueueFlush(*cell, /*urgent=*/true);
+  DisposeDataCell(cell);
+  UpdateMemoryGauge();
+}
+
+// ---------------------------------------------------------------------------
+// Disposal
+// ---------------------------------------------------------------------------
+
+void EphemeralLogManager::DisposeDataCell(Cell* cell) {
+  ELOG_CHECK(cell->is_data_cell());
+  const Oid oid = cell->record.oid;
+  const TxId tid = cell->record.tid;
+
+  LotEntry* obj = lot_.Find(oid);
+  ELOG_CHECK(obj != nullptr);
+  if (obj->committed == cell) {
+    obj->committed = nullptr;
+  } else {
+    auto it = std::find_if(
+        obj->uncommitted.begin(), obj->uncommitted.end(),
+        [cell](const LotEntry::Uncommitted& u) { return u.cell == cell; });
+    ELOG_CHECK(it != obj->uncommitted.end());
+    obj->uncommitted.erase(it);
+  }
+  if (obj->empty()) lot_.Erase(oid);
+
+  // A cell can be unlinked mid-append when its transaction is killed
+  // while the log manager is placing the record.
+  if (cell->link.linked()) Gen(cell->generation).cells().Remove(cell);
+
+  LttEntry* owner = ltt_.Find(tid);
+  ELOG_CHECK(owner != nullptr);
+  size_t erased = owner->oids.erase(oid);
+  ELOG_CHECK_EQ(erased, 1u);
+  if (IsTerminalState(owner->state) && owner->oids.empty()) {
+    CleanupCommittedTransaction(tid, owner);
+  }
+  delete cell;
+}
+
+void EphemeralLogManager::CleanupCommittedTransaction(TxId tid,
+                                                      LttEntry* entry) {
+  ELOG_CHECK(IsTerminalState(entry->state));
+  ELOG_CHECK(entry->oids.empty());
+  if (entry->tx_cell != nullptr) {
+    if (entry->tx_cell->link.linked()) {
+      Gen(entry->tx_cell->generation).cells().Remove(entry->tx_cell);
+    }
+    delete entry->tx_cell;
+  }
+  bool erased = ltt_.Erase(tid);
+  ELOG_CHECK(erased);
+}
+
+void EphemeralLogManager::DisposeTransaction(TxId tid, LttEntry* entry) {
+  std::vector<Oid> oids(entry->oids.begin(), entry->oids.end());
+  for (Oid oid : oids) {
+    LotEntry* obj = lot_.Find(oid);
+    ELOG_CHECK(obj != nullptr);
+    auto it = std::find_if(
+        obj->uncommitted.begin(), obj->uncommitted.end(),
+        [tid](const LotEntry::Uncommitted& u) { return u.tid == tid; });
+    ELOG_CHECK(it != obj->uncommitted.end());
+    if (it->cell->stolen) {
+      // UNDO/REDO: the stable version may hold this uncommitted value
+      // (marked provisional); restore the before-image. Crash safety
+      // does not depend on this landing — recovery reverts provisional
+      // versions of uncommitted writers from their stored before-images.
+      EnqueueCompensation(it->cell);
+    }
+    DisposeDataCell(it->cell);
+  }
+  entry = ltt_.Find(tid);
+  ELOG_CHECK(entry != nullptr);
+  ELOG_CHECK(entry->oids.empty());
+  if (entry->tx_cell != nullptr) {
+    if (entry->tx_cell->link.linked()) {
+      Gen(entry->tx_cell->generation).cells().Remove(entry->tx_cell);
+    }
+    delete entry->tx_cell;
+  }
+  bool erased = ltt_.Erase(tid);
+  ELOG_CHECK(erased);
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+size_t EphemeralLogManager::active_transactions() const {
+  size_t count = 0;
+  ltt_.ForEach([&count](TxId, const LttEntry& entry) {
+    if (!IsTerminalState(entry.state)) ++count;
+  });
+  return count;
+}
+
+double EphemeralLogManager::modeled_memory_bytes() const {
+  if (options_.release_on_commit) {
+    // FW cost model: "22 bytes for each transaction (including a pointer
+    // to the position within the log of its oldest log record)".
+    return static_cast<double>(options_.fw_bytes_per_transaction) *
+           static_cast<double>(ltt_.size());
+  }
+  // EL cost model: "40 bytes for each transaction and 40 bytes for each
+  // updated (but unflushed) object".
+  return static_cast<double>(options_.el_bytes_per_transaction) *
+             static_cast<double>(ltt_.size()) +
+         static_cast<double>(options_.el_bytes_per_object) *
+             static_cast<double>(lot_.size());
+}
+
+void EphemeralLogManager::UpdateMemoryGauge() {
+  memory_.Set(simulator_->Now(), modeled_memory_bytes());
+}
+
+void EphemeralLogManager::CheckInvariants() const {
+  size_t cells_in_lists = 0;
+  for (uint32_t g = 0; g < generations_.size(); ++g) {
+    const Generation& gen = *generations_[g];
+    // Slot accounting.
+    uint32_t span = (gen.tail_slot() + gen.num_blocks() - gen.head_slot()) %
+                    gen.num_blocks();
+    ELOG_CHECK_EQ(span, gen.used_blocks() % gen.num_blocks());
+    // Cells belong to this generation, in cyclic position order, within
+    // the used span (or the open buffer's slot).
+    uint32_t previous_position = 0;
+    bool first = true;
+    for (const Cell& cell : gen.cells()) {
+      ELOG_CHECK_EQ(cell.generation, g);
+      uint32_t position = (cell.slot + gen.num_blocks() - gen.head_slot()) %
+                          gen.num_blocks();
+      ELOG_CHECK_LE(position, gen.used_blocks());
+      if (!first) ELOG_CHECK_GE(position, previous_position);
+      previous_position = position;
+      first = false;
+      ++cells_in_lists;
+    }
+  }
+
+  // Every cell in a list is reachable from exactly one table slot.
+  size_t cells_in_tables = 0;
+  lot_.ForEach([&](Oid oid, const LotEntry& obj) {
+    ELOG_CHECK(!obj.empty());
+    if (obj.committed != nullptr) {
+      ELOG_CHECK(obj.committed->is_data_cell());
+      ELOG_CHECK_EQ(obj.committed->record.oid, oid);
+      ++cells_in_tables;
+    }
+    for (const LotEntry::Uncommitted& u : obj.uncommitted) {
+      ELOG_CHECK(u.cell->is_data_cell());
+      ELOG_CHECK_EQ(u.cell->record.oid, oid);
+      ELOG_CHECK_EQ(u.cell->record.tid, u.tid);
+      ++cells_in_tables;
+    }
+  });
+  ltt_.ForEach([&](TxId tid, const LttEntry& entry) {
+    if (entry.tx_cell != nullptr) {
+      ELOG_CHECK(entry.tx_cell->is_tx_cell());
+      ELOG_CHECK_EQ(entry.tx_cell->record.tid, tid);
+      ++cells_in_tables;
+    }
+    // Every oid the transaction claims must have a matching cell.
+    for (Oid oid : entry.oids) {
+      const LotEntry* obj = lot_.Find(oid);
+      ELOG_CHECK(obj != nullptr);
+      bool found = (obj->committed != nullptr &&
+                    obj->committed->record.tid == tid);
+      for (const LotEntry::Uncommitted& u : obj->uncommitted) {
+        found = found || u.tid == tid;
+      }
+      ELOG_CHECK(found) << "tid " << tid << " claims oid " << oid
+                        << " without a cell";
+    }
+  });
+  ELOG_CHECK_EQ(cells_in_lists, cells_in_tables);
+}
+
+}  // namespace elog

@@ -1,0 +1,254 @@
+// Ephemeral logging manager (§2 of the paper).
+//
+// The log is a chain of fixed-size generation queues. New records enter
+// generation 0; when a generation's head block is reclaimed, its
+// non-garbage records are forwarded to the next generation's tail (or
+// recirculated within the last generation). Committed updates are flushed
+// continuously to the stable database version by locality-scheduled disk
+// drives; once flushed, their data records are garbage. No checkpoints.
+//
+// Garbage rules implemented here (§2.1, §2.3):
+//   * every record is non-garbage at birth; garbage is permanent;
+//   * an aborted (or killed) transaction's records are garbage at once;
+//   * a data record is garbage once its update is flushed, or once a
+//     newer committed update of the same object supersedes it;
+//   * only a transaction's most recent tx record is ever needed, and it
+//     is garbage once the transaction has committed durably and all its
+//     data records are garbage.
+//
+// Kill policy (out of log space):
+//   * recirculation off: a still-active transaction whose record reaches
+//     the last generation's head is killed (paper §3);
+//   * recirculation on: if a full cycle of the last generation reclaims
+//     no space, the oldest non-committed transaction is killed.
+
+#ifndef ELOG_CORE_EL_MANAGER_H_
+#define ELOG_CORE_EL_MANAGER_H_
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "core/generation.h"
+#include "core/log_manager.h"
+#include "core/options.h"
+#include "core/tables.h"
+#include "disk/drive_array.h"
+#include "disk/log_device.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+
+namespace elog {
+
+class EphemeralLogManager : public LogManager {
+ public:
+  /// The device and drives must outlive the manager. `options` must
+  /// validate.
+  EphemeralLogManager(sim::Simulator* simulator,
+                      const LogManagerOptions& options,
+                      disk::LogDevice* device, disk::DriveArray* drives,
+                      sim::MetricsRegistry* metrics);
+  ~EphemeralLogManager() override;
+
+  // workload::TransactionSink
+  TxId BeginTransaction(const workload::TransactionType& type) override;
+  void WriteUpdate(TxId tid, Oid oid, uint32_t logged_size) override;
+  void Commit(TxId tid, std::function<void(TxId)> on_durable) override;
+  void Abort(TxId tid) override;
+
+  // LogManager
+  void ForceWriteOpenBuffers() override;
+  size_t active_transactions() const override;
+  double modeled_memory_bytes() const override;
+  const TimeWeightedValue& memory_usage() const override { return memory_; }
+  int64_t transactions_killed() const override { return killed_; }
+
+  // Introspection.
+  const LogManagerOptions& options() const { return options_; }
+  size_t lot_size() const { return lot_.size(); }
+  size_t ltt_size() const { return ltt_.size(); }
+  const Generation& generation(uint32_t g) const { return *generations_[g]; }
+  size_t num_generations() const { return generations_.size(); }
+
+  /// Time-weighted occupancy (used blocks) of generation g — shows where
+  /// the configured space is actually spent.
+  const TimeWeightedValue& occupancy(uint32_t g) const {
+    return occupancy_.at(g);
+  }
+
+  // Counters.
+  int64_t records_appended() const { return records_appended_; }
+  int64_t records_forwarded() const { return records_forwarded_; }
+  int64_t records_recirculated() const { return records_recirculated_; }
+  int64_t records_discarded() const { return records_discarded_; }
+  int64_t flushes_enqueued() const { return flushes_enqueued_; }
+  int64_t urgent_flushes() const { return urgent_flushes_; }
+  int64_t updates_flushed() const { return updates_flushed_; }
+  /// COMMIT records dropped because the last generation could not keep
+  /// them (recirculation off / overflow). Nonzero values indicate a crash
+  /// window the paper's no-recirculation configuration shares.
+  int64_t unsafe_commit_drops() const { return unsafe_commit_drops_; }
+  /// Transactions killed inside their commit window (phantom-commit
+  /// risk); reachable only with recirculation disabled.
+  int64_t unsafe_committing_kills() const { return unsafe_committing_kills_; }
+  /// UNDO/REDO mode: uncommitted updates evicted to the stable version.
+  int64_t steals() const { return steals_; }
+  /// UNDO/REDO mode: before-image restorations issued by aborts/kills.
+  int64_t compensations() const { return compensations_; }
+
+  /// Verifies internal consistency: every cell is reachable from exactly
+  /// one LOT/LTT entry, per-generation cell lists are position-ordered at
+  /// the head block, and slot accounting matches. CHECK-fails on
+  /// violation. Intended for tests.
+  void CheckInvariants() const;
+
+ private:
+  Generation& Gen(uint32_t g) { return *generations_[g]; }
+  uint32_t last_generation() const {
+    return static_cast<uint32_t>(generations_.size()) - 1;
+  }
+
+  Lsn NextLsn() { return next_lsn_++; }
+
+  /// True if generation g can accept a record of `logged_size` without
+  /// running out of slots (used on relocation paths, which never make
+  /// space themselves).
+  bool CanAppend(uint32_t g, uint32_t logged_size) const;
+
+  /// External-append path: makes room (advancing heads, killing victims
+  /// if unavoidable) so that the open buffer of generation g accepts
+  /// `logged_size` while preserving the k-block gap.
+  void PrepareExternalAppend(uint32_t g, uint32_t logged_size);
+
+  enum class AppendOutcome {
+    kAppended,
+    /// The generation is saturated: rotating buffers keeps refilling them
+    /// with recirculated non-garbage records. The cell is left unlinked.
+    kSaturated,
+    /// Rotating buffers triggered nested garbage collection that killed
+    /// the cell's owning transaction — the cell has been FREED and must
+    /// not be touched.
+    kOwnerDied,
+  };
+
+  /// Appends cell->record to generation g's open buffer and links the
+  /// cell at the tail of g's cell list. `owner_tid` is the transaction
+  /// the cell belongs to (pass kInvalidTxId for a cell not yet reachable
+  /// from the tables, i.e. a BEGIN being placed — it cannot die).
+  AppendOutcome TryAppendCell(uint32_t g, Cell* cell, TxId owner_tid);
+
+  /// External-append path: places the record, killing victims other than
+  /// `appender` if the generation is saturated. Returns false only when
+  /// `appender` itself had to be killed (the cell is then disposed).
+  bool AppendCellOrKill(uint32_t g, Cell* cell, TxId appender);
+
+  /// Closes and submits generation g's open buffer. Requires a free slot.
+  void WriteBuilder(uint32_t g);
+
+  /// Restores free_blocks(g) >= `need` by advancing the head; kills
+  /// victims when a full cycle reclaims nothing.
+  void EnsureFree(uint32_t g, uint32_t need);
+
+  /// Relocates/discards every record of generation g's head block, then
+  /// frees it.
+  void AdvanceHeadOnce(uint32_t g);
+
+  /// Decides the fate of the non-garbage record `cell` at the head of
+  /// generation g: forward, recirculate, flush on demand, or kill.
+  void RelocateCell(uint32_t g, Cell* cell);
+
+  /// Forward/recirculate `cell` out of generation g. Falls back to
+  /// HandleOverflow when the target has no space.
+  void ForwardOrRecirculate(uint32_t g, Cell* cell);
+
+  /// Makes room when `cell` cannot be kept in the log: sacrifices the
+  /// cell itself (kill, urgent flush, or drop — returns true) or a victim
+  /// elsewhere (returns false; the caller retries the relocation).
+  bool HandleOverflow(Cell* cell);
+
+  /// Kills the oldest non-committed transaction other than `except`; if
+  /// none exists, drops the oldest committed-unflushed update of
+  /// generation g via an urgent flush. Returns false if nothing could be
+  /// sacrificed.
+  bool KillVictim(uint32_t g, TxId except = kInvalidTxId);
+
+  void KillTransaction(TxId tid);
+
+  /// Group-commit acknowledgement for the commits of a durable block.
+  void OnBlockDurable(uint32_t g, const std::vector<TxId>& commit_tids);
+
+  /// Commit processing at t4 (§2.3): promote the transaction's updates to
+  /// committed, supersede older committed updates, schedule flushes.
+  void ProcessCommitDurable(TxId tid, LttEntry* entry);
+
+  /// Schedules a flush of the committed update held by `cell`.
+  void EnqueueFlush(const Cell& cell, bool urgent);
+  void OnFlushDurable(const disk::FlushRequest& request);
+
+  /// Flushes `cell`'s update urgently and drops the record from the log.
+  void UrgentFlushAndDrop(Cell* cell);
+
+  // --- UNDO/REDO mode (§1 generalization) ---
+  /// Schedules the steal timer if eviction pressure is modeled and the
+  /// timer is idle.
+  void ArmStealTimer();
+  /// Evicts the oldest unstolen uncommitted update to the stable version.
+  void StealOnce();
+  /// Issues the before-image restoration for a stolen update of an
+  /// aborted/killed transaction.
+  void EnqueueCompensation(Cell* cell);
+
+  /// Disposes a data cell: unlinks it from its generation list, its LOT
+  /// entry and its writer's oid set; cleans up empty entries.
+  void DisposeDataCell(Cell* cell);
+
+  /// Disposes a committed transaction whose oid set emptied: its tx
+  /// record is garbage; the LTT entry goes away.
+  void CleanupCommittedTransaction(TxId tid, LttEntry* entry);
+
+  /// Aborts/kills share this: dispose all of the transaction's cells.
+  void DisposeTransaction(TxId tid, LttEntry* entry);
+
+  void ScheduleLinger(uint32_t g);
+  void UpdateMemoryGauge();
+
+  sim::Simulator* simulator_;
+  LogManagerOptions options_;
+  disk::LogDevice* device_;
+  disk::DriveArray* drives_;
+  sim::MetricsRegistry* metrics_;
+
+  std::vector<std::unique_ptr<Generation>> generations_;
+  LoggedObjectTable lot_;
+  LoggedTransactionTable ltt_;
+
+  TxId next_tid_ = 1;
+  Lsn next_lsn_ = 1;
+  uint64_t next_write_seq_ = 1;
+
+  TimeWeightedValue memory_;
+  std::vector<TimeWeightedValue> occupancy_;
+
+  int64_t records_appended_ = 0;
+  int64_t records_forwarded_ = 0;
+  int64_t records_recirculated_ = 0;
+  int64_t records_discarded_ = 0;
+  int64_t flushes_enqueued_ = 0;
+  int64_t urgent_flushes_ = 0;
+  int64_t updates_flushed_ = 0;
+  int64_t killed_ = 0;
+  int64_t unsafe_commit_drops_ = 0;
+  int64_t unsafe_committing_kills_ = 0;
+  int64_t steals_ = 0;
+  int64_t compensations_ = 0;
+  bool steal_timer_armed_ = false;
+
+  /// Re-entrancy guard for the forward-and-force-write step.
+  std::unordered_set<uint32_t> pending_forward_flush_;
+  /// Generations currently inside EnsureFree (re-entrancy guard).
+  std::unordered_set<uint32_t> gc_active_;
+};
+
+}  // namespace elog
+
+#endif  // ELOG_CORE_EL_MANAGER_H_

@@ -1,0 +1,47 @@
+// Firewall (FW) logging baseline — System R-style log management (§1, §4).
+//
+// The paper simulates FW as "a single log with no recirculation": the
+// firewall is the oldest non-garbage log record of the oldest active
+// transaction, checkpointing is omitted (favoring FW), and a transaction
+// is killed when the log runs out of space behind the firewall.
+//
+// Those semantics are a strict specialization of the generational engine:
+// one generation, recirculation off, release-on-commit on. This header
+// provides the configured type plus an options helper so call sites read
+// as "FW" rather than "EL with three flags".
+
+#ifndef ELOG_CORE_FW_MANAGER_H_
+#define ELOG_CORE_FW_MANAGER_H_
+
+#include "core/el_manager.h"
+
+namespace elog {
+
+/// Builds options for a firewall log of `log_blocks` blocks, inheriting
+/// every other knob (latencies, k, buffers) from `base`.
+inline LogManagerOptions MakeFirewallOptions(uint32_t log_blocks,
+                                             LogManagerOptions base = {}) {
+  base.generation_blocks = {log_blocks};
+  base.recirculation = false;
+  base.release_on_commit = true;
+  base.lifetime_hints = false;
+  return base;
+}
+
+class FirewallLogManager : public EphemeralLogManager {
+ public:
+  FirewallLogManager(sim::Simulator* simulator,
+                     const LogManagerOptions& options,
+                     disk::LogDevice* device, disk::DriveArray* drives,
+                     sim::MetricsRegistry* metrics)
+      : EphemeralLogManager(simulator, options, device, drives, metrics) {
+    ELOG_CHECK_EQ(options.generation_blocks.size(), 1u)
+        << "FW uses a single log queue";
+    ELOG_CHECK(!options.recirculation);
+    ELOG_CHECK(options.release_on_commit);
+  }
+};
+
+}  // namespace elog
+
+#endif  // ELOG_CORE_FW_MANAGER_H_

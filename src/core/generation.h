@@ -1,0 +1,184 @@
+// One generation: a fixed-size FIFO queue of disk blocks (§2.1–2.2).
+//
+// The generation's disk space is a circular array of block slots. Records
+// are accumulated in an open block buffer pre-assigned to the tail slot;
+// when the buffer is written, the tail advances. The head advances as the
+// log manager disposes, flushes, forwards or recirculates the records of
+// the head block. One slot (the open buffer's target) is always reserved,
+// so with N slots and U written-but-unfreed blocks, N − U − 1 are free.
+//
+// This class owns only the mechanics (slot arithmetic, the open builder,
+// the cell list, per-slot live-record counts used by the firewall and
+// hybrid managers). Relocation policy lives in the log managers.
+
+#ifndef ELOG_CORE_GENERATION_H_
+#define ELOG_CORE_GENERATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cell.h"
+#include "util/check.h"
+#include "util/types.h"
+#include "wal/block_format.h"
+
+namespace elog {
+
+class Generation {
+ public:
+  Generation(uint32_t index, uint32_t num_blocks)
+      : index_(index),
+        num_blocks_(num_blocks),
+        builder_(index),
+        live_counts_(num_blocks, 0),
+        slot_records_(num_blocks, 0) {
+    ELOG_CHECK_GT(num_blocks, 1u);
+  }
+
+  uint32_t index() const { return index_; }
+  uint32_t num_blocks() const { return num_blocks_; }
+  uint32_t head_slot() const { return head_slot_; }
+  uint32_t tail_slot() const { return tail_slot_; }
+  uint32_t used_blocks() const { return used_blocks_; }
+
+  /// Slots available for future writes (the open buffer's slot is always
+  /// reserved and not counted as free).
+  uint32_t free_blocks() const { return num_blocks_ - used_blocks_ - 1; }
+
+  bool has_open_builder() const { return builder_open_; }
+
+  /// Opens the buffer targeting the current tail slot. Requires no open
+  /// buffer.
+  void OpenBuilder() {
+    ELOG_CHECK(!builder_open_);
+    ELOG_CHECK(builder_.empty());
+    builder_open_ = true;
+    ++builder_epoch_;
+  }
+
+  /// Buffer being filled; valid only while open.
+  wal::BlockBuilder& builder() {
+    ELOG_CHECK(builder_open_);
+    return builder_;
+  }
+  const wal::BlockBuilder& builder() const {
+    ELOG_CHECK(builder_open_);
+    return builder_;
+  }
+
+  /// Slot the open buffer will be written to.
+  uint32_t builder_slot() const {
+    ELOG_CHECK(builder_open_);
+    return tail_slot_;
+  }
+
+  /// Incremented every time a buffer is closed; lets group-commit linger
+  /// timers detect that "their" buffer was already written.
+  uint64_t builder_epoch() const { return builder_epoch_; }
+
+  /// Transactions whose COMMIT record sits in the open buffer; they are
+  /// acknowledged when the buffer's disk write completes.
+  std::vector<TxId>& pending_commit_tids() { return pending_commit_tids_; }
+
+  /// Closes the open buffer: serializes it, advances the tail, marks the
+  /// slot used. Requires free_blocks() >= 1 (the next tail slot must not
+  /// collide with the head). Returns the image, target slot, and the
+  /// commit tids to acknowledge on durability.
+  struct ClosedBuffer {
+    wal::BlockImage image;
+    uint32_t slot = 0;
+    std::vector<TxId> commit_tids;
+  };
+  ClosedBuffer CloseBuilder(uint64_t write_seq) {
+    ELOG_CHECK(builder_open_);
+    ELOG_CHECK(!builder_.empty()) << "writing an empty buffer";
+    ELOG_CHECK_GE(free_blocks(), 1u)
+        << "generation " << index_ << " has no slot for the next buffer";
+    ClosedBuffer closed;
+    closed.slot = tail_slot_;
+    closed.image = builder_.Finish(write_seq);
+    closed.commit_tids = std::move(pending_commit_tids_);
+    pending_commit_tids_.clear();
+    builder_open_ = false;
+    tail_slot_ = (tail_slot_ + 1) % num_blocks_;
+    ++used_blocks_;
+    ++builder_epoch_;
+    return closed;
+  }
+
+  /// Frees the head block. All its non-garbage records must already have
+  /// been relocated by the caller.
+  void AdvanceHead() {
+    ELOG_CHECK_GT(used_blocks_, 0u);
+    ELOG_CHECK_EQ(live_counts_[head_slot_], 0u)
+        << "freeing head block with live firewall records";
+    head_slot_ = (head_slot_ + 1) % num_blocks_;
+    --used_blocks_;
+  }
+
+  /// Cell list; front() is the paper's h_i pointer. Because cells are
+  /// appended in log order and removed in place, the cells of the head
+  /// block always form a contiguous run at the front.
+  CellList& cells() { return cells_; }
+  const CellList& cells() const { return cells_; }
+
+  /// Per-slot record counts: records physically present in a written (or
+  /// open) block. Incremented on append; decremented when a record is
+  /// relocated out (forward/recirculate). Whatever remains when the head
+  /// block is freed was garbage — the manager's discard accounting.
+  uint32_t slot_records(uint32_t slot) const {
+    ELOG_CHECK_LT(slot, num_blocks_);
+    return slot_records_[slot];
+  }
+  void NoteRecordAdded(uint32_t slot) {
+    ELOG_CHECK_LT(slot, num_blocks_);
+    ++slot_records_[slot];
+  }
+  void NoteRecordRemoved(uint32_t slot) {
+    ELOG_CHECK_LT(slot, num_blocks_);
+    ELOG_CHECK_GT(slot_records_[slot], 0u);
+    --slot_records_[slot];
+  }
+  uint32_t TakeSlotRecords(uint32_t slot) {
+    ELOG_CHECK_LT(slot, num_blocks_);
+    uint32_t count = slot_records_[slot];
+    slot_records_[slot] = 0;
+    return count;
+  }
+
+  /// Per-slot live-record counters (firewall/hybrid managers only; the EL
+  /// manager tracks liveness through cells instead).
+  uint32_t live_count(uint32_t slot) const {
+    ELOG_CHECK_LT(slot, num_blocks_);
+    return live_counts_[slot];
+  }
+  void AddLive(uint32_t slot) {
+    ELOG_CHECK_LT(slot, num_blocks_);
+    ++live_counts_[slot];
+  }
+  void RemoveLive(uint32_t slot) {
+    ELOG_CHECK_LT(slot, num_blocks_);
+    ELOG_CHECK_GT(live_counts_[slot], 0u);
+    --live_counts_[slot];
+  }
+
+ private:
+  uint32_t index_;
+  uint32_t num_blocks_;
+  uint32_t head_slot_ = 0;
+  uint32_t tail_slot_ = 0;
+  uint32_t used_blocks_ = 0;
+
+  wal::BlockBuilder builder_;
+  bool builder_open_ = false;
+  uint64_t builder_epoch_ = 0;
+  std::vector<TxId> pending_commit_tids_;
+
+  CellList cells_;
+  std::vector<uint32_t> live_counts_;
+  std::vector<uint32_t> slot_records_;
+};
+
+}  // namespace elog
+
+#endif  // ELOG_CORE_GENERATION_H_

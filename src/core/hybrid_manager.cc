@@ -1,0 +1,509 @@
+#include "core/hybrid_manager.h"
+
+#include <algorithm>
+
+namespace elog {
+
+HybridLogManager::HybridLogManager(sim::Simulator* simulator,
+                                   const LogManagerOptions& options,
+                                   disk::LogDevice* device,
+                                   disk::DriveArray* drives,
+                                   sim::MetricsRegistry* metrics)
+    : simulator_(simulator),
+      options_(options),
+      device_(device),
+      drives_(drives),
+      metrics_(metrics) {
+  ELOG_CHECK_OK(options.Validate());
+  for (size_t i = 0; i < options.generation_blocks.size(); ++i) {
+    generations_.push_back(std::make_unique<Generation>(
+        static_cast<uint32_t>(i), options.generation_blocks[i]));
+    markers_.emplace_back(options.generation_blocks[i]);
+  }
+  UpdateMemoryGauge();
+}
+
+// ---------------------------------------------------------------------------
+// Marker bookkeeping
+// ---------------------------------------------------------------------------
+
+void HybridLogManager::PlaceMarker(TxId tid, HybridTx* entry, uint32_t g,
+                                   uint32_t slot) {
+  entry->generation = g;
+  entry->slot = slot;
+  markers_[g][slot].push_back(tid);
+  Gen(g).AddLive(slot);
+}
+
+void HybridLogManager::RemoveMarker(TxId tid, HybridTx* entry) {
+  std::vector<TxId>& bucket = markers_[entry->generation][entry->slot];
+  auto it = std::find(bucket.begin(), bucket.end(), tid);
+  ELOG_CHECK(it != bucket.end()) << "marker missing for tid " << tid;
+  bucket.erase(it);
+  Gen(entry->generation).RemoveLive(entry->slot);
+}
+
+// ---------------------------------------------------------------------------
+// Append machinery
+// ---------------------------------------------------------------------------
+
+bool HybridLogManager::TryAppendRecord(uint32_t g,
+                                       const wal::LogRecord& record,
+                                       bool register_commit,
+                                       uint32_t* slot_out) {
+  Generation& gen = Gen(g);
+  const int max_rotations = static_cast<int>(gen.num_blocks()) * 2 + 8;
+  for (int rotations = 0;; ++rotations) {
+    if (rotations >= max_rotations) return false;
+    if (!gen.has_open_builder()) {
+      if (gen.free_blocks() == 0) return false;
+      gen.OpenBuilder();
+      continue;
+    }
+    if (gen.builder().Fits(record.logged_size)) break;
+    if (gen.free_blocks() == 0) return false;
+    WriteBuilder(g);
+  }
+  ELOG_CHECK(gen.builder().Add(record));
+  uint32_t slot = gen.builder_slot();
+  gen.NoteRecordAdded(slot);
+  if (register_commit) {
+    gen.pending_commit_tids().push_back(record.tid);
+    ScheduleLinger(g);
+  }
+  if (slot_out != nullptr) *slot_out = slot;
+  return true;
+}
+
+bool HybridLogManager::AppendOrKill(uint32_t g, const wal::LogRecord& record,
+                                    bool register_commit, TxId appender,
+                                    uint32_t* slot_out) {
+  for (int guard = 0;; ++guard) {
+    ELOG_CHECK_LT(guard, 100000) << "AppendOrKill cannot settle";
+    if (TryAppendRecord(g, record, register_commit, slot_out)) return true;
+    if (!KillVictim(appender)) {
+      ELOG_CHECK(appender != kInvalidTxId)
+          << "hybrid log wedged with nothing to sacrifice";
+      KillTransaction(appender);
+      return false;
+    }
+  }
+}
+
+void HybridLogManager::WriteBuilder(uint32_t g) {
+  Generation& gen = Gen(g);
+  Generation::ClosedBuffer closed = gen.CloseBuilder(next_write_seq_++);
+  disk::LogWriteRequest request;
+  request.address = disk::BlockAddress{g, closed.slot};
+  request.image = std::move(closed.image);
+  request.on_durable = [this, tids = std::move(closed.commit_tids)] {
+    OnBlockDurable(tids);
+  };
+  device_->Submit(std::move(request));
+  EnsureFree(g, options_.min_free_blocks);
+}
+
+void HybridLogManager::ScheduleLinger(uint32_t g) {
+  if (options_.group_commit_linger <= 0) return;
+  uint64_t epoch = Gen(g).builder_epoch();
+  simulator_->ScheduleAfter(options_.group_commit_linger, [this, g, epoch] {
+    Generation& gen = Gen(g);
+    if (!gen.has_open_builder() || gen.builder_epoch() != epoch) return;
+    if (gen.builder().empty()) return;
+    if (gen.free_blocks() == 0) EnsureFree(g, 1);
+    WriteBuilder(g);
+  });
+}
+
+void HybridLogManager::ForceWriteOpenBuffers() {
+  for (uint32_t g = 0; g < generations_.size(); ++g) {
+    Generation& gen = Gen(g);
+    if (gen.has_open_builder() && !gen.builder().empty()) {
+      if (gen.free_blocks() == 0) EnsureFree(g, 1);
+      WriteBuilder(g);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Garbage collection: per-queue firewalls and whole-transaction migration
+// ---------------------------------------------------------------------------
+
+void HybridLogManager::EnsureFree(uint32_t g, uint32_t need) {
+  Generation& gen = Gen(g);
+  ELOG_CHECK_LE(need, gen.num_blocks() - 1);
+  if (gc_active_.count(g) > 0) return;
+  gc_active_.insert(g);
+  uint32_t advances_without_gain = 0;
+  while (gen.free_blocks() < need) {
+    uint32_t before = gen.free_blocks();
+    AdvanceHeadOnce(g);
+    if (gen.free_blocks() > before) {
+      advances_without_gain = 0;
+    } else if (++advances_without_gain > gen.num_blocks()) {
+      if (!KillVictim()) {
+        ELOG_UNREACHABLE() << "hybrid generation " << g << " wedged";
+      }
+      advances_without_gain = 0;
+    }
+  }
+  gc_active_.erase(g);
+}
+
+void HybridLogManager::AdvanceHeadOnce(uint32_t g) {
+  Generation& gen = Gen(g);
+  ELOG_CHECK_GT(gen.used_blocks(), 0u);
+  const uint32_t slot = gen.head_slot();
+  const bool is_last = (g == last_generation());
+  const int64_t migrations_before = migrations_;
+  int guard = 0;
+  while (!markers_[g][slot].empty()) {
+    ELOG_CHECK_LT(++guard, 100000) << "head advance cannot clear markers";
+    TxId tid = markers_[g][slot].front();
+    HybridTx* entry = table_.Find(tid);
+    ELOG_CHECK(entry != nullptr);
+
+    if (entry->state == TxState::kCommitted) {
+      // Committed but not fully flushed: keep the whole transaction in
+      // the log (crash safety: the acknowledged COMMIT and its REDO
+      // records must survive until the stable version has the updates).
+      if (!is_last || options_.recirculation) {
+        uint32_t migrate_target = is_last ? g : g + 1;
+        if (Migrate(tid, entry, migrate_target)) continue;
+      }
+      // No room anywhere (or recirculation disabled): flush everything
+      // urgently and release — the same bounded crash window as EL's
+      // no-recirculation mode.
+      ++forced_releases_;
+      if (metrics_ != nullptr) metrics_->Incr("hybrid.forced_releases");
+      for (const wal::LogRecord& record : entry->records) {
+        if (!record.is_data()) continue;
+        disk::FlushRequest request;
+        request.oid = record.oid;
+        request.lsn = record.lsn;
+        request.value_digest = record.value_digest;
+        request.on_durable = [this](const disk::FlushRequest& r) {
+          if (flush_apply_hook_) {
+            flush_apply_hook_(r.oid, r.lsn, r.value_digest);
+          }
+        };
+        drives_->EnqueueUrgent(std::move(request));
+      }
+      std::function<void(TxId)> none;
+      ReleaseTransaction(tid, entry);
+      continue;
+    }
+
+    if (is_last && !options_.recirculation) {
+      KillTransaction(tid);
+      continue;
+    }
+    uint32_t target = is_last ? g : g + 1;
+    if (Migrate(tid, entry, target)) continue;
+    // Target saturated: sacrifice. The failed attempt may itself have
+    // triggered kills; re-resolve the entry.
+    entry = table_.Find(tid);
+    if (entry == nullptr) continue;
+    if (entry->state == TxState::kActive) {
+      KillTransaction(tid);
+    } else if (!KillVictim(tid)) {
+      // Only commit-window transactions left: unsafe last resort.
+      ++unsafe_committing_kills_;
+      if (metrics_ != nullptr) {
+        metrics_->Incr("hybrid.unsafe_committing_kills");
+      }
+      KillTransaction(tid);
+    }
+  }
+  gen.TakeSlotRecords(slot);  // whatever remains physically is garbage
+  gen.AdvanceHead();
+
+  // Like EL's forwarding (§2.2), migrated records must reach disk before
+  // their old blocks — just freed — can be reused by this generation's
+  // tail. Recirculating migrations within the last generation are safe
+  // without this: the staged buffer is written before the tail wraps.
+  if (!is_last && migrations_ > migrations_before &&
+      pending_force_.insert(g + 1).second) {
+    Generation& next = Gen(g + 1);
+    if (next.has_open_builder() && !next.builder().empty() &&
+        next.free_blocks() >= 1) {
+      WriteBuilder(g + 1);
+    }
+    pending_force_.erase(g + 1);
+  }
+}
+
+bool HybridLogManager::Migrate(TxId tid, HybridTx* entry, uint32_t target) {
+  ELOG_CHECK(!entry->records.empty());
+  // Snapshot the record set and state up front: the appends below can
+  // recurse into garbage collection, which may kill transactions —
+  // including, through the last-resort paths, this one — erasing the
+  // entry and freeing its record vector mid-iteration.
+  const std::vector<wal::LogRecord> records = entry->records;
+  const TxState state = entry->state;
+
+  // Feasibility first: regeneration writes the whole record set.
+  uint32_t total_bytes = 0;
+  for (const wal::LogRecord& record : records) {
+    total_bytes += record.logged_size;
+  }
+  Generation& gen = Gen(target);
+  uint32_t available =
+      gen.free_blocks() * wal::kBlockPayloadBytes +
+      (gen.has_open_builder() ? gen.builder().free_bytes() : 0);
+  if (total_bytes > available) return false;
+
+  uint32_t first_slot = 0;
+  bool first = true;
+  for (const wal::LogRecord& record : records) {
+    bool register_commit = record.type == wal::RecordType::kCommit &&
+                           state == TxState::kCommitting;
+    uint32_t slot = 0;
+    if (!TryAppendRecord(target, record, register_commit, &slot)) {
+      // Mid-way failure leaves harmless duplicates (recovery dedups by
+      // LSN); the marker stays put and the caller sacrifices someone.
+      // Report "handled" if the transaction died along the way.
+      return table_.Find(tid) == nullptr;
+    }
+    if (table_.Find(tid) == nullptr) {
+      // Killed by nested GC during the append: its marker is gone and
+      // the copies written so far are harmless duplicates.
+      return true;
+    }
+    if (first) {
+      first_slot = slot;
+      first = false;
+    }
+    ++records_regenerated_;
+  }
+  entry = table_.Find(tid);
+  ELOG_CHECK(entry != nullptr);
+  RemoveMarker(tid, entry);
+  PlaceMarker(tid, entry, target, first_slot);
+  ++migrations_;
+  if (metrics_ != nullptr) metrics_->Incr("hybrid.migrations");
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Transaction lifecycle
+// ---------------------------------------------------------------------------
+
+TxId HybridLogManager::BeginTransaction(const workload::TransactionType& type) {
+  TxId tid = next_tid_++;
+  wal::LogRecord record = wal::LogRecord::MakeBegin(tid, NextLsn());
+  uint32_t slot = 0;
+  ELOG_CHECK(AppendOrKill(0, record, false, kInvalidTxId, &slot))
+      << "BEGIN record could not be placed";
+  ++records_appended_;
+
+  HybridTx entry;
+  entry.state = TxState::kActive;
+  entry.begin_time = simulator_->Now();
+  entry.records.push_back(record);
+  auto [value, inserted] = table_.Insert(tid, std::move(entry));
+  ELOG_CHECK(inserted);
+  PlaceMarker(tid, value, 0, slot);
+  (void)type;
+  UpdateMemoryGauge();
+  return tid;
+}
+
+void HybridLogManager::WriteUpdate(TxId tid, Oid oid, uint32_t logged_size) {
+  HybridTx* entry = table_.Find(tid);
+  ELOG_CHECK(entry != nullptr) << "WriteUpdate for unknown tid " << tid;
+  ELOG_CHECK(entry->state == TxState::kActive);
+  Lsn lsn = NextLsn();
+  wal::LogRecord record = wal::LogRecord::MakeData(
+      tid, lsn, oid, logged_size, wal::ComputeValueDigest(tid, oid, lsn));
+  if (!AppendFollowingResidence(tid, record, /*register_commit=*/false)) {
+    return;  // killed while making space
+  }
+  entry = table_.Find(tid);
+  ELOG_CHECK(entry != nullptr);
+  entry->records.push_back(record);
+  ++records_appended_;
+}
+
+bool HybridLogManager::AppendFollowingResidence(TxId tid,
+                                                const wal::LogRecord& record,
+                                                bool register_commit) {
+  // Records follow the transaction's residence generation (see HybridTx).
+  // Making space can migrate the transaction mid-append; the copy just
+  // written would then sit in the old queue with no firewall marker, so
+  // re-append in the new residence (the stale duplicate is harmless —
+  // recovery deduplicates by LSN).
+  for (int guard = 0;; ++guard) {
+    ELOG_CHECK_LT(guard, 100) << "residence chase cannot settle";
+    HybridTx* entry = table_.Find(tid);
+    if (entry == nullptr) return false;  // killed
+    uint32_t g = entry->generation;
+    if (!AppendOrKill(g, record, register_commit, tid, nullptr)) {
+      return false;  // the appender itself was killed
+    }
+    entry = table_.Find(tid);
+    if (entry == nullptr) return false;  // killed as a victim
+    if (entry->generation == g) return true;
+  }
+}
+
+void HybridLogManager::Commit(TxId tid, std::function<void(TxId)> on_durable) {
+  HybridTx* entry = table_.Find(tid);
+  ELOG_CHECK(entry != nullptr) << "Commit for unknown tid " << tid;
+  ELOG_CHECK(entry->state == TxState::kActive);
+  entry->state = TxState::kCommitting;
+  entry->on_commit_durable = std::move(on_durable);
+  wal::LogRecord record = wal::LogRecord::MakeCommit(tid, NextLsn());
+  if (!AppendFollowingResidence(tid, record, /*register_commit=*/true)) {
+    return;  // killed while making space
+  }
+  entry = table_.Find(tid);
+  ELOG_CHECK(entry != nullptr);
+  entry->records.push_back(record);
+  ++records_appended_;
+}
+
+void HybridLogManager::Abort(TxId tid) {
+  HybridTx* entry = table_.Find(tid);
+  ELOG_CHECK(entry != nullptr) << "Abort for unknown tid " << tid;
+  ELOG_CHECK(entry->state == TxState::kActive);
+  wal::LogRecord record = wal::LogRecord::MakeAbort(tid, NextLsn());
+  if (!AppendFollowingResidence(tid, record, /*register_commit=*/false)) {
+    return;
+  }
+  entry = table_.Find(tid);
+  ELOG_CHECK(entry != nullptr);
+  ++records_appended_;
+  RemoveMarker(tid, entry);
+  table_.Erase(tid);
+  UpdateMemoryGauge();
+}
+
+void HybridLogManager::OnBlockDurable(const std::vector<TxId>& commit_tids) {
+  for (TxId tid : commit_tids) {
+    HybridTx* entry = table_.Find(tid);
+    if (entry == nullptr || entry->state != TxState::kCommitting) continue;
+    ProcessCommitDurable(tid, entry);
+  }
+}
+
+void HybridLogManager::ProcessCommitDurable(TxId tid, HybridTx* entry) {
+  entry->state = TxState::kCommitted;
+  if (commit_hook_) {
+    std::vector<wal::LogRecord> updates;
+    for (const wal::LogRecord& record : entry->records) {
+      if (record.is_data()) updates.push_back(record);
+    }
+    commit_hook_(tid, updates);
+  }
+  // Schedule every update for flushing; the entry lives until all land.
+  uint32_t scheduled = 0;
+  for (const wal::LogRecord& record : entry->records) {
+    if (!record.is_data()) continue;
+    ++scheduled;
+    disk::FlushRequest request;
+    request.oid = record.oid;
+    request.lsn = record.lsn;
+    request.value_digest = record.value_digest;
+    request.on_durable = [this, tid](const disk::FlushRequest& r) {
+      if (flush_apply_hook_) flush_apply_hook_(r.oid, r.lsn, r.value_digest);
+      HybridTx* owner = table_.Find(tid);
+      if (owner == nullptr) return;  // released at a head advance
+      ELOG_CHECK_GT(owner->unflushed, 0u);
+      if (--owner->unflushed == 0 && owner->state == TxState::kCommitted) {
+        ReleaseTransaction(tid, owner);
+        UpdateMemoryGauge();
+      }
+    };
+    drives_->Enqueue(std::move(request));
+  }
+  entry->unflushed = scheduled;
+
+  std::function<void(TxId)> callback = std::move(entry->on_commit_durable);
+  entry->on_commit_durable = nullptr;
+  if (scheduled == 0) ReleaseTransaction(tid, entry);
+  UpdateMemoryGauge();
+  if (callback) callback(tid);
+}
+
+void HybridLogManager::ReleaseTransaction(TxId tid, HybridTx* entry) {
+  RemoveMarker(tid, entry);
+  bool erased = table_.Erase(tid);
+  ELOG_CHECK(erased);
+}
+
+bool HybridLogManager::KillVictim(TxId except) {
+  TxId victim = kInvalidTxId;
+  SimTime oldest = 0;
+  table_.ForEach([&](TxId tid, const HybridTx& entry) {
+    if (entry.state != TxState::kActive || tid == except) return;
+    if (victim == kInvalidTxId || entry.begin_time < oldest ||
+        (entry.begin_time == oldest && tid < victim)) {
+      victim = tid;
+      oldest = entry.begin_time;
+    }
+  });
+  if (victim == kInvalidTxId) return false;
+  KillTransaction(victim);
+  return true;
+}
+
+void HybridLogManager::KillTransaction(TxId tid) {
+  HybridTx* entry = table_.Find(tid);
+  ELOG_CHECK(entry != nullptr);
+  ELOG_CHECK(entry->state != TxState::kCommitted);
+  RemoveMarker(tid, entry);
+  bool erased = table_.Erase(tid);
+  ELOG_CHECK(erased);
+  ++killed_;
+  if (metrics_ != nullptr) metrics_->Incr("hybrid.killed");
+  UpdateMemoryGauge();
+  if (kill_listener_ != nullptr) kill_listener_->OnTransactionKilled(tid);
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+size_t HybridLogManager::active_transactions() const {
+  size_t count = 0;
+  table_.ForEach([&count](TxId, const HybridTx& entry) {
+    if (entry.state != TxState::kCommitted) ++count;
+  });
+  return count;
+}
+
+double HybridLogManager::modeled_memory_bytes() const {
+  // Fixed cost per transaction; no per-object charge (the §6 saving).
+  return static_cast<double>(options_.el_bytes_per_transaction) *
+         static_cast<double>(table_.size());
+}
+
+void HybridLogManager::UpdateMemoryGauge() {
+  memory_.Set(simulator_->Now(), modeled_memory_bytes());
+}
+
+void HybridLogManager::CheckInvariants() const {
+  size_t marker_count = 0;
+  for (uint32_t g = 0; g < generations_.size(); ++g) {
+    const Generation& gen = *generations_[g];
+    for (uint32_t slot = 0; slot < gen.num_blocks(); ++slot) {
+      ELOG_CHECK_EQ(markers_[g][slot].size(),
+                    static_cast<size_t>(gen.live_count(slot)));
+      for (TxId tid : markers_[g][slot]) {
+        const HybridTx* entry = table_.Find(tid);
+        ELOG_CHECK(entry != nullptr);
+        ELOG_CHECK_EQ(entry->generation, g);
+        ELOG_CHECK_EQ(entry->slot, slot);
+        ++marker_count;
+      }
+    }
+  }
+  ELOG_CHECK_EQ(marker_count, table_.size());
+  table_.ForEach([](TxId tid, const HybridTx& entry) {
+    ELOG_CHECK(!entry.records.empty());
+    ELOG_CHECK_EQ(entry.records.front().tid, tid);
+  });
+}
+
+}  // namespace elog

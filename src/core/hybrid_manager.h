@@ -1,0 +1,179 @@
+// EL–FW hybrid log manager (paper §6, "Concluding Remarks").
+//
+// "Like EL, the log is segmented into a chain of FIFO queues. Like FW, a
+// firewall is maintained for each queue; the oldest non-garbage record in
+// a queue is its firewall. Now, the LM retains a pointer to only the
+// oldest log record from each transaction. This can drastically reduce
+// main memory consumption if each transaction updates many objects, but
+// at a price of higher bandwidth. When a transaction's oldest non-garbage
+// log record reaches the head of one queue, all of its log records must
+// be regenerated and added to the tail of the next queue because the LM
+// does not have pointers to know their whereabouts in the current queue."
+//
+// Memory model: a fixed per-transaction cost (one oldest-record pointer
+// plus counters) — no per-object LOT cost, unlike EL's 40 B per unflushed
+// object. Bandwidth model: every migration rewrites the transaction's
+// whole record set, not just the records in the head block.
+//
+// Flushing: at durable commit every update is scheduled for flushing; the
+// transaction's records stay non-garbage as a group until all its flushes
+// complete (the hybrid LM has no per-object table with which to track
+// supersedes — the stable store's max-LSN rule resolves overlaps).
+
+#ifndef ELOG_CORE_HYBRID_MANAGER_H_
+#define ELOG_CORE_HYBRID_MANAGER_H_
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "core/generation.h"
+#include "core/log_manager.h"
+#include "core/options.h"
+#include "core/tables.h"  // for TxState
+#include "disk/drive_array.h"
+#include "disk/log_device.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "util/chained_hash_map.h"
+
+namespace elog {
+
+class HybridLogManager : public LogManager {
+ public:
+  HybridLogManager(sim::Simulator* simulator,
+                   const LogManagerOptions& options, disk::LogDevice* device,
+                   disk::DriveArray* drives, sim::MetricsRegistry* metrics);
+  ~HybridLogManager() override = default;
+
+  // workload::TransactionSink
+  TxId BeginTransaction(const workload::TransactionType& type) override;
+  void WriteUpdate(TxId tid, Oid oid, uint32_t logged_size) override;
+  void Commit(TxId tid, std::function<void(TxId)> on_durable) override;
+  void Abort(TxId tid) override;
+
+  // LogManager
+  void ForceWriteOpenBuffers() override;
+  size_t active_transactions() const override;
+  double modeled_memory_bytes() const override;
+  const TimeWeightedValue& memory_usage() const override { return memory_; }
+  int64_t transactions_killed() const override { return killed_; }
+
+  // Introspection.
+  size_t table_size() const { return table_.size(); }
+  int64_t records_appended() const { return records_appended_; }
+  /// Records rewritten by whole-transaction migrations (forward or
+  /// recirculate) — the hybrid's bandwidth premium.
+  int64_t records_regenerated() const { return records_regenerated_; }
+  int64_t migrations() const { return migrations_; }
+  /// Transactions killed inside their commit window (phantom-commit
+  /// risk); fires only when the log is wedged solid by committing and
+  /// committed transactions.
+  int64_t unsafe_committing_kills() const { return unsafe_committing_kills_; }
+  /// Committed transactions evicted from the log before their flushes
+  /// completed (urgent flushes were issued; a crash inside that window
+  /// can lose the acknowledged updates). Fires only when migration finds
+  /// no space.
+  int64_t forced_releases() const { return forced_releases_; }
+  const Generation& generation(uint32_t g) const { return *generations_[g]; }
+
+  /// Internal-consistency check for tests: firewall markers match entry
+  /// positions; per-slot counters add up.
+  void CheckInvariants() const;
+
+ private:
+  struct HybridTx {
+    TxState state = TxState::kActive;
+    SimTime begin_time = 0;
+    /// Position of the oldest record: the transaction's firewall marker.
+    /// All of the transaction's records live in this generation — after
+    /// a migration, its new records are appended here too, so the single
+    /// marker (§6: "a pointer to only the oldest log record from each
+    /// transaction") protects everything between it and the tail.
+    uint32_t generation = 0;
+    uint32_t slot = 0;
+    /// In-memory copies of every record, oldest first, for regeneration.
+    /// (The paper's LM buffers transaction values in RAM anyway; the
+    /// modeled memory cost below is the fixed bookkeeping only.)
+    std::vector<wal::LogRecord> records;
+    /// Flushes still outstanding after commit.
+    uint32_t unflushed = 0;
+    std::function<void(TxId)> on_commit_durable;
+  };
+
+  Generation& Gen(uint32_t g) { return *generations_[g]; }
+  uint32_t last_generation() const {
+    return static_cast<uint32_t>(generations_.size()) - 1;
+  }
+  Lsn NextLsn() { return next_lsn_++; }
+
+  /// Marker bookkeeping: `entry`'s oldest record sits in (gen, slot).
+  void PlaceMarker(TxId tid, HybridTx* entry, uint32_t g, uint32_t slot);
+  void RemoveMarker(TxId tid, HybridTx* entry);
+
+  /// Appends one record to generation g's open buffer (opening/rotating
+  /// as needed). Returns the slot it landed in, or false if the
+  /// generation is saturated.
+  bool TryAppendRecord(uint32_t g, const wal::LogRecord& record,
+                       bool register_commit, uint32_t* slot_out);
+
+  /// External-append path with victim killing; returns false only if the
+  /// appender itself was killed.
+  bool AppendOrKill(uint32_t g, const wal::LogRecord& record,
+                    bool register_commit, TxId appender, uint32_t* slot_out);
+
+  /// Appends `record` in tid's residence generation, chasing concurrent
+  /// migrations. Returns false if tid was killed along the way.
+  bool AppendFollowingResidence(TxId tid, const wal::LogRecord& record,
+                                bool register_commit);
+
+  void WriteBuilder(uint32_t g);
+  void EnsureFree(uint32_t g, uint32_t need);
+  void AdvanceHeadOnce(uint32_t g);
+
+  /// Rewrites all of `tid`'s records at the tail of `target` and moves
+  /// its firewall marker there. Returns false if the target is saturated.
+  bool Migrate(TxId tid, HybridTx* entry, uint32_t target);
+
+  /// Kills the oldest still-active transaction (never one in its commit
+  /// window); returns false if none exists.
+  bool KillVictim(TxId except = kInvalidTxId);
+  void KillTransaction(TxId tid);
+
+  void OnBlockDurable(const std::vector<TxId>& commit_tids);
+  void ProcessCommitDurable(TxId tid, HybridTx* entry);
+  void ReleaseTransaction(TxId tid, HybridTx* entry);
+  void ScheduleLinger(uint32_t g);
+  void UpdateMemoryGauge();
+
+  sim::Simulator* simulator_;
+  LogManagerOptions options_;
+  disk::LogDevice* device_;
+  disk::DriveArray* drives_;
+  sim::MetricsRegistry* metrics_;
+
+  std::vector<std::unique_ptr<Generation>> generations_;
+  /// Transactions whose firewall marker is in a given (generation, slot).
+  std::vector<std::vector<std::vector<TxId>>> markers_;
+  ChainedHashMap<TxId, HybridTx> table_;
+
+  TxId next_tid_ = 1;
+  Lsn next_lsn_ = 1;
+  uint64_t next_write_seq_ = 1;
+
+  TimeWeightedValue memory_;
+  std::unordered_set<uint32_t> gc_active_;
+  /// Re-entrancy guard for the migrate-and-force-write step.
+  std::unordered_set<uint32_t> pending_force_;
+
+  int64_t records_appended_ = 0;
+  int64_t records_regenerated_ = 0;
+  int64_t migrations_ = 0;
+  int64_t killed_ = 0;
+  int64_t unsafe_committing_kills_ = 0;
+  int64_t forced_releases_ = 0;
+};
+
+}  // namespace elog
+
+#endif  // ELOG_CORE_HYBRID_MANAGER_H_

@@ -1,0 +1,105 @@
+// Common interface of the log managers (EL, FW, hybrid).
+
+#ifndef ELOG_CORE_LOG_MANAGER_H_
+#define ELOG_CORE_LOG_MANAGER_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/types.h"
+#include "wal/record.h"
+#include "workload/generator.h"
+
+namespace elog {
+
+/// Receives transaction-kill notifications (the workload generator, via
+/// the database facade, so it stops issuing records for the victim).
+class KillListener {
+ public:
+  virtual ~KillListener() = default;
+  virtual void OnTransactionKilled(TxId tid) = 0;
+};
+
+/// A log manager is the workload's transaction sink plus management and
+/// introspection hooks shared by all disk-management strategies.
+class LogManager : public workload::TransactionSink {
+ public:
+  ~LogManager() override = default;
+
+  /// Registers the kill listener (must outlive the manager).
+  void set_kill_listener(KillListener* listener) {
+    kill_listener_ = listener;
+  }
+
+  /// Invoked at the simulated instant a committed update becomes durable
+  /// in the stable database version (the database facade applies it).
+  void set_flush_apply_hook(
+      std::function<void(Oid oid, Lsn lsn, uint64_t digest)> hook) {
+    flush_apply_hook_ = std::move(hook);
+  }
+
+  /// UNDO/REDO mode: invoked when a stolen (uncommitted) update becomes
+  /// durable in the stable version; the facade records it provisionally
+  /// with its writer and before-image.
+  void set_steal_apply_hook(
+      std::function<void(Oid oid, Lsn lsn, uint64_t digest, TxId writer,
+                         Lsn prev_lsn, uint64_t prev_digest)>
+          hook) {
+    steal_apply_hook_ = std::move(hook);
+  }
+
+  /// UNDO/REDO mode: invoked when an abort/kill compensation becomes
+  /// durable; the facade restores the before-image in the stable version.
+  void set_undo_apply_hook(
+      std::function<void(Oid oid, Lsn stolen_lsn, Lsn prev_lsn,
+                         uint64_t prev_digest)>
+          hook) {
+    undo_apply_hook_ = std::move(hook);
+  }
+
+  /// UNDO/REDO mode: how the manager learns the latest committed version
+  /// of an object when it holds no cell for it (the before-image source;
+  /// the facade answers from the stable version).
+  void set_version_query(
+      std::function<std::pair<Lsn, uint64_t>(Oid oid)> query) {
+    version_query_ = std::move(query);
+  }
+
+  /// Invoked at t4 of every durable commit with the transaction's final
+  /// committed updates (one record per object). The recovery verifier
+  /// builds its expected database state from this.
+  void set_commit_hook(
+      std::function<void(TxId, const std::vector<wal::LogRecord>&)> hook) {
+    commit_hook_ = std::move(hook);
+  }
+
+  /// Writes out any non-empty open block buffers (end-of-run drain; the
+  /// paper's LM would simply keep receiving traffic).
+  virtual void ForceWriteOpenBuffers() = 0;
+
+  /// Transactions that are active or awaiting commit acknowledgement.
+  virtual size_t active_transactions() const = 0;
+
+  /// Main-memory consumption under the paper's §4 cost model, in bytes.
+  virtual double modeled_memory_bytes() const = 0;
+
+  /// Time-weighted memory signal (peak is Figure 6's requirement).
+  virtual const TimeWeightedValue& memory_usage() const = 0;
+
+  virtual int64_t transactions_killed() const = 0;
+
+ protected:
+  KillListener* kill_listener_ = nullptr;
+  std::function<void(Oid, Lsn, uint64_t)> flush_apply_hook_;
+  std::function<void(Oid, Lsn, uint64_t, TxId, Lsn, uint64_t)>
+      steal_apply_hook_;
+  std::function<void(Oid, Lsn, Lsn, uint64_t)> undo_apply_hook_;
+  std::function<std::pair<Lsn, uint64_t>(Oid)> version_query_;
+  std::function<void(TxId, const std::vector<wal::LogRecord>&)> commit_hook_;
+};
+
+}  // namespace elog
+
+#endif  // ELOG_CORE_LOG_MANAGER_H_

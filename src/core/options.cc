@@ -1,0 +1,51 @@
+#include "core/options.h"
+
+#include "util/string_util.h"
+
+namespace elog {
+
+Status LogManagerOptions::Validate() const {
+  if (generation_blocks.empty()) {
+    return Status::InvalidArgument("at least one generation is required");
+  }
+  for (size_t i = 0; i < generation_blocks.size(); ++i) {
+    // A generation needs its builder slot, the k-block gap, and at least
+    // one block of usable queue depth.
+    if (generation_blocks[i] < min_free_blocks + 2) {
+      return Status::InvalidArgument(StrFormat(
+          "generation %zu has %u blocks; needs at least k+2 = %u", i,
+          generation_blocks[i], min_free_blocks + 2));
+    }
+  }
+  if (buffers_per_generation < 2) {
+    return Status::InvalidArgument(
+        "need at least 2 buffers per generation (one open, one in flight)");
+  }
+  if (log_write_latency <= 0) {
+    return Status::InvalidArgument("log write latency must be positive");
+  }
+  if (num_flush_drives == 0) {
+    return Status::InvalidArgument("need at least one flush drive");
+  }
+  if (flush_transfer_time <= 0) {
+    return Status::InvalidArgument("flush transfer time must be positive");
+  }
+  if (num_objects == 0 || num_objects % num_flush_drives != 0) {
+    return Status::InvalidArgument(
+        "num_objects must be a positive multiple of num_flush_drives");
+  }
+  if (lifetime_hints &&
+      hint_target_generation >= generation_blocks.size()) {
+    return Status::InvalidArgument("hint target generation out of range");
+  }
+  if (steal_interval > 0 && !undo_redo) {
+    return Status::InvalidArgument(
+        "stealing uncommitted updates requires undo_redo mode");
+  }
+  if (steal_interval < 0) {
+    return Status::InvalidArgument("steal interval must be non-negative");
+  }
+  return Status::OK();
+}
+
+}  // namespace elog

@@ -1,0 +1,122 @@
+// Configuration for the log managers.
+//
+// Defaults reproduce the fixed parameters of the paper's simulator (§3):
+// 2000-byte usable blocks, k = 2 free-block threshold, 4 buffers per
+// generation, 15 ms log writes, 10 flush drives at 25 ms, NUM_OBJECTS=10^7.
+
+#ifndef ELOG_CORE_OPTIONS_H_
+#define ELOG_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace elog {
+
+/// What to do with a committed-but-unflushed data record that arrives at
+/// the head of a generation.
+enum class UnflushedPolicy {
+  /// Keep it in the log: forward it (or recirculate in the last
+  /// generation) "until the update is eventually flushed" (§2.2). In the
+  /// last generation with recirculation disabled there is nowhere to keep
+  /// it, so it degrades to an urgent flush.
+  kKeepInLog,
+  /// Flush the update to the stable version immediately (the naive policy
+  /// of §2.1: random I/O, serviced ahead of locality-scheduled flushes).
+  kFlushOnDemand,
+};
+
+struct LogManagerOptions {
+  /// Number of disk blocks in each generation, youngest first. A firewall
+  /// manager uses exactly one generation.
+  std::vector<uint32_t> generation_blocks = {18, 16};
+
+  /// Recirculate non-garbage records in the last generation (§2.1). When
+  /// false, a record of a still-active transaction reaching the last
+  /// generation's head kills that transaction.
+  bool recirculation = true;
+
+  /// Threshold gap k: at least this many blocks must be free to hold new
+  /// log records after every append (fixed at 2 in the paper).
+  uint32_t min_free_blocks = 2;
+
+  /// Disk block buffers available per generation (fixed at 4).
+  uint32_t buffers_per_generation = 4;
+
+  /// τ_DiskWrite: time to transfer one buffer to the log disk (15 ms).
+  SimTime log_write_latency = 15 * kMillisecond;
+
+  /// Group-commit linger: if nonzero, an open buffer holding an
+  /// unacknowledged COMMIT record is force-written this long after the
+  /// COMMIT entered it, even if the buffer never fills. Zero (the paper's
+  /// behaviour) writes a buffer only when the next record does not fit;
+  /// the harness drains open buffers at the end of a run. A linger is
+  /// useful when commits target a sleepy generation (lifetime hints).
+  SimTime group_commit_linger = 0;
+
+  /// Flush subsystem: drives and per-object transfer time (§3).
+  uint32_t num_flush_drives = 10;
+  SimTime flush_transfer_time = 25 * kMillisecond;
+  Oid num_objects = 10'000'000;
+
+  UnflushedPolicy unflushed_policy = UnflushedPolicy::kKeepInLog;
+
+  /// §2.2 forwarding quantum: after a head advance forwards records, "the
+  /// LM works backward from the head to gather enough other non-garbage
+  /// log records to fill the buffer" before the forced write. Disabling
+  /// this writes forwarded records in partially-filled buffers instead —
+  /// fewer records leave generation 0 early, but the forced writes carry
+  /// less payload (the ablation_topup bench quantifies the trade).
+  bool forward_fill = true;
+
+  /// UNDO/REDO mode — the §1 generalization ("the techniques proposed in
+  /// this paper can be extended to the more general situation of
+  /// UNDO/REDO logging with little difficulty"). Data records carry
+  /// before-images; uncommitted updates may be flushed ("stolen") to the
+  /// stable version under buffer pressure; aborts and kills compensate by
+  /// restoring the before-image, and recovery runs an undo pass.
+  bool undo_redo = false;
+  /// Modeled buffer-pool pressure: every interval, the oldest unstolen
+  /// uncommitted update is evicted to the stable version (0 = never; only
+  /// meaningful with undo_redo).
+  SimTime steal_interval = 0;
+  /// Accounted size added to each data record for its before-image.
+  uint32_t undo_image_bytes = 8;
+
+  /// Firewall mode (§1, §4): a committed transaction's records become
+  /// garbage the instant its COMMIT is durable, with no flushing — the
+  /// paper's FW simulation, which omits checkpointing ("this omission
+  /// favors FW"). The log is then bounded below by the oldest active
+  /// transaction's oldest record (the firewall).
+  bool release_on_commit = false;
+
+  /// §6 lifetime hints: transactions whose declared lifetime is at least
+  /// `hint_lifetime_threshold` write their records directly to generation
+  /// `hint_target_generation` instead of generation 0.
+  bool lifetime_hints = false;
+  SimTime hint_lifetime_threshold = 0;
+  uint32_t hint_target_generation = 0;
+
+  /// Main-memory cost model (§4): bytes per LTT transaction entry and per
+  /// LOT object entry for EL; bytes per active transaction for FW.
+  uint32_t el_bytes_per_transaction = 40;
+  uint32_t el_bytes_per_object = 40;
+  uint32_t fw_bytes_per_transaction = 22;
+
+  Status Validate() const;
+
+  uint32_t num_generations() const {
+    return static_cast<uint32_t>(generation_blocks.size());
+  }
+  uint32_t total_blocks() const {
+    uint32_t total = 0;
+    for (uint32_t b : generation_blocks) total += b;
+    return total;
+  }
+};
+
+}  // namespace elog
+
+#endif  // ELOG_CORE_OPTIONS_H_

@@ -1,0 +1,81 @@
+// The logged object table (LOT) and logged transaction table (LTT), §2.3.
+//
+// "The LOT has an entry for every data object which has at least one
+// non-garbage data log record somewhere in the log. Likewise, the LTT has
+// an entry for every transaction with a non-garbage tx log record."
+// Both are hash tables with chaining, per the paper's recommendation.
+
+#ifndef ELOG_CORE_TABLES_H_
+#define ELOG_CORE_TABLES_H_
+
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/cell.h"
+#include "util/chained_hash_map.h"
+#include "util/types.h"
+
+namespace elog {
+
+/// Lifecycle of a transaction as the log manager sees it.
+enum class TxState {
+  /// Executing; records may still arrive.
+  kActive,
+  /// COMMIT record written to a buffer; awaiting group-commit durability
+  /// (the interval t3..t4 of the paper's transaction model).
+  kCommitting,
+  /// COMMIT durable. The entry survives only while the transaction still
+  /// has unflushed committed updates.
+  kCommitted,
+};
+
+/// Terminal states: the transaction's fate is decided; it can no longer
+/// be killed, and its entry lives only for flush bookkeeping.
+inline bool IsTerminalState(TxState state) {
+  return state == TxState::kCommitted;
+}
+
+/// LOT entry: the non-garbage data log records of one object. "An object
+/// has a cell for the most recently committed update (if any) if this
+/// update has not yet been flushed; it may have several cells for
+/// uncommitted updates."
+struct LotEntry {
+  /// Most recently committed, not-yet-flushed update.
+  Cell* committed = nullptr;
+  /// Uncommitted updates, tagged with the writing transaction.
+  struct Uncommitted {
+    TxId tid;
+    Cell* cell;
+  };
+  std::vector<Uncommitted> uncommitted;
+
+  bool empty() const { return committed == nullptr && uncommitted.empty(); }
+};
+
+/// LTT entry: one transaction's log state.
+struct LttEntry {
+  TxState state = TxState::kActive;
+  SimTime begin_time = 0;
+  /// Declared lifetime of the transaction's type (drives §6 lifetime
+  /// hints and the oldest-victim kill policy tiebreak).
+  SimTime declared_lifetime = 0;
+  /// Generation that receives this transaction's new records (generation
+  /// 0 unless lifetime hints routed it elsewhere).
+  uint32_t target_generation = 0;
+  /// Cell for the most recent tx log record (BEGIN, then COMMIT). The
+  /// same cell object is re-pointed when a newer tx record is written.
+  Cell* tx_cell = nullptr;
+  /// Objects updated by this transaction that still have a non-garbage
+  /// data log record written by it.
+  std::unordered_set<Oid> oids;
+  /// Group-commit acknowledgement, invoked at t4.
+  std::function<void(TxId)> on_commit_durable;
+};
+
+using LoggedObjectTable = ChainedHashMap<Oid, LotEntry>;
+using LoggedTransactionTable = ChainedHashMap<TxId, LttEntry>;
+
+}  // namespace elog
+
+#endif  // ELOG_CORE_TABLES_H_

@@ -1,0 +1,171 @@
+#include "db/database.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace elog {
+namespace db {
+
+Database::Database(const DatabaseConfig& config)
+    : config_(config), storage_(config.log.generation_blocks) {
+  ELOG_CHECK_OK(config.log.Validate());
+  ELOG_CHECK_OK(config.workload.Validate());
+  ELOG_CHECK_EQ(config.log.num_objects, config.workload.num_objects)
+      << "log manager and workload must agree on NUM_OBJECTS";
+
+  device_ = std::make_unique<disk::LogDevice>(
+      &simulator_, &storage_, config.log.log_write_latency, &metrics_);
+  drives_ = std::make_unique<disk::DriveArray>(
+      &simulator_, config.log.num_flush_drives, config.log.num_objects,
+      config.log.flush_transfer_time, &metrics_);
+  manager_ = std::make_unique<EphemeralLogManager>(
+      &simulator_, config.log, device_.get(), drives_.get(), &metrics_);
+  generator_ = std::make_unique<workload::WorkloadGenerator>(
+      &simulator_, config.workload, manager_.get(), &metrics_);
+
+  manager_->set_kill_listener(this);
+  manager_->set_flush_apply_hook([this](Oid oid, Lsn lsn, uint64_t digest) {
+    stable_.ApplyFlush(oid, lsn, digest);
+  });
+  manager_->set_steal_apply_hook([this](Oid oid, Lsn lsn, uint64_t digest,
+                                        TxId writer, Lsn prev_lsn,
+                                        uint64_t prev_digest) {
+    stable_.ApplySteal(oid, lsn, digest, writer, prev_lsn, prev_digest);
+  });
+  manager_->set_undo_apply_hook(
+      [this](Oid oid, Lsn stolen_lsn, Lsn prev_lsn, uint64_t prev_digest) {
+        stable_.ApplyUndo(oid, stolen_lsn, prev_lsn, prev_digest);
+      });
+  manager_->set_version_query([this](Oid oid) {
+    // The committed view: a provisional (stolen, uncommitted) version
+    // resolves to the before-image it overwrote.
+    ObjectVersion version = stable_.Get(oid);
+    if (version.provisional) {
+      return std::make_pair(version.prev_lsn, version.prev_digest);
+    }
+    return std::make_pair(version.lsn, version.value_digest);
+  });
+  manager_->set_commit_hook(
+      [this](TxId tid, const std::vector<wal::LogRecord>& updates) {
+        committed_tids_.insert(tid);
+        for (const wal::LogRecord& record : updates) {
+          ObjectVersion& version = shadow_[record.oid];
+          if (record.lsn > version.lsn) {
+            version.lsn = record.lsn;
+            version.value_digest = record.value_digest;
+          }
+        }
+      });
+}
+
+Database::~Database() = default;
+
+void Database::OnTransactionKilled(TxId tid) {
+  generator_->NotifyKilled(tid);
+  if (config_.stop_on_first_kill) simulator_.Stop();
+}
+
+void Database::ScheduleWindowSnapshot() {
+  simulator_.ScheduleAt(config_.workload.runtime,
+                        [this] { TakeWindowSnapshot(); });
+}
+
+void Database::TakeWindowSnapshot() {
+  window_.taken = true;
+  window_.device_writes = device_->writes_completed();
+  window_.device_writes_by_generation.clear();
+  for (uint32_t g = 0; g < storage_.num_generations(); ++g) {
+    window_.device_writes_by_generation.push_back(
+        device_->writes_completed(g));
+  }
+  window_.kills = generator_->killed();
+  window_.updates_written = generator_->updates_written();
+  window_.flushes_completed = drives_->total_flushes_completed();
+  window_.flush_backlog = drives_->total_pending();
+  window_.mean_flush_seek_distance = drives_->MeanSeekDistance();
+  window_.peak_memory = manager_->memory_usage().peak();
+  window_.avg_memory = manager_->memory_usage().Average(simulator_.Now());
+}
+
+void Database::ScheduleDrain() {
+  // After arrivals stop, in-flight transactions may still be waiting on
+  // group commit; periodically force out open buffers until they finish.
+  simulator_.ScheduleAt(config_.workload.runtime + config_.drain_interval,
+                        [this] { DrainStep(); });
+}
+
+void Database::DrainStep() {
+  if (generator_->active() == 0) return;
+  manager_->ForceWriteOpenBuffers();
+  simulator_.ScheduleAfter(config_.drain_interval, [this] { DrainStep(); });
+}
+
+RunStats Database::Run() {
+  ELOG_CHECK(!started_) << "Run/RunUntilCrash may be called once";
+  started_ = true;
+  generator_->Start();
+  ScheduleWindowSnapshot();
+  ScheduleDrain();
+  simulator_.Run();
+
+  if (!window_.taken) TakeWindowSnapshot();  // stopped early (e.g. kill)
+
+  RunStats stats;
+  double window_seconds =
+      SimTimeToSeconds(std::min(simulator_.Now(), config_.workload.runtime));
+  if (window_seconds <= 0) window_seconds = 1e-9;
+  stats.log_writes_per_sec = window_.device_writes / window_seconds;
+  for (int64_t writes : window_.device_writes_by_generation) {
+    stats.log_writes_per_sec_by_generation.push_back(writes / window_seconds);
+  }
+  stats.kills = window_.kills;
+  stats.peak_memory_bytes = window_.peak_memory;
+  stats.avg_memory_bytes = window_.avg_memory;
+  stats.mean_flush_seek_distance = window_.mean_flush_seek_distance;
+  stats.updates_written = window_.updates_written;
+  stats.flushes_completed = window_.flushes_completed;
+  stats.flush_backlog = window_.flush_backlog;
+  stats.commit_latency_mean_us = generator_->commit_latency().mean();
+  stats.commit_latency_p99_us = generator_->commit_latency().Percentile(99);
+
+  stats.total_started = generator_->started();
+  stats.total_committed = generator_->committed();
+  stats.total_killed = generator_->killed();
+  stats.records_appended = manager_->records_appended();
+  stats.records_forwarded = manager_->records_forwarded();
+  stats.records_recirculated = manager_->records_recirculated();
+  stats.records_discarded = manager_->records_discarded();
+  stats.urgent_flushes = manager_->urgent_flushes();
+  stats.unsafe_commit_drops = manager_->unsafe_commit_drops();
+  return stats;
+}
+
+Database::CrashImage Database::RunUntilCrash(SimTime crash_time,
+                                             bool torn_write) {
+  ELOG_CHECK(!started_) << "Run/RunUntilCrash may be called once";
+  started_ = true;
+  generator_->Start();
+  ScheduleWindowSnapshot();
+  ScheduleDrain();
+  simulator_.RunUntil(crash_time);
+  return CaptureCrashImage(torn_write);
+}
+
+Database::CrashImage Database::CaptureCrashImage(bool torn_write) const {
+  CrashImage image{storage_.Clone(), stable_.Clone(), {}, {}, 0};
+  image.stable = stable_.Clone();
+  image.expected_state = shadow_;
+  image.committed_tids = committed_tids_;
+  image.crash_time = simulator_.Now();
+  if (torn_write) {
+    disk::BlockAddress address;
+    if (device_->InService(&address)) {
+      // The write caught mid-flight destroys the block's old content too.
+      image.log.CorruptBlock(address);
+    }
+  }
+  return image;
+}
+
+}  // namespace db
+}  // namespace elog

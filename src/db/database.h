@@ -1,0 +1,163 @@
+// Database facade: wires the simulator, disk models, a log manager, the
+// workload generator and the stable store into one runnable system.
+//
+// This is the top-level object examples and the experiment harness use.
+// It also maintains the verification shadow: the expected database state
+// implied by every durably committed transaction, which recovery must
+// reproduce exactly from any crash image.
+
+#ifndef ELOG_DB_DATABASE_H_
+#define ELOG_DB_DATABASE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/el_manager.h"
+#include "core/fw_manager.h"
+#include "db/stable_store.h"
+#include "disk/drive_array.h"
+#include "disk/log_device.h"
+#include "disk/log_storage.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+
+namespace elog {
+namespace db {
+
+struct DatabaseConfig {
+  LogManagerOptions log;
+  workload::WorkloadSpec workload;
+  /// Abort the simulation at the first transaction kill (used by the
+  /// minimum-disk-space search: any kill disqualifies the configuration).
+  bool stop_on_first_kill = false;
+  /// Interval of the end-of-run drain loop that force-writes open buffers
+  /// until in-flight transactions have finished.
+  SimTime drain_interval = 100 * kMillisecond;
+};
+
+/// Measurements of one simulation run. Unless noted, values cover the
+/// paper's measurement window [0, runtime] only (the drain that follows
+/// the end of arrivals is excluded, as in the paper's 500 s figures).
+struct RunStats {
+  /// Log-disk block writes per second (Figure 5's metric).
+  double log_writes_per_sec = 0.0;
+  /// Per-generation split of the above (Figure 7 reports generation 1).
+  std::vector<double> log_writes_per_sec_by_generation;
+  /// Transactions killed within the window.
+  int64_t kills = 0;
+  /// Peak / time-averaged modeled memory in bytes (Figure 6's metric).
+  double peak_memory_bytes = 0.0;
+  double avg_memory_bytes = 0.0;
+  /// Mean circular oid distance between successive flushes (§4 locality).
+  double mean_flush_seek_distance = 0.0;
+  /// Updates written and flushed within the window.
+  int64_t updates_written = 0;
+  int64_t flushes_completed = 0;
+  /// Flush backlog at the end of the window.
+  size_t flush_backlog = 0;
+  /// Group-commit latency distribution t4 − t3 (µs), whole run.
+  double commit_latency_mean_us = 0.0;
+  double commit_latency_p99_us = 0.0;
+
+  // Whole-run totals (window + drain).
+  int64_t total_started = 0;
+  int64_t total_committed = 0;
+  int64_t total_killed = 0;
+  int64_t records_appended = 0;
+  int64_t records_forwarded = 0;
+  int64_t records_recirculated = 0;
+  int64_t records_discarded = 0;
+  int64_t urgent_flushes = 0;
+  int64_t unsafe_commit_drops = 0;
+};
+
+class Database : public KillListener {
+ public:
+  explicit Database(const DatabaseConfig& config);
+  ~Database() override;
+
+  /// Runs the full experiment: arrivals for `runtime`, a metrics snapshot
+  /// at the window edge, then a drain until all in-flight transactions
+  /// finish (or the first kill, if stop_on_first_kill).
+  RunStats Run();
+
+  /// Crash image: the durable log and stable version at a crash instant,
+  /// plus the state recovery is expected to reproduce.
+  struct CrashImage {
+    disk::LogStorage log;
+    StableStore stable;
+    /// Highest-LSN committed update per object, per the commit
+    /// acknowledgements delivered before the crash.
+    std::unordered_map<Oid, ObjectVersion> expected_state;
+    std::unordered_set<TxId> committed_tids;
+    SimTime crash_time = 0;
+  };
+
+  /// Runs until `crash_time` and captures the crash image. If
+  /// `torn_write` and a log write is in flight at the instant of the
+  /// crash, its target block is rendered unreadable in the image.
+  CrashImage RunUntilCrash(SimTime crash_time, bool torn_write);
+
+  /// Captures a crash image of the current state (advanced use; Run or
+  /// RunUntilCrash must have driven the simulator).
+  CrashImage CaptureCrashImage(bool torn_write) const;
+
+  // KillListener
+  void OnTransactionKilled(TxId tid) override;
+
+  // Component access.
+  sim::Simulator& simulator() { return simulator_; }
+  sim::MetricsRegistry& metrics() { return metrics_; }
+  EphemeralLogManager& manager() { return *manager_; }
+  workload::WorkloadGenerator& generator() { return *generator_; }
+  const disk::LogStorage& storage() const { return storage_; }
+  const disk::DriveArray& drives() const { return *drives_; }
+  const disk::LogDevice& device() const { return *device_; }
+  const StableStore& stable() const { return stable_; }
+  const std::unordered_map<Oid, ObjectVersion>& expected_state() const {
+    return shadow_;
+  }
+  const DatabaseConfig& config() const { return config_; }
+
+ private:
+  void ScheduleWindowSnapshot();
+  void ScheduleDrain();
+  void DrainStep();
+  void TakeWindowSnapshot();
+
+  DatabaseConfig config_;
+  sim::Simulator simulator_;
+  sim::MetricsRegistry metrics_;
+  disk::LogStorage storage_;
+  std::unique_ptr<disk::LogDevice> device_;
+  std::unique_ptr<disk::DriveArray> drives_;
+  std::unique_ptr<EphemeralLogManager> manager_;
+  std::unique_ptr<workload::WorkloadGenerator> generator_;
+  StableStore stable_;
+
+  std::unordered_map<Oid, ObjectVersion> shadow_;
+  std::unordered_set<TxId> committed_tids_;
+
+  struct WindowSnapshot {
+    bool taken = false;
+    int64_t device_writes = 0;
+    std::vector<int64_t> device_writes_by_generation;
+    int64_t kills = 0;
+    int64_t updates_written = 0;
+    int64_t flushes_completed = 0;
+    size_t flush_backlog = 0;
+    double mean_flush_seek_distance = 0.0;
+    double peak_memory = 0.0;
+    double avg_memory = 0.0;
+  };
+  WindowSnapshot window_;
+  bool started_ = false;
+};
+
+}  // namespace db
+}  // namespace elog
+
+#endif  // ELOG_DB_DATABASE_H_

@@ -1,0 +1,72 @@
+#include "db/recovery.h"
+
+namespace elog {
+namespace db {
+
+RecoveryResult RecoveryManager::Recover(const disk::LogStorage& log,
+                                        const StableStore& stable) {
+  RecoveryResult result;
+
+  // Pass over the whole log: collect records, note COMMITs.
+  wal::LogScanner scanner;
+  for (uint32_t g = 0; g < log.num_generations(); ++g) {
+    scanner.AddGeneration(log.GenerationBlocks(g));
+  }
+  result.scan = scanner.stats();
+
+  for (const wal::ScannedRecord& scanned : scanner.records()) {
+    if (scanned.record.type == wal::RecordType::kCommit) {
+      result.committed_in_log.insert(scanned.record.tid);
+    }
+  }
+
+  // Start from the stable version, resolving provisional entries — the
+  // UNDO pass of UNDO/REDO mode. A provisional version was written by a
+  // steal; its writer's fate decides it:
+  //   - COMMIT in the log: the value is legitimate (the invariant that a
+  //     committed transaction's COMMIT record stays non-garbage until its
+  //     updates are confirmed in the stable version guarantees the
+  //     evidence is present);
+  //   - otherwise the writer aborted, was killed, or died with the crash:
+  //     revert to the before-image stored alongside the stolen value.
+  for (const auto& [oid, version] : stable.objects()) {
+    if (!version.provisional) {
+      result.state.emplace(oid, version);
+      continue;
+    }
+    if (result.committed_in_log.count(version.writer) > 0) {
+      ObjectVersion confirmed{version.lsn, version.value_digest};
+      result.state.emplace(oid, confirmed);
+      continue;
+    }
+    ++result.undos_applied;
+    if (version.prev_lsn != 0) {
+      result.state.emplace(
+          oid, ObjectVersion{version.prev_lsn, version.prev_digest});
+    }
+    // prev_lsn == 0: the object had no committed version — absent.
+  }
+
+  // Overlay the latest committed update per object. LSNs, not physical
+  // positions, order the records (recirculation scrambles positions, and
+  // forwarded records leave stale duplicates behind).
+  for (const wal::ScannedRecord& scanned : scanner.records()) {
+    const wal::LogRecord& record = scanned.record;
+    if (record.type != wal::RecordType::kData) continue;
+    if (result.committed_in_log.count(record.tid) == 0) {
+      ++result.uncommitted_records_ignored;
+      continue;
+    }
+    ObjectVersion& version = result.state[record.oid];
+    if (record.lsn > version.lsn) {
+      version.lsn = record.lsn;
+      version.value_digest = record.value_digest;
+      ++result.records_applied;
+    }
+  }
+
+  return result;
+}
+
+}  // namespace db
+}  // namespace elog

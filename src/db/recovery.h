@@ -1,0 +1,66 @@
+// Single-pass crash recovery for ephemeral logging.
+//
+// The paper argues (§4) that an EL log is small enough to "read the entire
+// log into memory and perform recovery with a single pass" (the method is
+// detailed in the cited CVA Memo #37). The pass implemented here:
+//
+//   1. scan every block of every generation (torn/corrupt blocks are
+//      skipped — only the tail write can be torn, and its records were
+//      never acknowledged);
+//   2. a transaction is committed iff a COMMIT record for it appears
+//      anywhere in the log — recirculation destroys physical order, so
+//      record LSN timestamps, not positions, establish temporal order;
+//   3. for every object, the recovered value is the highest-LSN committed
+//      update found in the log, overlaid on the stable version (whichever
+//      LSN is higher wins; duplicate copies of forwarded records dedupe
+//      naturally by LSN).
+//
+// In the paper's REDO-only mode there is nothing to undo: uncommitted
+// records are simply ignored. In UNDO/REDO mode (§1's generalization,
+// with a steal policy) a fourth step runs: if the stable version of an
+// object holds exactly the version written by an uncommitted record (a
+// stolen flush whose compensation never landed), it is reverted to that
+// record's before-image.
+
+#ifndef ELOG_DB_RECOVERY_H_
+#define ELOG_DB_RECOVERY_H_
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "db/stable_store.h"
+#include "disk/log_storage.h"
+#include "wal/log_reader.h"
+
+namespace elog {
+namespace db {
+
+struct RecoveryResult {
+  /// Recovered database state: latest committed version per object.
+  /// Objects never updated (by any committed transaction) are absent.
+  std::unordered_map<Oid, ObjectVersion> state;
+  /// Transactions with a COMMIT record found in the log.
+  std::unordered_set<TxId> committed_in_log;
+  /// Log scan statistics (corrupt block counts, etc.).
+  wal::ScanStats scan;
+  /// Data records ignored because their transaction had no COMMIT.
+  size_t uncommitted_records_ignored = 0;
+  /// Committed data records applied from the log (after dedup/supersede).
+  size_t records_applied = 0;
+  /// UNDO/REDO mode: stolen uncommitted values found in the stable
+  /// version and reverted to their before-images.
+  size_t undos_applied = 0;
+};
+
+class RecoveryManager {
+ public:
+  /// Recovers from a crash image: the durable log blocks plus the stable
+  /// database version as of the crash.
+  static RecoveryResult Recover(const disk::LogStorage& log,
+                                const StableStore& stable);
+};
+
+}  // namespace db
+}  // namespace elog
+
+#endif  // ELOG_DB_RECOVERY_H_

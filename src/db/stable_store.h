@@ -1,0 +1,118 @@
+// The stable database version kept "elsewhere on disk" (§2.1).
+//
+// "It does not necessarily incorporate the most recent changes to the
+// database, but the log contains sufficient information to restore it to
+// the most recent consistent state." Each object retains a version-number
+// timestamp (the paper's assumption in §6); we store the LSN of the update
+// that produced the current value. The store is sparse: NUM_OBJECTS = 10^7
+// but only updated objects are materialized.
+
+#ifndef ELOG_DB_STABLE_STORE_H_
+#define ELOG_DB_STABLE_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/types.h"
+
+namespace elog {
+namespace db {
+
+struct ObjectVersion {
+  Lsn lsn = 0;
+  uint64_t value_digest = 0;
+
+  /// UNDO/REDO mode visibility metadata (in the spirit of MVCC xmin/xmax
+  /// markers): a provisional version was written by a still-uncommitted
+  /// transaction (a steal). It remembers its writer and the before-image
+  /// it overwrote, so recovery — or a runtime compensation — can revert
+  /// it if the writer never commits.
+  bool provisional = false;
+  TxId writer = 0;
+  Lsn prev_lsn = 0;
+  uint64_t prev_digest = 0;
+
+  bool operator==(const ObjectVersion&) const = default;
+};
+
+class StableStore {
+ public:
+  /// Applies a flushed committed update. Flush completions can arrive out
+  /// of version order (a superseded update's flush may land after its
+  /// successor's), so only strictly newer versions take effect. A
+  /// committed flush of the exact version a steal wrote earlier confirms
+  /// it: the provisional mark is cleared.
+  void ApplyFlush(Oid oid, Lsn lsn, uint64_t value_digest) {
+    ObjectVersion& version = objects_[oid];
+    if (lsn > version.lsn) {
+      version = ObjectVersion{lsn, value_digest};
+    } else if (lsn == version.lsn && version.provisional) {
+      version = ObjectVersion{lsn, value_digest};  // confirmed by commit
+    }
+    ++flushes_applied_;
+  }
+
+  /// UNDO/REDO mode: applies a stolen (uncommitted) update, marked
+  /// provisional with its writer and before-image.
+  void ApplySteal(Oid oid, Lsn lsn, uint64_t value_digest, TxId writer,
+                  Lsn prev_lsn, uint64_t prev_digest) {
+    ObjectVersion& version = objects_[oid];
+    if (lsn > version.lsn) {
+      version = ObjectVersion{lsn, value_digest, /*provisional=*/true,
+                              writer, prev_lsn, prev_digest};
+    }
+    ++steals_applied_;
+  }
+
+  int64_t steals_applied() const { return steals_applied_; }
+
+  /// UNDO compensation (UNDO/REDO mode): if the stable version of `oid`
+  /// is exactly the stolen uncommitted version `stolen_lsn`, restore the
+  /// before-image. A zero `prev_lsn` means the object had no committed
+  /// version: the entry is removed. A mismatching current version means
+  /// the stolen value never landed (or was already overwritten) — no-op.
+  void ApplyUndo(Oid oid, Lsn stolen_lsn, Lsn prev_lsn,
+                 uint64_t prev_digest) {
+    auto it = objects_.find(oid);
+    if (it == objects_.end() || it->second.lsn != stolen_lsn ||
+        !it->second.provisional) {
+      return;
+    }
+    ++undos_applied_;
+    if (prev_lsn == 0) {
+      objects_.erase(it);
+    } else {
+      it->second = ObjectVersion{prev_lsn, prev_digest};
+    }
+  }
+
+  int64_t undos_applied() const { return undos_applied_; }
+
+  /// Current version of `oid`, or a zero version if never flushed.
+  ObjectVersion Get(Oid oid) const {
+    auto it = objects_.find(oid);
+    return it == objects_.end() ? ObjectVersion{} : it->second;
+  }
+
+  size_t materialized_objects() const { return objects_.size(); }
+  int64_t flushes_applied() const { return flushes_applied_; }
+
+  const std::unordered_map<Oid, ObjectVersion>& objects() const {
+    return objects_;
+  }
+
+  /// Deep copy for crash snapshots.
+  StableStore Clone() const { return *this; }
+
+ private:
+  std::unordered_map<Oid, ObjectVersion> objects_;
+  int64_t flushes_applied_ = 0;
+  int64_t undos_applied_ = 0;
+  int64_t steals_applied_ = 0;
+};
+
+}  // namespace db
+}  // namespace elog
+
+#endif  // ELOG_DB_STABLE_STORE_H_

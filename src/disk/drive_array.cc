@@ -1,0 +1,70 @@
+#include "disk/drive_array.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace elog {
+namespace disk {
+
+DriveArray::DriveArray(sim::Simulator* simulator, uint32_t num_drives,
+                       Oid num_objects, SimTime transfer_time,
+                       sim::MetricsRegistry* metrics)
+    : transfer_time_(transfer_time) {
+  ELOG_CHECK_GT(num_drives, 0u);
+  ELOG_CHECK_EQ(num_objects % num_drives, 0u)
+      << "NUM_OBJECTS must be a multiple of the drive count";
+  objects_per_drive_ = num_objects / num_drives;
+  drives_.reserve(num_drives);
+  for (uint32_t i = 0; i < num_drives; ++i) {
+    Oid begin = static_cast<Oid>(i) * objects_per_drive_;
+    drives_.push_back(std::make_unique<FlushDrive>(
+        simulator, i, begin, begin + objects_per_drive_, transfer_time,
+        metrics));
+  }
+}
+
+FlushDrive* DriveArray::DriveFor(Oid oid) {
+  size_t index = static_cast<size_t>(oid / objects_per_drive_);
+  ELOG_CHECK_LT(index, drives_.size()) << "oid out of range: " << oid;
+  return drives_[index].get();
+}
+
+void DriveArray::Enqueue(FlushRequest request) {
+  DriveFor(request.oid)->Enqueue(std::move(request));
+}
+
+void DriveArray::EnqueueUrgent(FlushRequest request) {
+  DriveFor(request.oid)->EnqueueUrgent(std::move(request));
+}
+
+size_t DriveArray::total_pending() const {
+  size_t total = 0;
+  for (const auto& drive : drives_) total += drive->pending();
+  return total;
+}
+
+int64_t DriveArray::total_flushes_completed() const {
+  int64_t total = 0;
+  for (const auto& drive : drives_) total += drive->flushes_completed();
+  return total;
+}
+
+double DriveArray::MeanSeekDistance() const {
+  double weighted = 0;
+  uint64_t count = 0;
+  for (const auto& drive : drives_) {
+    const StatAccumulator& s = drive->seek_distances();
+    weighted += s.sum();
+    count += s.count();
+  }
+  return count == 0 ? 0.0 : weighted / static_cast<double>(count);
+}
+
+double DriveArray::MaxFlushRate() const {
+  return static_cast<double>(drives_.size()) /
+         SimTimeToSeconds(transfer_time_);
+}
+
+}  // namespace disk
+}  // namespace elog

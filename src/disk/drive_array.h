@@ -1,0 +1,58 @@
+// Range-partitioned array of flush drives.
+//
+// "The objects are range partitioned evenly over these drives. That is,
+// for NUM_OBJECTS objects and D drives, the first NUM_OBJECTS/D objects
+// reside on drive 0, and so on." (§3)
+
+#ifndef ELOG_DISK_DRIVE_ARRAY_H_
+#define ELOG_DISK_DRIVE_ARRAY_H_
+
+#include <memory>
+#include <vector>
+
+#include "disk/flush_drive.h"
+
+namespace elog {
+namespace disk {
+
+class DriveArray {
+ public:
+  /// Creates `num_drives` drives partitioning [0, num_objects) evenly.
+  /// `num_objects` must be a multiple of `num_drives` (the paper ignores
+  /// the remainder case; we insist on it).
+  DriveArray(sim::Simulator* simulator, uint32_t num_drives, Oid num_objects,
+             SimTime transfer_time, sim::MetricsRegistry* metrics);
+
+  /// Routes a flush request to the drive owning its oid.
+  void Enqueue(FlushRequest request);
+  void EnqueueUrgent(FlushRequest request);
+
+  uint32_t num_drives() const { return static_cast<uint32_t>(drives_.size()); }
+  const FlushDrive& drive(uint32_t i) const { return *drives_[i]; }
+
+  /// Total requests awaiting service across all drives (the flush
+  /// backlog; grows when the flush service rate nears the update rate).
+  size_t total_pending() const;
+
+  int64_t total_flushes_completed() const;
+
+  /// Mean circular oid distance between successively flushed objects,
+  /// aggregated over all drives — the paper's locality measure (§4:
+  /// 235,000 at 25 ms transfer time vs 109,000 at 45 ms).
+  double MeanSeekDistance() const;
+
+  /// Peak aggregate flush bandwidth in flushes/second.
+  double MaxFlushRate() const;
+
+ private:
+  FlushDrive* DriveFor(Oid oid);
+
+  std::vector<std::unique_ptr<FlushDrive>> drives_;
+  Oid objects_per_drive_;
+  SimTime transfer_time_;
+};
+
+}  // namespace disk
+}  // namespace elog
+
+#endif  // ELOG_DISK_DRIVE_ARRAY_H_

@@ -1,0 +1,105 @@
+#include "disk/flush_drive.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace elog {
+namespace disk {
+
+FlushDrive::FlushDrive(sim::Simulator* simulator, uint32_t drive_id,
+                       Oid range_begin, Oid range_end, SimTime transfer_time,
+                       sim::MetricsRegistry* metrics)
+    : simulator_(simulator),
+      drive_id_(drive_id),
+      range_begin_(range_begin),
+      range_end_(range_end),
+      transfer_time_(transfer_time),
+      metrics_(metrics),
+      head_position_(range_begin) {
+  ELOG_CHECK_LT(range_begin, range_end);
+  ELOG_CHECK_GT(transfer_time, 0);
+}
+
+void FlushDrive::Enqueue(FlushRequest request) {
+  ELOG_CHECK_GE(request.oid, range_begin_);
+  ELOG_CHECK_LT(request.oid, range_end_);
+  pending_.emplace(request.oid, std::move(request));
+  if (!in_service_) StartNext();
+}
+
+void FlushDrive::EnqueueUrgent(FlushRequest request) {
+  ELOG_CHECK_GE(request.oid, range_begin_);
+  ELOG_CHECK_LT(request.oid, range_end_);
+  urgent_.push_back(std::move(request));
+  if (!in_service_) StartNext();
+}
+
+uint64_t FlushDrive::CircularDistance(Oid a, Oid b) const {
+  uint64_t range = range_end_ - range_begin_;
+  uint64_t d = a > b ? a - b : b - a;
+  return d < range - d ? d : range - d;
+}
+
+FlushRequest FlushDrive::TakeNearest() {
+  ELOG_CHECK(!pending_.empty());
+  // Nearest neighbour of head_position_ in circular oid order: check the
+  // successor and predecessor of the head position, wrapping around.
+  auto it_above = pending_.lower_bound(head_position_);
+  auto candidate = pending_.end();
+  uint64_t best = UINT64_MAX;
+  auto consider = [&](std::multimap<Oid, FlushRequest>::iterator it) {
+    if (it == pending_.end()) return;
+    uint64_t d = CircularDistance(head_position_, it->first);
+    if (d < best) {
+      best = d;
+      candidate = it;
+    }
+  };
+  consider(it_above);  // nearest at-or-above
+  if (it_above != pending_.begin()) consider(std::prev(it_above));
+  // Wrap-around candidates: the smallest and largest pending oids.
+  consider(pending_.begin());
+  consider(std::prev(pending_.end()));
+
+  ELOG_CHECK(candidate != pending_.end());
+  FlushRequest request = std::move(candidate->second);
+  pending_.erase(candidate);
+  seek_distances_.Add(static_cast<double>(best));
+  return request;
+}
+
+void FlushDrive::StartNext() {
+  ELOG_CHECK(!in_service_);
+  FlushRequest request;
+  if (!urgent_.empty()) {
+    request = std::move(urgent_.front());
+    urgent_.pop_front();
+    seek_distances_.Add(
+        static_cast<double>(CircularDistance(head_position_, request.oid)));
+  } else if (!pending_.empty()) {
+    request = TakeNearest();
+  } else {
+    return;
+  }
+  in_service_ = true;
+  head_position_ = request.oid;
+  simulator_->ScheduleAfter(transfer_time_, [this, r = std::move(request)]() mutable {
+    Complete(std::move(r));
+  });
+}
+
+void FlushDrive::Complete(FlushRequest request) {
+  ELOG_CHECK(in_service_);
+  ++flushes_completed_;
+  if (metrics_ != nullptr) {
+    metrics_->Incr("flush_drive.flushes");
+  }
+  auto on_durable = std::move(request.on_durable);
+  in_service_ = false;
+  if (on_durable) on_durable(request);
+  if (!in_service_) StartNext();
+}
+
+}  // namespace disk
+}  // namespace elog

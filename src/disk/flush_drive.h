@@ -1,0 +1,105 @@
+// Simulated database disk drive servicing flush requests.
+//
+// The paper's flushing model (§3): committed updates are flushed to the
+// stable database version on a set of drives over which objects are range
+// partitioned. Each drive services at most one request at a time, takes a
+// fixed transfer time per object write, and "attempts to service pending
+// flush requests in a manner that minimizes access time": it picks the
+// pending oid at minimum circular distance from its current head position
+// (oid difference stands in for on-disk locality, with the drive's oid
+// range wrapping around).
+
+#ifndef ELOG_DISK_FLUSH_DRIVE_H_
+#define ELOG_DISK_FLUSH_DRIVE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+#include "util/types.h"
+
+namespace elog {
+namespace disk {
+
+/// A pending write of one update to the stable database. Usually a
+/// committed update; in UNDO/REDO mode also uncommitted "stolen" values
+/// and the compensations that revert them.
+struct FlushRequest {
+  Oid oid = kInvalidOid;
+  /// LSN of the data record being flushed (identifies the version).
+  Lsn lsn = kInvalidLsn;
+  /// Value carried by the record.
+  uint64_t value_digest = 0;
+  /// UNDO/REDO mode. A steal writes an uncommitted value: the stable
+  /// entry is marked provisional, remembering the writer and the
+  /// before-image so a crash (or this request's later compensation) can
+  /// revert it. An undo restores the before-image if the stable version
+  /// still holds exactly version `lsn`.
+  bool steal = false;
+  bool undo = false;
+  TxId writer = kInvalidTxId;
+  Lsn prev_lsn = 0;
+  uint64_t prev_digest = 0;
+  /// Invoked at the simulated instant the update is durable in the stable
+  /// database version.
+  std::function<void(const FlushRequest&)> on_durable;
+};
+
+class FlushDrive {
+ public:
+  /// The drive owns objects in [range_begin, range_end).
+  FlushDrive(sim::Simulator* simulator, uint32_t drive_id, Oid range_begin,
+             Oid range_end, SimTime transfer_time,
+             sim::MetricsRegistry* metrics);
+
+  /// Enqueues a flush. The oid must fall in the drive's range.
+  void Enqueue(FlushRequest request);
+
+  /// Enqueues a flush serviced ahead of all locality-scheduled requests
+  /// (used for flush-on-demand when an unflushed update reaches a
+  /// generation head and cannot be kept in the log).
+  void EnqueueUrgent(FlushRequest request);
+
+  size_t pending() const { return pending_.size() + urgent_.size(); }
+  bool busy() const { return in_service_; }
+  int64_t flushes_completed() const { return flushes_completed_; }
+
+  /// Circular oid distance between successively serviced requests (the
+  /// paper's locality measure).
+  const StatAccumulator& seek_distances() const { return seek_distances_; }
+
+  Oid range_begin() const { return range_begin_; }
+  Oid range_end() const { return range_end_; }
+
+ private:
+  void StartNext();
+  void Complete(FlushRequest request);
+  uint64_t CircularDistance(Oid a, Oid b) const;
+  /// Removes and returns the pending request nearest the head position.
+  FlushRequest TakeNearest();
+
+  sim::Simulator* simulator_;
+  uint32_t drive_id_;
+  Oid range_begin_;
+  Oid range_end_;
+  SimTime transfer_time_;
+  sim::MetricsRegistry* metrics_;
+
+  /// Locality-scheduled requests, keyed by oid for nearest-neighbour
+  /// lookup. multimap: several versions/requests may share an oid.
+  std::multimap<Oid, FlushRequest> pending_;
+  std::deque<FlushRequest> urgent_;
+  bool in_service_ = false;
+  Oid head_position_;
+  int64_t flushes_completed_ = 0;
+  StatAccumulator seek_distances_;
+};
+
+}  // namespace disk
+}  // namespace elog
+
+#endif  // ELOG_DISK_FLUSH_DRIVE_H_

@@ -1,0 +1,65 @@
+#include "disk/log_device.h"
+
+#include <utility>
+
+namespace elog {
+namespace disk {
+
+LogDevice::LogDevice(sim::Simulator* simulator, LogStorage* storage,
+                     SimTime write_latency, sim::MetricsRegistry* metrics)
+    : simulator_(simulator),
+      storage_(storage),
+      write_latency_(write_latency),
+      metrics_(metrics),
+      per_generation_writes_(storage->num_generations(), 0) {
+  ELOG_CHECK_GT(write_latency, 0);
+}
+
+void LogDevice::Submit(LogWriteRequest request) {
+  ELOG_CHECK_LT(request.address.generation, storage_->num_generations());
+  ELOG_CHECK_LT(request.address.slot,
+                storage_->generation_size(request.address.generation));
+  queue_.push_back(std::move(request));
+  if (!in_service_) StartNext();
+}
+
+void LogDevice::StartNext() {
+  ELOG_CHECK(!in_service_);
+  if (queue_.empty()) return;
+  current_ = std::move(queue_.front());
+  queue_.pop_front();
+  in_service_ = true;
+  simulator_->ScheduleAfter(write_latency_, [this] { CompleteCurrent(); });
+}
+
+void LogDevice::CompleteCurrent() {
+  ELOG_CHECK(in_service_);
+  storage_->Put(current_.address, std::move(current_.image));
+  ++writes_completed_;
+  ++per_generation_writes_[current_.address.generation];
+  if (metrics_ != nullptr) {
+    metrics_->Incr("log_device.writes");
+    metrics_->Incr("log_device.writes.gen" +
+                   std::to_string(current_.address.generation));
+  }
+  std::function<void()> on_durable = std::move(current_.on_durable);
+  in_service_ = false;
+  // Run the completion before starting the next transfer so the log
+  // manager observes durability in submission order.
+  if (on_durable) on_durable();
+  if (!in_service_) StartNext();
+}
+
+int64_t LogDevice::writes_completed(uint32_t generation) const {
+  ELOG_CHECK_LT(generation, per_generation_writes_.size());
+  return per_generation_writes_[generation];
+}
+
+bool LogDevice::InService(BlockAddress* addr) const {
+  if (!in_service_) return false;
+  *addr = current_.address;
+  return true;
+}
+
+}  // namespace disk
+}  // namespace elog

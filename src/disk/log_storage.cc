@@ -1,0 +1,47 @@
+#include "disk/log_storage.h"
+
+namespace elog {
+namespace disk {
+
+LogStorage::LogStorage(const std::vector<uint32_t>& sizes) {
+  generations_.reserve(sizes.size());
+  for (uint32_t size : sizes) {
+    ELOG_CHECK_GT(size, 0u) << "generation must have at least one block";
+    generations_.emplace_back(size);
+    total_blocks_ += size;
+  }
+}
+
+void LogStorage::Put(BlockAddress addr, wal::BlockImage image) {
+  Slot& slot = SlotAt(addr);
+  slot.written = true;
+  slot.image = std::move(image);
+}
+
+const wal::BlockImage* LogStorage::Get(BlockAddress addr) const {
+  const Slot& slot = SlotAt(addr);
+  return slot.written ? &slot.image : nullptr;
+}
+
+std::vector<const wal::BlockImage*> LogStorage::GenerationBlocks(
+    uint32_t gen) const {
+  ELOG_CHECK_LT(gen, generations_.size());
+  std::vector<const wal::BlockImage*> out;
+  out.reserve(generations_[gen].size());
+  for (const Slot& slot : generations_[gen]) {
+    out.push_back(slot.written ? &slot.image : nullptr);
+  }
+  return out;
+}
+
+void LogStorage::CorruptBlock(BlockAddress addr) {
+  Slot& slot = SlotAt(addr);
+  slot.written = true;
+  // A half-written block: valid magic, garbage body. DecodeBlock must
+  // reject it via the checksum.
+  slot.image.assign(wal::kBlockHeaderBytes, 0xEE);
+  slot.image[0] = 0x47;  // 'G' — wrong magic arrangement on purpose
+}
+
+}  // namespace disk
+}  // namespace elog

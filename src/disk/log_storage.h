@@ -1,0 +1,85 @@
+// Durable state of the simulated log disk.
+//
+// The log occupies a dedicated set of disk blocks, grouped by generation;
+// each generation's blocks are reused cyclically (the circular array of
+// §2.1). LogStorage holds the block images that have been durably written;
+// a crash snapshot is simply a copy of this state (plus, optionally, a torn
+// image for a write that was in flight).
+
+#ifndef ELOG_DISK_LOG_STORAGE_H_
+#define ELOG_DISK_LOG_STORAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "wal/block_format.h"
+
+namespace elog {
+namespace disk {
+
+/// Location of a log block: a slot within a generation's circular array.
+struct BlockAddress {
+  uint32_t generation = 0;
+  uint32_t slot = 0;
+
+  bool operator==(const BlockAddress&) const = default;
+};
+
+class LogStorage {
+ public:
+  /// Creates storage with `sizes[i]` block slots for generation i. All
+  /// slots start never-written.
+  explicit LogStorage(const std::vector<uint32_t>& sizes);
+
+  size_t num_generations() const { return generations_.size(); }
+  uint32_t generation_size(uint32_t gen) const {
+    ELOG_CHECK_LT(gen, generations_.size());
+    return static_cast<uint32_t>(generations_[gen].size());
+  }
+  uint32_t total_blocks() const { return total_blocks_; }
+
+  /// Durably replaces the image at `addr` (called by the device at write
+  /// completion).
+  void Put(BlockAddress addr, wal::BlockImage image);
+
+  /// Image at `addr`, or nullptr if the slot was never written.
+  const wal::BlockImage* Get(BlockAddress addr) const;
+
+  /// True if the slot holds a durably written image.
+  bool IsWritten(BlockAddress addr) const { return Get(addr) != nullptr; }
+
+  /// Block pointers for one generation, in slot order (null = unwritten),
+  /// in the form LogScanner consumes.
+  std::vector<const wal::BlockImage*> GenerationBlocks(uint32_t gen) const;
+
+  /// Deep copy (for crash snapshots).
+  LogStorage Clone() const { return *this; }
+
+  /// Overwrites the image at `addr` with garbage whose checksum cannot
+  /// validate — simulates a torn write for failure-injection tests.
+  void CorruptBlock(BlockAddress addr);
+
+ private:
+  struct Slot {
+    bool written = false;
+    wal::BlockImage image;
+  };
+
+  Slot& SlotAt(BlockAddress addr) {
+    ELOG_CHECK_LT(addr.generation, generations_.size());
+    ELOG_CHECK_LT(addr.slot, generations_[addr.generation].size());
+    return generations_[addr.generation][addr.slot];
+  }
+  const Slot& SlotAt(BlockAddress addr) const {
+    return const_cast<LogStorage*>(this)->SlotAt(addr);
+  }
+
+  std::vector<std::vector<Slot>> generations_;
+  uint32_t total_blocks_ = 0;
+};
+
+}  // namespace disk
+}  // namespace elog
+
+#endif  // ELOG_DISK_LOG_STORAGE_H_

@@ -1,0 +1,19 @@
+#include "harness/experiment.h"
+
+namespace elog {
+namespace harness {
+
+db::RunStats RunExperiment(const db::DatabaseConfig& config) {
+  db::Database database(config);
+  return database.Run();
+}
+
+bool SurvivesWithoutKills(db::DatabaseConfig config) {
+  config.stop_on_first_kill = true;
+  db::Database database(config);
+  db::RunStats stats = database.Run();
+  return stats.total_killed == 0;
+}
+
+}  // namespace harness
+}  // namespace elog

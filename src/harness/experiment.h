@@ -1,0 +1,22 @@
+// Experiment runner: one simulation = one Database run.
+
+#ifndef ELOG_HARNESS_EXPERIMENT_H_
+#define ELOG_HARNESS_EXPERIMENT_H_
+
+#include "db/database.h"
+#include "workload/spec.h"
+
+namespace elog {
+namespace harness {
+
+/// Runs one simulation to completion and returns its statistics.
+db::RunStats RunExperiment(const db::DatabaseConfig& config);
+
+/// Runs with stop-at-first-kill; true if the configuration survives the
+/// measurement window (and its drain) without killing any transaction.
+bool SurvivesWithoutKills(db::DatabaseConfig config);
+
+}  // namespace harness
+}  // namespace elog
+
+#endif  // ELOG_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,103 @@
+#include "harness/figures.h"
+
+#include "core/fw_manager.h"
+#include "harness/experiment.h"
+
+namespace elog {
+namespace harness {
+
+std::vector<double> DefaultMixes() { return {0.05, 0.10, 0.20, 0.30, 0.40}; }
+
+std::vector<MixPoint> RunMixSweep(const std::vector<double>& fractions,
+                                  const LogManagerOptions& base,
+                                  uint32_t gen0_max) {
+  std::vector<MixPoint> points;
+  points.reserve(fractions.size());
+  for (double fraction : fractions) {
+    MixPoint point;
+    point.long_fraction = fraction;
+    workload::WorkloadSpec spec = workload::PaperMix(fraction);
+
+    LogManagerOptions fw_base = MakeFirewallOptions(8, base);
+    point.fw = MinFirewallSpace(fw_base, spec);
+
+    LogManagerOptions el_base = base;
+    el_base.generation_blocks = {18, 16};  // placeholder; search overrides
+    el_base.recirculation = false;
+    el_base.release_on_commit = false;
+    point.el = MinElSpace(el_base, spec, /*gen0_min=*/4, gen0_max);
+
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+Fig7Result RunFig7(const LogManagerOptions& base,
+                   const workload::WorkloadSpec& workload,
+                   uint32_t gen0_blocks, uint32_t gen1_start) {
+  Fig7Result result;
+  result.gen0_blocks = gen0_blocks;
+  uint32_t floor = base.min_free_blocks + 2;
+
+  for (uint32_t gen1 = gen1_start; gen1 >= floor; --gen1) {
+    LogManagerOptions options = base;
+    options.generation_blocks = {gen0_blocks, gen1};
+    options.recirculation = true;
+    options.release_on_commit = false;
+
+    db::DatabaseConfig config;
+    config.log = options;
+    config.workload = workload;
+    db::RunStats stats = RunExperiment(config);
+
+    Fig7Point point;
+    point.gen1_blocks = gen1;
+    point.total_blocks = gen0_blocks + gen1;
+    point.survives = stats.kills == 0;
+    point.bandwidth_total = stats.log_writes_per_sec;
+    point.bandwidth_gen1 = stats.log_writes_per_sec_by_generation.back();
+    point.recirculated = stats.records_recirculated;
+    result.points.push_back(point);
+
+    if (point.survives) {
+      result.min_gen1_blocks = gen1;
+    } else {
+      break;  // smaller sizes only kill more
+    }
+  }
+  return result;
+}
+
+ScarceFlushResult RunScarceFlush(const LogManagerOptions& base,
+                                 const workload::WorkloadSpec& workload) {
+  ScarceFlushResult result;
+
+  // Follow the paper's operating point: generation 0 fixed at 20 blocks
+  // (two above its fast-flush optimum, absorbing the slower garbage
+  // collection), then shrink the recirculating last generation until
+  // transactions die. An unconstrained space minimization would instead
+  // find a tiny generation 0 that survives on massive recirculation
+  // bandwidth — a different trade-off than the paper reports.
+  LogManagerOptions scarce = base;
+  scarce.flush_transfer_time = 45 * kMillisecond;
+  scarce.recirculation = true;
+  scarce.release_on_commit = false;
+  scarce.generation_blocks = {20, 16};  // last entry replaced by the search
+  result.scarce = MinLastGeneration(scarce, workload);
+
+  // The same configuration with ample flush bandwidth, for the locality
+  // contrast (the paper compares 109,000 against "the average of 235,000
+  // which we observed for previous tests when the transfer time was
+  // 25 ms").
+  LogManagerOptions normal = scarce;
+  normal.generation_blocks = result.scarce.generation_blocks;
+  normal.flush_transfer_time = 25 * kMillisecond;
+  db::DatabaseConfig config;
+  config.log = normal;
+  config.workload = workload;
+  result.normal_stats = RunExperiment(config);
+  return result;
+}
+
+}  // namespace harness
+}  // namespace elog

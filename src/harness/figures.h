@@ -1,0 +1,80 @@
+// Experiment definitions for every figure/table in the paper's §4.
+
+#ifndef ELOG_HARNESS_FIGURES_H_
+#define ELOG_HARNESS_FIGURES_H_
+
+#include <vector>
+
+#include "harness/min_space.h"
+
+namespace elog {
+namespace harness {
+
+/// Paper-reported reference values (for the comparison columns printed by
+/// the benches and recorded in EXPERIMENTS.md).
+struct PaperReference {
+  static constexpr double kFwSpaceBlocksAt5 = 123;    // Fig 4
+  static constexpr double kElSpaceBlocksAt5 = 34;     // Fig 4 (no recirc)
+  static constexpr double kFwBandwidthAt5 = 11.63;    // Fig 5, writes/s
+  static constexpr double kElBandwidthIncrease = 0.11;  // Fig 5: +11%
+  static constexpr double kElRecircSpaceBlocks = 28;  // Fig 7
+  static constexpr double kElRecircBandwidth = 12.99;  // Fig 7
+  static constexpr double kScarceSpaceBlocks = 31;    // §4 scarce flush
+  static constexpr double kScarceBandwidth = 13.96;
+  static constexpr double kScarceSeekDistance = 109000;
+  static constexpr double kNormalSeekDistance = 235000;
+};
+
+/// Figures 4–6 share one sweep: for each transaction mix, the minimal FW
+/// log and the minimal EL (two generations, recirculation off) log, with
+/// the statistics of a run at each minimum.
+struct MixPoint {
+  double long_fraction = 0.0;
+  MinSpaceResult fw;
+  MinSpaceResult el;
+};
+
+/// Default mixes: 5%..40% of 10 s transactions, as Figures 4–6 plot.
+std::vector<double> DefaultMixes();
+
+/// Runs the Fig 4/5/6 sweep. `base` supplies the fixed simulator knobs;
+/// `gen0_max` bounds the EL generation-0 scan.
+std::vector<MixPoint> RunMixSweep(const std::vector<double>& fractions,
+                                  const LogManagerOptions& base,
+                                  uint32_t gen0_max = 40);
+
+/// Figure 7: recirculation enabled, generation 0 fixed (18 blocks in the
+/// paper, its no-recirculation optimum), last generation swept downward
+/// until transactions are killed.
+struct Fig7Point {
+  uint32_t gen1_blocks = 0;
+  uint32_t total_blocks = 0;
+  bool survives = false;
+  double bandwidth_gen1 = 0.0;   // writes/s to the last generation
+  double bandwidth_total = 0.0;  // writes/s, whole log
+  int64_t recirculated = 0;
+};
+struct Fig7Result {
+  uint32_t gen0_blocks = 0;
+  std::vector<Fig7Point> points;   // descending gen1 sizes
+  uint32_t min_gen1_blocks = 0;    // smallest surviving size
+};
+Fig7Result RunFig7(const LogManagerOptions& base,
+                   const workload::WorkloadSpec& workload,
+                   uint32_t gen0_blocks = 18, uint32_t gen1_start = 16);
+
+/// §4 scarce-flush experiment: flush transfer time raised to 45 ms
+/// (222 flushes/s against 210 update/s), recirculation on; the paper
+/// reports 31 blocks (20 + 11), 13.96 writes/s, and a flush seek distance
+/// of 109,000 vs 235,000 in the 25 ms runs.
+struct ScarceFlushResult {
+  MinSpaceResult scarce;           // min EL config at 45 ms
+  db::RunStats normal_stats;       // same config at 25 ms, for contrast
+};
+ScarceFlushResult RunScarceFlush(const LogManagerOptions& base,
+                                 const workload::WorkloadSpec& workload);
+
+}  // namespace harness
+}  // namespace elog
+
+#endif  // ELOG_HARNESS_FIGURES_H_

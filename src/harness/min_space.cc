@@ -1,0 +1,164 @@
+#include "harness/min_space.h"
+
+#include <algorithm>
+
+#include "harness/experiment.h"
+
+namespace elog {
+namespace harness {
+namespace {
+
+/// Smallest admissible generation size (builder slot + k gap + 1).
+uint32_t FloorSize(const LogManagerOptions& options) {
+  return options.min_free_blocks + 2;
+}
+
+/// Finds the smallest size in [lo, ..] for which survives(size) is true.
+/// survives must be monotone. Brackets by doubling from max(lo, hi_seed).
+uint32_t SearchMonotone(uint32_t lo,
+                        const std::function<bool(uint32_t)>& survives,
+                        int* simulations) {
+  uint32_t hi = std::max(lo, 8u);
+  while (true) {
+    ++*simulations;
+    if (survives(hi)) break;
+    lo = hi + 1;
+    ELOG_CHECK_LT(hi, 1u << 20) << "min-space search diverged";
+    hi *= 2;
+  }
+  // Invariant: survives(hi), and everything below lo fails.
+  while (lo < hi) {
+    uint32_t mid = lo + (hi - lo) / 2;
+    ++*simulations;
+    if (survives(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return hi;
+}
+
+}  // namespace
+
+bool Survives(const LogManagerOptions& options,
+              const workload::WorkloadSpec& workload) {
+  db::DatabaseConfig config;
+  config.log = options;
+  config.workload = workload;
+  return SurvivesWithoutKills(config);
+}
+
+MinSpaceResult MinFirewallSpace(LogManagerOptions base,
+                                const workload::WorkloadSpec& workload) {
+  MinSpaceResult result;
+  uint32_t floor = FloorSize(base);
+  uint32_t best = SearchMonotone(
+      floor,
+      [&](uint32_t size) {
+        LogManagerOptions options = base;
+        options.generation_blocks = {size};
+        return Survives(options, workload);
+      },
+      &result.simulations);
+  result.generation_blocks = {best};
+  result.total_blocks = best;
+  LogManagerOptions options = base;
+  options.generation_blocks = {best};
+  db::DatabaseConfig config;
+  config.log = options;
+  config.workload = workload;
+  result.stats = RunExperiment(config);
+  ++result.simulations;
+  return result;
+}
+
+MinSpaceResult MinElSpace(LogManagerOptions base,
+                          const workload::WorkloadSpec& workload,
+                          uint32_t gen0_min, uint32_t gen0_max) {
+  MinSpaceResult result;
+  uint32_t floor = FloorSize(base);
+  gen0_min = std::max(gen0_min, floor);
+  uint32_t best_total = UINT32_MAX;
+  std::vector<uint32_t> best_config;
+
+  for (uint32_t gen0 = gen0_min; gen0 <= gen0_max; ++gen0) {
+    // Prune: even a floor-sized generation 1 cannot beat the best.
+    if (best_total != UINT32_MAX && gen0 + floor >= best_total) break;
+
+    auto survives_with = [&](uint32_t gen1) {
+      LogManagerOptions options = base;
+      options.generation_blocks = {gen0, gen1};
+      return Survives(options, workload);
+    };
+
+    // Prune: if the best-beating budget for generation 1 fails, skip.
+    if (best_total != UINT32_MAX) {
+      uint32_t budget = best_total - 1 - gen0;
+      ++result.simulations;
+      if (!survives_with(budget)) continue;
+      uint32_t lo = floor, hi = budget;
+      while (lo < hi) {
+        uint32_t mid = lo + (hi - lo) / 2;
+        ++result.simulations;
+        if (survives_with(mid)) {
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      best_total = gen0 + hi;
+      best_config = {gen0, hi};
+      continue;
+    }
+
+    uint32_t gen1 = SearchMonotone(floor, survives_with, &result.simulations);
+    if (gen0 + gen1 < best_total) {
+      best_total = gen0 + gen1;
+      best_config = {gen0, gen1};
+    }
+  }
+
+  ELOG_CHECK(!best_config.empty()) << "EL min-space search found nothing";
+  result.generation_blocks = best_config;
+  result.total_blocks = best_total;
+  LogManagerOptions options = base;
+  options.generation_blocks = best_config;
+  db::DatabaseConfig config;
+  config.log = options;
+  config.workload = workload;
+  result.stats = RunExperiment(config);
+  ++result.simulations;
+  return result;
+}
+
+MinSpaceResult MinLastGeneration(LogManagerOptions base,
+                                 const workload::WorkloadSpec& workload) {
+  MinSpaceResult result;
+  uint32_t floor = FloorSize(base);
+  std::vector<uint32_t> sizes = base.generation_blocks;
+  ELOG_CHECK_GE(sizes.size(), 1u);
+  uint32_t best = SearchMonotone(
+      floor,
+      [&](uint32_t last) {
+        LogManagerOptions options = base;
+        options.generation_blocks.back() = last;
+        return Survives(options, workload);
+      },
+      &result.simulations);
+  sizes.back() = best;
+  result.generation_blocks = sizes;
+  result.total_blocks = 0;
+  for (uint32_t s : sizes) result.total_blocks += s;
+  LogManagerOptions options = base;
+  options.generation_blocks = sizes;
+  db::DatabaseConfig config;
+  config.log = options;
+  config.workload = workload;
+  result.stats = RunExperiment(config);
+  ++result.simulations;
+  return result;
+}
+
+}  // namespace harness
+}  // namespace elog

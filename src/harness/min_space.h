@@ -1,0 +1,61 @@
+// Minimum-disk-space search (§4 of the paper).
+//
+// "For both FW and EL, we continued to run simulations and reduce the disk
+// space until we observed transactions being killed. Hence, these results
+// reflect the minimum disk space requirements to support 500 s of logging
+// activity in which no transaction is killed."
+//
+// Survival is monotone in each generation's size, so a single queue is
+// searched with exponential bracketing plus binary search; the two-
+// generation EL configuration scans generation-0 sizes and binary-searches
+// the minimal generation 1 for each, pruning dominated configurations.
+
+#ifndef ELOG_HARNESS_MIN_SPACE_H_
+#define ELOG_HARNESS_MIN_SPACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.h"
+#include "db/database.h"
+#include "workload/spec.h"
+
+namespace elog {
+namespace harness {
+
+struct MinSpaceResult {
+  /// Minimal surviving configuration (blocks per generation).
+  std::vector<uint32_t> generation_blocks;
+  uint32_t total_blocks = 0;
+  /// Full statistics of a run at the minimal configuration.
+  db::RunStats stats;
+  /// Simulations executed by the search.
+  int simulations = 0;
+};
+
+/// True if the configuration completes the workload without any kill.
+bool Survives(const LogManagerOptions& options,
+              const workload::WorkloadSpec& workload);
+
+/// Minimal single-queue (firewall) log size. `base` supplies every knob
+/// except the queue size.
+MinSpaceResult MinFirewallSpace(LogManagerOptions base,
+                                const workload::WorkloadSpec& workload);
+
+/// Minimal two-generation EL configuration by total size. Scans
+/// generation 0 in [gen0_min, gen0_max] (clamped by pruning) and
+/// binary-searches generation 1 for each.
+MinSpaceResult MinElSpace(LogManagerOptions base,
+                          const workload::WorkloadSpec& workload,
+                          uint32_t gen0_min = 4, uint32_t gen0_max = 40);
+
+/// Minimal last-generation size with every other generation fixed (the
+/// Figure 7 procedure: gen 0 held at its no-recirculation optimum while
+/// the recirculating last generation shrinks).
+MinSpaceResult MinLastGeneration(LogManagerOptions base,
+                                 const workload::WorkloadSpec& workload);
+
+}  // namespace harness
+}  // namespace elog
+
+#endif  // ELOG_HARNESS_MIN_SPACE_H_

@@ -1,0 +1,34 @@
+#include "harness/report.h"
+
+#include <fstream>
+#include <iostream>
+
+#include "util/string_util.h"
+
+namespace elog {
+namespace harness {
+
+void PrintTable(const std::string& title, const TableWriter& table) {
+  std::cout << "\n== " << title << " ==\n";
+  table.Print(std::cout);
+  std::cout.flush();
+}
+
+Status MaybeWriteCsv(const std::string& path, const TableWriter& table) {
+  if (path.empty()) return Status::OK();
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open CSV output: " + path);
+  }
+  table.WriteCsv(out);
+  return Status::OK();
+}
+
+std::string VersusPaper(double measured, double paper) {
+  if (paper == 0.0) return StrFormat("%.4g", measured);
+  return StrFormat("%.4g (paper %.4g, %.2fx)", measured, paper,
+                   measured / paper);
+}
+
+}  // namespace harness
+}  // namespace elog

@@ -1,0 +1,27 @@
+// Report helpers shared by the benchmark binaries: aligned tables on
+// stdout plus optional CSV artifacts.
+
+#ifndef ELOG_HARNESS_REPORT_H_
+#define ELOG_HARNESS_REPORT_H_
+
+#include <string>
+
+#include "util/status.h"
+#include "util/table_writer.h"
+
+namespace elog {
+namespace harness {
+
+/// Prints `table` to stdout under a banner.
+void PrintTable(const std::string& title, const TableWriter& table);
+
+/// Writes `table` as CSV to `path` (no-op if `path` is empty).
+Status MaybeWriteCsv(const std::string& path, const TableWriter& table);
+
+/// "measured (paper ref, ratio)" cell, e.g. "34 (34, 1.00x)".
+std::string VersusPaper(double measured, double paper);
+
+}  // namespace harness
+}  // namespace elog
+
+#endif  // ELOG_HARNESS_REPORT_H_

@@ -1,0 +1,120 @@
+#include "harness/tuner.h"
+
+#include <algorithm>
+
+#include "core/fw_manager.h"
+#include "harness/experiment.h"
+
+namespace elog {
+namespace harness {
+namespace {
+
+/// Evaluates a concrete layout: runs it and fills a candidate row.
+TunerCandidate Evaluate(const LogManagerOptions& base,
+                        const std::vector<uint32_t>& layout,
+                        const workload::WorkloadSpec& workload,
+                        double fw_bandwidth, double max_ratio,
+                        int* simulations) {
+  LogManagerOptions options = base;
+  options.generation_blocks = layout;
+  db::DatabaseConfig config;
+  config.log = options;
+  config.workload = workload;
+  db::RunStats stats = RunExperiment(config);
+  ++*simulations;
+
+  TunerCandidate candidate;
+  candidate.generation_blocks = layout;
+  for (uint32_t blocks : layout) candidate.total_blocks += blocks;
+  candidate.bandwidth = stats.log_writes_per_sec;
+  candidate.bandwidth_ratio = stats.log_writes_per_sec / fw_bandwidth;
+  candidate.meets_budget =
+      stats.kills == 0 && candidate.bandwidth_ratio <= max_ratio;
+  return candidate;
+}
+
+}  // namespace
+
+TunerResult TuneGenerations(const TunerRequest& request) {
+  TunerResult result;
+  ELOG_CHECK(!request.candidate_generation_counts.empty());
+
+  // FW baseline: the bandwidth yardstick.
+  result.fw_baseline =
+      MinFirewallSpace(MakeFirewallOptions(8, request.base), request.workload);
+  result.simulations += result.fw_baseline.simulations;
+  const double fw_bandwidth = result.fw_baseline.stats.log_writes_per_sec;
+
+  for (uint32_t generations : request.candidate_generation_counts) {
+    ELOG_CHECK_GE(generations, 1u);
+    ELOG_CHECK_LE(generations, 2u) << "tuner supports 1 or 2 generations";
+
+    if (generations == 1) {
+      // Single queue with recirculation: EL degenerates to a recirculating
+      // ring; the FW baseline already covers the no-recirculation case.
+      LogManagerOptions base = request.base;
+      base.recirculation = true;
+      base.release_on_commit = false;
+      base.generation_blocks = {8};
+      MinSpaceResult min = MinLastGeneration(base, request.workload);
+      result.simulations += min.simulations;
+      result.candidates.push_back(
+          Evaluate(base, min.generation_blocks, request.workload,
+                   fw_bandwidth, request.max_bandwidth_ratio,
+                   &result.simulations));
+      continue;
+    }
+
+    // Multi-generation: find the space minimum, then walk generation 0
+    // upward from it — larger generation 0 trades space for bandwidth
+    // (fewer records forwarded), which is how a too-hot minimum is
+    // brought under the bandwidth budget.
+    LogManagerOptions base = request.base;
+    base.recirculation = true;
+    base.release_on_commit = false;
+    MinSpaceResult min = MinElSpace(base, request.workload, 4, request.gen0_max);
+    result.simulations += min.simulations;
+
+    std::vector<uint32_t> layout = min.generation_blocks;
+    for (uint32_t gen0 = layout[0]; gen0 <= request.gen0_max; ++gen0) {
+      std::vector<uint32_t> candidate_layout = layout;
+      candidate_layout[0] = gen0;
+      // Re-minimize the last generation for this generation-0 size.
+      LogManagerOptions probe = base;
+      probe.generation_blocks = candidate_layout;
+      MinSpaceResult tightened = MinLastGeneration(probe, request.workload);
+      result.simulations += tightened.simulations;
+      TunerCandidate candidate = Evaluate(
+          base, tightened.generation_blocks, request.workload, fw_bandwidth,
+          request.max_bandwidth_ratio, &result.simulations);
+      result.candidates.push_back(candidate);
+      if (candidate.meets_budget) break;  // growing gen0 only costs space
+    }
+  }
+
+  // Recommendation: smallest total among budget-meeting candidates. If
+  // none meets the budget (the premium grows with the long-transaction
+  // fraction), fall back to the lowest-bandwidth candidate and leave
+  // meets_budget false so the caller can see the compromise.
+  const TunerCandidate* best = nullptr;
+  for (const TunerCandidate& candidate : result.candidates) {
+    if (!candidate.meets_budget) continue;
+    if (best == nullptr || candidate.total_blocks < best->total_blocks) {
+      best = &candidate;
+    }
+  }
+  if (best == nullptr) {
+    for (const TunerCandidate& candidate : result.candidates) {
+      if (best == nullptr ||
+          candidate.bandwidth_ratio < best->bandwidth_ratio) {
+        best = &candidate;
+      }
+    }
+  }
+  ELOG_CHECK(best != nullptr) << "tuner evaluated no candidates";
+  result.recommended = *best;
+  return result;
+}
+
+}  // namespace harness
+}  // namespace elog

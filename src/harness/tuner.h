@@ -1,0 +1,60 @@
+// Automatic generation configuration (the paper's §6 wish: "Ideally, we
+// would like an adaptable version of EL that dynamically chooses the
+// number and sizes of generations itself").
+//
+// This tuner is the offline form of that idea: given a workload
+// description and a bandwidth budget (relative to the FW baseline), it
+// searches candidate generation layouts and recommends the smallest log
+// that meets the budget without killing transactions. Online re-sizing
+// during operation remains future work, as in the paper.
+
+#ifndef ELOG_HARNESS_TUNER_H_
+#define ELOG_HARNESS_TUNER_H_
+
+#include <string>
+#include <vector>
+
+#include "harness/min_space.h"
+
+namespace elog {
+namespace harness {
+
+struct TunerRequest {
+  workload::WorkloadSpec workload;
+  /// Fixed simulator knobs (generation_blocks is chosen by the tuner).
+  LogManagerOptions base;
+  /// Acceptable log bandwidth, as a multiple of the FW baseline (1.15 =
+  /// at most 15% more block writes/s than FW needs).
+  double max_bandwidth_ratio = 1.15;
+  /// Generation counts to consider.
+  std::vector<uint32_t> candidate_generation_counts = {1, 2};
+  /// Bound on the generation-0 scan for multi-generation layouts.
+  uint32_t gen0_max = 30;
+};
+
+struct TunerCandidate {
+  std::vector<uint32_t> generation_blocks;
+  uint32_t total_blocks = 0;
+  double bandwidth = 0.0;      // block writes/s at this layout
+  double bandwidth_ratio = 0.0;  // vs the FW baseline
+  bool meets_budget = false;
+};
+
+struct TunerResult {
+  /// FW baseline for context (minimum single-queue size and bandwidth).
+  MinSpaceResult fw_baseline;
+  /// All evaluated candidates (for reporting).
+  std::vector<TunerCandidate> candidates;
+  /// The recommendation: smallest total meeting the bandwidth budget.
+  TunerCandidate recommended;
+  int simulations = 0;
+};
+
+/// Runs the search. If no candidate meets the budget, the recommendation
+/// is the lowest-bandwidth candidate with meets_budget == false.
+TunerResult TuneGenerations(const TunerRequest& request);
+
+}  // namespace harness
+}  // namespace elog
+
+#endif  // ELOG_HARNESS_TUNER_H_

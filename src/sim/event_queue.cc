@@ -1,0 +1,67 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+namespace elog {
+namespace sim {
+
+EventId EventQueue::Schedule(SimTime time, EventCallback callback) {
+  EventId id = next_id_++;
+  heap_.push_back(Entry{time, id, std::move(callback)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (id == kInvalidEventId || id >= next_id_) return false;
+  // Lazily deleted: mark now, drop when it reaches the heap top. A second
+  // cancel of the same id, or a cancel of an already-fired id, fails.
+  bool inserted = cancelled_.insert(id).second;
+  if (!inserted) return false;
+  // Check the id is actually still pending (linear scan is acceptable:
+  // cancellation is rare — used only for draining / timer replacement).
+  bool pending = false;
+  for (const Entry& e : heap_) {
+    if (e.id == id) {
+      pending = true;
+      break;
+    }
+  }
+  if (!pending) {
+    cancelled_.erase(id);
+    return false;
+  }
+  --live_count_;
+  return true;
+}
+
+void EventQueue::SkipCancelled() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.front().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+SimTime EventQueue::PeekTime() {
+  SkipCancelled();
+  ELOG_CHECK(!heap_.empty());
+  return heap_.front().time;
+}
+
+EventCallback EventQueue::PopNext(SimTime* time) {
+  SkipCancelled();
+  ELOG_CHECK(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
+  --live_count_;
+  *time = entry.time;
+  return std::move(entry.callback);
+}
+
+}  // namespace sim
+}  // namespace elog

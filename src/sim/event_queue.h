@@ -1,0 +1,74 @@
+// Pending-event set for the discrete-event simulator.
+//
+// A binary min-heap ordered by (time, sequence number). The sequence number
+// makes ordering of simultaneous events deterministic (FIFO in scheduling
+// order), which keeps whole simulation runs bit-reproducible.
+
+#ifndef ELOG_SIM_EVENT_QUEUE_H_
+#define ELOG_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "util/check.h"
+#include "util/types.h"
+
+namespace elog {
+namespace sim {
+
+/// Opaque handle to a scheduled event, usable for cancellation.
+using EventId = uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+/// Callback invoked when an event fires.
+using EventCallback = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedules `callback` at absolute simulated time `time`.
+  EventId Schedule(SimTime time, EventCallback callback);
+
+  /// Cancels a previously scheduled event. Returns false if the event has
+  /// already fired or was already cancelled.
+  bool Cancel(EventId id);
+
+  /// True if no live (non-cancelled) events remain.
+  bool empty() const { return live_count_ == 0; }
+  size_t size() const { return live_count_; }
+
+  /// Time of the earliest live event; the queue must not be empty.
+  SimTime PeekTime();
+
+  /// Removes and returns the earliest live event's callback, setting
+  /// *time to its firing time. The queue must not be empty.
+  EventCallback PopNext(SimTime* time);
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    EventCallback callback;
+  };
+
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // FIFO among simultaneous events
+    }
+  };
+
+  /// Pops cancelled entries off the top of the heap.
+  void SkipCancelled();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+  size_t live_count_ = 0;
+};
+
+}  // namespace sim
+}  // namespace elog
+
+#endif  // ELOG_SIM_EVENT_QUEUE_H_

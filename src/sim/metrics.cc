@@ -1,0 +1,21 @@
+#include "sim/metrics.h"
+
+#include "util/string_util.h"
+
+namespace elog {
+namespace sim {
+
+std::string MetricsRegistry::ToString() const {
+  std::string out;
+  for (const auto& [name, value] : counters_) {
+    out += StrFormat("%-40s = %lld\n", name.c_str(),
+                     static_cast<long long>(value));
+  }
+  for (const auto& [name, hist] : distributions_) {
+    out += StrFormat("%-40s : %s\n", name.c_str(), hist.ToString().c_str());
+  }
+  return out;
+}
+
+}  // namespace sim
+}  // namespace elog

@@ -1,0 +1,62 @@
+// Named counters and distributions collected during a simulation run.
+//
+// Model components record into a shared MetricsRegistry; the experiment
+// harness snapshots it into a SimResult at the end of a run.
+
+#ifndef ELOG_SIM_METRICS_H_
+#define ELOG_SIM_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/stats.h"
+
+namespace elog {
+namespace sim {
+
+class MetricsRegistry {
+ public:
+  /// Adds `delta` to counter `name` (created at zero on first use).
+  void Incr(const std::string& name, int64_t delta = 1) {
+    counters_[name] += delta;
+  }
+
+  /// Counter value; zero if never touched.
+  int64_t Counter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  /// Records a sample into distribution `name`.
+  void Observe(const std::string& name, double value) {
+    distributions_[name].Add(value);
+  }
+
+  /// Distribution accessor (created empty on first use).
+  const Histogram& Distribution(const std::string& name) {
+    return distributions_[name];
+  }
+
+  const std::map<std::string, int64_t>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& distributions() const {
+    return distributions_;
+  }
+
+  void Reset() {
+    counters_.clear();
+    distributions_.clear();
+  }
+
+  /// Multi-line "name = value" dump, sorted by name.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, Histogram> distributions_;
+};
+
+}  // namespace sim
+}  // namespace elog
+
+#endif  // ELOG_SIM_METRICS_H_

@@ -1,0 +1,35 @@
+#include "sim/simulator.h"
+
+namespace elog {
+namespace sim {
+
+void Simulator::Dispatch(SimTime time, EventCallback callback) {
+  ELOG_CHECK_GE(time, now_) << "event queue produced a time in the past";
+  now_ = time;
+  ++events_processed_;
+  callback();
+}
+
+void Simulator::Run() {
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    SimTime time;
+    EventCallback callback = queue_.PopNext(&time);
+    Dispatch(time, std::move(callback));
+  }
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  ELOG_CHECK_GE(deadline, now_);
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.PeekTime() > deadline) break;
+    SimTime time;
+    EventCallback callback = queue_.PopNext(&time);
+    Dispatch(time, std::move(callback));
+  }
+  if (!stop_requested_) now_ = deadline;
+}
+
+}  // namespace sim
+}  // namespace elog

@@ -1,0 +1,68 @@
+// Discrete-event simulator: virtual clock plus event loop.
+//
+// All model components (workload generator, log managers, disk models)
+// schedule callbacks on one Simulator; time advances only between events,
+// so a run is deterministic given the RNG seed.
+
+#ifndef ELOG_SIM_SIMULATOR_H_
+#define ELOG_SIM_SIMULATOR_H_
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "util/check.h"
+#include "util/types.h"
+
+namespace elog {
+namespace sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `callback` at absolute time `time` (must be >= Now()).
+  EventId ScheduleAt(SimTime time, EventCallback callback) {
+    ELOG_CHECK_GE(time, now_);
+    return queue_.Schedule(time, std::move(callback));
+  }
+
+  /// Schedules `callback` `delay` microseconds from now (delay >= 0).
+  EventId ScheduleAfter(SimTime delay, EventCallback callback) {
+    ELOG_CHECK_GE(delay, 0);
+    return queue_.Schedule(now_ + delay, std::move(callback));
+  }
+
+  /// Cancels a pending event; returns false if it already fired.
+  bool Cancel(EventId id) { return queue_.Cancel(id); }
+
+  /// Runs until no events remain or Stop() is called.
+  void Run();
+
+  /// Runs events with firing time <= `deadline`, then sets the clock to
+  /// `deadline`. Events scheduled beyond the deadline stay pending.
+  void RunUntil(SimTime deadline);
+
+  /// Requests that Run()/RunUntil() return after the current event.
+  void Stop() { stop_requested_ = true; }
+
+  bool HasPendingEvents() { return !queue_.empty(); }
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  void Dispatch(SimTime time, EventCallback callback);
+
+  EventQueue queue_;
+  SimTime now_ = 0;
+  bool stop_requested_ = false;
+  uint64_t events_processed_ = 0;
+};
+
+}  // namespace sim
+}  // namespace elog
+
+#endif  // ELOG_SIM_SIMULATOR_H_

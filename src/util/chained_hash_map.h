@@ -1,0 +1,157 @@
+// Hash table with separate chaining.
+//
+// Section 2.3 of the paper: "Entries in the LTT are associatively accessed
+// using transaction identifiers (tids) as keys. A hash table implementation
+// is therefore appropriate. The dynamic nature of the LTT strongly suggests
+// that chaining (rather than open addressing) is the most suitable
+// technique for collision resolution." The LOT is organized the same way,
+// keyed by oid. This container is that structure; it grows by doubling the
+// bucket array when the load factor exceeds 1.
+
+#ifndef ELOG_UTIL_CHAINED_HASH_MAP_H_
+#define ELOG_UTIL_CHAINED_HASH_MAP_H_
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace elog {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class ChainedHashMap {
+ public:
+  explicit ChainedHashMap(size_t initial_buckets = 16) {
+    size_t n = 1;
+    while (n < initial_buckets) n <<= 1;
+    buckets_.assign(n, nullptr);
+  }
+
+  ~ChainedHashMap() { Clear(); }
+
+  ChainedHashMap(const ChainedHashMap&) = delete;
+  ChainedHashMap& operator=(const ChainedHashMap&) = delete;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t bucket_count() const { return buckets_.size(); }
+
+  /// Returns a pointer to the value for `key`, or nullptr if absent.
+  V* Find(const K& key) {
+    Node* node = buckets_[BucketIndex(key)];
+    while (node != nullptr) {
+      if (node->key == key) return &node->value;
+      node = node->next;
+    }
+    return nullptr;
+  }
+  const V* Find(const K& key) const {
+    return const_cast<ChainedHashMap*>(this)->Find(key);
+  }
+
+  bool Contains(const K& key) const { return Find(key) != nullptr; }
+
+  /// Inserts (key, value). Returns {pointer-to-value, true} on insert, or
+  /// {pointer-to-existing-value, false} if the key was already present.
+  std::pair<V*, bool> Insert(const K& key, V value) {
+    size_t index = BucketIndex(key);
+    for (Node* node = buckets_[index]; node != nullptr; node = node->next) {
+      if (node->key == key) return {&node->value, false};
+    }
+    if (size_ + 1 > buckets_.size()) {
+      Grow();
+      index = BucketIndex(key);
+    }
+    Node* node = new Node{key, std::move(value), buckets_[index]};
+    buckets_[index] = node;
+    ++size_;
+    return {&node->value, true};
+  }
+
+  /// Removes `key`. Returns true if it was present.
+  bool Erase(const K& key) {
+    size_t index = BucketIndex(key);
+    Node** link = &buckets_[index];
+    while (*link != nullptr) {
+      if ((*link)->key == key) {
+        Node* dead = *link;
+        *link = dead->next;
+        delete dead;
+        --size_;
+        return true;
+      }
+      link = &(*link)->next;
+    }
+    return false;
+  }
+
+  /// Invokes fn(key, value&) for every entry. `fn` must not mutate the map.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (Node* bucket : buckets_) {
+      for (Node* node = bucket; node != nullptr; node = node->next) {
+        fn(node->key, node->value);
+      }
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Node* bucket : buckets_) {
+      for (const Node* node = bucket; node != nullptr; node = node->next) {
+        fn(node->key, node->value);
+      }
+    }
+  }
+
+  void Clear() {
+    for (Node*& bucket : buckets_) {
+      while (bucket != nullptr) {
+        Node* next = bucket->next;
+        delete bucket;
+        bucket = next;
+      }
+    }
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    K key;
+    V value;
+    Node* next;
+  };
+
+  size_t BucketIndex(const K& key) const {
+    // Buckets are a power of two; mix the hash before masking so that
+    // low-entropy key distributions (sequential tids/oids with the
+    // identity std::hash) still spread across buckets.
+    uint64_t h = static_cast<uint64_t>(Hash{}(key));
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<size_t>(h) & (buckets_.size() - 1);
+  }
+
+  void Grow() {
+    std::vector<Node*> old = std::move(buckets_);
+    buckets_.assign(old.size() * 2, nullptr);
+    for (Node* bucket : old) {
+      while (bucket != nullptr) {
+        Node* node = bucket;
+        bucket = bucket->next;
+        size_t index = BucketIndex(node->key);
+        node->next = buckets_[index];
+        buckets_[index] = node;
+      }
+    }
+  }
+
+  std::vector<Node*> buckets_;
+  size_t size_ = 0;
+};
+
+}  // namespace elog
+
+#endif  // ELOG_UTIL_CHAINED_HASH_MAP_H_

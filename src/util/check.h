@@ -1,0 +1,69 @@
+// Invariant checking macros.
+//
+// ELOG_CHECK is always on (debug and release); the simulator is cheap enough
+// that we keep invariant enforcement in production builds, following the
+// database convention that a corrupted log manager must fail stop rather
+// than corrupt the log.
+
+#ifndef ELOG_UTIL_CHECK_H_
+#define ELOG_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace elog {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               message.c_str());
+  std::abort();
+}
+
+// Collects an optional streamed message for a failing check.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace elog
+
+#define ELOG_CHECK(condition)                                      \
+  if (condition) {                                                 \
+  } else                                                           \
+    ::elog::internal::CheckMessageBuilder(__FILE__, __LINE__,      \
+                                          "`" #condition "`")
+
+#define ELOG_CHECK_EQ(a, b) ELOG_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ELOG_CHECK_NE(a, b) ELOG_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ELOG_CHECK_LT(a, b) ELOG_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ELOG_CHECK_LE(a, b) ELOG_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ELOG_CHECK_GT(a, b) ELOG_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ELOG_CHECK_GE(a, b) ELOG_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define ELOG_UNREACHABLE() \
+  ::elog::internal::CheckMessageBuilder(__FILE__, __LINE__, "unreachable")
+
+#endif  // ELOG_UTIL_CHECK_H_

@@ -1,0 +1,88 @@
+// Fixed-capacity circular queue ("the disk space within each queue is
+// managed as a circular array" — paper §2.1, citing CLR). Used for the
+// block arrays of log generations and for bounded pending-request queues.
+
+#ifndef ELOG_UTIL_CIRCULAR_QUEUE_H_
+#define ELOG_UTIL_CIRCULAR_QUEUE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace elog {
+
+template <typename T>
+class CircularQueue {
+ public:
+  explicit CircularQueue(size_t capacity)
+      : slots_(capacity), capacity_(capacity) {
+    ELOG_CHECK_GT(capacity, 0u);
+  }
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == capacity_; }
+
+  /// Appends at the tail. The queue must not be full.
+  void PushBack(T value) {
+    ELOG_CHECK(!full());
+    slots_[Physical(size_)] = std::move(value);
+    ++size_;
+  }
+
+  /// Removes and returns the head element. The queue must not be empty.
+  T PopFront() {
+    ELOG_CHECK(!empty());
+    T value = std::move(slots_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --size_;
+    return value;
+  }
+
+  /// Head element (oldest).
+  T& front() {
+    ELOG_CHECK(!empty());
+    return slots_[head_];
+  }
+  const T& front() const {
+    ELOG_CHECK(!empty());
+    return slots_[head_];
+  }
+
+  /// Tail element (newest).
+  T& back() {
+    ELOG_CHECK(!empty());
+    return slots_[Physical(size_ - 1)];
+  }
+
+  /// i-th element from the head (0 = head).
+  T& operator[](size_t i) {
+    ELOG_CHECK_LT(i, size_);
+    return slots_[Physical(i)];
+  }
+  const T& operator[](size_t i) const {
+    ELOG_CHECK_LT(i, size_);
+    return slots_[Physical(i)];
+  }
+
+  void Clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  size_t Physical(size_t logical) const {
+    return (head_ + logical) % capacity_;
+  }
+
+  std::vector<T> slots_;
+  size_t capacity_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace elog
+
+#endif  // ELOG_UTIL_CIRCULAR_QUEUE_H_

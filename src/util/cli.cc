@@ -1,0 +1,118 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace elog {
+
+void FlagSet::AddInt64(const std::string& name, int64_t* target,
+                       const std::string& help) {
+  flags_[name] = Flag{Type::kInt64, target, help, std::to_string(*target)};
+}
+
+void FlagSet::AddDouble(const std::string& name, double* target,
+                        const std::string& help) {
+  flags_[name] = Flag{Type::kDouble, target, help, StrFormat("%g", *target)};
+}
+
+void FlagSet::AddString(const std::string& name, std::string* target,
+                        const std::string& help) {
+  flags_[name] = Flag{Type::kString, target, help, *target};
+}
+
+void FlagSet::AddBool(const std::string& name, bool* target,
+                      const std::string& help) {
+  flags_[name] = Flag{Type::kBool, target, help, *target ? "true" : "false"};
+}
+
+Status FlagSet::SetValue(const std::string& name, Flag& flag,
+                         const std::string& value) {
+  char* end = nullptr;
+  switch (flag.type) {
+    case Type::kInt64: {
+      long long v = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad integer for --" + name + ": " +
+                                       value);
+      }
+      *static_cast<int64_t*>(flag.target) = v;
+      return Status::OK();
+    }
+    case Type::kDouble: {
+      double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad number for --" + name + ": " +
+                                       value);
+      }
+      *static_cast<double*>(flag.target) = v;
+      return Status::OK();
+    }
+    case Type::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return Status::OK();
+    case Type::kBool: {
+      if (value == "true" || value == "1" || value == "yes" || value == "on") {
+        *static_cast<bool*>(flag.target) = true;
+      } else if (value == "false" || value == "0" || value == "no" ||
+                 value == "off") {
+        *static_cast<bool*>(flag.target) = false;
+      } else {
+        return Status::InvalidArgument("bad boolean for --" + name + ": " +
+                                       value);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown flag type");
+}
+
+Status FlagSet::Parse(int argc, const char* const* argv) {
+  positional_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = body;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    Flag& flag = it->second;
+    if (!has_value) {
+      if (flag.type == Type::kBool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return Status::InvalidArgument("missing value for --" + name);
+      }
+    }
+    ELOG_RETURN_IF_ERROR(SetValue(name, flag, value));
+  }
+  return Status::OK();
+}
+
+std::string FlagSet::Help(const std::string& program) const {
+  std::string out = "Usage: " + program + " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out += StrFormat("  --%-24s %s (default: %s)\n", name.c_str(),
+                     flag.help.c_str(), flag.default_value.c_str());
+  }
+  return out;
+}
+
+}  // namespace elog

@@ -1,0 +1,56 @@
+// Minimal command-line flag parsing for example and benchmark binaries.
+//
+// Supports `--name=value`, `--name value`, and bare `--flag` for booleans.
+
+#ifndef ELOG_UTIL_CLI_H_
+#define ELOG_UTIL_CLI_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace elog {
+
+class FlagSet {
+ public:
+  /// Registers a flag bound to `target` with a default already in *target.
+  void AddInt64(const std::string& name, int64_t* target,
+                const std::string& help);
+  void AddDouble(const std::string& name, double* target,
+                 const std::string& help);
+  void AddString(const std::string& name, std::string* target,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* target, const std::string& help);
+
+  /// Parses argv[1..argc-1]. Unknown flags or malformed values produce an
+  /// InvalidArgument status. Positional (non --) arguments are collected
+  /// into positional().
+  Status Parse(int argc, const char* const* argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Usage text listing all registered flags with defaults and help.
+  std::string Help(const std::string& program) const;
+
+ private:
+  enum class Type { kInt64, kDouble, kString, kBool };
+  struct Flag {
+    Type type;
+    void* target;
+    std::string help;
+    std::string default_value;
+  };
+
+  Status SetValue(const std::string& name, Flag& flag,
+                  const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace elog
+
+#endif  // ELOG_UTIL_CLI_H_

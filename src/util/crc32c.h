@@ -1,0 +1,38 @@
+// CRC32C (Castagnoli) checksums for log block integrity.
+//
+// Every 2048-byte log block carries a CRC32C of its payload in the block
+// header so that recovery can detect torn or partially-written blocks.
+
+#ifndef ELOG_UTIL_CRC32C_H_
+#define ELOG_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace elog {
+namespace crc32c {
+
+/// Returns the CRC32C of data[0..n-1], extending `init_crc` (pass 0 for a
+/// fresh checksum).
+uint32_t Extend(uint32_t init_crc, const uint8_t* data, size_t n);
+
+/// Returns the CRC32C of data[0..n-1].
+inline uint32_t Value(const uint8_t* data, size_t n) {
+  return Extend(0, data, n);
+}
+
+/// Masks a CRC so that a CRC of data that itself contains CRCs does not
+/// degenerate (same trick as LevelDB/RocksDB).
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+inline uint32_t Unmask(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace crc32c
+}  // namespace elog
+
+#endif  // ELOG_UTIL_CRC32C_H_

@@ -1,0 +1,152 @@
+// Intrusive circular doubly-linked list.
+//
+// This is the cell-list structure from Section 2.1 of the paper: the cells
+// for each generation's non-garbage records are "joined in a doubly linked
+// list [that] wraps around in a circular manner; the cells at the head and
+// tail have right and left pointers to each other". The h_i pointer of the
+// paper corresponds to this container's front(); because the list is
+// circular, back() — the cell nearest the generation's tail — is found in
+// O(1) from front() (the paper's "following the right pointer of the cell
+// pointed to by h_i").
+//
+// The list is intrusive: elements embed a ListNode and are never owned by
+// the list. All operations are O(1).
+
+#ifndef ELOG_UTIL_INTRUSIVE_LIST_H_
+#define ELOG_UTIL_INTRUSIVE_LIST_H_
+
+#include <cstddef>
+
+#include "util/check.h"
+
+namespace elog {
+
+/// Link block embedded in every list element.
+struct ListNode {
+  ListNode* prev = nullptr;
+  ListNode* next = nullptr;
+
+  /// True while the node is linked into some list.
+  bool linked() const { return next != nullptr; }
+};
+
+/// Circular intrusive list of T, where T embeds a ListNode at member
+/// `Member`. front() is the head (oldest element); elements are appended
+/// at the tail with PushBack. Iteration runs front() -> back() in age
+/// order.
+template <typename T, ListNode T::* Member>
+class IntrusiveCircularList {
+ public:
+  IntrusiveCircularList() = default;
+
+  // The list does not own its elements; moving/copying the container would
+  // leave dangling head pointers in a non-obvious way, so forbid it.
+  IntrusiveCircularList(const IntrusiveCircularList&) = delete;
+  IntrusiveCircularList& operator=(const IntrusiveCircularList&) = delete;
+
+  bool empty() const { return head_ == nullptr; }
+  size_t size() const { return size_; }
+
+  /// Oldest element (the paper's h_i), or nullptr if empty.
+  T* front() const { return head_ ? FromNode(head_) : nullptr; }
+
+  /// Newest element (nearest the tail), or nullptr if empty. O(1) via the
+  /// circular wrap-around link.
+  T* back() const { return head_ ? FromNode(head_->prev) : nullptr; }
+
+  /// Appends `element` at the tail. The element must not be linked.
+  void PushBack(T* element) {
+    ListNode* node = ToNode(element);
+    ELOG_CHECK(!node->linked()) << "element already on a list";
+    if (head_ == nullptr) {
+      node->prev = node;
+      node->next = node;
+      head_ = node;
+    } else {
+      ListNode* tail = head_->prev;
+      node->prev = tail;
+      node->next = head_;
+      tail->next = node;
+      head_->prev = node;
+    }
+    ++size_;
+  }
+
+  /// Prepends `element` at the head. The element must not be linked.
+  void PushFront(T* element) {
+    PushBack(element);
+    head_ = ToNode(element);
+  }
+
+  /// Unlinks `element` from the list. The element must be on this list.
+  void Remove(T* element) {
+    ListNode* node = ToNode(element);
+    ELOG_CHECK(node->linked()) << "element not on a list";
+    ELOG_CHECK_GT(size_, 0u);
+    if (node->next == node) {
+      ELOG_CHECK_EQ(node, head_);
+      head_ = nullptr;
+    } else {
+      node->prev->next = node->next;
+      node->next->prev = node->prev;
+      if (head_ == node) head_ = node->next;
+    }
+    node->prev = nullptr;
+    node->next = nullptr;
+    --size_;
+  }
+
+  /// Moves `element` (already on this list) to the tail. This is the
+  /// recirculation primitive: a cell whose record is re-appended at the
+  /// generation's tail moves to the back of the cell list.
+  void MoveToBack(T* element) {
+    Remove(element);
+    PushBack(element);
+  }
+
+  /// Returns the element following `element` in age order (wraps from the
+  /// tail back to the head).
+  T* Next(T* element) const { return FromNode(ToNode(element)->next); }
+  T* Prev(T* element) const { return FromNode(ToNode(element)->prev); }
+
+  /// Forward iterator over the circular list, front() -> back().
+  class Iterator {
+   public:
+    Iterator(ListNode* node, size_t remaining)
+        : node_(node), remaining_(remaining) {}
+    T& operator*() const { return *FromNode(node_); }
+    T* operator->() const { return FromNode(node_); }
+    Iterator& operator++() {
+      node_ = node_->next;
+      --remaining_;
+      return *this;
+    }
+    bool operator!=(const Iterator& other) const {
+      return remaining_ != other.remaining_;
+    }
+
+   private:
+    ListNode* node_;
+    size_t remaining_;
+  };
+
+  Iterator begin() const { return Iterator(head_, size_); }
+  Iterator end() const { return Iterator(nullptr, 0); }
+
+ private:
+  static ListNode* ToNode(T* element) { return &(element->*Member); }
+  static T* FromNode(ListNode* node) {
+    // container_of: recover the element from its embedded node.
+    const T* probe = nullptr;
+    const auto offset = reinterpret_cast<const char*>(&(probe->*Member)) -
+                        reinterpret_cast<const char*>(probe);
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(node) - offset);
+  }
+
+  ListNode* head_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace elog
+
+#endif  // ELOG_UTIL_INTRUSIVE_LIST_H_

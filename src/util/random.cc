@@ -1,0 +1,22 @@
+#include "util/random.h"
+
+namespace elog {
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  ELOG_CHECK_GT(bound, 0u);
+  // Lemire's method: multiply-shift with rejection to remove modulo bias.
+  uint64_t x = NextUint64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = NextUint64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+}  // namespace elog

@@ -1,0 +1,96 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace elog {
+
+double StatAccumulator::stddev() const { return std::sqrt(variance()); }
+
+std::string StatAccumulator::ToString() const {
+  return StrFormat("count=%llu mean=%.4g stddev=%.4g min=%.4g max=%.4g",
+                   static_cast<unsigned long long>(count_), mean(), stddev(),
+                   min(), max());
+}
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+size_t Histogram::BucketFor(double value) {
+  if (value <= 1.0) return 0;
+  // Bucket i covers (base^i-ish) ranges; use log2 with 4 buckets/octave.
+  double index = std::log2(value) * 4.0;
+  if (index >= static_cast<double>(kNumBuckets - 1)) return kNumBuckets - 1;
+  return static_cast<size_t>(index) + 1;
+}
+
+double Histogram::BucketUpperBound(size_t index) {
+  if (index == 0) return 1.0;
+  return std::exp2(static_cast<double>(index) / 4.0);
+}
+
+void Histogram::Add(double value) {
+  stats_.Add(value);
+  ++buckets_[BucketFor(value)];
+}
+
+double Histogram::Percentile(double p) const {
+  if (stats_.count() == 0) return 0.0;
+  if (p <= 0.0) return stats_.min();
+  if (p >= 100.0) return stats_.max();
+  double target = stats_.count() * p / 100.0;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) >= target) {
+      double upper = BucketUpperBound(i);
+      double lower = i == 0 ? 0.0 : BucketUpperBound(i - 1);
+      // Interpolate within the bucket.
+      double in_bucket = static_cast<double>(buckets_[i]);
+      double below = static_cast<double>(cumulative) - in_bucket;
+      double frac = in_bucket == 0.0 ? 0.0 : (target - below) / in_bucket;
+      double value = lower + frac * (upper - lower);
+      if (value < stats_.min()) value = stats_.min();
+      if (value > stats_.max()) value = stats_.max();
+      return value;
+    }
+  }
+  return stats_.max();
+}
+
+void Histogram::Reset() {
+  buckets_.assign(kNumBuckets, 0);
+  stats_.Reset();
+}
+
+std::string Histogram::ToString() const {
+  return StrFormat("count=%llu mean=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g",
+                   static_cast<unsigned long long>(count()), mean(),
+                   Percentile(50), Percentile(95), Percentile(99), max());
+}
+
+void TimeWeightedValue::Set(SimTime now, double value) {
+  if (!started_) {
+    started_ = true;
+    start_ = now;
+    last_change_ = now;
+    current_ = value;
+    peak_ = value;
+    return;
+  }
+  ELOG_CHECK_GE(now, last_change_);
+  weighted_sum_ += current_ * static_cast<double>(now - last_change_);
+  last_change_ = now;
+  current_ = value;
+  if (value > peak_) peak_ = value;
+}
+
+double TimeWeightedValue::Average(SimTime now) const {
+  if (!started_ || now <= start_) return current_;
+  double total = weighted_sum_ +
+                 current_ * static_cast<double>(now - last_change_);
+  return total / static_cast<double>(now - start_);
+}
+
+}  // namespace elog

@@ -1,0 +1,111 @@
+// Statistics accumulators used by the simulator's metrics.
+
+#ifndef ELOG_UTIL_STATS_H_
+#define ELOG_UTIL_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/types.h"
+
+namespace elog {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class StatAccumulator {
+ public:
+  void Add(double x) {
+    ++count_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  void Reset() { *this = StatAccumulator(); }
+
+  /// "count=.. mean=.. min=.. max=.." summary line.
+  std::string ToString() const;
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Histogram with exponentially spaced bucket boundaries, suitable for
+/// latency distributions spanning several orders of magnitude.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(double value);
+  uint64_t count() const { return stats_.count(); }
+  double mean() const { return stats_.mean(); }
+  double min() const { return stats_.min(); }
+  double max() const { return stats_.max(); }
+
+  /// Approximate value at percentile p in [0, 100], interpolated within
+  /// the containing bucket.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  void Reset();
+
+  std::string ToString() const;
+
+ private:
+  static constexpr size_t kNumBuckets = 128;
+  /// Index of the bucket containing `value`.
+  static size_t BucketFor(double value);
+  /// Upper boundary of bucket `index`.
+  static double BucketUpperBound(size_t index);
+
+  std::vector<uint64_t> buckets_;
+  StatAccumulator stats_;
+};
+
+/// Time-weighted average and peak of a piecewise-constant signal, e.g.
+/// main-memory consumption over simulated time (Figure 6 reports the
+/// requirement, i.e. the peak; we also keep the time average).
+class TimeWeightedValue {
+ public:
+  /// Records that the signal changed to `value` at time `now`.
+  void Set(SimTime now, double value);
+
+  double current() const { return current_; }
+  double peak() const { return peak_; }
+  /// Time average over [first Set, `now`].
+  double Average(SimTime now) const;
+
+  SimTime last_change() const { return last_change_; }
+
+ private:
+  bool started_ = false;
+  SimTime start_ = 0;
+  SimTime last_change_ = 0;
+  double current_ = 0.0;
+  double peak_ = 0.0;
+  double weighted_sum_ = 0.0;  // integral of value dt
+};
+
+}  // namespace elog
+
+#endif  // ELOG_UTIL_STATS_H_

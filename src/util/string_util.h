@@ -1,0 +1,31 @@
+// Small string helpers (printf-style formatting, splitting, joining).
+
+#ifndef ELOG_UTIL_STRING_UTIL_H_
+#define ELOG_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace elog {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits `input` on `delimiter`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view input, char delimiter);
+
+/// Joins `parts` with `separator`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view separator);
+
+/// "1.5 KB", "3.2 MB", ... (powers of 1024).
+std::string HumanBytes(double bytes);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace elog
+
+#endif  // ELOG_UTIL_STRING_UTIL_H_

@@ -1,0 +1,39 @@
+// Tabular output for benchmark harnesses: aligned ASCII tables for humans
+// and CSV for plotting, from the same data.
+
+#ifndef ELOG_UTIL_TABLE_WRITER_H_
+#define ELOG_UTIL_TABLE_WRITER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace elog {
+
+class TableWriter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TableWriter(std::vector<std::string> columns);
+
+  /// Appends a row of preformatted cells; must match the column count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats each double with `%.4g`.
+  void AddNumericRow(const std::vector<double>& values);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Writes an aligned ASCII table with a header rule.
+  void Print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (fields containing commas/quotes are quoted).
+  void WriteCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace elog
+
+#endif  // ELOG_UTIL_TABLE_WRITER_H_

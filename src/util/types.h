@@ -1,0 +1,46 @@
+// Core identifier and time types shared across the library.
+
+#ifndef ELOG_UTIL_TYPES_H_
+#define ELOG_UTIL_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace elog {
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = int64_t;
+
+/// SimTime helpers (integral microsecond arithmetic keeps the simulator
+/// deterministic; no floating point in the event queue).
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000;
+constexpr SimTime kSecond = 1000 * 1000;
+
+constexpr SimTime MillisecondsToSimTime(int64_t ms) { return ms * kMillisecond; }
+constexpr SimTime SecondsToSimTime(int64_t s) { return s * kSecond; }
+constexpr double SimTimeToSeconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Transaction identifier, assigned sequentially at initiation.
+using TxId = uint64_t;
+
+/// Object identifier: an index into the database's object space
+/// [0, NUM_OBJECTS).
+using Oid = uint64_t;
+
+/// Log sequence number: a global, strictly increasing logical timestamp
+/// assigned to every log record when it is created. Recirculation in the
+/// last generation destroys physical ordering; LSNs let the recovery
+/// manager re-establish the temporal order of records (the paper's record
+/// "timestamps").
+using Lsn = uint64_t;
+
+constexpr TxId kInvalidTxId = std::numeric_limits<TxId>::max();
+constexpr Oid kInvalidOid = std::numeric_limits<Oid>::max();
+constexpr Lsn kInvalidLsn = std::numeric_limits<Lsn>::max();
+
+}  // namespace elog
+
+#endif  // ELOG_UTIL_TYPES_H_

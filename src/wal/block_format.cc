@@ -1,0 +1,194 @@
+#include "wal/block_format.h"
+
+#include <cstring>
+
+#include "util/check.h"
+#include "util/crc32c.h"
+
+namespace elog {
+namespace wal {
+namespace {
+
+// Little-endian fixed-width encoding helpers.
+void PutU8(BlockImage* out, uint8_t v) { out->push_back(v); }
+void PutU32(BlockImage* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+void PutU64(BlockImage* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool ReadU8(uint8_t* v) {
+    if (pos_ + 1 > size_) return false;
+    *v = data_[pos_++];
+    return true;
+  }
+  bool ReadU32(uint32_t* v) {
+    if (pos_ + 4 > size_) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (pos_ + 8 > size_) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+    return true;
+  }
+  size_t pos() const { return pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// Header layout (fixed kBlockHeaderBytes bytes):
+//   [0..3]   magic
+//   [4..7]   masked CRC32C of bytes [kBlockHeaderBytes..end)
+//   [8..11]  generation
+//   [12..19] write sequence number
+//   [20..23] record count
+//   [24..27] accounted payload bytes
+//   [28..47] reserved (zero)
+// The CRC covers everything after itself — the remaining header fields
+// (generation, sequence, counts) and the record area — so a torn write
+// that damages only the header is still detected.
+constexpr size_t kCrcOffset = 4;
+constexpr size_t kCrcCoverageOffset = 8;
+
+void AppendRecord(BlockImage* out, const LogRecord& r) {
+  PutU8(out, static_cast<uint8_t>(r.type));
+  PutU64(out, r.tid);
+  PutU64(out, r.lsn);
+  PutU64(out, r.oid);
+  PutU32(out, r.logged_size);
+  PutU64(out, r.value_digest);
+  PutU64(out, r.prev_lsn);
+  PutU64(out, r.prev_digest);
+}
+
+bool ParseRecord(ByteReader* reader, LogRecord* r) {
+  uint8_t type;
+  uint64_t tid, lsn, oid, digest, prev_lsn, prev_digest;
+  uint32_t logged_size;
+  if (!reader->ReadU8(&type) || !reader->ReadU64(&tid) ||
+      !reader->ReadU64(&lsn) || !reader->ReadU64(&oid) ||
+      !reader->ReadU32(&logged_size) || !reader->ReadU64(&digest) ||
+      !reader->ReadU64(&prev_lsn) || !reader->ReadU64(&prev_digest)) {
+    return false;
+  }
+  if (type < static_cast<uint8_t>(RecordType::kBegin) ||
+      type > static_cast<uint8_t>(RecordType::kData)) {
+    return false;
+  }
+  r->type = static_cast<RecordType>(type);
+  r->tid = tid;
+  r->lsn = lsn;
+  r->oid = oid;
+  r->logged_size = logged_size;
+  r->value_digest = digest;
+  r->prev_lsn = prev_lsn;
+  r->prev_digest = prev_digest;
+  return true;
+}
+
+}  // namespace
+
+bool BlockBuilder::Add(const LogRecord& record) {
+  if (!Fits(record.logged_size)) return false;
+  used_bytes_ += record.logged_size;
+  records_.push_back(record);
+  return true;
+}
+
+BlockImage BlockBuilder::Finish(uint64_t write_seq) {
+  BlockImage image = EncodeBlock(generation_, write_seq, records_);
+  Reset();
+  return image;
+}
+
+void BlockBuilder::Reset() {
+  used_bytes_ = 0;
+  records_.clear();
+}
+
+BlockImage EncodeBlock(uint32_t generation, uint64_t write_seq,
+                       const std::vector<LogRecord>& records) {
+  uint32_t payload_bytes = 0;
+  for (const LogRecord& r : records) payload_bytes += r.logged_size;
+  ELOG_CHECK_LE(payload_bytes, kBlockPayloadBytes);
+
+  BlockImage image;
+  image.reserve(kBlockHeaderBytes + records.size() * 37);
+  PutU32(&image, kBlockMagic);
+  PutU32(&image, 0);  // CRC patched below
+  PutU32(&image, generation);
+  PutU64(&image, write_seq);
+  PutU32(&image, static_cast<uint32_t>(records.size()));
+  PutU32(&image, payload_bytes);
+  while (image.size() < kBlockHeaderBytes) PutU8(&image, 0);
+
+  for (const LogRecord& r : records) AppendRecord(&image, r);
+
+  uint32_t crc =
+      crc32c::Mask(crc32c::Value(image.data() + kCrcCoverageOffset,
+                                 image.size() - kCrcCoverageOffset));
+  for (int i = 0; i < 4; ++i) {
+    image[kCrcOffset + i] = static_cast<uint8_t>(crc >> (8 * i));
+  }
+  return image;
+}
+
+Result<DecodedBlock> DecodeBlock(const BlockImage& image) {
+  if (image.size() < kBlockHeaderBytes) {
+    return Status::Corruption("block image shorter than header");
+  }
+  ByteReader reader(image.data(), image.size());
+  uint32_t magic, masked_crc, generation, record_count, payload_bytes;
+  uint64_t write_seq;
+  ELOG_CHECK(reader.ReadU32(&magic));
+  ELOG_CHECK(reader.ReadU32(&masked_crc));
+  ELOG_CHECK(reader.ReadU32(&generation));
+  ELOG_CHECK(reader.ReadU64(&write_seq));
+  ELOG_CHECK(reader.ReadU32(&record_count));
+  ELOG_CHECK(reader.ReadU32(&payload_bytes));
+  if (magic != kBlockMagic) {
+    return Status::Corruption("bad block magic");
+  }
+  uint32_t actual_crc = crc32c::Value(image.data() + kCrcCoverageOffset,
+                                      image.size() - kCrcCoverageOffset);
+  if (crc32c::Unmask(masked_crc) != actual_crc) {
+    return Status::Corruption("block checksum mismatch (torn write?)");
+  }
+  if (payload_bytes > kBlockPayloadBytes) {
+    return Status::Corruption("block payload accounting exceeds capacity");
+  }
+
+  ByteReader body(image.data() + kBlockHeaderBytes,
+                  image.size() - kBlockHeaderBytes);
+  DecodedBlock decoded;
+  decoded.generation = generation;
+  decoded.write_seq = write_seq;
+  decoded.records.reserve(record_count);
+  uint32_t accounted = 0;
+  for (uint32_t i = 0; i < record_count; ++i) {
+    LogRecord r;
+    if (!ParseRecord(&body, &r)) {
+      return Status::Corruption("truncated record in block");
+    }
+    accounted += r.logged_size;
+    decoded.records.push_back(r);
+  }
+  if (accounted != payload_bytes) {
+    return Status::Corruption("record sizes disagree with block header");
+  }
+  return decoded;
+}
+
+}  // namespace wal
+}  // namespace elog

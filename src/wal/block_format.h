@@ -1,0 +1,96 @@
+// Physical log block format.
+//
+// The paper fixes a disk block at 2048 bytes, of which 48 are "reserved for
+// bookkeeping purposes and so only the remaining 2000 bytes are available
+// to hold log records" (§3, fn. 6). We implement exactly that accounting:
+// a block accepts records while the sum of their accounted (logical) sizes
+// is <= 2000 bytes, and records never span blocks — a record that does not
+// fit starts the next block (this internal fragmentation is why measured
+// log bandwidth slightly exceeds the raw byte rate, as in the paper).
+//
+// The serialized image carries a 48-byte header with a masked CRC32C over
+// the record area, a monotonically increasing write sequence number, and
+// the owning generation — enough for recovery to detect torn writes and to
+// ignore stale block contents. The in-memory record encoding is
+// full-fidelity (it is not bit-packed down to the accounted sizes); all
+// space/bandwidth accounting uses the logical sizes, as the paper's
+// simulator does.
+
+#ifndef ELOG_WAL_BLOCK_FORMAT_H_
+#define ELOG_WAL_BLOCK_FORMAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+#include "wal/record.h"
+
+namespace elog {
+namespace wal {
+
+/// Accounted bytes available for records in one block (paper §3).
+constexpr uint32_t kBlockPayloadBytes = 2000;
+/// Accounted header bytes.
+constexpr uint32_t kBlockHeaderBytes = 48;
+/// Full accounted block size.
+constexpr uint32_t kBlockPhysicalBytes = 2048;
+
+constexpr uint32_t kBlockMagic = 0x454c4f47;  // "ELOG"
+
+/// Serialized block bytes as stored on the simulated disk.
+using BlockImage = std::vector<uint8_t>;
+
+/// Decoded view of a block.
+struct DecodedBlock {
+  uint32_t generation = 0;
+  uint64_t write_seq = 0;
+  std::vector<LogRecord> records;
+};
+
+/// Accumulates records into a block under the paper's space accounting.
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(uint32_t generation) : generation_(generation) {}
+
+  /// True if a record of accounted size `logged_size` still fits.
+  bool Fits(uint32_t logged_size) const {
+    return used_bytes_ + logged_size <= kBlockPayloadBytes;
+  }
+
+  /// Adds `record`; returns false (and leaves the block unchanged) if the
+  /// record does not fit.
+  bool Add(const LogRecord& record);
+
+  bool empty() const { return records_.empty(); }
+  size_t record_count() const { return records_.size(); }
+  uint32_t used_bytes() const { return used_bytes_; }
+  uint32_t free_bytes() const { return kBlockPayloadBytes - used_bytes_; }
+  const std::vector<LogRecord>& records() const { return records_; }
+  uint32_t generation() const { return generation_; }
+
+  /// Serializes the block with write sequence number `write_seq` and
+  /// resets the builder for reuse.
+  BlockImage Finish(uint64_t write_seq);
+
+  /// Discards accumulated records.
+  void Reset();
+
+ private:
+  uint32_t generation_;
+  uint32_t used_bytes_ = 0;
+  std::vector<LogRecord> records_;
+};
+
+/// Serializes `records` into a block image (standalone form of
+/// BlockBuilder for tests and tools).
+BlockImage EncodeBlock(uint32_t generation, uint64_t write_seq,
+                       const std::vector<LogRecord>& records);
+
+/// Parses and validates a block image. Returns Corruption on a bad magic,
+/// bad CRC (torn write), or truncated image.
+Result<DecodedBlock> DecodeBlock(const BlockImage& image);
+
+}  // namespace wal
+}  // namespace elog
+
+#endif  // ELOG_WAL_BLOCK_FORMAT_H_

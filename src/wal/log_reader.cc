@@ -1,0 +1,38 @@
+#include "wal/log_reader.h"
+
+#include <algorithm>
+
+namespace elog {
+namespace wal {
+
+void LogScanner::AddGeneration(const std::vector<const BlockImage*>& blocks) {
+  for (const BlockImage* image : blocks) {
+    ++stats_.blocks_scanned;
+    if (image == nullptr || image->empty()) {
+      ++stats_.blocks_empty;
+      continue;
+    }
+    Result<DecodedBlock> decoded = DecodeBlock(*image);
+    if (!decoded.ok()) {
+      ++stats_.blocks_corrupt;
+      continue;
+    }
+    for (const LogRecord& record : decoded->records) {
+      records_.push_back(
+          ScannedRecord{record, decoded->generation, decoded->write_seq});
+      ++stats_.records;
+    }
+  }
+}
+
+std::vector<ScannedRecord> LogScanner::SortedByLsn() const {
+  std::vector<ScannedRecord> sorted = records_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ScannedRecord& a, const ScannedRecord& b) {
+              return a.record.lsn < b.record.lsn;
+            });
+  return sorted;
+}
+
+}  // namespace wal
+}  // namespace elog

@@ -1,0 +1,58 @@
+// Whole-log scanner used by recovery.
+//
+// Recovery in EL is a single pass (§4 of the paper: the log is small enough
+// to "read the entire log into memory and perform recovery with a single
+// pass"): every block of every generation is read, validated, and its
+// records collected. Physical order carries no meaning after recirculation;
+// callers order records by LSN.
+
+#ifndef ELOG_WAL_LOG_READER_H_
+#define ELOG_WAL_LOG_READER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "wal/block_format.h"
+
+namespace elog {
+namespace wal {
+
+/// One record plus its provenance within the scanned log.
+struct ScannedRecord {
+  LogRecord record;
+  uint32_t generation = 0;
+  uint64_t write_seq = 0;
+};
+
+struct ScanStats {
+  size_t blocks_scanned = 0;
+  size_t blocks_empty = 0;    // never written
+  size_t blocks_corrupt = 0;  // bad magic / CRC (e.g. torn final write)
+  size_t records = 0;
+};
+
+class LogScanner {
+ public:
+  /// Adds the blocks of one generation; null entries are never-written
+  /// slots. Corrupt blocks are counted and skipped (a torn tail write must
+  /// not abort recovery).
+  void AddGeneration(const std::vector<const BlockImage*>& blocks);
+
+  const std::vector<ScannedRecord>& records() const { return records_; }
+  const ScanStats& stats() const { return stats_; }
+
+  /// Records sorted by LSN (ascending). Duplicates are possible — a
+  /// record forwarded to the next generation also survives, stale, in its
+  /// old block until that block is overwritten — and are retained;
+  /// consumers deduplicate by LSN.
+  std::vector<ScannedRecord> SortedByLsn() const;
+
+ private:
+  std::vector<ScannedRecord> records_;
+  ScanStats stats_;
+};
+
+}  // namespace wal
+}  // namespace elog
+
+#endif  // ELOG_WAL_LOG_READER_H_

@@ -1,0 +1,166 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/check.h"
+
+namespace elog {
+namespace workload {
+
+WorkloadGenerator::WorkloadGenerator(sim::Simulator* simulator,
+                                     const WorkloadSpec& spec,
+                                     TransactionSink* sink,
+                                     sim::MetricsRegistry* metrics)
+    : simulator_(simulator),
+      spec_(spec),
+      sink_(sink),
+      metrics_(metrics),
+      rng_(spec.seed),
+      arrival_rng_(spec.seed ^ 0x9e3779b97f4a7c15ULL),
+      picker_(spec.num_objects, &rng_) {
+  ELOG_CHECK_OK(spec.Validate());
+  double cumulative = 0.0;
+  for (const TransactionType& type : spec_.types) {
+    cumulative += type.probability;
+    cumulative_probability_.push_back(cumulative);
+  }
+  cumulative_probability_.back() = 1.0;  // guard against rounding
+}
+
+void WorkloadGenerator::Start() { ScheduleArrival(0); }
+
+void WorkloadGenerator::ScheduleArrival(int64_t index) {
+  SimTime when;
+  if (spec_.arrival_process == ArrivalProcess::kPoisson) {
+    // Exponential interarrival from the previous arrival (or t=0).
+    double mean_gap_us = 1e6 / spec_.arrival_rate_tps;
+    double u = arrival_rng_.NextDouble();
+    // Guard against log(0); u in [0,1).
+    SimTime gap = static_cast<SimTime>(-mean_gap_us * std::log(1.0 - u));
+    when = last_arrival_ + std::max<SimTime>(gap, 0) + (index == 0 ? 0 : 1);
+  } else {
+    // Deterministic arrivals: the i-th transaction starts at i / rate.
+    when = static_cast<SimTime>(static_cast<double>(index) * 1e6 /
+                                spec_.arrival_rate_tps);
+  }
+  if (when >= spec_.runtime) return;
+  last_arrival_ = when;
+  simulator_->ScheduleAt(when, [this, index] {
+    Initiate();
+    ScheduleArrival(index + 1);
+  });
+}
+
+void WorkloadGenerator::Initiate() {
+  // Select the type from the pdf.
+  double draw = rng_.NextDouble();
+  size_t type_index = 0;
+  while (draw >= cumulative_probability_[type_index]) ++type_index;
+  const TransactionType& type = spec_.types[type_index];
+
+  TxId tid = sink_->BeginTransaction(type);
+  ++started_;
+  if (metrics_ != nullptr) {
+    metrics_->Incr("workload.started");
+    metrics_->Incr("workload.started." + type.name);
+  }
+
+  ActiveTx tx;
+  tx.type_index = type_index;
+  tx.begin_time = simulator_->Now();
+  auto [it, inserted] = active_.emplace(tid, std::move(tx));
+  ELOG_CHECK(inserted) << "sink reused live tid " << tid;
+  ActiveTx& entry = it->second;
+
+  // Schedule the N data record writes: j-th at t0 + j·(T−ε)/N.
+  const SimTime t0 = simulator_->Now();
+  const SimTime span = type.lifetime - spec_.epsilon;
+  for (uint32_t j = 1; j <= type.num_data_records; ++j) {
+    SimTime when =
+        t0 + span * static_cast<SimTime>(j) /
+                 static_cast<SimTime>(type.num_data_records);
+    entry.pending_events.push_back(
+        simulator_->ScheduleAt(when, [this, tid] { WriteDataRecord(tid); }));
+  }
+  // Termination (COMMIT or, with abort_probability, ABORT) at t3 = t0 + T.
+  entry.pending_events.push_back(simulator_->ScheduleAt(
+      t0 + type.lifetime, [this, tid] { Terminate(tid); }));
+}
+
+void WorkloadGenerator::PopFiredEvent(ActiveTx& tx) {
+  ELOG_CHECK(!tx.pending_events.empty());
+  tx.pending_events.pop_front();
+}
+
+void WorkloadGenerator::WriteDataRecord(TxId tid) {
+  auto it = active_.find(tid);
+  ELOG_CHECK(it != active_.end()) << "data write for unknown tid " << tid;
+  ActiveTx& tx = it->second;
+  PopFiredEvent(tx);
+  const TransactionType& type = spec_.types[tx.type_index];
+  Oid oid = picker_.Acquire();
+  tx.oids.push_back(oid);
+  ++updates_written_;
+  if (metrics_ != nullptr) metrics_->Incr("workload.updates");
+  sink_->WriteUpdate(tid, oid, type.data_record_bytes);
+}
+
+void WorkloadGenerator::Terminate(TxId tid) {
+  auto it = active_.find(tid);
+  ELOG_CHECK(it != active_.end()) << "termination for unknown tid " << tid;
+  ActiveTx& tx = it->second;
+  PopFiredEvent(tx);
+  ELOG_CHECK(tx.pending_events.empty());
+  const TransactionType& type = spec_.types[tx.type_index];
+
+  if (type.abort_probability > 0.0 && rng_.NextBool(type.abort_probability)) {
+    sink_->Abort(tid);
+    ++aborted_;
+    if (metrics_ != nullptr) metrics_->Incr("workload.aborted");
+    ReleaseTx(tx);
+    active_.erase(it);
+    return;
+  }
+
+  tx.commit_requested = true;
+  tx.commit_request_time = simulator_->Now();
+  sink_->Commit(tid, [this](TxId committed_tid) {
+    OnCommitDurable(committed_tid);
+  });
+}
+
+void WorkloadGenerator::OnCommitDurable(TxId tid) {
+  auto it = active_.find(tid);
+  ELOG_CHECK(it != active_.end())
+      << "commit acknowledgement for unknown tid " << tid;
+  ActiveTx& tx = it->second;
+  ELOG_CHECK(tx.commit_requested);
+  ++committed_;
+  commit_latency_.Add(
+      static_cast<double>(simulator_->Now() - tx.commit_request_time));
+  if (metrics_ != nullptr) metrics_->Incr("workload.committed");
+  ReleaseTx(tx);
+  active_.erase(it);
+}
+
+void WorkloadGenerator::NotifyKilled(TxId tid) {
+  auto it = active_.find(tid);
+  ELOG_CHECK(it != active_.end()) << "kill for unknown tid " << tid;
+  ActiveTx& tx = it->second;
+  for (sim::EventId id : tx.pending_events) simulator_->Cancel(id);
+  ++killed_;
+  if (metrics_ != nullptr) metrics_->Incr("workload.killed");
+  ReleaseTx(tx);
+  active_.erase(it);
+}
+
+void WorkloadGenerator::ReleaseTx(ActiveTx& tx) {
+  // The transaction is no longer active: its oids may be chosen again.
+  for (Oid oid : tx.oids) picker_.Release(oid);
+  tx.oids.clear();
+}
+
+}  // namespace workload
+}  // namespace elog

@@ -1,0 +1,125 @@
+// Transaction workload generator (paper §3, Figure 3).
+//
+// Transactions are initiated at regular intervals. Each transaction writes
+// BEGIN at initiation (t0), its N data records at equally spaced intervals
+// — the j-th at t0 + j·(T−ε)/N, so the last lands ε before completion (t2)
+// — and COMMIT at t3 = t0 + T. It then waits for the log manager's group
+// commit acknowledgement (t4) before it actually commits.
+//
+// No feedback is modeled: database performance does not alter arrivals
+// (§3). The log manager may kill a transaction (out of log space); the
+// generator then cancels its remaining record writes.
+
+#ifndef ELOG_WORKLOAD_GENERATOR_H_
+#define ELOG_WORKLOAD_GENERATOR_H_
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "workload/oid_picker.h"
+#include "workload/spec.h"
+
+namespace elog {
+namespace workload {
+
+/// The consumer of the workload's log traffic — implemented by the log
+/// managers (EL, FW, hybrid).
+class TransactionSink {
+ public:
+  virtual ~TransactionSink() = default;
+
+  /// A new transaction begins; returns its tid. The sink writes the BEGIN
+  /// tx log record.
+  virtual TxId BeginTransaction(const TransactionType& type) = 0;
+
+  /// The transaction updates `oid`, producing a data log record of
+  /// accounted size `logged_size`.
+  virtual void WriteUpdate(TxId tid, Oid oid, uint32_t logged_size) = 0;
+
+  /// The transaction writes its COMMIT record (t3) and waits; the sink
+  /// must invoke `on_durable` at the instant the record is durable (t4),
+  /// unless the transaction is killed first.
+  virtual void Commit(TxId tid, std::function<void(TxId)> on_durable) = 0;
+
+  /// The transaction aborts; all its records become garbage immediately.
+  virtual void Abort(TxId tid) = 0;
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(sim::Simulator* simulator, const WorkloadSpec& spec,
+                    TransactionSink* sink, sim::MetricsRegistry* metrics);
+
+  /// Schedules the arrival process. Call once before Simulator::Run.
+  void Start();
+
+  /// Informs the generator that the log manager killed `tid`: remaining
+  /// record writes are cancelled and the transaction's oids released.
+  void NotifyKilled(TxId tid);
+
+  // Counters.
+  int64_t started() const { return started_; }
+  int64_t committed() const { return committed_; }
+  int64_t aborted() const { return aborted_; }
+  int64_t killed() const { return killed_; }
+  int64_t updates_written() const { return updates_written_; }
+  size_t active() const { return active_.size(); }
+
+  /// Distribution of t4 − t3 (group-commit acknowledgement delay), in
+  /// microseconds.
+  const Histogram& commit_latency() const { return commit_latency_; }
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  struct ActiveTx {
+    size_t type_index = 0;
+    SimTime begin_time = 0;
+    SimTime commit_request_time = 0;
+    bool commit_requested = false;
+    std::vector<Oid> oids;
+    /// Events not yet fired (data writes + termination), front first.
+    std::deque<sim::EventId> pending_events;
+  };
+
+  void ScheduleArrival(int64_t index);
+  void Initiate();
+  void WriteDataRecord(TxId tid);
+  void Terminate(TxId tid);
+  void OnCommitDurable(TxId tid);
+  void ReleaseTx(ActiveTx& tx);
+  /// Drops the front pending-event id (the one that just fired).
+  static void PopFiredEvent(ActiveTx& tx);
+
+  sim::Simulator* simulator_;
+  WorkloadSpec spec_;
+  TransactionSink* sink_;
+  sim::MetricsRegistry* metrics_;
+
+  Rng rng_;
+  /// Separate stream for Poisson interarrival draws, so switching the
+  /// arrival process does not perturb type/oid selection.
+  Rng arrival_rng_;
+  SimTime last_arrival_ = 0;
+  OidPicker picker_;
+  std::vector<double> cumulative_probability_;
+
+  std::unordered_map<TxId, ActiveTx> active_;
+  int64_t started_ = 0;
+  int64_t committed_ = 0;
+  int64_t aborted_ = 0;
+  int64_t killed_ = 0;
+  int64_t updates_written_ = 0;
+  Histogram commit_latency_;
+};
+
+}  // namespace workload
+}  // namespace elog
+
+#endif  // ELOG_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,23 @@
+#include "workload/oid_picker.h"
+
+#include "util/check.h"
+
+namespace elog {
+namespace workload {
+
+Oid OidPicker::Acquire() {
+  ELOG_CHECK_LT(held_.size(), num_objects_)
+      << "all objects are held by active transactions";
+  while (true) {
+    Oid oid = rng_->NextBounded(num_objects_);
+    if (held_.insert(oid).second) return oid;
+  }
+}
+
+void OidPicker::Release(Oid oid) {
+  size_t erased = held_.erase(oid);
+  ELOG_CHECK_EQ(erased, 1u) << "releasing an oid that was not held: " << oid;
+}
+
+}  // namespace workload
+}  // namespace elog

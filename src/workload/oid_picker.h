@@ -1,0 +1,45 @@
+// Random object selection for updates.
+//
+// §3: "we randomly pick some integer for the oid, subject to the
+// constraint that the number has not already been chosen for an update by
+// a transaction which is still active."
+
+#ifndef ELOG_WORKLOAD_OID_PICKER_H_
+#define ELOG_WORKLOAD_OID_PICKER_H_
+
+#include <unordered_set>
+
+#include "util/random.h"
+#include "util/types.h"
+
+namespace elog {
+namespace workload {
+
+class OidPicker {
+ public:
+  OidPicker(Oid num_objects, Rng* rng)
+      : num_objects_(num_objects), rng_(rng) {}
+
+  /// Picks a uniformly random oid not currently held by any active
+  /// transaction, and marks it held. With NUM_OBJECTS = 10^7 and a few
+  /// hundred active holders, rejection sampling terminates almost
+  /// immediately.
+  Oid Acquire();
+
+  /// Releases an oid when its holder stops being active (commit durable,
+  /// abort, or kill).
+  void Release(Oid oid);
+
+  bool IsHeld(Oid oid) const { return held_.count(oid) > 0; }
+  size_t held_count() const { return held_.size(); }
+
+ private:
+  Oid num_objects_;
+  Rng* rng_;
+  std::unordered_set<Oid> held_;
+};
+
+}  // namespace workload
+}  // namespace elog
+
+#endif  // ELOG_WORKLOAD_OID_PICKER_H_

@@ -1,0 +1,109 @@
+#include "workload/spec.h"
+
+#include <cmath>
+
+#include "wal/block_format.h"
+#include "wal/record.h"
+
+namespace elog {
+namespace workload {
+
+Status WorkloadSpec::Validate() const {
+  if (types.empty()) {
+    return Status::InvalidArgument("workload has no transaction types");
+  }
+  double total_probability = 0.0;
+  for (const TransactionType& type : types) {
+    if (type.probability < 0.0) {
+      return Status::InvalidArgument("negative probability for type " +
+                                     type.name);
+    }
+    total_probability += type.probability;
+    if (type.lifetime <= 0) {
+      return Status::InvalidArgument("non-positive lifetime for type " +
+                                     type.name);
+    }
+    if (type.num_data_records > 0 && type.lifetime <= epsilon) {
+      return Status::InvalidArgument(
+          "lifetime must exceed epsilon for type " + type.name);
+    }
+    if (type.data_record_bytes == 0 ||
+        type.data_record_bytes > wal::kBlockPayloadBytes) {
+      return Status::InvalidArgument(
+          "data record size must be in (0, block payload] for type " +
+          type.name);
+    }
+    if (type.abort_probability < 0.0 || type.abort_probability > 1.0) {
+      return Status::InvalidArgument("abort probability out of range for " +
+                                     type.name);
+    }
+  }
+  if (std::abs(total_probability - 1.0) > 1e-9) {
+    return Status::InvalidArgument("type probabilities must sum to 1");
+  }
+  if (arrival_rate_tps <= 0.0) {
+    return Status::InvalidArgument("arrival rate must be positive");
+  }
+  if (runtime <= 0) {
+    return Status::InvalidArgument("runtime must be positive");
+  }
+  if (num_objects == 0) {
+    return Status::InvalidArgument("num_objects must be positive");
+  }
+  return Status::OK();
+}
+
+double WorkloadSpec::ExpectedUpdateRate() const {
+  double updates_per_tx = 0.0;
+  for (const TransactionType& type : types) {
+    updates_per_tx += type.probability * type.num_data_records;
+  }
+  return arrival_rate_tps * updates_per_tx;
+}
+
+double WorkloadSpec::ExpectedLogBytesPerSecond() const {
+  double bytes_per_tx = 0.0;
+  for (const TransactionType& type : types) {
+    bytes_per_tx +=
+        type.probability *
+        (2.0 * wal::kTxRecordBytes +
+         static_cast<double>(type.num_data_records) * type.data_record_bytes);
+  }
+  return arrival_rate_tps * bytes_per_tx;
+}
+
+double WorkloadSpec::ExpectedActiveTransactions() const {
+  double expected = 0.0;
+  for (const TransactionType& type : types) {
+    expected +=
+        type.probability * arrival_rate_tps * SimTimeToSeconds(type.lifetime);
+  }
+  return expected;
+}
+
+WorkloadSpec PaperMix(double long_fraction) {
+  ELOG_CHECK_GE(long_fraction, 0.0);
+  ELOG_CHECK_LE(long_fraction, 1.0);
+  WorkloadSpec spec;
+  TransactionType short_tx;
+  short_tx.name = "short-1s";
+  short_tx.probability = 1.0 - long_fraction;
+  short_tx.lifetime = SecondsToSimTime(1);
+  short_tx.num_data_records = 2;
+  short_tx.data_record_bytes = 100;
+  TransactionType long_tx;
+  long_tx.name = "long-10s";
+  long_tx.probability = long_fraction;
+  long_tx.lifetime = SecondsToSimTime(10);
+  long_tx.num_data_records = 4;
+  long_tx.data_record_bytes = 100;
+  spec.types = {short_tx, long_tx};
+  spec.arrival_rate_tps = 100.0;
+  spec.runtime = SecondsToSimTime(500);
+  spec.num_objects = 10'000'000;
+  spec.epsilon = kMillisecond;
+  return spec;
+}
+
+}  // namespace workload
+}  // namespace elog

@@ -1,0 +1,85 @@
+// Workload specification: the paper's §3 transaction model.
+//
+// "The user specifies an arbitrary number of different transaction types
+// and their probability distribution function. For each type of
+// transaction, the user states the probability of occurrence, the duration
+// of execution, the number of data log records written and the size of
+// each data log record."
+
+#ifndef ELOG_WORKLOAD_SPEC_H_
+#define ELOG_WORKLOAD_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace elog {
+namespace workload {
+
+struct TransactionType {
+  std::string name;
+  /// Probability of occurrence (the pdf entry); all types must sum to 1.
+  double probability = 1.0;
+  /// Duration of execution T: the COMMIT record is written T after BEGIN.
+  SimTime lifetime = SecondsToSimTime(1);
+  /// Number of data log records written over the transaction's life.
+  uint32_t num_data_records = 2;
+  /// Accounted size of each data log record, in bytes.
+  uint32_t data_record_bytes = 100;
+  /// Probability the transaction aborts (writes ABORT at t0+T instead of
+  /// COMMIT). Zero in all paper experiments; an extension hook.
+  double abort_probability = 0.0;
+};
+
+/// Arrival process for transaction initiation.
+enum class ArrivalProcess {
+  /// Regular intervals — the paper's §3 model ("we believe that this
+  /// simple, deterministic arrival pattern is sufficient for a first
+  /// order evaluation").
+  kDeterministic,
+  /// Poisson arrivals (exponential interarrival times) — the §3
+  /// future-work extension; burstier, stressing the k-block gap and the
+  /// flush pool.
+  kPoisson,
+};
+
+struct WorkloadSpec {
+  std::vector<TransactionType> types;
+  /// Transactions initiated per second.
+  double arrival_rate_tps = 100.0;
+  ArrivalProcess arrival_process = ArrivalProcess::kDeterministic;
+  /// Simulated time span during which transactions are initiated.
+  SimTime runtime = SecondsToSimTime(500);
+  /// Total objects in the database (NUM_OBJECTS, fixed at 10^7 in §3).
+  Oid num_objects = 10'000'000;
+  /// Delay ε between the last data record and the COMMIT record (1 ms).
+  SimTime epsilon = kMillisecond;
+  /// RNG seed (type selection and oid choice).
+  uint64_t seed = 42;
+
+  /// Checks probabilities sum to 1, rates are positive, record sizes fit
+  /// in a block, etc.
+  Status Validate() const;
+
+  /// Expected data-record writes per second — the paper's "average number
+  /// of updates per second" (210 at the 5% mix, 280 at 40%).
+  double ExpectedUpdateRate() const;
+
+  /// Expected log payload bytes per second, counting each transaction's
+  /// BEGIN + COMMIT (8 B each) and its data records.
+  double ExpectedLogBytesPerSecond() const;
+
+  /// Mean number of concurrently active transactions (Little's law).
+  double ExpectedActiveTransactions() const;
+};
+
+/// The paper's standard two-type mix (§4): type A = 1 s, 2 × 100 B;
+/// type B = 10 s, 4 × 100 B; `long_fraction` of transactions are type B.
+WorkloadSpec PaperMix(double long_fraction);
+
+}  // namespace workload
+}  // namespace elog
+
+#endif  // ELOG_WORKLOAD_SPEC_H_

@@ -1,0 +1,184 @@
+#include "workload/trace.h"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+#include "util/string_util.h"
+
+namespace elog {
+namespace workload {
+namespace {
+
+const char* KindName(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kBegin:
+      return "begin";
+    case TraceEvent::Kind::kUpdate:
+      return "update";
+    case TraceEvent::Kind::kCommit:
+      return "commit";
+    case TraceEvent::Kind::kAbort:
+      return "abort";
+  }
+  return "?";
+}
+
+Result<TraceEvent::Kind> ParseKind(const std::string& name) {
+  if (name == "begin") return TraceEvent::Kind::kBegin;
+  if (name == "update") return TraceEvent::Kind::kUpdate;
+  if (name == "commit") return TraceEvent::Kind::kCommit;
+  if (name == "abort") return TraceEvent::Kind::kAbort;
+  return Status::InvalidArgument("unknown trace event kind: " + name);
+}
+
+}  // namespace
+
+void Trace::Write(std::ostream& out) const {
+  out << "kind,when_us,tid,lifetime_us,oid,size\n";
+  for (const TraceEvent& event : events_) {
+    out << KindName(event.kind) << ',' << event.when << ',' << event.tid
+        << ',' << event.lifetime << ',' << event.oid << ','
+        << event.logged_size << '\n';
+  }
+}
+
+Result<Trace> Trace::Read(std::istream& in) {
+  Trace trace;
+  std::string line;
+  bool first = true;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      if (StartsWith(line, "kind,")) continue;  // header
+    }
+    std::vector<std::string> fields = StrSplit(line, ',');
+    if (fields.size() != 6) {
+      return Status::Corruption(
+          StrFormat("trace line %zu: expected 6 fields, got %zu",
+                    line_number, fields.size()));
+    }
+    Result<TraceEvent::Kind> kind = ParseKind(fields[0]);
+    if (!kind.ok()) return kind.status();
+    TraceEvent event;
+    event.kind = *kind;
+    char* end = nullptr;
+    event.when = std::strtoll(fields[1].c_str(), &end, 10);
+    event.tid = std::strtoull(fields[2].c_str(), &end, 10);
+    event.lifetime = std::strtoll(fields[3].c_str(), &end, 10);
+    event.oid = std::strtoull(fields[4].c_str(), &end, 10);
+    event.logged_size =
+        static_cast<uint32_t>(std::strtoul(fields[5].c_str(), &end, 10));
+    trace.Add(event);
+  }
+  return trace;
+}
+
+TxId RecordingSink::BeginTransaction(const TransactionType& type) {
+  TxId tid = inner_->BeginTransaction(type);
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kBegin;
+  event.when = simulator_->Now();
+  event.tid = tid;
+  event.lifetime = type.lifetime;
+  trace_->Add(event);
+  return tid;
+}
+
+void RecordingSink::WriteUpdate(TxId tid, Oid oid, uint32_t logged_size) {
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kUpdate;
+  event.when = simulator_->Now();
+  event.tid = tid;
+  event.oid = oid;
+  event.logged_size = logged_size;
+  trace_->Add(event);
+  inner_->WriteUpdate(tid, oid, logged_size);
+}
+
+void RecordingSink::Commit(TxId tid, std::function<void(TxId)> on_durable) {
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kCommit;
+  event.when = simulator_->Now();
+  event.tid = tid;
+  trace_->Add(event);
+  inner_->Commit(tid, std::move(on_durable));
+}
+
+void RecordingSink::Abort(TxId tid) {
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kAbort;
+  event.when = simulator_->Now();
+  event.tid = tid;
+  trace_->Add(event);
+  inner_->Abort(tid);
+}
+
+TraceReplayer::TraceReplayer(sim::Simulator* simulator, const Trace& trace,
+                             TransactionSink* sink)
+    : simulator_(simulator), trace_(trace), sink_(sink) {}
+
+void TraceReplayer::Start() {
+  for (const TraceEvent& event : trace_.events()) {
+    simulator_->ScheduleAt(event.when,
+                           [this, event] { Dispatch(event); });
+  }
+}
+
+void TraceReplayer::Dispatch(const TraceEvent& event) {
+  if (event.kind == TraceEvent::Kind::kBegin) {
+    TransactionType type;
+    type.name = "replayed";
+    type.lifetime = event.lifetime;
+    TxId sink_tid = sink_->BeginTransaction(type);
+    ++begins_;
+    // The sink may have killed the newborn's predecessors; the newborn
+    // itself is alive at this instant.
+    tid_map_[event.tid] = sink_tid;
+    reverse_map_[sink_tid] = event.tid;
+    return;
+  }
+  auto it = tid_map_.find(event.tid);
+  if (it == tid_map_.end()) {
+    ++skipped_;  // transaction was killed earlier in the replay
+    return;
+  }
+  TxId sink_tid = it->second;
+  switch (event.kind) {
+    case TraceEvent::Kind::kUpdate:
+      sink_->WriteUpdate(sink_tid, event.oid, event.logged_size);
+      ++updates_;
+      break;
+    case TraceEvent::Kind::kCommit:
+      sink_->Commit(sink_tid, [this](TxId done) {
+        ++commits_durable_;
+        auto rit = reverse_map_.find(done);
+        if (rit != reverse_map_.end()) {
+          tid_map_.erase(rit->second);
+          reverse_map_.erase(rit);
+        }
+      });
+      break;
+    case TraceEvent::Kind::kAbort: {
+      sink_->Abort(sink_tid);
+      reverse_map_.erase(sink_tid);
+      tid_map_.erase(event.tid);
+      break;
+    }
+    case TraceEvent::Kind::kBegin:
+      break;  // handled above
+  }
+}
+
+void TraceReplayer::NotifyKilled(TxId sink_tid) {
+  auto rit = reverse_map_.find(sink_tid);
+  if (rit == reverse_map_.end()) return;
+  tid_map_.erase(rit->second);
+  reverse_map_.erase(rit);
+}
+
+}  // namespace workload
+}  // namespace elog

@@ -1,0 +1,113 @@
+// Workload traces: record the transaction event stream of a run and
+// replay it later against any TransactionSink.
+//
+// Traces make log-manager comparisons exact (identical request streams
+// rather than merely identically-seeded generators) and turn interesting
+// generator schedules into reproducible regression inputs.
+
+#ifndef ELOG_WORKLOAD_TRACE_H_
+#define ELOG_WORKLOAD_TRACE_H_
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/status.h"
+#include "workload/generator.h"
+
+namespace elog {
+namespace workload {
+
+struct TraceEvent {
+  enum class Kind { kBegin, kUpdate, kCommit, kAbort };
+  Kind kind = Kind::kBegin;
+  SimTime when = 0;
+  /// Transaction id as assigned in the recorded run (replay maps it to
+  /// whatever the target sink assigns).
+  TxId tid = kInvalidTxId;
+  // kBegin only: the transaction's declared shape.
+  SimTime lifetime = 0;
+  // kUpdate only.
+  Oid oid = kInvalidOid;
+  uint32_t logged_size = 0;
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+/// A recorded event stream, ordered by time.
+class Trace {
+ public:
+  void Add(TraceEvent event) { events_.push_back(event); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// Serializes as CSV: kind,when,tid,lifetime,oid,size.
+  void Write(std::ostream& out) const;
+  /// Parses the CSV form; rejects malformed lines.
+  static Result<Trace> Read(std::istream& in);
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// A sink decorator that forwards every call to `inner` while recording
+/// it into a Trace.
+class RecordingSink : public TransactionSink {
+ public:
+  RecordingSink(sim::Simulator* simulator, TransactionSink* inner,
+                Trace* trace)
+      : simulator_(simulator), inner_(inner), trace_(trace) {}
+
+  TxId BeginTransaction(const TransactionType& type) override;
+  void WriteUpdate(TxId tid, Oid oid, uint32_t logged_size) override;
+  void Commit(TxId tid, std::function<void(TxId)> on_durable) override;
+  void Abort(TxId tid) override;
+
+ private:
+  sim::Simulator* simulator_;
+  TransactionSink* inner_;
+  Trace* trace_;
+};
+
+/// Replays a trace against a sink: every recorded event is scheduled at
+/// its recorded time; recorded tids are mapped to the tids the sink
+/// assigns. Kills are honored (remaining events of a killed transaction
+/// are skipped). Commit acknowledgements are consumed internally.
+class TraceReplayer {
+ public:
+  TraceReplayer(sim::Simulator* simulator, const Trace& trace,
+                TransactionSink* sink);
+
+  /// Schedules all events. Call once before Simulator::Run.
+  void Start();
+
+  /// Call when the sink kills a (sink-side) tid.
+  void NotifyKilled(TxId sink_tid);
+
+  int64_t begins() const { return begins_; }
+  int64_t updates() const { return updates_; }
+  int64_t commits_durable() const { return commits_durable_; }
+  int64_t skipped_after_kill() const { return skipped_; }
+
+ private:
+  void Dispatch(const TraceEvent& event);
+
+  sim::Simulator* simulator_;
+  const Trace& trace_;
+  TransactionSink* sink_;
+  /// recorded tid -> sink tid, for live transactions.
+  std::unordered_map<TxId, TxId> tid_map_;
+  std::unordered_map<TxId, TxId> reverse_map_;
+  int64_t begins_ = 0;
+  int64_t updates_ = 0;
+  int64_t commits_durable_ = 0;
+  int64_t skipped_ = 0;
+};
+
+}  // namespace workload
+}  // namespace elog
+
+#endif  // ELOG_WORKLOAD_TRACE_H_

@@ -1,0 +1,140 @@
+#include "wal/block_format.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace elog {
+namespace wal {
+namespace {
+
+std::vector<LogRecord> SampleRecords() {
+  return {
+      LogRecord::MakeBegin(1, 10),
+      LogRecord::MakeData(1, 11, 777, 100, ComputeValueDigest(1, 777, 11)),
+      LogRecord::MakeData(1, 12, 778, 100, ComputeValueDigest(1, 778, 12)),
+      LogRecord::MakeCommit(1, 13),
+  };
+}
+
+TEST(BlockFormatTest, EncodeDecodeRoundTrip) {
+  std::vector<LogRecord> records = SampleRecords();
+  BlockImage image = EncodeBlock(2, 99, records);
+  Result<DecodedBlock> decoded = DecodeBlock(image);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->generation, 2u);
+  EXPECT_EQ(decoded->write_seq, 99u);
+  ASSERT_EQ(decoded->records.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(decoded->records[i].type, records[i].type);
+    EXPECT_EQ(decoded->records[i].tid, records[i].tid);
+    EXPECT_EQ(decoded->records[i].lsn, records[i].lsn);
+    EXPECT_EQ(decoded->records[i].oid, records[i].oid);
+    EXPECT_EQ(decoded->records[i].logged_size, records[i].logged_size);
+    EXPECT_EQ(decoded->records[i].value_digest, records[i].value_digest);
+  }
+}
+
+TEST(BlockFormatTest, EmptyBlockRoundTrips) {
+  BlockImage image = EncodeBlock(0, 1, {});
+  Result<DecodedBlock> decoded = DecodeBlock(image);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->records.empty());
+}
+
+TEST(BlockFormatTest, CorruptionDetectedAnywhere) {
+  BlockImage image = EncodeBlock(0, 7, SampleRecords());
+  for (size_t pos = 0; pos < image.size(); pos += 13) {
+    BlockImage corrupt = image;
+    corrupt[pos] ^= 0x40;
+    Result<DecodedBlock> decoded = DecodeBlock(corrupt);
+    EXPECT_FALSE(decoded.ok()) << "corruption at byte " << pos;
+    EXPECT_TRUE(decoded.status().IsCorruption());
+  }
+}
+
+TEST(BlockFormatTest, TruncatedImageRejected) {
+  BlockImage image = EncodeBlock(0, 7, SampleRecords());
+  for (size_t keep : {0u, 10u, 47u, 60u}) {
+    BlockImage truncated(image.begin(), image.begin() + keep);
+    EXPECT_FALSE(DecodeBlock(truncated).ok()) << "kept " << keep;
+  }
+}
+
+TEST(BlockFormatTest, WrongMagicRejected) {
+  BlockImage image = EncodeBlock(0, 7, {});
+  image[0] ^= 0xff;
+  Result<DecodedBlock> decoded = DecodeBlock(image);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("magic"), std::string::npos);
+}
+
+TEST(BlockBuilderTest, TracksAccountedBytes) {
+  BlockBuilder builder(0);
+  EXPECT_TRUE(builder.empty());
+  EXPECT_EQ(builder.free_bytes(), kBlockPayloadBytes);
+  ASSERT_TRUE(builder.Add(LogRecord::MakeBegin(1, 1)));
+  EXPECT_EQ(builder.used_bytes(), kTxRecordBytes);
+  ASSERT_TRUE(builder.Add(LogRecord::MakeData(1, 2, 5, 100, 0)));
+  EXPECT_EQ(builder.used_bytes(), kTxRecordBytes + 100);
+  EXPECT_EQ(builder.record_count(), 2u);
+}
+
+TEST(BlockBuilderTest, ExactCapacityPacking) {
+  // 20 records of 100 bytes fill the 2000-byte payload exactly.
+  BlockBuilder builder(0);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(builder.Add(LogRecord::MakeData(1, i + 1, i, 100, 0)));
+  }
+  EXPECT_EQ(builder.free_bytes(), 0u);
+  EXPECT_FALSE(builder.Fits(1));
+  EXPECT_FALSE(builder.Add(LogRecord::MakeBegin(2, 99)));
+  EXPECT_EQ(builder.record_count(), 20u);  // rejected record left no trace
+}
+
+TEST(BlockBuilderTest, RecordsNeverSpanBlocks) {
+  BlockBuilder builder(0);
+  ASSERT_TRUE(builder.Add(LogRecord::MakeData(1, 1, 1, 1950, 0)));
+  // 51 bytes free: a 100-byte record must be refused, not split.
+  EXPECT_FALSE(builder.Add(LogRecord::MakeData(1, 2, 2, 100, 0)));
+  EXPECT_TRUE(builder.Add(LogRecord::MakeCommit(1, 3)));  // 8 bytes fits
+}
+
+TEST(BlockBuilderTest, FinishResetsForReuse) {
+  BlockBuilder builder(3);
+  builder.Add(LogRecord::MakeBegin(1, 1));
+  BlockImage image = builder.Finish(5);
+  EXPECT_TRUE(builder.empty());
+  EXPECT_EQ(builder.used_bytes(), 0u);
+  Result<DecodedBlock> decoded = DecodeBlock(image);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->generation, 3u);
+  EXPECT_EQ(decoded->write_seq, 5u);
+  // Builder usable again.
+  builder.Add(LogRecord::MakeBegin(2, 2));
+  EXPECT_EQ(builder.record_count(), 1u);
+}
+
+TEST(BlockBuilderTest, ResetDiscards) {
+  BlockBuilder builder(0);
+  builder.Add(LogRecord::MakeBegin(1, 1));
+  builder.Reset();
+  EXPECT_TRUE(builder.empty());
+}
+
+TEST(BlockFormatTest, MaxTxRecordsPerBlock) {
+  // 250 tx records of 8 bytes fill a block exactly and round trip.
+  BlockBuilder builder(1);
+  for (int i = 0; i < 250; ++i) {
+    ASSERT_TRUE(builder.Add(LogRecord::MakeBegin(i, i + 1)));
+  }
+  EXPECT_FALSE(builder.Fits(kTxRecordBytes));
+  BlockImage image = builder.Finish(1);
+  Result<DecodedBlock> decoded = DecodeBlock(image);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->records.size(), 250u);
+}
+
+}  // namespace
+}  // namespace wal
+}  // namespace elog

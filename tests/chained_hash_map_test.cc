@@ -1,0 +1,136 @@
+#include "util/chained_hash_map.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace elog {
+namespace {
+
+TEST(ChainedHashMapTest, EmptyMap) {
+  ChainedHashMap<uint64_t, int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.Find(1), nullptr);
+  EXPECT_FALSE(map.Contains(1));
+  EXPECT_FALSE(map.Erase(1));
+}
+
+TEST(ChainedHashMapTest, InsertAndFind) {
+  ChainedHashMap<uint64_t, std::string> map;
+  auto [value, inserted] = map.Insert(42, "answer");
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(*value, "answer");
+  ASSERT_NE(map.Find(42), nullptr);
+  EXPECT_EQ(*map.Find(42), "answer");
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(ChainedHashMapTest, DuplicateInsertReturnsExisting) {
+  ChainedHashMap<uint64_t, int> map;
+  map.Insert(5, 100);
+  auto [value, inserted] = map.Insert(5, 999);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(*value, 100);  // original survives
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(ChainedHashMapTest, ValuePointersAreStableAcrossGrowth) {
+  // Node-based chaining must not invalidate entry pointers on rehash —
+  // the log manager holds LotEntry/LttEntry pointers across inserts.
+  ChainedHashMap<uint64_t, int> map(4);
+  auto [first, inserted] = map.Insert(0, 1234);
+  ASSERT_TRUE(inserted);
+  for (uint64_t i = 1; i < 1000; ++i) map.Insert(i, static_cast<int>(i));
+  EXPECT_EQ(*first, 1234);
+  EXPECT_EQ(map.Find(0), first);
+}
+
+TEST(ChainedHashMapTest, EraseRemoves) {
+  ChainedHashMap<uint64_t, int> map;
+  map.Insert(1, 10);
+  map.Insert(2, 20);
+  EXPECT_TRUE(map.Erase(1));
+  EXPECT_EQ(map.Find(1), nullptr);
+  EXPECT_NE(map.Find(2), nullptr);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_FALSE(map.Erase(1));
+}
+
+TEST(ChainedHashMapTest, GrowsBeyondInitialBuckets) {
+  ChainedHashMap<uint64_t, uint64_t> map(4);
+  for (uint64_t i = 0; i < 10000; ++i) map.Insert(i, i * 2);
+  EXPECT_EQ(map.size(), 10000u);
+  EXPECT_GE(map.bucket_count(), 10000u);  // load factor kept <= 1
+  for (uint64_t i = 0; i < 10000; i += 97) {
+    ASSERT_NE(map.Find(i), nullptr);
+    EXPECT_EQ(*map.Find(i), i * 2);
+  }
+}
+
+TEST(ChainedHashMapTest, SequentialKeysSpreadAcrossBuckets) {
+  // Sequential tids/oids with identity std::hash must still chain
+  // shallowly thanks to the mixer.
+  ChainedHashMap<uint64_t, int> map(1024);
+  for (uint64_t i = 0; i < 512; ++i) map.Insert(i, 0);
+  // With 1024 buckets and 512 well-mixed keys, a bucket with 8+ entries
+  // would indicate broken mixing. Probe indirectly: erase+find all keys.
+  for (uint64_t i = 0; i < 512; ++i) EXPECT_TRUE(map.Contains(i));
+}
+
+TEST(ChainedHashMapTest, ForEachVisitsAllOnce) {
+  ChainedHashMap<uint64_t, int> map;
+  for (uint64_t i = 0; i < 100; ++i) map.Insert(i, 1);
+  std::set<uint64_t> seen;
+  int total = 0;
+  map.ForEach([&](uint64_t key, int& value) {
+    seen.insert(key);
+    total += value;
+  });
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(total, 100);
+}
+
+TEST(ChainedHashMapTest, ForEachCanMutateValues) {
+  ChainedHashMap<uint64_t, int> map;
+  map.Insert(1, 10);
+  map.Insert(2, 20);
+  map.ForEach([](uint64_t, int& value) { value += 1; });
+  EXPECT_EQ(*map.Find(1), 11);
+  EXPECT_EQ(*map.Find(2), 21);
+}
+
+TEST(ChainedHashMapTest, ClearEmptiesMap) {
+  ChainedHashMap<uint64_t, int> map;
+  for (uint64_t i = 0; i < 50; ++i) map.Insert(i, 0);
+  map.Clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(7), nullptr);
+  map.Insert(7, 70);  // usable after Clear
+  EXPECT_EQ(*map.Find(7), 70);
+}
+
+TEST(ChainedHashMapTest, InsertEraseChurn) {
+  // The LTT's life: constant insert/erase as transactions come and go.
+  ChainedHashMap<uint64_t, uint64_t> map;
+  for (uint64_t round = 0; round < 50; ++round) {
+    for (uint64_t i = 0; i < 200; ++i) map.Insert(round * 200 + i, i);
+    for (uint64_t i = 0; i < 200; ++i) {
+      EXPECT_TRUE(map.Erase(round * 200 + i));
+    }
+  }
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(ChainedHashMapTest, StringKeys) {
+  ChainedHashMap<std::string, int> map;
+  map.Insert("alpha", 1);
+  map.Insert("beta", 2);
+  EXPECT_EQ(*map.Find("alpha"), 1);
+  EXPECT_EQ(*map.Find("beta"), 2);
+  EXPECT_EQ(map.Find("gamma"), nullptr);
+}
+
+}  // namespace
+}  // namespace elog

@@ -1,0 +1,99 @@
+#include "util/circular_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace elog {
+namespace {
+
+TEST(CircularQueueTest, EmptyQueue) {
+  CircularQueue<int> queue(4);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(queue.full());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.capacity(), 4u);
+}
+
+TEST(CircularQueueTest, FifoOrder) {
+  CircularQueue<int> queue(4);
+  queue.PushBack(1);
+  queue.PushBack(2);
+  queue.PushBack(3);
+  EXPECT_EQ(queue.PopFront(), 1);
+  EXPECT_EQ(queue.PopFront(), 2);
+  EXPECT_EQ(queue.PopFront(), 3);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(CircularQueueTest, FrontBackIndex) {
+  CircularQueue<std::string> queue(3);
+  queue.PushBack("a");
+  queue.PushBack("b");
+  EXPECT_EQ(queue.front(), "a");
+  EXPECT_EQ(queue.back(), "b");
+  EXPECT_EQ(queue[0], "a");
+  EXPECT_EQ(queue[1], "b");
+}
+
+TEST(CircularQueueTest, WrapAround) {
+  CircularQueue<int> queue(3);
+  queue.PushBack(1);
+  queue.PushBack(2);
+  queue.PushBack(3);
+  EXPECT_TRUE(queue.full());
+  EXPECT_EQ(queue.PopFront(), 1);
+  queue.PushBack(4);  // wraps physically
+  EXPECT_EQ(queue[0], 2);
+  EXPECT_EQ(queue[1], 3);
+  EXPECT_EQ(queue[2], 4);
+  EXPECT_EQ(queue.PopFront(), 2);
+  EXPECT_EQ(queue.PopFront(), 3);
+  EXPECT_EQ(queue.PopFront(), 4);
+}
+
+TEST(CircularQueueTest, ManyWraps) {
+  CircularQueue<int> queue(5);
+  int next_in = 0;
+  int next_out = 0;
+  for (int round = 0; round < 100; ++round) {
+    while (!queue.full()) queue.PushBack(next_in++);
+    while (!queue.empty()) EXPECT_EQ(queue.PopFront(), next_out++);
+  }
+  EXPECT_EQ(next_in, next_out);
+}
+
+TEST(CircularQueueTest, ClearResets) {
+  CircularQueue<int> queue(3);
+  queue.PushBack(1);
+  queue.PushBack(2);
+  queue.Clear();
+  EXPECT_TRUE(queue.empty());
+  queue.PushBack(9);
+  EXPECT_EQ(queue.front(), 9);
+}
+
+TEST(CircularQueueDeathTest, OverflowChecks) {
+  CircularQueue<int> queue(2);
+  queue.PushBack(1);
+  queue.PushBack(2);
+  EXPECT_DEATH(queue.PushBack(3), "full");
+}
+
+TEST(CircularQueueDeathTest, UnderflowChecks) {
+  CircularQueue<int> queue(2);
+  EXPECT_DEATH((void)queue.PopFront(), "empty");
+}
+
+TEST(CircularQueueDeathTest, IndexOutOfRangeChecks) {
+  CircularQueue<int> queue(4);
+  queue.PushBack(1);
+  EXPECT_DEATH((void)queue[1], "");
+}
+
+TEST(CircularQueueDeathTest, ZeroCapacityRejected) {
+  EXPECT_DEATH(CircularQueue<int>(0), "");
+}
+
+}  // namespace
+}  // namespace elog

@@ -1,0 +1,129 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace elog {
+namespace {
+
+TEST(FlagSetTest, ParsesEqualsSyntax) {
+  int64_t count = 1;
+  double rate = 0.5;
+  std::string name = "default";
+  bool verbose = false;
+  FlagSet flags;
+  flags.AddInt64("count", &count, "");
+  flags.AddDouble("rate", &rate, "");
+  flags.AddString("name", &name, "");
+  flags.AddBool("verbose", &verbose, "");
+  const char* argv[] = {"prog", "--count=7", "--rate=2.25", "--name=el",
+                        "--verbose=true"};
+  ASSERT_TRUE(flags.Parse(5, argv).ok());
+  EXPECT_EQ(count, 7);
+  EXPECT_EQ(rate, 2.25);
+  EXPECT_EQ(name, "el");
+  EXPECT_TRUE(verbose);
+}
+
+TEST(FlagSetTest, ParsesSpaceSyntax) {
+  int64_t count = 0;
+  FlagSet flags;
+  flags.AddInt64("count", &count, "");
+  const char* argv[] = {"prog", "--count", "42"};
+  ASSERT_TRUE(flags.Parse(3, argv).ok());
+  EXPECT_EQ(count, 42);
+}
+
+TEST(FlagSetTest, BareBooleanIsTrue) {
+  bool quick = false;
+  FlagSet flags;
+  flags.AddBool("quick", &quick, "");
+  const char* argv[] = {"prog", "--quick"};
+  ASSERT_TRUE(flags.Parse(2, argv).ok());
+  EXPECT_TRUE(quick);
+}
+
+TEST(FlagSetTest, BooleanSpellings) {
+  bool flag = false;
+  FlagSet flags;
+  flags.AddBool("f", &flag, "");
+  for (const char* value : {"true", "1", "yes", "on"}) {
+    std::string arg = std::string("--f=") + value;
+    const char* argv[] = {"prog", arg.c_str()};
+    ASSERT_TRUE(flags.Parse(2, argv).ok());
+    EXPECT_TRUE(flag) << value;
+  }
+  for (const char* value : {"false", "0", "no", "off"}) {
+    std::string arg = std::string("--f=") + value;
+    const char* argv[] = {"prog", arg.c_str()};
+    ASSERT_TRUE(flags.Parse(2, argv).ok());
+    EXPECT_FALSE(flag) << value;
+  }
+}
+
+TEST(FlagSetTest, NegativeNumbers) {
+  int64_t n = 0;
+  double d = 0;
+  FlagSet flags;
+  flags.AddInt64("n", &n, "");
+  flags.AddDouble("d", &d, "");
+  const char* argv[] = {"prog", "--n=-5", "--d=-1.5"};
+  ASSERT_TRUE(flags.Parse(3, argv).ok());
+  EXPECT_EQ(n, -5);
+  EXPECT_EQ(d, -1.5);
+}
+
+TEST(FlagSetTest, UnknownFlagErrors) {
+  FlagSet flags;
+  const char* argv[] = {"prog", "--mystery=1"};
+  Status status = flags.Parse(2, argv);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("mystery"), std::string::npos);
+}
+
+TEST(FlagSetTest, MalformedIntegerErrors) {
+  int64_t n = 0;
+  FlagSet flags;
+  flags.AddInt64("n", &n, "");
+  const char* argv[] = {"prog", "--n=abc"};
+  EXPECT_FALSE(flags.Parse(2, argv).ok());
+}
+
+TEST(FlagSetTest, MalformedBoolErrors) {
+  bool b = false;
+  FlagSet flags;
+  flags.AddBool("b", &b, "");
+  const char* argv[] = {"prog", "--b=maybe"};
+  EXPECT_FALSE(flags.Parse(2, argv).ok());
+}
+
+TEST(FlagSetTest, MissingValueErrors) {
+  int64_t n = 0;
+  FlagSet flags;
+  flags.AddInt64("n", &n, "");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_FALSE(flags.Parse(2, argv).ok());
+}
+
+TEST(FlagSetTest, PositionalArgumentsCollected) {
+  int64_t n = 0;
+  FlagSet flags;
+  flags.AddInt64("n", &n, "");
+  const char* argv[] = {"prog", "input.txt", "--n=1", "output.txt"};
+  ASSERT_TRUE(flags.Parse(4, argv).ok());
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+  EXPECT_EQ(flags.positional()[1], "output.txt");
+}
+
+TEST(FlagSetTest, HelpListsFlagsWithDefaults) {
+  int64_t n = 99;
+  FlagSet flags;
+  flags.AddInt64("gens", &n, "number of generations");
+  std::string help = flags.Help("prog");
+  EXPECT_NE(help.find("gens"), std::string::npos);
+  EXPECT_NE(help.find("number of generations"), std::string::npos);
+  EXPECT_NE(help.find("99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace elog

@@ -1,0 +1,112 @@
+// Parameterized end-to-end sweep: every supported configuration family
+// must run a shortened paper workload to completion with internal
+// invariants intact, transaction conservation, and sane accounting.
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+
+namespace elog {
+namespace db {
+namespace {
+
+struct MatrixCase {
+  const char* name;
+  std::vector<uint32_t> generation_blocks;
+  bool recirculation;
+  UnflushedPolicy policy;
+  bool release_on_commit;  // firewall mode
+  bool lifetime_hints;
+  double long_fraction;
+  uint64_t seed;
+};
+
+class ConfigMatrixTest : public ::testing::TestWithParam<MatrixCase> {};
+
+std::string CaseName(const ::testing::TestParamInfo<MatrixCase>& info) {
+  return std::string(info.param.name) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+TEST_P(ConfigMatrixTest, RunsCleanlyWithInvariants) {
+  const MatrixCase& c = GetParam();
+  DatabaseConfig config;
+  config.workload = workload::PaperMix(c.long_fraction);
+  config.workload.runtime = SecondsToSimTime(25);
+  config.workload.seed = c.seed;
+  config.log.generation_blocks = c.generation_blocks;
+  config.log.recirculation = c.recirculation;
+  config.log.unflushed_policy = c.policy;
+  config.log.release_on_commit = c.release_on_commit;
+  if (c.lifetime_hints) {
+    config.log.lifetime_hints = true;
+    config.log.hint_lifetime_threshold = SecondsToSimTime(5);
+    config.log.hint_target_generation =
+        static_cast<uint32_t>(c.generation_blocks.size()) - 1;
+    config.log.group_commit_linger = 200 * kMillisecond;
+  }
+
+  Database database(config);
+  RunStats stats = database.Run();
+  database.manager().CheckInvariants();
+
+  // Conservation: every started transaction resolves exactly once.
+  EXPECT_EQ(stats.total_started,
+            stats.total_committed + stats.total_killed);
+  EXPECT_EQ(database.generator().active(), 0u);
+  EXPECT_EQ(stats.total_started, 2500);
+
+  // Accounting sanity.
+  EXPECT_GE(stats.records_appended,
+            stats.total_started * 2);  // BEGIN + COMMIT at least
+  EXPECT_GE(stats.log_writes_per_sec, 1.0);
+  EXPECT_GT(stats.peak_memory_bytes, 0.0);
+
+  // Generously-sized configurations must not kill anyone.
+  if (config.log.total_blocks() >= 34) {
+    EXPECT_EQ(stats.total_killed, 0) << "kills in a roomy log";
+  }
+  // Recirculating configurations never take the unsafe paths.
+  if (c.recirculation && !c.release_on_commit) {
+    EXPECT_EQ(stats.unsafe_commit_drops, 0);
+  }
+  // The stable store never runs ahead of the acknowledged state.
+  for (const auto& [oid, version] : database.stable().objects()) {
+    auto it = database.expected_state().find(oid);
+    ASSERT_NE(it, database.expected_state().end()) << "oid " << oid;
+    EXPECT_LE(version.lsn, it->second.lsn);
+  }
+}
+
+std::vector<MatrixCase> MakeCases() {
+  std::vector<MatrixCase> cases;
+  for (uint64_t seed : {1ull, 99ull}) {
+    cases.push_back({"el_2gen", {18, 16}, true,
+                     UnflushedPolicy::kKeepInLog, false, false, 0.05, seed});
+    cases.push_back({"el_norecirc", {18, 18}, false,
+                     UnflushedPolicy::kKeepInLog, false, false, 0.05, seed});
+    // 20% mix: ~200 concurrent long transactions hold ~41 blocks of live
+    // records, so the chain needs real capacity in its older generations.
+    cases.push_back({"el_3gen", {18, 16, 56}, true,
+                     UnflushedPolicy::kKeepInLog, false, false, 0.20, seed});
+    cases.push_back({"el_demand_flush", {18, 16}, true,
+                     UnflushedPolicy::kFlushOnDemand, false, false, 0.05,
+                     seed});
+    cases.push_back({"el_hints", {18, 16}, true,
+                     UnflushedPolicy::kKeepInLog, false, true, 0.05, seed});
+    cases.push_back({"fw", {140}, false, UnflushedPolicy::kKeepInLog, true,
+                     false, 0.05, seed});
+    cases.push_back({"el_heavy_mix", {40, 40}, true,
+                     UnflushedPolicy::kKeepInLog, false, false, 0.40, seed});
+    cases.push_back({"el_single_ring", {40}, true,
+                     UnflushedPolicy::kKeepInLog, false, false, 0.05, seed});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, ConfigMatrixTest,
+                         ::testing::ValuesIn(MakeCases()), CaseName);
+
+}  // namespace
+}  // namespace db
+}  // namespace elog

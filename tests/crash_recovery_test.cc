@@ -1,0 +1,120 @@
+// Crash/recovery property tests: at ANY crash instant, single-pass
+// recovery over the durable log + stable version must reproduce exactly
+// the committed state acknowledged before the crash (invariant 3 of
+// DESIGN.md). Parameterized over crash times, seeds, configurations and
+// torn-write injection.
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "db/recovery.h"
+
+namespace elog {
+namespace db {
+namespace {
+
+struct CrashCase {
+  const char* name;
+  std::vector<uint32_t> generation_blocks;
+  bool recirculation;
+  double long_fraction;
+  SimTime crash_time;
+  uint64_t seed;
+  bool torn_write;
+};
+
+class CrashRecoveryTest : public ::testing::TestWithParam<CrashCase> {};
+
+std::string CaseName(const ::testing::TestParamInfo<CrashCase>& info) {
+  return std::string(info.param.name) + "_t" +
+         std::to_string(info.param.crash_time / kMillisecond) + "ms_s" +
+         std::to_string(info.param.seed) +
+         (info.param.torn_write ? "_torn" : "");
+}
+
+TEST_P(CrashRecoveryTest, RecoveryReproducesAcknowledgedState) {
+  const CrashCase& c = GetParam();
+  DatabaseConfig config;
+  config.workload = workload::PaperMix(c.long_fraction);
+  config.workload.runtime = SecondsToSimTime(3600);  // crash interrupts
+  config.workload.seed = c.seed;
+  config.log.generation_blocks = c.generation_blocks;
+  config.log.recirculation = c.recirculation;
+
+  Database database(config);
+  Database::CrashImage image =
+      database.RunUntilCrash(c.crash_time, c.torn_write);
+
+  RecoveryResult result = RecoveryManager::Recover(image.log, image.stable);
+
+  // 1. Exactly the acknowledged updates are recovered: same object set,
+  //    same version, same value.
+  for (const auto& [oid, expected] : image.expected_state) {
+    auto it = result.state.find(oid);
+    ASSERT_NE(it, result.state.end())
+        << "committed object " << oid << " lost (expected lsn "
+        << expected.lsn << ")";
+    EXPECT_EQ(it->second.lsn, expected.lsn) << "object " << oid;
+    EXPECT_EQ(it->second.value_digest, expected.value_digest)
+        << "object " << oid;
+  }
+  // 2. No uncommitted effects: every recovered object matches the shadow.
+  for (const auto& [oid, recovered] : result.state) {
+    auto it = image.expected_state.find(oid);
+    ASSERT_NE(it, image.expected_state.end())
+        << "object " << oid << " recovered (lsn " << recovered.lsn
+        << ") but never acknowledged";
+    EXPECT_EQ(recovered.lsn, it->second.lsn);
+  }
+  // 3. Any transaction whose COMMIT is visible in the log must be one the
+  //    system acknowledged (group commit acks at durability).
+  for (TxId tid : result.committed_in_log) {
+    EXPECT_TRUE(image.committed_tids.count(tid))
+        << "COMMIT of unacknowledged transaction " << tid << " in log";
+  }
+}
+
+std::vector<CrashCase> MakeCases() {
+  std::vector<CrashCase> cases;
+  // EL with recirculation — the fully crash-safe configuration — across
+  // crash times covering cold start, steady state, and heavy history.
+  for (SimTime crash : {50 * kMillisecond, 500 * kMillisecond,
+                        SecondsToSimTime(2), SecondsToSimTime(7),
+                        SecondsToSimTime(20)}) {
+    for (uint64_t seed : {1ull, 42ull}) {
+      cases.push_back({"el_recirc", {18, 12}, true, 0.05, crash, seed,
+                       /*torn_write=*/false});
+    }
+  }
+  // A dense sweep across one group-commit/flush period: crash instants
+  // offset by sub-block-fill amounts around t=8s.
+  for (int offset_ms = 0; offset_ms < 100; offset_ms += 9) {
+    cases.push_back({"el_dense", {18, 12}, true, 0.05,
+                     SecondsToSimTime(8) + offset_ms * kMillisecond, 13,
+                     offset_ms % 2 == 1});
+  }
+  // Torn final write.
+  cases.push_back({"el_recirc", {18, 12}, true, 0.05,
+                   SecondsToSimTime(5) + 7 * kMillisecond, 7, true});
+  cases.push_back({"el_recirc", {18, 12}, true, 0.05,
+                   SecondsToSimTime(12) + 3 * kMillisecond, 9, true});
+  // Heavier long-transaction mix (40%: ~200 concurrent 10 s transactions
+  // hold ~41 blocks of live records, so the chain needs real capacity —
+  // an undersized log would take unsafe commit-window kills and the
+  // recovery property would hold only by crash-timing luck).
+  cases.push_back(
+      {"el_heavy", {18, 56}, true, 0.40, SecondsToSimTime(15), 3, false});
+  cases.push_back(
+      {"el_tight", {18, 8}, true, 0.05, SecondsToSimTime(15), 5, true});
+  // Three generations.
+  cases.push_back(
+      {"el_3gen", {12, 8, 8}, true, 0.20, SecondsToSimTime(10), 11, false});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CrashRecoveryTest,
+                         ::testing::ValuesIn(MakeCases()), CaseName);
+
+}  // namespace
+}  // namespace db
+}  // namespace elog

@@ -1,0 +1,66 @@
+#include "util/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace elog {
+namespace crc32c {
+namespace {
+
+uint32_t Crc(const std::string& s) {
+  return Value(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // Standard CRC32C test vectors (RFC 3720 / iSCSI).
+  std::vector<uint8_t> zeros(32, 0);
+  EXPECT_EQ(Value(zeros.data(), zeros.size()), 0x8a9136aau);
+
+  std::vector<uint8_t> ones(32, 0xff);
+  EXPECT_EQ(Value(ones.data(), ones.size()), 0x62a8ab43u);
+
+  std::vector<uint8_t> ascending(32);
+  for (size_t i = 0; i < 32; ++i) ascending[i] = static_cast<uint8_t>(i);
+  EXPECT_EQ(Value(ascending.data(), ascending.size()), 0x46dd794eu);
+}
+
+TEST(Crc32cTest, Empty) { EXPECT_EQ(Value(nullptr, 0), 0u); }
+
+TEST(Crc32cTest, DifferentInputsDiffer) {
+  EXPECT_NE(Crc("hello world"), Crc("hello worle"));
+  EXPECT_NE(Crc("a"), Crc("b"));
+}
+
+TEST(Crc32cTest, SingleBitFlipDetected) {
+  std::vector<uint8_t> data(2048, 0x5c);
+  uint32_t clean = Value(data.data(), data.size());
+  for (size_t pos : {0u, 1000u, 2047u}) {
+    data[pos] ^= 0x01;
+    EXPECT_NE(Value(data.data(), data.size()), clean) << "flip at " << pos;
+    data[pos] ^= 0x01;
+  }
+}
+
+TEST(Crc32cTest, ExtendEqualsWhole) {
+  std::string a = "ephemeral ";
+  std::string b = "logging";
+  uint32_t whole = Crc(a + b);
+  uint32_t extended =
+      Extend(Extend(0, reinterpret_cast<const uint8_t*>(a.data()), a.size()),
+             reinterpret_cast<const uint8_t*>(b.data()), b.size());
+  EXPECT_EQ(whole, extended);
+}
+
+TEST(Crc32cTest, MaskRoundTrips) {
+  for (uint32_t crc : {0u, 1u, 0xdeadbeefu, 0xffffffffu, Crc("x")}) {
+    EXPECT_EQ(Unmask(Mask(crc)), crc);
+    EXPECT_NE(Mask(crc), crc);  // masking must change the value
+  }
+}
+
+}  // namespace
+}  // namespace crc32c
+}  // namespace elog

@@ -1,0 +1,113 @@
+// Database facade edge cases: crash capture semantics, drain behavior,
+// single-use contract, torn-write capture.
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "db/recovery.h"
+
+namespace elog {
+namespace db {
+namespace {
+
+DatabaseConfig BaseConfig(SimTime runtime) {
+  DatabaseConfig config;
+  config.workload = workload::PaperMix(0.05);
+  config.workload.runtime = runtime;
+  config.log.generation_blocks = {18, 12};
+  return config;
+}
+
+TEST(DatabaseEdgeTest, RunIsSingleUse) {
+  Database database(BaseConfig(SecondsToSimTime(1)));
+  database.Run();
+  EXPECT_DEATH(database.Run(), "once");
+}
+
+TEST(DatabaseEdgeTest, CrashAtTimeZeroIsEmpty) {
+  Database database(BaseConfig(SecondsToSimTime(60)));
+  Database::CrashImage image = database.RunUntilCrash(0, true);
+  EXPECT_TRUE(image.expected_state.empty());
+  EXPECT_TRUE(image.committed_tids.empty());
+  RecoveryResult result = RecoveryManager::Recover(image.log, image.stable);
+  EXPECT_TRUE(result.state.empty());
+  EXPECT_EQ(result.scan.blocks_empty, result.scan.blocks_scanned);
+}
+
+TEST(DatabaseEdgeTest, CrashBeforeFirstCommitRecoversNothing) {
+  Database database(BaseConfig(SecondsToSimTime(60)));
+  // First commits become durable around 1.06 s; crash before that but
+  // after the first blocks have been written (~0.6 s — the startup ramp
+  // is slower than steady state because data records only begin at
+  // t0 + (T−ε)/N).
+  Database::CrashImage image =
+      database.RunUntilCrash(900 * kMillisecond, false);
+  EXPECT_TRUE(image.committed_tids.empty());
+  RecoveryResult result = RecoveryManager::Recover(image.log, image.stable);
+  EXPECT_TRUE(result.state.empty());
+  // But the log does contain (uncommitted) records already.
+  EXPECT_GT(result.uncommitted_records_ignored, 0u);
+}
+
+TEST(DatabaseEdgeTest, TornWriteCapturedWhenInFlight) {
+  // At a crash instant chosen mid-write (writes start on ~88 ms grid and
+  // take 15 ms), the torn image must contain at least one corrupt block.
+  // Probe offsets across a full ~88 ms block-fill period; log writes
+  // take 15 ms, so several probes must land inside a write window.
+  bool observed_torn = false;
+  for (SimTime offset = 0; offset < 90 && !observed_torn; offset += 5) {
+    Database probe(BaseConfig(SecondsToSimTime(3600)));
+    Database::CrashImage image = probe.RunUntilCrash(
+        SecondsToSimTime(10) + offset * kMillisecond, true);
+    RecoveryResult result =
+        RecoveryManager::Recover(image.log, image.stable);
+    if (result.scan.blocks_corrupt > 0) observed_torn = true;
+  }
+  EXPECT_TRUE(observed_torn);
+}
+
+TEST(DatabaseEdgeTest, DrainCompletesAllTransactions) {
+  // Even with arrivals ending mid-flight, the drain acknowledges every
+  // in-flight commit; nothing remains active.
+  DatabaseConfig config = BaseConfig(SecondsToSimTime(12));
+  Database database(config);
+  RunStats stats = database.Run();
+  EXPECT_EQ(database.generator().active(), 0u);
+  EXPECT_EQ(stats.total_started, stats.total_committed + stats.total_killed);
+  // The manager's tables also empty out once flushing finishes.
+  EXPECT_EQ(database.manager().ltt_size(), 0u);
+  EXPECT_EQ(database.manager().lot_size(), 0u);
+}
+
+TEST(DatabaseEdgeTest, WindowMetricsExcludeDrain) {
+  // Bandwidth is measured over [0, runtime]; the drain's forced writes
+  // must not inflate it.
+  DatabaseConfig config = BaseConfig(SecondsToSimTime(30));
+  Database database(config);
+  RunStats stats = database.Run();
+  // ~12.9 writes/s at this mix; a drain-polluted number would exceed 14.
+  EXPECT_LT(stats.log_writes_per_sec, 14.0);
+  EXPECT_GT(stats.log_writes_per_sec, 11.0);
+}
+
+TEST(DatabaseEdgeTest, MetricsRegistryPopulated) {
+  DatabaseConfig config = BaseConfig(SecondsToSimTime(5));
+  Database database(config);
+  database.Run();
+  EXPECT_GT(database.metrics().Counter("workload.started"), 0);
+  EXPECT_GT(database.metrics().Counter("log_device.writes"), 0);
+  EXPECT_GT(database.metrics().Counter("flush_drive.flushes"), 0);
+}
+
+TEST(DatabaseEdgeTest, CommittedTidsMatchGeneratorCount) {
+  DatabaseConfig config = BaseConfig(SecondsToSimTime(20));
+  Database database(config);
+  Database::CrashImage image =
+      database.RunUntilCrash(SecondsToSimTime(15), false);
+  EXPECT_EQ(static_cast<int64_t>(image.committed_tids.size()),
+            database.generator().committed());
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace elog

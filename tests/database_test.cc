@@ -1,0 +1,173 @@
+// End-to-end tests of the Database facade: full (shortened) paper
+// workloads through EL and FW, with the sanity numbers of §3/§4.
+
+#include "db/database.h"
+
+#include <gtest/gtest.h>
+
+namespace elog {
+namespace db {
+namespace {
+
+DatabaseConfig SmallConfig(double long_fraction, SimTime runtime) {
+  DatabaseConfig config;
+  config.workload = workload::PaperMix(long_fraction);
+  config.workload.runtime = runtime;
+  config.log.generation_blocks = {18, 16};
+  config.log.recirculation = true;
+  return config;
+}
+
+TEST(DatabaseTest, ShortElRunCompletesCleanly) {
+  DatabaseConfig config = SmallConfig(0.05, SecondsToSimTime(30));
+  Database database(config);
+  RunStats stats = database.Run();
+  EXPECT_EQ(stats.total_started, 3000);
+  EXPECT_EQ(stats.total_killed, 0);
+  EXPECT_EQ(stats.total_committed, 3000);
+  database.manager().CheckInvariants();
+}
+
+TEST(DatabaseTest, UpdateRateMatchesPaperSanityNumbers) {
+  // §4: 210 updates/s at 5%, 280 at 40%. Short windows see a deficit
+  // from 10 s transactions started near the end (their records land
+  // after the snapshot), so allow 10%.
+  for (auto [mix, expected] : {std::pair{0.05, 210.0}, {0.40, 280.0}}) {
+    DatabaseConfig config = SmallConfig(mix, SecondsToSimTime(100));
+    if (mix > 0.2) config.log.generation_blocks = {40, 40};
+    Database database(config);
+    RunStats stats = database.Run();
+    double rate = stats.updates_written / 100.0;
+    EXPECT_NEAR(rate, expected, expected * 0.10) << "mix " << mix;
+  }
+}
+
+TEST(DatabaseTest, LogBandwidthNearExpectedByteRate) {
+  DatabaseConfig config = SmallConfig(0.05, SecondsToSimTime(60));
+  Database database(config);
+  RunStats stats = database.Run();
+  // 22.6 KB/s over 2000-byte blocks = 11.3 blocks/s for generation 0,
+  // plus forwarding overhead; the paper reports ~12.9 total.
+  EXPECT_GT(stats.log_writes_per_sec, 11.0);
+  EXPECT_LT(stats.log_writes_per_sec, 14.5);
+}
+
+TEST(DatabaseTest, CommitLatencyReflectsGroupCommit) {
+  DatabaseConfig config = SmallConfig(0.05, SecondsToSimTime(30));
+  Database database(config);
+  RunStats stats = database.Run();
+  // A block fills every ~88 ms; mean ack delay is roughly half that plus
+  // the 15 ms write. Bound loosely.
+  EXPECT_GT(stats.commit_latency_mean_us, 20.0 * kMillisecond);
+  EXPECT_LT(stats.commit_latency_mean_us, 120.0 * kMillisecond);
+}
+
+TEST(DatabaseTest, FlushKeepsUpWithAmpleBandwidth) {
+  DatabaseConfig config = SmallConfig(0.05, SecondsToSimTime(30));
+  Database database(config);
+  RunStats stats = database.Run();
+  // 400 flush/s versus 210 updates/s: negligible backlog.
+  EXPECT_LT(stats.flush_backlog, 30u);
+  EXPECT_GT(stats.flushes_completed, 5500);
+}
+
+TEST(DatabaseTest, ScarceFlushBandwidthBuildsBacklogAndLocality) {
+  DatabaseConfig ample = SmallConfig(0.05, SecondsToSimTime(60));
+  DatabaseConfig scarce = SmallConfig(0.05, SecondsToSimTime(60));
+  scarce.log.generation_blocks = {20, 16};
+  scarce.log.flush_transfer_time = 45 * kMillisecond;
+  Database ample_db(ample);
+  Database scarce_db(scarce);
+  RunStats ample_stats = ample_db.Run();
+  RunStats scarce_stats = scarce_db.Run();
+  EXPECT_GT(scarce_stats.flush_backlog, ample_stats.flush_backlog);
+  // §4: the backlog makes flush I/O more sequential (smaller seeks).
+  EXPECT_LT(scarce_stats.mean_flush_seek_distance,
+            ample_stats.mean_flush_seek_distance * 0.8);
+}
+
+TEST(DatabaseTest, FwNeedsMoreSpaceThanEl) {
+  // The headline claim at a 5% mix, at reduced runtime: FW at EL's block
+  // budget dies; EL survives.
+  DatabaseConfig el = SmallConfig(0.05, SecondsToSimTime(60));
+  el.log.generation_blocks = {18, 10};
+  Database el_db(el);
+  RunStats el_stats = el_db.Run();
+  EXPECT_EQ(el_stats.total_killed, 0);
+
+  DatabaseConfig fw = el;
+  fw.log = MakeFirewallOptions(28);
+  fw.stop_on_first_kill = true;
+  Database fw_db(fw);
+  RunStats fw_stats = fw_db.Run();
+  EXPECT_GT(fw_stats.total_killed, 0);
+}
+
+TEST(DatabaseTest, FwSurvivesAtPaperMinimum) {
+  DatabaseConfig fw = SmallConfig(0.05, SecondsToSimTime(60));
+  fw.log = MakeFirewallOptions(123);
+  Database database(fw);
+  RunStats stats = database.Run();
+  EXPECT_EQ(stats.total_killed, 0);
+  EXPECT_NEAR(stats.log_writes_per_sec, 11.6, 0.5);
+}
+
+TEST(DatabaseTest, StopOnFirstKillEndsEarly) {
+  DatabaseConfig config = SmallConfig(0.05, SecondsToSimTime(120));
+  config.log = MakeFirewallOptions(20);  // far too small
+  config.stop_on_first_kill = true;
+  Database database(config);
+  RunStats stats = database.Run();
+  EXPECT_GT(stats.total_killed, 0);
+  EXPECT_LT(database.simulator().Now(), SecondsToSimTime(60));
+}
+
+TEST(DatabaseTest, ExpectedStateTracksCommits) {
+  DatabaseConfig config = SmallConfig(0.05, SecondsToSimTime(10));
+  Database database(config);
+  RunStats stats = database.Run();
+  // Every committed transaction wrote ~2 updates over distinct objects;
+  // the shadow has at least one object per committing transaction.
+  EXPECT_GT(stats.total_committed, 0);
+  EXPECT_GE(database.expected_state().size(),
+            static_cast<size_t>(stats.total_committed));
+  // All flushed state agrees with the shadow.
+  for (const auto& [oid, version] : database.stable().objects()) {
+    auto it = database.expected_state().find(oid);
+    ASSERT_NE(it, database.expected_state().end());
+    EXPECT_LE(version.lsn, it->second.lsn);
+  }
+}
+
+TEST(DatabaseTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    DatabaseConfig config = SmallConfig(0.05, SecondsToSimTime(20));
+    Database database(config);
+    RunStats stats = database.Run();
+    return std::tuple(stats.total_committed, stats.records_appended,
+                      stats.log_writes_per_sec,
+                      database.expected_state().size());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(DatabaseTest, SeedChangesOutcomeDetails) {
+  DatabaseConfig a = SmallConfig(0.05, SecondsToSimTime(20));
+  DatabaseConfig b = a;
+  b.workload.seed = 777;
+  Database da(a);
+  Database db_(b);
+  da.Run();
+  db_.Run();
+  EXPECT_NE(da.expected_state(), db_.expected_state());
+}
+
+TEST(DatabaseDeathTest, MismatchedObjectCountsRejected) {
+  DatabaseConfig config = SmallConfig(0.05, SecondsToSimTime(10));
+  config.workload.num_objects = 5'000'000;
+  EXPECT_DEATH(Database database(config), "NUM_OBJECTS");
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace elog

@@ -1,0 +1,105 @@
+#include "disk/drive_array.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace elog {
+namespace disk {
+namespace {
+
+constexpr SimTime kTransfer = 25 * kMillisecond;
+
+class DriveArrayTest : public ::testing::Test {
+ protected:
+  DriveArrayTest() : drives_(&sim_, 10, 10000, kTransfer, &metrics_) {}
+
+  FlushRequest Request(Oid oid) {
+    FlushRequest request;
+    request.oid = oid;
+    request.lsn = 1;
+    request.on_durable = [this](const FlushRequest& r) {
+      serviced_.push_back(r.oid);
+    };
+    return request;
+  }
+
+  sim::Simulator sim_;
+  sim::MetricsRegistry metrics_;
+  DriveArray drives_;
+  std::vector<Oid> serviced_;
+};
+
+TEST_F(DriveArrayTest, RangePartitioning) {
+  // 10 drives over 10000 objects: drive i owns [1000i, 1000(i+1)).
+  EXPECT_EQ(drives_.num_drives(), 10u);
+  EXPECT_EQ(drives_.drive(0).range_begin(), 0u);
+  EXPECT_EQ(drives_.drive(0).range_end(), 1000u);
+  EXPECT_EQ(drives_.drive(9).range_begin(), 9000u);
+  EXPECT_EQ(drives_.drive(9).range_end(), 10000u);
+}
+
+TEST_F(DriveArrayTest, RoutesToOwningDrive) {
+  drives_.Enqueue(Request(0));
+  drives_.Enqueue(Request(999));
+  drives_.Enqueue(Request(1000));
+  drives_.Enqueue(Request(9999));
+  sim_.Run();
+  EXPECT_EQ(drives_.drive(0).flushes_completed(), 2);
+  EXPECT_EQ(drives_.drive(1).flushes_completed(), 1);
+  EXPECT_EQ(drives_.drive(9).flushes_completed(), 1);
+  EXPECT_EQ(drives_.total_flushes_completed(), 4);
+}
+
+TEST_F(DriveArrayTest, DrivesWorkInParallel) {
+  // One request per drive: all complete after a single transfer time.
+  for (uint32_t i = 0; i < 10; ++i) {
+    drives_.Enqueue(Request(i * 1000 + 5));
+  }
+  sim_.Run();
+  EXPECT_EQ(serviced_.size(), 10u);
+  EXPECT_EQ(sim_.Now(), kTransfer);
+}
+
+TEST_F(DriveArrayTest, MaxFlushRate) {
+  // 10 drives at 25 ms -> 400 flushes/s (the paper's provisioning).
+  EXPECT_DOUBLE_EQ(drives_.MaxFlushRate(), 400.0);
+}
+
+TEST_F(DriveArrayTest, TotalPendingAggregates) {
+  for (int i = 0; i < 5; ++i) drives_.Enqueue(Request(1));  // same drive
+  // One is in service; four pending.
+  EXPECT_EQ(drives_.total_pending(), 4u);
+  sim_.Run();
+  EXPECT_EQ(drives_.total_pending(), 0u);
+}
+
+TEST_F(DriveArrayTest, MeanSeekDistanceAggregates) {
+  drives_.Enqueue(Request(100));  // drive 0: 0 -> 100
+  drives_.Enqueue(Request(1300));  // drive 1: 1000 -> 1300
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(drives_.MeanSeekDistance(), 200.0);
+}
+
+TEST_F(DriveArrayTest, UrgentRouting) {
+  drives_.EnqueueUrgent(Request(4321));
+  sim_.Run();
+  EXPECT_EQ(drives_.drive(4).flushes_completed(), 1);
+}
+
+TEST(DriveArrayValidationTest, NonDivisibleObjectsRejected) {
+  sim::Simulator sim;
+  EXPECT_DEATH(DriveArray(&sim, 3, 10, kTransfer, nullptr), "multiple");
+}
+
+TEST(DriveArrayValidationTest, OidBeyondRangeChecks) {
+  sim::Simulator sim;
+  DriveArray drives(&sim, 2, 100, kTransfer, nullptr);
+  FlushRequest request;
+  request.oid = 100;
+  EXPECT_DEATH(drives.Enqueue(std::move(request)), "");
+}
+
+}  // namespace
+}  // namespace disk
+}  // namespace elog

@@ -1,0 +1,217 @@
+// Additional EL manager edge cases: multi-generation cascades, lifetime
+// hints with commit registration, drain idempotence, flush/supersede
+// races, and bookkeeping across long mixed runs.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/el_manager.h"
+
+namespace elog {
+namespace {
+
+class ElManagerEdgeTest : public ::testing::Test {
+ protected:
+  void Build(LogManagerOptions options) {
+    options.num_objects = 1000;
+    storage_ = std::make_unique<disk::LogStorage>(options.generation_blocks);
+    device_ = std::make_unique<disk::LogDevice>(
+        &sim_, storage_.get(), options.log_write_latency, nullptr);
+    drives_ = std::make_unique<disk::DriveArray>(
+        &sim_, options.num_flush_drives, options.num_objects,
+        options.flush_transfer_time, nullptr);
+    manager_ = std::make_unique<EphemeralLogManager>(
+        &sim_, options, device_.get(), drives_.get(), nullptr);
+  }
+
+  TxId Begin(SimTime lifetime = SecondsToSimTime(1)) {
+    workload::TransactionType type;
+    type.lifetime = lifetime;
+    return manager_->BeginTransaction(type);
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<disk::LogStorage> storage_;
+  std::unique_ptr<disk::LogDevice> device_;
+  std::unique_ptr<disk::DriveArray> drives_;
+  std::unique_ptr<EphemeralLogManager> manager_;
+};
+
+TEST_F(ElManagerEdgeTest, ThreeGenerationCascade) {
+  // Tiny early generations force records of a long transaction through
+  // the whole chain.
+  LogManagerOptions options;
+  options.generation_blocks = {4, 4, 10};
+  options.recirculation = true;
+  Build(options);
+  TxId keeper = Begin(SecondsToSimTime(1000));
+  for (int i = 0; i < 120; ++i) manager_->WriteUpdate(keeper, i % 500, 100);
+  sim_.Run();
+  // Records were forwarded at least twice (gen0->1 and gen1->2).
+  EXPECT_GT(manager_->records_forwarded(), 60);
+  EXPECT_GT(device_->writes_completed(2), 0);
+  EXPECT_EQ(manager_->transactions_killed(), 0);
+  manager_->CheckInvariants();
+}
+
+TEST_F(ElManagerEdgeTest, ForceWriteIsIdempotentOnEmptyBuffers) {
+  LogManagerOptions options;
+  options.generation_blocks = {6, 6};
+  Build(options);
+  manager_->ForceWriteOpenBuffers();  // nothing open: no-op
+  EXPECT_EQ(device_->writes_completed(), 0);
+  TxId tid = Begin();
+  manager_->ForceWriteOpenBuffers();
+  manager_->ForceWriteOpenBuffers();  // second call: buffer now empty
+  sim_.Run();
+  EXPECT_EQ(device_->writes_completed(), 1);
+  (void)tid;
+  manager_->CheckInvariants();
+}
+
+TEST_F(ElManagerEdgeTest, HintedCommitAcknowledged) {
+  LogManagerOptions options;
+  options.generation_blocks = {6, 8};
+  options.lifetime_hints = true;
+  options.hint_lifetime_threshold = SecondsToSimTime(5);
+  options.hint_target_generation = 1;
+  Build(options);
+  TxId tid = Begin(SecondsToSimTime(10));  // hinted to generation 1
+  manager_->WriteUpdate(tid, 42, 100);
+  bool acked = false;
+  manager_->Commit(tid, [&](TxId) { acked = true; });
+  manager_->ForceWriteOpenBuffers();
+  sim_.Run();
+  EXPECT_TRUE(acked);
+  EXPECT_EQ(manager_->ltt_size(), 0u);  // flushed and cleaned
+  // All traffic went to generation 1.
+  EXPECT_EQ(device_->writes_completed(0), 0);
+  EXPECT_GT(device_->writes_completed(1), 0);
+  manager_->CheckInvariants();
+}
+
+TEST_F(ElManagerEdgeTest, InterleavedCommitsOnSameObjectChainFlushes) {
+  LogManagerOptions options;
+  options.generation_blocks = {8, 8};
+  options.flush_transfer_time = 40 * kMillisecond;
+  Build(options);
+  // Five transactions update the same object back to back; each commit
+  // supersedes the previous committed version.
+  for (int round = 0; round < 5; ++round) {
+    TxId tid = Begin();
+    manager_->WriteUpdate(tid, 7, 100);
+    manager_->Commit(tid, [](TxId) {});
+    manager_->ForceWriteOpenBuffers();
+    sim_.RunUntil(sim_.Now() + 20 * kMillisecond);
+  }
+  sim_.Run();
+  // Everything settles: one surviving version, tables empty.
+  EXPECT_EQ(manager_->lot_size(), 0u);
+  EXPECT_EQ(manager_->ltt_size(), 0u);
+  manager_->CheckInvariants();
+}
+
+TEST_F(ElManagerEdgeTest, AbortAfterPartialWorkLeavesNoResidue) {
+  LogManagerOptions options;
+  options.generation_blocks = {6, 6};
+  Build(options);
+  for (int round = 0; round < 50; ++round) {
+    TxId tid = Begin(SecondsToSimTime(100));
+    for (int i = 0; i < 5; ++i) {
+      manager_->WriteUpdate(tid, round * 10 + i, 100);
+    }
+    manager_->Abort(tid);
+  }
+  sim_.Run();
+  EXPECT_EQ(manager_->lot_size(), 0u);
+  EXPECT_EQ(manager_->ltt_size(), 0u);
+  EXPECT_EQ(manager_->transactions_killed(), 0);
+  manager_->CheckInvariants();
+}
+
+TEST_F(ElManagerEdgeTest, MemoryGaugeAverageBoundedByPeak) {
+  LogManagerOptions options;
+  options.generation_blocks = {18, 12};
+  Build(options);
+  for (int round = 0; round < 20; ++round) {
+    TxId tid = Begin();
+    manager_->WriteUpdate(tid, round, 100);
+    manager_->Commit(tid, [](TxId) {});
+    manager_->ForceWriteOpenBuffers();
+    sim_.Run();
+  }
+  const TimeWeightedValue& memory = manager_->memory_usage();
+  EXPECT_GT(memory.peak(), 0.0);
+  EXPECT_LE(memory.Average(sim_.Now()), memory.peak());
+  EXPECT_GE(memory.Average(sim_.Now()), 0.0);
+}
+
+TEST_F(ElManagerEdgeTest, DistinctObjectsDistinctLotEntries) {
+  LogManagerOptions options;
+  options.generation_blocks = {18, 12};
+  Build(options);
+  TxId a = Begin(SecondsToSimTime(100));
+  TxId b = Begin(SecondsToSimTime(100));
+  manager_->WriteUpdate(a, 1, 100);
+  manager_->WriteUpdate(b, 2, 100);
+  manager_->WriteUpdate(a, 3, 100);
+  EXPECT_EQ(manager_->lot_size(), 3u);
+  EXPECT_EQ(manager_->ltt_size(), 2u);
+  manager_->Abort(a);
+  EXPECT_EQ(manager_->lot_size(), 1u);
+  EXPECT_EQ(manager_->ltt_size(), 1u);
+  manager_->CheckInvariants();
+}
+
+TEST_F(ElManagerEdgeTest, GenerationAccountingExposed) {
+  LogManagerOptions options;
+  options.generation_blocks = {6, 8};
+  Build(options);
+  EXPECT_EQ(manager_->num_generations(), 2u);
+  EXPECT_EQ(manager_->generation(0).num_blocks(), 6u);
+  EXPECT_EQ(manager_->generation(1).num_blocks(), 8u);
+  EXPECT_EQ(manager_->generation(0).used_blocks(), 0u);
+  TxId tid = Begin();
+  (void)tid;
+  EXPECT_TRUE(manager_->generation(0).has_open_builder());
+  EXPECT_EQ(manager_->generation(0).builder().record_count(), 1u);
+}
+
+TEST_F(ElManagerEdgeTest, OccupancyGaugeTracksUsedBlocks) {
+  LogManagerOptions options;
+  options.generation_blocks = {6, 6};
+  Build(options);
+  EXPECT_EQ(manager_->occupancy(0).current(), 0.0);
+  // Fill a couple of blocks.
+  TxId tid = Begin(SecondsToSimTime(100));
+  for (int i = 0; i < 50; ++i) manager_->WriteUpdate(tid, i, 100);
+  sim_.Run();
+  EXPECT_EQ(manager_->occupancy(0).current(),
+            static_cast<double>(manager_->generation(0).used_blocks()));
+  EXPECT_GT(manager_->occupancy(0).peak(), 0.0);
+  EXPECT_LE(manager_->occupancy(0).peak(), 6.0);
+}
+
+TEST_F(ElManagerEdgeTest, CommitOfUnknownTidChecks) {
+  LogManagerOptions options;
+  options.generation_blocks = {6, 6};
+  Build(options);
+  EXPECT_DEATH(manager_->Commit(999, [](TxId) {}), "unknown tid");
+  EXPECT_DEATH(manager_->Abort(999), "unknown tid");
+  EXPECT_DEATH(manager_->WriteUpdate(999, 1, 100), "unknown tid");
+}
+
+TEST_F(ElManagerEdgeTest, DoubleCommitChecks) {
+  LogManagerOptions options;
+  options.generation_blocks = {6, 6};
+  Build(options);
+  TxId tid = Begin();
+  manager_->Commit(tid, [](TxId) {});
+  EXPECT_DEATH(manager_->Commit(tid, [](TxId) {}), "double commit");
+  EXPECT_DEATH(manager_->Abort(tid), "abort after commit");
+}
+
+}  // namespace
+}  // namespace elog

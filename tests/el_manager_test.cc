@@ -1,0 +1,468 @@
+// Direct-API tests of the ephemeral logging manager: the LOT/LTT
+// lifecycle rules of §2.3, forwarding/recirculation of §2.1–2.2, group
+// commit, flushing, and the kill policies.
+
+#include "core/el_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace elog {
+namespace {
+
+class RecordingKillListener : public KillListener {
+ public:
+  void OnTransactionKilled(TxId tid) override { killed.push_back(tid); }
+  std::vector<TxId> killed;
+};
+
+struct FlushEvent {
+  Oid oid;
+  Lsn lsn;
+  uint64_t digest;
+  SimTime when;
+};
+
+class ElManagerTest : public ::testing::Test {
+ protected:
+  static constexpr Oid kObjects = 1000;
+
+  void Build(LogManagerOptions options) {
+    options.num_objects = kObjects;
+    options.num_flush_drives = 10;
+    storage_ = std::make_unique<disk::LogStorage>(options.generation_blocks);
+    device_ = std::make_unique<disk::LogDevice>(
+        &sim_, storage_.get(), options.log_write_latency, &metrics_);
+    drives_ = std::make_unique<disk::DriveArray>(
+        &sim_, options.num_flush_drives, options.num_objects,
+        options.flush_transfer_time, &metrics_);
+    manager_ = std::make_unique<EphemeralLogManager>(
+        &sim_, options, device_.get(), drives_.get(), &metrics_);
+    manager_->set_kill_listener(&kills_);
+    manager_->set_flush_apply_hook([this](Oid oid, Lsn lsn, uint64_t digest) {
+      flushes_.push_back({oid, lsn, digest, sim_.Now()});
+    });
+  }
+
+  static LogManagerOptions TwoGenOptions(uint32_t gen0 = 6,
+                                         uint32_t gen1 = 6) {
+    LogManagerOptions options;
+    options.generation_blocks = {gen0, gen1};
+    return options;
+  }
+
+  workload::TransactionType Type(SimTime lifetime = SecondsToSimTime(1)) {
+    workload::TransactionType type;
+    type.lifetime = lifetime;
+    return type;
+  }
+
+  TxId Begin(SimTime lifetime = SecondsToSimTime(1)) {
+    return manager_->BeginTransaction(Type(lifetime));
+  }
+
+  /// Requests commit, recording the acknowledgement time.
+  void Commit(TxId tid) {
+    manager_->Commit(tid, [this](TxId committed) {
+      committed_.push_back({committed, sim_.Now()});
+    });
+  }
+
+  bool IsCommitted(TxId tid) const {
+    for (const auto& [id, when] : committed_) {
+      if (id == tid) return true;
+    }
+    return false;
+  }
+
+  SimTime CommitTime(TxId tid) const {
+    for (const auto& [id, when] : committed_) {
+      if (id == tid) return when;
+    }
+    return -1;
+  }
+
+  sim::Simulator sim_;
+  sim::MetricsRegistry metrics_;
+  std::unique_ptr<disk::LogStorage> storage_;
+  std::unique_ptr<disk::LogDevice> device_;
+  std::unique_ptr<disk::DriveArray> drives_;
+  std::unique_ptr<EphemeralLogManager> manager_;
+  RecordingKillListener kills_;
+  std::vector<FlushEvent> flushes_;
+  std::vector<std::pair<TxId, SimTime>> committed_;
+};
+
+TEST_F(ElManagerTest, BeginCreatesLttEntry) {
+  Build(TwoGenOptions());
+  TxId tid = Begin();
+  EXPECT_NE(tid, kInvalidTxId);
+  EXPECT_EQ(manager_->ltt_size(), 1u);
+  EXPECT_EQ(manager_->lot_size(), 0u);
+  EXPECT_EQ(manager_->active_transactions(), 1u);
+  EXPECT_EQ(manager_->records_appended(), 1);
+  manager_->CheckInvariants();
+}
+
+TEST_F(ElManagerTest, DistinctTidsAssigned) {
+  Build(TwoGenOptions());
+  TxId a = Begin();
+  TxId b = Begin();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(manager_->ltt_size(), 2u);
+}
+
+TEST_F(ElManagerTest, UpdateCreatesLotEntry) {
+  Build(TwoGenOptions());
+  TxId tid = Begin();
+  manager_->WriteUpdate(tid, 42, 100);
+  EXPECT_EQ(manager_->lot_size(), 1u);
+  EXPECT_EQ(manager_->records_appended(), 2);
+  manager_->CheckInvariants();
+}
+
+TEST_F(ElManagerTest, MemoryModelCountsTablesAt40Bytes) {
+  Build(TwoGenOptions());
+  TxId tid = Begin();
+  EXPECT_DOUBLE_EQ(manager_->modeled_memory_bytes(), 40.0);
+  manager_->WriteUpdate(tid, 1, 100);
+  manager_->WriteUpdate(tid, 2, 100);
+  EXPECT_DOUBLE_EQ(manager_->modeled_memory_bytes(), 40.0 + 2 * 40.0);
+  EXPECT_EQ(manager_->memory_usage().peak(), 120.0);
+}
+
+TEST_F(ElManagerTest, CommitAcknowledgedWhenBlockDurable) {
+  Build(TwoGenOptions());
+  TxId tid = Begin();
+  manager_->WriteUpdate(tid, 7, 100);
+  Commit(tid);
+  // Group commit: the buffer is not full, so nothing is durable yet.
+  sim_.RunUntil(100 * kMillisecond);
+  EXPECT_FALSE(IsCommitted(tid));
+  // Drain forces the buffer out; ack arrives one disk write later.
+  manager_->ForceWriteOpenBuffers();
+  sim_.Run();
+  ASSERT_TRUE(IsCommitted(tid));
+  EXPECT_EQ(CommitTime(tid), 100 * kMillisecond + 15 * kMillisecond);
+}
+
+TEST_F(ElManagerTest, FullBufferTriggersGroupCommitWithoutDrain) {
+  Build(TwoGenOptions());
+  // 2000-byte payload: BEGIN (8) + 19 x 100-byte updates leaves 92 bytes;
+  // the 20th update (100 B) does not fit and rotates the buffer, which
+  // carries the COMMIT of nobody — so instead fill exactly and commit.
+  TxId tid = Begin();
+  for (int i = 0; i < 25; ++i) manager_->WriteUpdate(tid, i, 100);
+  sim_.Run();
+  // At least one block write happened with no explicit drain.
+  EXPECT_GE(device_->writes_completed(), 1);
+}
+
+TEST_F(ElManagerTest, GroupCommitLingerFlushesIdleBuffer) {
+  LogManagerOptions options = TwoGenOptions();
+  options.group_commit_linger = 30 * kMillisecond;
+  Build(options);
+  TxId tid = Begin();
+  Commit(tid);
+  sim_.Run();
+  ASSERT_TRUE(IsCommitted(tid));
+  // Linger fires 30 ms after the first record entered the buffer; the
+  // disk write adds 15 ms.
+  EXPECT_EQ(CommitTime(tid), 45 * kMillisecond);
+}
+
+TEST_F(ElManagerTest, CommittedUpdateFlushedThenTablesEmpty) {
+  Build(TwoGenOptions());
+  TxId tid = Begin();
+  manager_->WriteUpdate(tid, 123, 100);
+  Commit(tid);
+  manager_->ForceWriteOpenBuffers();
+  sim_.Run();
+  ASSERT_TRUE(IsCommitted(tid));
+  // The flush completed (15 ms write + 25 ms flush) and applied the
+  // record's digest; all table entries are gone.
+  ASSERT_EQ(flushes_.size(), 1u);
+  EXPECT_EQ(flushes_[0].oid, 123u);
+  EXPECT_EQ(manager_->lot_size(), 0u);
+  EXPECT_EQ(manager_->ltt_size(), 0u);
+  EXPECT_EQ(manager_->updates_flushed(), 1);
+  manager_->CheckInvariants();
+}
+
+TEST_F(ElManagerTest, CommitWithNoUpdatesCleansImmediately) {
+  Build(TwoGenOptions());
+  TxId tid = Begin();
+  Commit(tid);
+  manager_->ForceWriteOpenBuffers();
+  sim_.Run();
+  EXPECT_TRUE(IsCommitted(tid));
+  EXPECT_EQ(manager_->ltt_size(), 0u);
+  EXPECT_EQ(flushes_.size(), 0u);
+}
+
+TEST_F(ElManagerTest, AbortMakesEverythingGarbage) {
+  Build(TwoGenOptions());
+  TxId tid = Begin();
+  manager_->WriteUpdate(tid, 5, 100);
+  manager_->WriteUpdate(tid, 6, 100);
+  manager_->Abort(tid);
+  EXPECT_EQ(manager_->lot_size(), 0u);
+  EXPECT_EQ(manager_->ltt_size(), 0u);
+  // BEGIN + 2 data + ABORT were appended.
+  EXPECT_EQ(manager_->records_appended(), 4);
+  sim_.Run();
+  EXPECT_TRUE(flushes_.empty());  // aborted updates never flush
+  manager_->CheckInvariants();
+}
+
+TEST_F(ElManagerTest, SameTxnReupdateSupersedesOwnRecord) {
+  Build(TwoGenOptions());
+  TxId tid = Begin();
+  manager_->WriteUpdate(tid, 9, 100);
+  manager_->WriteUpdate(tid, 9, 100);  // same object again
+  EXPECT_EQ(manager_->lot_size(), 1u);
+  Commit(tid);
+  manager_->ForceWriteOpenBuffers();
+  sim_.Run();
+  // Only the second (newer) update flushes.
+  ASSERT_EQ(flushes_.size(), 1u);
+  EXPECT_EQ(flushes_[0].oid, 9u);
+  manager_->CheckInvariants();
+}
+
+TEST_F(ElManagerTest, NewerCommitSupersedesOlderCommittedUpdate) {
+  LogManagerOptions options = TwoGenOptions();
+  options.flush_transfer_time = SecondsToSimTime(30);  // flushes stall
+  Build(options);
+  TxId tx1 = Begin();
+  manager_->WriteUpdate(tx1, 50, 100);
+  Commit(tx1);
+  manager_->ForceWriteOpenBuffers();
+  sim_.RunUntil(20 * kMillisecond);  // tx1 durable; flush still pending
+  ASSERT_TRUE(IsCommitted(tx1));
+  EXPECT_EQ(manager_->ltt_size(), 1u);  // tx1 lingers: unflushed update
+
+  TxId tx2 = Begin();
+  manager_->WriteUpdate(tx2, 50, 100);
+  Commit(tx2);
+  manager_->ForceWriteOpenBuffers();
+  sim_.RunUntil(50 * kMillisecond);
+  ASSERT_TRUE(IsCommitted(tx2));
+  // tx1's update is superseded: its record became garbage and its LTT
+  // entry disappeared even though its flush never completed.
+  EXPECT_EQ(manager_->lot_size(), 1u);
+  manager_->CheckInvariants();
+  sim_.Run();
+  // Both flush requests eventually complete; the stable version must end
+  // at tx2's LSN (ApplyFlush keeps the max), and tables empty out.
+  EXPECT_EQ(manager_->lot_size(), 0u);
+  EXPECT_EQ(manager_->ltt_size(), 0u);
+}
+
+TEST_F(ElManagerTest, ForwardingMovesLongLivedRecordsToNextGeneration) {
+  Build(TwoGenOptions(4, 8));
+  TxId tid = Begin(SecondsToSimTime(100));  // long-lived
+  // 4-block generation 0 (3 usable): ~60 x 100 B records overflow it and
+  // force head advances that must forward this transaction's records.
+  for (int i = 0; i < 80; ++i) manager_->WriteUpdate(tid, i, 100);
+  EXPECT_GT(manager_->records_forwarded(), 0);
+  EXPECT_EQ(kills_.killed.size(), 0u);
+  sim_.Run();
+  EXPECT_GT(device_->writes_completed(1), 0);  // generation 1 was written
+  manager_->CheckInvariants();
+}
+
+TEST_F(ElManagerTest, RecirculationKeepsActiveTransactionAlive) {
+  // Single-generation EL with recirculation: the paper's last-generation
+  // behaviour in isolation. A long-lived transaction's few records keep
+  // recirculating while short committed traffic around them becomes
+  // garbage — and the long transaction survives.
+  LogManagerOptions options;
+  options.generation_blocks = {6};
+  options.recirculation = true;
+  Build(options);
+  TxId keeper = Begin(SecondsToSimTime(100));
+  manager_->WriteUpdate(keeper, 900, 100);
+  manager_->WriteUpdate(keeper, 901, 100);
+  for (int round = 0; round < 40; ++round) {
+    TxId tid = Begin();
+    manager_->WriteUpdate(tid, round, 100);
+    manager_->WriteUpdate(tid, 100 + round, 100);
+    Commit(tid);
+    manager_->ForceWriteOpenBuffers();
+    sim_.Run();  // commit, flush, garbage-collect
+  }
+  EXPECT_GT(manager_->records_recirculated(), 0);
+  EXPECT_TRUE(kills_.killed.empty());
+  EXPECT_GE(manager_->ltt_size(), 1u);  // the keeper survives
+  manager_->CheckInvariants();
+}
+
+TEST_F(ElManagerTest, NoRecirculationKillsActiveTransactionAtHead) {
+  LogManagerOptions options;
+  options.generation_blocks = {6};
+  options.recirculation = false;
+  Build(options);
+  TxId victim = Begin(SecondsToSimTime(100));
+  manager_->WriteUpdate(victim, 999, 100);
+  // A second transaction floods the log; the victim's record reaches the
+  // head while the victim is still active.
+  TxId flooder = Begin(SecondsToSimTime(100));
+  for (int i = 0; i < 200 && kills_.killed.empty(); ++i) {
+    manager_->WriteUpdate(flooder, i, 100);
+  }
+  ASSERT_FALSE(kills_.killed.empty());
+  // The victim's record at the head dies first (the flooder may follow
+  // once it saturates the log by itself).
+  EXPECT_EQ(kills_.killed[0], victim);
+  EXPECT_GE(manager_->transactions_killed(), 1);
+  manager_->CheckInvariants();
+}
+
+TEST_F(ElManagerTest, SaturatedRecirculationKillsOldest) {
+  // Recirculation on, but the whole generation is non-garbage: the
+  // oldest transaction must be sacrificed.
+  LogManagerOptions options;
+  options.generation_blocks = {5};
+  options.recirculation = true;
+  Build(options);
+  TxId oldest = Begin(SecondsToSimTime(100));
+  manager_->WriteUpdate(oldest, 900, 100);
+  TxId filler = Begin(SecondsToSimTime(100));
+  for (int i = 0; i < 300 && kills_.killed.empty(); ++i) {
+    manager_->WriteUpdate(filler, i, 100);
+  }
+  ASSERT_FALSE(kills_.killed.empty());
+  EXPECT_EQ(kills_.killed[0], oldest);
+  manager_->CheckInvariants();
+}
+
+TEST_F(ElManagerTest, FlushOnDemandPolicySchedulesUrgentFlushes) {
+  // Naive §2.1 policy: no flush at commit; the committed record is
+  // flushed (urgently) when it reaches a generation head.
+  LogManagerOptions options;
+  options.generation_blocks = {4, 4};
+  options.unflushed_policy = UnflushedPolicy::kFlushOnDemand;
+  Build(options);
+  TxId tid = Begin();
+  manager_->WriteUpdate(tid, 77, 100);
+  Commit(tid);
+  manager_->ForceWriteOpenBuffers();
+  sim_.Run();
+  ASSERT_TRUE(IsCommitted(tid));
+  EXPECT_TRUE(flushes_.empty());  // nothing flushed at commit
+  // Flood generation 0 and 1 so the committed record reaches a head.
+  // The flooder itself may die of saturation; stop issuing then.
+  TxId flooder = Begin(SecondsToSimTime(100));
+  for (int i = 0; i < 200 && kills_.killed.empty(); ++i) {
+    manager_->WriteUpdate(flooder, i, 100);
+  }
+  sim_.Run();
+  EXPECT_GT(manager_->urgent_flushes(), 0);
+  EXPECT_FALSE(flushes_.empty());
+  manager_->CheckInvariants();
+}
+
+TEST_F(ElManagerTest, LifetimeHintsRouteLongTransactionsDirectly) {
+  LogManagerOptions options = TwoGenOptions(6, 8);
+  options.lifetime_hints = true;
+  options.hint_lifetime_threshold = SecondsToSimTime(5);
+  options.hint_target_generation = 1;
+  Build(options);
+  TxId long_tid = Begin(SecondsToSimTime(10));
+  manager_->WriteUpdate(long_tid, 1, 100);
+  TxId short_tid = Begin(SecondsToSimTime(1));
+  manager_->WriteUpdate(short_tid, 2, 100);
+  manager_->ForceWriteOpenBuffers();
+  sim_.Run();
+  // Both generations received direct writes.
+  EXPECT_GE(device_->writes_completed(0), 1);
+  EXPECT_GE(device_->writes_completed(1), 1);
+  manager_->CheckInvariants();
+}
+
+TEST_F(ElManagerTest, CommittingTransactionSurvivesSpacePressure) {
+  // A transaction inside its commit window (COMMIT queued but not yet
+  // durable) must never be chosen as a space victim: its COMMIT could
+  // reach disk anyway and resurrect as a phantom commit at recovery.
+  // Space pressure sacrifices the active flooder instead.
+  LogManagerOptions options;
+  options.generation_blocks = {6};
+  options.recirculation = true;
+  Build(options);
+  TxId tid = Begin(SecondsToSimTime(100));
+  manager_->WriteUpdate(tid, 1, 100);
+  Commit(tid);  // COMMIT sits in the open buffer, not yet durable
+  TxId flooder = Begin(SecondsToSimTime(100));
+  for (int i = 0; i < 300 && kills_.killed.empty(); ++i) {
+    manager_->WriteUpdate(flooder, i, 100);
+  }
+  ASSERT_FALSE(kills_.killed.empty());
+  EXPECT_EQ(kills_.killed[0], flooder);
+  sim_.Run();
+  EXPECT_TRUE(IsCommitted(tid));  // the committing transaction lands
+  EXPECT_EQ(manager_->unsafe_committing_kills(), 0);
+  manager_->CheckInvariants();
+}
+
+TEST_F(ElManagerTest, DiscardAccountingCountsGarbageOnly) {
+  Build(TwoGenOptions(4, 6));
+  // Short transactions whose records become garbage before head advance.
+  for (int round = 0; round < 30; ++round) {
+    TxId tid = Begin();
+    manager_->WriteUpdate(tid, round, 100);
+    Commit(tid);
+    manager_->ForceWriteOpenBuffers();
+    sim_.Run();
+  }
+  EXPECT_EQ(manager_->ltt_size(), 0u);
+  // Head advances discarded the garbage copies.
+  EXPECT_GT(manager_->records_discarded(), 0);
+  manager_->CheckInvariants();
+}
+
+TEST_F(ElManagerTest, InvariantsHoldThroughMixedWorkload) {
+  Build(TwoGenOptions(5, 5));
+  Rng rng(17);
+  std::vector<TxId> open;
+  for (int step = 0; step < 2000; ++step) {
+    double draw = rng.NextDouble();
+    if (open.empty() || draw < 0.3) {
+      open.push_back(Begin(SecondsToSimTime(1 + rng.NextBounded(20))));
+    } else if (draw < 0.8) {
+      TxId tid = open[rng.NextBounded(open.size())];
+      manager_->WriteUpdate(tid, rng.NextBounded(kObjects), 100);
+    } else {
+      size_t index = rng.NextBounded(open.size());
+      TxId tid = open[index];
+      open.erase(open.begin() + index);
+      if (draw < 0.9) {
+        Commit(tid);
+      } else {
+        manager_->Abort(tid);
+      }
+    }
+    // Kills may remove transactions behind our back; drop them.
+    for (TxId killed : kills_.killed) {
+      for (auto it = open.begin(); it != open.end(); ++it) {
+        if (*it == killed) {
+          open.erase(it);
+          break;
+        }
+      }
+    }
+    kills_.killed.clear();
+    if (step % 50 == 0) {
+      sim_.RunUntil(sim_.Now() + 10 * kMillisecond);
+      manager_->CheckInvariants();
+    }
+  }
+  manager_->ForceWriteOpenBuffers();
+  sim_.Run();
+  manager_->CheckInvariants();
+}
+
+}  // namespace
+}  // namespace elog

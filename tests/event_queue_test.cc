@@ -1,0 +1,167 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace elog {
+namespace sim {
+namespace {
+
+TEST(EventQueueTest, EmptyQueue) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.Schedule(30, [&] { fired.push_back(3); });
+  queue.Schedule(10, [&] { fired.push_back(1); });
+  queue.Schedule(20, [&] { fired.push_back(2); });
+  SimTime t;
+  while (!queue.empty()) queue.PopNext(&t)();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, ReportsFiringTime) {
+  EventQueue queue;
+  queue.Schedule(42, [] {});
+  EXPECT_EQ(queue.PeekTime(), 42);
+  SimTime t;
+  queue.PopNext(&t);
+  EXPECT_EQ(t, 42);
+}
+
+TEST(EventQueueTest, SimultaneousEventsFifo) {
+  EventQueue queue;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    queue.Schedule(5, [&fired, i] { fired.push_back(i); });
+  }
+  SimTime t;
+  while (!queue.empty()) queue.PopNext(&t)();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueueTest, CancelPreventsFiring) {
+  EventQueue queue;
+  bool fired = false;
+  EventId id = queue.Schedule(10, [&] { fired = true; });
+  queue.Schedule(20, [] {});
+  EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue.PeekTime(), 20);
+  SimTime t;
+  queue.PopNext(&t)();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueTest, DoubleCancelFails) {
+  EventQueue queue;
+  EventId id = queue.Schedule(10, [] {});
+  EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_FALSE(queue.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelAfterFireFails) {
+  EventQueue queue;
+  EventId id = queue.Schedule(10, [] {});
+  SimTime t;
+  queue.PopNext(&t);
+  EXPECT_FALSE(queue.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelInvalidIdFails) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.Cancel(kInvalidEventId));
+  EXPECT_FALSE(queue.Cancel(9999));
+}
+
+TEST(EventQueueTest, CancelAllLeavesEmpty) {
+  EventQueue queue;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 20; ++i) ids.push_back(queue.Schedule(i, [] {}));
+  for (EventId id : ids) EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueTest, InterleavedScheduleAndPop) {
+  EventQueue queue;
+  std::vector<SimTime> fire_times;
+  queue.Schedule(10, [] {});
+  queue.Schedule(5, [] {});
+  SimTime t;
+  queue.PopNext(&t);
+  fire_times.push_back(t);
+  queue.Schedule(7, [] {});
+  queue.Schedule(3, [] {});  // in the "past" — still pops first
+  while (!queue.empty()) {
+    queue.PopNext(&t);
+    fire_times.push_back(t);
+  }
+  EXPECT_EQ(fire_times, (std::vector<SimTime>{5, 3, 7, 10}));
+}
+
+TEST(EventQueueTest, HeavyCancellationChurn) {
+  // Lazy deletion must stay consistent through interleaved schedule /
+  // cancel / pop cycles.
+  EventQueue queue;
+  Rng rng(77);
+  std::vector<EventId> live;
+  int scheduled = 0;
+  int fired = 0;
+  int cancelled = 0;
+  SimTime now = 0;
+  for (int round = 0; round < 2000; ++round) {
+    uint64_t draw = rng.NextBounded(10);
+    if (draw < 5 || live.empty()) {
+      ++scheduled;
+      live.push_back(
+          queue.Schedule(now + 1 + static_cast<SimTime>(rng.NextBounded(50)),
+                         [&fired] { ++fired; }));
+    } else if (draw < 8) {
+      size_t index = rng.NextBounded(live.size());
+      // May fail if the event already fired during a pop — that is the
+      // contract being exercised.
+      if (queue.Cancel(live[index])) ++cancelled;
+      live.erase(live.begin() + index);
+    } else if (!queue.empty()) {
+      SimTime t;
+      queue.PopNext(&t)();
+      ASSERT_GE(t, now);
+      now = t;
+    }
+  }
+  while (!queue.empty()) {
+    SimTime t;
+    queue.PopNext(&t)();
+  }
+  // Everything scheduled either fired or was cancelled, exactly once.
+  EXPECT_EQ(fired + cancelled, scheduled);
+  EXPECT_GT(fired, 0);
+  EXPECT_GT(cancelled, 0);
+}
+
+TEST(EventQueueTest, LargeVolumeOrdered) {
+  EventQueue queue;
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    queue.Schedule(static_cast<SimTime>(rng.NextBounded(1000000)), [] {});
+  }
+  SimTime previous = -1;
+  SimTime t;
+  while (!queue.empty()) {
+    queue.PopNext(&t);
+    EXPECT_GE(t, previous);
+    previous = t;
+  }
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace elog

@@ -1,0 +1,67 @@
+// Smoke tests of the figure harness on shortened workloads (the full
+// 500 s sweeps live in bench/).
+
+#include "harness/figures.h"
+
+#include <gtest/gtest.h>
+
+namespace elog {
+namespace harness {
+namespace {
+
+TEST(FiguresTest, DefaultMixesMatchPaperRange) {
+  std::vector<double> mixes = DefaultMixes();
+  ASSERT_EQ(mixes.size(), 5u);
+  EXPECT_DOUBLE_EQ(mixes.front(), 0.05);
+  EXPECT_DOUBLE_EQ(mixes.back(), 0.40);
+}
+
+TEST(FiguresTest, PaperReferenceConstants) {
+  EXPECT_DOUBLE_EQ(PaperReference::kFwSpaceBlocksAt5, 123);
+  EXPECT_DOUBLE_EQ(PaperReference::kElSpaceBlocksAt5, 34);
+  EXPECT_DOUBLE_EQ(PaperReference::kFwBandwidthAt5, 11.63);
+  EXPECT_DOUBLE_EQ(PaperReference::kElRecircSpaceBlocks, 28);
+  EXPECT_DOUBLE_EQ(PaperReference::kScarceSeekDistance, 109000);
+}
+
+TEST(FiguresTest, MixSweepSmoke) {
+  workload::WorkloadSpec probe = workload::PaperMix(0.05);
+  LogManagerOptions base;
+  // One point at a short runtime: checks plumbing, not paper numbers.
+  std::vector<MixPoint> points;
+  {
+    workload::WorkloadSpec spec = probe;
+    spec.runtime = SecondsToSimTime(20);
+    MixPoint point;
+    point.long_fraction = 0.05;
+    point.fw = MinFirewallSpace(MakeFirewallOptions(8, base), spec);
+    LogManagerOptions el = base;
+    el.recirculation = false;
+    point.el = MinElSpace(el, spec, 4, 24);
+    points.push_back(point);
+  }
+  const MixPoint& point = points[0];
+  EXPECT_GT(point.fw.total_blocks, point.el.total_blocks);
+  EXPECT_EQ(point.fw.stats.kills, 0);
+  EXPECT_EQ(point.el.stats.kills, 0);
+  EXPECT_EQ(point.el.generation_blocks.size(), 2u);
+}
+
+TEST(FiguresTest, ScarceFlushSmoke) {
+  workload::WorkloadSpec spec = workload::PaperMix(0.05);
+  spec.runtime = SecondsToSimTime(30);
+  LogManagerOptions base;
+  ScarceFlushResult result = RunScarceFlush(base, spec);
+  EXPECT_EQ(result.scarce.generation_blocks[0], 20u);
+  EXPECT_EQ(result.scarce.stats.kills, 0);
+  // The locality signature: scarce flushing produces smaller seeks.
+  EXPECT_LT(result.scarce.stats.mean_flush_seek_distance,
+            result.normal_stats.mean_flush_seek_distance);
+  // And a larger backlog.
+  EXPECT_GE(result.scarce.stats.flush_backlog,
+            result.normal_stats.flush_backlog);
+}
+
+}  // namespace
+}  // namespace harness
+}  // namespace elog

@@ -1,0 +1,156 @@
+#include "disk/flush_drive.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace elog {
+namespace disk {
+namespace {
+
+constexpr SimTime kTransfer = 25 * kMillisecond;
+
+class FlushDriveTest : public ::testing::Test {
+ protected:
+  FlushDriveTest() : drive_(&sim_, 0, 0, 1000, kTransfer, &metrics_) {}
+
+  FlushRequest Request(Oid oid) {
+    FlushRequest request;
+    request.oid = oid;
+    request.lsn = next_lsn_++;
+    request.on_durable = [this](const FlushRequest& r) {
+      serviced_.push_back(r.oid);
+    };
+    return request;
+  }
+
+  sim::Simulator sim_;
+  sim::MetricsRegistry metrics_;
+  FlushDrive drive_;
+  Lsn next_lsn_ = 1;
+  std::vector<Oid> serviced_;
+};
+
+TEST_F(FlushDriveTest, SingleRequestTakesTransferTime) {
+  SimTime done = -1;
+  FlushRequest request = Request(10);
+  request.on_durable = [&](const FlushRequest&) { done = sim_.Now(); };
+  drive_.Enqueue(std::move(request));
+  sim_.Run();
+  EXPECT_EQ(done, kTransfer);
+  EXPECT_EQ(drive_.flushes_completed(), 1);
+}
+
+TEST_F(FlushDriveTest, ShortestSeekFirst) {
+  // Head starts at 0. Enqueue 900 (circular distance 100) and 400
+  // (distance 400): 900 must be serviced first.
+  drive_.Enqueue(Request(400));
+  drive_.Enqueue(Request(900));
+  sim_.RunUntil(1);  // let the first dispatch happen; nothing completes yet
+  sim_.Run();
+  ASSERT_EQ(serviced_.size(), 2u);
+  // The first dispatched request was chosen before 900 arrived (the drive
+  // was idle when 400 arrived), so 400 goes first here.
+  EXPECT_EQ(serviced_[0], 400u);
+}
+
+TEST_F(FlushDriveTest, NearestPendingChosenWhenBusy) {
+  drive_.Enqueue(Request(100));  // starts service immediately, head -> 100
+  drive_.Enqueue(Request(500));
+  drive_.Enqueue(Request(150));
+  drive_.Enqueue(Request(990));  // circular distance from 100 is 110
+  sim_.Run();
+  ASSERT_EQ(serviced_.size(), 4u);
+  EXPECT_EQ(serviced_[0], 100u);
+  EXPECT_EQ(serviced_[1], 150u);  // nearest to 100
+  EXPECT_EQ(serviced_[2], 990u);  // wraparound beats 500
+  EXPECT_EQ(serviced_[3], 500u);
+}
+
+TEST_F(FlushDriveTest, WraparoundDistanceUsed) {
+  // From 0, oid 999 is distance 1 (the range wraps, §3 of the paper).
+  drive_.Enqueue(Request(1));    // head -> 1 after service starts
+  drive_.Enqueue(Request(999));
+  drive_.Enqueue(Request(300));
+  sim_.Run();
+  ASSERT_EQ(serviced_.size(), 3u);
+  EXPECT_EQ(serviced_[1], 999u);
+}
+
+TEST_F(FlushDriveTest, SeekDistanceStatsRecorded) {
+  drive_.Enqueue(Request(100));
+  drive_.Enqueue(Request(300));
+  sim_.Run();
+  EXPECT_EQ(drive_.seek_distances().count(), 2u);
+  // First seek: 0 -> 100 (distance 100); then 100 -> 300 (distance 200).
+  EXPECT_DOUBLE_EQ(drive_.seek_distances().mean(), 150.0);
+}
+
+TEST_F(FlushDriveTest, UrgentServicedBeforePending) {
+  drive_.Enqueue(Request(10));  // in service
+  drive_.Enqueue(Request(11));
+  drive_.Enqueue(Request(12));
+  FlushRequest urgent = Request(800);
+  drive_.EnqueueUrgent(std::move(urgent));
+  sim_.Run();
+  ASSERT_EQ(serviced_.size(), 4u);
+  EXPECT_EQ(serviced_[1], 800u);  // urgent jumps the locality queue
+}
+
+TEST_F(FlushDriveTest, OneRequestInServiceAtATime) {
+  for (Oid oid = 0; oid < 5; ++oid) drive_.Enqueue(Request(oid * 7));
+  sim_.Run();
+  EXPECT_EQ(serviced_.size(), 5u);
+  // Five serial transfers.
+  EXPECT_EQ(sim_.Now(), 5 * kTransfer);
+}
+
+TEST_F(FlushDriveTest, DuplicateOidsAllowed) {
+  drive_.Enqueue(Request(42));
+  drive_.Enqueue(Request(42));
+  drive_.Enqueue(Request(42));
+  sim_.Run();
+  EXPECT_EQ(serviced_.size(), 3u);
+}
+
+TEST_F(FlushDriveTest, PendingCountTracksBacklog) {
+  EXPECT_EQ(drive_.pending(), 0u);
+  drive_.Enqueue(Request(1));  // goes straight into service
+  drive_.Enqueue(Request(2));
+  drive_.Enqueue(Request(3));
+  EXPECT_EQ(drive_.pending(), 2u);
+  sim_.Run();
+  EXPECT_EQ(drive_.pending(), 0u);
+}
+
+TEST_F(FlushDriveTest, UrgentRequestsAreFifoAmongThemselves) {
+  // Urgent requests model eviction/compensation ordering: a compensation
+  // enqueued after its steal must land after it, so the urgent queue must
+  // be strictly FIFO (no locality re-ordering).
+  drive_.Enqueue(Request(500));  // occupies the drive
+  drive_.EnqueueUrgent(Request(900));
+  drive_.EnqueueUrgent(Request(10));   // nearer the head, but later
+  drive_.EnqueueUrgent(Request(450));
+  sim_.Run();
+  ASSERT_EQ(serviced_.size(), 4u);
+  EXPECT_EQ(serviced_[1], 900u);
+  EXPECT_EQ(serviced_[2], 10u);
+  EXPECT_EQ(serviced_[3], 450u);
+}
+
+TEST_F(FlushDriveTest, UrgentSeekDistancesCounted) {
+  FlushRequest request = Request(100);
+  drive_.EnqueueUrgent(std::move(request));
+  sim_.Run();
+  EXPECT_EQ(drive_.seek_distances().count(), 1u);
+  EXPECT_DOUBLE_EQ(drive_.seek_distances().mean(), 100.0);
+}
+
+TEST_F(FlushDriveTest, OutOfRangeOidChecks) {
+  EXPECT_DEATH(drive_.Enqueue(Request(1000)), "");
+  EXPECT_DEATH(drive_.EnqueueUrgent(Request(5000)), "");
+}
+
+}  // namespace
+}  // namespace disk
+}  // namespace elog

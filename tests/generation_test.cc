@@ -1,0 +1,145 @@
+#include "core/generation.h"
+
+#include <gtest/gtest.h>
+
+namespace elog {
+namespace {
+
+wal::LogRecord Record(Lsn lsn) { return wal::LogRecord::MakeBegin(1, lsn); }
+
+TEST(GenerationTest, InitialState) {
+  Generation gen(0, 8);
+  EXPECT_EQ(gen.index(), 0u);
+  EXPECT_EQ(gen.num_blocks(), 8u);
+  EXPECT_EQ(gen.head_slot(), 0u);
+  EXPECT_EQ(gen.tail_slot(), 0u);
+  EXPECT_EQ(gen.used_blocks(), 0u);
+  EXPECT_EQ(gen.free_blocks(), 7u);  // tail slot always reserved
+  EXPECT_FALSE(gen.has_open_builder());
+  EXPECT_TRUE(gen.cells().empty());
+}
+
+TEST(GenerationTest, OpenBuilderTargetsTail) {
+  Generation gen(0, 4);
+  gen.OpenBuilder();
+  EXPECT_TRUE(gen.has_open_builder());
+  EXPECT_EQ(gen.builder_slot(), 0u);
+  EXPECT_TRUE(gen.builder().empty());
+}
+
+TEST(GenerationTest, CloseAdvancesTailAndUsed) {
+  Generation gen(0, 4);
+  gen.OpenBuilder();
+  gen.builder().Add(Record(1));
+  Generation::ClosedBuffer closed = gen.CloseBuilder(10);
+  EXPECT_EQ(closed.slot, 0u);
+  EXPECT_FALSE(gen.has_open_builder());
+  EXPECT_EQ(gen.tail_slot(), 1u);
+  EXPECT_EQ(gen.used_blocks(), 1u);
+  EXPECT_EQ(gen.free_blocks(), 2u);
+  auto decoded = wal::DecodeBlock(closed.image);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->write_seq, 10u);
+  EXPECT_EQ(decoded->records.size(), 1u);
+}
+
+TEST(GenerationTest, CommitTidsHandedOverOnClose) {
+  Generation gen(0, 4);
+  gen.OpenBuilder();
+  gen.builder().Add(Record(1));
+  gen.pending_commit_tids().push_back(42);
+  gen.pending_commit_tids().push_back(43);
+  Generation::ClosedBuffer closed = gen.CloseBuilder(1);
+  EXPECT_EQ(closed.commit_tids, (std::vector<TxId>{42, 43}));
+  gen.OpenBuilder();
+  EXPECT_TRUE(gen.pending_commit_tids().empty());
+}
+
+TEST(GenerationTest, TailWrapsCircularly) {
+  Generation gen(0, 3);
+  for (uint32_t i = 0; i < 2; ++i) {
+    gen.OpenBuilder();
+    gen.builder().Add(Record(i));
+    gen.CloseBuilder(i);
+  }
+  EXPECT_EQ(gen.tail_slot(), 2u);
+  EXPECT_EQ(gen.free_blocks(), 0u);
+  gen.AdvanceHead();  // frees slot 0
+  EXPECT_EQ(gen.head_slot(), 1u);
+  gen.OpenBuilder();
+  gen.builder().Add(Record(9));
+  gen.CloseBuilder(9);
+  EXPECT_EQ(gen.tail_slot(), 0u);  // wrapped
+}
+
+TEST(GenerationTest, BuilderEpochChangesOnOpenAndClose) {
+  Generation gen(0, 4);
+  uint64_t e0 = gen.builder_epoch();
+  gen.OpenBuilder();
+  uint64_t e1 = gen.builder_epoch();
+  EXPECT_NE(e0, e1);
+  gen.builder().Add(Record(1));
+  gen.CloseBuilder(1);
+  EXPECT_NE(gen.builder_epoch(), e1);
+}
+
+TEST(GenerationTest, SlotRecordAccounting) {
+  Generation gen(0, 4);
+  gen.NoteRecordAdded(0);
+  gen.NoteRecordAdded(0);
+  gen.NoteRecordAdded(1);
+  EXPECT_EQ(gen.slot_records(0), 2u);
+  gen.NoteRecordRemoved(0);
+  EXPECT_EQ(gen.slot_records(0), 1u);
+  EXPECT_EQ(gen.TakeSlotRecords(0), 1u);
+  EXPECT_EQ(gen.slot_records(0), 0u);
+  EXPECT_EQ(gen.slot_records(1), 1u);
+}
+
+TEST(GenerationTest, LiveCountAccounting) {
+  Generation gen(0, 4);
+  gen.AddLive(2);
+  gen.AddLive(2);
+  EXPECT_EQ(gen.live_count(2), 2u);
+  gen.RemoveLive(2);
+  EXPECT_EQ(gen.live_count(2), 1u);
+}
+
+TEST(GenerationDeathTest, CloseEmptyBuilderChecks) {
+  Generation gen(0, 4);
+  gen.OpenBuilder();
+  EXPECT_DEATH(gen.CloseBuilder(1), "empty");
+}
+
+TEST(GenerationDeathTest, CloseWithoutFreeSlotChecks) {
+  Generation gen(0, 2);  // 1 usable + reserved tail
+  gen.OpenBuilder();
+  gen.builder().Add(Record(1));
+  gen.CloseBuilder(1);
+  gen.OpenBuilder();
+  gen.builder().Add(Record(2));
+  EXPECT_DEATH(gen.CloseBuilder(2), "no slot");
+}
+
+TEST(GenerationDeathTest, DoubleOpenChecks) {
+  Generation gen(0, 4);
+  gen.OpenBuilder();
+  EXPECT_DEATH(gen.OpenBuilder(), "");
+}
+
+TEST(GenerationDeathTest, AdvanceEmptyHeadChecks) {
+  Generation gen(0, 4);
+  EXPECT_DEATH(gen.AdvanceHead(), "");
+}
+
+TEST(GenerationDeathTest, AdvanceOverLiveRecordsChecks) {
+  Generation gen(0, 4);
+  gen.OpenBuilder();
+  gen.builder().Add(Record(1));
+  gen.CloseBuilder(1);
+  gen.AddLive(0);
+  EXPECT_DEATH(gen.AdvanceHead(), "live firewall records");
+}
+
+}  // namespace
+}  // namespace elog

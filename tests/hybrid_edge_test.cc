@@ -1,0 +1,170 @@
+// Additional hybrid-manager edge cases: residence-following appends,
+// marker integrity across migrations, commit-window protection, and
+// memory-gauge behavior.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/hybrid_manager.h"
+
+namespace elog {
+namespace {
+
+class RecordingKillListener : public KillListener {
+ public:
+  void OnTransactionKilled(TxId tid) override { killed.push_back(tid); }
+  std::vector<TxId> killed;
+};
+
+class HybridEdgeTest : public ::testing::Test {
+ protected:
+  void Build(LogManagerOptions options) {
+    options.num_objects = 1000;
+    storage_ = std::make_unique<disk::LogStorage>(options.generation_blocks);
+    device_ = std::make_unique<disk::LogDevice>(
+        &sim_, storage_.get(), options.log_write_latency, nullptr);
+    drives_ = std::make_unique<disk::DriveArray>(
+        &sim_, options.num_flush_drives, options.num_objects,
+        options.flush_transfer_time, nullptr);
+    manager_ = std::make_unique<HybridLogManager>(
+        &sim_, options, device_.get(), drives_.get(), nullptr);
+    manager_->set_kill_listener(&kills_);
+  }
+
+  TxId Begin(SimTime lifetime = SecondsToSimTime(1)) {
+    workload::TransactionType type;
+    type.lifetime = lifetime;
+    return manager_->BeginTransaction(type);
+  }
+
+  void Churn(int rounds) {
+    for (int round = 0; round < rounds; ++round) {
+      TxId tid = Begin();
+      manager_->WriteUpdate(tid, round % 900, 100);
+      manager_->Commit(tid, [](TxId) {});
+      manager_->ForceWriteOpenBuffers();
+      sim_.Run();
+    }
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<disk::LogStorage> storage_;
+  std::unique_ptr<disk::LogDevice> device_;
+  std::unique_ptr<disk::DriveArray> drives_;
+  std::unique_ptr<HybridLogManager> manager_;
+  RecordingKillListener kills_;
+};
+
+TEST_F(HybridEdgeTest, PostMigrationWritesFollowResidence) {
+  LogManagerOptions options;
+  options.generation_blocks = {4, 16};
+  Build(options);
+  TxId keeper = Begin(SecondsToSimTime(1000));
+  manager_->WriteUpdate(keeper, 990, 100);
+  // Churn until the keeper migrates to generation 1.
+  int64_t before = manager_->migrations();
+  Churn(30);
+  ASSERT_GT(manager_->migrations(), before);
+  // New records of the keeper must land in generation 1 directly.
+  int64_t gen1_writes_before = device_->writes_completed(1);
+  for (int i = 0; i < 30; ++i) manager_->WriteUpdate(keeper, 900 + i, 100);
+  manager_->ForceWriteOpenBuffers();
+  sim_.Run();
+  EXPECT_GT(device_->writes_completed(1), gen1_writes_before);
+  EXPECT_TRUE(kills_.killed.empty());
+  manager_->CheckInvariants();
+}
+
+TEST_F(HybridEdgeTest, CommittingTransactionNotAVictim) {
+  LogManagerOptions options;
+  options.generation_blocks = {6};
+  options.recirculation = true;
+  Build(options);
+  TxId tid = Begin(SecondsToSimTime(100));
+  manager_->WriteUpdate(tid, 1, 100);
+  bool acked = false;
+  manager_->Commit(tid, [&](TxId) { acked = true; });
+  TxId flooder = Begin(SecondsToSimTime(100));
+  for (int i = 0; i < 300 && kills_.killed.empty(); ++i) {
+    manager_->WriteUpdate(flooder, i % 900, 100);
+  }
+  ASSERT_FALSE(kills_.killed.empty());
+  EXPECT_EQ(kills_.killed[0], flooder);
+  sim_.Run();
+  EXPECT_TRUE(acked);
+  EXPECT_EQ(manager_->unsafe_committing_kills(), 0);
+  manager_->CheckInvariants();
+}
+
+TEST_F(HybridEdgeTest, MemoryGaugeFollowsTableSize) {
+  LogManagerOptions options;
+  options.generation_blocks = {18, 18};
+  Build(options);
+  EXPECT_DOUBLE_EQ(manager_->modeled_memory_bytes(), 0.0);
+  TxId a = Begin();
+  TxId b = Begin();
+  EXPECT_DOUBLE_EQ(manager_->modeled_memory_bytes(), 80.0);
+  manager_->Abort(a);
+  EXPECT_DOUBLE_EQ(manager_->modeled_memory_bytes(), 40.0);
+  manager_->Commit(b, [](TxId) {});
+  manager_->ForceWriteOpenBuffers();
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(manager_->modeled_memory_bytes(), 0.0);
+  EXPECT_EQ(manager_->memory_usage().peak(), 80.0);
+}
+
+TEST_F(HybridEdgeTest, ZeroUpdateCommitReleasesImmediately) {
+  LogManagerOptions options;
+  options.generation_blocks = {6, 6};
+  Build(options);
+  TxId tid = Begin();
+  bool acked = false;
+  manager_->Commit(tid, [&](TxId) { acked = true; });
+  manager_->ForceWriteOpenBuffers();
+  sim_.Run();
+  EXPECT_TRUE(acked);
+  EXPECT_EQ(manager_->table_size(), 0u);
+  manager_->CheckInvariants();
+}
+
+TEST_F(HybridEdgeTest, UnknownTidChecks) {
+  LogManagerOptions options;
+  options.generation_blocks = {6, 6};
+  Build(options);
+  EXPECT_DEATH(manager_->WriteUpdate(77, 1, 100), "unknown tid");
+  EXPECT_DEATH(manager_->Commit(77, [](TxId) {}), "unknown tid");
+  EXPECT_DEATH(manager_->Abort(77), "unknown tid");
+}
+
+TEST_F(HybridEdgeTest, DiscardedGarbageAccounted) {
+  LogManagerOptions options;
+  options.generation_blocks = {5, 6};
+  Build(options);
+  Churn(40);
+  // Committed-and-flushed records became garbage and were discarded as
+  // heads advanced through the tiny generation 0.
+  EXPECT_GT(manager_->records_appended(), 100);
+  EXPECT_TRUE(kills_.killed.empty());
+  manager_->CheckInvariants();
+}
+
+TEST_F(HybridEdgeTest, WholeTransactionBandwidthScalesWithRecordCount) {
+  // Regeneration cost is proportional to the transaction's record count:
+  // a 12-update transaction's migration rewrites >= 13 records.
+  LogManagerOptions options;
+  options.generation_blocks = {4, 20};
+  Build(options);
+  TxId wide = Begin(SecondsToSimTime(1000));
+  for (int i = 0; i < 12; ++i) manager_->WriteUpdate(wide, 900 + i, 100);
+  int64_t regenerated_before = manager_->records_regenerated();
+  int64_t migrations_before = manager_->migrations();
+  Churn(30);
+  ASSERT_GT(manager_->migrations(), migrations_before);
+  EXPECT_GE(manager_->records_regenerated() - regenerated_before, 13);
+  manager_->CheckInvariants();
+}
+
+}  // namespace
+}  // namespace elog

@@ -1,0 +1,169 @@
+#include "util/intrusive_list.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace elog {
+namespace {
+
+struct Item {
+  explicit Item(int v) : value(v) {}
+  ListNode link;
+  int value;
+};
+
+using List = IntrusiveCircularList<Item, &Item::link>;
+
+std::vector<int> Values(const List& list) {
+  std::vector<int> out;
+  for (const Item& item : list) out.push_back(item.value);
+  return out;
+}
+
+TEST(IntrusiveListTest, EmptyList) {
+  List list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.front(), nullptr);
+  EXPECT_EQ(list.back(), nullptr);
+}
+
+TEST(IntrusiveListTest, SingleElement) {
+  List list;
+  Item a(1);
+  list.PushBack(&a);
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.front(), &a);
+  EXPECT_EQ(list.back(), &a);
+  // Circular: next/prev of a single node is itself.
+  EXPECT_EQ(list.Next(&a), &a);
+  EXPECT_EQ(list.Prev(&a), &a);
+}
+
+TEST(IntrusiveListTest, PushBackPreservesOrder) {
+  List list;
+  Item a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  EXPECT_EQ(Values(list), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(list.front(), &a);
+  EXPECT_EQ(list.back(), &c);
+}
+
+TEST(IntrusiveListTest, CircularWrapAround) {
+  // The paper's h_i trick: the tail is the head's predecessor.
+  List list;
+  Item a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  EXPECT_EQ(list.Prev(list.front()), list.back());
+  EXPECT_EQ(list.Next(list.back()), list.front());
+}
+
+TEST(IntrusiveListTest, PushFront) {
+  List list;
+  Item a(1), b(2), c(3);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  list.PushFront(&a);
+  EXPECT_EQ(Values(list), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(list.front(), &a);
+}
+
+TEST(IntrusiveListTest, RemoveMiddle) {
+  List list;
+  Item a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  list.Remove(&b);
+  EXPECT_EQ(Values(list), (std::vector<int>{1, 3}));
+  EXPECT_FALSE(b.link.linked());
+}
+
+TEST(IntrusiveListTest, RemoveHeadAdvancesFront) {
+  List list;
+  Item a(1), b(2);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.Remove(&a);
+  EXPECT_EQ(list.front(), &b);
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(IntrusiveListTest, RemoveLastElementEmptiesList) {
+  List list;
+  Item a(1);
+  list.PushBack(&a);
+  list.Remove(&a);
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.front(), nullptr);
+}
+
+TEST(IntrusiveListTest, RemoveTailUpdatesBack) {
+  List list;
+  Item a(1), b(2);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.Remove(&b);
+  EXPECT_EQ(list.back(), &a);
+}
+
+TEST(IntrusiveListTest, MoveToBackIsRecirculation) {
+  List list;
+  Item a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  list.MoveToBack(&a);  // head record recirculated to the tail
+  EXPECT_EQ(Values(list), (std::vector<int>{2, 3, 1}));
+  EXPECT_EQ(list.front(), &b);
+  EXPECT_EQ(list.back(), &a);
+}
+
+TEST(IntrusiveListTest, ReinsertAfterRemove) {
+  List list;
+  Item a(1), b(2);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.Remove(&a);
+  list.PushBack(&a);
+  EXPECT_EQ(Values(list), (std::vector<int>{2, 1}));
+}
+
+TEST(IntrusiveListTest, ManyElementsStressOrder) {
+  List list;
+  std::vector<Item> items;
+  items.reserve(1000);
+  for (int i = 0; i < 1000; ++i) items.emplace_back(i);
+  for (auto& item : items) list.PushBack(&item);
+  EXPECT_EQ(list.size(), 1000u);
+  // Remove evens, then verify odds remain in order.
+  for (auto& item : items) {
+    if (item.value % 2 == 0) list.Remove(&item);
+  }
+  std::vector<int> values = Values(list);
+  ASSERT_EQ(values.size(), 500u);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(values[i], static_cast<int>(2 * i + 1));
+  }
+}
+
+TEST(IntrusiveListDeathTest, DoublePushChecks) {
+  List list;
+  Item a(1);
+  list.PushBack(&a);
+  EXPECT_DEATH(list.PushBack(&a), "already on a list");
+}
+
+TEST(IntrusiveListDeathTest, RemoveUnlinkedChecks) {
+  List list;
+  Item a(1);
+  EXPECT_DEATH(list.Remove(&a), "not on a list");
+}
+
+}  // namespace
+}  // namespace elog

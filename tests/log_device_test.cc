@@ -1,0 +1,119 @@
+#include "disk/log_device.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace elog {
+namespace disk {
+namespace {
+
+constexpr SimTime kLatency = 15 * kMillisecond;
+
+wal::BlockImage MakeImage(uint64_t seq) {
+  return wal::EncodeBlock(0, seq, {});
+}
+
+class LogDeviceTest : public ::testing::Test {
+ protected:
+  LogDeviceTest() : storage_({4, 4}), device_(&sim_, &storage_, kLatency, &metrics_) {}
+
+  sim::Simulator sim_;
+  sim::MetricsRegistry metrics_;
+  LogStorage storage_;
+  LogDevice device_;
+};
+
+TEST_F(LogDeviceTest, WriteTakesFixedLatency) {
+  SimTime durable_at = -1;
+  device_.Submit({{0, 1}, MakeImage(1), [&] { durable_at = sim_.Now(); }});
+  EXPECT_FALSE(storage_.IsWritten({0, 1}));  // not durable yet
+  sim_.Run();
+  EXPECT_EQ(durable_at, kLatency);
+  EXPECT_TRUE(storage_.IsWritten({0, 1}));
+  EXPECT_EQ(device_.writes_completed(), 1);
+}
+
+TEST_F(LogDeviceTest, WritesAreSerialized) {
+  std::vector<SimTime> completions;
+  for (uint32_t slot = 0; slot < 3; ++slot) {
+    device_.Submit({{0, slot}, MakeImage(slot),
+                    [&] { completions.push_back(sim_.Now()); }});
+  }
+  sim_.Run();
+  // One at a time: 15, 30, 45 ms.
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0], kLatency);
+  EXPECT_EQ(completions[1], 2 * kLatency);
+  EXPECT_EQ(completions[2], 3 * kLatency);
+}
+
+TEST_F(LogDeviceTest, FifoOrderAcrossGenerations) {
+  std::vector<uint32_t> order;
+  device_.Submit({{1, 0}, MakeImage(1), [&] { order.push_back(1); }});
+  device_.Submit({{0, 0}, MakeImage(2), [&] { order.push_back(0); }});
+  sim_.Run();
+  EXPECT_EQ(order, (std::vector<uint32_t>{1, 0}));
+}
+
+TEST_F(LogDeviceTest, PerGenerationCounters) {
+  device_.Submit({{0, 0}, MakeImage(1), nullptr});
+  device_.Submit({{0, 1}, MakeImage(2), nullptr});
+  device_.Submit({{1, 0}, MakeImage(3), nullptr});
+  sim_.Run();
+  EXPECT_EQ(device_.writes_completed(), 3);
+  EXPECT_EQ(device_.writes_completed(0), 2);
+  EXPECT_EQ(device_.writes_completed(1), 1);
+  EXPECT_EQ(metrics_.Counter("log_device.writes"), 3);
+  EXPECT_EQ(metrics_.Counter("log_device.writes.gen0"), 2);
+}
+
+TEST_F(LogDeviceTest, InServiceReportsAddress) {
+  BlockAddress address;
+  EXPECT_FALSE(device_.InService(&address));
+  device_.Submit({{1, 2}, MakeImage(1), nullptr});
+  ASSERT_TRUE(device_.InService(&address));
+  EXPECT_EQ(address.generation, 1u);
+  EXPECT_EQ(address.slot, 2u);
+  sim_.Run();
+  EXPECT_FALSE(device_.InService(&address));
+}
+
+TEST_F(LogDeviceTest, BusyReflectsQueue) {
+  EXPECT_FALSE(device_.busy());
+  device_.Submit({{0, 0}, MakeImage(1), nullptr});
+  device_.Submit({{0, 1}, MakeImage(2), nullptr});
+  EXPECT_TRUE(device_.busy());
+  sim_.Run();
+  EXPECT_FALSE(device_.busy());
+}
+
+TEST_F(LogDeviceTest, CompletionMaySubmitMoreWrites) {
+  std::vector<SimTime> completions;
+  device_.Submit({{0, 0}, MakeImage(1), [&] {
+    completions.push_back(sim_.Now());
+    device_.Submit({{0, 1}, MakeImage(2),
+                    [&] { completions.push_back(sim_.Now()); }});
+  }});
+  sim_.Run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_EQ(completions[1], 2 * kLatency);
+}
+
+TEST_F(LogDeviceTest, SameSlotLastWriteWins) {
+  device_.Submit({{0, 0}, MakeImage(1), nullptr});
+  device_.Submit({{0, 0}, MakeImage(2), nullptr});
+  sim_.Run();
+  auto decoded = wal::DecodeBlock(*storage_.Get({0, 0}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->write_seq, 2u);
+}
+
+TEST_F(LogDeviceTest, SubmitOutOfRangeChecks) {
+  EXPECT_DEATH(device_.Submit({{2, 0}, MakeImage(1), nullptr}), "");
+  EXPECT_DEATH(device_.Submit({{0, 9}, MakeImage(1), nullptr}), "");
+}
+
+}  // namespace
+}  // namespace disk
+}  // namespace elog

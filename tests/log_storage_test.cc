@@ -1,0 +1,85 @@
+#include "disk/log_storage.h"
+
+#include <gtest/gtest.h>
+
+namespace elog {
+namespace disk {
+namespace {
+
+wal::BlockImage MakeImage(Lsn lsn) {
+  return wal::EncodeBlock(0, lsn, {wal::LogRecord::MakeBegin(1, lsn)});
+}
+
+TEST(LogStorageTest, FreshSlotsUnwritten) {
+  LogStorage storage({4, 2});
+  EXPECT_EQ(storage.num_generations(), 2u);
+  EXPECT_EQ(storage.generation_size(0), 4u);
+  EXPECT_EQ(storage.generation_size(1), 2u);
+  EXPECT_EQ(storage.total_blocks(), 6u);
+  EXPECT_FALSE(storage.IsWritten({0, 0}));
+  EXPECT_EQ(storage.Get({1, 1}), nullptr);
+}
+
+TEST(LogStorageTest, PutThenGet) {
+  LogStorage storage({3});
+  wal::BlockImage image = MakeImage(7);
+  storage.Put({0, 1}, image);
+  ASSERT_TRUE(storage.IsWritten({0, 1}));
+  EXPECT_EQ(*storage.Get({0, 1}), image);
+  EXPECT_FALSE(storage.IsWritten({0, 0}));
+}
+
+TEST(LogStorageTest, OverwriteReplaces) {
+  LogStorage storage({2});
+  storage.Put({0, 0}, MakeImage(1));
+  wal::BlockImage second = MakeImage(2);
+  storage.Put({0, 0}, second);
+  EXPECT_EQ(*storage.Get({0, 0}), second);
+}
+
+TEST(LogStorageTest, GenerationBlocksInSlotOrder) {
+  LogStorage storage({3});
+  storage.Put({0, 2}, MakeImage(9));
+  auto blocks = storage.GenerationBlocks(0);
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0], nullptr);
+  EXPECT_EQ(blocks[1], nullptr);
+  ASSERT_NE(blocks[2], nullptr);
+}
+
+TEST(LogStorageTest, CloneIsDeep) {
+  LogStorage storage({2});
+  storage.Put({0, 0}, MakeImage(1));
+  LogStorage snapshot = storage.Clone();
+  storage.Put({0, 0}, MakeImage(2));
+  storage.Put({0, 1}, MakeImage(3));
+  // The snapshot still sees the old state.
+  ASSERT_TRUE(snapshot.IsWritten({0, 0}));
+  auto decoded = wal::DecodeBlock(*snapshot.Get({0, 0}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->write_seq, 1u);
+  EXPECT_FALSE(snapshot.IsWritten({0, 1}));
+}
+
+TEST(LogStorageTest, CorruptBlockFailsDecode) {
+  LogStorage storage({1});
+  storage.Put({0, 0}, MakeImage(1));
+  storage.CorruptBlock({0, 0});
+  ASSERT_TRUE(storage.IsWritten({0, 0}));
+  EXPECT_FALSE(wal::DecodeBlock(*storage.Get({0, 0})).ok());
+}
+
+TEST(LogStorageDeathTest, OutOfRangeChecks) {
+  LogStorage storage({2});
+  EXPECT_DEATH(storage.Put({1, 0}, {}), "");
+  EXPECT_DEATH(storage.Put({0, 2}, {}), "");
+  EXPECT_DEATH((void)storage.generation_size(5), "");
+}
+
+TEST(LogStorageDeathTest, EmptyGenerationRejected) {
+  EXPECT_DEATH(LogStorage({3, 0}), "at least one block");
+}
+
+}  // namespace
+}  // namespace disk
+}  // namespace elog

@@ -1,0 +1,60 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace elog {
+namespace sim {
+namespace {
+
+TEST(MetricsRegistryTest, CountersStartAtZero) {
+  MetricsRegistry metrics;
+  EXPECT_EQ(metrics.Counter("never.touched"), 0);
+}
+
+TEST(MetricsRegistryTest, IncrAccumulates) {
+  MetricsRegistry metrics;
+  metrics.Incr("writes");
+  metrics.Incr("writes", 4);
+  metrics.Incr("writes", -2);
+  EXPECT_EQ(metrics.Counter("writes"), 3);
+}
+
+TEST(MetricsRegistryTest, CountersAreIndependent) {
+  MetricsRegistry metrics;
+  metrics.Incr("a");
+  metrics.Incr("b", 10);
+  EXPECT_EQ(metrics.Counter("a"), 1);
+  EXPECT_EQ(metrics.Counter("b"), 10);
+}
+
+TEST(MetricsRegistryTest, ObserveFeedsDistribution) {
+  MetricsRegistry metrics;
+  for (int i = 1; i <= 100; ++i) metrics.Observe("latency", i);
+  const Histogram& hist = metrics.Distribution("latency");
+  EXPECT_EQ(hist.count(), 100u);
+  EXPECT_DOUBLE_EQ(hist.mean(), 50.5);
+}
+
+TEST(MetricsRegistryTest, ResetClearsEverything) {
+  MetricsRegistry metrics;
+  metrics.Incr("x");
+  metrics.Observe("y", 1.0);
+  metrics.Reset();
+  EXPECT_EQ(metrics.Counter("x"), 0);
+  EXPECT_TRUE(metrics.counters().empty());
+  EXPECT_TRUE(metrics.distributions().empty());
+}
+
+TEST(MetricsRegistryTest, ToStringListsEntries) {
+  MetricsRegistry metrics;
+  metrics.Incr("log.writes", 7);
+  metrics.Observe("flush.seek", 3.0);
+  std::string text = metrics.ToString();
+  EXPECT_NE(text.find("log.writes"), std::string::npos);
+  EXPECT_NE(text.find("7"), std::string::npos);
+  EXPECT_NE(text.find("flush.seek"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace elog

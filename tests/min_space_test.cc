@@ -1,0 +1,85 @@
+// Harness tests: the minimum-space search on shortened workloads.
+
+#include "harness/min_space.h"
+
+#include <gtest/gtest.h>
+
+#include "core/fw_manager.h"
+#include "harness/figures.h"
+
+namespace elog {
+namespace harness {
+namespace {
+
+workload::WorkloadSpec ShortMix(double fraction, int64_t seconds) {
+  workload::WorkloadSpec spec = workload::PaperMix(fraction);
+  spec.runtime = SecondsToSimTime(seconds);
+  return spec;
+}
+
+TEST(MinSpaceTest, SurvivesIsMonotoneForFw) {
+  workload::WorkloadSpec spec = ShortMix(0.05, 30);
+  LogManagerOptions small = MakeFirewallOptions(60);
+  LogManagerOptions large = MakeFirewallOptions(200);
+  EXPECT_FALSE(Survives(small, spec));
+  EXPECT_TRUE(Survives(large, spec));
+}
+
+TEST(MinSpaceTest, FirewallMinimumIsTightAndNearPaper) {
+  workload::WorkloadSpec spec = ShortMix(0.05, 60);
+  MinSpaceResult result = MinFirewallSpace(MakeFirewallOptions(8), spec);
+  // The paper reports 123 blocks at 500 s; a 60 s window sees slightly
+  // less traffic variance but the same O(lifetime x rate) bound.
+  EXPECT_GE(result.total_blocks, 110u);
+  EXPECT_LE(result.total_blocks, 130u);
+  EXPECT_EQ(result.stats.kills, 0);
+  // Tight: one block less must kill.
+  LogManagerOptions smaller =
+      MakeFirewallOptions(result.total_blocks - 1);
+  EXPECT_FALSE(Survives(smaller, spec));
+}
+
+TEST(MinSpaceTest, ElBeatsFwOnSpace) {
+  workload::WorkloadSpec spec = ShortMix(0.05, 60);
+  MinSpaceResult fw = MinFirewallSpace(MakeFirewallOptions(8), spec);
+  LogManagerOptions el;
+  el.recirculation = false;
+  MinSpaceResult el_min = MinElSpace(el, spec, 4, 30);
+  EXPECT_LT(el_min.total_blocks, fw.total_blocks / 2)
+      << "EL should need far less than half of FW's space at a 5% mix";
+  EXPECT_EQ(el_min.generation_blocks.size(), 2u);
+  // Bandwidth premium is bounded (paper: ~+11%).
+  EXPECT_LT(el_min.stats.log_writes_per_sec,
+            fw.stats.log_writes_per_sec * 1.35);
+}
+
+TEST(MinSpaceTest, RecirculationShrinksLastGeneration) {
+  workload::WorkloadSpec spec = ShortMix(0.05, 60);
+  LogManagerOptions base;
+  base.generation_blocks = {18, 16};
+  base.recirculation = true;
+  MinSpaceResult result = MinLastGeneration(base, spec);
+  EXPECT_EQ(result.generation_blocks[0], 18u);
+  EXPECT_LT(result.generation_blocks[1], 16u);
+  EXPECT_EQ(result.stats.kills, 0);
+}
+
+TEST(MinSpaceTest, Fig7BandwidthRisesAsSpaceShrinks) {
+  workload::WorkloadSpec spec = ShortMix(0.05, 60);
+  LogManagerOptions base;
+  Fig7Result result = RunFig7(base, spec, 18, 14);
+  ASSERT_GE(result.points.size(), 3u);
+  // Monotone-ish: the smallest surviving configuration pays at least as
+  // much bandwidth as the largest.
+  const Fig7Point& first = result.points.front();
+  Fig7Point last_surviving = first;
+  for (const Fig7Point& point : result.points) {
+    if (point.survives) last_surviving = point;
+  }
+  EXPECT_GE(last_surviving.bandwidth_total, first.bandwidth_total);
+  EXPECT_GT(last_surviving.recirculated, first.recirculated);
+}
+
+}  // namespace
+}  // namespace harness
+}  // namespace elog

@@ -1,0 +1,67 @@
+#include "workload/oid_picker.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace elog {
+namespace workload {
+namespace {
+
+TEST(OidPickerTest, AcquireReturnsDistinctWhileHeld) {
+  Rng rng(1);
+  OidPicker picker(100, &rng);
+  std::set<Oid> held;
+  for (int i = 0; i < 50; ++i) {
+    Oid oid = picker.Acquire();
+    EXPECT_LT(oid, 100u);
+    EXPECT_TRUE(held.insert(oid).second) << "duplicate " << oid;
+  }
+  EXPECT_EQ(picker.held_count(), 50u);
+}
+
+TEST(OidPickerTest, ReleaseAllowsReuse) {
+  Rng rng(2);
+  OidPicker picker(1, &rng);  // single object: must recycle
+  Oid first = picker.Acquire();
+  EXPECT_EQ(first, 0u);
+  picker.Release(first);
+  EXPECT_EQ(picker.Acquire(), 0u);
+}
+
+TEST(OidPickerTest, IsHeldTracksState) {
+  Rng rng(3);
+  OidPicker picker(10, &rng);
+  Oid oid = picker.Acquire();
+  EXPECT_TRUE(picker.IsHeld(oid));
+  picker.Release(oid);
+  EXPECT_FALSE(picker.IsHeld(oid));
+}
+
+TEST(OidPickerTest, ExhaustsFullRange) {
+  Rng rng(4);
+  OidPicker picker(16, &rng);
+  std::set<Oid> all;
+  for (int i = 0; i < 16; ++i) all.insert(picker.Acquire());
+  EXPECT_EQ(all.size(), 16u);
+  EXPECT_EQ(*all.begin(), 0u);
+  EXPECT_EQ(*all.rbegin(), 15u);
+}
+
+TEST(OidPickerDeathTest, ReleaseUnheldChecks) {
+  Rng rng(5);
+  OidPicker picker(10, &rng);
+  EXPECT_DEATH(picker.Release(3), "not held");
+}
+
+TEST(OidPickerDeathTest, AcquireWhenExhaustedChecks) {
+  Rng rng(6);
+  OidPicker picker(2, &rng);
+  picker.Acquire();
+  picker.Acquire();
+  EXPECT_DEATH(picker.Acquire(), "all objects");
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace elog

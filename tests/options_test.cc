@@ -1,0 +1,89 @@
+#include "core/options.h"
+
+#include <gtest/gtest.h>
+
+#include "core/fw_manager.h"
+
+namespace elog {
+namespace {
+
+TEST(OptionsTest, DefaultsMatchPaperFixedParameters) {
+  LogManagerOptions options;
+  EXPECT_EQ(options.min_free_blocks, 2u);            // k = 2
+  EXPECT_EQ(options.buffers_per_generation, 4u);     // 4 buffers
+  EXPECT_EQ(options.log_write_latency, 15 * kMillisecond);
+  EXPECT_EQ(options.num_flush_drives, 10u);
+  EXPECT_EQ(options.flush_transfer_time, 25 * kMillisecond);
+  EXPECT_EQ(options.num_objects, 10'000'000u);
+  EXPECT_EQ(options.el_bytes_per_transaction, 40u);
+  EXPECT_EQ(options.el_bytes_per_object, 40u);
+  EXPECT_EQ(options.fw_bytes_per_transaction, 22u);
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(OptionsTest, RejectsEmptyGenerations) {
+  LogManagerOptions options;
+  options.generation_blocks = {};
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(OptionsTest, RejectsTooSmallGeneration) {
+  LogManagerOptions options;
+  options.generation_blocks = {18, 3};  // needs >= k + 2 = 4
+  EXPECT_FALSE(options.Validate().ok());
+  options.generation_blocks = {18, 4};
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(OptionsTest, RejectsSingleBuffer) {
+  LogManagerOptions options;
+  options.buffers_per_generation = 1;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(OptionsTest, RejectsBadLatencies) {
+  LogManagerOptions options;
+  options.log_write_latency = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = {};
+  options.flush_transfer_time = -1;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(OptionsTest, RejectsIndivisibleObjects) {
+  LogManagerOptions options;
+  options.num_objects = 10'000'001;  // not divisible by 10 drives
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(OptionsTest, RejectsBadHintTarget) {
+  LogManagerOptions options;
+  options.lifetime_hints = true;
+  options.hint_target_generation = 5;
+  EXPECT_FALSE(options.Validate().ok());
+  options.hint_target_generation = 1;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(OptionsTest, TotalsAndCounts) {
+  LogManagerOptions options;
+  options.generation_blocks = {18, 16};
+  EXPECT_EQ(options.num_generations(), 2u);
+  EXPECT_EQ(options.total_blocks(), 34u);
+}
+
+TEST(FirewallOptionsTest, ConfiguresSingleQueue) {
+  LogManagerOptions base;
+  base.flush_transfer_time = 45 * kMillisecond;
+  LogManagerOptions fw = MakeFirewallOptions(123, base);
+  EXPECT_EQ(fw.generation_blocks, (std::vector<uint32_t>{123}));
+  EXPECT_FALSE(fw.recirculation);
+  EXPECT_TRUE(fw.release_on_commit);
+  EXPECT_FALSE(fw.lifetime_hints);
+  // Other knobs inherited.
+  EXPECT_EQ(fw.flush_transfer_time, 45 * kMillisecond);
+  EXPECT_TRUE(fw.Validate().ok());
+}
+
+}  // namespace
+}  // namespace elog

@@ -1,0 +1,131 @@
+// Regression armor for the reproduction itself: the qualitative shape of
+// every §4 result, at reduced runtimes (60 s instead of 500 s). If a
+// change to the engine breaks "who wins, by roughly what factor, where
+// the crossovers fall", it fails here rather than silently skewing the
+// benches.
+
+#include <gtest/gtest.h>
+
+#include "core/fw_manager.h"
+#include "harness/experiment.h"
+#include "harness/figures.h"
+
+namespace elog {
+namespace harness {
+namespace {
+
+class PaperShapeTest : public ::testing::Test {
+ protected:
+  static workload::WorkloadSpec Mix(double fraction) {
+    workload::WorkloadSpec spec = workload::PaperMix(fraction);
+    spec.runtime = SecondsToSimTime(60);
+    return spec;
+  }
+
+  static db::RunStats RunConfig(const LogManagerOptions& options,
+                                const workload::WorkloadSpec& spec) {
+    db::DatabaseConfig config;
+    config.log = options;
+    config.workload = spec;
+    return RunExperiment(config);
+  }
+};
+
+TEST_F(PaperShapeTest, Figure4SpaceOrderingAndFactor) {
+  // At the 5% mix EL needs several times less space than FW; the ratio
+  // shrinks as the long-transaction fraction grows (Figure 4's shape).
+  double previous_ratio = 1e9;
+  for (double mix : {0.05, 0.20, 0.40}) {
+    workload::WorkloadSpec spec = Mix(mix);
+    MinSpaceResult fw = MinFirewallSpace(MakeFirewallOptions(8), spec);
+    LogManagerOptions el;
+    el.recirculation = false;
+    MinSpaceResult el_min = MinElSpace(el, spec, 4, 30);
+    double ratio =
+        static_cast<double>(fw.total_blocks) / el_min.total_blocks;
+    EXPECT_GT(ratio, 1.3) << "EL must beat FW on space at mix " << mix;
+    EXPECT_LT(ratio, previous_ratio + 0.15)
+        << "EL's advantage must shrink with the mix";
+    previous_ratio = ratio;
+    if (mix == 0.05) {
+      EXPECT_GT(ratio, 3.0) << "paper reports 3.6x at the 5% mix";
+    }
+  }
+}
+
+TEST_F(PaperShapeTest, Figure5BandwidthOrderingAndPremium) {
+  workload::WorkloadSpec spec = Mix(0.05);
+  MinSpaceResult fw = MinFirewallSpace(MakeFirewallOptions(8), spec);
+  LogManagerOptions el;
+  el.recirculation = false;
+  MinSpaceResult el_min = MinElSpace(el, spec, 4, 30);
+  // FW near the raw fill rate (~11.3 blocks/s); EL above FW but by a
+  // bounded premium (paper: +11%).
+  EXPECT_NEAR(fw.stats.log_writes_per_sec, 11.6, 0.6);
+  EXPECT_GT(el_min.stats.log_writes_per_sec, fw.stats.log_writes_per_sec);
+  EXPECT_LT(el_min.stats.log_writes_per_sec,
+            fw.stats.log_writes_per_sec * 1.30);
+}
+
+TEST_F(PaperShapeTest, Figure6MemoryOrdering) {
+  workload::WorkloadSpec spec = Mix(0.05);
+  MinSpaceResult fw = MinFirewallSpace(MakeFirewallOptions(8), spec);
+  LogManagerOptions el;
+  el.recirculation = false;
+  MinSpaceResult el_min = MinElSpace(el, spec, 4, 30);
+  // EL pays more memory than FW, but stays in the tens of kilobytes
+  // ("can all fit in the main memory of many workstations").
+  EXPECT_GT(el_min.stats.peak_memory_bytes, fw.stats.peak_memory_bytes);
+  EXPECT_LT(el_min.stats.peak_memory_bytes, 100'000.0);
+  // FW's model: 22 B x ~145 concurrent transactions.
+  EXPECT_NEAR(fw.stats.peak_memory_bytes, 22 * 145, 22 * 40);
+}
+
+TEST_F(PaperShapeTest, Figure7RecirculationTradesSpaceForBandwidth) {
+  workload::WorkloadSpec spec = Mix(0.05);
+  LogManagerOptions base;
+  Fig7Result result = RunFig7(base, spec, 18, 16);
+  // Recirculation lets the last generation shrink below the
+  // no-recirculation minimum (16)...
+  EXPECT_LT(result.min_gen1_blocks, 16u);
+  // ...at a monotone-in-aggregate bandwidth cost.
+  const Fig7Point& largest = result.points.front();
+  Fig7Point smallest_surviving = largest;
+  for (const Fig7Point& point : result.points) {
+    if (point.survives) smallest_surviving = point;
+  }
+  EXPECT_GT(smallest_surviving.bandwidth_total, largest.bandwidth_total);
+  EXPECT_GT(smallest_surviving.recirculated, largest.recirculated);
+  // The paper's operating window: bandwidth grows only a few percent
+  // from 34 down to 28 total blocks.
+  for (const Fig7Point& point : result.points) {
+    if (point.survives && point.total_blocks >= 28) {
+      EXPECT_LT(point.bandwidth_total, largest.bandwidth_total * 1.05);
+    }
+  }
+}
+
+TEST_F(PaperShapeTest, ScarceFlushLocalityFeedback) {
+  // §4: as the flush backlog grows, seeks shrink (negative feedback).
+  workload::WorkloadSpec spec = Mix(0.05);
+  LogManagerOptions normal;
+  normal.generation_blocks = {20, 11};
+  LogManagerOptions scarce = normal;
+  scarce.flush_transfer_time = 45 * kMillisecond;
+  db::RunStats normal_stats = RunConfig(normal, spec);
+  db::RunStats scarce_stats = RunConfig(scarce, spec);
+  EXPECT_LT(scarce_stats.mean_flush_seek_distance,
+            normal_stats.mean_flush_seek_distance * 0.7);
+  EXPECT_GT(scarce_stats.flush_backlog, normal_stats.flush_backlog);
+  EXPECT_EQ(scarce_stats.kills, 0);
+}
+
+TEST_F(PaperShapeTest, UpdateRateAnchors) {
+  // §4's in-text sanity numbers.
+  EXPECT_DOUBLE_EQ(workload::PaperMix(0.05).ExpectedUpdateRate(), 210.0);
+  EXPECT_DOUBLE_EQ(workload::PaperMix(0.40).ExpectedUpdateRate(), 280.0);
+}
+
+}  // namespace
+}  // namespace harness
+}  // namespace elog

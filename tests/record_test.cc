@@ -1,0 +1,71 @@
+#include "wal/record.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace elog {
+namespace wal {
+namespace {
+
+TEST(LogRecordTest, BeginFactory) {
+  LogRecord record = LogRecord::MakeBegin(7, 100);
+  EXPECT_EQ(record.type, RecordType::kBegin);
+  EXPECT_EQ(record.tid, 7u);
+  EXPECT_EQ(record.lsn, 100u);
+  EXPECT_EQ(record.logged_size, kTxRecordBytes);
+  EXPECT_TRUE(record.is_tx());
+  EXPECT_FALSE(record.is_data());
+}
+
+TEST(LogRecordTest, CommitAndAbortFactories) {
+  EXPECT_EQ(LogRecord::MakeCommit(1, 2).type, RecordType::kCommit);
+  EXPECT_EQ(LogRecord::MakeAbort(1, 2).type, RecordType::kAbort);
+  EXPECT_EQ(LogRecord::MakeCommit(1, 2).logged_size, 8u);
+}
+
+TEST(LogRecordTest, DataFactory) {
+  LogRecord record = LogRecord::MakeData(3, 50, 12345, 100, 0xfeed);
+  EXPECT_EQ(record.type, RecordType::kData);
+  EXPECT_TRUE(record.is_data());
+  EXPECT_EQ(record.oid, 12345u);
+  EXPECT_EQ(record.logged_size, 100u);
+  EXPECT_EQ(record.value_digest, 0xfeedu);
+}
+
+TEST(LogRecordTest, ToStringMentionsTypeAndIds) {
+  LogRecord record = LogRecord::MakeData(3, 50, 12345, 100, 0);
+  std::string text = record.ToString();
+  EXPECT_NE(text.find("DATA"), std::string::npos);
+  EXPECT_NE(text.find("12345"), std::string::npos);
+  EXPECT_NE(LogRecord::MakeCommit(9, 1).ToString().find("COMMIT"),
+            std::string::npos);
+}
+
+TEST(LogRecordTest, TypeNames) {
+  EXPECT_STREQ(RecordTypeToString(RecordType::kBegin), "BEGIN");
+  EXPECT_STREQ(RecordTypeToString(RecordType::kCommit), "COMMIT");
+  EXPECT_STREQ(RecordTypeToString(RecordType::kAbort), "ABORT");
+  EXPECT_STREQ(RecordTypeToString(RecordType::kData), "DATA");
+}
+
+TEST(ValueDigestTest, DeterministicAndDiscriminating) {
+  EXPECT_EQ(ComputeValueDigest(1, 2, 3), ComputeValueDigest(1, 2, 3));
+  std::set<uint64_t> digests;
+  for (TxId tid = 0; tid < 10; ++tid) {
+    for (Oid oid = 0; oid < 10; ++oid) {
+      for (Lsn lsn = 0; lsn < 10; ++lsn) {
+        digests.insert(ComputeValueDigest(tid, oid, lsn));
+      }
+    }
+  }
+  EXPECT_EQ(digests.size(), 1000u);  // no collisions in a small cube
+}
+
+TEST(LogRecordDeathTest, ZeroSizeDataRejected) {
+  EXPECT_DEATH(LogRecord::MakeData(1, 2, 3, 0, 0), "");
+}
+
+}  // namespace
+}  // namespace wal
+}  // namespace elog

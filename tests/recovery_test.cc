@@ -1,0 +1,194 @@
+// Unit tests of single-pass recovery over hand-built crash images.
+
+#include "db/recovery.h"
+
+#include <gtest/gtest.h>
+
+#include "wal/block_format.h"
+
+namespace elog {
+namespace db {
+namespace {
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  RecoveryTest() : log_({4, 4}) {}
+
+  /// Writes the given records into the next slot of `generation`.
+  void AddBlock(uint32_t generation,
+                const std::vector<wal::LogRecord>& records) {
+    uint32_t slot = next_slot_[generation]++;
+    log_.Put({generation, slot},
+             wal::EncodeBlock(generation, next_seq_++, records));
+  }
+
+  wal::LogRecord Data(TxId tid, Lsn lsn, Oid oid) {
+    return wal::LogRecord::MakeData(tid, lsn, oid, 100,
+                                    wal::ComputeValueDigest(tid, oid, lsn));
+  }
+
+  disk::LogStorage log_;
+  StableStore stable_;
+  uint32_t next_slot_[2] = {0, 0};
+  uint64_t next_seq_ = 1;
+};
+
+TEST_F(RecoveryTest, EmptyLogRecoversStableVersion) {
+  stable_.ApplyFlush(5, 10, 0xAA);
+  RecoveryResult result = RecoveryManager::Recover(log_, stable_);
+  EXPECT_TRUE(result.committed_in_log.empty());
+  ASSERT_EQ(result.state.size(), 1u);
+  EXPECT_EQ(result.state[5].lsn, 10u);
+  EXPECT_EQ(result.state[5].value_digest, 0xAAu);
+}
+
+TEST_F(RecoveryTest, CommittedUpdateApplied) {
+  AddBlock(0, {wal::LogRecord::MakeBegin(1, 1), Data(1, 2, 77),
+               wal::LogRecord::MakeCommit(1, 3)});
+  RecoveryResult result = RecoveryManager::Recover(log_, stable_);
+  EXPECT_TRUE(result.committed_in_log.count(1));
+  ASSERT_TRUE(result.state.count(77));
+  EXPECT_EQ(result.state[77].lsn, 2u);
+  EXPECT_EQ(result.state[77].value_digest,
+            wal::ComputeValueDigest(1, 77, 2));
+  EXPECT_EQ(result.records_applied, 1u);
+}
+
+TEST_F(RecoveryTest, UncommittedUpdateIgnored) {
+  AddBlock(0, {wal::LogRecord::MakeBegin(1, 1), Data(1, 2, 77)});
+  RecoveryResult result = RecoveryManager::Recover(log_, stable_);
+  EXPECT_FALSE(result.state.count(77));
+  EXPECT_EQ(result.uncommitted_records_ignored, 1u);
+}
+
+TEST_F(RecoveryTest, AbortedTransactionIgnored) {
+  AddBlock(0, {wal::LogRecord::MakeBegin(1, 1), Data(1, 2, 77),
+               wal::LogRecord::MakeAbort(1, 3)});
+  RecoveryResult result = RecoveryManager::Recover(log_, stable_);
+  EXPECT_FALSE(result.state.count(77));
+  EXPECT_TRUE(result.committed_in_log.empty());
+}
+
+TEST_F(RecoveryTest, LatestCommittedVersionWinsByLsn) {
+  AddBlock(0, {Data(1, 2, 50), wal::LogRecord::MakeCommit(1, 3)});
+  AddBlock(0, {Data(2, 10, 50), wal::LogRecord::MakeCommit(2, 11)});
+  RecoveryResult result = RecoveryManager::Recover(log_, stable_);
+  EXPECT_EQ(result.state[50].lsn, 10u);
+}
+
+TEST_F(RecoveryTest, PhysicalOrderIrrelevant) {
+  // Recirculation scrambles physical order: the newer update sits in an
+  // earlier slot. LSNs must decide.
+  AddBlock(0, {Data(2, 10, 50), wal::LogRecord::MakeCommit(2, 11)});
+  AddBlock(0, {Data(1, 2, 50), wal::LogRecord::MakeCommit(1, 3)});
+  RecoveryResult result = RecoveryManager::Recover(log_, stable_);
+  EXPECT_EQ(result.state[50].lsn, 10u);
+}
+
+TEST_F(RecoveryTest, ForwardedDuplicateHarmless) {
+  // A forwarded record's stale copy in generation 0 plus the live copy in
+  // generation 1: dedup by LSN.
+  wal::LogRecord record = Data(1, 5, 9);
+  AddBlock(0, {record});
+  AddBlock(1, {record, wal::LogRecord::MakeCommit(1, 6)});
+  RecoveryResult result = RecoveryManager::Recover(log_, stable_);
+  EXPECT_EQ(result.state[9].lsn, 5u);
+  EXPECT_EQ(result.records_applied, 1u);  // second copy deduped
+}
+
+TEST_F(RecoveryTest, StableVersionNewerThanStaleLogRecord) {
+  // The object was updated (lsn 20, flushed) after the logged update
+  // (lsn 5, from a committed transaction whose stale records linger).
+  stable_.ApplyFlush(9, 20, 0xFF);
+  AddBlock(0, {Data(1, 5, 9), wal::LogRecord::MakeCommit(1, 6)});
+  RecoveryResult result = RecoveryManager::Recover(log_, stable_);
+  EXPECT_EQ(result.state[9].lsn, 20u);
+  EXPECT_EQ(result.state[9].value_digest, 0xFFu);
+}
+
+TEST_F(RecoveryTest, LogNewerThanStable) {
+  stable_.ApplyFlush(9, 5, 0x11);
+  AddBlock(0, {Data(1, 20, 9), wal::LogRecord::MakeCommit(1, 21)});
+  RecoveryResult result = RecoveryManager::Recover(log_, stable_);
+  EXPECT_EQ(result.state[9].lsn, 20u);
+}
+
+TEST_F(RecoveryTest, CommitInDifferentGenerationThanData) {
+  // The COMMIT record may have been forwarded away from its data records.
+  AddBlock(0, {Data(1, 2, 30)});
+  AddBlock(1, {wal::LogRecord::MakeCommit(1, 3)});
+  RecoveryResult result = RecoveryManager::Recover(log_, stable_);
+  EXPECT_TRUE(result.state.count(30));
+}
+
+TEST_F(RecoveryTest, TornBlockSkippedRestRecovered) {
+  AddBlock(0, {Data(1, 2, 30), wal::LogRecord::MakeCommit(1, 3)});
+  AddBlock(0, {Data(2, 4, 31), wal::LogRecord::MakeCommit(2, 5)});
+  log_.CorruptBlock({0, 1});  // the second block is torn
+  RecoveryResult result = RecoveryManager::Recover(log_, stable_);
+  EXPECT_EQ(result.scan.blocks_corrupt, 1u);
+  EXPECT_TRUE(result.state.count(30));
+  EXPECT_FALSE(result.state.count(31));  // lost with the torn block
+}
+
+TEST_F(RecoveryTest, MultipleObjectsPerTransaction) {
+  AddBlock(0, {Data(1, 2, 70), Data(1, 3, 71), Data(1, 4, 72),
+               wal::LogRecord::MakeCommit(1, 5)});
+  RecoveryResult result = RecoveryManager::Recover(log_, stable_);
+  EXPECT_EQ(result.state.size(), 3u);
+  EXPECT_EQ(result.records_applied, 3u);
+}
+
+TEST_F(RecoveryTest, ProvisionalEntryOfUncommittedWriterReverted) {
+  // UNDO/REDO: a stolen value sits provisionally in the stable version;
+  // its writer has no COMMIT in the log -> revert to the before-image.
+  stable_.ApplySteal(40, /*lsn=*/50, /*digest=*/0xBB, /*writer=*/5,
+                     /*prev_lsn=*/20, /*prev_digest=*/0xAA);
+  AddBlock(0, {Data(5, 50, 40)});  // the stolen record, no COMMIT
+  RecoveryResult result = RecoveryManager::Recover(log_, stable_);
+  EXPECT_EQ(result.undos_applied, 1u);
+  ASSERT_TRUE(result.state.count(40));
+  EXPECT_EQ(result.state[40].lsn, 20u);
+  EXPECT_EQ(result.state[40].value_digest, 0xAAu);
+}
+
+TEST_F(RecoveryTest, ProvisionalEntryOfCommittedWriterKept) {
+  stable_.ApplySteal(40, 50, 0xBB, 5, 20, 0xAA);
+  AddBlock(0, {Data(5, 50, 40), wal::LogRecord::MakeCommit(5, 51)});
+  RecoveryResult result = RecoveryManager::Recover(log_, stable_);
+  EXPECT_EQ(result.undos_applied, 0u);
+  ASSERT_TRUE(result.state.count(40));
+  EXPECT_EQ(result.state[40].lsn, 50u);
+  EXPECT_EQ(result.state[40].value_digest, 0xBBu);
+  EXPECT_FALSE(result.state[40].provisional);
+}
+
+TEST_F(RecoveryTest, ProvisionalWithNoPredecessorVanishes) {
+  stable_.ApplySteal(40, 50, 0xBB, 5, /*prev_lsn=*/0, 0);
+  RecoveryResult result = RecoveryManager::Recover(log_, stable_);
+  EXPECT_EQ(result.undos_applied, 1u);
+  EXPECT_FALSE(result.state.count(40));
+}
+
+TEST_F(RecoveryTest, RedoOverlayBeatsRevertedProvisional) {
+  // The stolen value is reverted, but a *different* committed update of
+  // the same object in the log is newer than the before-image.
+  stable_.ApplySteal(40, 50, 0xBB, 5, 20, 0xAA);
+  AddBlock(0, {Data(9, 30, 40), wal::LogRecord::MakeCommit(9, 31)});
+  RecoveryResult result = RecoveryManager::Recover(log_, stable_);
+  ASSERT_TRUE(result.state.count(40));
+  EXPECT_EQ(result.state[40].lsn, 30u);  // committed lsn 30 > prev 20
+}
+
+TEST_F(RecoveryTest, MixOfCommittedAndUncommitted) {
+  AddBlock(0, {Data(1, 2, 80), Data(2, 3, 81),
+               wal::LogRecord::MakeCommit(1, 4)});
+  RecoveryResult result = RecoveryManager::Recover(log_, stable_);
+  EXPECT_TRUE(result.state.count(80));
+  EXPECT_FALSE(result.state.count(81));
+  EXPECT_EQ(result.uncommitted_records_ignored, 1u);
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace elog

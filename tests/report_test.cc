@@ -1,0 +1,51 @@
+#include "harness/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace elog {
+namespace harness {
+namespace {
+
+TEST(ReportTest, VersusPaperFormatsRatio) {
+  std::string cell = VersusPaper(34.0, 34.0);
+  EXPECT_NE(cell.find("1.00x"), std::string::npos);
+  cell = VersusPaper(35.0, 34.0);
+  EXPECT_NE(cell.find("paper 34"), std::string::npos);
+  EXPECT_NE(cell.find("1.03x"), std::string::npos);
+}
+
+TEST(ReportTest, VersusPaperZeroReferenceJustPrints) {
+  EXPECT_EQ(VersusPaper(12.5, 0.0), "12.5");
+}
+
+TEST(ReportTest, MaybeWriteCsvEmptyPathIsNoOp) {
+  TableWriter table({"a"});
+  EXPECT_TRUE(MaybeWriteCsv("", table).ok());
+}
+
+TEST(ReportTest, MaybeWriteCsvWritesFile) {
+  TableWriter table({"x", "y"});
+  table.AddRow({"1", "2"});
+  std::string path = ::testing::TempDir() + "/report_test.csv";
+  ASSERT_TRUE(MaybeWriteCsv(path, table).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+TEST(ReportTest, MaybeWriteCsvBadPathErrors) {
+  TableWriter table({"a"});
+  EXPECT_FALSE(MaybeWriteCsv("/nonexistent-dir-xyz/out.csv", table).ok());
+}
+
+}  // namespace
+}  // namespace harness
+}  // namespace elog

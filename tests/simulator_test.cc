@@ -1,0 +1,127 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace elog {
+namespace sim {
+namespace {
+
+TEST(SimulatorTest, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0);
+  EXPECT_FALSE(sim.HasPendingEvents());
+}
+
+TEST(SimulatorTest, RunAdvancesClockToEventTimes) {
+  Simulator sim;
+  std::vector<SimTime> observed;
+  sim.ScheduleAt(100, [&] { observed.push_back(sim.Now()); });
+  sim.ScheduleAt(50, [&] { observed.push_back(sim.Now()); });
+  sim.Run();
+  EXPECT_EQ(observed, (std::vector<SimTime>{50, 100}));
+  EXPECT_EQ(sim.Now(), 100);
+  EXPECT_EQ(sim.events_processed(), 2u);
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim;
+  SimTime inner_fire = -1;
+  sim.ScheduleAt(10, [&] {
+    sim.ScheduleAfter(5, [&] { inner_fire = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(inner_fire, 15);
+}
+
+TEST(SimulatorTest, EventsCanCascade) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.ScheduleAfter(1, chain);
+  };
+  sim.ScheduleAt(0, chain);
+  sim.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.Now(), 99);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(10, [&] { ++fired; });
+  sim.ScheduleAt(20, [&] { ++fired; });
+  sim.ScheduleAt(30, [&] { ++fired; });
+  sim.RunUntil(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), 20);
+  EXPECT_TRUE(sim.HasPendingEvents());
+  sim.Run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, RunUntilWithNoEventsAdvancesClock) {
+  Simulator sim;
+  sim.RunUntil(500);
+  EXPECT_EQ(sim.Now(), 500);
+}
+
+TEST(SimulatorTest, RunUntilInclusiveOfDeadlineEvents) {
+  Simulator sim;
+  bool fired = false;
+  sim.ScheduleAt(20, [&] { fired = true; });
+  sim.RunUntil(20);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, StopHaltsProcessing) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(1, [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.ScheduleAt(2, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.HasPendingEvents());
+  // A later Run resumes.
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, CancelScheduledEvent) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.ScheduleAt(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, SimultaneousEventsRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(5, [&] { order.push_back(1); });
+  sim.ScheduleAt(5, [&] { order.push_back(2); });
+  sim.ScheduleAt(5, [&] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorDeathTest, SchedulingInThePastChecks) {
+  Simulator sim;
+  sim.ScheduleAt(100, [] {});
+  sim.Run();
+  EXPECT_DEATH(sim.ScheduleAt(50, [] {}), "");
+}
+
+TEST(SimulatorDeathTest, NegativeDelayChecks) {
+  Simulator sim;
+  EXPECT_DEATH(sim.ScheduleAfter(-1, [] {}), "");
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace elog

@@ -1,0 +1,108 @@
+#include "workload/spec.h"
+
+#include <gtest/gtest.h>
+
+namespace elog {
+namespace workload {
+namespace {
+
+TEST(WorkloadSpecTest, PaperMixValidates) {
+  for (double fraction : {0.0, 0.05, 0.4, 1.0}) {
+    WorkloadSpec spec = PaperMix(fraction);
+    EXPECT_TRUE(spec.Validate().ok()) << fraction;
+  }
+}
+
+TEST(WorkloadSpecTest, PaperMixShape) {
+  WorkloadSpec spec = PaperMix(0.05);
+  ASSERT_EQ(spec.types.size(), 2u);
+  EXPECT_DOUBLE_EQ(spec.types[0].probability, 0.95);
+  EXPECT_EQ(spec.types[0].lifetime, SecondsToSimTime(1));
+  EXPECT_EQ(spec.types[0].num_data_records, 2u);
+  EXPECT_EQ(spec.types[0].data_record_bytes, 100u);
+  EXPECT_DOUBLE_EQ(spec.types[1].probability, 0.05);
+  EXPECT_EQ(spec.types[1].lifetime, SecondsToSimTime(10));
+  EXPECT_EQ(spec.types[1].num_data_records, 4u);
+  EXPECT_EQ(spec.arrival_rate_tps, 100.0);
+  EXPECT_EQ(spec.runtime, SecondsToSimTime(500));
+  EXPECT_EQ(spec.num_objects, 10'000'000u);
+}
+
+TEST(WorkloadSpecTest, UpdateRateMatchesPaper) {
+  // §4: "the average number of updates per second rises from 210 to 280"
+  // as the 10 s fraction goes from 5% to 40%.
+  EXPECT_DOUBLE_EQ(PaperMix(0.05).ExpectedUpdateRate(), 210.0);
+  EXPECT_DOUBLE_EQ(PaperMix(0.40).ExpectedUpdateRate(), 280.0);
+}
+
+TEST(WorkloadSpecTest, LogByteRate) {
+  // At 5%: 210 data records x 100 B + 100 tx x 16 B = 22.6 KB/s.
+  EXPECT_DOUBLE_EQ(PaperMix(0.05).ExpectedLogBytesPerSecond(), 22600.0);
+}
+
+TEST(WorkloadSpecTest, ActiveTransactionsLittlesLaw) {
+  // 5%: 95 x 1 s + 5 x 10 s at 100 TPS = 145 concurrent on average.
+  EXPECT_DOUBLE_EQ(PaperMix(0.05).ExpectedActiveTransactions(), 145.0);
+  EXPECT_DOUBLE_EQ(PaperMix(0.40).ExpectedActiveTransactions(), 460.0);
+}
+
+TEST(WorkloadSpecTest, RejectsEmptyTypes) {
+  WorkloadSpec spec;
+  spec.types.clear();
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(WorkloadSpecTest, RejectsBadProbabilitySum) {
+  WorkloadSpec spec = PaperMix(0.05);
+  spec.types[0].probability = 0.5;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(WorkloadSpecTest, RejectsNegativeProbability) {
+  WorkloadSpec spec = PaperMix(0.05);
+  spec.types[0].probability = -0.05;
+  spec.types[1].probability = 1.05;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(WorkloadSpecTest, RejectsNonPositiveLifetime) {
+  WorkloadSpec spec = PaperMix(0.0);
+  spec.types[0].lifetime = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(WorkloadSpecTest, RejectsLifetimeNotExceedingEpsilon) {
+  WorkloadSpec spec = PaperMix(0.0);
+  spec.types[0].lifetime = spec.epsilon;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(WorkloadSpecTest, RejectsOversizedRecords) {
+  WorkloadSpec spec = PaperMix(0.0);
+  spec.types[0].data_record_bytes = 2001;  // exceeds block payload
+  EXPECT_FALSE(spec.Validate().ok());
+  spec.types[0].data_record_bytes = 2000;
+  EXPECT_TRUE(spec.Validate().ok());
+}
+
+TEST(WorkloadSpecTest, RejectsBadRates) {
+  WorkloadSpec spec = PaperMix(0.05);
+  spec.arrival_rate_tps = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = PaperMix(0.05);
+  spec.runtime = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = PaperMix(0.05);
+  spec.num_objects = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(WorkloadSpecTest, RejectsBadAbortProbability) {
+  WorkloadSpec spec = PaperMix(0.05);
+  spec.types[0].abort_probability = 1.5;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace elog

@@ -1,0 +1,149 @@
+#include "db/stable_store.h"
+
+#include <gtest/gtest.h>
+
+namespace elog {
+namespace db {
+namespace {
+
+TEST(StableStoreTest, EmptyStore) {
+  StableStore store;
+  EXPECT_EQ(store.materialized_objects(), 0u);
+  EXPECT_EQ(store.Get(42), ObjectVersion{});
+  EXPECT_EQ(store.Get(42).lsn, 0u);
+}
+
+TEST(StableStoreTest, ApplyFlushSetsVersion) {
+  StableStore store;
+  store.ApplyFlush(7, 100, 0xabc);
+  EXPECT_EQ(store.Get(7).lsn, 100u);
+  EXPECT_EQ(store.Get(7).value_digest, 0xabcu);
+  EXPECT_EQ(store.materialized_objects(), 1u);
+  EXPECT_EQ(store.flushes_applied(), 1);
+}
+
+TEST(StableStoreTest, NewerVersionWins) {
+  StableStore store;
+  store.ApplyFlush(7, 100, 1);
+  store.ApplyFlush(7, 200, 2);
+  EXPECT_EQ(store.Get(7).lsn, 200u);
+  EXPECT_EQ(store.Get(7).value_digest, 2u);
+}
+
+TEST(StableStoreTest, StaleFlushIgnored) {
+  // A superseded update's flush can land after its successor's — the
+  // store must keep the max-LSN version.
+  StableStore store;
+  store.ApplyFlush(7, 200, 2);
+  store.ApplyFlush(7, 100, 1);
+  EXPECT_EQ(store.Get(7).lsn, 200u);
+  EXPECT_EQ(store.Get(7).value_digest, 2u);
+  EXPECT_EQ(store.flushes_applied(), 2);  // both counted, one effective
+}
+
+TEST(StableStoreTest, EqualLsnDoesNotOverwrite) {
+  StableStore store;
+  store.ApplyFlush(7, 100, 1);
+  store.ApplyFlush(7, 100, 999);  // duplicate flush (urgent + normal)
+  EXPECT_EQ(store.Get(7).value_digest, 1u);
+}
+
+TEST(StableStoreTest, ObjectsIndependent) {
+  StableStore store;
+  store.ApplyFlush(1, 10, 100);
+  store.ApplyFlush(2, 20, 200);
+  EXPECT_EQ(store.Get(1).lsn, 10u);
+  EXPECT_EQ(store.Get(2).lsn, 20u);
+  EXPECT_EQ(store.materialized_objects(), 2u);
+}
+
+TEST(StableStoreTest, StealMarksProvisionalWithBeforeImage) {
+  StableStore store;
+  store.ApplyFlush(7, 100, 0xAA);  // committed base version
+  store.ApplySteal(7, 150, 0xBB, /*writer=*/9, /*prev_lsn=*/100,
+                   /*prev_digest=*/0xAA);
+  ObjectVersion version = store.Get(7);
+  EXPECT_TRUE(version.provisional);
+  EXPECT_EQ(version.lsn, 150u);
+  EXPECT_EQ(version.value_digest, 0xBBu);
+  EXPECT_EQ(version.writer, 9u);
+  EXPECT_EQ(version.prev_lsn, 100u);
+  EXPECT_EQ(version.prev_digest, 0xAAu);
+  EXPECT_EQ(store.steals_applied(), 1);
+}
+
+TEST(StableStoreTest, StaleStealIgnored) {
+  StableStore store;
+  store.ApplyFlush(7, 200, 0xCC);
+  store.ApplySteal(7, 150, 0xBB, 9, 100, 0xAA);  // older than current
+  EXPECT_FALSE(store.Get(7).provisional);
+  EXPECT_EQ(store.Get(7).lsn, 200u);
+}
+
+TEST(StableStoreTest, CommitFlushConfirmsProvisional) {
+  StableStore store;
+  store.ApplySteal(7, 150, 0xBB, 9, 0, 0);
+  ASSERT_TRUE(store.Get(7).provisional);
+  // The commit-time flush of the same version clears the mark.
+  store.ApplyFlush(7, 150, 0xBB);
+  ObjectVersion version = store.Get(7);
+  EXPECT_FALSE(version.provisional);
+  EXPECT_EQ(version.lsn, 150u);
+  EXPECT_EQ(version.writer, 0u);
+}
+
+TEST(StableStoreTest, UndoRestoresBeforeImage) {
+  StableStore store;
+  store.ApplyFlush(7, 100, 0xAA);
+  store.ApplySteal(7, 150, 0xBB, 9, 100, 0xAA);
+  store.ApplyUndo(7, 150, 100, 0xAA);
+  ObjectVersion version = store.Get(7);
+  EXPECT_FALSE(version.provisional);
+  EXPECT_EQ(version.lsn, 100u);
+  EXPECT_EQ(version.value_digest, 0xAAu);
+  EXPECT_EQ(store.undos_applied(), 1);
+}
+
+TEST(StableStoreTest, UndoOfNeverCommittedObjectErases) {
+  StableStore store;
+  store.ApplySteal(7, 150, 0xBB, 9, 0, 0);
+  store.ApplyUndo(7, 150, 0, 0);
+  EXPECT_EQ(store.Get(7), ObjectVersion{});
+  EXPECT_EQ(store.materialized_objects(), 0u);
+}
+
+TEST(StableStoreTest, UndoRequiresExactProvisionalMatch) {
+  StableStore store;
+  store.ApplyFlush(7, 100, 0xAA);
+  // Not provisional: undo must not touch it.
+  store.ApplyUndo(7, 100, 50, 0x11);
+  EXPECT_EQ(store.Get(7).lsn, 100u);
+  // Provisional but different version: no-op too.
+  store.ApplySteal(7, 150, 0xBB, 9, 100, 0xAA);
+  store.ApplyUndo(7, 140, 100, 0xAA);
+  EXPECT_EQ(store.Get(7).lsn, 150u);
+  EXPECT_TRUE(store.Get(7).provisional);
+  EXPECT_EQ(store.undos_applied(), 0);
+}
+
+TEST(StableStoreTest, NewerCommitOverwritesProvisional) {
+  StableStore store;
+  store.ApplySteal(7, 150, 0xBB, 9, 0, 0);
+  store.ApplyFlush(7, 200, 0xCC);  // a later committed version wins
+  EXPECT_FALSE(store.Get(7).provisional);
+  EXPECT_EQ(store.Get(7).lsn, 200u);
+}
+
+TEST(StableStoreTest, CloneIsDeep) {
+  StableStore store;
+  store.ApplyFlush(1, 10, 100);
+  StableStore snapshot = store.Clone();
+  store.ApplyFlush(1, 20, 200);
+  store.ApplyFlush(2, 5, 50);
+  EXPECT_EQ(snapshot.Get(1).lsn, 10u);
+  EXPECT_EQ(snapshot.materialized_objects(), 1u);
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace elog

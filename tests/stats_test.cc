@@ -1,0 +1,157 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace elog {
+namespace {
+
+TEST(StatAccumulatorTest, EmptyIsZero) {
+  StatAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.min(), 0.0);
+  EXPECT_EQ(acc.max(), 0.0);
+  EXPECT_EQ(acc.stddev(), 0.0);
+}
+
+TEST(StatAccumulatorTest, SingleValue) {
+  StatAccumulator acc;
+  acc.Add(7.5);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_EQ(acc.mean(), 7.5);
+  EXPECT_EQ(acc.min(), 7.5);
+  EXPECT_EQ(acc.max(), 7.5);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(StatAccumulatorTest, KnownMoments) {
+  StatAccumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+  EXPECT_EQ(acc.min(), 2.0);
+  EXPECT_EQ(acc.max(), 9.0);
+  // Sample variance of the set is 32/7.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatAccumulatorTest, NegativeValues) {
+  StatAccumulator acc;
+  acc.Add(-5.0);
+  acc.Add(5.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.min(), -5.0);
+  EXPECT_EQ(acc.max(), 5.0);
+}
+
+TEST(StatAccumulatorTest, ResetClears) {
+  StatAccumulator acc;
+  acc.Add(1.0);
+  acc.Reset();
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+}
+
+TEST(HistogramTest, EmptyPercentiles) {
+  Histogram hist;
+  EXPECT_EQ(hist.Percentile(50), 0.0);
+  EXPECT_EQ(hist.count(), 0u);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram hist;
+  hist.Add(100.0);
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_DOUBLE_EQ(hist.mean(), 100.0);
+  EXPECT_EQ(hist.Percentile(0), 100.0);
+  EXPECT_EQ(hist.Percentile(100), 100.0);
+}
+
+TEST(HistogramTest, MedianOfUniformRange) {
+  Histogram hist;
+  for (int i = 1; i <= 1000; ++i) hist.Add(static_cast<double>(i));
+  // Exponential buckets: the median is approximate but must be within a
+  // bucket's width of 500.
+  EXPECT_NEAR(hist.Median(), 500.0, 100.0);
+  EXPECT_GE(hist.Percentile(99), 900.0);
+  EXPECT_LE(hist.Percentile(1), 20.0);
+}
+
+TEST(HistogramTest, PercentilesMonotone) {
+  Histogram hist;
+  for (int i = 0; i < 10000; ++i) hist.Add(static_cast<double>(i % 777));
+  double previous = 0.0;
+  for (double p = 0; p <= 100; p += 5) {
+    double value = hist.Percentile(p);
+    EXPECT_GE(value, previous);
+    previous = value;
+  }
+}
+
+TEST(HistogramTest, PercentileBoundedByMinMax) {
+  Histogram hist;
+  hist.Add(3.0);
+  hist.Add(900000.0);
+  for (double p : {0.0, 10.0, 50.0, 90.0, 100.0}) {
+    EXPECT_GE(hist.Percentile(p), 3.0);
+    EXPECT_LE(hist.Percentile(p), 900000.0);
+  }
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram hist;
+  hist.Add(5);
+  hist.Reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.Percentile(50), 0.0);
+}
+
+TEST(TimeWeightedValueTest, ConstantSignal) {
+  TimeWeightedValue value;
+  value.Set(0, 10.0);
+  EXPECT_EQ(value.current(), 10.0);
+  EXPECT_EQ(value.peak(), 10.0);
+  EXPECT_DOUBLE_EQ(value.Average(100), 10.0);
+}
+
+TEST(TimeWeightedValueTest, StepSignalAverage) {
+  TimeWeightedValue value;
+  value.Set(0, 0.0);
+  value.Set(50, 100.0);
+  // 50 µs at 0 then 50 µs at 100 -> average 50.
+  EXPECT_DOUBLE_EQ(value.Average(100), 50.0);
+  EXPECT_EQ(value.peak(), 100.0);
+}
+
+TEST(TimeWeightedValueTest, PeakSurvivesDecline) {
+  TimeWeightedValue value;
+  value.Set(0, 5.0);
+  value.Set(10, 50.0);
+  value.Set(20, 1.0);
+  EXPECT_EQ(value.peak(), 50.0);
+  EXPECT_EQ(value.current(), 1.0);
+}
+
+TEST(TimeWeightedValueTest, BeforeFirstSetAverageIsCurrent) {
+  TimeWeightedValue value;
+  EXPECT_EQ(value.Average(100), 0.0);
+  value.Set(100, 3.0);
+  EXPECT_EQ(value.Average(100), 3.0);  // zero elapsed time
+}
+
+TEST(TimeWeightedValueTest, RepeatedSetsAtSameInstant) {
+  TimeWeightedValue value;
+  value.Set(10, 1.0);
+  value.Set(10, 2.0);
+  value.Set(10, 3.0);
+  EXPECT_EQ(value.current(), 3.0);
+  EXPECT_EQ(value.peak(), 3.0);
+  EXPECT_DOUBLE_EQ(value.Average(20), 3.0);
+}
+
+}  // namespace
+}  // namespace elog

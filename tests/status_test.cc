@@ -1,0 +1,100 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace elog {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  Status status = Status::OutOfSpace("generation 1 full");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsOutOfSpace());
+  EXPECT_EQ(status.code(), StatusCode::kOutOfSpace);
+  EXPECT_EQ(status.message(), "generation 1 full");
+  EXPECT_EQ(status.ToString(), "OutOfSpace: generation 1 full");
+}
+
+TEST(StatusTest, PredicatesMatchOnlyTheirCode) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_FALSE(Status::NotFound("x").IsCorruption());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_FALSE(Status::Corruption("x").IsOutOfSpace());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Aborted("a"), Status::Aborted("a"));
+  EXPECT_FALSE(Status::Aborted("a") == Status::Aborted("b"));
+  EXPECT_FALSE(Status::Aborted("a") == Status::Internal("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int code = 0; code <= static_cast<int>(StatusCode::kInternal);
+       ++code) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(code)),
+                 "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("missing"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::string> result(std::string("abc"));
+  result.value() += "def";
+  EXPECT_EQ(*result, "abcdef");
+  EXPECT_EQ(result->size(), 6u);
+}
+
+TEST(ResultTest, MoveOut) {
+  Result<std::string> result(std::string("payload"));
+  std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultDeathTest, ValueOnErrorChecks) {
+  Result<int> result(Status::Internal("boom"));
+  EXPECT_DEATH({ (void)result.value(); }, "boom");
+}
+
+TEST(ResultDeathTest, OkStatusRejected) {
+  EXPECT_DEATH({ Result<int> result{Status::OK()}; (void)result; },
+               "without a value");
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return Status::Aborted("inner"); };
+  auto outer = [&]() -> Status {
+    ELOG_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kAborted);
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPassesOk) {
+  auto outer = []() -> Status {
+    ELOG_RETURN_IF_ERROR(Status::OK());
+    return Status::Internal("reached end");
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace elog

@@ -1,0 +1,70 @@
+#include "util/table_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace elog {
+namespace {
+
+TEST(TableWriterTest, PrintsHeaderAndRule) {
+  TableWriter table({"a", "bb"});
+  std::ostringstream out;
+  table.Print(out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("a"), std::string::npos);
+  EXPECT_NE(text.find("bb"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TableWriterTest, AlignsColumns) {
+  TableWriter table({"col", "x"});
+  table.AddRow({"verylongvalue", "1"});
+  table.AddRow({"s", "2"});
+  std::ostringstream out;
+  table.Print(out);
+  std::istringstream lines(out.str());
+  std::string header, rule, row1, row2;
+  std::getline(lines, header);
+  std::getline(lines, rule);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  // The second column starts at the same offset on both rows.
+  EXPECT_EQ(row1.find(" 1"), row2.find(" 2"));
+}
+
+TEST(TableWriterTest, NumericRowFormatting) {
+  TableWriter table({"x", "y"});
+  table.AddNumericRow({1.0, 2.5});
+  EXPECT_EQ(table.num_rows(), 1u);
+  std::ostringstream out;
+  table.WriteCsv(out);
+  EXPECT_EQ(out.str(), "x,y\n1,2.5\n");
+}
+
+TEST(TableWriterTest, CsvEscaping) {
+  TableWriter table({"name", "note"});
+  table.AddRow({"a,b", "say \"hi\""});
+  table.AddRow({"plain", "multi\nline"});
+  std::ostringstream out;
+  table.WriteCsv(out);
+  std::string csv = out.str();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+  EXPECT_NE(csv.find("\"multi\nline\""), std::string::npos);
+}
+
+TEST(TableWriterTest, EmptyTableCsvHasOnlyHeader) {
+  TableWriter table({"only", "header"});
+  std::ostringstream out;
+  table.WriteCsv(out);
+  EXPECT_EQ(out.str(), "only,header\n");
+}
+
+TEST(TableWriterDeathTest, RowWidthMismatchChecks) {
+  TableWriter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "");
+}
+
+}  // namespace
+}  // namespace elog

@@ -1,0 +1,52 @@
+#include "harness/tuner.h"
+
+#include <gtest/gtest.h>
+
+namespace elog {
+namespace harness {
+namespace {
+
+TunerRequest ShortRequest(double mix, double max_ratio) {
+  TunerRequest request;
+  request.workload = workload::PaperMix(mix);
+  request.workload.runtime = SecondsToSimTime(30);
+  request.max_bandwidth_ratio = max_ratio;
+  request.gen0_max = 26;
+  return request;
+}
+
+TEST(TunerTest, RecommendsSmallLayoutAtLightMix) {
+  TunerResult result = TuneGenerations(ShortRequest(0.05, 1.2));
+  EXPECT_TRUE(result.recommended.meets_budget);
+  EXPECT_LT(result.recommended.total_blocks,
+            result.fw_baseline.total_blocks / 3)
+      << "EL should save at least 3x at a 5% mix";
+  EXPECT_LE(result.recommended.bandwidth_ratio, 1.2);
+  EXPECT_GT(result.simulations, 10);
+}
+
+TEST(TunerTest, GenerousBudgetFindsSpaceMinimum) {
+  TunerResult loose = TuneGenerations(ShortRequest(0.05, 10.0));
+  TunerResult tight = TuneGenerations(ShortRequest(0.05, 1.1));
+  EXPECT_LE(loose.recommended.total_blocks, tight.recommended.total_blocks)
+      << "a looser bandwidth budget can only shrink the log";
+}
+
+TEST(TunerTest, ImpossibleBudgetFallsBackFlagged) {
+  // No EL layout beats FW's own bandwidth.
+  TunerResult result = TuneGenerations(ShortRequest(0.05, 0.5));
+  EXPECT_FALSE(result.recommended.meets_budget);
+  EXPECT_FALSE(result.recommended.generation_blocks.empty());
+}
+
+TEST(TunerTest, CandidatesIncludeSingleGenerationRing) {
+  TunerRequest request = ShortRequest(0.05, 1.5);
+  request.candidate_generation_counts = {1};
+  TunerResult result = TuneGenerations(request);
+  ASSERT_FALSE(result.candidates.empty());
+  EXPECT_EQ(result.candidates[0].generation_blocks.size(), 1u);
+}
+
+}  // namespace
+}  // namespace harness
+}  // namespace elog

@@ -1,0 +1,236 @@
+// UNDO/REDO mode (§1's generalization): steal policy, provisional stable
+// versions, abort compensation, and recovery's undo pass.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "db/database.h"
+#include "db/recovery.h"
+
+namespace elog {
+namespace {
+
+/// Direct-API fixture with a stable store wired like the Database facade.
+class UndoRedoTest : public ::testing::Test {
+ protected:
+  void Build(LogManagerOptions options) {
+    options.undo_redo = true;
+    options.num_objects = 1000;
+    storage_ = std::make_unique<disk::LogStorage>(options.generation_blocks);
+    device_ = std::make_unique<disk::LogDevice>(
+        &sim_, storage_.get(), options.log_write_latency, nullptr);
+    drives_ = std::make_unique<disk::DriveArray>(
+        &sim_, options.num_flush_drives, options.num_objects,
+        options.flush_transfer_time, nullptr);
+    manager_ = std::make_unique<EphemeralLogManager>(
+        &sim_, options, device_.get(), drives_.get(), nullptr);
+    manager_->set_flush_apply_hook([this](Oid oid, Lsn lsn, uint64_t digest) {
+      stable_.ApplyFlush(oid, lsn, digest);
+    });
+    manager_->set_steal_apply_hook([this](Oid oid, Lsn lsn, uint64_t digest,
+                                          TxId writer, Lsn prev_lsn,
+                                          uint64_t prev_digest) {
+      stable_.ApplySteal(oid, lsn, digest, writer, prev_lsn, prev_digest);
+    });
+    manager_->set_undo_apply_hook(
+        [this](Oid oid, Lsn stolen, Lsn prev_lsn, uint64_t prev_digest) {
+          stable_.ApplyUndo(oid, stolen, prev_lsn, prev_digest);
+        });
+    manager_->set_version_query([this](Oid oid) {
+      db::ObjectVersion version = stable_.Get(oid);
+      if (version.provisional) {
+        return std::make_pair(version.prev_lsn, version.prev_digest);
+      }
+      return std::make_pair(version.lsn, version.value_digest);
+    });
+  }
+
+  static LogManagerOptions StealEveryTick() {
+    LogManagerOptions options;
+    options.generation_blocks = {10, 10};
+    options.steal_interval = 5 * kMillisecond;  // aggressive pressure
+    return options;
+  }
+
+  TxId Begin(SimTime lifetime = SecondsToSimTime(1)) {
+    workload::TransactionType type;
+    type.lifetime = lifetime;
+    return manager_->BeginTransaction(type);
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<disk::LogStorage> storage_;
+  std::unique_ptr<disk::LogDevice> device_;
+  std::unique_ptr<disk::DriveArray> drives_;
+  std::unique_ptr<EphemeralLogManager> manager_;
+  db::StableStore stable_;
+};
+
+TEST_F(UndoRedoTest, StealPutsProvisionalValueInStable) {
+  Build(StealEveryTick());
+  TxId tid = Begin(SecondsToSimTime(100));
+  manager_->WriteUpdate(tid, 42, 100);
+  sim_.RunUntil(sim_.Now() + SecondsToSimTime(1));
+  EXPECT_GE(manager_->steals(), 1);
+  db::ObjectVersion version = stable_.Get(42);
+  EXPECT_TRUE(version.provisional);
+  EXPECT_EQ(version.writer, tid);
+  EXPECT_GT(version.lsn, 0u);
+  EXPECT_EQ(version.prev_lsn, 0u);  // no committed predecessor
+  manager_->CheckInvariants();
+}
+
+TEST_F(UndoRedoTest, AbortCompensatesStolenValue) {
+  Build(StealEveryTick());
+  TxId tid = Begin(SecondsToSimTime(100));
+  manager_->WriteUpdate(tid, 42, 100);
+  sim_.RunUntil(sim_.Now() + SecondsToSimTime(1));
+  ASSERT_TRUE(stable_.Get(42).provisional);
+  manager_->Abort(tid);
+  sim_.Run();
+  EXPECT_GE(manager_->compensations(), 1);
+  EXPECT_GE(stable_.undos_applied(), 1);
+  // No committed predecessor existed: the object vanishes from stable.
+  EXPECT_EQ(stable_.Get(42), db::ObjectVersion{});
+  manager_->CheckInvariants();
+}
+
+TEST_F(UndoRedoTest, AbortRestoresCommittedPredecessor) {
+  Build(StealEveryTick());
+  // First, commit a version of object 42 and let it flush.
+  TxId first = Begin();
+  manager_->WriteUpdate(first, 42, 100);
+  Lsn committed_lsn = 0;
+  manager_->Commit(first, [](TxId) {});
+  manager_->ForceWriteOpenBuffers();
+  sim_.Run();
+  committed_lsn = stable_.Get(42).lsn;
+  ASSERT_GT(committed_lsn, 0u);
+  uint64_t committed_digest = stable_.Get(42).value_digest;
+
+  // Now a second transaction updates it, gets stolen, and aborts.
+  TxId second = Begin(SecondsToSimTime(100));
+  manager_->WriteUpdate(second, 42, 100);
+  sim_.RunUntil(sim_.Now() + SecondsToSimTime(1));
+  ASSERT_TRUE(stable_.Get(42).provisional);
+  EXPECT_EQ(stable_.Get(42).prev_lsn, committed_lsn);
+  manager_->Abort(second);
+  sim_.Run();
+  EXPECT_FALSE(stable_.Get(42).provisional);
+  EXPECT_EQ(stable_.Get(42).lsn, committed_lsn);
+  EXPECT_EQ(stable_.Get(42).value_digest, committed_digest);
+  manager_->CheckInvariants();
+}
+
+TEST_F(UndoRedoTest, CommitConfirmsStolenValue) {
+  Build(StealEveryTick());
+  TxId tid = Begin(SecondsToSimTime(100));
+  manager_->WriteUpdate(tid, 42, 100);
+  sim_.RunUntil(sim_.Now() + SecondsToSimTime(1));
+  ASSERT_TRUE(stable_.Get(42).provisional);
+  Lsn stolen_lsn = stable_.Get(42).lsn;
+  manager_->Commit(tid, [](TxId) {});
+  manager_->ForceWriteOpenBuffers();
+  sim_.Run();
+  // The commit-time flush confirms the same version.
+  EXPECT_FALSE(stable_.Get(42).provisional);
+  EXPECT_EQ(stable_.Get(42).lsn, stolen_lsn);
+  EXPECT_EQ(manager_->ltt_size(), 0u);
+  manager_->CheckInvariants();
+}
+
+TEST_F(UndoRedoTest, RecoveryRevertsUncommittedStolenValue) {
+  Build(StealEveryTick());
+  TxId tid = Begin(SecondsToSimTime(100));
+  manager_->WriteUpdate(tid, 42, 100);
+  sim_.RunUntil(sim_.Now() + SecondsToSimTime(1));
+  ASSERT_TRUE(stable_.Get(42).provisional);
+  // Crash now: the writer never committed.
+  db::RecoveryResult result =
+      db::RecoveryManager::Recover(*storage_, stable_);
+  EXPECT_EQ(result.undos_applied, 1u);
+  EXPECT_FALSE(result.state.count(42));
+}
+
+TEST_F(UndoRedoTest, RecoveryKeepsCommittedStolenValue) {
+  Build(StealEveryTick());
+  TxId tid = Begin(SecondsToSimTime(100));
+  manager_->WriteUpdate(tid, 42, 100);
+  sim_.RunUntil(sim_.Now() + SecondsToSimTime(1));
+  Lsn stolen_lsn = stable_.Get(42).lsn;
+  manager_->Commit(tid, [](TxId) {});
+  manager_->ForceWriteOpenBuffers();
+  sim_.RunUntil(sim_.Now() + 20 * kMillisecond);  // COMMIT durable
+  // Crash with the confirmation flush possibly still pending: the COMMIT
+  // record in the log legitimizes the provisional value.
+  db::RecoveryResult result =
+      db::RecoveryManager::Recover(*storage_, stable_);
+  ASSERT_TRUE(result.state.count(42));
+  EXPECT_EQ(result.state[42].lsn, stolen_lsn);
+  EXPECT_FALSE(result.state[42].provisional);
+}
+
+TEST_F(UndoRedoTest, UndoImageBytesAccounted) {
+  LogManagerOptions options;
+  options.generation_blocks = {10, 10};
+  Build(options);  // undo_redo on, no stealing
+  TxId tid = Begin();
+  manager_->WriteUpdate(tid, 1, 100);
+  // The open buffer holds BEGIN (8) + data (100 + 8 undo bytes).
+  EXPECT_EQ(manager_->generation(0).builder().used_bytes(), 116u);
+}
+
+TEST(UndoRedoOptionsTest, StealRequiresUndoRedo) {
+  LogManagerOptions options;
+  options.steal_interval = kMillisecond;
+  EXPECT_FALSE(options.Validate().ok());
+  options.undo_redo = true;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+/// End-to-end crash property under aggressive stealing: recovery must
+/// reproduce exactly the acknowledged committed state — never a stolen
+/// uncommitted value.
+class UndoRedoCrashTest : public ::testing::TestWithParam<SimTime> {};
+
+TEST_P(UndoRedoCrashTest, RecoveryExactUnderStealing) {
+  db::DatabaseConfig config;
+  config.workload = workload::PaperMix(0.10);
+  config.workload.runtime = SecondsToSimTime(3600);
+  config.log.generation_blocks = {18, 14};
+  config.log.recirculation = true;
+  config.log.undo_redo = true;
+  config.log.steal_interval = 20 * kMillisecond;  // 50 steals/s
+
+  db::Database database(config);
+  db::Database::CrashImage image =
+      database.RunUntilCrash(GetParam(), /*torn_write=*/true);
+  EXPECT_GT(database.manager().steals(), 0);
+
+  db::RecoveryResult result =
+      db::RecoveryManager::Recover(image.log, image.stable);
+  for (const auto& [oid, expected] : image.expected_state) {
+    auto it = result.state.find(oid);
+    ASSERT_NE(it, result.state.end()) << "lost committed object " << oid;
+    EXPECT_EQ(it->second.lsn, expected.lsn) << "object " << oid;
+    EXPECT_EQ(it->second.value_digest, expected.value_digest);
+  }
+  for (const auto& [oid, recovered] : result.state) {
+    auto it = image.expected_state.find(oid);
+    ASSERT_NE(it, image.expected_state.end())
+        << "recovered unacknowledged object " << oid << " (lsn "
+        << recovered.lsn << ")";
+    EXPECT_EQ(recovered.lsn, it->second.lsn);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CrashSweep, UndoRedoCrashTest,
+                         ::testing::Values(SecondsToSimTime(2),
+                                           SecondsToSimTime(5),
+                                           SecondsToSimTime(9) +
+                                               3 * kMillisecond,
+                                           SecondsToSimTime(16)));
+
+}  // namespace
+}  // namespace elog

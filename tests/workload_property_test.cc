@@ -1,0 +1,110 @@
+// Parameterized workload-statistics properties: measured update rates and
+// concurrency match the analytic expectations (ExpectedUpdateRate,
+// Little's law) across mixes, rates, and arrival processes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/simulator.h"
+#include "workload/generator.h"
+
+namespace elog {
+namespace workload {
+namespace {
+
+struct WorkloadCase {
+  double long_fraction;
+  double tps;
+  ArrivalProcess process;
+  uint64_t seed;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<WorkloadCase>& info) {
+  return std::string(info.param.process == ArrivalProcess::kPoisson
+                         ? "poisson"
+                         : "det") +
+         "_mix" + std::to_string(static_cast<int>(
+                      info.param.long_fraction * 100)) +
+         "_tps" + std::to_string(static_cast<int>(info.param.tps)) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+/// Sink that acknowledges commits after a fixed 10 ms and counts traffic.
+class CountingSink : public TransactionSink {
+ public:
+  explicit CountingSink(sim::Simulator* simulator) : simulator_(simulator) {}
+
+  TxId BeginTransaction(const TransactionType&) override {
+    return next_tid_++;
+  }
+  void WriteUpdate(TxId, Oid, uint32_t logged_size) override {
+    ++updates_;
+    bytes_ += logged_size;
+  }
+  void Commit(TxId tid, std::function<void(TxId)> on_durable) override {
+    simulator_->ScheduleAfter(10 * kMillisecond,
+                              [tid, cb = std::move(on_durable)] { cb(tid); });
+  }
+  void Abort(TxId) override {}
+
+  sim::Simulator* simulator_;
+  TxId next_tid_ = 1;
+  int64_t updates_ = 0;
+  int64_t bytes_ = 0;
+};
+
+class WorkloadPropertyTest : public ::testing::TestWithParam<WorkloadCase> {};
+
+TEST_P(WorkloadPropertyTest, RatesMatchAnalyticExpectations) {
+  const WorkloadCase& c = GetParam();
+  WorkloadSpec spec = PaperMix(c.long_fraction);
+  spec.arrival_rate_tps = c.tps;
+  spec.arrival_process = c.process;
+  spec.runtime = SecondsToSimTime(120);
+  spec.seed = c.seed;
+
+  sim::Simulator sim;
+  CountingSink sink(&sim);
+  WorkloadGenerator generator(&sim, spec, &sink, nullptr);
+  generator.Start();
+
+  // Mid-run concurrency: Little's law, sampled after warmup.
+  sim.RunUntil(SecondsToSimTime(60));
+  double expected_active = spec.ExpectedActiveTransactions();
+  EXPECT_NEAR(generator.active(), expected_active, expected_active * 0.25)
+      << "concurrency far from Little's law";
+
+  sim.Run();
+  // Started count: rate x runtime (Poisson within a few sigma).
+  double expected_started = c.tps * 120;
+  double tolerance = c.process == ArrivalProcess::kPoisson
+                         ? 5 * std::sqrt(expected_started)
+                         : 1.0;
+  EXPECT_NEAR(generator.started(), expected_started, tolerance);
+
+  // Update volume: rate x mean-updates-per-txn, minus the edge deficit
+  // from transactions started near the end (bounded by one lifetime of
+  // arrivals).
+  double expected_updates = spec.ExpectedUpdateRate() * 120;
+  EXPECT_LT(generator.updates_written(), expected_updates * 1.02);
+  EXPECT_GT(generator.updates_written(), expected_updates * 0.85);
+
+  // Everything begun eventually commits (no kills in a pure-sink world).
+  EXPECT_EQ(generator.committed(), generator.started());
+  EXPECT_EQ(generator.active(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WorkloadPropertyTest,
+    ::testing::Values(
+        WorkloadCase{0.05, 100, ArrivalProcess::kDeterministic, 1},
+        WorkloadCase{0.40, 100, ArrivalProcess::kDeterministic, 1},
+        WorkloadCase{0.20, 50, ArrivalProcess::kDeterministic, 9},
+        WorkloadCase{0.05, 100, ArrivalProcess::kPoisson, 1},
+        WorkloadCase{0.40, 200, ArrivalProcess::kPoisson, 5}),
+    CaseName);
+
+}  // namespace
+}  // namespace workload
+}  // namespace elog
