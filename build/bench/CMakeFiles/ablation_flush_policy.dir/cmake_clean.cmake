@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flush_policy.dir/ablation_flush_policy.cc.o"
+  "CMakeFiles/ablation_flush_policy.dir/ablation_flush_policy.cc.o.d"
+  "ablation_flush_policy"
+  "ablation_flush_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flush_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fw_sound.dir/ablation_fw_sound.cc.o"
+  "CMakeFiles/ablation_fw_sound.dir/ablation_fw_sound.cc.o.d"
+  "ablation_fw_sound"
+  "ablation_fw_sound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fw_sound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

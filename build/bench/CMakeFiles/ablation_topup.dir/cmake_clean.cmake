@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_topup.dir/ablation_topup.cc.o"
+  "CMakeFiles/ablation_topup.dir/ablation_topup.cc.o.d"
+  "ablation_topup"
+  "ablation_topup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_topup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

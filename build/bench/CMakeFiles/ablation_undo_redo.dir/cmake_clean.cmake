@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_undo_redo.dir/ablation_undo_redo.cc.o"
+  "CMakeFiles/ablation_undo_redo.dir/ablation_undo_redo.cc.o.d"
+  "ablation_undo_redo"
+  "ablation_undo_redo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_undo_redo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_space.dir/fig4_space.cc.o"
+  "CMakeFiles/fig4_space.dir/fig4_space.cc.o.d"
+  "fig4_space"
+  "fig4_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

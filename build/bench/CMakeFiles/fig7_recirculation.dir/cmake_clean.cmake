@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_recirculation.dir/fig7_recirculation.cc.o"
+  "CMakeFiles/fig7_recirculation.dir/fig7_recirculation.cc.o.d"
+  "fig7_recirculation"
+  "fig7_recirculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_recirculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

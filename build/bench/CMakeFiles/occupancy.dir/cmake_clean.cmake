@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occupancy.dir/occupancy.cc.o"
+  "CMakeFiles/occupancy.dir/occupancy.cc.o.d"
+  "occupancy"
+  "occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

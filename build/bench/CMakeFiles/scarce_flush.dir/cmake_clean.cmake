@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scarce_flush.dir/scarce_flush.cc.o"
+  "CMakeFiles/scarce_flush.dir/scarce_flush.cc.o.d"
+  "scarce_flush"
+  "scarce_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scarce_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

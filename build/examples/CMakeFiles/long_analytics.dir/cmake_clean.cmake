@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/long_analytics.dir/long_analytics.cpp.o"
+  "CMakeFiles/long_analytics.dir/long_analytics.cpp.o.d"
+  "long_analytics"
+  "long_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/long_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

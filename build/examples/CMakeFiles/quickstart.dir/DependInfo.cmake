@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/elog_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/elog_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/elog_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/elog_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/elog_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/elog_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/elog_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/elog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

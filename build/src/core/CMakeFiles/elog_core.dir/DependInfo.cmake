@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/el_manager.cc" "src/core/CMakeFiles/elog_core.dir/el_manager.cc.o" "gcc" "src/core/CMakeFiles/elog_core.dir/el_manager.cc.o.d"
+  "/root/repo/src/core/hybrid_manager.cc" "src/core/CMakeFiles/elog_core.dir/hybrid_manager.cc.o" "gcc" "src/core/CMakeFiles/elog_core.dir/hybrid_manager.cc.o.d"
+  "/root/repo/src/core/options.cc" "src/core/CMakeFiles/elog_core.dir/options.cc.o" "gcc" "src/core/CMakeFiles/elog_core.dir/options.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/elog_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/elog_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/elog_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/elog_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/elog_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elog_core.dir/el_manager.cc.o"
+  "CMakeFiles/elog_core.dir/el_manager.cc.o.d"
+  "CMakeFiles/elog_core.dir/hybrid_manager.cc.o"
+  "CMakeFiles/elog_core.dir/hybrid_manager.cc.o.d"
+  "CMakeFiles/elog_core.dir/options.cc.o"
+  "CMakeFiles/elog_core.dir/options.cc.o.d"
+  "libelog_core.a"
+  "libelog_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elog_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

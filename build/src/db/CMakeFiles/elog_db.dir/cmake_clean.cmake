@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elog_db.dir/database.cc.o"
+  "CMakeFiles/elog_db.dir/database.cc.o.d"
+  "CMakeFiles/elog_db.dir/recovery.cc.o"
+  "CMakeFiles/elog_db.dir/recovery.cc.o.d"
+  "libelog_db.a"
+  "libelog_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elog_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

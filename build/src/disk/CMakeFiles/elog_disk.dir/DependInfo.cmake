@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disk/drive_array.cc" "src/disk/CMakeFiles/elog_disk.dir/drive_array.cc.o" "gcc" "src/disk/CMakeFiles/elog_disk.dir/drive_array.cc.o.d"
+  "/root/repo/src/disk/flush_drive.cc" "src/disk/CMakeFiles/elog_disk.dir/flush_drive.cc.o" "gcc" "src/disk/CMakeFiles/elog_disk.dir/flush_drive.cc.o.d"
+  "/root/repo/src/disk/log_device.cc" "src/disk/CMakeFiles/elog_disk.dir/log_device.cc.o" "gcc" "src/disk/CMakeFiles/elog_disk.dir/log_device.cc.o.d"
+  "/root/repo/src/disk/log_storage.cc" "src/disk/CMakeFiles/elog_disk.dir/log_storage.cc.o" "gcc" "src/disk/CMakeFiles/elog_disk.dir/log_storage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/elog_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/elog_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/elog_wal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elog_disk.dir/drive_array.cc.o"
+  "CMakeFiles/elog_disk.dir/drive_array.cc.o.d"
+  "CMakeFiles/elog_disk.dir/flush_drive.cc.o"
+  "CMakeFiles/elog_disk.dir/flush_drive.cc.o.d"
+  "CMakeFiles/elog_disk.dir/log_device.cc.o"
+  "CMakeFiles/elog_disk.dir/log_device.cc.o.d"
+  "CMakeFiles/elog_disk.dir/log_storage.cc.o"
+  "CMakeFiles/elog_disk.dir/log_storage.cc.o.d"
+  "libelog_disk.a"
+  "libelog_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elog_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

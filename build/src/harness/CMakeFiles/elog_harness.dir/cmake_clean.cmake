@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elog_harness.dir/experiment.cc.o"
+  "CMakeFiles/elog_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/elog_harness.dir/figures.cc.o"
+  "CMakeFiles/elog_harness.dir/figures.cc.o.d"
+  "CMakeFiles/elog_harness.dir/min_space.cc.o"
+  "CMakeFiles/elog_harness.dir/min_space.cc.o.d"
+  "CMakeFiles/elog_harness.dir/report.cc.o"
+  "CMakeFiles/elog_harness.dir/report.cc.o.d"
+  "CMakeFiles/elog_harness.dir/tuner.cc.o"
+  "CMakeFiles/elog_harness.dir/tuner.cc.o.d"
+  "libelog_harness.a"
+  "libelog_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elog_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

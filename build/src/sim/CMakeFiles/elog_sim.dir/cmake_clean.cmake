@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elog_sim.dir/event_queue.cc.o"
+  "CMakeFiles/elog_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/elog_sim.dir/metrics.cc.o"
+  "CMakeFiles/elog_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/elog_sim.dir/simulator.cc.o"
+  "CMakeFiles/elog_sim.dir/simulator.cc.o.d"
+  "libelog_sim.a"
+  "libelog_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elog_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elog_util.dir/cli.cc.o"
+  "CMakeFiles/elog_util.dir/cli.cc.o.d"
+  "CMakeFiles/elog_util.dir/crc32c.cc.o"
+  "CMakeFiles/elog_util.dir/crc32c.cc.o.d"
+  "CMakeFiles/elog_util.dir/random.cc.o"
+  "CMakeFiles/elog_util.dir/random.cc.o.d"
+  "CMakeFiles/elog_util.dir/stats.cc.o"
+  "CMakeFiles/elog_util.dir/stats.cc.o.d"
+  "CMakeFiles/elog_util.dir/status.cc.o"
+  "CMakeFiles/elog_util.dir/status.cc.o.d"
+  "CMakeFiles/elog_util.dir/string_util.cc.o"
+  "CMakeFiles/elog_util.dir/string_util.cc.o.d"
+  "CMakeFiles/elog_util.dir/table_writer.cc.o"
+  "CMakeFiles/elog_util.dir/table_writer.cc.o.d"
+  "libelog_util.a"
+  "libelog_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elog_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

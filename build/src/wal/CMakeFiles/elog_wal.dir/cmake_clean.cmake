@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elog_wal.dir/block_format.cc.o"
+  "CMakeFiles/elog_wal.dir/block_format.cc.o.d"
+  "CMakeFiles/elog_wal.dir/log_reader.cc.o"
+  "CMakeFiles/elog_wal.dir/log_reader.cc.o.d"
+  "CMakeFiles/elog_wal.dir/record.cc.o"
+  "CMakeFiles/elog_wal.dir/record.cc.o.d"
+  "libelog_wal.a"
+  "libelog_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elog_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/elog_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/elog_workload.dir/generator.cc.o.d"
+  "/root/repo/src/workload/oid_picker.cc" "src/workload/CMakeFiles/elog_workload.dir/oid_picker.cc.o" "gcc" "src/workload/CMakeFiles/elog_workload.dir/oid_picker.cc.o.d"
+  "/root/repo/src/workload/spec.cc" "src/workload/CMakeFiles/elog_workload.dir/spec.cc.o" "gcc" "src/workload/CMakeFiles/elog_workload.dir/spec.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/elog_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/elog_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/elog_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/elog_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/elog_wal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

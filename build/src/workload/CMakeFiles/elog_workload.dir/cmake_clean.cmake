@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elog_workload.dir/generator.cc.o"
+  "CMakeFiles/elog_workload.dir/generator.cc.o.d"
+  "CMakeFiles/elog_workload.dir/oid_picker.cc.o"
+  "CMakeFiles/elog_workload.dir/oid_picker.cc.o.d"
+  "CMakeFiles/elog_workload.dir/spec.cc.o"
+  "CMakeFiles/elog_workload.dir/spec.cc.o.d"
+  "CMakeFiles/elog_workload.dir/trace.cc.o"
+  "CMakeFiles/elog_workload.dir/trace.cc.o.d"
+  "libelog_workload.a"
+  "libelog_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elog_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_roundtrip_property_test.dir/block_roundtrip_property_test.cc.o"
+  "CMakeFiles/block_roundtrip_property_test.dir/block_roundtrip_property_test.cc.o.d"
+  "block_roundtrip_property_test"
+  "block_roundtrip_property_test.pdb"
+  "block_roundtrip_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_roundtrip_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chained_hash_map_test.dir/chained_hash_map_test.cc.o"
+  "CMakeFiles/chained_hash_map_test.dir/chained_hash_map_test.cc.o.d"
+  "chained_hash_map_test"
+  "chained_hash_map_test.pdb"
+  "chained_hash_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chained_hash_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

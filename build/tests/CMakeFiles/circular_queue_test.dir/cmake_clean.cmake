@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circular_queue_test.dir/circular_queue_test.cc.o"
+  "CMakeFiles/circular_queue_test.dir/circular_queue_test.cc.o.d"
+  "circular_queue_test"
+  "circular_queue_test.pdb"
+  "circular_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circular_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

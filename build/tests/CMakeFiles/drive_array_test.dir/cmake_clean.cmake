@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drive_array_test.dir/drive_array_test.cc.o"
+  "CMakeFiles/drive_array_test.dir/drive_array_test.cc.o.d"
+  "drive_array_test"
+  "drive_array_test.pdb"
+  "drive_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drive_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

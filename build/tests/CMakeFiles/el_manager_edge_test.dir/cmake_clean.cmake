@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/el_manager_edge_test.dir/el_manager_edge_test.cc.o"
+  "CMakeFiles/el_manager_edge_test.dir/el_manager_edge_test.cc.o.d"
+  "el_manager_edge_test"
+  "el_manager_edge_test.pdb"
+  "el_manager_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/el_manager_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

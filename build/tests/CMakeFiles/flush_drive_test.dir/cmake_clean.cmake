@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flush_drive_test.dir/flush_drive_test.cc.o"
+  "CMakeFiles/flush_drive_test.dir/flush_drive_test.cc.o.d"
+  "flush_drive_test"
+  "flush_drive_test.pdb"
+  "flush_drive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flush_drive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

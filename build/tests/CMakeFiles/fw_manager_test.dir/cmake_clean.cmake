@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fw_manager_test.dir/fw_manager_test.cc.o"
+  "CMakeFiles/fw_manager_test.dir/fw_manager_test.cc.o.d"
+  "fw_manager_test"
+  "fw_manager_test.pdb"
+  "fw_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fw_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

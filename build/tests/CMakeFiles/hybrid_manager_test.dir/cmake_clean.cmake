@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_manager_test.dir/hybrid_manager_test.cc.o"
+  "CMakeFiles/hybrid_manager_test.dir/hybrid_manager_test.cc.o.d"
+  "hybrid_manager_test"
+  "hybrid_manager_test.pdb"
+  "hybrid_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_device_stress_test.dir/log_device_stress_test.cc.o"
+  "CMakeFiles/log_device_stress_test.dir/log_device_stress_test.cc.o.d"
+  "log_device_stress_test"
+  "log_device_stress_test.pdb"
+  "log_device_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_device_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oid_picker_test.dir/oid_picker_test.cc.o"
+  "CMakeFiles/oid_picker_test.dir/oid_picker_test.cc.o.d"
+  "oid_picker_test"
+  "oid_picker_test.pdb"
+  "oid_picker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oid_picker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/undo_redo_test.dir/undo_redo_test.cc.o"
+  "CMakeFiles/undo_redo_test.dir/undo_redo_test.cc.o.d"
+  "undo_redo_test"
+  "undo_redo_test.pdb"
+  "undo_redo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/undo_redo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
