@@ -10,6 +10,7 @@
 
 #include "db/database.h"
 #include "harness/report.h"
+#include "runner/sweep_runner.h"
 #include "util/cli.h"
 #include "util/string_util.h"
 
@@ -17,21 +18,28 @@ using namespace elog;
 
 int main(int argc, char** argv) {
   int64_t runtime_s = 200;
+  int64_t jobs = 0;
   std::string csv;
+  std::string json_dir = "results";
   FlagSet flags;
   flags.AddInt64("runtime", &runtime_s, "simulated seconds of arrivals");
+  flags.AddInt64("jobs", &jobs, "worker threads (0 = all cores)");
   flags.AddString("csv", &csv, "write results as CSV to this path");
+  flags.AddString("json_dir", &json_dir,
+                  "directory for BENCH_<name>.json (empty = skip)");
   if (Status status = flags.Parse(argc, argv); !status.ok()) {
     std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
     return 2;
   }
 
-  TableWriter table({"arrivals", "layout", "killed", "writes_per_s",
-                     "commit_p99_ms", "flush_backlog"});
+  // Two layouts per arrival process: the deterministic minimum (tight)
+  // and a roomier one.
+  std::vector<db::DatabaseConfig> configs;
+  std::vector<std::string> process_names;
+  std::vector<std::vector<uint32_t>> layouts;
   for (workload::ArrivalProcess process :
        {workload::ArrivalProcess::kDeterministic,
         workload::ArrivalProcess::kPoisson}) {
-    // Two layouts: the deterministic minimum (tight) and a roomier one.
     for (std::vector<uint32_t> layout :
          {std::vector<uint32_t>{18, 10}, std::vector<uint32_t>{22, 16}}) {
       db::DatabaseConfig config;
@@ -40,23 +48,48 @@ int main(int argc, char** argv) {
       config.workload.arrival_process = process;
       config.log.generation_blocks = layout;
       config.log.recirculation = true;
-      db::Database database(config);
-      db::RunStats stats = database.Run();
-      table.AddRow(
-          {process == workload::ArrivalProcess::kPoisson ? "poisson"
-                                                         : "deterministic",
-           StrFormat("%u+%u", layout[0], layout[1]),
-           std::to_string(stats.total_killed),
-           StrFormat("%.2f", stats.log_writes_per_sec),
-           StrFormat("%.1f", stats.commit_latency_p99_us / 1000.0),
-           std::to_string(stats.flush_backlog)});
+      configs.push_back(config);
+      process_names.push_back(process == workload::ArrivalProcess::kPoisson
+                                  ? "poisson"
+                                  : "deterministic");
+      layouts.push_back(layout);
     }
+  }
+
+  runner::SweepOptions sweep_options;
+  sweep_options.jobs = static_cast<int>(jobs);
+  sweep_options.derive_seeds = false;  // paired across layouts/processes
+  runner::SweepRunner sweeper(sweep_options);
+
+  harness::WallTimer timer;
+  std::vector<db::RunStats> results = sweeper.Run(configs);
+  const double wall_s = timer.Seconds();
+
+  TableWriter table({"arrivals", "layout", "killed", "writes_per_s",
+                     "commit_p99_ms", "flush_backlog"});
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const db::RunStats& stats = results[i];
+    table.AddRow({process_names[i],
+                  StrFormat("%u+%u", layouts[i][0], layouts[i][1]),
+                  std::to_string(stats.total_killed),
+                  StrFormat("%.2f", stats.log_writes_per_sec),
+                  StrFormat("%.1f", stats.commit_latency_p99_us / 1000.0),
+                  std::to_string(stats.flush_backlog)});
   }
   harness::PrintTable(
       "Extension: arrival-process sensitivity (deterministic §3 vs "
       "Poisson)",
       table);
   Status status = harness::MaybeWriteCsv(csv, table);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  runner::BenchJson bench("ablation_arrivals");
+  bench.AddConfig("jobs", static_cast<int64_t>(sweeper.jobs()));
+  bench.AddConfig("runtime_s", runtime_s);
+  status = harness::WriteBenchJson(json_dir, &bench, table, wall_s);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;

@@ -14,6 +14,7 @@
 
 #include "db/database.h"
 #include "harness/report.h"
+#include "runner/sweep_runner.h"
 #include "util/cli.h"
 #include "util/string_util.h"
 
@@ -21,10 +22,15 @@ using namespace elog;
 
 int main(int argc, char** argv) {
   int64_t runtime_s = 150;
+  int64_t jobs = 0;
   std::string csv;
+  std::string json_dir = "results";
   FlagSet flags;
   flags.AddInt64("runtime", &runtime_s, "simulated seconds of arrivals");
+  flags.AddInt64("jobs", &jobs, "worker threads (0 = all cores)");
   flags.AddString("csv", &csv, "write results as CSV to this path");
+  flags.AddString("json_dir", &json_dir,
+                  "directory for BENCH_<name>.json (empty = skip)");
   if (Status status = flags.Parse(argc, argv); !status.ok()) {
     std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
     return 2;
@@ -33,20 +39,33 @@ int main(int argc, char** argv) {
   workload::WorkloadSpec spec = workload::PaperMix(0.05);
   spec.runtime = SecondsToSimTime(runtime_s);
 
+  const std::vector<UnflushedPolicy> policies = {
+      UnflushedPolicy::kKeepInLog, UnflushedPolicy::kFlushOnDemand};
+  std::vector<db::DatabaseConfig> configs(policies.size());
+  for (size_t i = 0; i < policies.size(); ++i) {
+    configs[i].workload = spec;
+    configs[i].log.generation_blocks = {18, 12};
+    configs[i].log.recirculation = true;
+    configs[i].log.unflushed_policy = policies[i];
+  }
+
+  runner::SweepOptions sweep_options;
+  sweep_options.jobs = static_cast<int>(jobs);
+  sweep_options.derive_seeds = false;  // paired across policies
+  runner::SweepRunner sweeper(sweep_options);
+
+  harness::WallTimer timer;
+  std::vector<db::RunStats> results = sweeper.Run(configs);
+  const double wall_s = timer.Seconds();
+
   TableWriter table({"policy", "writes_per_s", "flushes", "urgent_flushes",
                      "mean_seek_distance", "peak_mem_bytes", "killed"});
-  for (UnflushedPolicy policy :
-       {UnflushedPolicy::kKeepInLog, UnflushedPolicy::kFlushOnDemand}) {
-    db::DatabaseConfig config;
-    config.workload = spec;
-    config.log.generation_blocks = {18, 12};
-    config.log.recirculation = true;
-    config.log.unflushed_policy = policy;
-    db::Database database(config);
-    db::RunStats stats = database.Run();
+  for (size_t i = 0; i < policies.size(); ++i) {
+    const db::RunStats& stats = results[i];
     table.AddRow(
-        {policy == UnflushedPolicy::kKeepInLog ? "continuous (keep-in-log)"
-                                               : "naive (flush-on-demand)",
+        {policies[i] == UnflushedPolicy::kKeepInLog
+             ? "continuous (keep-in-log)"
+             : "naive (flush-on-demand)",
          StrFormat("%.2f", stats.log_writes_per_sec),
          std::to_string(stats.flushes_completed),
          std::to_string(stats.urgent_flushes),
@@ -59,6 +78,15 @@ int main(int argc, char** argv) {
       "(§2.1)",
       table);
   Status status = harness::MaybeWriteCsv(csv, table);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  runner::BenchJson bench("ablation_flush_policy");
+  bench.AddConfig("jobs", static_cast<int64_t>(sweeper.jobs()));
+  bench.AddConfig("runtime_s", runtime_s);
+  status = harness::WriteBenchJson(json_dir, &bench, table, wall_s);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;

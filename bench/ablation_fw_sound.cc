@@ -25,10 +25,15 @@ using namespace elog;
 
 int main(int argc, char** argv) {
   int64_t runtime_s = 200;
+  int64_t jobs = 0;
   std::string csv;
+  std::string json_dir = "results";
   FlagSet flags;
   flags.AddInt64("runtime", &runtime_s, "simulated seconds of arrivals");
+  flags.AddInt64("jobs", &jobs, "worker threads (0 = all cores)");
   flags.AddString("csv", &csv, "write results as CSV to this path");
+  flags.AddString("json_dir", &json_dir,
+                  "directory for BENCH_<name>.json (empty = skip)");
   if (Status status = flags.Parse(argc, argv); !status.ok()) {
     std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
     return 2;
@@ -37,45 +42,47 @@ int main(int argc, char** argv) {
   workload::WorkloadSpec spec = workload::PaperMix(0.05);
   spec.runtime = SecondsToSimTime(runtime_s);
 
+  // Four FW variants: {release-at-commit, retain-until-flushed} at the
+  // paper's 25 ms flush transfers and at scarce 45 ms transfers. Each
+  // minimum-space search is independent; run them as sibling tasks.
+  struct Case {
+    const char* label;
+    bool release_on_commit;
+    bool scarce_flush;
+  };
+  const std::vector<Case> cases = {
+      {"fw_paper (release at commit)", true, false},
+      {"fw_sound (retain until flushed)", false, false},
+      {"fw_paper @45ms flush", true, true},
+      {"fw_sound @45ms flush", false, true},
+  };
+
+  runner::SweepOptions sweep_options;
+  sweep_options.jobs = static_cast<int>(jobs);
+  runner::SweepRunner sweeper(sweep_options);
+
+  harness::WallTimer timer;
+  std::vector<harness::MinSpaceResult> results(cases.size());
+  runner::TaskGroup group(sweeper.pool());
+  for (size_t i = 0; i < cases.size(); ++i) {
+    group.Spawn([&, i] {
+      LogManagerOptions options = MakeFirewallOptions(8);
+      options.release_on_commit = cases[i].release_on_commit;
+      if (cases[i].scarce_flush) {
+        options.flush_transfer_time = 45 * kMillisecond;
+      }
+      results[i] = harness::MinFirewallSpace(options, spec, &sweeper);
+    });
+  }
+  group.Wait();
+  const double wall_s = timer.Seconds();
+
   TableWriter table({"variant", "min_blocks", "writes_per_s",
                      "urgent_flushes", "unsafe_commit_drops",
                      "peak_mem_bytes"});
-
-  // Paper FW: committed records become garbage at commit.
-  {
-    harness::MinSpaceResult result =
-        harness::MinFirewallSpace(MakeFirewallOptions(8), spec);
-    table.AddRow({"fw_paper (release at commit)",
-                  std::to_string(result.total_blocks),
-                  StrFormat("%.2f", result.stats.log_writes_per_sec),
-                  std::to_string(result.stats.urgent_flushes),
-                  std::to_string(result.stats.unsafe_commit_drops),
-                  StrFormat("%.0f", result.stats.peak_memory_bytes)});
-  }
-  // Sound FW: records retained until flushed (no checkpoints, so
-  // committed-unflushed records reaching the head are urgently flushed).
-  {
-    LogManagerOptions sound = MakeFirewallOptions(8);
-    sound.release_on_commit = false;
-    harness::MinSpaceResult result =
-        harness::MinFirewallSpace(sound, spec);
-    table.AddRow({"fw_sound (retain until flushed)",
-                  std::to_string(result.total_blocks),
-                  StrFormat("%.2f", result.stats.log_writes_per_sec),
-                  std::to_string(result.stats.urgent_flushes),
-                  std::to_string(result.stats.unsafe_commit_drops),
-                  StrFormat("%.0f", result.stats.peak_memory_bytes)});
-  }
-  // The same pair under scarce flushing (45 ms transfers): now retention
-  // actually holds log space and forces urgent head-of-queue flushes.
-  for (bool release : {true, false}) {
-    LogManagerOptions options = MakeFirewallOptions(8);
-    options.release_on_commit = release;
-    options.flush_transfer_time = 45 * kMillisecond;
-    harness::MinSpaceResult result = harness::MinFirewallSpace(options, spec);
-    table.AddRow({release ? "fw_paper @45ms flush"
-                          : "fw_sound @45ms flush",
-                  std::to_string(result.total_blocks),
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const harness::MinSpaceResult& result = results[i];
+    table.AddRow({cases[i].label, std::to_string(result.total_blocks),
                   StrFormat("%.2f", result.stats.log_writes_per_sec),
                   std::to_string(result.stats.urgent_flushes),
                   std::to_string(result.stats.unsafe_commit_drops),
@@ -87,6 +94,15 @@ int main(int argc, char** argv) {
       "(committed records retained until flushed)",
       table);
   Status status = harness::MaybeWriteCsv(csv, table);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  runner::BenchJson bench("ablation_fw_sound");
+  bench.AddConfig("jobs", static_cast<int64_t>(sweeper.jobs()));
+  bench.AddConfig("runtime_s", runtime_s);
+  status = harness::WriteBenchJson(json_dir, &bench, table, wall_s);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;

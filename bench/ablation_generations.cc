@@ -12,43 +12,23 @@
 
 #include "db/database.h"
 #include "harness/report.h"
+#include "runner/sweep_runner.h"
 #include "util/cli.h"
 #include "util/string_util.h"
 
 using namespace elog;
 
-namespace {
-
-void RunConfig(TableWriter* table, const workload::WorkloadSpec& spec,
-               const std::vector<uint32_t>& generations) {
-  db::DatabaseConfig config;
-  config.workload = spec;
-  config.log.generation_blocks = generations;
-  config.log.recirculation = true;
-  db::Database database(config);
-  db::RunStats stats = database.Run();
-
-  std::string layout;
-  for (size_t i = 0; i < generations.size(); ++i) {
-    layout += (i ? "+" : "") + std::to_string(generations[i]);
-  }
-  uint32_t total = std::accumulate(generations.begin(), generations.end(), 0u);
-  table->AddRow({layout, std::to_string(total),
-                 StrFormat("%.2f", stats.log_writes_per_sec),
-                 std::to_string(stats.records_forwarded),
-                 std::to_string(stats.records_recirculated),
-                 std::to_string(stats.kills),
-                 StrFormat("%.0f", stats.peak_memory_bytes)});
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   int64_t runtime_s = 150;
+  int64_t jobs = 0;
   std::string csv;
+  std::string json_dir = "results";
   FlagSet flags;
   flags.AddInt64("runtime", &runtime_s, "simulated seconds of arrivals");
+  flags.AddInt64("jobs", &jobs, "worker threads (0 = all cores)");
   flags.AddString("csv", &csv, "write results as CSV to this path");
+  flags.AddString("json_dir", &json_dir,
+                  "directory for BENCH_<name>.json (empty = skip)");
   if (Status status = flags.Parse(argc, argv); !status.ok()) {
     std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
     return 2;
@@ -57,23 +37,62 @@ int main(int argc, char** argv) {
   workload::WorkloadSpec spec = workload::PaperMix(0.05);
   spec.runtime = SecondsToSimTime(runtime_s);
 
+  // 30-block budget split across 1..4 generations, then 2-generation
+  // split sensitivity at the same budget.
+  const std::vector<std::vector<uint32_t>> layouts = {
+      {30},     {18, 12}, {14, 8, 8}, {12, 6, 6, 6},
+      {24, 6},  {12, 18}, {6, 24},
+  };
+  std::vector<db::DatabaseConfig> configs(layouts.size());
+  for (size_t i = 0; i < layouts.size(); ++i) {
+    configs[i].workload = spec;
+    configs[i].log.generation_blocks = layouts[i];
+    configs[i].log.recirculation = true;
+  }
+
+  runner::SweepOptions sweep_options;
+  sweep_options.jobs = static_cast<int>(jobs);
+  // Paired comparison: every layout replays the identical arrival stream.
+  sweep_options.derive_seeds = false;
+  runner::SweepRunner sweeper(sweep_options);
+
+  harness::WallTimer timer;
+  std::vector<db::RunStats> results = sweeper.Run(configs);
+  const double wall_s = timer.Seconds();
+
   TableWriter table({"layout", "total_blocks", "writes_per_s", "forwarded",
                      "recirculated", "killed", "peak_mem_bytes"});
-  // 30-block budget split across 1..4 generations.
-  RunConfig(&table, spec, {30});
-  RunConfig(&table, spec, {18, 12});
-  RunConfig(&table, spec, {14, 8, 8});
-  RunConfig(&table, spec, {12, 6, 6, 6});
-  // 2-generation split sensitivity at the same budget.
-  RunConfig(&table, spec, {24, 6});
-  RunConfig(&table, spec, {12, 18});
-  RunConfig(&table, spec, {6, 24});
+  for (size_t i = 0; i < layouts.size(); ++i) {
+    const db::RunStats& stats = results[i];
+    std::string layout;
+    for (size_t g = 0; g < layouts[i].size(); ++g) {
+      layout += (g ? "+" : "") + std::to_string(layouts[i][g]);
+    }
+    uint32_t total =
+        std::accumulate(layouts[i].begin(), layouts[i].end(), 0u);
+    table.AddRow({layout, std::to_string(total),
+                  StrFormat("%.2f", stats.log_writes_per_sec),
+                  std::to_string(stats.records_forwarded),
+                  std::to_string(stats.records_recirculated),
+                  std::to_string(stats.kills),
+                  StrFormat("%.0f", stats.peak_memory_bytes)});
+  }
 
   harness::PrintTable(
       "Ablation: generation count and split at a fixed 30-block budget "
       "(5% mix)",
       table);
   Status status = harness::MaybeWriteCsv(csv, table);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  runner::BenchJson bench("ablation_generations");
+  bench.AddConfig("jobs", static_cast<int64_t>(sweeper.jobs()));
+  bench.AddConfig("runtime_s", runtime_s);
+  bench.AddConfig("seed", static_cast<int64_t>(spec.seed));
+  status = harness::WriteBenchJson(json_dir, &bench, table, wall_s);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;

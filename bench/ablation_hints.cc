@@ -11,6 +11,7 @@
 
 #include "db/database.h"
 #include "harness/report.h"
+#include "runner/sweep_runner.h"
 #include "util/cli.h"
 #include "util/string_util.h"
 
@@ -18,10 +19,15 @@ using namespace elog;
 
 int main(int argc, char** argv) {
   int64_t runtime_s = 200;
+  int64_t jobs = 0;
   std::string csv;
+  std::string json_dir = "results";
   FlagSet flags;
   flags.AddInt64("runtime", &runtime_s, "simulated seconds of arrivals");
+  flags.AddInt64("jobs", &jobs, "worker threads (0 = all cores)");
   flags.AddString("csv", &csv, "write results as CSV to this path");
+  flags.AddString("json_dir", &json_dir,
+                  "directory for BENCH_<name>.json (empty = skip)");
   if (Status status = flags.Parse(argc, argv); !status.ok()) {
     std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
     return 2;
@@ -30,25 +36,37 @@ int main(int argc, char** argv) {
   workload::WorkloadSpec spec = workload::PaperMix(0.05);
   spec.runtime = SecondsToSimTime(runtime_s);
 
+  std::vector<db::DatabaseConfig> configs(2);
+  for (size_t i = 0; i < configs.size(); ++i) {
+    bool hints = i == 1;
+    configs[i].workload = spec;
+    configs[i].log.generation_blocks = {18, 12};
+    configs[i].log.recirculation = true;
+    if (hints) {
+      configs[i].log.lifetime_hints = true;
+      configs[i].log.hint_lifetime_threshold = SecondsToSimTime(5);
+      configs[i].log.hint_target_generation = 1;
+      // Hinted commits land in the sleepy last generation; bound their
+      // acknowledgement delay.
+      configs[i].log.group_commit_linger = 200 * kMillisecond;
+    }
+  }
+
+  runner::SweepOptions sweep_options;
+  sweep_options.jobs = static_cast<int>(jobs);
+  sweep_options.derive_seeds = false;  // paired with/without hints
+  runner::SweepRunner sweeper(sweep_options);
+
+  harness::WallTimer timer;
+  std::vector<db::RunStats> results = sweeper.Run(configs);
+  const double wall_s = timer.Seconds();
+
   TableWriter table({"config", "writes_per_s", "gen1_writes_per_s",
                      "forwarded", "recirculated", "commit_p99_ms",
                      "killed"});
-  for (bool hints : {false, true}) {
-    db::DatabaseConfig config;
-    config.workload = spec;
-    config.log.generation_blocks = {18, 12};
-    config.log.recirculation = true;
-    if (hints) {
-      config.log.lifetime_hints = true;
-      config.log.hint_lifetime_threshold = SecondsToSimTime(5);
-      config.log.hint_target_generation = 1;
-      // Hinted commits land in the sleepy last generation; bound their
-      // acknowledgement delay.
-      config.log.group_commit_linger = 200 * kMillisecond;
-    }
-    db::Database database(config);
-    db::RunStats stats = database.Run();
-    table.AddRow({hints ? "el+hints" : "el",
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const db::RunStats& stats = results[i];
+    table.AddRow({i == 1 ? "el+hints" : "el",
                   StrFormat("%.2f", stats.log_writes_per_sec),
                   StrFormat("%.2f",
                             stats.log_writes_per_sec_by_generation[1]),
@@ -62,6 +80,15 @@ int main(int argc, char** argv) {
       "to generation 1",
       table);
   Status status = harness::MaybeWriteCsv(csv, table);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  runner::BenchJson bench("ablation_hints");
+  bench.AddConfig("jobs", static_cast<int64_t>(sweeper.jobs()));
+  bench.AddConfig("runtime_s", runtime_s);
+  status = harness::WriteBenchJson(json_dir, &bench, table, wall_s);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;

@@ -12,6 +12,7 @@
 #include "core/hybrid_manager.h"
 #include "db/database.h"
 #include "harness/report.h"
+#include "runner/sweep_runner.h"
 #include "util/cli.h"
 #include "util/string_util.h"
 
@@ -110,10 +111,15 @@ AblationStats RunHybrid(const workload::WorkloadSpec& spec,
 
 int main(int argc, char** argv) {
   int64_t runtime_s = 120;
+  int64_t jobs = 0;
   std::string csv;
+  std::string json_dir = "results";
   FlagSet flags;
   flags.AddInt64("runtime", &runtime_s, "simulated seconds of arrivals");
+  flags.AddInt64("jobs", &jobs, "worker threads (0 = all cores)");
   flags.AddString("csv", &csv, "write results as CSV to this path");
+  flags.AddString("json_dir", &json_dir,
+                  "directory for BENCH_<name>.json (empty = skip)");
   if (Status status = flags.Parse(argc, argv); !status.ok()) {
     std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
     return 2;
@@ -130,8 +136,20 @@ int main(int argc, char** argv) {
   options.generation_blocks = {24, 150};
   options.recirculation = true;
 
-  AblationStats el = RunEl(spec, options);
-  AblationStats hybrid = RunHybrid(spec, options);
+  runner::SweepOptions sweep_options;
+  sweep_options.jobs = static_cast<int>(jobs);
+  runner::SweepRunner sweeper(sweep_options);
+
+  // The two schemes are independent single-threaded simulations; run them
+  // as sibling tasks on the shared pool.
+  harness::WallTimer timer;
+  AblationStats el;
+  AblationStats hybrid;
+  runner::TaskGroup group(sweeper.pool());
+  group.Spawn([&] { el = RunEl(spec, options); });
+  group.Spawn([&] { hybrid = RunHybrid(spec, options); });
+  group.Wait();
+  const double wall_s = timer.Seconds();
 
   TableWriter table({"metric", "el", "hybrid_el_fw"});
   table.AddRow({"log_writes_per_s", StrFormat("%.2f", el.writes_per_sec),
@@ -149,6 +167,15 @@ int main(int argc, char** argv) {
       "(hybrid: less memory, more bandwidth)",
       table);
   Status status = harness::MaybeWriteCsv(csv, table);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  runner::BenchJson bench("ablation_hybrid");
+  bench.AddConfig("jobs", static_cast<int64_t>(sweeper.jobs()));
+  bench.AddConfig("runtime_s", runtime_s);
+  status = harness::WriteBenchJson(json_dir, &bench, table, wall_s);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;

@@ -13,51 +13,30 @@
 
 #include "db/database.h"
 #include "harness/report.h"
+#include "runner/sweep_runner.h"
 #include "util/cli.h"
 #include "util/string_util.h"
 
 using namespace elog;
 
-namespace {
-
-void Row(TableWriter* table, const char* label,
-         const workload::WorkloadSpec& spec,
-         const std::vector<uint32_t>& layout, bool forward_fill) {
-  db::DatabaseConfig config;
-  config.workload = spec;
-  config.log.generation_blocks = layout;
-  config.log.recirculation = true;
-  config.log.forward_fill = forward_fill;
-  db::Database database(config);
-  db::RunStats stats = database.Run();
-  table->AddRow({label, forward_fill ? "on" : "off",
-                 StrFormat("%.2f", stats.log_writes_per_sec),
-                 StrFormat("%.2f",
-                           stats.log_writes_per_sec_by_generation.back()),
-                 std::to_string(stats.records_forwarded),
-                 std::to_string(stats.kills)});
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   int64_t runtime_s = 150;
+  int64_t jobs = 0;
   std::string csv;
+  std::string json_dir = "results";
   FlagSet flags;
   flags.AddInt64("runtime", &runtime_s, "simulated seconds of arrivals");
+  flags.AddInt64("jobs", &jobs, "worker threads (0 = all cores)");
   flags.AddString("csv", &csv, "write results as CSV to this path");
+  flags.AddString("json_dir", &json_dir,
+                  "directory for BENCH_<name>.json (empty = skip)");
   if (Status status = flags.Parse(argc, argv); !status.ok()) {
     std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
     return 2;
   }
 
-  TableWriter table({"workload", "topup", "writes_per_s", "gen1_wps",
-                     "forwarded", "killed"});
-
   workload::WorkloadSpec paper = workload::PaperMix(0.05);
   paper.runtime = SecondsToSimTime(runtime_s);
-  Row(&table, "paper_5pct", paper, {18, 12}, true);
-  Row(&table, "paper_5pct", paper, {18, 12}, false);
 
   // Wide transactions: many more mandatory forwards per head advance.
   workload::TransactionType small;
@@ -76,14 +55,62 @@ int main(int argc, char** argv) {
   heavy.types = {small, wide};
   heavy.arrival_rate_tps = 50;
   heavy.runtime = SecondsToSimTime(runtime_s);
-  Row(&table, "wide_10pct", heavy, {24, 72}, true);
-  Row(&table, "wide_10pct", heavy, {24, 72}, false);
+
+  struct Case {
+    const char* label;
+    const workload::WorkloadSpec* spec;
+    std::vector<uint32_t> layout;
+    bool forward_fill;
+  };
+  const std::vector<Case> cases = {
+      {"paper_5pct", &paper, {18, 12}, true},
+      {"paper_5pct", &paper, {18, 12}, false},
+      {"wide_10pct", &heavy, {24, 72}, true},
+      {"wide_10pct", &heavy, {24, 72}, false},
+  };
+  std::vector<db::DatabaseConfig> configs(cases.size());
+  for (size_t i = 0; i < cases.size(); ++i) {
+    configs[i].workload = *cases[i].spec;
+    configs[i].log.generation_blocks = cases[i].layout;
+    configs[i].log.recirculation = true;
+    configs[i].log.forward_fill = cases[i].forward_fill;
+  }
+
+  runner::SweepOptions sweep_options;
+  sweep_options.jobs = static_cast<int>(jobs);
+  sweep_options.derive_seeds = false;  // paired on/off per workload
+  runner::SweepRunner sweeper(sweep_options);
+
+  harness::WallTimer timer;
+  std::vector<db::RunStats> results = sweeper.Run(configs);
+  const double wall_s = timer.Seconds();
+
+  TableWriter table({"workload", "topup", "writes_per_s", "gen1_wps",
+                     "forwarded", "killed"});
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const db::RunStats& stats = results[i];
+    table.AddRow({cases[i].label, cases[i].forward_fill ? "on" : "off",
+                  StrFormat("%.2f", stats.log_writes_per_sec),
+                  StrFormat("%.2f",
+                            stats.log_writes_per_sec_by_generation.back()),
+                  std::to_string(stats.records_forwarded),
+                  std::to_string(stats.kills)});
+  }
 
   harness::PrintTable(
       "Ablation: §2.2 forwarding top-up (gather-to-fill before the forced "
       "write)",
       table);
   Status status = harness::MaybeWriteCsv(csv, table);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  runner::BenchJson bench("ablation_topup");
+  bench.AddConfig("jobs", static_cast<int64_t>(sweeper.jobs()));
+  bench.AddConfig("runtime_s", runtime_s);
+  status = harness::WriteBenchJson(json_dir, &bench, table, wall_s);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;

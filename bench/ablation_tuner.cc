@@ -15,36 +15,64 @@ using namespace elog;
 
 int main(int argc, char** argv) {
   int64_t runtime_s = 60;
+  int64_t jobs = 0;
   double max_ratio = 1.15;
   std::string csv;
+  std::string json_dir = "results";
   FlagSet flags;
   flags.AddInt64("runtime", &runtime_s, "simulated seconds of arrivals");
+  flags.AddInt64("jobs", &jobs, "worker threads (0 = all cores)");
   flags.AddDouble("max_ratio", &max_ratio,
                   "bandwidth budget as a multiple of the FW baseline");
   flags.AddString("csv", &csv, "write results as CSV to this path");
+  flags.AddString("json_dir", &json_dir,
+                  "directory for BENCH_<name>.json (empty = skip)");
   if (Status status = flags.Parse(argc, argv); !status.ok()) {
     std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
     return 2;
   }
 
+  const std::vector<double> mixes = {0.05, 0.20, 0.40};
+
+  runner::SweepOptions sweep_options;
+  sweep_options.jobs = static_cast<int>(jobs);
+  runner::ProgressReporter progress("ablation_tuner");
+  sweep_options.progress = &progress;
+  runner::SweepRunner sweeper(sweep_options);
+
+  // The tuner itself fans its searches out over the shared pool; the mixes
+  // are additionally independent of one another.
+  harness::WallTimer timer;
+  std::vector<harness::TunerResult> tuned(mixes.size());
+  runner::TaskGroup group(sweeper.pool());
+  for (size_t i = 0; i < mixes.size(); ++i) {
+    group.Spawn([&, i] {
+      harness::TunerRequest request;
+      request.workload = workload::PaperMix(mixes[i]);
+      request.workload.runtime = SecondsToSimTime(runtime_s);
+      request.max_bandwidth_ratio = max_ratio;
+      request.runner = &sweeper;
+      tuned[i] = harness::TuneGenerations(request);
+    });
+  }
+  group.Wait();
+  progress.Finish();
+  const double wall_s = timer.Seconds();
+
+  int64_t simulations = 0;
   TableWriter table({"mix_pct_10s", "fw_blocks", "recommended_layout",
                      "total_blocks", "bandwidth_ratio", "space_saving",
                      "simulations"});
-  for (double mix : {0.05, 0.20, 0.40}) {
-    harness::TunerRequest request;
-    request.workload = workload::PaperMix(mix);
-    request.workload.runtime = SecondsToSimTime(runtime_s);
-    request.max_bandwidth_ratio = max_ratio;
-    harness::TunerResult result = harness::TuneGenerations(request);
-
+  for (size_t i = 0; i < mixes.size(); ++i) {
+    const harness::TunerResult& result = tuned[i];
     std::string layout;
-    for (size_t i = 0; i < result.recommended.generation_blocks.size(); ++i) {
-      layout += (i ? "+" : "") +
-                std::to_string(result.recommended.generation_blocks[i]);
+    for (size_t g = 0; g < result.recommended.generation_blocks.size(); ++g) {
+      layout += (g ? "+" : "") +
+                std::to_string(result.recommended.generation_blocks[g]);
     }
     if (!result.recommended.meets_budget) layout += " (over budget)";
     table.AddRow(
-        {StrFormat("%.0f", mix * 100),
+        {StrFormat("%.0f", mixes[i] * 100),
          std::to_string(result.fw_baseline.total_blocks), layout,
          std::to_string(result.recommended.total_blocks),
          StrFormat("%.3f", result.recommended.bandwidth_ratio),
@@ -52,7 +80,8 @@ int main(int argc, char** argv) {
                                 result.fw_baseline.total_blocks) /
                                 result.recommended.total_blocks),
          std::to_string(result.simulations)});
-    std::fprintf(stderr, "mix %.0f%%: recommended %s\n", mix * 100,
+    simulations += result.simulations;
+    std::fprintf(stderr, "mix %.0f%%: recommended %s\n", mixes[i] * 100,
                  layout.c_str());
   }
   harness::PrintTable(
@@ -61,6 +90,17 @@ int main(int argc, char** argv) {
                 (max_ratio - 1.0) * 100),
       table);
   Status status = harness::MaybeWriteCsv(csv, table);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  runner::BenchJson bench("ablation_tuner");
+  bench.AddConfig("jobs", static_cast<int64_t>(sweeper.jobs()));
+  bench.AddConfig("runtime_s", runtime_s);
+  bench.AddConfig("max_ratio", max_ratio);
+  bench.AddMetric("simulations", simulations);
+  status = harness::WriteBenchJson(json_dir, &bench, table, wall_s);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;

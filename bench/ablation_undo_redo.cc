@@ -14,6 +14,7 @@
 #include "db/database.h"
 #include "db/recovery.h"
 #include "harness/report.h"
+#include "runner/sweep_runner.h"
 #include "util/cli.h"
 #include "util/string_util.h"
 
@@ -21,64 +22,101 @@ using namespace elog;
 
 int main(int argc, char** argv) {
   int64_t runtime_s = 120;
+  int64_t jobs = 0;
   std::string csv;
+  std::string json_dir = "results";
   FlagSet flags;
   flags.AddInt64("runtime", &runtime_s, "simulated seconds of arrivals");
+  flags.AddInt64("jobs", &jobs, "worker threads (0 = all cores)");
   flags.AddString("csv", &csv, "write results as CSV to this path");
+  flags.AddString("json_dir", &json_dir,
+                  "directory for BENCH_<name>.json (empty = skip)");
   if (Status status = flags.Parse(argc, argv); !status.ok()) {
     std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
     return 2;
   }
-
-  TableWriter table({"mode", "steal_per_s", "writes_per_s", "steals",
-                     "compensations", "crash_undos", "killed"});
 
   struct Case {
     const char* name;
     bool undo_redo;
     SimTime steal_interval;
   };
-  for (const Case& c : {Case{"redo_only", false, 0},
-                        Case{"undo_redo_nosteal", true, 0},
-                        Case{"undo_redo_steal_10ps", true,
-                             100 * kMillisecond},
-                        Case{"undo_redo_steal_100ps", true,
-                             10 * kMillisecond}}) {
-    // Bandwidth/steal measurement over the full window. The workload has
-    // a 2% abort rate so compensations actually occur.
-    db::DatabaseConfig config;
-    config.workload = workload::PaperMix(0.10);
-    for (auto& type : config.workload.types) type.abort_probability = 0.02;
-    config.workload.runtime = SecondsToSimTime(runtime_s);
-    config.log.generation_blocks = {20, 16};
-    config.log.recirculation = true;
-    config.log.undo_redo = c.undo_redo;
-    config.log.steal_interval = c.steal_interval;
+  const std::vector<Case> cases = {
+      {"redo_only", false, 0},
+      {"undo_redo_nosteal", true, 0},
+      {"undo_redo_steal_10ps", true, 100 * kMillisecond},
+      {"undo_redo_steal_100ps", true, 10 * kMillisecond},
+  };
 
+  runner::SweepOptions sweep_options;
+  sweep_options.jobs = static_cast<int>(jobs);
+  runner::SweepRunner sweeper(sweep_options);
+
+  // Each case is a crash-recovery run plus a full-window measurement run;
+  // the steal/compensation counters live on the Database's manager, so
+  // the rows are assembled inside the task and stored per index.
+  struct Row {
+    double writes_per_sec = 0;
+    int64_t steals = 0;
+    int64_t compensations = 0;
     size_t crash_undos = 0;
-    {
-      // Separate run crashed mid-flight for the recovery undo count.
-      db::DatabaseConfig crash_config = config;
-      crash_config.workload.runtime = SecondsToSimTime(3600);
-      db::Database crash_db(crash_config);
-      db::Database::CrashImage image = crash_db.RunUntilCrash(
-          SecondsToSimTime(std::min<int64_t>(runtime_s, 30)), true);
-      db::RecoveryResult result =
-          db::RecoveryManager::Recover(image.log, image.stable);
-      crash_undos = result.undos_applied;
-    }
+    int64_t killed = 0;
+  };
+  harness::WallTimer timer;
+  std::vector<Row> rows(cases.size());
+  runner::TaskGroup group(sweeper.pool());
+  for (size_t i = 0; i < cases.size(); ++i) {
+    group.Spawn([&, i] {
+      const Case& c = cases[i];
+      // Bandwidth/steal measurement over the full window. The workload
+      // has a 2% abort rate so compensations actually occur.
+      db::DatabaseConfig config;
+      config.workload = workload::PaperMix(0.10);
+      for (auto& type : config.workload.types) {
+        type.abort_probability = 0.02;
+      }
+      config.workload.runtime = SecondsToSimTime(runtime_s);
+      config.log.generation_blocks = {20, 16};
+      config.log.recirculation = true;
+      config.log.undo_redo = c.undo_redo;
+      config.log.steal_interval = c.steal_interval;
 
-    db::Database database(config);
-    db::RunStats stats = database.Run();
+      {
+        // Separate run crashed mid-flight for the recovery undo count.
+        db::DatabaseConfig crash_config = config;
+        crash_config.workload.runtime = SecondsToSimTime(3600);
+        db::Database crash_db(crash_config);
+        db::Database::CrashImage image = crash_db.RunUntilCrash(
+            SecondsToSimTime(std::min<int64_t>(runtime_s, 30)), true);
+        db::RecoveryResult result =
+            db::RecoveryManager::Recover(image.log, image.stable);
+        rows[i].crash_undos = result.undos_applied;
+      }
+
+      db::Database database(config);
+      db::RunStats stats = database.Run();
+      rows[i].writes_per_sec = stats.log_writes_per_sec;
+      rows[i].steals = database.manager().steals();
+      rows[i].compensations = database.manager().compensations();
+      rows[i].killed = stats.total_killed;
+    });
+  }
+  group.Wait();
+  const double wall_s = timer.Seconds();
+
+  TableWriter table({"mode", "steal_per_s", "writes_per_s", "steals",
+                     "compensations", "crash_undos", "killed"});
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const Case& c = cases[i];
     double steal_rate = c.steal_interval > 0
                             ? 1.0 / SimTimeToSeconds(c.steal_interval)
                             : 0.0;
     table.AddRow({c.name, StrFormat("%.0f", steal_rate),
-                  StrFormat("%.2f", stats.log_writes_per_sec),
-                  std::to_string(database.manager().steals()),
-                  std::to_string(database.manager().compensations()),
-                  std::to_string(crash_undos),
-                  std::to_string(stats.total_killed)});
+                  StrFormat("%.2f", rows[i].writes_per_sec),
+                  std::to_string(rows[i].steals),
+                  std::to_string(rows[i].compensations),
+                  std::to_string(rows[i].crash_undos),
+                  std::to_string(rows[i].killed)});
   }
 
   harness::PrintTable(
@@ -86,6 +124,15 @@ int main(int argc, char** argv) {
       "+8 B/record; recovery gains an undo pass)",
       table);
   Status status = harness::MaybeWriteCsv(csv, table);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  runner::BenchJson bench("ablation_undo_redo");
+  bench.AddConfig("jobs", static_cast<int64_t>(sweeper.jobs()));
+  bench.AddConfig("runtime_s", runtime_s);
+  status = harness::WriteBenchJson(json_dir, &bench, table, wall_s);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;

@@ -11,6 +11,8 @@
 
 #include "harness/figures.h"
 #include "harness/report.h"
+#include "runner/progress.h"
+#include "runner/sweep_runner.h"
 #include "util/cli.h"
 #include "util/string_util.h"
 
@@ -19,13 +21,20 @@ using namespace elog;
 int main(int argc, char** argv) {
   bool quick = false;
   std::string csv;
+  std::string json_dir = "results";
   int64_t runtime_s = 500;
   int64_t gen0_max = 40;
+  int64_t jobs = 0;
+  int64_t seed = 42;
   FlagSet flags;
   flags.AddBool("quick", &quick, "fewer mixes, narrower search");
   flags.AddString("csv", &csv, "write results as CSV to this path");
+  flags.AddString("json_dir", &json_dir,
+                  "directory for BENCH_<name>.json (empty = skip)");
   flags.AddInt64("runtime", &runtime_s, "simulated seconds of arrivals");
   flags.AddInt64("gen0_max", &gen0_max, "largest generation-0 size scanned");
+  flags.AddInt64("jobs", &jobs, "worker threads (0 = all cores)");
+  flags.AddInt64("seed", &seed, "workload RNG seed");
   Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
@@ -37,28 +46,23 @@ int main(int argc, char** argv) {
   LogManagerOptions base;  // paper defaults
   if (quick) gen0_max = 26;
 
-  std::vector<harness::MixPoint> sweep;
-  {
-    std::vector<harness::MixPoint> points;
-    for (double mix : mixes) {
-      workload::WorkloadSpec probe = workload::PaperMix(mix);
-      probe.runtime = SecondsToSimTime(runtime_s);
-      // Re-run the sweep point with the adjusted runtime.
-      harness::MixPoint point;
-      point.long_fraction = mix;
-      point.fw = harness::MinFirewallSpace(MakeFirewallOptions(8, base), probe);
-      LogManagerOptions el = base;
-      el.recirculation = false;
-      point.el = harness::MinElSpace(el, probe, 4,
-                                     static_cast<uint32_t>(gen0_max));
-      points.push_back(std::move(point));
-      std::fprintf(stderr, "mix %.0f%%: FW=%u EL=%u+%u (sims %d/%d)\n",
-                   mix * 100, points.back().fw.total_blocks,
-                   points.back().el.generation_blocks[0],
-                   points.back().el.generation_blocks[1],
-                   points.back().fw.simulations, points.back().el.simulations);
-    }
-    sweep = std::move(points);
+  runner::ProgressReporter progress("fig4_space");
+  runner::SweepOptions sweep_options;
+  sweep_options.jobs = static_cast<int>(jobs);
+  sweep_options.progress = &progress;
+  runner::SweepRunner sweeper(sweep_options);
+
+  harness::WallTimer timer;
+  std::vector<harness::MixPoint> sweep = harness::RunMixSweepAt(
+      mixes, base, SecondsToSimTime(runtime_s), static_cast<uint64_t>(seed),
+      static_cast<uint32_t>(gen0_max), &sweeper);
+  const double wall_s = timer.Seconds();
+  progress.Finish();
+  for (const harness::MixPoint& point : sweep) {
+    std::fprintf(stderr, "mix %.0f%%: FW=%u EL=%u+%u (sims %d/%d)\n",
+                 point.long_fraction * 100, point.fw.total_blocks,
+                 point.el.generation_blocks[0], point.el.generation_blocks[1],
+                 point.fw.simulations, point.el.simulations);
   }
 
   TableWriter table({"mix_pct_10s", "fw_blocks", "el_blocks", "el_gen0",
@@ -77,6 +81,23 @@ int main(int argc, char** argv) {
       "(paper @5%: FW=123, EL=34, ratio 3.6)",
       table);
   status = harness::MaybeWriteCsv(csv, table);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  runner::BenchJson bench("fig4_space");
+  bench.AddConfig("jobs", static_cast<int64_t>(sweeper.jobs()));
+  bench.AddConfig("seed", seed);
+  bench.AddConfig("runtime_s", runtime_s);
+  bench.AddConfig("gen0_max", gen0_max);
+  bench.AddConfig("quick", quick);
+  int64_t simulations = 0;
+  for (const harness::MixPoint& point : sweep) {
+    simulations += point.fw.simulations + point.el.simulations;
+  }
+  bench.AddMetric("simulations", simulations);
+  status = harness::WriteBenchJson(json_dir, &bench, table, wall_s);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;

@@ -10,6 +10,8 @@
 
 #include "harness/figures.h"
 #include "harness/report.h"
+#include "runner/progress.h"
+#include "runner/sweep_runner.h"
 #include "util/cli.h"
 #include "util/string_util.h"
 
@@ -18,13 +20,20 @@ using namespace elog;
 int main(int argc, char** argv) {
   bool quick = false;
   std::string csv;
+  std::string json_dir = "results";
   int64_t runtime_s = 500;
   int64_t gen0_max = 40;
+  int64_t jobs = 0;
+  int64_t seed = 42;
   FlagSet flags;
   flags.AddBool("quick", &quick, "fewer mixes, narrower search");
   flags.AddString("csv", &csv, "write results as CSV to this path");
+  flags.AddString("json_dir", &json_dir,
+                  "directory for BENCH_<name>.json (empty = skip)");
   flags.AddInt64("runtime", &runtime_s, "simulated seconds of arrivals");
   flags.AddInt64("gen0_max", &gen0_max, "largest generation-0 size scanned");
+  flags.AddInt64("jobs", &jobs, "worker threads (0 = all cores)");
+  flags.AddInt64("seed", &seed, "workload RNG seed");
   Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
@@ -36,28 +45,32 @@ int main(int argc, char** argv) {
   if (quick) gen0_max = 26;
   LogManagerOptions base;
 
+  runner::ProgressReporter progress("fig5_bandwidth");
+  runner::SweepOptions sweep_options;
+  sweep_options.jobs = static_cast<int>(jobs);
+  sweep_options.progress = &progress;
+  runner::SweepRunner sweeper(sweep_options);
+
+  harness::WallTimer timer;
+  std::vector<harness::MixPoint> sweep = harness::RunMixSweepAt(
+      mixes, base, SecondsToSimTime(runtime_s), static_cast<uint64_t>(seed),
+      static_cast<uint32_t>(gen0_max), &sweeper);
+  const double wall_s = timer.Seconds();
+  progress.Finish();
+
   TableWriter table({"mix_pct_10s", "fw_writes_per_s", "el_writes_per_s",
                      "el_gen0_wps", "el_gen1_wps", "bw_increase_pct"});
-  for (double mix : mixes) {
-    workload::WorkloadSpec spec = workload::PaperMix(mix);
-    spec.runtime = SecondsToSimTime(runtime_s);
-    harness::MinSpaceResult fw =
-        harness::MinFirewallSpace(MakeFirewallOptions(8, base), spec);
-    LogManagerOptions el = base;
-    el.recirculation = false;
-    harness::MinSpaceResult el_min =
-        harness::MinElSpace(el, spec, 4, static_cast<uint32_t>(gen0_max));
-
-    double fw_bw = fw.stats.log_writes_per_sec;
-    double el_bw = el_min.stats.log_writes_per_sec;
+  for (const harness::MixPoint& point : sweep) {
+    double fw_bw = point.fw.stats.log_writes_per_sec;
+    double el_bw = point.el.stats.log_writes_per_sec;
     table.AddRow(
-        {StrFormat("%.0f", mix * 100), StrFormat("%.3f", fw_bw),
-         StrFormat("%.3f", el_bw),
-         StrFormat("%.3f", el_min.stats.log_writes_per_sec_by_generation[0]),
-         StrFormat("%.3f", el_min.stats.log_writes_per_sec_by_generation[1]),
+        {StrFormat("%.0f", point.long_fraction * 100),
+         StrFormat("%.3f", fw_bw), StrFormat("%.3f", el_bw),
+         StrFormat("%.3f", point.el.stats.log_writes_per_sec_by_generation[0]),
+         StrFormat("%.3f", point.el.stats.log_writes_per_sec_by_generation[1]),
          StrFormat("%.1f", 100.0 * (el_bw - fw_bw) / fw_bw)});
-    std::fprintf(stderr, "mix %.0f%%: FW %.3f w/s, EL %.3f w/s\n", mix * 100,
-                 fw_bw, el_bw);
+    std::fprintf(stderr, "mix %.0f%%: FW %.3f w/s, EL %.3f w/s\n",
+                 point.long_fraction * 100, fw_bw, el_bw);
   }
 
   harness::PrintTable(
@@ -65,6 +78,23 @@ int main(int argc, char** argv) {
       "(paper @5%: FW=11.63 w/s, EL ~ +11%)",
       table);
   status = harness::MaybeWriteCsv(csv, table);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  runner::BenchJson bench("fig5_bandwidth");
+  bench.AddConfig("jobs", static_cast<int64_t>(sweeper.jobs()));
+  bench.AddConfig("seed", seed);
+  bench.AddConfig("runtime_s", runtime_s);
+  bench.AddConfig("gen0_max", gen0_max);
+  bench.AddConfig("quick", quick);
+  int64_t simulations = 0;
+  for (const harness::MixPoint& point : sweep) {
+    simulations += point.fw.simulations + point.el.simulations;
+  }
+  bench.AddMetric("simulations", simulations);
+  status = harness::WriteBenchJson(json_dir, &bench, table, wall_s);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;

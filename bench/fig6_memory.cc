@@ -11,6 +11,8 @@
 
 #include "harness/figures.h"
 #include "harness/report.h"
+#include "runner/progress.h"
+#include "runner/sweep_runner.h"
 #include "util/cli.h"
 #include "util/string_util.h"
 
@@ -19,13 +21,20 @@ using namespace elog;
 int main(int argc, char** argv) {
   bool quick = false;
   std::string csv;
+  std::string json_dir = "results";
   int64_t runtime_s = 500;
   int64_t gen0_max = 40;
+  int64_t jobs = 0;
+  int64_t seed = 42;
   FlagSet flags;
   flags.AddBool("quick", &quick, "fewer mixes, narrower search");
   flags.AddString("csv", &csv, "write results as CSV to this path");
+  flags.AddString("json_dir", &json_dir,
+                  "directory for BENCH_<name>.json (empty = skip)");
   flags.AddInt64("runtime", &runtime_s, "simulated seconds of arrivals");
   flags.AddInt64("gen0_max", &gen0_max, "largest generation-0 size scanned");
+  flags.AddInt64("jobs", &jobs, "worker threads (0 = all cores)");
+  flags.AddInt64("seed", &seed, "workload RNG seed");
   Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
@@ -37,28 +46,32 @@ int main(int argc, char** argv) {
   if (quick) gen0_max = 26;
   LogManagerOptions base;
 
+  runner::ProgressReporter progress("fig6_memory");
+  runner::SweepOptions sweep_options;
+  sweep_options.jobs = static_cast<int>(jobs);
+  sweep_options.progress = &progress;
+  runner::SweepRunner sweeper(sweep_options);
+
+  harness::WallTimer timer;
+  std::vector<harness::MixPoint> sweep = harness::RunMixSweepAt(
+      mixes, base, SecondsToSimTime(runtime_s), static_cast<uint64_t>(seed),
+      static_cast<uint32_t>(gen0_max), &sweeper);
+  const double wall_s = timer.Seconds();
+  progress.Finish();
+
   TableWriter table({"mix_pct_10s", "fw_peak_bytes", "fw_avg_bytes",
                      "el_peak_bytes", "el_avg_bytes", "el_over_fw_peak"});
-  for (double mix : mixes) {
-    workload::WorkloadSpec spec = workload::PaperMix(mix);
-    spec.runtime = SecondsToSimTime(runtime_s);
-    harness::MinSpaceResult fw =
-        harness::MinFirewallSpace(MakeFirewallOptions(8, base), spec);
-    LogManagerOptions el = base;
-    el.recirculation = false;
-    harness::MinSpaceResult el_min =
-        harness::MinElSpace(el, spec, 4, static_cast<uint32_t>(gen0_max));
-
-    table.AddRow({StrFormat("%.0f", mix * 100),
-                  StrFormat("%.0f", fw.stats.peak_memory_bytes),
-                  StrFormat("%.0f", fw.stats.avg_memory_bytes),
-                  StrFormat("%.0f", el_min.stats.peak_memory_bytes),
-                  StrFormat("%.0f", el_min.stats.avg_memory_bytes),
-                  StrFormat("%.2f", el_min.stats.peak_memory_bytes /
-                                        fw.stats.peak_memory_bytes)});
+  for (const harness::MixPoint& point : sweep) {
+    table.AddRow({StrFormat("%.0f", point.long_fraction * 100),
+                  StrFormat("%.0f", point.fw.stats.peak_memory_bytes),
+                  StrFormat("%.0f", point.fw.stats.avg_memory_bytes),
+                  StrFormat("%.0f", point.el.stats.peak_memory_bytes),
+                  StrFormat("%.0f", point.el.stats.avg_memory_bytes),
+                  StrFormat("%.2f", point.el.stats.peak_memory_bytes /
+                                        point.fw.stats.peak_memory_bytes)});
     std::fprintf(stderr, "mix %.0f%%: FW peak %.0f B, EL peak %.0f B\n",
-                 mix * 100, fw.stats.peak_memory_bytes,
-                 el_min.stats.peak_memory_bytes);
+                 point.long_fraction * 100, point.fw.stats.peak_memory_bytes,
+                 point.el.stats.peak_memory_bytes);
   }
 
   harness::PrintTable(
@@ -66,6 +79,23 @@ int main(int argc, char** argv) {
       "(model: FW 22 B/tx; EL 40 B/tx + 40 B/unflushed object)",
       table);
   status = harness::MaybeWriteCsv(csv, table);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  runner::BenchJson bench("fig6_memory");
+  bench.AddConfig("jobs", static_cast<int64_t>(sweeper.jobs()));
+  bench.AddConfig("seed", seed);
+  bench.AddConfig("runtime_s", runtime_s);
+  bench.AddConfig("gen0_max", gen0_max);
+  bench.AddConfig("quick", quick);
+  int64_t simulations = 0;
+  for (const harness::MixPoint& point : sweep) {
+    simulations += point.fw.simulations + point.el.simulations;
+  }
+  bench.AddMetric("simulations", simulations);
+  status = harness::WriteBenchJson(json_dir, &bench, table, wall_s);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;

@@ -12,6 +12,7 @@
 
 #include "harness/figures.h"
 #include "harness/report.h"
+#include "runner/sweep_runner.h"
 #include "util/cli.h"
 #include "util/string_util.h"
 
@@ -19,15 +20,22 @@ using namespace elog;
 
 int main(int argc, char** argv) {
   std::string csv;
+  std::string json_dir = "results";
   int64_t runtime_s = 500;
   int64_t gen0 = 18;
   int64_t gen1_start = 16;
+  int64_t jobs = 0;
+  int64_t seed = 42;
   FlagSet flags;
   flags.AddString("csv", &csv, "write results as CSV to this path");
+  flags.AddString("json_dir", &json_dir,
+                  "directory for BENCH_<name>.json (empty = skip)");
   flags.AddInt64("runtime", &runtime_s, "simulated seconds of arrivals");
   flags.AddInt64("gen0", &gen0, "fixed generation-0 size (paper: 18)");
   flags.AddInt64("gen1_start", &gen1_start,
                  "largest last-generation size swept (paper starts at 16)");
+  flags.AddInt64("jobs", &jobs, "worker threads (0 = all cores)");
+  flags.AddInt64("seed", &seed, "workload RNG seed");
   Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
@@ -36,11 +44,18 @@ int main(int argc, char** argv) {
 
   workload::WorkloadSpec spec = workload::PaperMix(0.05);
   spec.runtime = SecondsToSimTime(runtime_s);
+  spec.seed = static_cast<uint64_t>(seed);
   LogManagerOptions base;
 
+  runner::SweepOptions sweep_options;
+  sweep_options.jobs = static_cast<int>(jobs);
+  runner::SweepRunner sweeper(sweep_options);
+
+  harness::WallTimer timer;
   harness::Fig7Result result = harness::RunFig7(
       base, spec, static_cast<uint32_t>(gen0),
-      static_cast<uint32_t>(gen1_start));
+      static_cast<uint32_t>(gen1_start), &sweeper);
+  const double wall_s = timer.Seconds();
 
   TableWriter table({"gen1_blocks", "total_blocks", "survives",
                      "gen1_writes_per_s", "total_writes_per_s",
@@ -63,6 +78,23 @@ int main(int argc, char** argv) {
               result.gen0_blocks + result.min_gen1_blocks);
 
   status = harness::MaybeWriteCsv(csv, table);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  runner::BenchJson bench("fig7_recirculation");
+  bench.AddConfig("jobs", static_cast<int64_t>(sweeper.jobs()));
+  bench.AddConfig("seed", seed);
+  bench.AddConfig("runtime_s", runtime_s);
+  bench.AddConfig("gen0", gen0);
+  bench.AddConfig("gen1_start", gen1_start);
+  bench.AddMetric("min_gen1_blocks",
+                  static_cast<int64_t>(result.min_gen1_blocks));
+  bench.AddMetric("min_total_blocks",
+                  static_cast<int64_t>(result.gen0_blocks +
+                                       result.min_gen1_blocks));
+  status = harness::WriteBenchJson(json_dir, &bench, table, wall_s);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;

@@ -2,6 +2,7 @@
 
 #include "core/fw_manager.h"
 #include "harness/experiment.h"
+#include "runner/thread_pool.h"
 
 namespace elog {
 namespace harness {
@@ -10,57 +11,100 @@ std::vector<double> DefaultMixes() { return {0.05, 0.10, 0.20, 0.30, 0.40}; }
 
 std::vector<MixPoint> RunMixSweep(const std::vector<double>& fractions,
                                   const LogManagerOptions& base,
-                                  uint32_t gen0_max) {
-  std::vector<MixPoint> points;
-  points.reserve(fractions.size());
-  for (double fraction : fractions) {
-    MixPoint point;
-    point.long_fraction = fraction;
-    workload::WorkloadSpec spec = workload::PaperMix(fraction);
+                                  uint32_t gen0_max,
+                                  runner::SweepRunner* runner) {
+  return RunMixSweepAt(fractions, base, SimTime{0}, 0, gen0_max, runner);
+}
 
-    LogManagerOptions fw_base = MakeFirewallOptions(8, base);
-    point.fw = MinFirewallSpace(fw_base, spec);
+std::vector<MixPoint> RunMixSweepAt(const std::vector<double>& fractions,
+                                    const LogManagerOptions& base,
+                                    SimTime runtime, uint64_t seed,
+                                    uint32_t gen0_max,
+                                    runner::SweepRunner* runner) {
+  std::vector<MixPoint> points(fractions.size());
+  runner::ThreadPool* pool = runner == nullptr ? nullptr : runner->pool();
 
-    LogManagerOptions el_base = base;
-    el_base.generation_blocks = {18, 16};  // placeholder; search overrides
-    el_base.recirculation = false;
-    el_base.release_on_commit = false;
-    point.el = MinElSpace(el_base, spec, /*gen0_min=*/4, gen0_max);
+  // Each mix contributes two independent searches (FW and EL). They run
+  // as sibling tasks; the searches inside fan their probe waves out on
+  // the same pool, and every result lands in its submission slot.
+  runner::TaskGroup group(pool);
+  for (size_t i = 0; i < fractions.size(); ++i) {
+    MixPoint& point = points[i];
+    point.long_fraction = fractions[i];
+    workload::WorkloadSpec spec = workload::PaperMix(fractions[i]);
+    if (runtime > 0) spec.runtime = runtime;
+    if (seed != 0) spec.seed = seed;
 
-    points.push_back(std::move(point));
+    group.Spawn([&point, spec, base, runner] {
+      LogManagerOptions fw_base = MakeFirewallOptions(8, base);
+      point.fw = MinFirewallSpace(fw_base, spec, runner);
+    });
+    group.Spawn([&point, spec, base, gen0_max, runner] {
+      LogManagerOptions el_base = base;
+      el_base.generation_blocks = {18, 16};  // placeholder; search overrides
+      el_base.recirculation = false;
+      el_base.release_on_commit = false;
+      point.el = MinElSpace(el_base, spec, /*gen0_min=*/4, gen0_max, runner);
+    });
   }
+  group.Wait();
   return points;
 }
 
 Fig7Result RunFig7(const LogManagerOptions& base,
                    const workload::WorkloadSpec& workload,
-                   uint32_t gen0_blocks, uint32_t gen1_start) {
+                   uint32_t gen0_blocks, uint32_t gen1_start,
+                   runner::SweepRunner* runner) {
   Fig7Result result;
   result.gen0_blocks = gen0_blocks;
   uint32_t floor = base.min_free_blocks + 2;
+  if (gen1_start < floor) return result;
 
+  // Every candidate size is an independent run; evaluate the whole
+  // descending sweep as one wave, then assemble points top-down with the
+  // serial early-stop rule (the first kill ends the sweep — smaller
+  // sizes only kill more). A parallel run evaluates the post-kill tail
+  // too; the reported points are identical for any worker count.
+  std::vector<uint32_t> sizes;
   for (uint32_t gen1 = gen1_start; gen1 >= floor; --gen1) {
+    sizes.push_back(gen1);
+  }
+  std::vector<db::DatabaseConfig> configs(sizes.size());
+  for (size_t i = 0; i < sizes.size(); ++i) {
     LogManagerOptions options = base;
-    options.generation_blocks = {gen0_blocks, gen1};
+    options.generation_blocks = {gen0_blocks, sizes[i]};
     options.recirculation = true;
     options.release_on_commit = false;
+    configs[i].log = options;
+    configs[i].workload = workload;
+  }
 
-    db::DatabaseConfig config;
-    config.log = options;
-    config.workload = workload;
-    db::RunStats stats = RunExperiment(config);
+  std::vector<db::RunStats> stats(configs.size());
+  if (runner != nullptr) {
+    // Fig 7 shrinks one knob over a fixed workload: keep the spec's own
+    // seed on every point so the comparison stays paired.
+    runner::ParallelFor(runner->pool(), configs.size(), [&](size_t i) {
+      stats[i] = RunExperiment(configs[i]);
+    });
+  } else {
+    for (size_t i = 0; i < configs.size(); ++i) {
+      stats[i] = RunExperiment(configs[i]);
+      if (stats[i].kills > 0) break;  // serial early stop
+    }
+  }
 
+  for (size_t i = 0; i < sizes.size(); ++i) {
     Fig7Point point;
-    point.gen1_blocks = gen1;
-    point.total_blocks = gen0_blocks + gen1;
-    point.survives = stats.kills == 0;
-    point.bandwidth_total = stats.log_writes_per_sec;
-    point.bandwidth_gen1 = stats.log_writes_per_sec_by_generation.back();
-    point.recirculated = stats.records_recirculated;
+    point.gen1_blocks = sizes[i];
+    point.total_blocks = gen0_blocks + sizes[i];
+    point.survives = stats[i].kills == 0;
+    point.bandwidth_total = stats[i].log_writes_per_sec;
+    point.bandwidth_gen1 = stats[i].log_writes_per_sec_by_generation.back();
+    point.recirculated = stats[i].records_recirculated;
     result.points.push_back(point);
 
     if (point.survives) {
-      result.min_gen1_blocks = gen1;
+      result.min_gen1_blocks = sizes[i];
     } else {
       break;  // smaller sizes only kill more
     }
@@ -69,7 +113,8 @@ Fig7Result RunFig7(const LogManagerOptions& base,
 }
 
 ScarceFlushResult RunScarceFlush(const LogManagerOptions& base,
-                                 const workload::WorkloadSpec& workload) {
+                                 const workload::WorkloadSpec& workload,
+                                 runner::SweepRunner* runner) {
   ScarceFlushResult result;
 
   // Follow the paper's operating point: generation 0 fixed at 20 blocks
@@ -83,7 +128,7 @@ ScarceFlushResult RunScarceFlush(const LogManagerOptions& base,
   scarce.recirculation = true;
   scarce.release_on_commit = false;
   scarce.generation_blocks = {20, 16};  // last entry replaced by the search
-  result.scarce = MinLastGeneration(scarce, workload);
+  result.scarce = MinLastGeneration(scarce, workload, runner);
 
   // The same configuration with ample flush bandwidth, for the locality
   // contrast (the paper compares 109,000 against "the average of 235,000

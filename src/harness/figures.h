@@ -38,10 +38,22 @@ struct MixPoint {
 std::vector<double> DefaultMixes();
 
 /// Runs the Fig 4/5/6 sweep. `base` supplies the fixed simulator knobs;
-/// `gen0_max` bounds the EL generation-0 scan.
+/// `gen0_max` bounds the EL generation-0 scan. With a SweepRunner the
+/// per-mix FW and EL searches run concurrently (and their probe waves
+/// fan out on the same pool); results are ordered by `fractions` and
+/// bit-identical for any worker count.
 std::vector<MixPoint> RunMixSweep(const std::vector<double>& fractions,
                                   const LogManagerOptions& base,
-                                  uint32_t gen0_max = 40);
+                                  uint32_t gen0_max = 40,
+                                  runner::SweepRunner* runner = nullptr);
+
+/// The mix sweep with per-point runtime and seed overrides — the form
+/// the fig4/5/6 binaries use (`--runtime`, `--seed` flags).
+std::vector<MixPoint> RunMixSweepAt(const std::vector<double>& fractions,
+                                    const LogManagerOptions& base,
+                                    SimTime runtime, uint64_t seed,
+                                    uint32_t gen0_max = 40,
+                                    runner::SweepRunner* runner = nullptr);
 
 /// Figure 7: recirculation enabled, generation 0 fixed (18 blocks in the
 /// paper, its no-recirculation optimum), last generation swept downward
@@ -61,7 +73,8 @@ struct Fig7Result {
 };
 Fig7Result RunFig7(const LogManagerOptions& base,
                    const workload::WorkloadSpec& workload,
-                   uint32_t gen0_blocks = 18, uint32_t gen1_start = 16);
+                   uint32_t gen0_blocks = 18, uint32_t gen1_start = 16,
+                   runner::SweepRunner* runner = nullptr);
 
 /// §4 scarce-flush experiment: flush transfer time raised to 45 ms
 /// (222 flushes/s against 210 update/s), recirculation on; the paper
@@ -72,7 +85,8 @@ struct ScarceFlushResult {
   db::RunStats normal_stats;       // same config at 25 ms, for contrast
 };
 ScarceFlushResult RunScarceFlush(const LogManagerOptions& base,
-                                 const workload::WorkloadSpec& workload);
+                                 const workload::WorkloadSpec& workload,
+                                 runner::SweepRunner* runner = nullptr);
 
 }  // namespace harness
 }  // namespace elog

@@ -1,6 +1,7 @@
 #include "harness/min_space.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "harness/experiment.h"
 
@@ -13,30 +14,118 @@ uint32_t FloorSize(const LogManagerOptions& options) {
   return options.min_free_blocks + 2;
 }
 
-/// Finds the smallest size in [lo, ..] for which survives(size) is true.
-/// survives must be monotone. Brackets by doubling from max(lo, hi_seed).
-uint32_t SearchMonotone(uint32_t lo,
-                        const std::function<bool(uint32_t)>& survives,
-                        int* simulations) {
-  uint32_t hi = std::max(lo, 8u);
-  while (true) {
-    ++*simulations;
-    if (survives(hi)) break;
-    lo = hi + 1;
-    ELOG_CHECK_LT(hi, 1u << 20) << "min-space search diverged";
-    hi *= 2;
-  }
-  // Invariant: survives(hi), and everything below lo fails.
+/// Evaluates survival for every probe size in one wave. The probe
+/// positions are chosen by the caller; this only decides *where* the
+/// simulations run (SweepRunner wave vs. serial loop).
+using BatchProbe =
+    std::function<std::vector<char>(const std::vector<uint32_t>&)>;
+
+/// Narrows [lo, hi] — survives(hi) true, everything below lo failing —
+/// to the smallest surviving size with waves of at most kSearchWaveWidth
+/// evenly spaced probes. Probe placement depends only on the bracket, so
+/// the schedule is identical at any parallelism.
+uint32_t MultisectionSearch(uint32_t lo, uint32_t hi, const BatchProbe& probe,
+                            int* simulations) {
   while (lo < hi) {
-    uint32_t mid = lo + (hi - lo) / 2;
-    ++*simulations;
-    if (survives(mid)) {
-      hi = mid;
+    const uint32_t span = hi - lo;  // candidates in [lo, hi) are unknown
+    const uint32_t width = std::min(kSearchWaveWidth, span);
+    std::vector<uint32_t> probes;
+    probes.reserve(width);
+    if (span <= kSearchWaveWidth) {
+      for (uint32_t size = lo; size < hi; ++size) probes.push_back(size);
     } else {
-      lo = mid + 1;
+      for (uint32_t k = 1; k <= width; ++k) {
+        uint32_t size = lo + static_cast<uint32_t>(
+                                 (static_cast<uint64_t>(k) * span) /
+                                 (width + 1));
+        if (probes.empty() || probes.back() != size) probes.push_back(size);
+      }
+    }
+    std::vector<char> alive = probe(probes);
+    *simulations += static_cast<int>(probes.size());
+    // Monotone step function: smallest survivor bounds hi, largest
+    // failure bounds lo.
+    for (size_t i = 0; i < probes.size(); ++i) {
+      if (alive[i]) {
+        hi = probes[i];
+        break;
+      }
+      lo = probes[i] + 1;
     }
   }
   return hi;
+}
+
+/// Finds the smallest size >= lo for which survives(size) is true.
+/// survives must be monotone. Brackets by exponential waves starting at
+/// max(lo, 8), then multisects.
+uint32_t SearchMonotone(uint32_t lo, const BatchProbe& probe,
+                        int* simulations) {
+  uint32_t hi = std::max(lo, 8u);
+  while (true) {
+    std::vector<uint32_t> probes;
+    probes.reserve(kSearchWaveWidth);
+    uint32_t size = hi;
+    for (uint32_t k = 0; k < kSearchWaveWidth; ++k) {
+      ELOG_CHECK_LT(size, 1u << 20) << "min-space search diverged";
+      probes.push_back(size);
+      size *= 2;
+    }
+    std::vector<char> alive = probe(probes);
+    *simulations += static_cast<int>(probes.size());
+    size_t first_alive = probes.size();
+    for (size_t i = 0; i < probes.size(); ++i) {
+      if (alive[i]) {
+        first_alive = i;
+        break;
+      }
+    }
+    if (first_alive < probes.size()) {
+      hi = probes[first_alive];
+      if (first_alive > 0) lo = probes[first_alive - 1] + 1;
+      break;
+    }
+    lo = probes.back() + 1;
+    hi = probes.back() * 2;
+  }
+  return MultisectionSearch(lo, hi, probe, simulations);
+}
+
+/// Builds the batch probe for a family of layouts: `make_layout(size)`
+/// produces the generation vector for a candidate size.
+BatchProbe MakeProbe(const LogManagerOptions& base,
+                     const workload::WorkloadSpec& workload,
+                     runner::SweepRunner* runner,
+                     std::function<std::vector<uint32_t>(uint32_t)>
+                         make_layout) {
+  return [=](const std::vector<uint32_t>& sizes) {
+    std::vector<db::DatabaseConfig> configs(sizes.size());
+    for (size_t i = 0; i < sizes.size(); ++i) {
+      configs[i].log = base;
+      configs[i].log.generation_blocks = make_layout(sizes[i]);
+      configs[i].workload = workload;
+    }
+    if (runner != nullptr) return runner->RunSurvival(std::move(configs));
+    std::vector<char> alive(configs.size(), 0);
+    for (size_t i = 0; i < configs.size(); ++i) {
+      alive[i] = SurvivesWithoutKills(configs[i]) ? 1 : 0;
+    }
+    return alive;
+  };
+}
+
+/// Full-statistics run at the chosen minimal configuration.
+db::RunStats MeasureAt(const LogManagerOptions& base,
+                       const std::vector<uint32_t>& layout,
+                       const workload::WorkloadSpec& workload,
+                       int* simulations) {
+  LogManagerOptions options = base;
+  options.generation_blocks = layout;
+  db::DatabaseConfig config;
+  config.log = options;
+  config.workload = workload;
+  ++*simulations;
+  return RunExperiment(config);
 }
 
 }  // namespace
@@ -50,32 +139,24 @@ bool Survives(const LogManagerOptions& options,
 }
 
 MinSpaceResult MinFirewallSpace(LogManagerOptions base,
-                                const workload::WorkloadSpec& workload) {
+                                const workload::WorkloadSpec& workload,
+                                runner::SweepRunner* runner) {
   MinSpaceResult result;
   uint32_t floor = FloorSize(base);
-  uint32_t best = SearchMonotone(
-      floor,
-      [&](uint32_t size) {
-        LogManagerOptions options = base;
-        options.generation_blocks = {size};
-        return Survives(options, workload);
-      },
-      &result.simulations);
+  BatchProbe probe = MakeProbe(
+      base, workload, runner,
+      [](uint32_t size) { return std::vector<uint32_t>{size}; });
+  uint32_t best = SearchMonotone(floor, probe, &result.simulations);
   result.generation_blocks = {best};
   result.total_blocks = best;
-  LogManagerOptions options = base;
-  options.generation_blocks = {best};
-  db::DatabaseConfig config;
-  config.log = options;
-  config.workload = workload;
-  result.stats = RunExperiment(config);
-  ++result.simulations;
+  result.stats = MeasureAt(base, {best}, workload, &result.simulations);
   return result;
 }
 
 MinSpaceResult MinElSpace(LogManagerOptions base,
                           const workload::WorkloadSpec& workload,
-                          uint32_t gen0_min, uint32_t gen0_max) {
+                          uint32_t gen0_min, uint32_t gen0_max,
+                          runner::SweepRunner* runner) {
   MinSpaceResult result;
   uint32_t floor = FloorSize(base);
   gen0_min = std::max(gen0_min, floor);
@@ -86,33 +167,24 @@ MinSpaceResult MinElSpace(LogManagerOptions base,
     // Prune: even a floor-sized generation 1 cannot beat the best.
     if (best_total != UINT32_MAX && gen0 + floor >= best_total) break;
 
-    auto survives_with = [&](uint32_t gen1) {
-      LogManagerOptions options = base;
-      options.generation_blocks = {gen0, gen1};
-      return Survives(options, workload);
-    };
+    BatchProbe probe = MakeProbe(base, workload, runner,
+                                 [gen0](uint32_t gen1) {
+                                   return std::vector<uint32_t>{gen0, gen1};
+                                 });
 
     // Prune: if the best-beating budget for generation 1 fails, skip.
     if (best_total != UINT32_MAX) {
       uint32_t budget = best_total - 1 - gen0;
       ++result.simulations;
-      if (!survives_with(budget)) continue;
-      uint32_t lo = floor, hi = budget;
-      while (lo < hi) {
-        uint32_t mid = lo + (hi - lo) / 2;
-        ++result.simulations;
-        if (survives_with(mid)) {
-          hi = mid;
-        } else {
-          lo = mid + 1;
-        }
-      }
-      best_total = gen0 + hi;
-      best_config = {gen0, hi};
+      if (!probe({budget})[0]) continue;
+      uint32_t gen1 =
+          MultisectionSearch(floor, budget, probe, &result.simulations);
+      best_total = gen0 + gen1;
+      best_config = {gen0, gen1};
       continue;
     }
 
-    uint32_t gen1 = SearchMonotone(floor, survives_with, &result.simulations);
+    uint32_t gen1 = SearchMonotone(floor, probe, &result.simulations);
     if (gen0 + gen1 < best_total) {
       best_total = gen0 + gen1;
       best_config = {gen0, gen1};
@@ -122,41 +194,29 @@ MinSpaceResult MinElSpace(LogManagerOptions base,
   ELOG_CHECK(!best_config.empty()) << "EL min-space search found nothing";
   result.generation_blocks = best_config;
   result.total_blocks = best_total;
-  LogManagerOptions options = base;
-  options.generation_blocks = best_config;
-  db::DatabaseConfig config;
-  config.log = options;
-  config.workload = workload;
-  result.stats = RunExperiment(config);
-  ++result.simulations;
+  result.stats = MeasureAt(base, best_config, workload, &result.simulations);
   return result;
 }
 
 MinSpaceResult MinLastGeneration(LogManagerOptions base,
-                                 const workload::WorkloadSpec& workload) {
+                                 const workload::WorkloadSpec& workload,
+                                 runner::SweepRunner* runner) {
   MinSpaceResult result;
   uint32_t floor = FloorSize(base);
   std::vector<uint32_t> sizes = base.generation_blocks;
   ELOG_CHECK_GE(sizes.size(), 1u);
-  uint32_t best = SearchMonotone(
-      floor,
-      [&](uint32_t last) {
-        LogManagerOptions options = base;
-        options.generation_blocks.back() = last;
-        return Survives(options, workload);
-      },
-      &result.simulations);
+  BatchProbe probe = MakeProbe(base, workload, runner,
+                               [sizes](uint32_t last) {
+                                 std::vector<uint32_t> layout = sizes;
+                                 layout.back() = last;
+                                 return layout;
+                               });
+  uint32_t best = SearchMonotone(floor, probe, &result.simulations);
   sizes.back() = best;
   result.generation_blocks = sizes;
   result.total_blocks = 0;
   for (uint32_t s : sizes) result.total_blocks += s;
-  LogManagerOptions options = base;
-  options.generation_blocks = sizes;
-  db::DatabaseConfig config;
-  config.log = options;
-  config.workload = workload;
-  result.stats = RunExperiment(config);
-  ++result.simulations;
+  result.stats = MeasureAt(base, sizes, workload, &result.simulations);
   return result;
 }
 

@@ -6,9 +6,15 @@
 // activity in which no transaction is killed."
 //
 // Survival is monotone in each generation's size, so a single queue is
-// searched with exponential bracketing plus binary search; the two-
-// generation EL configuration scans generation-0 sizes and binary-searches
+// searched with exponential bracketing plus a multisection narrowing; the
+// two-generation EL configuration scans generation-0 sizes and searches
 // the minimal generation 1 for each, pruning dominated configurations.
+//
+// The search evaluates candidate sizes in fixed-width waves. A wave's
+// probe set depends only on the current bracket — never on the worker
+// count — so when a SweepRunner is supplied the wave runs in parallel and
+// still returns bit-identical results (and simulation counts) for any
+// --jobs value; with a null runner the same waves run serially.
 
 #ifndef ELOG_HARNESS_MIN_SPACE_H_
 #define ELOG_HARNESS_MIN_SPACE_H_
@@ -18,10 +24,16 @@
 
 #include "core/options.h"
 #include "db/database.h"
+#include "runner/sweep_runner.h"
 #include "workload/spec.h"
 
 namespace elog {
 namespace harness {
+
+/// Candidate sizes evaluated concurrently per search wave. A constant
+/// (rather than the worker count) so the probe schedule — and therefore
+/// every result and simulation count — is identical at any parallelism.
+inline constexpr uint32_t kSearchWaveWidth = 4;
 
 struct MinSpaceResult {
   /// Minimal surviving configuration (blocks per generation).
@@ -40,20 +52,23 @@ bool Survives(const LogManagerOptions& options,
 /// Minimal single-queue (firewall) log size. `base` supplies every knob
 /// except the queue size.
 MinSpaceResult MinFirewallSpace(LogManagerOptions base,
-                                const workload::WorkloadSpec& workload);
+                                const workload::WorkloadSpec& workload,
+                                runner::SweepRunner* runner = nullptr);
 
 /// Minimal two-generation EL configuration by total size. Scans
 /// generation 0 in [gen0_min, gen0_max] (clamped by pruning) and
-/// binary-searches generation 1 for each.
+/// searches the minimal generation 1 for each.
 MinSpaceResult MinElSpace(LogManagerOptions base,
                           const workload::WorkloadSpec& workload,
-                          uint32_t gen0_min = 4, uint32_t gen0_max = 40);
+                          uint32_t gen0_min = 4, uint32_t gen0_max = 40,
+                          runner::SweepRunner* runner = nullptr);
 
 /// Minimal last-generation size with every other generation fixed (the
 /// Figure 7 procedure: gen 0 held at its no-recirculation optimum while
 /// the recirculating last generation shrinks).
 MinSpaceResult MinLastGeneration(LogManagerOptions base,
-                                 const workload::WorkloadSpec& workload);
+                                 const workload::WorkloadSpec& workload,
+                                 runner::SweepRunner* runner = nullptr);
 
 }  // namespace harness
 }  // namespace elog

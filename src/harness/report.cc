@@ -24,6 +24,17 @@ Status MaybeWriteCsv(const std::string& path, const TableWriter& table) {
   return Status::OK();
 }
 
+Status WriteBenchJson(const std::string& json_dir, runner::BenchJson* bench,
+                      const TableWriter& table, double wall_seconds) {
+  bench->AddTable("results", table);
+  bench->set_wall_time_seconds(wall_seconds);
+  Status status = bench->WriteFile(json_dir);
+  if (status.ok() && !json_dir.empty()) {
+    std::cerr << "bench JSON: " << bench->FilePath(json_dir) << "\n";
+  }
+  return status;
+}
+
 std::string VersusPaper(double measured, double paper) {
   if (paper == 0.0) return StrFormat("%.4g", measured);
   return StrFormat("%.4g (paper %.4g, %.2fx)", measured, paper,

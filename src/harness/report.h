@@ -4,8 +4,10 @@
 #ifndef ELOG_HARNESS_REPORT_H_
 #define ELOG_HARNESS_REPORT_H_
 
+#include <chrono>
 #include <string>
 
+#include "runner/bench_json.h"
 #include "util/status.h"
 #include "util/table_writer.h"
 
@@ -17,6 +19,26 @@ void PrintTable(const std::string& title, const TableWriter& table);
 
 /// Writes `table` as CSV to `path` (no-op if `path` is empty).
 Status MaybeWriteCsv(const std::string& path, const TableWriter& table);
+
+/// Wall-clock stopwatch for the bench mains' timing sections.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Standard bench-artifact emission: attaches `table` as the "results"
+/// table plus the measured wall time, then writes
+/// <json_dir>/BENCH_<name>.json (empty `json_dir` skips emission).
+Status WriteBenchJson(const std::string& json_dir, runner::BenchJson* bench,
+                      const TableWriter& table, double wall_seconds);
 
 /// "measured (paper ref, ratio)" cell, e.g. "34 (34, 1.00x)".
 std::string VersusPaper(double measured, double paper);

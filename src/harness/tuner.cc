@@ -38,30 +38,48 @@ TunerCandidate Evaluate(const LogManagerOptions& base,
 TunerResult TuneGenerations(const TunerRequest& request) {
   TunerResult result;
   ELOG_CHECK(!request.candidate_generation_counts.empty());
+  runner::SweepRunner* runner = request.runner;
 
-  // FW baseline: the bandwidth yardstick.
-  result.fw_baseline =
-      MinFirewallSpace(MakeFirewallOptions(8, request.base), request.workload);
+  // FW baseline: the bandwidth yardstick. Everything downstream divides
+  // by its bandwidth, so it runs first (its probe waves are parallel).
+  result.fw_baseline = MinFirewallSpace(MakeFirewallOptions(8, request.base),
+                                        request.workload, runner);
   result.simulations += result.fw_baseline.simulations;
   const double fw_bandwidth = result.fw_baseline.stats.log_writes_per_sec;
 
-  for (uint32_t generations : request.candidate_generation_counts) {
+  // The candidate generation counts are independent searches: run them
+  // as sibling tasks, each collecting into its own slot, and merge in
+  // request order so the report is identical at any parallelism.
+  std::vector<std::vector<TunerCandidate>> branch_candidates(
+      request.candidate_generation_counts.size());
+  std::vector<int> branch_simulations(
+      request.candidate_generation_counts.size(), 0);
+  runner::TaskGroup group(runner == nullptr ? nullptr : runner->pool());
+
+  for (size_t branch = 0; branch < request.candidate_generation_counts.size();
+       ++branch) {
+    uint32_t generations = request.candidate_generation_counts[branch];
     ELOG_CHECK_GE(generations, 1u);
     ELOG_CHECK_LE(generations, 2u) << "tuner supports 1 or 2 generations";
+    std::vector<TunerCandidate>* candidates = &branch_candidates[branch];
+    int* simulations = &branch_simulations[branch];
 
     if (generations == 1) {
       // Single queue with recirculation: EL degenerates to a recirculating
       // ring; the FW baseline already covers the no-recirculation case.
-      LogManagerOptions base = request.base;
-      base.recirculation = true;
-      base.release_on_commit = false;
-      base.generation_blocks = {8};
-      MinSpaceResult min = MinLastGeneration(base, request.workload);
-      result.simulations += min.simulations;
-      result.candidates.push_back(
-          Evaluate(base, min.generation_blocks, request.workload,
-                   fw_bandwidth, request.max_bandwidth_ratio,
-                   &result.simulations));
+      group.Spawn([&request, runner, fw_bandwidth, candidates, simulations] {
+        LogManagerOptions base = request.base;
+        base.recirculation = true;
+        base.release_on_commit = false;
+        base.generation_blocks = {8};
+        MinSpaceResult min =
+            MinLastGeneration(base, request.workload, runner);
+        *simulations += min.simulations;
+        candidates->push_back(Evaluate(base, min.generation_blocks,
+                                       request.workload, fw_bandwidth,
+                                       request.max_bandwidth_ratio,
+                                       simulations));
+      });
       continue;
     }
 
@@ -69,26 +87,38 @@ TunerResult TuneGenerations(const TunerRequest& request) {
     // upward from it — larger generation 0 trades space for bandwidth
     // (fewer records forwarded), which is how a too-hot minimum is
     // brought under the bandwidth budget.
-    LogManagerOptions base = request.base;
-    base.recirculation = true;
-    base.release_on_commit = false;
-    MinSpaceResult min = MinElSpace(base, request.workload, 4, request.gen0_max);
-    result.simulations += min.simulations;
+    group.Spawn([&request, runner, fw_bandwidth, candidates, simulations] {
+      LogManagerOptions base = request.base;
+      base.recirculation = true;
+      base.release_on_commit = false;
+      MinSpaceResult min = MinElSpace(base, request.workload, 4,
+                                      request.gen0_max, runner);
+      *simulations += min.simulations;
 
-    std::vector<uint32_t> layout = min.generation_blocks;
-    for (uint32_t gen0 = layout[0]; gen0 <= request.gen0_max; ++gen0) {
-      std::vector<uint32_t> candidate_layout = layout;
-      candidate_layout[0] = gen0;
-      // Re-minimize the last generation for this generation-0 size.
-      LogManagerOptions probe = base;
-      probe.generation_blocks = candidate_layout;
-      MinSpaceResult tightened = MinLastGeneration(probe, request.workload);
-      result.simulations += tightened.simulations;
-      TunerCandidate candidate = Evaluate(
-          base, tightened.generation_blocks, request.workload, fw_bandwidth,
-          request.max_bandwidth_ratio, &result.simulations);
-      result.candidates.push_back(candidate);
-      if (candidate.meets_budget) break;  // growing gen0 only costs space
+      std::vector<uint32_t> layout = min.generation_blocks;
+      for (uint32_t gen0 = layout[0]; gen0 <= request.gen0_max; ++gen0) {
+        std::vector<uint32_t> candidate_layout = layout;
+        candidate_layout[0] = gen0;
+        // Re-minimize the last generation for this generation-0 size.
+        LogManagerOptions probe = base;
+        probe.generation_blocks = candidate_layout;
+        MinSpaceResult tightened =
+            MinLastGeneration(probe, request.workload, runner);
+        *simulations += tightened.simulations;
+        TunerCandidate candidate =
+            Evaluate(base, tightened.generation_blocks, request.workload,
+                     fw_bandwidth, request.max_bandwidth_ratio, simulations);
+        candidates->push_back(candidate);
+        if (candidate.meets_budget) break;  // growing gen0 only costs space
+      }
+    });
+  }
+  group.Wait();
+
+  for (size_t branch = 0; branch < branch_candidates.size(); ++branch) {
+    result.simulations += branch_simulations[branch];
+    for (TunerCandidate& candidate : branch_candidates[branch]) {
+      result.candidates.push_back(std::move(candidate));
     }
   }
 

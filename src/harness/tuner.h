@@ -30,6 +30,10 @@ struct TunerRequest {
   std::vector<uint32_t> candidate_generation_counts = {1, 2};
   /// Bound on the generation-0 scan for multi-generation layouts.
   uint32_t gen0_max = 30;
+  /// Optional parallel runner: the candidate layouts for one generation
+  /// count are searched concurrently, and probe waves fan out further.
+  /// Results are identical for any worker count (non-owning).
+  runner::SweepRunner* runner = nullptr;
 };
 
 struct TunerCandidate {

@@ -1,0 +1,154 @@
+#include "runner/bench_json.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace elog {
+namespace runner {
+namespace {
+
+std::string Quoted(const std::string& text) {
+  return "\"" + BenchJson::Escape(text) + "\"";
+}
+
+std::string FormatDouble(double value) { return StrFormat("%.12g", value); }
+
+void AppendSection(
+    std::string* out, const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  *out += "  " + Quoted(name) + ": {";
+  for (size_t i = 0; i < fields.size(); ++i) {
+    *out += i == 0 ? "\n" : ",\n";
+    *out += "    " + Quoted(fields[i].first) + ": " + fields[i].second;
+  }
+  *out += fields.empty() ? "},\n" : "\n  },\n";
+}
+
+}  // namespace
+
+BenchJson::BenchJson(std::string name) : name_(std::move(name)) {}
+
+void BenchJson::AddConfig(const std::string& key, const std::string& value) {
+  config_.emplace_back(key, Quoted(value));
+}
+void BenchJson::AddConfig(const std::string& key, const char* value) {
+  AddConfig(key, std::string(value));
+}
+void BenchJson::AddConfig(const std::string& key, int64_t value) {
+  config_.emplace_back(key, std::to_string(value));
+}
+void BenchJson::AddConfig(const std::string& key, double value) {
+  config_.emplace_back(key, FormatDouble(value));
+}
+void BenchJson::AddConfig(const std::string& key, bool value) {
+  config_.emplace_back(key, value ? "true" : "false");
+}
+
+void BenchJson::AddMetric(const std::string& key, int64_t value) {
+  metrics_.emplace_back(key, std::to_string(value));
+}
+void BenchJson::AddMetric(const std::string& key, double value) {
+  metrics_.emplace_back(key, FormatDouble(value));
+}
+
+void BenchJson::AddTable(const std::string& key, const TableWriter& table) {
+  tables_.emplace_back(key, table);
+}
+
+std::string BenchJson::ToJson() const {
+  std::string out = "{\n";
+  out += "  " + Quoted("bench") + ": " + Quoted(name_) + ",\n";
+  out += "  " + Quoted("schema_version") + ": 1,\n";
+  AppendSection(&out, "config", config_);
+  AppendSection(&out, "metrics", metrics_);
+
+  out += "  " + Quoted("tables") + ": {";
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    const TableWriter& table = tables_[t].second;
+    out += t == 0 ? "\n" : ",\n";
+    out += "    " + Quoted(tables_[t].first) + ": {\n";
+    out += "      " + Quoted("columns") + ": [";
+    const std::vector<std::string>& columns = table.columns();
+    for (size_t c = 0; c < columns.size(); ++c) {
+      if (c > 0) out += ", ";
+      out += Quoted(columns[c]);
+    }
+    out += "],\n";
+    out += "      " + Quoted("rows") + ": [";
+    const auto& rows = table.rows();
+    for (size_t r = 0; r < rows.size(); ++r) {
+      out += r == 0 ? "\n" : ",\n";
+      out += "        [";
+      for (size_t c = 0; c < rows[r].size(); ++c) {
+        if (c > 0) out += ", ";
+        out += Quoted(rows[r][c]);
+      }
+      out += "]";
+    }
+    out += rows.empty() ? "]\n" : "\n      ]\n";
+    out += "    }";
+  }
+  out += tables_.empty() ? "},\n" : "\n  },\n";
+
+  out += "  " + Quoted("wall_time_s") + ": " + FormatDouble(wall_time_s_) +
+         "\n}\n";
+  return out;
+}
+
+std::string BenchJson::FilePath(const std::string& dir) const {
+  return dir + "/BENCH_" + name_ + ".json";
+}
+
+Status BenchJson::WriteFile(const std::string& dir) const {
+  if (dir.empty()) return Status::OK();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::InvalidArgument("cannot create bench JSON dir: " + dir +
+                                   " (" + ec.message() + ")");
+  }
+  const std::string path = FilePath(dir);
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open bench JSON output: " + path);
+  }
+  out << ToJson();
+  return Status::OK();
+}
+
+std::string BenchJson::Escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char raw : text) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (c < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += raw;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace runner
+}  // namespace elog

@@ -1,0 +1,82 @@
+// Machine-readable benchmark artifacts: results/BENCH_<name>.json.
+//
+// Every bench binary emits one JSON document alongside its CSV table so
+// successive PRs can diff performance trajectories mechanically. The
+// serialization is commit-friendly: fields appear in a fixed section
+// order (bench, schema_version, config, metrics, tables, wall_time_s)
+// and within a section in insertion order, doubles are formatted with a
+// fixed "%.12g", and nothing depends on hashing or locale — two runs
+// with identical results produce byte-identical documents except for
+// the trailing wall_time_s.
+//
+// Schema (version 1):
+//   bench          string   benchmark name
+//   schema_version int      always 1
+//   config         object   flag values and fixed knobs (string/int/
+//                           double/bool, insertion order)
+//   metrics        object   scalar summary metrics (same value types)
+//   tables         object   table name -> {"columns": [string...],
+//                           "rows": [[string...]...]} — cells keep the
+//                           bench's own CSV formatting
+//   wall_time_s    double   wall-clock duration of the sweep
+
+#ifndef ELOG_RUNNER_BENCH_JSON_H_
+#define ELOG_RUNNER_BENCH_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+#include "util/table_writer.h"
+
+namespace elog {
+namespace runner {
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name);
+
+  void AddConfig(const std::string& key, const std::string& value);
+  void AddConfig(const std::string& key, const char* value);
+  void AddConfig(const std::string& key, int64_t value);
+  void AddConfig(const std::string& key, double value);
+  void AddConfig(const std::string& key, bool value);
+
+  void AddMetric(const std::string& key, int64_t value);
+  void AddMetric(const std::string& key, double value);
+
+  void AddTable(const std::string& key, const TableWriter& table);
+
+  void set_wall_time_seconds(double seconds) { wall_time_s_ = seconds; }
+
+  const std::string& name() const { return name_; }
+
+  /// The full document, pretty-printed with two-space indent and a
+  /// trailing newline.
+  std::string ToJson() const;
+
+  /// Writes results/BENCH_<name>.json under `dir` (parent directories
+  /// are created). An empty `dir` disables emission and returns OK.
+  Status WriteFile(const std::string& dir) const;
+
+  /// Path the document would be written to: <dir>/BENCH_<name>.json.
+  std::string FilePath(const std::string& dir) const;
+
+  /// JSON string escaping (quotes, backslash, control characters).
+  static std::string Escape(const std::string& text);
+
+ private:
+  std::string name_;
+  // Pre-serialized values, tagged by whether they need quoting.
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<std::pair<std::string, std::string>> metrics_;
+  std::vector<std::pair<std::string, TableWriter>> tables_;
+  double wall_time_s_ = 0.0;
+};
+
+}  // namespace runner
+}  // namespace elog
+
+#endif  // ELOG_RUNNER_BENCH_JSON_H_

@@ -1,0 +1,71 @@
+#include "runner/progress.h"
+
+namespace elog {
+namespace runner {
+
+ProgressReporter::ProgressReporter(std::string label, size_t total,
+                                   std::FILE* out)
+    : label_(std::move(label)),
+      total_(total),
+      out_(out),
+      start_(std::chrono::steady_clock::now()),
+      last_print_(start_ - std::chrono::hours(1)) {}
+
+void ProgressReporter::AddTotal(size_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_ += delta;
+}
+
+void ProgressReporter::Advance(size_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  done_ += delta;
+  auto now = std::chrono::steady_clock::now();
+  if (now - last_print_ <
+      std::chrono::milliseconds(print_interval_ms_)) {
+    return;
+  }
+  last_print_ = now;
+  PrintLocked(/*final_line=*/false);
+}
+
+void ProgressReporter::Finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  PrintLocked(/*final_line=*/true);
+}
+
+size_t ProgressReporter::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+double ProgressReporter::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+void ProgressReporter::PrintLocked(bool final_line) {
+  if (out_ == nullptr) return;
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  if (total_ > 0 && done_ <= total_) {
+    double eta = done_ == 0
+                     ? 0.0
+                     : elapsed * static_cast<double>(total_ - done_) /
+                           static_cast<double>(done_);
+    std::fprintf(out_, "[%s] %zu/%zu jobs (%.1f%%) | elapsed %.1fs%s%.1fs\n",
+                 label_.c_str(), done_, total_,
+                 100.0 * static_cast<double>(done_) /
+                     static_cast<double>(total_),
+                 elapsed, final_line ? " | total " : " | eta ",
+                 final_line ? elapsed : eta);
+  } else {
+    std::fprintf(out_, "[%s] %zu jobs | elapsed %.1fs\n", label_.c_str(),
+                 done_, elapsed);
+  }
+  std::fflush(out_);
+}
+
+}  // namespace runner
+}  // namespace elog

@@ -1,0 +1,59 @@
+// Periodic stderr progress line for long sweeps.
+//
+// Thread-safe: worker threads call Advance() after every finished
+// simulation; the reporter rate-limits actual printing so a parallel
+// sweep does not flood the terminal.
+
+#ifndef ELOG_RUNNER_PROGRESS_H_
+#define ELOG_RUNNER_PROGRESS_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace elog {
+namespace runner {
+
+class ProgressReporter {
+ public:
+  /// `label` prefixes every line. `total` may be 0 (or grown later with
+  /// AddTotal) when the number of jobs is not known up front — the ETA is
+  /// then omitted. `out` defaults to stderr; tests inject a file, or
+  /// nullptr to count silently.
+  explicit ProgressReporter(std::string label, size_t total = 0,
+                            std::FILE* out = stderr);
+
+  /// Grows the expected job count (a search discovers work in waves).
+  void AddTotal(size_t delta);
+
+  /// Records `delta` finished jobs and prints at most once per interval.
+  void Advance(size_t delta = 1);
+
+  /// Prints the final summary line unconditionally.
+  void Finish();
+
+  size_t done() const;
+  double elapsed_seconds() const;
+
+  /// Minimum milliseconds between printed lines (default 500).
+  void set_print_interval_ms(int ms) { print_interval_ms_ = ms; }
+
+ private:
+  void PrintLocked(bool final_line);
+
+  mutable std::mutex mu_;
+  std::string label_;
+  size_t total_;
+  size_t done_ = 0;
+  std::FILE* out_;
+  int print_interval_ms_ = 500;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_print_;
+};
+
+}  // namespace runner
+}  // namespace elog
+
+#endif  // ELOG_RUNNER_PROGRESS_H_

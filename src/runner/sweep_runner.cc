@@ -1,0 +1,47 @@
+#include "runner/sweep_runner.h"
+
+#include <utility>
+
+#include "util/random.h"
+
+namespace elog {
+namespace runner {
+
+SweepRunner::SweepRunner(const SweepOptions& options)
+    : options_(options), pool_(std::make_unique<ThreadPool>(options.jobs)) {}
+
+SweepRunner::~SweepRunner() = default;
+
+std::vector<db::RunStats> SweepRunner::Run(
+    std::vector<db::DatabaseConfig> jobs) {
+  if (options_.derive_seeds) {
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      jobs[i].workload.seed = DeriveSeed(options_.base_seed, i);
+    }
+  }
+  if (options_.progress != nullptr) options_.progress->AddTotal(jobs.size());
+  std::vector<db::RunStats> results(jobs.size());
+  ParallelFor(pool_.get(), jobs.size(), [&](size_t i) {
+    db::Database database(jobs[i]);
+    results[i] = database.Run();
+    if (options_.progress != nullptr) options_.progress->Advance();
+  });
+  return results;
+}
+
+std::vector<char> SweepRunner::RunSurvival(
+    std::vector<db::DatabaseConfig> jobs) {
+  if (options_.progress != nullptr) options_.progress->AddTotal(jobs.size());
+  std::vector<char> survives(jobs.size(), 0);
+  ParallelFor(pool_.get(), jobs.size(), [&](size_t i) {
+    db::DatabaseConfig config = jobs[i];
+    config.stop_on_first_kill = true;
+    db::Database database(config);
+    survives[i] = database.Run().total_killed == 0 ? 1 : 0;
+    if (options_.progress != nullptr) options_.progress->Advance();
+  });
+  return survives;
+}
+
+}  // namespace runner
+}  // namespace elog

@@ -1,0 +1,74 @@
+// SweepRunner: executes a matrix of independent simulations in parallel.
+//
+// Every figure in the paper's §4 is a sweep of independent runs (mix
+// sweeps, min-space searches, the Fig 7 shrink loop, tuner probes); the
+// simulator stays single-threaded per run and the runner parallelizes
+// across runs. Three properties the harness depends on:
+//
+//  1. Deterministic seeding. Run() gives job i the seed
+//     DeriveSeed(base_seed, i), a pure function of (base_seed, index) —
+//     never of scheduling — so results are bit-identical for any --jobs
+//     value and across repeated invocations (the DESP-C++ rule: each
+//     replication owns its RNG stream).
+//  2. Submission-order results. Results come back indexed by submission
+//     position regardless of completion order.
+//  3. Nested use. Sweep jobs may themselves run parallel sub-searches on
+//     the same pool (TaskGroup waiters help execute queued tasks).
+
+#ifndef ELOG_RUNNER_SWEEP_RUNNER_H_
+#define ELOG_RUNNER_SWEEP_RUNNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "db/database.h"
+#include "runner/progress.h"
+#include "runner/thread_pool.h"
+
+namespace elog {
+namespace runner {
+
+struct SweepOptions {
+  /// Worker threads; 0 means hardware_concurrency (the --jobs flag).
+  int jobs = 0;
+  /// Base seed for per-job seed derivation in Run().
+  uint64_t base_seed = 42;
+  /// When false, Run() keeps each config's own workload seed instead of
+  /// deriving one per job — paired-comparison sweeps (same workload
+  /// replayed against different log configurations) want identical
+  /// arrival streams across jobs.
+  bool derive_seeds = true;
+  /// Optional progress sink; ticked once per finished simulation.
+  ProgressReporter* progress = nullptr;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(const SweepOptions& options = SweepOptions());
+  ~SweepRunner();
+
+  /// Runs every config to completion; results in submission order.
+  /// Job i runs with seed DeriveSeed(base_seed, i) unless derive_seeds
+  /// is off.
+  std::vector<db::RunStats> Run(std::vector<db::DatabaseConfig> jobs);
+
+  /// Survival probes for the min-space searches: runs each config with
+  /// stop_on_first_kill and reports, per job, whether it finished the
+  /// workload without killing a transaction. Config seeds are always
+  /// kept (a probe must use the stream the final measurement run will).
+  std::vector<char> RunSurvival(std::vector<db::DatabaseConfig> jobs);
+
+  ThreadPool* pool() { return pool_.get(); }
+  const SweepOptions& options() const { return options_; }
+  int jobs() const { return pool_->num_threads(); }
+
+ private:
+  SweepOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace runner
+}  // namespace elog
+
+#endif  // ELOG_RUNNER_SWEEP_RUNNER_H_

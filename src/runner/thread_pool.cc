@@ -1,0 +1,168 @@
+#include "runner/thread_pool.h"
+
+#include <chrono>
+#include <utility>
+
+namespace elog {
+namespace runner {
+namespace {
+
+/// Index of the worker running on this thread, or SIZE_MAX for external
+/// threads. Lets a worker pop from its own deque before stealing.
+thread_local size_t tls_worker_index = static_cast<size_t>(-1);
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  queues_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkQueue>());
+  }
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(static_cast<size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    wake_cv_.notify_all();
+  }
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  size_t index = tls_worker_index;
+  if (index >= queues_.size()) {
+    index = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+            queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[index]->mu);
+    queues_[index]->tasks.push_back(std::move(task));
+  }
+  std::lock_guard<std::mutex> lock(wake_mu_);
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::PopTask(size_t start, std::function<void()>* task) {
+  const size_t n = queues_.size();
+  for (size_t offset = 0; offset < n; ++offset) {
+    WorkQueue& queue = *queues_[(start + offset) % n];
+    std::lock_guard<std::mutex> lock(queue.mu);
+    if (queue.tasks.empty()) continue;
+    if (offset == 0 && tls_worker_index == start) {
+      // Own deque: LIFO pop keeps a worker on the task tree it is
+      // already executing (better locality for nested groups).
+      *task = std::move(queue.tasks.back());
+      queue.tasks.pop_back();
+    } else {
+      // Steal from the front: oldest task first.
+      *task = std::move(queue.tasks.front());
+      queue.tasks.pop_front();
+    }
+    return true;
+  }
+  return false;
+}
+
+bool ThreadPool::TryRunOneTask() {
+  size_t start = tls_worker_index;
+  if (start >= queues_.size()) start = 0;
+  std::function<void()> task;
+  if (!PopTask(start, &task)) return false;
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  tls_worker_index = index;
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::function<void()> task;
+    if (PopTask(index, &task)) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    if (stop_.load(std::memory_order_acquire)) break;
+    // Bounded wait: a task enqueued between the failed scan and this
+    // wait would otherwise be missed if its notify fired in the gap.
+    wake_cv_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+}
+
+TaskGroup::~TaskGroup() {
+  if (!waited_ && pending_.load(std::memory_order_acquire) > 0) {
+    // Destroying a group with tasks in flight would leave them writing
+    // into freed state; drain instead (errors are swallowed here).
+    try {
+      Wait();
+    } catch (...) {
+    }
+  }
+}
+
+void TaskGroup::RunTask(const std::function<void()>& task) {
+  try {
+    task();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!error_) error_ = std::current_exception();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.fetch_sub(1, std::memory_order_acq_rel);
+  if (pending_.load(std::memory_order_acquire) == 0) cv_.notify_all();
+}
+
+void TaskGroup::Spawn(std::function<void()> task) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  if (pool_ == nullptr) {
+    RunTask(task);
+    return;
+  }
+  auto shared = std::make_shared<std::function<void()>>(std::move(task));
+  pool_->Submit([this, shared] { RunTask(*shared); });
+}
+
+void TaskGroup::Wait() {
+  waited_ = true;
+  while (pending_.load(std::memory_order_acquire) > 0) {
+    if (pool_ != nullptr && pool_->TryRunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (pending_.load(std::memory_order_acquire) == 0) break;
+    // Every pending task is now executing on some thread (the queue scan
+    // found nothing), so a completion notify is guaranteed; the timeout
+    // is a backstop only.
+    cv_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (pool == nullptr || n == 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  TaskGroup group(pool);
+  for (size_t i = 0; i < n; ++i) {
+    group.Spawn([&body, i] { body(i); });
+  }
+  group.Wait();
+}
+
+}  // namespace runner
+}  // namespace elog

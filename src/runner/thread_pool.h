@@ -1,0 +1,106 @@
+// Work-stealing thread pool for the experiment runner.
+//
+// The simulator itself is strictly single-threaded; parallelism in this
+// codebase is always *across* independent simulation runs. The pool is
+// therefore tuned for a small number of coarse tasks (each one full
+// discrete-event run, milliseconds to seconds of work), not for
+// fine-grained fork-join: per-worker deques with mutex-protected steal,
+// and a TaskGroup whose waiter helps execute queued tasks so that nested
+// parallel sections (a parallel sweep whose points each run a parallel
+// min-space search) cannot deadlock a fixed-size pool.
+
+#ifndef ELOG_RUNNER_THREAD_POOL_H_
+#define ELOG_RUNNER_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace elog {
+namespace runner {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Thread-safe; tasks may run on any worker, in any
+  /// order. Prefer TaskGroup/ParallelFor, which also propagate exceptions.
+  void Submit(std::function<void()> task);
+
+  /// Pops and runs one queued task on the calling thread. Returns false
+  /// if every queue was empty. Used by waiters to help drain the pool.
+  bool TryRunOneTask();
+
+ private:
+  struct WorkQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t index);
+  bool PopTask(size_t start, std::function<void()>* task);
+
+  std::vector<std::unique_ptr<WorkQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<size_t> next_queue_{0};
+  std::atomic<bool> stop_{false};
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+};
+
+/// Fork-join scope: spawn tasks, then Wait() for all of them. The waiting
+/// thread participates in running queued tasks, so TaskGroups nest safely.
+/// The first exception thrown by any task is captured and rethrown from
+/// Wait(); remaining tasks still run to completion.
+class TaskGroup {
+ public:
+  /// `pool` may be null, in which case Spawn runs tasks inline (serial
+  /// mode): results and side effects are identical, only scheduling
+  /// differs.
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void Spawn(std::function<void()> task);
+
+  /// Blocks until every spawned task has finished, then rethrows the
+  /// first captured exception, if any.
+  void Wait();
+
+ private:
+  void RunTask(const std::function<void()>& task);
+
+  ThreadPool* pool_;
+  std::atomic<size_t> pending_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::exception_ptr error_;
+  bool waited_ = false;
+};
+
+/// Runs body(i) for every i in [0, n), on the pool when one is given and
+/// inline otherwise. Results keyed by index are deterministic regardless
+/// of the worker count. Rethrows the first exception.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& body);
+
+}  // namespace runner
+}  // namespace elog
+
+#endif  // ELOG_RUNNER_THREAD_POOL_H_

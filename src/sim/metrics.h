@@ -1,7 +1,11 @@
 // Named counters and distributions collected during a simulation run.
 //
 // Model components record into a shared MetricsRegistry; the experiment
-// harness snapshots it into a SimResult at the end of a run.
+// harness snapshots it into a SimResult at the end of a run. A registry
+// is a plain value type: once a run finishes, its snapshot may be copied
+// or moved to another thread (the parallel sweep runner collects
+// per-job snapshots from worker threads) as long as the simulation that
+// wrote it has completed.
 
 #ifndef ELOG_SIM_METRICS_H_
 #define ELOG_SIM_METRICS_H_
@@ -33,9 +37,14 @@ class MetricsRegistry {
     distributions_[name].Add(value);
   }
 
-  /// Distribution accessor (created empty on first use).
-  const Histogram& Distribution(const std::string& name) {
-    return distributions_[name];
+  /// Distribution accessor. Never mutates: a name that was never
+  /// observed resolves to a shared empty histogram, so read paths can
+  /// take a const MetricsRegistry& (and a registry being snapshotted on
+  /// one thread is safe to read concurrently from another).
+  const Histogram& Distribution(const std::string& name) const {
+    static const Histogram kEmpty;
+    auto it = distributions_.find(name);
+    return it == distributions_.end() ? kEmpty : it->second;
   }
 
   const std::map<std::string, int64_t>& counters() const { return counters_; }

@@ -30,6 +30,18 @@ class SplitMix64 {
   uint64_t state_;
 };
 
+/// Derives the seed for job `job_index` of a sweep from the sweep's
+/// `base_seed`. The mapping is the SplitMix64 output stream itself
+/// (state base_seed advanced job_index steps of the golden-ratio gamma,
+/// then finalized), so every job owns an independent, well-mixed RNG
+/// stream while the (base_seed, job_index) -> seed function stays pure:
+/// a sweep is bit-reproducible regardless of how many threads execute it
+/// or in which order jobs finish.
+inline uint64_t DeriveSeed(uint64_t base_seed, uint64_t job_index) {
+  SplitMix64 sm(base_seed + job_index * 0x9e3779b97f4a7c15ULL);
+  return sm.Next();
+}
+
 /// xoshiro256**: fast, high-quality 64-bit PRNG (Blackman & Vigna).
 class Rng {
  public:

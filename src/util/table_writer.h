@@ -23,6 +23,9 @@ class TableWriter {
 
   size_t num_rows() const { return rows_.size(); }
 
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
   /// Writes an aligned ASCII table with a header rule.
   void Print(std::ostream& os) const;
 

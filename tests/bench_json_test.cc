@@ -1,0 +1,131 @@
+#include "runner/bench_json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace elog {
+namespace runner {
+namespace {
+
+TEST(BenchJsonTest, SchemaSectionsInFixedOrder) {
+  BenchJson bench("fig5_bandwidth");
+  bench.AddConfig("jobs", static_cast<int64_t>(4));
+  bench.AddMetric("simulations", static_cast<int64_t>(123));
+  bench.set_wall_time_seconds(1.5);
+  std::string json = bench.ToJson();
+
+  size_t bench_pos = json.find("\"bench\"");
+  size_t version_pos = json.find("\"schema_version\"");
+  size_t config_pos = json.find("\"config\"");
+  size_t metrics_pos = json.find("\"metrics\"");
+  size_t tables_pos = json.find("\"tables\"");
+  size_t wall_pos = json.find("\"wall_time_s\"");
+  ASSERT_NE(bench_pos, std::string::npos);
+  ASSERT_NE(version_pos, std::string::npos);
+  ASSERT_NE(config_pos, std::string::npos);
+  ASSERT_NE(metrics_pos, std::string::npos);
+  ASSERT_NE(tables_pos, std::string::npos);
+  ASSERT_NE(wall_pos, std::string::npos);
+  // wall_time_s is deliberately last: determinism comparisons strip the
+  // final line and diff the rest byte-for-byte.
+  EXPECT_LT(bench_pos, version_pos);
+  EXPECT_LT(version_pos, config_pos);
+  EXPECT_LT(config_pos, metrics_pos);
+  EXPECT_LT(metrics_pos, tables_pos);
+  EXPECT_LT(tables_pos, wall_pos);
+  EXPECT_NE(json.find("\"bench\": \"fig5_bandwidth\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(BenchJsonTest, ConfigValueTypes) {
+  BenchJson bench("b");
+  bench.AddConfig("name", "paper_mix");
+  bench.AddConfig("jobs", static_cast<int64_t>(8));
+  bench.AddConfig("ratio", 1.15);
+  bench.AddConfig("quick", true);
+  std::string json = bench.ToJson();
+  EXPECT_NE(json.find("\"name\": \"paper_mix\""), std::string::npos);
+  EXPECT_NE(json.find("\"jobs\": 8"), std::string::npos);
+  EXPECT_NE(json.find("\"ratio\": 1.15"), std::string::npos);
+  EXPECT_NE(json.find("\"quick\": true"), std::string::npos);
+}
+
+TEST(BenchJsonTest, InsertionOrderWithinSection) {
+  BenchJson bench("b");
+  bench.AddConfig("zeta", static_cast<int64_t>(1));
+  bench.AddConfig("alpha", static_cast<int64_t>(2));
+  std::string json = bench.ToJson();
+  EXPECT_LT(json.find("\"zeta\""), json.find("\"alpha\""));
+}
+
+TEST(BenchJsonTest, TablesCarryColumnsAndRows) {
+  TableWriter table({"mix", "blocks"});
+  table.AddRow({"5", "18"});
+  table.AddRow({"20", "26"});
+  BenchJson bench("b");
+  bench.AddTable("results", table);
+  std::string json = bench.ToJson();
+  EXPECT_NE(json.find("\"results\""), std::string::npos);
+  EXPECT_NE(json.find("\"columns\": [\"mix\", \"blocks\"]"),
+            std::string::npos);
+  EXPECT_NE(json.find("[\"5\", \"18\"]"), std::string::npos);
+  EXPECT_NE(json.find("[\"20\", \"26\"]"), std::string::npos);
+}
+
+TEST(BenchJsonTest, IdenticalContentSerializesIdentically) {
+  auto build = [] {
+    BenchJson bench("determinism");
+    bench.AddConfig("jobs", static_cast<int64_t>(4));
+    bench.AddMetric("value", 0.1234567890123);
+    TableWriter table({"a"});
+    table.AddRow({"x"});
+    bench.AddTable("results", table);
+    bench.set_wall_time_seconds(0.0);
+    return bench.ToJson();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(BenchJsonTest, EscapeHandlesSpecials) {
+  EXPECT_EQ(BenchJson::Escape("plain"), "plain");
+  EXPECT_EQ(BenchJson::Escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(BenchJson::Escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(BenchJson::Escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(BenchJson::Escape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(BenchJsonTest, EmptyDirSkipsWriting) {
+  BenchJson bench("skipped");
+  Status status = bench.WriteFile("");
+  EXPECT_TRUE(status.ok());
+}
+
+TEST(BenchJsonTest, WriteFileRoundTrips) {
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "elog_bench_json_test";
+  std::filesystem::remove_all(dir);
+
+  BenchJson bench("roundtrip");
+  bench.AddConfig("jobs", static_cast<int64_t>(1));
+  bench.set_wall_time_seconds(2.25);
+  ASSERT_TRUE(bench.WriteFile(dir.string()).ok());
+
+  std::filesystem::path file = dir / "BENCH_roundtrip.json";
+  EXPECT_EQ(bench.FilePath(dir.string()), file.string());
+  std::ifstream in(file);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), bench.ToJson());
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace runner
+}  // namespace elog

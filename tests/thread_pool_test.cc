@@ -1,0 +1,136 @@
+#include "runner/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace elog {
+namespace runner {
+namespace {
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 200;
+  std::atomic<int> done{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < kTasks; ++i) {
+    group.Spawn([&done] { done.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, CompletionOrderIsNotSubmissionOrder) {
+  // Results keyed by submission index are complete and exact even though
+  // tasks finish out of order: early tasks sleep, late ones don't.
+  ThreadPool pool(4);
+  constexpr size_t kTasks = 16;
+  std::vector<int> by_index(kTasks, -1);
+  std::vector<size_t> completion;
+  std::mutex mu;
+  TaskGroup group(&pool);
+  for (size_t i = 0; i < kTasks; ++i) {
+    group.Spawn([&, i] {
+      if (i < 4) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      }
+      by_index[i] = static_cast<int>(i * i);
+      std::lock_guard<std::mutex> lock(mu);
+      completion.push_back(i);
+    });
+  }
+  group.Wait();
+  ASSERT_EQ(completion.size(), kTasks);
+  for (size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(by_index[i], static_cast<int>(i * i)) << "index " << i;
+  }
+  // Every index completed exactly once.
+  std::set<size_t> unique(completion.begin(), completion.end());
+  EXPECT_EQ(unique.size(), kTasks);
+}
+
+TEST(ThreadPoolTest, TaskGroupPropagatesException) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  std::atomic<int> ran{0};
+  group.Spawn([&ran] { ran.fetch_add(1); });
+  group.Spawn([] { throw std::runtime_error("probe diverged"); });
+  group.Spawn([&ran] { ran.fetch_add(1); });
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+  // Remaining tasks still ran to completion.
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPoolTest, NullPoolTaskGroupRunsInline) {
+  TaskGroup group(nullptr);
+  int value = 0;
+  group.Spawn([&value] { value = 7; });
+  // Inline mode executes at Spawn time; Wait is still required and safe.
+  EXPECT_EQ(value, 7);
+  group.Wait();
+}
+
+TEST(ThreadPoolTest, NestedTaskGroupsDoNotDeadlock) {
+  // More nested groups than workers: waiters must help drain the pool.
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  TaskGroup outer(&pool);
+  for (int i = 0; i < 8; ++i) {
+    outer.Spawn([&pool, &leaves] {
+      TaskGroup inner(&pool);
+      for (int j = 0; j < 4; ++j) {
+        inner.Spawn([&leaves] { leaves.fetch_add(1); });
+      }
+      inner.Wait();
+    });
+  }
+  outer.Wait();
+  EXPECT_EQ(leaves.load(), 8 * 4);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeOnceEach) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 100;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(&pool, kN, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForSerialWhenPoolIsNull) {
+  std::vector<size_t> order;
+  ParallelFor(nullptr, 5, [&order](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(ParallelFor(&pool, 10,
+                           [](size_t i) {
+                             if (i == 3) throw std::out_of_range("i==3");
+                           }),
+               std::out_of_range);
+}
+
+TEST(ThreadPoolTest, TryRunOneTaskReturnsFalseWhenIdle) {
+  ThreadPool pool(1);
+  EXPECT_FALSE(pool.TryRunOneTask());
+}
+
+}  // namespace
+}  // namespace runner
+}  // namespace elog
