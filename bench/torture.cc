@@ -1,0 +1,181 @@
+// Crash-recovery torture sweep: randomized workload + fault-injected I/O
+// + random crash point, recovered and checked against the shadow oracle,
+// for every manager configuration (EL, EL UNDO/REDO, FW, hybrid).
+//
+// Every trial derives from (--seed, manager, trial index) alone, so the
+// JSON artifact is byte-identical at any --jobs value and any failing
+// trial can be replayed in isolation (see docs/fault_model.md).
+
+#include <cstdio>
+#include <iostream>
+
+#include "harness/report.h"
+#include "runner/progress.h"
+#include "runner/sweep_runner.h"
+#include "runner/torture.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+
+using namespace elog;
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string csv;
+  std::string json_dir = "results";
+  int64_t trials = 200;
+  int64_t jobs = 0;
+  int64_t seed = 42;
+  runner::TortureSpec defaults;
+  double transient_rate = defaults.log_transient_error_rate;
+  double bit_rot_rate = defaults.log_bit_rot_rate;
+  double spike_rate = defaults.log_latency_spike_rate;
+  double flush_error_rate = defaults.flush_transient_error_rate;
+  double torn_prob = defaults.torn_write_prob;
+  FlagSet flags;
+  flags.AddBool("quick", &quick, "run 25 trials per manager");
+  flags.AddString("csv", &csv, "write results as CSV to this path");
+  flags.AddString("json_dir", &json_dir,
+                  "directory for BENCH_<name>.json (empty = skip)");
+  flags.AddInt64("trials", &trials, "trials per manager configuration");
+  flags.AddInt64("jobs", &jobs, "worker threads (0 = all cores)");
+  flags.AddInt64("seed", &seed, "base seed for all trial derivation");
+  flags.AddDouble("transient_rate", &transient_rate,
+                  "per-write transient log error probability");
+  flags.AddDouble("bit_rot_rate", &bit_rot_rate,
+                  "per-write silent corruption probability");
+  flags.AddDouble("spike_rate", &spike_rate,
+                  "per-write latency spike probability");
+  flags.AddDouble("flush_error_rate", &flush_error_rate,
+                  "per-flush transient error probability");
+  flags.AddDouble("torn_prob", &torn_prob,
+                  "probability the crash tears the in-flight block");
+  Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
+    return 2;
+  }
+  if (quick) trials = 25;
+
+  runner::TortureSpec spec;
+  spec.trials = static_cast<int>(trials);
+  spec.base_seed = static_cast<uint64_t>(seed);
+  spec.log_transient_error_rate = transient_rate;
+  spec.log_bit_rot_rate = bit_rot_rate;
+  spec.log_latency_spike_rate = spike_rate;
+  spec.flush_transient_error_rate = flush_error_rate;
+  spec.torn_write_prob = torn_prob;
+
+  std::vector<runner::TortureManager> managers = runner::AllTortureManagers();
+  runner::ProgressReporter progress("torture",
+                                    managers.size() * spec.trials);
+  runner::SweepOptions sweep_options;
+  sweep_options.jobs = static_cast<int>(jobs);
+  runner::SweepRunner sweeper(sweep_options);
+
+  harness::WallTimer timer;
+  std::vector<runner::TortureReport> reports;
+  for (runner::TortureManager manager : managers) {
+    reports.push_back(
+        runner::RunTorture(spec, manager, sweeper.pool(), &progress));
+  }
+  const double wall_s = timer.Seconds();
+  progress.Finish();
+
+  TableWriter table({"manager", "trials", "passed", "failed", "exact",
+                     "torn", "committed", "write_retries", "writes_lost",
+                     "bit_rot", "flush_retries", "flushes_lost",
+                     "blocks_corrupt"});
+  int64_t total_failed = 0;
+  for (const runner::TortureReport& report : reports) {
+    total_failed += report.failed;
+    table.AddRow({runner::TortureManagerName(report.manager),
+                  StrFormat("%lld", (long long)(report.passed + report.failed)),
+                  StrFormat("%lld", (long long)report.passed),
+                  StrFormat("%lld", (long long)report.failed),
+                  StrFormat("%lld", (long long)report.exact_trials),
+                  StrFormat("%lld", (long long)report.torn_trials),
+                  StrFormat("%lld", (long long)report.total_committed),
+                  StrFormat("%lld", (long long)report.total_log_write_retries),
+                  StrFormat("%lld", (long long)report.total_log_writes_lost),
+                  StrFormat("%lld", (long long)report.total_bit_rot_writes),
+                  StrFormat("%lld", (long long)report.total_flush_retries),
+                  StrFormat("%lld", (long long)report.total_flushes_lost),
+                  StrFormat("%lld", (long long)report.total_blocks_corrupt)});
+  }
+
+  harness::PrintTable(
+      "Crash-recovery torture: randomized faults + crash + recovery "
+      "oracle, per manager",
+      table);
+
+  // Replay instructions for every failing trial, before any artifact
+  // write can fail and mask them.
+  for (const runner::TortureReport& report : reports) {
+    for (size_t i = 0; i < report.trials.size(); ++i) {
+      const runner::TortureTrial& trial = report.trials[i];
+      if (trial.ok) continue;
+      std::fprintf(
+          stderr,
+          "FAIL %s trial %zu (seed %llu, crash @%lld us, torn=%d): %s\n"
+          "  replay: RunTortureTrial(spec with --seed %lld, %s, %zu)\n",
+          runner::TortureManagerName(report.manager), i,
+          (unsigned long long)trial.seed, (long long)trial.crash_time,
+          trial.torn_write ? 1 : 0, trial.first_violation.c_str(),
+          (long long)seed, runner::TortureManagerName(report.manager), i);
+    }
+  }
+
+  status = harness::MaybeWriteCsv(csv, table);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  // The config section makes BENCH_torture.json self-describing: every
+  // knob a replay needs is recorded next to the results.
+  runner::BenchJson bench("torture");
+  bench.AddConfig("jobs", static_cast<int64_t>(sweeper.jobs()));
+  bench.AddConfig("seed", seed);
+  bench.AddConfig("trials", trials);
+  bench.AddConfig("long_fraction", spec.long_fraction);
+  bench.AddConfig("log_transient_error_rate", spec.log_transient_error_rate);
+  bench.AddConfig("log_bit_rot_rate", spec.log_bit_rot_rate);
+  bench.AddConfig("log_latency_spike_rate", spec.log_latency_spike_rate);
+  bench.AddConfig("flush_transient_error_rate",
+                  spec.flush_transient_error_rate);
+  bench.AddConfig("torn_write_prob", spec.torn_write_prob);
+  bench.AddConfig("event_crash_prob", spec.event_crash_prob);
+  bench.AddConfig("min_crash_time_us", static_cast<int64_t>(spec.min_crash_time));
+  bench.AddConfig("max_crash_time_us", static_cast<int64_t>(spec.max_crash_time));
+  bench.AddConfig("min_crash_events",
+                  static_cast<int64_t>(spec.min_crash_events));
+  bench.AddConfig("max_crash_events",
+                  static_cast<int64_t>(spec.max_crash_events));
+  bench.AddConfig("quick", quick);
+  int64_t total_passed = 0;
+  int64_t total_exact = 0;
+  int64_t total_recovered = 0;
+  for (const runner::TortureReport& report : reports) {
+    total_passed += report.passed;
+    total_exact += report.exact_trials;
+    for (const runner::TortureTrial& trial : report.trials) {
+      total_recovered += trial.records_recovered;
+    }
+  }
+  bench.AddMetric("trials_passed", total_passed);
+  bench.AddMetric("trials_failed", total_failed);
+  bench.AddMetric("exact_trials", total_exact);
+  bench.AddMetric("records_recovered", total_recovered);
+  status = harness::WriteBenchJson(json_dir, &bench, table, wall_s);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  if (total_failed > 0) {
+    std::cerr << total_failed << " torture trial(s) violated recovery "
+              << "invariants (replay lines above)\n";
+    return 1;
+  }
+  return 0;
+}

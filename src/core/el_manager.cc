@@ -389,13 +389,12 @@ bool EphemeralLogManager::AppendCellOrKill(uint32_t g, Cell* cell,
 void EphemeralLogManager::WriteBuilder(uint32_t g) {
   Generation& gen = Gen(g);
   Generation::ClosedBuffer closed = gen.CloseBuilder(next_write_seq_++);
-  disk::LogWriteRequest request;
-  request.address = disk::BlockAddress{g, closed.slot};
-  request.image = std::move(closed.image);
-  request.on_durable = [this, g, tids = std::move(closed.commit_tids)] {
-    OnBlockDurable(g, tids);
-  };
-  device_->Submit(std::move(request));
+  SubmitBlockWrite(disk::BlockAddress{g, closed.slot},
+                   std::make_shared<const wal::BlockImage>(
+                       std::move(closed.image)),
+                   std::make_shared<const std::vector<TxId>>(
+                       std::move(closed.commit_tids)),
+                   /*attempt=*/0);
   occupancy_[g].Set(simulator_->Now(),
                     static_cast<double>(gen.used_blocks()));
   // "After addition of new records to the tail of a generation, the LM
@@ -403,6 +402,61 @@ void EphemeralLogManager::WriteBuilder(uint32_t g) {
   // head and tail" (§2.1). This is what drives head advance in
   // generations that receive only forwarded traffic.
   EnsureFree(g, options_.min_free_blocks);
+}
+
+void EphemeralLogManager::SubmitBlockWrite(
+    disk::BlockAddress address, std::shared_ptr<const wal::BlockImage> image,
+    std::shared_ptr<const std::vector<TxId>> commit_tids, uint32_t attempt) {
+  disk::LogWriteRequest request;
+  request.address = address;
+  request.image = *image;
+  // Exponential backoff, charged as extra service latency of the retry so
+  // the block keeps its place at the head of the device queue: no younger
+  // block (e.g. a COMMIT depending on this one) can become durable first.
+  request.extra_latency =
+      attempt == 0 ? 0
+                   : options_.log_write_retry_backoff
+                         << std::min<uint32_t>(attempt - 1, 16);
+  request.on_complete = [this, address, image, commit_tids,
+                         attempt](const Status& status) {
+    if (status.ok()) {
+      OnBlockDurable(address.generation, *commit_tids);
+      return;
+    }
+    if (attempt + 1 < options_.max_log_write_attempts) {
+      ++log_write_retries_;
+      if (metrics_ != nullptr) metrics_->Incr("el.log_write_retries");
+      SubmitBlockWrite(address, image, commit_tids, attempt + 1);
+      return;
+    }
+    ++log_writes_lost_;
+    if (metrics_ != nullptr) metrics_->Incr("el.log_writes_lost");
+    OnBlockWriteLost(*commit_tids);
+  };
+  // Completion callbacks run while the device is idle, so a retry pushed
+  // to the front enters service before anything queued behind the failed
+  // write.
+  if (attempt == 0) {
+    device_->Submit(std::move(request));
+  } else {
+    device_->SubmitFront(std::move(request));
+  }
+}
+
+void EphemeralLogManager::OnBlockWriteLost(
+    const std::vector<TxId>& commit_tids) {
+  // The block is gone for good; a COMMIT it carried can never be
+  // acknowledged from this copy. Kill transactions still waiting on it so
+  // the workload is not wedged. A stale duplicate of the COMMIT may
+  // survive elsewhere in the log (forwarding copies records), so a lost
+  // write voids the no-phantom recovery guarantee — callers gate strict
+  // invariant checks on log_writes_lost() == 0.
+  for (TxId tid : commit_tids) {
+    LttEntry* entry = ltt_.Find(tid);
+    if (entry == nullptr || entry->state != TxState::kCommitting) continue;
+    ++unsafe_committing_kills_;
+    KillTransaction(tid);
+  }
 }
 
 void EphemeralLogManager::ScheduleLinger(uint32_t g) {

@@ -91,6 +91,12 @@ class EphemeralLogManager : public LogManager {
   /// Transactions killed inside their commit window (phantom-commit
   /// risk); reachable only with recirculation disabled.
   int64_t unsafe_committing_kills() const { return unsafe_committing_kills_; }
+  /// Log block writes that failed transiently and were resubmitted.
+  int64_t log_write_retries() const { return log_write_retries_; }
+  /// Log block writes abandoned after max_log_write_attempts failures.
+  /// Transactions waiting on the block for their commit acknowledgement
+  /// are killed; nonzero values void the strict recovery guarantees.
+  int64_t log_writes_lost() const { return log_writes_lost_; }
   /// UNDO/REDO mode: uncommitted updates evicted to the stable version.
   int64_t steals() const { return steals_; }
   /// UNDO/REDO mode: before-image restorations issued by aborts/kills.
@@ -174,6 +180,19 @@ class EphemeralLogManager : public LogManager {
 
   void KillTransaction(TxId tid);
 
+  /// Submits a closed buffer to the log device, retrying transient write
+  /// failures at the head of the device queue (bounded by
+  /// options_.max_log_write_attempts, exponential backoff). The image and
+  /// commit list are shared between attempts.
+  void SubmitBlockWrite(disk::BlockAddress address,
+                        std::shared_ptr<const wal::BlockImage> image,
+                        std::shared_ptr<const std::vector<TxId>> commit_tids,
+                        uint32_t attempt);
+
+  /// A block write exhausted its retry budget: its commits can never be
+  /// acknowledged, so any still-committing transaction on it is killed.
+  void OnBlockWriteLost(const std::vector<TxId>& commit_tids);
+
   /// Group-commit acknowledgement for the commits of a durable block.
   void OnBlockDurable(uint32_t g, const std::vector<TxId>& commit_tids);
 
@@ -239,6 +258,8 @@ class EphemeralLogManager : public LogManager {
   int64_t killed_ = 0;
   int64_t unsafe_commit_drops_ = 0;
   int64_t unsafe_committing_kills_ = 0;
+  int64_t log_write_retries_ = 0;
+  int64_t log_writes_lost_ = 0;
   int64_t steals_ = 0;
   int64_t compensations_ = 0;
   bool steal_timer_armed_ = false;

@@ -93,14 +93,58 @@ bool HybridLogManager::AppendOrKill(uint32_t g, const wal::LogRecord& record,
 void HybridLogManager::WriteBuilder(uint32_t g) {
   Generation& gen = Gen(g);
   Generation::ClosedBuffer closed = gen.CloseBuilder(next_write_seq_++);
-  disk::LogWriteRequest request;
-  request.address = disk::BlockAddress{g, closed.slot};
-  request.image = std::move(closed.image);
-  request.on_durable = [this, tids = std::move(closed.commit_tids)] {
-    OnBlockDurable(tids);
-  };
-  device_->Submit(std::move(request));
+  SubmitBlockWrite(disk::BlockAddress{g, closed.slot},
+                   std::make_shared<const wal::BlockImage>(
+                       std::move(closed.image)),
+                   std::make_shared<const std::vector<TxId>>(
+                       std::move(closed.commit_tids)),
+                   /*attempt=*/0);
   EnsureFree(g, options_.min_free_blocks);
+}
+
+void HybridLogManager::SubmitBlockWrite(
+    disk::BlockAddress address, std::shared_ptr<const wal::BlockImage> image,
+    std::shared_ptr<const std::vector<TxId>> commit_tids, uint32_t attempt) {
+  disk::LogWriteRequest request;
+  request.address = address;
+  request.image = *image;
+  // Backoff rides as extra service latency of the head-of-queue retry so
+  // submission-order durability survives the fault (see the EL manager's
+  // SubmitBlockWrite for the full rationale).
+  request.extra_latency =
+      attempt == 0 ? 0
+                   : options_.log_write_retry_backoff
+                         << std::min<uint32_t>(attempt - 1, 16);
+  request.on_complete = [this, address, image, commit_tids,
+                         attempt](const Status& status) {
+    if (status.ok()) {
+      OnBlockDurable(*commit_tids);
+      return;
+    }
+    if (attempt + 1 < options_.max_log_write_attempts) {
+      ++log_write_retries_;
+      if (metrics_ != nullptr) metrics_->Incr("hybrid.log_write_retries");
+      SubmitBlockWrite(address, image, commit_tids, attempt + 1);
+      return;
+    }
+    ++log_writes_lost_;
+    if (metrics_ != nullptr) metrics_->Incr("hybrid.log_writes_lost");
+    OnBlockWriteLost(*commit_tids);
+  };
+  if (attempt == 0) {
+    device_->Submit(std::move(request));
+  } else {
+    device_->SubmitFront(std::move(request));
+  }
+}
+
+void HybridLogManager::OnBlockWriteLost(const std::vector<TxId>& commit_tids) {
+  for (TxId tid : commit_tids) {
+    HybridTx* entry = table_.Find(tid);
+    if (entry == nullptr || entry->state != TxState::kCommitting) continue;
+    ++unsafe_committing_kills_;
+    KillTransaction(tid);
+  }
 }
 
 void HybridLogManager::ScheduleLinger(uint32_t g) {

@@ -75,6 +75,11 @@ class HybridLogManager : public LogManager {
   /// can lose the acknowledged updates). Fires only when migration finds
   /// no space.
   int64_t forced_releases() const { return forced_releases_; }
+  /// Log block writes that failed transiently and were resubmitted.
+  int64_t log_write_retries() const { return log_write_retries_; }
+  /// Log block writes abandoned after max_log_write_attempts failures
+  /// (waiting committers are killed; strict recovery guarantees void).
+  int64_t log_writes_lost() const { return log_writes_lost_; }
   const Generation& generation(uint32_t g) const { return *generations_[g]; }
 
   /// Internal-consistency check for tests: firewall markers match entry
@@ -128,6 +133,13 @@ class HybridLogManager : public LogManager {
                                 bool register_commit);
 
   void WriteBuilder(uint32_t g);
+  /// Device submission with bounded head-of-queue retry on transient
+  /// write errors (same scheme as EphemeralLogManager::SubmitBlockWrite).
+  void SubmitBlockWrite(disk::BlockAddress address,
+                        std::shared_ptr<const wal::BlockImage> image,
+                        std::shared_ptr<const std::vector<TxId>> commit_tids,
+                        uint32_t attempt);
+  void OnBlockWriteLost(const std::vector<TxId>& commit_tids);
   void EnsureFree(uint32_t g, uint32_t need);
   void AdvanceHeadOnce(uint32_t g);
 
@@ -172,6 +184,8 @@ class HybridLogManager : public LogManager {
   int64_t killed_ = 0;
   int64_t unsafe_committing_kills_ = 0;
   int64_t forced_releases_ = 0;
+  int64_t log_write_retries_ = 0;
+  int64_t log_writes_lost_ = 0;
 };
 
 }  // namespace elog

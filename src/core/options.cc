@@ -24,6 +24,13 @@ Status LogManagerOptions::Validate() const {
   if (log_write_latency <= 0) {
     return Status::InvalidArgument("log write latency must be positive");
   }
+  if (max_log_write_attempts == 0) {
+    return Status::InvalidArgument("max_log_write_attempts must be >= 1");
+  }
+  if (log_write_retry_backoff < 0) {
+    return Status::InvalidArgument(
+        "log write retry backoff must be non-negative");
+  }
   if (num_flush_drives == 0) {
     return Status::InvalidArgument("need at least one flush drive");
   }

@@ -48,6 +48,15 @@ struct LogManagerOptions {
   /// τ_DiskWrite: time to transfer one buffer to the log disk (15 ms).
   SimTime log_write_latency = 15 * kMillisecond;
 
+  /// Retry budget for transiently failed log block writes (fault
+  /// injection): the manager resubmits a failed block at the head of the
+  /// device queue up to max_log_write_attempts total tries, doubling
+  /// log_write_retry_backoff before each retry. Exhausting the budget
+  /// abandons the block (and kills any transaction whose commit
+  /// acknowledgement depended on it).
+  uint32_t max_log_write_attempts = 8;
+  SimTime log_write_retry_backoff = 5 * kMillisecond;
+
   /// Group-commit linger: if nonzero, an open buffer holding an
   /// unacknowledged COMMIT record is force-written this long after the
   /// COMMIT entered it, even if the buffer never fills. Zero (the paper's

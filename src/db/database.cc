@@ -12,14 +12,28 @@ Database::Database(const DatabaseConfig& config)
   ELOG_CHECK_OK(config.workload.Validate());
   ELOG_CHECK_EQ(config.log.num_objects, config.workload.num_objects)
       << "log manager and workload must agree on NUM_OBJECTS";
+  ELOG_CHECK_OK(config.faults.Validate());
 
+  if (config.faults.enabled()) {
+    injector_ = std::make_unique<fault::FaultInjector>(config.faults);
+  }
   device_ = std::make_unique<disk::LogDevice>(
-      &simulator_, &storage_, config.log.log_write_latency, &metrics_);
+      &simulator_, &storage_, config.log.log_write_latency, &metrics_,
+      injector_.get());
   drives_ = std::make_unique<disk::DriveArray>(
       &simulator_, config.log.num_flush_drives, config.log.num_objects,
-      config.log.flush_transfer_time, &metrics_);
-  manager_ = std::make_unique<EphemeralLogManager>(
-      &simulator_, config.log, device_.get(), drives_.get(), &metrics_);
+      config.log.flush_transfer_time, &metrics_, injector_.get());
+  if (config.manager == ManagerKind::kHybrid) {
+    auto hybrid = std::make_unique<HybridLogManager>(
+        &simulator_, config.log, device_.get(), drives_.get(), &metrics_);
+    hybrid_ = hybrid.get();
+    manager_ = std::move(hybrid);
+  } else {
+    auto el = std::make_unique<EphemeralLogManager>(
+        &simulator_, config.log, device_.get(), drives_.get(), &metrics_);
+    el_ = el.get();
+    manager_ = std::move(el);
+  }
   generator_ = std::make_unique<workload::WorkloadGenerator>(
       &simulator_, config.workload, manager_.get(), &metrics_);
 
@@ -53,6 +67,9 @@ Database::Database(const DatabaseConfig& config)
           if (record.lsn > version.lsn) {
             version.lsn = record.lsn;
             version.value_digest = record.value_digest;
+          }
+          if (config_.track_commit_history) {
+            acked_versions_[record.oid][record.lsn] = record.value_digest;
           }
         }
       });
@@ -100,12 +117,16 @@ void Database::DrainStep() {
   simulator_.ScheduleAfter(config_.drain_interval, [this] { DrainStep(); });
 }
 
-RunStats Database::Run() {
+void Database::StartRun() {
   ELOG_CHECK(!started_) << "Run/RunUntilCrash may be called once";
   started_ = true;
   generator_->Start();
   ScheduleWindowSnapshot();
   ScheduleDrain();
+}
+
+RunStats Database::Run() {
+  StartRun();
   simulator_.Run();
 
   if (!window_.taken) TakeWindowSnapshot();  // stopped early (e.g. kill)
@@ -131,37 +152,64 @@ RunStats Database::Run() {
   stats.total_started = generator_->started();
   stats.total_committed = generator_->committed();
   stats.total_killed = generator_->killed();
-  stats.records_appended = manager_->records_appended();
-  stats.records_forwarded = manager_->records_forwarded();
-  stats.records_recirculated = manager_->records_recirculated();
-  stats.records_discarded = manager_->records_discarded();
-  stats.urgent_flushes = manager_->urgent_flushes();
-  stats.unsafe_commit_drops = manager_->unsafe_commit_drops();
+  if (el_ != nullptr) {
+    stats.records_appended = el_->records_appended();
+    stats.records_forwarded = el_->records_forwarded();
+    stats.records_recirculated = el_->records_recirculated();
+    stats.records_discarded = el_->records_discarded();
+    stats.urgent_flushes = el_->urgent_flushes();
+    stats.unsafe_commit_drops = el_->unsafe_commit_drops();
+    stats.log_write_retries = el_->log_write_retries();
+    stats.log_writes_lost = el_->log_writes_lost();
+  } else {
+    stats.records_appended = hybrid_->records_appended();
+    stats.records_forwarded = hybrid_->records_regenerated();
+    stats.log_write_retries = hybrid_->log_write_retries();
+    stats.log_writes_lost = hybrid_->log_writes_lost();
+  }
+  stats.flush_retries = drives_->total_flush_retries();
+  stats.flushes_lost = drives_->total_flushes_lost();
   return stats;
 }
 
 Database::CrashImage Database::RunUntilCrash(SimTime crash_time,
                                              bool torn_write) {
-  ELOG_CHECK(!started_) << "Run/RunUntilCrash may be called once";
-  started_ = true;
-  generator_->Start();
-  ScheduleWindowSnapshot();
-  ScheduleDrain();
+  StartRun();
   simulator_.RunUntil(crash_time);
   return CaptureCrashImage(torn_write);
 }
 
+Database::CrashImage Database::RunUntilCrash(
+    const fault::CrashSchedule& schedule) {
+  ELOG_CHECK(schedule.armed()) << "crash schedule has no trigger";
+  StartRun();
+  fault::CrashScheduler scheduler(&simulator_, schedule);
+  scheduler.Arm();
+  simulator_.Run();
+  return CaptureCrashImage(schedule.torn_write);
+}
+
 Database::CrashImage Database::CaptureCrashImage(bool torn_write) const {
-  CrashImage image{storage_.Clone(), stable_.Clone(), {}, {}, 0};
-  image.stable = stable_.Clone();
+  CrashImage image{storage_.Clone(), stable_.Clone(), {}, {}, {}, 0};
   image.expected_state = shadow_;
   image.committed_tids = committed_tids_;
+  image.acked_versions = acked_versions_;
   image.crash_time = simulator_.Now();
   if (torn_write) {
     disk::BlockAddress address;
-    if (device_->InService(&address)) {
-      // The write caught mid-flight destroys the block's old content too.
-      image.log.CorruptBlock(address);
+    wal::BlockImage in_flight;
+    if (device_->InService(&address, &in_flight)) {
+      if (injector_ != nullptr && !in_flight.empty()) {
+        // Materialize the partial write: the new image lands scrambled
+        // over the slot's old content (which the transfer had already
+        // begun destroying), exactly like a real torn sector.
+        injector_->Scramble(&in_flight);
+        image.log.Put(address, std::move(in_flight));
+      } else {
+        // No injector to draw scramble bytes from: the write caught
+        // mid-flight destroys the block's old content outright.
+        image.log.CorruptBlock(address);
+      }
     }
   }
   return image;

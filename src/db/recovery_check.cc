@@ -1,0 +1,151 @@
+#include "db/recovery_check.h"
+
+#include "util/string_util.h"
+
+namespace elog {
+namespace db {
+namespace {
+
+void Violation(InvariantReport* report, std::string message) {
+  // Cap the list: one torture trial gone wrong can otherwise produce
+  // thousands of identical lines.
+  if (report->violations.size() < 32) {
+    report->violations.push_back(std::move(message));
+  }
+}
+
+}  // namespace
+
+InvariantReport CheckRecoveryInvariants(const Database::CrashImage& image,
+                                        const RecoveryResult& result,
+                                        const InvariantPolicy& policy) {
+  InvariantReport report;
+
+  // Scan accounting: the scanner terminated and classified every block of
+  // every generation exactly once. (Termination itself is implied by the
+  // scan stats existing at all; an adversarial block must fail decode, not
+  // hang it.)
+  if (!result.scan.Consistent()) {
+    Violation(&report,
+              StrFormat("scan accounting broken: %zu scanned != %zu empty + "
+                        "%zu corrupt + %zu valid",
+                        result.scan.blocks_scanned, result.scan.blocks_empty,
+                        result.scan.blocks_corrupt, result.scan.blocks_valid));
+  }
+
+  // UNDO invariant, unconditionally: a stolen (provisional) stable entry
+  // whose writer has no COMMIT in the log must not survive recovery with
+  // the stolen value — the undo pass reverts it. Value digests are unique
+  // per (tid, oid, lsn), so matching (lsn, digest) identifies the stolen
+  // version.
+  for (const auto& [oid, stable_version] : image.stable.objects()) {
+    if (!stable_version.provisional) continue;
+    if (result.committed_in_log.count(stable_version.writer) > 0) continue;
+    auto it = result.state.find(oid);
+    if (it != result.state.end() && it->second.lsn == stable_version.lsn &&
+        it->second.value_digest == stable_version.value_digest) {
+      Violation(&report,
+                StrFormat("oid %llu: stolen value lsn=%llu of uncommitted "
+                          "tx %llu survived recovery un-reverted",
+                          (unsigned long long)oid,
+                          (unsigned long long)stable_version.lsn,
+                          (unsigned long long)stable_version.writer));
+    }
+  }
+
+  if (policy.expect_exact) {
+    // Every acknowledged commit's updates are recovered at exactly the
+    // acknowledged version.
+    for (const auto& [oid, expected] : image.expected_state) {
+      ++report.objects_compared;
+      auto it = result.state.find(oid);
+      if (it == result.state.end()) {
+        Violation(&report,
+                  StrFormat("oid %llu: acknowledged lsn=%llu missing after "
+                            "recovery",
+                            (unsigned long long)oid,
+                            (unsigned long long)expected.lsn));
+        continue;
+      }
+      if (it->second.lsn != expected.lsn ||
+          it->second.value_digest != expected.value_digest) {
+        Violation(&report,
+                  StrFormat("oid %llu: recovered lsn=%llu digest=%llu, "
+                            "acknowledged lsn=%llu digest=%llu",
+                            (unsigned long long)oid,
+                            (unsigned long long)it->second.lsn,
+                            (unsigned long long)it->second.value_digest,
+                            (unsigned long long)expected.lsn,
+                            (unsigned long long)expected.value_digest));
+      }
+    }
+  }
+
+  if (policy.expect_no_phantoms) {
+    // Every COMMIT the scan found belongs to an acknowledged... no: to a
+    // transaction the system durably committed. Acknowledgement happens at
+    // the completion event of the block write; a crash can fall between
+    // durability and that event, so committed_tids (ack'd) is the oracle
+    // and a COMMIT in the log without an ack is only legal for the block
+    // that was in service at the crash — which the image never contains
+    // (it is either absent or torn). Hence: strict subset check.
+    for (TxId tid : result.committed_in_log) {
+      if (image.committed_tids.count(tid) == 0) {
+        Violation(&report,
+                  StrFormat("tx %llu: COMMIT in log but never acknowledged "
+                            "(phantom commit)",
+                            (unsigned long long)tid));
+      }
+    }
+    // No uncommitted update surfaces, and nothing newer than (or outside)
+    // the acknowledged history of an object is recovered.
+    for (const auto& [oid, recovered] : result.state) {
+      auto expected_it = image.expected_state.find(oid);
+      if (expected_it == image.expected_state.end()) {
+        Violation(&report,
+                  StrFormat("oid %llu: recovered lsn=%llu but no commit of "
+                            "this object was ever acknowledged",
+                            (unsigned long long)oid,
+                            (unsigned long long)recovered.lsn));
+        continue;
+      }
+      if (recovered.lsn > expected_it->second.lsn) {
+        Violation(&report,
+                  StrFormat("oid %llu: recovered lsn=%llu newer than newest "
+                            "acknowledged lsn=%llu",
+                            (unsigned long long)oid,
+                            (unsigned long long)recovered.lsn,
+                            (unsigned long long)expected_it->second.lsn));
+        continue;
+      }
+      // With the full acknowledgement history available, pin the
+      // recovered version to an acknowledged (lsn, digest) pair — an
+      // older acknowledged version may legitimately resurface when
+      // bit-rot destroyed the newest copy, but a never-acknowledged
+      // version must not.
+      auto history_it = image.acked_versions.find(oid);
+      if (history_it == image.acked_versions.end()) continue;
+      auto version_it = history_it->second.find(recovered.lsn);
+      if (version_it == history_it->second.end()) {
+        Violation(&report,
+                  StrFormat("oid %llu: recovered lsn=%llu is not an "
+                            "acknowledged version of this object",
+                            (unsigned long long)oid,
+                            (unsigned long long)recovered.lsn));
+      } else if (version_it->second != recovered.value_digest) {
+        Violation(&report,
+                  StrFormat("oid %llu lsn=%llu: recovered digest=%llu, "
+                            "acknowledged digest=%llu",
+                            (unsigned long long)oid,
+                            (unsigned long long)recovered.lsn,
+                            (unsigned long long)recovered.value_digest,
+                            (unsigned long long)version_it->second));
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace db
+}  // namespace elog

@@ -1,0 +1,65 @@
+// Recovery invariant checking against the shadow oracle.
+//
+// A crash image carries the state recovery MUST reproduce (expected_state,
+// built from commit acknowledgements) and the full acknowledged version
+// history. CheckRecoveryInvariants compares a RecoveryResult against that
+// oracle under a policy describing which guarantees the run actually
+// upheld:
+//
+//   always      — the log scan terminated and classified every block
+//                 exactly once; a committed-unflushed provisional stable
+//                 entry never survives recovery with its stolen value.
+//   exact       — (faultless REDO runs) the recovered state equals the
+//                 acknowledged state, version for version, both ways.
+//   no_phantoms — (runs where bit-rot may have erased acknowledged
+//                 evidence, but nothing was fabricated) everything
+//                 recovered is bounded by the acknowledged state: every
+//                 COMMIT found in the log was acknowledged, and every
+//                 recovered version is an acknowledged version of its
+//                 object no newer than the latest acknowledged one.
+//
+// The torture harness derives the policy from the run's fault counters;
+// see TortureTrialPolicy in runner/torture.h.
+
+#ifndef ELOG_DB_RECOVERY_CHECK_H_
+#define ELOG_DB_RECOVERY_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "db/recovery.h"
+
+namespace elog {
+namespace db {
+
+struct InvariantPolicy {
+  /// Acknowledged state must be recovered exactly (both inclusions).
+  /// Requires a run with no lost writes, no bit-rot, no release-on-commit
+  /// (FW discards data by design) and no unsafe kill/drop events.
+  bool expect_exact = true;
+  /// Nothing beyond the acknowledged state may surface. Valid whenever no
+  /// write was abandoned after acknowledgement-relevant state existed
+  /// (lost blocks can leave stale durable COMMIT copies behind).
+  bool expect_no_phantoms = true;
+  /// The run was an UNDO/REDO run (provisional stable entries possible).
+  bool undo_redo = false;
+};
+
+struct InvariantReport {
+  /// Human-readable violation descriptions; empty means all checks held.
+  std::vector<std::string> violations;
+  size_t objects_compared = 0;
+  bool ok() const { return violations.empty(); }
+  /// The first violation, or "" — convenient for test failure messages.
+  std::string First() const { return violations.empty() ? "" : violations[0]; }
+};
+
+InvariantReport CheckRecoveryInvariants(const Database::CrashImage& image,
+                                        const RecoveryResult& result,
+                                        const InvariantPolicy& policy);
+
+}  // namespace db
+}  // namespace elog
+
+#endif  // ELOG_DB_RECOVERY_CHECK_H_

@@ -9,7 +9,8 @@ namespace disk {
 
 DriveArray::DriveArray(sim::Simulator* simulator, uint32_t num_drives,
                        Oid num_objects, SimTime transfer_time,
-                       sim::MetricsRegistry* metrics)
+                       sim::MetricsRegistry* metrics,
+                       fault::FaultInjector* injector)
     : transfer_time_(transfer_time) {
   ELOG_CHECK_GT(num_drives, 0u);
   ELOG_CHECK_EQ(num_objects % num_drives, 0u)
@@ -20,7 +21,7 @@ DriveArray::DriveArray(sim::Simulator* simulator, uint32_t num_drives,
     Oid begin = static_cast<Oid>(i) * objects_per_drive_;
     drives_.push_back(std::make_unique<FlushDrive>(
         simulator, i, begin, begin + objects_per_drive_, transfer_time,
-        metrics));
+        metrics, injector));
   }
 }
 
@@ -47,6 +48,18 @@ size_t DriveArray::total_pending() const {
 int64_t DriveArray::total_flushes_completed() const {
   int64_t total = 0;
   for (const auto& drive : drives_) total += drive->flushes_completed();
+  return total;
+}
+
+int64_t DriveArray::total_flush_retries() const {
+  int64_t total = 0;
+  for (const auto& drive : drives_) total += drive->flush_retries();
+  return total;
+}
+
+int64_t DriveArray::total_flushes_lost() const {
+  int64_t total = 0;
+  for (const auto& drive : drives_) total += drive->flushes_lost();
   return total;
 }
 

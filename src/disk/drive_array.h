@@ -21,7 +21,8 @@ class DriveArray {
   /// `num_objects` must be a multiple of `num_drives` (the paper ignores
   /// the remainder case; we insist on it).
   DriveArray(sim::Simulator* simulator, uint32_t num_drives, Oid num_objects,
-             SimTime transfer_time, sim::MetricsRegistry* metrics);
+             SimTime transfer_time, sim::MetricsRegistry* metrics,
+             fault::FaultInjector* injector = nullptr);
 
   /// Routes a flush request to the drive owning its oid.
   void Enqueue(FlushRequest request);
@@ -35,6 +36,12 @@ class DriveArray {
   size_t total_pending() const;
 
   int64_t total_flushes_completed() const;
+
+  /// Transient flush failures retried in place, across all drives.
+  int64_t total_flush_retries() const;
+
+  /// Flush requests abandoned after exhausting retries, across all drives.
+  int64_t total_flushes_lost() const;
 
   /// Mean circular oid distance between successively flushed objects,
   /// aggregated over all drives — the paper's locality measure (§4:

@@ -9,13 +9,15 @@ namespace disk {
 
 FlushDrive::FlushDrive(sim::Simulator* simulator, uint32_t drive_id,
                        Oid range_begin, Oid range_end, SimTime transfer_time,
-                       sim::MetricsRegistry* metrics)
+                       sim::MetricsRegistry* metrics,
+                       fault::FaultInjector* injector)
     : simulator_(simulator),
       drive_id_(drive_id),
       range_begin_(range_begin),
       range_end_(range_end),
       transfer_time_(transfer_time),
       metrics_(metrics),
+      injector_(injector),
       head_position_(range_begin) {
   ELOG_CHECK_LT(range_begin, range_end);
   ELOG_CHECK_GT(transfer_time, 0);
@@ -91,6 +93,28 @@ void FlushDrive::StartNext() {
 
 void FlushDrive::Complete(FlushRequest request) {
   ELOG_CHECK(in_service_);
+  if (injector_ != nullptr && injector_->NextFlushFails()) {
+    ++request.attempt;
+    if (request.attempt < injector_->config().max_flush_attempts) {
+      // Retry in place: the drive stays busy through the backoff plus a
+      // fresh transfer, so scheduling order is unchanged by the fault.
+      ++flush_retries_;
+      if (metrics_ != nullptr) metrics_->Incr("flush_drive.retries");
+      simulator_->ScheduleAfter(
+          injector_->config().flush_retry_backoff + transfer_time_,
+          [this, r = std::move(request)]() mutable { Complete(std::move(r)); });
+      return;
+    }
+    // Media fault outlived the retry budget: abandon the request without
+    // invoking on_durable. The caller still holds the update in the log
+    // (or the recovery undo path covers it); the torture oracle relaxes
+    // its durability check whenever this counter is nonzero.
+    ++flushes_lost_;
+    if (metrics_ != nullptr) metrics_->Incr("flush_drive.lost");
+    in_service_ = false;
+    StartNext();
+    return;
+  }
   ++flushes_completed_;
   if (metrics_ != nullptr) {
     metrics_->Incr("flush_drive.flushes");

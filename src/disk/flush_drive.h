@@ -17,6 +17,7 @@
 #include <functional>
 #include <map>
 
+#include "fault/fault_injector.h"
 #include "sim/metrics.h"
 #include "sim/simulator.h"
 #include "util/stats.h"
@@ -45,8 +46,11 @@ struct FlushRequest {
   Lsn prev_lsn = 0;
   uint64_t prev_digest = 0;
   /// Invoked at the simulated instant the update is durable in the stable
-  /// database version.
+  /// database version. Never invoked for a request the drive abandons
+  /// after exhausting its transient-error retries (see flushes_lost()).
   std::function<void(const FlushRequest&)> on_durable;
+  /// Service attempts consumed so far (drive-internal retry bookkeeping).
+  uint32_t attempt = 0;
 };
 
 class FlushDrive {
@@ -54,7 +58,8 @@ class FlushDrive {
   /// The drive owns objects in [range_begin, range_end).
   FlushDrive(sim::Simulator* simulator, uint32_t drive_id, Oid range_begin,
              Oid range_end, SimTime transfer_time,
-             sim::MetricsRegistry* metrics);
+             sim::MetricsRegistry* metrics,
+             fault::FaultInjector* injector = nullptr);
 
   /// Enqueues a flush. The oid must fall in the drive's range.
   void Enqueue(FlushRequest request);
@@ -67,6 +72,15 @@ class FlushDrive {
   size_t pending() const { return pending_.size() + urgent_.size(); }
   bool busy() const { return in_service_; }
   int64_t flushes_completed() const { return flushes_completed_; }
+
+  /// Transfer attempts that failed transiently and were retried in place.
+  int64_t flush_retries() const { return flush_retries_; }
+
+  /// Requests abandoned after max_flush_attempts failures; their
+  /// on_durable callback never runs. Nonzero lost flushes void the strict
+  /// recovery-durability guarantee (the torture harness downgrades its
+  /// oracle accordingly).
+  int64_t flushes_lost() const { return flushes_lost_; }
 
   /// Circular oid distance between successively serviced requests (the
   /// paper's locality measure).
@@ -88,6 +102,7 @@ class FlushDrive {
   Oid range_end_;
   SimTime transfer_time_;
   sim::MetricsRegistry* metrics_;
+  fault::FaultInjector* injector_;
 
   /// Locality-scheduled requests, keyed by oid for nearest-neighbour
   /// lookup. multimap: several versions/requests may share an oid.
@@ -96,6 +111,8 @@ class FlushDrive {
   bool in_service_ = false;
   Oid head_position_;
   int64_t flushes_completed_ = 0;
+  int64_t flush_retries_ = 0;
+  int64_t flushes_lost_ = 0;
   StatAccumulator seek_distances_;
 };
 

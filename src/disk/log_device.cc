@@ -6,20 +6,33 @@ namespace elog {
 namespace disk {
 
 LogDevice::LogDevice(sim::Simulator* simulator, LogStorage* storage,
-                     SimTime write_latency, sim::MetricsRegistry* metrics)
+                     SimTime write_latency, sim::MetricsRegistry* metrics,
+                     fault::FaultInjector* injector)
     : simulator_(simulator),
       storage_(storage),
       write_latency_(write_latency),
       metrics_(metrics),
+      injector_(injector),
       per_generation_writes_(storage->num_generations(), 0) {
   ELOG_CHECK_GT(write_latency, 0);
 }
 
-void LogDevice::Submit(LogWriteRequest request) {
+void LogDevice::CheckAddress(const LogWriteRequest& request) const {
   ELOG_CHECK_LT(request.address.generation, storage_->num_generations());
   ELOG_CHECK_LT(request.address.slot,
                 storage_->generation_size(request.address.generation));
+  ELOG_CHECK_GE(request.extra_latency, 0);
+}
+
+void LogDevice::Submit(LogWriteRequest request) {
+  CheckAddress(request);
   queue_.push_back(std::move(request));
+  if (!in_service_) StartNext();
+}
+
+void LogDevice::SubmitFront(LogWriteRequest request) {
+  CheckAddress(request);
+  queue_.push_front(std::move(request));
   if (!in_service_) StartNext();
 }
 
@@ -29,24 +42,51 @@ void LogDevice::StartNext() {
   current_ = std::move(queue_.front());
   queue_.pop_front();
   in_service_ = true;
-  simulator_->ScheduleAfter(write_latency_, [this] { CompleteCurrent(); });
+  SimTime latency = write_latency_ + current_.extra_latency;
+  current_fault_ = fault::FaultInjector::WriteFault::kNone;
+  if (injector_ != nullptr) {
+    // The write's fate is drawn when service starts; the decision order is
+    // therefore the deterministic event order of the simulation.
+    fault::FaultInjector::WriteDecision decision =
+        injector_->NextLogWrite(write_latency_);
+    current_fault_ = decision.fault;
+    latency += decision.extra_latency;
+  }
+  simulator_->ScheduleAfter(latency, [this] { CompleteCurrent(); });
 }
 
 void LogDevice::CompleteCurrent() {
   ELOG_CHECK(in_service_);
-  storage_->Put(current_.address, std::move(current_.image));
-  ++writes_completed_;
-  ++per_generation_writes_[current_.address.generation];
-  if (metrics_ != nullptr) {
-    metrics_->Incr("log_device.writes");
-    metrics_->Incr("log_device.writes.gen" +
-                   std::to_string(current_.address.generation));
+  Status status = Status::OK();
+  if (current_fault_ == fault::FaultInjector::WriteFault::kTransientError) {
+    // The block never reaches the platter; the caller must retry.
+    ++write_errors_;
+    if (metrics_ != nullptr) metrics_->Incr("log_device.write_errors");
+    status = Status::Aborted("transient log write error");
+  } else {
+    if (current_fault_ == fault::FaultInjector::WriteFault::kBitRot) {
+      // Silent corruption: the image lands scrambled but the device
+      // reports success. Only recovery's CRC check can see it.
+      injector_->Scramble(&current_.image);
+      ++bit_rot_writes_;
+      if (metrics_ != nullptr) metrics_->Incr("log_device.bit_rot_writes");
+    }
+    storage_->Put(current_.address, std::move(current_.image));
+    ++writes_completed_;
+    ++per_generation_writes_[current_.address.generation];
+    if (metrics_ != nullptr) {
+      metrics_->Incr("log_device.writes");
+      metrics_->Incr("log_device.writes.gen" +
+                     std::to_string(current_.address.generation));
+    }
   }
-  std::function<void()> on_durable = std::move(current_.on_durable);
+  std::function<void(const Status&)> on_complete =
+      std::move(current_.on_complete);
   in_service_ = false;
   // Run the completion before starting the next transfer so the log
-  // manager observes durability in submission order.
-  if (on_durable) on_durable();
+  // manager observes completions in submission order and a failed write
+  // can be resubmitted (SubmitFront) ahead of younger queued blocks.
+  if (on_complete) on_complete(status);
   if (!in_service_) StartNext();
 }
 
@@ -58,6 +98,13 @@ int64_t LogDevice::writes_completed(uint32_t generation) const {
 bool LogDevice::InService(BlockAddress* addr) const {
   if (!in_service_) return false;
   *addr = current_.address;
+  return true;
+}
+
+bool LogDevice::InService(BlockAddress* addr, wal::BlockImage* image) const {
+  if (!in_service_) return false;
+  *addr = current_.address;
+  *image = current_.image;
   return true;
 }
 

@@ -3,9 +3,14 @@
 // Writing a buffer's contents to the tail of the log takes a fixed
 // τ_DiskWrite = 15 ms (paper §3). The device services requests one at a
 // time in FIFO order; at completion the block image becomes durable in
-// LogStorage and the requester's callback runs. At the modeled load
-// (~13 block writes/s) the device is nearly idle, so queueing is rare, but
-// the model stays honest under stress tests.
+// LogStorage and the requester's completion callback runs with the write's
+// Status. At the modeled load (~13 block writes/s) the device is nearly
+// idle, so queueing is rare, but the model stays honest under stress tests.
+//
+// With a FaultInjector attached, a write may instead fail transiently
+// (error status, nothing stored), land silently scrambled (bit-rot: OK
+// status, corrupt image), or take a latency spike. Callers must therefore
+// treat only an ok() completion as durability — never mere submission.
 
 #ifndef ELOG_DISK_LOG_DEVICE_H_
 #define ELOG_DISK_LOG_DEVICE_H_
@@ -14,8 +19,10 @@
 #include <functional>
 
 #include "disk/log_storage.h"
+#include "fault/fault_injector.h"
 #include "sim/metrics.h"
 #include "sim/simulator.h"
+#include "util/status.h"
 #include "util/types.h"
 
 namespace elog {
@@ -24,24 +31,43 @@ namespace disk {
 struct LogWriteRequest {
   BlockAddress address;
   wal::BlockImage image;
-  /// Invoked at the simulated instant the block is durable.
-  std::function<void()> on_durable;
+  /// Invoked at the simulated instant service completes. ok() means the
+  /// block is durable in LogStorage; any other status means the write was
+  /// dropped and the caller owns retrying (the block is NOT durable).
+  std::function<void(const Status&)> on_complete;
+  /// Extra service latency for this request, charged before the transfer
+  /// (retry backoff: a resubmitted write waits out its backoff at the head
+  /// of the queue, preserving FIFO durability order).
+  SimTime extra_latency = 0;
 };
 
 class LogDevice {
  public:
   LogDevice(sim::Simulator* simulator, LogStorage* storage,
-            SimTime write_latency, sim::MetricsRegistry* metrics);
+            SimTime write_latency, sim::MetricsRegistry* metrics,
+            fault::FaultInjector* injector = nullptr);
 
   /// Enqueues a block write. Never blocks; completion is signalled via the
   /// request's callback.
   void Submit(LogWriteRequest request);
+
+  /// Enqueues a block write at the head of the queue. Used to retry a
+  /// just-failed write before any younger queued block is serviced, so a
+  /// transaction's COMMIT block can never become durable ahead of one of
+  /// its retried data blocks.
+  void SubmitFront(LogWriteRequest request);
 
   /// Total block writes completed (the paper's log-bandwidth numerator).
   int64_t writes_completed() const { return writes_completed_; }
 
   /// Block writes completed for one generation.
   int64_t writes_completed(uint32_t generation) const;
+
+  /// Writes that completed with an injected transient error.
+  int64_t write_errors() const { return write_errors_; }
+
+  /// Writes that landed silently scrambled (injected bit-rot).
+  int64_t bit_rot_writes() const { return bit_rot_writes_; }
 
   /// True if a write is in service or queued.
   bool busy() const { return in_service_ || !queue_.empty(); }
@@ -50,19 +76,31 @@ class LogDevice {
   /// in-service request) — used by crash injection to produce torn blocks.
   bool InService(BlockAddress* addr) const;
 
+  /// Like InService(addr) but also copies the in-flight image, so crash
+  /// injection can materialize a partially-written (scrambled) block
+  /// instead of merely destroying the slot.
+  bool InService(BlockAddress* addr, wal::BlockImage* image) const;
+
  private:
   void StartNext();
   void CompleteCurrent();
+  void CheckAddress(const LogWriteRequest& request) const;
 
   sim::Simulator* simulator_;
   LogStorage* storage_;
   SimTime write_latency_;
   sim::MetricsRegistry* metrics_;
+  fault::FaultInjector* injector_;
 
   std::deque<LogWriteRequest> queue_;
   bool in_service_ = false;
   LogWriteRequest current_;
+  /// Fate drawn for the in-service write when it entered service.
+  fault::FaultInjector::WriteFault current_fault_ =
+      fault::FaultInjector::WriteFault::kNone;
   int64_t writes_completed_ = 0;
+  int64_t write_errors_ = 0;
+  int64_t bit_rot_writes_ = 0;
   std::vector<int64_t> per_generation_writes_;
 };
 

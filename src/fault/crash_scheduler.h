@@ -1,0 +1,69 @@
+// Crash scheduling: halting the simulation at an arbitrary point.
+//
+// A CrashSchedule names the instant the machine dies — either a virtual
+// time, an event-dispatch count, or both (whichever trips first) — plus
+// whether the block in service on the log device at that instant suffers a
+// torn write in the crash image. The schedule is plain data so a torture
+// trial can derive it from its seed and record it verbatim in the bench
+// JSON; replaying the same (seed, schedule) reproduces the same crash.
+//
+// CrashScheduler arms the stop conditions on a Simulator. The snapshotting
+// itself (LogStorage + StableStore -> CrashImage) lives in
+// db::Database::RunUntilCrash, which owns those structures.
+
+#ifndef ELOG_FAULT_CRASH_SCHEDULER_H_
+#define ELOG_FAULT_CRASH_SCHEDULER_H_
+
+#include <cstdint>
+
+#include "sim/simulator.h"
+#include "util/types.h"
+
+namespace elog {
+namespace fault {
+
+struct CrashSchedule {
+  /// Crash at this virtual time (0 = no time trigger).
+  SimTime time = 0;
+  /// Crash after this many dispatched events, counted from Arm()
+  /// (0 = no event trigger).
+  uint64_t event_count = 0;
+  /// Apply a torn write to the log block in service at the crash instant.
+  bool torn_write = false;
+
+  bool armed() const { return time > 0 || event_count > 0; }
+};
+
+class CrashScheduler {
+ public:
+  CrashScheduler(sim::Simulator* simulator, const CrashSchedule& schedule)
+      : simulator_(simulator), schedule_(schedule) {}
+
+  /// Installs the stop conditions; call once, before running the
+  /// simulation. The time trigger is a scheduled Stop() event, so the
+  /// clock reads exactly schedule.time if it fires; the event trigger
+  /// halts the dispatch loop via Simulator::StopAfterEvents.
+  void Arm() {
+    ELOG_CHECK(!armed_);
+    armed_ = true;
+    if (schedule_.event_count > 0) {
+      simulator_->StopAfterEvents(schedule_.event_count);
+    }
+    if (schedule_.time > 0) {
+      simulator_->ScheduleAt(schedule_.time,
+                             [sim = simulator_] { sim->Stop(); });
+    }
+  }
+
+  const CrashSchedule& schedule() const { return schedule_; }
+
+ private:
+  sim::Simulator* simulator_;
+  CrashSchedule schedule_;
+  bool armed_ = false;
+};
+
+}  // namespace fault
+}  // namespace elog
+
+#endif  // ELOG_FAULT_CRASH_SCHEDULER_H_

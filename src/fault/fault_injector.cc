@@ -1,0 +1,102 @@
+#include "fault/fault_injector.h"
+
+#include "util/check.h"
+
+namespace elog {
+namespace fault {
+namespace {
+
+Status CheckRate(double rate, const char* name) {
+  if (rate < 0.0 || rate > 1.0) {
+    return Status::InvalidArgument(std::string(name) +
+                                   " must be a probability in [0, 1]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FaultConfig::Validate() const {
+  Status s = CheckRate(log_transient_error_rate, "log_transient_error_rate");
+  if (!s.ok()) return s;
+  s = CheckRate(log_bit_rot_rate, "log_bit_rot_rate");
+  if (!s.ok()) return s;
+  s = CheckRate(log_latency_spike_rate, "log_latency_spike_rate");
+  if (!s.ok()) return s;
+  s = CheckRate(flush_transient_error_rate, "flush_transient_error_rate");
+  if (!s.ok()) return s;
+  if (log_latency_spike_multiplier < 1.0) {
+    return Status::InvalidArgument(
+        "log_latency_spike_multiplier must be >= 1");
+  }
+  if (max_flush_attempts == 0) {
+    return Status::InvalidArgument("max_flush_attempts must be >= 1");
+  }
+  if (flush_retry_backoff < 0) {
+    return Status::InvalidArgument("flush_retry_backoff must be >= 0");
+  }
+  return Status::OK();
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config)
+    : config_(config), rng_(config.seed) {
+  ELOG_CHECK_OK(config.Validate());
+}
+
+FaultInjector::WriteDecision FaultInjector::NextLogWrite(
+    SimTime base_latency) {
+  // Fixed draw count per decision keeps the stream position independent of
+  // which faults are enabled: replaying with one rate zeroed still aligns
+  // every other decision.
+  const double u_error = rng_.NextDouble();
+  const double u_rot = rng_.NextDouble();
+  const double u_spike = rng_.NextDouble();
+
+  WriteDecision decision;
+  if (u_error < config_.log_transient_error_rate) {
+    decision.fault = WriteFault::kTransientError;
+    ++log_transient_errors_;
+  } else if (u_rot < config_.log_bit_rot_rate) {
+    // Bit-rot only applies to a write that lands; a failed write has no
+    // stored image to rot.
+    decision.fault = WriteFault::kBitRot;
+    ++log_bit_rots_;
+  }
+  if (u_spike < config_.log_latency_spike_rate) {
+    ++log_latency_spikes_;
+    const double extra =
+        static_cast<double>(base_latency) *
+        (config_.log_latency_spike_multiplier - 1.0);
+    decision.extra_latency = static_cast<SimTime>(extra);
+  }
+  return decision;
+}
+
+bool FaultInjector::NextFlushFails() {
+  const bool fails = rng_.NextDouble() < config_.flush_transient_error_rate;
+  if (fails) ++flush_transient_errors_;
+  return fails;
+}
+
+void FaultInjector::Scramble(wal::BlockImage* image) {
+  ELOG_CHECK(image != nullptr);
+  if (image->size() <= wal::kBlockHeaderBytes) {
+    // Degenerate image; corrupt whatever bytes exist past the magic.
+    if (image->empty()) return;
+    const size_t offset = rng_.NextBounded(image->size());
+    (*image)[offset] ^= static_cast<uint8_t>(1 + rng_.NextBounded(255));
+    return;
+  }
+  // Flip 1-4 bytes inside the CRC-covered region [8, size) so the masked
+  // checksum is guaranteed to mismatch (flipping the stored CRC field
+  // itself would also work but is less representative of media rot).
+  const uint64_t flips = 1 + rng_.NextBounded(4);
+  for (uint64_t i = 0; i < flips; ++i) {
+    const size_t offset =
+        8 + static_cast<size_t>(rng_.NextBounded(image->size() - 8));
+    (*image)[offset] ^= static_cast<uint8_t>(1 + rng_.NextBounded(255));
+  }
+}
+
+}  // namespace fault
+}  // namespace elog

@@ -1,0 +1,119 @@
+// Deterministic fault injection for the simulated I/O stack.
+//
+// Every fault the model can suffer — torn tail writes, silent bit-rot on a
+// durable block, transient write errors, latency spikes, flush-drive write
+// failures — is drawn from one SplitMix64-seeded xoshiro256** stream owned
+// by a FaultInjector. The simulator is single-threaded, so injector draws
+// happen in event-dispatch order and a (seed, schedule) pair replays the
+// exact same fault sequence bit-identically, at any sweep --jobs value.
+//
+// The injector is pure policy: devices ask it "what happens to this
+// write?" and apply the answer themselves. It never touches the simulator
+// clock or storage directly (except for Scramble, which mutates a block
+// image handed to it).
+
+#ifndef ELOG_FAULT_FAULT_INJECTOR_H_
+#define ELOG_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+#include "util/status.h"
+#include "util/types.h"
+#include "wal/block_format.h"
+
+namespace elog {
+namespace fault {
+
+/// Fault rates and retry knobs for one simulation run. All rates are
+/// per-attempt probabilities in [0, 1]; the default configuration injects
+/// nothing, so a Database built without faults behaves exactly as before.
+struct FaultConfig {
+  /// Seeds the injector's private RNG stream.
+  uint64_t seed = 0;
+
+  /// Probability that a log block write fails transiently: the device
+  /// reports an error status and the block does NOT reach LogStorage.
+  /// The log managers retry with backoff (Options::max_log_write_attempts).
+  double log_transient_error_rate = 0.0;
+
+  /// Probability that a log block write completes "successfully" but the
+  /// stored image is silently scrambled (bit-rot / misdirected write). The
+  /// CRC catches it at recovery time; the writer never learns.
+  double log_bit_rot_rate = 0.0;
+
+  /// Probability that a log block write takes log_latency_spike_multiplier
+  /// times its base latency (a slow remapped sector). Orthogonal to the
+  /// two failure modes above.
+  double log_latency_spike_rate = 0.0;
+  double log_latency_spike_multiplier = 10.0;
+
+  /// Probability that one flush-drive transfer fails. The drive itself
+  /// retries up to max_flush_attempts before abandoning the request.
+  double flush_transient_error_rate = 0.0;
+  uint32_t max_flush_attempts = 8;
+  SimTime flush_retry_backoff = 5 * kMillisecond;
+
+  /// True if any fault rate is nonzero (an all-zero config needs no
+  /// injector at all).
+  bool enabled() const {
+    return log_transient_error_rate > 0 || log_bit_rot_rate > 0 ||
+           log_latency_spike_rate > 0 || flush_transient_error_rate > 0;
+  }
+
+  Status Validate() const;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& config);
+
+  enum class WriteFault {
+    kNone,
+    /// The write fails with an error status; nothing reaches storage.
+    kTransientError,
+    /// The write "succeeds" but the stored image is scrambled.
+    kBitRot,
+  };
+
+  struct WriteDecision {
+    WriteFault fault = WriteFault::kNone;
+    /// Additional service latency (0 unless a spike was drawn).
+    SimTime extra_latency = 0;
+  };
+
+  /// Draws the fate of the next log block write. Always consumes exactly
+  /// three uniform draws so the stream position is a pure function of the
+  /// number of decisions made, independent of the configured rates.
+  WriteDecision NextLogWrite(SimTime base_latency);
+
+  /// Draws whether the next flush-drive transfer attempt fails.
+  bool NextFlushFails();
+
+  /// Scrambles `image` in place so that DecodeBlock rejects it: flips one
+  /// to four bytes inside the CRC-covered region. Also used for torn
+  /// in-flight blocks at crash time.
+  void Scramble(wal::BlockImage* image);
+
+  const FaultConfig& config() const { return config_; }
+
+  // Injection counters (drawn faults, whether or not a retry later
+  // masked them).
+  int64_t log_transient_errors() const { return log_transient_errors_; }
+  int64_t log_bit_rots() const { return log_bit_rots_; }
+  int64_t log_latency_spikes() const { return log_latency_spikes_; }
+  int64_t flush_transient_errors() const { return flush_transient_errors_; }
+
+ private:
+  FaultConfig config_;
+  Rng rng_;
+  int64_t log_transient_errors_ = 0;
+  int64_t log_bit_rots_ = 0;
+  int64_t log_latency_spikes_ = 0;
+  int64_t flush_transient_errors_ = 0;
+};
+
+}  // namespace fault
+}  // namespace elog
+
+#endif  // ELOG_FAULT_FAULT_INJECTOR_H_

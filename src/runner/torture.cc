@@ -1,0 +1,195 @@
+#include "runner/torture.h"
+
+#include <utility>
+
+#include "core/fw_manager.h"
+#include "db/database.h"
+#include "db/recovery.h"
+#include "util/check.h"
+#include "util/random.h"
+#include "workload/spec.h"
+
+namespace elog {
+namespace runner {
+namespace {
+
+uint64_t ManagerSalt(TortureManager manager) {
+  switch (manager) {
+    case TortureManager::kEphemeral:
+      return 0x454c0001ULL;
+    case TortureManager::kEphemeralUndo:
+      return 0x454c0002ULL;
+    case TortureManager::kFirewall:
+      return 0x46570001ULL;
+    case TortureManager::kHybrid:
+      return 0x48590001ULL;
+  }
+  ELOG_UNREACHABLE();
+  return 0;
+}
+
+}  // namespace
+
+const char* TortureManagerName(TortureManager manager) {
+  switch (manager) {
+    case TortureManager::kEphemeral:
+      return "el";
+    case TortureManager::kEphemeralUndo:
+      return "el_undo_redo";
+    case TortureManager::kFirewall:
+      return "fw";
+    case TortureManager::kHybrid:
+      return "hybrid";
+  }
+  ELOG_UNREACHABLE();
+  return "?";
+}
+
+std::vector<TortureManager> AllTortureManagers() {
+  return {TortureManager::kEphemeral, TortureManager::kEphemeralUndo,
+          TortureManager::kFirewall, TortureManager::kHybrid};
+}
+
+TortureTrial RunTortureTrial(const TortureSpec& spec, TortureManager manager,
+                             int trial_index) {
+  const uint64_t trial_seed =
+      DeriveSeed(spec.base_seed ^ ManagerSalt(manager),
+                 static_cast<uint64_t>(trial_index));
+  Rng rng(trial_seed);
+
+  db::DatabaseConfig config;
+  config.workload = workload::PaperMix(spec.long_fraction);
+  // Arrivals never stop on their own; the crash interrupts them.
+  config.workload.runtime = SecondsToSimTime(3600);
+  config.workload.seed = rng.NextUint64();
+  config.track_commit_history = true;
+
+  switch (manager) {
+    case TortureManager::kEphemeral:
+      config.log.generation_blocks = {18, 12};
+      break;
+    case TortureManager::kEphemeralUndo:
+      config.log.generation_blocks = {18, 14};
+      config.log.undo_redo = true;
+      config.log.steal_interval = 20 * kMillisecond;
+      break;
+    case TortureManager::kFirewall:
+      config.log = MakeFirewallOptions(40, config.log);
+      break;
+    case TortureManager::kHybrid:
+      config.manager = db::ManagerKind::kHybrid;
+      config.log.generation_blocks = {18, 12};
+      break;
+  }
+
+  config.faults.seed = rng.NextUint64();
+  config.faults.log_transient_error_rate = spec.log_transient_error_rate;
+  config.faults.log_bit_rot_rate = spec.log_bit_rot_rate;
+  config.faults.log_latency_spike_rate = spec.log_latency_spike_rate;
+  config.faults.flush_transient_error_rate = spec.flush_transient_error_rate;
+
+  fault::CrashSchedule schedule;
+  ELOG_CHECK_GT(spec.max_crash_time, spec.min_crash_time);
+  ELOG_CHECK_GT(spec.max_crash_events, spec.min_crash_events);
+  schedule.time =
+      spec.min_crash_time +
+      static_cast<SimTime>(rng.NextBounded(
+          static_cast<uint64_t>(spec.max_crash_time - spec.min_crash_time)));
+  if (rng.NextBool(spec.event_crash_prob)) {
+    // Event-count trigger; the drawn time stays armed as a backstop
+    // (whichever trips first defines the crash).
+    schedule.event_count =
+        spec.min_crash_events +
+        rng.NextBounded(spec.max_crash_events - spec.min_crash_events);
+  }
+  schedule.torn_write = rng.NextBool(spec.torn_write_prob);
+
+  db::Database database(config);
+  db::Database::CrashImage image = database.RunUntilCrash(schedule);
+  db::RecoveryResult recovered =
+      db::RecoveryManager::Recover(image.log, image.stable);
+
+  TortureTrial trial;
+  trial.seed = trial_seed;
+  trial.crash_time = image.crash_time;
+  trial.crash_events = database.simulator().events_processed();
+  trial.torn_write = schedule.torn_write;
+
+  trial.committed = database.generator().committed();
+  trial.killed = database.generator().killed();
+  trial.bit_rot_writes = database.device().bit_rot_writes();
+  trial.flush_retries = database.drives().total_flush_retries();
+  trial.flushes_lost = database.drives().total_flushes_lost();
+  trial.blocks_corrupt = static_cast<int64_t>(recovered.scan.blocks_corrupt);
+  trial.records_recovered = static_cast<int64_t>(recovered.records_applied);
+  trial.undos_applied = static_cast<int64_t>(recovered.undos_applied);
+
+  int64_t unsafe_commit_drops = 0;
+  int64_t unsafe_committing_kills = 0;
+  int64_t forced_releases = 0;
+  bool release_on_commit = config.log.release_on_commit;
+  if (const EphemeralLogManager* el = database.el_manager()) {
+    trial.log_write_retries = el->log_write_retries();
+    trial.log_writes_lost = el->log_writes_lost();
+    unsafe_commit_drops = el->unsafe_commit_drops();
+    unsafe_committing_kills = el->unsafe_committing_kills();
+  } else {
+    const HybridLogManager* hybrid = database.hybrid_manager();
+    trial.log_write_retries = hybrid->log_write_retries();
+    trial.log_writes_lost = hybrid->log_writes_lost();
+    unsafe_committing_kills = hybrid->unsafe_committing_kills();
+    forced_releases = hybrid->forced_releases();
+  }
+
+  db::InvariantPolicy policy;
+  policy.undo_redo = config.log.undo_redo;
+  // Events that remove acknowledged evidence cost the trial its exact-
+  // durability claim; events that can leave unowned COMMIT evidence
+  // behind cost the no-phantom claim too. Everything else always holds.
+  const bool lost_evidence = trial.log_writes_lost > 0 ||
+                             trial.flushes_lost > 0 ||
+                             trial.bit_rot_writes > 0 ||
+                             unsafe_commit_drops > 0 ||
+                             unsafe_committing_kills > 0 ||
+                             forced_releases > 0;
+  policy.expect_exact = !lost_evidence && !release_on_commit;
+  policy.expect_no_phantoms =
+      trial.log_writes_lost == 0 && unsafe_committing_kills == 0;
+
+  db::InvariantReport report =
+      db::CheckRecoveryInvariants(image, recovered, policy);
+  trial.exact_checked = policy.expect_exact;
+  trial.phantoms_checked = policy.expect_no_phantoms;
+  trial.ok = report.ok();
+  trial.violation_count = report.violations.size();
+  trial.first_violation = report.First();
+  return trial;
+}
+
+TortureReport RunTorture(const TortureSpec& spec, TortureManager manager,
+                         ThreadPool* pool, ProgressReporter* progress) {
+  TortureReport report;
+  report.manager = manager;
+  report.trials.resize(static_cast<size_t>(spec.trials));
+  ParallelFor(pool, static_cast<size_t>(spec.trials), [&](size_t i) {
+    report.trials[i] = RunTortureTrial(spec, manager, static_cast<int>(i));
+    if (progress != nullptr) progress->Advance();
+  });
+  for (const TortureTrial& trial : report.trials) {
+    (trial.ok ? report.passed : report.failed) += 1;
+    if (trial.exact_checked) ++report.exact_trials;
+    if (trial.torn_write) ++report.torn_trials;
+    report.total_committed += trial.committed;
+    report.total_killed += trial.killed;
+    report.total_log_write_retries += trial.log_write_retries;
+    report.total_log_writes_lost += trial.log_writes_lost;
+    report.total_bit_rot_writes += trial.bit_rot_writes;
+    report.total_flush_retries += trial.flush_retries;
+    report.total_flushes_lost += trial.flushes_lost;
+    report.total_blocks_corrupt += trial.blocks_corrupt;
+  }
+  return report;
+}
+
+}  // namespace runner
+}  // namespace elog

@@ -1,0 +1,133 @@
+// Crash-recovery torture harness.
+//
+// One trial = one deterministic nightmare: a randomized workload runs
+// against a fault-injecting I/O stack (torn writes, bit-rot, transient
+// write errors, latency spikes), the machine crashes at a random virtual
+// time and/or event count, RecoveryManager recovers the crash image, and
+// the result is checked against the shadow oracle
+// (db::CheckRecoveryInvariants). Everything a trial does — workload,
+// faults, crash schedule — derives from DeriveSeed(base_seed ^ manager
+// salt, trial_index), so any failing trial replays bit-identically from
+// (manager, base_seed, trial_index) alone, at any --jobs value.
+//
+// The oracle policy is derived per trial from what actually happened:
+//   * exact durability is demanded unless the run lost a write or flush
+//     outright, suffered bit-rot, dropped/killed inside a commit window,
+//     force-released a committed transaction, or is a firewall run
+//     (release-on-commit discards data records by design);
+//   * no-phantom bounds are demanded unless a committing transaction was
+//     killed unsafely (e.g. after its block write was abandoned) — a
+//     stale durable copy of its COMMIT may then outlive the kill;
+//   * scan accounting and the UNDO steal-reversion invariant always hold.
+
+#ifndef ELOG_RUNNER_TORTURE_H_
+#define ELOG_RUNNER_TORTURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/recovery_check.h"
+#include "runner/progress.h"
+#include "runner/thread_pool.h"
+#include "util/types.h"
+
+namespace elog {
+namespace runner {
+
+/// The four manager configurations the torture sweep exercises.
+enum class TortureManager {
+  kEphemeral,       // EL, REDO-only, {18, 12} with recirculation
+  kEphemeralUndo,   // EL, UNDO/REDO with steals
+  kFirewall,        // FW (single generation, release-on-commit)
+  kHybrid,          // EL–FW hybrid (§6)
+};
+
+const char* TortureManagerName(TortureManager manager);
+std::vector<TortureManager> AllTortureManagers();
+
+struct TortureSpec {
+  int trials = 50;
+  uint64_t base_seed = 42;
+  /// Fraction of long transactions in the workload mix.
+  double long_fraction = 0.05;
+
+  // Per-attempt fault rates (see fault::FaultConfig).
+  double log_transient_error_rate = 0.02;
+  double log_bit_rot_rate = 0.01;
+  double log_latency_spike_rate = 0.02;
+  double flush_transient_error_rate = 0.02;
+
+  /// Probability that the crash tears the in-flight block.
+  double torn_write_prob = 0.5;
+  /// Probability that the trial crashes on an event-count trigger (with a
+  /// time backstop) rather than on a pure time trigger.
+  double event_crash_prob = 0.5;
+  /// Time-trigger window (uniform).
+  SimTime min_crash_time = 200 * kMillisecond;
+  SimTime max_crash_time = 12 * kSecond;
+  /// Event-count trigger window (uniform).
+  uint64_t min_crash_events = 500;
+  uint64_t max_crash_events = 30000;
+};
+
+/// Outcome of one trial. All fields are pure functions of
+/// (spec, manager, trial index) — wall clock never enters — so the
+/// torture JSON is byte-identical across runs and --jobs values.
+struct TortureTrial {
+  uint64_t seed = 0;
+  SimTime crash_time = 0;
+  uint64_t crash_events = 0;
+  bool torn_write = false;
+  /// Which oracle strength the trial earned (see header comment).
+  bool exact_checked = false;
+  bool phantoms_checked = false;
+  bool ok = false;
+  size_t violation_count = 0;
+  std::string first_violation;
+
+  // Fault/recovery accounting for the summary table.
+  int64_t committed = 0;
+  int64_t killed = 0;
+  int64_t log_write_retries = 0;
+  int64_t log_writes_lost = 0;
+  int64_t bit_rot_writes = 0;
+  int64_t flush_retries = 0;
+  int64_t flushes_lost = 0;
+  int64_t blocks_corrupt = 0;
+  int64_t records_recovered = 0;
+  int64_t undos_applied = 0;
+};
+
+struct TortureReport {
+  TortureManager manager;
+  std::vector<TortureTrial> trials;
+
+  int64_t passed = 0;
+  int64_t failed = 0;
+  int64_t exact_trials = 0;
+  int64_t torn_trials = 0;
+  int64_t total_committed = 0;
+  int64_t total_killed = 0;
+  int64_t total_log_write_retries = 0;
+  int64_t total_log_writes_lost = 0;
+  int64_t total_bit_rot_writes = 0;
+  int64_t total_flush_retries = 0;
+  int64_t total_flushes_lost = 0;
+  int64_t total_blocks_corrupt = 0;
+};
+
+/// Runs one trial (exposed for replay: a failing (manager, seed, index)
+/// triple from a torture JSON reruns exactly with the same spec).
+TortureTrial RunTortureTrial(const TortureSpec& spec, TortureManager manager,
+                             int trial_index);
+
+/// Runs spec.trials trials of one manager on `pool` (nullptr = inline),
+/// results in trial order.
+TortureReport RunTorture(const TortureSpec& spec, TortureManager manager,
+                         ThreadPool* pool, ProgressReporter* progress);
+
+}  // namespace runner
+}  // namespace elog
+
+#endif  // ELOG_RUNNER_TORTURE_H_

@@ -12,7 +12,7 @@ void Simulator::Dispatch(SimTime time, EventCallback callback) {
 
 void Simulator::Run() {
   stop_requested_ = false;
-  while (!queue_.empty() && !stop_requested_) {
+  while (!queue_.empty() && !stop_requested_ && !EventBudgetExhausted()) {
     SimTime time;
     EventCallback callback = queue_.PopNext(&time);
     Dispatch(time, std::move(callback));
@@ -22,13 +22,16 @@ void Simulator::Run() {
 void Simulator::RunUntil(SimTime deadline) {
   ELOG_CHECK_GE(deadline, now_);
   stop_requested_ = false;
-  while (!queue_.empty() && !stop_requested_) {
+  while (!queue_.empty() && !stop_requested_ && !EventBudgetExhausted()) {
     if (queue_.PeekTime() > deadline) break;
     SimTime time;
     EventCallback callback = queue_.PopNext(&time);
     Dispatch(time, std::move(callback));
   }
-  if (!stop_requested_) now_ = deadline;
+  // A stop request or an exhausted event budget is a mid-stream halt (a
+  // simulated crash instant); only an undisturbed run fast-forwards the
+  // clock to the deadline.
+  if (!stop_requested_ && !EventBudgetExhausted()) now_ = deadline;
 }
 
 }  // namespace sim

@@ -50,16 +50,30 @@ class Simulator {
   /// Requests that Run()/RunUntil() return after the current event.
   void Stop() { stop_requested_ = true; }
 
+  /// Halts Run()/RunUntil() once `additional_events` more events have been
+  /// dispatched, counting from now. Crash injection uses this to stop the
+  /// world at an arbitrary point in the event stream rather than at a
+  /// pre-announced virtual time. Passing 0 clears a previous budget.
+  void StopAfterEvents(uint64_t additional_events) {
+    event_stop_at_ =
+        additional_events == 0 ? 0 : events_processed_ + additional_events;
+  }
+
   bool HasPendingEvents() { return !queue_.empty(); }
   uint64_t events_processed() const { return events_processed_; }
 
  private:
   void Dispatch(SimTime time, EventCallback callback);
+  bool EventBudgetExhausted() const {
+    return event_stop_at_ != 0 && events_processed_ >= event_stop_at_;
+  }
 
   EventQueue queue_;
   SimTime now_ = 0;
   bool stop_requested_ = false;
   uint64_t events_processed_ = 0;
+  /// Absolute events_processed_ value at which to stop (0 = no budget).
+  uint64_t event_stop_at_ = 0;
 };
 
 }  // namespace sim

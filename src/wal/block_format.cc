@@ -61,6 +61,11 @@ class ByteReader {
 constexpr size_t kCrcOffset = 4;
 constexpr size_t kCrcCoverageOffset = 8;
 
+/// Bytes one serialized record occupies in the image (AppendRecord):
+/// type u8 + tid/lsn/oid u64 + logged_size u32 + digest/prev_lsn/
+/// prev_digest u64.
+constexpr size_t kSerializedRecordBytes = 1 + 8 + 8 + 8 + 4 + 8 + 8 + 8;
+
 void AppendRecord(BlockImage* out, const LogRecord& r) {
   PutU8(out, static_cast<uint8_t>(r.type));
   PutU64(out, r.tid);
@@ -167,6 +172,13 @@ Result<DecodedBlock> DecodeBlock(const BlockImage& image) {
   }
   if (payload_bytes > kBlockPayloadBytes) {
     return Status::Corruption("block payload accounting exceeds capacity");
+  }
+  // Bound record_count by what the record area can physically hold before
+  // reserving anything: an adversarial header with a recomputed CRC must
+  // not be able to drive a multi-gigabyte allocation or a long parse loop.
+  if (record_count >
+      (image.size() - kBlockHeaderBytes) / kSerializedRecordBytes) {
+    return Status::Corruption("record count exceeds block capacity");
   }
 
   ByteReader body(image.data() + kBlockHeaderBytes,

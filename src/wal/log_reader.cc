@@ -17,6 +17,7 @@ void LogScanner::AddGeneration(const std::vector<const BlockImage*>& blocks) {
       ++stats_.blocks_corrupt;
       continue;
     }
+    ++stats_.blocks_valid;
     for (const LogRecord& record : decoded->records) {
       records_.push_back(
           ScannedRecord{record, decoded->generation, decoded->write_seq});

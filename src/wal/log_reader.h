@@ -28,7 +28,14 @@ struct ScanStats {
   size_t blocks_scanned = 0;
   size_t blocks_empty = 0;    // never written
   size_t blocks_corrupt = 0;  // bad magic / CRC (e.g. torn final write)
+  size_t blocks_valid = 0;    // decoded successfully
   size_t records = 0;
+
+  /// Every scanned block is classified exactly once; fuzzing asserts this
+  /// accounting identity to prove no block is silently dropped.
+  bool Consistent() const {
+    return blocks_scanned == blocks_empty + blocks_corrupt + blocks_valid;
+  }
 };
 
 class LogScanner {

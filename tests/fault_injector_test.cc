@@ -1,0 +1,155 @@
+#include "fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "wal/block_format.h"
+
+namespace elog {
+namespace fault {
+namespace {
+
+constexpr SimTime kBase = 15 * kMillisecond;
+
+FaultConfig MixedConfig(uint64_t seed) {
+  FaultConfig config;
+  config.seed = seed;
+  config.log_transient_error_rate = 0.2;
+  config.log_bit_rot_rate = 0.15;
+  config.log_latency_spike_rate = 0.1;
+  config.flush_transient_error_rate = 0.25;
+  return config;
+}
+
+TEST(FaultConfigTest, DefaultConfigIsDisabledAndValid) {
+  FaultConfig config;
+  EXPECT_FALSE(config.enabled());
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(FaultConfigTest, AnyNonzeroRateEnables) {
+  FaultConfig config;
+  config.log_bit_rot_rate = 0.01;
+  EXPECT_TRUE(config.enabled());
+}
+
+TEST(FaultConfigTest, RejectsOutOfRangeRates) {
+  FaultConfig config;
+  config.log_transient_error_rate = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config = FaultConfig();
+  config.flush_transient_error_rate = -0.1;
+  EXPECT_FALSE(config.Validate().ok());
+  config = FaultConfig();
+  config.log_latency_spike_multiplier = 0.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config = FaultConfig();
+  config.max_flush_attempts = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(FaultInjectorTest, SameSeedReplaysIdenticalDecisions) {
+  FaultInjector a(MixedConfig(1234));
+  FaultInjector b(MixedConfig(1234));
+  for (int i = 0; i < 2000; ++i) {
+    FaultInjector::WriteDecision da = a.NextLogWrite(kBase);
+    FaultInjector::WriteDecision db = b.NextLogWrite(kBase);
+    EXPECT_EQ(da.fault, db.fault) << "decision " << i;
+    EXPECT_EQ(da.extra_latency, db.extra_latency) << "decision " << i;
+    EXPECT_EQ(a.NextFlushFails(), b.NextFlushFails()) << "decision " << i;
+  }
+  EXPECT_EQ(a.log_transient_errors(), b.log_transient_errors());
+  EXPECT_EQ(a.log_bit_rots(), b.log_bit_rots());
+  EXPECT_EQ(a.log_latency_spikes(), b.log_latency_spikes());
+  EXPECT_EQ(a.flush_transient_errors(), b.flush_transient_errors());
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge) {
+  FaultInjector a(MixedConfig(1));
+  FaultInjector b(MixedConfig(2));
+  bool diverged = false;
+  for (int i = 0; i < 500 && !diverged; ++i) {
+    diverged = a.NextLogWrite(kBase).fault != b.NextLogWrite(kBase).fault;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultInjectorTest, RatesApproximatelyHonored) {
+  FaultInjector injector(MixedConfig(99));
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) injector.NextLogWrite(kBase);
+  // Transient errors take precedence, so their count is a clean binomial;
+  // bit-rot only applies to the remaining (1 - 0.2) of draws.
+  EXPECT_NEAR(static_cast<double>(injector.log_transient_errors()) / kDraws,
+              0.2, 0.02);
+  EXPECT_NEAR(static_cast<double>(injector.log_bit_rots()) / kDraws,
+              0.15 * (1.0 - 0.2), 0.02);
+  EXPECT_NEAR(static_cast<double>(injector.log_latency_spikes()) / kDraws,
+              0.1, 0.02);
+}
+
+TEST(FaultInjectorTest, ZeroRatesNeverInject) {
+  FaultConfig config;
+  config.seed = 7;
+  FaultInjector injector(config);
+  for (int i = 0; i < 1000; ++i) {
+    FaultInjector::WriteDecision d = injector.NextLogWrite(kBase);
+    EXPECT_EQ(d.fault, FaultInjector::WriteFault::kNone);
+    EXPECT_EQ(d.extra_latency, 0);
+    EXPECT_FALSE(injector.NextFlushFails());
+  }
+}
+
+TEST(FaultInjectorTest, SpikeScalesBaseLatency) {
+  FaultConfig config;
+  config.seed = 5;
+  config.log_latency_spike_rate = 1.0;
+  config.log_latency_spike_multiplier = 10.0;
+  FaultInjector injector(config);
+  FaultInjector::WriteDecision d = injector.NextLogWrite(kBase);
+  EXPECT_EQ(d.extra_latency, 9 * kBase);  // total = 10x base
+}
+
+TEST(FaultInjectorTest, StreamPositionIndependentOfRates) {
+  // The fixed three-draws-per-decision contract: zeroing one rate must not
+  // shift any other decision in the stream.
+  FaultConfig full = MixedConfig(321);
+  FaultConfig no_spikes = full;
+  no_spikes.log_latency_spike_rate = 0.0;
+  FaultInjector a(full);
+  FaultInjector b(no_spikes);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(a.NextLogWrite(kBase).fault, b.NextLogWrite(kBase).fault)
+        << "decision " << i;
+  }
+}
+
+TEST(FaultInjectorTest, ScrambleBreaksDecode) {
+  FaultInjector injector(MixedConfig(42));
+  for (int i = 0; i < 200; ++i) {
+    wal::BlockImage image = wal::EncodeBlock(
+        0, static_cast<uint64_t>(i + 1),
+        {wal::LogRecord::MakeBegin(1, 1),
+         wal::LogRecord::MakeData(1, 2, 17, 100,
+                                  wal::ComputeValueDigest(1, 17, 2)),
+         wal::LogRecord::MakeCommit(1, 3)});
+    ASSERT_TRUE(wal::DecodeBlock(image).ok());
+    injector.Scramble(&image);
+    EXPECT_FALSE(wal::DecodeBlock(image).ok()) << "iteration " << i;
+  }
+}
+
+TEST(FaultInjectorTest, ScrambleHandlesDegenerateImages) {
+  FaultInjector injector(MixedConfig(8));
+  wal::BlockImage empty;
+  injector.Scramble(&empty);  // must not crash
+  EXPECT_TRUE(empty.empty());
+  wal::BlockImage tiny{1, 2, 3};
+  injector.Scramble(&tiny);
+  EXPECT_EQ(tiny.size(), 3u);
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace elog

@@ -25,7 +25,7 @@ TEST(LogDeviceStressTest, BurstOfHundredsSerializesFifo) {
     uint32_t slot = static_cast<uint32_t>(rng.NextBounded(64));
     device.Submit({{0, slot},
                    wal::EncodeBlock(0, static_cast<uint64_t>(i), {}),
-                   [&completions, i] { completions.push_back(i); }});
+                   [&completions, i](const Status&) { completions.push_back(i); }});
   }
   sim.Run();
   ASSERT_EQ(completions.size(), static_cast<size_t>(kWrites));
@@ -64,7 +64,7 @@ TEST(LogDeviceStressTest, InterleavedSubmissionFromCompletions) {
   LogStorage storage({8});
   LogDevice device(&sim, &storage, kLatency, nullptr);
   int chain = 0;
-  std::function<void()> next = [&] {
+  std::function<void(const Status&)> next = [&](const Status&) {
     if (++chain >= 50) return;
     device.Submit({{0, static_cast<uint32_t>(chain % 8)},
                    wal::EncodeBlock(0, static_cast<uint64_t>(chain), {}),

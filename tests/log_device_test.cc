@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <utility>
 #include <vector>
 
 namespace elog {
@@ -26,7 +28,7 @@ class LogDeviceTest : public ::testing::Test {
 
 TEST_F(LogDeviceTest, WriteTakesFixedLatency) {
   SimTime durable_at = -1;
-  device_.Submit({{0, 1}, MakeImage(1), [&] { durable_at = sim_.Now(); }});
+  device_.Submit({{0, 1}, MakeImage(1), [&](const Status&) { durable_at = sim_.Now(); }});
   EXPECT_FALSE(storage_.IsWritten({0, 1}));  // not durable yet
   sim_.Run();
   EXPECT_EQ(durable_at, kLatency);
@@ -38,7 +40,7 @@ TEST_F(LogDeviceTest, WritesAreSerialized) {
   std::vector<SimTime> completions;
   for (uint32_t slot = 0; slot < 3; ++slot) {
     device_.Submit({{0, slot}, MakeImage(slot),
-                    [&] { completions.push_back(sim_.Now()); }});
+                    [&](const Status&) { completions.push_back(sim_.Now()); }});
   }
   sim_.Run();
   // One at a time: 15, 30, 45 ms.
@@ -50,8 +52,8 @@ TEST_F(LogDeviceTest, WritesAreSerialized) {
 
 TEST_F(LogDeviceTest, FifoOrderAcrossGenerations) {
   std::vector<uint32_t> order;
-  device_.Submit({{1, 0}, MakeImage(1), [&] { order.push_back(1); }});
-  device_.Submit({{0, 0}, MakeImage(2), [&] { order.push_back(0); }});
+  device_.Submit({{1, 0}, MakeImage(1), [&](const Status&) { order.push_back(1); }});
+  device_.Submit({{0, 0}, MakeImage(2), [&](const Status&) { order.push_back(0); }});
   sim_.Run();
   EXPECT_EQ(order, (std::vector<uint32_t>{1, 0}));
 }
@@ -90,10 +92,10 @@ TEST_F(LogDeviceTest, BusyReflectsQueue) {
 
 TEST_F(LogDeviceTest, CompletionMaySubmitMoreWrites) {
   std::vector<SimTime> completions;
-  device_.Submit({{0, 0}, MakeImage(1), [&] {
+  device_.Submit({{0, 0}, MakeImage(1), [&](const Status&) {
     completions.push_back(sim_.Now());
     device_.Submit({{0, 1}, MakeImage(2),
-                    [&] { completions.push_back(sim_.Now()); }});
+                    [&](const Status&) { completions.push_back(sim_.Now()); }});
   }});
   sim_.Run();
   ASSERT_EQ(completions.size(), 2u);
@@ -112,6 +114,86 @@ TEST_F(LogDeviceTest, SameSlotLastWriteWins) {
 TEST_F(LogDeviceTest, SubmitOutOfRangeChecks) {
   EXPECT_DEATH(device_.Submit({{2, 0}, MakeImage(1), nullptr}), "");
   EXPECT_DEATH(device_.Submit({{0, 9}, MakeImage(1), nullptr}), "");
+}
+
+TEST_F(LogDeviceTest, ExtraLatencyDelaysCompletion) {
+  SimTime durable_at = -1;
+  device_.Submit({{0, 0}, MakeImage(1),
+                  [&](const Status&) { durable_at = sim_.Now(); },
+                  10 * kMillisecond});
+  sim_.Run();
+  EXPECT_EQ(durable_at, kLatency + 10 * kMillisecond);
+}
+
+TEST_F(LogDeviceTest, SubmitFrontJumpsQueue) {
+  std::vector<int> order;
+  device_.Submit({{0, 0}, MakeImage(1), [&](const Status&) { order.push_back(0); }});
+  device_.Submit({{0, 1}, MakeImage(2), [&](const Status&) { order.push_back(1); }});
+  // Front-submitted after the first write entered service: runs before
+  // slot 1 but after slot 0.
+  device_.SubmitFront(
+      {{0, 2}, MakeImage(3), [&](const Status&) { order.push_back(2); }});
+  sim_.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+}
+
+TEST_F(LogDeviceTest, TransientErrorLeavesBlockUnwritten) {
+  fault::FaultConfig fault_config;
+  fault_config.seed = 7;
+  fault_config.log_transient_error_rate = 1.0;
+  fault::FaultInjector injector(fault_config);
+  LogDevice device(&sim_, &storage_, kLatency, &metrics_, &injector);
+  Status seen = Status::OK();
+  device.Submit({{0, 0}, MakeImage(1), [&](const Status& s) { seen = s; }});
+  sim_.Run();
+  EXPECT_FALSE(seen.ok());
+  EXPECT_FALSE(storage_.IsWritten({0, 0}));
+  EXPECT_EQ(device.write_errors(), 1);
+  EXPECT_EQ(device.writes_completed(), 0);
+}
+
+TEST_F(LogDeviceTest, BitRotLandsCorruptButReportsOk) {
+  fault::FaultConfig fault_config;
+  fault_config.seed = 7;
+  fault_config.log_bit_rot_rate = 1.0;
+  fault::FaultInjector injector(fault_config);
+  LogDevice device(&sim_, &storage_, kLatency, &metrics_, &injector);
+  Status seen = Status::Aborted("never completed");
+  device.Submit({{0, 0}, MakeImage(1), [&](const Status& s) { seen = s; }});
+  sim_.Run();
+  EXPECT_TRUE(seen.ok());  // silent corruption: the device reports success
+  ASSERT_TRUE(storage_.IsWritten({0, 0}));
+  EXPECT_FALSE(wal::DecodeBlock(*storage_.Get({0, 0})).ok());
+  EXPECT_EQ(device.bit_rot_writes(), 1);
+}
+
+TEST_F(LogDeviceTest, RetryViaSubmitFrontPreservesFifoDurability) {
+  // The log-manager retry pattern: on failure, resubmit at the head with
+  // backoff. A younger queued block must not become durable first.
+  fault::FaultConfig fault_config;
+  fault_config.seed = 7;
+  fault_config.log_transient_error_rate = 1.0;
+  fault::FaultInjector injector(fault_config);
+  LogDevice device(&sim_, &storage_, kLatency, &metrics_, &injector);
+  std::vector<std::pair<int, bool>> completions;  // (id, ok)
+  int attempts = 0;
+  std::function<void(const Status&)> retry = [&](const Status& s) {
+    completions.push_back({0, s.ok()});
+    if (!s.ok() && ++attempts < 3) {
+      device.SubmitFront({{0, 0}, MakeImage(1), retry, 5 * kMillisecond});
+    }
+  };
+  device.Submit({{0, 0}, MakeImage(1), retry});
+  device.Submit({{0, 1}, MakeImage(2),
+                 [&](const Status& s) { completions.push_back({1, s.ok()}); }});
+  sim_.Run();
+  // All three attempts of block 0 complete (and fail) before block 1 is
+  // serviced.
+  ASSERT_EQ(completions.size(), 4u);
+  EXPECT_EQ(completions[0].first, 0);
+  EXPECT_EQ(completions[1].first, 0);
+  EXPECT_EQ(completions[2].first, 0);
+  EXPECT_EQ(completions[3].first, 1);
 }
 
 }  // namespace

@@ -1,0 +1,159 @@
+// Property test: random workload -> crash at a random point -> recover ->
+// check against the shadow oracle, for every manager configuration (EL
+// REDO, EL UNDO/REDO, FW, hybrid), with and without fault injection.
+//
+// Fast variant of the bench/torture sweep that runs under ctest; the
+// heavyweight randomized sweep lives in bench/torture.cc.
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "db/recovery.h"
+#include "db/recovery_check.h"
+#include "runner/torture.h"
+#include "workload/spec.h"
+
+namespace elog {
+namespace {
+
+db::DatabaseConfig BaseConfig(uint64_t seed) {
+  db::DatabaseConfig config;
+  config.workload = workload::PaperMix(0.05);
+  config.workload.runtime = SecondsToSimTime(3600);
+  config.workload.seed = seed;
+  config.log.generation_blocks = {18, 12};
+  config.track_commit_history = true;
+  return config;
+}
+
+// Faultless crash at a drawn time: the exact-durability oracle must hold.
+void CheckFaultlessCrash(db::DatabaseConfig config, bool undo_redo,
+                         bool expect_exact, SimTime crash_time) {
+  fault::CrashSchedule schedule;
+  schedule.time = crash_time;
+  schedule.torn_write = true;
+  db::Database database(config);
+  db::Database::CrashImage image = database.RunUntilCrash(schedule);
+  db::RecoveryResult result =
+      db::RecoveryManager::Recover(image.log, image.stable);
+  db::InvariantPolicy policy;
+  policy.undo_redo = undo_redo;
+  policy.expect_exact = expect_exact;
+  policy.expect_no_phantoms = true;
+  db::InvariantReport report =
+      db::CheckRecoveryInvariants(image, result, policy);
+  EXPECT_TRUE(report.ok()) << report.First();
+}
+
+TEST(RecoveryInvariantsTest, ElFaultlessCrashes) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    CheckFaultlessCrash(BaseConfig(seed), /*undo_redo=*/false,
+                        /*expect_exact=*/true,
+                        SimTime(500 + seed * 700) * kMillisecond);
+  }
+}
+
+TEST(RecoveryInvariantsTest, ElUndoRedoFaultlessCrashes) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    db::DatabaseConfig config = BaseConfig(seed);
+    config.log.generation_blocks = {18, 14};
+    config.log.undo_redo = true;
+    config.log.steal_interval = 20 * kMillisecond;
+    CheckFaultlessCrash(config, /*undo_redo=*/true, /*expect_exact=*/true,
+                        SimTime(500 + seed * 700) * kMillisecond);
+  }
+}
+
+TEST(RecoveryInvariantsTest, FirewallFaultlessCrashes) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    db::DatabaseConfig config = BaseConfig(seed);
+    config.log = MakeFirewallOptions(40, config.log);
+    // FW releases data records at commit: recovery cannot rebuild the
+    // state (the paper pairs FW with data elsewhere), but phantoms and
+    // scan accounting must still hold.
+    CheckFaultlessCrash(config, /*undo_redo=*/false, /*expect_exact=*/false,
+                        SimTime(500 + seed * 700) * kMillisecond);
+  }
+}
+
+TEST(RecoveryInvariantsTest, HybridFaultlessCrashes) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    db::DatabaseConfig config = BaseConfig(seed);
+    config.manager = db::ManagerKind::kHybrid;
+    fault::CrashSchedule schedule;
+    schedule.time = SimTime(500 + seed * 700) * kMillisecond;
+    schedule.torn_write = true;
+    db::Database database(config);
+    db::Database::CrashImage image = database.RunUntilCrash(schedule);
+    db::RecoveryResult result =
+        db::RecoveryManager::Recover(image.log, image.stable);
+    db::InvariantPolicy policy;
+    // A forced release opens the same bounded crash window as EL's
+    // no-recirculation mode: exact durability is only promised without it.
+    policy.expect_exact = database.hybrid_manager()->forced_releases() == 0;
+    db::InvariantReport report =
+        db::CheckRecoveryInvariants(image, result, policy);
+    EXPECT_TRUE(report.ok()) << "seed " << seed << ": " << report.First();
+  }
+}
+
+TEST(RecoveryInvariantsTest, EventCountCrashesHold) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    db::DatabaseConfig config = BaseConfig(100 + seed);
+    fault::CrashSchedule schedule;
+    schedule.time = 60 * kSecond;  // backstop
+    schedule.event_count = 2000 * seed;
+    schedule.torn_write = (seed % 2) == 0;
+    db::Database database(config);
+    db::Database::CrashImage image = database.RunUntilCrash(schedule);
+    db::RecoveryResult result =
+        db::RecoveryManager::Recover(image.log, image.stable);
+    db::InvariantPolicy policy;
+    db::InvariantReport report =
+        db::CheckRecoveryInvariants(image, result, policy);
+    EXPECT_TRUE(report.ok()) << "seed " << seed << ": " << report.First();
+  }
+}
+
+// The full randomized trial (faults + random crash + derived policy) for
+// each manager kind, via the torture harness itself.
+TEST(RecoveryInvariantsTest, TortureTrialsAllManagers) {
+  runner::TortureSpec spec;
+  spec.trials = 4;
+  spec.base_seed = 20260805;
+  for (runner::TortureManager manager : runner::AllTortureManagers()) {
+    for (int trial = 0; trial < spec.trials; ++trial) {
+      runner::TortureTrial result =
+          runner::RunTortureTrial(spec, manager, trial);
+      EXPECT_TRUE(result.ok)
+          << runner::TortureManagerName(manager) << " trial " << trial
+          << " (seed " << result.seed << "): " << result.first_violation;
+    }
+  }
+}
+
+// Determinism: the same (spec, manager, index) triple replays to an
+// identical trial record — the property the replay workflow relies on.
+TEST(RecoveryInvariantsTest, TrialsReplayBitIdentically) {
+  runner::TortureSpec spec;
+  spec.trials = 1;
+  spec.base_seed = 777;
+  for (runner::TortureManager manager :
+       {runner::TortureManager::kEphemeral, runner::TortureManager::kHybrid}) {
+    runner::TortureTrial a = runner::RunTortureTrial(spec, manager, 0);
+    runner::TortureTrial b = runner::RunTortureTrial(spec, manager, 0);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.crash_time, b.crash_time);
+    EXPECT_EQ(a.crash_events, b.crash_events);
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.committed, b.committed);
+    EXPECT_EQ(a.killed, b.killed);
+    EXPECT_EQ(a.log_write_retries, b.log_write_retries);
+    EXPECT_EQ(a.bit_rot_writes, b.bit_rot_writes);
+    EXPECT_EQ(a.records_recovered, b.records_recovered);
+    EXPECT_EQ(a.first_violation, b.first_violation);
+  }
+}
+
+}  // namespace
+}  // namespace elog

@@ -110,6 +110,49 @@ TEST(SimulatorTest, SimultaneousEventsRunInScheduleOrder) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
+TEST(SimulatorTest, StopAfterEventsHaltsAtBudget) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.ScheduleAt(i, [&] { ++fired; });
+  }
+  sim.StopAfterEvents(4);
+  sim.Run();
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(sim.events_processed(), 4u);
+  EXPECT_EQ(sim.Now(), 4);  // clock stops at the last processed event
+  // The budget is absolute: a second Run with no new budget stays halted
+  // until the budget is cleared.
+  sim.StopAfterEvents(0);
+  sim.Run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(SimulatorTest, StopAfterEventsCountsFromNow) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.ScheduleAt(i, [&] { ++fired; });
+  }
+  sim.StopAfterEvents(3);
+  sim.Run();
+  EXPECT_EQ(fired, 3);
+  sim.StopAfterEvents(2);  // additional, relative to events_processed()
+  sim.Run();
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(SimulatorTest, EventBudgetDoesNotFastForwardRunUntil) {
+  Simulator sim;
+  sim.ScheduleAt(10, [] {});
+  sim.ScheduleAt(20, [] {});
+  sim.StopAfterEvents(1);
+  sim.RunUntil(1000);
+  // Budget exhaustion must leave the clock at the halting event, not at
+  // the deadline (the crash clock must be honest).
+  EXPECT_EQ(sim.Now(), 10);
+}
+
 TEST(SimulatorDeathTest, SchedulingInThePastChecks) {
   Simulator sim;
   sim.ScheduleAt(100, [] {});
