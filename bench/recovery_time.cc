@@ -6,8 +6,13 @@
 // Crashes an EL system and an FW system mid-run and recovers each,
 // reporting the log volume scanned, a modeled disk read time (one
 // sequential block read per written block), and the measured in-memory
-// pass time.
+// pass time. Duplexed rows crash a mirrored-log system under bit-rot and
+// transient-error injection and recover with the read-repair merge on
+// and off: the merge reads both replica images (double the modeled I/O)
+// and, with repair on, pays one extra write per stale/corrupt/missing
+// copy it heals.
 
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <iostream>
@@ -31,33 +36,51 @@ struct RecoveryRow {
   double modeled_read_ms = 0;
   double measured_pass_us = 0;
   size_t recovered_objects = 0;
+  size_t blocks_repaired = 0;
 };
 
 RecoveryRow CrashAndRecover(const std::string& scheme,
                             const db::DatabaseConfig& config,
-                            SimTime crash_time) {
+                            SimTime crash_time, bool read_repair = true) {
   db::Database database(config);
   db::Database::CrashImage image =
       database.RunUntilCrash(crash_time, /*torn_write=*/true);
 
   auto start = std::chrono::steady_clock::now();
   db::RecoveryResult result =
-      db::RecoveryManager::Recover(image.log, image.stable);
+      config.duplex_log
+          ? db::RecoveryManager::RecoverDuplex(
+                image.log_readable ? &image.log : nullptr,
+                image.mirror_readable ? &image.mirror_log : nullptr,
+                image.stable, read_repair)
+          : db::RecoveryManager::Recover(image.log, image.stable);
   auto stop = std::chrono::steady_clock::now();
 
   RecoveryRow row;
   row.scheme = scheme;
   row.total_blocks = config.log.total_blocks();
-  row.blocks_written = result.scan.blocks_scanned - result.scan.blocks_empty;
+  if (config.duplex_log) {
+    // The merge scans every readable replica image: the modeled I/O is
+    // the sum of both replicas' written blocks, not the merged count.
+    for (int i = 0; i < 2; ++i) {
+      row.blocks_written += result.duplex.replica[i].blocks_scanned -
+                            result.duplex.replica[i].blocks_empty;
+    }
+  } else {
+    row.blocks_written = result.scan.blocks_scanned - result.scan.blocks_empty;
+  }
   row.records = result.scan.records;
   // Modeled I/O: one 15 ms sequential block read per written block (the
-  // simulator's disk constant; a single pass, as §4 argues).
+  // simulator's disk constant; a single pass, as §4 argues), plus one
+  // block write per read-repair.
   row.modeled_read_ms =
-      static_cast<double>(row.blocks_written) *
+      static_cast<double>(row.blocks_written +
+                          result.duplex.blocks_repaired) *
       SimTimeToSeconds(config.log.log_write_latency) * 1000.0;
   row.measured_pass_us =
       std::chrono::duration<double, std::micro>(stop - start).count();
   row.recovered_objects = result.state.size();
+  row.blocks_repaired = result.duplex.blocks_repaired;
   return row;
 }
 
@@ -66,9 +89,12 @@ RecoveryRow CrashAndRecover(const std::string& scheme,
 int main(int argc, char** argv) {
   int64_t crash_s = 120;
   std::string csv;
+  std::string json_dir = "results";
   FlagSet flags;
   flags.AddInt64("crash_s", &crash_s, "crash instant, simulated seconds");
   flags.AddString("csv", &csv, "write results as CSV to this path");
+  flags.AddString("json_dir", &json_dir,
+                  "directory for BENCH_<name>.json (empty = skip)");
   if (Status status = flags.Parse(argc, argv); !status.ok()) {
     std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
     return 2;
@@ -77,22 +103,45 @@ int main(int argc, char** argv) {
   SimTime crash = SecondsToSimTime(crash_s) + 7 * kMillisecond;
   TableWriter table({"scheme", "log_blocks", "blocks_scanned", "records",
                      "modeled_disk_read_ms", "in_memory_pass_us",
-                     "objects_recovered"});
+                     "objects_recovered", "blocks_repaired"});
+  auto add_row = [&table](const RecoveryRow& row) {
+    table.AddRow({row.scheme, std::to_string(row.total_blocks),
+                  std::to_string(row.blocks_written),
+                  std::to_string(row.records),
+                  StrFormat("%.0f", row.modeled_read_ms),
+                  StrFormat("%.0f", row.measured_pass_us),
+                  std::to_string(row.recovered_objects),
+                  std::to_string(row.blocks_repaired)});
+  };
 
-  // EL at the paper's recirculating operating point.
+  harness::WallTimer timer;
+  std::vector<RecoveryRow> rows;
+
+  // EL at the paper's recirculating operating point, single log.
   {
     db::DatabaseConfig config;
     config.workload = workload::PaperMix(0.05);
     config.workload.runtime = SecondsToSimTime(3600);
     config.log.generation_blocks = {18, 10};
     config.log.recirculation = true;
-    RecoveryRow row = CrashAndRecover("EL (18+10)", config, crash);
-    table.AddRow({row.scheme, std::to_string(row.total_blocks),
-                  std::to_string(row.blocks_written),
-                  std::to_string(row.records),
-                  StrFormat("%.0f", row.modeled_read_ms),
-                  StrFormat("%.0f", row.measured_pass_us),
-                  std::to_string(row.recovered_objects)});
+    rows.push_back(CrashAndRecover("EL (18+10)", config, crash));
+  }
+  // Same operating point, duplexed log under fault injection, recovered
+  // with and without read-repair. The two runs are identical up to the
+  // crash (same seeds); only the recovery pass differs.
+  for (bool read_repair : {true, false}) {
+    db::DatabaseConfig config;
+    config.workload = workload::PaperMix(0.05);
+    config.workload.runtime = SecondsToSimTime(3600);
+    config.log.generation_blocks = {18, 10};
+    config.log.recirculation = true;
+    config.duplex_log = true;
+    config.faults.seed = 0x5ec0bef5ull;
+    config.faults.log_transient_error_rate = 0.02;
+    config.faults.log_bit_rot_rate = 0.01;
+    rows.push_back(CrashAndRecover(
+        read_repair ? "EL duplex, repair on" : "EL duplex, repair off",
+        config, crash, read_repair));
   }
   // FW at its minimum.
   {
@@ -100,24 +149,45 @@ int main(int argc, char** argv) {
     config.workload = workload::PaperMix(0.05);
     config.workload.runtime = SecondsToSimTime(3600);
     config.log = MakeFirewallOptions(123);
-    RecoveryRow row = CrashAndRecover("FW (123)", config, crash);
-    table.AddRow({row.scheme, std::to_string(row.total_blocks),
-                  std::to_string(row.blocks_written),
-                  std::to_string(row.records),
-                  StrFormat("%.0f", row.modeled_read_ms),
-                  StrFormat("%.0f", row.measured_pass_us),
-                  std::to_string(row.recovered_objects)});
+    rows.push_back(CrashAndRecover("FW (123)", config, crash));
   }
+  const double wall_s = timer.Seconds();
+  for (const RecoveryRow& row : rows) add_row(row);
 
   harness::PrintTable(
       "Recovery cost after a crash (single pass; modeled 15 ms/block "
       "reads). Paper: \"less disk space means faster recovery\"; EL's "
-      "whole log fits in memory.",
+      "whole log fits in memory. Duplex rows scan both replica images.",
       table);
   std::printf("note: FW without checkpoints cannot actually recover "
               "committed state (its log drops committed records at "
               "commit); the row above measures scan volume only.\n");
   Status status = harness::MaybeWriteCsv(csv, table);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  runner::BenchJson bench("recovery_time");
+  bench.AddConfig("crash_s", crash_s);
+  for (const RecoveryRow& row : rows) {
+    // Metric keys derive from the scheme name: lowercase alnum + '_'.
+    std::string key;
+    for (char c : row.scheme) {
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        key += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      } else if (!key.empty() && key.back() != '_') {
+        key += '_';
+      }
+    }
+    if (!key.empty() && key.back() == '_') key.pop_back();
+    bench.AddMetric(key + "_modeled_read_ms", row.modeled_read_ms);
+    bench.AddMetric(key + "_blocks_scanned",
+                    static_cast<int64_t>(row.blocks_written));
+    bench.AddMetric(key + "_blocks_repaired",
+                    static_cast<int64_t>(row.blocks_repaired));
+  }
+  status = harness::WriteBenchJson(json_dir, &bench, table, wall_s);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;

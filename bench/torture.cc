@@ -31,6 +31,9 @@ int main(int argc, char** argv) {
   double spike_rate = defaults.log_latency_spike_rate;
   double flush_error_rate = defaults.flush_transient_error_rate;
   double torn_prob = defaults.torn_write_prob;
+  bool duplex = false;
+  double drive_death_rate = defaults.drive_death_rate;
+  double resilver_prob = defaults.resilver_prob;
   FlagSet flags;
   flags.AddBool("quick", &quick, "run 25 trials per manager");
   flags.AddString("csv", &csv, "write results as CSV to this path");
@@ -49,6 +52,12 @@ int main(int argc, char** argv) {
                   "per-flush transient error probability");
   flags.AddDouble("torn_prob", &torn_prob,
                   "probability the crash tears the in-flight block");
+  flags.AddBool("duplex", &duplex,
+                "mirror the log onto two drives (DuplexLogDevice)");
+  flags.AddDouble("drive_death_rate", &drive_death_rate,
+                  "probability a log drive's permanent-death plan arms");
+  flags.AddDouble("resilver_prob", &resilver_prob,
+                  "duplex only: probability auto-resilver is armed");
   Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
@@ -64,6 +73,9 @@ int main(int argc, char** argv) {
   spec.log_latency_spike_rate = spike_rate;
   spec.flush_transient_error_rate = flush_error_rate;
   spec.torn_write_prob = torn_prob;
+  spec.duplex = duplex;
+  spec.drive_death_rate = drive_death_rate;
+  spec.resilver_prob = resilver_prob;
 
   std::vector<runner::TortureManager> managers = runner::AllTortureManagers();
   runner::ProgressReporter progress("torture",
@@ -84,7 +96,8 @@ int main(int argc, char** argv) {
   TableWriter table({"manager", "trials", "passed", "failed", "exact",
                      "torn", "committed", "write_retries", "writes_lost",
                      "bit_rot", "flush_retries", "flushes_lost",
-                     "blocks_corrupt"});
+                     "blocks_corrupt", "drive_deaths", "degraded",
+                     "double_faults", "repaired", "resilvered"});
   int64_t total_failed = 0;
   for (const runner::TortureReport& report : reports) {
     total_failed += report.failed;
@@ -100,7 +113,14 @@ int main(int argc, char** argv) {
                   StrFormat("%lld", (long long)report.total_bit_rot_writes),
                   StrFormat("%lld", (long long)report.total_flush_retries),
                   StrFormat("%lld", (long long)report.total_flushes_lost),
-                  StrFormat("%lld", (long long)report.total_blocks_corrupt)});
+                  StrFormat("%lld", (long long)report.total_blocks_corrupt),
+                  StrFormat("%lld", (long long)report.drive_death_trials),
+                  StrFormat("%lld", (long long)report.total_degraded_writes),
+                  StrFormat("%lld",
+                            (long long)report.total_silent_double_faults),
+                  StrFormat("%lld", (long long)report.total_blocks_repaired),
+                  StrFormat("%lld",
+                            (long long)report.total_resilvered_blocks)});
   }
 
   harness::PrintTable(
@@ -151,13 +171,32 @@ int main(int argc, char** argv) {
                   static_cast<int64_t>(spec.min_crash_events));
   bench.AddConfig("max_crash_events",
                   static_cast<int64_t>(spec.max_crash_events));
+  bench.AddConfig("duplex", spec.duplex);
+  bench.AddConfig("drive_death_rate", spec.drive_death_rate);
+  bench.AddConfig("min_drive_death_time_us",
+                  static_cast<int64_t>(spec.min_drive_death_time));
+  bench.AddConfig("max_drive_death_time_us",
+                  static_cast<int64_t>(spec.max_drive_death_time));
+  bench.AddConfig("resilver_prob", spec.resilver_prob);
+  bench.AddConfig("min_resilver_delay_us",
+                  static_cast<int64_t>(spec.min_resilver_delay));
+  bench.AddConfig("max_resilver_delay_us",
+                  static_cast<int64_t>(spec.max_resilver_delay));
   bench.AddConfig("quick", quick);
   int64_t total_passed = 0;
   int64_t total_exact = 0;
   int64_t total_recovered = 0;
+  int64_t total_drive_death_trials = 0;
+  int64_t total_degraded = 0;
+  int64_t total_double_faults = 0;
+  int64_t total_repaired = 0;
   for (const runner::TortureReport& report : reports) {
     total_passed += report.passed;
     total_exact += report.exact_trials;
+    total_drive_death_trials += report.drive_death_trials;
+    total_degraded += report.total_degraded_writes;
+    total_double_faults += report.total_silent_double_faults;
+    total_repaired += report.total_blocks_repaired;
     for (const runner::TortureTrial& trial : report.trials) {
       total_recovered += trial.records_recovered;
     }
@@ -166,6 +205,10 @@ int main(int argc, char** argv) {
   bench.AddMetric("trials_failed", total_failed);
   bench.AddMetric("exact_trials", total_exact);
   bench.AddMetric("records_recovered", total_recovered);
+  bench.AddMetric("drive_death_trials", total_drive_death_trials);
+  bench.AddMetric("degraded_writes", total_degraded);
+  bench.AddMetric("silent_double_faults", total_double_faults);
+  bench.AddMetric("blocks_repaired", total_repaired);
   status = harness::WriteBenchJson(json_dir, &bench, table, wall_s);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";

@@ -9,7 +9,7 @@ namespace elog {
 
 EphemeralLogManager::EphemeralLogManager(sim::Simulator* simulator,
                                          const LogManagerOptions& options,
-                                         disk::LogDevice* device,
+                                         disk::LogWritePort* device,
                                          disk::DriveArray* drives,
                                          sim::MetricsRegistry* metrics)
     : simulator_(simulator),
@@ -191,6 +191,9 @@ void EphemeralLogManager::StealOnce() {
     }
     ++updates_flushed_;
   };
+  // An abandoned steal simply never reached the stable version; the
+  // record is still in the log, so nothing is owed beyond the notice.
+  request.on_failed = [this](const disk::FlushRequest&) { OnFlushFailed(); };
   drives_->EnqueueUrgent(std::move(request));
   ArmStealTimer();
 }
@@ -211,6 +214,9 @@ void EphemeralLogManager::EnqueueCompensation(Cell* cell) {
       undo_apply_hook_(r.oid, r.lsn, r.prev_lsn, r.prev_digest);
     }
   };
+  // A lost compensation leaves the provisional entry in the stable store;
+  // recovery's UNDO pass reverts it (the writer has no COMMIT in the log).
+  request.on_failed = [this](const disk::FlushRequest&) { OnFlushFailed(); };
   drives_->EnqueueUrgent(std::move(request));
   ++compensations_;
   if (metrics_ != nullptr) metrics_->Incr("el.compensations");
@@ -878,6 +884,12 @@ void EphemeralLogManager::EnqueueFlush(const Cell& cell, bool urgent) {
     if (flush_apply_hook_) flush_apply_hook_(r.oid, r.lsn, r.value_digest);
     OnFlushDurable(r);
   };
+  // Abandoned flush: a non-urgent request's cell stays committed-unflushed
+  // in the log and is re-flushed urgently when it reaches its generation
+  // head, so durability self-heals; an urgent (flush-and-drop) request's
+  // update is gone (flushes_lost voids the strict oracle). Either way the
+  // owner hears about it instead of waiting forever.
+  request.on_failed = [this](const disk::FlushRequest&) { OnFlushFailed(); };
   if (urgent) {
     drives_->EnqueueUrgent(std::move(request));
     ++urgent_flushes_;
@@ -886,6 +898,11 @@ void EphemeralLogManager::EnqueueFlush(const Cell& cell, bool urgent) {
     drives_->Enqueue(std::move(request));
     ++flushes_enqueued_;
   }
+}
+
+void EphemeralLogManager::OnFlushFailed() {
+  ++flush_failures_;
+  if (metrics_ != nullptr) metrics_->Incr("el.flush_failures");
 }
 
 void EphemeralLogManager::OnFlushDurable(const disk::FlushRequest& request) {

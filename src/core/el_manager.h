@@ -46,7 +46,7 @@ class EphemeralLogManager : public LogManager {
   /// validate.
   EphemeralLogManager(sim::Simulator* simulator,
                       const LogManagerOptions& options,
-                      disk::LogDevice* device, disk::DriveArray* drives,
+                      disk::LogWritePort* device, disk::DriveArray* drives,
                       sim::MetricsRegistry* metrics);
   ~EphemeralLogManager() override;
 
@@ -97,6 +97,10 @@ class EphemeralLogManager : public LogManager {
   /// Transactions waiting on the block for their commit acknowledgement
   /// are killed; nonzero values void the strict recovery guarantees.
   int64_t log_writes_lost() const { return log_writes_lost_; }
+  /// Flush requests the drives abandoned after their retry budget
+  /// (on_failed notices received; matches the drives' flushes_lost total
+  /// so no owner is ever left waiting on a dead flush).
+  int64_t flush_failures() const { return flush_failures_; }
   /// UNDO/REDO mode: uncommitted updates evicted to the stable version.
   int64_t steals() const { return steals_; }
   /// UNDO/REDO mode: before-image restorations issued by aborts/kills.
@@ -203,6 +207,9 @@ class EphemeralLogManager : public LogManager {
   /// Schedules a flush of the committed update held by `cell`.
   void EnqueueFlush(const Cell& cell, bool urgent);
   void OnFlushDurable(const disk::FlushRequest& request);
+  /// A flush drive abandoned one of this manager's requests after
+  /// exhausting its retries (FlushRequest::on_failed).
+  void OnFlushFailed();
 
   /// Flushes `cell`'s update urgently and drops the record from the log.
   void UrgentFlushAndDrop(Cell* cell);
@@ -233,7 +240,7 @@ class EphemeralLogManager : public LogManager {
 
   sim::Simulator* simulator_;
   LogManagerOptions options_;
-  disk::LogDevice* device_;
+  disk::LogWritePort* device_;
   disk::DriveArray* drives_;
   sim::MetricsRegistry* metrics_;
 
@@ -260,6 +267,7 @@ class EphemeralLogManager : public LogManager {
   int64_t unsafe_committing_kills_ = 0;
   int64_t log_write_retries_ = 0;
   int64_t log_writes_lost_ = 0;
+  int64_t flush_failures_ = 0;
   int64_t steals_ = 0;
   int64_t compensations_ = 0;
   bool steal_timer_armed_ = false;

@@ -32,7 +32,7 @@ class FirewallLogManager : public EphemeralLogManager {
  public:
   FirewallLogManager(sim::Simulator* simulator,
                      const LogManagerOptions& options,
-                     disk::LogDevice* device, disk::DriveArray* drives,
+                     disk::LogWritePort* device, disk::DriveArray* drives,
                      sim::MetricsRegistry* metrics)
       : EphemeralLogManager(simulator, options, device, drives, metrics) {
     ELOG_CHECK_EQ(options.generation_blocks.size(), 1u)

@@ -6,7 +6,7 @@ namespace elog {
 
 HybridLogManager::HybridLogManager(sim::Simulator* simulator,
                                    const LogManagerOptions& options,
-                                   disk::LogDevice* device,
+                                   disk::LogWritePort* device,
                                    disk::DriveArray* drives,
                                    sim::MetricsRegistry* metrics)
     : simulator_(simulator),
@@ -231,6 +231,12 @@ void HybridLogManager::AdvanceHeadOnce(uint32_t g) {
             flush_apply_hook_(r.oid, r.lsn, r.value_digest);
           }
         };
+        // Forced-release flushes have no waiting owner (the entry is
+        // released immediately); a loss is just counted.
+        request.on_failed = [this](const disk::FlushRequest&) {
+          ++flush_failures_;
+          if (metrics_ != nullptr) metrics_->Incr("hybrid.flush_failures");
+        };
         drives_->EnqueueUrgent(std::move(request));
       }
       std::function<void(TxId)> none;
@@ -451,13 +457,17 @@ void HybridLogManager::ProcessCommitDurable(TxId tid, HybridTx* entry) {
     request.value_digest = record.value_digest;
     request.on_durable = [this, tid](const disk::FlushRequest& r) {
       if (flush_apply_hook_) flush_apply_hook_(r.oid, r.lsn, r.value_digest);
-      HybridTx* owner = table_.Find(tid);
-      if (owner == nullptr) return;  // released at a head advance
-      ELOG_CHECK_GT(owner->unflushed, 0u);
-      if (--owner->unflushed == 0 && owner->state == TxState::kCommitted) {
-        ReleaseTransaction(tid, owner);
-        UpdateMemoryGauge();
-      }
+      SettleFlush(tid);
+    };
+    // An abandoned flush must still settle the owner's outstanding count:
+    // without the notice the HybridTx would wait on unflushed forever and
+    // wedge the log behind its firewall marker (a dangling owner). The
+    // update itself is lost to the stable version (flushes_lost voids the
+    // strict oracle), but the entry completes and releases normally.
+    request.on_failed = [this, tid](const disk::FlushRequest&) {
+      ++flush_failures_;
+      if (metrics_ != nullptr) metrics_->Incr("hybrid.flush_failures");
+      SettleFlush(tid);
     };
     drives_->Enqueue(std::move(request));
   }
@@ -468,6 +478,16 @@ void HybridLogManager::ProcessCommitDurable(TxId tid, HybridTx* entry) {
   if (scheduled == 0) ReleaseTransaction(tid, entry);
   UpdateMemoryGauge();
   if (callback) callback(tid);
+}
+
+void HybridLogManager::SettleFlush(TxId tid) {
+  HybridTx* owner = table_.Find(tid);
+  if (owner == nullptr) return;  // released at a head advance
+  ELOG_CHECK_GT(owner->unflushed, 0u);
+  if (--owner->unflushed == 0 && owner->state == TxState::kCommitted) {
+    ReleaseTransaction(tid, owner);
+    UpdateMemoryGauge();
+  }
 }
 
 void HybridLogManager::ReleaseTransaction(TxId tid, HybridTx* entry) {

@@ -42,8 +42,9 @@ namespace elog {
 class HybridLogManager : public LogManager {
  public:
   HybridLogManager(sim::Simulator* simulator,
-                   const LogManagerOptions& options, disk::LogDevice* device,
-                   disk::DriveArray* drives, sim::MetricsRegistry* metrics);
+                   const LogManagerOptions& options,
+                   disk::LogWritePort* device, disk::DriveArray* drives,
+                   sim::MetricsRegistry* metrics);
   ~HybridLogManager() override = default;
 
   // workload::TransactionSink
@@ -80,6 +81,10 @@ class HybridLogManager : public LogManager {
   /// Log block writes abandoned after max_log_write_attempts failures
   /// (waiting committers are killed; strict recovery guarantees void).
   int64_t log_writes_lost() const { return log_writes_lost_; }
+  /// Flush requests abandoned by the drives (on_failed notices). Each
+  /// settles its owner's outstanding-flush count, so abandoned flushes
+  /// can never leave a HybridTx waiting (and wedging the log) forever.
+  int64_t flush_failures() const { return flush_failures_; }
   const Generation& generation(uint32_t g) const { return *generations_[g]; }
 
   /// Internal-consistency check for tests: firewall markers match entry
@@ -154,13 +159,16 @@ class HybridLogManager : public LogManager {
 
   void OnBlockDurable(const std::vector<TxId>& commit_tids);
   void ProcessCommitDurable(TxId tid, HybridTx* entry);
+  /// One flush of tid's settled (durable or abandoned): decrement the
+  /// outstanding count and release the entry when it reaches zero.
+  void SettleFlush(TxId tid);
   void ReleaseTransaction(TxId tid, HybridTx* entry);
   void ScheduleLinger(uint32_t g);
   void UpdateMemoryGauge();
 
   sim::Simulator* simulator_;
   LogManagerOptions options_;
-  disk::LogDevice* device_;
+  disk::LogWritePort* device_;
   disk::DriveArray* drives_;
   sim::MetricsRegistry* metrics_;
 
@@ -186,6 +194,7 @@ class HybridLogManager : public LogManager {
   int64_t forced_releases_ = 0;
   int64_t log_write_retries_ = 0;
   int64_t log_writes_lost_ = 0;
+  int64_t flush_failures_ = 0;
 };
 
 }  // namespace elog

@@ -20,17 +20,34 @@ Database::Database(const DatabaseConfig& config)
   device_ = std::make_unique<disk::LogDevice>(
       &simulator_, &storage_, config.log.log_write_latency, &metrics_,
       injector_.get());
+  if (config.duplex_log) {
+    storage_mirror_ =
+        std::make_unique<disk::LogStorage>(config.log.generation_blocks);
+    if (config.faults.enabled()) {
+      mirror_injector_ =
+          std::make_unique<fault::FaultInjector>(config.faults, /*replica=*/1);
+    }
+    device_mirror_ = std::make_unique<disk::LogDevice>(
+        &simulator_, storage_mirror_.get(), config.log.log_write_latency,
+        &metrics_, mirror_injector_.get(), "log_device_mirror");
+    duplex_ = std::make_unique<disk::DuplexLogDevice>(
+        &simulator_, device_.get(), device_mirror_.get(), &metrics_,
+        config.auto_resilver_delay);
+  }
+  disk::LogWritePort* log_port =
+      duplex_ != nullptr ? static_cast<disk::LogWritePort*>(duplex_.get())
+                         : device_.get();
   drives_ = std::make_unique<disk::DriveArray>(
       &simulator_, config.log.num_flush_drives, config.log.num_objects,
       config.log.flush_transfer_time, &metrics_, injector_.get());
   if (config.manager == ManagerKind::kHybrid) {
     auto hybrid = std::make_unique<HybridLogManager>(
-        &simulator_, config.log, device_.get(), drives_.get(), &metrics_);
+        &simulator_, config.log, log_port, drives_.get(), &metrics_);
     hybrid_ = hybrid.get();
     manager_ = std::move(hybrid);
   } else {
     auto el = std::make_unique<EphemeralLogManager>(
-        &simulator_, config.log, device_.get(), drives_.get(), &metrics_);
+        &simulator_, config.log, log_port, drives_.get(), &metrics_);
     el_ = el.get();
     manager_ = std::move(el);
   }
@@ -169,6 +186,15 @@ RunStats Database::Run() {
   }
   stats.flush_retries = drives_->total_flush_retries();
   stats.flushes_lost = drives_->total_flushes_lost();
+  stats.flush_failures = el_ != nullptr ? el_->flush_failures()
+                                        : hybrid_->flush_failures();
+  if (duplex_ != nullptr) {
+    stats.degraded_writes = duplex_->degraded_writes();
+    stats.duplex_double_faults = duplex_->silent_double_faults();
+    stats.resilvered_blocks = duplex_->resilvered_blocks();
+    stats.resilvers_completed = duplex_->resilvers_completed();
+    stats.dead_log_replicas = duplex_->dead_replicas_observed();
+  }
   return stats;
 }
 
@@ -195,6 +221,46 @@ Database::CrashImage Database::CaptureCrashImage(bool torn_write) const {
   image.committed_tids = committed_tids_;
   image.acked_versions = acked_versions_;
   image.crash_time = simulator_.Now();
+  image.log_readable = !device_->dead();
+  if (duplex_ != nullptr) {
+    image.duplex = true;
+    image.mirror_log = storage_mirror_->Clone();
+    image.mirror_readable = !device_mirror_->dead();
+    disk::BlockAddress address;
+    bool landed[2] = {false, false};
+    if (duplex_->InFlight(&address, landed)) {
+      disk::LogStorage* clones[2] = {&image.log, &image.mirror_log};
+      const disk::LogDevice* devices[2] = {device_.get(),
+                                           device_mirror_.get()};
+      fault::FaultInjector* injectors[2] = {injector_.get(),
+                                            mirror_injector_.get()};
+      for (int i = 0; i < 2; ++i) {
+        if (landed[i]) {
+          // This copy landed, but a mirrored write is durable only at its
+          // merge, which never fired — the ack never went out, so the
+          // copy must not surface intact at recovery (any COMMIT it
+          // carries would be a phantom). Deterministic, no RNG draw.
+          clones[i]->CorruptBlock(address);
+          continue;
+        }
+        // Replica i had not completed: still mid-transfer (torn-write
+        // semantics, same as the single-device path below) or it failed
+        // and stored nothing.
+        disk::BlockAddress replica_addr;
+        wal::BlockImage in_flight;
+        if (torn_write && devices[i]->InService(&replica_addr, &in_flight)) {
+          ELOG_CHECK(replica_addr == address);
+          if (injectors[i] != nullptr && !in_flight.empty()) {
+            injectors[i]->Scramble(&in_flight);
+            clones[i]->Put(replica_addr, std::move(in_flight));
+          } else {
+            clones[i]->CorruptBlock(replica_addr);
+          }
+        }
+      }
+    }
+    return image;
+  }
   if (torn_write) {
     disk::BlockAddress address;
     wal::BlockImage in_flight;

@@ -2,21 +2,17 @@
 
 namespace elog {
 namespace db {
+namespace {
 
-RecoveryResult RecoveryManager::Recover(const disk::LogStorage& log,
-                                        const StableStore& stable) {
-  RecoveryResult result;
-
-  // Pass over the whole log: collect records, note COMMITs.
-  wal::LogScanner scanner;
-  for (uint32_t g = 0; g < log.num_generations(); ++g) {
-    scanner.AddGeneration(log.GenerationBlocks(g));
-  }
-  result.scan = scanner.stats();
-
+/// Steps 2-4 of the recovery pass, shared by the single and duplex entry
+/// points: COMMIT collection, provisional resolution (UNDO), and the
+/// highest-LSN overlay. Fills everything in `result` except the scan
+/// statistics, which the caller owns.
+void ProcessScannedLog(const wal::LogScanner& scanner,
+                       const StableStore& stable, RecoveryResult* result) {
   for (const wal::ScannedRecord& scanned : scanner.records()) {
     if (scanned.record.type == wal::RecordType::kCommit) {
-      result.committed_in_log.insert(scanned.record.tid);
+      result->committed_in_log.insert(scanned.record.tid);
     }
   }
 
@@ -31,17 +27,17 @@ RecoveryResult RecoveryManager::Recover(const disk::LogStorage& log,
   //     revert to the before-image stored alongside the stolen value.
   for (const auto& [oid, version] : stable.objects()) {
     if (!version.provisional) {
-      result.state.emplace(oid, version);
+      result->state.emplace(oid, version);
       continue;
     }
-    if (result.committed_in_log.count(version.writer) > 0) {
+    if (result->committed_in_log.count(version.writer) > 0) {
       ObjectVersion confirmed{version.lsn, version.value_digest};
-      result.state.emplace(oid, confirmed);
+      result->state.emplace(oid, confirmed);
       continue;
     }
-    ++result.undos_applied;
+    ++result->undos_applied;
     if (version.prev_lsn != 0) {
-      result.state.emplace(
+      result->state.emplace(
           oid, ObjectVersion{version.prev_lsn, version.prev_digest});
     }
     // prev_lsn == 0: the object had no committed version — absent.
@@ -53,18 +49,156 @@ RecoveryResult RecoveryManager::Recover(const disk::LogStorage& log,
   for (const wal::ScannedRecord& scanned : scanner.records()) {
     const wal::LogRecord& record = scanned.record;
     if (record.type != wal::RecordType::kData) continue;
-    if (result.committed_in_log.count(record.tid) == 0) {
-      ++result.uncommitted_records_ignored;
+    if (result->committed_in_log.count(record.tid) == 0) {
+      ++result->uncommitted_records_ignored;
       continue;
     }
-    ObjectVersion& version = result.state[record.oid];
+    ObjectVersion& version = result->state[record.oid];
     if (record.lsn > version.lsn) {
       version.lsn = record.lsn;
       version.value_digest = record.value_digest;
-      ++result.records_applied;
+      ++result->records_applied;
     }
   }
+}
 
+/// Classification of one replica's copy of a block slot.
+struct SlotView {
+  const wal::BlockImage* image = nullptr;
+  enum Cls { kEmpty, kCorrupt, kValid } cls = kEmpty;
+  uint64_t write_seq = 0;
+};
+
+SlotView ClassifySlot(const wal::BlockImage* image, wal::ScanStats* stats) {
+  SlotView view;
+  view.image = image;
+  ++stats->blocks_scanned;
+  if (image == nullptr || image->empty()) {
+    ++stats->blocks_empty;
+    return view;
+  }
+  Result<wal::DecodedBlock> decoded = wal::DecodeBlock(*image);
+  if (!decoded.ok()) {
+    view.cls = SlotView::kCorrupt;
+    ++stats->blocks_corrupt;
+    return view;
+  }
+  view.cls = SlotView::kValid;
+  view.write_seq = decoded->write_seq;
+  ++stats->blocks_valid;
+  stats->records += decoded->records.size();
+  return view;
+}
+
+}  // namespace
+
+RecoveryResult RecoveryManager::Recover(const disk::LogStorage& log,
+                                        const StableStore& stable) {
+  RecoveryResult result;
+
+  // Pass over the whole log: collect records, note COMMITs.
+  wal::LogScanner scanner;
+  for (uint32_t g = 0; g < log.num_generations(); ++g) {
+    scanner.AddGeneration(log.GenerationBlocks(g));
+  }
+  result.scan = scanner.stats();
+
+  ProcessScannedLog(scanner, stable, &result);
+  return result;
+}
+
+RecoveryResult RecoveryManager::RecoverDuplex(disk::LogStorage* primary,
+                                              disk::LogStorage* mirror,
+                                              const StableStore& stable,
+                                              bool read_repair) {
+  RecoveryResult result;
+  disk::LogStorage* side[2] = {primary, mirror};
+  result.duplex.replica_readable[0] = primary != nullptr;
+  result.duplex.replica_readable[1] = mirror != nullptr;
+
+  const disk::LogStorage* shape = primary != nullptr ? primary : mirror;
+  wal::LogScanner scanner;
+  if (shape != nullptr) {
+    if (primary != nullptr && mirror != nullptr) {
+      ELOG_CHECK_EQ(primary->num_generations(), mirror->num_generations());
+    }
+    for (uint32_t g = 0; g < shape->num_generations(); ++g) {
+      const uint32_t slots = shape->generation_size(g);
+      std::vector<const wal::BlockImage*> blocks[2];
+      for (int i = 0; i < 2; ++i) {
+        blocks[i] = side[i] != nullptr
+                        ? side[i]->GenerationBlocks(g)
+                        : std::vector<const wal::BlockImage*>(slots, nullptr);
+        ELOG_CHECK_EQ(blocks[i].size(), slots);
+      }
+      std::vector<const wal::BlockImage*> chosen_blocks(slots, nullptr);
+      for (uint32_t s = 0; s < slots; ++s) {
+        const disk::BlockAddress addr{g, s};
+        SlotView view[2];
+        for (int i = 0; i < 2; ++i) {
+          if (side[i] == nullptr) continue;  // unreadable: stats untouched
+          view[i] = ClassifySlot(blocks[i][s], &result.duplex.replica[i]);
+        }
+
+        // Choose the copy to recover from: a valid one, preferring the
+        // higher write sequence — the slot image is newest-wins, so the
+        // replica that missed the latest write still decodes but carries
+        // the slot's previous content.
+        int chosen = -1;
+        if (view[0].cls == SlotView::kValid &&
+            view[1].cls == SlotView::kValid) {
+          chosen = view[1].write_seq > view[0].write_seq ? 1 : 0;
+          if (view[0].write_seq != view[1].write_seq) {
+            ++result.duplex.blocks_diverged;
+          }
+        } else if (view[0].cls == SlotView::kValid) {
+          chosen = 0;
+        } else if (view[1].cls == SlotView::kValid) {
+          chosen = 1;
+        }
+
+        if (chosen >= 0) {
+          chosen_blocks[s] = view[chosen].image;
+          if (read_repair) {
+            // Overwrite every other readable copy that is not already the
+            // chosen image, so both replicas leave recovery identical.
+            const int other = 1 - chosen;
+            const bool other_matches =
+                view[other].cls == SlotView::kValid &&
+                view[other].write_seq == view[chosen].write_seq;
+            if (side[other] != nullptr && !other_matches) {
+              side[other]->Put(addr, *view[chosen].image);
+              ++result.duplex.blocks_repaired;
+            }
+          }
+          continue;
+        }
+
+        // No valid copy. Feed a corrupt image (if any) into the merged
+        // scan so the block is classified corrupt, not silently empty.
+        const int corrupt_side = view[0].cls == SlotView::kCorrupt ? 0
+                                 : view[1].cls == SlotView::kCorrupt
+                                     ? 1
+                                     : -1;
+        if (corrupt_side >= 0) {
+          chosen_blocks[s] = view[corrupt_side].image;
+          // A double fault means every copy that could be read was
+          // written and damaged: corrupt+corrupt, or corrupt beside an
+          // unreadable replica. corrupt+empty is an ordinary torn single
+          // write, not a double fault.
+          const int other = 1 - corrupt_side;
+          if (side[other] == nullptr ||
+              view[other].cls == SlotView::kCorrupt) {
+            ++result.duplex.blocks_double_fault;
+          }
+        }
+      }
+      scanner.AddGeneration(chosen_blocks);
+    }
+  }
+  result.scan = scanner.stats();
+
+  ProcessScannedLog(scanner, stable, &result);
   return result;
 }
 

@@ -21,6 +21,15 @@
 // object holds exactly the version written by an uncommitted record (a
 // stolen flush whose compensation never landed), it is reverted to that
 // record's before-image.
+//
+// Duplexed logs (RecoverDuplex): the scan runs over BOTH replica images.
+// Per block slot it keeps the CRC-valid copy — on divergence the copy
+// with the higher write sequence number, since a replica that missed a
+// write (transient error, dead drive) still holds the slot's older valid
+// content — and, with read-repair enabled, overwrites the stale, corrupt
+// or missing copy on the other replica so the pair leaves recovery
+// identical. A block valid on either replica is never lost; only a
+// double fault (no valid copy on any readable replica) loses it.
 
 #ifndef ELOG_DB_RECOVERY_H_
 #define ELOG_DB_RECOVERY_H_
@@ -35,14 +44,36 @@
 namespace elog {
 namespace db {
 
+/// Per-replica accounting of a duplex recovery scan. Both replicas'
+/// ScanStats satisfy Consistent() independently, as does the merged scan.
+struct DuplexScanStats {
+  wal::ScanStats replica[2];
+  /// False for a replica whose drive was dead at the crash (its media
+  /// cannot be read; recovery runs from the survivor alone).
+  bool replica_readable[2] = {true, true};
+  /// Replica block copies overwritten by read-repair: the other side held
+  /// the chosen valid image while this side's copy was corrupt, stale, or
+  /// missing. "How often duplexing saved a block."
+  size_t blocks_repaired = 0;
+  /// Slots where both copies decoded but disagreed (one side missed the
+  /// latest write); subset of the repairs.
+  size_t blocks_diverged = 0;
+  /// Slots with no valid copy on any readable replica even though every
+  /// readable copy was written: acknowledged data may be gone.
+  size_t blocks_double_fault = 0;
+};
+
 struct RecoveryResult {
   /// Recovered database state: latest committed version per object.
   /// Objects never updated (by any committed transaction) are absent.
   std::unordered_map<Oid, ObjectVersion> state;
   /// Transactions with a COMMIT record found in the log.
   std::unordered_set<TxId> committed_in_log;
-  /// Log scan statistics (corrupt block counts, etc.).
+  /// Log scan statistics (corrupt block counts, etc.). For a duplex
+  /// recovery these are the stats of the *merged* scan.
   wal::ScanStats scan;
+  /// Duplex recoveries only (all-zero otherwise).
+  DuplexScanStats duplex;
   /// Data records ignored because their transaction had no COMMIT.
   size_t uncommitted_records_ignored = 0;
   /// Committed data records applied from the log (after dedup/supersede).
@@ -58,6 +89,16 @@ class RecoveryManager {
   /// database version as of the crash.
   static RecoveryResult Recover(const disk::LogStorage& log,
                                 const StableStore& stable);
+
+  /// Duplex recovery over two replica images. Pass nullptr for a replica
+  /// that is unreadable (its drive died before the crash). With
+  /// `read_repair`, stale/corrupt/missing copies are overwritten in place
+  /// with the chosen image, so both replicas leave recovery identical;
+  /// without it the merge is read-only (the per-slot choice is the same).
+  static RecoveryResult RecoverDuplex(disk::LogStorage* primary,
+                                      disk::LogStorage* mirror,
+                                      const StableStore& stable,
+                                      bool read_repair = true);
 };
 
 }  // namespace db

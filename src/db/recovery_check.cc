@@ -16,6 +16,47 @@ void Violation(InvariantReport* report, std::string message) {
 
 }  // namespace
 
+InvariantPolicy DerivePolicy(const RunFaultSummary& summary) {
+  InvariantPolicy policy;
+  policy.undo_redo = summary.undo_redo;
+
+  // Events that remove acknowledged evidence in any mode: an abandoned
+  // block write, an abandoned flush of an evicted record, a drop or kill
+  // inside a commit window, a forced release of a committed-unflushed
+  // transaction.
+  bool lost_evidence =
+      summary.log_writes_lost > 0 || summary.flushes_lost > 0 ||
+      summary.unsafe_commit_drops > 0 || summary.unsafe_committing_kills > 0 ||
+      summary.forced_releases > 0;
+  if (!summary.duplex) {
+    // A single log has no second copy: any rotted block, or the drive
+    // dying outright, can take acknowledged evidence with it.
+    lost_evidence = lost_evidence || summary.bit_rot_writes > 0 ||
+                    !summary.replica_readable[0];
+  } else {
+    // Duplexed: only a *double* fault loses a block — both stored copies
+    // scrambled, a replica lost (or its media wiped by a resilver) while
+    // it held sole copies, or both replicas lost. Plain bit-rot and plain
+    // drive death are survivable, and the oracle holds the run to that.
+    lost_evidence = lost_evidence || summary.silent_double_faults > 0 ||
+                    summary.resilver_wiped_sole_copies > 0 ||
+                    (!summary.replica_readable[0] &&
+                     !summary.replica_readable[1]);
+    for (int i = 0; i < 2; ++i) {
+      if (!summary.replica_readable[i] && summary.sole_copy_writes[i] > 0) {
+        lost_evidence = true;
+      }
+    }
+  }
+  policy.expect_exact = !lost_evidence && !summary.release_on_commit;
+  // Unowned COMMIT evidence (phantoms) can only be left behind by an
+  // abandoned block write or an unsafe committing kill; losing a whole
+  // drive removes evidence but never fabricates it.
+  policy.expect_no_phantoms =
+      summary.log_writes_lost == 0 && summary.unsafe_committing_kills == 0;
+  return policy;
+}
+
 InvariantReport CheckRecoveryInvariants(const Database::CrashImage& image,
                                         const RecoveryResult& result,
                                         const InvariantPolicy& policy) {
@@ -31,6 +72,19 @@ InvariantReport CheckRecoveryInvariants(const Database::CrashImage& image,
                         "%zu corrupt + %zu valid",
                         result.scan.blocks_scanned, result.scan.blocks_empty,
                         result.scan.blocks_corrupt, result.scan.blocks_valid));
+  }
+  // A duplex scan additionally accounts for each replica independently
+  // (all-zero for single-log recoveries, which passes trivially).
+  for (int i = 0; i < 2; ++i) {
+    if (!result.duplex.replica[i].Consistent()) {
+      Violation(&report,
+                StrFormat("replica %d scan accounting broken: %zu scanned != "
+                          "%zu empty + %zu corrupt + %zu valid",
+                          i, result.duplex.replica[i].blocks_scanned,
+                          result.duplex.replica[i].blocks_empty,
+                          result.duplex.replica[i].blocks_corrupt,
+                          result.duplex.replica[i].blocks_valid));
+    }
   }
 
   // UNDO invariant, unconditionally: a stolen (provisional) stable entry

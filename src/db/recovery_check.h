@@ -18,8 +18,13 @@
 //                 recovered version is an acknowledged version of its
 //                 object no newer than the latest acknowledged one.
 //
-// The torture harness derives the policy from the run's fault counters;
-// see TortureTrialPolicy in runner/torture.h.
+// The torture harness gathers the run's fault counters into a
+// RunFaultSummary and calls DerivePolicy, which grants the strongest
+// oracle the run can honestly be held to. Duplexed runs earn a tighter
+// oracle than single-log runs: bit-rot on one replica no longer costs the
+// exact-durability claim (read-repair recovers from the intact copy), and
+// only a genuine double fault — both copies of a block damaged, or a
+// replica lost while it held sole copies — weakens the check.
 
 #ifndef ELOG_DB_RECOVERY_CHECK_H_
 #define ELOG_DB_RECOVERY_CHECK_H_
@@ -54,6 +59,42 @@ struct InvariantReport {
   /// The first violation, or "" — convenient for test failure messages.
   std::string First() const { return violations.empty() ? "" : violations[0]; }
 };
+
+/// What actually happened during a tortured run, gathered from the fault
+/// counters of the stack that ran it. All counters are whole-run totals.
+struct RunFaultSummary {
+  // Any run.
+  int64_t log_writes_lost = 0;
+  int64_t flushes_lost = 0;
+  /// Device bit-rot writes. Voids exactness for single-log runs only; a
+  /// duplexed run recovers a rotted block from the other replica.
+  int64_t bit_rot_writes = 0;
+  int64_t unsafe_commit_drops = 0;
+  int64_t unsafe_committing_kills = 0;
+  int64_t forced_releases = 0;
+  bool release_on_commit = false;
+  bool undo_redo = false;
+
+  // Duplexed-log runs.
+  bool duplex = false;
+  /// Merged-OK writes with no intact copy on either replica.
+  int64_t silent_double_faults = 0;
+  /// Acked writes whose sole intact copy lives on replica i.
+  int64_t sole_copy_writes[2] = {0, 0};
+  /// Sole copies wiped by a resilver: the dead replica held the only
+  /// intact copy of an acked write, and the replacement media starts
+  /// empty.
+  int64_t resilver_wiped_sole_copies = 0;
+  /// replica_readable[0] doubles as the single-log drive's liveness: a
+  /// dead single log drive loses everything not yet flushed.
+  bool replica_readable[2] = {true, true};
+};
+
+/// The strongest oracle `summary` supports: exactness unless acknowledged
+/// evidence was provably lost (see the header comment for what counts in
+/// duplex vs single mode), phantom bounds unless unowned COMMIT evidence
+/// may remain, scan/UNDO invariants always.
+InvariantPolicy DerivePolicy(const RunFaultSummary& summary);
 
 InvariantReport CheckRecoveryInvariants(const Database::CrashImage& image,
                                         const RecoveryResult& result,

@@ -1,0 +1,181 @@
+#include "disk/duplex_log_device.h"
+
+#include <utility>
+
+namespace elog {
+namespace disk {
+
+using WriteFault = fault::FaultInjector::WriteFault;
+
+DuplexLogDevice::DuplexLogDevice(sim::Simulator* simulator,
+                                 LogDevice* primary, LogDevice* mirror,
+                                 sim::MetricsRegistry* metrics,
+                                 SimTime auto_resilver_delay)
+    : simulator_(simulator),
+      primary_(primary),
+      mirror_(mirror),
+      metrics_(metrics),
+      auto_resilver_delay_(auto_resilver_delay) {
+  ELOG_CHECK(primary != nullptr && mirror != nullptr);
+  ELOG_CHECK(primary != mirror);
+  ELOG_CHECK(!primary->busy() && !mirror->busy());
+  ELOG_CHECK_EQ(primary->storage()->num_generations(),
+                mirror->storage()->num_generations());
+}
+
+void DuplexLogDevice::Submit(LogWriteRequest request) {
+  queue_.push_back(std::move(request));
+  Pump();
+}
+
+void DuplexLogDevice::SubmitFront(LogWriteRequest request) {
+  queue_.push_front(std::move(request));
+  Pump();
+}
+
+void DuplexLogDevice::Pump() {
+  if (in_flight_ || queue_.empty()) return;
+  current_ = std::move(queue_.front());
+  queue_.pop_front();
+  in_flight_ = true;
+  for (int i = 0; i < 2; ++i) {
+    done_[i] = false;
+    status_[i] = Status::OK();
+    fault_[i] = WriteFault::kNone;
+  }
+  // Lockstep: both replicas receive the copy now; nothing younger touches
+  // either replica until both completions merged. Each replica draws its
+  // own fate from its own injector stream.
+  for (int i = 0; i < 2; ++i) {
+    LogWriteRequest copy;
+    copy.address = current_.address;
+    copy.image = current_.image;
+    copy.extra_latency = current_.extra_latency;
+    copy.on_fault_witness = [this, i](WriteFault f) { fault_[i] = f; };
+    copy.on_complete = [this, i](const Status& s) { OnReplicaComplete(i, s); };
+    replica(i)->Submit(std::move(copy));
+  }
+}
+
+void DuplexLogDevice::OnReplicaComplete(int i, const Status& status) {
+  ELOG_CHECK(in_flight_);
+  ELOG_CHECK(!done_[i]);
+  done_[i] = true;
+  status_[i] = status;
+  if (done_[0] && done_[1]) MergeCurrent();
+}
+
+void DuplexLogDevice::MergeCurrent() {
+  ++writes_completed_;
+  for (int i = 0; i < 2; ++i) {
+    if (fault_[i] == WriteFault::kDriveDead && !replica_death_seen_[i]) {
+      replica_death_seen_[i] = true;
+      if (metrics_ != nullptr) metrics_->Incr("duplex.replica_deaths");
+      if (auto_resilver_delay_ >= 0 && !resilver_scheduled_) {
+        resilver_scheduled_ = true;
+        simulator_->ScheduleAfter(auto_resilver_delay_,
+                                  [this] { ResilverDeadReplica(); });
+      }
+    }
+  }
+
+  const bool ok0 = status_[0].ok();
+  const bool ok1 = status_[1].ok();
+  Status merged = Status::OK();
+  if (ok0 && ok1) {
+    const bool rot0 = fault_[0] == WriteFault::kBitRot;
+    const bool rot1 = fault_[1] == WriteFault::kBitRot;
+    if (rot0 && rot1) {
+      // Both copies landed scrambled: the write merges OK but no intact
+      // copy exists anywhere.
+      ++silent_double_faults_;
+      if (metrics_ != nullptr) metrics_->Incr("duplex.silent_double_faults");
+    } else if (rot0 || rot1) {
+      ++sole_copy_writes_[rot0 ? 1 : 0];
+    }
+  } else if (ok0 || ok1) {
+    ++degraded_writes_;
+    if (metrics_ != nullptr) metrics_->Incr("duplex.degraded_writes");
+    const int ok = ok0 ? 0 : 1;
+    if (fault_[ok] == WriteFault::kBitRot) {
+      // The only replica that stored the block stored it scrambled.
+      ++silent_double_faults_;
+      if (metrics_ != nullptr) metrics_->Incr("duplex.silent_double_faults");
+    } else {
+      ++sole_copy_writes_[ok];
+    }
+  } else {
+    // Neither replica stored the block; the caller retries, exactly like
+    // a failed single-device write.
+    ++dual_failures_;
+    if (metrics_ != nullptr) metrics_->Incr("duplex.dual_failures");
+    merged = status_[0];
+  }
+
+  std::function<void(const Status&)> on_complete =
+      std::move(current_.on_complete);
+  in_flight_ = false;
+  // Callback before pumping, mirroring LogDevice: the caller observes
+  // merged completions in submission order and a failed write can be
+  // resubmitted (SubmitFront) ahead of every younger queued block.
+  if (on_complete) on_complete(merged);
+  if (!in_flight_) Pump();
+}
+
+bool DuplexLogDevice::InFlight(BlockAddress* addr, bool landed[2]) const {
+  if (!in_flight_) return false;
+  *addr = current_.address;
+  landed[0] = done_[0] && status_[0].ok();
+  landed[1] = done_[1] && status_[1].ok();
+  return true;
+}
+
+int64_t DuplexLogDevice::ResilverDeadReplica() {
+  resilver_scheduled_ = false;
+  LogDevice* dead = nullptr;
+  LogDevice* survivor = nullptr;
+  if (primary_->dead() && !mirror_->dead()) {
+    dead = primary_;
+    survivor = mirror_;
+  } else if (mirror_->dead() && !primary_->dead()) {
+    dead = mirror_;
+    survivor = primary_;
+  } else {
+    // Nothing to do: no dead replica, or no survivor to copy from.
+    return 0;
+  }
+  const LogStorage* src = survivor->storage();
+  LogStorage* dst = dead->storage();
+  // The replacement drive is fresh media: the dead drive's images went
+  // with it. If it held the only intact copy of an acked write, that
+  // evidence is now gone for good — record it so the recovery oracle can
+  // drop its exactness claim.
+  const int dead_index = dead == primary_ ? 0 : 1;
+  resilver_wiped_sole_copies_ += sole_copy_writes_[dead_index];
+  std::vector<uint32_t> sizes;
+  for (uint32_t g = 0; g < dst->num_generations(); ++g) {
+    sizes.push_back(dst->generation_size(g));
+  }
+  *dst = LogStorage(sizes);
+  int64_t copied = 0;
+  for (uint32_t g = 0; g < src->num_generations(); ++g) {
+    for (uint32_t s = 0; s < src->generation_size(g); ++s) {
+      const BlockAddress addr{g, s};
+      const wal::BlockImage* image = src->Get(addr);
+      if (image == nullptr) continue;
+      dst->Put(addr, *image);
+      ++copied;
+    }
+  }
+  dead->Revive();
+  resilvered_blocks_ += copied;
+  ++resilvers_completed_;
+  if (metrics_ != nullptr) {
+    metrics_->Incr("duplex.resilvers");
+    metrics_->Incr("duplex.resilvered_blocks", copied);
+  }
+  return copied;
+}
+
+}  // namespace disk
+}  // namespace elog

@@ -1,0 +1,142 @@
+// Duplexed (mirrored) log: two LogDevice replicas behind one LogWritePort.
+//
+// Production logging systems duplex the log because it is the only durable
+// home of a committed update until the flush drives catch up — a single
+// lost log drive is otherwise unrecoverable data loss. DuplexLogDevice
+// dispatches each block write to both replicas in lockstep: one logical
+// write is open at a time, both replicas service their copy (independent
+// service timelines — spikes and faults are drawn per replica), and the
+// merged completion fires only when both copies have completed.
+//
+//   * merged OK  — at least one replica stored the block. Both OK means
+//     the write is acknowledged-safe (two copies); exactly one OK is a
+//     *degraded* write (one copy; counted, and classified by which replica
+//     holds the sole copy so the recovery oracle knows what a later drive
+//     loss would take with it).
+//   * merged error — neither replica stored it; the caller retries via
+//     SubmitFront exactly as with a single device.
+//
+// Lockstep is what preserves the FIFO durability contract under retries:
+// write k is settled on both replicas before write k+1 touches either, so
+// a COMMIT block can never become durable anywhere ahead of a retried data
+// block — the same invariant the single LogDevice provides.
+//
+// Silent double faults: a write can merge OK while *every* stored copy is
+// scrambled (bit-rot on one replica, anything fatal on the other). These
+// are counted via the replicas' fault witnesses; the torture oracle drops
+// expect_exact only for trials where one occurred.
+//
+// Degraded mode and resilver: when a replica's drive dies permanently
+// (FaultInjector death plan) the survivor keeps the system running. A
+// resilver — automatic after `auto_resilver_delay`, or invoked manually —
+// swaps in fresh media (LogDevice::Revive) and copies every written block
+// from the survivor inside the simulation.
+
+#ifndef ELOG_DISK_DUPLEX_LOG_DEVICE_H_
+#define ELOG_DISK_DUPLEX_LOG_DEVICE_H_
+
+#include <deque>
+
+#include "disk/log_device.h"
+
+namespace elog {
+namespace disk {
+
+class DuplexLogDevice : public LogWritePort {
+ public:
+  /// Both replicas must outlive the duplex and be idle at attach time.
+  /// `auto_resilver_delay` < 0 disables automatic resilvering; >= 0
+  /// schedules a resilver that many µs after a replica death is first
+  /// observed at write-merge time.
+  DuplexLogDevice(sim::Simulator* simulator, LogDevice* primary,
+                  LogDevice* mirror, sim::MetricsRegistry* metrics,
+                  SimTime auto_resilver_delay = -1);
+
+  void Submit(LogWriteRequest request) override;
+  void SubmitFront(LogWriteRequest request) override;
+
+  LogDevice* replica(int i) { return i == 0 ? primary_ : mirror_; }
+  const LogDevice* replica(int i) const {
+    return i == 0 ? primary_ : mirror_;
+  }
+
+  /// Logical (merged) writes completed, whatever their outcome.
+  int64_t writes_completed() const { return writes_completed_; }
+  /// Merged-OK writes where exactly one replica stored the block.
+  int64_t degraded_writes() const { return degraded_writes_; }
+  /// Merged-OK writes with no intact copy anywhere (bit-rot on the only
+  /// replica(s) that stored it). Acknowledged data may be unrecoverable.
+  int64_t silent_double_faults() const { return silent_double_faults_; }
+  /// Merged-error writes (neither replica stored the block).
+  int64_t dual_failures() const { return dual_failures_; }
+  /// Acked writes whose sole intact copy lives on replica i: degraded
+  /// writes that landed only there, plus both-landed writes whose other
+  /// copy rotted. If replica i is lost before a flush catches up, these
+  /// blocks go with it.
+  int64_t sole_copy_writes(int i) const { return sole_copy_writes_[i]; }
+  /// Replicas observed dead at write-merge time (0, 1 or 2).
+  int dead_replicas_observed() const {
+    return (replica_death_seen_[0] ? 1 : 0) + (replica_death_seen_[1] ? 1 : 0);
+  }
+  /// Blocks copied onto replacement drives by resilvers so far.
+  int64_t resilvered_blocks() const { return resilvered_blocks_; }
+  int64_t resilvers_completed() const { return resilvers_completed_; }
+  /// Sole copies wiped by resilvers: the dead replica held the only
+  /// intact copy of some acked writes, and the replacement media starts
+  /// empty. Nonzero voids the recovery oracle's exactness claim.
+  int64_t resilver_wiped_sole_copies() const {
+    return resilver_wiped_sole_copies_;
+  }
+
+  bool busy() const { return in_flight_ || !queue_.empty(); }
+
+  /// The open (unmerged) logical write, if any: its address and which
+  /// replicas have already landed their copy. Crash capture uses this to
+  /// tear the half-landed pair atomically — a mirrored write is not
+  /// durable until its merge, so a landed-but-unmerged copy must not
+  /// surface at recovery.
+  bool InFlight(BlockAddress* addr, bool landed[2]) const;
+
+  /// Replaces the dead replica's media and copies every written block
+  /// from the survivor. Returns the number of blocks copied (0 if no
+  /// replica is dead, or both are). Runs at the current simulated instant;
+  /// modeling copy time is the caller's concern (the auto path simply
+  /// delays the whole resilver by auto_resilver_delay).
+  int64_t ResilverDeadReplica();
+
+ private:
+  void Pump();
+  void OnReplicaComplete(int i, const Status& status);
+  void MergeCurrent();
+
+  sim::Simulator* simulator_;
+  LogDevice* primary_;
+  LogDevice* mirror_;
+  sim::MetricsRegistry* metrics_;
+  SimTime auto_resilver_delay_;
+
+  std::deque<LogWriteRequest> queue_;
+  bool in_flight_ = false;
+  LogWriteRequest current_;
+  bool done_[2] = {false, false};
+  Status status_[2];
+  fault::FaultInjector::WriteFault fault_[2] = {
+      fault::FaultInjector::WriteFault::kNone,
+      fault::FaultInjector::WriteFault::kNone};
+
+  bool replica_death_seen_[2] = {false, false};
+  bool resilver_scheduled_ = false;
+  int64_t writes_completed_ = 0;
+  int64_t degraded_writes_ = 0;
+  int64_t silent_double_faults_ = 0;
+  int64_t dual_failures_ = 0;
+  int64_t sole_copy_writes_[2] = {0, 0};
+  int64_t resilvered_blocks_ = 0;
+  int64_t resilvers_completed_ = 0;
+  int64_t resilver_wiped_sole_copies_ = 0;
+};
+
+}  // namespace disk
+}  // namespace elog
+
+#endif  // ELOG_DISK_DUPLEX_LOG_DEVICE_H_

@@ -105,14 +105,17 @@ void FlushDrive::Complete(FlushRequest request) {
           [this, r = std::move(request)]() mutable { Complete(std::move(r)); });
       return;
     }
-    // Media fault outlived the retry budget: abandon the request without
-    // invoking on_durable. The caller still holds the update in the log
-    // (or the recovery undo path covers it); the torture oracle relaxes
-    // its durability check whenever this counter is nonzero.
+    // Media fault outlived the retry budget: abandon the request. The
+    // caller still holds the update in the log (or the recovery undo path
+    // covers it); the torture oracle relaxes its durability check
+    // whenever this counter is nonzero. on_failed tells the owner so it
+    // is not left waiting on a durability signal that will never come.
     ++flushes_lost_;
     if (metrics_ != nullptr) metrics_->Incr("flush_drive.lost");
+    auto on_failed = std::move(request.on_failed);
     in_service_ = false;
-    StartNext();
+    if (on_failed) on_failed(request);
+    if (!in_service_) StartNext();
     return;
   }
   ++flushes_completed_;

@@ -49,6 +49,12 @@ struct FlushRequest {
   /// database version. Never invoked for a request the drive abandons
   /// after exhausting its transient-error retries (see flushes_lost()).
   std::function<void(const FlushRequest&)> on_durable;
+  /// Invoked instead of on_durable when the drive abandons the request
+  /// after exhausting its retries: the update did NOT reach the stable
+  /// version and never will via this request. Exactly one of on_durable /
+  /// on_failed runs for every enqueued request, so owners waiting on a
+  /// flush are never left dangling.
+  std::function<void(const FlushRequest&)> on_failed;
   /// Service attempts consumed so far (drive-internal retry bookkeeping).
   uint32_t attempt = 0;
 };

@@ -7,12 +7,14 @@ namespace disk {
 
 LogDevice::LogDevice(sim::Simulator* simulator, LogStorage* storage,
                      SimTime write_latency, sim::MetricsRegistry* metrics,
-                     fault::FaultInjector* injector)
+                     fault::FaultInjector* injector,
+                     std::string metrics_prefix)
     : simulator_(simulator),
       storage_(storage),
       write_latency_(write_latency),
       metrics_(metrics),
       injector_(injector),
+      metrics_prefix_(std::move(metrics_prefix)),
       per_generation_writes_(storage->num_generations(), 0) {
   ELOG_CHECK_GT(write_latency, 0);
 }
@@ -36,32 +38,60 @@ void LogDevice::SubmitFront(LogWriteRequest request) {
   if (!in_service_) StartNext();
 }
 
+bool LogDevice::DeathTripped() const {
+  if (injector_ == nullptr || revived_) return false;
+  const fault::DriveDeathPlan& plan = injector_->death_plan();
+  if (!plan.dies) return false;
+  if (simulator_->Now() >= plan.time) return true;
+  if (plan.op_count > 0 &&
+      ops_started_ >= static_cast<int64_t>(plan.op_count)) {
+    return true;
+  }
+  return false;
+}
+
 void LogDevice::StartNext() {
   ELOG_CHECK(!in_service_);
   if (queue_.empty()) return;
   current_ = std::move(queue_.front());
   queue_.pop_front();
   in_service_ = true;
+  if (!dead_ && DeathTripped()) {
+    dead_ = true;
+    died_at_ = simulator_->Now();
+    if (metrics_ != nullptr) metrics_->Incr(metrics_prefix_ + ".deaths");
+  }
+  ++ops_started_;
   SimTime latency = write_latency_ + current_.extra_latency;
   current_fault_ = fault::FaultInjector::WriteFault::kNone;
   if (injector_ != nullptr) {
     // The write's fate is drawn when service starts; the decision order is
-    // therefore the deterministic event order of the simulation.
+    // therefore the deterministic event order of the simulation. A dead
+    // drive still consumes its decision so the per-write stream position
+    // stays aligned with a run where the drive survived.
     fault::FaultInjector::WriteDecision decision =
         injector_->NextLogWrite(write_latency_);
     current_fault_ = decision.fault;
     latency += decision.extra_latency;
   }
+  if (dead_) current_fault_ = fault::FaultInjector::WriteFault::kDriveDead;
   simulator_->ScheduleAfter(latency, [this] { CompleteCurrent(); });
 }
 
 void LogDevice::CompleteCurrent() {
   ELOG_CHECK(in_service_);
   Status status = Status::OK();
-  if (current_fault_ == fault::FaultInjector::WriteFault::kTransientError) {
+  if (current_fault_ == fault::FaultInjector::WriteFault::kDriveDead) {
+    // Permanent media failure: nothing is stored and nothing will be until
+    // the drive is replaced.
+    ++dead_rejects_;
+    if (metrics_ != nullptr) metrics_->Incr(metrics_prefix_ + ".dead_rejects");
+    status = Status::FailedPrecondition("log drive is dead");
+  } else if (current_fault_ ==
+             fault::FaultInjector::WriteFault::kTransientError) {
     // The block never reaches the platter; the caller must retry.
     ++write_errors_;
-    if (metrics_ != nullptr) metrics_->Incr("log_device.write_errors");
+    if (metrics_ != nullptr) metrics_->Incr(metrics_prefix_ + ".write_errors");
     status = Status::Aborted("transient log write error");
   } else {
     if (current_fault_ == fault::FaultInjector::WriteFault::kBitRot) {
@@ -69,25 +99,37 @@ void LogDevice::CompleteCurrent() {
       // reports success. Only recovery's CRC check can see it.
       injector_->Scramble(&current_.image);
       ++bit_rot_writes_;
-      if (metrics_ != nullptr) metrics_->Incr("log_device.bit_rot_writes");
+      if (metrics_ != nullptr) {
+        metrics_->Incr(metrics_prefix_ + ".bit_rot_writes");
+      }
     }
     storage_->Put(current_.address, std::move(current_.image));
     ++writes_completed_;
     ++per_generation_writes_[current_.address.generation];
     if (metrics_ != nullptr) {
-      metrics_->Incr("log_device.writes");
-      metrics_->Incr("log_device.writes.gen" +
+      metrics_->Incr(metrics_prefix_ + ".writes");
+      metrics_->Incr(metrics_prefix_ + ".writes.gen" +
                      std::to_string(current_.address.generation));
     }
   }
+  std::function<void(fault::FaultInjector::WriteFault)> on_fault_witness =
+      std::move(current_.on_fault_witness);
   std::function<void(const Status&)> on_complete =
       std::move(current_.on_complete);
+  fault::FaultInjector::WriteFault fault = current_fault_;
   in_service_ = false;
   // Run the completion before starting the next transfer so the log
   // manager observes completions in submission order and a failed write
   // can be resubmitted (SubmitFront) ahead of younger queued blocks.
+  if (on_fault_witness) on_fault_witness(fault);
   if (on_complete) on_complete(status);
   if (!in_service_) StartNext();
+}
+
+void LogDevice::Revive() {
+  dead_ = false;
+  revived_ = true;
+  if (metrics_ != nullptr) metrics_->Incr(metrics_prefix_ + ".revives");
 }
 
 int64_t LogDevice::writes_completed(uint32_t generation) const {

@@ -11,12 +11,21 @@
 // (error status, nothing stored), land silently scrambled (bit-rot: OK
 // status, corrupt image), or take a latency spike. Callers must therefore
 // treat only an ok() completion as durability — never mere submission.
+//
+// The injector may additionally carry a permanent-death plan: at a drawn
+// virtual time or serviced-op count the drive's media fails for good and
+// every subsequent write is rejected (WriteFault::kDriveDead) until the
+// drive is replaced via Revive() — which models swapping in fresh media,
+// so the old plan does not re-trip. DuplexLogDevice fronts two LogDevice
+// replicas behind the same submission interface (LogWritePort) to survive
+// exactly this fault.
 
 #ifndef ELOG_DISK_LOG_DEVICE_H_
 #define ELOG_DISK_LOG_DEVICE_H_
 
 #include <deque>
 #include <functional>
+#include <string>
 
 #include "disk/log_storage.h"
 #include "fault/fault_injector.h"
@@ -39,23 +48,42 @@ struct LogWriteRequest {
   /// (retry backoff: a resubmitted write waits out its backoff at the head
   /// of the queue, preserving FIFO durability order).
   SimTime extra_latency = 0;
+  /// Oracle-only witness: invoked just before on_complete with the fault
+  /// the device drew for this write, including kBitRot, which on_complete
+  /// cannot see (the device reports success). DuplexLogDevice uses it to
+  /// detect double faults on the same block; production code must never
+  /// branch on it.
+  std::function<void(fault::FaultInjector::WriteFault)> on_fault_witness;
 };
 
-class LogDevice {
+/// The submission interface the log managers write through. LogDevice is
+/// the single-drive implementation; DuplexLogDevice mirrors onto two
+/// drives. Both preserve the FIFO durability contract: completions are
+/// observed in submission order, and SubmitFront lets a failed write be
+/// retried ahead of every younger queued block.
+class LogWritePort {
+ public:
+  virtual ~LogWritePort() = default;
+  virtual void Submit(LogWriteRequest request) = 0;
+  virtual void SubmitFront(LogWriteRequest request) = 0;
+};
+
+class LogDevice : public LogWritePort {
  public:
   LogDevice(sim::Simulator* simulator, LogStorage* storage,
             SimTime write_latency, sim::MetricsRegistry* metrics,
-            fault::FaultInjector* injector = nullptr);
+            fault::FaultInjector* injector = nullptr,
+            std::string metrics_prefix = "log_device");
 
   /// Enqueues a block write. Never blocks; completion is signalled via the
   /// request's callback.
-  void Submit(LogWriteRequest request);
+  void Submit(LogWriteRequest request) override;
 
   /// Enqueues a block write at the head of the queue. Used to retry a
   /// just-failed write before any younger queued block is serviced, so a
   /// transaction's COMMIT block can never become durable ahead of one of
   /// its retried data blocks.
-  void SubmitFront(LogWriteRequest request);
+  void SubmitFront(LogWriteRequest request) override;
 
   /// Total block writes completed (the paper's log-bandwidth numerator).
   int64_t writes_completed() const { return writes_completed_; }
@@ -68,6 +96,24 @@ class LogDevice {
 
   /// Writes that landed silently scrambled (injected bit-rot).
   int64_t bit_rot_writes() const { return bit_rot_writes_; }
+
+  /// True once the death plan has tripped: the media is gone and every
+  /// write is rejected until Revive().
+  bool dead() const { return dead_; }
+  SimTime died_at() const { return died_at_; }
+
+  /// Writes rejected because the drive was dead.
+  int64_t dead_rejects() const { return dead_rejects_; }
+
+  /// Replaces the dead media with a fresh drive: the device accepts writes
+  /// again and the consumed death plan does not re-trip. The caller
+  /// (resilver) owns repopulating storage from a survivor.
+  void Revive();
+
+  /// The backing storage (resilver copies survivor blocks into a dead
+  /// replica's storage through this).
+  LogStorage* storage() { return storage_; }
+  const LogStorage* storage() const { return storage_; }
 
   /// True if a write is in service or queued.
   bool busy() const { return in_service_ || !queue_.empty(); }
@@ -85,12 +131,14 @@ class LogDevice {
   void StartNext();
   void CompleteCurrent();
   void CheckAddress(const LogWriteRequest& request) const;
+  bool DeathTripped() const;
 
   sim::Simulator* simulator_;
   LogStorage* storage_;
   SimTime write_latency_;
   sim::MetricsRegistry* metrics_;
   fault::FaultInjector* injector_;
+  std::string metrics_prefix_;
 
   std::deque<LogWriteRequest> queue_;
   bool in_service_ = false;
@@ -101,6 +149,13 @@ class LogDevice {
   int64_t writes_completed_ = 0;
   int64_t write_errors_ = 0;
   int64_t bit_rot_writes_ = 0;
+  /// Writes that entered service (dead-rejected ones included): the death
+  /// plan's op-count trigger compares against this.
+  int64_t ops_started_ = 0;
+  bool dead_ = false;
+  bool revived_ = false;
+  SimTime died_at_ = 0;
+  int64_t dead_rejects_ = 0;
   std::vector<int64_t> per_generation_writes_;
 };
 

@@ -6,12 +6,51 @@ namespace elog {
 namespace fault {
 namespace {
 
+// Salt for the per-replica drive-death stream. Death plans must come from
+// a stream separate from the per-write decision stream so that enabling or
+// zeroing drive_death_rate never shifts a transient/bit-rot/spike draw.
+constexpr uint64_t kDeathStreamSalt = 0xD1EDD1EDD1EDD1EDull;
+
+// Salt for replica > 0 per-write streams; replica 0 uses config.seed
+// directly so single-log runs reproduce the historical stream.
+constexpr uint64_t kReplicaStreamSalt = 0x4C4F47524550ull;  // "LOGREP"
+
 Status CheckRate(double rate, const char* name) {
   if (rate < 0.0 || rate > 1.0) {
     return Status::InvalidArgument(std::string(name) +
                                    " must be a probability in [0, 1]");
   }
   return Status::OK();
+}
+
+DriveDeathPlan DrawDeathPlan(const FaultConfig& config, uint32_t replica) {
+  // A private stream with a FIXED draw count (four uniforms), consumed
+  // whether or not the drive ends up dying. The plan for replica i depends
+  // only on (seed, i): replica 0's transient stream is untouched and the
+  // same seed yields the same fates at any rate setting for the *other*
+  // knobs (stream stability, mirroring NextLogWrite's contract).
+  Rng rng(DeriveSeed(config.seed ^ kDeathStreamSalt, replica));
+  const double u_dies = rng.NextDouble();
+  const double u_mode = rng.NextDouble();
+  const double u_time = rng.NextDouble();
+  const double u_ops = rng.NextDouble();
+
+  DriveDeathPlan plan;
+  if (u_dies >= config.drive_death_rate) return plan;
+  plan.dies = true;
+  const SimTime span =
+      config.max_drive_death_time - config.min_drive_death_time;
+  plan.time = config.min_drive_death_time +
+              static_cast<SimTime>(u_time * static_cast<double>(span));
+  if (u_mode < config.drive_death_by_ops_prob) {
+    const uint64_t ops_span =
+        config.max_drive_death_ops - config.min_drive_death_ops;
+    plan.op_count =
+        config.min_drive_death_ops +
+        static_cast<uint64_t>(u_ops * static_cast<double>(ops_span));
+    if (plan.op_count == 0) plan.op_count = 1;
+  }
+  return plan;
 }
 
 }  // namespace
@@ -25,6 +64,10 @@ Status FaultConfig::Validate() const {
   if (!s.ok()) return s;
   s = CheckRate(flush_transient_error_rate, "flush_transient_error_rate");
   if (!s.ok()) return s;
+  s = CheckRate(drive_death_rate, "drive_death_rate");
+  if (!s.ok()) return s;
+  s = CheckRate(drive_death_by_ops_prob, "drive_death_by_ops_prob");
+  if (!s.ok()) return s;
   if (log_latency_spike_multiplier < 1.0) {
     return Status::InvalidArgument(
         "log_latency_spike_multiplier must be >= 1");
@@ -35,11 +78,25 @@ Status FaultConfig::Validate() const {
   if (flush_retry_backoff < 0) {
     return Status::InvalidArgument("flush_retry_backoff must be >= 0");
   }
+  if (min_drive_death_time < 0 ||
+      max_drive_death_time < min_drive_death_time) {
+    return Status::InvalidArgument(
+        "drive death time window must satisfy 0 <= min <= max");
+  }
+  if (max_drive_death_ops < min_drive_death_ops) {
+    return Status::InvalidArgument(
+        "drive death op window must satisfy min <= max");
+  }
   return Status::OK();
 }
 
-FaultInjector::FaultInjector(const FaultConfig& config)
-    : config_(config), rng_(config.seed) {
+FaultInjector::FaultInjector(const FaultConfig& config, uint32_t replica)
+    : config_(config),
+      replica_(replica),
+      rng_(replica == 0 ? config.seed
+                        : DeriveSeed(config.seed ^ kReplicaStreamSalt,
+                                     replica)),
+      death_plan_(DrawDeathPlan(config, replica)) {
   ELOG_CHECK_OK(config.Validate());
 }
 

@@ -7,6 +7,14 @@
 // happen in event-dispatch order and a (seed, schedule) pair replays the
 // exact same fault sequence bit-identically, at any sweep --jobs value.
 //
+// Duplexed logs use one injector per replica. All replica streams derive
+// from the single FaultConfig::seed (replica 0 keeps the historical
+// stream; replica i > 0 is DeriveSeed'd), so a duplex run still replays
+// from one seed. Permanent drive death is drawn once, at construction,
+// from a *separate* derived stream with a fixed draw count — zeroing the
+// death rate can therefore never shift a transient/bit-rot/spike decision
+// and vice versa.
+//
 // The injector is pure policy: devices ask it "what happens to this
 // write?" and apply the answer themselves. It never touches the simulator
 // clock or storage directly (except for Scramble, which mutates a block
@@ -54,19 +62,50 @@ struct FaultConfig {
   uint32_t max_flush_attempts = 8;
   SimTime flush_retry_backoff = 5 * kMillisecond;
 
+  /// Permanent media failure: probability that a log drive (one replica)
+  /// dies for good during the run. A dead drive rejects every subsequent
+  /// write with an error status until it is replaced (resilver). The
+  /// death instant is drawn per replica at injector construction: always
+  /// a virtual-time trigger in [min_drive_death_time, max_drive_death_time),
+  /// plus — with probability drive_death_by_ops_prob — an op-count trigger
+  /// in [min_drive_death_ops, max_drive_death_ops); whichever trips first
+  /// kills the drive (mirroring CrashSchedule's dual trigger).
+  double drive_death_rate = 0.0;
+  SimTime min_drive_death_time = 500 * kMillisecond;
+  SimTime max_drive_death_time = 8 * kSecond;
+  double drive_death_by_ops_prob = 0.5;
+  uint64_t min_drive_death_ops = 20;
+  uint64_t max_drive_death_ops = 2000;
+
   /// True if any fault rate is nonzero (an all-zero config needs no
   /// injector at all).
   bool enabled() const {
     return log_transient_error_rate > 0 || log_bit_rot_rate > 0 ||
-           log_latency_spike_rate > 0 || flush_transient_error_rate > 0;
+           log_latency_spike_rate > 0 || flush_transient_error_rate > 0 ||
+           drive_death_rate > 0;
   }
 
   Status Validate() const;
 };
 
+/// The fate drawn for a drive at construction: whether, and when, its
+/// media fails permanently. Plain data so tests and torture JSON can
+/// record it.
+struct DriveDeathPlan {
+  bool dies = false;
+  /// Virtual-time trigger (always armed when dies).
+  SimTime time = 0;
+  /// Op-count trigger: the drive dies after servicing this many writes
+  /// (0 = not armed; only the time trigger applies).
+  uint64_t op_count = 0;
+};
+
 class FaultInjector {
  public:
-  explicit FaultInjector(const FaultConfig& config);
+  /// `replica` selects the stream: replica 0 reproduces the historical
+  /// single-log stream for FaultConfig::seed; higher replicas get
+  /// independent streams derived from the same seed.
+  explicit FaultInjector(const FaultConfig& config, uint32_t replica = 0);
 
   enum class WriteFault {
     kNone,
@@ -74,6 +113,10 @@ class FaultInjector {
     kTransientError,
     /// The write "succeeds" but the stored image is scrambled.
     kBitRot,
+    /// The drive is permanently dead; the write is rejected. Never drawn
+    /// by the injector itself — reported by a LogDevice whose death plan
+    /// has tripped.
+    kDriveDead,
   };
 
   struct WriteDecision {
@@ -97,6 +140,11 @@ class FaultInjector {
 
   const FaultConfig& config() const { return config_; }
 
+  /// This replica's permanent-death fate, drawn at construction from a
+  /// stream independent of every per-write decision.
+  const DriveDeathPlan& death_plan() const { return death_plan_; }
+  uint32_t replica() const { return replica_; }
+
   // Injection counters (drawn faults, whether or not a retry later
   // masked them).
   int64_t log_transient_errors() const { return log_transient_errors_; }
@@ -106,7 +154,9 @@ class FaultInjector {
 
  private:
   FaultConfig config_;
+  uint32_t replica_;
   Rng rng_;
+  DriveDeathPlan death_plan_;
   int64_t log_transient_errors_ = 0;
   int64_t log_bit_rots_ = 0;
   int64_t log_latency_spikes_ = 0;

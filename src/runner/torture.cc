@@ -51,7 +51,8 @@ std::vector<TortureManager> AllTortureManagers() {
 }
 
 TortureTrial RunTortureTrial(const TortureSpec& spec, TortureManager manager,
-                             int trial_index) {
+                             int trial_index,
+                             const db::InvariantPolicy* policy_override) {
   const uint64_t trial_seed =
       DeriveSeed(spec.base_seed ^ ManagerSalt(manager),
                  static_cast<uint64_t>(trial_index));
@@ -87,6 +88,12 @@ TortureTrial RunTortureTrial(const TortureSpec& spec, TortureManager manager,
   config.faults.log_bit_rot_rate = spec.log_bit_rot_rate;
   config.faults.log_latency_spike_rate = spec.log_latency_spike_rate;
   config.faults.flush_transient_error_rate = spec.flush_transient_error_rate;
+  // Death plans draw from their own derived stream, so arming them moves
+  // no draw of this trial's rng (death in single-log mode is what shows
+  // the loss duplexing prevents).
+  config.faults.drive_death_rate = spec.drive_death_rate;
+  config.faults.min_drive_death_time = spec.min_drive_death_time;
+  config.faults.max_drive_death_time = spec.max_drive_death_time;
 
   fault::CrashSchedule schedule;
   ELOG_CHECK_GT(spec.max_crash_time, spec.min_crash_time);
@@ -104,10 +111,35 @@ TortureTrial RunTortureTrial(const TortureSpec& spec, TortureManager manager,
   }
   schedule.torn_write = rng.NextBool(spec.torn_write_prob);
 
+  // Duplex-only draws come last, appended after every single-log draw, so
+  // the same (spec, manager, index) with spec.duplex = false replays the
+  // exact single-log trial.
+  if (spec.duplex) {
+    config.duplex_log = true;
+    ELOG_CHECK_GT(spec.max_resilver_delay, spec.min_resilver_delay);
+    if (rng.NextBool(spec.resilver_prob)) {
+      config.auto_resilver_delay =
+          spec.min_resilver_delay +
+          static_cast<SimTime>(rng.NextBounded(static_cast<uint64_t>(
+              spec.max_resilver_delay - spec.min_resilver_delay)));
+    }
+  }
+
   db::Database database(config);
   db::Database::CrashImage image = database.RunUntilCrash(schedule);
-  db::RecoveryResult recovered =
-      db::RecoveryManager::Recover(image.log, image.stable);
+  db::RecoveryResult recovered;
+  if (config.duplex_log) {
+    recovered = db::RecoveryManager::RecoverDuplex(
+        image.log_readable ? &image.log : nullptr,
+        image.mirror_readable ? &image.mirror_log : nullptr, image.stable);
+  } else if (image.log_readable) {
+    recovered = db::RecoveryManager::Recover(image.log, image.stable);
+  } else {
+    // The single log drive died: its media cannot be read, so recovery
+    // has only the stable store — exactly the loss duplexing prevents.
+    disk::LogStorage unreadable(config.log.generation_blocks);
+    recovered = db::RecoveryManager::Recover(unreadable, image.stable);
+  }
 
   TortureTrial trial;
   trial.seed = trial_seed;
@@ -123,6 +155,20 @@ TortureTrial RunTortureTrial(const TortureSpec& spec, TortureManager manager,
   trial.blocks_corrupt = static_cast<int64_t>(recovered.scan.blocks_corrupt);
   trial.records_recovered = static_cast<int64_t>(recovered.records_applied);
   trial.undos_applied = static_cast<int64_t>(recovered.undos_applied);
+
+  trial.replicas_dead =
+      (image.log_readable ? 0 : 1) +
+      (config.duplex_log && !image.mirror_readable ? 1 : 0);
+  const disk::DuplexLogDevice* duplex = database.duplex_device();
+  if (duplex != nullptr) {
+    trial.duplex = true;
+    trial.bit_rot_writes += database.mirror_device()->bit_rot_writes();
+    trial.degraded_writes = duplex->degraded_writes();
+    trial.silent_double_faults = duplex->silent_double_faults();
+    trial.resilvered_blocks = duplex->resilvered_blocks();
+  }
+  trial.blocks_repaired =
+      static_cast<int64_t>(recovered.duplex.blocks_repaired);
 
   int64_t unsafe_commit_drops = 0;
   int64_t unsafe_committing_kills = 0;
@@ -141,20 +187,26 @@ TortureTrial RunTortureTrial(const TortureSpec& spec, TortureManager manager,
     forced_releases = hybrid->forced_releases();
   }
 
-  db::InvariantPolicy policy;
-  policy.undo_redo = config.log.undo_redo;
-  // Events that remove acknowledged evidence cost the trial its exact-
-  // durability claim; events that can leave unowned COMMIT evidence
-  // behind cost the no-phantom claim too. Everything else always holds.
-  const bool lost_evidence = trial.log_writes_lost > 0 ||
-                             trial.flushes_lost > 0 ||
-                             trial.bit_rot_writes > 0 ||
-                             unsafe_commit_drops > 0 ||
-                             unsafe_committing_kills > 0 ||
-                             forced_releases > 0;
-  policy.expect_exact = !lost_evidence && !release_on_commit;
-  policy.expect_no_phantoms =
-      trial.log_writes_lost == 0 && unsafe_committing_kills == 0;
+  db::RunFaultSummary summary;
+  summary.log_writes_lost = trial.log_writes_lost;
+  summary.flushes_lost = trial.flushes_lost;
+  summary.bit_rot_writes = trial.bit_rot_writes;
+  summary.unsafe_commit_drops = unsafe_commit_drops;
+  summary.unsafe_committing_kills = unsafe_committing_kills;
+  summary.forced_releases = forced_releases;
+  summary.release_on_commit = release_on_commit;
+  summary.undo_redo = config.log.undo_redo;
+  summary.duplex = config.duplex_log;
+  summary.replica_readable[0] = image.log_readable;
+  summary.replica_readable[1] = image.mirror_readable;
+  if (duplex != nullptr) {
+    summary.silent_double_faults = duplex->silent_double_faults();
+    summary.sole_copy_writes[0] = duplex->sole_copy_writes(0);
+    summary.sole_copy_writes[1] = duplex->sole_copy_writes(1);
+    summary.resilver_wiped_sole_copies = duplex->resilver_wiped_sole_copies();
+  }
+  db::InvariantPolicy policy = db::DerivePolicy(summary);
+  if (policy_override != nullptr) policy = *policy_override;
 
   db::InvariantReport report =
       db::CheckRecoveryInvariants(image, recovered, policy);
@@ -187,6 +239,11 @@ TortureReport RunTorture(const TortureSpec& spec, TortureManager manager,
     report.total_flush_retries += trial.flush_retries;
     report.total_flushes_lost += trial.flushes_lost;
     report.total_blocks_corrupt += trial.blocks_corrupt;
+    if (trial.replicas_dead > 0) ++report.drive_death_trials;
+    report.total_degraded_writes += trial.degraded_writes;
+    report.total_silent_double_faults += trial.silent_double_faults;
+    report.total_blocks_repaired += trial.blocks_repaired;
+    report.total_resilvered_blocks += trial.resilvered_blocks;
   }
   return report;
 }

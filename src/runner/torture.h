@@ -10,15 +10,25 @@
 // salt, trial_index), so any failing trial replays bit-identically from
 // (manager, base_seed, trial_index) alone, at any --jobs value.
 //
-// The oracle policy is derived per trial from what actually happened:
-//   * exact durability is demanded unless the run lost a write or flush
-//     outright, suffered bit-rot, dropped/killed inside a commit window,
-//     force-released a committed transaction, or is a firewall run
-//     (release-on-commit discards data records by design);
+// The oracle policy is derived per trial from what actually happened
+// (db::DerivePolicy over a db::RunFaultSummary):
+//   * exact durability is demanded unless the run lost acknowledged
+//     evidence: an abandoned write or flush, a drop/kill inside a commit
+//     window, a forced release, a firewall run (release-on-commit
+//     discards data records by design) — plus, in single-log mode, any
+//     bit-rot or the log drive dying; in duplex mode only a genuine
+//     double fault (both copies damaged, or a replica lost while it held
+//     sole copies) weakens the claim;
 //   * no-phantom bounds are demanded unless a committing transaction was
 //     killed unsafely (e.g. after its block write was abandoned) — a
 //     stale durable copy of its COMMIT may then outlive the kill;
 //   * scan accounting and the UNDO steal-reversion invariant always hold.
+//
+// Duplex trials (spec.duplex): the log is mirrored onto two drives, each
+// with its own replayable fault stream and permanent-death plan, and
+// recovery runs the read-repair merge over both surviving images. All
+// duplex-only RNG draws are appended after the single-log draws, so
+// setting spec.duplex = false replays the exact single-log trial.
 
 #ifndef ELOG_RUNNER_TORTURE_H_
 #define ELOG_RUNNER_TORTURE_H_
@@ -57,6 +67,22 @@ struct TortureSpec {
   double log_bit_rot_rate = 0.01;
   double log_latency_spike_rate = 0.02;
   double flush_transient_error_rate = 0.02;
+
+  /// Per-attempt probability that a log drive's death plan arms (drawn
+  /// per replica from its own stream; see fault::FaultConfig). Applies in
+  /// single-log mode too — that is what demonstrates the loss duplexing
+  /// prevents.
+  double drive_death_rate = 0.0;
+  SimTime min_drive_death_time = 500 * kMillisecond;
+  SimTime max_drive_death_time = 8 * kSecond;
+
+  /// Mirror the log onto two drives (disk::DuplexLogDevice).
+  bool duplex = false;
+  /// Duplex only: probability the trial arms auto-resilver, and the delay
+  /// window it draws from when armed.
+  double resilver_prob = 0.5;
+  SimTime min_resilver_delay = 100 * kMillisecond;
+  SimTime max_resilver_delay = 2 * kSecond;
 
   /// Probability that the crash tears the in-flight block.
   double torn_write_prob = 0.5;
@@ -97,6 +123,16 @@ struct TortureTrial {
   int64_t blocks_corrupt = 0;
   int64_t records_recovered = 0;
   int64_t undos_applied = 0;
+
+  // Duplex accounting (all zero for single-log trials except
+  // replicas_dead, which also reports a dead single log drive).
+  bool duplex = false;
+  /// Log drives unreadable at the crash (dead and not resilvered).
+  int replicas_dead = 0;
+  int64_t degraded_writes = 0;
+  int64_t silent_double_faults = 0;
+  int64_t blocks_repaired = 0;
+  int64_t resilvered_blocks = 0;
 };
 
 struct TortureReport {
@@ -115,12 +151,24 @@ struct TortureReport {
   int64_t total_flush_retries = 0;
   int64_t total_flushes_lost = 0;
   int64_t total_blocks_corrupt = 0;
+  /// Trials where at least one log drive was dead at the crash.
+  int64_t drive_death_trials = 0;
+  int64_t total_degraded_writes = 0;
+  int64_t total_silent_double_faults = 0;
+  int64_t total_blocks_repaired = 0;
+  int64_t total_resilvered_blocks = 0;
 };
 
 /// Runs one trial (exposed for replay: a failing (manager, seed, index)
 /// triple from a torture JSON reruns exactly with the same spec).
+/// `policy_override`, if non-null, replaces the derived oracle policy —
+/// used by tests to hold a run to guarantees it cannot honestly make
+/// (e.g. demanding exactness from a single-log trial whose drive died, to
+/// demonstrate the loss duplexing prevents).
 TortureTrial RunTortureTrial(const TortureSpec& spec, TortureManager manager,
-                             int trial_index);
+                             int trial_index,
+                             const db::InvariantPolicy* policy_override =
+                                 nullptr);
 
 /// Runs spec.trials trials of one manager on `pool` (nullptr = inline),
 /// results in trial order.

@@ -1,0 +1,344 @@
+// DuplexLogDevice unit tests: lockstep dispatch, merged-outcome
+// classification (degraded writes, sole copies, silent double faults,
+// dual failures), crash-capture visibility of half-landed writes,
+// permanent drive death, and resilvering onto fresh media.
+
+#include "disk/duplex_log_device.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "fault/fault_injector.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "wal/block_format.h"
+
+namespace elog {
+namespace disk {
+namespace {
+
+constexpr SimTime kWrite = 15 * kMillisecond;
+
+class DuplexLogDeviceTest : public ::testing::Test {
+ protected:
+  /// Builds devices with optional per-replica fault configs. Pass nullptr
+  /// for a fault-free replica.
+  void Build(const fault::FaultConfig* primary_faults,
+             const fault::FaultConfig* mirror_faults,
+             SimTime auto_resilver_delay = -1) {
+    if (primary_faults != nullptr) {
+      injector0_ =
+          std::make_unique<fault::FaultInjector>(*primary_faults, 0);
+    }
+    if (mirror_faults != nullptr) {
+      injector1_ = std::make_unique<fault::FaultInjector>(*mirror_faults, 1);
+    }
+    primary_ = std::make_unique<LogDevice>(&sim_, &storage0_, kWrite,
+                                           &metrics_, injector0_.get());
+    mirror_ =
+        std::make_unique<LogDevice>(&sim_, &storage1_, kWrite, &metrics_,
+                                    injector1_.get(), "log_device_mirror");
+    duplex_ = std::make_unique<DuplexLogDevice>(
+        &sim_, primary_.get(), mirror_.get(), &metrics_, auto_resilver_delay);
+  }
+
+  static wal::BlockImage Image(uint64_t seq) {
+    const TxId tid = seq;
+    return wal::EncodeBlock(0, seq,
+                            {wal::LogRecord::MakeBegin(tid, seq * 10 + 1),
+                             wal::LogRecord::MakeCommit(tid, seq * 10 + 2)});
+  }
+
+  void SubmitTracked(uint32_t slot, uint64_t seq) {
+    LogWriteRequest request;
+    request.address = {0, slot};
+    request.image = Image(seq);
+    request.on_complete = [this, slot](const Status& status) {
+      completions_.push_back({slot, status.ok()});
+    };
+    duplex_->Submit(std::move(request));
+  }
+
+  sim::Simulator sim_;
+  sim::MetricsRegistry metrics_;
+  LogStorage storage0_{std::vector<uint32_t>{8}};
+  LogStorage storage1_{std::vector<uint32_t>{8}};
+  std::unique_ptr<fault::FaultInjector> injector0_;
+  std::unique_ptr<fault::FaultInjector> injector1_;
+  std::unique_ptr<LogDevice> primary_;
+  std::unique_ptr<LogDevice> mirror_;
+  std::unique_ptr<DuplexLogDevice> duplex_;
+  /// (slot, merged ok) per completed logical write, in completion order.
+  std::vector<std::pair<uint32_t, bool>> completions_;
+};
+
+TEST_F(DuplexLogDeviceTest, LockstepMirrorsEveryWrite) {
+  Build(nullptr, nullptr);
+  for (uint32_t slot = 0; slot < 3; ++slot) SubmitTracked(slot, slot + 1);
+  sim_.Run();
+  ASSERT_EQ(completions_.size(), 3u);
+  for (uint32_t slot = 0; slot < 3; ++slot) {
+    EXPECT_EQ(completions_[slot].first, slot);  // FIFO merge order
+    EXPECT_TRUE(completions_[slot].second);
+    ASSERT_TRUE(storage0_.IsWritten({0, slot}));
+    ASSERT_TRUE(storage1_.IsWritten({0, slot}));
+    EXPECT_EQ(*storage0_.Get({0, slot}), *storage1_.Get({0, slot}));
+  }
+  EXPECT_EQ(duplex_->writes_completed(), 3);
+  EXPECT_EQ(duplex_->degraded_writes(), 0);
+  EXPECT_EQ(duplex_->silent_double_faults(), 0);
+  EXPECT_EQ(duplex_->dual_failures(), 0);
+  // Replicas write in parallel, so three logical writes take 3x one
+  // transfer, not 6x.
+  EXPECT_EQ(sim_.Now(), 3 * kWrite);
+}
+
+TEST_F(DuplexLogDeviceTest, OneLogicalWriteOpenAtATime) {
+  Build(nullptr, nullptr);
+  SubmitTracked(0, 1);
+  SubmitTracked(1, 2);
+  sim_.RunUntil(1);
+  BlockAddress addr;
+  bool landed[2] = {true, true};
+  ASSERT_TRUE(duplex_->InFlight(&addr, landed));
+  EXPECT_EQ(addr, (BlockAddress{0, 0}));  // write 1 has not touched a drive
+  EXPECT_FALSE(landed[0]);
+  EXPECT_FALSE(landed[1]);
+  sim_.Run();
+  EXPECT_FALSE(duplex_->InFlight(&addr, landed));
+  EXPECT_FALSE(duplex_->busy());
+}
+
+TEST_F(DuplexLogDeviceTest, DegradedWriteWhenOneReplicaFails) {
+  fault::FaultConfig failing;
+  failing.seed = 11;
+  failing.log_transient_error_rate = 1.0;
+  Build(nullptr, &failing);
+  SubmitTracked(0, 1);
+  SubmitTracked(1, 2);
+  sim_.Run();
+  ASSERT_EQ(completions_.size(), 2u);
+  EXPECT_TRUE(completions_[0].second);  // merged OK: one copy survives
+  EXPECT_TRUE(completions_[1].second);
+  EXPECT_EQ(duplex_->degraded_writes(), 2);
+  EXPECT_EQ(duplex_->sole_copy_writes(0), 2);
+  EXPECT_EQ(duplex_->sole_copy_writes(1), 0);
+  EXPECT_EQ(mirror_->write_errors(), 2);
+  EXPECT_TRUE(storage0_.IsWritten({0, 0}));
+  EXPECT_FALSE(storage1_.IsWritten({0, 0}));
+}
+
+TEST_F(DuplexLogDeviceTest, DualFailureRetriesInFifoOrder) {
+  // Both replicas fail every attempt: the merged write errors and the
+  // caller retries via SubmitFront — the retry must run before the next
+  // queued logical write, exactly like a single device.
+  fault::FaultConfig failing;
+  failing.seed = 12;
+  failing.log_transient_error_rate = 1.0;
+  Build(&failing, &failing);
+  std::vector<uint32_t> order;
+  int attempts_a = 0;
+  LogWriteRequest a;
+  a.address = {0, 0};
+  a.image = Image(1);
+  std::function<void(const Status&)> on_a = [&](const Status& status) {
+    order.push_back(0);
+    EXPECT_FALSE(status.ok());
+    if (++attempts_a < 2) {
+      LogWriteRequest retry;
+      retry.address = {0, 0};
+      retry.image = Image(1);
+      retry.on_complete = on_a;
+      duplex_->SubmitFront(std::move(retry));
+    }
+  };
+  a.on_complete = on_a;
+  duplex_->Submit(std::move(a));
+  SubmitTracked(1, 2);
+  sim_.Run();
+  // A's retry merges before B: order A, A, then B.
+  ASSERT_EQ(order.size(), 2u);
+  ASSERT_EQ(completions_.size(), 1u);
+  EXPECT_EQ(completions_[0].first, 1u);
+  EXPECT_FALSE(completions_[0].second);
+  EXPECT_EQ(duplex_->dual_failures(), 3);
+  EXPECT_FALSE(storage0_.IsWritten({0, 0}));
+  EXPECT_FALSE(storage1_.IsWritten({0, 0}));
+}
+
+TEST_F(DuplexLogDeviceTest, RotOnOneCopyLeavesSoleCopyOnTheOther) {
+  fault::FaultConfig rotting;
+  rotting.seed = 13;
+  rotting.log_bit_rot_rate = 1.0;
+  Build(&rotting, nullptr);
+  SubmitTracked(0, 1);
+  sim_.Run();
+  EXPECT_TRUE(completions_[0].second);
+  EXPECT_EQ(duplex_->degraded_writes(), 0);  // both replicas stored a copy
+  EXPECT_EQ(duplex_->silent_double_faults(), 0);
+  EXPECT_EQ(duplex_->sole_copy_writes(1), 1);  // ...but only the mirror's
+  EXPECT_EQ(duplex_->sole_copy_writes(0), 0);  // copy is intact
+}
+
+TEST_F(DuplexLogDeviceTest, BothCopiesRottingIsASilentDoubleFault) {
+  fault::FaultConfig rotting;
+  rotting.seed = 14;
+  rotting.log_bit_rot_rate = 1.0;
+  Build(&rotting, &rotting);
+  SubmitTracked(0, 1);
+  sim_.Run();
+  EXPECT_TRUE(completions_[0].second);  // the writer never learns
+  EXPECT_EQ(duplex_->silent_double_faults(), 1);
+}
+
+TEST_F(DuplexLogDeviceTest, RotOnTheOnlyStoredCopyIsASilentDoubleFault) {
+  fault::FaultConfig rotting;
+  rotting.seed = 15;
+  rotting.log_bit_rot_rate = 1.0;
+  fault::FaultConfig failing;
+  failing.seed = 15;
+  failing.log_transient_error_rate = 1.0;
+  Build(&rotting, &failing);
+  SubmitTracked(0, 1);
+  sim_.Run();
+  EXPECT_TRUE(completions_[0].second);
+  EXPECT_EQ(duplex_->degraded_writes(), 1);
+  EXPECT_EQ(duplex_->silent_double_faults(), 1);
+  EXPECT_EQ(duplex_->sole_copy_writes(0), 0);  // the sole copy is rotten
+}
+
+TEST_F(DuplexLogDeviceTest, InFlightReportsTheHalfLandedCopy) {
+  // A latency spike on the mirror opens a window where the primary's copy
+  // has landed but the merge has not fired: crash capture must see
+  // exactly that half-landed state to tear the pair atomically.
+  fault::FaultConfig slow;
+  slow.seed = 16;
+  slow.log_latency_spike_rate = 1.0;
+  slow.log_latency_spike_multiplier = 3.0;
+  Build(nullptr, &slow);
+  SubmitTracked(0, 1);
+  sim_.RunUntil(20 * kMillisecond);  // primary done at 15ms, mirror at 45ms
+  BlockAddress addr;
+  bool landed[2] = {false, false};
+  ASSERT_TRUE(duplex_->InFlight(&addr, landed));
+  EXPECT_EQ(addr, (BlockAddress{0, 0}));
+  EXPECT_TRUE(landed[0]);
+  EXPECT_FALSE(landed[1]);
+  EXPECT_TRUE(completions_.empty());  // not merged: not acknowledged
+  sim_.Run();
+  ASSERT_EQ(completions_.size(), 1u);
+  EXPECT_TRUE(completions_[0].second);
+}
+
+TEST_F(DuplexLogDeviceTest, DriveDeathDegradesSubsequentWrites) {
+  fault::FaultConfig dying;
+  dying.seed = 17;
+  dying.drive_death_rate = 1.0;
+  dying.drive_death_by_ops_prob = 0.0;
+  dying.min_drive_death_time = 1 * kMillisecond;
+  dying.max_drive_death_time = 2 * kMillisecond;
+  Build(nullptr, &dying);
+  for (uint32_t slot = 0; slot < 3; ++slot) SubmitTracked(slot, slot + 1);
+  sim_.Run();
+  // Write 0 enters service at t=0, before the death instant; writes 1-2
+  // start after it and find the mirror's media gone.
+  EXPECT_TRUE(mirror_->dead());
+  EXPECT_EQ(mirror_->dead_rejects(), 2);
+  EXPECT_EQ(duplex_->dead_replicas_observed(), 1);
+  EXPECT_EQ(duplex_->degraded_writes(), 2);
+  EXPECT_EQ(duplex_->sole_copy_writes(0), 2);
+  for (const auto& [slot, ok] : completions_) EXPECT_TRUE(ok);
+  EXPECT_TRUE(storage0_.IsWritten({0, 2}));
+  EXPECT_FALSE(storage1_.IsWritten({0, 2}));
+}
+
+TEST_F(DuplexLogDeviceTest, ManualResilverCopiesSurvivorOntoFreshMedia) {
+  fault::FaultConfig dying;
+  dying.seed = 18;
+  dying.drive_death_rate = 1.0;
+  dying.drive_death_by_ops_prob = 0.0;
+  dying.min_drive_death_time = 1 * kMillisecond;
+  dying.max_drive_death_time = 2 * kMillisecond;
+  Build(nullptr, &dying);
+  for (uint32_t slot = 0; slot < 3; ++slot) SubmitTracked(slot, slot + 1);
+  sim_.Run();
+  ASSERT_TRUE(mirror_->dead());
+
+  EXPECT_EQ(duplex_->ResilverDeadReplica(), 3);
+  EXPECT_FALSE(mirror_->dead());
+  EXPECT_EQ(duplex_->resilvers_completed(), 1);
+  EXPECT_EQ(duplex_->resilvered_blocks(), 3);
+  EXPECT_EQ(duplex_->resilver_wiped_sole_copies(), 0);  // survivor had all
+  for (uint32_t slot = 0; slot < 3; ++slot) {
+    ASSERT_TRUE(storage1_.IsWritten({0, slot}));
+    EXPECT_EQ(*storage0_.Get({0, slot}), *storage1_.Get({0, slot}));
+  }
+  // The replacement drive services writes again: no new degraded writes.
+  const int64_t degraded_before = duplex_->degraded_writes();
+  SubmitTracked(3, 4);
+  sim_.Run();
+  EXPECT_EQ(duplex_->degraded_writes(), degraded_before);
+  EXPECT_TRUE(storage1_.IsWritten({0, 3}));
+}
+
+TEST_F(DuplexLogDeviceTest, ResilverWipesStaleMediaAndRecordsLostSoleCopies) {
+  // The primary never stores anything (transient errors every attempt);
+  // the mirror stores two sole copies, then its drive dies. A resilver
+  // swaps in fresh media: the sole copies are gone for good — the device
+  // must count them, and the stale images must NOT survive on the
+  // replacement drive.
+  fault::FaultConfig failing;
+  failing.seed = 19;
+  failing.log_transient_error_rate = 1.0;
+  fault::FaultConfig dying;
+  dying.seed = 19;
+  dying.drive_death_rate = 1.0;
+  dying.drive_death_by_ops_prob = 1.0;
+  dying.min_drive_death_ops = 2;
+  dying.max_drive_death_ops = 3;  // op_count = 2: the third write dies
+  dying.min_drive_death_time = 1000 * kSecond;
+  dying.max_drive_death_time = 1001 * kSecond;
+  Build(&failing, &dying);
+  for (uint32_t slot = 0; slot < 3; ++slot) SubmitTracked(slot, slot + 1);
+  sim_.Run();
+  ASSERT_TRUE(mirror_->dead());
+  EXPECT_EQ(duplex_->sole_copy_writes(1), 2);
+  EXPECT_EQ(duplex_->dual_failures(), 1);  // write 3: error + dead
+
+  EXPECT_EQ(duplex_->ResilverDeadReplica(), 0);  // survivor holds nothing
+  EXPECT_EQ(duplex_->resilver_wiped_sole_copies(), 2);
+  EXPECT_FALSE(mirror_->dead());
+  EXPECT_FALSE(storage1_.IsWritten({0, 0}));  // fresh media, no resurrection
+  EXPECT_FALSE(storage1_.IsWritten({0, 1}));
+}
+
+TEST_F(DuplexLogDeviceTest, AutoResilverRunsAfterTheConfiguredDelay) {
+  fault::FaultConfig dying;
+  dying.seed = 20;
+  dying.drive_death_rate = 1.0;
+  dying.drive_death_by_ops_prob = 0.0;
+  dying.min_drive_death_time = 1 * kMillisecond;
+  dying.max_drive_death_time = 2 * kMillisecond;
+  Build(nullptr, &dying, /*auto_resilver_delay=*/100 * kMillisecond);
+  for (uint32_t slot = 0; slot < 3; ++slot) SubmitTracked(slot, slot + 1);
+  sim_.Run();  // drains writes AND the scheduled resilver
+  EXPECT_EQ(duplex_->resilvers_completed(), 1);
+  EXPECT_FALSE(mirror_->dead());
+  for (uint32_t slot = 0; slot < 3; ++slot) {
+    EXPECT_TRUE(storage1_.IsWritten({0, slot}));
+  }
+}
+
+TEST_F(DuplexLogDeviceTest, ResilverIsANoOpWithoutADeadReplica) {
+  Build(nullptr, nullptr);
+  SubmitTracked(0, 1);
+  sim_.Run();
+  EXPECT_EQ(duplex_->ResilverDeadReplica(), 0);
+  EXPECT_EQ(duplex_->resilvers_completed(), 0);
+}
+
+}  // namespace
+}  // namespace disk
+}  // namespace elog

@@ -125,6 +125,102 @@ TEST(FaultInjectorTest, StreamPositionIndependentOfRates) {
   }
 }
 
+TEST(FaultInjectorTest, DeathPlanDoesNotShiftWriteStream) {
+  // Stream stability, direction 1: arming (or re-zeroing) the drive-death
+  // rate must not move a single transient/bit-rot/spike/flush decision —
+  // the death plan draws from its own derived stream.
+  FaultConfig without_death = MixedConfig(777);
+  FaultConfig with_death = without_death;
+  with_death.drive_death_rate = 1.0;
+  FaultInjector a(without_death);
+  FaultInjector b(with_death);
+  EXPECT_FALSE(a.death_plan().dies);
+  EXPECT_TRUE(b.death_plan().dies);
+  for (int i = 0; i < 2000; ++i) {
+    FaultInjector::WriteDecision da = a.NextLogWrite(kBase);
+    FaultInjector::WriteDecision db = b.NextLogWrite(kBase);
+    EXPECT_EQ(da.fault, db.fault) << "decision " << i;
+    EXPECT_EQ(da.extra_latency, db.extra_latency) << "decision " << i;
+    EXPECT_EQ(a.NextFlushFails(), b.NextFlushFails()) << "decision " << i;
+  }
+}
+
+TEST(FaultInjectorTest, WriteRatesDoNotShiftDeathPlan) {
+  // Stream stability, direction 2: zeroing every transient rate must not
+  // change the drawn death plan.
+  FaultConfig full = MixedConfig(778);
+  full.drive_death_rate = 0.7;
+  FaultConfig death_only;
+  death_only.seed = full.seed;
+  death_only.drive_death_rate = 0.7;
+  FaultInjector a(full);
+  FaultInjector b(death_only);
+  EXPECT_EQ(a.death_plan().dies, b.death_plan().dies);
+  EXPECT_EQ(a.death_plan().time, b.death_plan().time);
+  EXPECT_EQ(a.death_plan().op_count, b.death_plan().op_count);
+}
+
+TEST(FaultInjectorTest, DeathPlanReplaysFromSeedAndRespectsWindow) {
+  FaultConfig config;
+  config.seed = 4242;
+  config.drive_death_rate = 1.0;
+  for (uint32_t replica = 0; replica < 2; ++replica) {
+    FaultInjector a(config, replica);
+    FaultInjector b(config, replica);
+    ASSERT_TRUE(a.death_plan().dies);
+    EXPECT_EQ(a.death_plan().time, b.death_plan().time);
+    EXPECT_EQ(a.death_plan().op_count, b.death_plan().op_count);
+    EXPECT_GE(a.death_plan().time, config.min_drive_death_time);
+    EXPECT_LT(a.death_plan().time, config.max_drive_death_time);
+    if (a.death_plan().op_count != 0) {
+      EXPECT_GE(a.death_plan().op_count, config.min_drive_death_ops);
+      EXPECT_LT(a.death_plan().op_count, config.max_drive_death_ops);
+    }
+  }
+}
+
+TEST(FaultInjectorTest, ReplicaZeroKeepsHistoricalStream) {
+  // A duplex run's primary replays the exact per-write stream a
+  // single-log run drew from the same seed.
+  FaultInjector single(MixedConfig(900));
+  FaultInjector primary(MixedConfig(900), /*replica=*/0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(single.NextLogWrite(kBase).fault,
+              primary.NextLogWrite(kBase).fault)
+        << "decision " << i;
+  }
+}
+
+TEST(FaultInjectorTest, ReplicaStreamsAreIndependent) {
+  FaultInjector primary(MixedConfig(901), /*replica=*/0);
+  FaultInjector mirror(MixedConfig(901), /*replica=*/1);
+  EXPECT_EQ(primary.replica(), 0u);
+  EXPECT_EQ(mirror.replica(), 1u);
+  bool diverged = false;
+  for (int i = 0; i < 500 && !diverged; ++i) {
+    diverged = primary.NextLogWrite(kBase).fault !=
+               mirror.NextLogWrite(kBase).fault;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultConfigTest, RejectsBadDeathKnobs) {
+  FaultConfig config;
+  config.drive_death_rate = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config = FaultConfig();
+  config.drive_death_by_ops_prob = -0.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config = FaultConfig();
+  config.min_drive_death_time = 2 * kSecond;
+  config.max_drive_death_time = 1 * kSecond;
+  EXPECT_FALSE(config.Validate().ok());
+  config = FaultConfig();
+  config.min_drive_death_ops = 100;
+  config.max_drive_death_ops = 50;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
 TEST(FaultInjectorTest, ScrambleBreaksDecode) {
   FaultInjector injector(MixedConfig(42));
   for (int i = 0; i < 200; ++i) {

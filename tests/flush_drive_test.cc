@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
+
+#include "fault/fault_injector.h"
 
 namespace elog {
 namespace disk {
@@ -149,6 +152,131 @@ TEST_F(FlushDriveTest, UrgentSeekDistancesCounted) {
 TEST_F(FlushDriveTest, OutOfRangeOidChecks) {
   EXPECT_DEATH(drive_.Enqueue(Request(1000)), "");
   EXPECT_DEATH(drive_.EnqueueUrgent(Request(5000)), "");
+}
+
+// --- Abandonment (on_failed) -------------------------------------------
+//
+// A lost flush must notify its owner: exactly one of on_durable /
+// on_failed runs for every enqueued request, so no owner is ever left
+// dangling on a durability signal that will never come.
+
+class FailingFlushDriveTest : public ::testing::Test {
+ protected:
+  /// Per-request callback accounting, indexed by lsn.
+  struct Outcome {
+    int durable = 0;
+    int failed = 0;
+  };
+
+  void BuildDrive(double fail_rate, uint32_t max_attempts,
+                  uint64_t seed = 77) {
+    fault::FaultConfig config;
+    config.seed = seed;
+    config.flush_transient_error_rate = fail_rate;
+    config.max_flush_attempts = max_attempts;
+    config.flush_retry_backoff = 5 * kMillisecond;
+    injector_ = std::make_unique<fault::FaultInjector>(config);
+    drive_ = std::make_unique<FlushDrive>(&sim_, 0, 0, 1000, kTransfer,
+                                          &metrics_, injector_.get());
+  }
+
+  FlushRequest Tracked(Oid oid) {
+    FlushRequest request;
+    request.oid = oid;
+    request.lsn = next_lsn_++;
+    outcomes_.emplace_back();
+    size_t index = outcomes_.size() - 1;
+    request.on_durable = [this, index](const FlushRequest&) {
+      ++outcomes_[index].durable;
+    };
+    request.on_failed = [this, index](const FlushRequest&) {
+      ++outcomes_[index].failed;
+    };
+    return request;
+  }
+
+  sim::Simulator sim_;
+  sim::MetricsRegistry metrics_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<FlushDrive> drive_;
+  Lsn next_lsn_ = 1;
+  std::vector<Outcome> outcomes_;
+};
+
+TEST_F(FailingFlushDriveTest, AbandonedRequestFiresOnFailedExactlyOnce) {
+  BuildDrive(/*fail_rate=*/1.0, /*max_attempts=*/2);
+  drive_->Enqueue(Tracked(10));
+  sim_.Run();
+  ASSERT_EQ(outcomes_.size(), 1u);
+  EXPECT_EQ(outcomes_[0].durable, 0);
+  EXPECT_EQ(outcomes_[0].failed, 1);
+  // One initial attempt + one retry, then abandoned.
+  EXPECT_EQ(drive_->flush_retries(), 1);
+  EXPECT_EQ(drive_->flushes_lost(), 1);
+  EXPECT_EQ(drive_->flushes_completed(), 0);
+}
+
+TEST_F(FailingFlushDriveTest, AbandonmentDoesNotStallTheQueue) {
+  // The drive must go back in service after abandoning a request: later
+  // requests (including urgent ones) still get exactly one callback.
+  BuildDrive(/*fail_rate=*/1.0, /*max_attempts=*/1);
+  for (Oid oid = 0; oid < 5; ++oid) drive_->Enqueue(Tracked(oid * 100));
+  drive_->EnqueueUrgent(Tracked(999));
+  sim_.Run();
+  EXPECT_EQ(drive_->pending(), 0u);
+  EXPECT_FALSE(drive_->busy());
+  EXPECT_EQ(drive_->flushes_lost(), 6);
+  ASSERT_EQ(outcomes_.size(), 6u);
+  for (size_t i = 0; i < outcomes_.size(); ++i) {
+    EXPECT_EQ(outcomes_[i].durable, 0) << "request " << i;
+    EXPECT_EQ(outcomes_[i].failed, 1) << "request " << i;
+  }
+}
+
+TEST_F(FailingFlushDriveTest, NoDanglingOwnersUnderMixedFaults) {
+  // At a 40% per-attempt failure rate with 3 attempts, some requests
+  // complete and some are abandoned — but every single one settles with
+  // exactly one callback, and the drive's counters account for all of
+  // them.
+  BuildDrive(/*fail_rate=*/0.4, /*max_attempts=*/3);
+  constexpr int kRequests = 200;
+  for (int i = 0; i < kRequests; ++i) {
+    drive_->Enqueue(Tracked(static_cast<Oid>((i * 37) % 1000)));
+  }
+  sim_.Run();
+  EXPECT_EQ(drive_->pending(), 0u);
+  EXPECT_FALSE(drive_->busy());
+  ASSERT_EQ(outcomes_.size(), static_cast<size_t>(kRequests));
+  int durable = 0;
+  int failed = 0;
+  for (size_t i = 0; i < outcomes_.size(); ++i) {
+    EXPECT_EQ(outcomes_[i].durable + outcomes_[i].failed, 1)
+        << "request " << i << " settled " << outcomes_[i].durable
+        << " durable / " << outcomes_[i].failed << " failed callbacks";
+    durable += outcomes_[i].durable;
+    failed += outcomes_[i].failed;
+  }
+  EXPECT_EQ(durable + failed, kRequests);
+  EXPECT_EQ(drive_->flushes_completed(), durable);
+  EXPECT_EQ(drive_->flushes_lost(), failed);
+  // With these rates both outcomes must actually occur.
+  EXPECT_GT(durable, 0);
+  EXPECT_GT(failed, 0);
+}
+
+TEST_F(FailingFlushDriveTest, RequestWithoutOnFailedStillCounted) {
+  // on_failed is optional (legacy callers): abandonment without the
+  // callback must not crash and must still free the drive.
+  BuildDrive(/*fail_rate=*/1.0, /*max_attempts=*/1);
+  FlushRequest bare;
+  bare.oid = 1;
+  bare.lsn = 1;
+  drive_->Enqueue(std::move(bare));
+  drive_->Enqueue(Tracked(2));
+  sim_.Run();
+  EXPECT_EQ(drive_->flushes_lost(), 2);
+  ASSERT_EQ(outcomes_.size(), 1u);
+  EXPECT_EQ(outcomes_[0].failed, 1);
 }
 
 }  // namespace

@@ -8,6 +8,8 @@
 #include <cstring>
 #include <vector>
 
+#include "db/recovery.h"
+#include "disk/log_storage.h"
 #include "util/crc32c.h"
 #include "util/random.h"
 #include "wal/block_format.h"
@@ -132,6 +134,100 @@ TEST(LogReaderFuzzTest, AdversarialRecordCountWithValidCrcIsRejected) {
   }
   auto decoded = DecodeBlock(image);
   EXPECT_FALSE(decoded.ok());
+}
+
+TEST(LogReaderFuzzTest, DuplexMergeNeverLosesABlockValidOnEitherReplica) {
+  // Two replica images of the same log suffer INDEPENDENT corruption
+  // (flips, truncations, garbage, missed writes). The duplex merge must
+  // stay consistent — per replica and merged — and must recover every
+  // block that is still valid on at least one side.
+  Rng rng(0xd00b1e0bull);
+  const std::vector<uint32_t> sizes{8, 4};
+  for (int round = 0; round < 100; ++round) {
+    disk::LogStorage primary(sizes);
+    disk::LogStorage mirror(sizes);
+    // Mirror a valid log onto both replicas; leave some slots unwritten;
+    // give a few slots a newer copy on one side only (a missed write —
+    // the stale side still decodes, carrying the slot's older content).
+    for (uint32_t gen = 0; gen < sizes.size(); ++gen) {
+      for (uint32_t slot = 0; slot < sizes[gen]; ++slot) {
+        if (rng.NextBool(0.15)) continue;
+        const TxId tid = gen * 100 + slot + 1;
+        BlockImage image = MakeValidBlock(gen, slot + 1, tid);
+        primary.Put({gen, slot}, image);
+        mirror.Put({gen, slot}, image);
+        if (rng.NextBool(0.2)) {
+          BlockImage newer = MakeValidBlock(gen, slot + 100, tid);
+          (rng.NextBool(0.5) ? primary : mirror).Put({gen, slot}, newer);
+        }
+      }
+    }
+    // Corrupt each replica's copies independently.
+    for (disk::LogStorage* replica : {&primary, &mirror}) {
+      for (uint32_t gen = 0; gen < sizes.size(); ++gen) {
+        for (uint32_t slot = 0; slot < sizes[gen]; ++slot) {
+          const wal::BlockImage* current = replica->Get({gen, slot});
+          if (current == nullptr || !rng.NextBool(0.3)) continue;
+          BlockImage mutated = *current;
+          Mutate(&rng, &mutated);
+          replica->Put({gen, slot}, mutated);
+        }
+      }
+    }
+
+    // Ground truth, computed before recovery touches anything.
+    auto side_valid = [](const disk::LogStorage& storage,
+                         disk::BlockAddress addr) {
+      const BlockImage* image = storage.Get(addr);
+      return image != nullptr && !image->empty() && DecodeBlock(*image).ok();
+    };
+    size_t valid_either = 0;
+    std::vector<disk::BlockAddress> salvageable;
+    for (uint32_t gen = 0; gen < sizes.size(); ++gen) {
+      for (uint32_t slot = 0; slot < sizes[gen]; ++slot) {
+        const disk::BlockAddress addr{gen, slot};
+        if (side_valid(primary, addr) || side_valid(mirror, addr)) {
+          ++valid_either;
+          salvageable.push_back(addr);
+        }
+      }
+    }
+
+    const bool read_repair = rng.NextBool(0.5);
+    db::StableStore stable;
+    db::RecoveryResult result = db::RecoveryManager::RecoverDuplex(
+        &primary, &mirror, stable, read_repair);
+
+    EXPECT_TRUE(result.scan.Consistent()) << "round " << round;
+    for (int i = 0; i < 2; ++i) {
+      EXPECT_TRUE(result.duplex.replica[i].Consistent())
+          << "round " << round << " replica " << i;
+      EXPECT_EQ(result.duplex.replica[i].blocks_scanned, 12u);
+    }
+    EXPECT_EQ(result.scan.blocks_scanned, 12u);
+    // The merge never loses a block valid on either side — no more, no
+    // fewer: every salvageable slot is recovered, and nothing corrupt on
+    // both sides sneaks in as valid.
+    EXPECT_EQ(result.scan.blocks_valid, valid_either) << "round " << round;
+
+    if (read_repair) {
+      // Both replicas must leave recovery identical on every salvageable
+      // slot: decodable on each side, with matching write sequence.
+      for (const disk::BlockAddress addr : salvageable) {
+        const BlockImage* a = primary.Get(addr);
+        const BlockImage* b = mirror.Get(addr);
+        ASSERT_NE(a, nullptr);
+        ASSERT_NE(b, nullptr);
+        Result<DecodedBlock> da = DecodeBlock(*a);
+        Result<DecodedBlock> db_ = DecodeBlock(*b);
+        ASSERT_TRUE(da.ok()) << "round " << round << " gen "
+                             << addr.generation << " slot " << addr.slot;
+        ASSERT_TRUE(db_.ok()) << "round " << round << " gen "
+                              << addr.generation << " slot " << addr.slot;
+        EXPECT_EQ(da->write_seq, db_->write_seq);
+      }
+    }
+  }
 }
 
 TEST(LogReaderFuzzTest, TruncatedBodyWithPlausibleCountIsRejectedCleanly) {
