@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "db/database.h"
 #include "harness/figures.h"
 #include "harness/report.h"
 #include "runner/progress.h"
@@ -19,6 +20,7 @@ using namespace elog;
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool trace = false;
   std::string csv;
   std::string json_dir = "results";
   int64_t runtime_s = 500;
@@ -27,6 +29,9 @@ int main(int argc, char** argv) {
   int64_t seed = 42;
   FlagSet flags;
   flags.AddBool("quick", &quick, "fewer mixes, narrower search");
+  flags.AddBool("trace", &trace,
+                "also run one canonical traced EL config and write "
+                "TRACE_fig5_bandwidth.json + SERIES_fig5_bandwidth.{csv,json}");
   flags.AddString("csv", &csv, "write results as CSV to this path");
   flags.AddString("json_dir", &json_dir,
                   "directory for BENCH_<name>.json (empty = skip)");
@@ -98,6 +103,42 @@ int main(int argc, char** argv) {
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;
+  }
+
+  if (trace) {
+    // Canonical traced run: ONE fixed configuration (EL {18, 12} at the
+    // 5% mix), executed on the calling thread regardless of --jobs. The
+    // trace depends only on (config, seed), so the JSON artifact is
+    // byte-identical at any --jobs value — CI diffs it to prove that.
+    db::DatabaseConfig config;
+    config.workload = workload::PaperMix(0.05);
+    config.workload.runtime = SecondsToSimTime(runtime_s);
+    config.workload.seed = static_cast<uint64_t>(seed);
+    config.log.generation_blocks = {18, 12};
+    config.trace = true;
+    config.metric_sample_interval = SecondsToSimTime(1);
+    db::Database database(config);
+    database.Run();
+    const std::string dir = json_dir.empty() ? std::string("results")
+                                             : json_dir;
+    status = database.tracer()->WriteFile(dir + "/TRACE_fig5_bandwidth.json");
+    if (status.ok()) {
+      status =
+          database.sampler()->WriteCsv(dir + "/SERIES_fig5_bandwidth.csv");
+    }
+    if (status.ok()) {
+      status =
+          database.sampler()->WriteJson(dir + "/SERIES_fig5_bandwidth.json");
+    }
+    if (!status.ok()) {
+      std::cerr << status.ToString() << "\n";
+      return 1;
+    }
+    std::fprintf(
+        stderr, "trace: %zu events (%llu dropped), series: %zu samples\n",
+        database.tracer()->size(),
+        (unsigned long long)database.tracer()->dropped(),
+        database.sampler()->num_samples());
   }
   return 0;
 }

@@ -9,10 +9,13 @@
 
 #include <cstdio>
 #include <iostream>
+#include <string>
 
+#include "db/database.h"
 #include "harness/figures.h"
 #include "harness/report.h"
 #include "runner/sweep_runner.h"
+#include "util/check.h"
 #include "util/cli.h"
 #include "util/string_util.h"
 
@@ -83,6 +86,38 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Cross-check: re-run the minimum surviving configuration with the
+  // MetricSampler on and assert the series' final cumulative values are
+  // the very scalars the manager reports — recirculation/forwarding
+  // accounting has one pipeline (the "el.*" registry counters), not a
+  // parallel ad-hoc one.
+  db::DatabaseConfig check_config;
+  check_config.log = base;
+  check_config.log.generation_blocks = {result.gen0_blocks,
+                                        result.min_gen1_blocks};
+  check_config.log.recirculation = true;
+  check_config.workload = spec;
+  check_config.metric_sample_interval = SecondsToSimTime(1);
+  db::Database check_db(check_config);
+  db::RunStats check_stats = check_db.Run();
+  const obs::MetricSampler& sampler = *check_db.sampler();
+  const size_t last = sampler.num_samples() - 1;
+  ELOG_CHECK_EQ(sampler.Value(last, "el.recirculated"),
+                static_cast<double>(check_stats.records_recirculated));
+  ELOG_CHECK_EQ(sampler.Value(last, "el.forwarded"),
+                static_cast<double>(check_stats.records_forwarded));
+  double per_gen_forwarded = 0.0;
+  double per_gen_recirculated = 0.0;
+  for (size_t g = 0; g < check_config.log.generation_blocks.size(); ++g) {
+    const std::string gen = "el.gen" + std::to_string(g);
+    per_gen_forwarded += sampler.Value(last, gen + ".forwarded");
+    per_gen_recirculated += sampler.Value(last, gen + ".recirculated");
+  }
+  ELOG_CHECK_EQ(per_gen_forwarded,
+                static_cast<double>(check_stats.records_forwarded));
+  ELOG_CHECK_EQ(per_gen_recirculated,
+                static_cast<double>(check_stats.records_recirculated));
+
   runner::BenchJson bench("fig7_recirculation");
   bench.AddConfig("jobs", static_cast<int64_t>(sweeper.jobs()));
   bench.AddConfig("seed", seed);
@@ -94,6 +129,9 @@ int main(int argc, char** argv) {
   bench.AddMetric("min_total_blocks",
                   static_cast<int64_t>(result.gen0_blocks +
                                        result.min_gen1_blocks));
+  bench.AddMetric("min_config_recirculated",
+                  check_stats.records_recirculated);
+  bench.AddMetric("min_config_forwarded", check_stats.records_forwarded);
   status = harness::WriteBenchJson(json_dir, &bench, table, wall_s);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";

@@ -1,18 +1,28 @@
 // Microbenchmarks of the core data structures (google-benchmark):
 // the chained hash tables behind the LOT/LTT, the circular cell list, the
-// event queue, block encode/decode, CRC32C, and a whole-simulation
-// throughput measurement.
+// event queue, block encode/decode, CRC32C, the metrics hot path
+// (typed handle vs deprecated string lookup), and a whole-simulation
+// throughput measurement. The metrics comparison is also hand-timed by
+// main() and recorded in results/BENCH_micro_structures.json.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
 #include <vector>
 
+#include "core/manager_factory.h"
 #include "db/database.h"
+#include "harness/report.h"
 #include "sim/event_queue.h"
+#include "sim/metrics.h"
 #include "util/chained_hash_map.h"
 #include "util/crc32c.h"
 #include "util/intrusive_list.h"
 #include "util/random.h"
+#include "util/string_util.h"
 #include "wal/block_format.h"
 
 namespace {
@@ -111,6 +121,62 @@ void BM_Crc32c(benchmark::State& state) {
 }
 BENCHMARK(BM_Crc32c)->Arg(2048)->Arg(1 << 16);
 
+/// Registers the metric names a realistic single-run registry holds
+/// (manager + device + drives + workload), so the lookup benchmarks
+/// search a map of representative size.
+void PopulateRunLikeRegistry(sim::MetricsRegistry* metrics) {
+  for (const char* name :
+       {"el.appended", "el.forwarded", "el.recirculated", "el.discarded",
+        "el.flush_enqueues", "el.urgent_flushes", "el.flushed", "el.killed",
+        "el.aborted", "el.unsafe_commit_drops", "el.unsafe_committing_kills",
+        "el.log_write_retries", "el.log_writes_lost", "el.flush_failures",
+        "el.steals", "el.compensations", "log_device.writes",
+        "log_device.write_retries", "log_device.writes_lost",
+        "log_device.bit_rot_writes", "flush_drive.flushes",
+        "flush_drive.retries", "flush_drive.lost", "workload.started",
+        "workload.committed", "workload.aborted", "workload.killed",
+        "workload.updates"}) {
+    metrics->GetCounter(name);
+  }
+  for (int g = 0; g < 2; ++g) {
+    const std::string gen = "el.gen" + std::to_string(g);
+    metrics->GetGauge(gen + ".occupancy");
+    metrics->GetCounter(gen + ".forwarded");
+    metrics->GetCounter(gen + ".recirculated");
+    metrics->GetCounter("log_device.writes.gen" + std::to_string(g));
+  }
+  for (int d = 0; d < 10; ++d) {
+    metrics->GetGauge("flush_drive.d" + std::to_string(d) + ".pending");
+  }
+  metrics->GetGauge("el.memory_bytes");
+}
+
+/// The instrumentation hot path after the API redesign: a Counter*
+/// acquired once at construction, bumped directly.
+void BM_MetricTypedIncr(benchmark::State& state) {
+  sim::MetricsRegistry metrics;
+  PopulateRunLikeRegistry(&metrics);
+  sim::Counter* counter = metrics.GetCounter("el.gen1.recirculated");
+  for (auto _ : state) {
+    counter->Incr();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricTypedIncr);
+
+/// The deprecated per-event path it replaced: every increment re-walks
+/// the registry by name.
+void BM_MetricStringIncr(benchmark::State& state) {
+  sim::MetricsRegistry metrics;
+  PopulateRunLikeRegistry(&metrics);
+  for (auto _ : state) {
+    metrics.Incr("el.gen1.recirculated");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricStringIncr);
+
 /// Log-manager hot path: one begin + 2 updates + commit cycle per
 /// iteration, driven directly (no workload generator), with periodic
 /// simulated-time advancement so group commit and flushing progress.
@@ -123,7 +189,9 @@ void BM_ElManagerTransactionCycle(benchmark::State& state) {
   disk::DriveArray drives(&sim, options.num_flush_drives,
                           options.num_objects, options.flush_transfer_time,
                           nullptr);
-  EphemeralLogManager manager(&sim, options, &device, &drives, nullptr);
+  LogManagerSet set = MakeLogManager(ManagerKind::kEphemeral, options, &sim,
+                                     &device, &drives, nullptr);
+  LogManager& manager = *set.manager;
   workload::TransactionType type;
   type.lifetime = SecondsToSimTime(1);
   Rng rng(3);
@@ -153,7 +221,9 @@ void BM_ElManagerForwardingPressure(benchmark::State& state) {
   disk::DriveArray drives(&sim, options.num_flush_drives,
                           options.num_objects, options.flush_transfer_time,
                           nullptr);
-  EphemeralLogManager manager(&sim, options, &device, &drives, nullptr);
+  LogManagerSet set = MakeLogManager(ManagerKind::kEphemeral, options, &sim,
+                                     &device, &drives, nullptr);
+  LogManager& manager = *set.manager;
   // Rotate long-lived transactions (commit each after 500 updates) so the
   // large generation 1 absorbs forwarded records without ever saturating.
   class NullListener : public KillListener {
@@ -177,7 +247,7 @@ void BM_ElManagerForwardingPressure(benchmark::State& state) {
     }
   }
   state.SetItemsProcessed(state.iterations());
-  benchmark::DoNotOptimize(manager.records_forwarded());
+  benchmark::DoNotOptimize(set.el->records_forwarded());
 }
 BENCHMARK(BM_ElManagerForwardingPressure);
 
@@ -209,6 +279,79 @@ void BM_FullSimulationFW(benchmark::State& state) {
 }
 BENCHMARK(BM_FullSimulationFW)->Unit(benchmark::kMillisecond);
 
+/// Best-of-5 hand timing of `fn` over `iters` calls, in ns per call.
+/// google-benchmark prints the same comparison; this one feeds the
+/// machine-readable artifact without depending on its reporter.
+template <typename Fn>
+double TimeNsPerOp(int64_t iters, Fn&& fn) {
+  double best = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int64_t i = 0; i < iters; ++i) fn();
+    const std::chrono::duration<double, std::nano> elapsed =
+        std::chrono::steady_clock::now() - start;
+    best = std::min(best, elapsed.count() / static_cast<double>(iters));
+  }
+  return best;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Typed-handle vs string-lookup increment, recorded as the
+  // BENCH_micro_structures.json artifact. The redesigned API exists to
+  // make this ratio large: the string path re-walks the registry per
+  // event, the handle path is a pointer bump.
+  harness::WallTimer timer;
+  sim::MetricsRegistry metrics;
+  PopulateRunLikeRegistry(&metrics);
+  sim::Counter* handle = metrics.GetCounter("el.gen1.recirculated");
+  constexpr int64_t kIters = 2'000'000;
+  const double typed_ns = TimeNsPerOp(kIters, [&] {
+    handle->Incr();
+    benchmark::ClobberMemory();  // keep one store per iteration
+  });
+  const double string_ns = TimeNsPerOp(kIters, [&] {
+    metrics.Incr("el.gen1.recirculated");
+    benchmark::ClobberMemory();
+  });
+  const double ratio = typed_ns > 0 ? string_ns / typed_ns : 0.0;
+
+  TableWriter table({"path", "ns_per_incr"});
+  table.AddRow({"typed_handle", StrFormat("%.3f", typed_ns)});
+  table.AddRow({"string_lookup", StrFormat("%.3f", string_ns)});
+  harness::PrintTable(
+      StrFormat("Metrics hot path: typed handle vs string lookup "
+                "(%.1fx speedup)",
+                ratio),
+      table);
+
+  runner::BenchJson bench("micro_structures");
+  bench.AddConfig("metric_incr_iters", kIters);
+  bench.AddConfig("registry_counters",
+                  static_cast<int64_t>(metrics.counters().size()));
+  bench.AddConfig("registry_gauges",
+                  static_cast<int64_t>(metrics.gauges().size()));
+  bench.AddMetric("typed_incr_ns", typed_ns);
+  bench.AddMetric("string_incr_ns", string_ns);
+  bench.AddMetric("string_over_typed_ratio", ratio);
+  Status status =
+      harness::WriteBenchJson("results", &bench, table, timer.Seconds());
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (ratio < 2.0) {
+    std::fprintf(stderr,
+                 "typed-handle increment only %.2fx faster than string "
+                 "lookup (expected >= 2x)\n",
+                 ratio);
+    return 1;
+  }
+  return 0;
+}

@@ -7,10 +7,12 @@
 
 #include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "core/fw_manager.h"
 #include "db/database.h"
 #include "harness/report.h"
+#include "util/check.h"
 #include "util/cli.h"
 #include "util/string_util.h"
 
@@ -21,11 +23,23 @@ namespace {
 void Row(TableWriter* table, const char* name,
          const db::DatabaseConfig& base_config) {
   db::DatabaseConfig config = base_config;
+  // Per-generation occupancy comes out of the metrics registry — the
+  // same "el.gen<g>.occupancy" gauges the MetricSampler snapshots — not
+  // from ad-hoc manager accounting.
+  config.metric_sample_interval = SecondsToSimTime(1);
   db::Database database(config);
   db::RunStats stats = database.Run();
   SimTime now = database.simulator().Now();
+  const obs::MetricSampler& sampler = *database.sampler();
   for (uint32_t g = 0; g < database.manager().num_generations(); ++g) {
-    const TimeWeightedValue& occupancy = database.manager().occupancy(g);
+    const std::string column = "el.gen" + std::to_string(g) + ".occupancy";
+    sim::Gauge* gauge = database.metrics().GetGauge(column);
+    const TimeWeightedValue& occupancy = gauge->series();
+    // One code path: the manager's occupancy(g) accessor exposes this
+    // exact gauge, and the sampler's final row pins its last value.
+    ELOG_CHECK_EQ(&occupancy, &database.manager().occupancy(g));
+    ELOG_CHECK_EQ(sampler.Value(sampler.num_samples() - 1, column),
+                  gauge->value());
     uint32_t size = config.log.generation_blocks[g];
     table->AddRow(
         {name, std::to_string(g), std::to_string(size),

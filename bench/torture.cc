@@ -34,6 +34,9 @@ int main(int argc, char** argv) {
   bool duplex = false;
   double drive_death_rate = defaults.drive_death_rate;
   double resilver_prob = defaults.resilver_prob;
+  std::string trace_manager;
+  int64_t trace_trial = -1;
+  std::string trace_out = "results/TRACE_torture.json";
   FlagSet flags;
   flags.AddBool("quick", &quick, "run 25 trials per manager");
   flags.AddString("csv", &csv, "write results as CSV to this path");
@@ -58,6 +61,12 @@ int main(int argc, char** argv) {
                   "probability a log drive's permanent-death plan arms");
   flags.AddDouble("resilver_prob", &resilver_prob,
                   "duplex only: probability auto-resilver is armed");
+  flags.AddString("trace_manager", &trace_manager,
+                  "re-trace mode: manager name (el|el_undo_redo|fw|hybrid)");
+  flags.AddInt64("trace_trial", &trace_trial,
+                 "re-trace mode: trial index to re-run traced (-1 = off)");
+  flags.AddString("trace_out", &trace_out,
+                  "re-trace mode: Chrome trace JSON output path");
   Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
@@ -76,6 +85,34 @@ int main(int argc, char** argv) {
   spec.duplex = duplex;
   spec.drive_death_rate = drive_death_rate;
   spec.resilver_prob = resilver_prob;
+
+  // Re-trace mode: re-run ONE trial — derived from (seed, manager,
+  // index) exactly like the sweep would — with a Tracer attached, write
+  // the Chrome trace JSON, and exit. Every other spec flag must match
+  // the original run for the replay to be bit-identical.
+  if (trace_trial >= 0 || !trace_manager.empty()) {
+    runner::TortureManager manager;
+    if (trace_trial < 0 ||
+        !runner::ParseTortureManager(trace_manager, &manager)) {
+      std::cerr << "re-trace needs --trace_manager=<el|el_undo_redo|fw|"
+                   "hybrid> and --trace_trial=<index>\n";
+      return 2;
+    }
+    runner::TortureTrial trial = runner::RunTortureTrial(
+        spec, manager, static_cast<int>(trace_trial), nullptr, trace_out);
+    std::printf(
+        "re-traced %s trial %lld (seed %llu, crash @%lld us, torn=%d, "
+        "%s) -> %s\n",
+        trace_manager.c_str(), (long long)trace_trial,
+        (unsigned long long)trial.seed, (long long)trial.crash_time,
+        trial.torn_write ? 1 : 0, trial.ok ? "ok" : "FAIL",
+        trace_out.c_str());
+    if (!trial.ok) {
+      std::fprintf(stderr, "  violation: %s\n",
+                   trial.first_violation.c_str());
+    }
+    return trial.ok ? 0 : 1;
+  }
 
   std::vector<runner::TortureManager> managers = runner::AllTortureManagers();
   runner::ProgressReporter progress("torture",
@@ -137,10 +174,12 @@ int main(int argc, char** argv) {
       std::fprintf(
           stderr,
           "FAIL %s trial %zu (seed %llu, crash @%lld us, torn=%d): %s\n"
-          "  replay: RunTortureTrial(spec with --seed %lld, %s, %zu)\n",
+          "  replay: RunTortureTrial(spec with --seed %lld, %s, %zu)\n"
+          "  re-trace: --seed %lld --trace_manager %s --trace_trial %zu\n",
           runner::TortureManagerName(report.manager), i,
           (unsigned long long)trial.seed, (long long)trial.crash_time,
           trial.torn_write ? 1 : 0, trial.first_violation.c_str(),
+          (long long)seed, runner::TortureManagerName(report.manager), i,
           (long long)seed, runner::TortureManagerName(report.manager), i);
     }
   }

@@ -1,6 +1,8 @@
 #include "core/el_manager.h"
 
 #include <algorithm>
+#include <memory>
+#include <string>
 #include <utility>
 
 #include "util/string_util.h"
@@ -16,16 +18,53 @@ EphemeralLogManager::EphemeralLogManager(sim::Simulator* simulator,
       options_(options),
       device_(device),
       drives_(drives),
-      metrics_(metrics) {
+      owned_metrics_(metrics == nullptr
+                         ? std::make_unique<sim::MetricsRegistry>()
+                         : nullptr),
+      metrics_(metrics == nullptr ? owned_metrics_.get() : metrics),
+      memory_(metrics_->GetGauge("el.memory_bytes")),
+      records_appended_(metrics_->GetCounter("el.appended")),
+      records_forwarded_(metrics_->GetCounter("el.forwarded")),
+      records_recirculated_(metrics_->GetCounter("el.recirculated")),
+      records_discarded_(metrics_->GetCounter("el.discarded")),
+      flushes_enqueued_(metrics_->GetCounter("el.flush_enqueues")),
+      urgent_flushes_(metrics_->GetCounter("el.urgent_flushes")),
+      updates_flushed_(metrics_->GetCounter("el.flushed")),
+      killed_(metrics_->GetCounter("el.killed")),
+      aborted_(metrics_->GetCounter("el.aborted")),
+      unsafe_commit_drops_(metrics_->GetCounter("el.unsafe_commit_drops")),
+      unsafe_committing_kills_(
+          metrics_->GetCounter("el.unsafe_committing_kills")),
+      log_write_retries_(metrics_->GetCounter("el.log_write_retries")),
+      log_writes_lost_(metrics_->GetCounter("el.log_writes_lost")),
+      flush_failures_(metrics_->GetCounter("el.flush_failures")),
+      steals_(metrics_->GetCounter("el.steals")),
+      compensations_(metrics_->GetCounter("el.compensations")) {
   ELOG_CHECK_OK(options.Validate());
   generations_.reserve(options.generation_blocks.size());
-  occupancy_.resize(options.generation_blocks.size());
+  occupancy_.reserve(options.generation_blocks.size());
+  forwarded_by_gen_.reserve(options.generation_blocks.size());
+  recirculated_by_gen_.reserve(options.generation_blocks.size());
   for (size_t i = 0; i < options.generation_blocks.size(); ++i) {
     generations_.push_back(std::make_unique<Generation>(
         static_cast<uint32_t>(i), options.generation_blocks[i]));
-    occupancy_[i].Set(simulator->Now(), 0.0);
+    const std::string gen_prefix = "el.gen" + std::to_string(i);
+    occupancy_.push_back(metrics_->GetGauge(gen_prefix + ".occupancy"));
+    occupancy_.back()->Set(simulator->Now(), 0.0);
+    forwarded_by_gen_.push_back(
+        metrics_->GetCounter(gen_prefix + ".forwarded"));
+    recirculated_by_gen_.push_back(
+        metrics_->GetCounter(gen_prefix + ".recirculated"));
   }
   UpdateMemoryGauge();
+}
+
+void EphemeralLogManager::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) {
+    trace_lane_ = tracer_->RegisterLane(options_.release_on_commit ? "fw"
+                                                                   : "el");
+  }
 }
 
 EphemeralLogManager::~EphemeralLogManager() {
@@ -63,7 +102,7 @@ TxId EphemeralLogManager::BeginTransaction(
   // append cannot kill the newborn or free the cell.
   ELOG_CHECK(AppendCellOrKill(target, cell, kInvalidTxId))
       << "BEGIN record could not be placed";
-  ++records_appended_;
+  records_appended_->Incr();
 
   LttEntry entry;
   entry.state = TxState::kActive;
@@ -141,7 +180,7 @@ void EphemeralLogManager::WriteUpdate(TxId tid, Oid oid,
   entry->oids.insert(oid);
 
   if (!AppendCellOrKill(target, cell, tid)) return;  // appender killed
-  ++records_appended_;
+  records_appended_->Incr();
   ArmStealTimer();
   UpdateMemoryGauge();
 }
@@ -171,8 +210,12 @@ void EphemeralLogManager::StealOnce() {
   });
   if (victim == nullptr) return;  // re-armed by the next update
   victim->stolen = true;
-  ++steals_;
-  if (metrics_ != nullptr) metrics_->Incr("el.steals");
+  steals_->Incr();
+  if (tracer_ != nullptr) {
+    tracer_->Instant(trace_lane_, "gc", "steal",
+                     {{"oid", static_cast<double>(victim->record.oid)},
+                      {"tid", static_cast<double>(victim->record.tid)}});
+  }
   // A steal is an urgent write of an uncommitted value; the stable store
   // records it provisionally with its writer and before-image.
   const wal::LogRecord& record = victim->record;
@@ -189,7 +232,7 @@ void EphemeralLogManager::StealOnce() {
       steal_apply_hook_(r.oid, r.lsn, r.value_digest, r.writer, r.prev_lsn,
                         r.prev_digest);
     }
-    ++updates_flushed_;
+    updates_flushed_->Incr();
   };
   // An abandoned steal simply never reached the stable version; the
   // record is still in the log, so nothing is owed beyond the notice.
@@ -218,8 +261,7 @@ void EphemeralLogManager::EnqueueCompensation(Cell* cell) {
   // recovery's UNDO pass reverts it (the writer has no COMMIT in the log).
   request.on_failed = [this](const disk::FlushRequest&) { OnFlushFailed(); };
   drives_->EnqueueUrgent(std::move(request));
-  ++compensations_;
-  if (metrics_ != nullptr) metrics_->Incr("el.compensations");
+  compensations_->Incr();
 }
 
 void EphemeralLogManager::Commit(TxId tid,
@@ -246,7 +288,7 @@ void EphemeralLogManager::Commit(TxId tid,
   Gen(cell->generation).cells().Remove(cell);
   cell->record = wal::LogRecord::MakeCommit(tid, NextLsn());
   if (!AppendCellOrKill(target, cell, tid)) return;  // appender killed
-  ++records_appended_;
+  records_appended_->Incr();
 }
 
 void EphemeralLogManager::Abort(TxId tid) {
@@ -265,10 +307,10 @@ void EphemeralLogManager::Abort(TxId tid) {
   Generation& gen = Gen(target);
   ELOG_CHECK(gen.builder().Add(record));
   gen.NoteRecordAdded(gen.builder_slot());
-  ++records_appended_;
+  records_appended_->Incr();
 
   DisposeTransaction(tid, entry);
-  if (metrics_ != nullptr) metrics_->Incr("el.aborted");
+  aborted_->Incr();
   UpdateMemoryGauge();
 }
 
@@ -401,8 +443,8 @@ void EphemeralLogManager::WriteBuilder(uint32_t g) {
                    std::make_shared<const std::vector<TxId>>(
                        std::move(closed.commit_tids)),
                    /*attempt=*/0);
-  occupancy_[g].Set(simulator_->Now(),
-                    static_cast<double>(gen.used_blocks()));
+  occupancy_[g]->Set(simulator_->Now(),
+                     static_cast<double>(gen.used_blocks()));
   // "After addition of new records to the tail of a generation, the LM
   // advances the head ... so that there is always some gap between the
   // head and tail" (§2.1). This is what drives head advance in
@@ -430,13 +472,11 @@ void EphemeralLogManager::SubmitBlockWrite(
       return;
     }
     if (attempt + 1 < options_.max_log_write_attempts) {
-      ++log_write_retries_;
-      if (metrics_ != nullptr) metrics_->Incr("el.log_write_retries");
+      log_write_retries_->Incr();
       SubmitBlockWrite(address, image, commit_tids, attempt + 1);
       return;
     }
-    ++log_writes_lost_;
-    if (metrics_ != nullptr) metrics_->Incr("el.log_writes_lost");
+    log_writes_lost_->Incr();
     OnBlockWriteLost(*commit_tids);
   };
   // Completion callbacks run while the device is idle, so a retry pushed
@@ -460,7 +500,7 @@ void EphemeralLogManager::OnBlockWriteLost(
   for (TxId tid : commit_tids) {
     LttEntry* entry = ltt_.Find(tid);
     if (entry == nullptr || entry->state != TxState::kCommitting) continue;
-    ++unsafe_committing_kills_;
+    unsafe_committing_kills_->Incr();
     KillTransaction(tid);
   }
 }
@@ -526,8 +566,7 @@ void EphemeralLogManager::EnsureFree(uint32_t g, uint32_t need) {
         });
         ELOG_CHECK(victim != kInvalidTxId)
             << "generation " << g << " wedged with nothing to sacrifice";
-        ++unsafe_committing_kills_;
-        if (metrics_ != nullptr) metrics_->Incr("el.unsafe_committing_kills");
+        unsafe_committing_kills_->Incr();
         KillTransaction(victim);
       }
       advances_without_gain = 0;
@@ -541,7 +580,7 @@ void EphemeralLogManager::AdvanceHeadOnce(uint32_t g) {
   ELOG_CHECK_GT(gen.used_blocks(), 0u)
       << "advancing the head of an empty generation " << g;
   const uint32_t slot = gen.head_slot();
-  const int64_t forwarded_before = records_forwarded_;
+  const int64_t forwarded_before = records_forwarded_->value();
   // The head block's non-garbage records form a contiguous run at the
   // front of the cell list (cells are appended in log order). Each
   // relocation removes the front cell, so re-reading front() is safe
@@ -551,10 +590,15 @@ void EphemeralLogManager::AdvanceHeadOnce(uint32_t g) {
     if (cell == nullptr || cell->slot != slot) break;
     RelocateCell(g, cell);
   }
-  records_discarded_ += gen.TakeSlotRecords(slot);
+  records_discarded_->Incr(gen.TakeSlotRecords(slot));
   gen.AdvanceHead();
-  occupancy_[g].Set(simulator_->Now(),
-                    static_cast<double>(gen.used_blocks()));
+  occupancy_[g]->Set(simulator_->Now(),
+                     static_cast<double>(gen.used_blocks()));
+  if (tracer_ != nullptr) {
+    tracer_->Instant(trace_lane_, "gc", "advance_head",
+                     {{"gen", static_cast<double>(g)},
+                      {"used", static_cast<double>(gen.used_blocks())}});
+  }
 
   // Forwarding must reach disk promptly: the forwarded records' old
   // copies sit in blocks that are now free for reuse. Top up the next
@@ -563,7 +607,8 @@ void EphemeralLogManager::AdvanceHeadOnce(uint32_t g) {
   // buffer") and force the write. This applies only when this head
   // advance actually forwarded something; recirculated records staged in
   // the next generation's buffer do not need an early write (§2.2).
-  if (records_forwarded_ > forwarded_before && g + 1 < generations_.size()) {
+  if (records_forwarded_->value() > forwarded_before &&
+      g + 1 < generations_.size()) {
     Generation& next = Gen(g + 1);
     if (next.has_open_builder() && !next.builder().empty() &&
         pending_forward_flush_.insert(g + 1).second) {
@@ -587,7 +632,8 @@ void EphemeralLogManager::AdvanceHeadOnce(uint32_t g) {
         // Fits() pre-checked: no rotations, so the append cannot recurse.
         ELOG_CHECK(TryAppendCell(g + 1, cell, cell->record.tid) ==
                    AppendOutcome::kAppended);
-        ++records_forwarded_;
+        records_forwarded_->Incr();
+        forwarded_by_gen_[g]->Incr();
       }
       if (next.has_open_builder() && !next.builder().empty() &&
           next.free_blocks() >= 1) {
@@ -611,8 +657,7 @@ void EphemeralLogManager::RelocateCell(uint32_t g, Cell* cell) {
         Gen(g).cells().Remove(cell);
         owner->tx_cell = nullptr;
         delete cell;
-        ++unsafe_commit_drops_;
-        if (metrics_ != nullptr) metrics_->Incr("el.unsafe_commit_drops");
+        unsafe_commit_drops_->Incr();
       } else {
         // §3: recirculation disabled and a record of a still-executing
         // transaction reached the head of the last generation. Killing a
@@ -620,10 +665,7 @@ void EphemeralLogManager::RelocateCell(uint32_t g, Cell* cell) {
         // (phantom-commit risk); it is counted, and only the
         // no-recirculation experimental mode can reach it.
         if (owner->state == TxState::kCommitting) {
-          ++unsafe_committing_kills_;
-          if (metrics_ != nullptr) {
-            metrics_->Incr("el.unsafe_committing_kills");
-          }
+          unsafe_committing_kills_->Incr();
         }
         KillTransaction(cell->record.tid);
       }
@@ -639,8 +681,7 @@ void EphemeralLogManager::RelocateCell(uint32_t g, Cell* cell) {
   if (!IsTerminalState(owner->state)) {
     if (is_last && !options_.recirculation) {
       if (owner->state == TxState::kCommitting) {
-        ++unsafe_committing_kills_;
-        if (metrics_ != nullptr) metrics_->Incr("el.unsafe_committing_kills");
+        unsafe_committing_kills_->Incr();
       }
       KillTransaction(cell->record.tid);
       return;
@@ -670,11 +711,11 @@ void EphemeralLogManager::ForwardOrRecirculate(uint32_t g, Cell* cell) {
       switch (TryAppendCell(target, cell, owner_tid)) {
         case AppendOutcome::kAppended:
           if (target == g) {
-            ++records_recirculated_;
-            if (metrics_ != nullptr) metrics_->Incr("el.recirculated");
+            records_recirculated_->Incr();
+            recirculated_by_gen_[g]->Incr();
           } else {
-            ++records_forwarded_;
-            if (metrics_ != nullptr) metrics_->Incr("el.forwarded");
+            records_forwarded_->Incr();
+            forwarded_by_gen_[g]->Incr();
           }
           return;
         case AppendOutcome::kOwnerDied:
@@ -712,8 +753,7 @@ bool EphemeralLogManager::HandleOverflow(Cell* cell) {
         Gen(cell->generation).cells().Remove(cell);
         owner->tx_cell = nullptr;
         delete cell;
-        ++unsafe_commit_drops_;
-        if (metrics_ != nullptr) metrics_->Incr("el.unsafe_commit_drops");
+        unsafe_commit_drops_->Incr();
       }
       return true;
     case TxState::kCommitting:
@@ -724,8 +764,7 @@ bool EphemeralLogManager::HandleOverflow(Cell* cell) {
       // Nothing else to sacrifice: last resort. This is only reachable
       // in the recirculation-disabled experimental mode (or under
       // adversarial direct-API use) and is counted as unsafe.
-      ++unsafe_committing_kills_;
-      if (metrics_ != nullptr) metrics_->Incr("el.unsafe_committing_kills");
+      unsafe_committing_kills_->Incr();
       KillTransaction(cell->record.tid);
       return true;
   }
@@ -771,8 +810,11 @@ void EphemeralLogManager::KillTransaction(TxId tid) {
   ELOG_CHECK(!IsTerminalState(entry->state))
       << "killing a transaction whose fate is already decided";
   DisposeTransaction(tid, entry);
-  ++killed_;
-  if (metrics_ != nullptr) metrics_->Incr("el.killed");
+  killed_->Incr();
+  if (tracer_ != nullptr) {
+    tracer_->Instant(trace_lane_, "gc", "kill",
+                     {{"tid", static_cast<double>(tid)}});
+  }
   UpdateMemoryGauge();
   if (kill_listener_ != nullptr) kill_listener_->OnTransactionKilled(tid);
 }
@@ -892,21 +934,21 @@ void EphemeralLogManager::EnqueueFlush(const Cell& cell, bool urgent) {
   request.on_failed = [this](const disk::FlushRequest&) { OnFlushFailed(); };
   if (urgent) {
     drives_->EnqueueUrgent(std::move(request));
-    ++urgent_flushes_;
-    if (metrics_ != nullptr) metrics_->Incr("el.urgent_flushes");
+    urgent_flushes_->Incr();
+    if (tracer_ != nullptr) {
+      tracer_->Instant(trace_lane_, "gc", "urgent_flush",
+                       {{"oid", static_cast<double>(record.oid)}});
+    }
   } else {
     drives_->Enqueue(std::move(request));
-    ++flushes_enqueued_;
+    flushes_enqueued_->Incr();
   }
 }
 
-void EphemeralLogManager::OnFlushFailed() {
-  ++flush_failures_;
-  if (metrics_ != nullptr) metrics_->Incr("el.flush_failures");
-}
+void EphemeralLogManager::OnFlushFailed() { flush_failures_->Incr(); }
 
 void EphemeralLogManager::OnFlushDurable(const disk::FlushRequest& request) {
-  ++updates_flushed_;
+  updates_flushed_->Incr();
   LotEntry* obj = lot_.Find(request.oid);
   if (obj == nullptr) return;  // superseded and disposed in the meantime
   if (obj->committed != nullptr &&
@@ -1032,7 +1074,7 @@ double EphemeralLogManager::modeled_memory_bytes() const {
 }
 
 void EphemeralLogManager::UpdateMemoryGauge() {
-  memory_.Set(simulator_->Now(), modeled_memory_bytes());
+  memory_->Set(simulator_->Now(), modeled_memory_bytes());
 }
 
 void EphemeralLogManager::CheckInvariants() const {

@@ -35,6 +35,7 @@
 #include "core/tables.h"
 #include "disk/drive_array.h"
 #include "disk/log_device.h"
+#include "obs/trace.h"
 #include "sim/metrics.h"
 #include "sim/simulator.h"
 
@@ -50,6 +51,11 @@ class EphemeralLogManager : public LogManager {
                       sim::MetricsRegistry* metrics);
   ~EphemeralLogManager() override;
 
+  /// Attaches a tracer: GC decisions (head advances, kills, urgent
+  /// flushes, steals) become instant events on an "el" lane. Call before
+  /// the simulation starts.
+  void set_tracer(obs::Tracer* tracer);
+
   // workload::TransactionSink
   TxId BeginTransaction(const workload::TransactionType& type) override;
   void WriteUpdate(TxId tid, Oid oid, uint32_t logged_size) override;
@@ -60,8 +66,10 @@ class EphemeralLogManager : public LogManager {
   void ForceWriteOpenBuffers() override;
   size_t active_transactions() const override;
   double modeled_memory_bytes() const override;
-  const TimeWeightedValue& memory_usage() const override { return memory_; }
-  int64_t transactions_killed() const override { return killed_; }
+  const TimeWeightedValue& memory_usage() const override {
+    return memory_->series();
+  }
+  int64_t transactions_killed() const override { return killed_->value(); }
 
   // Introspection.
   const LogManagerOptions& options() const { return options_; }
@@ -71,40 +79,46 @@ class EphemeralLogManager : public LogManager {
   size_t num_generations() const { return generations_.size(); }
 
   /// Time-weighted occupancy (used blocks) of generation g — shows where
-  /// the configured space is actually spent.
+  /// the configured space is actually spent. Backed by the registry
+  /// gauge "el.gen<g>.occupancy", so the MetricSampler's series and this
+  /// accessor are one code path over the same data.
   const TimeWeightedValue& occupancy(uint32_t g) const {
-    return occupancy_.at(g);
+    return occupancy_.at(g)->series();
   }
 
-  // Counters.
-  int64_t records_appended() const { return records_appended_; }
-  int64_t records_forwarded() const { return records_forwarded_; }
-  int64_t records_recirculated() const { return records_recirculated_; }
-  int64_t records_discarded() const { return records_discarded_; }
-  int64_t flushes_enqueued() const { return flushes_enqueued_; }
-  int64_t urgent_flushes() const { return urgent_flushes_; }
-  int64_t updates_flushed() const { return updates_flushed_; }
+  // Counters (typed registry handles; see sim/metrics.h).
+  int64_t records_appended() const { return records_appended_->value(); }
+  int64_t records_forwarded() const { return records_forwarded_->value(); }
+  int64_t records_recirculated() const {
+    return records_recirculated_->value();
+  }
+  int64_t records_discarded() const { return records_discarded_->value(); }
+  int64_t flushes_enqueued() const { return flushes_enqueued_->value(); }
+  int64_t urgent_flushes() const { return urgent_flushes_->value(); }
+  int64_t updates_flushed() const { return updates_flushed_->value(); }
   /// COMMIT records dropped because the last generation could not keep
   /// them (recirculation off / overflow). Nonzero values indicate a crash
   /// window the paper's no-recirculation configuration shares.
-  int64_t unsafe_commit_drops() const { return unsafe_commit_drops_; }
+  int64_t unsafe_commit_drops() const { return unsafe_commit_drops_->value(); }
   /// Transactions killed inside their commit window (phantom-commit
   /// risk); reachable only with recirculation disabled.
-  int64_t unsafe_committing_kills() const { return unsafe_committing_kills_; }
+  int64_t unsafe_committing_kills() const {
+    return unsafe_committing_kills_->value();
+  }
   /// Log block writes that failed transiently and were resubmitted.
-  int64_t log_write_retries() const { return log_write_retries_; }
+  int64_t log_write_retries() const { return log_write_retries_->value(); }
   /// Log block writes abandoned after max_log_write_attempts failures.
   /// Transactions waiting on the block for their commit acknowledgement
   /// are killed; nonzero values void the strict recovery guarantees.
-  int64_t log_writes_lost() const { return log_writes_lost_; }
+  int64_t log_writes_lost() const { return log_writes_lost_->value(); }
   /// Flush requests the drives abandoned after their retry budget
   /// (on_failed notices received; matches the drives' flushes_lost total
   /// so no owner is ever left waiting on a dead flush).
-  int64_t flush_failures() const { return flush_failures_; }
+  int64_t flush_failures() const { return flush_failures_->value(); }
   /// UNDO/REDO mode: uncommitted updates evicted to the stable version.
-  int64_t steals() const { return steals_; }
+  int64_t steals() const { return steals_->value(); }
   /// UNDO/REDO mode: before-image restorations issued by aborts/kills.
-  int64_t compensations() const { return compensations_; }
+  int64_t compensations() const { return compensations_->value(); }
 
   /// Verifies internal consistency: every cell is reachable from exactly
   /// one LOT/LTT entry, per-generation cell lists are position-ordered at
@@ -242,7 +256,12 @@ class EphemeralLogManager : public LogManager {
   LogManagerOptions options_;
   disk::LogWritePort* device_;
   disk::DriveArray* drives_;
+  /// Fallback registry when the caller passes no metrics, so every
+  /// handle below is always valid (see sim/metrics.h).
+  std::unique_ptr<sim::MetricsRegistry> owned_metrics_;
   sim::MetricsRegistry* metrics_;
+  obs::Tracer* tracer_ = nullptr;
+  int trace_lane_ = 0;
 
   std::vector<std::unique_ptr<Generation>> generations_;
   LoggedObjectTable lot_;
@@ -252,24 +271,29 @@ class EphemeralLogManager : public LogManager {
   Lsn next_lsn_ = 1;
   uint64_t next_write_seq_ = 1;
 
-  TimeWeightedValue memory_;
-  std::vector<TimeWeightedValue> occupancy_;
-
-  int64_t records_appended_ = 0;
-  int64_t records_forwarded_ = 0;
-  int64_t records_recirculated_ = 0;
-  int64_t records_discarded_ = 0;
-  int64_t flushes_enqueued_ = 0;
-  int64_t urgent_flushes_ = 0;
-  int64_t updates_flushed_ = 0;
-  int64_t killed_ = 0;
-  int64_t unsafe_commit_drops_ = 0;
-  int64_t unsafe_committing_kills_ = 0;
-  int64_t log_write_retries_ = 0;
-  int64_t log_writes_lost_ = 0;
-  int64_t flush_failures_ = 0;
-  int64_t steals_ = 0;
-  int64_t compensations_ = 0;
+  // Typed metric handles, acquired once at construction. The counters
+  // double as the manager's own accounting — accessor reads go through
+  // the same storage the MetricSampler snapshots.
+  sim::Gauge* memory_;
+  std::vector<sim::Gauge*> occupancy_;           // el.gen<g>.occupancy
+  std::vector<sim::Counter*> forwarded_by_gen_;  // el.gen<g>.forwarded
+  std::vector<sim::Counter*> recirculated_by_gen_;
+  sim::Counter* records_appended_;
+  sim::Counter* records_forwarded_;
+  sim::Counter* records_recirculated_;
+  sim::Counter* records_discarded_;
+  sim::Counter* flushes_enqueued_;
+  sim::Counter* urgent_flushes_;
+  sim::Counter* updates_flushed_;
+  sim::Counter* killed_;
+  sim::Counter* aborted_;
+  sim::Counter* unsafe_commit_drops_;
+  sim::Counter* unsafe_committing_kills_;
+  sim::Counter* log_write_retries_;
+  sim::Counter* log_writes_lost_;
+  sim::Counter* flush_failures_;
+  sim::Counter* steals_;
+  sim::Counter* compensations_;
   bool steal_timer_armed_ = false;
 
   /// Re-entrancy guard for the forward-and-force-write step.

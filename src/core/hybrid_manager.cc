@@ -1,6 +1,8 @@
 #include "core/hybrid_manager.h"
 
 #include <algorithm>
+#include <memory>
+#include <string>
 
 namespace elog {
 
@@ -13,14 +15,37 @@ HybridLogManager::HybridLogManager(sim::Simulator* simulator,
       options_(options),
       device_(device),
       drives_(drives),
-      metrics_(metrics) {
+      owned_metrics_(metrics == nullptr
+                         ? std::make_unique<sim::MetricsRegistry>()
+                         : nullptr),
+      metrics_(metrics == nullptr ? owned_metrics_.get() : metrics),
+      memory_(metrics_->GetGauge("hybrid.memory_bytes")),
+      records_appended_(metrics_->GetCounter("hybrid.appended")),
+      records_regenerated_(metrics_->GetCounter("hybrid.regenerated")),
+      migrations_(metrics_->GetCounter("hybrid.migrations")),
+      killed_(metrics_->GetCounter("hybrid.killed")),
+      unsafe_committing_kills_(
+          metrics_->GetCounter("hybrid.unsafe_committing_kills")),
+      forced_releases_(metrics_->GetCounter("hybrid.forced_releases")),
+      log_write_retries_(metrics_->GetCounter("hybrid.log_write_retries")),
+      log_writes_lost_(metrics_->GetCounter("hybrid.log_writes_lost")),
+      flush_failures_(metrics_->GetCounter("hybrid.flush_failures")) {
   ELOG_CHECK_OK(options.Validate());
+  occupancy_.reserve(options.generation_blocks.size());
   for (size_t i = 0; i < options.generation_blocks.size(); ++i) {
     generations_.push_back(std::make_unique<Generation>(
         static_cast<uint32_t>(i), options.generation_blocks[i]));
     markers_.emplace_back(options.generation_blocks[i]);
+    occupancy_.push_back(
+        metrics_->GetGauge("hybrid.gen" + std::to_string(i) + ".occupancy"));
+    occupancy_.back()->Set(simulator->Now(), 0.0);
   }
   UpdateMemoryGauge();
+}
+
+void HybridLogManager::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) trace_lane_ = tracer_->RegisterLane("hybrid");
 }
 
 // ---------------------------------------------------------------------------
@@ -99,6 +124,8 @@ void HybridLogManager::WriteBuilder(uint32_t g) {
                    std::make_shared<const std::vector<TxId>>(
                        std::move(closed.commit_tids)),
                    /*attempt=*/0);
+  occupancy_[g]->Set(simulator_->Now(),
+                     static_cast<double>(gen.used_blocks()));
   EnsureFree(g, options_.min_free_blocks);
 }
 
@@ -122,13 +149,11 @@ void HybridLogManager::SubmitBlockWrite(
       return;
     }
     if (attempt + 1 < options_.max_log_write_attempts) {
-      ++log_write_retries_;
-      if (metrics_ != nullptr) metrics_->Incr("hybrid.log_write_retries");
+      log_write_retries_->Incr();
       SubmitBlockWrite(address, image, commit_tids, attempt + 1);
       return;
     }
-    ++log_writes_lost_;
-    if (metrics_ != nullptr) metrics_->Incr("hybrid.log_writes_lost");
+    log_writes_lost_->Incr();
     OnBlockWriteLost(*commit_tids);
   };
   if (attempt == 0) {
@@ -142,7 +167,7 @@ void HybridLogManager::OnBlockWriteLost(const std::vector<TxId>& commit_tids) {
   for (TxId tid : commit_tids) {
     HybridTx* entry = table_.Find(tid);
     if (entry == nullptr || entry->state != TxState::kCommitting) continue;
-    ++unsafe_committing_kills_;
+    unsafe_committing_kills_->Incr();
     KillTransaction(tid);
   }
 }
@@ -199,7 +224,7 @@ void HybridLogManager::AdvanceHeadOnce(uint32_t g) {
   ELOG_CHECK_GT(gen.used_blocks(), 0u);
   const uint32_t slot = gen.head_slot();
   const bool is_last = (g == last_generation());
-  const int64_t migrations_before = migrations_;
+  const int64_t migrations_before = migrations_->value();
   int guard = 0;
   while (!markers_[g][slot].empty()) {
     ELOG_CHECK_LT(++guard, 100000) << "head advance cannot clear markers";
@@ -218,8 +243,12 @@ void HybridLogManager::AdvanceHeadOnce(uint32_t g) {
       // No room anywhere (or recirculation disabled): flush everything
       // urgently and release — the same bounded crash window as EL's
       // no-recirculation mode.
-      ++forced_releases_;
-      if (metrics_ != nullptr) metrics_->Incr("hybrid.forced_releases");
+      forced_releases_->Incr();
+      if (tracer_ != nullptr) {
+        tracer_->Instant(trace_lane_, "gc", "forced_release",
+                         {{"tid", static_cast<double>(tid)},
+                          {"gen", static_cast<double>(g)}});
+      }
       for (const wal::LogRecord& record : entry->records) {
         if (!record.is_data()) continue;
         disk::FlushRequest request;
@@ -234,8 +263,7 @@ void HybridLogManager::AdvanceHeadOnce(uint32_t g) {
         // Forced-release flushes have no waiting owner (the entry is
         // released immediately); a loss is just counted.
         request.on_failed = [this](const disk::FlushRequest&) {
-          ++flush_failures_;
-          if (metrics_ != nullptr) metrics_->Incr("hybrid.flush_failures");
+          flush_failures_->Incr();
         };
         drives_->EnqueueUrgent(std::move(request));
       }
@@ -258,21 +286,25 @@ void HybridLogManager::AdvanceHeadOnce(uint32_t g) {
       KillTransaction(tid);
     } else if (!KillVictim(tid)) {
       // Only commit-window transactions left: unsafe last resort.
-      ++unsafe_committing_kills_;
-      if (metrics_ != nullptr) {
-        metrics_->Incr("hybrid.unsafe_committing_kills");
-      }
+      unsafe_committing_kills_->Incr();
       KillTransaction(tid);
     }
   }
   gen.TakeSlotRecords(slot);  // whatever remains physically is garbage
   gen.AdvanceHead();
+  occupancy_[g]->Set(simulator_->Now(),
+                     static_cast<double>(gen.used_blocks()));
+  if (tracer_ != nullptr) {
+    tracer_->Instant(trace_lane_, "gc", "advance_head",
+                     {{"gen", static_cast<double>(g)},
+                      {"used", static_cast<double>(gen.used_blocks())}});
+  }
 
   // Like EL's forwarding (§2.2), migrated records must reach disk before
   // their old blocks — just freed — can be reused by this generation's
   // tail. Recirculating migrations within the last generation are safe
   // without this: the staged buffer is written before the tail wraps.
-  if (!is_last && migrations_ > migrations_before &&
+  if (!is_last && migrations_->value() > migrations_before &&
       pending_force_.insert(g + 1).second) {
     Generation& next = Gen(g + 1);
     if (next.has_open_builder() && !next.builder().empty() &&
@@ -324,14 +356,19 @@ bool HybridLogManager::Migrate(TxId tid, HybridTx* entry, uint32_t target) {
       first_slot = slot;
       first = false;
     }
-    ++records_regenerated_;
+    records_regenerated_->Incr();
   }
   entry = table_.Find(tid);
   ELOG_CHECK(entry != nullptr);
   RemoveMarker(tid, entry);
   PlaceMarker(tid, entry, target, first_slot);
-  ++migrations_;
-  if (metrics_ != nullptr) metrics_->Incr("hybrid.migrations");
+  migrations_->Incr();
+  if (tracer_ != nullptr) {
+    tracer_->Instant(trace_lane_, "gc", "migrate",
+                     {{"tid", static_cast<double>(tid)},
+                      {"target", static_cast<double>(target)},
+                      {"records", static_cast<double>(records.size())}});
+  }
   return true;
 }
 
@@ -345,7 +382,7 @@ TxId HybridLogManager::BeginTransaction(const workload::TransactionType& type) {
   uint32_t slot = 0;
   ELOG_CHECK(AppendOrKill(0, record, false, kInvalidTxId, &slot))
       << "BEGIN record could not be placed";
-  ++records_appended_;
+  records_appended_->Incr();
 
   HybridTx entry;
   entry.state = TxState::kActive;
@@ -372,7 +409,7 @@ void HybridLogManager::WriteUpdate(TxId tid, Oid oid, uint32_t logged_size) {
   entry = table_.Find(tid);
   ELOG_CHECK(entry != nullptr);
   entry->records.push_back(record);
-  ++records_appended_;
+  records_appended_->Incr();
 }
 
 bool HybridLogManager::AppendFollowingResidence(TxId tid,
@@ -410,7 +447,7 @@ void HybridLogManager::Commit(TxId tid, std::function<void(TxId)> on_durable) {
   entry = table_.Find(tid);
   ELOG_CHECK(entry != nullptr);
   entry->records.push_back(record);
-  ++records_appended_;
+  records_appended_->Incr();
 }
 
 void HybridLogManager::Abort(TxId tid) {
@@ -423,7 +460,7 @@ void HybridLogManager::Abort(TxId tid) {
   }
   entry = table_.Find(tid);
   ELOG_CHECK(entry != nullptr);
-  ++records_appended_;
+  records_appended_->Incr();
   RemoveMarker(tid, entry);
   table_.Erase(tid);
   UpdateMemoryGauge();
@@ -465,8 +502,7 @@ void HybridLogManager::ProcessCommitDurable(TxId tid, HybridTx* entry) {
     // update itself is lost to the stable version (flushes_lost voids the
     // strict oracle), but the entry completes and releases normally.
     request.on_failed = [this, tid](const disk::FlushRequest&) {
-      ++flush_failures_;
-      if (metrics_ != nullptr) metrics_->Incr("hybrid.flush_failures");
+      flush_failures_->Incr();
       SettleFlush(tid);
     };
     drives_->Enqueue(std::move(request));
@@ -519,8 +555,11 @@ void HybridLogManager::KillTransaction(TxId tid) {
   RemoveMarker(tid, entry);
   bool erased = table_.Erase(tid);
   ELOG_CHECK(erased);
-  ++killed_;
-  if (metrics_ != nullptr) metrics_->Incr("hybrid.killed");
+  killed_->Incr();
+  if (tracer_ != nullptr) {
+    tracer_->Instant(trace_lane_, "gc", "kill",
+                     {{"tid", static_cast<double>(tid)}});
+  }
   UpdateMemoryGauge();
   if (kill_listener_ != nullptr) kill_listener_->OnTransactionKilled(tid);
 }
@@ -544,7 +583,7 @@ double HybridLogManager::modeled_memory_bytes() const {
 }
 
 void HybridLogManager::UpdateMemoryGauge() {
-  memory_.Set(simulator_->Now(), modeled_memory_bytes());
+  memory_->Set(simulator_->Now(), modeled_memory_bytes());
 }
 
 void HybridLogManager::CheckInvariants() const {

@@ -33,6 +33,7 @@
 #include "core/tables.h"  // for TxState
 #include "disk/drive_array.h"
 #include "disk/log_device.h"
+#include "obs/trace.h"
 #include "sim/metrics.h"
 #include "sim/simulator.h"
 #include "util/chained_hash_map.h"
@@ -47,6 +48,11 @@ class HybridLogManager : public LogManager {
                    sim::MetricsRegistry* metrics);
   ~HybridLogManager() override = default;
 
+  /// Attaches a tracer: GC decisions (migrations, kills, forced
+  /// releases) become instant events on a "hybrid" lane. Call before the
+  /// simulation starts.
+  void set_tracer(obs::Tracer* tracer);
+
   // workload::TransactionSink
   TxId BeginTransaction(const workload::TransactionType& type) override;
   void WriteUpdate(TxId tid, Oid oid, uint32_t logged_size) override;
@@ -57,34 +63,40 @@ class HybridLogManager : public LogManager {
   void ForceWriteOpenBuffers() override;
   size_t active_transactions() const override;
   double modeled_memory_bytes() const override;
-  const TimeWeightedValue& memory_usage() const override { return memory_; }
-  int64_t transactions_killed() const override { return killed_; }
+  const TimeWeightedValue& memory_usage() const override {
+    return memory_->series();
+  }
+  int64_t transactions_killed() const override { return killed_->value(); }
 
-  // Introspection.
+  // Introspection (typed registry handles; see sim/metrics.h).
   size_t table_size() const { return table_.size(); }
-  int64_t records_appended() const { return records_appended_; }
+  int64_t records_appended() const { return records_appended_->value(); }
   /// Records rewritten by whole-transaction migrations (forward or
   /// recirculate) — the hybrid's bandwidth premium.
-  int64_t records_regenerated() const { return records_regenerated_; }
-  int64_t migrations() const { return migrations_; }
+  int64_t records_regenerated() const {
+    return records_regenerated_->value();
+  }
+  int64_t migrations() const { return migrations_->value(); }
   /// Transactions killed inside their commit window (phantom-commit
   /// risk); fires only when the log is wedged solid by committing and
   /// committed transactions.
-  int64_t unsafe_committing_kills() const { return unsafe_committing_kills_; }
+  int64_t unsafe_committing_kills() const {
+    return unsafe_committing_kills_->value();
+  }
   /// Committed transactions evicted from the log before their flushes
   /// completed (urgent flushes were issued; a crash inside that window
   /// can lose the acknowledged updates). Fires only when migration finds
   /// no space.
-  int64_t forced_releases() const { return forced_releases_; }
+  int64_t forced_releases() const { return forced_releases_->value(); }
   /// Log block writes that failed transiently and were resubmitted.
-  int64_t log_write_retries() const { return log_write_retries_; }
+  int64_t log_write_retries() const { return log_write_retries_->value(); }
   /// Log block writes abandoned after max_log_write_attempts failures
   /// (waiting committers are killed; strict recovery guarantees void).
-  int64_t log_writes_lost() const { return log_writes_lost_; }
+  int64_t log_writes_lost() const { return log_writes_lost_->value(); }
   /// Flush requests abandoned by the drives (on_failed notices). Each
   /// settles its owner's outstanding-flush count, so abandoned flushes
   /// can never leave a HybridTx waiting (and wedging the log) forever.
-  int64_t flush_failures() const { return flush_failures_; }
+  int64_t flush_failures() const { return flush_failures_->value(); }
   const Generation& generation(uint32_t g) const { return *generations_[g]; }
 
   /// Internal-consistency check for tests: firewall markers match entry
@@ -170,7 +182,12 @@ class HybridLogManager : public LogManager {
   LogManagerOptions options_;
   disk::LogWritePort* device_;
   disk::DriveArray* drives_;
+  /// Fallback registry when the caller passes no metrics, so every
+  /// handle below is always valid (see sim/metrics.h).
+  std::unique_ptr<sim::MetricsRegistry> owned_metrics_;
   sim::MetricsRegistry* metrics_;
+  obs::Tracer* tracer_ = nullptr;
+  int trace_lane_ = 0;
 
   std::vector<std::unique_ptr<Generation>> generations_;
   /// Transactions whose firewall marker is in a given (generation, slot).
@@ -181,20 +198,24 @@ class HybridLogManager : public LogManager {
   Lsn next_lsn_ = 1;
   uint64_t next_write_seq_ = 1;
 
-  TimeWeightedValue memory_;
   std::unordered_set<uint32_t> gc_active_;
   /// Re-entrancy guard for the migrate-and-force-write step.
   std::unordered_set<uint32_t> pending_force_;
 
-  int64_t records_appended_ = 0;
-  int64_t records_regenerated_ = 0;
-  int64_t migrations_ = 0;
-  int64_t killed_ = 0;
-  int64_t unsafe_committing_kills_ = 0;
-  int64_t forced_releases_ = 0;
-  int64_t log_write_retries_ = 0;
-  int64_t log_writes_lost_ = 0;
-  int64_t flush_failures_ = 0;
+  // Typed metric handles, acquired once at construction; the counters
+  // are the manager's own accounting (accessors read the same storage
+  // the MetricSampler snapshots).
+  sim::Gauge* memory_;
+  std::vector<sim::Gauge*> occupancy_;  // hybrid.gen<g>.occupancy
+  sim::Counter* records_appended_;
+  sim::Counter* records_regenerated_;
+  sim::Counter* migrations_;
+  sim::Counter* killed_;
+  sim::Counter* unsafe_committing_kills_;
+  sim::Counter* forced_releases_;
+  sim::Counter* log_write_retries_;
+  sim::Counter* log_writes_lost_;
+  sim::Counter* flush_failures_;
 };
 
 }  // namespace elog

@@ -1,0 +1,35 @@
+#include "core/manager_factory.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace elog {
+
+LogManagerSet MakeLogManager(ManagerKind kind,
+                             const LogManagerOptions& options,
+                             sim::Simulator* simulator,
+                             disk::LogWritePort* device,
+                             disk::DriveArray* drives,
+                             sim::MetricsRegistry* metrics) {
+  LogManagerSet set;
+  switch (kind) {
+    case ManagerKind::kEphemeral: {
+      auto el = std::make_unique<EphemeralLogManager>(
+          simulator, options, device, drives, metrics);
+      set.el = el.get();
+      set.manager = std::move(el);
+      return set;
+    }
+    case ManagerKind::kHybrid: {
+      auto hybrid = std::make_unique<HybridLogManager>(
+          simulator, options, device, drives, metrics);
+      set.hybrid = hybrid.get();
+      set.manager = std::move(hybrid);
+      return set;
+    }
+  }
+  ELOG_UNREACHABLE();
+}
+
+}  // namespace elog

@@ -1,0 +1,60 @@
+// Log-manager construction in one place.
+//
+// Every driver (the database facade, benches, the torture harness, the
+// micro-benchmarks) needs the same switch: pick a LogManager subclass,
+// keep a concrete pointer for manager-specific introspection, and hand
+// the owning pointer to whoever runs the simulation. MakeLogManager is
+// that switch; call sites stay free of copy-pasted construction code.
+
+#ifndef ELOG_CORE_MANAGER_FACTORY_H_
+#define ELOG_CORE_MANAGER_FACTORY_H_
+
+#include <memory>
+
+#include "core/el_manager.h"
+#include "core/hybrid_manager.h"
+#include "core/log_manager.h"
+#include "core/options.h"
+#include "disk/drive_array.h"
+#include "disk/log_device.h"
+#include "obs/trace.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+
+namespace elog {
+
+/// Which log-manager implementation drives a run. The firewall scheme is
+/// not a separate kind: it is the ephemeral manager under
+/// MakeFirewallOptions (one generation, release-on-commit).
+enum class ManagerKind {
+  kEphemeral,
+  kHybrid,
+};
+
+/// An owning manager plus concrete views for manager-specific accessors.
+/// Exactly one of `el` / `hybrid` is non-null, matching the kind.
+struct LogManagerSet {
+  std::unique_ptr<LogManager> manager;
+  EphemeralLogManager* el = nullptr;
+  HybridLogManager* hybrid = nullptr;
+
+  /// Forwards to the concrete manager's set_tracer.
+  void SetTracer(obs::Tracer* tracer) {
+    if (el != nullptr) el->set_tracer(tracer);
+    if (hybrid != nullptr) hybrid->set_tracer(tracer);
+  }
+};
+
+/// Builds the manager of the requested kind over the given simulator,
+/// log write port, flush drives, and metrics registry (nullable — the
+/// manager then owns a private registry; see sim/metrics.h).
+LogManagerSet MakeLogManager(ManagerKind kind,
+                             const LogManagerOptions& options,
+                             sim::Simulator* simulator,
+                             disk::LogWritePort* device,
+                             disk::DriveArray* drives,
+                             sim::MetricsRegistry* metrics);
+
+}  // namespace elog
+
+#endif  // ELOG_CORE_MANAGER_FACTORY_H_

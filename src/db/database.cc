@@ -40,19 +40,32 @@ Database::Database(const DatabaseConfig& config)
   drives_ = std::make_unique<disk::DriveArray>(
       &simulator_, config.log.num_flush_drives, config.log.num_objects,
       config.log.flush_transfer_time, &metrics_, injector_.get());
-  if (config.manager == ManagerKind::kHybrid) {
-    auto hybrid = std::make_unique<HybridLogManager>(
-        &simulator_, config.log, log_port, drives_.get(), &metrics_);
-    hybrid_ = hybrid.get();
-    manager_ = std::move(hybrid);
-  } else {
-    auto el = std::make_unique<EphemeralLogManager>(
-        &simulator_, config.log, log_port, drives_.get(), &metrics_);
-    el_ = el.get();
-    manager_ = std::move(el);
-  }
+  LogManagerSet managers =
+      MakeLogManager(config.manager, config.log, &simulator_, log_port,
+                     drives_.get(), &metrics_);
+  el_ = managers.el;
+  hybrid_ = managers.hybrid;
+  manager_ = std::move(managers.manager);
   generator_ = std::make_unique<workload::WorkloadGenerator>(
       &simulator_, config.workload, manager_.get(), &metrics_);
+
+  if (config.trace) {
+    tracer_ = std::make_unique<obs::Tracer>(
+        &simulator_, obs::TracerOptions{config.trace_capacity});
+    // Lane registration order fixes the tid numbering in the exported
+    // trace; keep it stable so traces stay byte-comparable across runs.
+    device_->set_tracer(tracer_.get());
+    if (device_mirror_ != nullptr) device_mirror_->set_tracer(tracer_.get());
+    if (duplex_ != nullptr) duplex_->set_tracer(tracer_.get());
+    drives_->set_tracer(tracer_.get());
+    if (el_ != nullptr) el_->set_tracer(tracer_.get());
+    if (hybrid_ != nullptr) hybrid_->set_tracer(tracer_.get());
+    generator_->set_tracer(tracer_.get());
+  }
+  if (config.metric_sample_interval > 0) {
+    sampler_ = std::make_unique<obs::MetricSampler>(
+        &simulator_, &metrics_, config.metric_sample_interval);
+  }
 
   manager_->set_kill_listener(this);
   manager_->set_flush_apply_hook([this](Oid oid, Lsn lsn, uint64_t digest) {
@@ -138,6 +151,7 @@ void Database::StartRun() {
   ELOG_CHECK(!started_) << "Run/RunUntilCrash may be called once";
   started_ = true;
   generator_->Start();
+  if (sampler_ != nullptr) sampler_->Start(config_.workload.runtime);
   ScheduleWindowSnapshot();
   ScheduleDrain();
 }
@@ -145,6 +159,9 @@ void Database::StartRun() {
 RunStats Database::Run() {
   StartRun();
   simulator_.Run();
+  // Close the series with the end-of-run state so the last row matches
+  // the managers' final scalars even when the run stopped off-cadence.
+  if (sampler_ != nullptr) sampler_->SampleNow();
 
   if (!window_.taken) TakeWindowSnapshot();  // stopped early (e.g. kill)
 

@@ -24,6 +24,7 @@
 #include "core/el_manager.h"
 #include "core/fw_manager.h"
 #include "core/hybrid_manager.h"
+#include "core/manager_factory.h"
 #include "db/stable_store.h"
 #include "disk/drive_array.h"
 #include "disk/duplex_log_device.h"
@@ -31,6 +32,8 @@
 #include "disk/log_storage.h"
 #include "fault/crash_scheduler.h"
 #include "fault/fault_injector.h"
+#include "obs/metric_sampler.h"
+#include "obs/trace.h"
 #include "sim/metrics.h"
 #include "sim/simulator.h"
 #include "workload/generator.h"
@@ -38,13 +41,9 @@
 namespace elog {
 namespace db {
 
-/// Which log-manager implementation drives the run. The firewall scheme
-/// is not a separate kind: it is the ephemeral manager under
-/// MakeFirewallOptions (one generation, release-on-commit).
-enum class ManagerKind {
-  kEphemeral,
-  kHybrid,
-};
+/// The manager-kind switch lives with the factory (core/manager_factory.h);
+/// the old db::ManagerKind spelling keeps working.
+using ::elog::ManagerKind;
 
 struct DatabaseConfig {
   LogManagerOptions log;
@@ -73,6 +72,19 @@ struct DatabaseConfig {
   /// Interval of the end-of-run drain loop that force-writes open buffers
   /// until in-flight transactions have finished.
   SimTime drain_interval = 100 * kMillisecond;
+
+  // Observability (src/obs). Both are off by default: tracing costs one
+  // ring-buffer push per event, and the sampler's ticks shift the
+  // simulator's event count (which matters to event-count crash
+  // triggers — the torture harness keeps it off).
+  /// Record structured trace events (write spans, GC decisions, commit
+  /// waits) into a bounded ring buffer; export via tracer()->WriteFile.
+  bool trace = false;
+  /// Ring capacity in events when tracing (oldest overwritten first).
+  size_t trace_capacity = 1 << 16;
+  /// Snapshot every registered counter/gauge on this virtual-time cadence
+  /// during [0, runtime]; 0 disables the sampler.
+  SimTime metric_sample_interval = 0;
 };
 
 /// Measurements of one simulation run. Unless noted, values cover the
@@ -206,6 +218,12 @@ class Database : public KillListener {
     return injector_.get();
   }
   workload::WorkloadGenerator& generator() { return *generator_; }
+  /// Null unless DatabaseConfig::trace.
+  obs::Tracer* tracer() { return tracer_.get(); }
+  const obs::Tracer* tracer() const { return tracer_.get(); }
+  /// Null unless DatabaseConfig::metric_sample_interval > 0.
+  obs::MetricSampler* sampler() { return sampler_.get(); }
+  const obs::MetricSampler* sampler() const { return sampler_.get(); }
   const disk::LogStorage& storage() const { return storage_; }
   const disk::DriveArray& drives() const { return *drives_; }
   const disk::LogDevice& device() const { return *device_; }
@@ -244,6 +262,8 @@ class Database : public KillListener {
   EphemeralLogManager* el_ = nullptr;
   HybridLogManager* hybrid_ = nullptr;
   std::unique_ptr<workload::WorkloadGenerator> generator_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::MetricSampler> sampler_;
   StableStore stable_;
 
   std::unordered_map<Oid, ObjectVersion> shadow_;

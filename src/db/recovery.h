@@ -39,6 +39,7 @@
 
 #include "db/stable_store.h"
 #include "disk/log_storage.h"
+#include "obs/trace.h"
 #include "wal/log_reader.h"
 
 namespace elog {
@@ -86,9 +87,14 @@ struct RecoveryResult {
 class RecoveryManager {
  public:
   /// Recovers from a crash image: the durable log blocks plus the stable
-  /// database version as of the crash.
+  /// database version as of the crash. With a tracer, the pass emits
+  /// scan/undo/redo phase spans on a "recovery" lane; recovery runs
+  /// outside virtual time, so the spans carry synthetic durations (work
+  /// counts in µs, anchored at the tracer's current time — see
+  /// docs/observability.md).
   static RecoveryResult Recover(const disk::LogStorage& log,
-                                const StableStore& stable);
+                                const StableStore& stable,
+                                obs::Tracer* tracer = nullptr);
 
   /// Duplex recovery over two replica images. Pass nullptr for a replica
   /// that is unreadable (its drive died before the crash). With
@@ -98,7 +104,8 @@ class RecoveryManager {
   static RecoveryResult RecoverDuplex(disk::LogStorage* primary,
                                       disk::LogStorage* mirror,
                                       const StableStore& stable,
-                                      bool read_repair = true);
+                                      bool read_repair = true,
+                                      obs::Tracer* tracer = nullptr);
 };
 
 }  // namespace db

@@ -25,6 +25,10 @@ DriveArray::DriveArray(sim::Simulator* simulator, uint32_t num_drives,
   }
 }
 
+void DriveArray::set_tracer(obs::Tracer* tracer) {
+  for (const auto& drive : drives_) drive->set_tracer(tracer);
+}
+
 FlushDrive* DriveArray::DriveFor(Oid oid) {
   size_t index = static_cast<size_t>(oid / objects_per_drive_);
   ELOG_CHECK_LT(index, drives_.size()) << "oid out of range: " << oid;

@@ -24,6 +24,10 @@ class DriveArray {
              SimTime transfer_time, sim::MetricsRegistry* metrics,
              fault::FaultInjector* injector = nullptr);
 
+  /// Attaches a tracer to every drive (one lane per drive, in drive-id
+  /// order). Call before the simulation starts.
+  void set_tracer(obs::Tracer* tracer);
+
   /// Routes a flush request to the drive owning its oid.
   void Enqueue(FlushRequest request);
   void EnqueueUrgent(FlushRequest request);

@@ -14,8 +14,19 @@ DuplexLogDevice::DuplexLogDevice(sim::Simulator* simulator,
     : simulator_(simulator),
       primary_(primary),
       mirror_(mirror),
-      metrics_(metrics),
-      auto_resilver_delay_(auto_resilver_delay) {
+      owned_metrics_(metrics == nullptr
+                         ? std::make_unique<sim::MetricsRegistry>()
+                         : nullptr),
+      metrics_(metrics == nullptr ? owned_metrics_.get() : metrics),
+      auto_resilver_delay_(auto_resilver_delay),
+      replica_deaths_c_(metrics_->GetCounter("duplex.replica_deaths")),
+      degraded_writes_c_(metrics_->GetCounter("duplex.degraded_writes")),
+      silent_double_faults_c_(
+          metrics_->GetCounter("duplex.silent_double_faults")),
+      dual_failures_c_(metrics_->GetCounter("duplex.dual_failures")),
+      resilvers_c_(metrics_->GetCounter("duplex.resilvers")),
+      resilvered_blocks_c_(metrics_->GetCounter("duplex.resilvered_blocks")),
+      dead_replicas_gauge_(metrics_->GetGauge("duplex.dead_replicas")) {
   ELOG_CHECK(primary != nullptr && mirror != nullptr);
   ELOG_CHECK(primary != mirror);
   ELOG_CHECK(!primary->busy() && !mirror->busy());
@@ -23,12 +34,19 @@ DuplexLogDevice::DuplexLogDevice(sim::Simulator* simulator,
                 mirror->storage()->num_generations());
 }
 
+void DuplexLogDevice::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) trace_lane_ = tracer_->RegisterLane("duplex");
+}
+
 void DuplexLogDevice::Submit(LogWriteRequest request) {
+  request.submitted_at = simulator_->Now();
   queue_.push_back(std::move(request));
   Pump();
 }
 
 void DuplexLogDevice::SubmitFront(LogWriteRequest request) {
+  request.submitted_at = simulator_->Now();
   queue_.push_front(std::move(request));
   Pump();
 }
@@ -70,7 +88,15 @@ void DuplexLogDevice::MergeCurrent() {
   for (int i = 0; i < 2; ++i) {
     if (fault_[i] == WriteFault::kDriveDead && !replica_death_seen_[i]) {
       replica_death_seen_[i] = true;
-      if (metrics_ != nullptr) metrics_->Incr("duplex.replica_deaths");
+      replica_deaths_c_->Incr();
+      dead_replicas_gauge_->Set(
+          simulator_->Now(),
+          static_cast<double>((primary_->dead() ? 1 : 0) +
+                              (mirror_->dead() ? 1 : 0)));
+      if (tracer_ != nullptr) {
+        tracer_->Instant(trace_lane_, "disk", "replica_death",
+                         {{"replica", static_cast<double>(i)}});
+      }
       if (auto_resilver_delay_ >= 0 && !resilver_scheduled_) {
         resilver_scheduled_ = true;
         simulator_->ScheduleAfter(auto_resilver_delay_,
@@ -89,18 +115,18 @@ void DuplexLogDevice::MergeCurrent() {
       // Both copies landed scrambled: the write merges OK but no intact
       // copy exists anywhere.
       ++silent_double_faults_;
-      if (metrics_ != nullptr) metrics_->Incr("duplex.silent_double_faults");
+      silent_double_faults_c_->Incr();
     } else if (rot0 || rot1) {
       ++sole_copy_writes_[rot0 ? 1 : 0];
     }
   } else if (ok0 || ok1) {
     ++degraded_writes_;
-    if (metrics_ != nullptr) metrics_->Incr("duplex.degraded_writes");
+    degraded_writes_c_->Incr();
     const int ok = ok0 ? 0 : 1;
     if (fault_[ok] == WriteFault::kBitRot) {
       // The only replica that stored the block stored it scrambled.
       ++silent_double_faults_;
-      if (metrics_ != nullptr) metrics_->Incr("duplex.silent_double_faults");
+      silent_double_faults_c_->Incr();
     } else {
       ++sole_copy_writes_[ok];
     }
@@ -108,8 +134,17 @@ void DuplexLogDevice::MergeCurrent() {
     // Neither replica stored the block; the caller retries, exactly like
     // a failed single-device write.
     ++dual_failures_;
-    if (metrics_ != nullptr) metrics_->Incr("duplex.dual_failures");
+    dual_failures_c_->Incr();
     merged = status_[0];
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Complete(trace_lane_, "disk",
+                      merged.ok() ? "write" : "write_fault",
+                      current_.submitted_at,
+                      {{"gen", static_cast<double>(current_.address.generation)},
+                       {"slot", static_cast<double>(current_.address.slot)},
+                       {"ok0", ok0 ? 1.0 : 0.0},
+                       {"ok1", ok1 ? 1.0 : 0.0}});
   }
 
   std::function<void(const Status&)> on_complete =
@@ -170,9 +205,12 @@ int64_t DuplexLogDevice::ResilverDeadReplica() {
   dead->Revive();
   resilvered_blocks_ += copied;
   ++resilvers_completed_;
-  if (metrics_ != nullptr) {
-    metrics_->Incr("duplex.resilvers");
-    metrics_->Incr("duplex.resilvered_blocks", copied);
+  resilvers_c_->Incr();
+  resilvered_blocks_c_->Incr(copied);
+  dead_replicas_gauge_->Set(simulator_->Now(), 0.0);
+  if (tracer_ != nullptr) {
+    tracer_->Instant(trace_lane_, "disk", "resilver",
+                     {{"blocks", static_cast<double>(copied)}});
   }
   return copied;
 }

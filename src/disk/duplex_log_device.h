@@ -36,6 +36,7 @@
 #define ELOG_DISK_DUPLEX_LOG_DEVICE_H_
 
 #include <deque>
+#include <memory>
 
 #include "disk/log_device.h"
 
@@ -51,6 +52,11 @@ class DuplexLogDevice : public LogWritePort {
   DuplexLogDevice(sim::Simulator* simulator, LogDevice* primary,
                   LogDevice* mirror, sim::MetricsRegistry* metrics,
                   SimTime auto_resilver_delay = -1);
+
+  /// Attaches a tracer: merged writes become submit→merge spans on a
+  /// "duplex" lane, with instants for replica deaths and resilvers.
+  /// Call before the simulation starts.
+  void set_tracer(obs::Tracer* tracer);
 
   void Submit(LogWriteRequest request) override;
   void SubmitFront(LogWriteRequest request) override;
@@ -112,8 +118,24 @@ class DuplexLogDevice : public LogWritePort {
   sim::Simulator* simulator_;
   LogDevice* primary_;
   LogDevice* mirror_;
+  /// Fallback registry when the caller passes no metrics (see
+  /// sim/metrics.h typed-handle convention).
+  std::unique_ptr<sim::MetricsRegistry> owned_metrics_;
   sim::MetricsRegistry* metrics_;
   SimTime auto_resilver_delay_;
+  obs::Tracer* tracer_ = nullptr;
+  int trace_lane_ = 0;
+
+  // Typed metric handles, acquired once at construction.
+  sim::Counter* replica_deaths_c_;
+  sim::Counter* degraded_writes_c_;
+  sim::Counter* silent_double_faults_c_;
+  sim::Counter* dual_failures_c_;
+  sim::Counter* resilvers_c_;
+  sim::Counter* resilvered_blocks_c_;
+  /// Number of replicas currently observed dead (0, 1, 2): its series is
+  /// the duplex degraded-mode interval record.
+  sim::Gauge* dead_replicas_gauge_;
 
   std::deque<LogWriteRequest> queue_;
   bool in_flight_ = false;

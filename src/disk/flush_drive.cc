@@ -16,24 +16,51 @@ FlushDrive::FlushDrive(sim::Simulator* simulator, uint32_t drive_id,
       range_begin_(range_begin),
       range_end_(range_end),
       transfer_time_(transfer_time),
-      metrics_(metrics),
+      owned_metrics_(metrics == nullptr
+                         ? std::make_unique<sim::MetricsRegistry>()
+                         : nullptr),
+      metrics_(metrics == nullptr ? owned_metrics_.get() : metrics),
       injector_(injector),
+      flushes_c_(metrics_->GetCounter("flush_drive.flushes")),
+      retries_c_(metrics_->GetCounter("flush_drive.retries")),
+      lost_c_(metrics_->GetCounter("flush_drive.lost")),
+      pending_gauge_(metrics_->GetGauge("flush_drive.d" +
+                                        std::to_string(drive_id) + ".pending")),
       head_position_(range_begin) {
   ELOG_CHECK_LT(range_begin, range_end);
   ELOG_CHECK_GT(transfer_time, 0);
 }
 
+void FlushDrive::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) {
+    trace_lane_ =
+        tracer_->RegisterLane("flush_drive.d" + std::to_string(drive_id_));
+  }
+}
+
+void FlushDrive::UpdatePendingGauge() {
+  pending_gauge_->Set(
+      simulator_->Now(),
+      static_cast<double>(pending_.size() + urgent_.size() +
+                          (in_service_ ? 1 : 0)));
+}
+
 void FlushDrive::Enqueue(FlushRequest request) {
   ELOG_CHECK_GE(request.oid, range_begin_);
   ELOG_CHECK_LT(request.oid, range_end_);
+  request.enqueued_at = simulator_->Now();
   pending_.emplace(request.oid, std::move(request));
+  UpdatePendingGauge();
   if (!in_service_) StartNext();
 }
 
 void FlushDrive::EnqueueUrgent(FlushRequest request) {
   ELOG_CHECK_GE(request.oid, range_begin_);
   ELOG_CHECK_LT(request.oid, range_end_);
+  request.enqueued_at = simulator_->Now();
   urgent_.push_back(std::move(request));
+  UpdatePendingGauge();
   if (!in_service_) StartNext();
 }
 
@@ -99,7 +126,7 @@ void FlushDrive::Complete(FlushRequest request) {
       // Retry in place: the drive stays busy through the backoff plus a
       // fresh transfer, so scheduling order is unchanged by the fault.
       ++flush_retries_;
-      if (metrics_ != nullptr) metrics_->Incr("flush_drive.retries");
+      retries_c_->Incr();
       simulator_->ScheduleAfter(
           injector_->config().flush_retry_backoff + transfer_time_,
           [this, r = std::move(request)]() mutable { Complete(std::move(r)); });
@@ -111,19 +138,31 @@ void FlushDrive::Complete(FlushRequest request) {
     // whenever this counter is nonzero. on_failed tells the owner so it
     // is not left waiting on a durability signal that will never come.
     ++flushes_lost_;
-    if (metrics_ != nullptr) metrics_->Incr("flush_drive.lost");
+    lost_c_->Incr();
+    if (tracer_ != nullptr) {
+      tracer_->Complete(trace_lane_, "flush", "flush_lost",
+                        request.enqueued_at,
+                        {{"oid", static_cast<double>(request.oid)},
+                         {"attempts", static_cast<double>(request.attempt)}});
+    }
     auto on_failed = std::move(request.on_failed);
     in_service_ = false;
+    UpdatePendingGauge();
     if (on_failed) on_failed(request);
     if (!in_service_) StartNext();
     return;
   }
   ++flushes_completed_;
-  if (metrics_ != nullptr) {
-    metrics_->Incr("flush_drive.flushes");
+  flushes_c_->Incr();
+  if (tracer_ != nullptr) {
+    tracer_->Complete(trace_lane_, "flush", "flush", request.enqueued_at,
+                      {{"oid", static_cast<double>(request.oid)},
+                       {"attempts", static_cast<double>(request.attempt)},
+                       {"steal", request.steal ? 1.0 : 0.0}});
   }
   auto on_durable = std::move(request.on_durable);
   in_service_ = false;
+  UpdatePendingGauge();
   if (on_durable) on_durable(request);
   if (!in_service_) StartNext();
 }

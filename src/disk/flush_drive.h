@@ -16,8 +16,10 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 
 #include "fault/fault_injector.h"
+#include "obs/trace.h"
 #include "sim/metrics.h"
 #include "sim/simulator.h"
 #include "util/stats.h"
@@ -57,6 +59,9 @@ struct FlushRequest {
   std::function<void(const FlushRequest&)> on_failed;
   /// Service attempts consumed so far (drive-internal retry bookkeeping).
   uint32_t attempt = 0;
+  /// Enqueue timestamp, stamped by the drive; the enqueue→durable trace
+  /// span starts here.
+  SimTime enqueued_at = 0;
 };
 
 class FlushDrive {
@@ -66,6 +71,10 @@ class FlushDrive {
              Oid range_end, SimTime transfer_time,
              sim::MetricsRegistry* metrics,
              fault::FaultInjector* injector = nullptr);
+
+  /// Attaches a tracer: each serviced flush becomes an enqueue→durable
+  /// span on a per-drive lane. Call before the simulation starts.
+  void set_tracer(obs::Tracer* tracer);
 
   /// Enqueues a flush. The oid must fall in the drive's range.
   void Enqueue(FlushRequest request);
@@ -102,13 +111,27 @@ class FlushDrive {
   /// Removes and returns the pending request nearest the head position.
   FlushRequest TakeNearest();
 
+  void UpdatePendingGauge();
+
   sim::Simulator* simulator_;
   uint32_t drive_id_;
   Oid range_begin_;
   Oid range_end_;
   SimTime transfer_time_;
+  /// Fallback registry when the caller passes no metrics (see
+  /// sim/metrics.h typed-handle convention).
+  std::unique_ptr<sim::MetricsRegistry> owned_metrics_;
   sim::MetricsRegistry* metrics_;
   fault::FaultInjector* injector_;
+  obs::Tracer* tracer_ = nullptr;
+  int trace_lane_ = 0;
+
+  // Typed metric handles. The counters are shared across all drives
+  // (one fleet-wide name); the pending gauge is per drive.
+  sim::Counter* flushes_c_;
+  sim::Counter* retries_c_;
+  sim::Counter* lost_c_;
+  sim::Gauge* pending_gauge_;
 
   /// Locality-scheduled requests, keyed by oid for nearest-neighbour
   /// lookup. multimap: several versions/requests may share an oid.

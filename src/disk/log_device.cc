@@ -12,11 +12,31 @@ LogDevice::LogDevice(sim::Simulator* simulator, LogStorage* storage,
     : simulator_(simulator),
       storage_(storage),
       write_latency_(write_latency),
-      metrics_(metrics),
+      owned_metrics_(metrics == nullptr
+                         ? std::make_unique<sim::MetricsRegistry>()
+                         : nullptr),
+      metrics_(metrics == nullptr ? owned_metrics_.get() : metrics),
       injector_(injector),
       metrics_prefix_(std::move(metrics_prefix)),
-      per_generation_writes_(storage->num_generations(), 0) {
+      writes_(metrics_->GetCounter(metrics_prefix_ + ".writes")),
+      write_errors_(metrics_->GetCounter(metrics_prefix_ + ".write_errors")),
+      bit_rot_writes_(
+          metrics_->GetCounter(metrics_prefix_ + ".bit_rot_writes")),
+      dead_rejects_(metrics_->GetCounter(metrics_prefix_ + ".dead_rejects")),
+      deaths_(metrics_->GetCounter(metrics_prefix_ + ".deaths")),
+      revives_(metrics_->GetCounter(metrics_prefix_ + ".revives")),
+      queue_depth_(metrics_->GetGauge(metrics_prefix_ + ".queue_depth")) {
   ELOG_CHECK_GT(write_latency, 0);
+  per_generation_writes_.reserve(storage->num_generations());
+  for (uint32_t g = 0; g < storage->num_generations(); ++g) {
+    per_generation_writes_.push_back(metrics_->GetCounter(
+        metrics_prefix_ + ".writes.gen" + std::to_string(g)));
+  }
+}
+
+void LogDevice::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) trace_lane_ = tracer_->RegisterLane(metrics_prefix_);
 }
 
 void LogDevice::CheckAddress(const LogWriteRequest& request) const {
@@ -26,15 +46,24 @@ void LogDevice::CheckAddress(const LogWriteRequest& request) const {
   ELOG_CHECK_GE(request.extra_latency, 0);
 }
 
+void LogDevice::UpdateQueueDepth() {
+  queue_depth_->Set(simulator_->Now(),
+                    static_cast<double>(queue_.size() + (in_service_ ? 1 : 0)));
+}
+
 void LogDevice::Submit(LogWriteRequest request) {
   CheckAddress(request);
+  request.submitted_at = simulator_->Now();
   queue_.push_back(std::move(request));
+  UpdateQueueDepth();
   if (!in_service_) StartNext();
 }
 
 void LogDevice::SubmitFront(LogWriteRequest request) {
   CheckAddress(request);
+  request.submitted_at = simulator_->Now();
   queue_.push_front(std::move(request));
+  UpdateQueueDepth();
   if (!in_service_) StartNext();
 }
 
@@ -59,7 +88,10 @@ void LogDevice::StartNext() {
   if (!dead_ && DeathTripped()) {
     dead_ = true;
     died_at_ = simulator_->Now();
-    if (metrics_ != nullptr) metrics_->Incr(metrics_prefix_ + ".deaths");
+    deaths_->Incr();
+    if (tracer_ != nullptr) {
+      tracer_->Instant(trace_lane_, "disk", "drive_death");
+    }
   }
   ++ops_started_;
   SimTime latency = write_latency_ + current_.extra_latency;
@@ -84,33 +116,31 @@ void LogDevice::CompleteCurrent() {
   if (current_fault_ == fault::FaultInjector::WriteFault::kDriveDead) {
     // Permanent media failure: nothing is stored and nothing will be until
     // the drive is replaced.
-    ++dead_rejects_;
-    if (metrics_ != nullptr) metrics_->Incr(metrics_prefix_ + ".dead_rejects");
+    dead_rejects_->Incr();
     status = Status::FailedPrecondition("log drive is dead");
   } else if (current_fault_ ==
              fault::FaultInjector::WriteFault::kTransientError) {
     // The block never reaches the platter; the caller must retry.
-    ++write_errors_;
-    if (metrics_ != nullptr) metrics_->Incr(metrics_prefix_ + ".write_errors");
+    write_errors_->Incr();
     status = Status::Aborted("transient log write error");
   } else {
     if (current_fault_ == fault::FaultInjector::WriteFault::kBitRot) {
       // Silent corruption: the image lands scrambled but the device
       // reports success. Only recovery's CRC check can see it.
       injector_->Scramble(&current_.image);
-      ++bit_rot_writes_;
-      if (metrics_ != nullptr) {
-        metrics_->Incr(metrics_prefix_ + ".bit_rot_writes");
-      }
+      bit_rot_writes_->Incr();
     }
     storage_->Put(current_.address, std::move(current_.image));
-    ++writes_completed_;
-    ++per_generation_writes_[current_.address.generation];
-    if (metrics_ != nullptr) {
-      metrics_->Incr(metrics_prefix_ + ".writes");
-      metrics_->Incr(metrics_prefix_ + ".writes.gen" +
-                     std::to_string(current_.address.generation));
-    }
+    writes_->Incr();
+    per_generation_writes_[current_.address.generation]->Incr();
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Complete(
+        trace_lane_, "disk", status.ok() ? "write" : "write_fault",
+        current_.submitted_at,
+        {{"gen", static_cast<double>(current_.address.generation)},
+         {"slot", static_cast<double>(current_.address.slot)},
+         {"fault", static_cast<double>(current_fault_)}});
   }
   std::function<void(fault::FaultInjector::WriteFault)> on_fault_witness =
       std::move(current_.on_fault_witness);
@@ -118,6 +148,7 @@ void LogDevice::CompleteCurrent() {
       std::move(current_.on_complete);
   fault::FaultInjector::WriteFault fault = current_fault_;
   in_service_ = false;
+  UpdateQueueDepth();
   // Run the completion before starting the next transfer so the log
   // manager observes completions in submission order and a failed write
   // can be resubmitted (SubmitFront) ahead of younger queued blocks.
@@ -129,12 +160,13 @@ void LogDevice::CompleteCurrent() {
 void LogDevice::Revive() {
   dead_ = false;
   revived_ = true;
-  if (metrics_ != nullptr) metrics_->Incr(metrics_prefix_ + ".revives");
+  revives_->Incr();
+  if (tracer_ != nullptr) tracer_->Instant(trace_lane_, "disk", "revive");
 }
 
 int64_t LogDevice::writes_completed(uint32_t generation) const {
   ELOG_CHECK_LT(generation, per_generation_writes_.size());
-  return per_generation_writes_[generation];
+  return per_generation_writes_[generation]->value();
 }
 
 bool LogDevice::InService(BlockAddress* addr) const {

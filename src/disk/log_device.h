@@ -25,10 +25,12 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "disk/log_storage.h"
 #include "fault/fault_injector.h"
+#include "obs/trace.h"
 #include "sim/metrics.h"
 #include "sim/simulator.h"
 #include "util/status.h"
@@ -54,6 +56,9 @@ struct LogWriteRequest {
   /// detect double faults on the same block; production code must never
   /// branch on it.
   std::function<void(fault::FaultInjector::WriteFault)> on_fault_witness;
+  /// Submission timestamp, stamped by the device; the submit→complete
+  /// trace span starts here.
+  SimTime submitted_at = 0;
 };
 
 /// The submission interface the log managers write through. LogDevice is
@@ -75,6 +80,11 @@ class LogDevice : public LogWritePort {
             fault::FaultInjector* injector = nullptr,
             std::string metrics_prefix = "log_device");
 
+  /// Attaches a tracer: every write becomes a submit→complete span on a
+  /// lane named after this device's metrics prefix. Call before the
+  /// simulation starts.
+  void set_tracer(obs::Tracer* tracer);
+
   /// Enqueues a block write. Never blocks; completion is signalled via the
   /// request's callback.
   void Submit(LogWriteRequest request) override;
@@ -86,16 +96,16 @@ class LogDevice : public LogWritePort {
   void SubmitFront(LogWriteRequest request) override;
 
   /// Total block writes completed (the paper's log-bandwidth numerator).
-  int64_t writes_completed() const { return writes_completed_; }
+  int64_t writes_completed() const { return writes_->value(); }
 
   /// Block writes completed for one generation.
   int64_t writes_completed(uint32_t generation) const;
 
   /// Writes that completed with an injected transient error.
-  int64_t write_errors() const { return write_errors_; }
+  int64_t write_errors() const { return write_errors_->value(); }
 
   /// Writes that landed silently scrambled (injected bit-rot).
-  int64_t bit_rot_writes() const { return bit_rot_writes_; }
+  int64_t bit_rot_writes() const { return bit_rot_writes_->value(); }
 
   /// True once the death plan has tripped: the media is gone and every
   /// write is rejected until Revive().
@@ -103,7 +113,7 @@ class LogDevice : public LogWritePort {
   SimTime died_at() const { return died_at_; }
 
   /// Writes rejected because the drive was dead.
-  int64_t dead_rejects() const { return dead_rejects_; }
+  int64_t dead_rejects() const { return dead_rejects_->value(); }
 
   /// Replaces the dead media with a fresh drive: the device accepts writes
   /// again and the consumed death plan does not re-trip. The caller
@@ -132,13 +142,30 @@ class LogDevice : public LogWritePort {
   void CompleteCurrent();
   void CheckAddress(const LogWriteRequest& request) const;
   bool DeathTripped() const;
+  void UpdateQueueDepth();
 
   sim::Simulator* simulator_;
   LogStorage* storage_;
   SimTime write_latency_;
+  /// Fallback registry when the caller passes no metrics, so handles are
+  /// always valid and hot paths stay branch-free.
+  std::unique_ptr<sim::MetricsRegistry> owned_metrics_;
   sim::MetricsRegistry* metrics_;
   fault::FaultInjector* injector_;
   std::string metrics_prefix_;
+  obs::Tracer* tracer_ = nullptr;
+  int trace_lane_ = 0;
+
+  // Typed metric handles, acquired once at construction (see the
+  // convention in sim/metrics.h).
+  sim::Counter* writes_;
+  sim::Counter* write_errors_;
+  sim::Counter* bit_rot_writes_;
+  sim::Counter* dead_rejects_;
+  sim::Counter* deaths_;
+  sim::Counter* revives_;
+  sim::Gauge* queue_depth_;
+  std::vector<sim::Counter*> per_generation_writes_;
 
   std::deque<LogWriteRequest> queue_;
   bool in_service_ = false;
@@ -146,17 +173,12 @@ class LogDevice : public LogWritePort {
   /// Fate drawn for the in-service write when it entered service.
   fault::FaultInjector::WriteFault current_fault_ =
       fault::FaultInjector::WriteFault::kNone;
-  int64_t writes_completed_ = 0;
-  int64_t write_errors_ = 0;
-  int64_t bit_rot_writes_ = 0;
   /// Writes that entered service (dead-rejected ones included): the death
   /// plan's op-count trigger compares against this.
   int64_t ops_started_ = 0;
   bool dead_ = false;
   bool revived_ = false;
   SimTime died_at_ = 0;
-  int64_t dead_rejects_ = 0;
-  std::vector<int64_t> per_generation_writes_;
 };
 
 }  // namespace disk

@@ -1,0 +1,153 @@
+#include "obs/metric_sampler.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace elog {
+namespace obs {
+namespace {
+
+std::string FormatNumber(double value) { return StrFormat("%.12g", value); }
+
+Status WriteText(const std::string& path, const std::string& text,
+                 const char* what) {
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      return Status::InvalidArgument(std::string("cannot create ") + what +
+                                     " dir: " + parent.string() + " (" +
+                                     ec.message() + ")");
+    }
+  }
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument(std::string("cannot open ") + what +
+                                   " output: " + path);
+  }
+  out << text;
+  return Status::OK();
+}
+
+}  // namespace
+
+MetricSampler::MetricSampler(sim::Simulator* simulator,
+                             sim::MetricsRegistry* registry, SimTime interval)
+    : simulator_(simulator), registry_(registry), interval_(interval) {
+  ELOG_CHECK_GT(interval_, 0);
+}
+
+void MetricSampler::Start(SimTime until) {
+  SampleNow();
+  if (simulator_->Now() + interval_ <= until) {
+    simulator_->ScheduleAfter(interval_, [this, until] { Tick(until); });
+  }
+}
+
+void MetricSampler::Tick(SimTime until) {
+  SampleNow();
+  if (simulator_->Now() + interval_ <= until) {
+    simulator_->ScheduleAfter(interval_, [this, until] { Tick(until); });
+  }
+}
+
+void MetricSampler::SampleNow() {
+  // Register any newly appeared metrics as columns. Counters and gauges
+  // share one sorted namespace per kind; we keep counters before gauges
+  // in discovery order within a sample, which is deterministic because
+  // registry iteration is sorted.
+  for (const auto& [name, counter] : registry_->counters()) {
+    (void)counter;
+    if (column_index_.emplace(name, columns_.size()).second) {
+      columns_.push_back(name);
+    }
+  }
+  for (const auto& [name, gauge] : registry_->gauges()) {
+    (void)gauge;
+    if (column_index_.emplace(name, columns_.size()).second) {
+      columns_.push_back(name);
+    }
+  }
+
+  std::vector<double> row(columns_.size(), 0.0);
+  for (const auto& [name, counter] : registry_->counters()) {
+    row[column_index_.at(name)] = static_cast<double>(counter.value());
+  }
+  for (const auto& [name, gauge] : registry_->gauges()) {
+    row[column_index_.at(name)] = gauge.value();
+  }
+  times_.push_back(simulator_->Now());
+  rows_.push_back(std::move(row));
+}
+
+double MetricSampler::Value(size_t row, const std::string& column) const {
+  ELOG_CHECK_LT(row, rows_.size());
+  auto it = column_index_.find(column);
+  if (it == column_index_.end()) return 0.0;
+  if (it->second >= rows_[row].size()) return 0.0;
+  return rows_[row][it->second];
+}
+
+std::vector<double> MetricSampler::Series(const std::string& column) const {
+  std::vector<double> series(rows_.size(), 0.0);
+  auto it = column_index_.find(column);
+  if (it == column_index_.end()) return series;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (it->second < rows_[r].size()) series[r] = rows_[r][it->second];
+  }
+  return series;
+}
+
+std::string MetricSampler::ToCsv() const {
+  std::string out = "time_us";
+  for (const std::string& column : columns_) out += "," + column;
+  out += "\n";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    out += StrFormat("%lld", static_cast<long long>(times_[r]));
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      out += ",";
+      out += FormatNumber(c < rows_[r].size() ? rows_[r][c] : 0.0);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MetricSampler::ToJson() const {
+  std::string out = "{\n";
+  out += StrFormat("  \"interval_us\": %lld,\n",
+                   static_cast<long long>(interval_));
+  out += "  \"time_us\": [";
+  for (size_t r = 0; r < times_.size(); ++r) {
+    if (r > 0) out += ", ";
+    out += StrFormat("%lld", static_cast<long long>(times_[r]));
+  }
+  out += "],\n  \"series\": {";
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out += c == 0 ? "\n" : ",\n";
+    out += "    \"" + columns_[c] + "\": [";
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      if (r > 0) out += ", ";
+      out += FormatNumber(c < rows_[r].size() ? rows_[r][c] : 0.0);
+    }
+    out += "]";
+  }
+  out += columns_.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+Status MetricSampler::WriteCsv(const std::string& path) const {
+  return WriteText(path, ToCsv(), "metric CSV");
+}
+
+Status MetricSampler::WriteJson(const std::string& path) const {
+  return WriteText(path, ToJson(), "metric JSON");
+}
+
+}  // namespace obs
+}  // namespace elog

@@ -1,0 +1,95 @@
+// Fixed-cadence metric time-series capture.
+//
+// A MetricSampler snapshots every counter and gauge registered in a
+// sim::MetricsRegistry on a fixed virtual-time cadence, producing a
+// columnar time-series: per-generation occupancy, forwarded /
+// recirculated / flushed block counts, device queue depth, duplex
+// degraded-mode intervals — anything a component records — over
+// simulated time rather than only as an end-of-run scalar.
+//
+// Columns are the registry's metric names: counters first as
+// "<name>" (cumulative value at the sample instant), then gauges as
+// "<name>" (current value). std::map iteration gives a deterministic,
+// sorted column order; metrics that first appear mid-run (e.g.
+// "workload.started.<type>") grow the column set, and earlier rows
+// read as zero for them.
+//
+// Sampling is part of the simulation: ticks are ordinary simulator
+// events, so an enabled sampler shifts event counts. Torture trials
+// (which crash on event counts) therefore run with the sampler OFF;
+// benches enable it per DatabaseConfig::obs. Rows depend only on
+// (config, seed), never on --jobs or wall time.
+
+#ifndef ELOG_OBS_METRIC_SAMPLER_H_
+#define ELOG_OBS_METRIC_SAMPLER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace elog {
+namespace obs {
+
+class MetricSampler {
+ public:
+  /// Samples `registry` every `interval` microseconds (interval > 0).
+  MetricSampler(sim::Simulator* simulator, sim::MetricsRegistry* registry,
+                SimTime interval);
+
+  /// Takes a sample now, then schedules further samples every interval
+  /// while the next tick lands at or before `until` (so a bounded run
+  /// still drains its event queue and terminates).
+  void Start(SimTime until);
+
+  /// Takes one sample at the current virtual time. Call after the run
+  /// finishes to pin the final cumulative values.
+  void SampleNow();
+
+  SimTime interval() const { return interval_; }
+  size_t num_samples() const { return times_.size(); }
+  const std::vector<SimTime>& times() const { return times_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  /// Value of `column` in sample `row`; zero if the column did not
+  /// exist yet when the row was taken.
+  double Value(size_t row, const std::string& column) const;
+
+  /// Full series for one column (length num_samples, zero-backfilled).
+  std::vector<double> Series(const std::string& column) const;
+
+  /// "time_us,<col>,...": one row per sample, %.12g values.
+  std::string ToCsv() const;
+
+  /// Columnar JSON: {"interval_us":..., "time_us":[...],
+  /// "series":{"<col>":[...], ...}}. Deterministic for fixed
+  /// (config, seed).
+  std::string ToJson() const;
+
+  Status WriteCsv(const std::string& path) const;
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  void Tick(SimTime until);
+
+  sim::Simulator* simulator_;
+  sim::MetricsRegistry* registry_;
+  SimTime interval_;
+
+  std::vector<std::string> columns_;
+  std::map<std::string, size_t> column_index_;
+  std::vector<SimTime> times_;
+  /// rows_[r] is aligned to the first rows_[r].size() columns; columns
+  /// discovered later are implicitly zero for earlier rows.
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace obs
+}  // namespace elog
+
+#endif  // ELOG_OBS_METRIC_SAMPLER_H_

@@ -1,0 +1,148 @@
+#include "obs/trace.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace elog {
+namespace obs {
+namespace {
+
+// Matches BenchJson's double formatting so all artifacts agree.
+std::string FormatNumber(double value) { return StrFormat("%.12g", value); }
+
+void AppendArgs(std::string* out, const TraceArg* args, int num_args) {
+  *out += "\"args\":{";
+  for (int i = 0; i < num_args; ++i) {
+    if (i > 0) *out += ",";
+    *out += "\"";
+    *out += args[i].key;
+    *out += "\":" + FormatNumber(args[i].value);
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+Tracer::Tracer(sim::Simulator* simulator, TracerOptions options)
+    : simulator_(simulator), capacity_(options.capacity) {
+  ELOG_CHECK_GT(capacity_, 0u);
+  ring_.resize(capacity_);
+}
+
+int Tracer::RegisterLane(const std::string& name) {
+  // Idempotent by name: a component registered twice (or several
+  // recovery passes in one trace) shares a lane.
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    if (lanes_[i] == name) return static_cast<int>(i + 1);
+  }
+  lanes_.push_back(name);
+  return static_cast<int>(lanes_.size());  // tid 0 is the process row
+}
+
+void Tracer::InstantAt(int lane, const char* category, const char* name,
+                       SimTime ts, std::initializer_list<TraceArg> args) {
+  TraceEvent event;
+  event.ts = ts;
+  event.tid = lane;
+  event.phase = 'i';
+  event.category = category;
+  event.name = name;
+  for (const TraceArg& arg : args) {
+    ELOG_CHECK_LT(event.num_args, TraceEvent::kMaxArgs);
+    event.args[event.num_args++] = arg;
+  }
+  Push(event);
+}
+
+void Tracer::CompleteAt(int lane, const char* category, const char* name,
+                        SimTime begin, SimTime end,
+                        std::initializer_list<TraceArg> args) {
+  ELOG_CHECK_GE(end, begin);
+  TraceEvent event;
+  event.ts = begin;
+  event.dur = end - begin;
+  event.tid = lane;
+  event.phase = 'X';
+  event.category = category;
+  event.name = name;
+  for (const TraceArg& arg : args) {
+    ELOG_CHECK_LT(event.num_args, TraceEvent::kMaxArgs);
+    event.args[event.num_args++] = arg;
+  }
+  Push(event);
+}
+
+void Tracer::Push(const TraceEvent& event) {
+  if (count_ == capacity_) ++dropped_;
+  ring_[next_] = event;
+  next_ = (next_ + 1) % capacity_;
+  if (count_ < capacity_) ++count_;
+}
+
+const TraceEvent& Tracer::event(size_t i) const {
+  ELOG_CHECK_LT(i, count_);
+  // When full, the oldest retained event lives at next_ (the slot about
+  // to be overwritten); before that, at 0.
+  const size_t oldest = count_ == capacity_ ? next_ : 0;
+  return ring_[(oldest + i) % capacity_];
+}
+
+std::string Tracer::ToJson() const {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"elog\"}}";
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    out += StrFormat(
+        ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+        "\"args\":{\"name\":\"%s\"}}",
+        static_cast<int>(i + 1), lanes_[i].c_str());
+    out += StrFormat(
+        ",\n{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,"
+        "\"tid\":%d,\"args\":{\"sort_index\":%d}}",
+        static_cast<int>(i + 1), static_cast<int>(i + 1));
+  }
+  for (size_t i = 0; i < count_; ++i) {
+    const TraceEvent& e = event(i);
+    out += StrFormat(",\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\"", e.name,
+                     e.category, e.phase);
+    out += StrFormat(",\"pid\":1,\"tid\":%d,\"ts\":%lld",
+                     static_cast<int>(e.tid), static_cast<long long>(e.ts));
+    if (e.phase == 'X') {
+      out += StrFormat(",\"dur\":%lld", static_cast<long long>(e.dur));
+    } else {
+      out += ",\"s\":\"t\"";
+    }
+    out += ",";
+    AppendArgs(&out, e.args, e.num_args);
+    out += "}";
+  }
+  out += StrFormat("\n],\"dropped_events\":%llu}\n",
+                   static_cast<unsigned long long>(dropped_));
+  return out;
+}
+
+Status Tracer::WriteFile(const std::string& path) const {
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      return Status::InvalidArgument("cannot create trace dir: " +
+                                     parent.string() + " (" + ec.message() +
+                                     ")");
+    }
+  }
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open trace output: " + path);
+  }
+  out << ToJson();
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace elog

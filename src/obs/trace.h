@@ -1,0 +1,131 @@
+// Deterministic structured tracing for simulation runs.
+//
+// A Tracer records span ("X") and instant ("i") events — virtual-time
+// microseconds, category, lane, numeric args — into a bounded ring
+// buffer and exports Chrome trace_event JSON that opens directly in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. Because timestamps
+// are virtual and every producer is deterministic, the exported JSON is
+// byte-identical for identical (config, seed) regardless of --jobs or
+// host machine.
+//
+// Cost model: components hold an `obs::Tracer*` that is nullptr unless
+// the run opted in (DatabaseConfig::obs.trace). Every instrumentation
+// site guards with `if (tracer_ != nullptr)`, so a disabled tracer
+// costs one predictable branch per site. When enabled, recording is an
+// array store into the preallocated ring — no allocation, no I/O.
+//
+// Event names and categories must be string literals (the Tracer keeps
+// the pointers, not copies). All argument values are numeric.
+
+#ifndef ELOG_OBS_TRACE_H_
+#define ELOG_OBS_TRACE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace elog {
+namespace obs {
+
+/// One named numeric argument. `key` must be a string literal.
+struct TraceArg {
+  const char* key;
+  double value;
+};
+
+/// A recorded event. Spans are Chrome "X" (complete) events with a
+/// duration; instants are "i". `tid` is the lane id from RegisterLane.
+struct TraceEvent {
+  static constexpr int kMaxArgs = 4;
+
+  SimTime ts = 0;
+  SimTime dur = 0;
+  int32_t tid = 0;
+  char phase = 'i';
+  const char* category = "";
+  const char* name = "";
+  TraceArg args[kMaxArgs];
+  int num_args = 0;
+};
+
+struct TracerOptions {
+  /// Ring-buffer capacity in events; once full, the oldest events are
+  /// overwritten (and counted in dropped()).
+  size_t capacity = 1 << 16;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(sim::Simulator* simulator, TracerOptions options = {});
+
+  /// Registers a named lane (a Perfetto "thread" row). Lanes appear in
+  /// registration order; call once per component at wiring time.
+  /// Idempotent: re-registering an existing name returns its lane id.
+  int RegisterLane(const std::string& name);
+
+  /// Current virtual time; capture before an operation to later close a
+  /// span with Complete().
+  SimTime now() const { return simulator_->Now(); }
+
+  /// Records an instant event at the current virtual time.
+  void Instant(int lane, const char* category, const char* name,
+               std::initializer_list<TraceArg> args = {}) {
+    InstantAt(lane, category, name, simulator_->Now(), args);
+  }
+
+  /// Records a span [begin, now]. `begin` is a timestamp previously
+  /// captured with now().
+  void Complete(int lane, const char* category, const char* name,
+                SimTime begin, std::initializer_list<TraceArg> args = {}) {
+    CompleteAt(lane, category, name, begin, simulator_->Now(), args);
+  }
+
+  /// Explicit-timestamp variants, for phases that run outside the
+  /// simulator clock (e.g. crash recovery, which happens "after" the
+  /// simulation; see docs/observability.md).
+  void InstantAt(int lane, const char* category, const char* name, SimTime ts,
+                 std::initializer_list<TraceArg> args = {});
+  void CompleteAt(int lane, const char* category, const char* name,
+                  SimTime begin, SimTime end,
+                  std::initializer_list<TraceArg> args = {});
+
+  /// Number of events currently retained (<= capacity).
+  size_t size() const { return count_; }
+  /// Events overwritten after the ring filled.
+  uint64_t dropped() const { return dropped_; }
+  size_t capacity() const { return capacity_; }
+  const std::vector<std::string>& lanes() const { return lanes_; }
+
+  /// i-th retained event, oldest first (0 <= i < size()).
+  const TraceEvent& event(size_t i) const;
+
+  /// Chrome trace_event JSON ("JSON object format"): metadata events
+  /// naming the process and lanes, then all retained events in
+  /// recording order. Deterministic: %.12g doubles, sorted nothing —
+  /// recording order IS the export order.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`, creating parent directories.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  void Push(const TraceEvent& event);
+
+  sim::Simulator* simulator_;
+  size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;   // ring slot for the next event
+  size_t count_ = 0;  // retained events (saturates at capacity_)
+  uint64_t dropped_ = 0;
+  std::vector<std::string> lanes_;
+};
+
+}  // namespace obs
+}  // namespace elog
+
+#endif  // ELOG_OBS_TRACE_H_

@@ -45,6 +45,16 @@ const char* TortureManagerName(TortureManager manager) {
   return "?";
 }
 
+bool ParseTortureManager(const std::string& name, TortureManager* out) {
+  for (TortureManager manager : AllTortureManagers()) {
+    if (name == TortureManagerName(manager)) {
+      *out = manager;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::vector<TortureManager> AllTortureManagers() {
   return {TortureManager::kEphemeral, TortureManager::kEphemeralUndo,
           TortureManager::kFirewall, TortureManager::kHybrid};
@@ -52,7 +62,8 @@ std::vector<TortureManager> AllTortureManagers() {
 
 TortureTrial RunTortureTrial(const TortureSpec& spec, TortureManager manager,
                              int trial_index,
-                             const db::InvariantPolicy* policy_override) {
+                             const db::InvariantPolicy* policy_override,
+                             const std::string& trace_path) {
   const uint64_t trial_seed =
       DeriveSeed(spec.base_seed ^ ManagerSalt(manager),
                  static_cast<uint64_t>(trial_index));
@@ -125,21 +136,30 @@ TortureTrial RunTortureTrial(const TortureSpec& spec, TortureManager manager,
     }
   }
 
+  // Tracing records passively — it schedules no events — so a re-traced
+  // trial crashes, recovers, and scores identically to the plain run.
+  // The sampler is a different story (its ticks are events, shifting
+  // event-count crash triggers), so torture never enables it.
+  config.trace = !trace_path.empty();
+
   db::Database database(config);
   db::Database::CrashImage image = database.RunUntilCrash(schedule);
+  obs::Tracer* tracer = database.tracer();
   db::RecoveryResult recovered;
   if (config.duplex_log) {
     recovered = db::RecoveryManager::RecoverDuplex(
         image.log_readable ? &image.log : nullptr,
-        image.mirror_readable ? &image.mirror_log : nullptr, image.stable);
+        image.mirror_readable ? &image.mirror_log : nullptr, image.stable,
+        /*read_repair=*/true, tracer);
   } else if (image.log_readable) {
-    recovered = db::RecoveryManager::Recover(image.log, image.stable);
+    recovered = db::RecoveryManager::Recover(image.log, image.stable, tracer);
   } else {
     // The single log drive died: its media cannot be read, so recovery
     // has only the stable store — exactly the loss duplexing prevents.
     disk::LogStorage unreadable(config.log.generation_blocks);
-    recovered = db::RecoveryManager::Recover(unreadable, image.stable);
+    recovered = db::RecoveryManager::Recover(unreadable, image.stable, tracer);
   }
+  if (tracer != nullptr) ELOG_CHECK_OK(tracer->WriteFile(trace_path));
 
   TortureTrial trial;
   trial.seed = trial_seed;

@@ -54,6 +54,9 @@ enum class TortureManager {
 };
 
 const char* TortureManagerName(TortureManager manager);
+/// Inverse of TortureManagerName ("el", "el_undo_redo", "fw", "hybrid");
+/// returns false on an unknown name.
+bool ParseTortureManager(const std::string& name, TortureManager* out);
 std::vector<TortureManager> AllTortureManagers();
 
 struct TortureSpec {
@@ -165,10 +168,16 @@ struct TortureReport {
 /// used by tests to hold a run to guarantees it cannot honestly make
 /// (e.g. demanding exactness from a single-log trial whose drive died, to
 /// demonstrate the loss duplexing prevents).
+/// `trace_path`, if non-empty, re-traces the trial: the run executes with
+/// a Tracer attached (recording nothing changes the event schedule, so
+/// the trial outcome is bit-identical to the untraced run), the recovery
+/// pass appends its phase spans, and the Chrome trace JSON is written to
+/// `trace_path` (see docs/observability.md).
 TortureTrial RunTortureTrial(const TortureSpec& spec, TortureManager manager,
                              int trial_index,
                              const db::InvariantPolicy* policy_override =
-                                 nullptr);
+                                 nullptr,
+                             const std::string& trace_path = "");
 
 /// Runs spec.trials trials of one manager on `pool` (nullptr = inline),
 /// results in trial order.

@@ -7,9 +7,13 @@ namespace sim {
 
 std::string MetricsRegistry::ToString() const {
   std::string out;
-  for (const auto& [name, value] : counters_) {
+  for (const auto& [name, counter] : counters_) {
     out += StrFormat("%-40s = %lld\n", name.c_str(),
-                     static_cast<long long>(value));
+                     static_cast<long long>(counter.value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += StrFormat("%-40s = %g (peak %g)\n", name.c_str(), gauge.value(),
+                     gauge.peak());
   }
   for (const auto& [name, hist] : distributions_) {
     out += StrFormat("%-40s : %s\n", name.c_str(), hist.ToString().c_str());

@@ -1,4 +1,4 @@
-// Named counters and distributions collected during a simulation run.
+// Named counters, gauges and distributions collected during a run.
 //
 // Model components record into a shared MetricsRegistry; the experiment
 // harness snapshots it into a SimResult at the end of a run. A registry
@@ -6,6 +6,38 @@
 // or moved to another thread (the parallel sweep runner collects
 // per-job snapshots from worker threads) as long as the simulation that
 // wrote it has completed.
+//
+// ## Typed-handle convention
+//
+// Hot paths MUST NOT pay a string-map lookup per event. A component
+// acquires its handles ONCE at construction:
+//
+//   explicit LogDevice(sim::MetricsRegistry* metrics)
+//       : writes_(metrics->GetCounter("log_device.writes")),
+//         queue_depth_(metrics->GetGauge("log_device.queue_depth")) {}
+//
+// and then records through the handle (`writes_->Incr()`,
+// `queue_depth_->Set(now, depth)`), which is a plain pointer-chasing
+// increment. Handles are stable for the registry's lifetime (std::map
+// nodes never move), but Reset() destroys them — never call Reset() on
+// a registry that live components still hold handles into.
+//
+// Metric names are hierarchical, dot-separated, lower_snake segments:
+//
+//   <component>[.<instance>].<metric>[.<sub>]
+//   e.g.  log_device.writes.gen2   el.gen0.occupancy   duplex.degraded
+//
+// Per-generation metrics spell the generation in the name
+// ("el.gen2.recirculated") so the MetricSampler (src/obs) exports one
+// deterministic column per series.
+//
+// ## Deprecated string-keyed shim
+//
+// The string-keyed `Incr(name, delta)` / `Counter(name)` calls remain
+// for harness, report and test code that touches a metric a handful of
+// times per run; they resolve to the same storage as the typed handles.
+// They are DEPRECATED on hot paths — new per-event instrumentation must
+// use GetCounter/GetGauge handles.
 
 #ifndef ELOG_SIM_METRICS_H_
 #define ELOG_SIM_METRICS_H_
@@ -15,21 +47,72 @@
 #include <string>
 
 #include "util/stats.h"
+#include "util/types.h"
 
 namespace elog {
 namespace sim {
 
+/// Monotonically adjustable integer metric. Obtain via
+/// MetricsRegistry::GetCounter; increment through the handle.
+class Counter {
+ public:
+  void Incr(int64_t delta = 1) { value_ += delta; }
+  int64_t value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  int64_t value_ = 0;
+};
+
+/// Piecewise-constant sampled signal (queue depth, occupancy, mode
+/// flags) with time-weighted average and peak. Obtain via
+/// MetricsRegistry::GetGauge; Set() through the handle.
+class Gauge {
+ public:
+  /// Records that the signal changed to `value` at virtual time `now`.
+  void Set(SimTime now, double value) { series_.Set(now, value); }
+
+  double value() const { return series_.current(); }
+  double peak() const { return series_.peak(); }
+  /// Time average over [first Set, `now`].
+  double Average(SimTime now) const { return series_.Average(now); }
+
+  const TimeWeightedValue& series() const { return series_; }
+
+ private:
+  TimeWeightedValue series_;
+};
+
 class MetricsRegistry {
  public:
-  /// Adds `delta` to counter `name` (created at zero on first use).
-  void Incr(const std::string& name, int64_t delta = 1) {
-    counters_[name] += delta;
+  /// Typed handle to counter `name` (created at zero on first use).
+  /// Stable for the registry's lifetime; invalidated only by Reset().
+  sim::Counter* GetCounter(const std::string& name) {
+    return &counters_[name];
   }
 
-  /// Counter value; zero if never touched.
+  /// Typed handle to gauge `name` (created unset on first use).
+  /// Stable for the registry's lifetime; invalidated only by Reset().
+  sim::Gauge* GetGauge(const std::string& name) { return &gauges_[name]; }
+
+  /// DEPRECATED on hot paths (string-map lookup per call) — use
+  /// GetCounter once at construction instead. Kept for harness, report
+  /// and test code. Adds `delta` to counter `name`.
+  void Incr(const std::string& name, int64_t delta = 1) {
+    counters_[name].Incr(delta);
+  }
+
+  /// DEPRECATED read-side shim: counter value, zero if never touched.
   int64_t Counter(const std::string& name) const {
     auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+    return it == counters_.end() ? 0 : it->second.value();
+  }
+
+  /// Gauge read access; nullptr if never touched. Never mutates, so
+  /// snapshot readers can take a const MetricsRegistry&.
+  const sim::Gauge* FindGauge(const std::string& name) const {
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? nullptr : &it->second;
   }
 
   /// Records a sample into distribution `name`.
@@ -47,13 +130,19 @@ class MetricsRegistry {
     return it == distributions_.end() ? kEmpty : it->second;
   }
 
-  const std::map<std::string, int64_t>& counters() const { return counters_; }
+  const std::map<std::string, sim::Counter>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, sim::Gauge>& gauges() const { return gauges_; }
   const std::map<std::string, Histogram>& distributions() const {
     return distributions_;
   }
 
+  /// Destroys every metric AND every handle previously returned by
+  /// GetCounter/GetGauge. Only safe when no live component holds one.
   void Reset() {
     counters_.clear();
+    gauges_.clear();
     distributions_.clear();
   }
 
@@ -61,7 +150,11 @@ class MetricsRegistry {
   std::string ToString() const;
 
  private:
-  std::map<std::string, int64_t> counters_;
+  // std::map (not unordered_map) for two load-bearing reasons: node
+  // stability makes &map[name] a valid long-lived handle, and sorted
+  // iteration gives the MetricSampler a deterministic column order.
+  std::map<std::string, sim::Counter> counters_;
+  std::map<std::string, sim::Gauge> gauges_;
   std::map<std::string, Histogram> distributions_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <utility>
 
 #include "util/check.h"
@@ -16,20 +17,36 @@ WorkloadGenerator::WorkloadGenerator(sim::Simulator* simulator,
     : simulator_(simulator),
       spec_(spec),
       sink_(sink),
-      metrics_(metrics),
+      owned_metrics_(metrics == nullptr
+                         ? std::make_unique<sim::MetricsRegistry>()
+                         : nullptr),
+      metrics_(metrics == nullptr ? owned_metrics_.get() : metrics),
       rng_(spec.seed),
       arrival_rng_(spec.seed ^ 0x9e3779b97f4a7c15ULL),
-      picker_(spec.num_objects, &rng_) {
+      picker_(spec.num_objects, &rng_),
+      started_(metrics_->GetCounter("workload.started")),
+      committed_(metrics_->GetCounter("workload.committed")),
+      aborted_(metrics_->GetCounter("workload.aborted")),
+      killed_(metrics_->GetCounter("workload.killed")),
+      updates_written_(metrics_->GetCounter("workload.updates")) {
   ELOG_CHECK_OK(spec.Validate());
   double cumulative = 0.0;
+  started_by_type_.reserve(spec_.types.size());
   for (const TransactionType& type : spec_.types) {
     cumulative += type.probability;
     cumulative_probability_.push_back(cumulative);
+    started_by_type_.push_back(
+        metrics_->GetCounter("workload.started." + type.name));
   }
   cumulative_probability_.back() = 1.0;  // guard against rounding
 }
 
 void WorkloadGenerator::Start() { ScheduleArrival(0); }
+
+void WorkloadGenerator::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) trace_lane_ = tracer_->RegisterLane("workload");
+}
 
 void WorkloadGenerator::ScheduleArrival(int64_t index) {
   SimTime when;
@@ -61,11 +78,8 @@ void WorkloadGenerator::Initiate() {
   const TransactionType& type = spec_.types[type_index];
 
   TxId tid = sink_->BeginTransaction(type);
-  ++started_;
-  if (metrics_ != nullptr) {
-    metrics_->Incr("workload.started");
-    metrics_->Incr("workload.started." + type.name);
-  }
+  started_->Incr();
+  started_by_type_[type_index]->Incr();
 
   ActiveTx tx;
   tx.type_index = type_index;
@@ -102,8 +116,7 @@ void WorkloadGenerator::WriteDataRecord(TxId tid) {
   const TransactionType& type = spec_.types[tx.type_index];
   Oid oid = picker_.Acquire();
   tx.oids.push_back(oid);
-  ++updates_written_;
-  if (metrics_ != nullptr) metrics_->Incr("workload.updates");
+  updates_written_->Incr();
   sink_->WriteUpdate(tid, oid, type.data_record_bytes);
 }
 
@@ -117,8 +130,11 @@ void WorkloadGenerator::Terminate(TxId tid) {
 
   if (type.abort_probability > 0.0 && rng_.NextBool(type.abort_probability)) {
     sink_->Abort(tid);
-    ++aborted_;
-    if (metrics_ != nullptr) metrics_->Incr("workload.aborted");
+    aborted_->Incr();
+    if (tracer_ != nullptr) {
+      tracer_->Instant(trace_lane_, "txn", "abort",
+                       {{"tid", static_cast<double>(tid)}});
+    }
     ReleaseTx(tx);
     active_.erase(it);
     return;
@@ -137,10 +153,14 @@ void WorkloadGenerator::OnCommitDurable(TxId tid) {
       << "commit acknowledgement for unknown tid " << tid;
   ActiveTx& tx = it->second;
   ELOG_CHECK(tx.commit_requested);
-  ++committed_;
+  committed_->Incr();
   commit_latency_.Add(
       static_cast<double>(simulator_->Now() - tx.commit_request_time));
-  if (metrics_ != nullptr) metrics_->Incr("workload.committed");
+  if (tracer_ != nullptr) {
+    tracer_->Complete(trace_lane_, "txn", "commit_wait",
+                      tx.commit_request_time,
+                      {{"tid", static_cast<double>(tid)}});
+  }
   ReleaseTx(tx);
   active_.erase(it);
 }
@@ -150,8 +170,11 @@ void WorkloadGenerator::NotifyKilled(TxId tid) {
   ELOG_CHECK(it != active_.end()) << "kill for unknown tid " << tid;
   ActiveTx& tx = it->second;
   for (sim::EventId id : tx.pending_events) simulator_->Cancel(id);
-  ++killed_;
-  if (metrics_ != nullptr) metrics_->Incr("workload.killed");
+  killed_->Incr();
+  if (tracer_ != nullptr) {
+    tracer_->Instant(trace_lane_, "txn", "killed",
+                     {{"tid", static_cast<double>(tid)}});
+  }
   ReleaseTx(tx);
   active_.erase(it);
 }

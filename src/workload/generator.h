@@ -15,9 +15,11 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/metrics.h"
 #include "sim/simulator.h"
 #include "util/random.h"
@@ -59,16 +61,21 @@ class WorkloadGenerator {
   /// Schedules the arrival process. Call once before Simulator::Run.
   void Start();
 
+  /// Attaches a tracer: each commit wait (t3 → t4 acknowledgement)
+  /// becomes a span on a "workload" lane, and aborts/kills become
+  /// instants. Call before the simulation starts.
+  void set_tracer(obs::Tracer* tracer);
+
   /// Informs the generator that the log manager killed `tid`: remaining
   /// record writes are cancelled and the transaction's oids released.
   void NotifyKilled(TxId tid);
 
-  // Counters.
-  int64_t started() const { return started_; }
-  int64_t committed() const { return committed_; }
-  int64_t aborted() const { return aborted_; }
-  int64_t killed() const { return killed_; }
-  int64_t updates_written() const { return updates_written_; }
+  // Counters (typed registry handles; see sim/metrics.h).
+  int64_t started() const { return started_->value(); }
+  int64_t committed() const { return committed_->value(); }
+  int64_t aborted() const { return aborted_->value(); }
+  int64_t killed() const { return killed_->value(); }
+  int64_t updates_written() const { return updates_written_->value(); }
   size_t active() const { return active_.size(); }
 
   /// Distribution of t4 − t3 (group-commit acknowledgement delay), in
@@ -100,7 +107,12 @@ class WorkloadGenerator {
   sim::Simulator* simulator_;
   WorkloadSpec spec_;
   TransactionSink* sink_;
+  /// Fallback registry when the caller passes no metrics, so every
+  /// handle below is always valid (see sim/metrics.h).
+  std::unique_ptr<sim::MetricsRegistry> owned_metrics_;
   sim::MetricsRegistry* metrics_;
+  obs::Tracer* tracer_ = nullptr;
+  int trace_lane_ = 0;
 
   Rng rng_;
   /// Separate stream for Poisson interarrival draws, so switching the
@@ -111,11 +123,15 @@ class WorkloadGenerator {
   std::vector<double> cumulative_probability_;
 
   std::unordered_map<TxId, ActiveTx> active_;
-  int64_t started_ = 0;
-  int64_t committed_ = 0;
-  int64_t aborted_ = 0;
-  int64_t killed_ = 0;
-  int64_t updates_written_ = 0;
+  // Typed metric handles, acquired once at construction (the per-type
+  // started counters come from the spec's type list, indexed like
+  // spec_.types).
+  sim::Counter* started_;
+  sim::Counter* committed_;
+  sim::Counter* aborted_;
+  sim::Counter* killed_;
+  sim::Counter* updates_written_;
+  std::vector<sim::Counter*> started_by_type_;
   Histogram commit_latency_;
 };
 

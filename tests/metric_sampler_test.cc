@@ -1,0 +1,154 @@
+// obs::MetricSampler: cadence alignment, column discovery, CSV/JSON
+// shape, determinism across --jobs, and series-reproduces-scalars.
+
+#include "obs/metric_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "runner/sweep_runner.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+
+namespace elog {
+namespace obs {
+namespace {
+
+TEST(MetricSamplerTest, CadenceAlignsToInterval) {
+  sim::Simulator sim;
+  sim::MetricsRegistry metrics;
+  sim::Counter* counter = metrics.GetCounter("c");
+  MetricSampler sampler(&sim, &metrics, 100);
+  // Bump the counter between ticks; Start() samples t=0 immediately and
+  // then every 100 µs through the bound.
+  for (SimTime t = 50; t <= 500; t += 100) {
+    sim.ScheduleAt(t, [counter] { counter->Incr(); });
+  }
+  sampler.Start(500);
+  sim.Run();
+
+  ASSERT_EQ(sampler.num_samples(), 6u);  // t = 0, 100, ..., 500
+  const std::vector<SimTime> expected = {0, 100, 200, 300, 400, 500};
+  EXPECT_EQ(sampler.times(), expected);
+  const std::vector<double> series = sampler.Series("c");
+  const std::vector<double> want = {0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(series, want);
+}
+
+TEST(MetricSamplerTest, BoundStopsTicksSoRunTerminates) {
+  sim::Simulator sim;
+  sim::MetricsRegistry metrics;
+  MetricSampler sampler(&sim, &metrics, 100);
+  sampler.Start(250);  // ticks at 0, 100, 200 — 300 would overshoot
+  sim.Run();
+  EXPECT_EQ(sampler.num_samples(), 3u);
+  EXPECT_EQ(sim.Now(), 200);
+}
+
+TEST(MetricSamplerTest, LateColumnsBackfillZero) {
+  sim::Simulator sim;
+  sim::MetricsRegistry metrics;
+  metrics.GetCounter("early")->Incr(7);
+  MetricSampler sampler(&sim, &metrics, 10);
+  sampler.SampleNow();
+  metrics.GetCounter("late")->Incr(3);
+  sampler.SampleNow();
+
+  EXPECT_EQ(sampler.Value(0, "early"), 7.0);
+  EXPECT_EQ(sampler.Value(0, "late"), 0.0);  // did not exist yet
+  EXPECT_EQ(sampler.Value(1, "late"), 3.0);
+  const std::vector<double> late = sampler.Series("late");
+  EXPECT_EQ(late, (std::vector<double>{0.0, 3.0}));
+}
+
+TEST(MetricSamplerTest, CsvAndJsonShape) {
+  sim::Simulator sim;
+  sim::MetricsRegistry metrics;
+  metrics.GetCounter("b.count")->Incr(2);
+  metrics.GetGauge("a.depth")->Set(0, 1.5);
+  MetricSampler sampler(&sim, &metrics, 10);
+  sampler.SampleNow();
+
+  // Counters come first, then gauges; within each, sorted map order.
+  const std::string csv = sampler.ToCsv();
+  EXPECT_EQ(csv, "time_us,b.count,a.depth\n0,2,1.5\n");
+  const std::string json = sampler.ToJson();
+  EXPECT_NE(json.find("\"interval_us\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"b.count\": [2]"), std::string::npos);
+  EXPECT_NE(json.find("\"a.depth\": [1.5]"), std::string::npos);
+}
+
+db::DatabaseConfig SampledConfig() {
+  db::DatabaseConfig config;
+  config.workload = workload::PaperMix(0.05);
+  config.workload.runtime = SecondsToSimTime(20);
+  config.log.generation_blocks = {18, 12};
+  config.metric_sample_interval = SecondsToSimTime(1);
+  return config;
+}
+
+/// The acceptance bar for the sampler: final cumulative series values
+/// ARE the managers' end-of-run scalars — one accounting pipeline.
+TEST(MetricSamplerTest, SeriesReproducesEndOfRunScalars) {
+  db::Database database(SampledConfig());
+  db::RunStats stats = database.Run();
+  const MetricSampler& sampler = *database.sampler();
+  ASSERT_GT(sampler.num_samples(), 0u);
+  const size_t last = sampler.num_samples() - 1;
+
+  EXPECT_EQ(sampler.Value(last, "el.appended"),
+            static_cast<double>(stats.records_appended));
+  EXPECT_EQ(sampler.Value(last, "el.forwarded"),
+            static_cast<double>(stats.records_forwarded));
+  EXPECT_EQ(sampler.Value(last, "el.recirculated"),
+            static_cast<double>(stats.records_recirculated));
+  EXPECT_EQ(sampler.Value(last, "workload.committed"),
+            static_cast<double>(stats.total_committed));
+  EXPECT_EQ(sampler.Value(last, "flush_drive.flushes"),
+            static_cast<double>(database.drives().total_flushes_completed()));
+  // Per-generation counters sum to the whole-log totals.
+  double forwarded = 0.0;
+  for (int g = 0; g < 2; ++g) {
+    forwarded +=
+        sampler.Value(last, "el.gen" + std::to_string(g) + ".forwarded");
+  }
+  EXPECT_EQ(forwarded, static_cast<double>(stats.records_forwarded));
+  // The occupancy gauge column matches the manager's gauge object.
+  EXPECT_EQ(sampler.Value(last, "el.gen0.occupancy"),
+            database.metrics().GetGauge("el.gen0.occupancy")->value());
+}
+
+/// Same (config, seed) at --jobs 1 and --jobs 4: byte-identical CSV and
+/// JSON. The sampler rides the virtual clock, so thread count and wall
+/// time cannot enter.
+TEST(MetricSamplerTest, DeterministicAcrossJobs) {
+  std::vector<std::string> csv(2), json(2);
+  const int jobs[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    runner::SweepOptions options;
+    options.jobs = jobs[i];
+    runner::SweepRunner sweeper(options);
+    std::vector<std::string> csv_out(3), json_out(3);
+    // Run several sampled simulations on the pool; take the first's
+    // artifacts (all three are identical configs + seeds).
+    runner::ParallelFor(sweeper.pool(), 3, [&](size_t k) {
+      db::Database database(SampledConfig());
+      database.Run();
+      csv_out[k] = database.sampler()->ToCsv();
+      json_out[k] = database.sampler()->ToJson();
+    });
+    EXPECT_EQ(csv_out[0], csv_out[1]);
+    EXPECT_EQ(csv_out[1], csv_out[2]);
+    csv[i] = csv_out[0];
+    json[i] = json_out[0];
+  }
+  EXPECT_EQ(csv[0], csv[1]);
+  EXPECT_EQ(json[0], json[1]);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace elog

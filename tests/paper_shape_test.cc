@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "core/fw_manager.h"
+#include "db/database.h"
 #include "harness/experiment.h"
 #include "harness/figures.h"
 
@@ -124,6 +128,53 @@ TEST_F(PaperShapeTest, UpdateRateAnchors) {
   // §4's in-text sanity numbers.
   EXPECT_DOUBLE_EQ(workload::PaperMix(0.05).ExpectedUpdateRate(), 210.0);
   EXPECT_DOUBLE_EQ(workload::PaperMix(0.40).ExpectedUpdateRate(), 280.0);
+}
+
+TEST_F(PaperShapeTest, Gen0OccupancySeriesMonotoneThenSteady) {
+  // The MetricSampler's gen-0 occupancy series under the §4.1 workload:
+  // the circular array fills from empty (a monotone non-decreasing ramp
+  // once smoothed over the sampling cadence) and then holds near-full —
+  // EL reclaims space continuously, it does not drain its generations.
+  db::DatabaseConfig config;
+  config.workload = Mix(0.05);
+  config.log.generation_blocks = {18, 12};
+  config.metric_sample_interval = SecondsToSimTime(1);
+  db::Database database(config);
+  database.Run();
+  const obs::MetricSampler& sampler = *database.sampler();
+  std::vector<double> series = sampler.Series("el.gen0.occupancy");
+  ASSERT_GE(series.size(), 30u);
+
+  // The plateau is the series' own maximum — a few blocks below the
+  // configured size, since head advance keeps reclaiming the oldest
+  // slots (the k+2 constraint needs headroom).
+  const double size = 18.0;
+  const double plateau = *std::max_element(series.begin(), series.end());
+  EXPECT_GT(plateau, size * 0.7) << "generation 0 never filled";
+  EXPECT_LE(plateau, size);
+
+  // Monotone ramp (tolerance one block of sampling jitter) until the
+  // series first reaches the plateau…
+  size_t steady_start = series.size();
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (series[i] >= plateau - 1.0) {
+      steady_start = i;
+      break;
+    }
+    if (i > 0) {
+      EXPECT_GE(series[i] + 1.0, series[i - 1])
+          << "occupancy dipped during the ramp at sample " << i;
+    }
+  }
+  ASSERT_LT(steady_start, series.size() / 2)
+      << "generation 0 took too long to fill under the paper workload";
+  // …then steady: the circular array reuses space continuously and
+  // never drains back down.
+  for (size_t i = steady_start; i < series.size(); ++i) {
+    EXPECT_GE(series[i], plateau - 3.0)
+        << "occupancy fell out of steady state at sample " << i;
+    EXPECT_LE(series[i], size);
+  }
 }
 
 }  // namespace
