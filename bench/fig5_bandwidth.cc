@@ -105,6 +105,33 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Separate wall-clock artifact: the sweep above is the repo's canonical
+  // hot-path workload, so its host-time throughput is the end-to-end
+  // regression signal for the allocation-free event kernel, hardware CRC
+  // and pooled block images (informational — host-dependent, not diffed).
+  {
+    runner::BenchJson walltime("fig5_walltime");
+    walltime.AddConfig("jobs", static_cast<int64_t>(sweeper.jobs()));
+    walltime.AddConfig("seed", seed);
+    walltime.AddConfig("runtime_s", runtime_s);
+    walltime.AddConfig("gen0_max", gen0_max);
+    walltime.AddConfig("quick", quick);
+    walltime.AddMetric("simulations", simulations);
+    walltime.AddMetric("sweep_wall_s", wall_s);
+    walltime.AddMetric("simulations_per_wall_s",
+                       wall_s > 0 ? simulations / wall_s : 0.0);
+    TableWriter wt({"metric", "value"});
+    wt.AddRow({"sweep_wall_s", StrFormat("%.3f", wall_s)});
+    wt.AddRow({"simulations", StrFormat("%lld", (long long)simulations)});
+    wt.AddRow({"simulations_per_wall_s",
+               StrFormat("%.3f", wall_s > 0 ? simulations / wall_s : 0.0)});
+    status = harness::WriteBenchJson(json_dir, &walltime, wt, wall_s);
+    if (!status.ok()) {
+      std::cerr << status.ToString() << "\n";
+      return 1;
+    }
+  }
+
   if (trace) {
     // Canonical traced run: ONE fixed configuration (EL {18, 12} at the
     // 5% mix), executed on the calling thread regardless of --jobs. The

@@ -436,10 +436,10 @@ bool EphemeralLogManager::AppendCellOrKill(uint32_t g, Cell* cell,
 
 void EphemeralLogManager::WriteBuilder(uint32_t g) {
   Generation& gen = Gen(g);
-  Generation::ClosedBuffer closed = gen.CloseBuilder(next_write_seq_++);
+  Generation::ClosedBuffer closed =
+      gen.CloseBuilder(next_write_seq_++, block_pool_);
   SubmitBlockWrite(disk::BlockAddress{g, closed.slot},
-                   std::make_shared<const wal::BlockImage>(
-                       std::move(closed.image)),
+                   ShareBlockImage(std::move(closed.image)),
                    std::make_shared<const std::vector<TxId>>(
                        std::move(closed.commit_tids)),
                    /*attempt=*/0);
@@ -457,7 +457,7 @@ void EphemeralLogManager::SubmitBlockWrite(
     std::shared_ptr<const std::vector<TxId>> commit_tids, uint32_t attempt) {
   disk::LogWriteRequest request;
   request.address = address;
-  request.image = *image;
+  request.image = block_pool_ ? block_pool_->CopyOf(*image) : *image;
   // Exponential backoff, charged as extra service latency of the retry so
   // the block keeps its place at the head of the device queue: no younger
   // block (e.g. a COMMIT depending on this one) can become durable first.

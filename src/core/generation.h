@@ -89,14 +89,15 @@ class Generation {
     uint32_t slot = 0;
     std::vector<TxId> commit_tids;
   };
-  ClosedBuffer CloseBuilder(uint64_t write_seq) {
+  ClosedBuffer CloseBuilder(uint64_t write_seq,
+                            wal::BlockImagePool* pool = nullptr) {
     ELOG_CHECK(builder_open_);
     ELOG_CHECK(!builder_.empty()) << "writing an empty buffer";
     ELOG_CHECK_GE(free_blocks(), 1u)
         << "generation " << index_ << " has no slot for the next buffer";
     ClosedBuffer closed;
     closed.slot = tail_slot_;
-    closed.image = builder_.Finish(write_seq);
+    closed.image = builder_.Finish(write_seq, pool);
     closed.commit_tids = std::move(pending_commit_tids_);
     pending_commit_tids_.clear();
     builder_open_ = false;

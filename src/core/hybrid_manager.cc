@@ -117,10 +117,10 @@ bool HybridLogManager::AppendOrKill(uint32_t g, const wal::LogRecord& record,
 
 void HybridLogManager::WriteBuilder(uint32_t g) {
   Generation& gen = Gen(g);
-  Generation::ClosedBuffer closed = gen.CloseBuilder(next_write_seq_++);
+  Generation::ClosedBuffer closed =
+      gen.CloseBuilder(next_write_seq_++, block_pool_);
   SubmitBlockWrite(disk::BlockAddress{g, closed.slot},
-                   std::make_shared<const wal::BlockImage>(
-                       std::move(closed.image)),
+                   ShareBlockImage(std::move(closed.image)),
                    std::make_shared<const std::vector<TxId>>(
                        std::move(closed.commit_tids)),
                    /*attempt=*/0);
@@ -134,7 +134,7 @@ void HybridLogManager::SubmitBlockWrite(
     std::shared_ptr<const std::vector<TxId>> commit_tids, uint32_t attempt) {
   disk::LogWriteRequest request;
   request.address = address;
-  request.image = *image;
+  request.image = block_pool_ ? block_pool_->CopyOf(*image) : *image;
   // Backoff rides as extra service latency of the head-of-queue retry so
   // submission-order durability survives the fault (see the EL manager's
   // SubmitBlockWrite for the full rationale).

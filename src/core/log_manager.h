@@ -4,11 +4,13 @@
 #define ELOG_CORE_LOG_MANAGER_H_
 
 #include <functional>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "util/stats.h"
 #include "util/types.h"
+#include "wal/block_pool.h"
 #include "wal/record.h"
 #include "workload/generator.h"
 
@@ -75,6 +77,12 @@ class LogManager : public workload::TransactionSink {
     commit_hook_ = std::move(hook);
   }
 
+  /// Attaches a block-image pool: block serialization and per-attempt
+  /// device copies then reuse pooled buffers instead of allocating.
+  /// Optional (null = plain allocation, identical bytes either way); the
+  /// pool must outlive the manager and every image it produced.
+  void set_block_pool(wal::BlockImagePool* pool) { block_pool_ = pool; }
+
   /// Writes out any non-empty open block buffers (end-of-run drain; the
   /// paper's LM would simply keep receiving traffic).
   virtual void ForceWriteOpenBuffers() = 0;
@@ -91,7 +99,26 @@ class LogManager : public workload::TransactionSink {
   virtual int64_t transactions_killed() const = 0;
 
  protected:
+  /// Wraps a finished block image for sharing across write attempts. With
+  /// a pool attached, the deleter recycles the buffer once the last
+  /// retry/completion reference drops (the pool outlives the managers, so
+  /// the deleter's raw pointer is safe).
+  std::shared_ptr<const wal::BlockImage> ShareBlockImage(
+      wal::BlockImage&& image) {
+    if (block_pool_ == nullptr) {
+      return std::make_shared<const wal::BlockImage>(std::move(image));
+    }
+    wal::BlockImagePool* pool = block_pool_;
+    return std::shared_ptr<const wal::BlockImage>(
+        new wal::BlockImage(std::move(image)),
+        [pool](const wal::BlockImage* p) {
+          pool->Release(std::move(*const_cast<wal::BlockImage*>(p)));
+          delete p;
+        });
+  }
+
   KillListener* kill_listener_ = nullptr;
+  wal::BlockImagePool* block_pool_ = nullptr;
   std::function<void(Oid, Lsn, uint64_t)> flush_apply_hook_;
   std::function<void(Oid, Lsn, uint64_t, TxId, Lsn, uint64_t)>
       steal_apply_hook_;

@@ -17,9 +17,11 @@ Database::Database(const DatabaseConfig& config)
   if (config.faults.enabled()) {
     injector_ = std::make_unique<fault::FaultInjector>(config.faults);
   }
+  storage_.set_block_pool(&block_pool_);
   device_ = std::make_unique<disk::LogDevice>(
       &simulator_, &storage_, config.log.log_write_latency, &metrics_,
       injector_.get());
+  device_->set_block_pool(&block_pool_);
   if (config.duplex_log) {
     storage_mirror_ =
         std::make_unique<disk::LogStorage>(config.log.generation_blocks);
@@ -27,12 +29,15 @@ Database::Database(const DatabaseConfig& config)
       mirror_injector_ =
           std::make_unique<fault::FaultInjector>(config.faults, /*replica=*/1);
     }
+    storage_mirror_->set_block_pool(&block_pool_);
     device_mirror_ = std::make_unique<disk::LogDevice>(
         &simulator_, storage_mirror_.get(), config.log.log_write_latency,
         &metrics_, mirror_injector_.get(), "log_device_mirror");
+    device_mirror_->set_block_pool(&block_pool_);
     duplex_ = std::make_unique<disk::DuplexLogDevice>(
         &simulator_, device_.get(), device_mirror_.get(), &metrics_,
         config.auto_resilver_delay);
+    duplex_->set_block_pool(&block_pool_);
   }
   disk::LogWritePort* log_port =
       duplex_ != nullptr ? static_cast<disk::LogWritePort*>(duplex_.get())
@@ -46,6 +51,7 @@ Database::Database(const DatabaseConfig& config)
   el_ = managers.el;
   hybrid_ = managers.hybrid;
   manager_ = std::move(managers.manager);
+  manager_->set_block_pool(&block_pool_);
   generator_ = std::make_unique<workload::WorkloadGenerator>(
       &simulator_, config.workload, manager_.get(), &metrics_);
 

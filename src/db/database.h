@@ -36,6 +36,7 @@
 #include "obs/trace.h"
 #include "sim/metrics.h"
 #include "sim/simulator.h"
+#include "wal/block_pool.h"
 #include "workload/generator.h"
 
 namespace elog {
@@ -231,6 +232,9 @@ class Database : public KillListener {
   disk::DuplexLogDevice* duplex_device() { return duplex_.get(); }
   const disk::DuplexLogDevice* duplex_device() const { return duplex_.get(); }
   const disk::LogDevice* mirror_device() const { return device_mirror_.get(); }
+  /// The block-image pool shared by the encoder, devices and storage
+  /// (introspection for tests: allocated()/reused() counters).
+  const wal::BlockImagePool& block_pool() const { return block_pool_; }
   const StableStore& stable() const { return stable_; }
   const std::unordered_map<Oid, ObjectVersion>& expected_state() const {
     return shadow_;
@@ -245,6 +249,10 @@ class Database : public KillListener {
   void StartRun();
 
   DatabaseConfig config_;
+  /// Declared before everything that recycles into it (and before the
+  /// managers whose shared-image deleters hold a raw pointer to it), so
+  /// it is destroyed last.
+  wal::BlockImagePool block_pool_;
   sim::Simulator simulator_;
   sim::MetricsRegistry metrics_;
   disk::LogStorage storage_;

@@ -67,7 +67,8 @@ void DuplexLogDevice::Pump() {
   for (int i = 0; i < 2; ++i) {
     LogWriteRequest copy;
     copy.address = current_.address;
-    copy.image = current_.image;
+    copy.image = block_pool_ != nullptr ? block_pool_->CopyOf(current_.image)
+                                        : current_.image;
     copy.extra_latency = current_.extra_latency;
     copy.on_fault_witness = [this, i](WriteFault f) { fault_[i] = f; };
     copy.on_complete = [this, i](const Status& s) { OnReplicaComplete(i, s); };
@@ -149,6 +150,11 @@ void DuplexLogDevice::MergeCurrent() {
 
   std::function<void(const Status&)> on_complete =
       std::move(current_.on_complete);
+  if (block_pool_ != nullptr) {
+    // The replicas consumed their own copies; the master image merges out
+    // of existence here.
+    block_pool_->Release(std::move(current_.image));
+  }
   in_flight_ = false;
   // Callback before pumping, mirroring LogDevice: the caller observes
   // merged completions in submission order and a failed write can be
@@ -191,14 +197,18 @@ int64_t DuplexLogDevice::ResilverDeadReplica() {
   for (uint32_t g = 0; g < dst->num_generations(); ++g) {
     sizes.push_back(dst->generation_size(g));
   }
+  // Assigning a fresh LogStorage resets its pool attachment too; restore
+  // it so resilvered and future images keep recycling.
   *dst = LogStorage(sizes);
+  dst->set_block_pool(block_pool_);
   int64_t copied = 0;
   for (uint32_t g = 0; g < src->num_generations(); ++g) {
     for (uint32_t s = 0; s < src->generation_size(g); ++s) {
       const BlockAddress addr{g, s};
       const wal::BlockImage* image = src->Get(addr);
       if (image == nullptr) continue;
-      dst->Put(addr, *image);
+      dst->Put(addr, block_pool_ != nullptr ? block_pool_->CopyOf(*image)
+                                            : *image);
       ++copied;
     }
   }

@@ -58,6 +58,12 @@ class DuplexLogDevice : public LogWritePort {
   /// Call before the simulation starts.
   void set_tracer(obs::Tracer* tracer);
 
+  /// Attaches a block-image pool: the per-replica copies and the merged
+  /// write's master image are drawn from / recycled into it. Does not
+  /// touch the replicas' own pools (set those separately). Optional; the
+  /// pool must outlive the duplex.
+  void set_block_pool(wal::BlockImagePool* pool) { block_pool_ = pool; }
+
   void Submit(LogWriteRequest request) override;
   void SubmitFront(LogWriteRequest request) override;
 
@@ -123,6 +129,7 @@ class DuplexLogDevice : public LogWritePort {
   std::unique_ptr<sim::MetricsRegistry> owned_metrics_;
   sim::MetricsRegistry* metrics_;
   SimTime auto_resilver_delay_;
+  wal::BlockImagePool* block_pool_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   int trace_lane_ = 0;
 

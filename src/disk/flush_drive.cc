@@ -113,23 +113,22 @@ void FlushDrive::StartNext() {
   }
   in_service_ = true;
   head_position_ = request.oid;
-  simulator_->ScheduleAfter(transfer_time_, [this, r = std::move(request)]() mutable {
-    Complete(std::move(r));
-  });
+  current_ = std::move(request);
+  simulator_->ScheduleAfter(transfer_time_, [this] { Complete(); });
 }
 
-void FlushDrive::Complete(FlushRequest request) {
+void FlushDrive::Complete() {
   ELOG_CHECK(in_service_);
   if (injector_ != nullptr && injector_->NextFlushFails()) {
-    ++request.attempt;
-    if (request.attempt < injector_->config().max_flush_attempts) {
+    ++current_.attempt;
+    if (current_.attempt < injector_->config().max_flush_attempts) {
       // Retry in place: the drive stays busy through the backoff plus a
       // fresh transfer, so scheduling order is unchanged by the fault.
       ++flush_retries_;
       retries_c_->Incr();
       simulator_->ScheduleAfter(
           injector_->config().flush_retry_backoff + transfer_time_,
-          [this, r = std::move(request)]() mutable { Complete(std::move(r)); });
+          [this] { Complete(); });
       return;
     }
     // Media fault outlived the retry budget: abandon the request. The
@@ -137,6 +136,9 @@ void FlushDrive::Complete(FlushRequest request) {
     // covers it); the torture oracle relaxes its durability check
     // whenever this counter is nonzero. on_failed tells the owner so it
     // is not left waiting on a durability signal that will never come.
+    // Move out of current_ first: the callback may re-enter Enqueue and
+    // start the next service, which would overwrite current_.
+    FlushRequest request = std::move(current_);
     ++flushes_lost_;
     lost_c_->Incr();
     if (tracer_ != nullptr) {
@@ -152,6 +154,7 @@ void FlushDrive::Complete(FlushRequest request) {
     if (!in_service_) StartNext();
     return;
   }
+  FlushRequest request = std::move(current_);
   ++flushes_completed_;
   flushes_c_->Incr();
   if (tracer_ != nullptr) {

@@ -106,7 +106,8 @@ class FlushDrive {
 
  private:
   void StartNext();
-  void Complete(FlushRequest request);
+  /// Completes (or retries) the request held in current_.
+  void Complete();
   uint64_t CircularDistance(Oid a, Oid b) const;
   /// Removes and returns the pending request nearest the head position.
   FlushRequest TakeNearest();
@@ -137,6 +138,10 @@ class FlushDrive {
   /// lookup. multimap: several versions/requests may share an oid.
   std::multimap<Oid, FlushRequest> pending_;
   std::deque<FlushRequest> urgent_;
+  /// The single request in service while in_service_ is true. Kept in a
+  /// member (not an event capture) so the scheduled completion is just
+  /// [this] — FlushRequest is far larger than an event slot.
+  FlushRequest current_;
   bool in_service_ = false;
   Oid head_position_;
   int64_t flushes_completed_ = 0;

@@ -134,6 +134,11 @@ void LogDevice::CompleteCurrent() {
     writes_->Incr();
     per_generation_writes_[current_.address.generation]->Incr();
   }
+  if (block_pool_ != nullptr) {
+    // Recycles the buffer of a dropped write; after a durable Put the
+    // image is moved-from and this is a no-op.
+    block_pool_->Release(std::move(current_.image));
+  }
   if (tracer_ != nullptr) {
     tracer_->Complete(
         trace_lane_, "disk", status.ok() ? "write" : "write_fault",

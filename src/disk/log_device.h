@@ -85,6 +85,11 @@ class LogDevice : public LogWritePort {
   /// simulation starts.
   void set_tracer(obs::Tracer* tracer);
 
+  /// Attaches a block-image pool: the buffer of a write dropped by a fault
+  /// (transient error, dead drive) is recycled instead of freed. Optional;
+  /// the pool must outlive the device.
+  void set_block_pool(wal::BlockImagePool* pool) { block_pool_ = pool; }
+
   /// Enqueues a block write. Never blocks; completion is signalled via the
   /// request's callback.
   void Submit(LogWriteRequest request) override;
@@ -153,6 +158,7 @@ class LogDevice : public LogWritePort {
   sim::MetricsRegistry* metrics_;
   fault::FaultInjector* injector_;
   std::string metrics_prefix_;
+  wal::BlockImagePool* block_pool_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   int trace_lane_ = 0;
 

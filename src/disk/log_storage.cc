@@ -15,6 +15,9 @@ LogStorage::LogStorage(const std::vector<uint32_t>& sizes) {
 void LogStorage::Put(BlockAddress addr, wal::BlockImage image) {
   Slot& slot = SlotAt(addr);
   slot.written = true;
+  if (block_pool_ != nullptr) {
+    block_pool_->Release(std::move(slot.image));
+  }
   slot.image = std::move(image);
 }
 

@@ -14,6 +14,7 @@
 
 #include "util/check.h"
 #include "wal/block_format.h"
+#include "wal/block_pool.h"
 
 namespace elog {
 namespace disk {
@@ -39,6 +40,10 @@ class LogStorage {
   }
   uint32_t total_blocks() const { return total_blocks_; }
 
+  /// Attaches a block-image pool; Put() then recycles the buffer of the
+  /// image it overwrites. Optional; the pool must outlive the storage.
+  void set_block_pool(wal::BlockImagePool* pool) { block_pool_ = pool; }
+
   /// Durably replaces the image at `addr` (called by the device at write
   /// completion).
   void Put(BlockAddress addr, wal::BlockImage image);
@@ -53,8 +58,13 @@ class LogStorage {
   /// in the form LogScanner consumes.
   std::vector<const wal::BlockImage*> GenerationBlocks(uint32_t gen) const;
 
-  /// Deep copy (for crash snapshots).
-  LogStorage Clone() const { return *this; }
+  /// Deep copy (for crash snapshots). The clone does not share the pool:
+  /// snapshots routinely outlive the simulated Database that owns it.
+  LogStorage Clone() const {
+    LogStorage copy = *this;
+    copy.block_pool_ = nullptr;
+    return copy;
+  }
 
   /// Overwrites the image at `addr` with garbage whose checksum cannot
   /// validate — simulates a torn write for failure-injection tests.
@@ -77,6 +87,7 @@ class LogStorage {
 
   std::vector<std::vector<Slot>> generations_;
   uint32_t total_blocks_ = 0;
+  wal::BlockImagePool* block_pool_ = nullptr;
 };
 
 }  // namespace disk

@@ -5,62 +5,99 @@
 namespace elog {
 namespace sim {
 
+namespace {
+
+// An EventId packs (slot generation << 32) | (slot index + 1). The +1
+// keeps kInvalidEventId = 0 unrepresentable; the generation makes ids
+// single-use — after the event fires or is cancelled the slot's
+// generation moves on and the stale id no longer decodes to anything.
+constexpr EventId PackId(uint32_t slot, uint32_t generation) {
+  return (static_cast<EventId>(generation) << 32) |
+         (static_cast<EventId>(slot) + 1);
+}
+
+}  // namespace
+
+uint32_t EventQueue::AcquireSlot() {
+  if (!free_slots_.empty()) {
+    uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::ReleaseSlot(uint32_t slot) {
+  slots_[slot].callback.Reset();
+  ++slots_[slot].generation;
+  free_slots_.push_back(slot);
+}
+
 EventId EventQueue::Schedule(SimTime time, EventCallback callback) {
-  EventId id = next_id_++;
-  heap_.push_back(Entry{time, id, std::move(callback)});
+  uint32_t slot = AcquireSlot();
+  uint32_t generation = slots_[slot].generation;
+  slots_[slot].callback = std::move(callback);
+  heap_.push_back(Entry{time, next_seq_++, slot, generation});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_count_;
-  return id;
+  return PackId(slot, generation);
 }
 
 bool EventQueue::Cancel(EventId id) {
-  if (id == kInvalidEventId || id >= next_id_) return false;
-  // Lazily deleted: mark now, drop when it reaches the heap top. A second
-  // cancel of the same id, or a cancel of an already-fired id, fails.
-  bool inserted = cancelled_.insert(id).second;
-  if (!inserted) return false;
-  // Check the id is actually still pending (linear scan is acceptable:
-  // cancellation is rare — used only for draining / timer replacement).
-  bool pending = false;
-  for (const Entry& e : heap_) {
-    if (e.id == id) {
-      pending = true;
-      break;
-    }
-  }
-  if (!pending) {
-    cancelled_.erase(id);
-    return false;
-  }
+  if (id == kInvalidEventId) return false;
+  uint64_t raw_slot = (id & 0xffffffffu) - 1;
+  uint32_t generation = static_cast<uint32_t>(id >> 32);
+  if (raw_slot >= slots_.size()) return false;
+  uint32_t slot = static_cast<uint32_t>(raw_slot);
+  // A second cancel of the same id, or a cancel of an already-fired id,
+  // sees a bumped generation and fails.
+  if (slots_[slot].generation != generation) return false;
+  ReleaseSlot(slot);
   --live_count_;
+  ++dead_in_heap_;
+  MaybeCompact();
   return true;
 }
 
-void EventQueue::SkipCancelled() {
-  while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.front().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
+void EventQueue::SkipDead() {
+  while (!heap_.empty() && EntryDead(heap_.front())) {
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
+    --dead_in_heap_;
   }
 }
 
+void EventQueue::MaybeCompact() {
+  if (dead_in_heap_ <= live_count_) return;
+  // Keep only live entries and re-heapify. Pop order depends solely on
+  // the (time, seq) total order of the surviving entries, so rebuilding
+  // the heap cannot perturb simulation determinism.
+  auto live_end = std::remove_if(
+      heap_.begin(), heap_.end(),
+      [this](const Entry& e) { return EntryDead(e); });
+  heap_.erase(live_end, heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  dead_in_heap_ = 0;
+}
+
 SimTime EventQueue::PeekTime() {
-  SkipCancelled();
+  SkipDead();
   ELOG_CHECK(!heap_.empty());
   return heap_.front().time;
 }
 
 EventCallback EventQueue::PopNext(SimTime* time) {
-  SkipCancelled();
+  SkipDead();
   ELOG_CHECK(!heap_.empty());
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry entry = std::move(heap_.back());
+  Entry entry = heap_.back();
   heap_.pop_back();
+  EventCallback callback = std::move(slots_[entry.slot].callback);
+  ReleaseSlot(entry.slot);
   --live_count_;
   *time = entry.time;
-  return std::move(entry.callback);
+  return callback;
 }
 
 }  // namespace sim

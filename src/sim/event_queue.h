@@ -3,15 +3,23 @@
 // A binary min-heap ordered by (time, sequence number). The sequence number
 // makes ordering of simultaneous events deterministic (FIFO in scheduling
 // order), which keeps whole simulation runs bit-reproducible.
+//
+// Layout: callbacks live in a slab of fixed-size slots recycled through a
+// free list — scheduling an event never allocates once the slab has grown
+// to the simulation's working set. The heap itself holds only small
+// {time, seq, slot, generation} entries. Cancellation is O(1): the slot is
+// freed (bumping its generation so the heap entry and any stale EventId
+// become unrecognizable) and the dead heap entry is dropped lazily when it
+// surfaces, or eagerly by compaction whenever dead entries outnumber live
+// ones — bounding the heap at ≤ 2× the live event count.
 
 #ifndef ELOG_SIM_EVENT_QUEUE_H_
 #define ELOG_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/inline_callback.h"
 #include "util/check.h"
 #include "util/types.h"
 
@@ -23,7 +31,7 @@ using EventId = uint64_t;
 constexpr EventId kInvalidEventId = 0;
 
 /// Callback invoked when an event fires.
-using EventCallback = std::function<void()>;
+using EventCallback = InlineCallback;
 
 class EventQueue {
  public:
@@ -45,27 +53,59 @@ class EventQueue {
   /// *time to its firing time. The queue must not be empty.
   EventCallback PopNext(SimTime* time);
 
+  /// Introspection for tests/benchmarks: heap entries including not-yet
+  /// reclaimed cancelled ones (bounded at 2 * size() + 1 by compaction),
+  /// and slots ever allocated in the slab.
+  size_t heap_entries() const { return heap_.size(); }
+  size_t slab_slots() const { return slots_.size(); }
+
  private:
+  /// Slab cell owning one pending callback. `generation` starts at 1 and
+  /// is bumped every time the slot is freed, so EventIds and heap entries
+  /// referring to a previous occupant no longer match.
+  struct Slot {
+    uint32_t generation = 1;
+    EventCallback callback;
+  };
+
+  /// Heap entry; 24 bytes, cheap to sift. `seq` is the global schedule
+  /// sequence number — the same total order the pre-slab implementation
+  /// used as EventId — so pop order is bit-identical to the old kernel.
   struct Entry {
     SimTime time;
-    EventId id;
-    EventCallback callback;
+    uint64_t seq;
+    uint32_t slot;
+    uint32_t generation;
   };
 
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;  // FIFO among simultaneous events
+      return a.seq > b.seq;  // FIFO among simultaneous events
     }
   };
 
-  /// Pops cancelled entries off the top of the heap.
-  void SkipCancelled();
+  bool EntryDead(const Entry& e) const {
+    return slots_[e.slot].generation != e.generation;
+  }
+
+  uint32_t AcquireSlot();
+  void ReleaseSlot(uint32_t slot);
+
+  /// Pops dead entries off the top of the heap.
+  void SkipDead();
+
+  /// Rebuilds the heap from live entries only; called when dead entries
+  /// outnumber live ones, so total compaction work is O(1) amortized per
+  /// cancellation.
+  void MaybeCompact();
 
   std::vector<Entry> heap_;
-  std::unordered_set<EventId> cancelled_;
-  EventId next_id_ = 1;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
+  uint64_t next_seq_ = 1;
   size_t live_count_ = 0;
+  size_t dead_in_heap_ = 0;
 };
 
 }  // namespace sim

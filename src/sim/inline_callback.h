@@ -1,0 +1,121 @@
+// Allocation-free fixed-capacity callable for simulator events.
+//
+// The event kernel fires tens of millions of callbacks per simulated run;
+// std::function heap-allocates for any capture beyond its (implementation
+// defined, typically 16-byte) small-buffer and that allocator traffic
+// dominates EventQueue::Schedule. InlineCallback stores the callable
+// inline in a 48-byte buffer — enough for a `this` pointer plus a few
+// words of state — and refuses larger captures at compile time, so a new
+// call site can never silently reintroduce an allocation: it must shrink
+// its capture (e.g. capture an index instead of a struct copy) or stash
+// the state in a member reachable through `this`.
+
+#ifndef ELOG_SIM_INLINE_CALLBACK_H_
+#define ELOG_SIM_INLINE_CALLBACK_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace elog {
+namespace sim {
+
+class InlineCallback {
+ public:
+  /// Maximum capture size. 48 bytes fits every scheduling site in the
+  /// tree; raising it grows every slot in the event arena, so prefer
+  /// shrinking the capture at the call site.
+  static constexpr size_t kInlineBytes = 48;
+
+  InlineCallback() = default;
+
+  template <typename F, typename = std::enable_if_t<!std::is_same_v<
+                            std::decay_t<F>, InlineCallback>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kInlineBytes,
+                  "capture exceeds InlineCallback::kInlineBytes: capture an "
+                  "index or reach the state through a member instead");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned captures are not supported");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "captured callable must be nothrow move constructible");
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    ops_ = &OpsFor<Fn>::kOps;
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { MoveFrom(other); }
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+  ~InlineCallback() { Reset(); }
+
+  /// Invokes the stored callable; must be non-empty.
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// Destroys the stored callable, leaving the callback empty.
+  void Reset() {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-constructs *src into dst, then destroys *src. nullptr means
+    /// the callable is trivially relocatable: memcpy the buffer instead.
+    void (*relocate)(void* dst, void* src);
+    /// nullptr means trivially destructible: nothing to do.
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr bool kTrivial =
+      std::is_trivially_copyable_v<Fn> && std::is_trivially_destructible_v<Fn>;
+
+  template <typename Fn>
+  struct OpsFor {
+    static void Invoke(void* p) { (*static_cast<Fn*>(p))(); }
+    static void Relocate(void* dst, void* src) {
+      Fn* from = static_cast<Fn*>(src);
+      ::new (dst) Fn(std::move(*from));
+      from->~Fn();
+    }
+    static void Destroy(void* p) { static_cast<Fn*>(p)->~Fn(); }
+    static constexpr Ops kOps{&Invoke,
+                              kTrivial<Fn> ? nullptr : &Relocate,
+                              kTrivial<Fn> ? nullptr : &Destroy};
+  };
+
+  void MoveFrom(InlineCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      if (ops_->relocate != nullptr) {
+        ops_->relocate(buf_, other.buf_);
+      } else {
+        std::memcpy(buf_, other.buf_, kInlineBytes);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace sim
+}  // namespace elog
+
+#endif  // ELOG_SIM_INLINE_CALLBACK_H_

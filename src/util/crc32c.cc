@@ -1,12 +1,22 @@
 #include "util/crc32c.h"
 
 #include <array>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#if defined(__aarch64__)
+#include <arm_acle.h>
+#include <sys/auxv.h>
+#ifndef HWCAP_CRC32
+#define HWCAP_CRC32 (1 << 7)
+#endif
+#endif
 
 namespace elog {
 namespace crc32c {
 namespace {
 
-// Table-driven CRC32C, table generated at static-initialization time.
 constexpr uint32_t kPoly = 0x82f63b78u;  // reflected Castagnoli polynomial
 
 std::array<uint32_t, 256> MakeTable() {
@@ -26,16 +36,172 @@ const std::array<uint32_t, 256>& Table() {
   return table;
 }
 
+// Slice-by-8: table[k][b] is the CRC contribution of byte b seen k bytes
+// before the end of an 8-byte group, letting the inner loop fold 8 input
+// bytes with 8 independent table lookups per step.
+using Slice8Tables = std::array<std::array<uint32_t, 256>, 8>;
+
+Slice8Tables MakeSlice8Tables() {
+  Slice8Tables tables{};
+  tables[0] = MakeTable();
+  for (int k = 1; k < 8; ++k) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = tables[k - 1][i];
+      tables[k][i] = tables[0][crc & 0xff] ^ (crc >> 8);
+    }
+  }
+  return tables;
+}
+
+const Slice8Tables& Slice8() {
+  static const Slice8Tables tables = MakeSlice8Tables();
+  return tables;
+}
+
+inline uint32_t StepByte(const std::array<uint32_t, 256>& table, uint32_t crc,
+                         uint8_t byte) {
+  return table[(crc ^ byte) & 0xff] ^ (crc >> 8);
+}
+
 }  // namespace
 
-uint32_t Extend(uint32_t init_crc, const uint8_t* data, size_t n) {
+uint32_t ExtendTable(uint32_t init_crc, const uint8_t* data, size_t n) {
   const auto& table = Table();
   uint32_t crc = init_crc ^ 0xffffffffu;
   for (size_t i = 0; i < n; ++i) {
-    crc = table[(crc ^ data[i]) & 0xff] ^ (crc >> 8);
+    crc = StepByte(table, crc, data[i]);
   }
   return crc ^ 0xffffffffu;
 }
+
+uint32_t ExtendSlice8(uint32_t init_crc, const uint8_t* data, size_t n) {
+  const Slice8Tables& t = Slice8();
+  uint32_t crc = init_crc ^ 0xffffffffu;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  // Byte-step up to 8-byte alignment so the wide loads are aligned.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(data) & 7) != 0) {
+    crc = StepByte(t[0], crc, *data++);
+    --n;
+  }
+  while (n >= 8) {
+    uint64_t v;
+    std::memcpy(&v, data, 8);
+    v ^= crc;  // fold the running crc into the low 4 bytes
+    crc = t[7][v & 0xff] ^ t[6][(v >> 8) & 0xff] ^ t[5][(v >> 16) & 0xff] ^
+          t[4][(v >> 24) & 0xff] ^ t[3][(v >> 32) & 0xff] ^
+          t[2][(v >> 40) & 0xff] ^ t[1][(v >> 48) & 0xff] ^ t[0][v >> 56];
+    data += 8;
+    n -= 8;
+  }
+#endif
+  while (n > 0) {
+    crc = StepByte(t[0], crc, *data++);
+    --n;
+  }
+  return crc ^ 0xffffffffu;
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+
+bool HardwareAvailable() { return __builtin_cpu_supports("sse4.2"); }
+
+__attribute__((target("sse4.2"))) uint32_t ExtendHardware(uint32_t init_crc,
+                                                          const uint8_t* data,
+                                                          size_t n) {
+  uint32_t crc32 = init_crc ^ 0xffffffffu;
+  while (n > 0 && (reinterpret_cast<uintptr_t>(data) & 7) != 0) {
+    crc32 = __builtin_ia32_crc32qi(crc32, *data++);
+    --n;
+  }
+  uint64_t crc = crc32;
+  while (n >= 8) {
+    uint64_t v;
+    std::memcpy(&v, data, 8);
+    crc = __builtin_ia32_crc32di(crc, v);
+    data += 8;
+    n -= 8;
+  }
+  crc32 = static_cast<uint32_t>(crc);
+  while (n > 0) {
+    crc32 = __builtin_ia32_crc32qi(crc32, *data++);
+    --n;
+  }
+  return crc32 ^ 0xffffffffu;
+}
+
+#elif defined(__aarch64__) && defined(__GNUC__)
+
+bool HardwareAvailable() {
+  return (getauxval(AT_HWCAP) & HWCAP_CRC32) != 0;
+}
+
+__attribute__((target("+crc"))) uint32_t ExtendHardware(uint32_t init_crc,
+                                                        const uint8_t* data,
+                                                        size_t n) {
+  uint32_t crc = init_crc ^ 0xffffffffu;
+  while (n > 0 && (reinterpret_cast<uintptr_t>(data) & 7) != 0) {
+    crc = __crc32cb(crc, *data++);
+    --n;
+  }
+  while (n >= 8) {
+    uint64_t v;
+    std::memcpy(&v, data, 8);
+    crc = __crc32cd(crc, v);
+    data += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = __crc32cb(crc, *data++);
+    --n;
+  }
+  return crc ^ 0xffffffffu;
+}
+
+#else
+
+bool HardwareAvailable() { return false; }
+
+uint32_t ExtendHardware(uint32_t init_crc, const uint8_t* data, size_t n) {
+  // Never dispatched to (HardwareAvailable() is false); defined so tests
+  // and benchmarks can link unconditionally.
+  return ExtendSlice8(init_crc, data, n);
+}
+
+#endif
+
+namespace {
+
+using ExtendFn = uint32_t (*)(uint32_t, const uint8_t*, size_t);
+
+struct Dispatch {
+  ExtendFn fn;
+  const char* name;
+};
+
+Dispatch Choose() {
+  const char* env = std::getenv("ELOG_CRC32C_IMPL");
+  std::string pick = env == nullptr ? "auto" : env;
+  if (pick == "table") return {&ExtendTable, "table"};
+  if (pick == "slice8") return {&ExtendSlice8, "slice8"};
+  if (pick == "hw" && HardwareAvailable()) return {&ExtendHardware, "hw"};
+  if (pick == "hw") return {&ExtendSlice8, "slice8"};  // graceful fallback
+  // "auto" (or anything unrecognized): fastest available.
+  if (HardwareAvailable()) return {&ExtendHardware, "hw"};
+  return {&ExtendSlice8, "slice8"};
+}
+
+const Dispatch& Chosen() {
+  static const Dispatch dispatch = Choose();
+  return dispatch;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const uint8_t* data, size_t n) {
+  return Chosen().fn(init_crc, data, n);
+}
+
+const char* ImplName() { return Chosen().name; }
 
 }  // namespace crc32c
 }  // namespace elog

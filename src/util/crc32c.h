@@ -2,6 +2,15 @@
 //
 // Every 2048-byte log block carries a CRC32C of its payload in the block
 // header so that recovery can detect torn or partially-written blocks.
+//
+// Three implementations produce bit-identical digests:
+//   - table:  byte-at-a-time, one 256-entry table (the original path);
+//   - slice8: slice-by-8, eight tables, processes 8 bytes per step;
+//   - hw:     CPU CRC32C instructions (SSE4.2 on x86-64, ACLE on AArch64).
+// Extend() dispatches once per process to the fastest available path.
+// The choice can be pinned with the ELOG_CRC32C_IMPL environment variable
+// ("table", "slice8", "hw", or "auto"); an unavailable "hw" request falls
+// back to slice8. See docs/perf.md.
 
 #ifndef ELOG_UTIL_CRC32C_H_
 #define ELOG_UTIL_CRC32C_H_
@@ -13,8 +22,21 @@ namespace elog {
 namespace crc32c {
 
 /// Returns the CRC32C of data[0..n-1], extending `init_crc` (pass 0 for a
-/// fresh checksum).
+/// fresh checksum). Uses the dispatched (fastest available) path.
 uint32_t Extend(uint32_t init_crc, const uint8_t* data, size_t n);
+
+/// Individual implementations, exposed for equivalence tests and
+/// benchmarks. ExtendHardware must only be called when
+/// HardwareAvailable() is true.
+uint32_t ExtendTable(uint32_t init_crc, const uint8_t* data, size_t n);
+uint32_t ExtendSlice8(uint32_t init_crc, const uint8_t* data, size_t n);
+uint32_t ExtendHardware(uint32_t init_crc, const uint8_t* data, size_t n);
+
+/// True if this CPU exposes CRC32C instructions.
+bool HardwareAvailable();
+
+/// Name of the path Extend() dispatches to: "table", "slice8", or "hw".
+const char* ImplName();
 
 /// Returns the CRC32C of data[0..n-1].
 inline uint32_t Value(const uint8_t* data, size_t n) {

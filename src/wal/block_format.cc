@@ -4,18 +4,27 @@
 
 #include "util/check.h"
 #include "util/crc32c.h"
+#include "wal/block_pool.h"
 
 namespace elog {
 namespace wal {
 namespace {
 
-// Little-endian fixed-width encoding helpers.
-void PutU8(BlockImage* out, uint8_t v) { out->push_back(v); }
-void PutU32(BlockImage* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+// Little-endian fixed-width encoding helpers writing through a moving
+// cursor into a pre-sized buffer (bulk stores, no per-byte capacity
+// checks — block encoding is a top profile entry).
+inline void PutU8(uint8_t** cursor, uint8_t v) { *(*cursor)++ = v; }
+inline void PutU32(uint8_t** cursor, uint32_t v) {
+  uint8_t le[4];
+  for (int i = 0; i < 4; ++i) le[i] = static_cast<uint8_t>(v >> (8 * i));
+  std::memcpy(*cursor, le, 4);
+  *cursor += 4;
 }
-void PutU64(BlockImage* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+inline void PutU64(uint8_t** cursor, uint64_t v) {
+  uint8_t le[8];
+  for (int i = 0; i < 8; ++i) le[i] = static_cast<uint8_t>(v >> (8 * i));
+  std::memcpy(*cursor, le, 8);
+  *cursor += 8;
 }
 
 class ByteReader {
@@ -66,15 +75,15 @@ constexpr size_t kCrcCoverageOffset = 8;
 /// prev_digest u64.
 constexpr size_t kSerializedRecordBytes = 1 + 8 + 8 + 8 + 4 + 8 + 8 + 8;
 
-void AppendRecord(BlockImage* out, const LogRecord& r) {
-  PutU8(out, static_cast<uint8_t>(r.type));
-  PutU64(out, r.tid);
-  PutU64(out, r.lsn);
-  PutU64(out, r.oid);
-  PutU32(out, r.logged_size);
-  PutU64(out, r.value_digest);
-  PutU64(out, r.prev_lsn);
-  PutU64(out, r.prev_digest);
+void AppendRecord(uint8_t** cursor, const LogRecord& r) {
+  PutU8(cursor, static_cast<uint8_t>(r.type));
+  PutU64(cursor, r.tid);
+  PutU64(cursor, r.lsn);
+  PutU64(cursor, r.oid);
+  PutU32(cursor, r.logged_size);
+  PutU64(cursor, r.value_digest);
+  PutU64(cursor, r.prev_lsn);
+  PutU64(cursor, r.prev_digest);
 }
 
 bool ParseRecord(ByteReader* reader, LogRecord* r) {
@@ -112,7 +121,12 @@ bool BlockBuilder::Add(const LogRecord& record) {
 }
 
 BlockImage BlockBuilder::Finish(uint64_t write_seq) {
-  BlockImage image = EncodeBlock(generation_, write_seq, records_);
+  return Finish(write_seq, nullptr);
+}
+
+BlockImage BlockBuilder::Finish(uint64_t write_seq, BlockImagePool* pool) {
+  BlockImage image = pool == nullptr ? BlockImage() : pool->Acquire();
+  EncodeBlockInto(generation_, write_seq, records_, &image);
   Reset();
   return image;
 }
@@ -122,34 +136,42 @@ void BlockBuilder::Reset() {
   records_.clear();
 }
 
-BlockImage EncodeBlock(uint32_t generation, uint64_t write_seq,
-                       const std::vector<LogRecord>& records) {
+void EncodeBlockInto(uint32_t generation, uint64_t write_seq,
+                     const std::vector<LogRecord>& records, BlockImage* out) {
   uint32_t payload_bytes = 0;
   for (const LogRecord& r : records) payload_bytes += r.logged_size;
   ELOG_CHECK_LE(payload_bytes, kBlockPayloadBytes);
 
-  BlockImage image;
-  image.reserve(kBlockHeaderBytes + records.size() * 37);
-  PutU32(&image, kBlockMagic);
-  PutU32(&image, 0);  // CRC patched below
-  PutU32(&image, generation);
-  PutU64(&image, write_seq);
-  PutU32(&image, static_cast<uint32_t>(records.size()));
-  PutU32(&image, payload_bytes);
-  while (image.size() < kBlockHeaderBytes) PutU8(&image, 0);
+  out->clear();
+  out->resize(kBlockHeaderBytes + records.size() * kSerializedRecordBytes);
+  uint8_t* cursor = out->data();
+  PutU32(&cursor, kBlockMagic);
+  PutU32(&cursor, 0);  // CRC patched below
+  PutU32(&cursor, generation);
+  PutU64(&cursor, write_seq);
+  PutU32(&cursor, static_cast<uint32_t>(records.size()));
+  PutU32(&cursor, payload_bytes);
+  std::memset(cursor, 0, kBlockHeaderBytes - (cursor - out->data()));
+  cursor = out->data() + kBlockHeaderBytes;
 
-  for (const LogRecord& r : records) AppendRecord(&image, r);
+  for (const LogRecord& r : records) AppendRecord(&cursor, r);
+  ELOG_CHECK(cursor == out->data() + out->size());
 
   uint32_t crc =
-      crc32c::Mask(crc32c::Value(image.data() + kCrcCoverageOffset,
-                                 image.size() - kCrcCoverageOffset));
-  for (int i = 0; i < 4; ++i) {
-    image[kCrcOffset + i] = static_cast<uint8_t>(crc >> (8 * i));
-  }
+      crc32c::Mask(crc32c::Value(out->data() + kCrcCoverageOffset,
+                                 out->size() - kCrcCoverageOffset));
+  uint8_t* patch = out->data() + kCrcOffset;
+  PutU32(&patch, crc);
+}
+
+BlockImage EncodeBlock(uint32_t generation, uint64_t write_seq,
+                       const std::vector<LogRecord>& records) {
+  BlockImage image;
+  EncodeBlockInto(generation, write_seq, records, &image);
   return image;
 }
 
-Result<DecodedBlock> DecodeBlock(const BlockImage& image) {
+Status DecodeBlockInto(const BlockImage& image, DecodedBlock* out) {
   if (image.size() < kBlockHeaderBytes) {
     return Status::Corruption("block image shorter than header");
   }
@@ -183,10 +205,10 @@ Result<DecodedBlock> DecodeBlock(const BlockImage& image) {
 
   ByteReader body(image.data() + kBlockHeaderBytes,
                   image.size() - kBlockHeaderBytes);
-  DecodedBlock decoded;
-  decoded.generation = generation;
-  decoded.write_seq = write_seq;
-  decoded.records.reserve(record_count);
+  out->generation = generation;
+  out->write_seq = write_seq;
+  out->records.clear();
+  out->records.reserve(record_count);
   uint32_t accounted = 0;
   for (uint32_t i = 0; i < record_count; ++i) {
     LogRecord r;
@@ -194,11 +216,18 @@ Result<DecodedBlock> DecodeBlock(const BlockImage& image) {
       return Status::Corruption("truncated record in block");
     }
     accounted += r.logged_size;
-    decoded.records.push_back(r);
+    out->records.push_back(r);
   }
   if (accounted != payload_bytes) {
     return Status::Corruption("record sizes disagree with block header");
   }
+  return Status::OK();
+}
+
+Result<DecodedBlock> DecodeBlock(const BlockImage& image) {
+  DecodedBlock decoded;
+  Status status = DecodeBlockInto(image, &decoded);
+  if (!status.ok()) return status;
   return decoded;
 }
 

@@ -40,6 +40,8 @@ constexpr uint32_t kBlockMagic = 0x454c4f47;  // "ELOG"
 /// Serialized block bytes as stored on the simulated disk.
 using BlockImage = std::vector<uint8_t>;
 
+class BlockImagePool;  // see wal/block_pool.h
+
 /// Decoded view of a block.
 struct DecodedBlock {
   uint32_t generation = 0;
@@ -69,8 +71,11 @@ class BlockBuilder {
   uint32_t generation() const { return generation_; }
 
   /// Serializes the block with write sequence number `write_seq` and
-  /// resets the builder for reuse.
+  /// resets the builder for reuse. The pooled overload encodes into a
+  /// recycled buffer (the caller owns the returned image and should
+  /// eventually Release it back).
   BlockImage Finish(uint64_t write_seq);
+  BlockImage Finish(uint64_t write_seq, BlockImagePool* pool);
 
   /// Discards accumulated records.
   void Reset();
@@ -86,9 +91,18 @@ class BlockBuilder {
 BlockImage EncodeBlock(uint32_t generation, uint64_t write_seq,
                        const std::vector<LogRecord>& records);
 
+/// Serializes `records` into `*out`, reusing its existing capacity (the
+/// image is cleared first). Produces bytes identical to EncodeBlock.
+void EncodeBlockInto(uint32_t generation, uint64_t write_seq,
+                     const std::vector<LogRecord>& records, BlockImage* out);
+
 /// Parses and validates a block image. Returns Corruption on a bad magic,
 /// bad CRC (torn write), or truncated image.
 Result<DecodedBlock> DecodeBlock(const BlockImage& image);
+
+/// DecodeBlock into a caller-owned DecodedBlock, reusing its record
+/// vector's capacity. On error *out is unspecified.
+Status DecodeBlockInto(const BlockImage& image, DecodedBlock* out);
 
 }  // namespace wal
 }  // namespace elog

@@ -1,0 +1,87 @@
+// Recycling pool of block image buffers.
+//
+// The encode → submit → device → storage pipeline historically allocated
+// (and copied into) a fresh 2048-byte std::vector per hop; at hundreds of
+// thousands of block writes per simulated run that allocator traffic is a
+// top-three profile entry. A BlockImagePool keeps retired images on a free
+// list so steady-state block I/O reuses the same fixed-capacity buffers.
+//
+// Ownership rules (see docs/perf.md):
+//   - Acquire() returns an empty image with capacity for a full physical
+//     block; the caller owns it and either hands it downstream (the
+//     consumer inherits the obligation) or Release()s it back.
+//   - Release() accepts any image, including moved-from ones; buffers
+//     beyond the free-list cap are simply freed.
+//   - The pool must outlive every component holding a pointer to it; a
+//     null pool everywhere means "plain allocation" and is always correct.
+// The pool is not thread-safe: each simulated Database/trial owns its own,
+// matching the one-simulation-per-thread execution model.
+
+#ifndef ELOG_WAL_BLOCK_POOL_H_
+#define ELOG_WAL_BLOCK_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "wal/block_format.h"
+
+namespace elog {
+namespace wal {
+
+class BlockImagePool {
+ public:
+  BlockImagePool() = default;
+  BlockImagePool(const BlockImagePool&) = delete;
+  BlockImagePool& operator=(const BlockImagePool&) = delete;
+
+  /// Returns an empty image whose capacity covers a physical block.
+  BlockImage Acquire() {
+    if (!free_.empty()) {
+      BlockImage image = std::move(free_.back());
+      free_.pop_back();
+      image.clear();
+      ++reused_;
+      return image;
+    }
+    BlockImage image;
+    image.reserve(kBlockPhysicalBytes);
+    ++allocated_;
+    return image;
+  }
+
+  /// Returns an image holding a copy of `src`, reusing a pooled buffer.
+  BlockImage CopyOf(const BlockImage& src) {
+    BlockImage image = Acquire();
+    image.assign(src.begin(), src.end());
+    return image;
+  }
+
+  /// Retires an image buffer into the free list. Safe for moved-from or
+  /// empty images (no-op buffers are dropped).
+  void Release(BlockImage&& image) {
+    if (image.capacity() == 0) return;
+    if (free_.size() >= kMaxFree) return;  // let the allocator have it
+    free_.push_back(std::move(image));
+    image.clear();
+  }
+
+  size_t free_count() const { return free_.size(); }
+  /// Buffers newly allocated vs recycled, for tests and benchmarks.
+  uint64_t allocated() const { return allocated_; }
+  uint64_t reused() const { return reused_; }
+
+ private:
+  /// Free-list cap: bounds pool memory at ~2 MiB while comfortably
+  /// covering in-flight blocks plus both log generations of any
+  /// configuration in the tree.
+  static constexpr size_t kMaxFree = 1024;
+
+  std::vector<BlockImage> free_;
+  uint64_t allocated_ = 0;
+  uint64_t reused_ = 0;
+};
+
+}  // namespace wal
+}  // namespace elog
+
+#endif  // ELOG_WAL_BLOCK_POOL_H_

@@ -122,9 +122,12 @@ TraceReplayer::TraceReplayer(sim::Simulator* simulator, const Trace& trace,
     : simulator_(simulator), trace_(trace), sink_(sink) {}
 
 void TraceReplayer::Start() {
-  for (const TraceEvent& event : trace_.events()) {
-    simulator_->ScheduleAt(event.when,
-                           [this, event] { Dispatch(event); });
+  // Capture the event's index, not the 48-byte event itself: the trace
+  // outlives the replay, and the small capture fits an inline event slot.
+  const std::vector<TraceEvent>& events = trace_.events();
+  for (size_t i = 0; i < events.size(); ++i) {
+    simulator_->ScheduleAt(events[i].when,
+                           [this, i] { Dispatch(trace_.events()[i]); });
   }
 }
 

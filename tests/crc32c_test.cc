@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "util/random.h"
+
 namespace elog {
 namespace crc32c {
 namespace {
@@ -59,6 +61,96 @@ TEST(Crc32cTest, MaskRoundTrips) {
     EXPECT_EQ(Unmask(Mask(crc)), crc);
     EXPECT_NE(Mask(crc), crc);  // masking must change the value
   }
+}
+
+// ---- Implementation-equivalence suite: table / slice8 / hardware. ----
+//
+// The dispatched Extend() may pick any path; these tests pin all paths to
+// the same digests so a dispatch change can never alter stored CRCs.
+
+struct NamedImpl {
+  const char* name;
+  uint32_t (*fn)(uint32_t, const uint8_t*, size_t);
+};
+
+std::vector<NamedImpl> AllImpls() {
+  std::vector<NamedImpl> impls = {{"table", &ExtendTable},
+                                  {"slice8", &ExtendSlice8}};
+  if (HardwareAvailable()) impls.push_back({"hw", &ExtendHardware});
+  return impls;
+}
+
+TEST(Crc32cEquivalenceTest, Rfc3720GoldenVectors) {
+  std::vector<uint8_t> zeros(32, 0);
+  std::vector<uint8_t> ones(32, 0xff);
+  std::vector<uint8_t> ascending(32), descending(32);
+  for (size_t i = 0; i < 32; ++i) {
+    ascending[i] = static_cast<uint8_t>(i);
+    descending[i] = static_cast<uint8_t>(31 - i);
+  }
+  // RFC 3720 §B.4 test vectors.
+  struct Golden {
+    const std::vector<uint8_t>* data;
+    uint32_t crc;
+  };
+  const Golden goldens[] = {{&zeros, 0x8a9136aau},
+                            {&ones, 0x62a8ab43u},
+                            {&ascending, 0x46dd794eu},
+                            {&descending, 0x113fdb5cu}};
+  for (const NamedImpl& impl : AllImpls()) {
+    for (const Golden& g : goldens) {
+      EXPECT_EQ(impl.fn(0, g.data->data(), g.data->size()), g.crc)
+          << impl.name;
+    }
+  }
+}
+
+TEST(Crc32cEquivalenceTest, BlockPayloadSizedVectors) {
+  // The block format checksums 2000-byte payloads (plus 40 header bytes);
+  // pin the all-zero and all-ones payloads across every path.
+  std::vector<uint8_t> zeros(2000, 0);
+  std::vector<uint8_t> ones(2000, 0xff);
+  const uint32_t zeros_crc = ExtendTable(0, zeros.data(), zeros.size());
+  const uint32_t ones_crc = ExtendTable(0, ones.data(), ones.size());
+  for (const NamedImpl& impl : AllImpls()) {
+    EXPECT_EQ(impl.fn(0, zeros.data(), zeros.size()), zeros_crc) << impl.name;
+    EXPECT_EQ(impl.fn(0, ones.data(), ones.size()), ones_crc) << impl.name;
+  }
+}
+
+TEST(Crc32cEquivalenceTest, FuzzLengthsAlignmentsAndSeeds) {
+  // Random contents, random lengths (odd tails included), random start
+  // misalignment (0..7 bytes into an allocation), random init crc. All
+  // implementations must agree bit for bit.
+  Rng rng(20260805);
+  std::vector<uint8_t> buffer(1 << 14);
+  for (uint8_t& b : buffer) b = static_cast<uint8_t>(rng.NextBounded(256));
+  for (int round = 0; round < 2000; ++round) {
+    size_t offset = static_cast<size_t>(rng.NextBounded(8));
+    size_t max_len = buffer.size() - offset;
+    size_t len = static_cast<size_t>(rng.NextBounded(
+        round % 4 == 0 ? 16 : static_cast<uint64_t>(max_len)));
+    uint32_t init = static_cast<uint32_t>(rng.NextUint64());
+    const uint8_t* p = buffer.data() + offset;
+    uint32_t want = ExtendTable(init, p, len);
+    for (const NamedImpl& impl : AllImpls()) {
+      ASSERT_EQ(impl.fn(init, p, len), want)
+          << impl.name << " offset=" << offset << " len=" << len
+          << " init=" << init;
+    }
+  }
+}
+
+TEST(Crc32cEquivalenceTest, DispatchedExtendMatchesTable) {
+  // Whatever ImplName() says is active, Extend() must equal the table.
+  Rng rng(7);
+  std::vector<uint8_t> data(4096);
+  for (uint8_t& b : data) b = static_cast<uint8_t>(rng.NextBounded(256));
+  EXPECT_EQ(Extend(0, data.data(), data.size()),
+            ExtendTable(0, data.data(), data.size()))
+      << "dispatched impl: " << ImplName();
+  const std::string name = ImplName();
+  EXPECT_TRUE(name == "table" || name == "slice8" || name == "hw") << name;
 }
 
 }  // namespace

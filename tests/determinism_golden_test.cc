@@ -1,0 +1,116 @@
+// Pinned-golden determinism tests for the hot-path rework.
+//
+// The event-kernel / CRC / block-pool optimizations must not change a
+// single simulated outcome. These tests pin end-of-run scalars of two
+// very different runs — a short Figure-5 bandwidth configuration and a
+// cancellation-heavy fault-injected torture trial (kills cancel pending
+// generator events; lingers and retries churn the event queue) — to the
+// exact values the pre-rework kernel produced. Any behavioral drift in
+// the event queue ordering, CRC digests, or block image contents shows
+// up here as a scalar mismatch.
+//
+// The pinned values were captured from the seed implementation
+// (std::function event queue, byte-at-a-time table CRC, per-block vector
+// allocation) and must never be updated to "fix" this test: a mismatch
+// means the rework changed simulated behavior.
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "runner/torture.h"
+#include "workload/spec.h"
+
+namespace elog {
+namespace {
+
+db::RunStats RunShortFig5() {
+  db::DatabaseConfig config;
+  config.workload = workload::PaperMix(0.05);
+  config.workload.runtime = SecondsToSimTime(60);
+  config.workload.seed = 42;
+  config.log.generation_blocks = {18, 12};
+  db::Database database(config);
+  return database.Run();
+}
+
+TEST(DeterminismGoldenTest, Fig5ShortRunMatchesPinnedScalars) {
+  db::RunStats stats = RunShortFig5();
+  // Doubles compared exactly: the run is deterministic to the bit.
+  EXPECT_EQ(stats.log_writes_per_sec, 12.633333333333333);
+  ASSERT_EQ(stats.log_writes_per_sec_by_generation.size(), 2u);
+  EXPECT_EQ(stats.log_writes_per_sec_by_generation[0], 11.416666666666666);
+  EXPECT_EQ(stats.log_writes_per_sec_by_generation[1], 1.2166666666666666);
+  EXPECT_EQ(stats.updates_written, 12346);
+  EXPECT_EQ(stats.flushes_completed, 12223);
+  EXPECT_EQ(stats.total_started, 6000);
+  EXPECT_EQ(stats.total_committed, 6000);
+  EXPECT_EQ(stats.total_killed, 0);
+  EXPECT_EQ(stats.records_appended, 24600);
+  EXPECT_EQ(stats.records_forwarded, 4517);
+  EXPECT_EQ(stats.records_recirculated, 522);
+  EXPECT_EQ(stats.records_discarded, 24426);
+  EXPECT_EQ(stats.commit_latency_mean_us, 64334.874999999913);
+  EXPECT_EQ(stats.peak_memory_bytes, 14040.0);
+}
+
+TEST(DeterminismGoldenTest, CancellationHeavyRunMatchesPinnedScalars) {
+  // An undersized log under the 20% mix: most long transactions are
+  // killed (5345 of 6000 arrivals), and every kill cancels the victim's
+  // pending generator events — this run leans on EventQueue::Cancel
+  // harder than any figure configuration does.
+  db::DatabaseConfig config;
+  config.workload = workload::PaperMix(0.20);
+  config.workload.runtime = SecondsToSimTime(60);
+  config.workload.seed = 42;
+  config.log.generation_blocks = {8, 10};
+  db::Database database(config);
+  db::RunStats stats = database.Run();
+  EXPECT_EQ(stats.total_killed, 5345);
+  EXPECT_EQ(stats.total_committed, 655);
+  EXPECT_EQ(stats.total_started, 6000);
+  EXPECT_EQ(stats.records_appended, 10894);
+  EXPECT_EQ(stats.records_forwarded, 2188);
+  EXPECT_EQ(stats.records_recirculated, 4542588);
+  EXPECT_EQ(stats.records_discarded, 10836);
+  EXPECT_EQ(stats.log_writes_per_sec, 60.483333333333334);
+  EXPECT_EQ(stats.commit_latency_mean_us, 129488246.56488551);
+  EXPECT_EQ(stats.peak_memory_bytes, 20240.0);
+}
+
+TEST(DeterminismGoldenTest, Fig5ShortRunTwinRunsAgree) {
+  db::RunStats a = RunShortFig5();
+  db::RunStats b = RunShortFig5();
+  EXPECT_EQ(a.log_writes_per_sec, b.log_writes_per_sec);
+  EXPECT_EQ(a.updates_written, b.updates_written);
+  EXPECT_EQ(a.total_committed, b.total_committed);
+  EXPECT_EQ(a.commit_latency_mean_us, b.commit_latency_mean_us);
+  EXPECT_EQ(a.peak_memory_bytes, b.peak_memory_bytes);
+}
+
+TEST(DeterminismGoldenTest, TortureTrialRecoveryDigestMatchesPinned) {
+  // Trial 12 of the default UNDO/REDO torture spec — the most fault-rich
+  // of the first forty: transient write errors with front-of-queue
+  // retries, bit-rot, flush retry storms, a torn-write crash mid-stream,
+  // and an UNDO pass at recovery. Recovery re-scans and CRC-checks every
+  // block, so this digest also witnesses CRC and block-image
+  // equivalence across implementations.
+  runner::TortureSpec spec;
+  runner::TortureTrial trial = runner::RunTortureTrial(
+      spec, runner::TortureManager::kEphemeralUndo, 12);
+  EXPECT_TRUE(trial.ok);
+  EXPECT_EQ(trial.seed, 11943278627979894855ull);
+  EXPECT_EQ(trial.crash_time, 11263667);
+  EXPECT_EQ(trial.crash_events, 7451u);
+  EXPECT_EQ(trial.torn_write, true);
+  EXPECT_EQ(trial.committed, 977);
+  EXPECT_EQ(trial.killed, 0);
+  EXPECT_EQ(trial.log_write_retries, 5);
+  EXPECT_EQ(trial.bit_rot_writes, 2);
+  EXPECT_EQ(trial.flush_retries, 51);
+  EXPECT_EQ(trial.blocks_corrupt, 2);
+  EXPECT_EQ(trial.records_recovered, 9);
+  EXPECT_EQ(trial.undos_applied, 58);
+}
+
+}  // namespace
+}  // namespace elog

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "util/random.h"
@@ -145,6 +146,55 @@ TEST(EventQueueTest, HeavyCancellationChurn) {
   EXPECT_EQ(fired + cancelled, scheduled);
   EXPECT_GT(fired, 0);
   EXPECT_GT(cancelled, 0);
+}
+
+// Regression guard for the slab/lazy-cancel design: a schedule/cancel
+// churn of a million events must not let dead heap entries or retired
+// slab slots accumulate beyond a small multiple of the live set.
+TEST(EventQueueTest, MillionScheduleCancelChurnStaysBounded) {
+  EventQueue queue;
+  Rng rng(20260805);
+  std::vector<EventId> live;
+  constexpr int kOps = 1000000;
+  size_t max_heap = 0;
+  size_t max_slab = 0;
+  size_t max_live = 0;
+  for (int i = 0; i < kOps; ++i) {
+    // Bias toward cancellation so the heap is dominated by churn, with a
+    // drifting time horizon so pops interleave schedules.
+    if (!live.empty() && rng.NextBounded(100) < 45) {
+      size_t pick = rng.NextBounded(live.size());
+      queue.Cancel(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    } else {
+      live.push_back(queue.Schedule(
+          static_cast<SimTime>(i + rng.NextBounded(1000)), [] {}));
+    }
+    if (queue.size() > 4096) {
+      SimTime t;
+      queue.PopNext(&t)();
+      // The popped event is no longer cancellable; forget one id.
+      // (Ids are opaque; dropping an arbitrary one keeps the invariant
+      // "live holds ids of still-pending events" approximately true, and
+      // Cancel on an already-popped id is a safe no-op by design.)
+      if (!live.empty()) live.pop_back();
+    }
+    max_heap = std::max(max_heap, queue.heap_entries());
+    max_slab = std::max(max_slab, queue.slab_slots());
+    max_live = std::max(max_live, queue.size());
+  }
+  // Compaction keeps the heap within 2x the live events (+1 for the
+  // transient pre-compaction entry); the slab never exceeds the peak
+  // number of simultaneously live events (+1 for the schedule that
+  // transiently tops the peak before the balancing pop below).
+  EXPECT_LE(max_heap, 2 * max_live + 1);
+  EXPECT_LE(max_slab, max_live + 1);
+  while (!queue.empty()) {
+    SimTime t;
+    queue.PopNext(&t);
+  }
+  EXPECT_EQ(queue.size(), 0u);
 }
 
 TEST(EventQueueTest, LargeVolumeOrdered) {
