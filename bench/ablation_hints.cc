@@ -10,28 +10,19 @@
 #include <iostream>
 
 #include "db/database.h"
+#include "harness/bench_cli.h"
 #include "harness/report.h"
 #include "runner/sweep_runner.h"
-#include "util/cli.h"
 #include "util/string_util.h"
 
 using namespace elog;
 
 int main(int argc, char** argv) {
   int64_t runtime_s = 200;
-  int64_t jobs = 0;
-  std::string csv;
-  std::string json_dir = "results";
-  FlagSet flags;
+  harness::BenchCli cli;
+  FlagSet& flags = cli.flags();
   flags.AddInt64("runtime", &runtime_s, "simulated seconds of arrivals");
-  flags.AddInt64("jobs", &jobs, "worker threads (0 = all cores)");
-  flags.AddString("csv", &csv, "write results as CSV to this path");
-  flags.AddString("json_dir", &json_dir,
-                  "directory for BENCH_<name>.json (empty = skip)");
-  if (Status status = flags.Parse(argc, argv); !status.ok()) {
-    std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
-    return 2;
-  }
+  if (!cli.Parse(argc, argv)) return 2;
 
   workload::WorkloadSpec spec = workload::PaperMix(0.05);
   spec.runtime = SecondsToSimTime(runtime_s);
@@ -53,7 +44,7 @@ int main(int argc, char** argv) {
   }
 
   runner::SweepOptions sweep_options;
-  sweep_options.jobs = static_cast<int>(jobs);
+  sweep_options.jobs = static_cast<int>(cli.jobs);
   sweep_options.derive_seeds = false;  // paired with/without hints
   runner::SweepRunner sweeper(sweep_options);
 
@@ -79,7 +70,7 @@ int main(int argc, char** argv) {
       "Ablation: lifetime hints (§6) — long transactions write directly "
       "to generation 1",
       table);
-  Status status = harness::MaybeWriteCsv(csv, table);
+  Status status = harness::MaybeWriteCsv(cli.csv, table);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;
@@ -88,7 +79,7 @@ int main(int argc, char** argv) {
   runner::BenchJson bench("ablation_hints");
   bench.AddConfig("jobs", static_cast<int64_t>(sweeper.jobs()));
   bench.AddConfig("runtime_s", runtime_s);
-  status = harness::WriteBenchJson(json_dir, &bench, table, wall_s);
+  status = harness::WriteBenchJson(cli.json_dir, &bench, table, wall_s);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;

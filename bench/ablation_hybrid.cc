@@ -11,9 +11,9 @@
 
 #include "core/hybrid_manager.h"
 #include "db/database.h"
+#include "harness/bench_cli.h"
 #include "harness/report.h"
 #include "runner/sweep_runner.h"
-#include "util/cli.h"
 #include "util/string_util.h"
 
 using namespace elog;
@@ -111,19 +111,10 @@ AblationStats RunHybrid(const workload::WorkloadSpec& spec,
 
 int main(int argc, char** argv) {
   int64_t runtime_s = 120;
-  int64_t jobs = 0;
-  std::string csv;
-  std::string json_dir = "results";
-  FlagSet flags;
+  harness::BenchCli cli;
+  FlagSet& flags = cli.flags();
   flags.AddInt64("runtime", &runtime_s, "simulated seconds of arrivals");
-  flags.AddInt64("jobs", &jobs, "worker threads (0 = all cores)");
-  flags.AddString("csv", &csv, "write results as CSV to this path");
-  flags.AddString("json_dir", &json_dir,
-                  "directory for BENCH_<name>.json (empty = skip)");
-  if (Status status = flags.Parse(argc, argv); !status.ok()) {
-    std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
-    return 2;
-  }
+  if (!cli.Parse(argc, argv)) return 2;
 
   workload::WorkloadSpec spec = ManyUpdateMix(runtime_s);
   LogManagerOptions options;
@@ -137,7 +128,7 @@ int main(int argc, char** argv) {
   options.recirculation = true;
 
   runner::SweepOptions sweep_options;
-  sweep_options.jobs = static_cast<int>(jobs);
+  sweep_options.jobs = static_cast<int>(cli.jobs);
   runner::SweepRunner sweeper(sweep_options);
 
   // The two schemes are independent single-threaded simulations; run them
@@ -166,7 +157,7 @@ int main(int argc, char** argv) {
       "Ablation: EL vs EL-FW hybrid (§6) on a 30-update/long-tx workload "
       "(hybrid: less memory, more bandwidth)",
       table);
-  Status status = harness::MaybeWriteCsv(csv, table);
+  Status status = harness::MaybeWriteCsv(cli.csv, table);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;
@@ -175,7 +166,7 @@ int main(int argc, char** argv) {
   runner::BenchJson bench("ablation_hybrid");
   bench.AddConfig("jobs", static_cast<int64_t>(sweeper.jobs()));
   bench.AddConfig("runtime_s", runtime_s);
-  status = harness::WriteBenchJson(json_dir, &bench, table, wall_s);
+  status = harness::WriteBenchJson(cli.json_dir, &bench, table, wall_s);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;

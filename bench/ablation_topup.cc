@@ -12,28 +12,19 @@
 #include <iostream>
 
 #include "db/database.h"
+#include "harness/bench_cli.h"
 #include "harness/report.h"
 #include "runner/sweep_runner.h"
-#include "util/cli.h"
 #include "util/string_util.h"
 
 using namespace elog;
 
 int main(int argc, char** argv) {
   int64_t runtime_s = 150;
-  int64_t jobs = 0;
-  std::string csv;
-  std::string json_dir = "results";
-  FlagSet flags;
+  harness::BenchCli cli;
+  FlagSet& flags = cli.flags();
   flags.AddInt64("runtime", &runtime_s, "simulated seconds of arrivals");
-  flags.AddInt64("jobs", &jobs, "worker threads (0 = all cores)");
-  flags.AddString("csv", &csv, "write results as CSV to this path");
-  flags.AddString("json_dir", &json_dir,
-                  "directory for BENCH_<name>.json (empty = skip)");
-  if (Status status = flags.Parse(argc, argv); !status.ok()) {
-    std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
-    return 2;
-  }
+  if (!cli.Parse(argc, argv)) return 2;
 
   workload::WorkloadSpec paper = workload::PaperMix(0.05);
   paper.runtime = SecondsToSimTime(runtime_s);
@@ -77,7 +68,7 @@ int main(int argc, char** argv) {
   }
 
   runner::SweepOptions sweep_options;
-  sweep_options.jobs = static_cast<int>(jobs);
+  sweep_options.jobs = static_cast<int>(cli.jobs);
   sweep_options.derive_seeds = false;  // paired on/off per workload
   runner::SweepRunner sweeper(sweep_options);
 
@@ -101,7 +92,7 @@ int main(int argc, char** argv) {
       "Ablation: §2.2 forwarding top-up (gather-to-fill before the forced "
       "write)",
       table);
-  Status status = harness::MaybeWriteCsv(csv, table);
+  Status status = harness::MaybeWriteCsv(cli.csv, table);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;
@@ -110,7 +101,7 @@ int main(int argc, char** argv) {
   runner::BenchJson bench("ablation_topup");
   bench.AddConfig("jobs", static_cast<int64_t>(sweeper.jobs()));
   bench.AddConfig("runtime_s", runtime_s);
-  status = harness::WriteBenchJson(json_dir, &bench, table, wall_s);
+  status = harness::WriteBenchJson(cli.json_dir, &bench, table, wall_s);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;

@@ -6,36 +6,27 @@
 #include <cstdio>
 #include <iostream>
 
+#include "harness/bench_cli.h"
 #include "harness/report.h"
 #include "harness/tuner.h"
-#include "util/cli.h"
 #include "util/string_util.h"
 
 using namespace elog;
 
 int main(int argc, char** argv) {
   int64_t runtime_s = 60;
-  int64_t jobs = 0;
   double max_ratio = 1.15;
-  std::string csv;
-  std::string json_dir = "results";
-  FlagSet flags;
+  harness::BenchCli cli;
+  FlagSet& flags = cli.flags();
   flags.AddInt64("runtime", &runtime_s, "simulated seconds of arrivals");
-  flags.AddInt64("jobs", &jobs, "worker threads (0 = all cores)");
   flags.AddDouble("max_ratio", &max_ratio,
                   "bandwidth budget as a multiple of the FW baseline");
-  flags.AddString("csv", &csv, "write results as CSV to this path");
-  flags.AddString("json_dir", &json_dir,
-                  "directory for BENCH_<name>.json (empty = skip)");
-  if (Status status = flags.Parse(argc, argv); !status.ok()) {
-    std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
-    return 2;
-  }
+  if (!cli.Parse(argc, argv)) return 2;
 
   const std::vector<double> mixes = {0.05, 0.20, 0.40};
 
   runner::SweepOptions sweep_options;
-  sweep_options.jobs = static_cast<int>(jobs);
+  sweep_options.jobs = static_cast<int>(cli.jobs);
   runner::ProgressReporter progress("ablation_tuner");
   sweep_options.progress = &progress;
   runner::SweepRunner sweeper(sweep_options);
@@ -89,7 +80,7 @@ int main(int argc, char** argv) {
                 "(bandwidth budget %.0f%% over FW)",
                 (max_ratio - 1.0) * 100),
       table);
-  Status status = harness::MaybeWriteCsv(csv, table);
+  Status status = harness::MaybeWriteCsv(cli.csv, table);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;
@@ -100,7 +91,7 @@ int main(int argc, char** argv) {
   bench.AddConfig("runtime_s", runtime_s);
   bench.AddConfig("max_ratio", max_ratio);
   bench.AddMetric("simulations", simulations);
-  status = harness::WriteBenchJson(json_dir, &bench, table, wall_s);
+  status = harness::WriteBenchJson(cli.json_dir, &bench, table, wall_s);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;

@@ -10,55 +10,43 @@
 
 #include "db/database.h"
 #include "harness/figures.h"
+#include "harness/bench_cli.h"
 #include "harness/report.h"
 #include "runner/progress.h"
 #include "runner/sweep_runner.h"
-#include "util/cli.h"
 #include "util/string_util.h"
 
 using namespace elog;
 
 int main(int argc, char** argv) {
-  bool quick = false;
   bool trace = false;
-  std::string csv;
-  std::string json_dir = "results";
   int64_t runtime_s = 500;
   int64_t gen0_max = 40;
-  int64_t jobs = 0;
-  int64_t seed = 42;
-  FlagSet flags;
-  flags.AddBool("quick", &quick, "fewer mixes, narrower search");
+  harness::BenchCli cli;
+  cli.AddQuick("fewer mixes, narrower search");
+  cli.AddSeed(42, "workload RNG seed");
+  FlagSet& flags = cli.flags();
   flags.AddBool("trace", &trace,
                 "also run one canonical traced EL config and write "
                 "TRACE_fig5_bandwidth.json + SERIES_fig5_bandwidth.{csv,json}");
-  flags.AddString("csv", &csv, "write results as CSV to this path");
-  flags.AddString("json_dir", &json_dir,
-                  "directory for BENCH_<name>.json (empty = skip)");
   flags.AddInt64("runtime", &runtime_s, "simulated seconds of arrivals");
   flags.AddInt64("gen0_max", &gen0_max, "largest generation-0 size scanned");
-  flags.AddInt64("jobs", &jobs, "worker threads (0 = all cores)");
-  flags.AddInt64("seed", &seed, "workload RNG seed");
-  Status status = flags.Parse(argc, argv);
-  if (!status.ok()) {
-    std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
-    return 2;
-  }
+  if (!cli.Parse(argc, argv)) return 2;
 
   std::vector<double> mixes =
-      quick ? std::vector<double>{0.05, 0.20, 0.40} : harness::DefaultMixes();
-  if (quick) gen0_max = 26;
+      cli.quick ? std::vector<double>{0.05, 0.20, 0.40} : harness::DefaultMixes();
+  if (cli.quick) gen0_max = 26;
   LogManagerOptions base;
 
   runner::ProgressReporter progress("fig5_bandwidth");
   runner::SweepOptions sweep_options;
-  sweep_options.jobs = static_cast<int>(jobs);
+  sweep_options.jobs = static_cast<int>(cli.jobs);
   sweep_options.progress = &progress;
   runner::SweepRunner sweeper(sweep_options);
 
   harness::WallTimer timer;
   std::vector<harness::MixPoint> sweep = harness::RunMixSweepAt(
-      mixes, base, SecondsToSimTime(runtime_s), static_cast<uint64_t>(seed),
+      mixes, base, SecondsToSimTime(runtime_s), static_cast<uint64_t>(cli.seed),
       static_cast<uint32_t>(gen0_max), &sweeper);
   const double wall_s = timer.Seconds();
   progress.Finish();
@@ -82,7 +70,7 @@ int main(int argc, char** argv) {
       "Figure 5: log bandwidth vs transaction mix "
       "(paper @5%: FW=11.63 w/s, EL ~ +11%)",
       table);
-  status = harness::MaybeWriteCsv(csv, table);
+  Status status = harness::MaybeWriteCsv(cli.csv, table);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;
@@ -90,16 +78,16 @@ int main(int argc, char** argv) {
 
   runner::BenchJson bench("fig5_bandwidth");
   bench.AddConfig("jobs", static_cast<int64_t>(sweeper.jobs()));
-  bench.AddConfig("seed", seed);
+  bench.AddConfig("seed", cli.seed);
   bench.AddConfig("runtime_s", runtime_s);
   bench.AddConfig("gen0_max", gen0_max);
-  bench.AddConfig("quick", quick);
+  bench.AddConfig("quick", cli.quick);
   int64_t simulations = 0;
   for (const harness::MixPoint& point : sweep) {
     simulations += point.fw.simulations + point.el.simulations;
   }
   bench.AddMetric("simulations", simulations);
-  status = harness::WriteBenchJson(json_dir, &bench, table, wall_s);
+  status = harness::WriteBenchJson(cli.json_dir, &bench, table, wall_s);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;
@@ -112,10 +100,10 @@ int main(int argc, char** argv) {
   {
     runner::BenchJson walltime("fig5_walltime");
     walltime.AddConfig("jobs", static_cast<int64_t>(sweeper.jobs()));
-    walltime.AddConfig("seed", seed);
+    walltime.AddConfig("seed", cli.seed);
     walltime.AddConfig("runtime_s", runtime_s);
     walltime.AddConfig("gen0_max", gen0_max);
-    walltime.AddConfig("quick", quick);
+    walltime.AddConfig("quick", cli.quick);
     walltime.AddMetric("simulations", simulations);
     walltime.AddMetric("sweep_wall_s", wall_s);
     walltime.AddMetric("simulations_per_wall_s",
@@ -125,7 +113,7 @@ int main(int argc, char** argv) {
     wt.AddRow({"simulations", StrFormat("%lld", (long long)simulations)});
     wt.AddRow({"simulations_per_wall_s",
                StrFormat("%.3f", wall_s > 0 ? simulations / wall_s : 0.0)});
-    status = harness::WriteBenchJson(json_dir, &walltime, wt, wall_s);
+    status = harness::WriteBenchJson(cli.json_dir, &walltime, wt, wall_s);
     if (!status.ok()) {
       std::cerr << status.ToString() << "\n";
       return 1;
@@ -140,14 +128,14 @@ int main(int argc, char** argv) {
     db::DatabaseConfig config;
     config.workload = workload::PaperMix(0.05);
     config.workload.runtime = SecondsToSimTime(runtime_s);
-    config.workload.seed = static_cast<uint64_t>(seed);
+    config.workload.seed = static_cast<uint64_t>(cli.seed);
     config.log.generation_blocks = {18, 12};
     config.trace = true;
     config.metric_sample_interval = SecondsToSimTime(1);
     db::Database database(config);
     database.Run();
-    const std::string dir = json_dir.empty() ? std::string("results")
-                                             : json_dir;
+    const std::string dir = cli.json_dir.empty() ? std::string("results")
+                                             : cli.json_dir;
     status = database.tracer()->WriteFile(dir + "/TRACE_fig5_bandwidth.json");
     if (status.ok()) {
       status =

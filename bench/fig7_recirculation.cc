@@ -13,45 +13,34 @@
 
 #include "db/database.h"
 #include "harness/figures.h"
+#include "harness/bench_cli.h"
 #include "harness/report.h"
 #include "runner/sweep_runner.h"
 #include "util/check.h"
-#include "util/cli.h"
 #include "util/string_util.h"
 
 using namespace elog;
 
 int main(int argc, char** argv) {
-  std::string csv;
-  std::string json_dir = "results";
   int64_t runtime_s = 500;
   int64_t gen0 = 18;
   int64_t gen1_start = 16;
-  int64_t jobs = 0;
-  int64_t seed = 42;
-  FlagSet flags;
-  flags.AddString("csv", &csv, "write results as CSV to this path");
-  flags.AddString("json_dir", &json_dir,
-                  "directory for BENCH_<name>.json (empty = skip)");
+  harness::BenchCli cli;
+  cli.AddSeed(42, "workload RNG seed");
+  FlagSet& flags = cli.flags();
   flags.AddInt64("runtime", &runtime_s, "simulated seconds of arrivals");
   flags.AddInt64("gen0", &gen0, "fixed generation-0 size (paper: 18)");
   flags.AddInt64("gen1_start", &gen1_start,
                  "largest last-generation size swept (paper starts at 16)");
-  flags.AddInt64("jobs", &jobs, "worker threads (0 = all cores)");
-  flags.AddInt64("seed", &seed, "workload RNG seed");
-  Status status = flags.Parse(argc, argv);
-  if (!status.ok()) {
-    std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
-    return 2;
-  }
+  if (!cli.Parse(argc, argv)) return 2;
 
   workload::WorkloadSpec spec = workload::PaperMix(0.05);
   spec.runtime = SecondsToSimTime(runtime_s);
-  spec.seed = static_cast<uint64_t>(seed);
+  spec.seed = static_cast<uint64_t>(cli.seed);
   LogManagerOptions base;
 
   runner::SweepOptions sweep_options;
-  sweep_options.jobs = static_cast<int>(jobs);
+  sweep_options.jobs = static_cast<int>(cli.jobs);
   runner::SweepRunner sweeper(sweep_options);
 
   harness::WallTimer timer;
@@ -80,7 +69,7 @@ int main(int argc, char** argv) {
               result.gen0_blocks, result.min_gen1_blocks,
               result.gen0_blocks + result.min_gen1_blocks);
 
-  status = harness::MaybeWriteCsv(csv, table);
+  Status status = harness::MaybeWriteCsv(cli.csv, table);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;
@@ -120,7 +109,7 @@ int main(int argc, char** argv) {
 
   runner::BenchJson bench("fig7_recirculation");
   bench.AddConfig("jobs", static_cast<int64_t>(sweeper.jobs()));
-  bench.AddConfig("seed", seed);
+  bench.AddConfig("seed", cli.seed);
   bench.AddConfig("runtime_s", runtime_s);
   bench.AddConfig("gen0", gen0);
   bench.AddConfig("gen1_start", gen1_start);
@@ -132,7 +121,7 @@ int main(int argc, char** argv) {
   bench.AddMetric("min_config_recirculated",
                   check_stats.records_recirculated);
   bench.AddMetric("min_config_forwarded", check_stats.records_forwarded);
-  status = harness::WriteBenchJson(json_dir, &bench, table, wall_s);
+  status = harness::WriteBenchJson(cli.json_dir, &bench, table, wall_s);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;

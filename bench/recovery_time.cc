@@ -20,8 +20,8 @@
 #include "core/fw_manager.h"
 #include "db/database.h"
 #include "db/recovery.h"
+#include "harness/bench_cli.h"
 #include "harness/report.h"
-#include "util/cli.h"
 #include "util/string_util.h"
 
 using namespace elog;
@@ -88,17 +88,10 @@ RecoveryRow CrashAndRecover(const std::string& scheme,
 
 int main(int argc, char** argv) {
   int64_t crash_s = 120;
-  std::string csv;
-  std::string json_dir = "results";
-  FlagSet flags;
+  harness::BenchCli cli;
+  FlagSet& flags = cli.flags();
   flags.AddInt64("crash_s", &crash_s, "crash instant, simulated seconds");
-  flags.AddString("csv", &csv, "write results as CSV to this path");
-  flags.AddString("json_dir", &json_dir,
-                  "directory for BENCH_<name>.json (empty = skip)");
-  if (Status status = flags.Parse(argc, argv); !status.ok()) {
-    std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
-    return 2;
-  }
+  if (!cli.Parse(argc, argv)) return 2;
 
   SimTime crash = SecondsToSimTime(crash_s) + 7 * kMillisecond;
   TableWriter table({"scheme", "log_blocks", "blocks_scanned", "records",
@@ -162,7 +155,7 @@ int main(int argc, char** argv) {
   std::printf("note: FW without checkpoints cannot actually recover "
               "committed state (its log drops committed records at "
               "commit); the row above measures scan volume only.\n");
-  Status status = harness::MaybeWriteCsv(csv, table);
+  Status status = harness::MaybeWriteCsv(cli.csv, table);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;
@@ -187,7 +180,7 @@ int main(int argc, char** argv) {
     bench.AddMetric(key + "_blocks_repaired",
                     static_cast<int64_t>(row.blocks_repaired));
   }
-  status = harness::WriteBenchJson(json_dir, &bench, table, wall_s);
+  status = harness::WriteBenchJson(cli.json_dir, &bench, table, wall_s);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;

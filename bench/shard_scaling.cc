@@ -1,0 +1,245 @@
+// Sharded-log scaling: throughput and minimum disk space vs shard count.
+//
+// A single paper-configured log device saturates near 5-6x the paper's
+// 100 tps arrival rate (one 2000-byte block per 15 ms bounds the commit
+// stream). Sharding hash-partitions the database across S independent
+// log stacks, so at 10-50x paper rates committed throughput should
+// scale close to linearly in S while each shard's minimum disk footprint
+// shrinks — that is the whole case for the subsystem, and this bench
+// measures both halves:
+//
+//  - results: committed transactions/s vs arrival rate × S, at 0% and
+//    20% cross-shard transactions (the latter pays the prepare/decide
+//    protocol). The run fails (exit 1) unless S=4 beats S=1 by >= 3x at
+//    some measured rate with 0% cross-shard traffic.
+//  - min_space: smallest surviving per-shard log (uniform two-generation
+//    ladder, no kills allowed) at moderate and saturating rates. A rate
+//    beyond a configuration's bandwidth has no surviving size at all
+//    ("none"): disk cannot buy back device bandwidth, only shards can.
+//
+// Deterministic at any --jobs: configs are enumerated in a fixed order,
+// each keeps its own workload seed, and the survival ladder is a fixed
+// probe set (no adaptive bracketing).
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "harness/bench_cli.h"
+#include "harness/report.h"
+#include "runner/bench_json.h"
+#include "runner/progress.h"
+#include "runner/sweep_runner.h"
+#include "util/string_util.h"
+
+using namespace elog;
+
+namespace {
+
+db::DatabaseConfig MakeConfig(double rate_tps, uint32_t shards, double cross,
+                              SimTime runtime, uint64_t seed) {
+  db::DatabaseConfig config;
+  config.workload = workload::PaperMix(0.05);
+  config.workload.runtime = runtime;
+  config.workload.arrival_rate_tps = rate_tps;
+  config.workload.seed = seed;
+  config.workload.cross_shard_fraction = cross;
+  // Per shard: a roomy EL log, so the measured ceiling is the device's
+  // bandwidth (the resource sharding multiplies), not block scarcity.
+  config.log.generation_blocks = {40, 40};
+  config.log.shards = shards;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t runtime_s = 20;
+  harness::BenchCli cli;
+  cli.AddQuick("fewer rates and shard counts");
+  cli.AddSeed(42, "workload RNG seed");
+  FlagSet& flags = cli.flags();
+  flags.AddInt64("runtime", &runtime_s, "simulated seconds of arrivals");
+  if (!cli.Parse(argc, argv)) return 2;
+
+  const SimTime runtime = SecondsToSimTime(runtime_s);
+  // 5000 tps (50x paper rate) is the ceiling on purpose. The arrival
+  // process is open-loop (paper §3: database performance does not alter
+  // arrivals), so a configuration driven far past its bandwidth grows
+  // the simulated device's write backlog without bound — every queued
+  // block image is host memory (the full sweep's saturated S=1 points
+  // peak near 70 GB; --quick stays small). S=1 saturates below
+  // 1000 tps, so the scaling comparison is already decided well inside
+  // this range.
+  const std::vector<double> rates = cli.quick
+                                        ? std::vector<double>{1000}
+                                        : std::vector<double>{1000, 2500,
+                                                              5000};
+  const std::vector<uint32_t> shard_counts =
+      cli.quick ? std::vector<uint32_t>{1, 4}
+                : std::vector<uint32_t>{1, 2, 4, 8};
+  const std::vector<double> cross_fractions = {0.0, 0.2};
+
+  runner::ProgressReporter progress("shard_scaling");
+  runner::SweepOptions sweep_options;
+  sweep_options.jobs = static_cast<int>(cli.jobs);
+  // Paired comparison: every point replays the same arrival stream, so
+  // throughput differences come from the log configuration alone.
+  sweep_options.derive_seeds = false;
+  sweep_options.progress = &progress;
+  runner::SweepRunner sweeper(sweep_options);
+  harness::WallTimer timer;
+
+  // --- Throughput sweep -------------------------------------------------
+  struct Point {
+    double cross;
+    double rate;
+    uint32_t shards;
+  };
+  std::vector<Point> points;
+  std::vector<db::DatabaseConfig> configs;
+  for (double cross : cross_fractions) {
+    for (double rate : rates) {
+      for (uint32_t s : shard_counts) {
+        points.push_back({cross, rate, s});
+        configs.push_back(MakeConfig(rate, s, cross, runtime,
+                                     static_cast<uint64_t>(cli.seed)));
+      }
+    }
+  }
+  std::vector<db::RunStats> runs = sweeper.Run(std::move(configs));
+
+  TableWriter table({"cross_pct", "rate_tps", "shards", "committed_tps",
+                     "committed", "killed", "commit_p99_us",
+                     "log_writes_per_sec"});
+  // committed_tps keyed by (cross, rate, shards) for the speedup gate.
+  std::map<std::pair<double, uint32_t>, double> tput_cross0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    const db::RunStats& stats = runs[i];
+    const double tput = static_cast<double>(stats.total_committed) /
+                        static_cast<double>(runtime_s);
+    if (p.cross == 0.0) tput_cross0[{p.rate, p.shards}] = tput;
+    table.AddRow({StrFormat("%.0f", p.cross * 100),
+                  StrFormat("%.0f", p.rate), std::to_string(p.shards),
+                  StrFormat("%.1f", tput),
+                  std::to_string(stats.total_committed),
+                  std::to_string(stats.total_killed),
+                  StrFormat("%.0f", stats.commit_latency_p99_us),
+                  StrFormat("%.1f", stats.log_writes_per_sec)});
+  }
+  harness::PrintTable(
+      "Sharded-log throughput: committed tps vs arrival rate and S "
+      "(per-shard log fixed at 40+40 blocks)",
+      table);
+
+  // Speedup gate: S=4 over S=1 at 0% cross-shard, best measured rate.
+  double speedup_s4 = 0.0;
+  double speedup_rate = 0.0;
+  for (double rate : rates) {
+    auto s1 = tput_cross0.find({rate, 1u});
+    auto s4 = tput_cross0.find({rate, 4u});
+    if (s1 == tput_cross0.end() || s4 == tput_cross0.end()) continue;
+    if (s1->second <= 0.0) continue;
+    const double ratio = s4->second / s1->second;
+    if (ratio > speedup_s4) {
+      speedup_s4 = ratio;
+      speedup_rate = rate;
+    }
+  }
+  std::fprintf(stderr, "S=4 vs S=1 speedup (0%% cross-shard): %.2fx at %.0f tps\n",
+               speedup_s4, speedup_rate);
+
+  // --- Minimum-space ladder ---------------------------------------------
+  // Fixed probe set: per-shard generations {n, n}. 200 tps is within a
+  // single log device's bandwidth (space is the binding constraint, so
+  // the unsharded minimum is finite); 1000 tps is beyond it (no size
+  // survives unsharded — disk cannot buy back device bandwidth).
+  const std::vector<double> space_rates = cli.quick
+                                              ? std::vector<double>{200}
+                                              : std::vector<double>{200, 1000};
+  const std::vector<uint32_t> space_shards =
+      cli.quick ? std::vector<uint32_t>{1, 4}
+                : std::vector<uint32_t>{1, 2, 4};
+  const std::vector<uint32_t> ladder = {4,  6,  8,  10, 12, 16,
+                                        20, 26, 32, 40, 52, 64};
+  struct SpacePoint {
+    double rate;
+    uint32_t shards;
+    uint32_t ladder_index;
+  };
+  std::vector<SpacePoint> space_points;
+  std::vector<db::DatabaseConfig> probes;
+  for (double rate : space_rates) {
+    for (uint32_t s : space_shards) {
+      for (uint32_t i = 0; i < ladder.size(); ++i) {
+        db::DatabaseConfig config = MakeConfig(
+            rate, s, 0.0, runtime, static_cast<uint64_t>(cli.seed));
+        config.log.generation_blocks = {ladder[i], ladder[i]};
+        space_points.push_back({rate, s, i});
+        probes.push_back(std::move(config));
+      }
+    }
+  }
+  std::vector<char> survived = sweeper.RunSurvival(std::move(probes));
+
+  TableWriter space_table({"rate_tps", "shards", "per_shard_blocks",
+                           "total_blocks"});
+  for (double rate : space_rates) {
+    for (uint32_t s : space_shards) {
+      uint32_t best = 0;
+      bool found = false;
+      for (size_t i = 0; i < space_points.size(); ++i) {
+        if (space_points[i].rate != rate || space_points[i].shards != s ||
+            !survived[i]) {
+          continue;
+        }
+        const uint32_t blocks = 2 * ladder[space_points[i].ladder_index];
+        if (!found || blocks < best) {
+          best = blocks;
+          found = true;
+        }
+      }
+      space_table.AddRow({StrFormat("%.0f", rate), std::to_string(s),
+                          found ? std::to_string(best) : "none",
+                          found ? std::to_string(best * s) : "none"});
+    }
+  }
+  harness::PrintTable(
+      "Minimum surviving log space per shard (uniform {n,n} ladder, "
+      "0% cross-shard; \"none\" = no size survives the rate)",
+      space_table);
+
+  const double wall_s = timer.Seconds();
+  progress.Finish();
+
+  Status status = harness::MaybeWriteCsv(cli.csv, table);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  runner::BenchJson bench("shard_scaling");
+  bench.AddConfig("jobs", static_cast<int64_t>(sweeper.jobs()));
+  bench.AddConfig("seed", cli.seed);
+  bench.AddConfig("runtime_s", runtime_s);
+  bench.AddConfig("quick", cli.quick);
+  bench.AddMetric("speedup_s4_over_s1_cross0", speedup_s4);
+  bench.AddMetric("speedup_rate_tps", speedup_rate);
+  bench.AddTable("min_space", space_table);
+  status = harness::WriteBenchJson(cli.json_dir, &bench, table, wall_s);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  if (speedup_s4 < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: S=4 speedup %.2fx < 3x over S=1 at 0%% cross-shard\n",
+                 speedup_s4);
+    return 1;
+  }
+  return 0;
+}

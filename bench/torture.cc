@@ -9,22 +9,17 @@
 #include <cstdio>
 #include <iostream>
 
+#include "harness/bench_cli.h"
 #include "harness/report.h"
 #include "runner/progress.h"
 #include "runner/sweep_runner.h"
 #include "runner/torture.h"
-#include "util/cli.h"
 #include "util/string_util.h"
 
 using namespace elog;
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  std::string csv;
-  std::string json_dir = "results";
   int64_t trials = 200;
-  int64_t jobs = 0;
-  int64_t seed = 42;
   runner::TortureSpec defaults;
   double transient_rate = defaults.log_transient_error_rate;
   double bit_rot_rate = defaults.log_bit_rot_rate;
@@ -34,17 +29,16 @@ int main(int argc, char** argv) {
   bool duplex = false;
   double drive_death_rate = defaults.drive_death_rate;
   double resilver_prob = defaults.resilver_prob;
+  int64_t shards = 1;
+  double cross_shard_fraction = defaults.cross_shard_fraction;
   std::string trace_manager;
   int64_t trace_trial = -1;
   std::string trace_out = "results/TRACE_torture.json";
-  FlagSet flags;
-  flags.AddBool("quick", &quick, "run 25 trials per manager");
-  flags.AddString("csv", &csv, "write results as CSV to this path");
-  flags.AddString("json_dir", &json_dir,
-                  "directory for BENCH_<name>.json (empty = skip)");
+  harness::BenchCli cli;
+  cli.AddQuick("run 25 trials per manager");
+  cli.AddSeed(42, "base seed for all trial derivation");
+  FlagSet& flags = cli.flags();
   flags.AddInt64("trials", &trials, "trials per manager configuration");
-  flags.AddInt64("jobs", &jobs, "worker threads (0 = all cores)");
-  flags.AddInt64("seed", &seed, "base seed for all trial derivation");
   flags.AddDouble("transient_rate", &transient_rate,
                   "per-write transient log error probability");
   flags.AddDouble("bit_rot_rate", &bit_rot_rate,
@@ -61,22 +55,23 @@ int main(int argc, char** argv) {
                   "probability a log drive's permanent-death plan arms");
   flags.AddDouble("resilver_prob", &resilver_prob,
                   "duplex only: probability auto-resilver is armed");
+  flags.AddInt64("shards", &shards,
+                 "shard the log across this many independent instances");
+  flags.AddDouble("cross_shard_fraction", &cross_shard_fraction,
+                  "sharded only: fraction of multi-record transactions "
+                  "spanning two shards");
   flags.AddString("trace_manager", &trace_manager,
                   "re-trace mode: manager name (el|el_undo_redo|fw|hybrid)");
   flags.AddInt64("trace_trial", &trace_trial,
                  "re-trace mode: trial index to re-run traced (-1 = off)");
   flags.AddString("trace_out", &trace_out,
                   "re-trace mode: Chrome trace JSON output path");
-  Status status = flags.Parse(argc, argv);
-  if (!status.ok()) {
-    std::cerr << status.ToString() << "\n" << flags.Help(argv[0]);
-    return 2;
-  }
-  if (quick) trials = 25;
+  if (!cli.Parse(argc, argv)) return 2;
+  if (cli.quick) trials = 25;
 
   runner::TortureSpec spec;
   spec.trials = static_cast<int>(trials);
-  spec.base_seed = static_cast<uint64_t>(seed);
+  spec.base_seed = static_cast<uint64_t>(cli.seed);
   spec.log_transient_error_rate = transient_rate;
   spec.log_bit_rot_rate = bit_rot_rate;
   spec.log_latency_spike_rate = spike_rate;
@@ -85,6 +80,8 @@ int main(int argc, char** argv) {
   spec.duplex = duplex;
   spec.drive_death_rate = drive_death_rate;
   spec.resilver_prob = resilver_prob;
+  spec.shards = static_cast<uint32_t>(shards);
+  spec.cross_shard_fraction = cross_shard_fraction;
 
   // Re-trace mode: re-run ONE trial — derived from (seed, manager,
   // index) exactly like the sweep would — with a Tracer attached, write
@@ -118,7 +115,7 @@ int main(int argc, char** argv) {
   runner::ProgressReporter progress("torture",
                                     managers.size() * spec.trials);
   runner::SweepOptions sweep_options;
-  sweep_options.jobs = static_cast<int>(jobs);
+  sweep_options.jobs = static_cast<int>(cli.jobs);
   runner::SweepRunner sweeper(sweep_options);
 
   harness::WallTimer timer;
@@ -179,12 +176,13 @@ int main(int argc, char** argv) {
           runner::TortureManagerName(report.manager), i,
           (unsigned long long)trial.seed, (long long)trial.crash_time,
           trial.torn_write ? 1 : 0, trial.first_violation.c_str(),
-          (long long)seed, runner::TortureManagerName(report.manager), i,
-          (long long)seed, runner::TortureManagerName(report.manager), i);
+          (long long)cli.seed, runner::TortureManagerName(report.manager),
+          i, (long long)cli.seed,
+          runner::TortureManagerName(report.manager), i);
     }
   }
 
-  status = harness::MaybeWriteCsv(csv, table);
+  Status status = harness::MaybeWriteCsv(cli.csv, table);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;
@@ -194,7 +192,7 @@ int main(int argc, char** argv) {
   // knob a replay needs is recorded next to the results.
   runner::BenchJson bench("torture");
   bench.AddConfig("jobs", static_cast<int64_t>(sweeper.jobs()));
-  bench.AddConfig("seed", seed);
+  bench.AddConfig("seed", cli.seed);
   bench.AddConfig("trials", trials);
   bench.AddConfig("long_fraction", spec.long_fraction);
   bench.AddConfig("log_transient_error_rate", spec.log_transient_error_rate);
@@ -221,7 +219,9 @@ int main(int argc, char** argv) {
                   static_cast<int64_t>(spec.min_resilver_delay));
   bench.AddConfig("max_resilver_delay_us",
                   static_cast<int64_t>(spec.max_resilver_delay));
-  bench.AddConfig("quick", quick);
+  bench.AddConfig("quick", cli.quick);
+  bench.AddConfig("shards", shards);
+  bench.AddConfig("cross_shard_fraction", spec.cross_shard_fraction);
   int64_t total_passed = 0;
   int64_t total_exact = 0;
   int64_t total_recovered = 0;
@@ -229,6 +229,9 @@ int main(int argc, char** argv) {
   int64_t total_degraded = 0;
   int64_t total_double_faults = 0;
   int64_t total_repaired = 0;
+  int64_t total_prepares = 0;
+  int64_t total_in_doubt_committed = 0;
+  int64_t total_in_doubt_aborted = 0;
   for (const runner::TortureReport& report : reports) {
     total_passed += report.passed;
     total_exact += report.exact_trials;
@@ -236,6 +239,9 @@ int main(int argc, char** argv) {
     total_degraded += report.total_degraded_writes;
     total_double_faults += report.total_silent_double_faults;
     total_repaired += report.total_blocks_repaired;
+    total_prepares += report.total_prepares_in_log;
+    total_in_doubt_committed += report.total_in_doubt_committed;
+    total_in_doubt_aborted += report.total_in_doubt_aborted;
     for (const runner::TortureTrial& trial : report.trials) {
       total_recovered += trial.records_recovered;
     }
@@ -248,7 +254,10 @@ int main(int argc, char** argv) {
   bench.AddMetric("degraded_writes", total_degraded);
   bench.AddMetric("silent_double_faults", total_double_faults);
   bench.AddMetric("blocks_repaired", total_repaired);
-  status = harness::WriteBenchJson(json_dir, &bench, table, wall_s);
+  bench.AddMetric("prepares_in_log", total_prepares);
+  bench.AddMetric("in_doubt_committed", total_in_doubt_committed);
+  bench.AddMetric("in_doubt_aborted", total_in_doubt_aborted);
+  status = harness::WriteBenchJson(cli.json_dir, &bench, table, wall_s);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;

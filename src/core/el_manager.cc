@@ -59,11 +59,12 @@ EphemeralLogManager::EphemeralLogManager(sim::Simulator* simulator,
   UpdateMemoryGauge();
 }
 
-void EphemeralLogManager::set_tracer(obs::Tracer* tracer) {
+void EphemeralLogManager::set_tracer(obs::Tracer* tracer,
+                                     const std::string& lane_prefix) {
   tracer_ = tracer;
   if (tracer_ != nullptr) {
-    trace_lane_ = tracer_->RegisterLane(options_.release_on_commit ? "fw"
-                                                                   : "el");
+    trace_lane_ = tracer_->RegisterLane(
+        lane_prefix + (options_.release_on_commit ? "fw" : "el"));
   }
 }
 
@@ -84,6 +85,23 @@ EphemeralLogManager::~EphemeralLogManager() {
 TxId EphemeralLogManager::BeginTransaction(
     const workload::TransactionType& type) {
   TxId tid = next_tid_++;
+  StartTransaction(tid, type, /*participants=*/0);
+  return tid;
+}
+
+void EphemeralLogManager::BranchBegin(TxId tid,
+                                      const workload::TransactionType& type,
+                                      uint64_t participants) {
+  // Branch tids are numbered by the shard coordinator; keep the internal
+  // counter clear of them so direct BeginTransaction calls (tests, mixed
+  // use) can never collide.
+  ELOG_CHECK(ltt_.Find(tid) == nullptr) << "branch reuses live tid " << tid;
+  next_tid_ = std::max(next_tid_, tid + 1);
+  StartTransaction(tid, type, participants);
+}
+
+void EphemeralLogManager::StartTransaction(
+    TxId tid, const workload::TransactionType& type, uint64_t participants) {
   uint32_t target = 0;
   if (options_.lifetime_hints &&
       type.lifetime >= options_.hint_lifetime_threshold) {
@@ -96,6 +114,7 @@ TxId EphemeralLogManager::BeginTransaction(
 
   Cell* cell = new Cell;
   cell->record = wal::LogRecord::MakeBegin(tid, NextLsn());
+  cell->record.participants = participants;
 
   // Place the record before the LTT entry exists: the cell is then
   // unreachable from the tables, so nested garbage collection during the
@@ -114,7 +133,6 @@ TxId EphemeralLogManager::BeginTransaction(
   ELOG_CHECK(inserted);
   (void)slot_entry;
   UpdateMemoryGauge();
-  return tid;
 }
 
 void EphemeralLogManager::WriteUpdate(TxId tid, Oid oid,
@@ -266,10 +284,31 @@ void EphemeralLogManager::EnqueueCompensation(Cell* cell) {
 
 void EphemeralLogManager::Commit(TxId tid,
                                  std::function<void(TxId)> on_durable) {
+  CommitInternal(tid, /*participants=*/0, std::move(on_durable),
+                 /*allow_prepared=*/false);
+}
+
+void EphemeralLogManager::BranchCommit(TxId tid, uint64_t participants,
+                                       std::function<void(TxId)> on_durable) {
+  CommitInternal(tid, participants, std::move(on_durable),
+                 /*allow_prepared=*/true);
+}
+
+void EphemeralLogManager::CommitInternal(TxId tid, uint64_t participants,
+                                         std::function<void(TxId)> on_durable,
+                                         bool allow_prepared) {
   LttEntry* entry = ltt_.Find(tid);
   ELOG_CHECK(entry != nullptr) << "Commit for unknown tid " << tid;
-  ELOG_CHECK(entry->state == TxState::kActive)
-      << "double commit/abort for tid " << tid;
+  if (allow_prepared) {
+    // Branch decision delivery: legal from kActive (home branch) or
+    // kPrepared (non-home branch hearing the decision).
+    ELOG_CHECK(entry->state == TxState::kActive ||
+               entry->state == TxState::kPrepared)
+        << "branch commit from invalid state for tid " << tid;
+  } else {
+    ELOG_CHECK(entry->state == TxState::kActive)
+        << "double commit/abort for tid " << tid;
+  }
   uint32_t target = entry->target_generation;
 
   PrepareExternalAppend(target, wal::kTxRecordBytes);
@@ -283,12 +322,70 @@ void EphemeralLogManager::Commit(TxId tid,
   // move it to the tail of the target generation's cell list (§2.3).
   Cell* cell = entry->tx_cell;
   ELOG_CHECK(cell != nullptr);
-  // The BEGIN record becomes garbage in place (it will be counted as
-  // discarded when the head passes its block); only the cell moves.
+  // The BEGIN (or branch PREPARE) record becomes garbage in place (it
+  // will be counted as discarded when the head passes its block); only
+  // the cell moves.
   Gen(cell->generation).cells().Remove(cell);
   cell->record = wal::LogRecord::MakeCommit(tid, NextLsn());
+  cell->record.participants = participants;
   if (!AppendCellOrKill(target, cell, tid)) return;  // appender killed
   records_appended_->Incr();
+}
+
+void EphemeralLogManager::BranchPrepare(
+    TxId tid, uint64_t participants,
+    std::function<void(TxId, const std::vector<wal::LogRecord>&)>
+        on_prepared) {
+  LttEntry* entry = ltt_.Find(tid);
+  ELOG_CHECK(entry != nullptr) << "BranchPrepare for unknown tid " << tid;
+  ELOG_CHECK(entry->state == TxState::kActive)
+      << "double prepare/commit for tid " << tid;
+  ELOG_CHECK_NE(participants, 0ull);
+  uint32_t target = entry->target_generation;
+
+  PrepareExternalAppend(target, wal::kTxRecordBytes);
+  entry = ltt_.Find(tid);
+  if (entry == nullptr) return;  // killed while making space
+
+  entry->state = TxState::kPreparing;
+  entry->on_prepared = std::move(on_prepared);
+
+  // Same tx-cell reuse as Commit: the BEGIN record becomes garbage in
+  // place and the cell re-points at the PREPARE record at the tail.
+  Cell* cell = entry->tx_cell;
+  ELOG_CHECK(cell != nullptr);
+  Gen(cell->generation).cells().Remove(cell);
+  cell->record = wal::LogRecord::MakePrepare(tid, NextLsn(), participants);
+  if (!AppendCellOrKill(target, cell, tid)) return;  // appender killed
+  records_appended_->Incr();
+}
+
+void EphemeralLogManager::BranchAbort(TxId tid) {
+  LttEntry* entry = ltt_.Find(tid);
+  // Cascade aborts are delivered by deferred events; the branch may have
+  // been killed (and disposed) between scheduling and delivery.
+  if (entry == nullptr) return;
+  // Unlike Abort, a prepared branch may abort: the coordinator resolves a
+  // transaction that died before its deciding COMMIT was issued (presumed
+  // abort — recovery reaches the same verdict from PREPARE-and-no-COMMIT).
+  ELOG_CHECK(!IsTerminalState(entry->state) &&
+             entry->state != TxState::kCommitting)
+      << "branch abort after local commit for tid " << tid;
+  uint32_t target = entry->target_generation;
+
+  PrepareExternalAppend(target, wal::kTxRecordBytes);
+  entry = ltt_.Find(tid);
+  if (entry == nullptr) return;  // killed while making space
+
+  wal::LogRecord record = wal::LogRecord::MakeAbort(tid, NextLsn());
+  Generation& gen = Gen(target);
+  ELOG_CHECK(gen.builder().Add(record));
+  gen.NoteRecordAdded(gen.builder_slot());
+  records_appended_->Incr();
+
+  DisposeTransaction(tid, entry);
+  aborted_->Incr();
+  UpdateMemoryGauge();
 }
 
 void EphemeralLogManager::Abort(TxId tid) {
@@ -394,16 +491,23 @@ EphemeralLogManager::AppendOutcome EphemeralLogManager::TryAppendCell(
   gen.cells().PushBack(cell);
   gen.NoteRecordAdded(cell->slot);
 
-  if (cell->record.type == wal::RecordType::kCommit) {
+  if (cell->record.type == wal::RecordType::kCommit ||
+      cell->record.type == wal::RecordType::kPrepare) {
     // Register for group-commit acknowledgement unless the transaction is
-    // already durably committed (possible when an old COMMIT record is
+    // already durably committed/prepared (possible when an old record is
     // forwarded onward).
     LttEntry* owner = ltt_.Find(cell->record.tid);
-    if (owner != nullptr && owner->state == TxState::kCommitting) {
+    bool awaiting =
+        owner != nullptr &&
+        (cell->record.type == wal::RecordType::kCommit
+             ? owner->state == TxState::kCommitting
+             : owner->state == TxState::kPreparing);
+    if (awaiting) {
       gen.pending_commit_tids().push_back(cell->record.tid);
       // Group-commit timeout: a buffer holding an unacknowledged COMMIT
-      // is force-written after the linger even if it never fills (only
-      // relevant for sleepy generations, e.g. lifetime-hint targets).
+      // or PREPARE is force-written after the linger even if it never
+      // fills (only relevant for sleepy generations, e.g. lifetime-hint
+      // targets).
       ScheduleLinger(g);
     }
   }
@@ -499,7 +603,10 @@ void EphemeralLogManager::OnBlockWriteLost(
   // invariant checks on log_writes_lost() == 0.
   for (TxId tid : commit_tids) {
     LttEntry* entry = ltt_.Find(tid);
-    if (entry == nullptr || entry->state != TxState::kCommitting) continue;
+    if (entry == nullptr || (entry->state != TxState::kCommitting &&
+                             entry->state != TxState::kPreparing)) {
+      continue;
+    }
     unsafe_committing_kills_->Incr();
     KillTransaction(tid);
   }
@@ -661,10 +768,10 @@ void EphemeralLogManager::RelocateCell(uint32_t g, Cell* cell) {
       } else {
         // §3: recirculation disabled and a record of a still-executing
         // transaction reached the head of the last generation. Killing a
-        // transaction inside its commit window is inherently unsafe
-        // (phantom-commit risk); it is counted, and only the
+        // transaction inside its commit/prepare window is inherently
+        // unsafe (phantom-commit risk); it is counted, and only the
         // no-recirculation experimental mode can reach it.
-        if (owner->state == TxState::kCommitting) {
+        if (IsCommitWindowState(owner->state)) {
           unsafe_committing_kills_->Incr();
         }
         KillTransaction(cell->record.tid);
@@ -680,7 +787,7 @@ void EphemeralLogManager::RelocateCell(uint32_t g, Cell* cell) {
   ELOG_CHECK(owner != nullptr) << "data cell without LTT entry";
   if (!IsTerminalState(owner->state)) {
     if (is_last && !options_.recirculation) {
-      if (owner->state == TxState::kCommitting) {
+      if (IsCommitWindowState(owner->state)) {
         unsafe_committing_kills_->Incr();
       }
       KillTransaction(cell->record.tid);
@@ -757,9 +864,11 @@ bool EphemeralLogManager::HandleOverflow(Cell* cell) {
       }
       return true;
     case TxState::kCommitting:
-      // The COMMIT record may already be heading to disk: killing this
-      // transaction now could resurrect it at recovery as a phantom
-      // commit. Sacrifice someone else instead.
+    case TxState::kPreparing:
+    case TxState::kPrepared:
+      // The COMMIT (or branch PREPARE) record may already be heading to
+      // disk: killing this transaction now could resurrect it at
+      // recovery as a phantom commit. Sacrifice someone else instead.
       if (KillVictim(cell->generation, cell->record.tid)) return false;
       // Nothing else to sacrifice: last resort. This is only reachable
       // in the recirculation-disabled experimental mode (or under
@@ -828,10 +937,14 @@ void EphemeralLogManager::OnBlockDurable(uint32_t g,
   (void)g;
   for (TxId tid : commit_tids) {
     LttEntry* entry = ltt_.Find(tid);
-    // The transaction may have been killed while its COMMIT was in
-    // flight, or already acknowledged via an earlier copy of the record.
-    if (entry == nullptr || entry->state != TxState::kCommitting) continue;
-    ProcessCommitDurable(tid, entry);
+    // The transaction may have been killed while its COMMIT/PREPARE was
+    // in flight, or already acknowledged via an earlier copy.
+    if (entry == nullptr) continue;
+    if (entry->state == TxState::kCommitting) {
+      ProcessCommitDurable(tid, entry);
+    } else if (entry->state == TxState::kPreparing) {
+      ProcessPrepareDurable(tid, entry);
+    }
   }
 }
 
@@ -914,6 +1027,30 @@ void EphemeralLogManager::ProcessCommitDurable(TxId tid, LttEntry* entry) {
   }
   UpdateMemoryGauge();
   if (callback) callback(tid);
+}
+
+void EphemeralLogManager::ProcessPrepareDurable(TxId tid, LttEntry* entry) {
+  // The branch has durably voted yes. Unlike a durable COMMIT, nothing is
+  // promoted or flushed: the updates stay "uncommitted" in the LOT (so
+  // they forward/recirculate and are never stolen into the stable
+  // version) until the home shard's decision arrives via BranchCommit or
+  // BranchAbort. Only the coordinator hears about the vote, along with
+  // the branch's final update records for the union commit report.
+  entry->state = TxState::kPrepared;
+  std::vector<wal::LogRecord> updates;
+  updates.reserve(entry->oids.size());
+  for (Oid oid : entry->oids) {
+    LotEntry* obj = lot_.Find(oid);
+    ELOG_CHECK(obj != nullptr);
+    auto it = std::find_if(
+        obj->uncommitted.begin(), obj->uncommitted.end(),
+        [tid](const LotEntry::Uncommitted& u) { return u.tid == tid; });
+    ELOG_CHECK(it != obj->uncommitted.end());
+    updates.push_back(it->cell->record);
+  }
+  auto callback = std::move(entry->on_prepared);
+  entry->on_prepared = nullptr;
+  if (callback) callback(tid, updates);
 }
 
 void EphemeralLogManager::EnqueueFlush(const Cell& cell, bool urgent) {

@@ -26,6 +26,7 @@
 #define ELOG_CORE_EL_MANAGER_H_
 
 #include <memory>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -52,15 +53,27 @@ class EphemeralLogManager : public LogManager {
   ~EphemeralLogManager() override;
 
   /// Attaches a tracer: GC decisions (head advances, kills, urgent
-  /// flushes, steals) become instant events on an "el" lane. Call before
+  /// flushes, steals) become instant events on an "el" lane (or
+  /// `lane_prefix` + "el" — shard stacks prefix per-shard). Call before
   /// the simulation starts.
-  void set_tracer(obs::Tracer* tracer);
+  void set_tracer(obs::Tracer* tracer, const std::string& lane_prefix = "");
 
   // workload::TransactionSink
   TxId BeginTransaction(const workload::TransactionType& type) override;
   void WriteUpdate(TxId tid, Oid oid, uint32_t logged_size) override;
   void Commit(TxId tid, std::function<void(TxId)> on_durable) override;
   void Abort(TxId tid) override;
+
+  // Cross-shard branch protocol (see core/log_manager.h).
+  void BranchBegin(TxId tid, const workload::TransactionType& type,
+                   uint64_t participants) override;
+  void BranchPrepare(
+      TxId tid, uint64_t participants,
+      std::function<void(TxId, const std::vector<wal::LogRecord>&)>
+          on_prepared) override;
+  void BranchCommit(TxId tid, uint64_t participants,
+                    std::function<void(TxId)> on_durable) override;
+  void BranchAbort(TxId tid) override;
 
   // LogManager
   void ForceWriteOpenBuffers() override;
@@ -127,6 +140,18 @@ class EphemeralLogManager : public LogManager {
   void CheckInvariants() const;
 
  private:
+  /// Shared body of BeginTransaction/BranchBegin: opens `tid` (already
+  /// reserved) with a BEGIN record carrying `participants`.
+  void StartTransaction(TxId tid, const workload::TransactionType& type,
+                        uint64_t participants);
+
+  /// Shared body of Commit/BranchCommit: writes the COMMIT record
+  /// (carrying `participants`) from kActive or — branch decision
+  /// delivery only — kPrepared.
+  void CommitInternal(TxId tid, uint64_t participants,
+                      std::function<void(TxId)> on_durable,
+                      bool allow_prepared);
+
   Generation& Gen(uint32_t g) { return *generations_[g]; }
   uint32_t last_generation() const {
     return static_cast<uint32_t>(generations_.size()) - 1;
@@ -217,6 +242,11 @@ class EphemeralLogManager : public LogManager {
   /// Commit processing at t4 (§2.3): promote the transaction's updates to
   /// committed, supersede older committed updates, schedule flushes.
   void ProcessCommitDurable(TxId tid, LttEntry* entry);
+
+  /// Prepare acknowledgement for a cross-shard branch: the PREPARE record
+  /// is durable, the branch is kPrepared, and on_prepared fires with the
+  /// branch's final updates. Records are retained until the decision.
+  void ProcessPrepareDurable(TxId tid, LttEntry* entry);
 
   /// Schedules a flush of the committed update held by `cell`.
   void EnqueueFlush(const Cell& cell, bool urgent);

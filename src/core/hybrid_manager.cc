@@ -43,9 +43,12 @@ HybridLogManager::HybridLogManager(sim::Simulator* simulator,
   UpdateMemoryGauge();
 }
 
-void HybridLogManager::set_tracer(obs::Tracer* tracer) {
+void HybridLogManager::set_tracer(obs::Tracer* tracer,
+                                  const std::string& lane_prefix) {
   tracer_ = tracer;
-  if (tracer_ != nullptr) trace_lane_ = tracer_->RegisterLane("hybrid");
+  if (tracer_ != nullptr) {
+    trace_lane_ = tracer_->RegisterLane(lane_prefix + "hybrid");
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -166,7 +169,10 @@ void HybridLogManager::SubmitBlockWrite(
 void HybridLogManager::OnBlockWriteLost(const std::vector<TxId>& commit_tids) {
   for (TxId tid : commit_tids) {
     HybridTx* entry = table_.Find(tid);
-    if (entry == nullptr || entry->state != TxState::kCommitting) continue;
+    if (entry == nullptr || (entry->state != TxState::kCommitting &&
+                             entry->state != TxState::kPreparing)) {
+      continue;
+    }
     unsafe_committing_kills_->Incr();
     KillTransaction(tid);
   }
@@ -273,6 +279,12 @@ void HybridLogManager::AdvanceHeadOnce(uint32_t g) {
     }
 
     if (is_last && !options_.recirculation) {
+      if (entry->state == TxState::kPreparing ||
+          entry->state == TxState::kPrepared) {
+        // A prepared branch's PREPARE may already be durable; killing it
+        // risks a phantom branch vote at recovery (counted as unsafe).
+        unsafe_committing_kills_->Incr();
+      }
       KillTransaction(tid);
       continue;
     }
@@ -338,8 +350,11 @@ bool HybridLogManager::Migrate(TxId tid, HybridTx* entry, uint32_t target) {
   uint32_t first_slot = 0;
   bool first = true;
   for (const wal::LogRecord& record : records) {
-    bool register_commit = record.type == wal::RecordType::kCommit &&
-                           state == TxState::kCommitting;
+    bool register_commit =
+        (record.type == wal::RecordType::kCommit &&
+         state == TxState::kCommitting) ||
+        (record.type == wal::RecordType::kPrepare &&
+         state == TxState::kPreparing);
     uint32_t slot = 0;
     if (!TryAppendRecord(target, record, register_commit, &slot)) {
       // Mid-way failure leaves harmless duplicates (recovery dedups by
@@ -378,7 +393,23 @@ bool HybridLogManager::Migrate(TxId tid, HybridTx* entry, uint32_t target) {
 
 TxId HybridLogManager::BeginTransaction(const workload::TransactionType& type) {
   TxId tid = next_tid_++;
+  StartTransaction(tid, type, /*participants=*/0);
+  return tid;
+}
+
+void HybridLogManager::BranchBegin(TxId tid,
+                                   const workload::TransactionType& type,
+                                   uint64_t participants) {
+  ELOG_CHECK(table_.Find(tid) == nullptr) << "branch reuses live tid " << tid;
+  next_tid_ = std::max(next_tid_, tid + 1);
+  StartTransaction(tid, type, participants);
+}
+
+void HybridLogManager::StartTransaction(TxId tid,
+                                        const workload::TransactionType& type,
+                                        uint64_t participants) {
   wal::LogRecord record = wal::LogRecord::MakeBegin(tid, NextLsn());
+  record.participants = participants;
   uint32_t slot = 0;
   ELOG_CHECK(AppendOrKill(0, record, false, kInvalidTxId, &slot))
       << "BEGIN record could not be placed";
@@ -393,7 +424,6 @@ TxId HybridLogManager::BeginTransaction(const workload::TransactionType& type) {
   PlaceMarker(tid, value, 0, slot);
   (void)type;
   UpdateMemoryGauge();
-  return tid;
 }
 
 void HybridLogManager::WriteUpdate(TxId tid, Oid oid, uint32_t logged_size) {
@@ -435,12 +465,32 @@ bool HybridLogManager::AppendFollowingResidence(TxId tid,
 }
 
 void HybridLogManager::Commit(TxId tid, std::function<void(TxId)> on_durable) {
+  CommitInternal(tid, /*participants=*/0, std::move(on_durable),
+                 /*allow_prepared=*/false);
+}
+
+void HybridLogManager::BranchCommit(TxId tid, uint64_t participants,
+                                    std::function<void(TxId)> on_durable) {
+  CommitInternal(tid, participants, std::move(on_durable),
+                 /*allow_prepared=*/true);
+}
+
+void HybridLogManager::CommitInternal(TxId tid, uint64_t participants,
+                                      std::function<void(TxId)> on_durable,
+                                      bool allow_prepared) {
   HybridTx* entry = table_.Find(tid);
   ELOG_CHECK(entry != nullptr) << "Commit for unknown tid " << tid;
-  ELOG_CHECK(entry->state == TxState::kActive);
+  if (allow_prepared) {
+    ELOG_CHECK(entry->state == TxState::kActive ||
+               entry->state == TxState::kPrepared)
+        << "branch commit from invalid state for tid " << tid;
+  } else {
+    ELOG_CHECK(entry->state == TxState::kActive);
+  }
   entry->state = TxState::kCommitting;
   entry->on_commit_durable = std::move(on_durable);
   wal::LogRecord record = wal::LogRecord::MakeCommit(tid, NextLsn());
+  record.participants = participants;
   if (!AppendFollowingResidence(tid, record, /*register_commit=*/true)) {
     return;  // killed while making space
   }
@@ -448,6 +498,49 @@ void HybridLogManager::Commit(TxId tid, std::function<void(TxId)> on_durable) {
   ELOG_CHECK(entry != nullptr);
   entry->records.push_back(record);
   records_appended_->Incr();
+}
+
+void HybridLogManager::BranchPrepare(
+    TxId tid, uint64_t participants,
+    std::function<void(TxId, const std::vector<wal::LogRecord>&)>
+        on_prepared) {
+  HybridTx* entry = table_.Find(tid);
+  ELOG_CHECK(entry != nullptr) << "BranchPrepare for unknown tid " << tid;
+  ELOG_CHECK(entry->state == TxState::kActive);
+  ELOG_CHECK_NE(participants, 0ull);
+  entry->state = TxState::kPreparing;
+  entry->on_prepared = std::move(on_prepared);
+  wal::LogRecord record =
+      wal::LogRecord::MakePrepare(tid, NextLsn(), participants);
+  if (!AppendFollowingResidence(tid, record, /*register_commit=*/true)) {
+    return;  // killed while making space
+  }
+  entry = table_.Find(tid);
+  ELOG_CHECK(entry != nullptr);
+  entry->records.push_back(record);
+  records_appended_->Incr();
+}
+
+void HybridLogManager::BranchAbort(TxId tid) {
+  HybridTx* entry = table_.Find(tid);
+  // Cascade aborts are delivered by deferred events; the branch may have
+  // been killed (and disposed) between scheduling and delivery.
+  if (entry == nullptr) return;
+  // A prepared branch may abort: presumed abort resolves a transaction
+  // that died before its deciding COMMIT was issued.
+  ELOG_CHECK(entry->state != TxState::kCommitted &&
+             entry->state != TxState::kCommitting)
+      << "branch abort after local commit for tid " << tid;
+  wal::LogRecord record = wal::LogRecord::MakeAbort(tid, NextLsn());
+  if (!AppendFollowingResidence(tid, record, /*register_commit=*/false)) {
+    return;
+  }
+  entry = table_.Find(tid);
+  ELOG_CHECK(entry != nullptr);
+  records_appended_->Incr();
+  RemoveMarker(tid, entry);
+  table_.Erase(tid);
+  UpdateMemoryGauge();
 }
 
 void HybridLogManager::Abort(TxId tid) {
@@ -469,9 +562,26 @@ void HybridLogManager::Abort(TxId tid) {
 void HybridLogManager::OnBlockDurable(const std::vector<TxId>& commit_tids) {
   for (TxId tid : commit_tids) {
     HybridTx* entry = table_.Find(tid);
-    if (entry == nullptr || entry->state != TxState::kCommitting) continue;
-    ProcessCommitDurable(tid, entry);
+    if (entry == nullptr) continue;
+    if (entry->state == TxState::kCommitting) {
+      ProcessCommitDurable(tid, entry);
+    } else if (entry->state == TxState::kPreparing) {
+      ProcessPrepareDurable(tid, entry);
+    }
   }
+}
+
+void HybridLogManager::ProcessPrepareDurable(TxId tid, HybridTx* entry) {
+  // The branch has durably voted yes; nothing flushes until the home
+  // shard's decision arrives (see EphemeralLogManager::ProcessPrepareDurable).
+  entry->state = TxState::kPrepared;
+  std::vector<wal::LogRecord> updates;
+  for (const wal::LogRecord& record : entry->records) {
+    if (record.is_data()) updates.push_back(record);
+  }
+  auto callback = std::move(entry->on_prepared);
+  entry->on_prepared = nullptr;
+  if (callback) callback(tid, updates);
 }
 
 void HybridLogManager::ProcessCommitDurable(TxId tid, HybridTx* entry) {

@@ -24,6 +24,7 @@
 #define ELOG_CORE_HYBRID_MANAGER_H_
 
 #include <memory>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -49,15 +50,26 @@ class HybridLogManager : public LogManager {
   ~HybridLogManager() override = default;
 
   /// Attaches a tracer: GC decisions (migrations, kills, forced
-  /// releases) become instant events on a "hybrid" lane. Call before the
+  /// releases) become instant events on a "hybrid" lane (prefixed per
+  /// shard when hosted by the sharded coordinator). Call before the
   /// simulation starts.
-  void set_tracer(obs::Tracer* tracer);
+  void set_tracer(obs::Tracer* tracer, const std::string& lane_prefix = "");
 
   // workload::TransactionSink
   TxId BeginTransaction(const workload::TransactionType& type) override;
   void WriteUpdate(TxId tid, Oid oid, uint32_t logged_size) override;
   void Commit(TxId tid, std::function<void(TxId)> on_durable) override;
   void Abort(TxId tid) override;
+
+  // Cross-shard branch protocol (see core/log_manager.h).
+  void BranchBegin(TxId tid, const workload::TransactionType& type,
+                   uint64_t participants) override;
+  void BranchPrepare(TxId tid, uint64_t participants,
+                     std::function<void(TxId, const std::vector<wal::LogRecord>&)>
+                         on_prepared) override;
+  void BranchCommit(TxId tid, uint64_t participants,
+                    std::function<void(TxId)> on_durable) override;
+  void BranchAbort(TxId tid) override;
 
   // LogManager
   void ForceWriteOpenBuffers() override;
@@ -121,6 +133,9 @@ class HybridLogManager : public LogManager {
     /// Flushes still outstanding after commit.
     uint32_t unflushed = 0;
     std::function<void(TxId)> on_commit_durable;
+    /// Cross-shard branch only: fires at PREPARE durability with the
+    /// branch's final data records (see LttEntry::on_prepared).
+    std::function<void(TxId, const std::vector<wal::LogRecord>&)> on_prepared;
   };
 
   Generation& Gen(uint32_t g) { return *generations_[g]; }
@@ -169,8 +184,17 @@ class HybridLogManager : public LogManager {
   bool KillVictim(TxId except = kInvalidTxId);
   void KillTransaction(TxId tid);
 
+  /// Shared body of BeginTransaction/BranchBegin.
+  void StartTransaction(TxId tid, const workload::TransactionType& type,
+                        uint64_t participants);
+  /// Shared body of Commit/BranchCommit.
+  void CommitInternal(TxId tid, uint64_t participants,
+                      std::function<void(TxId)> on_durable,
+                      bool allow_prepared);
+
   void OnBlockDurable(const std::vector<TxId>& commit_tids);
   void ProcessCommitDurable(TxId tid, HybridTx* entry);
+  void ProcessPrepareDurable(TxId tid, HybridTx* entry);
   /// One flush of tid's settled (durable or abandoned): decrement the
   /// outstanding count and release the entry when it reaches zero.
   void SettleFlush(TxId tid);

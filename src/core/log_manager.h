@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/check.h"
 #include "util/stats.h"
 #include "util/types.h"
 #include "wal/block_pool.h"
@@ -26,18 +27,22 @@ class KillListener {
 
 /// A log manager is the workload's transaction sink plus management and
 /// introspection hooks shared by all disk-management strategies.
+///
+/// Every hook setter is virtual so a delegating manager (the sharded
+/// coordinator in src/shard/) can forward wiring onto the managers it
+/// owns instead of storing the hook itself.
 class LogManager : public workload::TransactionSink {
  public:
   ~LogManager() override = default;
 
   /// Registers the kill listener (must outlive the manager).
-  void set_kill_listener(KillListener* listener) {
+  virtual void set_kill_listener(KillListener* listener) {
     kill_listener_ = listener;
   }
 
   /// Invoked at the simulated instant a committed update becomes durable
   /// in the stable database version (the database facade applies it).
-  void set_flush_apply_hook(
+  virtual void set_flush_apply_hook(
       std::function<void(Oid oid, Lsn lsn, uint64_t digest)> hook) {
     flush_apply_hook_ = std::move(hook);
   }
@@ -45,7 +50,7 @@ class LogManager : public workload::TransactionSink {
   /// UNDO/REDO mode: invoked when a stolen (uncommitted) update becomes
   /// durable in the stable version; the facade records it provisionally
   /// with its writer and before-image.
-  void set_steal_apply_hook(
+  virtual void set_steal_apply_hook(
       std::function<void(Oid oid, Lsn lsn, uint64_t digest, TxId writer,
                          Lsn prev_lsn, uint64_t prev_digest)>
           hook) {
@@ -54,7 +59,7 @@ class LogManager : public workload::TransactionSink {
 
   /// UNDO/REDO mode: invoked when an abort/kill compensation becomes
   /// durable; the facade restores the before-image in the stable version.
-  void set_undo_apply_hook(
+  virtual void set_undo_apply_hook(
       std::function<void(Oid oid, Lsn stolen_lsn, Lsn prev_lsn,
                          uint64_t prev_digest)>
           hook) {
@@ -64,7 +69,7 @@ class LogManager : public workload::TransactionSink {
   /// UNDO/REDO mode: how the manager learns the latest committed version
   /// of an object when it holds no cell for it (the before-image source;
   /// the facade answers from the stable version).
-  void set_version_query(
+  virtual void set_version_query(
       std::function<std::pair<Lsn, uint64_t>(Oid oid)> query) {
     version_query_ = std::move(query);
   }
@@ -72,7 +77,7 @@ class LogManager : public workload::TransactionSink {
   /// Invoked at t4 of every durable commit with the transaction's final
   /// committed updates (one record per object). The recovery verifier
   /// builds its expected database state from this.
-  void set_commit_hook(
+  virtual void set_commit_hook(
       std::function<void(TxId, const std::vector<wal::LogRecord>&)> hook) {
     commit_hook_ = std::move(hook);
   }
@@ -81,7 +86,69 @@ class LogManager : public workload::TransactionSink {
   /// device copies then reuse pooled buffers instead of allocating.
   /// Optional (null = plain allocation, identical bytes either way); the
   /// pool must outlive the manager and every image it produced.
-  void set_block_pool(wal::BlockImagePool* pool) { block_pool_ = pool; }
+  virtual void set_block_pool(wal::BlockImagePool* pool) {
+    block_pool_ = pool;
+  }
+
+  // --- Cross-shard branch protocol (sharded logging; docs/sharding.md) ---
+  //
+  // A shard::ShardedLogManager runs one logical transaction as *branches*
+  // on every participant shard's manager. Branches use externally
+  // assigned tids (the coordinator numbers transactions globally) and
+  // commit via prepare/decide: every non-home branch writes a PREPARE
+  // record carrying the final participant bitmask and reports its
+  // durability through `on_prepared`; the home branch then writes the
+  // deciding COMMIT (same bitmask). A durable COMMIT on any participant
+  // decides the whole transaction — recovery treats it as the commit of
+  // every branch — so the coordinator commits prepared branches
+  // asynchronously after acknowledging the client.
+  //
+  // Only managers that support branch hosting override these; the
+  // defaults hard-fail so a mis-wired coordinator cannot silently drop
+  // records.
+
+  /// Opens a branch of externally numbered transaction `tid`. The BEGIN
+  /// record carries `participants` (the bitmask known so far; 0 for a
+  /// branch opened before any cross-shard routing is known, encoding
+  /// byte-identically to an unsharded BEGIN).
+  virtual void BranchBegin(TxId tid, const workload::TransactionType& type,
+                           uint64_t participants) {
+    (void)tid, (void)type, (void)participants;
+    ELOG_CHECK(false) << "this manager does not host shard branches";
+  }
+
+  /// Writes the branch's PREPARE record (final participant mask). At its
+  /// durable instant the branch is kPrepared and `on_prepared` fires with
+  /// the branch's final update records. The branch can no longer be
+  /// killed by policy and retains its records until the decision.
+  virtual void BranchPrepare(
+      TxId tid, uint64_t participants,
+      std::function<void(TxId, const std::vector<wal::LogRecord>&)>
+          on_prepared) {
+    (void)tid, (void)participants, (void)on_prepared;
+    ELOG_CHECK(false) << "this manager does not host shard branches";
+  }
+
+  /// Writes the branch's COMMIT record carrying `participants`. Legal
+  /// from kActive (the home branch's deciding commit — behaves exactly
+  /// like Commit plus the mask) and from kPrepared (decision delivery to
+  /// a prepared branch; its retained updates then flush normally).
+  virtual void BranchCommit(TxId tid, uint64_t participants,
+                            std::function<void(TxId)> on_durable) {
+    (void)tid, (void)participants, (void)on_durable;
+    ELOG_CHECK(false) << "this manager does not host shard branches";
+  }
+
+  /// Aborts a branch. Unlike Abort (kActive only), also legal for a
+  /// prepared (kPreparing/kPrepared) branch — the coordinator aborts
+  /// prepared branches when the transaction dies before its deciding
+  /// COMMIT was issued (presumed abort; recovery agrees). An unknown tid
+  /// is a no-op: cascade aborts arrive via deferred events and may race
+  /// with a local kill of the same branch.
+  virtual void BranchAbort(TxId tid) {
+    (void)tid;
+    ELOG_CHECK(false) << "this manager does not host shard branches";
+  }
 
   /// Writes out any non-empty open block buffers (end-of-run drain; the
   /// paper's LM would simply keep receiving traffic).

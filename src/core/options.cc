@@ -52,6 +52,10 @@ Status LogManagerOptions::Validate() const {
   if (steal_interval < 0) {
     return Status::InvalidArgument("steal interval must be non-negative");
   }
+  if (shards == 0 || shards > 64) {
+    return Status::InvalidArgument(
+        "shards must be in [1, 64] (participant masks are 64-bit)");
+  }
   return Status::OK();
 }
 

@@ -114,6 +114,14 @@ struct LogManagerOptions {
   uint32_t el_bytes_per_object = 40;
   uint32_t fw_bytes_per_transaction = 22;
 
+  /// Shard count (src/shard/): 1 = the paper's single log manager; S > 1
+  /// hash-partitions the database over S independent manager instances
+  /// (each with `generation_blocks` of log and `num_flush_drives` drives
+  /// of its own) coordinated by a shard::ShardedLogManager. num_objects
+  /// must be divisible by num_flush_drives on every shard regardless of S
+  /// (each shard's drives still partition the full oid range).
+  uint32_t shards = 1;
+
   Status Validate() const;
 
   uint32_t num_generations() const {

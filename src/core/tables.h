@@ -28,12 +28,29 @@ enum class TxState {
   /// COMMIT durable. The entry survives only while the transaction still
   /// has unflushed committed updates.
   kCommitted,
+  /// Cross-shard branch only: PREPARE record written to a buffer,
+  /// awaiting durability. The branch has voted; like kCommitting it must
+  /// not be killed through the ordinary policy.
+  kPreparing,
+  /// Cross-shard branch only: PREPARE durable. The branch's fate now
+  /// rests with the home shard's COMMIT; records are retained (no
+  /// flushes yet) until the decision arrives.
+  kPrepared,
 };
 
 /// Terminal states: the transaction's fate is decided; it can no longer
 /// be killed, and its entry lives only for flush bookkeeping.
 inline bool IsTerminalState(TxState state) {
   return state == TxState::kCommitted;
+}
+
+/// States inside a commit/prepare window: the transaction has promised
+/// (or is promising) durability and the kill policy never selects it;
+/// only the unsafe last-resort paths may take it down, and they count
+/// the event so the recovery oracle can weaken its claim.
+inline bool IsCommitWindowState(TxState state) {
+  return state == TxState::kCommitting || state == TxState::kPreparing ||
+         state == TxState::kPrepared;
 }
 
 /// LOT entry: the non-garbage data log records of one object. "An object
@@ -71,6 +88,10 @@ struct LttEntry {
   std::unordered_set<Oid> oids;
   /// Group-commit acknowledgement, invoked at t4.
   std::function<void(TxId)> on_commit_durable;
+  /// Cross-shard branch only: invoked when the PREPARE record becomes
+  /// durable, delivering the branch's final update records (the shard
+  /// coordinator stashes them for the union commit hook).
+  std::function<void(TxId, const std::vector<wal::LogRecord>&)> on_prepared;
 };
 
 using LoggedObjectTable = ChainedHashMap<Oid, LotEntry>;

@@ -14,6 +14,51 @@ Database::Database(const DatabaseConfig& config)
       << "log manager and workload must agree on NUM_OBJECTS";
   ELOG_CHECK_OK(config.faults.Validate());
 
+  if (config.log.shards > 1) {
+    // Sharded run: S independent stacks under one coordinator. The
+    // single-log members stay empty; the generator's oid picks are
+    // constrained by the same router the coordinator uses.
+    shard::ShardStackConfig stack_config;
+    stack_config.log = config.log;
+    stack_config.manager = config.manager;
+    stack_config.faults = config.faults;
+    stack_config.duplex_log = config.duplex_log;
+    stack_config.auto_resilver_delay = config.auto_resilver_delay;
+    shard_router_ =
+        std::make_unique<workload::HashShardRouter>(config.log.shards);
+    std::vector<LogManager*> inner;
+    inner.reserve(config.log.shards);
+    for (uint32_t k = 0; k < config.log.shards; ++k) {
+      shard_stacks_.push_back(std::make_unique<shard::ShardStack>(
+          &simulator_, k, stack_config, &metrics_, &block_pool_));
+      inner.push_back(shard_stacks_.back()->manager());
+    }
+    auto sharded = std::make_unique<shard::ShardedLogManager>(
+        &simulator_, std::move(inner), shard_router_.get(), &metrics_);
+    sharded_ = sharded.get();
+    manager_ = std::move(sharded);
+    manager_->set_block_pool(&block_pool_);
+    generator_ = std::make_unique<workload::WorkloadGenerator>(
+        &simulator_, config.workload, manager_.get(), &metrics_);
+    generator_->set_shard_router(shard_router_.get());
+
+    if (config.trace) {
+      tracer_ = std::make_unique<obs::Tracer>(
+          &simulator_, obs::TracerOptions{config.trace_capacity});
+      // Shard lanes in shard order, each internally in the single-stack
+      // order, then the coordinator and the generator.
+      for (auto& stack : shard_stacks_) stack->SetTracer(tracer_.get());
+      sharded_->set_tracer(tracer_.get());
+      generator_->set_tracer(tracer_.get());
+    }
+    if (config.metric_sample_interval > 0) {
+      sampler_ = std::make_unique<obs::MetricSampler>(
+          &simulator_, &metrics_, config.metric_sample_interval);
+    }
+    WireManagerHooks();
+    return;
+  }
+
   if (config.faults.enabled()) {
     injector_ = std::make_unique<fault::FaultInjector>(config.faults);
   }
@@ -73,6 +118,10 @@ Database::Database(const DatabaseConfig& config)
         &simulator_, &metrics_, config.metric_sample_interval);
   }
 
+  WireManagerHooks();
+}
+
+void Database::WireManagerHooks() {
   manager_->set_kill_listener(this);
   manager_->set_flush_apply_hook([this](Oid oid, Lsn lsn, uint64_t digest) {
     stable_.ApplyFlush(oid, lsn, digest);
@@ -125,17 +174,40 @@ void Database::ScheduleWindowSnapshot() {
 
 void Database::TakeWindowSnapshot() {
   window_.taken = true;
-  window_.device_writes = device_->writes_completed();
-  window_.device_writes_by_generation.clear();
-  for (uint32_t g = 0; g < storage_.num_generations(); ++g) {
-    window_.device_writes_by_generation.push_back(
-        device_->writes_completed(g));
+  window_.device_writes_by_generation.assign(
+      config_.log.num_generations(), 0);
+  if (sharded_ != nullptr) {
+    // Aggregate across the shard stacks (sum; the seek-distance mean is
+    // weighted by each shard's flush count).
+    double seek_weighted = 0.0;
+    int64_t seek_weight = 0;
+    for (auto& stack : shard_stacks_) {
+      window_.device_writes += stack->device()->writes_completed();
+      for (uint32_t g = 0; g < config_.log.num_generations(); ++g) {
+        window_.device_writes_by_generation[g] +=
+            stack->device()->writes_completed(g);
+      }
+      int64_t flushes = stack->drives()->total_flushes_completed();
+      window_.flushes_completed += flushes;
+      window_.flush_backlog += stack->drives()->total_pending();
+      seek_weighted += stack->drives()->MeanSeekDistance() *
+                       static_cast<double>(flushes);
+      seek_weight += flushes;
+    }
+    window_.mean_flush_seek_distance =
+        seek_weight > 0 ? seek_weighted / static_cast<double>(seek_weight)
+                        : 0.0;
+  } else {
+    window_.device_writes = device_->writes_completed();
+    for (uint32_t g = 0; g < storage_.num_generations(); ++g) {
+      window_.device_writes_by_generation[g] = device_->writes_completed(g);
+    }
+    window_.flushes_completed = drives_->total_flushes_completed();
+    window_.flush_backlog = drives_->total_pending();
+    window_.mean_flush_seek_distance = drives_->MeanSeekDistance();
   }
   window_.kills = generator_->killed();
   window_.updates_written = generator_->updates_written();
-  window_.flushes_completed = drives_->total_flushes_completed();
-  window_.flush_backlog = drives_->total_pending();
-  window_.mean_flush_seek_distance = drives_->MeanSeekDistance();
   window_.peak_memory = manager_->memory_usage().peak();
   window_.avg_memory = manager_->memory_usage().Average(simulator_.Now());
 }
@@ -192,6 +264,40 @@ RunStats Database::Run() {
   stats.total_started = generator_->started();
   stats.total_committed = generator_->committed();
   stats.total_killed = generator_->killed();
+  if (sharded_ != nullptr) {
+    // Sum the manager/drive/duplex counters over the shard stacks.
+    for (auto& stack : shard_stacks_) {
+      if (stack->el() != nullptr) {
+        EphemeralLogManager* el = stack->el();
+        stats.records_appended += el->records_appended();
+        stats.records_forwarded += el->records_forwarded();
+        stats.records_recirculated += el->records_recirculated();
+        stats.records_discarded += el->records_discarded();
+        stats.urgent_flushes += el->urgent_flushes();
+        stats.unsafe_commit_drops += el->unsafe_commit_drops();
+        stats.log_write_retries += el->log_write_retries();
+        stats.log_writes_lost += el->log_writes_lost();
+        stats.flush_failures += el->flush_failures();
+      } else {
+        HybridLogManager* hybrid = stack->hybrid();
+        stats.records_appended += hybrid->records_appended();
+        stats.records_forwarded += hybrid->records_regenerated();
+        stats.log_write_retries += hybrid->log_write_retries();
+        stats.log_writes_lost += hybrid->log_writes_lost();
+        stats.flush_failures += hybrid->flush_failures();
+      }
+      stats.flush_retries += stack->drives()->total_flush_retries();
+      stats.flushes_lost += stack->drives()->total_flushes_lost();
+      if (stack->duplex() != nullptr) {
+        stats.degraded_writes += stack->duplex()->degraded_writes();
+        stats.duplex_double_faults += stack->duplex()->silent_double_faults();
+        stats.resilvered_blocks += stack->duplex()->resilvered_blocks();
+        stats.resilvers_completed += stack->duplex()->resilvers_completed();
+        stats.dead_log_replicas += stack->duplex()->dead_replicas_observed();
+      }
+    }
+    return stats;
+  }
   if (el_ != nullptr) {
     stats.records_appended = el_->records_appended();
     stats.records_forwarded = el_->records_forwarded();
@@ -238,31 +344,46 @@ Database::CrashImage Database::RunUntilCrash(
   return CaptureCrashImage(schedule.torn_write);
 }
 
-Database::CrashImage Database::CaptureCrashImage(bool torn_write) const {
-  CrashImage image{storage_.Clone(), stable_.Clone(), {}, {}, {}, 0};
-  image.expected_state = shadow_;
-  image.committed_tids = committed_tids_;
-  image.acked_versions = acked_versions_;
-  image.crash_time = simulator_.Now();
-  image.log_readable = !device_->dead();
-  if (duplex_ != nullptr) {
-    image.duplex = true;
-    image.mirror_log = storage_mirror_->Clone();
-    image.mirror_readable = !device_mirror_->dead();
+namespace {
+
+/// One log stack's media, single or duplexed (mirror/duplex null for
+/// single-log stacks). Shared by the legacy path and the per-shard loop.
+struct LogMedia {
+  const disk::LogStorage* storage;
+  disk::LogDevice* device;
+  fault::FaultInjector* injector;
+  const disk::LogStorage* mirror_storage;
+  disk::LogDevice* mirror_device;
+  fault::FaultInjector* mirror_injector;
+  disk::DuplexLogDevice* duplex;
+};
+
+/// Clones the stack's durable media into (log, mirror_log), honoring
+/// in-flight writes: a torn single write lands scrambled, and a mirrored
+/// write whose merge never fired must not surface intact on either
+/// replica (its ack never went out — any COMMIT it carries would be a
+/// phantom).
+void SnapshotLogMedia(const LogMedia& media, bool torn_write,
+                      disk::LogStorage* log, bool* log_readable,
+                      disk::LogStorage* mirror_log, bool* mirror_readable,
+                      bool* duplex_flag) {
+  *log = media.storage->Clone();
+  *log_readable = !media.device->dead();
+  if (media.duplex != nullptr) {
+    *duplex_flag = true;
+    *mirror_log = media.mirror_storage->Clone();
+    *mirror_readable = !media.mirror_device->dead();
     disk::BlockAddress address;
     bool landed[2] = {false, false};
-    if (duplex_->InFlight(&address, landed)) {
-      disk::LogStorage* clones[2] = {&image.log, &image.mirror_log};
-      const disk::LogDevice* devices[2] = {device_.get(),
-                                           device_mirror_.get()};
-      fault::FaultInjector* injectors[2] = {injector_.get(),
-                                            mirror_injector_.get()};
+    if (media.duplex->InFlight(&address, landed)) {
+      disk::LogStorage* clones[2] = {log, mirror_log};
+      const disk::LogDevice* devices[2] = {media.device, media.mirror_device};
+      fault::FaultInjector* injectors[2] = {media.injector,
+                                            media.mirror_injector};
       for (int i = 0; i < 2; ++i) {
         if (landed[i]) {
           // This copy landed, but a mirrored write is durable only at its
-          // merge, which never fired — the ack never went out, so the
-          // copy must not surface intact at recovery (any COMMIT it
-          // carries would be a phantom). Deterministic, no RNG draw.
+          // merge, which never fired. Deterministic, no RNG draw.
           clones[i]->CorruptBlock(address);
           continue;
         }
@@ -282,25 +403,61 @@ Database::CrashImage Database::CaptureCrashImage(bool torn_write) const {
         }
       }
     }
-    return image;
+    return;
   }
   if (torn_write) {
     disk::BlockAddress address;
     wal::BlockImage in_flight;
-    if (device_->InService(&address, &in_flight)) {
-      if (injector_ != nullptr && !in_flight.empty()) {
+    if (media.device->InService(&address, &in_flight)) {
+      if (media.injector != nullptr && !in_flight.empty()) {
         // Materialize the partial write: the new image lands scrambled
         // over the slot's old content (which the transfer had already
         // begun destroying), exactly like a real torn sector.
-        injector_->Scramble(&in_flight);
-        image.log.Put(address, std::move(in_flight));
+        media.injector->Scramble(&in_flight);
+        log->Put(address, std::move(in_flight));
       } else {
         // No injector to draw scramble bytes from: the write caught
         // mid-flight destroys the block's old content outright.
-        image.log.CorruptBlock(address);
+        log->CorruptBlock(address);
       }
     }
   }
+}
+
+}  // namespace
+
+Database::CrashImage Database::CaptureCrashImage(bool torn_write) const {
+  CrashImage image{disk::LogStorage(std::vector<uint32_t>{}), stable_.Clone(),
+                   {},                                        {},
+                   {},                                        0};
+  image.expected_state = shadow_;
+  image.committed_tids = committed_tids_;
+  image.acked_versions = acked_versions_;
+  image.crash_time = simulator_.Now();
+  if (sharded_ != nullptr) {
+    image.shards.reserve(shard_stacks_.size());
+    for (const auto& stack : shard_stacks_) {
+      ShardCrashLog shard_log;
+      LogMedia media{stack->storage(),        stack->device(),
+                     stack->injector(),       stack->mirror_storage(),
+                     stack->device_mirror(),  stack->mirror_injector(),
+                     stack->duplex()};
+      SnapshotLogMedia(media, torn_write, &shard_log.log,
+                       &shard_log.log_readable, &shard_log.mirror_log,
+                       &shard_log.mirror_readable, &shard_log.duplex);
+      image.shards.push_back(std::move(shard_log));
+    }
+    return image;
+  }
+  LogMedia media{&storage_,
+                 device_.get(),
+                 injector_.get(),
+                 storage_mirror_.get(),
+                 device_mirror_.get(),
+                 mirror_injector_.get(),
+                 duplex_.get()};
+  SnapshotLogMedia(media, torn_write, &image.log, &image.log_readable,
+                   &image.mirror_log, &image.mirror_readable, &image.duplex);
   return image;
 }
 

@@ -34,10 +34,13 @@
 #include "fault/fault_injector.h"
 #include "obs/metric_sampler.h"
 #include "obs/trace.h"
+#include "shard/shard_stack.h"
+#include "shard/sharded_manager.h"
 #include "sim/metrics.h"
 #include "sim/simulator.h"
 #include "wal/block_pool.h"
 #include "workload/generator.h"
+#include "workload/shard_router.h"
 
 namespace elog {
 namespace db {
@@ -154,6 +157,15 @@ class Database : public KillListener {
   /// finish (or the first kill, if stop_on_first_kill).
   RunStats Run();
 
+  /// One shard's durable log media at a crash instant (sharded runs).
+  struct ShardCrashLog {
+    disk::LogStorage log{std::vector<uint32_t>{}};
+    bool log_readable = true;
+    disk::LogStorage mirror_log{std::vector<uint32_t>{}};
+    bool mirror_readable = true;
+    bool duplex = false;
+  };
+
   /// Crash image: the durable log and stable version at a crash instant,
   /// plus the state recovery is expected to reproduce.
   struct CrashImage {
@@ -179,6 +191,10 @@ class Database : public KillListener {
     /// recovery runs from the stable store alone.
     bool log_readable = true;
     bool mirror_readable = true;
+    /// Sharded runs (log.shards > 1): one entry per shard, in shard
+    /// order; the legacy log/mirror fields above are then unused (empty
+    /// shapes). Empty for single-log runs.
+    std::vector<ShardCrashLog> shards;
   };
 
   /// Runs until `crash_time` and captures the crash image. If
@@ -213,6 +229,18 @@ class Database : public KillListener {
   HybridLogManager* hybrid_manager() { return hybrid_; }
   const EphemeralLogManager* el_manager() const { return el_; }
   const HybridLogManager* hybrid_manager() const { return hybrid_; }
+  /// Sharded runs (log.shards > 1): the coordinator; null otherwise.
+  shard::ShardedLogManager* sharded_manager() { return sharded_; }
+  const shard::ShardedLogManager* sharded_manager() const { return sharded_; }
+  /// Sharded runs: the per-shard stacks (empty otherwise).
+  const std::vector<std::unique_ptr<shard::ShardStack>>& shard_stacks() const {
+    return shard_stacks_;
+  }
+  shard::ShardStack* shard_stack(uint32_t k) { return shard_stacks_[k].get(); }
+  /// Null unless the run is sharded.
+  const workload::ShardRouter* shard_router() const {
+    return shard_router_.get();
+  }
   /// Null when the fault config is all-zero.
   fault::FaultInjector* fault_injector() { return injector_.get(); }
   const fault::FaultInjector* fault_injector() const {
@@ -242,6 +270,7 @@ class Database : public KillListener {
   const DatabaseConfig& config() const { return config_; }
 
  private:
+  void WireManagerHooks();
   void ScheduleWindowSnapshot();
   void ScheduleDrain();
   void DrainStep();
@@ -265,10 +294,17 @@ class Database : public KillListener {
   std::unique_ptr<disk::LogDevice> device_mirror_;
   std::unique_ptr<disk::DuplexLogDevice> duplex_;
   std::unique_ptr<disk::DriveArray> drives_;
+  /// Sharded runs only: the router, one stack per shard, and a concrete
+  /// view of manager_ (which then owns the coordinator). The single-log
+  /// members above stay empty in that mode and vice versa.
+  std::unique_ptr<workload::HashShardRouter> shard_router_;
+  std::vector<std::unique_ptr<shard::ShardStack>> shard_stacks_;
   std::unique_ptr<LogManager> manager_;
-  /// Concrete views of manager_ (exactly one is non-null).
+  /// Concrete views of manager_ (at most one is non-null; all null in
+  /// sharded mode — use sharded_/shard_stacks_ there).
   EphemeralLogManager* el_ = nullptr;
   HybridLogManager* hybrid_ = nullptr;
+  shard::ShardedLogManager* sharded_ = nullptr;
   std::unique_ptr<workload::WorkloadGenerator> generator_;
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<obs::MetricSampler> sampler_;

@@ -1,30 +1,22 @@
 #include "db/recovery.h"
 
+#include <memory>
+
 namespace elog {
 namespace db {
 namespace {
 
-/// Steps 2-4 of the recovery pass, shared by the single and duplex entry
-/// points: COMMIT collection, provisional resolution (UNDO), and the
-/// highest-LSN overlay. Fills everything in `result` except the scan
-/// statistics, which the caller owns.
-void ProcessScannedLog(const wal::LogScanner& scanner,
-                       const StableStore& stable, RecoveryResult* result) {
-  for (const wal::ScannedRecord& scanned : scanner.records()) {
-    if (scanned.record.type == wal::RecordType::kCommit) {
-      result->committed_in_log.insert(scanned.record.tid);
-    }
-  }
-
-  // Start from the stable version, resolving provisional entries — the
-  // UNDO pass of UNDO/REDO mode. A provisional version was written by a
-  // steal; its writer's fate decides it:
-  //   - COMMIT in the log: the value is legitimate (the invariant that a
-  //     committed transaction's COMMIT record stays non-garbage until its
-  //     updates are confirmed in the stable version guarantees the
-  //     evidence is present);
-  //   - otherwise the writer aborted, was killed, or died with the crash:
-  //     revert to the before-image stored alongside the stolen value.
+/// Step 3 of the recovery pass: start from the stable version, resolving
+/// provisional entries — the UNDO pass of UNDO/REDO mode. A provisional
+/// version was written by a steal; its writer's fate decides it:
+///   - COMMIT in the log (result->committed_in_log — for a sharded
+///     recovery, the GLOBAL set): the value is legitimate (the invariant
+///     that a committed transaction's COMMIT record stays non-garbage
+///     until its updates are confirmed in the stable version guarantees
+///     the evidence is present);
+///   - otherwise the writer aborted, was killed, or died with the crash:
+///     revert to the before-image stored alongside the stolen value.
+void ResolveStable(const StableStore& stable, RecoveryResult* result) {
   for (const auto& [oid, version] : stable.objects()) {
     if (!version.provisional) {
       result->state.emplace(oid, version);
@@ -42,10 +34,14 @@ void ProcessScannedLog(const wal::LogScanner& scanner,
     }
     // prev_lsn == 0: the object had no committed version — absent.
   }
+}
 
-  // Overlay the latest committed update per object. LSNs, not physical
-  // positions, order the records (recirculation scrambles positions, and
-  // forwarded records leave stale duplicates behind).
+/// Step 4: overlay the latest committed update per object. LSNs, not
+/// physical positions, order the records (recirculation scrambles
+/// positions, and forwarded records leave stale duplicates behind).
+/// Commit fates come from result->committed_in_log, which the caller has
+/// fully populated — across every shard, for a sharded recovery.
+void OverlayCommitted(const wal::LogScanner& scanner, RecoveryResult* result) {
   for (const wal::ScannedRecord& scanned : scanner.records()) {
     const wal::LogRecord& record = scanned.record;
     if (record.type != wal::RecordType::kData) continue;
@@ -60,6 +56,21 @@ void ProcessScannedLog(const wal::LogScanner& scanner,
       ++result->records_applied;
     }
   }
+}
+
+/// Steps 2-4 of the recovery pass, shared by the single and duplex entry
+/// points: COMMIT collection, provisional resolution (UNDO), and the
+/// highest-LSN overlay. Fills everything in `result` except the scan
+/// statistics, which the caller owns.
+void ProcessScannedLog(const wal::LogScanner& scanner,
+                       const StableStore& stable, RecoveryResult* result) {
+  for (const wal::ScannedRecord& scanned : scanner.records()) {
+    if (scanned.record.type == wal::RecordType::kCommit) {
+      result->committed_in_log.insert(scanned.record.tid);
+    }
+  }
+  ResolveStable(stable, result);
+  OverlayCommitted(scanner, result);
 }
 
 /// Classification of one replica's copy of a block slot.
@@ -118,6 +129,95 @@ SlotView ClassifySlot(const wal::BlockImage* image, wal::ScanStats* stats) {
   return view;
 }
 
+/// The duplex slot-merge: feeds the per-slot chosen images of a replica
+/// pair into `scanner`, applying read-repair and filling `duplex`
+/// accounting. Shared by RecoverDuplex (one pair) and RecoverSharded
+/// (one pair per duplexed shard). Pass nullptr for an unreadable replica.
+void MergeDuplexGenerations(disk::LogStorage* primary,
+                            disk::LogStorage* mirror, bool read_repair,
+                            wal::LogScanner* scanner,
+                            DuplexScanStats* duplex) {
+  disk::LogStorage* side[2] = {primary, mirror};
+  duplex->replica_readable[0] = primary != nullptr;
+  duplex->replica_readable[1] = mirror != nullptr;
+
+  const disk::LogStorage* shape = primary != nullptr ? primary : mirror;
+  if (shape == nullptr) return;
+  if (primary != nullptr && mirror != nullptr) {
+    ELOG_CHECK_EQ(primary->num_generations(), mirror->num_generations());
+  }
+  for (uint32_t g = 0; g < shape->num_generations(); ++g) {
+    const uint32_t slots = shape->generation_size(g);
+    std::vector<const wal::BlockImage*> blocks[2];
+    for (int i = 0; i < 2; ++i) {
+      blocks[i] = side[i] != nullptr
+                      ? side[i]->GenerationBlocks(g)
+                      : std::vector<const wal::BlockImage*>(slots, nullptr);
+      ELOG_CHECK_EQ(blocks[i].size(), slots);
+    }
+    std::vector<const wal::BlockImage*> chosen_blocks(slots, nullptr);
+    for (uint32_t s = 0; s < slots; ++s) {
+      const disk::BlockAddress addr{g, s};
+      SlotView view[2];
+      for (int i = 0; i < 2; ++i) {
+        if (side[i] == nullptr) continue;  // unreadable: stats untouched
+        view[i] = ClassifySlot(blocks[i][s], &duplex->replica[i]);
+      }
+
+      // Choose the copy to recover from: a valid one, preferring the
+      // higher write sequence — the slot image is newest-wins, so the
+      // replica that missed the latest write still decodes but carries
+      // the slot's previous content.
+      int chosen = -1;
+      if (view[0].cls == SlotView::kValid && view[1].cls == SlotView::kValid) {
+        chosen = view[1].write_seq > view[0].write_seq ? 1 : 0;
+        if (view[0].write_seq != view[1].write_seq) {
+          ++duplex->blocks_diverged;
+        }
+      } else if (view[0].cls == SlotView::kValid) {
+        chosen = 0;
+      } else if (view[1].cls == SlotView::kValid) {
+        chosen = 1;
+      }
+
+      if (chosen >= 0) {
+        chosen_blocks[s] = view[chosen].image;
+        if (read_repair) {
+          // Overwrite every other readable copy that is not already the
+          // chosen image, so both replicas leave recovery identical.
+          const int other = 1 - chosen;
+          const bool other_matches =
+              view[other].cls == SlotView::kValid &&
+              view[other].write_seq == view[chosen].write_seq;
+          if (side[other] != nullptr && !other_matches) {
+            side[other]->Put(addr, *view[chosen].image);
+            ++duplex->blocks_repaired;
+          }
+        }
+        continue;
+      }
+
+      // No valid copy. Feed a corrupt image (if any) into the merged
+      // scan so the block is classified corrupt, not silently empty.
+      const int corrupt_side = view[0].cls == SlotView::kCorrupt ? 0
+                               : view[1].cls == SlotView::kCorrupt ? 1
+                                                                   : -1;
+      if (corrupt_side >= 0) {
+        chosen_blocks[s] = view[corrupt_side].image;
+        // A double fault means every copy that could be read was
+        // written and damaged: corrupt+corrupt, or corrupt beside an
+        // unreadable replica. corrupt+empty is an ordinary torn single
+        // write, not a double fault.
+        const int other = 1 - corrupt_side;
+        if (side[other] == nullptr || view[other].cls == SlotView::kCorrupt) {
+          ++duplex->blocks_double_fault;
+        }
+      }
+    }
+    scanner->AddGeneration(chosen_blocks);
+  }
+}
+
 }  // namespace
 
 RecoveryResult RecoveryManager::Recover(const disk::LogStorage& log,
@@ -143,90 +243,9 @@ RecoveryResult RecoveryManager::RecoverDuplex(disk::LogStorage* primary,
                                               bool read_repair,
                                               obs::Tracer* tracer) {
   RecoveryResult result;
-  disk::LogStorage* side[2] = {primary, mirror};
-  result.duplex.replica_readable[0] = primary != nullptr;
-  result.duplex.replica_readable[1] = mirror != nullptr;
-
-  const disk::LogStorage* shape = primary != nullptr ? primary : mirror;
   wal::LogScanner scanner;
-  if (shape != nullptr) {
-    if (primary != nullptr && mirror != nullptr) {
-      ELOG_CHECK_EQ(primary->num_generations(), mirror->num_generations());
-    }
-    for (uint32_t g = 0; g < shape->num_generations(); ++g) {
-      const uint32_t slots = shape->generation_size(g);
-      std::vector<const wal::BlockImage*> blocks[2];
-      for (int i = 0; i < 2; ++i) {
-        blocks[i] = side[i] != nullptr
-                        ? side[i]->GenerationBlocks(g)
-                        : std::vector<const wal::BlockImage*>(slots, nullptr);
-        ELOG_CHECK_EQ(blocks[i].size(), slots);
-      }
-      std::vector<const wal::BlockImage*> chosen_blocks(slots, nullptr);
-      for (uint32_t s = 0; s < slots; ++s) {
-        const disk::BlockAddress addr{g, s};
-        SlotView view[2];
-        for (int i = 0; i < 2; ++i) {
-          if (side[i] == nullptr) continue;  // unreadable: stats untouched
-          view[i] = ClassifySlot(blocks[i][s], &result.duplex.replica[i]);
-        }
-
-        // Choose the copy to recover from: a valid one, preferring the
-        // higher write sequence — the slot image is newest-wins, so the
-        // replica that missed the latest write still decodes but carries
-        // the slot's previous content.
-        int chosen = -1;
-        if (view[0].cls == SlotView::kValid &&
-            view[1].cls == SlotView::kValid) {
-          chosen = view[1].write_seq > view[0].write_seq ? 1 : 0;
-          if (view[0].write_seq != view[1].write_seq) {
-            ++result.duplex.blocks_diverged;
-          }
-        } else if (view[0].cls == SlotView::kValid) {
-          chosen = 0;
-        } else if (view[1].cls == SlotView::kValid) {
-          chosen = 1;
-        }
-
-        if (chosen >= 0) {
-          chosen_blocks[s] = view[chosen].image;
-          if (read_repair) {
-            // Overwrite every other readable copy that is not already the
-            // chosen image, so both replicas leave recovery identical.
-            const int other = 1 - chosen;
-            const bool other_matches =
-                view[other].cls == SlotView::kValid &&
-                view[other].write_seq == view[chosen].write_seq;
-            if (side[other] != nullptr && !other_matches) {
-              side[other]->Put(addr, *view[chosen].image);
-              ++result.duplex.blocks_repaired;
-            }
-          }
-          continue;
-        }
-
-        // No valid copy. Feed a corrupt image (if any) into the merged
-        // scan so the block is classified corrupt, not silently empty.
-        const int corrupt_side = view[0].cls == SlotView::kCorrupt ? 0
-                                 : view[1].cls == SlotView::kCorrupt
-                                     ? 1
-                                     : -1;
-        if (corrupt_side >= 0) {
-          chosen_blocks[s] = view[corrupt_side].image;
-          // A double fault means every copy that could be read was
-          // written and damaged: corrupt+corrupt, or corrupt beside an
-          // unreadable replica. corrupt+empty is an ordinary torn single
-          // write, not a double fault.
-          const int other = 1 - corrupt_side;
-          if (side[other] == nullptr ||
-              view[other].cls == SlotView::kCorrupt) {
-            ++result.duplex.blocks_double_fault;
-          }
-        }
-      }
-      scanner.AddGeneration(chosen_blocks);
-    }
-  }
+  MergeDuplexGenerations(primary, mirror, read_repair, &scanner,
+                         &result.duplex);
   result.scan = scanner.stats();
 
   ProcessScannedLog(scanner, stable, &result);
@@ -238,6 +257,137 @@ RecoveryResult RecoveryManager::RecoverDuplex(disk::LogStorage* primary,
          {"diverged", static_cast<double>(result.duplex.blocks_diverged)},
          {"double_fault",
           static_cast<double>(result.duplex.blocks_double_fault)}});
+  }
+  return result;
+}
+
+RecoveryResult RecoveryManager::RecoverSharded(
+    const std::vector<ShardLogInput>& shards, const StableStore& stable,
+    bool read_repair, obs::Tracer* tracer) {
+  RecoveryResult result;
+  result.sharded.shards = shards.size();
+  result.duplex.replica_readable[0] = true;
+  result.duplex.replica_readable[1] = true;
+
+  // Phase 1: scan every shard's media independently (duplexed pairs are
+  // slot-merged first, exactly as in RecoverDuplex) and collect the
+  // per-shard transaction-fate evidence.
+  std::vector<std::unique_ptr<wal::LogScanner>> scanners;
+  scanners.reserve(shards.size());
+  // Shards on which each prepared / aborted / committed tid left durable
+  // evidence (bit k = shard k — options cap shards at 64).
+  std::unordered_map<TxId, uint64_t> prepared_on;
+  std::unordered_map<TxId, uint64_t> committed_on;
+  std::unordered_map<TxId, uint64_t> aborted_on;
+  std::unordered_set<TxId> cross_shard_commits;
+  for (size_t s = 0; s < shards.size(); ++s) {
+    auto scanner = std::make_unique<wal::LogScanner>();
+    const ShardLogInput& in = shards[s];
+    if (in.duplex) {
+      DuplexScanStats shard_duplex;
+      MergeDuplexGenerations(in.primary, in.mirror, read_repair,
+                             scanner.get(), &shard_duplex);
+      for (int i = 0; i < 2; ++i) {
+        wal::ScanStats& agg = result.duplex.replica[i];
+        const wal::ScanStats& add = shard_duplex.replica[i];
+        agg.blocks_scanned += add.blocks_scanned;
+        agg.blocks_empty += add.blocks_empty;
+        agg.blocks_corrupt += add.blocks_corrupt;
+        agg.blocks_valid += add.blocks_valid;
+        agg.records += add.records;
+        result.duplex.replica_readable[i] =
+            result.duplex.replica_readable[i] &&
+            shard_duplex.replica_readable[i];
+      }
+      result.duplex.blocks_repaired += shard_duplex.blocks_repaired;
+      result.duplex.blocks_diverged += shard_duplex.blocks_diverged;
+      result.duplex.blocks_double_fault += shard_duplex.blocks_double_fault;
+    } else if (in.primary != nullptr) {
+      for (uint32_t g = 0; g < in.primary->num_generations(); ++g) {
+        scanner->AddGeneration(in.primary->GenerationBlocks(g));
+      }
+    }
+    result.shard_scans.push_back(scanner->stats());
+    result.scan.blocks_scanned += scanner->stats().blocks_scanned;
+    result.scan.blocks_empty += scanner->stats().blocks_empty;
+    result.scan.blocks_corrupt += scanner->stats().blocks_corrupt;
+    result.scan.blocks_valid += scanner->stats().blocks_valid;
+    result.scan.records += scanner->stats().records;
+
+    const uint64_t shard_bit = 1ull << s;
+    for (const wal::ScannedRecord& scanned : scanner->records()) {
+      const wal::LogRecord& record = scanned.record;
+      switch (record.type) {
+        case wal::RecordType::kCommit:
+          result.committed_in_log.insert(record.tid);
+          committed_on[record.tid] |= shard_bit;
+          if (record.participants != 0) {
+            cross_shard_commits.insert(record.tid);
+          }
+          break;
+        case wal::RecordType::kPrepare:
+          ++result.sharded.prepares_in_log;
+          prepared_on[record.tid] |= shard_bit;
+          break;
+        case wal::RecordType::kAbort:
+          aborted_on[record.tid] |= shard_bit;
+          break;
+        default:
+          break;
+      }
+    }
+    scanners.push_back(std::move(scanner));
+  }
+  result.sharded.cross_shard_committed = cross_shard_commits.size();
+
+  // Phase 2: resolve in-doubt branches. A branch is in doubt when its
+  // PREPARE is durable on a shard that holds no COMMIT for the same
+  // transaction — the decision never reached it. A durable COMMIT on ANY
+  // participant decides COMMIT (the home writes it only after every
+  // PREPARE is durable); no COMMIT anywhere means the coordinator died
+  // before deciding, and since nothing was acknowledged, presumed abort
+  // is safe.
+  for (const auto& [tid, shard_mask] : prepared_on) {
+    const auto committed_it = committed_on.find(tid);
+    if (committed_it == committed_on.end()) {
+      ++result.sharded.in_doubt_aborted;
+      continue;
+    }
+    if ((shard_mask & ~committed_it->second) != 0) {
+      ++result.sharded.in_doubt_committed;
+    }
+  }
+  // Disagreement: a durable ABORT on some shard for a transaction that is
+  // globally committed. Impossible without an unsafe committing kill;
+  // recovery_check holds fault-free runs to zero.
+  for (const auto& [tid, shard_mask] : aborted_on) {
+    (void)shard_mask;
+    if (result.committed_in_log.count(tid) > 0) {
+      ++result.sharded.shard_disagreements;
+    }
+  }
+
+  // Phase 3: apply. The UNDO pass runs once over the shared stable store
+  // with the GLOBAL committed set; the overlay runs per shard — objects
+  // are hash-partitioned, so each oid's records all live on one shard and
+  // LSN comparisons never cross shard-local LSN spaces.
+  ResolveStable(stable, &result);
+  for (const auto& scanner : scanners) {
+    OverlayCommitted(*scanner, &result);
+  }
+
+  if (tracer != nullptr) {
+    EmitRecoverySpans(tracer, result);
+    tracer->Instant(
+        tracer->RegisterLane("recovery"), "recovery", "sharded_merge",
+        {{"shards", static_cast<double>(result.sharded.shards)},
+         {"prepares", static_cast<double>(result.sharded.prepares_in_log)},
+         {"in_doubt_committed",
+          static_cast<double>(result.sharded.in_doubt_committed)},
+         {"in_doubt_aborted",
+          static_cast<double>(result.sharded.in_doubt_aborted)},
+         {"disagreements",
+          static_cast<double>(result.sharded.shard_disagreements)}});
   }
   return result;
 }

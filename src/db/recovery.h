@@ -36,6 +36,7 @@
 
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "db/stable_store.h"
 #include "disk/log_storage.h"
@@ -64,17 +65,57 @@ struct DuplexScanStats {
   size_t blocks_double_fault = 0;
 };
 
+/// One shard's durable log media for RecoverSharded. `primary == nullptr`
+/// means the shard's log drive died before the crash (nothing readable).
+/// For a duplexed shard set `duplex` and supply both replicas, nullptr for
+/// an unreadable one; the per-shard pair is slot-merged exactly like
+/// RecoverDuplex before the cross-shard pass.
+struct ShardLogInput {
+  disk::LogStorage* primary = nullptr;
+  disk::LogStorage* mirror = nullptr;
+  bool duplex = false;
+};
+
+/// Cross-shard commit-protocol accounting of a sharded recovery.
+struct ShardedScanStats {
+  size_t shards = 0;
+  /// PREPARE records found across all shards (pre-dedup).
+  size_t prepares_in_log = 0;
+  /// Distinct committed transactions whose deciding COMMIT carried a
+  /// multi-shard participant mask.
+  size_t cross_shard_committed = 0;
+  /// In-doubt transactions (a branch PREPAREd but never saw the decision)
+  /// resolved COMMIT because some participant holds a durable COMMIT.
+  size_t in_doubt_committed = 0;
+  /// In-doubt transactions resolved ABORT by presumption: PREPAREs exist
+  /// but no participant holds a COMMIT.
+  size_t in_doubt_aborted = 0;
+  /// Globally committed transactions with a durable ABORT on some shard.
+  /// Zero on every fault-free run; only an unsafe committing kill (the
+  /// inner manager killed a branch after its COMMIT reached disk) can
+  /// strand contradictory evidence.
+  size_t shard_disagreements = 0;
+};
+
 struct RecoveryResult {
   /// Recovered database state: latest committed version per object.
   /// Objects never updated (by any committed transaction) are absent.
   std::unordered_map<Oid, ObjectVersion> state;
-  /// Transactions with a COMMIT record found in the log.
+  /// Transactions with a COMMIT record found in the log. For a sharded
+  /// recovery this is the global set — the union across shards, which is
+  /// what decides every in-doubt branch.
   std::unordered_set<TxId> committed_in_log;
   /// Log scan statistics (corrupt block counts, etc.). For a duplex
   /// recovery these are the stats of the *merged* scan.
   wal::ScanStats scan;
-  /// Duplex recoveries only (all-zero otherwise).
+  /// Duplex recoveries only (all-zero otherwise). For a sharded recovery
+  /// with duplexed shards these aggregate over all shard pairs, and
+  /// replica_readable[i] is the AND across shards.
   DuplexScanStats duplex;
+  /// Sharded recoveries only: per-shard merged scan stats (index = shard).
+  std::vector<wal::ScanStats> shard_scans;
+  /// Sharded recoveries only (all-zero otherwise).
+  ShardedScanStats sharded;
   /// Data records ignored because their transaction had no COMMIT.
   size_t uncommitted_records_ignored = 0;
   /// Committed data records applied from the log (after dedup/supersede).
@@ -106,6 +147,25 @@ class RecoveryManager {
                                       const StableStore& stable,
                                       bool read_repair = true,
                                       obs::Tracer* tracer = nullptr);
+
+  /// Sharded recovery: one independent log (optionally duplexed) per
+  /// shard, a single shared stable store. Each shard's media is scanned
+  /// (duplex pairs slot-merged first), then the cross-shard pass resolves
+  /// transaction fates globally:
+  ///   - a COMMIT record on ANY participant commits the transaction
+  ///     everywhere (the home shard's deciding COMMIT is written only
+  ///     after every other branch's PREPARE is durable, so the decision
+  ///     survives any single crash);
+  ///   - a branch with a PREPARE but no COMMIT anywhere is presumed
+  ///     aborted (the coordinator died before deciding — no participant
+  ///     acked, so nothing is lost).
+  /// Objects are hash-partitioned, so every oid's records live on exactly
+  /// one shard and the per-oid highest-LSN overlay needs no cross-shard
+  /// LSN comparison. `read_repair` applies to duplexed shards.
+  static RecoveryResult RecoverSharded(const std::vector<ShardLogInput>& shards,
+                                       const StableStore& stable,
+                                       bool read_repair = true,
+                                       obs::Tracer* tracer = nullptr);
 };
 
 }  // namespace db

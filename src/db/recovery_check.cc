@@ -135,6 +135,18 @@ InvariantReport CheckRecoveryInvariants(const Database::CrashImage& image,
     }
   }
 
+  // Sharded recoveries: no shard may hold a durable ABORT for a globally
+  // committed transaction. The only event that can strand contradictory
+  // evidence is an unsafe committing kill (a branch killed after its
+  // COMMIT reached disk), which already voids the phantom bound — so the
+  // check shares its gate.
+  if (policy.expect_no_phantoms && result.sharded.shard_disagreements > 0) {
+    Violation(&report,
+              StrFormat("sharded recovery: %zu globally committed "
+                        "transaction(s) carry a durable ABORT on some shard",
+                        result.sharded.shard_disagreements));
+  }
+
   if (policy.expect_no_phantoms) {
     // Every COMMIT the scan found belongs to an acknowledged... no: to a
     // transaction the system durably committed. Acknowledgement happens at

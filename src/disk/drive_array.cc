@@ -10,7 +10,8 @@ namespace disk {
 DriveArray::DriveArray(sim::Simulator* simulator, uint32_t num_drives,
                        Oid num_objects, SimTime transfer_time,
                        sim::MetricsRegistry* metrics,
-                       fault::FaultInjector* injector)
+                       fault::FaultInjector* injector,
+                       const std::string& metrics_prefix)
     : transfer_time_(transfer_time) {
   ELOG_CHECK_GT(num_drives, 0u);
   ELOG_CHECK_EQ(num_objects % num_drives, 0u)
@@ -21,7 +22,7 @@ DriveArray::DriveArray(sim::Simulator* simulator, uint32_t num_drives,
     Oid begin = static_cast<Oid>(i) * objects_per_drive_;
     drives_.push_back(std::make_unique<FlushDrive>(
         simulator, i, begin, begin + objects_per_drive_, transfer_time,
-        metrics, injector));
+        metrics, injector, metrics_prefix));
   }
 }
 

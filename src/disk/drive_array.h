@@ -8,6 +8,7 @@
 #define ELOG_DISK_DRIVE_ARRAY_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "disk/flush_drive.h"
@@ -20,9 +21,12 @@ class DriveArray {
   /// Creates `num_drives` drives partitioning [0, num_objects) evenly.
   /// `num_objects` must be a multiple of `num_drives` (the paper ignores
   /// the remainder case; we insist on it).
+  /// `metrics_prefix` is forwarded to every drive (default
+  /// "flush_drive"; sharded stacks pass "shard<k>.flush_drive").
   DriveArray(sim::Simulator* simulator, uint32_t num_drives, Oid num_objects,
              SimTime transfer_time, sim::MetricsRegistry* metrics,
-             fault::FaultInjector* injector = nullptr);
+             fault::FaultInjector* injector = nullptr,
+             const std::string& metrics_prefix = "flush_drive");
 
   /// Attaches a tracer to every drive (one lane per drive, in drive-id
   /// order). Call before the simulation starts.

@@ -10,7 +10,8 @@ using WriteFault = fault::FaultInjector::WriteFault;
 DuplexLogDevice::DuplexLogDevice(sim::Simulator* simulator,
                                  LogDevice* primary, LogDevice* mirror,
                                  sim::MetricsRegistry* metrics,
-                                 SimTime auto_resilver_delay)
+                                 SimTime auto_resilver_delay,
+                                 const std::string& metrics_prefix)
     : simulator_(simulator),
       primary_(primary),
       mirror_(mirror),
@@ -18,15 +19,20 @@ DuplexLogDevice::DuplexLogDevice(sim::Simulator* simulator,
                          ? std::make_unique<sim::MetricsRegistry>()
                          : nullptr),
       metrics_(metrics == nullptr ? owned_metrics_.get() : metrics),
+      metrics_prefix_(metrics_prefix),
       auto_resilver_delay_(auto_resilver_delay),
-      replica_deaths_c_(metrics_->GetCounter("duplex.replica_deaths")),
-      degraded_writes_c_(metrics_->GetCounter("duplex.degraded_writes")),
+      replica_deaths_c_(
+          metrics_->GetCounter(metrics_prefix_ + ".replica_deaths")),
+      degraded_writes_c_(
+          metrics_->GetCounter(metrics_prefix_ + ".degraded_writes")),
       silent_double_faults_c_(
-          metrics_->GetCounter("duplex.silent_double_faults")),
-      dual_failures_c_(metrics_->GetCounter("duplex.dual_failures")),
-      resilvers_c_(metrics_->GetCounter("duplex.resilvers")),
-      resilvered_blocks_c_(metrics_->GetCounter("duplex.resilvered_blocks")),
-      dead_replicas_gauge_(metrics_->GetGauge("duplex.dead_replicas")) {
+          metrics_->GetCounter(metrics_prefix_ + ".silent_double_faults")),
+      dual_failures_c_(metrics_->GetCounter(metrics_prefix_ + ".dual_failures")),
+      resilvers_c_(metrics_->GetCounter(metrics_prefix_ + ".resilvers")),
+      resilvered_blocks_c_(
+          metrics_->GetCounter(metrics_prefix_ + ".resilvered_blocks")),
+      dead_replicas_gauge_(
+          metrics_->GetGauge(metrics_prefix_ + ".dead_replicas")) {
   ELOG_CHECK(primary != nullptr && mirror != nullptr);
   ELOG_CHECK(primary != mirror);
   ELOG_CHECK(!primary->busy() && !mirror->busy());
@@ -36,7 +42,7 @@ DuplexLogDevice::DuplexLogDevice(sim::Simulator* simulator,
 
 void DuplexLogDevice::set_tracer(obs::Tracer* tracer) {
   tracer_ = tracer;
-  if (tracer_ != nullptr) trace_lane_ = tracer_->RegisterLane("duplex");
+  if (tracer_ != nullptr) trace_lane_ = tracer_->RegisterLane(metrics_prefix_);
 }
 
 void DuplexLogDevice::Submit(LogWriteRequest request) {

@@ -37,6 +37,7 @@
 
 #include <deque>
 #include <memory>
+#include <string>
 
 #include "disk/log_device.h"
 
@@ -49,9 +50,12 @@ class DuplexLogDevice : public LogWritePort {
   /// `auto_resilver_delay` < 0 disables automatic resilvering; >= 0
   /// schedules a resilver that many µs after a replica death is first
   /// observed at write-merge time.
+  /// `metrics_prefix` names the duplex's metrics and trace lane (default
+  /// "duplex"; sharded stacks pass "shard<k>.duplex").
   DuplexLogDevice(sim::Simulator* simulator, LogDevice* primary,
                   LogDevice* mirror, sim::MetricsRegistry* metrics,
-                  SimTime auto_resilver_delay = -1);
+                  SimTime auto_resilver_delay = -1,
+                  const std::string& metrics_prefix = "duplex");
 
   /// Attaches a tracer: merged writes become submit→merge spans on a
   /// "duplex" lane, with instants for replica deaths and resilvers.
@@ -128,6 +132,7 @@ class DuplexLogDevice : public LogWritePort {
   /// sim/metrics.h typed-handle convention).
   std::unique_ptr<sim::MetricsRegistry> owned_metrics_;
   sim::MetricsRegistry* metrics_;
+  std::string metrics_prefix_;
   SimTime auto_resilver_delay_;
   wal::BlockImagePool* block_pool_ = nullptr;
   obs::Tracer* tracer_ = nullptr;

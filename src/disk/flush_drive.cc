@@ -10,7 +10,8 @@ namespace disk {
 FlushDrive::FlushDrive(sim::Simulator* simulator, uint32_t drive_id,
                        Oid range_begin, Oid range_end, SimTime transfer_time,
                        sim::MetricsRegistry* metrics,
-                       fault::FaultInjector* injector)
+                       fault::FaultInjector* injector,
+                       const std::string& metrics_prefix)
     : simulator_(simulator),
       drive_id_(drive_id),
       range_begin_(range_begin),
@@ -20,11 +21,12 @@ FlushDrive::FlushDrive(sim::Simulator* simulator, uint32_t drive_id,
                          ? std::make_unique<sim::MetricsRegistry>()
                          : nullptr),
       metrics_(metrics == nullptr ? owned_metrics_.get() : metrics),
+      metrics_prefix_(metrics_prefix),
       injector_(injector),
-      flushes_c_(metrics_->GetCounter("flush_drive.flushes")),
-      retries_c_(metrics_->GetCounter("flush_drive.retries")),
-      lost_c_(metrics_->GetCounter("flush_drive.lost")),
-      pending_gauge_(metrics_->GetGauge("flush_drive.d" +
+      flushes_c_(metrics_->GetCounter(metrics_prefix_ + ".flushes")),
+      retries_c_(metrics_->GetCounter(metrics_prefix_ + ".retries")),
+      lost_c_(metrics_->GetCounter(metrics_prefix_ + ".lost")),
+      pending_gauge_(metrics_->GetGauge(metrics_prefix_ + ".d" +
                                         std::to_string(drive_id) + ".pending")),
       head_position_(range_begin) {
   ELOG_CHECK_LT(range_begin, range_end);
@@ -35,7 +37,7 @@ void FlushDrive::set_tracer(obs::Tracer* tracer) {
   tracer_ = tracer;
   if (tracer_ != nullptr) {
     trace_lane_ =
-        tracer_->RegisterLane("flush_drive.d" + std::to_string(drive_id_));
+        tracer_->RegisterLane(metrics_prefix_ + ".d" + std::to_string(drive_id_));
   }
 }
 

@@ -17,6 +17,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 
 #include "fault/fault_injector.h"
 #include "obs/trace.h"
@@ -67,10 +68,14 @@ struct FlushRequest {
 class FlushDrive {
  public:
   /// The drive owns objects in [range_begin, range_end).
+  /// `metrics_prefix` names the drive's metrics and trace lane (default
+  /// "flush_drive"; sharded stacks pass "shard<k>.flush_drive" so each
+  /// shard's drives report under their own namespace).
   FlushDrive(sim::Simulator* simulator, uint32_t drive_id, Oid range_begin,
              Oid range_end, SimTime transfer_time,
              sim::MetricsRegistry* metrics,
-             fault::FaultInjector* injector = nullptr);
+             fault::FaultInjector* injector = nullptr,
+             const std::string& metrics_prefix = "flush_drive");
 
   /// Attaches a tracer: each serviced flush becomes an enqueue→durable
   /// span on a per-drive lane. Call before the simulation starts.
@@ -123,6 +128,7 @@ class FlushDrive {
   /// sim/metrics.h typed-handle convention).
   std::unique_ptr<sim::MetricsRegistry> owned_metrics_;
   sim::MetricsRegistry* metrics_;
+  std::string metrics_prefix_;
   fault::FaultInjector* injector_;
   obs::Tracer* tracer_ = nullptr;
   int trace_lane_ = 0;

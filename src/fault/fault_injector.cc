@@ -15,6 +15,10 @@ constexpr uint64_t kDeathStreamSalt = 0xD1EDD1EDD1EDD1EDull;
 // directly so single-log runs reproduce the historical stream.
 constexpr uint64_t kReplicaStreamSalt = 0x4C4F47524550ull;  // "LOGREP"
 
+// Salt for shard > 0 configs (FaultConfig::ForShard); shard 0 keeps the
+// base seed so single-shard replays reproduce that shard's stream.
+constexpr uint64_t kShardStreamSalt = 0x5348415244ull;  // "SHARD"
+
 Status CheckRate(double rate, const char* name) {
   if (rate < 0.0 || rate > 1.0) {
     return Status::InvalidArgument(std::string(name) +
@@ -54,6 +58,14 @@ DriveDeathPlan DrawDeathPlan(const FaultConfig& config, uint32_t replica) {
 }
 
 }  // namespace
+
+FaultConfig FaultConfig::ForShard(uint32_t shard) const {
+  FaultConfig derived = *this;
+  if (shard > 0) {
+    derived.seed = DeriveSeed(seed ^ kShardStreamSalt, shard);
+  }
+  return derived;
+}
 
 Status FaultConfig::Validate() const {
   Status s = CheckRate(log_transient_error_rate, "log_transient_error_rate");

@@ -85,6 +85,13 @@ struct FaultConfig {
            drive_death_rate > 0;
   }
 
+  /// Derives the config for shard `shard` of a sharded run: same rates
+  /// and knobs, per-shard seed. Shard 0 keeps this config's seed
+  /// verbatim, so a single-shard replay of shard 0 (docs/sharding.md)
+  /// sees the identical fault stream as the sharded run; shard k > 0
+  /// re-seeds from a salted derivation so its stream is independent.
+  FaultConfig ForShard(uint32_t shard) const;
+
   Status Validate() const;
 };
 

@@ -1,0 +1,34 @@
+#include "harness/bench_cli.h"
+
+#include <iostream>
+
+namespace elog {
+namespace harness {
+
+BenchCli::BenchCli() {
+  flags_.AddInt64("jobs", &jobs, "worker threads (0 = all cores)");
+  flags_.AddString("csv", &csv, "write results as CSV to this path");
+  flags_.AddString("json_dir", &json_dir,
+                   "directory for BENCH_<name>.json (empty = skip)");
+}
+
+void BenchCli::AddSeed(int64_t default_value, const std::string& help) {
+  seed = default_value;
+  flags_.AddInt64("seed", &seed, help);
+}
+
+void BenchCli::AddQuick(const std::string& help) {
+  flags_.AddBool("quick", &quick, help);
+}
+
+bool BenchCli::Parse(int argc, const char* const* argv) {
+  Status status = flags_.Parse(argc, argv);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n" << flags_.Help(argv[0]);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace harness
+}  // namespace elog

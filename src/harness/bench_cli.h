@@ -1,0 +1,51 @@
+// Shared command-line surface for bench drivers.
+//
+// Every bench binary takes the same harness knobs — worker threads, CSV
+// and JSON artifact paths, usually a base seed and a --quick mode — and
+// each driver used to re-declare them by hand, with drifting help text.
+// BenchCli registers them once; drivers add their bench-specific flags on
+// flags() and call Parse, which prints the error plus usage on failure so
+// every driver exits the same way.
+
+#ifndef ELOG_HARNESS_BENCH_CLI_H_
+#define ELOG_HARNESS_BENCH_CLI_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/cli.h"
+
+namespace elog {
+namespace harness {
+
+class BenchCli {
+ public:
+  /// Registers the flags every driver shares: --jobs, --csv, --json_dir.
+  BenchCli();
+
+  /// Registers --seed (drivers without randomness skip this).
+  void AddSeed(int64_t default_value, const std::string& help);
+  /// Registers --quick; `help` says what the driver shrinks.
+  void AddQuick(const std::string& help);
+
+  /// For bench-specific flags.
+  FlagSet& flags() { return flags_; }
+
+  /// Parses argv. On failure prints the error and usage to stderr and
+  /// returns false; callers `return 2`.
+  bool Parse(int argc, const char* const* argv);
+
+  int64_t jobs = 0;
+  std::string csv;
+  std::string json_dir = "results";
+  int64_t seed = 0;
+  bool quick = false;
+
+ private:
+  FlagSet flags_;
+};
+
+}  // namespace harness
+}  // namespace elog
+
+#endif  // ELOG_HARNESS_BENCH_CLI_H_

@@ -136,6 +136,14 @@ TortureTrial RunTortureTrial(const TortureSpec& spec, TortureManager manager,
     }
   }
 
+  // Sharding is pure configuration — no trial-rng draws — and shard 0
+  // keeps the base fault stream (FaultConfig::ForShard), so shards = 1
+  // replays the exact unsharded trial.
+  if (spec.shards > 1) {
+    config.log.shards = spec.shards;
+    config.workload.cross_shard_fraction = spec.cross_shard_fraction;
+  }
+
   // Tracing records passively — it schedules no events — so a re-traced
   // trial crashes, recovers, and scores identically to the plain run.
   // The sampler is a different story (its ticks are events, shifting
@@ -146,7 +154,21 @@ TortureTrial RunTortureTrial(const TortureSpec& spec, TortureManager manager,
   db::Database::CrashImage image = database.RunUntilCrash(schedule);
   obs::Tracer* tracer = database.tracer();
   db::RecoveryResult recovered;
-  if (config.duplex_log) {
+  if (config.log.shards > 1) {
+    std::vector<db::ShardLogInput> shard_logs;
+    shard_logs.reserve(image.shards.size());
+    for (db::Database::ShardCrashLog& shard_image : image.shards) {
+      db::ShardLogInput input;
+      input.duplex = shard_image.duplex;
+      input.primary = shard_image.log_readable ? &shard_image.log : nullptr;
+      input.mirror = shard_image.duplex && shard_image.mirror_readable
+                         ? &shard_image.mirror_log
+                         : nullptr;
+      shard_logs.push_back(input);
+    }
+    recovered = db::RecoveryManager::RecoverSharded(
+        shard_logs, image.stable, /*read_repair=*/true, tracer);
+  } else if (config.duplex_log) {
     recovered = db::RecoveryManager::RecoverDuplex(
         image.log_readable ? &image.log : nullptr,
         image.mirror_readable ? &image.mirror_log : nullptr, image.stable,
@@ -169,63 +191,136 @@ TortureTrial RunTortureTrial(const TortureSpec& spec, TortureManager manager,
 
   trial.committed = database.generator().committed();
   trial.killed = database.generator().killed();
-  trial.bit_rot_writes = database.device().bit_rot_writes();
-  trial.flush_retries = database.drives().total_flush_retries();
-  trial.flushes_lost = database.drives().total_flushes_lost();
   trial.blocks_corrupt = static_cast<int64_t>(recovered.scan.blocks_corrupt);
   trial.records_recovered = static_cast<int64_t>(recovered.records_applied);
   trial.undos_applied = static_cast<int64_t>(recovered.undos_applied);
-
-  trial.replicas_dead =
-      (image.log_readable ? 0 : 1) +
-      (config.duplex_log && !image.mirror_readable ? 1 : 0);
-  const disk::DuplexLogDevice* duplex = database.duplex_device();
-  if (duplex != nullptr) {
-    trial.duplex = true;
-    trial.bit_rot_writes += database.mirror_device()->bit_rot_writes();
-    trial.degraded_writes = duplex->degraded_writes();
-    trial.silent_double_faults = duplex->silent_double_faults();
-    trial.resilvered_blocks = duplex->resilvered_blocks();
-  }
   trial.blocks_repaired =
       static_cast<int64_t>(recovered.duplex.blocks_repaired);
 
-  int64_t unsafe_commit_drops = 0;
-  int64_t unsafe_committing_kills = 0;
-  int64_t forced_releases = 0;
-  bool release_on_commit = config.log.release_on_commit;
-  if (const EphemeralLogManager* el = database.el_manager()) {
-    trial.log_write_retries = el->log_write_retries();
-    trial.log_writes_lost = el->log_writes_lost();
-    unsafe_commit_drops = el->unsafe_commit_drops();
-    unsafe_committing_kills = el->unsafe_committing_kills();
-  } else {
-    const HybridLogManager* hybrid = database.hybrid_manager();
-    trial.log_write_retries = hybrid->log_write_retries();
-    trial.log_writes_lost = hybrid->log_writes_lost();
-    unsafe_committing_kills = hybrid->unsafe_committing_kills();
-    forced_releases = hybrid->forced_releases();
-  }
+  const bool release_on_commit = config.log.release_on_commit;
+  db::InvariantPolicy policy;
+  policy.undo_redo = config.log.undo_redo;
+  if (config.log.shards > 1) {
+    // Each shard is an independent log stack with its own fault history.
+    // The oracle strength is the AND over per-shard policies: any shard
+    // that lost acknowledged evidence voids global exactness; any shard
+    // that may have stranded COMMIT evidence voids the global phantom
+    // bound (a phantom COMMIT on one shard enters the global committed
+    // set). Gathering loss per shard (not summed across shards) keeps
+    // the oracle as strong as the run honestly supports — e.g. replica 0
+    // dying on a shard with no sole copies costs nothing.
+    for (uint32_t s = 0; s < config.log.shards; ++s) {
+      shard::ShardStack* stack = database.shard_stack(s);
+      const db::Database::ShardCrashLog& shard_image = image.shards[s];
 
-  db::RunFaultSummary summary;
-  summary.log_writes_lost = trial.log_writes_lost;
-  summary.flushes_lost = trial.flushes_lost;
-  summary.bit_rot_writes = trial.bit_rot_writes;
-  summary.unsafe_commit_drops = unsafe_commit_drops;
-  summary.unsafe_committing_kills = unsafe_committing_kills;
-  summary.forced_releases = forced_releases;
-  summary.release_on_commit = release_on_commit;
-  summary.undo_redo = config.log.undo_redo;
-  summary.duplex = config.duplex_log;
-  summary.replica_readable[0] = image.log_readable;
-  summary.replica_readable[1] = image.mirror_readable;
-  if (duplex != nullptr) {
-    summary.silent_double_faults = duplex->silent_double_faults();
-    summary.sole_copy_writes[0] = duplex->sole_copy_writes(0);
-    summary.sole_copy_writes[1] = duplex->sole_copy_writes(1);
-    summary.resilver_wiped_sole_copies = duplex->resilver_wiped_sole_copies();
+      db::RunFaultSummary summary;
+      summary.release_on_commit = release_on_commit;
+      summary.undo_redo = config.log.undo_redo;
+      summary.duplex = shard_image.duplex;
+      summary.replica_readable[0] = shard_image.log_readable;
+      summary.replica_readable[1] = shard_image.mirror_readable;
+      summary.flushes_lost = stack->drives()->total_flushes_lost();
+      summary.bit_rot_writes = stack->device()->bit_rot_writes();
+
+      trial.flush_retries += stack->drives()->total_flush_retries();
+      trial.flushes_lost += summary.flushes_lost;
+      if (!shard_image.log_readable) ++trial.replicas_dead;
+      if (shard_image.duplex && !shard_image.mirror_readable) {
+        ++trial.replicas_dead;
+      }
+
+      if (const EphemeralLogManager* el = stack->el()) {
+        trial.log_write_retries += el->log_write_retries();
+        summary.log_writes_lost = el->log_writes_lost();
+        summary.unsafe_commit_drops = el->unsafe_commit_drops();
+        summary.unsafe_committing_kills = el->unsafe_committing_kills();
+      } else if (const HybridLogManager* hybrid = stack->hybrid()) {
+        trial.log_write_retries += hybrid->log_write_retries();
+        summary.log_writes_lost = hybrid->log_writes_lost();
+        summary.unsafe_committing_kills = hybrid->unsafe_committing_kills();
+        summary.forced_releases = hybrid->forced_releases();
+      }
+      trial.log_writes_lost += summary.log_writes_lost;
+
+      if (const disk::DuplexLogDevice* dup = stack->duplex()) {
+        trial.duplex = true;
+        summary.bit_rot_writes += stack->device_mirror()->bit_rot_writes();
+        summary.silent_double_faults = dup->silent_double_faults();
+        summary.sole_copy_writes[0] = dup->sole_copy_writes(0);
+        summary.sole_copy_writes[1] = dup->sole_copy_writes(1);
+        summary.resilver_wiped_sole_copies =
+            dup->resilver_wiped_sole_copies();
+        trial.degraded_writes += dup->degraded_writes();
+        trial.silent_double_faults += summary.silent_double_faults;
+        trial.resilvered_blocks += dup->resilvered_blocks();
+      }
+      trial.bit_rot_writes += summary.bit_rot_writes;
+
+      const db::InvariantPolicy shard_policy = db::DerivePolicy(summary);
+      policy.expect_exact = policy.expect_exact && shard_policy.expect_exact;
+      policy.expect_no_phantoms =
+          policy.expect_no_phantoms && shard_policy.expect_no_phantoms;
+    }
+    trial.prepares_in_log =
+        static_cast<int64_t>(recovered.sharded.prepares_in_log);
+    trial.in_doubt_committed =
+        static_cast<int64_t>(recovered.sharded.in_doubt_committed);
+    trial.in_doubt_aborted =
+        static_cast<int64_t>(recovered.sharded.in_doubt_aborted);
+    trial.shard_disagreements =
+        static_cast<int64_t>(recovered.sharded.shard_disagreements);
+  } else {
+    trial.bit_rot_writes = database.device().bit_rot_writes();
+    trial.flush_retries = database.drives().total_flush_retries();
+    trial.flushes_lost = database.drives().total_flushes_lost();
+    trial.replicas_dead =
+        (image.log_readable ? 0 : 1) +
+        (config.duplex_log && !image.mirror_readable ? 1 : 0);
+    const disk::DuplexLogDevice* duplex = database.duplex_device();
+    if (duplex != nullptr) {
+      trial.duplex = true;
+      trial.bit_rot_writes += database.mirror_device()->bit_rot_writes();
+      trial.degraded_writes = duplex->degraded_writes();
+      trial.silent_double_faults = duplex->silent_double_faults();
+      trial.resilvered_blocks = duplex->resilvered_blocks();
+    }
+
+    int64_t unsafe_commit_drops = 0;
+    int64_t unsafe_committing_kills = 0;
+    int64_t forced_releases = 0;
+    if (const EphemeralLogManager* el = database.el_manager()) {
+      trial.log_write_retries = el->log_write_retries();
+      trial.log_writes_lost = el->log_writes_lost();
+      unsafe_commit_drops = el->unsafe_commit_drops();
+      unsafe_committing_kills = el->unsafe_committing_kills();
+    } else {
+      const HybridLogManager* hybrid = database.hybrid_manager();
+      trial.log_write_retries = hybrid->log_write_retries();
+      trial.log_writes_lost = hybrid->log_writes_lost();
+      unsafe_committing_kills = hybrid->unsafe_committing_kills();
+      forced_releases = hybrid->forced_releases();
+    }
+
+    db::RunFaultSummary summary;
+    summary.log_writes_lost = trial.log_writes_lost;
+    summary.flushes_lost = trial.flushes_lost;
+    summary.bit_rot_writes = trial.bit_rot_writes;
+    summary.unsafe_commit_drops = unsafe_commit_drops;
+    summary.unsafe_committing_kills = unsafe_committing_kills;
+    summary.forced_releases = forced_releases;
+    summary.release_on_commit = release_on_commit;
+    summary.undo_redo = config.log.undo_redo;
+    summary.duplex = config.duplex_log;
+    summary.replica_readable[0] = image.log_readable;
+    summary.replica_readable[1] = image.mirror_readable;
+    if (duplex != nullptr) {
+      summary.silent_double_faults = duplex->silent_double_faults();
+      summary.sole_copy_writes[0] = duplex->sole_copy_writes(0);
+      summary.sole_copy_writes[1] = duplex->sole_copy_writes(1);
+      summary.resilver_wiped_sole_copies = duplex->resilver_wiped_sole_copies();
+    }
+    policy = db::DerivePolicy(summary);
   }
-  db::InvariantPolicy policy = db::DerivePolicy(summary);
   if (policy_override != nullptr) policy = *policy_override;
 
   db::InvariantReport report =
@@ -264,6 +359,9 @@ TortureReport RunTorture(const TortureSpec& spec, TortureManager manager,
     report.total_silent_double_faults += trial.silent_double_faults;
     report.total_blocks_repaired += trial.blocks_repaired;
     report.total_resilvered_blocks += trial.resilvered_blocks;
+    report.total_prepares_in_log += trial.prepares_in_log;
+    report.total_in_doubt_committed += trial.in_doubt_committed;
+    report.total_in_doubt_aborted += trial.in_doubt_aborted;
   }
   return report;
 }

@@ -87,6 +87,16 @@ struct TortureSpec {
   SimTime min_resilver_delay = 100 * kMillisecond;
   SimTime max_resilver_delay = 2 * kSecond;
 
+  /// Shard the log across this many independent EL instances
+  /// (core::LogManagerOptions::shards); 1 = the classic single-stack run.
+  /// Sharding adds no draws to the trial rng, and shard 0's fault stream
+  /// is the unsharded stream by construction (fault::FaultConfig::ForShard),
+  /// so shards = 1 replays the exact unsharded trial.
+  uint32_t shards = 1;
+  /// Sharded only: fraction of multi-record transactions that spread
+  /// their updates across a second shard (cross-shard 2PC commit).
+  double cross_shard_fraction = 0.2;
+
   /// Probability that the crash tears the in-flight block.
   double torn_write_prob = 0.5;
   /// Probability that the trial crashes on an event-count trigger (with a
@@ -136,6 +146,12 @@ struct TortureTrial {
   int64_t silent_double_faults = 0;
   int64_t blocks_repaired = 0;
   int64_t resilvered_blocks = 0;
+
+  // Sharded accounting (all zero for unsharded trials).
+  int64_t prepares_in_log = 0;
+  int64_t in_doubt_committed = 0;
+  int64_t in_doubt_aborted = 0;
+  int64_t shard_disagreements = 0;
 };
 
 struct TortureReport {
@@ -160,6 +176,9 @@ struct TortureReport {
   int64_t total_silent_double_faults = 0;
   int64_t total_blocks_repaired = 0;
   int64_t total_resilvered_blocks = 0;
+  int64_t total_prepares_in_log = 0;
+  int64_t total_in_doubt_committed = 0;
+  int64_t total_in_doubt_aborted = 0;
 };
 
 /// Runs one trial (exposed for replay: a failing (manager, seed, index)

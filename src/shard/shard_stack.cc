@@ -1,0 +1,77 @@
+#include "shard/shard_stack.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace elog {
+namespace shard {
+
+ShardStack::ShardStack(sim::Simulator* simulator, uint32_t shard_index,
+                       const ShardStackConfig& config,
+                       sim::MetricsRegistry* metrics,
+                       wal::BlockImagePool* pool)
+    : shard_index_(shard_index),
+      prefix_("shard" + std::to_string(shard_index) + "."),
+      storage_(config.log.generation_blocks) {
+  ELOG_CHECK(metrics != nullptr);
+  ELOG_CHECK(pool != nullptr);
+  ELOG_CHECK_OK(config.log.Validate());
+  ELOG_CHECK_OK(config.faults.Validate());
+
+  fault::FaultConfig shard_faults = config.faults.ForShard(shard_index);
+  if (shard_faults.enabled()) {
+    injector_ = std::make_unique<fault::FaultInjector>(shard_faults);
+  }
+  storage_.set_block_pool(pool);
+  device_ = std::make_unique<disk::LogDevice>(
+      simulator, &storage_, config.log.log_write_latency, metrics,
+      injector_.get(), prefix_ + "log_device");
+  device_->set_block_pool(pool);
+  if (config.duplex_log) {
+    storage_mirror_ =
+        std::make_unique<disk::LogStorage>(config.log.generation_blocks);
+    if (shard_faults.enabled()) {
+      mirror_injector_ =
+          std::make_unique<fault::FaultInjector>(shard_faults, /*replica=*/1);
+    }
+    storage_mirror_->set_block_pool(pool);
+    device_mirror_ = std::make_unique<disk::LogDevice>(
+        simulator, storage_mirror_.get(), config.log.log_write_latency,
+        metrics, mirror_injector_.get(), prefix_ + "log_device_mirror");
+    device_mirror_->set_block_pool(pool);
+    duplex_ = std::make_unique<disk::DuplexLogDevice>(
+        simulator, device_.get(), device_mirror_.get(), metrics,
+        config.auto_resilver_delay, prefix_ + "duplex");
+    duplex_->set_block_pool(pool);
+  }
+  disk::LogWritePort* log_port =
+      duplex_ != nullptr ? static_cast<disk::LogWritePort*>(duplex_.get())
+                         : device_.get();
+  drives_ = std::make_unique<disk::DriveArray>(
+      simulator, config.log.num_flush_drives, config.log.num_objects,
+      config.log.flush_transfer_time, metrics, injector_.get(),
+      prefix_ + "flush_drive");
+  LogManagerSet managers =
+      MakeLogManager(config.manager, config.log, simulator, log_port,
+                     drives_.get(), metrics->Namespace(prefix_));
+  el_ = managers.el;
+  hybrid_ = managers.hybrid;
+  manager_ = std::move(managers.manager);
+  manager_->set_block_pool(pool);
+}
+
+ShardStack::~ShardStack() = default;
+
+void ShardStack::SetTracer(obs::Tracer* tracer) {
+  if (tracer == nullptr) return;
+  device_->set_tracer(tracer);
+  if (device_mirror_ != nullptr) device_mirror_->set_tracer(tracer);
+  if (duplex_ != nullptr) duplex_->set_tracer(tracer);
+  drives_->set_tracer(tracer);
+  if (el_ != nullptr) el_->set_tracer(tracer, prefix_);
+  if (hybrid_ != nullptr) hybrid_->set_tracer(tracer, prefix_);
+}
+
+}  // namespace shard
+}  // namespace elog

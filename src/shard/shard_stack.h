@@ -1,0 +1,98 @@
+// One shard's complete ephemeral-logging stack.
+//
+// A sharded run (docs/sharding.md) gives every shard its own private
+// copy of the machinery a single-log run owns once: log storage, a log
+// device (optionally duplexed over two devices with independent fault
+// injectors), a flush-drive array, and a log manager instance built by
+// core::MakeLogManager. The stack is wired exactly like db::Database
+// wires its single stack — same construction order, same knobs — except
+// that every metric name and trace lane is prefixed "shard<k>." so S
+// stacks coexist in one registry/tracer without colliding.
+//
+// Fault streams are per shard and stream-stable: shard 0 keeps the base
+// FaultConfig seed verbatim, shard k > 0 derives an independent seed
+// (FaultConfig::ForShard). A single-shard replay of shard k therefore
+// reproduces that shard's fault sequence bit-identically.
+
+#ifndef ELOG_SHARD_SHARD_STACK_H_
+#define ELOG_SHARD_SHARD_STACK_H_
+
+#include <memory>
+#include <string>
+
+#include "core/manager_factory.h"
+#include "core/options.h"
+#include "disk/drive_array.h"
+#include "disk/duplex_log_device.h"
+#include "disk/log_device.h"
+#include "disk/log_storage.h"
+#include "fault/fault_injector.h"
+#include "obs/trace.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "wal/block_pool.h"
+
+namespace elog {
+namespace shard {
+
+/// The per-shard slice of a DatabaseConfig: everything a shard's device
+/// stack needs, with the base (pre-derivation) fault config.
+struct ShardStackConfig {
+  LogManagerOptions log;
+  ManagerKind manager = ManagerKind::kEphemeral;
+  fault::FaultConfig faults;
+  bool duplex_log = false;
+  SimTime auto_resilver_delay = -1;
+};
+
+class ShardStack {
+ public:
+  /// Builds shard `shard_index`'s stack. `metrics` is the run's ROOT
+  /// registry (the stack prefixes its own names); `pool` is the shared
+  /// block-image pool and must outlive the stack.
+  ShardStack(sim::Simulator* simulator, uint32_t shard_index,
+             const ShardStackConfig& config, sim::MetricsRegistry* metrics,
+             wal::BlockImagePool* pool);
+  ~ShardStack();
+
+  uint32_t shard_index() const { return shard_index_; }
+  /// "shard<k>." — the namespace every metric and lane lives under.
+  const std::string& prefix() const { return prefix_; }
+
+  LogManager* manager() { return manager_.get(); }
+  EphemeralLogManager* el() { return el_; }
+  HybridLogManager* hybrid() { return hybrid_; }
+  disk::LogStorage* storage() { return &storage_; }
+  disk::LogStorage* mirror_storage() { return storage_mirror_.get(); }
+  disk::LogDevice* device() { return device_.get(); }
+  disk::LogDevice* device_mirror() { return device_mirror_.get(); }
+  disk::DuplexLogDevice* duplex() { return duplex_.get(); }
+  disk::DriveArray* drives() { return drives_.get(); }
+  fault::FaultInjector* injector() { return injector_.get(); }
+  fault::FaultInjector* mirror_injector() { return mirror_injector_.get(); }
+
+  /// Registers this shard's trace lanes, in the same relative order as
+  /// db::Database registers its single stack's lanes (device, mirror,
+  /// duplex, drives, manager). Call before the simulation starts.
+  void SetTracer(obs::Tracer* tracer);
+
+ private:
+  uint32_t shard_index_;
+  std::string prefix_;
+  disk::LogStorage storage_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<disk::LogDevice> device_;
+  std::unique_ptr<disk::LogStorage> storage_mirror_;
+  std::unique_ptr<fault::FaultInjector> mirror_injector_;
+  std::unique_ptr<disk::LogDevice> device_mirror_;
+  std::unique_ptr<disk::DuplexLogDevice> duplex_;
+  std::unique_ptr<disk::DriveArray> drives_;
+  std::unique_ptr<LogManager> manager_;
+  EphemeralLogManager* el_ = nullptr;
+  HybridLogManager* hybrid_ = nullptr;
+};
+
+}  // namespace shard
+}  // namespace elog
+
+#endif  // ELOG_SHARD_SHARD_STACK_H_

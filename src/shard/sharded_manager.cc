@@ -1,0 +1,380 @@
+#include "shard/sharded_manager.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace elog {
+namespace shard {
+
+namespace {
+int PopCount(uint64_t mask) { return __builtin_popcountll(mask); }
+}  // namespace
+
+ShardedLogManager::ShardedLogManager(sim::Simulator* simulator,
+                                     std::vector<LogManager*> shards,
+                                     const workload::ShardRouter* router,
+                                     sim::MetricsRegistry* metrics)
+    : simulator_(simulator),
+      shards_(std::move(shards)),
+      router_(router),
+      owned_metrics_(metrics == nullptr
+                         ? std::make_unique<sim::MetricsRegistry>()
+                         : nullptr),
+      metrics_(metrics == nullptr ? owned_metrics_.get() : metrics) {
+  ELOG_CHECK(!shards_.empty());
+  ELOG_CHECK_LE(shards_.size(), 64u) << "participant masks are 64-bit";
+  for (LogManager* s : shards_) ELOG_CHECK(s != nullptr);
+  ELOG_CHECK(router_ != nullptr);
+  ELOG_CHECK_EQ(router_->num_shards(), shards_.size());
+
+  if (passthrough()) return;  // pure forwarding; no coordinator state
+
+  // Coordinator accounting and the per-shard relay/interceptor wiring.
+  memory_ = metrics_->GetGauge("sharded.memory_bytes");
+  single_shard_commits_ = metrics_->GetCounter("sharded.single_shard_commits");
+  cross_shard_commits_ = metrics_->GetCounter("sharded.cross_shard_commits");
+  branch_prepares_ = metrics_->GetCounter("sharded.branch_prepares");
+  killed_ = metrics_->GetCounter("sharded.killed");
+  cross_shard_kills_ = metrics_->GetCounter("sharded.cross_shard_kills");
+  relays_.reserve(shards_.size());
+  for (uint32_t k = 0; k < shards_.size(); ++k) {
+    auto relay = std::make_unique<KillRelay>();
+    relay->owner = this;
+    relay->shard = k;
+    shards_[k]->set_kill_listener(relay.get());
+    shards_[k]->set_commit_hook(
+        [this](TxId tid, const std::vector<wal::LogRecord>& updates) {
+          OnInnerCommit(tid, updates);
+        });
+    relays_.push_back(std::move(relay));
+  }
+}
+
+ShardedLogManager::~ShardedLogManager() = default;
+
+void ShardedLogManager::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr && !passthrough()) {
+    trace_lane_ = tracer_->RegisterLane("sharded");
+  }
+}
+
+// --- Hook wiring -----------------------------------------------------------
+
+void ShardedLogManager::set_kill_listener(KillListener* listener) {
+  if (passthrough()) {
+    shards_[0]->set_kill_listener(listener);
+    return;
+  }
+  kill_listener_ = listener;  // relays stay installed on the shards
+}
+
+void ShardedLogManager::set_flush_apply_hook(
+    std::function<void(Oid, Lsn, uint64_t)> hook) {
+  for (LogManager* s : shards_) s->set_flush_apply_hook(hook);
+}
+
+void ShardedLogManager::set_steal_apply_hook(
+    std::function<void(Oid, Lsn, uint64_t, TxId, Lsn, uint64_t)> hook) {
+  for (LogManager* s : shards_) s->set_steal_apply_hook(hook);
+}
+
+void ShardedLogManager::set_undo_apply_hook(
+    std::function<void(Oid, Lsn, Lsn, uint64_t)> hook) {
+  for (LogManager* s : shards_) s->set_undo_apply_hook(hook);
+}
+
+void ShardedLogManager::set_version_query(
+    std::function<std::pair<Lsn, uint64_t>(Oid)> query) {
+  for (LogManager* s : shards_) s->set_version_query(query);
+}
+
+void ShardedLogManager::set_commit_hook(
+    std::function<void(TxId, const std::vector<wal::LogRecord>&)> hook) {
+  if (passthrough()) {
+    shards_[0]->set_commit_hook(std::move(hook));
+    return;
+  }
+  commit_hook_ = std::move(hook);  // interceptors stay installed
+}
+
+void ShardedLogManager::set_block_pool(wal::BlockImagePool* pool) {
+  block_pool_ = pool;
+  for (LogManager* s : shards_) s->set_block_pool(pool);
+}
+
+// --- Transaction sink ------------------------------------------------------
+
+TxId ShardedLogManager::BeginTransaction(
+    const workload::TransactionType& type) {
+  if (passthrough()) return shards_[0]->BeginTransaction(type);
+  TxId tid = next_tid_++;
+  GlobalTx g;
+  g.type = type;
+  auto [it, inserted] = global_.emplace(tid, std::move(g));
+  ELOG_CHECK(inserted);
+  (void)it;
+  return tid;
+}
+
+bool ShardedLogManager::EnsureBranch(TxId tid, uint32_t s) {
+  auto it = global_.find(tid);
+  if (it == global_.end()) return false;
+  GlobalTx& g = it->second;
+  uint64_t bit = 1ull << s;
+  if ((g.live & bit) != 0) return true;
+  ELOG_CHECK(g.phase == GlobalTx::Phase::kActive)
+      << "branch opened after commit was requested for tid " << tid;
+  // The home branch's BEGIN carries participants = 0 (byte-identical to
+  // an unsharded BEGIN); later branches carry the mask known so far.
+  uint64_t mask_for_begin = g.has_home ? (g.participants | bit) : 0;
+  if (!g.has_home) {
+    g.home = s;
+    g.has_home = true;
+  }
+  g.participants |= bit;
+  g.live |= bit;
+  workload::TransactionType type = g.type;  // the entry may die below
+  shards_[s]->BranchBegin(tid, type, mask_for_begin);
+  return global_.find(tid) != global_.end();
+}
+
+void ShardedLogManager::WriteUpdate(TxId tid, Oid oid, uint32_t logged_size) {
+  if (passthrough()) {
+    shards_[0]->WriteUpdate(tid, oid, logged_size);
+    return;
+  }
+  uint32_t s = router_->ShardOf(oid);
+  if (!EnsureBranch(tid, s)) return;  // killed while opening the branch
+  shards_[s]->WriteUpdate(tid, oid, logged_size);
+  UpdateMemoryGauge();
+}
+
+void ShardedLogManager::Commit(TxId tid, std::function<void(TxId)> on_durable) {
+  if (passthrough()) {
+    shards_[0]->Commit(tid, std::move(on_durable));
+    return;
+  }
+  auto it = global_.find(tid);
+  ELOG_CHECK(it != global_.end()) << "commit of unknown tid " << tid;
+  ELOG_CHECK(it->second.phase == GlobalTx::Phase::kActive);
+  if (it->second.participants == 0) {
+    // The transaction wrote nothing. Open a branch anyway so its
+    // BEGIN/COMMIT pair is logged and the acknowledgement rides a real
+    // group-commit stream, exactly as in an unsharded run.
+    if (!EnsureBranch(tid, static_cast<uint32_t>(tid % shards_.size()))) {
+      return;
+    }
+    it = global_.find(tid);
+    if (it == global_.end()) return;
+  }
+  GlobalTx& g = it->second;
+  g.on_durable = std::move(on_durable);
+  const uint64_t mask = g.participants;
+  const uint32_t home = g.home;
+
+  if (PopCount(mask) == 1) {
+    // Single-shard: zero-coordination local commit.
+    g.phase = GlobalTx::Phase::kCommitting;
+    single_shard_commits_->Incr();
+    shards_[home]->Commit(tid, [this](TxId t) { OnHomeCommitDurable(t); });
+    return;
+  }
+
+  // Cross-shard: prepare every non-home branch; the last durable
+  // PREPARE triggers the home's deciding COMMIT (OnBranchPrepared).
+  g.phase = GlobalTx::Phase::kPreparing;
+  g.prepares_outstanding = static_cast<uint32_t>(PopCount(mask)) - 1;
+  cross_shard_commits_->Incr();
+  if (tracer_ != nullptr) {
+    tracer_->Instant(trace_lane_, "xshard", "prepare",
+                     {{"tid", static_cast<double>(tid)},
+                      {"participants", static_cast<double>(PopCount(mask))}});
+  }
+  for (uint32_t k = 0; k < shards_.size(); ++k) {
+    if (k == home || ((mask >> k) & 1) == 0) continue;
+    branch_prepares_->Incr();
+    shards_[k]->BranchPrepare(
+        tid, mask,
+        [this, k](TxId t, const std::vector<wal::LogRecord>& updates) {
+          OnBranchPrepared(k, t, updates);
+        });
+    // The prepare append can wedge the shard and kill this transaction
+    // synchronously; the relay then erased the entry and aborted the
+    // remaining branches — stop issuing prepares.
+    if (global_.find(tid) == global_.end()) return;
+  }
+}
+
+void ShardedLogManager::Abort(TxId tid) {
+  if (passthrough()) {
+    shards_[0]->Abort(tid);
+    return;
+  }
+  auto it = global_.find(tid);
+  ELOG_CHECK(it != global_.end()) << "abort of unknown tid " << tid;
+  ELOG_CHECK(it->second.phase == GlobalTx::Phase::kActive);
+  GlobalTx g = std::move(it->second);
+  global_.erase(it);
+  for (uint32_t k = 0; k < shards_.size(); ++k) {
+    if ((g.live >> k) & 1) shards_[k]->BranchAbort(tid);
+  }
+  UpdateMemoryGauge();
+}
+
+// --- Coordinator callbacks -------------------------------------------------
+
+void ShardedLogManager::OnBranchPrepared(
+    uint32_t shard, TxId tid, const std::vector<wal::LogRecord>& updates) {
+  (void)shard;
+  auto it = global_.find(tid);
+  if (it == global_.end()) return;  // died between prepare and durability
+  GlobalTx& g = it->second;
+  if (g.phase != GlobalTx::Phase::kPreparing) return;
+  g.branch_updates.insert(g.branch_updates.end(), updates.begin(),
+                          updates.end());
+  ELOG_CHECK_GT(g.prepares_outstanding, 0u);
+  if (--g.prepares_outstanding > 0) return;
+  // Every non-home branch is durably prepared: issue the decision.
+  g.phase = GlobalTx::Phase::kCommitting;
+  shards_[g.home]->BranchCommit(tid, g.participants,
+                                [this](TxId t) { OnHomeCommitDurable(t); });
+}
+
+void ShardedLogManager::OnInnerCommit(
+    TxId tid, const std::vector<wal::LogRecord>& updates) {
+  // Fires from a shard's commit-durable processing, before the durable
+  // callback. While the global entry exists the only branch that can
+  // reach commit durability is the home's deciding COMMIT; branch
+  // commits delivered after the decision find no entry and are
+  // swallowed (their updates were already reported via on_prepared).
+  auto it = global_.find(tid);
+  if (it == global_.end()) return;
+  if (commit_hook_ == nullptr) return;
+  GlobalTx& g = it->second;
+  if (g.branch_updates.empty()) {
+    commit_hook_(tid, updates);
+    return;
+  }
+  std::vector<wal::LogRecord> all = g.branch_updates;
+  all.insert(all.end(), updates.begin(), updates.end());
+  commit_hook_(tid, all);
+}
+
+void ShardedLogManager::OnHomeCommitDurable(TxId tid) {
+  auto it = global_.find(tid);
+  if (it == global_.end()) return;
+  GlobalTx g = std::move(it->second);
+  global_.erase(it);
+  // Deliver the decision to the surviving prepared branches first (their
+  // COMMIT records shrink recovery's in-doubt window), then acknowledge
+  // the client. The branch commits are fire-and-forget: the decision is
+  // already durable at the home shard.
+  uint64_t pending = g.live & ~(1ull << g.home);
+  for (uint32_t k = 0; k < shards_.size(); ++k) {
+    if ((pending >> k) & 1) {
+      shards_[k]->BranchCommit(tid, g.participants, [](TxId) {});
+    }
+  }
+  if (tracer_ != nullptr && PopCount(g.participants) > 1) {
+    tracer_->Instant(trace_lane_, "xshard", "decide",
+                     {{"tid", static_cast<double>(tid)}});
+  }
+  if (g.on_durable) g.on_durable(tid);
+  UpdateMemoryGauge();
+}
+
+void ShardedLogManager::OnBranchKilled(uint32_t shard, TxId tid) {
+  auto it = global_.find(tid);
+  if (it == global_.end()) return;  // cascade echo or post-decision kill
+  GlobalTx& g = it->second;
+
+  if (g.phase == GlobalTx::Phase::kCommitting && shard != g.home) {
+    // A prepared branch died after the decision was issued (an unsafe
+    // kill inside its commit window, counted by that shard). The
+    // transaction still commits; just stop addressing the dead branch.
+    g.live &= ~(1ull << shard);
+    return;
+  }
+
+  // Before the decision (kActive/kPreparing), or the home itself died
+  // inside its commit window: the whole transaction dies. Erase first so
+  // the cascading aborts' notifications are swallowed above.
+  GlobalTx dead = std::move(g);
+  global_.erase(it);
+  bool cross = PopCount(dead.participants) > 1;
+  for (uint32_t k = 0; k < shards_.size(); ++k) {
+    if (k == shard) continue;  // the killer already disposed its branch
+    if (((dead.live >> k) & 1) == 0) continue;
+    // Deferred by a zero-delay event, never synchronous: this
+    // notification can arrive from inside a shard's garbage collection
+    // (kill victim → relay → here), and a synchronous abort cascade can
+    // then re-enter a shard whose GC is live further up the same call
+    // stack — its space search would no-op and the append machinery
+    // wedges. At fire time the branch may have been killed locally in
+    // the interim; BranchAbort treats an unknown tid as already settled.
+    LogManager* branch = shards_[k];
+    simulator_->ScheduleAt(simulator_->Now(),
+                           [branch, tid] { branch->BranchAbort(tid); });
+  }
+  killed_->Incr();
+  if (cross) cross_shard_kills_->Incr();
+  if (tracer_ != nullptr) {
+    tracer_->Instant(trace_lane_, "xshard", "killed",
+                     {{"tid", static_cast<double>(tid)},
+                      {"shard", static_cast<double>(shard)}});
+  }
+  if (kill_listener_ != nullptr) kill_listener_->OnTransactionKilled(tid);
+  UpdateMemoryGauge();
+}
+
+// --- Introspection ---------------------------------------------------------
+
+void ShardedLogManager::ForceWriteOpenBuffers() {
+  for (LogManager* s : shards_) s->ForceWriteOpenBuffers();
+}
+
+size_t ShardedLogManager::active_transactions() const {
+  if (passthrough()) return shards_[0]->active_transactions();
+  return global_.size();
+}
+
+double ShardedLogManager::modeled_memory_bytes() const {
+  double total = 0;
+  for (const LogManager* s : shards_) total += s->modeled_memory_bytes();
+  return total;
+}
+
+const TimeWeightedValue& ShardedLogManager::memory_usage() const {
+  if (passthrough()) return shards_[0]->memory_usage();
+  return memory_->series();
+}
+
+int64_t ShardedLogManager::transactions_killed() const {
+  if (passthrough()) return shards_[0]->transactions_killed();
+  return killed_->value();
+}
+
+int64_t ShardedLogManager::single_shard_commits() const {
+  return single_shard_commits_ == nullptr ? 0 : single_shard_commits_->value();
+}
+
+int64_t ShardedLogManager::cross_shard_commits() const {
+  return cross_shard_commits_ == nullptr ? 0 : cross_shard_commits_->value();
+}
+
+int64_t ShardedLogManager::branch_prepares() const {
+  return branch_prepares_ == nullptr ? 0 : branch_prepares_->value();
+}
+
+int64_t ShardedLogManager::cross_shard_kills() const {
+  return cross_shard_kills_ == nullptr ? 0 : cross_shard_kills_->value();
+}
+
+void ShardedLogManager::UpdateMemoryGauge() {
+  memory_->Set(simulator_->Now(), modeled_memory_bytes());
+}
+
+}  // namespace shard
+}  // namespace elog

@@ -1,0 +1,185 @@
+// Sharded logging coordinator: one core::LogManager over S shards.
+//
+// The coordinator hash-partitions the database by oid (via a
+// workload::ShardRouter) across S fully independent log manager
+// instances, each with its own generation chain, tables, group-commit
+// stream and device stack (shard::ShardStack). A logical transaction
+// runs as *branches* on the shards its updates touch:
+//
+//  - Single-shard transactions (the common case) commit entirely on
+//    their home shard with zero coordination — the coordinator adds no
+//    log records, no extra round trips, nothing on the commit path but
+//    one table lookup. This is where the near-linear throughput scaling
+//    of bench/shard_scaling comes from.
+//
+//  - Cross-shard transactions commit via prepare/decide. Every non-home
+//    branch writes a PREPARE record carrying the final participant-shard
+//    bitmask (bit k = shard k); once all PREPAREs are durable, the home
+//    branch writes the deciding COMMIT (same mask). A durable COMMIT on
+//    ANY participant decides the whole transaction: recovery
+//    (db::RecoveryManager::RecoverSharded) unions the shards' committed
+//    sets and resolves PREPARE-without-COMMIT by presumed abort. The
+//    client is acknowledged when the home COMMIT is durable; the
+//    decision is then delivered to the prepared branches asynchronously
+//    (their records flush normally afterwards).
+//
+// With S = 1 the coordinator is a pure pass-through: every call and
+// hook forwards verbatim to the single inner manager, so the log it
+// produces is byte-identical to an unsharded run (asserted by
+// tests/shard_manager_test).
+
+#ifndef ELOG_SHARD_SHARDED_MANAGER_H_
+#define ELOG_SHARD_SHARDED_MANAGER_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/log_manager.h"
+#include "obs/trace.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "workload/shard_router.h"
+
+namespace elog {
+namespace shard {
+
+class ShardedLogManager : public LogManager {
+ public:
+  /// `shards` are non-owning (the caller's ShardStacks own them) and
+  /// must all outlive the coordinator; `router` maps oids to [0, S).
+  /// `metrics` is the run's root registry (nullable; the coordinator
+  /// then owns a private one). S must equal router->num_shards() and be
+  /// at most 64 (participant masks are 64-bit).
+  ShardedLogManager(sim::Simulator* simulator,
+                    std::vector<LogManager*> shards,
+                    const workload::ShardRouter* router,
+                    sim::MetricsRegistry* metrics);
+  ~ShardedLogManager() override;
+
+  /// Registers the coordinator's own "sharded" lane (cross-shard
+  /// prepare/decide instants). Shard-internal lanes belong to the
+  /// ShardStacks. Call before the simulation starts.
+  void set_tracer(obs::Tracer* tracer);
+
+  // workload::TransactionSink. BEGIN records are written lazily: a
+  // branch opens on a shard at the transaction's first update routed
+  // there (the home shard's BEGIN carries participants = 0, later
+  // branches the mask known so far).
+  TxId BeginTransaction(const workload::TransactionType& type) override;
+  void WriteUpdate(TxId tid, Oid oid, uint32_t logged_size) override;
+  void Commit(TxId tid, std::function<void(TxId)> on_durable) override;
+  void Abort(TxId tid) override;
+
+  // Hook wiring: forwarded to every shard (S = 1 forwards everything;
+  // S > 1 keeps the kill listener and commit hook for itself — see the
+  // relay/interceptor plumbing below).
+  void set_kill_listener(KillListener* listener) override;
+  void set_flush_apply_hook(
+      std::function<void(Oid, Lsn, uint64_t)> hook) override;
+  void set_steal_apply_hook(
+      std::function<void(Oid, Lsn, uint64_t, TxId, Lsn, uint64_t)> hook)
+      override;
+  void set_undo_apply_hook(
+      std::function<void(Oid, Lsn, Lsn, uint64_t)> hook) override;
+  void set_version_query(
+      std::function<std::pair<Lsn, uint64_t>(Oid)> query) override;
+  void set_commit_hook(
+      std::function<void(TxId, const std::vector<wal::LogRecord>&)> hook)
+      override;
+  void set_block_pool(wal::BlockImagePool* pool) override;
+
+  // LogManager
+  void ForceWriteOpenBuffers() override;
+  size_t active_transactions() const override;
+  double modeled_memory_bytes() const override;
+  const TimeWeightedValue& memory_usage() const override;
+  int64_t transactions_killed() const override;
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+  LogManager* shard(uint32_t k) { return shards_[k]; }
+  const workload::ShardRouter* router() const { return router_; }
+
+  // Coordinator accounting (S > 1; all zero in pass-through mode).
+  int64_t single_shard_commits() const;
+  int64_t cross_shard_commits() const;
+  int64_t branch_prepares() const;
+  /// Cross-shard transactions killed before their decision was issued
+  /// (presumed abort: every branch was aborted).
+  int64_t cross_shard_kills() const;
+
+ private:
+  /// Coordinator-side state of one logical transaction (S > 1 only).
+  struct GlobalTx {
+    workload::TransactionType type;
+    /// Shards with an open branch (bit k = shard k).
+    uint64_t participants = 0;
+    /// Branches still alive. Diverges from `participants` only when a
+    /// prepared branch is killed after the decision was issued.
+    uint64_t live = 0;
+    uint32_t home = 0;
+    bool has_home = false;
+    enum class Phase { kActive, kPreparing, kCommitting } phase =
+        Phase::kActive;
+    uint32_t prepares_outstanding = 0;
+    /// Final update records reported by prepared branches, collected so
+    /// the outer commit hook sees the transaction's full write set.
+    std::vector<wal::LogRecord> branch_updates;
+    std::function<void(TxId)> on_durable;
+  };
+
+  /// Per-shard kill-listener adapter: the base KillListener interface
+  /// does not say which manager killed, so each shard gets its own
+  /// relay tagging notifications with the shard index.
+  struct KillRelay : KillListener {
+    ShardedLogManager* owner;
+    uint32_t shard;
+    void OnTransactionKilled(TxId tid) override {
+      owner->OnBranchKilled(shard, tid);
+    }
+  };
+
+  bool passthrough() const { return shards_.size() == 1; }
+
+  /// Ensures `tid` has a branch on `s` (opens it with the mask known so
+  /// far). Returns false if the transaction died during the open.
+  bool EnsureBranch(TxId tid, uint32_t s);
+  void OnBranchKilled(uint32_t shard, TxId tid);
+  void OnBranchPrepared(uint32_t shard, TxId tid,
+                        const std::vector<wal::LogRecord>& updates);
+  /// Commit-hook interceptor installed on every shard: routes the home
+  /// branch's commit (with the union of all branches' updates) to the
+  /// outer commit hook and swallows post-decision branch commits.
+  void OnInnerCommit(TxId tid, const std::vector<wal::LogRecord>& updates);
+  void OnHomeCommitDurable(TxId tid);
+  void UpdateMemoryGauge();
+
+  sim::Simulator* simulator_;
+  std::vector<LogManager*> shards_;
+  const workload::ShardRouter* router_;
+  std::unique_ptr<sim::MetricsRegistry> owned_metrics_;
+  sim::MetricsRegistry* metrics_;
+  obs::Tracer* tracer_ = nullptr;
+  int trace_lane_ = 0;
+
+  std::vector<std::unique_ptr<KillRelay>> relays_;
+  std::unordered_map<TxId, GlobalTx> global_;
+  TxId next_tid_ = 1;
+
+  // Typed metric handles (coordinator namespace "sharded.*").
+  sim::Gauge* memory_ = nullptr;
+  sim::Counter* single_shard_commits_ = nullptr;
+  sim::Counter* cross_shard_commits_ = nullptr;
+  sim::Counter* branch_prepares_ = nullptr;
+  sim::Counter* killed_ = nullptr;
+  sim::Counter* cross_shard_kills_ = nullptr;
+};
+
+}  // namespace shard
+}  // namespace elog
+
+#endif  // ELOG_SHARD_SHARDED_MANAGER_H_

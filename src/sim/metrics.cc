@@ -5,6 +5,20 @@
 namespace elog {
 namespace sim {
 
+MetricsRegistry* MetricsRegistry::Namespace(const std::string& prefix) {
+  // Compose through to the root so every view is rooted there (one hop
+  // per call at wiring time, and the root's views_ map is the single
+  // owner whatever the nesting depth).
+  if (parent_ != nullptr) return parent_->Namespace(prefix_ + prefix);
+  std::unique_ptr<MetricsRegistry>& slot = views_[prefix];
+  if (slot == nullptr) {
+    slot = std::make_unique<MetricsRegistry>();
+    slot->parent_ = this;
+    slot->prefix_ = prefix;
+  }
+  return slot.get();
+}
+
 std::string MetricsRegistry::ToString() const {
   std::string out;
   for (const auto& [name, counter] : counters_) {

@@ -31,19 +31,27 @@
 // ("el.gen2.recirculated") so the MetricSampler (src/obs) exports one
 // deterministic column per series.
 //
-// ## Deprecated string-keyed shim
+// Read-side code (harness, reports, tests) resolves a name once with
+// GetCounter/FindGauge/Distribution and reads through the handle; the
+// old string-keyed Incr/Counter shims are gone.
 //
-// The string-keyed `Incr(name, delta)` / `Counter(name)` calls remain
-// for harness, report and test code that touches a metric a handful of
-// times per run; they resolve to the same storage as the typed handles.
-// They are DEPRECATED on hot paths — new per-event instrumentation must
-// use GetCounter/GetGauge handles.
+// ## Namespace views
+//
+// Namespace("shard0.") returns a write-through view owned by this
+// registry: every handle acquired through the view resolves to the
+// parent under the prefixed name ("shard0.el.appended"), so a component
+// hard-wired to its own metric names can be instantiated per shard
+// without renaming anything. Views compose (a view's Namespace()
+// prefixes onto its own prefix), hold no storage of their own, and live
+// exactly as long as the root registry. Snapshot copies carry the data
+// maps only — wiring-time views are not cloned.
 
 #ifndef ELOG_SIM_METRICS_H_
 #define ELOG_SIM_METRICS_H_
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "util/stats.h"
@@ -85,38 +93,58 @@ class Gauge {
 
 class MetricsRegistry {
  public:
+  MetricsRegistry() = default;
+  /// Copies/moves carry the metric data only (snapshot semantics); any
+  /// Namespace views of the source are dropped — they are wiring-time
+  /// plumbing, and handles into the source stay valid there.
+  MetricsRegistry(const MetricsRegistry& other)
+      : counters_(other.counters_),
+        gauges_(other.gauges_),
+        distributions_(other.distributions_) {}
+  MetricsRegistry& operator=(const MetricsRegistry& other) {
+    counters_ = other.counters_;
+    gauges_ = other.gauges_;
+    distributions_ = other.distributions_;
+    return *this;
+  }
+  MetricsRegistry(MetricsRegistry&& other) noexcept
+      : counters_(std::move(other.counters_)),
+        gauges_(std::move(other.gauges_)),
+        distributions_(std::move(other.distributions_)) {}
+
   /// Typed handle to counter `name` (created at zero on first use).
   /// Stable for the registry's lifetime; invalidated only by Reset().
   sim::Counter* GetCounter(const std::string& name) {
+    if (parent_ != nullptr) return parent_->GetCounter(prefix_ + name);
     return &counters_[name];
   }
 
   /// Typed handle to gauge `name` (created unset on first use).
   /// Stable for the registry's lifetime; invalidated only by Reset().
-  sim::Gauge* GetGauge(const std::string& name) { return &gauges_[name]; }
-
-  /// DEPRECATED on hot paths (string-map lookup per call) — use
-  /// GetCounter once at construction instead. Kept for harness, report
-  /// and test code. Adds `delta` to counter `name`.
-  void Incr(const std::string& name, int64_t delta = 1) {
-    counters_[name].Incr(delta);
+  sim::Gauge* GetGauge(const std::string& name) {
+    if (parent_ != nullptr) return parent_->GetGauge(prefix_ + name);
+    return &gauges_[name];
   }
 
-  /// DEPRECATED read-side shim: counter value, zero if never touched.
-  int64_t Counter(const std::string& name) const {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second.value();
-  }
+  /// Write-through view prefixing every metric name (see file comment).
+  /// Idempotent per prefix; the view is owned by (and lives as long as)
+  /// the root registry.
+  MetricsRegistry* Namespace(const std::string& prefix);
 
   /// Gauge read access; nullptr if never touched. Never mutates, so
   /// snapshot readers can take a const MetricsRegistry&.
   const sim::Gauge* FindGauge(const std::string& name) const {
+    if (parent_ != nullptr) return parent_->FindGauge(prefix_ + name);
     auto it = gauges_.find(name);
     return it == gauges_.end() ? nullptr : &it->second;
   }
 
   /// Records a sample into distribution `name`.
   void Observe(const std::string& name, double value) {
+    if (parent_ != nullptr) {
+      parent_->Observe(prefix_ + name, value);
+      return;
+    }
     distributions_[name].Add(value);
   }
 
@@ -125,6 +153,7 @@ class MetricsRegistry {
   /// take a const MetricsRegistry& (and a registry being snapshotted on
   /// one thread is safe to read concurrently from another).
   const Histogram& Distribution(const std::string& name) const {
+    if (parent_ != nullptr) return parent_->Distribution(prefix_ + name);
     static const Histogram kEmpty;
     auto it = distributions_.find(name);
     return it == distributions_.end() ? kEmpty : it->second;
@@ -139,11 +168,13 @@ class MetricsRegistry {
   }
 
   /// Destroys every metric AND every handle previously returned by
-  /// GetCounter/GetGauge. Only safe when no live component holds one.
+  /// GetCounter/GetGauge, and every Namespace view. Only safe when no
+  /// live component holds one.
   void Reset() {
     counters_.clear();
     gauges_.clear();
     distributions_.clear();
+    views_.clear();
   }
 
   /// Multi-line "name = value" dump, sorted by name.
@@ -156,6 +187,13 @@ class MetricsRegistry {
   std::map<std::string, sim::Counter> counters_;
   std::map<std::string, sim::Gauge> gauges_;
   std::map<std::string, Histogram> distributions_;
+
+  /// Namespace-view plumbing: a view routes every call to parent_ with
+  /// prefix_ prepended and owns no metric storage. Root registries have
+  /// parent_ == nullptr and own their views (keyed by full prefix).
+  MetricsRegistry* parent_ = nullptr;
+  std::string prefix_;
+  std::map<std::string, std::unique_ptr<MetricsRegistry>> views_;
 };
 
 }  // namespace sim

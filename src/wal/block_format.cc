@@ -72,11 +72,16 @@ constexpr size_t kCrcCoverageOffset = 8;
 
 /// Bytes one serialized record occupies in the image (AppendRecord):
 /// type u8 + tid/lsn/oid u64 + logged_size u32 + digest/prev_lsn/
-/// prev_digest u64.
+/// prev_digest u64. Records carrying a participant-shard mask (cross-shard
+/// transactions only) append a trailing u64 flagged by the high bit of the
+/// type byte; records without one keep this exact pre-sharding layout.
 constexpr size_t kSerializedRecordBytes = 1 + 8 + 8 + 8 + 4 + 8 + 8 + 8;
+constexpr uint8_t kParticipantsExtFlag = 0x80;
 
 void AppendRecord(uint8_t** cursor, const LogRecord& r) {
-  PutU8(cursor, static_cast<uint8_t>(r.type));
+  uint8_t type = static_cast<uint8_t>(r.type);
+  if (r.participants != 0) type |= kParticipantsExtFlag;
+  PutU8(cursor, type);
   PutU64(cursor, r.tid);
   PutU64(cursor, r.lsn);
   PutU64(cursor, r.oid);
@@ -84,6 +89,11 @@ void AppendRecord(uint8_t** cursor, const LogRecord& r) {
   PutU64(cursor, r.value_digest);
   PutU64(cursor, r.prev_lsn);
   PutU64(cursor, r.prev_digest);
+  if (r.participants != 0) PutU64(cursor, r.participants);
+}
+
+size_t SerializedRecordBytes(const LogRecord& r) {
+  return kSerializedRecordBytes + (r.participants != 0 ? 8 : 0);
 }
 
 bool ParseRecord(ByteReader* reader, LogRecord* r) {
@@ -96,8 +106,15 @@ bool ParseRecord(ByteReader* reader, LogRecord* r) {
       !reader->ReadU64(&prev_lsn) || !reader->ReadU64(&prev_digest)) {
     return false;
   }
+  const bool has_participants = (type & kParticipantsExtFlag) != 0;
+  type &= static_cast<uint8_t>(~kParticipantsExtFlag);
+  uint64_t participants = 0;
+  if (has_participants &&
+      (!reader->ReadU64(&participants) || participants == 0)) {
+    return false;
+  }
   if (type < static_cast<uint8_t>(RecordType::kBegin) ||
-      type > static_cast<uint8_t>(RecordType::kData)) {
+      type > static_cast<uint8_t>(RecordType::kPrepare)) {
     return false;
   }
   r->type = static_cast<RecordType>(type);
@@ -108,6 +125,7 @@ bool ParseRecord(ByteReader* reader, LogRecord* r) {
   r->value_digest = digest;
   r->prev_lsn = prev_lsn;
   r->prev_digest = prev_digest;
+  r->participants = participants;
   return true;
 }
 
@@ -142,8 +160,10 @@ void EncodeBlockInto(uint32_t generation, uint64_t write_seq,
   for (const LogRecord& r : records) payload_bytes += r.logged_size;
   ELOG_CHECK_LE(payload_bytes, kBlockPayloadBytes);
 
+  size_t body_bytes = 0;
+  for (const LogRecord& r : records) body_bytes += SerializedRecordBytes(r);
   out->clear();
-  out->resize(kBlockHeaderBytes + records.size() * kSerializedRecordBytes);
+  out->resize(kBlockHeaderBytes + body_bytes);
   uint8_t* cursor = out->data();
   PutU32(&cursor, kBlockMagic);
   PutU32(&cursor, 0);  // CRC patched below

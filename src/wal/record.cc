@@ -16,6 +16,8 @@ const char* RecordTypeToString(RecordType type) {
       return "ABORT";
     case RecordType::kData:
       return "DATA";
+    case RecordType::kPrepare:
+      return "PREPARE";
   }
   return "UNKNOWN";
 }
@@ -41,6 +43,14 @@ LogRecord LogRecord::MakeAbort(TxId tid, Lsn lsn) {
   return r;
 }
 
+LogRecord LogRecord::MakePrepare(TxId tid, Lsn lsn, uint64_t participants) {
+  ELOG_CHECK_NE(participants, 0ull);
+  LogRecord r = MakeBegin(tid, lsn);
+  r.type = RecordType::kPrepare;
+  r.participants = participants;
+  return r;
+}
+
 LogRecord LogRecord::MakeData(TxId tid, Lsn lsn, Oid oid, uint32_t logged_size,
                               uint64_t value_digest) {
   ELOG_CHECK_GT(logged_size, 0u);
@@ -60,6 +70,13 @@ std::string LogRecord::ToString() const {
                      static_cast<unsigned long long>(tid),
                      static_cast<unsigned long long>(lsn),
                      static_cast<unsigned long long>(oid), logged_size);
+  }
+  if (participants != 0) {
+    return StrFormat("%s(tid=%llu lsn=%llu participants=%llx)",
+                     RecordTypeToString(type),
+                     static_cast<unsigned long long>(tid),
+                     static_cast<unsigned long long>(lsn),
+                     static_cast<unsigned long long>(participants));
   }
   return StrFormat("%s(tid=%llu lsn=%llu)", RecordTypeToString(type),
                    static_cast<unsigned long long>(tid),

@@ -29,6 +29,10 @@ enum class RecordType : uint8_t {
   kCommit = 2,
   kAbort = 3,
   kData = 4,
+  /// Cross-shard prepare milestone (sharded logging only): the branch's
+  /// records up to here are durable and the branch votes yes. Never
+  /// written by single-shard transactions.
+  kPrepare = 5,
 };
 
 const char* RecordTypeToString(RecordType type);
@@ -57,12 +61,21 @@ struct LogRecord {
   Lsn prev_lsn = 0;
   uint64_t prev_digest = 0;
 
+  /// Cross-shard transactions only (zero otherwise): bitmask of
+  /// participant shards stamped into BEGIN/PREPARE/COMMIT records so
+  /// recovery can resolve in-doubt branches across shards. Serialized as
+  /// a backward-compatible extension (high bit of the type byte flags a
+  /// trailing u64); records with participants == 0 encode byte-identically
+  /// to the pre-sharding format.
+  uint64_t participants = 0;
+
   bool is_data() const { return type == RecordType::kData; }
   bool is_tx() const { return !is_data(); }
 
   static LogRecord MakeBegin(TxId tid, Lsn lsn);
   static LogRecord MakeCommit(TxId tid, Lsn lsn);
   static LogRecord MakeAbort(TxId tid, Lsn lsn);
+  static LogRecord MakePrepare(TxId tid, Lsn lsn, uint64_t participants);
   static LogRecord MakeData(TxId tid, Lsn lsn, Oid oid, uint32_t logged_size,
                             uint64_t value_digest);
 

@@ -23,7 +23,7 @@ WorkloadGenerator::WorkloadGenerator(sim::Simulator* simulator,
       metrics_(metrics == nullptr ? owned_metrics_.get() : metrics),
       rng_(spec.seed),
       arrival_rng_(spec.seed ^ 0x9e3779b97f4a7c15ULL),
-      picker_(spec.num_objects, &rng_),
+      picker_(spec.num_objects, &rng_, spec.zipf_alpha),
       started_(metrics_->GetCounter("workload.started")),
       committed_(metrics_->GetCounter("workload.committed")),
       aborted_(metrics_->GetCounter("workload.aborted")),
@@ -88,6 +88,15 @@ void WorkloadGenerator::Initiate() {
   ELOG_CHECK(inserted) << "sink reused live tid " << tid;
   ActiveTx& entry = it->second;
 
+  // Sharded runs only: decide whether this transaction deliberately
+  // crosses shards. The conditions short-circuit so unsharded runs (and
+  // sharded runs with fraction 0) draw nothing extra — the historical
+  // RNG stream is untouched.
+  if (router_ != nullptr && router_->num_shards() > 1 &&
+      spec_.cross_shard_fraction > 0.0 && type.num_data_records >= 2) {
+    entry.cross_shard = rng_.NextBool(spec_.cross_shard_fraction);
+  }
+
   // Schedule the N data record writes: j-th at t0 + j·(T−ε)/N.
   const SimTime t0 = simulator_->Now();
   const SimTime span = type.lifetime - spec_.epsilon;
@@ -114,7 +123,26 @@ void WorkloadGenerator::WriteDataRecord(TxId tid) {
   ActiveTx& tx = it->second;
   PopFiredEvent(tx);
   const TransactionType& type = spec_.types[tx.type_index];
-  Oid oid = picker_.Acquire();
+  Oid oid;
+  if (router_ == nullptr || router_->num_shards() <= 1) {
+    oid = picker_.Acquire();
+  } else if (tx.oids.empty()) {
+    // First pick is free and establishes the home shard.
+    oid = picker_.Acquire();
+    tx.home_shard = router_->ShardOf(oid);
+  } else if (tx.cross_shard && tx.oids.size() == 1) {
+    // Force the second pick off the home shard: the transaction now
+    // provably spans ≥ 2 shards.
+    oid = picker_.AcquireWhere(
+        [this, &tx](Oid o) { return router_->ShardOf(o) != tx.home_shard; });
+  } else if (!tx.cross_shard) {
+    // Single-shard transaction: stay home.
+    oid = picker_.AcquireWhere(
+        [this, &tx](Oid o) { return router_->ShardOf(o) == tx.home_shard; });
+  } else {
+    // Cross-shard transaction past its forced pick: unconstrained.
+    oid = picker_.Acquire();
+  }
   tx.oids.push_back(oid);
   updates_written_->Incr();
   sink_->WriteUpdate(tid, oid, type.data_record_bytes);

@@ -25,6 +25,7 @@
 #include "util/random.h"
 #include "util/stats.h"
 #include "workload/oid_picker.h"
+#include "workload/shard_router.h"
 #include "workload/spec.h"
 
 namespace elog {
@@ -66,6 +67,16 @@ class WorkloadGenerator {
   /// instants. Call before the simulation starts.
   void set_tracer(obs::Tracer* tracer);
 
+  /// Attaches the shard router of a sharded run (must outlive the
+  /// generator; call before Start). With a router over S > 1 shards, a
+  /// transaction's oid picks are constrained: single-shard transactions
+  /// keep every pick on the shard of their first oid, and a
+  /// `cross_shard_fraction` of transactions (with ≥ 2 data records)
+  /// force their second pick onto a *different* shard. Without a router
+  /// (or with S = 1) the paper's unconstrained draw — and its exact RNG
+  /// stream — is preserved.
+  void set_shard_router(const ShardRouter* router) { router_ = router; }
+
   /// Informs the generator that the log manager killed `tid`: remaining
   /// record writes are cancelled and the transaction's oids released.
   void NotifyKilled(TxId tid);
@@ -90,6 +101,12 @@ class WorkloadGenerator {
     SimTime begin_time = 0;
     SimTime commit_request_time = 0;
     bool commit_requested = false;
+    /// Sharded runs: shard of the first oid picked; later single-shard
+    /// picks are pinned to it.
+    uint32_t home_shard = 0;
+    /// Sharded runs: this transaction deliberately spans shards (its
+    /// second pick is forced off the home shard).
+    bool cross_shard = false;
     std::vector<Oid> oids;
     /// Events not yet fired (data writes + termination), front first.
     std::deque<sim::EventId> pending_events;
@@ -119,6 +136,7 @@ class WorkloadGenerator {
   /// arrival process does not perturb type/oid selection.
   Rng arrival_rng_;
   SimTime last_arrival_ = 0;
+  const ShardRouter* router_ = nullptr;
   OidPicker picker_;
   std::vector<double> cumulative_probability_;
 

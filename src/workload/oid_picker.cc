@@ -1,15 +1,92 @@
 #include "workload/oid_picker.h"
 
+#include <cmath>
+
 #include "util/check.h"
 
 namespace elog {
 namespace workload {
 
+namespace {
+
+// Hörmann & Derflinger's rejection-inversion helpers for Zipf(α) on
+// ranks {1, ..., n}. H is an integral of the (shifted) density, HInv its
+// inverse; see "Rejection-inversion to generate variates from monotone
+// discrete distributions" (ACM TOMACS 1996).
+double HIntegral(double x, double alpha) {
+  double log_x = std::log(x);
+  if (std::abs(alpha - 1.0) < 1e-12) return log_x;
+  // ((x^(1-α)) - 1) / (1-α), written via expm1 for stability near α = 1.
+  double one_minus = 1.0 - alpha;
+  return std::expm1(one_minus * log_x) / one_minus;
+}
+
+double HIntegralInverse(double x, double alpha) {
+  if (std::abs(alpha - 1.0) < 1e-12) return std::exp(x);
+  double one_minus = 1.0 - alpha;
+  double t = one_minus * x;
+  // Clamp so rounding can never push the argument of log1p below -1.
+  if (t < -1.0) t = -1.0;
+  return std::exp(std::log1p(t) / one_minus);
+}
+
+double HDensity(double x, double alpha) { return std::pow(x, -alpha); }
+
+}  // namespace
+
+OidPicker::OidPicker(Oid num_objects, Rng* rng, double zipf_alpha)
+    : num_objects_(num_objects), rng_(rng), zipf_alpha_(zipf_alpha) {
+  ELOG_CHECK_GT(num_objects, 0u);
+  ELOG_CHECK_GE(zipf_alpha, 0.0);
+  if (zipf_alpha_ > 0.0) {
+    double n = static_cast<double>(num_objects_);
+    h_integral_x1_ = HIntegral(1.5, zipf_alpha_) - 1.0;
+    h_integral_num_ = HIntegral(n + 0.5, zipf_alpha_);
+    s_ = 2.0 - HIntegralInverse(HIntegral(2.5, zipf_alpha_) -
+                                    HDensity(2.0, zipf_alpha_),
+                                zipf_alpha_);
+  }
+}
+
+Oid OidPicker::DrawZipf() {
+  while (true) {
+    double u = h_integral_num_ +
+               rng_->NextDouble() * (h_integral_x1_ - h_integral_num_);
+    double x = HIntegralInverse(u, zipf_alpha_);
+    double n = static_cast<double>(num_objects_);
+    if (x < 1.0) x = 1.0;
+    if (x > n) x = n;
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > n) k = n;
+    if (k - x <= s_ ||
+        u >= HIntegral(k + 0.5, zipf_alpha_) - HDensity(k, zipf_alpha_)) {
+      // Rank 1 (hottest) maps to oid 0.
+      return static_cast<Oid>(k) - 1;
+    }
+  }
+}
+
+Oid OidPicker::Draw() {
+  if (zipf_alpha_ > 0.0) return DrawZipf();
+  return rng_->NextBounded(num_objects_);
+}
+
 Oid OidPicker::Acquire() {
   ELOG_CHECK_LT(held_.size(), num_objects_)
       << "all objects are held by active transactions";
   while (true) {
-    Oid oid = rng_->NextBounded(num_objects_);
+    Oid oid = Draw();
+    if (held_.insert(oid).second) return oid;
+  }
+}
+
+Oid OidPicker::AcquireWhere(const std::function<bool(Oid)>& filter) {
+  ELOG_CHECK_LT(held_.size(), num_objects_)
+      << "all objects are held by active transactions";
+  while (true) {
+    Oid oid = Draw();
+    if (!filter(oid)) continue;
     if (held_.insert(oid).second) return oid;
   }
 }

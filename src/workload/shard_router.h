@@ -1,0 +1,63 @@
+// Oid → shard routing for sharded ephemeral logging.
+//
+// The sharded coordinator (src/shard/) runs S fully independent EL
+// instances and partitions the database between them by oid. The router
+// is the single source of truth for that partition: the workload
+// generator consults it to keep single-shard transactions on one shard
+// (and to deliberately cross shards for a configured fraction), and the
+// coordinator consults it to pick the branch that receives each update.
+// Both sides MUST see the same router, and recovery of a sharded log
+// only needs the routing to be deterministic in (oid, num_shards).
+
+#ifndef ELOG_WORKLOAD_SHARD_ROUTER_H_
+#define ELOG_WORKLOAD_SHARD_ROUTER_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+#include "util/types.h"
+
+namespace elog {
+namespace workload {
+
+/// Deterministic oid → shard map. Implementations must be pure
+/// functions of (oid, num_shards): the same router is consulted at log
+/// time and at recovery time.
+class ShardRouter {
+ public:
+  virtual ~ShardRouter() = default;
+  virtual uint32_t num_shards() const = 0;
+  virtual uint32_t ShardOf(Oid oid) const = 0;
+};
+
+/// Hash partitioning (the default): shard = SplitMix64(oid) % S.
+/// Hashing rather than range partitioning keeps every shard's load
+/// statistically even under both uniform and zipf-skewed oid draws,
+/// which is what makes the shard-scaling benchmark an honest measure of
+/// coordination cost rather than of partition imbalance.
+class HashShardRouter : public ShardRouter {
+ public:
+  explicit HashShardRouter(uint32_t num_shards) : num_shards_(num_shards) {
+    ELOG_CHECK_GT(num_shards, 0u);
+  }
+
+  uint32_t num_shards() const override { return num_shards_; }
+
+  uint32_t ShardOf(Oid oid) const override {
+    // SplitMix64 finalizer (public domain; same mixer as util/random.h
+    // uses for seed derivation).
+    uint64_t z = static_cast<uint64_t>(oid) + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z = z ^ (z >> 31);
+    return static_cast<uint32_t>(z % num_shards_);
+  }
+
+ private:
+  uint32_t num_shards_;
+};
+
+}  // namespace workload
+}  // namespace elog
+
+#endif  // ELOG_WORKLOAD_SHARD_ROUTER_H_

@@ -50,6 +50,12 @@ Status WorkloadSpec::Validate() const {
   if (num_objects == 0) {
     return Status::InvalidArgument("num_objects must be positive");
   }
+  if (zipf_alpha < 0.0) {
+    return Status::InvalidArgument("zipf_alpha must be non-negative");
+  }
+  if (cross_shard_fraction < 0.0 || cross_shard_fraction > 1.0) {
+    return Status::InvalidArgument("cross_shard_fraction out of [0, 1]");
+  }
   return Status::OK();
 }
 

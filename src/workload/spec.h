@@ -58,6 +58,15 @@ struct WorkloadSpec {
   SimTime epsilon = kMillisecond;
   /// RNG seed (type selection and oid choice).
   uint64_t seed = 42;
+  /// Zipf skew exponent α for oid selection. 0 = the paper's uniform
+  /// draw (and the historical RNG stream); > 0 skews picks toward low
+  /// oids (rank 1 hottest). Used by the sharding benchmarks.
+  double zipf_alpha = 0.0;
+  /// Fraction of transactions that deliberately touch at least two
+  /// shards (sharded runs with a router attached only; ignored — and
+  /// drawn for by nobody — otherwise). Such a transaction's second data
+  /// record is forced onto a different shard than its first.
+  double cross_shard_fraction = 0.0;
 
   /// Checks probabilities sum to 1, rates are positive, record sizes fit
   /// in a block, etc.

@@ -94,9 +94,9 @@ TEST(DatabaseEdgeTest, MetricsRegistryPopulated) {
   DatabaseConfig config = BaseConfig(SecondsToSimTime(5));
   Database database(config);
   database.Run();
-  EXPECT_GT(database.metrics().Counter("workload.started"), 0);
-  EXPECT_GT(database.metrics().Counter("log_device.writes"), 0);
-  EXPECT_GT(database.metrics().Counter("flush_drive.flushes"), 0);
+  EXPECT_GT(database.metrics().GetCounter("workload.started")->value(), 0);
+  EXPECT_GT(database.metrics().GetCounter("log_device.writes")->value(), 0);
+  EXPECT_GT(database.metrics().GetCounter("flush_drive.flushes")->value(), 0);
 }
 
 TEST(DatabaseEdgeTest, CommittedTidsMatchGeneratorCount) {

@@ -243,9 +243,9 @@ TEST(GeneratorTest, MetricsCountersExported) {
   WorkloadGenerator generator(&sim, spec, &sink, &metrics);
   generator.Start();
   sim.Run();
-  EXPECT_EQ(metrics.Counter("workload.started"), 10);
-  EXPECT_EQ(metrics.Counter("workload.updates"), 20);
-  EXPECT_EQ(metrics.Counter("workload.committed"), 10);
+  EXPECT_EQ(metrics.GetCounter("workload.started")->value(), 10);
+  EXPECT_EQ(metrics.GetCounter("workload.updates")->value(), 20);
+  EXPECT_EQ(metrics.GetCounter("workload.committed")->value(), 10);
 }
 
 TEST(GeneratorTest, PoissonArrivalsMatchRateAndVary) {

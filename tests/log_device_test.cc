@@ -66,8 +66,8 @@ TEST_F(LogDeviceTest, PerGenerationCounters) {
   EXPECT_EQ(device_.writes_completed(), 3);
   EXPECT_EQ(device_.writes_completed(0), 2);
   EXPECT_EQ(device_.writes_completed(1), 1);
-  EXPECT_EQ(metrics_.Counter("log_device.writes"), 3);
-  EXPECT_EQ(metrics_.Counter("log_device.writes.gen0"), 2);
+  EXPECT_EQ(metrics_.GetCounter("log_device.writes")->value(), 3);
+  EXPECT_EQ(metrics_.GetCounter("log_device.writes.gen0")->value(), 2);
 }
 
 TEST_F(LogDeviceTest, InServiceReportsAddress) {

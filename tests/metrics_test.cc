@@ -8,23 +8,32 @@ namespace {
 
 TEST(MetricsRegistryTest, CountersStartAtZero) {
   MetricsRegistry metrics;
-  EXPECT_EQ(metrics.Counter("never.touched"), 0);
+  EXPECT_EQ(metrics.GetCounter("never.touched")->value(), 0);
 }
 
 TEST(MetricsRegistryTest, IncrAccumulates) {
   MetricsRegistry metrics;
-  metrics.Incr("writes");
-  metrics.Incr("writes", 4);
-  metrics.Incr("writes", -2);
-  EXPECT_EQ(metrics.Counter("writes"), 3);
+  Counter* writes = metrics.GetCounter("writes");
+  writes->Incr();
+  writes->Incr(4);
+  writes->Incr(-2);
+  EXPECT_EQ(metrics.GetCounter("writes")->value(), 3);
 }
 
 TEST(MetricsRegistryTest, CountersAreIndependent) {
   MetricsRegistry metrics;
-  metrics.Incr("a");
-  metrics.Incr("b", 10);
-  EXPECT_EQ(metrics.Counter("a"), 1);
-  EXPECT_EQ(metrics.Counter("b"), 10);
+  metrics.GetCounter("a")->Incr();
+  metrics.GetCounter("b")->Incr(10);
+  EXPECT_EQ(metrics.GetCounter("a")->value(), 1);
+  EXPECT_EQ(metrics.GetCounter("b")->value(), 10);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStable) {
+  MetricsRegistry metrics;
+  Counter* first = metrics.GetCounter("x");
+  metrics.GetCounter("a");  // an earlier-sorting neighbour
+  metrics.GetCounter("z");  // and a later one
+  EXPECT_EQ(first, metrics.GetCounter("x"));
 }
 
 TEST(MetricsRegistryTest, ObserveFeedsDistribution) {
@@ -37,22 +46,58 @@ TEST(MetricsRegistryTest, ObserveFeedsDistribution) {
 
 TEST(MetricsRegistryTest, ResetClearsEverything) {
   MetricsRegistry metrics;
-  metrics.Incr("x");
+  metrics.GetCounter("x")->Incr();
   metrics.Observe("y", 1.0);
   metrics.Reset();
-  EXPECT_EQ(metrics.Counter("x"), 0);
-  EXPECT_TRUE(metrics.counters().empty());
+  EXPECT_EQ(metrics.GetCounter("x")->value(), 0);
+  EXPECT_EQ(metrics.counters().size(), 1u);  // re-created by the read
   EXPECT_TRUE(metrics.distributions().empty());
 }
 
 TEST(MetricsRegistryTest, ToStringListsEntries) {
   MetricsRegistry metrics;
-  metrics.Incr("log.writes", 7);
+  metrics.GetCounter("log.writes")->Incr(7);
   metrics.Observe("flush.seek", 3.0);
   std::string text = metrics.ToString();
   EXPECT_NE(text.find("log.writes"), std::string::npos);
   EXPECT_NE(text.find("7"), std::string::npos);
   EXPECT_NE(text.find("flush.seek"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, NamespaceViewWritesThroughWithPrefix) {
+  MetricsRegistry metrics;
+  MetricsRegistry* shard = metrics.Namespace("shard0.");
+  shard->GetCounter("el.appended")->Incr(5);
+  shard->GetGauge("el.memory_bytes")->Set(10, 3.0);
+  shard->Observe("commit_latency", 2.0);
+  EXPECT_EQ(metrics.GetCounter("shard0.el.appended")->value(), 5);
+  ASSERT_NE(metrics.FindGauge("shard0.el.memory_bytes"), nullptr);
+  EXPECT_EQ(metrics.Distribution("shard0.commit_latency").count(), 1u);
+  // The view holds no storage of its own.
+  EXPECT_TRUE(shard->counters().empty());
+  // Handles resolve to the same storage whichever side acquires them.
+  EXPECT_EQ(shard->GetCounter("el.appended"),
+            metrics.GetCounter("shard0.el.appended"));
+}
+
+TEST(MetricsRegistryTest, NamespaceIsIdempotentAndComposes) {
+  MetricsRegistry metrics;
+  EXPECT_EQ(metrics.Namespace("shard1."), metrics.Namespace("shard1."));
+  MetricsRegistry* nested = metrics.Namespace("shard1.")->Namespace("dev.");
+  nested->GetCounter("writes")->Incr();
+  EXPECT_EQ(metrics.GetCounter("shard1.dev.writes")->value(), 1);
+  EXPECT_EQ(nested, metrics.Namespace("shard1.dev."));
+}
+
+TEST(MetricsRegistryTest, CopiesCarryDataNotViews) {
+  MetricsRegistry metrics;
+  metrics.Namespace("shard0.")->GetCounter("el.appended")->Incr(2);
+  MetricsRegistry snapshot = metrics;
+  EXPECT_EQ(snapshot.GetCounter("shard0.el.appended")->value(), 2);
+  // The source's view still routes into the source, not the copy.
+  metrics.Namespace("shard0.")->GetCounter("el.appended")->Incr();
+  EXPECT_EQ(metrics.GetCounter("shard0.el.appended")->value(), 3);
+  EXPECT_EQ(snapshot.GetCounter("shard0.el.appended")->value(), 2);
 }
 
 }  // namespace

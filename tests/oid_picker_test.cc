@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 namespace elog {
 namespace workload {
@@ -46,6 +47,97 @@ TEST(OidPickerTest, ExhaustsFullRange) {
   EXPECT_EQ(all.size(), 16u);
   EXPECT_EQ(*all.begin(), 0u);
   EXPECT_EQ(*all.rbegin(), 15u);
+}
+
+TEST(OidPickerTest, AcquireWhereRespectsFilter) {
+  Rng rng(7);
+  OidPicker picker(64, &rng);
+  for (int i = 0; i < 20; ++i) {
+    Oid oid = picker.AcquireWhere([](Oid o) { return o % 2 == 0; });
+    EXPECT_EQ(oid % 2, 0u);
+  }
+}
+
+// Distribution shape: Zipf(α) concentrates mass on low ranks — the hot
+// oid 0 must be drawn far more often than a mid-range oid, and higher α
+// must concentrate harder. Draws are released immediately so held-state
+// rejection never distorts the frequencies.
+TEST(OidPickerZipfTest, SkewsTowardLowOids) {
+  constexpr Oid kObjects = 1000;
+  constexpr int kDraws = 200000;
+  Rng rng(11);
+  OidPicker picker(kObjects, &rng, /*zipf_alpha=*/1.0);
+  std::vector<int> counts(kObjects, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    Oid oid = picker.Acquire();
+    ++counts[oid];
+    picker.Release(oid);
+  }
+  // Zipf(1): P(rank 1) / P(rank 10) = 10. Allow generous slack for
+  // sampling noise (expected count for rank 1 is ~26k draws).
+  EXPECT_GT(counts[0], counts[9] * 5);
+  EXPECT_GT(counts[0], counts[99] * 20);
+  // The head dominates: ranks 1-10 collect more than a uniform 1% share.
+  int head = 0;
+  for (int i = 0; i < 10; ++i) head += counts[i];
+  EXPECT_GT(head, kDraws / 3);  // Zipf(1, n=1000): ~39% on the top 10
+}
+
+TEST(OidPickerZipfTest, HigherAlphaConcentratesHarder) {
+  constexpr Oid kObjects = 1000;
+  constexpr int kDraws = 50000;
+  auto head_share = [&](double alpha, uint64_t seed) {
+    Rng rng(seed);
+    OidPicker picker(kObjects, &rng, alpha);
+    int head = 0;
+    for (int i = 0; i < kDraws; ++i) {
+      Oid oid = picker.Acquire();
+      if (oid < 10) ++head;
+      picker.Release(oid);
+    }
+    return head;
+  };
+  const int mild = head_share(0.5, 21);
+  const int steep = head_share(1.5, 21);
+  EXPECT_GT(steep, mild * 2);
+}
+
+TEST(OidPickerZipfTest, DeterministicGivenSeed) {
+  for (double alpha : {0.0, 0.8, 1.2}) {
+    Rng rng_a(33), rng_b(33);
+    OidPicker a(512, &rng_a, alpha);
+    OidPicker b(512, &rng_b, alpha);
+    for (int i = 0; i < 1000; ++i) {
+      Oid oa = a.Acquire();
+      Oid ob = b.Acquire();
+      EXPECT_EQ(oa, ob) << "alpha=" << alpha << " draw " << i;
+      a.Release(oa);
+      b.Release(ob);
+    }
+  }
+}
+
+// α = 0 must preserve the paper's uniform draw — the exact historical
+// RNG stream: one NextBounded(n) per accepted pick. A divergence here
+// would silently invalidate every recorded golden artifact.
+TEST(OidPickerZipfTest, AlphaZeroMatchesHistoricalUniformStream) {
+  Rng picker_rng(55), raw_rng(55);
+  OidPicker picker(128, &picker_rng, 0.0);
+  for (int i = 0; i < 500; ++i) {
+    Oid oid = picker.Acquire();
+    EXPECT_EQ(oid, static_cast<Oid>(raw_rng.NextBounded(128)));
+    picker.Release(oid);
+  }
+}
+
+TEST(OidPickerZipfTest, ZipfDrawsStayInRange) {
+  Rng rng(77);
+  OidPicker picker(10, &rng, 2.0);  // tiny space, steep skew
+  for (int i = 0; i < 5000; ++i) {
+    Oid oid = picker.Acquire();
+    EXPECT_LT(oid, 10u);
+    picker.Release(oid);
+  }
 }
 
 TEST(OidPickerDeathTest, ReleaseUnheldChecks) {

@@ -41,6 +41,20 @@ void ExpectSameTrial(const TortureTrial& a, const TortureTrial& b,
       << what << " trial " << index;
   EXPECT_EQ(a.first_violation, b.first_violation)
       << what << " trial " << index;
+  EXPECT_EQ(a.prepares_in_log, b.prepares_in_log) << what << " trial " << index;
+  EXPECT_EQ(a.in_doubt_committed, b.in_doubt_committed)
+      << what << " trial " << index;
+  EXPECT_EQ(a.in_doubt_aborted, b.in_doubt_aborted)
+      << what << " trial " << index;
+  EXPECT_EQ(a.shard_disagreements, b.shard_disagreements)
+      << what << " trial " << index;
+}
+
+TortureSpec ShardedSpec() {
+  TortureSpec spec = SmallSpec();
+  spec.shards = 4;
+  spec.cross_shard_fraction = 0.3;
+  return spec;
 }
 
 TEST(TortureTest, SmokeAllManagersPass) {
@@ -84,6 +98,54 @@ TEST(TortureTest, DeterministicAcrossWorkerCounts) {
     EXPECT_EQ(serial.passed, parallel.passed);
     EXPECT_EQ(serial.total_committed, parallel.total_committed);
   }
+}
+
+TEST(TortureTest, ShardedSmokeAllManagersPass) {
+  TortureSpec spec = ShardedSpec();
+  for (TortureManager manager : AllTortureManagers()) {
+    TortureReport report = RunTorture(spec, manager, nullptr, nullptr);
+    EXPECT_EQ(report.failed, 0) << TortureManagerName(manager) << ": "
+                                << (report.trials.empty()
+                                        ? ""
+                                        : report.trials[0].first_violation);
+    EXPECT_EQ(report.passed, spec.trials);
+  }
+}
+
+// The acceptance pin: a trial whose crash lands mid cross-shard commit —
+// PREPAREs durable on some shards with the decision outcome split — must
+// resolve its in-doubt transactions, and every replay of (seed, manager,
+// index) must resolve them identically. Trial 0 of this spec leaves both
+// kinds of evidence (branches redone from a committed decision elsewhere
+// AND presumed aborts); if trial derivation ever changes, re-pin an index
+// with both counters nonzero.
+TEST(TortureTest, PinnedCrossShardCrashReplaysIdentically) {
+  TortureSpec spec = ShardedSpec();
+  TortureTrial first = RunTortureTrial(spec, TortureManager::kEphemeral, 0);
+  EXPECT_TRUE(first.ok) << first.first_violation;
+  EXPECT_GT(first.prepares_in_log, 0);
+  EXPECT_GT(first.in_doubt_committed, 0);
+  EXPECT_GT(first.in_doubt_aborted, 0);
+  EXPECT_EQ(first.shard_disagreements, 0);
+  for (int replay = 0; replay < 2; ++replay) {
+    TortureTrial again = RunTortureTrial(spec, TortureManager::kEphemeral, 0);
+    ExpectSameTrial(first, again, "pinned cross-shard replay", 0);
+  }
+}
+
+TEST(TortureTest, ShardedDeterministicAcrossWorkerCounts) {
+  TortureSpec spec = ShardedSpec();
+  ThreadPool pool4(4);
+  TortureReport serial =
+      RunTorture(spec, TortureManager::kEphemeral, nullptr, nullptr);
+  TortureReport parallel =
+      RunTorture(spec, TortureManager::kEphemeral, &pool4, nullptr);
+  ASSERT_EQ(serial.trials.size(), parallel.trials.size());
+  for (size_t i = 0; i < serial.trials.size(); ++i) {
+    ExpectSameTrial(serial.trials[i], parallel.trials[i], "sharded", i);
+  }
+  EXPECT_EQ(serial.total_prepares_in_log, parallel.total_prepares_in_log);
+  EXPECT_GT(serial.total_prepares_in_log, 0);
 }
 
 TEST(TortureTest, ManagersDrawIndependentStreams) {
