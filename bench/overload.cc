@@ -1,0 +1,302 @@
+// Overload robustness: open-loop saturation with and without admission
+// control (src/overload, docs/overload.md).
+//
+// The paper's arrival process is open-loop (§3: database performance
+// does not alter arrivals), so driving any manager past its saturating
+// rate R* grows a backlog without bound: commit latency climbs with the
+// length of the run and the kill policy starts landing on committing
+// transactions (unsafe_committing_kills), which voids EL's recovery
+// guarantees. This bench measures that failure mode and the admission
+// controller's answer to it, for all four managers (EL, FW, hybrid,
+// sharded EL):
+//
+//  1. An admission-off rate sweep locates R* per manager: the first
+//     rate whose committed throughput falls below 85% of the offered
+//     rate (the last ladder rate if none does).
+//  2. At 120% of R* each manager runs twice — admission off and
+//     admission on (occupancy + in-flight-byte watermarks, plus a
+//     max_hold_us group-commit bound). The gate: every admission-on
+//     overload row must finish with unsafe_committing_kills == 0 and
+//     p99 commit latency under --p99_gate_ms, or the bench exits 1.
+//  3. The same overload point for EL under kOnOff bursty arrivals
+//     (3x bursts at 1/3 duty, same mean rate) shows the valve riding
+//     out bursts rather than steady overload.
+//
+// Deterministic at any --jobs: fixed config enumeration order, every
+// point keeps its own workload seed, and R* is derived from the phase-1
+// results (which are themselves deterministic).
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/bench_cli.h"
+#include "harness/report.h"
+#include "runner/bench_json.h"
+#include "runner/progress.h"
+#include "runner/sweep_runner.h"
+#include "util/string_util.h"
+
+using namespace elog;
+
+namespace {
+
+enum class Bench { kEl, kFw, kHybrid, kSharded };
+
+const char* Name(Bench b) {
+  switch (b) {
+    case Bench::kEl: return "el";
+    case Bench::kFw: return "fw";
+    case Bench::kHybrid: return "hybrid";
+    case Bench::kSharded: return "sharded";
+  }
+  return "?";
+}
+
+db::DatabaseConfig MakeConfig(Bench bench, double rate_tps, SimTime runtime,
+                              uint64_t seed) {
+  db::DatabaseConfig config;
+  config.workload = workload::PaperMix(0.05);
+  config.workload.runtime = runtime;
+  config.workload.arrival_rate_tps = rate_tps;
+  config.workload.seed = seed;
+  switch (bench) {
+    case Bench::kEl:
+      config.log.generation_blocks = {18, 16};
+      break;
+    case Bench::kFw:
+      config.log = MakeFirewallOptions(40);
+      break;
+    case Bench::kHybrid:
+      config.log.generation_blocks = {18, 16};
+      config.manager = ManagerKind::kHybrid;
+      break;
+    case Bench::kSharded:
+      // Four EL stacks; roomy per-shard logs so the ceiling is the
+      // multiplied device/flush bandwidth (as in bench/shard_scaling).
+      config.log.generation_blocks = {40, 40};
+      config.log.shards = 4;
+      break;
+  }
+  return config;
+}
+
+/// The admission valve under test: occupancy hysteresis at 70/50%, an
+/// in-flight byte cap of ~eight queued blocks of device time, a short
+/// deferred-BEGIN queue, and a 5 ms bound on how long a nonempty
+/// group-commit buffer may hold admitted committers. The watermarks sit
+/// well below the kill threshold on purpose: under flush-bound overload
+/// the backlog pins log blocks for seconds, so admitted transactions
+/// must find real headroom or their commit latency absorbs the wedge.
+/// The short deferred queue matters as much as the watermarks: every
+/// deferred BEGIN retries ~retry_delay after the valve reopens, so a
+/// deep queue releases a thundering herd that wedges the log it just
+/// drained (the kill policy then lands on committing transactions).
+void EnableAdmission(db::DatabaseConfig* config) {
+  config->admission.enabled = true;
+  if (config->manager == ManagerKind::kHybrid) {
+    // Hybrid migrates whole transactions at head advance, so a wedge
+    // needs a full transaction's worth of contiguous headroom in the
+    // next generation — trip the valve earlier than the per-record EL.
+    config->admission.high_watermark = 0.50;
+    config->admission.low_watermark = 0.35;
+  } else {
+    config->admission.high_watermark = 0.70;
+    config->admission.low_watermark = 0.50;
+  }
+  config->admission.max_inflight_log_bytes = 16 * 1024;
+  config->admission.retry_delay = 20 * kMillisecond;
+  config->admission.max_deferred = 16;
+  // Must exceed the 15 ms per-block write latency: a hold below the
+  // device service time shreds the log into mostly-empty blocks and
+  // turns byte headroom into block-rate overload (each partial block
+  // still costs a full 15 ms of device time).
+  config->log.max_hold_us = 50 * kMillisecond;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t runtime_s = 15;
+  int64_t p99_gate_ms = 1000;
+  harness::BenchCli cli;
+  cli.AddQuick("fewer ladder rates");
+  cli.AddSeed(42, "workload RNG seed");
+  FlagSet& flags = cli.flags();
+  flags.AddInt64("runtime", &runtime_s, "simulated seconds of arrivals");
+  flags.AddInt64("p99_gate_ms", &p99_gate_ms,
+                 "admission-on overload rows must keep p99 commit latency "
+                 "under this bound");
+  if (!cli.Parse(argc, argv)) return 2;
+
+  const SimTime runtime = SecondsToSimTime(runtime_s);
+  const uint64_t seed = static_cast<uint64_t>(cli.seed);
+  // Rate ladders bracketing each manager's expected ceiling: EL and
+  // hybrid are flush-bound near 190 tps (10 drives x ~40 flushes/s over
+  // ~2.1 updates/txn); FW releases on commit, so it rides to the log
+  // device's ~600 tps; four EL shards multiply the flush pool to
+  // ~760 tps. Runs past R* are short (15 s) on purpose — the open-loop
+  // backlog they accumulate is host memory (see bench/shard_scaling).
+  const std::vector<Bench> benches = {Bench::kEl, Bench::kFw, Bench::kHybrid,
+                                      Bench::kSharded};
+  std::vector<std::vector<double>> ladders;
+  if (cli.quick) {
+    ladders = {{150, 300}, {300, 700}, {150, 300}, {600, 1200}};
+  } else {
+    ladders = {{100, 150, 200, 300, 450, 600},
+               {150, 300, 450, 600, 750, 900},
+               {100, 150, 200, 300, 450, 600},
+               {300, 450, 600, 900, 1200, 1500}};
+  }
+
+  runner::ProgressReporter progress("overload");
+  runner::SweepOptions sweep_options;
+  sweep_options.jobs = static_cast<int>(cli.jobs);
+  // Paired comparison: every point replays the same arrival stream, so
+  // curve differences come from the manager and the valve alone.
+  sweep_options.derive_seeds = false;
+  sweep_options.progress = &progress;
+  runner::SweepRunner sweeper(sweep_options);
+  harness::WallTimer timer;
+
+  TableWriter table({"manager", "arrivals", "admission", "rate_tps",
+                     "committed_tps", "p50_ms", "p99_ms", "p999_ms", "killed",
+                     "unsafe", "shed", "delayed"});
+  auto add_row = [&](Bench b, const char* arrivals, const char* mode,
+                     double rate, const db::RunStats& stats) {
+    const double tput = static_cast<double>(stats.total_committed) /
+                        static_cast<double>(runtime_s);
+    table.AddRow({Name(b), arrivals, mode, StrFormat("%.0f", rate),
+                  StrFormat("%.1f", tput),
+                  StrFormat("%.2f", stats.commit_latency_p50_us / 1000.0),
+                  StrFormat("%.2f", stats.commit_latency_p99_us / 1000.0),
+                  StrFormat("%.2f", stats.commit_latency_p999_us / 1000.0),
+                  std::to_string(stats.total_killed),
+                  std::to_string(stats.unsafe_committing_kills),
+                  std::to_string(stats.begins_shed),
+                  std::to_string(stats.begins_delayed)});
+  };
+
+  // --- Phase 1: admission-off curves, locate R* per manager -------------
+  struct CurvePoint {
+    Bench bench;
+    double rate;
+  };
+  std::vector<CurvePoint> points;
+  std::vector<db::DatabaseConfig> configs;
+  for (size_t b = 0; b < benches.size(); ++b) {
+    for (double rate : ladders[b]) {
+      points.push_back({benches[b], rate});
+      configs.push_back(MakeConfig(benches[b], rate, runtime, seed));
+    }
+  }
+  std::vector<db::RunStats> curve = sweeper.Run(std::move(configs));
+
+  std::vector<double> saturation(benches.size(), 0.0);
+  for (size_t i = 0; i < points.size(); ++i) {
+    add_row(points[i].bench, "poisson", "off", points[i].rate, curve[i]);
+    const size_t b = static_cast<size_t>(points[i].bench);
+    const double tput = static_cast<double>(curve[i].total_committed) /
+                        static_cast<double>(runtime_s);
+    if (saturation[b] == 0.0 && tput < 0.85 * points[i].rate) {
+      saturation[b] = points[i].rate;
+    }
+  }
+  for (size_t b = 0; b < benches.size(); ++b) {
+    if (saturation[b] == 0.0) saturation[b] = ladders[b].back();
+    std::fprintf(stderr, "%s: R* = %.0f tps, overload point %.0f tps\n",
+                 Name(benches[b]), saturation[b], 1.2 * saturation[b]);
+  }
+
+  // --- Phase 2: 120% of R*, admission off vs on -------------------------
+  struct OverloadPoint {
+    Bench bench;
+    const char* arrivals;
+    bool admission;
+    double rate;
+  };
+  std::vector<OverloadPoint> over_points;
+  std::vector<db::DatabaseConfig> over_configs;
+  for (size_t b = 0; b < benches.size(); ++b) {
+    const double rate = 1.2 * saturation[b];
+    for (bool admission : {false, true}) {
+      db::DatabaseConfig config = MakeConfig(benches[b], rate, runtime, seed);
+      if (admission) EnableAdmission(&config);
+      over_points.push_back({benches[b], "poisson", admission, rate});
+      over_configs.push_back(std::move(config));
+    }
+  }
+  // EL again under bursty arrivals: 3x-rate bursts at 1/3 duty keep the
+  // mean at R* — a valve that sheds only during bursts, not steadily.
+  {
+    const double rate = saturation[0];
+    for (bool admission : {false, true}) {
+      db::DatabaseConfig config = MakeConfig(Bench::kEl, rate, runtime, seed);
+      config.workload.arrival_process = workload::ArrivalProcess::kOnOff;
+      config.workload.on_off_burst_factor = 3.0;
+      config.workload.on_off_duty = 1.0 / 3.0;
+      if (admission) EnableAdmission(&config);
+      over_points.push_back({Bench::kEl, "onoff", admission, rate});
+      over_configs.push_back(std::move(config));
+    }
+  }
+  std::vector<db::RunStats> over = sweeper.Run(std::move(over_configs));
+
+  bool gate_ok = true;
+  std::string gate_detail;
+  for (size_t i = 0; i < over_points.size(); ++i) {
+    const OverloadPoint& p = over_points[i];
+    add_row(p.bench, p.arrivals, p.admission ? "on" : "off", p.rate, over[i]);
+    if (!p.admission) continue;
+    const double p99_ms = over[i].commit_latency_p99_us / 1000.0;
+    if (over[i].unsafe_committing_kills != 0 ||
+        p99_ms > static_cast<double>(p99_gate_ms)) {
+      gate_ok = false;
+      gate_detail += StrFormat("  %s/%s: unsafe=%lld p99=%.1f ms\n",
+                               Name(p.bench), p.arrivals,
+                               (long long)over[i].unsafe_committing_kills,
+                               p99_ms);
+    }
+  }
+
+  harness::PrintTable(
+      "Open-loop overload: committed tps and commit-latency quantiles vs "
+      "offered rate, admission control off/on (gate: admission-on rows at "
+      "120% of R* keep unsafe=0 and bounded p99)",
+      table);
+
+  const double wall_s = timer.Seconds();
+  progress.Finish();
+
+  Status status = harness::MaybeWriteCsv(cli.csv, table);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  runner::BenchJson bench("overload");
+  bench.AddConfig("jobs", static_cast<int64_t>(sweeper.jobs()));
+  bench.AddConfig("seed", cli.seed);
+  bench.AddConfig("runtime_s", runtime_s);
+  bench.AddConfig("p99_gate_ms", p99_gate_ms);
+  bench.AddConfig("quick", cli.quick);
+  for (size_t b = 0; b < benches.size(); ++b) {
+    bench.AddMetric(StrFormat("saturation_tps_%s", Name(benches[b])),
+                    saturation[b]);
+  }
+  status = harness::WriteBenchJson(cli.json_dir, &bench, table, wall_s);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  if (!gate_ok) {
+    std::fprintf(stderr,
+                 "FAIL: admission-on overload rows broke the gate:\n%s",
+                 gate_detail.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -133,6 +133,7 @@ void EphemeralLogManager::StartTransaction(
   ELOG_CHECK(inserted);
   (void)slot_entry;
   UpdateMemoryGauge();
+  MaybeCloseBatch(target);
 }
 
 void EphemeralLogManager::WriteUpdate(TxId tid, Oid oid,
@@ -201,6 +202,7 @@ void EphemeralLogManager::WriteUpdate(TxId tid, Oid oid,
   records_appended_->Incr();
   ArmStealTimer();
   UpdateMemoryGauge();
+  MaybeCloseBatch(target);
 }
 
 void EphemeralLogManager::ArmStealTimer() {
@@ -330,6 +332,7 @@ void EphemeralLogManager::CommitInternal(TxId tid, uint64_t participants,
   cell->record.participants = participants;
   if (!AppendCellOrKill(target, cell, tid)) return;  // appender killed
   records_appended_->Incr();
+  MaybeCloseBatch(target);
 }
 
 void EphemeralLogManager::BranchPrepare(
@@ -358,6 +361,7 @@ void EphemeralLogManager::BranchPrepare(
   cell->record = wal::LogRecord::MakePrepare(tid, NextLsn(), participants);
   if (!AppendCellOrKill(target, cell, tid)) return;  // appender killed
   records_appended_->Incr();
+  MaybeCloseBatch(target);
 }
 
 void EphemeralLogManager::BranchAbort(TxId tid) {
@@ -379,13 +383,16 @@ void EphemeralLogManager::BranchAbort(TxId tid) {
 
   wal::LogRecord record = wal::LogRecord::MakeAbort(tid, NextLsn());
   Generation& gen = Gen(target);
+  const bool was_empty = gen.builder().empty();
   ELOG_CHECK(gen.builder().Add(record));
   gen.NoteRecordAdded(gen.builder_slot());
   records_appended_->Incr();
+  MaybeArmMaxHold(target, was_empty);
 
   DisposeTransaction(tid, entry);
   aborted_->Incr();
   UpdateMemoryGauge();
+  MaybeCloseBatch(target);
 }
 
 void EphemeralLogManager::Abort(TxId tid) {
@@ -402,13 +409,16 @@ void EphemeralLogManager::Abort(TxId tid) {
   // The ABORT record is garbage the instant it is written: no cell.
   wal::LogRecord record = wal::LogRecord::MakeAbort(tid, NextLsn());
   Generation& gen = Gen(target);
+  const bool was_empty = gen.builder().empty();
   ELOG_CHECK(gen.builder().Add(record));
   gen.NoteRecordAdded(gen.builder_slot());
   records_appended_->Incr();
+  MaybeArmMaxHold(target, was_empty);
 
   DisposeTransaction(tid, entry);
   aborted_->Incr();
   UpdateMemoryGauge();
+  MaybeCloseBatch(target);
 }
 
 // ---------------------------------------------------------------------------
@@ -511,7 +521,7 @@ EphemeralLogManager::AppendOutcome EphemeralLogManager::TryAppendCell(
       ScheduleLinger(g);
     }
   }
-  (void)was_empty;
+  MaybeArmMaxHold(g, was_empty);
   return AppendOutcome::kAppended;
 }
 
@@ -624,6 +634,34 @@ void EphemeralLogManager::ScheduleLinger(uint32_t g) {
   });
 }
 
+void EphemeralLogManager::MaybeArmMaxHold(uint32_t g, bool was_empty) {
+  if (!was_empty || options_.max_hold_us <= 0) return;
+  // Epoch-guarded like ScheduleLinger: the timer only fires on the very
+  // buffer the record entered; a rotation in between disarms it.
+  uint64_t epoch = Gen(g).builder_epoch();
+  simulator_->ScheduleAfter(options_.max_hold_us, [this, g, epoch] {
+    Generation& gen = Gen(g);
+    if (!gen.has_open_builder() || gen.builder_epoch() != epoch) return;
+    if (gen.builder().empty()) return;
+    if (gen.free_blocks() == 0) EnsureFree(g, 1);
+    WriteBuilder(g);
+  });
+}
+
+void EphemeralLogManager::MaybeCloseBatch(uint32_t g) {
+  if (options_.max_batch_bytes == 0) return;
+  Generation& gen = Gen(g);
+  if (!gen.has_open_builder() || gen.builder().empty()) return;
+  if (gen.builder().used_bytes() < options_.max_batch_bytes) return;
+  if (gen.free_blocks() == 0) EnsureFree(g, 1);
+  // EnsureFree can recurse into relocation that rotates or drains this
+  // very buffer; re-check before closing.
+  if (gen.has_open_builder() && !gen.builder().empty() &&
+      gen.free_blocks() >= 1) {
+    WriteBuilder(g);
+  }
+}
+
 void EphemeralLogManager::ForceWriteOpenBuffers() {
   for (uint32_t g = 0; g < generations_.size(); ++g) {
     Generation& gen = Gen(g);
@@ -680,6 +718,23 @@ void EphemeralLogManager::EnsureFree(uint32_t g, uint32_t need) {
     }
   }
   gc_active_.erase(g);
+}
+
+void EphemeralLogManager::ReclaimGarbageHeads() {
+  for (uint32_t g = 0; g < generations_.size(); ++g) {
+    if (gc_active_.count(g) > 0) continue;
+    Generation& gen = Gen(g);
+    // EL liveness lives in the cell list: the head block is pure garbage
+    // exactly when the front cell (the paper's h_i pointer) is not in the
+    // head slot. AdvanceHeadOnce then relocates nothing — the block is
+    // dropped, the occupancy gauge updated, and the forced-forward
+    // epilogue never fires. Stop at the first live head.
+    while (gen.used_blocks() > 0) {
+      const Cell* front = gen.cells().front();
+      if (front != nullptr && front->slot == gen.head_slot()) break;
+      AdvanceHeadOnce(g);
+    }
+  }
 }
 
 void EphemeralLogManager::AdvanceHeadOnce(uint32_t g) {
@@ -985,6 +1040,9 @@ void EphemeralLogManager::ProcessCommitDurable(TxId tid, LttEntry* entry) {
     }
     if (oids.empty()) CleanupCommittedTransaction(tid, entry);
     UpdateMemoryGauge();
+    // FW never flushes, so commit disposal is the only event that turns
+    // head blocks into garbage — reclaim here or the gauges freeze.
+    if (options_.eager_reclaim) ReclaimGarbageHeads();
     if (callback) callback(tid);
     return;
   }
@@ -1087,12 +1145,12 @@ void EphemeralLogManager::OnFlushFailed() { flush_failures_->Incr(); }
 void EphemeralLogManager::OnFlushDurable(const disk::FlushRequest& request) {
   updates_flushed_->Incr();
   LotEntry* obj = lot_.Find(request.oid);
-  if (obj == nullptr) return;  // superseded and disposed in the meantime
-  if (obj->committed != nullptr &&
+  if (obj != nullptr && obj->committed != nullptr &&
       obj->committed->record.lsn == request.lsn) {
     DisposeDataCell(obj->committed);
     UpdateMemoryGauge();
   }
+  if (options_.eager_reclaim) ReclaimGarbageHeads();
 }
 
 void EphemeralLogManager::UrgentFlushAndDrop(Cell* cell) {

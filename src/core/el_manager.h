@@ -202,6 +202,11 @@ class EphemeralLogManager : public LogManager {
   /// frees it.
   void AdvanceHeadOnce(uint32_t g);
 
+  /// eager_reclaim only: drops head blocks whose live count is already
+  /// zero (no relocations, kills or writes — just occupancy bookkeeping),
+  /// so the occupancy gauges track reality between appends.
+  void ReclaimGarbageHeads();
+
   /// Decides the fate of the non-garbage record `cell` at the head of
   /// generation g: forward, recirculate, flush on demand, or kill.
   void RelocateCell(uint32_t g, Cell* cell);
@@ -280,6 +285,14 @@ class EphemeralLogManager : public LogManager {
   void DisposeTransaction(TxId tid, LttEntry* entry);
 
   void ScheduleLinger(uint32_t g);
+  /// max_hold_us knob: arms an epoch-guarded force write when a record
+  /// has just entered an empty buffer (docs/overload.md).
+  void MaybeArmMaxHold(uint32_t g, bool was_empty);
+  /// max_batch_bytes knob: closes the open buffer early once its payload
+  /// reaches the limit. Called only at top-level external-append sites,
+  /// after the append has fully settled — never from inside the append
+  /// machinery, where a nested EnsureFree could invalidate caller state.
+  void MaybeCloseBatch(uint32_t g);
   void UpdateMemoryGauge();
 
   sim::Simulator* simulator_;

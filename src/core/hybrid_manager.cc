@@ -92,6 +92,7 @@ bool HybridLogManager::TryAppendRecord(uint32_t g,
     if (gen.free_blocks() == 0) return false;
     WriteBuilder(g);
   }
+  const bool was_empty = gen.builder().empty();
   ELOG_CHECK(gen.builder().Add(record));
   uint32_t slot = gen.builder_slot();
   gen.NoteRecordAdded(slot);
@@ -99,6 +100,7 @@ bool HybridLogManager::TryAppendRecord(uint32_t g,
     gen.pending_commit_tids().push_back(record.tid);
     ScheduleLinger(g);
   }
+  MaybeArmMaxHold(g, was_empty);
   if (slot_out != nullptr) *slot_out = slot;
   return true;
 }
@@ -190,6 +192,30 @@ void HybridLogManager::ScheduleLinger(uint32_t g) {
   });
 }
 
+void HybridLogManager::MaybeArmMaxHold(uint32_t g, bool was_empty) {
+  if (!was_empty || options_.max_hold_us <= 0) return;
+  uint64_t epoch = Gen(g).builder_epoch();
+  simulator_->ScheduleAfter(options_.max_hold_us, [this, g, epoch] {
+    Generation& gen = Gen(g);
+    if (!gen.has_open_builder() || gen.builder_epoch() != epoch) return;
+    if (gen.builder().empty()) return;
+    if (gen.free_blocks() == 0) EnsureFree(g, 1);
+    WriteBuilder(g);
+  });
+}
+
+void HybridLogManager::MaybeCloseBatch(uint32_t g) {
+  if (options_.max_batch_bytes == 0) return;
+  Generation& gen = Gen(g);
+  if (!gen.has_open_builder() || gen.builder().empty()) return;
+  if (gen.builder().used_bytes() < options_.max_batch_bytes) return;
+  if (gen.free_blocks() == 0) EnsureFree(g, 1);
+  if (gen.has_open_builder() && !gen.builder().empty() &&
+      gen.free_blocks() >= 1) {
+    WriteBuilder(g);
+  }
+}
+
 void HybridLogManager::ForceWriteOpenBuffers() {
   for (uint32_t g = 0; g < generations_.size(); ++g) {
     Generation& gen = Gen(g);
@@ -223,6 +249,19 @@ void HybridLogManager::EnsureFree(uint32_t g, uint32_t need) {
     }
   }
   gc_active_.erase(g);
+}
+
+void HybridLogManager::ReclaimGarbageHeads() {
+  for (uint32_t g = 0; g < generations_.size(); ++g) {
+    if (gc_active_.count(g) > 0) continue;
+    Generation& gen = Gen(g);
+    // No markers in the head slot means AdvanceHeadOnce will migrate and
+    // kill nothing: the block is dropped and the occupancy gauge updated.
+    while (gen.used_blocks() > 0 &&
+           markers_[g][gen.head_slot()].empty()) {
+      AdvanceHeadOnce(g);
+    }
+  }
 }
 
 void HybridLogManager::AdvanceHeadOnce(uint32_t g) {
@@ -424,6 +463,7 @@ void HybridLogManager::StartTransaction(TxId tid,
   PlaceMarker(tid, value, 0, slot);
   (void)type;
   UpdateMemoryGauge();
+  MaybeCloseBatch(0);
 }
 
 void HybridLogManager::WriteUpdate(TxId tid, Oid oid, uint32_t logged_size) {
@@ -440,6 +480,7 @@ void HybridLogManager::WriteUpdate(TxId tid, Oid oid, uint32_t logged_size) {
   ELOG_CHECK(entry != nullptr);
   entry->records.push_back(record);
   records_appended_->Incr();
+  MaybeCloseBatch(entry->generation);
 }
 
 bool HybridLogManager::AppendFollowingResidence(TxId tid,
@@ -498,6 +539,7 @@ void HybridLogManager::CommitInternal(TxId tid, uint64_t participants,
   ELOG_CHECK(entry != nullptr);
   entry->records.push_back(record);
   records_appended_->Incr();
+  MaybeCloseBatch(entry->generation);
 }
 
 void HybridLogManager::BranchPrepare(
@@ -519,6 +561,7 @@ void HybridLogManager::BranchPrepare(
   ELOG_CHECK(entry != nullptr);
   entry->records.push_back(record);
   records_appended_->Incr();
+  MaybeCloseBatch(entry->generation);
 }
 
 void HybridLogManager::BranchAbort(TxId tid) {
@@ -538,9 +581,11 @@ void HybridLogManager::BranchAbort(TxId tid) {
   entry = table_.Find(tid);
   ELOG_CHECK(entry != nullptr);
   records_appended_->Incr();
+  const uint32_t residence = entry->generation;
   RemoveMarker(tid, entry);
   table_.Erase(tid);
   UpdateMemoryGauge();
+  MaybeCloseBatch(residence);
 }
 
 void HybridLogManager::Abort(TxId tid) {
@@ -554,9 +599,11 @@ void HybridLogManager::Abort(TxId tid) {
   entry = table_.Find(tid);
   ELOG_CHECK(entry != nullptr);
   records_appended_->Incr();
+  const uint32_t residence = entry->generation;
   RemoveMarker(tid, entry);
   table_.Erase(tid);
   UpdateMemoryGauge();
+  MaybeCloseBatch(residence);
 }
 
 void HybridLogManager::OnBlockDurable(const std::vector<TxId>& commit_tids) {
@@ -633,6 +680,7 @@ void HybridLogManager::SettleFlush(TxId tid) {
   if (--owner->unflushed == 0 && owner->state == TxState::kCommitted) {
     ReleaseTransaction(tid, owner);
     UpdateMemoryGauge();
+    if (options_.eager_reclaim) ReclaimGarbageHeads();
   }
 }
 

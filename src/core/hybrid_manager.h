@@ -174,6 +174,10 @@ class HybridLogManager : public LogManager {
   void OnBlockWriteLost(const std::vector<TxId>& commit_tids);
   void EnsureFree(uint32_t g, uint32_t need);
   void AdvanceHeadOnce(uint32_t g);
+  /// eager_reclaim only: drops head blocks with no firewall markers (no
+  /// migrations, kills or writes), keeping the occupancy gauges live
+  /// between appends (see EphemeralLogManager::ReclaimGarbageHeads).
+  void ReclaimGarbageHeads();
 
   /// Rewrites all of `tid`'s records at the tail of `target` and moves
   /// its firewall marker there. Returns false if the target is saturated.
@@ -200,6 +204,10 @@ class HybridLogManager : public LogManager {
   void SettleFlush(TxId tid);
   void ReleaseTransaction(TxId tid, HybridTx* entry);
   void ScheduleLinger(uint32_t g);
+  /// Group-commit batching knobs; same semantics and call-site rules as
+  /// the EL manager's implementations (docs/overload.md).
+  void MaybeArmMaxHold(uint32_t g, bool was_empty);
+  void MaybeCloseBatch(uint32_t g);
   void UpdateMemoryGauge();
 
   sim::Simulator* simulator_;

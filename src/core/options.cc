@@ -1,6 +1,7 @@
 #include "core/options.h"
 
 #include "util/string_util.h"
+#include "wal/block_format.h"
 
 namespace elog {
 
@@ -30,6 +31,14 @@ Status LogManagerOptions::Validate() const {
   if (log_write_retry_backoff < 0) {
     return Status::InvalidArgument(
         "log write retry backoff must be non-negative");
+  }
+  if (max_batch_bytes > wal::kBlockPayloadBytes) {
+    return Status::InvalidArgument(StrFormat(
+        "max_batch_bytes %u exceeds the %u-byte block payload",
+        max_batch_bytes, wal::kBlockPayloadBytes));
+  }
+  if (max_hold_us < 0) {
+    return Status::InvalidArgument("max_hold_us must be non-negative");
   }
   if (num_flush_drives == 0) {
     return Status::InvalidArgument("need at least one flush drive");

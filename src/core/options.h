@@ -65,6 +65,34 @@ struct LogManagerOptions {
   /// useful when commits target a sleepy generation (lifetime hints).
   SimTime group_commit_linger = 0;
 
+  /// Group-commit batching knobs (docs/overload.md). Both default to 0 =
+  /// the paper's behaviour (a buffer is written only when the next record
+  /// does not fit, or at the group_commit_linger above), and both shape
+  /// the same decision from opposite sides:
+  ///  - max_batch_bytes: an open buffer whose payload reaches this many
+  ///    bytes is written immediately instead of waiting to fill the full
+  ///    2000-byte block. Smaller batches bound the records-behind-me
+  ///    component of commit latency at the cost of more device writes.
+  ///  - max_hold_us: an open buffer is written at most this long after
+  ///    the first record entered it, whether or not it holds a COMMIT
+  ///    (group_commit_linger arms only on unacknowledged COMMIT/PREPARE
+  ///    records). Bounds the batching delay for every record under light
+  ///    or bursty load.
+  uint32_t max_batch_bytes = 0;
+  SimTime max_hold_us = 0;
+
+  /// Advance a generation's head past pure-garbage blocks as soon as the
+  /// flush settles that emptied them, instead of only when an append
+  /// needs the space. The paper's LM is lazy (head advance is driven by
+  /// appends), which is fine in closed feedback-free runs — but it means
+  /// the occupancy gauges freeze at their last appended value when
+  /// arrivals stop. Admission control reads those gauges to decide when
+  /// to reopen the valve, so db::Database turns this on automatically
+  /// whenever admission is enabled (docs/overload.md). Eager advances
+  /// never relocate, kill or write: they drop only blocks whose live
+  /// count is already zero.
+  bool eager_reclaim = false;
+
   /// Flush subsystem: drives and per-object transfer time (§3).
   uint32_t num_flush_drives = 10;
   SimTime flush_transfer_time = 25 * kMillisecond;

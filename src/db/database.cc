@@ -1,7 +1,10 @@
 #include "db/database.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
+
+#include "util/string_util.h"
 
 namespace elog {
 namespace db {
@@ -13,13 +16,18 @@ Database::Database(const DatabaseConfig& config)
   ELOG_CHECK_EQ(config.log.num_objects, config.workload.num_objects)
       << "log manager and workload must agree on NUM_OBJECTS";
   ELOG_CHECK_OK(config.faults.Validate());
+  // Admission control steers by the occupancy gauges, so the managers
+  // must keep them live even when the valve has stopped all appends
+  // (lazy heads would freeze the gauge above the low watermark forever —
+  // see LogManagerOptions::eager_reclaim).
+  if (config_.admission.enabled) config_.log.eager_reclaim = true;
 
   if (config.log.shards > 1) {
     // Sharded run: S independent stacks under one coordinator. The
     // single-log members stay empty; the generator's oid picks are
     // constrained by the same router the coordinator uses.
     shard::ShardStackConfig stack_config;
-    stack_config.log = config.log;
+    stack_config.log = config_.log;
     stack_config.manager = config.manager;
     stack_config.faults = config.faults;
     stack_config.duplex_log = config.duplex_log;
@@ -56,6 +64,7 @@ Database::Database(const DatabaseConfig& config)
           &simulator_, &metrics_, config.metric_sample_interval);
     }
     WireManagerHooks();
+    WireAdmission();
     return;
   }
 
@@ -91,7 +100,7 @@ Database::Database(const DatabaseConfig& config)
       &simulator_, config.log.num_flush_drives, config.log.num_objects,
       config.log.flush_transfer_time, &metrics_, injector_.get());
   LogManagerSet managers =
-      MakeLogManager(config.manager, config.log, &simulator_, log_port,
+      MakeLogManager(config.manager, config_.log, &simulator_, log_port,
                      drives_.get(), &metrics_);
   el_ = managers.el;
   hybrid_ = managers.hybrid;
@@ -119,6 +128,44 @@ Database::Database(const DatabaseConfig& config)
   }
 
   WireManagerHooks();
+  WireAdmission();
+}
+
+void Database::WireAdmission() {
+  if (config_.commit_latency_series) generator_->ExportCommitLatency();
+  if (!config_.admission.enabled) return;
+  ELOG_CHECK_OK(config_.admission.Validate());
+  admission_ = std::make_unique<overload::AdmissionController>(
+      &simulator_, config_.admission, &metrics_);
+  // Watch every generation's occupancy gauge under the name the manager
+  // registered it with (FW runs are EL options, so their gauges are
+  // el.gen<g>.occupancy too; sharded stacks prefix with shard<k>.).
+  const char* base =
+      config_.manager == ManagerKind::kHybrid ? "hybrid" : "el";
+  const uint32_t num_shards = config_.log.shards > 1 ? config_.log.shards : 1;
+  for (uint32_t k = 0; k < num_shards; ++k) {
+    std::string prefix =
+        config_.log.shards > 1 ? StrFormat("shard%u.", k) : std::string();
+    for (uint32_t g = 0; g < config_.log.num_generations(); ++g) {
+      admission_->WatchOccupancy(
+          metrics_.FindGauge(StrFormat("%s%s.gen%u.occupancy", prefix.c_str(),
+                                       base, g)),
+          config_.log.generation_blocks[g]);
+    }
+  }
+  // In-flight bytes: submitted-but-uncompleted log writes, summed over
+  // shards. Duplex runs probe the primary replica (the mirror carries
+  // the same queue in lockstep).
+  if (sharded_ != nullptr) {
+    admission_->set_inflight_probe([this] {
+      int64_t total = 0;
+      for (auto& stack : shard_stacks_) total += stack->device()->queued_bytes();
+      return total;
+    });
+  } else {
+    admission_->set_inflight_probe([this] { return device_->queued_bytes(); });
+  }
+  generator_->set_admission_policy(admission_.get());
 }
 
 void Database::WireManagerHooks() {
@@ -259,11 +306,17 @@ RunStats Database::Run() {
   stats.flushes_completed = window_.flushes_completed;
   stats.flush_backlog = window_.flush_backlog;
   stats.commit_latency_mean_us = generator_->commit_latency().mean();
+  stats.commit_latency_p50_us = generator_->commit_latency().Percentile(50);
   stats.commit_latency_p99_us = generator_->commit_latency().Percentile(99);
+  stats.commit_latency_p999_us = generator_->commit_latency().Percentile(99.9);
 
   stats.total_started = generator_->started();
   stats.total_committed = generator_->committed();
   stats.total_killed = generator_->killed();
+  if (admission_ != nullptr) {
+    stats.begins_shed = admission_->shed();
+    stats.begins_delayed = admission_->delayed();
+  }
   if (sharded_ != nullptr) {
     // Sum the manager/drive/duplex counters over the shard stacks.
     for (auto& stack : shard_stacks_) {
@@ -275,6 +328,7 @@ RunStats Database::Run() {
         stats.records_discarded += el->records_discarded();
         stats.urgent_flushes += el->urgent_flushes();
         stats.unsafe_commit_drops += el->unsafe_commit_drops();
+        stats.unsafe_committing_kills += el->unsafe_committing_kills();
         stats.log_write_retries += el->log_write_retries();
         stats.log_writes_lost += el->log_writes_lost();
         stats.flush_failures += el->flush_failures();
@@ -282,6 +336,7 @@ RunStats Database::Run() {
         HybridLogManager* hybrid = stack->hybrid();
         stats.records_appended += hybrid->records_appended();
         stats.records_forwarded += hybrid->records_regenerated();
+        stats.unsafe_committing_kills += hybrid->unsafe_committing_kills();
         stats.log_write_retries += hybrid->log_write_retries();
         stats.log_writes_lost += hybrid->log_writes_lost();
         stats.flush_failures += hybrid->flush_failures();
@@ -305,11 +360,13 @@ RunStats Database::Run() {
     stats.records_discarded = el_->records_discarded();
     stats.urgent_flushes = el_->urgent_flushes();
     stats.unsafe_commit_drops = el_->unsafe_commit_drops();
+    stats.unsafe_committing_kills = el_->unsafe_committing_kills();
     stats.log_write_retries = el_->log_write_retries();
     stats.log_writes_lost = el_->log_writes_lost();
   } else {
     stats.records_appended = hybrid_->records_appended();
     stats.records_forwarded = hybrid_->records_regenerated();
+    stats.unsafe_committing_kills = hybrid_->unsafe_committing_kills();
     stats.log_write_retries = hybrid_->log_write_retries();
     stats.log_writes_lost = hybrid_->log_writes_lost();
   }

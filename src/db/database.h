@@ -34,6 +34,7 @@
 #include "fault/fault_injector.h"
 #include "obs/metric_sampler.h"
 #include "obs/trace.h"
+#include "overload/admission_controller.h"
 #include "shard/shard_stack.h"
 #include "shard/sharded_manager.h"
 #include "sim/metrics.h"
@@ -89,6 +90,19 @@ struct DatabaseConfig {
   /// Snapshot every registered counter/gauge on this virtual-time cadence
   /// during [0, runtime]; 0 disables the sampler.
   SimTime metric_sample_interval = 0;
+
+  // Overload control (src/overload, docs/overload.md). Both default off;
+  // a run with both off is byte-identical to a pre-overload build.
+  /// Admission control: when admission.enabled, the facade builds an
+  /// AdmissionController watching every generation-occupancy gauge (all
+  /// shards) and the log devices' in-flight bytes, and attaches it to
+  /// the workload generator as its AdmissionPolicy.
+  overload::AdmissionConfig admission;
+  /// Mirror the generator's commit-latency distribution into the metrics
+  /// registry, so the MetricSampler exports workload.commit_latency_us
+  /// p50/p99/p999 columns. Opt-in because the extra columns change the
+  /// SERIES artifact shape.
+  bool commit_latency_series = false;
 };
 
 /// Measurements of one simulation run. Unless noted, values cover the
@@ -113,7 +127,9 @@ struct RunStats {
   size_t flush_backlog = 0;
   /// Group-commit latency distribution t4 − t3 (µs), whole run.
   double commit_latency_mean_us = 0.0;
+  double commit_latency_p50_us = 0.0;
   double commit_latency_p99_us = 0.0;
+  double commit_latency_p999_us = 0.0;
 
   // Whole-run totals (window + drain).
   int64_t total_started = 0;
@@ -133,6 +149,13 @@ struct RunStats {
   int64_t flushes_lost = 0;
   /// Flush requests abandoned by the drives and settled via on_failed.
   int64_t flush_failures = 0;
+  /// Kills that landed inside a commit window (phantom-commit risk);
+  /// summed over shards. The overload bench's safety gate.
+  int64_t unsafe_committing_kills = 0;
+  /// Admission-control outcomes (zero without a controller): BEGINs shed
+  /// outright and BEGIN deferrals (one per retry hop).
+  int64_t begins_shed = 0;
+  int64_t begins_delayed = 0;
 
   // Duplexed-log runs (all zero otherwise).
   /// Merged-OK log writes where exactly one replica stored the block.
@@ -247,6 +270,13 @@ class Database : public KillListener {
     return injector_.get();
   }
   workload::WorkloadGenerator& generator() { return *generator_; }
+  /// Null unless DatabaseConfig::admission.enabled.
+  overload::AdmissionController* admission_controller() {
+    return admission_.get();
+  }
+  const overload::AdmissionController* admission_controller() const {
+    return admission_.get();
+  }
   /// Null unless DatabaseConfig::trace.
   obs::Tracer* tracer() { return tracer_.get(); }
   const obs::Tracer* tracer() const { return tracer_.get(); }
@@ -271,6 +301,7 @@ class Database : public KillListener {
 
  private:
   void WireManagerHooks();
+  void WireAdmission();
   void ScheduleWindowSnapshot();
   void ScheduleDrain();
   void DrainStep();
@@ -306,6 +337,7 @@ class Database : public KillListener {
   HybridLogManager* hybrid_ = nullptr;
   shard::ShardedLogManager* sharded_ = nullptr;
   std::unique_ptr<workload::WorkloadGenerator> generator_;
+  std::unique_ptr<overload::AdmissionController> admission_;
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<obs::MetricSampler> sampler_;
   StableStore stable_;

@@ -54,6 +54,7 @@ void LogDevice::UpdateQueueDepth() {
 void LogDevice::Submit(LogWriteRequest request) {
   CheckAddress(request);
   request.submitted_at = simulator_->Now();
+  queued_bytes_ += static_cast<int64_t>(request.image.size());
   queue_.push_back(std::move(request));
   UpdateQueueDepth();
   if (!in_service_) StartNext();
@@ -62,6 +63,7 @@ void LogDevice::Submit(LogWriteRequest request) {
 void LogDevice::SubmitFront(LogWriteRequest request) {
   CheckAddress(request);
   request.submitted_at = simulator_->Now();
+  queued_bytes_ += static_cast<int64_t>(request.image.size());
   queue_.push_front(std::move(request));
   UpdateQueueDepth();
   if (!in_service_) StartNext();
@@ -85,6 +87,7 @@ void LogDevice::StartNext() {
   current_ = std::move(queue_.front());
   queue_.pop_front();
   in_service_ = true;
+  current_bytes_ = static_cast<int64_t>(current_.image.size());
   if (!dead_ && DeathTripped()) {
     dead_ = true;
     died_at_ = simulator_->Now();
@@ -153,6 +156,8 @@ void LogDevice::CompleteCurrent() {
       std::move(current_.on_complete);
   fault::FaultInjector::WriteFault fault = current_fault_;
   in_service_ = false;
+  queued_bytes_ -= current_bytes_;
+  current_bytes_ = 0;
   UpdateQueueDepth();
   // Run the completion before starting the next transfer so the log
   // manager observes completions in submission order and a failed write

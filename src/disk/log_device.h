@@ -133,6 +133,12 @@ class LogDevice : public LogWritePort {
   /// True if a write is in service or queued.
   bool busy() const { return in_service_ || !queue_.empty(); }
 
+  /// Image bytes queued or in service (submitted, not yet completed).
+  /// The admission controller's in-flight watermark reads this. A plain
+  /// member, deliberately not a gauge: tracking it must not add a column
+  /// to committed metric-series artifacts.
+  int64_t queued_bytes() const { return queued_bytes_; }
+
   /// Address of the write currently in service (valid only if busy with an
   /// in-service request) — used by crash injection to produce torn blocks.
   bool InService(BlockAddress* addr) const;
@@ -182,6 +188,11 @@ class LogDevice : public LogWritePort {
   /// Writes that entered service (dead-rejected ones included): the death
   /// plan's op-count trigger compares against this.
   int64_t ops_started_ = 0;
+  /// Bytes of queued_ plus the in-service image. The in-service share is
+  /// remembered at StartNext because completion may move the image away
+  /// (into storage) before accounting runs.
+  int64_t queued_bytes_ = 0;
+  int64_t current_bytes_ = 0;
   bool dead_ = false;
   bool revived_ = false;
   SimTime died_at_ = 0;

@@ -72,6 +72,18 @@ void MetricSampler::SampleNow() {
       columns_.push_back(name);
     }
   }
+  // Distributions export one column per tracked quantile. A distribution
+  // exists only once something acquired its handle or observed into it,
+  // so runs that never do (all historical configurations) emit the same
+  // columns as before this feature existed.
+  for (const auto& [name, histogram] : registry_->distributions()) {
+    (void)histogram;
+    for (const char* q : {".p50", ".p99", ".p999"}) {
+      if (column_index_.emplace(name + q, columns_.size()).second) {
+        columns_.push_back(name + q);
+      }
+    }
+  }
 
   std::vector<double> row(columns_.size(), 0.0);
   for (const auto& [name, counter] : registry_->counters()) {
@@ -79,6 +91,11 @@ void MetricSampler::SampleNow() {
   }
   for (const auto& [name, gauge] : registry_->gauges()) {
     row[column_index_.at(name)] = gauge.value();
+  }
+  for (const auto& [name, histogram] : registry_->distributions()) {
+    row[column_index_.at(name + ".p50")] = histogram.Percentile(50.0);
+    row[column_index_.at(name + ".p99")] = histogram.Percentile(99.0);
+    row[column_index_.at(name + ".p999")] = histogram.Percentile(99.9);
   }
   times_.push_back(simulator_->Now());
   rows_.push_back(std::move(row));

@@ -9,10 +9,14 @@
 //
 // Columns are the registry's metric names: counters first as
 // "<name>" (cumulative value at the sample instant), then gauges as
-// "<name>" (current value). std::map iteration gives a deterministic,
-// sorted column order; metrics that first appear mid-run (e.g.
-// "workload.started.<type>") grow the column set, and earlier rows
-// read as zero for them.
+// "<name>" (current value), then distributions as "<name>.p50" /
+// "<name>.p99" / "<name>.p999" (running quantiles over all samples so
+// far). std::map iteration gives a deterministic, sorted column order;
+// metrics that first appear mid-run (e.g. "workload.started.<type>")
+// grow the column set, and earlier rows read as zero for them. A
+// distribution column exists only if something created the distribution
+// (e.g. DatabaseConfig::commit_latency_series), so historical runs'
+// series artifacts are unchanged.
 //
 // Sampling is part of the simulation: ticks are ordinary simulator
 // events, so an enabled sampler shifts event counts. Torture trials

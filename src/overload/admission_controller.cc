@@ -1,0 +1,119 @@
+#include "overload/admission_controller.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace elog {
+namespace overload {
+
+Status AdmissionConfig::Validate() const {
+  if (!enabled) return Status::OK();
+  if (high_watermark <= 0.0 || high_watermark > 1.0) {
+    return Status::InvalidArgument("high_watermark out of (0, 1]");
+  }
+  if (low_watermark < 0.0 || low_watermark > high_watermark) {
+    return Status::InvalidArgument(
+        StrFormat("low_watermark %.3f out of [0, high_watermark %.3f]",
+                  low_watermark, high_watermark));
+  }
+  if (max_inflight_log_bytes < 0) {
+    return Status::InvalidArgument("max_inflight_log_bytes must be >= 0");
+  }
+  if (retry_delay <= 0) {
+    return Status::InvalidArgument("retry_delay must be positive");
+  }
+  if (max_deferred <= 0) {
+    return Status::InvalidArgument("max_deferred must be positive");
+  }
+  return Status::OK();
+}
+
+AdmissionController::AdmissionController(sim::Simulator* simulator,
+                                         const AdmissionConfig& config,
+                                         sim::MetricsRegistry* metrics)
+    : simulator_(simulator),
+      config_(config),
+      admitted_(metrics->GetCounter("overload.admitted")),
+      delayed_(metrics->GetCounter("overload.delayed")),
+      shed_(metrics->GetCounter("overload.shed")),
+      deferred_depth_gauge_(metrics->GetGauge("overload.deferred_depth")),
+      saturated_gauge_(metrics->GetGauge("overload.saturated")) {
+  ELOG_CHECK_OK(config.Validate());
+  deferred_depth_gauge_->Set(simulator_->Now(), 0.0);
+  saturated_gauge_->Set(simulator_->Now(), 0.0);
+}
+
+void AdmissionController::WatchOccupancy(const sim::Gauge* gauge,
+                                         uint32_t capacity_blocks) {
+  if (gauge == nullptr) return;
+  ELOG_CHECK_GT(capacity_blocks, 0u);
+  watched_.push_back({gauge, static_cast<double>(capacity_blocks)});
+}
+
+bool AdmissionController::EvaluateSaturation() {
+  // Hysteresis: the threshold an input must cross depends on the state
+  // we are already in — high to enter, low to stay out.
+  const double threshold =
+      saturated_ ? config_.low_watermark : config_.high_watermark;
+  bool over = false;
+  for (const Watched& w : watched_) {
+    if (w.gauge->value() / w.capacity >= threshold) {
+      over = true;
+      break;
+    }
+  }
+  if (!over && config_.max_inflight_log_bytes > 0 && inflight_probe_) {
+    // The byte limit gets no hysteresis band of its own: completing one
+    // block write already steps the probe down a full block, which is a
+    // coarser quantum than the watermark band.
+    over = inflight_probe_() > config_.max_inflight_log_bytes;
+  }
+  if (over != saturated_) {
+    saturated_ = over;
+    saturated_gauge_->Set(simulator_->Now(), saturated_ ? 1.0 : 0.0);
+  }
+  return saturated_;
+}
+
+void AdmissionController::set_inflight_probe(std::function<int64_t()> probe) {
+  inflight_probe_ = std::move(probe);
+}
+
+AdmissionController::Decision AdmissionController::Consider(uint32_t attempt) {
+  const bool saturated = EvaluateSaturation();
+  const bool deferred_retry = attempt > 0;
+  if (!saturated) {
+    if (deferred_retry) {
+      --deferred_depth_;
+      deferred_depth_gauge_->Set(simulator_->Now(),
+                                 static_cast<double>(deferred_depth_));
+    }
+    admitted_->Incr();
+    return Decision::kAdmit;
+  }
+  // Saturated. Degrade to shedding when deferral is exhausted (too many
+  // retries for this arrival) or unavailable (queue full).
+  if (deferred_retry && attempt >= config_.max_defer_attempts) {
+    --deferred_depth_;
+    deferred_depth_gauge_->Set(simulator_->Now(),
+                               static_cast<double>(deferred_depth_));
+    shed_->Incr();
+    return Decision::kShed;
+  }
+  if (!deferred_retry && deferred_depth_ >= config_.max_deferred) {
+    shed_->Incr();
+    return Decision::kShed;
+  }
+  if (!deferred_retry) {
+    ++deferred_depth_;
+    deferred_depth_gauge_->Set(simulator_->Now(),
+                               static_cast<double>(deferred_depth_));
+  }
+  delayed_->Incr();
+  return Decision::kDelay;
+}
+
+}  // namespace overload
+}  // namespace elog

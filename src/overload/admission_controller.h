@@ -1,0 +1,145 @@
+// Admission control for open-loop overload (docs/overload.md).
+//
+// The paper's only pressure valve is the kill policy — and a kill that
+// lands on a committing transaction (`unsafe_committing_kills`) voids
+// EL's recovery guarantees. The AdmissionController adds a valve that
+// acts BEFORE log space is committed to a transaction: it watches
+// per-generation occupancy gauges and the log device's in-flight bytes,
+// and when either crosses its watermark it defers fresh BEGINs (a
+// deferred-BEGIN queue retried on the virtual clock) or sheds them
+// outright. Admitted transactions then see a lightly loaded log and
+// commit with bounded latency; the overload shows up in the shed/delay
+// counters instead of in kill storms and unbounded p99.
+//
+// Watermark semantics (hysteresis): the controller is "saturated" from
+// the moment ANY watched occupancy fraction reaches high_watermark (or
+// the in-flight byte probe exceeds max_inflight_log_bytes) until EVERY
+// occupancy fraction has fallen back below low_watermark (and the probe
+// below the byte limit). While saturated, fresh arrivals are deferred;
+// a deferred arrival whose retry finds the controller unsaturated is
+// admitted. An arrival is shed instead of deferred when the deferred
+// queue is full (max_deferred) or when it has already been deferred
+// max_defer_attempts times — persistent overload degrades to shedding,
+// which is the graceful-degradation half of the design.
+//
+// Determinism: decisions read only virtual-clock state (gauge values,
+// the byte probe) and the controller draws no randomness, so a run with
+// a given config is exactly replayable. With the controller absent the
+// generator schedules zero extra events and draws nothing — controller
+// off ⇒ byte-identical runs (CI proves this against the committed fig5
+// artifacts). The controller's own metrics (overload.*) are registered
+// in its constructor, so they exist only in runs that construct one and
+// cannot perturb historical metric-series artifacts.
+
+#ifndef ELOG_OVERLOAD_ADMISSION_CONTROLLER_H_
+#define ELOG_OVERLOAD_ADMISSION_CONTROLLER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "util/status.h"
+#include "util/types.h"
+#include "workload/generator.h"
+
+namespace elog {
+namespace overload {
+
+struct AdmissionConfig {
+  /// Master switch. Off (the default) means no controller is built and
+  /// the run is byte-identical to a pre-overload-subsystem build.
+  bool enabled = false;
+
+  /// Occupancy fraction (used blocks / generation blocks) at which the
+  /// controller enters the saturated state...
+  double high_watermark = 0.85;
+  /// ...and the fraction every watched generation must fall below again
+  /// to leave it. low < high gives hysteresis so the valve does not
+  /// chatter around one block's worth of occupancy.
+  double low_watermark = 0.70;
+
+  /// Saturation trigger on the log device's submitted-but-not-completed
+  /// bytes (summed over shards; the primary replica of a duplexed log).
+  /// 0 disables the byte watermark. Unlike occupancy this bounds the
+  /// device QUEUE, which is what actually grows without bound when an
+  /// open-loop rate exceeds device bandwidth.
+  int64_t max_inflight_log_bytes = 0;
+
+  /// Virtual-clock delay before a deferred BEGIN is re-considered.
+  SimTime retry_delay = 20 * kMillisecond;
+
+  /// A BEGIN deferred this many times is shed instead of retried again.
+  uint32_t max_defer_attempts = 25;
+
+  /// Maximum BEGINs deferred at once; a fresh arrival finding the queue
+  /// full is shed immediately.
+  int64_t max_deferred = 1024;
+
+  Status Validate() const;
+};
+
+/// The workload generator's AdmissionPolicy, driven by the typed metric
+/// gauges the log managers already maintain. Wire-up (done by
+/// db::Database when config.admission.enabled):
+///
+///   overload::AdmissionController controller(&sim, config, &metrics);
+///   controller.WatchOccupancy(metrics.FindGauge("el.gen0.occupancy"), 18);
+///   controller.set_inflight_probe([&] { return device.queued_bytes(); });
+///   generator.set_admission_policy(&controller);
+class AdmissionController : public workload::AdmissionPolicy {
+ public:
+  AdmissionController(sim::Simulator* simulator, const AdmissionConfig& config,
+                      sim::MetricsRegistry* metrics);
+
+  /// Adds one generation's occupancy gauge (used blocks, as the managers
+  /// set it) with its capacity in blocks. The gauge must outlive the
+  /// controller; a null gauge is ignored (the generation never recorded
+  /// occupancy, so it cannot be saturated).
+  void WatchOccupancy(const sim::Gauge* gauge, uint32_t capacity_blocks);
+
+  /// In-flight log byte probe (0-arg, virtual-clock deterministic). Only
+  /// consulted when config.max_inflight_log_bytes > 0.
+  void set_inflight_probe(std::function<int64_t()> probe);
+
+  // workload::AdmissionPolicy:
+  Decision Consider(uint32_t attempt) override;
+  SimTime retry_delay() const override { return config_.retry_delay; }
+
+  int64_t admitted() const { return admitted_->value(); }
+  int64_t delayed() const { return delayed_->value(); }
+  int64_t shed() const { return shed_->value(); }
+  int64_t deferred_depth() const { return deferred_depth_; }
+  bool saturated() const { return saturated_; }
+
+ private:
+  /// Re-evaluates the hysteresis state from the watched inputs.
+  bool EvaluateSaturation();
+
+  struct Watched {
+    const sim::Gauge* gauge;
+    double capacity;
+  };
+
+  sim::Simulator* simulator_;
+  AdmissionConfig config_;
+  std::vector<Watched> watched_;
+  std::function<int64_t()> inflight_probe_;
+  bool saturated_ = false;
+  int64_t deferred_depth_ = 0;
+
+  // Typed handles (sim/metrics.h convention). Registered here — not in
+  // any always-constructed component — so controller-off runs carry no
+  // overload.* columns.
+  sim::Counter* admitted_;
+  sim::Counter* delayed_;
+  sim::Counter* shed_;
+  sim::Gauge* deferred_depth_gauge_;
+  sim::Gauge* saturated_gauge_;
+};
+
+}  // namespace overload
+}  // namespace elog
+
+#endif  // ELOG_OVERLOAD_ADMISSION_CONTROLLER_H_

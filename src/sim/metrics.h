@@ -139,6 +139,18 @@ class MetricsRegistry {
     return it == gauges_.end() ? nullptr : &it->second;
   }
 
+  /// Typed handle to distribution `name` (created empty on first use).
+  /// Same convention as GetCounter/GetGauge: acquire once at
+  /// construction, Add() through the handle on the hot path. Acquiring a
+  /// handle creates the distribution, which the MetricSampler then
+  /// exports as quantile columns — so components keep distribution
+  /// handles behind opt-in flags when byte-stable series artifacts
+  /// matter (see docs/overload.md).
+  Histogram* GetDistribution(const std::string& name) {
+    if (parent_ != nullptr) return parent_->GetDistribution(prefix_ + name);
+    return &distributions_[name];
+  }
+
   /// Records a sample into distribution `name`.
   void Observe(const std::string& name, double value) {
     if (parent_ != nullptr) {

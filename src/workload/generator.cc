@@ -23,6 +23,7 @@ WorkloadGenerator::WorkloadGenerator(sim::Simulator* simulator,
       metrics_(metrics == nullptr ? owned_metrics_.get() : metrics),
       rng_(spec.seed),
       arrival_rng_(spec.seed ^ 0x9e3779b97f4a7c15ULL),
+      onoff_rng_(spec.seed ^ 0xc2b2ae3d27d4eb4fULL),
       picker_(spec.num_objects, &rng_, spec.zipf_alpha),
       started_(metrics_->GetCounter("workload.started")),
       committed_(metrics_->GetCounter("workload.committed")),
@@ -57,6 +58,25 @@ void WorkloadGenerator::ScheduleArrival(int64_t index) {
     // Guard against log(0); u in [0,1).
     SimTime gap = static_cast<SimTime>(-mean_gap_us * std::log(1.0 - u));
     when = last_arrival_ + std::max<SimTime>(gap, 0) + (index == 0 ? 0 : 1);
+  } else if (spec_.arrival_process == ArrivalProcess::kOnOff) {
+    // Bursty on-off arrivals: Poisson at the burst rate inside the ON
+    // window that opens each period, silence outside it. Implemented by
+    // drawing exponential gaps in cumulative ON-time and mapping that
+    // cursor onto real time (period p, ON length = duty·p at the start
+    // of each period), which keeps the process a single monotone stream
+    // with one draw per arrival on its own RNG.
+    const double burst_rate =
+        spec_.arrival_rate_tps * spec_.on_off_burst_factor;
+    const double mean_gap_us = 1e6 / burst_rate;
+    const double u = onoff_rng_.NextDouble();
+    on_time_cursor_ += std::max(-mean_gap_us * std::log(1.0 - u), 0.0);
+    const double period = static_cast<double>(spec_.on_off_period);
+    const double on_len = period * spec_.on_off_duty;
+    const double periods = std::floor(on_time_cursor_ / on_len);
+    when = static_cast<SimTime>(periods * period +
+                                (on_time_cursor_ - periods * on_len));
+    // Strictly increasing event times, like the Poisson tie-break above.
+    when = std::max<SimTime>(when, last_arrival_ + (index == 0 ? 0 : 1));
   } else {
     // Deterministic arrivals: the i-th transaction starts at i / rate.
     when = static_cast<SimTime>(static_cast<double>(index) * 1e6 /
@@ -65,9 +85,31 @@ void WorkloadGenerator::ScheduleArrival(int64_t index) {
   if (when >= spec_.runtime) return;
   last_arrival_ = when;
   simulator_->ScheduleAt(when, [this, index] {
-    Initiate();
+    // The arrival stream stays open-loop: the next arrival is scheduled
+    // whatever the admission decision for this one turns out to be.
+    Arrive(0);
     ScheduleArrival(index + 1);
   });
+}
+
+void WorkloadGenerator::Arrive(uint32_t attempt) {
+  if (admission_ == nullptr) {
+    Initiate();
+    return;
+  }
+  switch (admission_->Consider(attempt)) {
+    case AdmissionPolicy::Decision::kAdmit:
+      Initiate();
+      return;
+    case AdmissionPolicy::Decision::kShed:
+      // Dropped before any transaction state existed; the policy keeps
+      // the shed counters.
+      return;
+    case AdmissionPolicy::Decision::kDelay:
+      simulator_->ScheduleAfter(admission_->retry_delay(),
+                                [this, attempt] { Arrive(attempt + 1); });
+      return;
+  }
 }
 
 void WorkloadGenerator::Initiate() {
@@ -182,8 +224,12 @@ void WorkloadGenerator::OnCommitDurable(TxId tid) {
   ActiveTx& tx = it->second;
   ELOG_CHECK(tx.commit_requested);
   committed_->Incr();
-  commit_latency_.Add(
-      static_cast<double>(simulator_->Now() - tx.commit_request_time));
+  const double latency_us =
+      static_cast<double>(simulator_->Now() - tx.commit_request_time);
+  commit_latency_.Add(latency_us);
+  if (commit_latency_metric_ != nullptr) {
+    commit_latency_metric_->Add(latency_us);
+  }
   if (tracer_ != nullptr) {
     tracer_->Complete(trace_lane_, "txn", "commit_wait",
                       tx.commit_request_time,

@@ -6,9 +6,18 @@
 // — and COMMIT at t3 = t0 + T. It then waits for the log manager's group
 // commit acknowledgement (t4) before it actually commits.
 //
-// No feedback is modeled: database performance does not alter arrivals
-// (§3). The log manager may kill a transaction (out of log space); the
-// generator then cancels its remaining record writes.
+// Feedback: the arrival process itself is open-loop — database
+// performance never alters WHEN transactions arrive (§3) — but an
+// optional AdmissionPolicy decides the fate of each arrival the moment
+// it fires: admit (initiate now), delay (re-consider after the policy's
+// retry delay, a deferred BEGIN on the virtual clock), or shed (drop the
+// arrival entirely). The decision happens before any RNG draw or
+// transaction state exists for the arrival, and with no policy attached
+// the generator adds zero draws and zero events — a policy-off run is
+// byte-identical to one built before the hook existed. Independently of
+// admission, the log manager may kill an already-admitted transaction
+// (out of log space); the generator then cancels its remaining record
+// writes.
 
 #ifndef ELOG_WORKLOAD_GENERATOR_H_
 #define ELOG_WORKLOAD_GENERATOR_H_
@@ -54,6 +63,31 @@ class TransactionSink {
   virtual void Abort(TxId tid) = 0;
 };
 
+/// Backpressure hook: decides the fate of each arrival before any
+/// transaction state or RNG draw exists for it (see the file comment).
+/// Implemented by overload::AdmissionController; declared here so the
+/// workload library does not depend on the overload library.
+///
+/// Contract: Consider is called once per arrival with attempt == 0 and
+/// once per deferral retry with the incremented attempt count; every
+/// kDelay leads to exactly one future Consider call, so a policy can
+/// track its deferred-queue depth exactly. All inputs a policy reads
+/// (gauges, probes) are virtual-clock state, keeping decisions
+/// deterministic and replayable.
+class AdmissionPolicy {
+ public:
+  enum class Decision {
+    kAdmit,  ///< initiate the transaction now
+    kDelay,  ///< re-consider after retry_delay() (deferred BEGIN)
+    kShed,   ///< drop the arrival entirely
+  };
+  virtual ~AdmissionPolicy() = default;
+  /// `attempt` is 0 for a fresh arrival, k for its k-th deferral retry.
+  virtual Decision Consider(uint32_t attempt) = 0;
+  /// Virtual-clock delay before a deferred arrival is re-considered.
+  virtual SimTime retry_delay() const = 0;
+};
+
 class WorkloadGenerator {
  public:
   WorkloadGenerator(sim::Simulator* simulator, const WorkloadSpec& spec,
@@ -76,6 +110,22 @@ class WorkloadGenerator {
   /// (or with S = 1) the paper's unconstrained draw — and its exact RNG
   /// stream — is preserved.
   void set_shard_router(const ShardRouter* router) { router_ = router; }
+
+  /// Attaches an admission policy (must outlive the generator; call
+  /// before Start). Null (the default) admits every arrival with zero
+  /// extra draws or events — see the file comment for the contract.
+  void set_admission_policy(AdmissionPolicy* policy) { admission_ = policy; }
+
+  /// Mirrors every commit-latency sample into the registry distribution
+  /// "workload.commit_latency_us", which the obs MetricSampler then
+  /// exports as p50/p99/p999 series columns. Opt-in because creating the
+  /// distribution adds columns to the sampled series (see
+  /// obs/metric_sampler.h); scalar end-of-run quantiles are always
+  /// available from commit_latency().
+  void ExportCommitLatency() {
+    commit_latency_metric_ =
+        metrics_->GetDistribution("workload.commit_latency_us");
+  }
 
   /// Informs the generator that the log manager killed `tid`: remaining
   /// record writes are cancelled and the transaction's oids released.
@@ -113,6 +163,7 @@ class WorkloadGenerator {
   };
 
   void ScheduleArrival(int64_t index);
+  void Arrive(uint32_t attempt);
   void Initiate();
   void WriteDataRecord(TxId tid);
   void Terminate(TxId tid);
@@ -135,7 +186,14 @@ class WorkloadGenerator {
   /// Separate stream for Poisson interarrival draws, so switching the
   /// arrival process does not perturb type/oid selection.
   Rng arrival_rng_;
+  /// Separate stream again for kOnOff burst draws, so the bursty process
+  /// perturbs neither type/oid selection nor the Poisson stream.
+  Rng onoff_rng_;
+  /// kOnOff: cumulative "on-time" (µs spent inside ON windows) consumed
+  /// by arrivals so far; ScheduleArrival maps it onto real time.
+  double on_time_cursor_ = 0.0;
   SimTime last_arrival_ = 0;
+  AdmissionPolicy* admission_ = nullptr;
   const ShardRouter* router_ = nullptr;
   OidPicker picker_;
   std::vector<double> cumulative_probability_;
@@ -151,6 +209,9 @@ class WorkloadGenerator {
   sim::Counter* updates_written_;
   std::vector<sim::Counter*> started_by_type_;
   Histogram commit_latency_;
+  /// Registry mirror of commit_latency_; null unless ExportCommitLatency
+  /// was called (a live distribution changes the sampler's column set).
+  Histogram* commit_latency_metric_ = nullptr;
 };
 
 }  // namespace workload

@@ -56,6 +56,17 @@ Status WorkloadSpec::Validate() const {
   if (cross_shard_fraction < 0.0 || cross_shard_fraction > 1.0) {
     return Status::InvalidArgument("cross_shard_fraction out of [0, 1]");
   }
+  if (arrival_process == ArrivalProcess::kOnOff) {
+    if (on_off_period <= 0) {
+      return Status::InvalidArgument("on_off_period must be positive");
+    }
+    if (on_off_duty <= 0.0 || on_off_duty > 1.0) {
+      return Status::InvalidArgument("on_off_duty out of (0, 1]");
+    }
+    if (on_off_burst_factor < 1.0) {
+      return Status::InvalidArgument("on_off_burst_factor must be >= 1");
+    }
+  }
   return Status::OK();
 }
 

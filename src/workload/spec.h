@@ -43,6 +43,13 @@ enum class ArrivalProcess {
   /// future-work extension; burstier, stressing the k-block gap and the
   /// flush pool.
   kPoisson,
+  /// On-off (bursty) arrivals: each `on_off_period` opens with an ON
+  /// window lasting `on_off_duty` of the period, during which arrivals
+  /// are Poisson at `arrival_rate_tps * on_off_burst_factor`; the rest
+  /// of the period is silent. The overload benchmarks use this to drive
+  /// realistic bursts. Drawn from its own RNG stream, so selecting it
+  /// leaves the type/oid/abort and Poisson streams untouched.
+  kOnOff,
 };
 
 struct WorkloadSpec {
@@ -67,6 +74,15 @@ struct WorkloadSpec {
   /// drawn for by nobody — otherwise). Such a transaction's second data
   /// record is forced onto a different shard than its first.
   double cross_shard_fraction = 0.0;
+
+  /// kOnOff parameters (ignored — and drawn for by nobody — under the
+  /// other arrival processes). The long-run mean rate is
+  /// `arrival_rate_tps * on_off_burst_factor * on_off_duty`; the default
+  /// burst factor 2 with duty 0.5 preserves `arrival_rate_tps` as the
+  /// mean while doubling the instantaneous rate inside each burst.
+  SimTime on_off_period = SecondsToSimTime(1);
+  double on_off_duty = 0.5;
+  double on_off_burst_factor = 2.0;
 
   /// Checks probabilities sum to 1, rates are positive, record sizes fit
   /// in a block, etc.

@@ -1,0 +1,215 @@
+// AdmissionController unit tests: watermark hysteresis, byte-probe
+// saturation, deferred-queue bookkeeping, shedding degradation, and the
+// determinism contract (identical inputs ⇒ identical decision streams).
+
+#include "overload/admission_controller.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+
+namespace elog {
+namespace overload {
+namespace {
+
+using Decision = workload::AdmissionPolicy::Decision;
+
+class AdmissionControllerTest : public ::testing::Test {
+ protected:
+  AdmissionConfig SmallConfig() {
+    AdmissionConfig config;
+    config.enabled = true;
+    config.high_watermark = 0.80;
+    config.low_watermark = 0.50;
+    config.max_defer_attempts = 3;
+    config.max_deferred = 2;
+    return config;
+  }
+
+  sim::Simulator sim_;
+  sim::MetricsRegistry metrics_;
+};
+
+TEST_F(AdmissionControllerTest, ConfigValidation) {
+  AdmissionConfig config;
+  EXPECT_TRUE(config.Validate().ok());  // defaults are valid
+  config.enabled = true;
+  EXPECT_TRUE(config.Validate().ok());
+  config.high_watermark = 0.5;
+  config.low_watermark = 0.6;  // low above high breaks hysteresis
+  EXPECT_FALSE(config.Validate().ok());
+  config.low_watermark = 0.6;  // disabled configs skip validation
+  config.enabled = false;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST_F(AdmissionControllerTest, AdmitsWithNothingWatched) {
+  AdmissionController controller(&sim_, SmallConfig(), &metrics_);
+  EXPECT_EQ(controller.Consider(0), Decision::kAdmit);
+  EXPECT_EQ(controller.admitted(), 1);
+  EXPECT_FALSE(controller.saturated());
+}
+
+TEST_F(AdmissionControllerTest, NullGaugeIsIgnored) {
+  AdmissionController controller(&sim_, SmallConfig(), &metrics_);
+  controller.WatchOccupancy(nullptr, 10);
+  EXPECT_EQ(controller.Consider(0), Decision::kAdmit);
+}
+
+TEST_F(AdmissionControllerTest, HysteresisEntersHighExitsLow) {
+  AdmissionController controller(&sim_, SmallConfig(), &metrics_);
+  sim::Gauge* occupancy = metrics_.GetGauge("gen0.occupancy");
+  controller.WatchOccupancy(occupancy, 10);
+
+  occupancy->Set(sim_.Now(), 7.0);  // 0.70: below high watermark
+  EXPECT_EQ(controller.Consider(0), Decision::kAdmit);
+  EXPECT_FALSE(controller.saturated());
+
+  occupancy->Set(sim_.Now(), 8.0);  // 0.80: at high watermark -> enter
+  EXPECT_EQ(controller.Consider(0), Decision::kDelay);
+  EXPECT_TRUE(controller.saturated());
+
+  occupancy->Set(sim_.Now(), 6.0);  // 0.60: inside the band -> stay in
+  EXPECT_EQ(controller.Consider(0), Decision::kDelay);
+  EXPECT_TRUE(controller.saturated());
+
+  occupancy->Set(sim_.Now(), 4.0);  // 0.40: below low watermark -> exit
+  EXPECT_EQ(controller.Consider(0), Decision::kAdmit);
+  EXPECT_FALSE(controller.saturated());
+
+  occupancy->Set(sim_.Now(), 6.0);  // 0.60 from below: still out
+  EXPECT_EQ(controller.Consider(0), Decision::kAdmit);
+  EXPECT_FALSE(controller.saturated());
+}
+
+TEST_F(AdmissionControllerTest, AnyWatchedGaugeCanSaturate) {
+  AdmissionController controller(&sim_, SmallConfig(), &metrics_);
+  sim::Gauge* a = metrics_.GetGauge("gen0.occupancy");
+  sim::Gauge* b = metrics_.GetGauge("gen1.occupancy");
+  controller.WatchOccupancy(a, 10);
+  controller.WatchOccupancy(b, 20);
+  a->Set(sim_.Now(), 1.0);
+  b->Set(sim_.Now(), 16.0);  // 0.80 of 20
+  EXPECT_EQ(controller.Consider(0), Decision::kDelay);
+}
+
+TEST_F(AdmissionControllerTest, ByteProbeSaturates) {
+  AdmissionConfig config = SmallConfig();
+  config.max_inflight_log_bytes = 4096;
+  AdmissionController controller(&sim_, config, &metrics_);
+  int64_t queued = 0;
+  controller.set_inflight_probe([&queued] { return queued; });
+
+  queued = 4096;  // at the limit: not over
+  EXPECT_EQ(controller.Consider(0), Decision::kAdmit);
+  queued = 4097;  // over
+  EXPECT_EQ(controller.Consider(0), Decision::kDelay);
+  queued = 100;  // back under (no hysteresis band on bytes)
+  EXPECT_EQ(controller.Consider(0), Decision::kAdmit);
+}
+
+TEST_F(AdmissionControllerTest, DeferredQueueFillsThenSheds) {
+  AdmissionController controller(&sim_, SmallConfig(), &metrics_);
+  sim::Gauge* occupancy = metrics_.GetGauge("gen0.occupancy");
+  controller.WatchOccupancy(occupancy, 10);
+  occupancy->Set(sim_.Now(), 9.0);
+
+  // max_deferred = 2: two fresh arrivals defer, the third sheds.
+  EXPECT_EQ(controller.Consider(0), Decision::kDelay);
+  EXPECT_EQ(controller.Consider(0), Decision::kDelay);
+  EXPECT_EQ(controller.deferred_depth(), 2);
+  EXPECT_EQ(controller.Consider(0), Decision::kShed);
+  EXPECT_EQ(controller.deferred_depth(), 2);  // shed arrivals never queued
+
+  // A retry that finds the valve open leaves the queue.
+  occupancy->Set(sim_.Now(), 1.0);
+  EXPECT_EQ(controller.Consider(1), Decision::kAdmit);
+  EXPECT_EQ(controller.deferred_depth(), 1);
+
+  EXPECT_EQ(controller.delayed(), 2);
+  EXPECT_EQ(controller.shed(), 1);
+  EXPECT_EQ(controller.admitted(), 1);
+}
+
+TEST_F(AdmissionControllerTest, RetriesExhaustIntoShed) {
+  AdmissionController controller(&sim_, SmallConfig(), &metrics_);
+  sim::Gauge* occupancy = metrics_.GetGauge("gen0.occupancy");
+  controller.WatchOccupancy(occupancy, 10);
+  occupancy->Set(sim_.Now(), 9.0);
+
+  // One arrival deferred, then retried against a still-saturated valve:
+  // attempts 1..2 defer again, attempt 3 (== max_defer_attempts) sheds
+  // and leaves the queue.
+  EXPECT_EQ(controller.Consider(0), Decision::kDelay);
+  EXPECT_EQ(controller.Consider(1), Decision::kDelay);
+  EXPECT_EQ(controller.Consider(2), Decision::kDelay);
+  EXPECT_EQ(controller.deferred_depth(), 1);
+  EXPECT_EQ(controller.Consider(3), Decision::kShed);
+  EXPECT_EQ(controller.deferred_depth(), 0);
+}
+
+TEST_F(AdmissionControllerTest, ExportsOverloadMetrics) {
+  AdmissionController controller(&sim_, SmallConfig(), &metrics_);
+  sim::Gauge* occupancy = metrics_.GetGauge("gen0.occupancy");
+  controller.WatchOccupancy(occupancy, 10);
+  occupancy->Set(sim_.Now(), 9.0);
+  (void)controller.Consider(0);
+  EXPECT_EQ(metrics_.GetCounter("overload.delayed")->value(), 1);
+  EXPECT_DOUBLE_EQ(metrics_.FindGauge("overload.saturated")->value(), 1.0);
+  EXPECT_DOUBLE_EQ(metrics_.FindGauge("overload.deferred_depth")->value(),
+                   1.0);
+}
+
+// The determinism contract the bench and CI lean on: the controller
+// draws no randomness, so an identical sequence of (gauge value, probe
+// value, attempt) inputs produces an identical decision stream and
+// identical counters.
+TEST_F(AdmissionControllerTest, IdenticalInputsIdenticalDecisions) {
+  auto run = [] {
+    sim::Simulator sim;
+    sim::MetricsRegistry metrics;
+    AdmissionConfig config;
+    config.enabled = true;
+    config.high_watermark = 0.75;
+    config.low_watermark = 0.40;
+    config.max_inflight_log_bytes = 1000;
+    config.max_defer_attempts = 2;
+    config.max_deferred = 3;
+    AdmissionController controller(&sim, config, &metrics);
+    sim::Gauge* occupancy = metrics.GetGauge("gen0.occupancy");
+    controller.WatchOccupancy(occupancy, 8);
+    int64_t queued = 0;
+    controller.set_inflight_probe([&queued] { return queued; });
+
+    std::vector<int64_t> decisions;
+    const struct {
+      double occ;
+      int64_t bytes;
+      uint32_t attempt;
+    } inputs[] = {
+        {2, 0, 0},   {6, 0, 0},    {6, 2000, 0}, {6, 2000, 1},
+        {7, 500, 0}, {7, 500, 1},  {7, 500, 2},  {3, 0, 1},
+        {8, 0, 0},   {8, 0, 0},    {8, 0, 0},    {8, 0, 0},
+        {1, 0, 1},   {1, 0, 2},
+    };
+    for (const auto& in : inputs) {
+      occupancy->Set(sim.Now(), in.occ);
+      queued = in.bytes;
+      decisions.push_back(
+          static_cast<int64_t>(controller.Consider(in.attempt)));
+    }
+    decisions.push_back(controller.admitted());
+    decisions.push_back(controller.delayed());
+    decisions.push_back(controller.shed());
+    return decisions;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace overload
+}  // namespace elog

@@ -296,6 +296,84 @@ TEST(GeneratorTest, PoissonArrivalsStrictlyOrderedAndDeterministic) {
   for (size_t i = 1; i < a.size(); ++i) EXPECT_GT(a[i], a[i - 1]);
 }
 
+TEST(GeneratorTest, OnOffArrivalsRespectDutyCycleAndMeanRate) {
+  sim::Simulator sim;
+  RecordingSink sink(&sim, kMillisecond);
+  WorkloadSpec spec = OneShotSpec(10 * kMillisecond, 0);
+  spec.arrival_process = ArrivalProcess::kOnOff;
+  spec.arrival_rate_tps = 100.0;
+  spec.on_off_period = SecondsToSimTime(1);
+  spec.on_off_duty = 0.25;
+  spec.on_off_burst_factor = 4.0;  // burst rate 400 tps, mean 100 tps
+  spec.runtime = SecondsToSimTime(100);
+  WorkloadGenerator generator(&sim, spec, &sink, nullptr);
+  generator.Start();
+  sim.Run();
+  // Mean rate: ~10000 arrivals over 100 s (Poisson sd ~100).
+  EXPECT_NEAR(generator.started(), 10000, 500);
+  // Every arrival lands inside an ON window: the first quarter of its
+  // period (one tie-broken +1 µs straggler per window boundary allowed).
+  const SimTime period = spec.on_off_period;
+  const SimTime on_len = period / 4;
+  for (const SinkEvent& event : sink.events_) {
+    if (event.kind != SinkEvent::kBegin) continue;
+    EXPECT_LE(event.when % period, on_len + 1)
+        << "arrival at " << event.when << " outside the ON window";
+  }
+}
+
+TEST(GeneratorTest, OnOffArrivalsDeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    sim::Simulator sim;
+    RecordingSink sink(&sim, kMillisecond);
+    WorkloadSpec spec = OneShotSpec(10 * kMillisecond, 0);
+    spec.arrival_process = ArrivalProcess::kOnOff;
+    spec.arrival_rate_tps = 300.0;
+    spec.on_off_duty = 1.0 / 3.0;
+    spec.on_off_burst_factor = 3.0;
+    spec.runtime = SecondsToSimTime(5);
+    spec.seed = seed;
+    WorkloadGenerator generator(&sim, spec, &sink, nullptr);
+    generator.Start();
+    sim.Run();
+    std::vector<SimTime> begins;
+    for (const SinkEvent& event : sink.events_) {
+      if (event.kind == SinkEvent::kBegin) begins.push_back(event.when);
+    }
+    return begins;
+  };
+  std::vector<SimTime> a = run(42);
+  std::vector<SimTime> b = run(42);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, run(43));
+  for (size_t i = 1; i < a.size(); ++i) EXPECT_GT(a[i], a[i - 1]);
+}
+
+TEST(GeneratorTest, OnOffKnobsInertForOtherProcesses) {
+  // The on_off_* fields are read only under ArrivalProcess::kOnOff, and
+  // the burst draws come from a dedicated RNG stream — a Poisson run's
+  // arrivals and oid draws are untouched by setting them.
+  auto run = [](double burst_factor) {
+    sim::Simulator sim;
+    RecordingSink sink(&sim, kMillisecond);
+    WorkloadSpec spec = PaperMix(0.3);
+    spec.arrival_process = ArrivalProcess::kPoisson;
+    spec.arrival_rate_tps = 50;
+    spec.runtime = SecondsToSimTime(2);
+    spec.on_off_burst_factor = burst_factor;
+    spec.on_off_duty = burst_factor > 2.0 ? 0.1 : 0.5;
+    WorkloadGenerator generator(&sim, spec, &sink, nullptr);
+    generator.Start();
+    sim.Run();
+    std::vector<std::pair<SimTime, Oid>> stream;
+    for (const SinkEvent& event : sink.events_) {
+      stream.emplace_back(event.when, event.oid);
+    }
+    return stream;
+  };
+  EXPECT_EQ(run(2.0), run(8.0));
+}
+
 TEST(GeneratorTest, SameSeedSameStream) {
   auto run = [](uint64_t seed) {
     sim::Simulator sim;

@@ -1,0 +1,138 @@
+// Histogram quantiles against an exact sorted-sample oracle.
+//
+// util::Histogram buckets exponentially at 4 buckets per octave, so an
+// interpolated Percentile() can be off from the exact order statistic by
+// at most one bucket's width: a factor of 2^(1/4) ≈ 1.19. The tests
+// here bound the approximation at 20% relative error across shapes that
+// exercise different bucket populations (uniform, exponential tail,
+// heavy point masses), plus the exact edge cases the bench relies on
+// (empty, single value, p=0/100 clamping to min/max).
+
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace elog {
+namespace {
+
+/// Nearest-rank quantile, matching Histogram::Percentile's "cumulative
+/// count >= count * p / 100" rule on the exact sample.
+double ExactPercentile(std::vector<double> samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  if (samples.empty()) return 0.0;
+  if (p <= 0.0) return samples.front();
+  if (p >= 100.0) return samples.back();
+  const double target = static_cast<double>(samples.size()) * p / 100.0;
+  size_t rank = static_cast<size_t>(std::ceil(target));
+  if (rank == 0) rank = 1;
+  if (rank > samples.size()) rank = samples.size();
+  return samples[rank - 1];
+}
+
+void ExpectClose(const Histogram& hist, const std::vector<double>& samples,
+                 double p) {
+  const double exact = ExactPercentile(samples, p);
+  const double approx = hist.Percentile(p);
+  // One exponential bucket of slack plus an epsilon for tiny values.
+  EXPECT_NEAR(approx, exact, 0.20 * std::abs(exact) + 1e-9)
+      << "p=" << p << " exact=" << exact << " approx=" << approx;
+}
+
+TEST(HistogramQuantileTest, EmptyHistogramReturnsZero) {
+  Histogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(99.9), 0.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(100.0), 0.0);
+}
+
+TEST(HistogramQuantileTest, SingleValueIsEveryQuantile) {
+  Histogram hist;
+  hist.Add(1234.5);
+  for (double p : {0.0, 1.0, 50.0, 99.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(hist.Percentile(p), 1234.5) << "p=" << p;
+  }
+}
+
+TEST(HistogramQuantileTest, ExtremesClampToMinAndMax) {
+  Histogram hist;
+  std::vector<double> samples = {3.0, 17.0, 170.0, 9000.0};
+  for (double v : samples) hist.Add(v);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(100.0), 9000.0);
+  // Interior quantiles never escape [min, max] either.
+  for (double p = 1.0; p < 100.0; p += 7.0) {
+    EXPECT_GE(hist.Percentile(p), 3.0);
+    EXPECT_LE(hist.Percentile(p), 9000.0);
+  }
+}
+
+TEST(HistogramQuantileTest, UniformSamplesMatchOracle) {
+  Histogram hist;
+  std::vector<double> samples;
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = 1.0 + rng.NextDouble() * 100000.0;
+    samples.push_back(v);
+    hist.Add(v);
+  }
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+    ExpectClose(hist, samples, p);
+  }
+}
+
+TEST(HistogramQuantileTest, ExponentialTailMatchesOracle) {
+  // Latency-shaped data: exponential with mean 50 ms (in µs), the tail
+  // spanning several octaves — the case the bucket layout is built for.
+  Histogram hist;
+  std::vector<double> samples;
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.NextDouble();
+    const double v = -50000.0 * std::log(1.0 - u);
+    samples.push_back(v);
+    hist.Add(v);
+  }
+  for (double p : {50.0, 90.0, 99.0, 99.9}) {
+    ExpectClose(hist, samples, p);
+  }
+}
+
+TEST(HistogramQuantileTest, PointMassesMatchOracle) {
+  // Bimodal: 90% fast mode at 100 µs, 10% stall mode at 1 s. The p50
+  // must sit in the fast mode's bucket and the p99 in the stall mode's.
+  Histogram hist;
+  std::vector<double> samples;
+  for (int i = 0; i < 900; ++i) {
+    samples.push_back(100.0);
+    hist.Add(100.0);
+  }
+  for (int i = 0; i < 100; ++i) {
+    samples.push_back(1e6);
+    hist.Add(1e6);
+  }
+  ExpectClose(hist, samples, 50.0);
+  ExpectClose(hist, samples, 99.0);
+  ExpectClose(hist, samples, 99.9);
+}
+
+TEST(HistogramQuantileTest, SubUnitValuesShareTheFirstBucket) {
+  // Everything <= 1.0 lands in bucket 0; quantiles there interpolate
+  // within [0, 1] and clamp to the observed extremes.
+  Histogram hist;
+  for (double v : {0.1, 0.2, 0.3, 0.4}) hist.Add(v);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.0), 0.1);
+  EXPECT_DOUBLE_EQ(hist.Percentile(100.0), 0.4);
+  EXPECT_GE(hist.Percentile(50.0), 0.1);
+  EXPECT_LE(hist.Percentile(50.0), 0.4);
+}
+
+}  // namespace
+}  // namespace elog
