@@ -1,0 +1,263 @@
+// Gray-failure tolerance: fail-slow drives vs detection + hedged duplex
+// writes + quarantine/eject (src/health, docs/fault_model.md).
+//
+// The paper's disk model is bimodal — healthy or dead — but real fleets
+// mostly *degrade*: a fail-slow drive silently drags every write it
+// services, and a duplexed log that waits for both copies inherits the
+// slower replica's latency. This bench forces a sustained fail-slow plan
+// onto one log replica (fault::FaultConfig::force_fail_slow_replica) and
+// sweeps severity x {detection off, on} for four stacks:
+//
+//   el        — single-log EL: shows the raw exposure (nothing to hedge).
+//   el_dup    — duplexed EL: the gated configuration.
+//   hybrid_dup— duplexed EL–FW hybrid.
+//   sharded_dup — 4 duplexed EL shards; the slow replica is shard 0's
+//               mirror, so 3/4 of the fleet is unaffected.
+//
+// Detection off: the duplex merge waits for the slow copy — at 10x a
+// single degraded mirror halves effective log bandwidth below the offered
+// rate and the open-loop backlog drives commit p99 through the floor.
+// Detection on: the health monitor flags the outlier within a few
+// hundred ms of onset, hedged writes ack on the first-landed copy, and
+// the quarantined replica is ejected and resilvered (fresh media), after
+// which the run proceeds at healthy latency.
+//
+// Self-gated like bench/overload: on the duplexed-EL rows at the highest
+// severity, detection ON must finish with zero unsafe committing kills
+// and commit p99 <= 2x the healthy baseline, while detection OFF must
+// show p99 >= 5x baseline (no silent pass: if the injected gray failure
+// were too mild to hurt, the off row would fail the gate). Deterministic
+// at any --jobs: fixed config enumeration, per-run virtual clocks.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/bench_cli.h"
+#include "harness/report.h"
+#include "runner/bench_json.h"
+#include "runner/progress.h"
+#include "runner/sweep_runner.h"
+#include "util/string_util.h"
+
+using namespace elog;
+
+namespace {
+
+enum class Stack { kEl, kElDuplex, kHybridDuplex, kShardedDuplex };
+
+const char* Name(Stack s) {
+  switch (s) {
+    case Stack::kEl: return "el";
+    case Stack::kElDuplex: return "el_dup";
+    case Stack::kHybridDuplex: return "hybrid_dup";
+    case Stack::kShardedDuplex: return "sharded_dup";
+  }
+  return "?";
+}
+
+bool Duplexed(Stack s) { return s != Stack::kEl; }
+
+db::DatabaseConfig MakeConfig(Stack stack, double severity, bool detection,
+                              SimTime runtime, uint64_t seed) {
+  db::DatabaseConfig config;
+  config.workload = workload::PaperMix(0.05);
+  config.workload.runtime = runtime;
+  config.workload.seed = seed;
+  switch (stack) {
+    case Stack::kEl:
+      config.log.generation_blocks = {18, 16};
+      break;
+    case Stack::kElDuplex:
+      config.log.generation_blocks = {18, 16};
+      config.duplex_log = true;
+      break;
+    case Stack::kHybridDuplex:
+      config.log.generation_blocks = {18, 16};
+      config.manager = ManagerKind::kHybrid;
+      config.duplex_log = true;
+      break;
+    case Stack::kShardedDuplex:
+      config.log.generation_blocks = {40, 40};
+      config.log.shards = 4;
+      config.duplex_log = true;
+      break;
+  }
+  if (severity > 1.0) {
+    // Force the plan (no RNG draw): the mirror replica of a duplexed
+    // stack (shard 0's mirror when sharded), the lone drive otherwise.
+    // Onset 1 s in, so every run starts from the same healthy state.
+    config.faults.seed = seed;
+    config.faults.fail_slow_multiplier = severity;
+    config.faults.force_fail_slow_replica = Duplexed(stack) ? 1 : 0;
+    config.faults.force_fail_slow_onset = kSecond;
+  }
+  if (detection) {
+    config.health.enabled = true;
+    // Pin the laggard wait to just past one healthy service time: a
+    // hedged ack then lands ~2x the healthy write latency — inside the
+    // 2x-p99 gate — instead of the looser fleet-relative default.
+    config.health.hedge.deadline = 20 * kMillisecond;
+  }
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t runtime_s = 15;
+  harness::BenchCli cli;
+  cli.AddQuick("severities {1, 10} only");
+  cli.AddSeed(42, "workload RNG seed");
+  FlagSet& flags = cli.flags();
+  flags.AddInt64("runtime", &runtime_s, "simulated seconds of arrivals");
+  if (!cli.Parse(argc, argv)) return 2;
+
+  const SimTime runtime = SecondsToSimTime(runtime_s);
+  const uint64_t seed = static_cast<uint64_t>(cli.seed);
+  const std::vector<Stack> stacks = {Stack::kEl, Stack::kElDuplex,
+                                     Stack::kHybridDuplex,
+                                     Stack::kShardedDuplex};
+  // Severity = sustained service-time multiplier of the fail-slow drive;
+  // 1 is the healthy baseline the gates compare against.
+  const std::vector<double> severities =
+      cli.quick ? std::vector<double>{1, 10} : std::vector<double>{1, 4, 10};
+
+  runner::ProgressReporter progress("gray_failure");
+  runner::SweepOptions sweep_options;
+  sweep_options.jobs = static_cast<int>(cli.jobs);
+  // Paired comparison: every point replays the same arrival stream, so
+  // curve differences come from the fail-slow drive and the defense.
+  sweep_options.derive_seeds = false;
+  sweep_options.progress = &progress;
+  runner::SweepRunner sweeper(sweep_options);
+  harness::WallTimer timer;
+
+  struct Point {
+    Stack stack;
+    double severity;
+    bool detection;
+  };
+  std::vector<Point> points;
+  std::vector<db::DatabaseConfig> configs;
+  for (Stack stack : stacks) {
+    for (double severity : severities) {
+      for (bool detection : {false, true}) {
+        points.push_back({stack, severity, detection});
+        configs.push_back(
+            MakeConfig(stack, severity, detection, runtime, seed));
+      }
+    }
+  }
+  std::vector<db::RunStats> results = sweeper.Run(std::move(configs));
+
+  TableWriter table({"manager", "severity", "detection", "committed_tps",
+                     "p50_ms", "p99_ms", "p999_ms", "killed", "unsafe",
+                     "hedges_fired", "hedge_wins", "quarantines",
+                     "quarantine_skips", "degraded", "flush_redirects"});
+  // Healthy baseline p99 per stack: the severity-1, detection-off row.
+  std::vector<double> baseline_p99(stacks.size(), 0.0);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    if (p.severity == 1.0 && !p.detection) {
+      baseline_p99[static_cast<size_t>(p.stack)] =
+          results[i].commit_latency_p99_us;
+    }
+  }
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    const db::RunStats& stats = results[i];
+    table.AddRow(
+        {Name(p.stack), StrFormat("%.0fx", p.severity),
+         p.detection ? "on" : "off",
+         StrFormat("%.1f", static_cast<double>(stats.total_committed) /
+                               static_cast<double>(runtime_s)),
+         StrFormat("%.2f", stats.commit_latency_p50_us / 1000.0),
+         StrFormat("%.2f", stats.commit_latency_p99_us / 1000.0),
+         StrFormat("%.2f", stats.commit_latency_p999_us / 1000.0),
+         std::to_string(stats.total_killed),
+         std::to_string(stats.unsafe_committing_kills),
+         std::to_string(stats.hedges_fired),
+         std::to_string(stats.hedge_wins), std::to_string(stats.quarantines),
+         std::to_string(stats.quarantine_skips),
+         std::to_string(stats.degraded_writes),
+         std::to_string(stats.flush_redirects)});
+  }
+
+  // The gate, on the duplexed-EL stack at the highest severity. Both
+  // directions are checked so the bench cannot silently pass by injecting
+  // a gray failure too mild to matter.
+  const double top = severities.back();
+  const double base_p99 =
+      baseline_p99[static_cast<size_t>(Stack::kElDuplex)];
+  bool gate_ok = true;
+  std::string gate_detail;
+  double p99_ratio_on = 0.0;
+  double p99_ratio_off = 0.0;
+  int64_t unsafe_on = 0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    if (p.stack != Stack::kElDuplex || p.severity != top) continue;
+    const double ratio =
+        base_p99 > 0 ? results[i].commit_latency_p99_us / base_p99 : 0.0;
+    if (p.detection) {
+      p99_ratio_on = ratio;
+      unsafe_on = results[i].unsafe_committing_kills;
+      if (results[i].unsafe_committing_kills != 0 || ratio > 2.0) {
+        gate_ok = false;
+        gate_detail += StrFormat(
+            "  el_dup %.0fx detection-on: unsafe=%lld p99=%.1fx baseline "
+            "(need unsafe=0, <= 2.0x)\n",
+            top, (long long)results[i].unsafe_committing_kills, ratio);
+      }
+    } else {
+      p99_ratio_off = ratio;
+      if (ratio < 5.0) {
+        gate_ok = false;
+        gate_detail += StrFormat(
+            "  el_dup %.0fx detection-off: p99=%.1fx baseline (need >= "
+            "5.0x — the injected fail-slow is too mild to gate on)\n",
+            top, ratio);
+      }
+    }
+  }
+
+  harness::PrintTable(
+      "Gray failures: commit-latency quantiles vs fail-slow severity, "
+      "detection off/on (gate: duplexed EL at top severity — detection on "
+      "keeps unsafe=0 and p99 <= 2x baseline, detection off shows >= 5x)",
+      table);
+
+  const double wall_s = timer.Seconds();
+  progress.Finish();
+
+  Status status = harness::MaybeWriteCsv(cli.csv, table);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  runner::BenchJson bench("gray_failure");
+  bench.AddConfig("jobs", static_cast<int64_t>(sweeper.jobs()));
+  bench.AddConfig("seed", cli.seed);
+  bench.AddConfig("runtime_s", runtime_s);
+  bench.AddConfig("quick", cli.quick);
+  bench.AddConfig("top_severity", top);
+  bench.AddMetric("baseline_p99_ms", base_p99 / 1000.0);
+  bench.AddMetric("p99_ratio_detection_on", p99_ratio_on);
+  bench.AddMetric("p99_ratio_detection_off", p99_ratio_off);
+  bench.AddMetric("unsafe_kills_detection_on", unsafe_on);
+  status = harness::WriteBenchJson(cli.json_dir, &bench, table, wall_s);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  if (!gate_ok) {
+    std::fprintf(stderr, "FAIL: gray-failure gate broken:\n%s",
+                 gate_detail.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -29,6 +29,8 @@ int main(int argc, char** argv) {
   bool duplex = false;
   double drive_death_rate = defaults.drive_death_rate;
   double resilver_prob = defaults.resilver_prob;
+  double fail_slow_rate = defaults.fail_slow_rate;
+  double fail_slow_multiplier = defaults.fail_slow_multiplier;
   int64_t shards = 1;
   double cross_shard_fraction = defaults.cross_shard_fraction;
   std::string trace_manager;
@@ -55,6 +57,11 @@ int main(int argc, char** argv) {
                   "probability a log drive's permanent-death plan arms");
   flags.AddDouble("resilver_prob", &resilver_prob,
                   "duplex only: probability auto-resilver is armed");
+  flags.AddDouble("fail_slow_rate", &fail_slow_rate,
+                  "probability a log drive's fail-slow (gray failure) plan "
+                  "arms; nonzero also enables health detection + hedging");
+  flags.AddDouble("fail_slow_multiplier", &fail_slow_multiplier,
+                  "sustained service-time multiplier of a fail-slow drive");
   flags.AddInt64("shards", &shards,
                  "shard the log across this many independent instances");
   flags.AddDouble("cross_shard_fraction", &cross_shard_fraction,
@@ -80,6 +87,8 @@ int main(int argc, char** argv) {
   spec.duplex = duplex;
   spec.drive_death_rate = drive_death_rate;
   spec.resilver_prob = resilver_prob;
+  spec.fail_slow_rate = fail_slow_rate;
+  spec.fail_slow_multiplier = fail_slow_multiplier;
   spec.shards = static_cast<uint32_t>(shards);
   spec.cross_shard_fraction = cross_shard_fraction;
 
@@ -131,7 +140,8 @@ int main(int argc, char** argv) {
                      "torn", "committed", "write_retries", "writes_lost",
                      "bit_rot", "flush_retries", "flushes_lost",
                      "blocks_corrupt", "drive_deaths", "degraded",
-                     "double_faults", "repaired", "resilvered"});
+                     "double_faults", "repaired", "resilvered",
+                     "hedges_fired", "quarantines"});
   int64_t total_failed = 0;
   for (const runner::TortureReport& report : reports) {
     total_failed += report.failed;
@@ -154,7 +164,9 @@ int main(int argc, char** argv) {
                             (long long)report.total_silent_double_faults),
                   StrFormat("%lld", (long long)report.total_blocks_repaired),
                   StrFormat("%lld",
-                            (long long)report.total_resilvered_blocks)});
+                            (long long)report.total_resilvered_blocks),
+                  StrFormat("%lld", (long long)report.total_hedges_fired),
+                  StrFormat("%lld", (long long)report.total_quarantines)});
   }
 
   harness::PrintTable(
@@ -219,6 +231,8 @@ int main(int argc, char** argv) {
                   static_cast<int64_t>(spec.min_resilver_delay));
   bench.AddConfig("max_resilver_delay_us",
                   static_cast<int64_t>(spec.max_resilver_delay));
+  bench.AddConfig("fail_slow_rate", spec.fail_slow_rate);
+  bench.AddConfig("fail_slow_multiplier", spec.fail_slow_multiplier);
   bench.AddConfig("quick", cli.quick);
   bench.AddConfig("shards", shards);
   bench.AddConfig("cross_shard_fraction", spec.cross_shard_fraction);
@@ -232,6 +246,9 @@ int main(int argc, char** argv) {
   int64_t total_prepares = 0;
   int64_t total_in_doubt_committed = 0;
   int64_t total_in_doubt_aborted = 0;
+  int64_t total_hedges = 0;
+  int64_t total_hedge_wins = 0;
+  int64_t total_quarantines = 0;
   for (const runner::TortureReport& report : reports) {
     total_passed += report.passed;
     total_exact += report.exact_trials;
@@ -242,6 +259,9 @@ int main(int argc, char** argv) {
     total_prepares += report.total_prepares_in_log;
     total_in_doubt_committed += report.total_in_doubt_committed;
     total_in_doubt_aborted += report.total_in_doubt_aborted;
+    total_hedges += report.total_hedges_fired;
+    total_hedge_wins += report.total_hedge_wins;
+    total_quarantines += report.total_quarantines;
     for (const runner::TortureTrial& trial : report.trials) {
       total_recovered += trial.records_recovered;
     }
@@ -257,6 +277,9 @@ int main(int argc, char** argv) {
   bench.AddMetric("prepares_in_log", total_prepares);
   bench.AddMetric("in_doubt_committed", total_in_doubt_committed);
   bench.AddMetric("in_doubt_aborted", total_in_doubt_aborted);
+  bench.AddMetric("hedges_fired", total_hedges);
+  bench.AddMetric("hedge_wins", total_hedge_wins);
+  bench.AddMetric("quarantines", total_quarantines);
   status = harness::WriteBenchJson(cli.json_dir, &bench, table, wall_s);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";

@@ -575,17 +575,14 @@ void EphemeralLogManager::SubmitBlockWrite(
   // Exponential backoff, charged as extra service latency of the retry so
   // the block keeps its place at the head of the device queue: no younger
   // block (e.g. a COMMIT depending on this one) can become durable first.
-  request.extra_latency =
-      attempt == 0 ? 0
-                   : options_.log_write_retry_backoff
-                         << std::min<uint32_t>(attempt - 1, 16);
+  request.extra_latency = options_.log_write_retry.BackoffForAttempt(attempt);
   request.on_complete = [this, address, image, commit_tids,
                          attempt](const Status& status) {
     if (status.ok()) {
       OnBlockDurable(address.generation, *commit_tids);
       return;
     }
-    if (attempt + 1 < options_.max_log_write_attempts) {
+    if (options_.log_write_retry.AttemptsRemain(attempt + 1)) {
       log_write_retries_->Incr();
       SubmitBlockWrite(address, image, commit_tids, attempt + 1);
       return;

@@ -120,9 +120,10 @@ class EphemeralLogManager : public LogManager {
   }
   /// Log block writes that failed transiently and were resubmitted.
   int64_t log_write_retries() const { return log_write_retries_->value(); }
-  /// Log block writes abandoned after max_log_write_attempts failures.
-  /// Transactions waiting on the block for their commit acknowledgement
-  /// are killed; nonzero values void the strict recovery guarantees.
+  /// Log block writes abandoned after log_write_retry.max_attempts
+  /// failures. Transactions waiting on the block for their commit
+  /// acknowledgement are killed; nonzero values void the strict recovery
+  /// guarantees.
   int64_t log_writes_lost() const { return log_writes_lost_->value(); }
   /// Flush requests the drives abandoned after their retry budget
   /// (on_failed notices received; matches the drives' flushes_lost total
@@ -230,8 +231,8 @@ class EphemeralLogManager : public LogManager {
 
   /// Submits a closed buffer to the log device, retrying transient write
   /// failures at the head of the device queue (bounded by
-  /// options_.max_log_write_attempts, exponential backoff). The image and
-  /// commit list are shared between attempts.
+  /// options_.log_write_retry: max attempts, exponential backoff). The
+  /// image and commit list are shared between attempts.
   void SubmitBlockWrite(disk::BlockAddress address,
                         std::shared_ptr<const wal::BlockImage> image,
                         std::shared_ptr<const std::vector<TxId>> commit_tids,

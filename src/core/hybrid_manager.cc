@@ -143,17 +143,14 @@ void HybridLogManager::SubmitBlockWrite(
   // Backoff rides as extra service latency of the head-of-queue retry so
   // submission-order durability survives the fault (see the EL manager's
   // SubmitBlockWrite for the full rationale).
-  request.extra_latency =
-      attempt == 0 ? 0
-                   : options_.log_write_retry_backoff
-                         << std::min<uint32_t>(attempt - 1, 16);
+  request.extra_latency = options_.log_write_retry.BackoffForAttempt(attempt);
   request.on_complete = [this, address, image, commit_tids,
                          attempt](const Status& status) {
     if (status.ok()) {
       OnBlockDurable(*commit_tids);
       return;
     }
-    if (attempt + 1 < options_.max_log_write_attempts) {
+    if (options_.log_write_retry.AttemptsRemain(attempt + 1)) {
       log_write_retries_->Incr();
       SubmitBlockWrite(address, image, commit_tids, attempt + 1);
       return;

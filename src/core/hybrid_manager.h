@@ -102,8 +102,9 @@ class HybridLogManager : public LogManager {
   int64_t forced_releases() const { return forced_releases_->value(); }
   /// Log block writes that failed transiently and were resubmitted.
   int64_t log_write_retries() const { return log_write_retries_->value(); }
-  /// Log block writes abandoned after max_log_write_attempts failures
-  /// (waiting committers are killed; strict recovery guarantees void).
+  /// Log block writes abandoned after log_write_retry.max_attempts
+  /// failures (waiting committers killed; strict recovery guarantees
+  /// void).
   int64_t log_writes_lost() const { return log_writes_lost_->value(); }
   /// Flush requests abandoned by the drives (on_failed notices). Each
   /// settles its owner's outstanding-flush count, so abandoned flushes

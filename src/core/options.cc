@@ -25,12 +25,8 @@ Status LogManagerOptions::Validate() const {
   if (log_write_latency <= 0) {
     return Status::InvalidArgument("log write latency must be positive");
   }
-  if (max_log_write_attempts == 0) {
-    return Status::InvalidArgument("max_log_write_attempts must be >= 1");
-  }
-  if (log_write_retry_backoff < 0) {
-    return Status::InvalidArgument(
-        "log write retry backoff must be non-negative");
+  if (Status retry = log_write_retry.Validate(); !retry.ok()) {
+    return retry;
   }
   if (max_batch_bytes > wal::kBlockPayloadBytes) {
     return Status::InvalidArgument(StrFormat(

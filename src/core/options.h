@@ -7,13 +7,101 @@
 #ifndef ELOG_CORE_OPTIONS_H_
 #define ELOG_CORE_OPTIONS_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
+#include "util/random.h"
 #include "util/status.h"
 #include "util/types.h"
 
 namespace elog {
+
+/// Unified retry/backoff/deadline policy for device-level retries: log
+/// block writes (the managers' SubmitFront loop), flush-drive transfers,
+/// and the duplex hedge deadline all describe their budget with one of
+/// these instead of scattered ad-hoc constants. Everything is inline so
+/// lower layers (disk) can use a policy without linking elog_core.
+///
+/// The defaults reproduce the historical log-write retry behaviour
+/// bit for bit: 8 total attempts, backoff 5 ms doubled per retry with the
+/// exponent clamped at 16 doublings, no jitter, no deadline.
+struct RetryPolicy {
+  /// Total tries, first attempt included. Must be >= 1.
+  uint32_t max_attempts = 8;
+  /// Backoff charged before retry n >= 1 (retry 1 waits base_backoff).
+  SimTime base_backoff = 5 * kMillisecond;
+  /// Multiplicative backoff growth per additional retry: 2.0 doubles
+  /// (log writes), 1.0 is a constant backoff (flush transfers). The
+  /// growth exponent is clamped at 16 so the backoff cannot overflow.
+  double growth = 2.0;
+  /// Fraction by which the computed backoff is re-drawn uniformly in
+  /// [1 - jitter, 1 + jitter] from a caller-supplied seeded stream.
+  /// 0 (the default) draws nothing, preserving replay byte-identity.
+  double jitter = 0.0;
+  /// Overall deadline in µs (0 = none). Retry loops give up once this
+  /// much time has elapsed since the first attempt; the duplex hedge
+  /// reads it as the extra wait granted to a mirror's laggard copy
+  /// before the first-landed copy acknowledges alone.
+  SimTime deadline = 0;
+
+  /// Backoff to charge before attempt `attempt` (0-based: the first
+  /// attempt waits nothing). `rng` feeds the jitter draw and may be null
+  /// when jitter == 0.
+  SimTime BackoffForAttempt(uint32_t attempt, Rng* rng = nullptr) const {
+    if (attempt == 0) return 0;
+    const uint32_t exponent = std::min<uint32_t>(attempt - 1, 16);
+    SimTime backoff;
+    if (growth == 2.0) {
+      // Integer shift: bit-identical to the historical
+      // `backoff << min(attempt - 1, 16)` expression.
+      backoff = base_backoff << exponent;
+    } else if (growth == 1.0) {
+      backoff = base_backoff;
+    } else {
+      backoff = static_cast<SimTime>(static_cast<double>(base_backoff) *
+                                     std::pow(growth, exponent));
+    }
+    if (jitter > 0.0 && rng != nullptr) {
+      backoff = static_cast<SimTime>(
+          static_cast<double>(backoff) *
+          (1.0 - jitter + 2.0 * jitter * rng->NextDouble()));
+    }
+    return backoff;
+  }
+
+  /// True while another try fits the budget, given how many attempts
+  /// have already been consumed.
+  bool AttemptsRemain(uint32_t attempts_done) const {
+    return attempts_done < max_attempts;
+  }
+
+  /// True once `elapsed` (time since the first attempt) exhausts the
+  /// deadline. Policies without a deadline never expire.
+  bool DeadlineExceeded(SimTime elapsed) const {
+    return deadline > 0 && elapsed >= deadline;
+  }
+
+  Status Validate() const {
+    if (max_attempts == 0) {
+      return Status::InvalidArgument("retry max_attempts must be >= 1");
+    }
+    if (base_backoff < 0) {
+      return Status::InvalidArgument("retry base_backoff must be >= 0");
+    }
+    if (growth < 1.0) {
+      return Status::InvalidArgument("retry growth must be >= 1");
+    }
+    if (jitter < 0.0 || jitter >= 1.0) {
+      return Status::InvalidArgument("retry jitter must be in [0, 1)");
+    }
+    if (deadline < 0) {
+      return Status::InvalidArgument("retry deadline must be >= 0");
+    }
+    return Status::OK();
+  }
+};
 
 /// What to do with a committed-but-unflushed data record that arrives at
 /// the head of a generation.
@@ -50,12 +138,12 @@ struct LogManagerOptions {
 
   /// Retry budget for transiently failed log block writes (fault
   /// injection): the manager resubmits a failed block at the head of the
-  /// device queue up to max_log_write_attempts total tries, doubling
-  /// log_write_retry_backoff before each retry. Exhausting the budget
+  /// device queue up to log_write_retry.max_attempts total tries, with
+  /// log_write_retry.BackoffForAttempt() charged before each retry
+  /// (doubling from base_backoff by default). Exhausting the budget
   /// abandons the block (and kills any transaction whose commit
   /// acknowledgement depended on it).
-  uint32_t max_log_write_attempts = 8;
-  SimTime log_write_retry_backoff = 5 * kMillisecond;
+  RetryPolicy log_write_retry;
 
   /// Group-commit linger: if nonzero, an open buffer holding an
   /// unacknowledged COMMIT record is force-written this long after the

@@ -32,6 +32,7 @@ Database::Database(const DatabaseConfig& config)
     stack_config.faults = config.faults;
     stack_config.duplex_log = config.duplex_log;
     stack_config.auto_resilver_delay = config.auto_resilver_delay;
+    stack_config.health = config.health;
     shard_router_ =
         std::make_unique<workload::HashShardRouter>(config.log.shards);
     std::vector<LogManager*> inner;
@@ -99,6 +100,20 @@ Database::Database(const DatabaseConfig& config)
   drives_ = std::make_unique<disk::DriveArray>(
       &simulator_, config.log.num_flush_drives, config.log.num_objects,
       config.log.flush_transfer_time, &metrics_, injector_.get());
+  if (config.health.enabled) {
+    ELOG_CHECK_OK(config.health.Validate());
+    health_ = std::make_unique<health::DriveHealthMonitor>(
+        &simulator_, config.health, &metrics_, "health");
+    const int log0 = health_->RegisterDrive("log", "log0");
+    device_->set_health(health_.get(), log0);
+    if (duplex_ != nullptr) {
+      const int log1 = health_->RegisterDrive("log", "log1");
+      device_mirror_->set_health(health_.get(), log1);
+      duplex_->EnableHedging(health_.get(), log0, log1,
+                             config.log.log_write_latency);
+    }
+    drives_->AttachHealth(health_.get());
+  }
   LogManagerSet managers =
       MakeLogManager(config.manager, config_.log, &simulator_, log_port,
                      drives_.get(), &metrics_);
@@ -349,7 +364,12 @@ RunStats Database::Run() {
         stats.resilvered_blocks += stack->duplex()->resilvered_blocks();
         stats.resilvers_completed += stack->duplex()->resilvers_completed();
         stats.dead_log_replicas += stack->duplex()->dead_replicas_observed();
+        stats.hedges_fired += stack->duplex()->hedges_fired();
+        stats.hedge_wins += stack->duplex()->hedge_wins();
+        stats.quarantines += stack->duplex()->quarantines();
+        stats.quarantine_skips += stack->duplex()->quarantine_skips();
       }
+      stats.flush_redirects += stack->drives()->redirects();
     }
     return stats;
   }
@@ -380,7 +400,12 @@ RunStats Database::Run() {
     stats.resilvered_blocks = duplex_->resilvered_blocks();
     stats.resilvers_completed = duplex_->resilvers_completed();
     stats.dead_log_replicas = duplex_->dead_replicas_observed();
+    stats.hedges_fired = duplex_->hedges_fired();
+    stats.hedge_wins = duplex_->hedge_wins();
+    stats.quarantines = duplex_->quarantines();
+    stats.quarantine_skips = duplex_->quarantine_skips();
   }
+  stats.flush_redirects = drives_->redirects();
   return stats;
 }
 
@@ -419,44 +444,52 @@ struct LogMedia {
 /// in-flight writes: a torn single write lands scrambled, and a mirrored
 /// write whose merge never fired must not surface intact on either
 /// replica (its ack never went out — any COMMIT it carries would be a
-/// phantom).
+/// phantom). Hedged duplex runs add a wrinkle: a replica may be
+/// mid-service on the *laggard* copy of an already-acknowledged write —
+/// that ack is durable (the other replica landed its copy intact), so
+/// only the laggard's own slot is torn, never the landed copy.
 void SnapshotLogMedia(const LogMedia& media, bool torn_write,
                       disk::LogStorage* log, bool* log_readable,
                       disk::LogStorage* mirror_log, bool* mirror_readable,
-                      bool* duplex_flag) {
+                      bool* duplex_flag, bool* log_quarantined,
+                      bool* mirror_quarantined) {
   *log = media.storage->Clone();
   *log_readable = !media.device->dead();
   if (media.duplex != nullptr) {
     *duplex_flag = true;
     *mirror_log = media.mirror_storage->Clone();
     *mirror_readable = !media.mirror_device->dead();
+    // Quarantine is fail-slow, not failure: the media stays readable and
+    // the flag is informational for the recovery report.
+    *log_quarantined = media.duplex->ReplicaQuarantined(0);
+    *mirror_quarantined = media.duplex->ReplicaQuarantined(1);
     disk::BlockAddress address;
     bool landed[2] = {false, false};
-    if (media.duplex->InFlight(&address, landed)) {
-      disk::LogStorage* clones[2] = {log, mirror_log};
-      const disk::LogDevice* devices[2] = {media.device, media.mirror_device};
-      fault::FaultInjector* injectors[2] = {media.injector,
-                                            media.mirror_injector};
-      for (int i = 0; i < 2; ++i) {
-        if (landed[i]) {
-          // This copy landed, but a mirrored write is durable only at its
-          // merge, which never fired. Deterministic, no RNG draw.
-          clones[i]->CorruptBlock(address);
-          continue;
-        }
-        // Replica i had not completed: still mid-transfer (torn-write
-        // semantics, same as the single-device path below) or it failed
-        // and stored nothing.
-        disk::BlockAddress replica_addr;
-        wal::BlockImage in_flight;
-        if (torn_write && devices[i]->InService(&replica_addr, &in_flight)) {
-          ELOG_CHECK(replica_addr == address);
-          if (injectors[i] != nullptr && !in_flight.empty()) {
-            injectors[i]->Scramble(&in_flight);
-            clones[i]->Put(replica_addr, std::move(in_flight));
-          } else {
-            clones[i]->CorruptBlock(replica_addr);
-          }
+    const bool unacked_open = media.duplex->InFlight(&address, landed);
+    disk::LogStorage* clones[2] = {log, mirror_log};
+    const disk::LogDevice* devices[2] = {media.device, media.mirror_device};
+    fault::FaultInjector* injectors[2] = {media.injector,
+                                          media.mirror_injector};
+    for (int i = 0; i < 2; ++i) {
+      if (unacked_open && landed[i]) {
+        // This copy landed, but a mirrored write is durable only at its
+        // merge (or hedged ack), which never fired. Deterministic, no
+        // RNG draw.
+        clones[i]->CorruptBlock(address);
+        continue;
+      }
+      // Whatever replica i is mid-transfer on — the unacked write's own
+      // copy, or the laggard copy of an earlier hedge-acked write — tears
+      // at its own slot under torn-write semantics. A torn laggard is
+      // safe: the hedged ack's intact copy lives on the other replica.
+      disk::BlockAddress replica_addr;
+      wal::BlockImage in_flight;
+      if (torn_write && devices[i]->InService(&replica_addr, &in_flight)) {
+        if (injectors[i] != nullptr && !in_flight.empty()) {
+          injectors[i]->Scramble(&in_flight);
+          clones[i]->Put(replica_addr, std::move(in_flight));
+        } else {
+          clones[i]->CorruptBlock(replica_addr);
         }
       }
     }
@@ -501,7 +534,9 @@ Database::CrashImage Database::CaptureCrashImage(bool torn_write) const {
                      stack->duplex()};
       SnapshotLogMedia(media, torn_write, &shard_log.log,
                        &shard_log.log_readable, &shard_log.mirror_log,
-                       &shard_log.mirror_readable, &shard_log.duplex);
+                       &shard_log.mirror_readable, &shard_log.duplex,
+                       &shard_log.log_quarantined,
+                       &shard_log.mirror_quarantined);
       image.shards.push_back(std::move(shard_log));
     }
     return image;
@@ -514,7 +549,8 @@ Database::CrashImage Database::CaptureCrashImage(bool torn_write) const {
                  mirror_injector_.get(),
                  duplex_.get()};
   SnapshotLogMedia(media, torn_write, &image.log, &image.log_readable,
-                   &image.mirror_log, &image.mirror_readable, &image.duplex);
+                   &image.mirror_log, &image.mirror_readable, &image.duplex,
+                   &image.log_quarantined, &image.mirror_quarantined);
   return image;
 }
 

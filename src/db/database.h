@@ -32,6 +32,7 @@
 #include "disk/log_storage.h"
 #include "fault/crash_scheduler.h"
 #include "fault/fault_injector.h"
+#include "health/drive_health.h"
 #include "obs/metric_sampler.h"
 #include "obs/trace.h"
 #include "overload/admission_controller.h"
@@ -103,6 +104,15 @@ struct DatabaseConfig {
   /// p50/p99/p999 columns. Opt-in because the extra columns change the
   /// SERIES artifact shape.
   bool commit_latency_series = false;
+
+  // Gray-failure tolerance (src/health, docs/fault_model.md). Off by
+  // default: no monitor is built, no metric registered, no event
+  // scheduled — artifacts stay byte-identical to a health-free build.
+  /// When health.enabled, the facade owns a DriveHealthMonitor watching
+  /// the log replica(s) and the flush stripe; the duplex device (if any)
+  /// hedges and quarantine-ejects, and flush placement redirects around
+  /// quarantined drives. Sharded runs build one monitor per stack.
+  health::HealthOptions health;
 };
 
 /// Measurements of one simulation run. Unless noted, values cover the
@@ -168,6 +178,20 @@ struct RunStats {
   /// Log replicas whose drive died during the run (0, 1 or 2; a resilver
   /// does not reset this — it counts deaths observed, not current state).
   int dead_log_replicas = 0;
+
+  // Gray-failure tolerance (all zero unless DatabaseConfig::health is
+  // enabled); summed over shards in sharded runs.
+  /// Writes acknowledged on the first-landed copy after the other replica
+  /// missed its hedge deadline.
+  int64_t hedges_fired = 0;
+  /// Hedged acks whose laggard then failed — the hedge saved the commit.
+  int64_t hedge_wins = 0;
+  /// Quarantined log replicas ejected and resilvered.
+  int64_t quarantines = 0;
+  /// Log-write copies never submitted to a quarantined replica.
+  int64_t quarantine_skips = 0;
+  /// Flush requests redirected off quarantined flush drives.
+  int64_t flush_redirects = 0;
 };
 
 class Database : public KillListener {
@@ -187,6 +211,11 @@ class Database : public KillListener {
     disk::LogStorage mirror_log{std::vector<uint32_t>{}};
     bool mirror_readable = true;
     bool duplex = false;
+    /// Replica held quarantined by the health monitor at the crash. Its
+    /// media is degraded-but-readable: recovery may still use it, unlike
+    /// a dead (unreadable) replica.
+    bool log_quarantined = false;
+    bool mirror_quarantined = false;
   };
 
   /// Crash image: the durable log and stable version at a crash instant,
@@ -214,6 +243,13 @@ class Database : public KillListener {
     /// recovery runs from the stable store alone.
     bool log_readable = true;
     bool mirror_readable = true;
+    /// Replica held quarantined by the health monitor at the crash
+    /// (duplex + health runs only). Quarantine marks fail-slow media, not
+    /// lost media: the replica is slow but readable, so recovery treats
+    /// it as a usable copy — a crash during quarantine is NOT a double
+    /// fault.
+    bool log_quarantined = false;
+    bool mirror_quarantined = false;
     /// Sharded runs (log.shards > 1): one entry per shard, in shard
     /// order; the legacy log/mirror fields above are then unused (empty
     /// shapes). Empty for single-log runs.
@@ -263,6 +299,12 @@ class Database : public KillListener {
   /// Null unless the run is sharded.
   const workload::ShardRouter* shard_router() const {
     return shard_router_.get();
+  }
+  /// Null unless DatabaseConfig::health.enabled (single-stack runs;
+  /// sharded runs keep one monitor per stack — see ShardStack).
+  health::DriveHealthMonitor* health_monitor() { return health_.get(); }
+  const health::DriveHealthMonitor* health_monitor() const {
+    return health_.get();
   }
   /// Null when the fault config is all-zero.
   fault::FaultInjector* fault_injector() { return injector_.get(); }
@@ -325,6 +367,7 @@ class Database : public KillListener {
   std::unique_ptr<disk::LogDevice> device_mirror_;
   std::unique_ptr<disk::DuplexLogDevice> duplex_;
   std::unique_ptr<disk::DriveArray> drives_;
+  std::unique_ptr<health::DriveHealthMonitor> health_;
   /// Sharded runs only: the router, one stack per shard, and a concrete
   /// view of manager_ (which then owns the coordinator). The single-log
   /// members above stay empty in that mode and vice versa.

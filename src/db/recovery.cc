@@ -241,11 +241,18 @@ RecoveryResult RecoveryManager::RecoverDuplex(disk::LogStorage* primary,
                                               disk::LogStorage* mirror,
                                               const StableStore& stable,
                                               bool read_repair,
-                                              obs::Tracer* tracer) {
+                                              obs::Tracer* tracer,
+                                              const bool* quarantined) {
   RecoveryResult result;
   wal::LogScanner scanner;
   MergeDuplexGenerations(primary, mirror, read_repair, &scanner,
                          &result.duplex);
+  if (quarantined != nullptr) {
+    // Annotation only: a quarantined (fail-slow) replica was scanned and
+    // merged above exactly like a healthy one.
+    result.duplex.replica_quarantined[0] = quarantined[0];
+    result.duplex.replica_quarantined[1] = quarantined[1];
+  }
   result.scan = scanner.stats();
 
   ProcessScannedLog(scanner, stable, &result);
@@ -302,6 +309,8 @@ RecoveryResult RecoveryManager::RecoverSharded(
       result.duplex.blocks_repaired += shard_duplex.blocks_repaired;
       result.duplex.blocks_diverged += shard_duplex.blocks_diverged;
       result.duplex.blocks_double_fault += shard_duplex.blocks_double_fault;
+      result.duplex.replica_quarantined[0] |= in.primary_quarantined;
+      result.duplex.replica_quarantined[1] |= in.mirror_quarantined;
     } else if (in.primary != nullptr) {
       for (uint32_t g = 0; g < in.primary->num_generations(); ++g) {
         scanner->AddGeneration(in.primary->GenerationBlocks(g));

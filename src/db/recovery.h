@@ -53,6 +53,13 @@ struct DuplexScanStats {
   /// False for a replica whose drive was dead at the crash (its media
   /// cannot be read; recovery runs from the survivor alone).
   bool replica_readable[2] = {true, true};
+  /// True for a replica the health monitor held quarantined at the crash
+  /// (gray-failure runs). Informational: quarantine marks fail-slow but
+  /// READABLE media, so the replica is scanned and merged exactly like a
+  /// healthy one — it is recoverable media, not a double fault. Recorded
+  /// so reports can distinguish "recovered through a quarantined replica"
+  /// from a fully healthy pair.
+  bool replica_quarantined[2] = {false, false};
   /// Replica block copies overwritten by read-repair: the other side held
   /// the chosen valid image while this side's copy was corrupt, stale, or
   /// missing. "How often duplexing saved a block."
@@ -74,6 +81,11 @@ struct ShardLogInput {
   disk::LogStorage* primary = nullptr;
   disk::LogStorage* mirror = nullptr;
   bool duplex = false;
+  /// Quarantined-at-crash flags (see DuplexScanStats::replica_quarantined;
+  /// the media is still supplied and scanned normally). OR-aggregated into
+  /// the result's duplex stats.
+  bool primary_quarantined = false;
+  bool mirror_quarantined = false;
 };
 
 /// Cross-shard commit-protocol accounting of a sharded recovery.
@@ -142,11 +154,16 @@ class RecoveryManager {
   /// `read_repair`, stale/corrupt/missing copies are overwritten in place
   /// with the chosen image, so both replicas leave recovery identical;
   /// without it the merge is read-only (the per-slot choice is the same).
+  /// `quarantined`, when non-null, points at two flags recorded into the
+  /// result's DuplexScanStats::replica_quarantined — a quarantined
+  /// replica is scanned normally (fail-slow media is readable), the flag
+  /// only annotates the report.
   static RecoveryResult RecoverDuplex(disk::LogStorage* primary,
                                       disk::LogStorage* mirror,
                                       const StableStore& stable,
                                       bool read_repair = true,
-                                      obs::Tracer* tracer = nullptr);
+                                      obs::Tracer* tracer = nullptr,
+                                      const bool* quarantined = nullptr);
 
   /// Sharded recovery: one independent log (optionally duplexed) per
   /// shard, a single shared stable store. Each shard's media is scanned

@@ -38,6 +38,10 @@ InvariantPolicy DerivePolicy(const RunFaultSummary& summary) {
     // scrambled, a replica lost (or its media wiped by a resilver) while
     // it held sole copies, or both replicas lost. Plain bit-rot and plain
     // drive death are survivable, and the oracle holds the run to that.
+    // A quarantined replica (summary.replica_quarantined) deliberately
+    // does NOT appear here: quarantine marks fail-slow media that is
+    // still readable, so recovery scans it normally — it is recoverable
+    // media, not a double fault.
     lost_evidence = lost_evidence || summary.silent_double_faults > 0 ||
                     summary.resilver_wiped_sole_copies > 0 ||
                     (!summary.replica_readable[0] &&

@@ -88,6 +88,13 @@ struct RunFaultSummary {
   /// replica_readable[0] doubles as the single-log drive's liveness: a
   /// dead single log drive loses everything not yet flushed.
   bool replica_readable[2] = {true, true};
+  /// Replica held quarantined by the health monitor at the crash.
+  /// Informational only: quarantine flags fail-slow media, which is
+  /// degraded but READABLE — recovery scans it like any live replica, so
+  /// a crash during quarantine is not a double fault and never weakens
+  /// the oracle. (Contrast replica_readable, which marks truly lost
+  /// media.)
+  bool replica_quarantined[2] = {false, false};
 };
 
 /// The strongest oracle `summary` supports: exactness unless acknowledged

@@ -12,7 +12,9 @@ DriveArray::DriveArray(sim::Simulator* simulator, uint32_t num_drives,
                        sim::MetricsRegistry* metrics,
                        fault::FaultInjector* injector,
                        const std::string& metrics_prefix)
-    : transfer_time_(transfer_time) {
+    : transfer_time_(transfer_time),
+      metrics_(metrics),
+      metrics_prefix_(metrics_prefix) {
   ELOG_CHECK_GT(num_drives, 0u);
   ELOG_CHECK_EQ(num_objects % num_drives, 0u)
       << "NUM_OBJECTS must be a multiple of the drive count";
@@ -30,9 +32,40 @@ void DriveArray::set_tracer(obs::Tracer* tracer) {
   for (const auto& drive : drives_) drive->set_tracer(tracer);
 }
 
+void DriveArray::AttachHealth(health::DriveHealthMonitor* monitor) {
+  ELOG_CHECK(monitor != nullptr);
+  health_ = monitor;
+  health_drives_.reserve(drives_.size());
+  for (size_t i = 0; i < drives_.size(); ++i) {
+    const int handle = monitor->RegisterDrive(
+        metrics_prefix_, metrics_prefix_ + ".d" + std::to_string(i));
+    health_drives_.push_back(handle);
+    drives_[i]->set_health(monitor, handle);
+    // Redirected requests carry oids outside the target drive's range.
+    drives_[i]->set_accept_foreign_oids(true);
+  }
+  if (metrics_ != nullptr) {
+    redirects_c_ = metrics_->GetCounter(metrics_prefix_ + ".redirects");
+  }
+}
+
 FlushDrive* DriveArray::DriveFor(Oid oid) {
   size_t index = static_cast<size_t>(oid / objects_per_drive_);
   ELOG_CHECK_LT(index, drives_.size()) << "oid out of range: " << oid;
+  if (health_ == nullptr || !health_->quarantined(health_drives_[index])) {
+    return drives_[index].get();
+  }
+  // Quarantined home drive: place on the next healthy drive in stripe
+  // order. If the whole fleet is quarantined, fall back to the home drive
+  // — a slow write still beats no write.
+  for (size_t step = 1; step < drives_.size(); ++step) {
+    const size_t candidate = (index + step) % drives_.size();
+    if (!health_->quarantined(health_drives_[candidate])) {
+      ++redirects_;
+      if (redirects_c_ != nullptr) redirects_c_->Incr();
+      return drives_[candidate].get();
+    }
+  }
   return drives_[index].get();
 }
 

@@ -32,6 +32,14 @@ class DriveArray {
   /// order). Call before the simulation starts.
   void set_tracer(obs::Tracer* tracer);
 
+  /// Attaches a health monitor: each drive registers under group "flush"
+  /// and reports service times; placement then skips quarantined drives,
+  /// redirecting their requests to the next healthy drive (counted). Call
+  /// only when the health feature is enabled — registering adds metric
+  /// gauges, and the redirect counter is created here for the same
+  /// reason. Call before the simulation starts.
+  void AttachHealth(health::DriveHealthMonitor* monitor);
+
   /// Routes a flush request to the drive owning its oid.
   void Enqueue(FlushRequest request);
   void EnqueueUrgent(FlushRequest request);
@@ -59,12 +67,21 @@ class DriveArray {
   /// Peak aggregate flush bandwidth in flushes/second.
   double MaxFlushRate() const;
 
+  /// Requests redirected off a quarantined drive (0 without AttachHealth).
+  int64_t redirects() const { return redirects_; }
+
  private:
   FlushDrive* DriveFor(Oid oid);
 
   std::vector<std::unique_ptr<FlushDrive>> drives_;
   Oid objects_per_drive_;
   SimTime transfer_time_;
+  sim::MetricsRegistry* metrics_;
+  std::string metrics_prefix_;
+  health::DriveHealthMonitor* health_ = nullptr;
+  std::vector<int> health_drives_;
+  sim::Counter* redirects_c_ = nullptr;
+  int64_t redirects_ = 0;
 };
 
 }  // namespace disk

@@ -45,6 +45,24 @@ void DuplexLogDevice::set_tracer(obs::Tracer* tracer) {
   if (tracer_ != nullptr) trace_lane_ = tracer_->RegisterLane(metrics_prefix_);
 }
 
+void DuplexLogDevice::EnableHedging(health::DriveHealthMonitor* monitor,
+                                    int drive0, int drive1,
+                                    SimTime hedge_floor) {
+  ELOG_CHECK(monitor != nullptr);
+  ELOG_CHECK(open_.empty() && queue_.empty());
+  health_ = monitor;
+  health_drives_[0] = drive0;
+  health_drives_[1] = drive1;
+  hedge_floor_ = hedge_floor;
+  // Registered here, not at construction: a health-off run must add zero
+  // metric columns to the committed series artifacts.
+  hedges_fired_c_ = metrics_->GetCounter(metrics_prefix_ + ".hedges_fired");
+  hedge_wins_c_ = metrics_->GetCounter(metrics_prefix_ + ".hedge_wins");
+  quarantines_c_ = metrics_->GetCounter(metrics_prefix_ + ".quarantines");
+  quarantine_skips_c_ =
+      metrics_->GetCounter(metrics_prefix_ + ".quarantine_skips");
+}
+
 void DuplexLogDevice::Submit(LogWriteRequest request) {
   request.submitted_at = simulator_->Now();
   queue_.push_back(std::move(request));
@@ -57,43 +75,114 @@ void DuplexLogDevice::SubmitFront(LogWriteRequest request) {
   Pump();
 }
 
+bool DuplexLogDevice::CanDispatch() const {
+  // At most one unacknowledged write exists, and it is always the back:
+  // with hedging off a write leaves open_ at its merge, so this is the
+  // historical one-in-flight lockstep; with hedging on an acked-but-
+  // unreconciled back lets the next write through (ack order == dispatch
+  // order either way).
+  return open_.empty() || open_.back().acked;
+}
+
 void DuplexLogDevice::Pump() {
-  if (in_flight_ || queue_.empty()) return;
-  current_ = std::move(queue_.front());
-  queue_.pop_front();
-  in_flight_ = true;
-  for (int i = 0; i < 2; ++i) {
-    done_[i] = false;
-    status_[i] = Status::OK();
-    fault_[i] = WriteFault::kNone;
+  while (!queue_.empty() && CanDispatch()) Dispatch();
+}
+
+bool DuplexLogDevice::ShouldSkipReplica(int i) const {
+  if (health_ == nullptr || !health_->quarantined(health_drives_[i])) {
+    return false;
   }
-  // Lockstep: both replicas receive the copy now; nothing younger touches
-  // either replica until both completions merged. Each replica draws its
-  // own fate from its own injector stream.
+  // Never skip both sides: if the other replica is dead or itself
+  // quarantined, the quarantined drive is still the better bet.
+  const int other = 1 - i;
+  if (replica(other)->dead()) return false;
+  if (health_->quarantined(health_drives_[other])) return false;
+  return true;
+}
+
+void DuplexLogDevice::Dispatch() {
+  open_.emplace_back();
+  OpenWrite& w = open_.back();
+  w.request = std::move(queue_.front());
+  queue_.pop_front();
+  w.id = next_write_id_++;
   for (int i = 0; i < 2; ++i) {
+    if (!ShouldSkipReplica(i)) continue;
+    w.skipped[i] = true;
+    w.done[i] = true;
+    w.status[i] = Status::FailedPrecondition("replica quarantined");
+    ++quarantine_skips_;
+    quarantine_skips_c_->Incr();
+  }
+  // Both replicas (minus quarantine skips) receive the copy now; nothing
+  // younger touches either replica until this write is acknowledged. Each
+  // replica draws its own fate from its own injector stream.
+  for (int i = 0; i < 2; ++i) {
+    if (w.skipped[i]) continue;
     LogWriteRequest copy;
-    copy.address = current_.address;
-    copy.image = block_pool_ != nullptr ? block_pool_->CopyOf(current_.image)
-                                        : current_.image;
-    copy.extra_latency = current_.extra_latency;
-    copy.on_fault_witness = [this, i](WriteFault f) { fault_[i] = f; };
+    copy.address = w.request.address;
+    copy.image = block_pool_ != nullptr ? block_pool_->CopyOf(w.request.image)
+                                        : w.request.image;
+    copy.extra_latency = w.request.extra_latency;
+    copy.on_fault_witness = [this, i](WriteFault f) { OnReplicaWitness(i, f); };
     copy.on_complete = [this, i](const Status& s) { OnReplicaComplete(i, s); };
     replica(i)->Submit(std::move(copy));
   }
 }
 
-void DuplexLogDevice::OnReplicaComplete(int i, const Status& status) {
-  ELOG_CHECK(in_flight_);
-  ELOG_CHECK(!done_[i]);
-  done_[i] = true;
-  status_[i] = status;
-  if (done_[0] && done_[1]) MergeCurrent();
+DuplexLogDevice::OpenWrite* DuplexLogDevice::FindPending(int i) {
+  // Replica i services its copies FIFO, so the oldest open write still
+  // awaiting replica i is the one completing now.
+  for (OpenWrite& w : open_) {
+    if (!w.done[i] && !w.skipped[i]) return &w;
+  }
+  return nullptr;
 }
 
-void DuplexLogDevice::MergeCurrent() {
-  ++writes_completed_;
+DuplexLogDevice::OpenWrite* DuplexLogDevice::FindById(uint64_t id) {
+  for (OpenWrite& w : open_) {
+    if (w.id == id) return &w;
+  }
+  return nullptr;
+}
+
+void DuplexLogDevice::OnReplicaWitness(int i, WriteFault f) {
+  OpenWrite* w = FindPending(i);
+  ELOG_CHECK(w != nullptr);
+  w->fault[i] = f;
+}
+
+void DuplexLogDevice::OnReplicaComplete(int i, const Status& status) {
+  OpenWrite* w = FindPending(i);
+  ELOG_CHECK(w != nullptr);
+  w->done[i] = true;
+  w->status[i] = status;
+  if (w->acked) {
+    // The laggard of a hedge-acknowledged write.
+    Reconcile(w, i);
+    return;
+  }
+  const int other = 1 - i;
+  if (w->done[other]) {
+    SettleAndAck(w);
+    return;
+  }
+  // First completion of an unacked write. A durable first copy arms the
+  // hedge: if the other replica misses the health-derived deadline the
+  // caller is acknowledged without it. A failed first copy never arms —
+  // there is nothing durable to acknowledge on.
+  if (health_ != nullptr && status.ok() && !w->hedge_armed) {
+    w->hedge_armed = true;
+    const SimTime deadline =
+        health_->HedgeDeadlineFor(health_drives_[other], hedge_floor_);
+    const uint64_t id = w->id;
+    simulator_->ScheduleAfter(deadline, [this, id] { OnHedgeDeadline(id); });
+  }
+}
+
+void DuplexLogDevice::ObserveDeaths(const OpenWrite& w) {
   for (int i = 0; i < 2; ++i) {
-    if (fault_[i] == WriteFault::kDriveDead && !replica_death_seen_[i]) {
+    if (w.fault[i] == WriteFault::kDriveDead && !replica_death_seen_[i]) {
       replica_death_seen_[i] = true;
       replica_deaths_c_->Incr();
       dead_replicas_gauge_->Set(
@@ -111,13 +200,15 @@ void DuplexLogDevice::MergeCurrent() {
       }
     }
   }
+}
 
-  const bool ok0 = status_[0].ok();
-  const bool ok1 = status_[1].ok();
+Status DuplexLogDevice::Classify(OpenWrite* w) {
+  const bool ok0 = w->status[0].ok();
+  const bool ok1 = w->status[1].ok();
   Status merged = Status::OK();
   if (ok0 && ok1) {
-    const bool rot0 = fault_[0] == WriteFault::kBitRot;
-    const bool rot1 = fault_[1] == WriteFault::kBitRot;
+    const bool rot0 = w->fault[0] == WriteFault::kBitRot;
+    const bool rot1 = w->fault[1] == WriteFault::kBitRot;
     if (rot0 && rot1) {
       // Both copies landed scrambled: the write merges OK but no intact
       // copy exists anywhere.
@@ -130,7 +221,7 @@ void DuplexLogDevice::MergeCurrent() {
     ++degraded_writes_;
     degraded_writes_c_->Incr();
     const int ok = ok0 ? 0 : 1;
-    if (fault_[ok] == WriteFault::kBitRot) {
+    if (w->fault[ok] == WriteFault::kBitRot) {
       // The only replica that stored the block stored it scrambled.
       ++silent_double_faults_;
       silent_double_faults_c_->Incr();
@@ -142,39 +233,189 @@ void DuplexLogDevice::MergeCurrent() {
     // a failed single-device write.
     ++dual_failures_;
     dual_failures_c_->Incr();
-    merged = status_[0];
+    merged = w->status[0];
   }
-  if (tracer_ != nullptr) {
-    tracer_->Complete(trace_lane_, "disk",
-                      merged.ok() ? "write" : "write_fault",
-                      current_.submitted_at,
-                      {{"gen", static_cast<double>(current_.address.generation)},
-                       {"slot", static_cast<double>(current_.address.slot)},
-                       {"ok0", ok0 ? 1.0 : 0.0},
-                       {"ok1", ok1 ? 1.0 : 0.0}});
-  }
+  return merged;
+}
 
+void DuplexLogDevice::EmitCompleteTrace(const OpenWrite& w,
+                                        const Status& merged) {
+  if (tracer_ == nullptr) return;
+  tracer_->Complete(
+      trace_lane_, "disk", merged.ok() ? "write" : "write_fault",
+      w.request.submitted_at,
+      {{"gen", static_cast<double>(w.request.address.generation)},
+       {"slot", static_cast<double>(w.request.address.slot)},
+       {"ok0", w.status[0].ok() ? 1.0 : 0.0},
+       {"ok1", w.status[1].ok() ? 1.0 : 0.0}});
+}
+
+void DuplexLogDevice::SettleAndAck(OpenWrite* w) {
+  ++writes_completed_;
+  ObserveDeaths(*w);
+  const Status merged = Classify(w);
+  EmitCompleteTrace(*w, merged);
   std::function<void(const Status&)> on_complete =
-      std::move(current_.on_complete);
+      std::move(w->request.on_complete);
   if (block_pool_ != nullptr) {
     // The replicas consumed their own copies; the master image merges out
     // of existence here.
-    block_pool_->Release(std::move(current_.image));
+    block_pool_->Release(std::move(w->request.image));
   }
-  in_flight_ = false;
+  w->acked = true;
+  PopSettled();
   // Callback before pumping, mirroring LogDevice: the caller observes
   // merged completions in submission order and a failed write can be
   // resubmitted (SubmitFront) ahead of every younger queued block.
   if (on_complete) on_complete(merged);
-  if (!in_flight_) Pump();
+  Pump();
+  MaybeEjectQuarantined();
+}
+
+void DuplexLogDevice::OnHedgeDeadline(uint64_t id) {
+  OpenWrite* w = FindById(id);
+  // Already settled (popped) or acked: the timer is a no-op.
+  if (w == nullptr || w->acked) return;
+  const bool ok0 = w->done[0] && w->status[0].ok();
+  const bool ok1 = w->done[1] && w->status[1].ok();
+  if (!ok0 && !ok1) return;
+  // One copy is durable and the laggard blew the deadline: acknowledge on
+  // the landed copy now; Reconcile settles the books when the laggard
+  // eventually completes.
+  ++hedges_fired_;
+  hedges_fired_c_->Incr();
+  ++writes_completed_;
+  w->hedged = true;
+  if (tracer_ != nullptr) {
+    tracer_->Instant(trace_lane_, "disk", "hedged_ack",
+                     {{"replica", ok0 ? 0.0 : 1.0},
+                      {"gen", static_cast<double>(w->request.address.generation)},
+                      {"slot", static_cast<double>(w->request.address.slot)}});
+  }
+  std::function<void(const Status&)> on_complete =
+      std::move(w->request.on_complete);
+  if (block_pool_ != nullptr) {
+    block_pool_->Release(std::move(w->request.image));
+  }
+  w->acked = true;
+  if (on_complete) on_complete(Status::OK());
+  Pump();
+}
+
+void DuplexLogDevice::Reconcile(OpenWrite* w, int laggard) {
+  ObserveDeaths(*w);
+  // Same classification as a merge — a failed laggard books the landed
+  // copy as a sole copy, a rotted laggard as divergent media for the
+  // read-repair merge. writes_completed_ was counted at the hedged ack.
+  const Status merged = Classify(w);
+  if (w->hedged && !w->status[laggard].ok()) {
+    // Without the hedge this ack would have waited for — or died with —
+    // the laggard's failure.
+    ++hedge_wins_;
+    hedge_wins_c_->Incr();
+  }
+  EmitCompleteTrace(*w, merged);
+  PopSettled();
+  Pump();
+  MaybeEjectQuarantined();
+}
+
+void DuplexLogDevice::PopSettled() {
+  while (!open_.empty() && open_.front().acked && open_.front().done[0] &&
+         open_.front().done[1]) {
+    open_.pop_front();
+  }
+}
+
+bool DuplexLogDevice::ReplicaQuarantined(int i) const {
+  return health_ != nullptr && health_->quarantined(health_drives_[i]);
+}
+
+int64_t DuplexLogDevice::unreconciled_hedged_acks(int i) const {
+  int64_t count = 0;
+  for (const OpenWrite& w : open_) {
+    if (!w.acked || (w.done[0] && w.done[1])) continue;
+    const int landed = w.done[0] ? 0 : 1;
+    if (landed == i && w.status[landed].ok() &&
+        w.fault[landed] != WriteFault::kBitRot) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void DuplexLogDevice::MaybeEjectQuarantined() {
+  if (health_ == nullptr) return;
+  for (int i = 0; i < 2; ++i) {
+    if (!health_->quarantined(health_drives_[i])) continue;
+    LogDevice* quarantined = replica(i);
+    LogDevice* survivor = replica(1 - i);
+    // A dead drive belongs to the death/resilver path; a dead or
+    // quarantined survivor leaves nothing safe to copy from.
+    if (quarantined->dead() || survivor->dead()) continue;
+    if (health_->quarantined(health_drives_[1 - i])) continue;
+    // Let in-flight copies drain first so no completion targets the
+    // ejected device.
+    if (quarantined->busy()) continue;
+    bool pending = false;
+    for (const OpenWrite& w : open_) {
+      if (!w.done[i] && !w.skipped[i]) pending = true;
+    }
+    if (pending) continue;
+    EjectAndResilver(i);
+  }
+}
+
+void DuplexLogDevice::EjectAndResilver(int i) {
+  LogDevice* quarantined = replica(i);
+  LogDevice* survivor = replica(1 - i);
+  const LogStorage* src = survivor->storage();
+  LogStorage* dst = quarantined->storage();
+  // Unlike a death resilver, the ejected drive's media is intact and
+  // readable: the replacement starts from the *union* of both replicas.
+  // Slots only the quarantined drive held keep their images (no wipe, no
+  // lost sole copies), and every block the survivor holds is copied over
+  // so the pair is fully mirrored again.
+  int64_t copied = 0;
+  for (uint32_t g = 0; g < src->num_generations(); ++g) {
+    for (uint32_t s = 0; s < src->generation_size(g); ++s) {
+      const BlockAddress addr{g, s};
+      const wal::BlockImage* image = src->Get(addr);
+      if (image == nullptr) continue;
+      dst->Put(addr, block_pool_ != nullptr ? block_pool_->CopyOf(*image)
+                                            : *image);
+      ++copied;
+    }
+  }
+  // Every sole copy the survivor held is duplicated onto the replacement
+  // now; sole copies on the ejected media itself carry over unchanged.
+  sole_copy_writes_[1 - i] = 0;
+  // Revive models swapping in fresh (fast) media: the consumed fail-slow
+  // plan no longer applies.
+  quarantined->Revive();
+  health_->OnDriveReplaced(health_drives_[i]);
+  ++quarantines_;
+  quarantines_c_->Incr();
+  resilvered_blocks_ += copied;
+  ++resilvers_completed_;
+  resilvers_c_->Incr();
+  resilvered_blocks_c_->Incr(copied);
+  if (tracer_ != nullptr) {
+    tracer_->Instant(trace_lane_, "disk", "quarantine_eject",
+                     {{"replica", static_cast<double>(i)},
+                      {"blocks", static_cast<double>(copied)}});
+  }
 }
 
 bool DuplexLogDevice::InFlight(BlockAddress* addr, bool landed[2]) const {
-  if (!in_flight_) return false;
-  *addr = current_.address;
-  landed[0] = done_[0] && status_[0].ok();
-  landed[1] = done_[1] && status_[1].ok();
-  return true;
+  for (const OpenWrite& w : open_) {
+    if (w.acked) continue;
+    *addr = w.request.address;
+    landed[0] = w.done[0] && w.status[0].ok();
+    landed[1] = w.done[1] && w.status[1].ok();
+    return true;
+  }
+  return false;
 }
 
 int64_t DuplexLogDevice::ResilverDeadReplica() {
@@ -219,6 +460,7 @@ int64_t DuplexLogDevice::ResilverDeadReplica() {
     }
   }
   dead->Revive();
+  if (health_ != nullptr) health_->OnDriveReplaced(health_drives_[dead_index]);
   resilvered_blocks_ += copied;
   ++resilvers_completed_;
   resilvers_c_->Incr();

@@ -21,6 +21,22 @@
 // a COMMIT block can never become durable anywhere ahead of a retried data
 // block — the same invariant the single LogDevice provides.
 //
+// Hedged writes (gray-failure tolerance, EnableHedging): with a
+// DriveHealthMonitor attached, a write whose first copy has landed OK but
+// whose other copy misses a health-derived deadline is *acknowledged
+// early* on the first-landed copy; the laggard is reconciled when its
+// completion eventually arrives (a failed laggard is a hedge win — the
+// block survives as a sole copy; a rotted laggard is divergent media the
+// read-repair merge already handles). The FIFO contract holds because
+// writes still dispatch one at a time in ack order: write k+1 reaches the
+// replicas only after write k is acknowledged, and a hedged ack *is* a
+// durable ack (one intact copy). A replica the monitor quarantines stops
+// receiving copies (each skip counted) and — once its queue drains — is
+// ejected: its media is still readable, so the eject resilver copies the
+// *union* of both replicas onto the replacement instead of wiping, and no
+// sole-copy evidence is lost. With no monitor attached every code path
+// below reduces to the paragraph above, byte for byte.
+//
 // Silent double faults: a write can merge OK while *every* stored copy is
 // scrambled (bit-rot on one replica, anything fatal on the other). These
 // are counted via the replicas' fault witnesses; the torture oracle drops
@@ -40,6 +56,7 @@
 #include <string>
 
 #include "disk/log_device.h"
+#include "health/drive_health.h"
 
 namespace elog {
 namespace disk {
@@ -68,6 +85,14 @@ class DuplexLogDevice : public LogWritePort {
   /// pool must outlive the duplex.
   void set_block_pool(wal::BlockImagePool* pool) { block_pool_ = pool; }
 
+  /// Turns on hedged writes and quarantine/eject. `drive0`/`drive1` are
+  /// the monitor handles of the primary and mirror; `hedge_floor` is the
+  /// minimum laggard wait (the device's base write latency). Registers
+  /// the hedge/quarantine counters with the metrics registry — call only
+  /// when the health feature is enabled so default runs register nothing.
+  void EnableHedging(health::DriveHealthMonitor* monitor, int drive0,
+                     int drive1, SimTime hedge_floor);
+
   void Submit(LogWriteRequest request) override;
   void SubmitFront(LogWriteRequest request) override;
 
@@ -76,7 +101,7 @@ class DuplexLogDevice : public LogWritePort {
     return i == 0 ? primary_ : mirror_;
   }
 
-  /// Logical (merged) writes completed, whatever their outcome.
+  /// Logical (merged or hedge-acknowledged) writes completed.
   int64_t writes_completed() const { return writes_completed_; }
   /// Merged-OK writes where exactly one replica stored the block.
   int64_t degraded_writes() const { return degraded_writes_; }
@@ -100,17 +125,38 @@ class DuplexLogDevice : public LogWritePort {
   /// Sole copies wiped by resilvers: the dead replica held the only
   /// intact copy of some acked writes, and the replacement media starts
   /// empty. Nonzero voids the recovery oracle's exactness claim.
+  /// (Quarantine ejects never add here: the ejected media is readable and
+  /// its blocks are carried over.)
   int64_t resilver_wiped_sole_copies() const {
     return resilver_wiped_sole_copies_;
   }
 
-  bool busy() const { return in_flight_ || !queue_.empty(); }
+  // Gray-failure accounting (all zero unless EnableHedging was called).
+  /// Writes acknowledged on the first-landed copy because the other
+  /// replica missed its hedge deadline.
+  int64_t hedges_fired() const { return hedges_fired_; }
+  /// Hedged acks whose laggard then completed with a failure: without the
+  /// hedge the merge would have degraded or failed outright.
+  int64_t hedge_wins() const { return hedge_wins_; }
+  /// Quarantined replicas ejected and resilvered (union copy + revive).
+  int64_t quarantines() const { return quarantines_; }
+  /// Copies never submitted because the target replica was quarantined.
+  int64_t quarantine_skips() const { return quarantine_skips_; }
+  /// True while the monitor holds replica i quarantined.
+  bool ReplicaQuarantined(int i) const;
+  /// Hedge-acked writes not yet reconciled whose only landed copy is on
+  /// replica i: at a crash these are durable acks with exactly one copy,
+  /// so the torture oracle adds them to sole_copy_writes.
+  int64_t unreconciled_hedged_acks(int i) const;
 
-  /// The open (unmerged) logical write, if any: its address and which
-  /// replicas have already landed their copy. Crash capture uses this to
-  /// tear the half-landed pair atomically — a mirrored write is not
-  /// durable until its merge, so a landed-but-unmerged copy must not
-  /// surface at recovery.
+  bool busy() const { return !open_.empty() || !queue_.empty(); }
+
+  /// The open *unacknowledged* logical write, if any: its address and
+  /// which replicas have already landed their copy. Crash capture uses
+  /// this to tear the half-landed pair atomically — a mirrored write is
+  /// not durable until its merge (or hedged ack), so a landed-but-unacked
+  /// copy must not surface at recovery. Hedge-acked writes awaiting their
+  /// laggard are durable and are NOT reported here.
   bool InFlight(BlockAddress* addr, bool landed[2]) const;
 
   /// Replaces the dead replica's media and copies every written block
@@ -121,9 +167,48 @@ class DuplexLogDevice : public LogWritePort {
   int64_t ResilverDeadReplica();
 
  private:
+  /// One logical write's lifecycle. With hedging off at most one exists
+  /// at a time; with hedging on, every entry but the back is already
+  /// acknowledged and merely awaiting its laggard's completion.
+  struct OpenWrite {
+    LogWriteRequest request;
+    uint64_t id = 0;
+    bool done[2] = {false, false};
+    /// Copy never submitted (replica quarantined); counts as done.
+    bool skipped[2] = {false, false};
+    Status status[2];
+    fault::FaultInjector::WriteFault fault[2] = {
+        fault::FaultInjector::WriteFault::kNone,
+        fault::FaultInjector::WriteFault::kNone};
+    /// The caller has been acknowledged (merge or hedge).
+    bool acked = false;
+    /// Acked early on one copy; laggard outcome still pending.
+    bool hedged = false;
+    /// A hedge timer is outstanding for this write.
+    bool hedge_armed = false;
+  };
+
   void Pump();
+  bool CanDispatch() const;
+  void Dispatch();
+  bool ShouldSkipReplica(int i) const;
+  OpenWrite* FindPending(int i);
+  OpenWrite* FindById(uint64_t id);
+  void OnReplicaWitness(int i, fault::FaultInjector::WriteFault f);
   void OnReplicaComplete(int i, const Status& status);
-  void MergeCurrent();
+  /// Both fates known before any ack: classify, ack, pop — the historical
+  /// merge path.
+  void SettleAndAck(OpenWrite* w);
+  /// Hedge deadline fired with one copy durable and the other pending.
+  void OnHedgeDeadline(uint64_t id);
+  /// The laggard of an already-acked write completed.
+  void Reconcile(OpenWrite* w, int laggard);
+  void ObserveDeaths(const OpenWrite& w);
+  Status Classify(OpenWrite* w);
+  void EmitCompleteTrace(const OpenWrite& w, const Status& merged);
+  void PopSettled();
+  void MaybeEjectQuarantined();
+  void EjectAndResilver(int i);
 
   sim::Simulator* simulator_;
   LogDevice* primary_;
@@ -148,15 +233,20 @@ class DuplexLogDevice : public LogWritePort {
   /// Number of replicas currently observed dead (0, 1, 2): its series is
   /// the duplex degraded-mode interval record.
   sim::Gauge* dead_replicas_gauge_;
+  // Registered only by EnableHedging, so health-off runs add no metric
+  // columns.
+  sim::Counter* hedges_fired_c_ = nullptr;
+  sim::Counter* hedge_wins_c_ = nullptr;
+  sim::Counter* quarantines_c_ = nullptr;
+  sim::Counter* quarantine_skips_c_ = nullptr;
+
+  health::DriveHealthMonitor* health_ = nullptr;
+  int health_drives_[2] = {-1, -1};
+  SimTime hedge_floor_ = 0;
 
   std::deque<LogWriteRequest> queue_;
-  bool in_flight_ = false;
-  LogWriteRequest current_;
-  bool done_[2] = {false, false};
-  Status status_[2];
-  fault::FaultInjector::WriteFault fault_[2] = {
-      fault::FaultInjector::WriteFault::kNone,
-      fault::FaultInjector::WriteFault::kNone};
+  std::deque<OpenWrite> open_;
+  uint64_t next_write_id_ = 1;
 
   bool replica_death_seen_[2] = {false, false};
   bool resilver_scheduled_ = false;
@@ -168,6 +258,10 @@ class DuplexLogDevice : public LogWritePort {
   int64_t resilvered_blocks_ = 0;
   int64_t resilvers_completed_ = 0;
   int64_t resilver_wiped_sole_copies_ = 0;
+  int64_t hedges_fired_ = 0;
+  int64_t hedge_wins_ = 0;
+  int64_t quarantines_ = 0;
+  int64_t quarantine_skips_ = 0;
 };
 
 }  // namespace disk

@@ -31,6 +31,11 @@ FlushDrive::FlushDrive(sim::Simulator* simulator, uint32_t drive_id,
       head_position_(range_begin) {
   ELOG_CHECK_LT(range_begin, range_end);
   ELOG_CHECK_GT(transfer_time, 0);
+  if (injector_ != nullptr) {
+    retry_.max_attempts = injector_->config().max_flush_attempts;
+    retry_.base_backoff = injector_->config().flush_retry_backoff;
+    retry_.growth = 1.0;  // Historical behaviour: constant backoff.
+  }
 }
 
 void FlushDrive::set_tracer(obs::Tracer* tracer) {
@@ -49,8 +54,10 @@ void FlushDrive::UpdatePendingGauge() {
 }
 
 void FlushDrive::Enqueue(FlushRequest request) {
-  ELOG_CHECK_GE(request.oid, range_begin_);
-  ELOG_CHECK_LT(request.oid, range_end_);
+  if (!accept_foreign_oids_) {
+    ELOG_CHECK_GE(request.oid, range_begin_);
+    ELOG_CHECK_LT(request.oid, range_end_);
+  }
   request.enqueued_at = simulator_->Now();
   pending_.emplace(request.oid, std::move(request));
   UpdatePendingGauge();
@@ -58,8 +65,10 @@ void FlushDrive::Enqueue(FlushRequest request) {
 }
 
 void FlushDrive::EnqueueUrgent(FlushRequest request) {
-  ELOG_CHECK_GE(request.oid, range_begin_);
-  ELOG_CHECK_LT(request.oid, range_end_);
+  if (!accept_foreign_oids_) {
+    ELOG_CHECK_GE(request.oid, range_begin_);
+    ELOG_CHECK_LT(request.oid, range_end_);
+  }
   request.enqueued_at = simulator_->Now();
   urgent_.push_back(std::move(request));
   UpdatePendingGauge();
@@ -69,6 +78,9 @@ void FlushDrive::EnqueueUrgent(FlushRequest request) {
 uint64_t FlushDrive::CircularDistance(Oid a, Oid b) const {
   uint64_t range = range_end_ - range_begin_;
   uint64_t d = a > b ? a - b : b - a;
+  // A redirected foreign oid can sit further from the head than the
+  // drive's own range spans; fold it in so `range - d` cannot underflow.
+  d %= range;
   return d < range - d ? d : range - d;
 }
 
@@ -116,6 +128,7 @@ void FlushDrive::StartNext() {
   in_service_ = true;
   head_position_ = request.oid;
   current_ = std::move(request);
+  service_started_ = simulator_->Now();
   simulator_->ScheduleAfter(transfer_time_, [this] { Complete(); });
 }
 
@@ -123,13 +136,13 @@ void FlushDrive::Complete() {
   ELOG_CHECK(in_service_);
   if (injector_ != nullptr && injector_->NextFlushFails()) {
     ++current_.attempt;
-    if (current_.attempt < injector_->config().max_flush_attempts) {
+    if (retry_.AttemptsRemain(current_.attempt)) {
       // Retry in place: the drive stays busy through the backoff plus a
       // fresh transfer, so scheduling order is unchanged by the fault.
       ++flush_retries_;
       retries_c_->Incr();
       simulator_->ScheduleAfter(
-          injector_->config().flush_retry_backoff + transfer_time_,
+          retry_.BackoffForAttempt(current_.attempt) + transfer_time_,
           [this] { Complete(); });
       return;
     }
@@ -152,6 +165,10 @@ void FlushDrive::Complete() {
     auto on_failed = std::move(request.on_failed);
     in_service_ = false;
     UpdatePendingGauge();
+    if (health_ != nullptr) {
+      health_->RecordService(health_drive_,
+                             simulator_->Now() - service_started_);
+    }
     if (on_failed) on_failed(request);
     if (!in_service_) StartNext();
     return;
@@ -168,6 +185,10 @@ void FlushDrive::Complete() {
   auto on_durable = std::move(request.on_durable);
   in_service_ = false;
   UpdatePendingGauge();
+  if (health_ != nullptr) {
+    health_->RecordService(health_drive_,
+                           simulator_->Now() - service_started_);
+  }
   if (on_durable) on_durable(request);
   if (!in_service_) StartNext();
 }

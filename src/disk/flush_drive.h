@@ -19,7 +19,9 @@
 #include <memory>
 #include <string>
 
+#include "core/options.h"
 #include "fault/fault_injector.h"
+#include "health/drive_health.h"
 #include "obs/trace.h"
 #include "sim/metrics.h"
 #include "sim/simulator.h"
@@ -109,6 +111,19 @@ class FlushDrive {
   Oid range_begin() const { return range_begin_; }
   Oid range_end() const { return range_end_; }
 
+  /// Accept oids outside [range_begin, range_end): quarantine redirects
+  /// place another drive's objects here, so the strict range checks must
+  /// relax. Seek distances still use this drive's own range modulus.
+  void set_accept_foreign_oids(bool accept) { accept_foreign_oids_ = accept; }
+
+  /// Attaches a health monitor: every request that leaves service (durable
+  /// or abandoned) reports its total service time — transfer plus any
+  /// retry backoffs — under the registered drive handle.
+  void set_health(health::DriveHealthMonitor* monitor, int drive) {
+    health_ = monitor;
+    health_drive_ = drive;
+  }
+
  private:
   void StartNext();
   /// Completes (or retries) the request held in current_.
@@ -150,6 +165,15 @@ class FlushDrive {
   FlushRequest current_;
   bool in_service_ = false;
   Oid head_position_;
+  /// Drive-level retry budget, mirrored from the injector's flush knobs
+  /// (constant backoff, growth 1.0) so the unified RetryPolicy math is
+  /// bit-identical to the historical constants.
+  RetryPolicy retry_;
+  bool accept_foreign_oids_ = false;
+  health::DriveHealthMonitor* health_ = nullptr;
+  int health_drive_ = -1;
+  /// When current_ entered service (first attempt), for health sampling.
+  SimTime service_started_ = 0;
   int64_t flushes_completed_ = 0;
   int64_t flush_retries_ = 0;
   int64_t flushes_lost_ = 0;

@@ -97,7 +97,7 @@ void LogDevice::StartNext() {
     }
   }
   ++ops_started_;
-  SimTime latency = write_latency_ + current_.extra_latency;
+  SimTime service = write_latency_;
   current_fault_ = fault::FaultInjector::WriteFault::kNone;
   if (injector_ != nullptr) {
     // The write's fate is drawn when service starts; the decision order is
@@ -107,10 +107,18 @@ void LogDevice::StartNext() {
     fault::FaultInjector::WriteDecision decision =
         injector_->NextLogWrite(write_latency_);
     current_fault_ = decision.fault;
-    latency += decision.extra_latency;
+    service += decision.extra_latency;
   }
+  // Sustained fail-slow degradation scales the whole service (base +
+  // spike), but never the caller's retry backoff below.
+  const double fail_slow = FailSlowFactor();
+  if (fail_slow > 1.0) {
+    service = static_cast<SimTime>(static_cast<double>(service) * fail_slow);
+  }
+  current_service_time_ = service;
   if (dead_) current_fault_ = fault::FaultInjector::WriteFault::kDriveDead;
-  simulator_->ScheduleAfter(latency, [this] { CompleteCurrent(); });
+  simulator_->ScheduleAfter(service + current_.extra_latency,
+                            [this] { CompleteCurrent(); });
 }
 
 void LogDevice::CompleteCurrent() {
@@ -159,12 +167,34 @@ void LogDevice::CompleteCurrent() {
   queued_bytes_ -= current_bytes_;
   current_bytes_ = 0;
   UpdateQueueDepth();
+  // A dead drive's rejection latency says nothing about its media speed,
+  // so the health monitor samples every completion except those.
+  if (health_ != nullptr &&
+      fault != fault::FaultInjector::WriteFault::kDriveDead) {
+    health_->RecordService(health_drive_, current_service_time_);
+  }
   // Run the completion before starting the next transfer so the log
   // manager observes completions in submission order and a failed write
   // can be resubmitted (SubmitFront) ahead of younger queued blocks.
   if (on_fault_witness) on_fault_witness(fault);
   if (on_complete) on_complete(status);
   if (!in_service_) StartNext();
+}
+
+double LogDevice::FailSlowFactor() const {
+  // Revive() swapped in fresh media, so a consumed fail-slow plan no
+  // longer applies — the same contract as the death plan.
+  if (injector_ == nullptr || revived_) return 1.0;
+  const fault::FailSlowPlan& plan = injector_->fail_slow_plan();
+  if (!plan.slow) return 1.0;
+  const SimTime now = simulator_->Now();
+  if (now < plan.onset) return 1.0;
+  if (plan.ramp > 0 && now < plan.onset + plan.ramp) {
+    const double progress = static_cast<double>(now - plan.onset) /
+                            static_cast<double>(plan.ramp);
+    return 1.0 + progress * (plan.multiplier - 1.0);
+  }
+  return plan.multiplier;
 }
 
 void LogDevice::Revive() {

@@ -30,6 +30,7 @@
 
 #include "disk/log_storage.h"
 #include "fault/fault_injector.h"
+#include "health/drive_health.h"
 #include "obs/trace.h"
 #include "sim/metrics.h"
 #include "sim/simulator.h"
@@ -148,6 +149,20 @@ class LogDevice : public LogWritePort {
   /// instead of merely destroying the slot.
   bool InService(BlockAddress* addr, wal::BlockImage* image) const;
 
+  /// Attaches a health monitor: every non-dead completion reports its
+  /// service time (base latency + injected spike/fail-slow degradation,
+  /// retry backoff excluded) under the registered drive handle. Call
+  /// before the simulation starts.
+  void set_health(health::DriveHealthMonitor* monitor, int drive) {
+    health_ = monitor;
+    health_drive_ = drive;
+  }
+
+  /// Service-time multiplier from the injector's fail-slow plan at the
+  /// current instant: 1.0 while healthy (or after Revive — fresh media),
+  /// ramping to the plan's multiplier past onset.
+  double FailSlowFactor() const;
+
  private:
   void StartNext();
   void CompleteCurrent();
@@ -196,6 +211,12 @@ class LogDevice : public LogWritePort {
   bool dead_ = false;
   bool revived_ = false;
   SimTime died_at_ = 0;
+
+  health::DriveHealthMonitor* health_ = nullptr;
+  int health_drive_ = -1;
+  /// Service time of the in-service write (degradation included, retry
+  /// backoff excluded) — the health monitor's sample.
+  SimTime current_service_time_ = 0;
 };
 
 }  // namespace disk

@@ -11,6 +11,11 @@ namespace {
 // zeroing drive_death_rate never shifts a transient/bit-rot/spike draw.
 constexpr uint64_t kDeathStreamSalt = 0xD1EDD1EDD1EDD1EDull;
 
+// Salt for the per-replica fail-slow stream: the same appended-stream
+// trick as kDeathStreamSalt, so toggling fail_slow_rate never shifts a
+// per-write draw or a death plan (and vice versa).
+constexpr uint64_t kFailSlowStreamSalt = 0xFA115107FA115107ull;
+
 // Salt for replica > 0 per-write streams; replica 0 uses config.seed
 // directly so single-log runs reproduce the historical stream.
 constexpr uint64_t kReplicaStreamSalt = 0x4C4F47524550ull;  // "LOGREP"
@@ -57,12 +62,49 @@ DriveDeathPlan DrawDeathPlan(const FaultConfig& config, uint32_t replica) {
   return plan;
 }
 
+FailSlowPlan DrawFailSlowPlan(const FaultConfig& config, uint32_t replica) {
+  // Forced plans are pure configuration: no draws, so a bench can pin one
+  // replica slow without perturbing any stream.
+  if (config.force_fail_slow_replica >= 0) {
+    FailSlowPlan plan;
+    if (static_cast<uint32_t>(config.force_fail_slow_replica) == replica) {
+      plan.slow = true;
+      plan.onset = config.force_fail_slow_onset;
+      plan.multiplier = config.fail_slow_multiplier;
+      plan.ramp = 0;
+    }
+    return plan;
+  }
+  // A private stream with a FIXED draw count (four uniforms), consumed
+  // whether or not the drive degrades — the same contract as
+  // DrawDeathPlan, on its own salt.
+  Rng rng(DeriveSeed(config.seed ^ kFailSlowStreamSalt, replica));
+  const double u_slow = rng.NextDouble();
+  const double u_onset = rng.NextDouble();
+  const double u_ramp = rng.NextDouble();
+  rng.NextDouble();  // Reserved; keeps the draw count fixed at four.
+
+  FailSlowPlan plan;
+  if (u_slow >= config.fail_slow_rate) return plan;
+  plan.slow = true;
+  const SimTime span = config.max_fail_slow_onset - config.min_fail_slow_onset;
+  plan.onset = config.min_fail_slow_onset +
+               static_cast<SimTime>(u_onset * static_cast<double>(span));
+  plan.multiplier = config.fail_slow_multiplier;
+  if (u_ramp < config.fail_slow_ramp_prob) plan.ramp = config.fail_slow_ramp;
+  return plan;
+}
+
 }  // namespace
 
 FaultConfig FaultConfig::ForShard(uint32_t shard) const {
   FaultConfig derived = *this;
   if (shard > 0) {
     derived.seed = DeriveSeed(seed ^ kShardStreamSalt, shard);
+  }
+  if (force_fail_slow_replica >= 0 && shard != force_fail_slow_shard) {
+    // The forced fail-slow drive lives on exactly one shard.
+    derived.force_fail_slow_replica = -1;
   }
   return derived;
 }
@@ -99,6 +141,23 @@ Status FaultConfig::Validate() const {
     return Status::InvalidArgument(
         "drive death op window must satisfy min <= max");
   }
+  s = CheckRate(fail_slow_rate, "fail_slow_rate");
+  if (!s.ok()) return s;
+  s = CheckRate(fail_slow_ramp_prob, "fail_slow_ramp_prob");
+  if (!s.ok()) return s;
+  if (fail_slow_multiplier < 1.0) {
+    return Status::InvalidArgument("fail_slow_multiplier must be >= 1");
+  }
+  if (min_fail_slow_onset < 0 || max_fail_slow_onset < min_fail_slow_onset) {
+    return Status::InvalidArgument(
+        "fail-slow onset window must satisfy 0 <= min <= max");
+  }
+  if (fail_slow_ramp < 0) {
+    return Status::InvalidArgument("fail_slow_ramp must be >= 0");
+  }
+  if (force_fail_slow_onset < 0) {
+    return Status::InvalidArgument("force_fail_slow_onset must be >= 0");
+  }
   return Status::OK();
 }
 
@@ -108,7 +167,8 @@ FaultInjector::FaultInjector(const FaultConfig& config, uint32_t replica)
       rng_(replica == 0 ? config.seed
                         : DeriveSeed(config.seed ^ kReplicaStreamSalt,
                                      replica)),
-      death_plan_(DrawDeathPlan(config, replica)) {
+      death_plan_(DrawDeathPlan(config, replica)),
+      fail_slow_plan_(DrawFailSlowPlan(config, replica)) {
   ELOG_CHECK_OK(config.Validate());
 }
 

@@ -1,7 +1,8 @@
 // Deterministic fault injection for the simulated I/O stack.
 //
 // Every fault the model can suffer — torn tail writes, silent bit-rot on a
-// durable block, transient write errors, latency spikes, flush-drive write
+// durable block, transient write errors, latency spikes, sustained
+// fail-slow degradation, permanent drive death, flush-drive write
 // failures — is drawn from one SplitMix64-seeded xoshiro256** stream owned
 // by a FaultInjector. The simulator is single-threaded, so injector draws
 // happen in event-dispatch order and a (seed, schedule) pair replays the
@@ -10,10 +11,12 @@
 // Duplexed logs use one injector per replica. All replica streams derive
 // from the single FaultConfig::seed (replica 0 keeps the historical
 // stream; replica i > 0 is DeriveSeed'd), so a duplex run still replays
-// from one seed. Permanent drive death is drawn once, at construction,
-// from a *separate* derived stream with a fixed draw count — zeroing the
-// death rate can therefore never shift a transient/bit-rot/spike decision
-// and vice versa.
+// from one seed. Whole-run fates — permanent drive death and fail-slow
+// degradation — are each drawn once, at construction, from their own
+// salted derived stream with a fixed draw count (the appended-stream
+// trick): toggling any one fault class can never shift a
+// transient/bit-rot/spike decision or another class's plan, in either
+// direction, so every pre-existing trial replays byte-identically.
 //
 // The injector is pure policy: devices ask it "what happens to this
 // write?" and apply the answer themselves. It never touches the simulator
@@ -51,8 +54,12 @@ struct FaultConfig {
   double log_bit_rot_rate = 0.0;
 
   /// Probability that a log block write takes log_latency_spike_multiplier
-  /// times its base latency (a slow remapped sector). Orthogonal to the
-  /// two failure modes above.
+  /// times its base latency. Orthogonal to the two failure modes above.
+  /// A spike is a *per-write* slow path (one slow remapped sector): each
+  /// write draws independently and the very next write is fast again. A
+  /// *fail-slow* drive (below) is the sustained gray failure — once its
+  /// onset passes, every write on that drive is slow until the drive is
+  /// replaced.
   double log_latency_spike_rate = 0.0;
   double log_latency_spike_multiplier = 10.0;
 
@@ -77,12 +84,39 @@ struct FaultConfig {
   uint64_t min_drive_death_ops = 20;
   uint64_t max_drive_death_ops = 2000;
 
+  /// Gray failure / fail-slow: probability that a log drive (one replica)
+  /// degrades without dying. From a drawn onset instant in
+  /// [min_fail_slow_onset, max_fail_slow_onset) every write's service
+  /// time is multiplied by fail_slow_multiplier — with probability
+  /// fail_slow_ramp_prob the multiplier ramps in linearly over
+  /// fail_slow_ramp instead of stepping. The plan is drawn per replica
+  /// at injector construction from its own salted stream appended after
+  /// all existing draws (see the file header), so enabling it replays
+  /// every other fault decision of the same seed unchanged. A replaced
+  /// (resilvered/revived) drive is fresh media: its plan no longer
+  /// applies.
+  double fail_slow_rate = 0.0;
+  double fail_slow_multiplier = 10.0;
+  SimTime min_fail_slow_onset = 500 * kMillisecond;
+  SimTime max_fail_slow_onset = 8 * kSecond;
+  double fail_slow_ramp_prob = 0.5;
+  SimTime fail_slow_ramp = kSecond;
+
+  /// Deterministic override for benches/tests: force exactly replica
+  /// `force_fail_slow_replica` (on shard `force_fail_slow_shard`) to
+  /// fail slow at force_fail_slow_onset with fail_slow_multiplier, no
+  /// draws consumed. -1 (default) disables the override.
+  int force_fail_slow_replica = -1;
+  SimTime force_fail_slow_onset = kSecond;
+  uint32_t force_fail_slow_shard = 0;
+
   /// True if any fault rate is nonzero (an all-zero config needs no
   /// injector at all).
   bool enabled() const {
     return log_transient_error_rate > 0 || log_bit_rot_rate > 0 ||
            log_latency_spike_rate > 0 || flush_transient_error_rate > 0 ||
-           drive_death_rate > 0;
+           drive_death_rate > 0 || fail_slow_rate > 0 ||
+           force_fail_slow_replica >= 0;
   }
 
   /// Derives the config for shard `shard` of a sharded run: same rates
@@ -105,6 +139,19 @@ struct DriveDeathPlan {
   /// Op-count trigger: the drive dies after servicing this many writes
   /// (0 = not armed; only the time trigger applies).
   uint64_t op_count = 0;
+};
+
+/// The gray-failure fate drawn for a drive at construction: whether, when,
+/// and how hard its media degrades without dying. Plain data so tests and
+/// torture JSON can record it.
+struct FailSlowPlan {
+  bool slow = false;
+  /// Virtual time at which degradation begins.
+  SimTime onset = 0;
+  /// Steady-state service-time multiplier once fully degraded.
+  double multiplier = 1.0;
+  /// Linear ramp-in duration from onset to full multiplier (0 = step).
+  SimTime ramp = 0;
 };
 
 class FaultInjector {
@@ -150,6 +197,12 @@ class FaultInjector {
   /// This replica's permanent-death fate, drawn at construction from a
   /// stream independent of every per-write decision.
   const DriveDeathPlan& death_plan() const { return death_plan_; }
+
+  /// This replica's fail-slow fate, drawn at construction from its own
+  /// stream (independent of per-write decisions AND of the death plan).
+  /// Applied by LogDevice as a service-time factor; see FailSlowFactor.
+  const FailSlowPlan& fail_slow_plan() const { return fail_slow_plan_; }
+
   uint32_t replica() const { return replica_; }
 
   // Injection counters (drawn faults, whether or not a retry later
@@ -164,6 +217,7 @@ class FaultInjector {
   uint32_t replica_;
   Rng rng_;
   DriveDeathPlan death_plan_;
+  FailSlowPlan fail_slow_plan_;
   int64_t log_transient_errors_ = 0;
   int64_t log_bit_rots_ = 0;
   int64_t log_latency_spikes_ = 0;

@@ -1,0 +1,179 @@
+#include "health/drive_health.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace elog {
+namespace health {
+
+Status HealthOptions::Validate() const {
+  if (ewma_alpha <= 0.0 || ewma_alpha > 1.0) {
+    return Status::InvalidArgument("ewma_alpha must be in (0, 1]");
+  }
+  if (suspect_ratio <= 1.0) {
+    return Status::InvalidArgument("suspect_ratio must be > 1");
+  }
+  if (suspect_window < 0 || quarantine_window < 0) {
+    return Status::InvalidArgument("health windows must be >= 0");
+  }
+  if (hedge_deadline_ratio < 1.0) {
+    return Status::InvalidArgument("hedge_deadline_ratio must be >= 1");
+  }
+  return hedge.Validate();
+}
+
+DriveHealthMonitor::DriveHealthMonitor(sim::Simulator* simulator,
+                                       const HealthOptions& options,
+                                       sim::MetricsRegistry* metrics,
+                                       std::string prefix)
+    : simulator_(simulator),
+      options_(options),
+      metrics_(metrics),
+      prefix_(std::move(prefix)) {
+  ELOG_CHECK(simulator_ != nullptr);
+  ELOG_CHECK_OK(options_.Validate());
+}
+
+int DriveHealthMonitor::RegisterDrive(const std::string& group,
+                                      const std::string& name) {
+  Drive drive;
+  drive.group = group;
+  drive.name = name;
+  if (metrics_ != nullptr) {
+    const std::string base = prefix_ + "." + name;
+    drive.score_gauge = metrics_->GetGauge(base + ".score");
+    drive.suspect_gauge = metrics_->GetGauge(base + ".suspect");
+    drive.quarantined_gauge = metrics_->GetGauge(base + ".quarantined");
+  }
+  drives_.push_back(std::move(drive));
+  return static_cast<int>(drives_.size()) - 1;
+}
+
+double DriveHealthMonitor::FleetReference(const std::string& group) const {
+  std::vector<double> values;
+  for (const Drive& drive : drives_) {
+    if (drive.group == group && drive.samples > 0) {
+      values.push_back(drive.ewma);
+    }
+  }
+  if (values.empty()) return 0.0;
+  // Lower median: with a two-replica log fleet this is the *faster*
+  // replica, so a degraded mirror can never drag the reference up with it.
+  std::sort(values.begin(), values.end());
+  return values[(values.size() - 1) / 2];
+}
+
+void DriveHealthMonitor::RecordService(int drive, SimTime service_time) {
+  ELOG_CHECK_GE(drive, 0);
+  ELOG_CHECK_LT(static_cast<size_t>(drive), drives_.size());
+  Drive& d = drives_[static_cast<size_t>(drive)];
+  const SimTime now = simulator_->Now();
+  const double sample = static_cast<double>(service_time);
+  d.ewma = d.samples == 0
+               ? sample
+               : options_.ewma_alpha * sample +
+                     (1.0 - options_.ewma_alpha) * d.ewma;
+  ++d.samples;
+
+  const double reference = FleetReference(d.group);
+  d.score = reference > 0.0 ? d.ewma / reference : 1.0;
+  if (d.score_gauge != nullptr) d.score_gauge->Set(now, d.score);
+
+  // Quarantine is sticky: the drive stays out of service until it is
+  // replaced (OnDriveReplaced), no matter what its score does — an
+  // intermittently-fast gray drive must not flap back in.
+  if (d.quarantined) return;
+
+  const bool over =
+      d.samples >= options_.min_samples && d.score >= options_.suspect_ratio;
+  if (!over) {
+    d.over_since = -1;
+    if (d.suspect) {
+      d.suspect = false;
+      d.suspect_since = -1;
+      if (d.suspect_gauge != nullptr) d.suspect_gauge->Set(now, 0.0);
+    }
+    return;
+  }
+  if (d.over_since < 0) d.over_since = now;
+  if (!d.suspect && now - d.over_since >= options_.suspect_window) {
+    d.suspect = true;
+    d.suspect_since = now;
+    ++suspects_flagged_;
+    if (d.suspect_gauge != nullptr) d.suspect_gauge->Set(now, 1.0);
+  }
+  if (d.suspect && options_.quarantine_enabled &&
+      now - d.suspect_since >= options_.quarantine_window) {
+    Quarantine(drive);
+  }
+}
+
+void DriveHealthMonitor::Quarantine(int drive) {
+  Drive& d = drives_[static_cast<size_t>(drive)];
+  if (d.quarantined) return;
+  d.quarantined = true;
+  ++quarantines_;
+  if (d.quarantined_gauge != nullptr) {
+    d.quarantined_gauge->Set(simulator_->Now(), 1.0);
+  }
+}
+
+double DriveHealthMonitor::score(int drive) const {
+  return drives_[static_cast<size_t>(drive)].score;
+}
+
+double DriveHealthMonitor::smoothed_latency(int drive) const {
+  return drives_[static_cast<size_t>(drive)].ewma;
+}
+
+bool DriveHealthMonitor::suspect(int drive) const {
+  return drives_[static_cast<size_t>(drive)].suspect;
+}
+
+bool DriveHealthMonitor::quarantined(int drive) const {
+  return drives_[static_cast<size_t>(drive)].quarantined;
+}
+
+SimTime DriveHealthMonitor::HedgeDeadlineFor(int drive, SimTime floor) const {
+  if (options_.hedge.deadline > 0) return options_.hedge.deadline;
+  const Drive& d = drives_[static_cast<size_t>(drive)];
+  const double reference = FleetReference(d.group);
+  const SimTime derived =
+      static_cast<SimTime>(options_.hedge_deadline_ratio * reference);
+  return std::max(derived, floor);
+}
+
+void DriveHealthMonitor::OnDriveReplaced(int drive) {
+  Drive& d = drives_[static_cast<size_t>(drive)];
+  const SimTime now = simulator_->Now();
+  d.ewma = 0.0;
+  d.samples = 0;
+  d.score = 1.0;
+  d.over_since = -1;
+  d.suspect_since = -1;
+  d.suspect = false;
+  d.quarantined = false;
+  if (d.score_gauge != nullptr) d.score_gauge->Set(now, 1.0);
+  if (d.suspect_gauge != nullptr) d.suspect_gauge->Set(now, 0.0);
+  if (d.quarantined_gauge != nullptr) d.quarantined_gauge->Set(now, 0.0);
+}
+
+void DriveHealthMonitor::ForceQuarantine(int drive) {
+  ELOG_CHECK_GE(drive, 0);
+  ELOG_CHECK_LT(static_cast<size_t>(drive), drives_.size());
+  Drive& d = drives_[static_cast<size_t>(drive)];
+  if (!d.suspect) {
+    d.suspect = true;
+    d.suspect_since = simulator_->Now();
+    ++suspects_flagged_;
+    if (d.suspect_gauge != nullptr) {
+      d.suspect_gauge->Set(simulator_->Now(), 1.0);
+    }
+  }
+  Quarantine(drive);
+}
+
+}  // namespace health
+}  // namespace elog

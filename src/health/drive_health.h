@@ -1,0 +1,157 @@
+// Gray-failure detection for the simulated drive fleet.
+//
+// The paper's disk model is bimodal — a drive is healthy (15 ms) or dead —
+// but real fleets mostly degrade slowly: a fail-slow drive silently drags
+// commit latency and pins generations long before it dies. The
+// DriveHealthMonitor is the bridge between the fault layer (which can now
+// *inject* sustained fail-slow degradation, fault::FailSlowPlan) and the
+// disk layer (which hedges around and eventually ejects the degraded
+// drive, disk::DuplexLogDevice / disk::DriveArray).
+//
+// Detection is fleet-relative and purely observational: every drive
+// reports its service latencies (completion-time samples on the virtual
+// clock — no timers, no polling), the monitor smooths them with an EWMA,
+// and a drive whose smoothed latency exceeds suspect_ratio × its fleet
+// group's median for a sustained window becomes *suspect*; a suspect that
+// stays degraded through a further window is *quarantined*. Consumers
+// decide what quarantine means: the duplex device stops submitting to the
+// replica and ejects/resilvers it; the flush stripe redirects placements.
+//
+// Everything runs on the virtual clock from deterministic samples, so a
+// detection/hedging/eject sequence replays byte-identically at any sweep
+// --jobs value. When `HealthOptions::enabled` is false no monitor is
+// constructed anywhere, no metric is registered, and no event is
+// scheduled: the feature is provably absent (byte-identical artifacts).
+
+#ifndef ELOG_HEALTH_DRIVE_HEALTH_H_
+#define ELOG_HEALTH_DRIVE_HEALTH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace elog {
+namespace health {
+
+struct HealthOptions {
+  /// Master switch. Off (the default) constructs nothing: zero metrics,
+  /// zero draws, zero events — committed artifacts stay byte-identical.
+  bool enabled = false;
+
+  /// EWMA smoothing factor for per-drive service latency (weight of the
+  /// newest sample).
+  double ewma_alpha = 0.3;
+
+  /// A drive is over-threshold when its smoothed latency exceeds
+  /// suspect_ratio × the fleet reference (the lower median of its group's
+  /// smoothed latencies; with two drives, the faster one).
+  double suspect_ratio = 3.0;
+
+  /// Sustained-window lengths on the virtual clock: a drive must stay
+  /// over-threshold this long to become suspect, and stay suspect this
+  /// much longer to be quarantined. Short windows react within a handful
+  /// of 15 ms writes; long windows ride out bursts.
+  SimTime suspect_window = 200 * kMillisecond;
+  SimTime quarantine_window = 300 * kMillisecond;
+
+  /// Samples a drive must report before it can be flagged at all.
+  uint32_t min_samples = 3;
+
+  /// Allow the suspect → quarantined promotion (false detects and hedges
+  /// but never ejects).
+  bool quarantine_enabled = true;
+
+  /// Hedging budget for the duplex device, expressed as a RetryPolicy:
+  /// hedge.deadline > 0 pins the laggard wait to that many µs; 0 (the
+  /// default) derives it as hedge_deadline_ratio × the fleet reference
+  /// latency, floored at the device's base write latency.
+  RetryPolicy hedge;
+  double hedge_deadline_ratio = 2.0;
+
+  Status Validate() const;
+};
+
+/// Per-drive EWMA service-latency tracking with fleet-relative outlier
+/// scoring. Registered drives belong to named groups ("log", "flush");
+/// scores compare a drive only against its own group. Exposes typed
+/// gauges `<prefix>.<drive>.score`, `.suspect`, `.quarantined`.
+class DriveHealthMonitor {
+ public:
+  DriveHealthMonitor(sim::Simulator* simulator, const HealthOptions& options,
+                     sim::MetricsRegistry* metrics,
+                     std::string prefix = "health");
+
+  /// Registers a drive and returns its handle. `name` keys the metric
+  /// gauges; `group` scopes the fleet comparison.
+  int RegisterDrive(const std::string& group, const std::string& name);
+
+  /// Reports one completed service of `service_time` µs. Called by the
+  /// devices at completion time; updates the EWMA, the fleet-relative
+  /// score, and the suspect/quarantine state machine.
+  void RecordService(int drive, SimTime service_time);
+
+  /// Smoothed latency / fleet ratio (1.0 until enough data exists).
+  double score(int drive) const;
+  double smoothed_latency(int drive) const;
+  bool suspect(int drive) const;
+  bool quarantined(int drive) const;
+
+  /// Hedge deadline for a write on `drive`'s group: how long the duplex
+  /// device waits for a laggard copy after the first lands. Never below
+  /// `floor` (the device's base write latency).
+  SimTime HedgeDeadlineFor(int drive, SimTime floor) const;
+
+  /// The drive was ejected and resilvered (fresh media): clears its EWMA
+  /// history and flags so the replacement starts with a clean record.
+  void OnDriveReplaced(int drive);
+
+  /// Test/ops hook: quarantine immediately, bypassing the windows.
+  void ForceQuarantine(int drive);
+
+  int64_t suspects_flagged() const { return suspects_flagged_; }
+  int64_t quarantines() const { return quarantines_; }
+  const HealthOptions& options() const { return options_; }
+
+ private:
+  struct Drive {
+    std::string group;
+    std::string name;
+    double ewma = 0.0;
+    uint64_t samples = 0;
+    double score = 1.0;
+    /// Virtual time the drive went (and stayed) over-threshold; -1 when
+    /// currently under.
+    SimTime over_since = -1;
+    SimTime suspect_since = -1;
+    bool suspect = false;
+    bool quarantined = false;
+    sim::Gauge* score_gauge = nullptr;
+    sim::Gauge* suspect_gauge = nullptr;
+    sim::Gauge* quarantined_gauge = nullptr;
+  };
+
+  /// Lower median of the group's smoothed latencies (only drives with at
+  /// least one sample participate). 0 when no drive has data.
+  double FleetReference(const std::string& group) const;
+
+  void Quarantine(int drive);
+
+  sim::Simulator* simulator_;
+  HealthOptions options_;
+  sim::MetricsRegistry* metrics_;
+  std::string prefix_;
+  std::vector<Drive> drives_;
+  int64_t suspects_flagged_ = 0;
+  int64_t quarantines_ = 0;
+};
+
+}  // namespace health
+}  // namespace elog
+
+#endif  // ELOG_HEALTH_DRIVE_HEALTH_H_

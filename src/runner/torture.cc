@@ -105,6 +105,15 @@ TortureTrial RunTortureTrial(const TortureSpec& spec, TortureManager manager,
   config.faults.drive_death_rate = spec.drive_death_rate;
   config.faults.min_drive_death_time = spec.min_drive_death_time;
   config.faults.max_drive_death_time = spec.max_drive_death_time;
+  // Fail-slow plans likewise draw from their own appended stream, so a
+  // nonzero rate adds no draw here and rate 0 replays the exact prior
+  // trial. Arming gray failures also arms the defense: the health
+  // monitor (detection, hedged duplex writes, quarantine/eject).
+  if (spec.fail_slow_rate > 0) {
+    config.faults.fail_slow_rate = spec.fail_slow_rate;
+    config.faults.fail_slow_multiplier = spec.fail_slow_multiplier;
+    config.health.enabled = true;
+  }
 
   fault::CrashSchedule schedule;
   ELOG_CHECK_GT(spec.max_crash_time, spec.min_crash_time);
@@ -164,15 +173,19 @@ TortureTrial RunTortureTrial(const TortureSpec& spec, TortureManager manager,
       input.mirror = shard_image.duplex && shard_image.mirror_readable
                          ? &shard_image.mirror_log
                          : nullptr;
+      input.primary_quarantined = shard_image.log_quarantined;
+      input.mirror_quarantined = shard_image.mirror_quarantined;
       shard_logs.push_back(input);
     }
     recovered = db::RecoveryManager::RecoverSharded(
         shard_logs, image.stable, /*read_repair=*/true, tracer);
   } else if (config.duplex_log) {
+    const bool quarantined[2] = {image.log_quarantined,
+                                 image.mirror_quarantined};
     recovered = db::RecoveryManager::RecoverDuplex(
         image.log_readable ? &image.log : nullptr,
         image.mirror_readable ? &image.mirror_log : nullptr, image.stable,
-        /*read_repair=*/true, tracer);
+        /*read_repair=*/true, tracer, quarantined);
   } else if (image.log_readable) {
     recovered = db::RecoveryManager::Recover(image.log, image.stable, tracer);
   } else {
@@ -246,13 +259,25 @@ TortureTrial RunTortureTrial(const TortureSpec& spec, TortureManager manager,
         trial.duplex = true;
         summary.bit_rot_writes += stack->device_mirror()->bit_rot_writes();
         summary.silent_double_faults = dup->silent_double_faults();
-        summary.sole_copy_writes[0] = dup->sole_copy_writes(0);
-        summary.sole_copy_writes[1] = dup->sole_copy_writes(1);
+        // A hedge-acked write awaiting its laggard has exactly one landed
+        // copy: at the crash it is durable sole-copy evidence, same as a
+        // degraded merge.
+        summary.sole_copy_writes[0] =
+            dup->sole_copy_writes(0) + dup->unreconciled_hedged_acks(0);
+        summary.sole_copy_writes[1] =
+            dup->sole_copy_writes(1) + dup->unreconciled_hedged_acks(1);
         summary.resilver_wiped_sole_copies =
             dup->resilver_wiped_sole_copies();
+        summary.replica_quarantined[0] = shard_image.log_quarantined;
+        summary.replica_quarantined[1] = shard_image.mirror_quarantined;
         trial.degraded_writes += dup->degraded_writes();
         trial.silent_double_faults += summary.silent_double_faults;
         trial.resilvered_blocks += dup->resilvered_blocks();
+        trial.hedges_fired += dup->hedges_fired();
+        trial.hedge_wins += dup->hedge_wins();
+        trial.quarantines += dup->quarantines();
+        if (shard_image.log_quarantined) ++trial.replicas_quarantined;
+        if (shard_image.mirror_quarantined) ++trial.replicas_quarantined;
       }
       trial.bit_rot_writes += summary.bit_rot_writes;
 
@@ -283,6 +308,11 @@ TortureTrial RunTortureTrial(const TortureSpec& spec, TortureManager manager,
       trial.degraded_writes = duplex->degraded_writes();
       trial.silent_double_faults = duplex->silent_double_faults();
       trial.resilvered_blocks = duplex->resilvered_blocks();
+      trial.hedges_fired = duplex->hedges_fired();
+      trial.hedge_wins = duplex->hedge_wins();
+      trial.quarantines = duplex->quarantines();
+      trial.replicas_quarantined = (image.log_quarantined ? 1 : 0) +
+                                   (image.mirror_quarantined ? 1 : 0);
     }
 
     int64_t unsafe_commit_drops = 0;
@@ -315,9 +345,15 @@ TortureTrial RunTortureTrial(const TortureSpec& spec, TortureManager manager,
     summary.replica_readable[1] = image.mirror_readable;
     if (duplex != nullptr) {
       summary.silent_double_faults = duplex->silent_double_faults();
-      summary.sole_copy_writes[0] = duplex->sole_copy_writes(0);
-      summary.sole_copy_writes[1] = duplex->sole_copy_writes(1);
+      // Unreconciled hedged acks are durable sole-copy evidence at the
+      // crash, same as degraded merges (see the sharded branch above).
+      summary.sole_copy_writes[0] =
+          duplex->sole_copy_writes(0) + duplex->unreconciled_hedged_acks(0);
+      summary.sole_copy_writes[1] =
+          duplex->sole_copy_writes(1) + duplex->unreconciled_hedged_acks(1);
       summary.resilver_wiped_sole_copies = duplex->resilver_wiped_sole_copies();
+      summary.replica_quarantined[0] = image.log_quarantined;
+      summary.replica_quarantined[1] = image.mirror_quarantined;
     }
     policy = db::DerivePolicy(summary);
   }
@@ -359,6 +395,9 @@ TortureReport RunTorture(const TortureSpec& spec, TortureManager manager,
     report.total_silent_double_faults += trial.silent_double_faults;
     report.total_blocks_repaired += trial.blocks_repaired;
     report.total_resilvered_blocks += trial.resilvered_blocks;
+    report.total_hedges_fired += trial.hedges_fired;
+    report.total_hedge_wins += trial.hedge_wins;
+    report.total_quarantines += trial.quarantines;
     report.total_prepares_in_log += trial.prepares_in_log;
     report.total_in_doubt_committed += trial.in_doubt_committed;
     report.total_in_doubt_aborted += trial.in_doubt_aborted;

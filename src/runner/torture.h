@@ -79,6 +79,16 @@ struct TortureSpec {
   SimTime min_drive_death_time = 500 * kMillisecond;
   SimTime max_drive_death_time = 8 * kSecond;
 
+  /// Per-replica probability that a log drive's fail-slow plan arms (gray
+  /// failure: sustained service-time degradation, fault::FailSlowPlan).
+  /// Drawn per replica from its own appended stream — arming it consumes
+  /// ZERO trial-rng draws, so setting the rate back to 0 replays the
+  /// exact prior trial. A nonzero rate also enables the health monitor
+  /// (detection, hedged duplex writes, quarantine/eject).
+  double fail_slow_rate = 0.0;
+  /// Sustained service-time multiplier of an armed fail-slow plan.
+  double fail_slow_multiplier = 10.0;
+
   /// Mirror the log onto two drives (disk::DuplexLogDevice).
   bool duplex = false;
   /// Duplex only: probability the trial arms auto-resilver, and the delay
@@ -147,6 +157,13 @@ struct TortureTrial {
   int64_t blocks_repaired = 0;
   int64_t resilvered_blocks = 0;
 
+  // Gray-failure accounting (all zero unless spec.fail_slow_rate > 0).
+  int64_t hedges_fired = 0;
+  int64_t hedge_wins = 0;
+  int64_t quarantines = 0;
+  /// Log replicas held quarantined at the crash instant.
+  int replicas_quarantined = 0;
+
   // Sharded accounting (all zero for unsharded trials).
   int64_t prepares_in_log = 0;
   int64_t in_doubt_committed = 0;
@@ -176,6 +193,9 @@ struct TortureReport {
   int64_t total_silent_double_faults = 0;
   int64_t total_blocks_repaired = 0;
   int64_t total_resilvered_blocks = 0;
+  int64_t total_hedges_fired = 0;
+  int64_t total_hedge_wins = 0;
+  int64_t total_quarantines = 0;
   int64_t total_prepares_in_log = 0;
   int64_t total_in_doubt_committed = 0;
   int64_t total_in_doubt_aborted = 0;

@@ -52,6 +52,20 @@ ShardStack::ShardStack(sim::Simulator* simulator, uint32_t shard_index,
       simulator, config.log.num_flush_drives, config.log.num_objects,
       config.log.flush_transfer_time, metrics, injector_.get(),
       prefix_ + "flush_drive");
+  if (config.health.enabled) {
+    ELOG_CHECK_OK(config.health.Validate());
+    health_ = std::make_unique<health::DriveHealthMonitor>(
+        simulator, config.health, metrics, prefix_ + "health");
+    const int log0 = health_->RegisterDrive("log", "log0");
+    device_->set_health(health_.get(), log0);
+    if (duplex_ != nullptr) {
+      const int log1 = health_->RegisterDrive("log", "log1");
+      device_mirror_->set_health(health_.get(), log1);
+      duplex_->EnableHedging(health_.get(), log0, log1,
+                             config.log.log_write_latency);
+    }
+    drives_->AttachHealth(health_.get());
+  }
   LogManagerSet managers =
       MakeLogManager(config.manager, config.log, simulator, log_port,
                      drives_.get(), metrics->Namespace(prefix_));

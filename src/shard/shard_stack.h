@@ -27,6 +27,7 @@
 #include "disk/log_device.h"
 #include "disk/log_storage.h"
 #include "fault/fault_injector.h"
+#include "health/drive_health.h"
 #include "obs/trace.h"
 #include "sim/metrics.h"
 #include "sim/simulator.h"
@@ -43,6 +44,10 @@ struct ShardStackConfig {
   fault::FaultConfig faults;
   bool duplex_log = false;
   SimTime auto_resilver_delay = -1;
+  /// Gray-failure detection (off by default). When enabled the stack owns
+  /// a per-shard DriveHealthMonitor under "shard<k>.health" watching its
+  /// own log replicas and flush stripe.
+  health::HealthOptions health;
 };
 
 class ShardStack {
@@ -70,6 +75,8 @@ class ShardStack {
   disk::DriveArray* drives() { return drives_.get(); }
   fault::FaultInjector* injector() { return injector_.get(); }
   fault::FaultInjector* mirror_injector() { return mirror_injector_.get(); }
+  /// Null unless config.health.enabled.
+  health::DriveHealthMonitor* health_monitor() { return health_.get(); }
 
   /// Registers this shard's trace lanes, in the same relative order as
   /// db::Database registers its single stack's lanes (device, mirror,
@@ -87,6 +94,7 @@ class ShardStack {
   std::unique_ptr<disk::LogDevice> device_mirror_;
   std::unique_ptr<disk::DuplexLogDevice> duplex_;
   std::unique_ptr<disk::DriveArray> drives_;
+  std::unique_ptr<health::DriveHealthMonitor> health_;
   std::unique_ptr<LogManager> manager_;
   EphemeralLogManager* el_ = nullptr;
   HybridLogManager* hybrid_ = nullptr;

@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "health/drive_health.h"
+
 namespace elog {
 namespace disk {
 namespace {
@@ -98,6 +100,42 @@ TEST(DriveArrayValidationTest, OidBeyondRangeChecks) {
   FlushRequest request;
   request.oid = 100;
   EXPECT_DEATH(drives.Enqueue(std::move(request)), "");
+}
+
+TEST_F(DriveArrayTest, QuarantinedDriveRedirectsPlacement) {
+  health::HealthOptions options;
+  options.enabled = true;
+  health::DriveHealthMonitor monitor(&sim_, options, &metrics_);
+  drives_.AttachHealth(&monitor);
+  // Healthy fleet: placement is the plain range partition, no redirects.
+  drives_.Enqueue(Request(5));
+  sim_.Run();
+  EXPECT_EQ(drives_.redirects(), 0);
+  EXPECT_EQ(drives_.drive(0).flushes_completed(), 1);
+  // Quarantine drive 0 (monitor handle 0: AttachHealth registers drives
+  // in stripe order): its oids land on the next healthy drive.
+  monitor.ForceQuarantine(0);
+  drives_.Enqueue(Request(5));
+  drives_.Enqueue(Request(999));
+  drives_.Enqueue(Request(1000));  // drive 1's own oid: not a redirect
+  sim_.Run();
+  EXPECT_EQ(drives_.redirects(), 2);
+  EXPECT_EQ(drives_.drive(0).flushes_completed(), 1);  // unchanged
+  EXPECT_EQ(drives_.drive(1).flushes_completed(), 3);
+  EXPECT_EQ(metrics_.GetCounter("flush_drive.redirects")->value(), 2);
+}
+
+TEST_F(DriveArrayTest, FullyQuarantinedFleetFallsBackToHomeDrive) {
+  health::HealthOptions options;
+  options.enabled = true;
+  health::DriveHealthMonitor monitor(&sim_, options, &metrics_);
+  drives_.AttachHealth(&monitor);
+  for (int i = 0; i < 10; ++i) monitor.ForceQuarantine(i);
+  // A slow write still beats no write: the home drive takes it.
+  drives_.Enqueue(Request(5));
+  sim_.Run();
+  EXPECT_EQ(drives_.drive(0).flushes_completed(), 1);
+  EXPECT_EQ(drives_.redirects(), 0);
 }
 
 }  // namespace

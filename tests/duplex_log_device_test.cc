@@ -339,6 +339,189 @@ TEST_F(DuplexLogDeviceTest, ResilverIsANoOpWithoutADeadReplica) {
   EXPECT_EQ(duplex_->resilvers_completed(), 0);
 }
 
+// ---- Hedged writes and quarantine/eject (EnableHedging) -----------------
+
+/// A mirror whose forced fail-slow plan makes every write 10x slow from
+/// t = 0 (150 ms vs the primary's 15 ms).
+fault::FaultConfig SlowMirror(uint64_t seed) {
+  fault::FaultConfig config;
+  config.seed = seed;
+  config.force_fail_slow_replica = 1;
+  config.force_fail_slow_onset = 0;
+  config.fail_slow_multiplier = 10.0;
+  return config;
+}
+
+class HedgedDuplexTest : public DuplexLogDeviceTest {
+ protected:
+  /// Wires a health monitor with a pinned 20 ms hedge deadline into the
+  /// already-Built duplex. Default detection windows apply.
+  void EnableHealth() {
+    health::HealthOptions options;
+    options.enabled = true;
+    options.hedge.deadline = 20 * kMillisecond;
+    monitor_ = std::make_unique<health::DriveHealthMonitor>(
+        &sim_, options, &metrics_, "h");
+    const int h0 = monitor_->RegisterDrive("log", "log0");
+    const int h1 = monitor_->RegisterDrive("log", "log1");
+    primary_->set_health(monitor_.get(), h0);
+    mirror_->set_health(monitor_.get(), h1);
+    duplex_->EnableHedging(monitor_.get(), h0, h1, kWrite);
+  }
+
+  void SubmitTimed(uint32_t slot, uint64_t seq) {
+    LogWriteRequest request;
+    request.address = {0, slot};
+    request.image = Image(seq);
+    request.on_complete = [this, slot](const Status& status) {
+      completions_.push_back({slot, status.ok()});
+      ack_times_.push_back(sim_.Now());
+    };
+    duplex_->Submit(std::move(request));
+  }
+
+  std::unique_ptr<health::DriveHealthMonitor> monitor_;
+  std::vector<SimTime> ack_times_;
+};
+
+TEST_F(HedgedDuplexTest, HedgedAckThenLaggardReconciles) {
+  fault::FaultConfig slow = SlowMirror(31);
+  Build(nullptr, &slow);
+  EnableHealth();
+  SubmitTimed(0, 1);
+  // Primary lands at 15 ms; the 20 ms hedge deadline fires at 35 ms and
+  // acknowledges on the sole landed copy.
+  sim_.RunUntil(40 * kMillisecond);
+  ASSERT_EQ(completions_.size(), 1u);
+  EXPECT_TRUE(completions_[0].second);
+  EXPECT_EQ(ack_times_[0], 35 * kMillisecond);
+  EXPECT_EQ(duplex_->hedges_fired(), 1);
+  EXPECT_EQ(duplex_->unreconciled_hedged_acks(0), 1);
+  EXPECT_TRUE(duplex_->busy());  // laggard copy still in service
+  // The laggard completes at 150 ms: both copies durable, books settled.
+  sim_.Run();
+  EXPECT_EQ(sim_.Now(), 150 * kMillisecond);
+  EXPECT_TRUE(storage0_.IsWritten({0, 0}));
+  EXPECT_TRUE(storage1_.IsWritten({0, 0}));
+  EXPECT_EQ(duplex_->unreconciled_hedged_acks(0), 0);
+  EXPECT_EQ(duplex_->hedge_wins(), 0);
+  EXPECT_EQ(duplex_->sole_copy_writes(0), 0);
+  EXPECT_EQ(duplex_->writes_completed(), 1);
+  EXPECT_FALSE(duplex_->busy());
+}
+
+TEST_F(HedgedDuplexTest, HedgedAckUnblocksTheNextWrite) {
+  fault::FaultConfig slow = SlowMirror(32);
+  Build(nullptr, &slow);
+  EnableHealth();
+  SubmitTimed(0, 1);
+  SubmitTimed(1, 2);
+  sim_.Run();
+  // Acks pipeline past the slow mirror: 35 ms and 70 ms, not the
+  // lockstep 150/300 ms merge times.
+  ASSERT_EQ(ack_times_.size(), 2u);
+  EXPECT_EQ(ack_times_[0], 35 * kMillisecond);
+  EXPECT_EQ(ack_times_[1], 70 * kMillisecond);
+  EXPECT_EQ(duplex_->hedges_fired(), 2);
+  // The mirror still services both copies FIFO (150 and 300 ms).
+  EXPECT_EQ(sim_.Now(), 300 * kMillisecond);
+  EXPECT_TRUE(storage1_.IsWritten({0, 0}));
+  EXPECT_TRUE(storage1_.IsWritten({0, 1}));
+}
+
+TEST_F(HedgedDuplexTest, HedgeWinWhenLaggardFails) {
+  fault::FaultConfig failing_slow = SlowMirror(33);
+  failing_slow.log_transient_error_rate = 1.0;
+  Build(nullptr, &failing_slow);
+  EnableHealth();
+  SubmitTimed(0, 1);
+  sim_.Run();
+  // The caller was acknowledged at 35 ms; the laggard's failure at
+  // 150 ms would have forced a degraded merge (or a visible stall)
+  // without the hedge.
+  ASSERT_EQ(completions_.size(), 1u);
+  EXPECT_TRUE(completions_[0].second);
+  EXPECT_EQ(ack_times_[0], 35 * kMillisecond);
+  EXPECT_EQ(duplex_->hedges_fired(), 1);
+  EXPECT_EQ(duplex_->hedge_wins(), 1);
+  EXPECT_EQ(duplex_->degraded_writes(), 1);
+  EXPECT_EQ(duplex_->sole_copy_writes(0), 1);
+  EXPECT_TRUE(storage0_.IsWritten({0, 0}));
+  EXPECT_FALSE(storage1_.IsWritten({0, 0}));
+}
+
+TEST_F(HedgedDuplexTest, RottedLaggardIsDivergentMediaForReadRepair) {
+  fault::FaultConfig rotting_slow = SlowMirror(34);
+  rotting_slow.log_bit_rot_rate = 1.0;
+  Build(nullptr, &rotting_slow);
+  EnableHealth();
+  SubmitTimed(0, 1);
+  sim_.Run();
+  ASSERT_EQ(completions_.size(), 1u);
+  EXPECT_TRUE(completions_[0].second);
+  // The laggard "succeeded" but stored a scrambled image: the primary
+  // holds the sole intact copy and the recovery read-repair merge picks
+  // it (duplex_recovery_test covers that end).
+  EXPECT_EQ(duplex_->hedge_wins(), 0);  // laggard status was OK
+  EXPECT_EQ(duplex_->sole_copy_writes(0), 1);
+  EXPECT_EQ(duplex_->silent_double_faults(), 0);
+  ASSERT_TRUE(storage0_.IsWritten({0, 0}));
+  ASSERT_TRUE(storage1_.IsWritten({0, 0}));
+  EXPECT_TRUE(wal::DecodeBlock(*storage0_.Get({0, 0})).ok());
+  EXPECT_FALSE(wal::DecodeBlock(*storage1_.Get({0, 0})).ok());
+}
+
+TEST_F(HedgedDuplexTest, QuarantineEjectResilverRoundTrip) {
+  fault::FaultConfig slow = SlowMirror(35);
+  Build(nullptr, &slow);
+  EnableHealth();
+  // A sustained stream: the monitor needs min_samples mirror completions
+  // (150 ms apart) plus the 200 + 300 ms windows before quarantining.
+  for (uint32_t i = 0; i < 48; ++i) SubmitTimed(i % 8, i + 1);
+  sim_.Run();
+  EXPECT_GT(duplex_->hedges_fired(), 0);
+  EXPECT_EQ(duplex_->quarantines(), 1);
+  EXPECT_GT(duplex_->quarantine_skips(), 0);
+  EXPECT_FALSE(duplex_->ReplicaQuarantined(1));  // ejected AND revived
+  EXPECT_FALSE(mirror_->dead());
+  // The eject resilver copies the union: no slot lost despite the skips.
+  for (uint32_t slot = 0; slot < 8; ++slot) {
+    EXPECT_TRUE(storage0_.IsWritten({0, slot})) << "slot " << slot;
+    EXPECT_TRUE(storage1_.IsWritten({0, slot})) << "slot " << slot;
+  }
+  EXPECT_EQ(duplex_->resilver_wiped_sole_copies(), 0);
+
+  // Revived media is fresh: the consumed fail-slow plan no longer
+  // applies, so post-eject writes settle as healthy lockstep merges.
+  const int64_t hedges_before = duplex_->hedges_fired();
+  completions_.clear();
+  ack_times_.clear();
+  const SimTime resume = sim_.Now();
+  SubmitTimed(0, 100);
+  sim_.Run();
+  ASSERT_EQ(completions_.size(), 1u);
+  EXPECT_TRUE(completions_[0].second);
+  EXPECT_EQ(ack_times_[0], resume + kWrite);  // both replicas at 15 ms again
+  EXPECT_EQ(duplex_->hedges_fired(), hedges_before);
+  EXPECT_EQ(*storage0_.Get({0, 0}), *storage1_.Get({0, 0}));
+}
+
+TEST_F(HedgedDuplexTest, HedgingOffIsByteCompatibleLockstep) {
+  // Sanity guard for the byte-identity contract: a duplex with health
+  // wired but a *healthy* mirror never fires a hedge — every write is a
+  // plain merge at the slower replica's completion time.
+  Build(nullptr, nullptr);
+  EnableHealth();
+  for (uint32_t slot = 0; slot < 3; ++slot) SubmitTimed(slot, slot + 1);
+  sim_.Run();
+  EXPECT_EQ(duplex_->hedges_fired(), 0);
+  EXPECT_EQ(duplex_->quarantines(), 0);
+  ASSERT_EQ(ack_times_.size(), 3u);
+  for (uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(ack_times_[i], (i + 1) * kWrite);
+  }
+}
+
 }  // namespace
 }  // namespace disk
 }  // namespace elog

@@ -204,6 +204,122 @@ TEST(FaultInjectorTest, ReplicaStreamsAreIndependent) {
   EXPECT_TRUE(diverged);
 }
 
+TEST(FaultInjectorTest, FailSlowPlanDoesNotShiftOtherStreams) {
+  // Stream stability, direction 1: arming the fail-slow rate must not
+  // move a single per-write decision, flush decision, or death plan —
+  // the fail-slow plan draws from its own appended salted stream.
+  FaultConfig without = MixedConfig(2024);
+  without.drive_death_rate = 0.6;
+  FaultConfig with = without;
+  with.fail_slow_rate = 1.0;
+  FaultInjector a(without);
+  FaultInjector b(with);
+  EXPECT_FALSE(a.fail_slow_plan().slow);
+  EXPECT_TRUE(b.fail_slow_plan().slow);
+  EXPECT_EQ(a.death_plan().dies, b.death_plan().dies);
+  EXPECT_EQ(a.death_plan().time, b.death_plan().time);
+  EXPECT_EQ(a.death_plan().op_count, b.death_plan().op_count);
+  for (int i = 0; i < 2000; ++i) {
+    FaultInjector::WriteDecision da = a.NextLogWrite(kBase);
+    FaultInjector::WriteDecision db = b.NextLogWrite(kBase);
+    EXPECT_EQ(da.fault, db.fault) << "decision " << i;
+    EXPECT_EQ(da.extra_latency, db.extra_latency) << "decision " << i;
+    EXPECT_EQ(a.NextFlushFails(), b.NextFlushFails()) << "decision " << i;
+  }
+}
+
+TEST(FaultInjectorTest, OtherRatesDoNotShiftFailSlowPlan) {
+  // Stream stability, direction 2: zeroing every other fault class must
+  // not change the drawn fail-slow plan.
+  FaultConfig full = MixedConfig(2025);
+  full.drive_death_rate = 0.6;
+  full.fail_slow_rate = 0.7;
+  FaultConfig slow_only;
+  slow_only.seed = full.seed;
+  slow_only.fail_slow_rate = 0.7;
+  FaultInjector a(full);
+  FaultInjector b(slow_only);
+  EXPECT_EQ(a.fail_slow_plan().slow, b.fail_slow_plan().slow);
+  EXPECT_EQ(a.fail_slow_plan().onset, b.fail_slow_plan().onset);
+  EXPECT_EQ(a.fail_slow_plan().multiplier, b.fail_slow_plan().multiplier);
+  EXPECT_EQ(a.fail_slow_plan().ramp, b.fail_slow_plan().ramp);
+}
+
+TEST(FaultInjectorTest, FailSlowPlanReplaysFromSeedAndRespectsWindow) {
+  FaultConfig config;
+  config.seed = 5252;
+  config.fail_slow_rate = 1.0;
+  config.fail_slow_multiplier = 6.0;
+  for (uint32_t replica = 0; replica < 2; ++replica) {
+    FaultInjector a(config, replica);
+    FaultInjector b(config, replica);
+    ASSERT_TRUE(a.fail_slow_plan().slow);
+    EXPECT_EQ(a.fail_slow_plan().onset, b.fail_slow_plan().onset);
+    EXPECT_EQ(a.fail_slow_plan().ramp, b.fail_slow_plan().ramp);
+    EXPECT_GE(a.fail_slow_plan().onset, config.min_fail_slow_onset);
+    EXPECT_LT(a.fail_slow_plan().onset, config.max_fail_slow_onset);
+    EXPECT_EQ(a.fail_slow_plan().multiplier, 6.0);
+    EXPECT_TRUE(a.fail_slow_plan().ramp == 0 ||
+                a.fail_slow_plan().ramp == config.fail_slow_ramp);
+  }
+}
+
+TEST(FaultInjectorTest, ForcedFailSlowConsumesNoDrawsAndPinsOneReplica) {
+  FaultConfig forced = MixedConfig(2026);
+  forced.force_fail_slow_replica = 1;
+  forced.force_fail_slow_onset = 2 * kSecond;
+  forced.fail_slow_multiplier = 4.0;
+  FaultInjector primary(forced, /*replica=*/0);
+  FaultInjector mirror(forced, /*replica=*/1);
+  EXPECT_FALSE(primary.fail_slow_plan().slow);
+  ASSERT_TRUE(mirror.fail_slow_plan().slow);
+  EXPECT_EQ(mirror.fail_slow_plan().onset, 2 * kSecond);
+  EXPECT_EQ(mirror.fail_slow_plan().multiplier, 4.0);
+  EXPECT_EQ(mirror.fail_slow_plan().ramp, 0);
+  // Pure configuration, zero draws: the per-write stream is untouched.
+  FaultInjector plain(MixedConfig(2026), /*replica=*/1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(plain.NextLogWrite(kBase).fault,
+              mirror.NextLogWrite(kBase).fault)
+        << "decision " << i;
+  }
+}
+
+TEST(FaultConfigTest, ForShardClearsForcedFailSlowOnOtherShards) {
+  FaultConfig config = MixedConfig(2027);
+  config.force_fail_slow_replica = 1;
+  config.force_fail_slow_shard = 0;
+  EXPECT_EQ(config.ForShard(0).force_fail_slow_replica, 1);
+  EXPECT_EQ(config.ForShard(1).force_fail_slow_replica, -1);
+  EXPECT_EQ(config.ForShard(3).force_fail_slow_replica, -1);
+}
+
+TEST(FaultConfigTest, FailSlowEnablesInjector) {
+  FaultConfig config;
+  EXPECT_FALSE(config.enabled());
+  config.fail_slow_rate = 0.1;
+  EXPECT_TRUE(config.enabled());
+  config = FaultConfig();
+  config.force_fail_slow_replica = 0;
+  EXPECT_TRUE(config.enabled());
+}
+
+TEST(FaultConfigTest, RejectsBadFailSlowKnobs) {
+  FaultConfig config;
+  config.fail_slow_rate = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config = FaultConfig();
+  config.fail_slow_multiplier = 0.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config = FaultConfig();
+  config.min_fail_slow_onset = 2 * kSecond;
+  config.max_fail_slow_onset = 1 * kSecond;
+  EXPECT_FALSE(config.Validate().ok());
+  config = FaultConfig();
+  config.fail_slow_ramp = -1;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
 TEST(FaultConfigTest, RejectsBadDeathKnobs) {
   FaultConfig config;
   config.drive_death_rate = 1.5;

@@ -1,0 +1,249 @@
+#include "health/drive_health.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+
+namespace elog {
+namespace health {
+namespace {
+
+constexpr SimTime kHealthy = 15 * kMillisecond;
+constexpr SimTime kSlow = 150 * kMillisecond;
+
+HealthOptions Enabled() {
+  HealthOptions options;
+  options.enabled = true;
+  return options;
+}
+
+// Advances the virtual clock (no events pending, so RunUntil
+// fast-forwards) and reports one service completion per drive.
+void Step(sim::Simulator* sim, DriveHealthMonitor* monitor, SimTime at,
+          int d0, SimTime t0, int d1, SimTime t1) {
+  sim->RunUntil(at);
+  monitor->RecordService(d0, t0);
+  monitor->RecordService(d1, t1);
+}
+
+TEST(HealthOptionsTest, ValidatesKnobs) {
+  EXPECT_TRUE(Enabled().Validate().ok());
+  HealthOptions options = Enabled();
+  options.ewma_alpha = 0.0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = Enabled();
+  options.ewma_alpha = 1.5;
+  EXPECT_FALSE(options.Validate().ok());
+  options = Enabled();
+  options.suspect_ratio = 1.0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = Enabled();
+  options.suspect_window = -1;
+  EXPECT_FALSE(options.Validate().ok());
+  options = Enabled();
+  options.hedge_deadline_ratio = 0.5;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(DriveHealthMonitorTest, HealthyFleetNeverFlags) {
+  sim::Simulator sim;
+  sim::MetricsRegistry metrics;
+  DriveHealthMonitor monitor(&sim, Enabled(), &metrics);
+  const int d0 = monitor.RegisterDrive("log", "log0");
+  const int d1 = monitor.RegisterDrive("log", "log1");
+  for (int i = 1; i <= 100; ++i) {
+    Step(&sim, &monitor, i * kHealthy, d0, kHealthy, d1, kHealthy);
+  }
+  EXPECT_DOUBLE_EQ(monitor.score(d0), 1.0);
+  EXPECT_DOUBLE_EQ(monitor.score(d1), 1.0);
+  EXPECT_FALSE(monitor.suspect(d0));
+  EXPECT_FALSE(monitor.suspect(d1));
+  EXPECT_EQ(monitor.quarantines(), 0);
+}
+
+TEST(DriveHealthMonitorTest, SustainedOutlierIsQuarantined) {
+  sim::Simulator sim;
+  sim::MetricsRegistry metrics;
+  DriveHealthMonitor monitor(&sim, Enabled(), &metrics, "h");
+  const int d0 = monitor.RegisterDrive("log", "log0");
+  const int d1 = monitor.RegisterDrive("log", "log1");
+  // 900 ms of 10x-degraded mirror: past min_samples, the 200 ms suspect
+  // window and the further 300 ms quarantine window.
+  for (int i = 1; i <= 60; ++i) {
+    Step(&sim, &monitor, i * kHealthy, d0, kHealthy, d1, kSlow);
+  }
+  EXPECT_FALSE(monitor.suspect(d0));
+  EXPECT_FALSE(monitor.quarantined(d0));
+  EXPECT_TRUE(monitor.quarantined(d1));
+  EXPECT_GE(monitor.score(d1), 3.0);
+  EXPECT_EQ(monitor.suspects_flagged(), 1);
+  EXPECT_EQ(monitor.quarantines(), 1);
+  // The fleet reference is the lower median: the degraded mirror can
+  // never drag it up, so the healthy primary stays at score ~1.
+  EXPECT_NEAR(monitor.score(d0), 1.0, 1e-9);
+  // Typed gauges exist under the prefix.
+  EXPECT_NE(metrics.FindGauge("h.log1.quarantined"), nullptr);
+  EXPECT_NE(metrics.FindGauge("h.log1.suspect"), nullptr);
+  EXPECT_NE(metrics.FindGauge("h.log0.score"), nullptr);
+}
+
+TEST(DriveHealthMonitorTest, BriefSpikeDoesNotFlag) {
+  sim::Simulator sim;
+  sim::MetricsRegistry metrics;
+  DriveHealthMonitor monitor(&sim, Enabled(), &metrics);
+  const int d0 = monitor.RegisterDrive("log", "log0");
+  const int d1 = monitor.RegisterDrive("log", "log1");
+  // Five slow services (75 ms, inside the 200 ms suspect window), then
+  // healthy again: the over-threshold clock must reset.
+  for (int i = 1; i <= 5; ++i) {
+    Step(&sim, &monitor, i * kHealthy, d0, kHealthy, d1, kSlow);
+  }
+  for (int i = 6; i <= 100; ++i) {
+    Step(&sim, &monitor, i * kHealthy, d0, kHealthy, d1, kHealthy);
+  }
+  EXPECT_FALSE(monitor.suspect(d1));
+  EXPECT_FALSE(monitor.quarantined(d1));
+  EXPECT_EQ(monitor.quarantines(), 0);
+  EXPECT_LT(monitor.score(d1), 1.1);
+}
+
+TEST(DriveHealthMonitorTest, MinSamplesGateBeforeFlagging) {
+  sim::Simulator sim;
+  sim::MetricsRegistry metrics;
+  HealthOptions options = Enabled();
+  options.min_samples = 50;
+  DriveHealthMonitor monitor(&sim, Enabled(), &metrics);
+  DriveHealthMonitor gated(&sim, options, &metrics, "gated");
+  const int d0 = gated.RegisterDrive("log", "log0");
+  const int d1 = gated.RegisterDrive("log", "log1");
+  for (int i = 1; i <= 40; ++i) {
+    sim.RunUntil(i * kHealthy);
+    gated.RecordService(d0, kHealthy);
+    gated.RecordService(d1, kSlow);
+  }
+  // 40 samples of a blatant outlier, but under the 50-sample gate.
+  EXPECT_FALSE(gated.suspect(d1));
+  EXPECT_EQ(gated.quarantines(), 0);
+}
+
+TEST(DriveHealthMonitorTest, QuarantineDisabledStopsAtSuspect) {
+  sim::Simulator sim;
+  sim::MetricsRegistry metrics;
+  HealthOptions options = Enabled();
+  options.quarantine_enabled = false;
+  DriveHealthMonitor monitor(&sim, options, &metrics);
+  const int d0 = monitor.RegisterDrive("log", "log0");
+  const int d1 = monitor.RegisterDrive("log", "log1");
+  for (int i = 1; i <= 100; ++i) {
+    Step(&sim, &monitor, i * kHealthy, d0, kHealthy, d1, kSlow);
+  }
+  EXPECT_TRUE(monitor.suspect(d1));
+  EXPECT_FALSE(monitor.quarantined(d1));
+  EXPECT_EQ(monitor.quarantines(), 0);
+}
+
+TEST(DriveHealthMonitorTest, QuarantineIsStickyUntilReplaced) {
+  sim::Simulator sim;
+  sim::MetricsRegistry metrics;
+  DriveHealthMonitor monitor(&sim, Enabled(), &metrics);
+  const int d0 = monitor.RegisterDrive("log", "log0");
+  const int d1 = monitor.RegisterDrive("log", "log1");
+  for (int i = 1; i <= 60; ++i) {
+    Step(&sim, &monitor, i * kHealthy, d0, kHealthy, d1, kSlow);
+  }
+  ASSERT_TRUE(monitor.quarantined(d1));
+  // An intermittently-fast gray drive must not flap back into service.
+  for (int i = 61; i <= 120; ++i) {
+    Step(&sim, &monitor, i * kHealthy, d0, kHealthy, d1, kHealthy);
+  }
+  EXPECT_TRUE(monitor.quarantined(d1));
+  // Replacement (eject + resilver) is the only way back in.
+  monitor.OnDriveReplaced(d1);
+  EXPECT_FALSE(monitor.quarantined(d1));
+  EXPECT_FALSE(monitor.suspect(d1));
+  EXPECT_DOUBLE_EQ(monitor.score(d1), 1.0);
+  for (int i = 121; i <= 180; ++i) {
+    Step(&sim, &monitor, i * kHealthy, d0, kHealthy, d1, kHealthy);
+  }
+  EXPECT_FALSE(monitor.suspect(d1));
+  EXPECT_EQ(monitor.quarantines(), 1);
+}
+
+TEST(DriveHealthMonitorTest, ForceQuarantineBypassesWindows) {
+  sim::Simulator sim;
+  sim::MetricsRegistry metrics;
+  DriveHealthMonitor monitor(&sim, Enabled(), &metrics);
+  monitor.RegisterDrive("flush", "fd0");
+  const int d1 = monitor.RegisterDrive("flush", "fd1");
+  EXPECT_FALSE(monitor.quarantined(d1));
+  monitor.ForceQuarantine(d1);
+  EXPECT_TRUE(monitor.suspect(d1));
+  EXPECT_TRUE(monitor.quarantined(d1));
+  EXPECT_EQ(monitor.quarantines(), 1);
+}
+
+TEST(DriveHealthMonitorTest, LoneDriveScoresAgainstItself) {
+  // A single-drive group has no fleet to compare against: its reference
+  // is its own EWMA, so it can never become an outlier.
+  sim::Simulator sim;
+  sim::MetricsRegistry metrics;
+  DriveHealthMonitor monitor(&sim, Enabled(), &metrics);
+  const int d0 = monitor.RegisterDrive("log", "log0");
+  for (int i = 1; i <= 100; ++i) {
+    sim.RunUntil(i * kSlow);
+    monitor.RecordService(d0, kSlow);
+  }
+  EXPECT_DOUBLE_EQ(monitor.score(d0), 1.0);
+  EXPECT_FALSE(monitor.suspect(d0));
+}
+
+TEST(DriveHealthMonitorTest, GroupsAreIndependent) {
+  sim::Simulator sim;
+  sim::MetricsRegistry metrics;
+  DriveHealthMonitor monitor(&sim, Enabled(), &metrics);
+  const int log0 = monitor.RegisterDrive("log", "log0");
+  const int log1 = monitor.RegisterDrive("log", "log1");
+  const int fd0 = monitor.RegisterDrive("flush", "fd0");
+  const int fd1 = monitor.RegisterDrive("flush", "fd1");
+  // Both flush drives are "slow" relative to the log drives — but their
+  // group is uniform, so neither is an outlier within it.
+  for (int i = 1; i <= 100; ++i) {
+    sim.RunUntil(i * kHealthy);
+    monitor.RecordService(log0, kHealthy);
+    monitor.RecordService(log1, kHealthy);
+    monitor.RecordService(fd0, kSlow);
+    monitor.RecordService(fd1, kSlow);
+  }
+  EXPECT_DOUBLE_EQ(monitor.score(fd0), 1.0);
+  EXPECT_DOUBLE_EQ(monitor.score(fd1), 1.0);
+  EXPECT_EQ(monitor.quarantines(), 0);
+}
+
+TEST(DriveHealthMonitorTest, HedgeDeadlineDerivesFromFleetOrPin) {
+  sim::Simulator sim;
+  sim::MetricsRegistry metrics;
+  DriveHealthMonitor monitor(&sim, Enabled(), &metrics);
+  const int d0 = monitor.RegisterDrive("log", "log0");
+  const int d1 = monitor.RegisterDrive("log", "log1");
+  // No data yet: falls back to the caller's floor.
+  EXPECT_EQ(monitor.HedgeDeadlineFor(d0, kHealthy), kHealthy);
+  for (int i = 1; i <= 20; ++i) {
+    Step(&sim, &monitor, i * kHealthy, d0, kHealthy, d1, kHealthy);
+  }
+  // Derived: hedge_deadline_ratio (2.0) x the 15 ms fleet reference.
+  EXPECT_EQ(monitor.HedgeDeadlineFor(d0, kHealthy), 2 * kHealthy);
+  // Never below the floor.
+  EXPECT_EQ(monitor.HedgeDeadlineFor(d0, 50 * kMillisecond),
+            50 * kMillisecond);
+
+  HealthOptions pinned = Enabled();
+  pinned.hedge.deadline = 20 * kMillisecond;
+  DriveHealthMonitor fixed(&sim, pinned, &metrics, "fixed");
+  const int f0 = fixed.RegisterDrive("log", "log0");
+  EXPECT_EQ(fixed.HedgeDeadlineFor(f0, kHealthy), 20 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace health
+}  // namespace elog

@@ -85,5 +85,70 @@ TEST(FirewallOptionsTest, ConfiguresSingleQueue) {
   EXPECT_TRUE(fw.Validate().ok());
 }
 
+TEST(RetryPolicyTest, DefaultsMatchHistoricalLogWriteRetry) {
+  // The unified policy must be bit-for-bit the constants it replaced:
+  // 8 attempts, 5 ms base, doubling backoff, no jitter, no deadline.
+  RetryPolicy policy;
+  EXPECT_EQ(policy.max_attempts, 8u);
+  EXPECT_EQ(policy.base_backoff, 5 * kMillisecond);
+  EXPECT_DOUBLE_EQ(policy.growth, 2.0);
+  EXPECT_DOUBLE_EQ(policy.jitter, 0.0);
+  EXPECT_EQ(policy.deadline, 0);
+  EXPECT_TRUE(policy.Validate().ok());
+}
+
+TEST(RetryPolicyTest, DoublingBackoffIsShiftIdentical) {
+  // growth == 2.0 must reproduce the historical integer expression
+  // `base << min(attempt - 1, 16)` exactly — no floating-point detour.
+  RetryPolicy policy;
+  EXPECT_EQ(policy.BackoffForAttempt(0), 0);
+  for (uint32_t attempt = 1; attempt <= 20; ++attempt) {
+    const uint32_t exponent = attempt - 1 < 16 ? attempt - 1 : 16;
+    EXPECT_EQ(policy.BackoffForAttempt(attempt),
+              policy.base_backoff << exponent)
+        << "attempt " << attempt;
+  }
+}
+
+TEST(RetryPolicyTest, ConstantBackoffForFlushDrives) {
+  RetryPolicy policy;
+  policy.growth = 1.0;
+  for (uint32_t attempt = 1; attempt <= 10; ++attempt) {
+    EXPECT_EQ(policy.BackoffForAttempt(attempt), policy.base_backoff);
+  }
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinBand) {
+  RetryPolicy policy;
+  policy.jitter = 0.25;
+  Rng rng(99);
+  for (uint32_t attempt = 1; attempt <= 6; ++attempt) {
+    const SimTime nominal = policy.base_backoff << (attempt - 1);
+    const SimTime drawn = policy.BackoffForAttempt(attempt, &rng);
+    EXPECT_GE(drawn, static_cast<SimTime>(0.75 * nominal));
+    EXPECT_LE(drawn, static_cast<SimTime>(1.25 * nominal));
+  }
+  // No rng supplied: jitter silently disabled, nominal value returned.
+  EXPECT_EQ(policy.BackoffForAttempt(1), policy.base_backoff);
+}
+
+TEST(RetryPolicyTest, ValidateRejectsBadKnobs) {
+  RetryPolicy policy;
+  policy.max_attempts = 0;
+  EXPECT_FALSE(policy.Validate().ok());
+  policy = RetryPolicy();
+  policy.base_backoff = -1;
+  EXPECT_FALSE(policy.Validate().ok());
+  policy = RetryPolicy();
+  policy.growth = 0.5;
+  EXPECT_FALSE(policy.Validate().ok());
+  policy = RetryPolicy();
+  policy.jitter = 1.5;
+  EXPECT_FALSE(policy.Validate().ok());
+  policy = RetryPolicy();
+  policy.deadline = -1;
+  EXPECT_FALSE(policy.Validate().ok());
+}
+
 }  // namespace
 }  // namespace elog
