@@ -9,12 +9,12 @@
 
 namespace elog {
 
-EphemeralLogManager::EphemeralLogManager(sim::Simulator* simulator,
+EphemeralLogManager::EphemeralLogManager(core::CompletionExecutor* executor,
                                          const LogManagerOptions& options,
                                          disk::LogWritePort* device,
                                          disk::DriveArray* drives,
                                          sim::MetricsRegistry* metrics)
-    : simulator_(simulator),
+    : executor_(executor),
       options_(options),
       device_(device),
       drives_(drives),
@@ -50,7 +50,7 @@ EphemeralLogManager::EphemeralLogManager(sim::Simulator* simulator,
         static_cast<uint32_t>(i), options.generation_blocks[i]));
     const std::string gen_prefix = "el.gen" + std::to_string(i);
     occupancy_.push_back(metrics_->GetGauge(gen_prefix + ".occupancy"));
-    occupancy_.back()->Set(simulator->Now(), 0.0);
+    occupancy_.back()->Set(executor->Now(), 0.0);
     forwarded_by_gen_.push_back(
         metrics_->GetCounter(gen_prefix + ".forwarded"));
     recirculated_by_gen_.push_back(
@@ -125,7 +125,7 @@ void EphemeralLogManager::StartTransaction(
 
   LttEntry entry;
   entry.state = TxState::kActive;
-  entry.begin_time = simulator_->Now();
+  entry.begin_time = executor_->Now();
   entry.declared_lifetime = type.lifetime;
   entry.target_generation = target;
   entry.tx_cell = cell;
@@ -209,7 +209,7 @@ void EphemeralLogManager::ArmStealTimer() {
   if (!options_.undo_redo || options_.steal_interval <= 0) return;
   if (steal_timer_armed_) return;
   steal_timer_armed_ = true;
-  simulator_->ScheduleAfter(options_.steal_interval, [this] {
+  executor_->ScheduleAfter(options_.steal_interval, [this] {
     steal_timer_armed_ = false;
     StealOnce();
   });
@@ -557,7 +557,7 @@ void EphemeralLogManager::WriteBuilder(uint32_t g) {
                    std::make_shared<const std::vector<TxId>>(
                        std::move(closed.commit_tids)),
                    /*attempt=*/0);
-  occupancy_[g]->Set(simulator_->Now(),
+  occupancy_[g]->Set(executor_->Now(),
                      static_cast<double>(gen.used_blocks()));
   // "After addition of new records to the tail of a generation, the LM
   // advances the head ... so that there is always some gap between the
@@ -622,7 +622,7 @@ void EphemeralLogManager::OnBlockWriteLost(
 void EphemeralLogManager::ScheduleLinger(uint32_t g) {
   if (options_.group_commit_linger <= 0) return;
   uint64_t epoch = Gen(g).builder_epoch();
-  simulator_->ScheduleAfter(options_.group_commit_linger, [this, g, epoch] {
+  executor_->ScheduleAfter(options_.group_commit_linger, [this, g, epoch] {
     Generation& gen = Gen(g);
     if (!gen.has_open_builder() || gen.builder_epoch() != epoch) return;
     if (gen.builder().empty()) return;
@@ -636,7 +636,7 @@ void EphemeralLogManager::MaybeArmMaxHold(uint32_t g, bool was_empty) {
   // Epoch-guarded like ScheduleLinger: the timer only fires on the very
   // buffer the record entered; a rotation in between disarms it.
   uint64_t epoch = Gen(g).builder_epoch();
-  simulator_->ScheduleAfter(options_.max_hold_us, [this, g, epoch] {
+  executor_->ScheduleAfter(options_.max_hold_us, [this, g, epoch] {
     Generation& gen = Gen(g);
     if (!gen.has_open_builder() || gen.builder_epoch() != epoch) return;
     if (gen.builder().empty()) return;
@@ -751,7 +751,7 @@ void EphemeralLogManager::AdvanceHeadOnce(uint32_t g) {
   }
   records_discarded_->Incr(gen.TakeSlotRecords(slot));
   gen.AdvanceHead();
-  occupancy_[g]->Set(simulator_->Now(),
+  occupancy_[g]->Set(executor_->Now(),
                      static_cast<double>(gen.used_blocks()));
   if (tracer_ != nullptr) {
     tracer_->Instant(trace_lane_, "gc", "advance_head",
@@ -1266,7 +1266,7 @@ double EphemeralLogManager::modeled_memory_bytes() const {
 }
 
 void EphemeralLogManager::UpdateMemoryGauge() {
-  memory_->Set(simulator_->Now(), modeled_memory_bytes());
+  memory_->Set(executor_->Now(), modeled_memory_bytes());
 }
 
 void EphemeralLogManager::CheckInvariants() const {

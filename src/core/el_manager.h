@@ -38,7 +38,7 @@
 #include "disk/log_device.h"
 #include "obs/trace.h"
 #include "sim/metrics.h"
-#include "sim/simulator.h"
+#include "core/exec.h"
 
 namespace elog {
 
@@ -46,7 +46,7 @@ class EphemeralLogManager : public LogManager {
  public:
   /// The device and drives must outlive the manager. `options` must
   /// validate.
-  EphemeralLogManager(sim::Simulator* simulator,
+  EphemeralLogManager(core::CompletionExecutor* executor,
                       const LogManagerOptions& options,
                       disk::LogWritePort* device, disk::DriveArray* drives,
                       sim::MetricsRegistry* metrics);
@@ -296,7 +296,7 @@ class EphemeralLogManager : public LogManager {
   void MaybeCloseBatch(uint32_t g);
   void UpdateMemoryGauge();
 
-  sim::Simulator* simulator_;
+  core::CompletionExecutor* executor_;
   LogManagerOptions options_;
   disk::LogWritePort* device_;
   disk::DriveArray* drives_;

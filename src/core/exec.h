@@ -1,0 +1,87 @@
+// Time and completion-dispatch abstraction: the seam that lets the same
+// manager/WAL code run against the discrete-event simulator (virtual
+// microseconds, single-threaded, deterministic) or against real storage
+// on the wall clock.
+//
+// The interface is deliberately shaped exactly like sim::Simulator's
+// scheduling surface — Now / ScheduleAt / ScheduleAfter / Cancel with the
+// same signatures — so Simulator implements it by adding `override` and
+// nothing else, and every component that held a `sim::Simulator*` can
+// hold a `core::CompletionExecutor*` without touching its call sites.
+// Callbacks stay sim::EventCallback (the 48-byte inline callable): the
+// capture-size discipline that keeps the simulator allocation-free is
+// just as valuable on the wall-clock path.
+//
+// Threading contract: Now/ScheduleAt/ScheduleAfter/Cancel are
+// executor-thread-only (the thread running the event loop). A real-I/O
+// backend whose worker thread must deliver completions goes through
+// PostFromAnyThread, which an implementation advertises via
+// SupportsCrossThreadPost. Retain/ReleaseExternalWork bracket in-flight
+// work that lives outside the timer queue (e.g. a write sitting in a
+// device worker) so a wall-clock Run() loop knows not to exit while a
+// completion is still owed. The simulator, which never has foreign
+// threads, keeps the defaults: posting CHECK-fails and retain is a no-op.
+
+#ifndef ELOG_CORE_EXEC_H_
+#define ELOG_CORE_EXEC_H_
+
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "util/check.h"
+#include "util/types.h"
+
+namespace elog {
+namespace core {
+
+/// Read-only time source, in microseconds (SimTime). Virtual time starts
+/// at 0; wall-clock implementations also start at 0 (offset from
+/// construction) so latency math is backend-agnostic.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual SimTime Now() const = 0;
+};
+
+/// Clock plus deferred execution: the full scheduling surface the log
+/// managers and disk devices need. Implemented by sim::Simulator
+/// (virtual time) and core::WallClockExecutor (real time).
+class CompletionExecutor : public Clock {
+ public:
+  /// Schedules `callback` at absolute time `time` (must be >= Now()).
+  virtual sim::EventId ScheduleAt(SimTime time,
+                                  sim::EventCallback callback) = 0;
+
+  /// Schedules `callback` `delay` microseconds from now (delay >= 0).
+  virtual sim::EventId ScheduleAfter(SimTime delay,
+                                     sim::EventCallback callback) = 0;
+
+  /// Cancels a pending event; returns false if it already fired.
+  virtual bool Cancel(sim::EventId id) = 0;
+
+  /// True if PostFromAnyThread may be called from threads other than the
+  /// executor thread. The simulator is single-threaded and returns false.
+  virtual bool SupportsCrossThreadPost() const { return false; }
+
+  /// Enqueues `fn` to run on the executor thread, callable from any
+  /// thread when SupportsCrossThreadPost() is true. Default CHECK-fails:
+  /// single-threaded executors must never receive cross-thread traffic.
+  virtual void PostFromAnyThread(std::function<void()> fn) {
+    (void)fn;
+    ELOG_CHECK(false &&
+               "PostFromAnyThread on an executor without cross-thread "
+               "support (simulator backends are single-threaded)");
+  }
+
+  /// Marks work in flight outside the timer queue (a write parked in a
+  /// device worker thread). A wall-clock Run() loop stays alive while
+  /// the retain count is nonzero; the simulator ignores it because all
+  /// its work is already in the event queue.
+  virtual void RetainExternalWork() {}
+  virtual void ReleaseExternalWork() {}
+};
+
+}  // namespace core
+}  // namespace elog
+
+#endif  // ELOG_CORE_EXEC_H_

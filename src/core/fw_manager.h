@@ -30,11 +30,11 @@ inline LogManagerOptions MakeFirewallOptions(uint32_t log_blocks,
 
 class FirewallLogManager : public EphemeralLogManager {
  public:
-  FirewallLogManager(sim::Simulator* simulator,
+  FirewallLogManager(core::CompletionExecutor* executor,
                      const LogManagerOptions& options,
                      disk::LogWritePort* device, disk::DriveArray* drives,
                      sim::MetricsRegistry* metrics)
-      : EphemeralLogManager(simulator, options, device, drives, metrics) {
+      : EphemeralLogManager(executor, options, device, drives, metrics) {
     ELOG_CHECK_EQ(options.generation_blocks.size(), 1u)
         << "FW uses a single log queue";
     ELOG_CHECK(!options.recirculation);

@@ -6,12 +6,12 @@
 
 namespace elog {
 
-HybridLogManager::HybridLogManager(sim::Simulator* simulator,
+HybridLogManager::HybridLogManager(core::CompletionExecutor* executor,
                                    const LogManagerOptions& options,
                                    disk::LogWritePort* device,
                                    disk::DriveArray* drives,
                                    sim::MetricsRegistry* metrics)
-    : simulator_(simulator),
+    : executor_(executor),
       options_(options),
       device_(device),
       drives_(drives),
@@ -38,7 +38,7 @@ HybridLogManager::HybridLogManager(sim::Simulator* simulator,
     markers_.emplace_back(options.generation_blocks[i]);
     occupancy_.push_back(
         metrics_->GetGauge("hybrid.gen" + std::to_string(i) + ".occupancy"));
-    occupancy_.back()->Set(simulator->Now(), 0.0);
+    occupancy_.back()->Set(executor->Now(), 0.0);
   }
   UpdateMemoryGauge();
 }
@@ -129,7 +129,7 @@ void HybridLogManager::WriteBuilder(uint32_t g) {
                    std::make_shared<const std::vector<TxId>>(
                        std::move(closed.commit_tids)),
                    /*attempt=*/0);
-  occupancy_[g]->Set(simulator_->Now(),
+  occupancy_[g]->Set(executor_->Now(),
                      static_cast<double>(gen.used_blocks()));
   EnsureFree(g, options_.min_free_blocks);
 }
@@ -180,7 +180,7 @@ void HybridLogManager::OnBlockWriteLost(const std::vector<TxId>& commit_tids) {
 void HybridLogManager::ScheduleLinger(uint32_t g) {
   if (options_.group_commit_linger <= 0) return;
   uint64_t epoch = Gen(g).builder_epoch();
-  simulator_->ScheduleAfter(options_.group_commit_linger, [this, g, epoch] {
+  executor_->ScheduleAfter(options_.group_commit_linger, [this, g, epoch] {
     Generation& gen = Gen(g);
     if (!gen.has_open_builder() || gen.builder_epoch() != epoch) return;
     if (gen.builder().empty()) return;
@@ -192,7 +192,7 @@ void HybridLogManager::ScheduleLinger(uint32_t g) {
 void HybridLogManager::MaybeArmMaxHold(uint32_t g, bool was_empty) {
   if (!was_empty || options_.max_hold_us <= 0) return;
   uint64_t epoch = Gen(g).builder_epoch();
-  simulator_->ScheduleAfter(options_.max_hold_us, [this, g, epoch] {
+  executor_->ScheduleAfter(options_.max_hold_us, [this, g, epoch] {
     Generation& gen = Gen(g);
     if (!gen.has_open_builder() || gen.builder_epoch() != epoch) return;
     if (gen.builder().empty()) return;
@@ -340,7 +340,7 @@ void HybridLogManager::AdvanceHeadOnce(uint32_t g) {
   }
   gen.TakeSlotRecords(slot);  // whatever remains physically is garbage
   gen.AdvanceHead();
-  occupancy_[g]->Set(simulator_->Now(),
+  occupancy_[g]->Set(executor_->Now(),
                      static_cast<double>(gen.used_blocks()));
   if (tracer_ != nullptr) {
     tracer_->Instant(trace_lane_, "gc", "advance_head",
@@ -453,7 +453,7 @@ void HybridLogManager::StartTransaction(TxId tid,
 
   HybridTx entry;
   entry.state = TxState::kActive;
-  entry.begin_time = simulator_->Now();
+  entry.begin_time = executor_->Now();
   entry.records.push_back(record);
   auto [value, inserted] = table_.Insert(tid, std::move(entry));
   ELOG_CHECK(inserted);
@@ -738,7 +738,7 @@ double HybridLogManager::modeled_memory_bytes() const {
 }
 
 void HybridLogManager::UpdateMemoryGauge() {
-  memory_->Set(simulator_->Now(), modeled_memory_bytes());
+  memory_->Set(executor_->Now(), modeled_memory_bytes());
 }
 
 void HybridLogManager::CheckInvariants() const {

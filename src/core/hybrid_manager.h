@@ -36,14 +36,14 @@
 #include "disk/log_device.h"
 #include "obs/trace.h"
 #include "sim/metrics.h"
-#include "sim/simulator.h"
+#include "core/exec.h"
 #include "util/chained_hash_map.h"
 
 namespace elog {
 
 class HybridLogManager : public LogManager {
  public:
-  HybridLogManager(sim::Simulator* simulator,
+  HybridLogManager(core::CompletionExecutor* executor,
                    const LogManagerOptions& options,
                    disk::LogWritePort* device, disk::DriveArray* drives,
                    sim::MetricsRegistry* metrics);
@@ -211,7 +211,7 @@ class HybridLogManager : public LogManager {
   void MaybeCloseBatch(uint32_t g);
   void UpdateMemoryGauge();
 
-  sim::Simulator* simulator_;
+  core::CompletionExecutor* executor_;
   LogManagerOptions options_;
   disk::LogWritePort* device_;
   disk::DriveArray* drives_;

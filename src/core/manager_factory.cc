@@ -8,7 +8,7 @@ namespace elog {
 
 LogManagerSet MakeLogManager(ManagerKind kind,
                              const LogManagerOptions& options,
-                             sim::Simulator* simulator,
+                             core::CompletionExecutor* executor,
                              disk::LogWritePort* device,
                              disk::DriveArray* drives,
                              sim::MetricsRegistry* metrics) {
@@ -16,14 +16,14 @@ LogManagerSet MakeLogManager(ManagerKind kind,
   switch (kind) {
     case ManagerKind::kEphemeral: {
       auto el = std::make_unique<EphemeralLogManager>(
-          simulator, options, device, drives, metrics);
+          executor, options, device, drives, metrics);
       set.el = el.get();
       set.manager = std::move(el);
       return set;
     }
     case ManagerKind::kHybrid: {
       auto hybrid = std::make_unique<HybridLogManager>(
-          simulator, options, device, drives, metrics);
+          executor, options, device, drives, metrics);
       set.hybrid = hybrid.get();
       set.manager = std::move(hybrid);
       return set;

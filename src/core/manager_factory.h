@@ -19,7 +19,7 @@
 #include "disk/log_device.h"
 #include "obs/trace.h"
 #include "sim/metrics.h"
-#include "sim/simulator.h"
+#include "core/exec.h"
 
 namespace elog {
 
@@ -45,12 +45,13 @@ struct LogManagerSet {
   }
 };
 
-/// Builds the manager of the requested kind over the given simulator,
-/// log write port, flush drives, and metrics registry (nullable — the
-/// manager then owns a private registry; see sim/metrics.h).
+/// Builds the manager of the requested kind over the given executor
+/// (the simulator, or a wall clock for the real-I/O backend), log write
+/// port, flush drives, and metrics registry (nullable — the manager then
+/// owns a private registry; see sim/metrics.h).
 LogManagerSet MakeLogManager(ManagerKind kind,
                              const LogManagerOptions& options,
-                             sim::Simulator* simulator,
+                             core::CompletionExecutor* executor,
                              disk::LogWritePort* device,
                              disk::DriveArray* drives,
                              sim::MetricsRegistry* metrics);

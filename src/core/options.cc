@@ -61,6 +61,13 @@ Status LogManagerOptions::Validate() const {
     return Status::InvalidArgument(
         "shards must be in [1, 64] (participant masks are 64-bit)");
   }
+  if (Status backend_status = backend.Validate(); !backend_status.ok()) {
+    return backend_status;
+  }
+  if (backend.is_file() && shards != 1) {
+    return Status::InvalidArgument(
+        "the file backend supports a single shard");
+  }
   return Status::OK();
 }
 

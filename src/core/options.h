@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/random.h"
@@ -114,6 +115,47 @@ enum class UnflushedPolicy {
   /// Flush the update to the stable version immediately (the naive policy
   /// of §2.1: random I/O, serviced ahead of locality-scheduled flushes).
   kFlushOnDemand,
+};
+
+/// Which device the managers' LogWritePort is backed by. The default is
+/// the simulated LogDevice (virtual time, fault injection, byte-exact
+/// committed artifacts); kFile writes real framed blocks to a WAL file
+/// through disk::FileLogDevice (see docs/real_io.md). All fields other
+/// than `kind` apply to the file backend only.
+struct BackendConfig {
+  enum class Kind {
+    kSimulated,
+    kFile,
+  };
+  Kind kind = Kind::kSimulated;
+  /// WAL file path (required for kFile).
+  std::string path;
+  /// Physical bytes per block slot in the file; 0 = the backend default
+  /// (16384). Must be a multiple of 4096.
+  uint32_t slot_bytes = 0;
+  /// Try O_DIRECT (graceful fallback to buffered I/O, e.g. on tmpfs).
+  bool direct_io = true;
+  /// fdatasync each block write before completing it.
+  bool durable_sync = true;
+  /// Use io_uring when compiled in (graceful fallback to the worker
+  /// thread's pwrite path).
+  bool use_io_uring = true;
+  /// Truncate/recreate the file on open (a fresh log).
+  bool truncate = true;
+
+  bool is_file() const { return kind == Kind::kFile; }
+
+  Status Validate() const {
+    if (kind == Kind::kSimulated) return Status::OK();
+    if (path.empty()) {
+      return Status::InvalidArgument("file backend requires backend.path");
+    }
+    if (slot_bytes != 0 && slot_bytes % 4096 != 0) {
+      return Status::InvalidArgument(
+          "backend.slot_bytes must be a multiple of 4096");
+    }
+    return Status::OK();
+  }
 };
 
 struct LogManagerOptions {
@@ -229,6 +271,12 @@ struct LogManagerOptions {
   uint32_t el_bytes_per_transaction = 40;
   uint32_t el_bytes_per_object = 40;
   uint32_t fw_bytes_per_transaction = 22;
+
+  /// Log-device backend: the simulator (default) or a real WAL file.
+  /// The file backend requires shards == 1 and no fault injection /
+  /// duplexing / health features (those belong to the simulated fleet);
+  /// db::Database enforces the combination.
+  BackendConfig backend;
 
   /// Shard count (src/shard/): 1 = the paper's single log manager; S > 1
   /// hash-partitions the database over S independent manager instances

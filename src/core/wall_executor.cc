@@ -1,0 +1,128 @@
+#include "core/wall_executor.h"
+
+#include "util/check.h"
+
+namespace elog {
+namespace core {
+
+WallClockExecutor::WallClockExecutor()
+    : start_(std::chrono::steady_clock::now()) {}
+
+WallClockExecutor::~WallClockExecutor() = default;
+
+SimTime WallClockExecutor::Now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+sim::EventId WallClockExecutor::ScheduleAt(SimTime time,
+                                           sim::EventCallback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sim::EventId id = next_id_++;
+  timers_.emplace(std::make_pair(time, id), std::move(callback));
+  id_to_time_.emplace(id, time);
+  cv_.notify_all();
+  return id;
+}
+
+sim::EventId WallClockExecutor::ScheduleAfter(SimTime delay,
+                                              sim::EventCallback callback) {
+  ELOG_CHECK_GE(delay, 0);
+  return ScheduleAt(Now() + delay, std::move(callback));
+}
+
+bool WallClockExecutor::Cancel(sim::EventId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = id_to_time_.find(id);
+  if (it == id_to_time_.end()) return false;
+  timers_.erase(std::make_pair(it->second, id));
+  id_to_time_.erase(it);
+  return true;
+}
+
+void WallClockExecutor::PostFromAnyThread(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    posted_.push_back(std::move(fn));
+  }
+  cv_.notify_all();
+}
+
+void WallClockExecutor::RetainExternalWork() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++external_work_;
+}
+
+void WallClockExecutor::ReleaseExternalWork() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ELOG_CHECK_GT(external_work_, 0);
+    --external_work_;
+  }
+  cv_.notify_all();
+}
+
+void WallClockExecutor::Run() { RunLoop(/*deadline=*/-1); }
+
+void WallClockExecutor::RunUntil(SimTime deadline) {
+  ELOG_CHECK_GE(deadline, 0);
+  RunLoop(deadline);
+}
+
+void WallClockExecutor::RunLoop(SimTime deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    // Posted cross-thread work runs before timers: completions from
+    // device workers should not starve behind a long timer backlog.
+    if (!posted_.empty()) {
+      std::function<void()> fn = std::move(posted_.front());
+      posted_.pop_front();
+      lock.unlock();
+      fn();
+      events_processed_.fetch_add(1, std::memory_order_relaxed);
+      lock.lock();
+      continue;
+    }
+    if (!timers_.empty()) {
+      auto it = timers_.begin();
+      const SimTime due = it->first.first;
+      if (deadline >= 0 && due > deadline && Now() >= deadline) break;
+      if (Now() >= due) {
+        sim::EventCallback callback = std::move(it->second);
+        id_to_time_.erase(it->first.second);
+        timers_.erase(it);
+        lock.unlock();
+        callback();
+        events_processed_.fetch_add(1, std::memory_order_relaxed);
+        lock.lock();
+        continue;
+      }
+      SimTime wake = due;
+      if (deadline >= 0 && deadline < wake) wake = deadline;
+      cv_.wait_until(lock, ToTimePoint(wake));
+      continue;
+    }
+    // No timers, no posts: exit when idle, otherwise wait for the
+    // external work (device worker) that still owes a completion.
+    if (external_work_ == 0) break;
+    if (deadline >= 0) {
+      if (Now() >= deadline) break;
+      cv_.wait_until(lock, ToTimePoint(deadline));
+    } else {
+      cv_.wait(lock);
+    }
+  }
+  stop_requested_ = false;
+}
+
+void WallClockExecutor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace core
+}  // namespace elog

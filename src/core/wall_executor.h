@@ -1,0 +1,115 @@
+// Wall-clock implementation of core::CompletionExecutor.
+//
+// A single-threaded event loop over real time: Run() sleeps until the
+// earliest timer is due (std::chrono::steady_clock, microsecond
+// granularity), wakes for cross-thread posts from device worker threads,
+// and exits when it is provably idle — no timers, no posted work, and a
+// zero external-work retain count. The clock starts at 0 at construction
+// so SimTime arithmetic (latencies, deadlines) is identical to the
+// simulator's.
+//
+// Unlike the simulator, two runs on the wall clock are NOT expected to
+// be reproducible: timer firing order for near-simultaneous deadlines
+// follows real elapsed time. Components needing determinism (everything
+// CI diffs byte-for-byte) stay on sim::Simulator; this executor exists
+// for the real-I/O backend and for embedding the WAL library in a host
+// application (docs/real_io.md).
+//
+// Thread safety: ScheduleAt/ScheduleAfter/Cancel/PostFromAnyThread/Stop
+// may be called from any thread. Callbacks always run on the thread
+// inside Run().
+
+#ifndef ELOG_CORE_WALL_EXECUTOR_H_
+#define ELOG_CORE_WALL_EXECUTOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "core/exec.h"
+
+namespace elog {
+namespace core {
+
+class WallClockExecutor final : public CompletionExecutor {
+ public:
+  WallClockExecutor();
+  WallClockExecutor(const WallClockExecutor&) = delete;
+  WallClockExecutor& operator=(const WallClockExecutor&) = delete;
+  ~WallClockExecutor() override;
+
+  /// Microseconds since construction.
+  SimTime Now() const override;
+
+  /// Schedules `callback` at absolute time `time`. A time already in the
+  /// past fires as soon as the loop reaches it (never dropped) — the
+  /// wall clock advances between the caller's Now() and this call, so a
+  /// hard `time >= Now()` check would be racy.
+  sim::EventId ScheduleAt(SimTime time, sim::EventCallback callback) override;
+
+  /// Schedules `callback` `delay` microseconds from now (delay >= 0).
+  sim::EventId ScheduleAfter(SimTime delay,
+                             sim::EventCallback callback) override;
+
+  /// Cancels a pending timer; returns false if it already fired.
+  bool Cancel(sim::EventId id) override;
+
+  bool SupportsCrossThreadPost() const override { return true; }
+  void PostFromAnyThread(std::function<void()> fn) override;
+
+  /// See core/exec.h: Run() will not exit idle while the retain count is
+  /// nonzero. Callable from any thread.
+  void RetainExternalWork() override;
+  void ReleaseExternalWork() override;
+
+  /// Runs timers and posted work until Stop() is called or the executor
+  /// is idle (no timers, no posts, retain count zero).
+  void Run();
+
+  /// Runs until `deadline` (absolute, in Now() units) has passed and all
+  /// work due by then has fired, or Stop()/idle-exhaustion, whichever is
+  /// first. Returns early on Stop().
+  void RunUntil(SimTime deadline);
+
+  /// Requests that Run()/RunUntil() return after the current callback.
+  /// Callable from any thread. Cleared when Run() returns.
+  void Stop();
+
+  uint64_t events_processed() const {
+    return events_processed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Core loop shared by Run/RunUntil. `deadline` < 0 means "no
+  /// deadline" (run to idle or Stop).
+  void RunLoop(SimTime deadline);
+
+  std::chrono::steady_clock::time_point ToTimePoint(SimTime time) const {
+    return start_ + std::chrono::microseconds(time);
+  }
+
+  const std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// Ordered by (due time, id): ties fire in scheduling order, matching
+  /// the simulator's FIFO rule for simultaneous events.
+  std::map<std::pair<SimTime, sim::EventId>, sim::EventCallback> timers_;
+  std::unordered_map<sim::EventId, SimTime> id_to_time_;
+  std::deque<std::function<void()>> posted_;
+  sim::EventId next_id_ = 1;
+  bool stop_requested_ = false;
+  int external_work_ = 0;
+  std::atomic<uint64_t> events_processed_{0};
+};
+
+}  // namespace core
+}  // namespace elog
+
+#endif  // ELOG_CORE_WALL_EXECUTOR_H_

@@ -73,30 +73,63 @@ Database::Database(const DatabaseConfig& config)
     injector_ = std::make_unique<fault::FaultInjector>(config.faults);
   }
   storage_.set_block_pool(&block_pool_);
-  device_ = std::make_unique<disk::LogDevice>(
-      &simulator_, &storage_, config.log.log_write_latency, &metrics_,
-      injector_.get());
-  device_->set_block_pool(&block_pool_);
-  if (config.duplex_log) {
-    storage_mirror_ =
-        std::make_unique<disk::LogStorage>(config.log.generation_blocks);
-    if (config.faults.enabled()) {
-      mirror_injector_ =
-          std::make_unique<fault::FaultInjector>(config.faults, /*replica=*/1);
+  disk::LogWritePort* log_port = nullptr;
+  if (config.log.backend.is_file()) {
+    // Real-I/O backend: a FileLogDevice in oracle mode replaces the
+    // simulated LogDevice behind the same port. The fault injector,
+    // duplexing and health monitoring model the *simulated* fleet and
+    // are meaningless against one real file, so the combination is
+    // rejected outright rather than silently ignored.
+    ELOG_CHECK(!config.faults.enabled())
+        << "the file backend does not support fault injection";
+    ELOG_CHECK(!config.duplex_log)
+        << "the file backend does not support log duplexing";
+    ELOG_CHECK(!config.health.enabled)
+        << "the file backend does not support health monitoring";
+    disk::FileLogDeviceOptions file_options;
+    file_options.path = config.log.backend.path;
+    file_options.slot_bytes = config.log.backend.slot_bytes;
+    file_options.direct_io = config.log.backend.direct_io;
+    file_options.durable_sync = config.log.backend.durable_sync;
+    file_options.use_io_uring = config.log.backend.use_io_uring;
+    file_options.truncate = config.log.backend.truncate;
+    // Oracle mode: completions at +log_write_latency on the virtual
+    // clock, so the manager sees the exact event stream of a fault-free
+    // simulated run; storage_ mirrors the durable bytes for the crash
+    // and recovery oracles.
+    file_options.model_latency = config.log.log_write_latency;
+    auto opened = disk::FileLogDevice::Open(
+        &simulator_, config.log.generation_blocks, file_options, &storage_);
+    ELOG_CHECK(opened.ok()) << opened.status().message();
+    file_device_ = std::move(opened).value();
+    log_port = file_device_.get();
+  } else {
+    device_ = std::make_unique<disk::LogDevice>(
+        &simulator_, &storage_, config.log.log_write_latency, &metrics_,
+        injector_.get());
+    device_->ApplyHooks(disk::DeviceHooks{}.WithBlockPool(&block_pool_));
+    if (config.duplex_log) {
+      storage_mirror_ =
+          std::make_unique<disk::LogStorage>(config.log.generation_blocks);
+      if (config.faults.enabled()) {
+        mirror_injector_ = std::make_unique<fault::FaultInjector>(
+            config.faults, /*replica=*/1);
+      }
+      storage_mirror_->set_block_pool(&block_pool_);
+      device_mirror_ = std::make_unique<disk::LogDevice>(
+          &simulator_, storage_mirror_.get(), config.log.log_write_latency,
+          &metrics_, mirror_injector_.get(), "log_device_mirror");
+      device_mirror_->ApplyHooks(
+          disk::DeviceHooks{}.WithBlockPool(&block_pool_));
+      duplex_ = std::make_unique<disk::DuplexLogDevice>(
+          &simulator_, device_.get(), device_mirror_.get(), &metrics_,
+          config.auto_resilver_delay);
+      duplex_->ApplyHooks(disk::DeviceHooks{}.WithBlockPool(&block_pool_));
     }
-    storage_mirror_->set_block_pool(&block_pool_);
-    device_mirror_ = std::make_unique<disk::LogDevice>(
-        &simulator_, storage_mirror_.get(), config.log.log_write_latency,
-        &metrics_, mirror_injector_.get(), "log_device_mirror");
-    device_mirror_->set_block_pool(&block_pool_);
-    duplex_ = std::make_unique<disk::DuplexLogDevice>(
-        &simulator_, device_.get(), device_mirror_.get(), &metrics_,
-        config.auto_resilver_delay);
-    duplex_->set_block_pool(&block_pool_);
+    log_port = duplex_ != nullptr
+                   ? static_cast<disk::LogWritePort*>(duplex_.get())
+                   : device_.get();
   }
-  disk::LogWritePort* log_port =
-      duplex_ != nullptr ? static_cast<disk::LogWritePort*>(duplex_.get())
-                         : device_.get();
   drives_ = std::make_unique<disk::DriveArray>(
       &simulator_, config.log.num_flush_drives, config.log.num_objects,
       config.log.flush_transfer_time, &metrics_, injector_.get());
@@ -105,14 +138,15 @@ Database::Database(const DatabaseConfig& config)
     health_ = std::make_unique<health::DriveHealthMonitor>(
         &simulator_, config.health, &metrics_, "health");
     const int log0 = health_->RegisterDrive("log", "log0");
-    device_->set_health(health_.get(), log0);
+    device_->ApplyHooks(disk::DeviceHooks{}.WithHealth(health_.get(), log0));
     if (duplex_ != nullptr) {
       const int log1 = health_->RegisterDrive("log", "log1");
-      device_mirror_->set_health(health_.get(), log1);
-      duplex_->EnableHedging(health_.get(), log0, log1,
-                             config.log.log_write_latency);
+      device_mirror_->ApplyHooks(
+          disk::DeviceHooks{}.WithHealth(health_.get(), log1));
+      duplex_->ApplyHooks(disk::DeviceHooks{}.WithHedging(
+          health_.get(), log0, log1, config.log.log_write_latency));
     }
-    drives_->AttachHealth(health_.get());
+    drives_->ApplyHooks(disk::DeviceHooks{}.WithHealth(health_.get()));
   }
   LogManagerSet managers =
       MakeLogManager(config.manager, config_.log, &simulator_, log_port,
@@ -129,10 +163,12 @@ Database::Database(const DatabaseConfig& config)
         &simulator_, obs::TracerOptions{config.trace_capacity});
     // Lane registration order fixes the tid numbering in the exported
     // trace; keep it stable so traces stay byte-comparable across runs.
-    device_->set_tracer(tracer_.get());
-    if (device_mirror_ != nullptr) device_mirror_->set_tracer(tracer_.get());
-    if (duplex_ != nullptr) duplex_->set_tracer(tracer_.get());
-    drives_->set_tracer(tracer_.get());
+    const disk::DeviceHooks hooks = disk::DeviceHooks{}.WithTracer(tracer_.get());
+    if (device_ != nullptr) device_->ApplyHooks(hooks);
+    if (file_device_ != nullptr) file_device_->ApplyHooks(hooks);
+    if (device_mirror_ != nullptr) device_mirror_->ApplyHooks(hooks);
+    if (duplex_ != nullptr) duplex_->ApplyHooks(hooks);
+    drives_->ApplyHooks(hooks);
     if (el_ != nullptr) el_->set_tracer(tracer_.get());
     if (hybrid_ != nullptr) hybrid_->set_tracer(tracer_.get());
     generator_->set_tracer(tracer_.get());
@@ -177,6 +213,9 @@ void Database::WireAdmission() {
       for (auto& stack : shard_stacks_) total += stack->device()->queued_bytes();
       return total;
     });
+  } else if (file_device_ != nullptr) {
+    admission_->set_inflight_probe(
+        [this] { return file_device_->queued_bytes(); });
   } else {
     admission_->set_inflight_probe([this] { return device_->queued_bytes(); });
   }
@@ -259,6 +298,15 @@ void Database::TakeWindowSnapshot() {
     window_.mean_flush_seek_distance =
         seek_weight > 0 ? seek_weighted / static_cast<double>(seek_weight)
                         : 0.0;
+  } else if (file_device_ != nullptr) {
+    window_.device_writes = file_device_->writes_completed();
+    for (uint32_t g = 0; g < storage_.num_generations(); ++g) {
+      window_.device_writes_by_generation[g] =
+          file_device_->writes_completed(g);
+    }
+    window_.flushes_completed = drives_->total_flushes_completed();
+    window_.flush_backlog = drives_->total_pending();
+    window_.mean_flush_seek_distance = drives_->MeanSeekDistance();
   } else {
     window_.device_writes = device_->writes_completed();
     for (uint32_t g = 0; g < storage_.num_generations(); ++g) {
@@ -538,6 +586,17 @@ Database::CrashImage Database::CaptureCrashImage(bool torn_write) const {
                        &shard_log.log_quarantined,
                        &shard_log.mirror_quarantined);
       image.shards.push_back(std::move(shard_log));
+    }
+    return image;
+  }
+  if (file_device_ != nullptr) {
+    // File backend: storage_ mirrors exactly the durably completed
+    // blocks, so its clone is the durable image. A torn in-flight write
+    // destroys its slot's old content (no injector to scramble with).
+    image.log = storage_.Clone();
+    if (torn_write) {
+      disk::BlockAddress address;
+      if (file_device_->InService(&address)) image.log.CorruptBlock(address);
     }
     return image;
   }

@@ -11,6 +11,15 @@
 // flush drives; RunUntilCrash(CrashSchedule) then halts the run at an
 // arbitrary virtual time or event count and snapshots the crash image,
 // tearing the in-flight block if the schedule says so.
+//
+// Log backend: LogManagerOptions::backend selects the durable medium.
+// The default (kSimulated) is the in-memory LogStorage model used by
+// every experiment; kFile swaps in a disk::FileLogDevice that writes
+// real framed blocks to a WAL file (in oracle mode, so the virtual-time
+// behavior is event-identical to the simulated device — see
+// disk/file_log_device.h and docs/real_io.md). The file backend is
+// single-shard and excludes fault injection, duplexing, and health
+// monitoring: those model the simulated fleet, not a real file.
 
 #ifndef ELOG_DB_DATABASE_H_
 #define ELOG_DB_DATABASE_H_
@@ -28,6 +37,7 @@
 #include "db/stable_store.h"
 #include "disk/drive_array.h"
 #include "disk/duplex_log_device.h"
+#include "disk/file_log_device.h"
 #include "disk/log_device.h"
 #include "disk/log_storage.h"
 #include "fault/crash_scheduler.h"
@@ -327,7 +337,15 @@ class Database : public KillListener {
   const obs::MetricSampler* sampler() const { return sampler_.get(); }
   const disk::LogStorage& storage() const { return storage_; }
   const disk::DriveArray& drives() const { return *drives_; }
-  const disk::LogDevice& device() const { return *device_; }
+  /// The simulated log device (CHECKs this run uses one — i.e. the
+  /// default backend; file-backend runs use file_device() instead).
+  const disk::LogDevice& device() const {
+    ELOG_CHECK(device_ != nullptr) << "not a simulated-log-device run";
+    return *device_;
+  }
+  /// Null unless log.backend selects the file backend.
+  disk::FileLogDevice* file_device() { return file_device_.get(); }
+  const disk::FileLogDevice* file_device() const { return file_device_.get(); }
   /// Null unless duplex_log.
   disk::DuplexLogDevice* duplex_device() { return duplex_.get(); }
   const disk::DuplexLogDevice* duplex_device() const { return duplex_.get(); }
@@ -360,6 +378,9 @@ class Database : public KillListener {
   disk::LogStorage storage_;
   std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<disk::LogDevice> device_;
+  /// File backend only (device_ is then null): the real-I/O device, in
+  /// oracle mode, mirroring durable images into storage_.
+  std::unique_ptr<disk::FileLogDevice> file_device_;
   /// Duplex only: the mirror replica's storage, per-replica fault stream,
   /// device, and the lockstep front the managers actually write through.
   std::unique_ptr<disk::LogStorage> storage_mirror_;

@@ -1,0 +1,94 @@
+// One attachment struct for every disk device.
+//
+// The devices accreted per-feature setters over several PRs (set_tracer,
+// set_block_pool, set_health, AttachHealth, EnableHedging) and each new
+// device class had to re-grow the same surface. DeviceHooks replaces
+// them: build one struct, call ApplyHooks on any device, and only the
+// fields that device understands take effect.
+//
+// Semantics: a null (or default) field leaves the device's existing
+// attachment untouched — ApplyHooks never detaches. This lets callers
+// apply hooks at exactly the program points where the old setters ran,
+// which matters because tracer-lane registration order and health/metric
+// registration order are part of the committed-artifact byte-identity
+// contract. In particular, a hooks struct with `health == nullptr`
+// registers no counters and no gauges anywhere (the EnableHedging /
+// AttachHealth rule from the health PR).
+//
+// Field → device mapping:
+//   tracer         LogDevice, DuplexLogDevice, FlushDrive, DriveArray,
+//                  FileLogDevice
+//   block_pool     LogDevice, DuplexLogDevice
+//   health + health_drive         LogDevice, FlushDrive
+//   health + health_drives[2]
+//          + hedge_floor          DuplexLogDevice (enables hedging)
+//   health alone                  DriveArray (registers all drives)
+//
+// The historical setters remain as thin deprecated shims for exactly one
+// PR; new code must use ApplyHooks.
+
+#ifndef ELOG_DISK_DEVICE_HOOKS_H_
+#define ELOG_DISK_DEVICE_HOOKS_H_
+
+#include "util/types.h"
+
+namespace elog {
+
+namespace health {
+class DriveHealthMonitor;
+}  // namespace health
+namespace obs {
+class Tracer;
+}  // namespace obs
+namespace wal {
+class BlockImagePool;
+}  // namespace wal
+
+namespace disk {
+
+struct DeviceHooks {
+  /// Trace sink; lane registration happens inside ApplyHooks, so apply
+  /// hooks to devices in the lane order the artifact expects.
+  obs::Tracer* tracer = nullptr;
+  /// Block-image recycling pool (log devices only).
+  wal::BlockImagePool* block_pool = nullptr;
+  /// Health monitor. Non-null turns on service-time reporting (and, on a
+  /// DuplexLogDevice, hedged writes + quarantine/eject; on a DriveArray,
+  /// quarantine-aware placement). Null registers nothing.
+  health::DriveHealthMonitor* health = nullptr;
+  /// Monitor handle for a single-drive device (LogDevice, FlushDrive).
+  int health_drive = -1;
+  /// Monitor handles of the duplex pair {primary, mirror}.
+  int health_drives[2] = {-1, -1};
+  /// Minimum laggard wait before a hedged ack (DuplexLogDevice).
+  SimTime hedge_floor = 0;
+
+  // Fluent builders, so call sites can attach one feature inline.
+  DeviceHooks& WithTracer(obs::Tracer* t) {
+    tracer = t;
+    return *this;
+  }
+  DeviceHooks& WithBlockPool(wal::BlockImagePool* pool) {
+    block_pool = pool;
+    return *this;
+  }
+  DeviceHooks& WithHealth(health::DriveHealthMonitor* monitor,
+                          int drive = -1) {
+    health = monitor;
+    health_drive = drive;
+    return *this;
+  }
+  DeviceHooks& WithHedging(health::DriveHealthMonitor* monitor, int drive0,
+                           int drive1, SimTime floor) {
+    health = monitor;
+    health_drives[0] = drive0;
+    health_drives[1] = drive1;
+    hedge_floor = floor;
+    return *this;
+  }
+};
+
+}  // namespace disk
+}  // namespace elog
+
+#endif  // ELOG_DISK_DEVICE_HOOKS_H_

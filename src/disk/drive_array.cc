@@ -7,8 +7,9 @@
 namespace elog {
 namespace disk {
 
-DriveArray::DriveArray(sim::Simulator* simulator, uint32_t num_drives,
-                       Oid num_objects, SimTime transfer_time,
+DriveArray::DriveArray(core::CompletionExecutor* executor,
+                       uint32_t num_drives, Oid num_objects,
+                       SimTime transfer_time,
                        sim::MetricsRegistry* metrics,
                        fault::FaultInjector* injector,
                        const std::string& metrics_prefix)
@@ -23,9 +24,14 @@ DriveArray::DriveArray(sim::Simulator* simulator, uint32_t num_drives,
   for (uint32_t i = 0; i < num_drives; ++i) {
     Oid begin = static_cast<Oid>(i) * objects_per_drive_;
     drives_.push_back(std::make_unique<FlushDrive>(
-        simulator, i, begin, begin + objects_per_drive_, transfer_time,
+        executor, i, begin, begin + objects_per_drive_, transfer_time,
         metrics, injector, metrics_prefix));
   }
+}
+
+void DriveArray::ApplyHooks(const DeviceHooks& hooks) {
+  if (hooks.tracer != nullptr) set_tracer(hooks.tracer);
+  if (hooks.health != nullptr) AttachHealth(hooks.health);
 }
 
 void DriveArray::set_tracer(obs::Tracer* tracer) {

@@ -23,21 +23,24 @@ class DriveArray {
   /// the remainder case; we insist on it).
   /// `metrics_prefix` is forwarded to every drive (default
   /// "flush_drive"; sharded stacks pass "shard<k>.flush_drive").
-  DriveArray(sim::Simulator* simulator, uint32_t num_drives, Oid num_objects,
-             SimTime transfer_time, sim::MetricsRegistry* metrics,
+  DriveArray(core::CompletionExecutor* executor, uint32_t num_drives,
+             Oid num_objects, SimTime transfer_time,
+             sim::MetricsRegistry* metrics,
              fault::FaultInjector* injector = nullptr,
              const std::string& metrics_prefix = "flush_drive");
 
-  /// Attaches a tracer to every drive (one lane per drive, in drive-id
-  /// order). Call before the simulation starts.
-  void set_tracer(obs::Tracer* tracer);
+  /// Applies attachments (see disk/device_hooks.h): tracer (one lane per
+  /// drive, in drive-id order) and health monitor (each drive registers
+  /// under this array's metrics-prefix group and reports service times;
+  /// placement then skips quarantined drives, redirecting their requests
+  /// to the next healthy drive, counted). A health-off hooks struct
+  /// registers no gauges and no redirect counter, so default runs add no
+  /// metric columns. Null fields leave existing attachments untouched.
+  /// Call before the simulation starts.
+  void ApplyHooks(const DeviceHooks& hooks);
 
-  /// Attaches a health monitor: each drive registers under group "flush"
-  /// and reports service times; placement then skips quarantined drives,
-  /// redirecting their requests to the next healthy drive (counted). Call
-  /// only when the health feature is enabled — registering adds metric
-  /// gauges, and the redirect counter is created here for the same
-  /// reason. Call before the simulation starts.
+  /// Deprecated shims (one PR): use ApplyHooks.
+  void set_tracer(obs::Tracer* tracer);
   void AttachHealth(health::DriveHealthMonitor* monitor);
 
   /// Routes a flush request to the drive owning its oid.

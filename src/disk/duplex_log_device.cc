@@ -7,12 +7,12 @@ namespace disk {
 
 using WriteFault = fault::FaultInjector::WriteFault;
 
-DuplexLogDevice::DuplexLogDevice(sim::Simulator* simulator,
+DuplexLogDevice::DuplexLogDevice(core::CompletionExecutor* executor,
                                  LogDevice* primary, LogDevice* mirror,
                                  sim::MetricsRegistry* metrics,
                                  SimTime auto_resilver_delay,
                                  const std::string& metrics_prefix)
-    : simulator_(simulator),
+    : executor_(executor),
       primary_(primary),
       mirror_(mirror),
       owned_metrics_(metrics == nullptr
@@ -45,6 +45,15 @@ void DuplexLogDevice::set_tracer(obs::Tracer* tracer) {
   if (tracer_ != nullptr) trace_lane_ = tracer_->RegisterLane(metrics_prefix_);
 }
 
+void DuplexLogDevice::ApplyHooks(const DeviceHooks& hooks) {
+  if (hooks.tracer != nullptr) set_tracer(hooks.tracer);
+  if (hooks.block_pool != nullptr) set_block_pool(hooks.block_pool);
+  if (hooks.health != nullptr) {
+    EnableHedging(hooks.health, hooks.health_drives[0],
+                  hooks.health_drives[1], hooks.hedge_floor);
+  }
+}
+
 void DuplexLogDevice::EnableHedging(health::DriveHealthMonitor* monitor,
                                     int drive0, int drive1,
                                     SimTime hedge_floor) {
@@ -64,13 +73,13 @@ void DuplexLogDevice::EnableHedging(health::DriveHealthMonitor* monitor,
 }
 
 void DuplexLogDevice::Submit(LogWriteRequest request) {
-  request.submitted_at = simulator_->Now();
+  request.submitted_at = executor_->Now();
   queue_.push_back(std::move(request));
   Pump();
 }
 
 void DuplexLogDevice::SubmitFront(LogWriteRequest request) {
-  request.submitted_at = simulator_->Now();
+  request.submitted_at = executor_->Now();
   queue_.push_front(std::move(request));
   Pump();
 }
@@ -176,7 +185,7 @@ void DuplexLogDevice::OnReplicaComplete(int i, const Status& status) {
     const SimTime deadline =
         health_->HedgeDeadlineFor(health_drives_[other], hedge_floor_);
     const uint64_t id = w->id;
-    simulator_->ScheduleAfter(deadline, [this, id] { OnHedgeDeadline(id); });
+    executor_->ScheduleAfter(deadline, [this, id] { OnHedgeDeadline(id); });
   }
 }
 
@@ -186,7 +195,7 @@ void DuplexLogDevice::ObserveDeaths(const OpenWrite& w) {
       replica_death_seen_[i] = true;
       replica_deaths_c_->Incr();
       dead_replicas_gauge_->Set(
-          simulator_->Now(),
+          executor_->Now(),
           static_cast<double>((primary_->dead() ? 1 : 0) +
                               (mirror_->dead() ? 1 : 0)));
       if (tracer_ != nullptr) {
@@ -195,7 +204,7 @@ void DuplexLogDevice::ObserveDeaths(const OpenWrite& w) {
       }
       if (auto_resilver_delay_ >= 0 && !resilver_scheduled_) {
         resilver_scheduled_ = true;
-        simulator_->ScheduleAfter(auto_resilver_delay_,
+        executor_->ScheduleAfter(auto_resilver_delay_,
                                   [this] { ResilverDeadReplica(); });
       }
     }
@@ -465,7 +474,7 @@ int64_t DuplexLogDevice::ResilverDeadReplica() {
   ++resilvers_completed_;
   resilvers_c_->Incr();
   resilvered_blocks_c_->Incr(copied);
-  dead_replicas_gauge_->Set(simulator_->Now(), 0.0);
+  dead_replicas_gauge_->Set(executor_->Now(), 0.0);
   if (tracer_ != nullptr) {
     tracer_->Instant(trace_lane_, "disk", "resilver",
                      {{"blocks", static_cast<double>(copied)}});

@@ -69,27 +69,25 @@ class DuplexLogDevice : public LogWritePort {
   /// observed at write-merge time.
   /// `metrics_prefix` names the duplex's metrics and trace lane (default
   /// "duplex"; sharded stacks pass "shard<k>.duplex").
-  DuplexLogDevice(sim::Simulator* simulator, LogDevice* primary,
+  DuplexLogDevice(core::CompletionExecutor* executor, LogDevice* primary,
                   LogDevice* mirror, sim::MetricsRegistry* metrics,
                   SimTime auto_resilver_delay = -1,
                   const std::string& metrics_prefix = "duplex");
 
-  /// Attaches a tracer: merged writes become submit→merge spans on a
-  /// "duplex" lane, with instants for replica deaths and resilvers.
-  /// Call before the simulation starts.
+  /// Applies attachments (see disk/device_hooks.h): tracer (merged
+  /// writes become submit→merge spans on a "duplex" lane, with instants
+  /// for replica deaths and resilvers), block pool (the per-replica
+  /// copies and the merged write's master image; the replicas' own pools
+  /// are attached separately), and health monitor + the pair's drive
+  /// handles + hedge floor (turns on hedged writes and quarantine/eject;
+  /// registers the hedge/quarantine counters, so a health-off hooks
+  /// struct registers nothing). Null fields leave existing attachments
+  /// untouched. Call before the simulation starts.
+  void ApplyHooks(const DeviceHooks& hooks);
+
+  /// Deprecated shims (one PR): use ApplyHooks.
   void set_tracer(obs::Tracer* tracer);
-
-  /// Attaches a block-image pool: the per-replica copies and the merged
-  /// write's master image are drawn from / recycled into it. Does not
-  /// touch the replicas' own pools (set those separately). Optional; the
-  /// pool must outlive the duplex.
   void set_block_pool(wal::BlockImagePool* pool) { block_pool_ = pool; }
-
-  /// Turns on hedged writes and quarantine/eject. `drive0`/`drive1` are
-  /// the monitor handles of the primary and mirror; `hedge_floor` is the
-  /// minimum laggard wait (the device's base write latency). Registers
-  /// the hedge/quarantine counters with the metrics registry — call only
-  /// when the health feature is enabled so default runs register nothing.
   void EnableHedging(health::DriveHealthMonitor* monitor, int drive0,
                      int drive1, SimTime hedge_floor);
 
@@ -210,7 +208,7 @@ class DuplexLogDevice : public LogWritePort {
   void MaybeEjectQuarantined();
   void EjectAndResilver(int i);
 
-  sim::Simulator* simulator_;
+  core::CompletionExecutor* executor_;
   LogDevice* primary_;
   LogDevice* mirror_;
   /// Fallback registry when the caller passes no metrics (see

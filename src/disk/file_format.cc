@@ -1,0 +1,272 @@
+#include "disk/file_format.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/check.h"
+#include "util/crc32c.h"
+#include "util/string_util.h"
+
+namespace elog {
+namespace disk {
+
+namespace {
+
+void PutU32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+void PutU64(uint8_t* p, uint64_t v) {
+  PutU32(p, static_cast<uint32_t>(v));
+  PutU32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+// Superblock layout (kSuperblockBytes, zero-padded):
+//   [0..7]    file magic "ELOGWAL1"
+//   [8..11]   format version
+//   [12..15]  slot_bytes
+//   [16..19]  generation count G
+//   [20..20+4G) per-generation slot counts
+//   [4088..4091] masked CRC32C of bytes [8, 4088)
+constexpr size_t kSuperCrcOffset = kSuperblockBytes - 8;
+constexpr size_t kSuperCrcCoverageOffset = 8;
+
+}  // namespace
+
+uint64_t FileGeometry::SlotOffset(BlockAddress addr) const {
+  ELOG_CHECK_LT(addr.generation, generation_sizes.size());
+  ELOG_CHECK_LT(addr.slot, generation_sizes[addr.generation]);
+  uint64_t index = addr.slot;
+  for (uint32_t g = 0; g < addr.generation; ++g) {
+    index += generation_sizes[g];
+  }
+  return kSuperblockBytes + index * slot_bytes;
+}
+
+Status FileGeometry::Validate() const {
+  if (slot_bytes == 0 || slot_bytes % kDirectIoAlignment != 0) {
+    return Status::InvalidArgument(
+        StrFormat("slot_bytes %u is not a positive multiple of %u",
+                  slot_bytes, kDirectIoAlignment));
+  }
+  if (slot_bytes < kFrameHeaderBytes + wal::kBlockHeaderBytes) {
+    return Status::InvalidArgument("slot_bytes cannot hold a frame");
+  }
+  if (generation_sizes.empty()) {
+    return Status::InvalidArgument("no generations");
+  }
+  // The per-generation counts must fit the superblock's fixed table.
+  if (20 + 4 * generation_sizes.size() > kSuperCrcOffset) {
+    return Status::InvalidArgument("too many generations for superblock");
+  }
+  for (uint32_t s : generation_sizes) {
+    if (s == 0) return Status::InvalidArgument("empty generation");
+  }
+  return Status::OK();
+}
+
+std::vector<uint8_t> EncodeSuperblock(const FileGeometry& geometry) {
+  ELOG_CHECK(geometry.Validate().ok());
+  std::vector<uint8_t> out(kSuperblockBytes, 0);
+  PutU64(out.data(), kFileMagic);
+  PutU32(out.data() + 8, kFileFormatVersion);
+  PutU32(out.data() + 12, geometry.slot_bytes);
+  PutU32(out.data() + 16,
+         static_cast<uint32_t>(geometry.generation_sizes.size()));
+  for (size_t g = 0; g < geometry.generation_sizes.size(); ++g) {
+    PutU32(out.data() + 20 + 4 * g, geometry.generation_sizes[g]);
+  }
+  const uint32_t crc = crc32c::Value(out.data() + kSuperCrcCoverageOffset,
+                                     kSuperCrcOffset - kSuperCrcCoverageOffset);
+  PutU32(out.data() + kSuperCrcOffset, crc32c::Mask(crc));
+  return out;
+}
+
+Status DecodeSuperblock(const uint8_t* data, size_t size, FileGeometry* out) {
+  if (size < kSuperblockBytes) {
+    return Status::Corruption("superblock truncated");
+  }
+  if (GetU64(data) != kFileMagic) {
+    return Status::Corruption("bad file magic");
+  }
+  const uint32_t stored = crc32c::Unmask(GetU32(data + kSuperCrcOffset));
+  const uint32_t actual = crc32c::Value(
+      data + kSuperCrcCoverageOffset, kSuperCrcOffset - kSuperCrcCoverageOffset);
+  if (stored != actual) {
+    return Status::Corruption("superblock checksum mismatch");
+  }
+  const uint32_t version = GetU32(data + 8);
+  if (version != kFileFormatVersion) {
+    return Status::Corruption(
+        StrFormat("unsupported format version %u", version));
+  }
+  out->slot_bytes = GetU32(data + 12);
+  const uint32_t num_generations = GetU32(data + 16);
+  if (20 + 4 * static_cast<size_t>(num_generations) > kSuperCrcOffset) {
+    return Status::Corruption("generation table overruns superblock");
+  }
+  out->generation_sizes.assign(num_generations, 0);
+  for (uint32_t g = 0; g < num_generations; ++g) {
+    out->generation_sizes[g] = GetU32(data + 20 + 4 * g);
+  }
+  return out->Validate();
+}
+
+void EncodeFrameInto(BlockAddress addr, uint64_t write_seq,
+                     const wal::BlockImage& payload, uint8_t* out) {
+  PutU32(out + kFrameMagicOffset, kFrameMagic);
+  PutU32(out + kFrameGenerationOffset, addr.generation);
+  PutU32(out + kFrameSlotOffset, addr.slot);
+  PutU64(out + kFrameSeqOffset, write_seq);
+  PutU32(out + kFramePayloadLenOffset,
+         static_cast<uint32_t>(payload.size()));
+  PutU32(out + 28, 0);  // reserved
+  std::memcpy(out + kFrameHeaderBytes, payload.data(), payload.size());
+  const uint32_t crc =
+      crc32c::Value(out + kFrameCrcOffset + 4,
+                    kFrameHeaderBytes - kFrameCrcOffset - 4 + payload.size());
+  PutU32(out + kFrameCrcOffset, crc32c::Mask(crc));
+}
+
+bool FrameIsEmpty(const uint8_t* slot, size_t size) {
+  const size_t n = size < kFrameHeaderBytes ? size : kFrameHeaderBytes;
+  for (size_t i = 0; i < n; ++i) {
+    if (slot[i] != 0) return false;
+  }
+  return true;
+}
+
+Status DecodeFrame(const uint8_t* slot, size_t size, BlockAddress* addr,
+                   uint64_t* write_seq, wal::BlockImage* payload) {
+  if (size < kFrameHeaderBytes) {
+    return Status::Corruption("frame truncated");
+  }
+  if (GetU32(slot + kFrameMagicOffset) != kFrameMagic) {
+    return Status::Corruption("bad frame magic");
+  }
+  const uint64_t payload_len = GetU32(slot + kFramePayloadLenOffset);
+  if (kFrameHeaderBytes + payload_len > size) {
+    return Status::Corruption("frame payload overruns slot");
+  }
+  const uint32_t stored = crc32c::Unmask(GetU32(slot + kFrameCrcOffset));
+  const uint32_t actual = crc32c::Value(
+      slot + kFrameCrcOffset + 4,
+      kFrameHeaderBytes - kFrameCrcOffset - 4 + payload_len);
+  if (stored != actual) {
+    return Status::Corruption("frame checksum mismatch");
+  }
+  addr->generation = GetU32(slot + kFrameGenerationOffset);
+  addr->slot = GetU32(slot + kFrameSlotOffset);
+  *write_seq = GetU64(slot + kFrameSeqOffset);
+  payload->assign(slot + kFrameHeaderBytes,
+                  slot + kFrameHeaderBytes + payload_len);
+  return Status::OK();
+}
+
+FileRecoveryResult RecoverFromFile(const std::string& path) {
+  FileRecoveryResult result;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    result.status = Status::NotFound("cannot open " + path);
+    return result;
+  }
+  std::vector<uint8_t> super(kSuperblockBytes);
+  if (std::fread(super.data(), 1, super.size(), file) != super.size()) {
+    std::fclose(file);
+    result.status = Status::Corruption("superblock truncated");
+    return result;
+  }
+  result.status = DecodeSuperblock(super.data(), super.size(),
+                                   &result.geometry);
+  if (!result.status.ok()) {
+    std::fclose(file);
+    return result;
+  }
+  result.storage = LogStorage(result.geometry.generation_sizes);
+
+  // Scan slots in address order; recycle one slot buffer and one decoded
+  // payload across the pass. The scan stops (never crashes) at the first
+  // invalid frame: everything already scanned stays recovered.
+  std::vector<uint8_t> slot(result.geometry.slot_bytes);
+  wal::BlockImage payload;
+  wal::DecodedBlock decoded;
+  const uint32_t num_generations =
+      static_cast<uint32_t>(result.geometry.generation_sizes.size());
+  for (uint32_t g = 0; g < num_generations && !result.stopped_early; ++g) {
+    for (uint32_t s = 0; s < result.geometry.generation_sizes[g]; ++s) {
+      const BlockAddress addr{g, s};
+      auto stop = [&](const std::string& reason) {
+        result.stopped_early = true;
+        result.stopped_at = addr;
+        result.stop_reason = reason;
+      };
+      if (std::fseek(file,
+                     static_cast<long>(result.geometry.SlotOffset(addr)),
+                     SEEK_SET) != 0) {
+        stop("seek failed");
+        break;
+      }
+      const size_t got = std::fread(slot.data(), 1, slot.size(), file);
+      if (got < slot.size()) {
+        // A truncated tail: a fully zero prefix is an unwritten slot
+        // (the file was cut before this slot was ever touched); anything
+        // else is a torn frame.
+        if (FrameIsEmpty(slot.data(), got)) {
+          ++result.blocks_empty;
+          continue;
+        }
+        stop("slot truncated");
+        break;
+      }
+      if (FrameIsEmpty(slot.data(), slot.size())) {
+        ++result.blocks_empty;
+        continue;
+      }
+      BlockAddress frame_addr;
+      uint64_t write_seq = 0;
+      Status frame_status = DecodeFrame(slot.data(), slot.size(), &frame_addr,
+                                        &write_seq, &payload);
+      if (!frame_status.ok()) {
+        stop(frame_status.message());
+        break;
+      }
+      if (!(frame_addr == addr)) {
+        stop("frame address does not match its slot");
+        break;
+      }
+      // Interior validation: the payload must be a well-formed block
+      // image (magic + CRC over the record area) for the generation the
+      // frame claims.
+      Status block_status = wal::DecodeBlockInto(payload, &decoded);
+      if (!block_status.ok()) {
+        stop(block_status.message());
+        break;
+      }
+      if (decoded.generation != addr.generation) {
+        stop("block generation does not match frame address");
+        break;
+      }
+      result.storage.Put(addr, payload);
+      ++result.blocks_valid;
+    }
+  }
+  std::fclose(file);
+  return result;
+}
+
+}  // namespace disk
+}  // namespace elog

@@ -1,0 +1,378 @@
+#include "disk/file_log_device.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+#ifdef ELOG_HAVE_LIBURING
+#include <liburing.h>
+#endif
+
+namespace elog {
+namespace disk {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what, int err) {
+  return Status::Internal(what + ": " + std::strerror(err));
+}
+
+uint64_t RoundUp(uint64_t n, uint64_t unit) {
+  return (n + unit - 1) / unit * unit;
+}
+
+}  // namespace
+
+#ifdef ELOG_HAVE_LIBURING
+struct FileLogDevice::UringState {
+  struct io_uring ring;
+  bool initialized = false;
+  ~UringState() {
+    if (initialized) io_uring_queue_exit(&ring);
+  }
+};
+#endif
+
+Result<std::unique_ptr<FileLogDevice>> FileLogDevice::Open(
+    core::CompletionExecutor* executor,
+    const std::vector<uint32_t>& generation_sizes,
+    const FileLogDeviceOptions& options, LogStorage* mirror) {
+  ELOG_CHECK(executor != nullptr);
+  FileGeometry geometry;
+  geometry.slot_bytes =
+      options.slot_bytes == 0 ? kDefaultSlotBytes : options.slot_bytes;
+  geometry.generation_sizes = generation_sizes;
+  Status geo = geometry.Validate();
+  if (!geo.ok()) return geo;
+  if (options.path.empty()) {
+    return Status::InvalidArgument("file backend requires a path");
+  }
+  if (mirror != nullptr) {
+    ELOG_CHECK_EQ(mirror->num_generations(), generation_sizes.size());
+  }
+  if (options.model_latency == 0 && !executor->SupportsCrossThreadPost()) {
+    return Status::InvalidArgument(
+        "wall-clock mode needs an executor with cross-thread post "
+        "(model_latency == 0 on a simulator backend)");
+  }
+
+  int flags = O_RDWR | O_CREAT | O_CLOEXEC;
+  if (options.truncate) flags |= O_TRUNC;
+  bool direct = false;
+  int fd = -1;
+  if (options.direct_io) {
+    fd = ::open(options.path.c_str(), flags | O_DIRECT, 0644);
+    direct = fd >= 0;
+  }
+  if (fd < 0) {
+    // tmpfs and friends reject O_DIRECT at open time with EINVAL; any
+    // other open failure will repeat without the flag and be reported.
+    fd = ::open(options.path.c_str(), flags, 0644);
+  }
+  if (fd < 0) {
+    return ErrnoStatus("open " + options.path, errno);
+  }
+
+  void* raw = nullptr;
+  if (posix_memalign(&raw, kDirectIoAlignment, geometry.slot_bytes) != 0) {
+    ::close(fd);
+    return Status::Internal("posix_memalign failed");
+  }
+
+  std::unique_ptr<FileLogDevice> device(
+      new FileLogDevice(executor, std::move(geometry), options, mirror, fd,
+                        static_cast<uint8_t*>(raw)));
+  device->direct_io_active_ = direct;
+
+  // Size the file up front so unwritten slots read back as zero (empty
+  // frames) and recovery of a partially-filled log sees the full
+  // geometry rather than a short file.
+  if (::ftruncate(fd, static_cast<off_t>(device->geometry_.file_bytes())) !=
+      0) {
+    return ErrnoStatus("ftruncate " + options.path, errno);
+  }
+
+  // Superblock write goes through the same aligned path as slot writes.
+  std::vector<uint8_t> super = EncodeSuperblock(device->geometry_);
+  std::memcpy(device->aligned_buf_, super.data(), super.size());
+  Status wrote = device->PwriteFully(device->aligned_buf_, kSuperblockBytes,
+                                     /*offset=*/0);
+  if (wrote.ok()) wrote = device->SyncData();
+  if (!wrote.ok()) return wrote;
+
+#ifdef ELOG_HAVE_LIBURING
+  if (options.use_io_uring) {
+    device->uring_ = std::make_unique<UringState>();
+    if (io_uring_queue_init(8, &device->uring_->ring, 0) == 0) {
+      device->uring_->initialized = true;
+      device->io_uring_active_ = true;
+    } else {
+      // Kernel without io_uring (or rlimit): thread backend carries on.
+      device->uring_.reset();
+    }
+  }
+#endif
+
+  device->worker_ = std::thread([dev = device.get()] { dev->WorkerLoop(); });
+  return device;
+}
+
+FileLogDevice::FileLogDevice(core::CompletionExecutor* executor,
+                             FileGeometry geometry,
+                             const FileLogDeviceOptions& options,
+                             LogStorage* mirror, int fd, uint8_t* aligned_buf)
+    : executor_(executor),
+      geometry_(std::move(geometry)),
+      path_(options.path),
+      durable_sync_(options.durable_sync),
+      model_latency_(options.model_latency),
+      mirror_(mirror),
+      fd_(fd),
+      aligned_buf_(aligned_buf),
+      per_generation_writes_(geometry_.generation_sizes.size(), 0) {}
+
+FileLogDevice::~FileLogDevice() {
+  {
+    std::lock_guard<std::mutex> lock(worker_mu_);
+    shutdown_ = true;
+  }
+  worker_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+#ifdef ELOG_HAVE_LIBURING
+  uring_.reset();
+#endif
+  std::free(aligned_buf_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FileLogDevice::ApplyHooks(const DeviceHooks& hooks) {
+  if (hooks.tracer != nullptr) {
+    tracer_ = hooks.tracer;
+    trace_lane_ = tracer_->RegisterLane("file_log");
+  }
+}
+
+void FileLogDevice::CheckRequest(const LogWriteRequest& request) const {
+  ELOG_CHECK_LT(request.address.generation,
+                geometry_.generation_sizes.size());
+  ELOG_CHECK_LT(request.address.slot,
+                geometry_.generation_sizes[request.address.generation]);
+  ELOG_CHECK_GE(request.extra_latency, 0);
+  ELOG_CHECK_LE(FrameBytes(request.image), geometry_.slot_bytes)
+      << "block image does not fit the file's slot size";
+}
+
+void FileLogDevice::Submit(LogWriteRequest request) {
+  CheckRequest(request);
+  request.submitted_at = executor_->Now();
+  queued_bytes_ += static_cast<int64_t>(request.image.size());
+  queue_.push_back(std::move(request));
+  if (!in_service_) StartNext();
+}
+
+void FileLogDevice::SubmitFront(LogWriteRequest request) {
+  CheckRequest(request);
+  request.submitted_at = executor_->Now();
+  queued_bytes_ += static_cast<int64_t>(request.image.size());
+  queue_.push_front(std::move(request));
+  if (!in_service_) StartNext();
+}
+
+void FileLogDevice::StartNext() {
+  ELOG_CHECK(!in_service_);
+  if (queue_.empty()) return;
+  current_ = std::move(queue_.front());
+  queue_.pop_front();
+  in_service_ = true;
+  current_bytes_ = static_cast<int64_t>(current_.image.size());
+  current_seq_ = ++next_seq_;
+  const bool wall_mode = model_latency_ == 0;
+  if (wall_mode) executor_->RetainExternalWork();
+  {
+    std::lock_guard<std::mutex> lock(worker_mu_);
+    ELOG_CHECK(!job_ready_);
+    job_ready_ = true;
+    job_addr_ = current_.address;
+    job_seq_ = current_seq_;
+    job_image_ = &current_.image;
+  }
+  worker_cv_.notify_all();
+  if (!wall_mode) {
+    // Oracle mode: the completion instant is the *model's*, so the
+    // manager sees the exact event times a simulated LogDevice would
+    // produce; the real write merely has to be durable by then.
+    executor_->ScheduleAfter(model_latency_ + current_.extra_latency,
+                             [this] { CompleteCurrent(); });
+  }
+}
+
+void FileLogDevice::CompleteCurrent() {
+  ELOG_CHECK(in_service_);
+  Status status;
+  {
+    std::unique_lock<std::mutex> lock(worker_mu_);
+    worker_cv_.wait(lock, [this] { return done_seq_ >= current_seq_; });
+    status = done_status_;
+  }
+  if (status.ok()) {
+    ++writes_completed_;
+    ++per_generation_writes_[current_.address.generation];
+    if (mirror_ != nullptr) {
+      mirror_->Put(current_.address, std::move(current_.image));
+    }
+  } else {
+    ++write_errors_;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Complete(
+        trace_lane_, "disk", status.ok() ? "write" : "write_fault",
+        current_.submitted_at,
+        {{"gen", static_cast<double>(current_.address.generation)},
+         {"slot", static_cast<double>(current_.address.slot)}});
+  }
+  std::function<void(fault::FaultInjector::WriteFault)> on_fault_witness =
+      std::move(current_.on_fault_witness);
+  std::function<void(const Status&)> on_complete =
+      std::move(current_.on_complete);
+  in_service_ = false;
+  queued_bytes_ -= current_bytes_;
+  current_bytes_ = 0;
+  // Completion before the next transfer, exactly like LogDevice: the
+  // manager observes completions in submission order and a failed write
+  // can SubmitFront its retry ahead of younger queued blocks.
+  if (on_fault_witness) {
+    on_fault_witness(fault::FaultInjector::WriteFault::kNone);
+  }
+  if (on_complete) on_complete(status);
+  if (!in_service_) StartNext();
+}
+
+void FileLogDevice::WorkerLoop() {
+  const bool wall_mode = model_latency_ == 0;
+  std::unique_lock<std::mutex> lock(worker_mu_);
+  while (true) {
+    worker_cv_.wait(lock, [this] { return shutdown_ || job_ready_; });
+    if (shutdown_) return;
+    const BlockAddress addr = job_addr_;
+    const uint64_t seq = job_seq_;
+    const wal::BlockImage* image = job_image_;
+    job_ready_ = false;
+    lock.unlock();
+    Status status = WriteSlot(addr, seq, *image);
+    lock.lock();
+    done_seq_ = seq;
+    done_status_ = status;
+    lock.unlock();
+    worker_cv_.notify_all();
+    if (wall_mode) {
+      executor_->PostFromAnyThread([this] {
+        CompleteCurrent();
+        executor_->ReleaseExternalWork();
+      });
+    }
+    lock.lock();
+  }
+}
+
+Status FileLogDevice::WriteSlot(BlockAddress addr, uint64_t seq,
+                                const wal::BlockImage& image) {
+  const uint64_t frame_bytes = FrameBytes(image);
+  ELOG_CHECK_LE(frame_bytes, geometry_.slot_bytes);
+  EncodeFrameInto(addr, seq, image, aligned_buf_);
+  // O_DIRECT needs length alignment; zero the pad so a re-read of the
+  // slot tail never sees a previous frame's bytes.
+  const uint64_t write_bytes =
+      direct_io_active_ ? RoundUp(frame_bytes, kDirectIoAlignment)
+                        : frame_bytes;
+  if (write_bytes > frame_bytes) {
+    std::memset(aligned_buf_ + frame_bytes, 0, write_bytes - frame_bytes);
+  }
+  Status status =
+      PwriteFully(aligned_buf_, write_bytes, geometry_.SlotOffset(addr));
+  if (!status.ok()) return status;
+  return durable_sync_ ? SyncData() : Status::OK();
+}
+
+Status FileLogDevice::PwriteFully(const uint8_t* buf, size_t len,
+                                  uint64_t offset) {
+#ifdef ELOG_HAVE_LIBURING
+  if (io_uring_active_) {
+    struct io_uring_sqe* sqe = io_uring_get_sqe(&uring_->ring);
+    if (sqe != nullptr) {
+      io_uring_prep_write(sqe, fd_, buf, static_cast<unsigned>(len),
+                          offset);
+      struct io_uring_cqe* cqe = nullptr;
+      if (io_uring_submit_and_wait(&uring_->ring, 1) >= 0 &&
+          io_uring_wait_cqe(&uring_->ring, &cqe) == 0) {
+        const int res = cqe->res;
+        io_uring_cqe_seen(&uring_->ring, cqe);
+        if (res == static_cast<int>(len)) return Status::OK();
+        if (res == -EINVAL && direct_io_active_) {
+          // Fall through to the pwrite path's O_DIRECT downgrade.
+        } else if (res < 0) {
+          return ErrnoStatus("io_uring write " + path_, -res);
+        }
+      }
+    }
+    // Any ring hiccup (no sqe, submit failure, short write): degrade to
+    // the plain pwrite path for this and all future writes.
+    io_uring_active_ = false;
+  }
+#endif
+  size_t written = 0;
+  while (written < len) {
+    ssize_t n = ::pwrite(fd_, buf + written, len - written,
+                         static_cast<off_t>(offset + written));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EINVAL && direct_io_active_) {
+        // Filesystem accepted O_DIRECT at open but rejects the write
+        // (alignment/filesystem quirk): downgrade to buffered I/O.
+        const int flags = ::fcntl(fd_, F_GETFL);
+        if (flags >= 0 && ::fcntl(fd_, F_SETFL, flags & ~O_DIRECT) == 0) {
+          direct_io_active_ = false;
+          continue;
+        }
+      }
+      return ErrnoStatus("pwrite " + path_, errno);
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FileLogDevice::SyncData() {
+  if (::fdatasync(fd_) != 0) {
+    return ErrnoStatus("fdatasync " + path_, errno);
+  }
+  return Status::OK();
+}
+
+int64_t FileLogDevice::writes_completed(uint32_t generation) const {
+  ELOG_CHECK_LT(generation, per_generation_writes_.size());
+  return per_generation_writes_[generation];
+}
+
+bool FileLogDevice::InService(BlockAddress* addr) const {
+  if (!in_service_) return false;
+  *addr = current_.address;
+  return true;
+}
+
+bool FileLogDevice::InService(BlockAddress* addr,
+                              wal::BlockImage* image) const {
+  if (!in_service_) return false;
+  *addr = current_.address;
+  *image = current_.image;
+  return true;
+}
+
+}  // namespace disk
+}  // namespace elog

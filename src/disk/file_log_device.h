@@ -1,0 +1,200 @@
+// Real-I/O log device: a LogWritePort writing framed blocks to a file.
+//
+// FileLogDevice is the third LogWritePort implementation (after the
+// simulated LogDevice and DuplexLogDevice): every submitted block image
+// is framed (disk/file_format.h) and written to its slot in a real WAL
+// file by a dedicated worker thread — pwrite into an O_DIRECT-aligned
+// buffer, followed by fdatasync when durable_sync is on. It preserves
+// the port's FIFO durability contract the same way LogDevice does:
+// one write in service at a time, completions in submission order,
+// SubmitFront for retries.
+//
+// Two completion modes, chosen by `model_latency`:
+//
+//   * model_latency > 0 (oracle mode, virtual clock): the completion is
+//     scheduled on the executor exactly `model_latency + extra_latency`
+//     after service starts — the same instants the simulated LogDevice
+//     would produce — and at that virtual instant the device blocks
+//     until the worker reports the bytes durable. Manager-visible
+//     behavior is therefore event-for-event identical to a fault-free
+//     LogDevice run while real bytes land on disk: this is the sim-vs-
+//     file byte-identity oracle.
+//
+//   * model_latency == 0 (wall-clock mode): the worker posts the
+//     completion back through PostFromAnyThread when the write is
+//     durable; latency is whatever the storage stack delivers. Requires
+//     an executor with cross-thread post support (WallClockExecutor).
+//     extra_latency (retry backoff) is honored on the virtual clock
+//     only.
+//
+// Fallbacks (all automatic, all queryable): O_DIRECT degrades to
+// buffered I/O when open or the first write rejects it (EINVAL — e.g.
+// tmpfs in CI); the io_uring submission path — compiled only when the
+// CMake probe finds liburing — degrades to plain pwrite when ring setup
+// fails at runtime. There is no fault injection here: real I/O errors
+// surface as error Status completions and the caller's retry policy
+// applies unchanged.
+
+#ifndef ELOG_DISK_FILE_LOG_DEVICE_H_
+#define ELOG_DISK_FILE_LOG_DEVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/exec.h"
+#include "disk/device_hooks.h"
+#include "disk/file_format.h"
+#include "disk/log_device.h"
+#include "disk/log_storage.h"
+#include "obs/trace.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace elog {
+namespace disk {
+
+struct FileLogDeviceOptions {
+  std::string path;
+  /// Physical slot size; 0 means kDefaultSlotBytes. Must be a multiple
+  /// of kDirectIoAlignment and hold the worst-case framed image.
+  uint32_t slot_bytes = 0;
+  /// Try O_DIRECT; degrade to buffered I/O where unsupported.
+  bool direct_io = true;
+  /// fdatasync after every block write (off = benchmark-only mode; a
+  /// completion then does NOT imply durability).
+  bool durable_sync = true;
+  /// Use io_uring when compiled in; degrade to the pwrite path.
+  bool use_io_uring = true;
+  /// Truncate/recreate the file (a fresh log). Recovery reads the file
+  /// via RecoverFromFile before the device reopens it.
+  bool truncate = true;
+  /// > 0: oracle mode — completions fire on the executor's (virtual)
+  /// clock at +model_latency, mirroring the simulated LogDevice.
+  /// == 0: wall-clock mode — completions fire when the write is durable.
+  SimTime model_latency = 0;
+};
+
+class FileLogDevice : public LogWritePort {
+ public:
+  /// Opens (creating or truncating) the WAL file for the given
+  /// generation geometry, writes the superblock, and starts the worker.
+  /// `mirror` (optional) receives every durably completed image at its
+  /// address — the in-memory LogStorage view Database's crash/recovery
+  /// oracles read; pass null when embedding without the oracles.
+  static Result<std::unique_ptr<FileLogDevice>> Open(
+      core::CompletionExecutor* executor,
+      const std::vector<uint32_t>& generation_sizes,
+      const FileLogDeviceOptions& options, LogStorage* mirror = nullptr);
+
+  ~FileLogDevice() override;
+
+  FileLogDevice(const FileLogDevice&) = delete;
+  FileLogDevice& operator=(const FileLogDevice&) = delete;
+
+  /// Applies attachments (see disk/device_hooks.h). Only the tracer
+  /// field applies here: each write becomes a submit→complete span on a
+  /// "file_log" lane. Health/hedging belong to the simulated fleet.
+  void ApplyHooks(const DeviceHooks& hooks);
+
+  void Submit(LogWriteRequest request) override;
+  void SubmitFront(LogWriteRequest request) override;
+
+  int64_t writes_completed() const { return writes_completed_; }
+  int64_t writes_completed(uint32_t generation) const;
+  /// Completions that carried a real I/O error status.
+  int64_t write_errors() const { return write_errors_; }
+  /// Image bytes submitted but not yet completed (admission watermark).
+  int64_t queued_bytes() const { return queued_bytes_; }
+  bool busy() const { return in_service_ || !queue_.empty(); }
+
+  /// Address (and image) of the write in service — crash-capture
+  /// support, mirroring LogDevice.
+  bool InService(BlockAddress* addr) const;
+  bool InService(BlockAddress* addr, wal::BlockImage* image) const;
+
+  /// True while writes actually go through O_DIRECT / io_uring (false
+  /// after a graceful fallback).
+  bool direct_io_active() const { return direct_io_active_; }
+  bool io_uring_active() const { return io_uring_active_; }
+
+  const FileGeometry& geometry() const { return geometry_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  FileLogDevice(core::CompletionExecutor* executor, FileGeometry geometry,
+                const FileLogDeviceOptions& options, LogStorage* mirror,
+                int fd, uint8_t* aligned_buf);
+
+  void StartNext();
+  /// Runs at the completion instant (virtual timer in oracle mode, a
+  /// posted event in wall mode): waits for the worker if needed, then
+  /// finishes the in-service write and starts the next.
+  void CompleteCurrent();
+  void CheckRequest(const LogWriteRequest& request) const;
+
+  void WorkerLoop();
+  /// Performs one slot write (+sync); returns the I/O status. Handles
+  /// the O_DIRECT→buffered downgrade on EINVAL.
+  Status WriteSlot(BlockAddress addr, uint64_t seq,
+                   const wal::BlockImage& image);
+  Status PwriteFully(const uint8_t* buf, size_t len, uint64_t offset);
+  Status SyncData();
+
+  core::CompletionExecutor* executor_;
+  const FileGeometry geometry_;
+  const std::string path_;
+  const bool durable_sync_;
+  const SimTime model_latency_;
+  LogStorage* mirror_;
+  int fd_;
+  /// One slot_bytes buffer, kDirectIoAlignment-aligned, owned (free()).
+  uint8_t* aligned_buf_;
+  bool direct_io_active_ = false;
+  bool io_uring_active_ = false;
+
+  obs::Tracer* tracer_ = nullptr;
+  int trace_lane_ = 0;
+
+  std::deque<LogWriteRequest> queue_;
+  bool in_service_ = false;
+  LogWriteRequest current_;
+  uint64_t current_seq_ = 0;
+  int64_t current_bytes_ = 0;
+  int64_t queued_bytes_ = 0;
+  uint64_t next_seq_ = 0;
+
+  int64_t writes_completed_ = 0;
+  int64_t write_errors_ = 0;
+  std::vector<int64_t> per_generation_writes_;
+
+  // Worker-thread handoff: the executor thread publishes one job (the
+  // in-service write) and the worker publishes its outcome.
+  std::mutex worker_mu_;
+  std::condition_variable worker_cv_;
+  bool job_ready_ = false;
+  BlockAddress job_addr_;
+  uint64_t job_seq_ = 0;
+  /// Borrowed pointer at current_.image; valid from job publication
+  /// until the worker marks the job done.
+  const wal::BlockImage* job_image_ = nullptr;
+  uint64_t done_seq_ = 0;
+  Status done_status_ = Status::OK();
+  bool shutdown_ = false;
+  std::thread worker_;
+
+#ifdef ELOG_HAVE_LIBURING
+  struct UringState;
+  std::unique_ptr<UringState> uring_;
+#endif
+};
+
+}  // namespace disk
+}  // namespace elog
+
+#endif  // ELOG_DISK_FILE_LOG_DEVICE_H_

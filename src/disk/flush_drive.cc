@@ -7,12 +7,12 @@
 namespace elog {
 namespace disk {
 
-FlushDrive::FlushDrive(sim::Simulator* simulator, uint32_t drive_id,
+FlushDrive::FlushDrive(core::CompletionExecutor* executor, uint32_t drive_id,
                        Oid range_begin, Oid range_end, SimTime transfer_time,
                        sim::MetricsRegistry* metrics,
                        fault::FaultInjector* injector,
                        const std::string& metrics_prefix)
-    : simulator_(simulator),
+    : executor_(executor),
       drive_id_(drive_id),
       range_begin_(range_begin),
       range_end_(range_end),
@@ -38,6 +38,11 @@ FlushDrive::FlushDrive(sim::Simulator* simulator, uint32_t drive_id,
   }
 }
 
+void FlushDrive::ApplyHooks(const DeviceHooks& hooks) {
+  if (hooks.tracer != nullptr) set_tracer(hooks.tracer);
+  if (hooks.health != nullptr) set_health(hooks.health, hooks.health_drive);
+}
+
 void FlushDrive::set_tracer(obs::Tracer* tracer) {
   tracer_ = tracer;
   if (tracer_ != nullptr) {
@@ -48,7 +53,7 @@ void FlushDrive::set_tracer(obs::Tracer* tracer) {
 
 void FlushDrive::UpdatePendingGauge() {
   pending_gauge_->Set(
-      simulator_->Now(),
+      executor_->Now(),
       static_cast<double>(pending_.size() + urgent_.size() +
                           (in_service_ ? 1 : 0)));
 }
@@ -58,7 +63,7 @@ void FlushDrive::Enqueue(FlushRequest request) {
     ELOG_CHECK_GE(request.oid, range_begin_);
     ELOG_CHECK_LT(request.oid, range_end_);
   }
-  request.enqueued_at = simulator_->Now();
+  request.enqueued_at = executor_->Now();
   pending_.emplace(request.oid, std::move(request));
   UpdatePendingGauge();
   if (!in_service_) StartNext();
@@ -69,7 +74,7 @@ void FlushDrive::EnqueueUrgent(FlushRequest request) {
     ELOG_CHECK_GE(request.oid, range_begin_);
     ELOG_CHECK_LT(request.oid, range_end_);
   }
-  request.enqueued_at = simulator_->Now();
+  request.enqueued_at = executor_->Now();
   urgent_.push_back(std::move(request));
   UpdatePendingGauge();
   if (!in_service_) StartNext();
@@ -128,8 +133,8 @@ void FlushDrive::StartNext() {
   in_service_ = true;
   head_position_ = request.oid;
   current_ = std::move(request);
-  service_started_ = simulator_->Now();
-  simulator_->ScheduleAfter(transfer_time_, [this] { Complete(); });
+  service_started_ = executor_->Now();
+  executor_->ScheduleAfter(transfer_time_, [this] { Complete(); });
 }
 
 void FlushDrive::Complete() {
@@ -141,7 +146,7 @@ void FlushDrive::Complete() {
       // fresh transfer, so scheduling order is unchanged by the fault.
       ++flush_retries_;
       retries_c_->Incr();
-      simulator_->ScheduleAfter(
+      executor_->ScheduleAfter(
           retry_.BackoffForAttempt(current_.attempt) + transfer_time_,
           [this] { Complete(); });
       return;
@@ -167,7 +172,7 @@ void FlushDrive::Complete() {
     UpdatePendingGauge();
     if (health_ != nullptr) {
       health_->RecordService(health_drive_,
-                             simulator_->Now() - service_started_);
+                             executor_->Now() - service_started_);
     }
     if (on_failed) on_failed(request);
     if (!in_service_) StartNext();
@@ -187,7 +192,7 @@ void FlushDrive::Complete() {
   UpdatePendingGauge();
   if (health_ != nullptr) {
     health_->RecordService(health_drive_,
-                           simulator_->Now() - service_started_);
+                           executor_->Now() - service_started_);
   }
   if (on_durable) on_durable(request);
   if (!in_service_) StartNext();

@@ -19,12 +19,13 @@
 #include <memory>
 #include <string>
 
+#include "core/exec.h"
 #include "core/options.h"
+#include "disk/device_hooks.h"
 #include "fault/fault_injector.h"
 #include "health/drive_health.h"
 #include "obs/trace.h"
 #include "sim/metrics.h"
-#include "sim/simulator.h"
 #include "util/stats.h"
 #include "util/types.h"
 
@@ -73,14 +74,20 @@ class FlushDrive {
   /// `metrics_prefix` names the drive's metrics and trace lane (default
   /// "flush_drive"; sharded stacks pass "shard<k>.flush_drive" so each
   /// shard's drives report under their own namespace).
-  FlushDrive(sim::Simulator* simulator, uint32_t drive_id, Oid range_begin,
-             Oid range_end, SimTime transfer_time,
+  FlushDrive(core::CompletionExecutor* executor, uint32_t drive_id,
+             Oid range_begin, Oid range_end, SimTime transfer_time,
              sim::MetricsRegistry* metrics,
              fault::FaultInjector* injector = nullptr,
              const std::string& metrics_prefix = "flush_drive");
 
-  /// Attaches a tracer: each serviced flush becomes an enqueue→durable
-  /// span on a per-drive lane. Call before the simulation starts.
+  /// Applies attachments (see disk/device_hooks.h): tracer (each
+  /// serviced flush becomes an enqueue→durable span on a per-drive
+  /// lane) and health monitor + drive handle (service-time reporting).
+  /// Null fields leave existing attachments untouched. Call before the
+  /// simulation starts.
+  void ApplyHooks(const DeviceHooks& hooks);
+
+  /// Deprecated shim (one PR): use ApplyHooks.
   void set_tracer(obs::Tracer* tracer);
 
   /// Enqueues a flush. The oid must fall in the drive's range.
@@ -116,9 +123,10 @@ class FlushDrive {
   /// relax. Seek distances still use this drive's own range modulus.
   void set_accept_foreign_oids(bool accept) { accept_foreign_oids_ = accept; }
 
-  /// Attaches a health monitor: every request that leaves service (durable
-  /// or abandoned) reports its total service time — transfer plus any
-  /// retry backoffs — under the registered drive handle.
+  /// Deprecated shim (one PR): use ApplyHooks. Attaches a health
+  /// monitor: every request that leaves service (durable or abandoned)
+  /// reports its total service time — transfer plus any retry backoffs —
+  /// under the registered drive handle.
   void set_health(health::DriveHealthMonitor* monitor, int drive) {
     health_ = monitor;
     health_drive_ = drive;
@@ -134,7 +142,7 @@ class FlushDrive {
 
   void UpdatePendingGauge();
 
-  sim::Simulator* simulator_;
+  core::CompletionExecutor* executor_;
   uint32_t drive_id_;
   Oid range_begin_;
   Oid range_end_;

@@ -5,11 +5,11 @@
 namespace elog {
 namespace disk {
 
-LogDevice::LogDevice(sim::Simulator* simulator, LogStorage* storage,
+LogDevice::LogDevice(core::CompletionExecutor* executor, LogStorage* storage,
                      SimTime write_latency, sim::MetricsRegistry* metrics,
                      fault::FaultInjector* injector,
                      std::string metrics_prefix)
-    : simulator_(simulator),
+    : executor_(executor),
       storage_(storage),
       write_latency_(write_latency),
       owned_metrics_(metrics == nullptr
@@ -39,6 +39,12 @@ void LogDevice::set_tracer(obs::Tracer* tracer) {
   if (tracer_ != nullptr) trace_lane_ = tracer_->RegisterLane(metrics_prefix_);
 }
 
+void LogDevice::ApplyHooks(const DeviceHooks& hooks) {
+  if (hooks.tracer != nullptr) set_tracer(hooks.tracer);
+  if (hooks.block_pool != nullptr) set_block_pool(hooks.block_pool);
+  if (hooks.health != nullptr) set_health(hooks.health, hooks.health_drive);
+}
+
 void LogDevice::CheckAddress(const LogWriteRequest& request) const {
   ELOG_CHECK_LT(request.address.generation, storage_->num_generations());
   ELOG_CHECK_LT(request.address.slot,
@@ -47,13 +53,13 @@ void LogDevice::CheckAddress(const LogWriteRequest& request) const {
 }
 
 void LogDevice::UpdateQueueDepth() {
-  queue_depth_->Set(simulator_->Now(),
+  queue_depth_->Set(executor_->Now(),
                     static_cast<double>(queue_.size() + (in_service_ ? 1 : 0)));
 }
 
 void LogDevice::Submit(LogWriteRequest request) {
   CheckAddress(request);
-  request.submitted_at = simulator_->Now();
+  request.submitted_at = executor_->Now();
   queued_bytes_ += static_cast<int64_t>(request.image.size());
   queue_.push_back(std::move(request));
   UpdateQueueDepth();
@@ -62,7 +68,7 @@ void LogDevice::Submit(LogWriteRequest request) {
 
 void LogDevice::SubmitFront(LogWriteRequest request) {
   CheckAddress(request);
-  request.submitted_at = simulator_->Now();
+  request.submitted_at = executor_->Now();
   queued_bytes_ += static_cast<int64_t>(request.image.size());
   queue_.push_front(std::move(request));
   UpdateQueueDepth();
@@ -73,7 +79,7 @@ bool LogDevice::DeathTripped() const {
   if (injector_ == nullptr || revived_) return false;
   const fault::DriveDeathPlan& plan = injector_->death_plan();
   if (!plan.dies) return false;
-  if (simulator_->Now() >= plan.time) return true;
+  if (executor_->Now() >= plan.time) return true;
   if (plan.op_count > 0 &&
       ops_started_ >= static_cast<int64_t>(plan.op_count)) {
     return true;
@@ -90,7 +96,7 @@ void LogDevice::StartNext() {
   current_bytes_ = static_cast<int64_t>(current_.image.size());
   if (!dead_ && DeathTripped()) {
     dead_ = true;
-    died_at_ = simulator_->Now();
+    died_at_ = executor_->Now();
     deaths_->Incr();
     if (tracer_ != nullptr) {
       tracer_->Instant(trace_lane_, "disk", "drive_death");
@@ -117,7 +123,7 @@ void LogDevice::StartNext() {
   }
   current_service_time_ = service;
   if (dead_) current_fault_ = fault::FaultInjector::WriteFault::kDriveDead;
-  simulator_->ScheduleAfter(service + current_.extra_latency,
+  executor_->ScheduleAfter(service + current_.extra_latency,
                             [this] { CompleteCurrent(); });
 }
 
@@ -187,7 +193,7 @@ double LogDevice::FailSlowFactor() const {
   if (injector_ == nullptr || revived_) return 1.0;
   const fault::FailSlowPlan& plan = injector_->fail_slow_plan();
   if (!plan.slow) return 1.0;
-  const SimTime now = simulator_->Now();
+  const SimTime now = executor_->Now();
   if (now < plan.onset) return 1.0;
   if (plan.ramp > 0 && now < plan.onset + plan.ramp) {
     const double progress = static_cast<double>(now - plan.onset) /

@@ -16,9 +16,19 @@
 // virtual time or serviced-op count the drive's media fails for good and
 // every subsequent write is rejected (WriteFault::kDriveDead) until the
 // drive is replaced via Revive() — which models swapping in fresh media,
-// so the old plan does not re-trip. DuplexLogDevice fronts two LogDevice
-// replicas behind the same submission interface (LogWritePort) to survive
-// exactly this fault.
+// so the old plan does not re-trip. A fail-slow plan degrades service
+// times without ever returning an error (the gray failure).
+//
+// LogDevice is one of three LogWritePort implementations: DuplexLogDevice
+// fronts two LogDevice replicas to survive drive death (lockstep
+// mirroring, plus — with a DriveHealthMonitor attached — hedged writes
+// that acknowledge on the first-landed copy when the other replica goes
+// gray, and quarantine/eject of a persistently slow replica); and
+// FileLogDevice (file_log_device.h) writes real framed blocks to a file,
+// with this simulated device as its byte-exact oracle.
+//
+// Timing runs through core::CompletionExecutor, so the device works on
+// the simulator's virtual clock or a wall clock unchanged.
 
 #ifndef ELOG_DISK_LOG_DEVICE_H_
 #define ELOG_DISK_LOG_DEVICE_H_
@@ -28,18 +38,34 @@
 #include <memory>
 #include <string>
 
+#include "core/exec.h"
+#include "disk/device_hooks.h"
 #include "disk/log_storage.h"
 #include "fault/fault_injector.h"
 #include "health/drive_health.h"
 #include "obs/trace.h"
 #include "sim/metrics.h"
-#include "sim/simulator.h"
 #include "util/status.h"
 #include "util/types.h"
 
 namespace elog {
 namespace disk {
 
+/// Empty tag whose deleted copy operations make the aggregate that
+/// embeds it move-only without sacrificing brace initialization.
+struct MoveOnlyTag {
+  MoveOnlyTag() = default;
+  MoveOnlyTag(MoveOnlyTag&&) = default;
+  MoveOnlyTag& operator=(MoveOnlyTag&&) = default;
+  MoveOnlyTag(const MoveOnlyTag&) = delete;
+  MoveOnlyTag& operator=(const MoveOnlyTag&) = delete;
+};
+
+/// A block write in flight to a log device. Move-only (see the trailing
+/// tag): the request carries a full block image and two std::functions,
+/// so an accidental whole-request copy is a silent allocation on the hot
+/// path — call sites that need a second copy (e.g. the duplex fan-out)
+/// must build it field by field.
 struct LogWriteRequest {
   BlockAddress address;
   wal::BlockImage image;
@@ -60,6 +86,8 @@ struct LogWriteRequest {
   /// Submission timestamp, stamped by the device; the submit→complete
   /// trace span starts here.
   SimTime submitted_at = 0;
+  /// Keep last so positional brace initializers never have to name it.
+  MoveOnlyTag move_only;
 };
 
 /// The submission interface the log managers write through. LogDevice is
@@ -76,19 +104,21 @@ class LogWritePort {
 
 class LogDevice : public LogWritePort {
  public:
-  LogDevice(sim::Simulator* simulator, LogStorage* storage,
+  LogDevice(core::CompletionExecutor* executor, LogStorage* storage,
             SimTime write_latency, sim::MetricsRegistry* metrics,
             fault::FaultInjector* injector = nullptr,
             std::string metrics_prefix = "log_device");
 
-  /// Attaches a tracer: every write becomes a submit→complete span on a
-  /// lane named after this device's metrics prefix. Call before the
+  /// Applies attachments (see disk/device_hooks.h): tracer (a
+  /// submit→complete span lane named after this device's metrics
+  /// prefix), block pool (recycles the buffer of a write dropped by a
+  /// fault), and health monitor + drive handle (service-time reporting).
+  /// Null fields leave existing attachments untouched. Call before the
   /// simulation starts.
-  void set_tracer(obs::Tracer* tracer);
+  void ApplyHooks(const DeviceHooks& hooks);
 
-  /// Attaches a block-image pool: the buffer of a write dropped by a fault
-  /// (transient error, dead drive) is recycled instead of freed. Optional;
-  /// the pool must outlive the device.
+  /// Deprecated shims (one PR): use ApplyHooks.
+  void set_tracer(obs::Tracer* tracer);
   void set_block_pool(wal::BlockImagePool* pool) { block_pool_ = pool; }
 
   /// Enqueues a block write. Never blocks; completion is signalled via the
@@ -149,10 +179,11 @@ class LogDevice : public LogWritePort {
   /// instead of merely destroying the slot.
   bool InService(BlockAddress* addr, wal::BlockImage* image) const;
 
-  /// Attaches a health monitor: every non-dead completion reports its
-  /// service time (base latency + injected spike/fail-slow degradation,
-  /// retry backoff excluded) under the registered drive handle. Call
-  /// before the simulation starts.
+  /// Deprecated shim (one PR): use ApplyHooks. Attaches a health
+  /// monitor: every non-dead completion reports its service time (base
+  /// latency + injected spike/fail-slow degradation, retry backoff
+  /// excluded) under the registered drive handle. Call before the
+  /// simulation starts.
   void set_health(health::DriveHealthMonitor* monitor, int drive) {
     health_ = monitor;
     health_drive_ = drive;
@@ -170,7 +201,7 @@ class LogDevice : public LogWritePort {
   bool DeathTripped() const;
   void UpdateQueueDepth();
 
-  sim::Simulator* simulator_;
+  core::CompletionExecutor* executor_;
   LogStorage* storage_;
   SimTime write_latency_;
   /// Fallback registry when the caller passes no metrics, so handles are

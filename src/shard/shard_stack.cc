@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "disk/device_hooks.h"
 #include "util/check.h"
 
 namespace elog {
@@ -27,7 +28,7 @@ ShardStack::ShardStack(sim::Simulator* simulator, uint32_t shard_index,
   device_ = std::make_unique<disk::LogDevice>(
       simulator, &storage_, config.log.log_write_latency, metrics,
       injector_.get(), prefix_ + "log_device");
-  device_->set_block_pool(pool);
+  device_->ApplyHooks(disk::DeviceHooks{}.WithBlockPool(pool));
   if (config.duplex_log) {
     storage_mirror_ =
         std::make_unique<disk::LogStorage>(config.log.generation_blocks);
@@ -39,11 +40,11 @@ ShardStack::ShardStack(sim::Simulator* simulator, uint32_t shard_index,
     device_mirror_ = std::make_unique<disk::LogDevice>(
         simulator, storage_mirror_.get(), config.log.log_write_latency,
         metrics, mirror_injector_.get(), prefix_ + "log_device_mirror");
-    device_mirror_->set_block_pool(pool);
+    device_mirror_->ApplyHooks(disk::DeviceHooks{}.WithBlockPool(pool));
     duplex_ = std::make_unique<disk::DuplexLogDevice>(
         simulator, device_.get(), device_mirror_.get(), metrics,
         config.auto_resilver_delay, prefix_ + "duplex");
-    duplex_->set_block_pool(pool);
+    duplex_->ApplyHooks(disk::DeviceHooks{}.WithBlockPool(pool));
   }
   disk::LogWritePort* log_port =
       duplex_ != nullptr ? static_cast<disk::LogWritePort*>(duplex_.get())
@@ -57,14 +58,15 @@ ShardStack::ShardStack(sim::Simulator* simulator, uint32_t shard_index,
     health_ = std::make_unique<health::DriveHealthMonitor>(
         simulator, config.health, metrics, prefix_ + "health");
     const int log0 = health_->RegisterDrive("log", "log0");
-    device_->set_health(health_.get(), log0);
+    device_->ApplyHooks(disk::DeviceHooks{}.WithHealth(health_.get(), log0));
     if (duplex_ != nullptr) {
       const int log1 = health_->RegisterDrive("log", "log1");
-      device_mirror_->set_health(health_.get(), log1);
-      duplex_->EnableHedging(health_.get(), log0, log1,
-                             config.log.log_write_latency);
+      device_mirror_->ApplyHooks(
+          disk::DeviceHooks{}.WithHealth(health_.get(), log1));
+      duplex_->ApplyHooks(disk::DeviceHooks{}.WithHedging(
+          health_.get(), log0, log1, config.log.log_write_latency));
     }
-    drives_->AttachHealth(health_.get());
+    drives_->ApplyHooks(disk::DeviceHooks{}.WithHealth(health_.get()));
   }
   LogManagerSet managers =
       MakeLogManager(config.manager, config.log, simulator, log_port,
@@ -79,10 +81,13 @@ ShardStack::~ShardStack() = default;
 
 void ShardStack::SetTracer(obs::Tracer* tracer) {
   if (tracer == nullptr) return;
-  device_->set_tracer(tracer);
-  if (device_mirror_ != nullptr) device_mirror_->set_tracer(tracer);
-  if (duplex_ != nullptr) duplex_->set_tracer(tracer);
-  drives_->set_tracer(tracer);
+  // Lane registration order fixes trace tids; ApplyHooks one device at a
+  // time at the legacy program points keeps it byte-stable.
+  const disk::DeviceHooks hooks = disk::DeviceHooks{}.WithTracer(tracer);
+  device_->ApplyHooks(hooks);
+  if (device_mirror_ != nullptr) device_mirror_->ApplyHooks(hooks);
+  if (duplex_ != nullptr) duplex_->ApplyHooks(hooks);
+  drives_->ApplyHooks(hooks);
   if (el_ != nullptr) el_->set_tracer(tracer, prefix_);
   if (hybrid_ != nullptr) hybrid_->set_tracer(tracer, prefix_);
 }

@@ -11,11 +11,11 @@ namespace {
 int PopCount(uint64_t mask) { return __builtin_popcountll(mask); }
 }  // namespace
 
-ShardedLogManager::ShardedLogManager(sim::Simulator* simulator,
+ShardedLogManager::ShardedLogManager(core::CompletionExecutor* executor,
                                      std::vector<LogManager*> shards,
                                      const workload::ShardRouter* router,
                                      sim::MetricsRegistry* metrics)
-    : simulator_(simulator),
+    : executor_(executor),
       shards_(std::move(shards)),
       router_(router),
       owned_metrics_(metrics == nullptr
@@ -315,7 +315,7 @@ void ShardedLogManager::OnBranchKilled(uint32_t shard, TxId tid) {
     // wedges. At fire time the branch may have been killed locally in
     // the interim; BranchAbort treats an unknown tid as already settled.
     LogManager* branch = shards_[k];
-    simulator_->ScheduleAt(simulator_->Now(),
+    executor_->ScheduleAt(executor_->Now(),
                            [branch, tid] { branch->BranchAbort(tid); });
   }
   killed_->Incr();
@@ -373,7 +373,7 @@ int64_t ShardedLogManager::cross_shard_kills() const {
 }
 
 void ShardedLogManager::UpdateMemoryGauge() {
-  memory_->Set(simulator_->Now(), modeled_memory_bytes());
+  memory_->Set(executor_->Now(), modeled_memory_bytes());
 }
 
 }  // namespace shard

@@ -40,7 +40,7 @@
 #include "core/log_manager.h"
 #include "obs/trace.h"
 #include "sim/metrics.h"
-#include "sim/simulator.h"
+#include "core/exec.h"
 #include "workload/shard_router.h"
 
 namespace elog {
@@ -53,7 +53,7 @@ class ShardedLogManager : public LogManager {
   /// `metrics` is the run's root registry (nullable; the coordinator
   /// then owns a private one). S must equal router->num_shards() and be
   /// at most 64 (participant masks are 64-bit).
-  ShardedLogManager(sim::Simulator* simulator,
+  ShardedLogManager(core::CompletionExecutor* executor,
                     std::vector<LogManager*> shards,
                     const workload::ShardRouter* router,
                     sim::MetricsRegistry* metrics);
@@ -158,7 +158,7 @@ class ShardedLogManager : public LogManager {
   void OnHomeCommitDurable(TxId tid);
   void UpdateMemoryGauge();
 
-  sim::Simulator* simulator_;
+  core::CompletionExecutor* executor_;
   std::vector<LogManager*> shards_;
   const workload::ShardRouter* router_;
   std::unique_ptr<sim::MetricsRegistry> owned_metrics_;

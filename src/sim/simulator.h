@@ -3,12 +3,18 @@
 // All model components (workload generator, log managers, disk models)
 // schedule callbacks on one Simulator; time advances only between events,
 // so a run is deterministic given the RNG seed.
+//
+// Simulator is the virtual-time implementation of
+// core::CompletionExecutor (see core/exec.h); the class is `final` so
+// call sites that hold a concrete Simulator* keep devirtualized,
+// inlineable Now()/Schedule* calls.
 
 #ifndef ELOG_SIM_SIMULATOR_H_
 #define ELOG_SIM_SIMULATOR_H_
 
 #include <cstdint>
 
+#include "core/exec.h"
 #include "sim/event_queue.h"
 #include "util/check.h"
 #include "util/types.h"
@@ -16,29 +22,29 @@
 namespace elog {
 namespace sim {
 
-class Simulator {
+class Simulator final : public core::CompletionExecutor {
  public:
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current simulated time.
-  SimTime Now() const { return now_; }
+  SimTime Now() const override { return now_; }
 
   /// Schedules `callback` at absolute time `time` (must be >= Now()).
-  EventId ScheduleAt(SimTime time, EventCallback callback) {
+  EventId ScheduleAt(SimTime time, EventCallback callback) override {
     ELOG_CHECK_GE(time, now_);
     return queue_.Schedule(time, std::move(callback));
   }
 
   /// Schedules `callback` `delay` microseconds from now (delay >= 0).
-  EventId ScheduleAfter(SimTime delay, EventCallback callback) {
+  EventId ScheduleAfter(SimTime delay, EventCallback callback) override {
     ELOG_CHECK_GE(delay, 0);
     return queue_.Schedule(now_ + delay, std::move(callback));
   }
 
   /// Cancels a pending event; returns false if it already fired.
-  bool Cancel(EventId id) { return queue_.Cancel(id); }
+  bool Cancel(EventId id) override { return queue_.Cancel(id); }
 
   /// Runs until no events remain or Stop() is called.
   void Run();
