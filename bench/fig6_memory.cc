@@ -9,16 +9,107 @@
 #include <cstdio>
 #include <iostream>
 
+#include "core/manager_factory.h"
 #include "harness/figures.h"
 #include "harness/bench_cli.h"
 #include "harness/report.h"
 #include "runner/progress.h"
 #include "runner/sweep_runner.h"
+#include "sim/simulator.h"
+#include "util/random.h"
 #include "util/string_util.h"
 
 using namespace elog;
 
+namespace {
+
+/// Cross-check of the §4 cost model against the actual table footprint:
+/// a short EL run with the core memory gauges enabled must report
+/// core.lot.bytes / core.ltt.bytes / core.cell_arena.bytes equal to the
+/// tables' own accounting at every sample — here checked at the end of
+/// the run. Returns false (and prints) on any mismatch; fig6's modeled
+/// numbers are only trustworthy if the actual-footprint plumbing agrees
+/// with the structures it samples.
+bool CrossCheckCoreMemoryGauges() {
+  sim::Simulator sim;
+  sim::MetricsRegistry metrics;
+  LogManagerOptions options;
+  options.generation_blocks = {18, 12};
+  options.core_memory_gauges = true;
+  disk::LogStorage storage(options.generation_blocks);
+  disk::LogDevice device(&sim, &storage, options.log_write_latency, nullptr);
+  disk::DriveArray drives(&sim, options.num_flush_drives,
+                          options.num_objects, options.flush_transfer_time,
+                          nullptr);
+  LogManagerSet set = MakeLogManager(ManagerKind::kEphemeral, options, &sim,
+                                     &device, &drives, &metrics);
+  // Under saturation of the small {18,12} log a kill storm can take the
+  // freshly begun transaction along with stalled committers. tids are
+  // monotone and the loop's tid is always the newest, so "max killed ==
+  // tid" detects its death even when the storm keeps killing older tids
+  // afterwards.
+  class MaxKillListener : public KillListener {
+   public:
+    void OnTransactionKilled(TxId tid) override {
+      if (max_killed == kInvalidTxId || tid > max_killed) max_killed = tid;
+    }
+    TxId max_killed = kInvalidTxId;
+  } listener;
+  set.manager->set_kill_listener(&listener);
+  workload::TransactionType type;
+  type.lifetime = SecondsToSimTime(1);
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    TxId tid = set.manager->BeginTransaction(type);
+    if (listener.max_killed != tid) {
+      set.manager->WriteUpdate(tid, rng.NextBounded(options.num_objects), 100);
+    }
+    if (listener.max_killed != tid) {
+      set.manager->WriteUpdate(tid, rng.NextBounded(options.num_objects), 100);
+    }
+    if (listener.max_killed != tid) {
+      set.manager->Commit(tid, [](TxId) {});
+    }
+    if (i % 64 == 0) {
+      set.manager->ForceWriteOpenBuffers();
+      sim.RunUntil(sim.Now() + 50 * kMillisecond);
+    }
+  }
+  set.manager->ForceWriteOpenBuffers();
+  sim.RunUntil(sim.Now() + SecondsToSimTime(5));
+
+  bool ok = true;
+  const auto check = [&](const char* name, double gauge, double actual) {
+    if (gauge != actual) {
+      std::fprintf(stderr, "%s gauge %.0f != actual %.0f\n", name, gauge,
+                   actual);
+      ok = false;
+    }
+  };
+  check("core.lot.bytes", metrics.GetGauge("core.lot.bytes")->value(),
+        static_cast<double>(set.el->lot_table_bytes()));
+  check("core.ltt.bytes", metrics.GetGauge("core.ltt.bytes")->value(),
+        static_cast<double>(set.el->ltt_table_bytes()));
+  check("core.cell_arena.bytes",
+        metrics.GetGauge("core.cell_arena.bytes")->value(),
+        static_cast<double>(set.el->cell_arena().bytes()));
+  const auto& arena = set.el->cell_arena();
+  if (arena.allocated() == 0 || arena.reused() == 0) {
+    std::fprintf(stderr,
+                 "cell arena saw no churn (allocated %zu, reused %zu)\n",
+                 arena.allocated(), arena.reused());
+    ok = false;
+  }
+  return ok;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  if (!CrossCheckCoreMemoryGauges()) {
+    std::cerr << "core memory gauge cross-check failed\n";
+    return 1;
+  }
   int64_t runtime_s = 500;
   int64_t gen0_max = 40;
   harness::BenchCli cli;

@@ -1,0 +1,208 @@
+// LOT scalability: the logged-object table (util::FlatHashMap keyed by
+// oid, LotEntry values) driven to 10^5..10^8 entries, measuring
+// Find/Insert/Erase ns/op and bytes per object against the paper's §5
+// memory model (40 B per updated-but-unflushed object).
+//
+// Two bytes-per-object figures are reported: `table_bytes_per_object`
+// is the table's own accounting (MemoryBytes() / n — capacity-derived,
+// fully deterministic, the figure the CI jobs-identity diff checks) and
+// `rss_bytes_per_object` is the resident-set delta around table
+// construction (what the OS actually charges, including slot padding
+// and the tag array). Timing and RSS metrics carry `_ns` /
+// `_rss_bytes` suffixes so CI can exclude the measured lines when
+// diffing --jobs 1 vs --jobs 4 runs for byte-identity.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/tables.h"
+#include "harness/bench_cli.h"
+#include "harness/report.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+using namespace elog;
+
+namespace {
+
+/// Resident-set size in bytes (0 where /proc is unavailable; the RSS
+/// columns then read 0 and only the deterministic table accounting is
+/// meaningful).
+size_t ResidentBytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long total = 0, resident = 0;
+  const int matched = std::fscanf(f, "%lu %lu", &total, &resident);
+  std::fclose(f);
+  if (matched != 2) return 0;
+  return resident * static_cast<size_t>(sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
+}
+
+double NowNs() {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ScalePoint {
+  uint64_t n = 0;
+  double insert_ns = 0;   // amortized, includes growth rehashes
+  double find_ns = 0;     // random present keys
+  double miss_ns = 0;     // random absent keys
+  double erase_ns = 0;
+  size_t table_bytes = 0;  // MemoryBytes() at full population
+  size_t rss_bytes = 0;    // resident delta across construction
+};
+
+/// One sweep size: populate a LoggedObjectTable with n oids, probe it,
+/// then drain it. Oids are splashed through a 64-bit multiplier so the
+/// key stream is neither sequential nor adversarial.
+ScalePoint RunPoint(uint64_t n, uint64_t seed) {
+  ScalePoint point;
+  point.n = n;
+  constexpr uint64_t kOidStride = 0x9E3779B97F4A7C15ull;
+
+  const size_t rss_before = ResidentBytes();
+  LoggedObjectTable lot;
+  double t0 = NowNs();
+  for (uint64_t i = 0; i < n; ++i) {
+    LotEntry entry;
+    auto [slot, inserted] = lot.Insert(i * kOidStride, std::move(entry));
+    slot->committed = nullptr;
+    (void)inserted;
+  }
+  point.insert_ns = (NowNs() - t0) / static_cast<double>(n);
+  point.table_bytes = lot.MemoryBytes();
+  point.rss_bytes = ResidentBytes() - rss_before;
+
+  const uint64_t probes = n < 2'000'000 ? n : 2'000'000;
+  Rng rng(seed);
+  uint64_t sink = 0;
+  t0 = NowNs();
+  for (uint64_t i = 0; i < probes; ++i) {
+    LotEntry* entry = lot.Find(rng.NextBounded(n) * kOidStride);
+    sink += entry != nullptr ? 1 : 0;
+  }
+  point.find_ns = (NowNs() - t0) / static_cast<double>(probes);
+  if (sink != probes) std::fprintf(stderr, "lost keys: %llu hits\n",
+                                   static_cast<unsigned long long>(sink));
+
+  t0 = NowNs();
+  for (uint64_t i = 0; i < probes; ++i) {
+    // Absent keys: the stride multiplied range, offset by 1.
+    sink += lot.Find(rng.NextBounded(n) * kOidStride + 1) != nullptr;
+  }
+  point.miss_ns = (NowNs() - t0) / static_cast<double>(probes);
+
+  t0 = NowNs();
+  for (uint64_t i = 0; i < n; ++i) {
+    lot.Erase(i * kOidStride);
+  }
+  point.erase_ns = (NowNs() - t0) / static_cast<double>(n);
+  if (!lot.empty()) {
+    std::fprintf(stderr, "table not drained: %zu left\n", lot.size());
+  }
+  return point;
+}
+
+std::string SizeName(uint64_t n) {
+  int exp = 0;
+  for (uint64_t v = n; v >= 10; v /= 10) ++exp;
+  return StrFormat("n1e%d", exp);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::BenchCli cli;
+  cli.AddQuick("caps the sweep at 10^6 oids");
+  cli.AddSeed(42, "probe RNG seed");
+  if (!cli.Parse(argc, argv)) return 2;
+
+  std::vector<uint64_t> sizes = {100'000, 1'000'000, 10'000'000,
+                                 100'000'000};
+  if (cli.quick) sizes = {100'000, 1'000'000};
+
+  // The §5 model: 40 bytes per updated-but-unflushed object, i.e. per
+  // LOT entry (LogManagerOptions::el_bytes_per_object's default).
+  constexpr double kModelBytesPerObject = 40.0;
+
+  harness::WallTimer timer;
+  std::vector<ScalePoint> points;
+  for (uint64_t n : sizes) {
+    std::fprintf(stderr, "lot_scale: %llu oids...\n",
+                 static_cast<unsigned long long>(n));
+    points.push_back(RunPoint(n, static_cast<uint64_t>(cli.seed)));
+  }
+
+  // Human-facing table: everything, including the measured columns.
+  TableWriter measured({"oids", "insert_ns", "find_ns", "miss_ns",
+                        "erase_ns", "table_B_per_obj", "rss_B_per_obj"});
+  for (const ScalePoint& p : points) {
+    measured.AddRow(
+        {StrFormat("%llu", static_cast<unsigned long long>(p.n)),
+         StrFormat("%.1f", p.insert_ns), StrFormat("%.1f", p.find_ns),
+         StrFormat("%.1f", p.miss_ns), StrFormat("%.1f", p.erase_ns),
+         StrFormat("%.1f", static_cast<double>(p.table_bytes) / p.n),
+         StrFormat("%.1f", static_cast<double>(p.rss_bytes) / p.n)});
+  }
+  harness::PrintTable(
+      "LOT scalability: FlatHashMap<Oid, LotEntry> at 10^5..10^8 entries",
+      measured);
+  Status status = harness::MaybeWriteCsv(cli.csv, measured);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  // Artifact table: deterministic columns only (the CI jobs-identity
+  // diff compares these verbatim). table_bytes is capacity-derived, so
+  // measured-over-model is reproducible bit for bit.
+  TableWriter artifact({"oids", "table_bytes_per_object",
+                        "model_bytes_per_object", "table_over_model"});
+  for (const ScalePoint& p : points) {
+    const double per_obj = static_cast<double>(p.table_bytes) / p.n;
+    artifact.AddRow(
+        {StrFormat("%llu", static_cast<unsigned long long>(p.n)),
+         StrFormat("%.4f", per_obj),
+         StrFormat("%.0f", kModelBytesPerObject),
+         StrFormat("%.4f", per_obj / kModelBytesPerObject)});
+  }
+
+  runner::BenchJson bench("lot_scale");
+  bench.AddConfig("jobs", cli.jobs);
+  bench.AddConfig("seed", cli.seed);
+  bench.AddConfig("quick", cli.quick);
+  bench.AddConfig("model_bytes_per_object",
+                  static_cast<int64_t>(kModelBytesPerObject));
+  bench.AddConfig("lot_entry_bytes", static_cast<int64_t>(sizeof(LotEntry)));
+  for (const ScalePoint& p : points) {
+    const std::string prefix = SizeName(p.n);
+    bench.AddMetric(prefix + "_table_bytes_per_object",
+                    static_cast<double>(p.table_bytes) / p.n);
+    bench.AddMetric(prefix + "_insert_ns", p.insert_ns);
+    bench.AddMetric(prefix + "_find_ns", p.find_ns);
+    bench.AddMetric(prefix + "_miss_ns", p.miss_ns);
+    bench.AddMetric(prefix + "_erase_ns", p.erase_ns);
+    bench.AddMetric(prefix + "_rss_bytes", static_cast<int64_t>(p.rss_bytes));
+  }
+  status = harness::WriteBenchJson(cli.json_dir, &bench, artifact,
+                                   timer.Seconds());
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}

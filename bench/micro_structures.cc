@@ -1,9 +1,11 @@
 // Microbenchmarks of the core data structures (google-benchmark):
-// the chained hash tables behind the LOT/LTT, the circular cell list, the
-// event queue, block encode/decode, CRC32C, the metrics hot path
-// (typed handle vs deprecated string lookup), and a whole-simulation
-// throughput measurement. The metrics comparison is also hand-timed by
-// main() and recorded in results/BENCH_micro_structures.json.
+// the hash tables behind the LOT/LTT (FlatHashMap and its chained
+// oracle, A/B), the circular cell list, the event queue, block
+// encode/decode, CRC32C, the metrics hot path (typed handle vs
+// deprecated string lookup), and a whole-simulation throughput
+// measurement. main() also hand-times the metrics comparison and the
+// 10^7-entry flat-vs-chained table gate (Find ns/op and RSS bytes per
+// entry) and records both in results/BENCH_micro_structures.json.
 
 #include <benchmark/benchmark.h>
 
@@ -23,6 +25,7 @@
 #include "sim/metrics.h"
 #include "util/chained_hash_map.h"
 #include "util/crc32c.h"
+#include "util/flat_hash_map.h"
 #include "util/intrusive_list.h"
 #include "util/random.h"
 #include "util/string_util.h"
@@ -56,6 +59,30 @@ void BM_ChainedHashMapFind(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ChainedHashMapFind)->Arg(1 << 8)->Arg(1 << 16);
+
+void BM_FlatHashMapInsertErase(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    FlatHashMap<uint64_t, uint64_t> map;
+    for (int i = 0; i < n; ++i) map.Insert(static_cast<uint64_t>(i), i * 3);
+    for (int i = 0; i < n; ++i) map.Erase(static_cast<uint64_t>(i));
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_FlatHashMapInsertErase)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_FlatHashMapFind(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  FlatHashMap<uint64_t, uint64_t> map;
+  for (uint64_t i = 0; i < n; ++i) map.Insert(i, i);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.Find(rng.NextBounded(n)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatHashMapFind)->Arg(1 << 8)->Arg(1 << 16);
 
 struct BenchNode {
   ListNode link;
@@ -348,15 +375,34 @@ void BM_ElManagerTransactionCycle(benchmark::State& state) {
   LogManagerSet set = MakeLogManager(ManagerKind::kEphemeral, options, &sim,
                                      &device, &drives, nullptr);
   LogManager& manager = *set.manager;
+  // Long calibration runs push this fixed {18,12} log into saturation,
+  // where a kill storm can take the freshly begun transaction along with
+  // a batch of stalled committers. tids are monotone and the loop's tid
+  // is always the newest, so "max killed == tid" detects its death even
+  // when the storm keeps killing older tids afterwards.
+  class MaxKillListener : public KillListener {
+   public:
+    void OnTransactionKilled(TxId tid) override {
+      if (max_killed == kInvalidTxId || tid > max_killed) max_killed = tid;
+    }
+    TxId max_killed = kInvalidTxId;
+  } listener;
+  manager.set_kill_listener(&listener);
   workload::TransactionType type;
   type.lifetime = SecondsToSimTime(1);
   Rng rng(3);
   int64_t iterations = 0;
   for (auto _ : state) {
     TxId tid = manager.BeginTransaction(type);
-    manager.WriteUpdate(tid, rng.NextBounded(options.num_objects), 100);
-    manager.WriteUpdate(tid, rng.NextBounded(options.num_objects), 100);
-    manager.Commit(tid, [](TxId) {});
+    if (listener.max_killed != tid) {
+      manager.WriteUpdate(tid, rng.NextBounded(options.num_objects), 100);
+    }
+    if (listener.max_killed != tid) {
+      manager.WriteUpdate(tid, rng.NextBounded(options.num_objects), 100);
+    }
+    if (listener.max_killed != tid) {
+      manager.Commit(tid, [](TxId) {});
+    }
     if (++iterations % 16 == 0) {
       manager.ForceWriteOpenBuffers();
       sim.RunUntil(sim.Now() + 50 * kMillisecond);
@@ -382,9 +428,16 @@ void BM_ElManagerForwardingPressure(benchmark::State& state) {
   LogManager& manager = *set.manager;
   // Rotate long-lived transactions (commit each after 500 updates) so the
   // large generation 1 absorbs forwarded records without ever saturating.
-  class NullListener : public KillListener {
+  // The keeper is a long-lived kActive transaction — the kill policy's
+  // preferred victim once a long calibration run builds up pressure — so
+  // track kills and restart it when it dies (keeper is always the newest
+  // tid, so "max killed == keeper" is exact).
+  class MaxKillListener : public KillListener {
    public:
-    void OnTransactionKilled(TxId) override {}
+    void OnTransactionKilled(TxId tid) override {
+      if (max_killed == kInvalidTxId || tid > max_killed) max_killed = tid;
+    }
+    TxId max_killed = kInvalidTxId;
   } listener;
   manager.set_kill_listener(&listener);
   workload::TransactionType type;
@@ -393,10 +446,14 @@ void BM_ElManagerForwardingPressure(benchmark::State& state) {
   int updates = 0;
   Rng rng(5);
   for (auto _ : state) {
+    if (listener.max_killed == keeper) {
+      keeper = manager.BeginTransaction(type);
+      updates = 0;
+    }
     manager.WriteUpdate(keeper, rng.NextBounded(options.num_objects), 100);
     if (++updates == 500) {
       updates = 0;
-      manager.Commit(keeper, [](TxId) {});
+      if (listener.max_killed != keeper) manager.Commit(keeper, [](TxId) {});
       manager.ForceWriteOpenBuffers();
       sim.RunUntil(sim.Now() + SecondsToSimTime(1));  // flushes drain
       keeper = manager.BeginTransaction(type);
@@ -451,11 +508,81 @@ double TimeNsPerOp(int64_t iters, Fn&& fn) {
   return best;
 }
 
+/// Resident-set size in bytes (Linux; 0 elsewhere, which skips the
+/// bytes-per-entry gate the same way missing CRC hardware skips its
+/// gate).
+size_t ResidentBytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long total = 0, resident = 0;
+  const int matched = std::fscanf(f, "%lu %lu", &total, &resident);
+  std::fclose(f);
+  if (matched != 2) return 0;
+  return resident * 4096u;
+#else
+  return 0;
+#endif
+}
+
+struct TableAbResult {
+  double find_ns = 0;
+  double rss_bytes_per_entry = 0;
+};
+
+/// Builds an `entries`-sized uint64->uint64 table of type MapT, measures
+/// random-probe Find ns/op and the construction RSS delta per entry.
+/// The flat table is measured FIRST in main(): its storage is one large
+/// mmap'd block that really returns to the OS on destruction, so the
+/// chained table's node churn afterwards lands on fresh pages and both
+/// RSS deltas are honest.
+template <typename MapT>
+TableAbResult MeasureTableAt(uint64_t entries) {
+  TableAbResult result;
+  const size_t rss_before = ResidentBytes();
+  MapT map;
+  for (uint64_t i = 0; i < entries; ++i) {
+    map.Insert(i * 0x9E3779B97F4A7C15ull, i);
+  }
+  result.rss_bytes_per_entry =
+      static_cast<double>(ResidentBytes() - rss_before) /
+      static_cast<double>(entries);
+  Rng rng(7);
+  constexpr int64_t kProbes = 2'000'000;
+  uint64_t sink = 0;
+  result.find_ns = TimeNsPerOp(kProbes, [&] {
+    sink += map.Find(rng.NextBounded(entries) * 0x9E3779B97F4A7C15ull) !=
+            nullptr;
+  });
+  benchmark::DoNotOptimize(sink);
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  // LOT/LTT table A/B, measured before anything else touches the heap:
+  // google-benchmark's calibration loops leave freed-but-resident arena
+  // pages behind, and a construction-RSS delta measured after them reads
+  // near zero. Flat first — see MeasureTableAt on RSS honesty. Two
+  // scales: 10^7 entries (LOT scale, DRAM-bound — both layouts pay ~2
+  // dependent loads per probe, so the win there is memory, not latency)
+  // and 64k entries (LTT scale, cache-resident — where losing the
+  // pointer chase shows up directly in Find).
+  constexpr uint64_t kTableEntries = 10'000'000;
+  constexpr uint64_t kCacheEntries = 65'536;
+  const TableAbResult flat_ab =
+      MeasureTableAt<FlatHashMap<uint64_t, uint64_t>>(kTableEntries);
+  const TableAbResult chained_ab =
+      MeasureTableAt<ChainedHashMap<uint64_t, uint64_t>>(kTableEntries);
+  const TableAbResult flat_cache =
+      MeasureTableAt<FlatHashMap<uint64_t, uint64_t>>(kCacheEntries);
+  const TableAbResult chained_cache =
+      MeasureTableAt<ChainedHashMap<uint64_t, uint64_t>>(kCacheEntries);
+
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
@@ -577,6 +704,33 @@ int main(int argc, char** argv) {
     pool.Release(std::move(image));
   });
 
+  // LOT/LTT table A/B results (measured up top, before the benchmark
+  // runner could pollute the RSS deltas).
+  const double find_speedup =
+      flat_ab.find_ns > 0 ? chained_ab.find_ns / flat_ab.find_ns : 0.0;
+  const double find_speedup_cache =
+      flat_cache.find_ns > 0 ? chained_cache.find_ns / flat_cache.find_ns
+                             : 0.0;
+  const bool rss_valid =
+      flat_ab.rss_bytes_per_entry > 0 && chained_ab.rss_bytes_per_entry > 0;
+  const double bytes_ratio =
+      rss_valid ? flat_ab.rss_bytes_per_entry / chained_ab.rss_bytes_per_entry
+                : 0.0;
+
+  TableWriter table_ab({"table", "entries", "find_ns", "rss_bytes_per_entry"});
+  table_ab.AddRow({"flat", "10^7", StrFormat("%.1f", flat_ab.find_ns),
+                   StrFormat("%.1f", flat_ab.rss_bytes_per_entry)});
+  table_ab.AddRow({"chained", "10^7", StrFormat("%.1f", chained_ab.find_ns),
+                   StrFormat("%.1f", chained_ab.rss_bytes_per_entry)});
+  table_ab.AddRow({"flat", "64k", StrFormat("%.1f", flat_cache.find_ns), "-"});
+  table_ab.AddRow(
+      {"chained", "64k", StrFormat("%.1f", chained_cache.find_ns), "-"});
+  harness::PrintTable(
+      StrFormat("LOT/LTT table: flat vs chained (find %.1fx at 10^7, "
+                "%.1fx at 64k, %.2fx bytes)",
+                find_speedup, find_speedup_cache, bytes_ratio),
+      table_ab);
+
   TableWriter hotpath_table({"structure", "old_ns_per_op", "new_ns_per_op"});
   hotpath_table.AddRow({"event_queue_batch1024",
                         StrFormat("%.0f", eventq_legacy_ns),
@@ -607,6 +761,18 @@ int main(int argc, char** argv) {
   bench.AddMetric("eventq_inline_batch_ns", eventq_inline_ns);
   bench.AddMetric("block_encode_decode_ns", block_plain_ns);
   bench.AddMetric("block_encode_decode_pooled_ns", block_pooled_ns);
+  bench.AddConfig("table_ab_entries", static_cast<int64_t>(kTableEntries));
+  bench.AddConfig("table_cache_entries", static_cast<int64_t>(kCacheEntries));
+  bench.AddMetric("flat_find_ns", flat_ab.find_ns);
+  bench.AddMetric("chained_find_ns", chained_ab.find_ns);
+  bench.AddMetric("chained_over_flat_find_ratio", find_speedup);
+  bench.AddMetric("flat_find_ns_cache", flat_cache.find_ns);
+  bench.AddMetric("chained_find_ns_cache", chained_cache.find_ns);
+  bench.AddMetric("chained_over_flat_find_ratio_cache", find_speedup_cache);
+  bench.AddMetric("flat_rss_bytes_per_entry", flat_ab.rss_bytes_per_entry);
+  bench.AddMetric("chained_rss_bytes_per_entry",
+                  chained_ab.rss_bytes_per_entry);
+  bench.AddMetric("flat_over_chained_bytes_ratio", bytes_ratio);
   Status status =
       harness::WriteBenchJson("results", &bench, table, timer.Seconds());
   if (!status.ok()) {
@@ -619,6 +785,34 @@ int main(int argc, char** argv) {
                  "lookup (expected >= 2x)\n",
                  ratio);
     return 1;
+  }
+  if (find_speedup_cache < 2.0) {
+    std::fprintf(stderr,
+                 "flat-table Find only %.2fx faster than chained at 64k "
+                 "entries (expected >= 2x when cache-resident)\n",
+                 find_speedup_cache);
+    return 1;
+  }
+  if (find_speedup < 1.1) {
+    std::fprintf(stderr,
+                 "flat-table Find only %.2fx vs chained at 10^7 entries "
+                 "(expected >= 1.1x; DRAM-bound, both layouts pay ~2 "
+                 "dependent loads per probe)\n",
+                 find_speedup);
+    return 1;
+  }
+  if (rss_valid) {
+    if (bytes_ratio > 0.7) {
+      std::fprintf(stderr,
+                   "flat table uses %.2fx of the chained table's RSS per "
+                   "entry at 10^7 entries (expected <= 0.7x)\n",
+                   bytes_ratio);
+      return 1;
+    }
+  } else {
+    std::fprintf(stderr,
+                 "RSS unavailable on this host; skipping the table "
+                 "bytes-per-entry gate\n");
   }
   if (crc_hw) {
     if (crc_hw_over_table < 2.0) {

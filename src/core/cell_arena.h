@@ -1,0 +1,170 @@
+// Slab arena for Cells, replacing per-Cell new/delete in the managers.
+//
+// "Simulation of High-Performance Memory Allocators" (PAPERS.md) makes
+// the case: the log managers allocate and free one Cell per record at
+// the full record arrival rate, and a general-purpose allocator charges
+// a lock-free path, a size-class lookup, and scattered placement for
+// each. Cells have one size, one owner, and bursty FIFO-ish lifetimes —
+// the textbook slab case. The arena carves fixed slabs, serves frees
+// from an intrusive free list (the freed Cell's own storage holds the
+// next-free link), and never returns memory to the OS until destruction:
+// peak-sized, like the paper's LOT/LTT themselves.
+//
+// ## Ownership rules
+//
+// - Every Cell handed out by Allocate() MUST come back through the SAME
+//   arena's Release(). Cells never cross arenas (per-shard managers own
+//   per-shard arenas).
+// - Release() makes every outstanding pointer to that Cell dangling, as
+//   delete did. The generation-stamped Handle is the checked alternative
+//   for callers that may outlive the cell (tests, debug assertions):
+//   Resolve() returns nullptr once the slot has been reused or freed.
+// - The arena may be destroyed with cells still live (end-of-run
+//   teardown); Cell is trivially destructible so the slabs are simply
+//   dropped.
+//
+// ## Accounting
+//
+// allocated() counts slab-fresh allocations, reused() free-list hits,
+// bytes() total slab footprint. With RegisterMetrics() the counters also
+// feed `core.cell_arena.{allocated,reused}`; the `core.cell_arena.bytes`
+// gauge is time-stamped, so the owning manager samples bytes() into it
+// alongside core.lot.bytes / core.ltt.bytes (opt-in — new metric columns
+// would change the SERIES artifacts; see docs/perf.md).
+
+#ifndef ELOG_CORE_CELL_ARENA_H_
+#define ELOG_CORE_CELL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "core/cell.h"
+#include "sim/metrics.h"
+#include "util/check.h"
+
+namespace elog {
+
+class CellArena {
+ public:
+  /// Cells per slab. One slab is ~100 KB — big enough that slab count
+  /// stays trivial at scale, small enough that an idle manager costs
+  /// little. The churn bound (slab bytes ≤ 2x peak live, asserted in
+  /// tests/cell_arena_test) holds whenever peak live ≥ kSlabCells,
+  /// because a slab is only carved when every prior slot is live.
+  static constexpr size_t kSlabCells = 1024;
+
+  /// Checked weak reference to an arena cell. Valid until the cell is
+  /// Released; reuse of the slot bumps the stamp so stale handles
+  /// resolve to nullptr, never to the new occupant.
+  struct Handle {
+    Cell* cell = nullptr;
+    uint32_t stamp = 0;
+  };
+
+  CellArena() = default;
+  CellArena(const CellArena&) = delete;
+  CellArena& operator=(const CellArena&) = delete;
+
+  /// Returns a value-initialized Cell (same contract as `new Cell()`).
+  Cell* Allocate() {
+    Slot* slot;
+    if (free_ != nullptr) {
+      slot = free_;
+      free_ = slot->next_free;
+      ++reused_;
+      if (reused_metric_ != nullptr) reused_metric_->Incr();
+    } else {
+      if (next_fresh_ == fresh_end_) CarveSlab();
+      slot = next_fresh_++;
+      ++allocated_;
+      if (allocated_metric_ != nullptr) allocated_metric_->Incr();
+    }
+    ++live_;
+    return ::new (static_cast<void*>(&slot->storage)) Cell();
+  }
+
+  /// Returns `cell` to the free list. nullptr is a no-op (delete parity).
+  void Release(Cell* cell) {
+    if (cell == nullptr) return;
+    Slot* slot = SlotOf(cell);
+    ++slot->stamp;  // invalidate outstanding handles
+    slot->next_free = free_;
+    free_ = slot;
+    ELOG_CHECK(live_ > 0);
+    --live_;
+  }
+
+  Handle MakeHandle(Cell* cell) const {
+    return Handle{cell, SlotOf(cell)->stamp};
+  }
+
+  /// The cell iff it is still the same allocation `handle` was taken
+  /// from; nullptr once released (or released and reused).
+  Cell* Resolve(const Handle& handle) const {
+    if (handle.cell == nullptr) return nullptr;
+    Slot* slot = SlotOf(handle.cell);
+    return slot->stamp == handle.stamp ? handle.cell : nullptr;
+  }
+
+  /// Wires the allocated/reused counters into `metrics` under
+  /// `core.cell_arena.*`. Opt-in: registering creates the metric
+  /// columns, so callers gate this the same way as the other core
+  /// gauges. Counts recorded before registration are back-filled.
+  void RegisterMetrics(sim::MetricsRegistry* metrics) {
+    allocated_metric_ = metrics->GetCounter("core.cell_arena.allocated");
+    reused_metric_ = metrics->GetCounter("core.cell_arena.reused");
+    allocated_metric_->Incr(static_cast<int64_t>(allocated_));
+    reused_metric_->Incr(static_cast<int64_t>(reused_));
+  }
+
+  /// Cells currently outstanding (Allocated − Released).
+  size_t live() const { return live_; }
+  /// Slab-fresh allocations (equals high-water mark of live()).
+  size_t allocated() const { return allocated_; }
+  /// Allocations served from the free list.
+  size_t reused() const { return reused_; }
+  /// Total slab footprint in bytes.
+  size_t bytes() const { return slabs_.size() * kSlabCells * sizeof(Slot); }
+  size_t slab_count() const { return slabs_.size(); }
+
+ private:
+  // A freed slot's storage doubles as the free-list link; the stamp
+  // lives outside the union so it survives reuse.
+  struct Slot {
+    union {
+      alignas(Cell) unsigned char storage[sizeof(Cell)];
+      Slot* next_free;
+    };
+    uint32_t stamp = 0;
+  };
+  static_assert(std::is_trivially_destructible_v<Cell>,
+                "freed-slot storage is reused as the free-list link");
+  static_assert(offsetof(Slot, storage) == 0, "Cell* <-> Slot* punning");
+
+  static Slot* SlotOf(Cell* cell) { return reinterpret_cast<Slot*>(cell); }
+
+  void CarveSlab() {
+    slabs_.push_back(std::make_unique<Slot[]>(kSlabCells));
+    next_fresh_ = slabs_.back().get();
+    fresh_end_ = next_fresh_ + kSlabCells;
+  }
+
+  std::vector<std::unique_ptr<Slot[]>> slabs_;
+  Slot* next_fresh_ = nullptr;
+  Slot* fresh_end_ = nullptr;
+  Slot* free_ = nullptr;
+
+  size_t live_ = 0;
+  size_t allocated_ = 0;
+  size_t reused_ = 0;
+  sim::Counter* allocated_metric_ = nullptr;
+  sim::Counter* reused_metric_ = nullptr;
+};
+
+}  // namespace elog
+
+#endif  // ELOG_CORE_CELL_ARENA_H_

@@ -41,6 +41,14 @@ EphemeralLogManager::EphemeralLogManager(core::CompletionExecutor* executor,
       steals_(metrics_->GetCounter("el.steals")),
       compensations_(metrics_->GetCounter("el.compensations")) {
   ELOG_CHECK_OK(options.Validate());
+  if (options.core_memory_gauges) {
+    // Opt-in: acquiring these handles creates sampler columns, which
+    // would change the byte-stable SERIES artifacts (see docs/perf.md).
+    lot_bytes_ = metrics_->GetGauge("core.lot.bytes");
+    ltt_bytes_ = metrics_->GetGauge("core.ltt.bytes");
+    arena_bytes_ = metrics_->GetGauge("core.cell_arena.bytes");
+    arena_.RegisterMetrics(metrics_);
+  }
   generations_.reserve(options.generation_blocks.size());
   occupancy_.reserve(options.generation_blocks.size());
   forwarded_by_gen_.reserve(options.generation_blocks.size());
@@ -69,11 +77,12 @@ void EphemeralLogManager::set_tracer(obs::Tracer* tracer,
 }
 
 EphemeralLogManager::~EphemeralLogManager() {
-  // Cells are owned by the manager; sweep whatever is still live.
+  // Cells are owned by the manager's arena; unlink whatever is still
+  // live (the slabs themselves die with arena_).
   for (auto& gen : generations_) {
     while (Cell* cell = gen->cells().front()) {
       gen->cells().Remove(cell);
-      delete cell;
+      arena_.Release(cell);
     }
   }
 }
@@ -112,7 +121,7 @@ void EphemeralLogManager::StartTransaction(
   // as a kill victim while being born.
   PrepareExternalAppend(target, wal::kTxRecordBytes);
 
-  Cell* cell = new Cell;
+  Cell* cell = arena_.Allocate();
   cell->record = wal::LogRecord::MakeBegin(tid, NextLsn());
   cell->record.participants = participants;
 
@@ -150,7 +159,7 @@ void EphemeralLogManager::WriteUpdate(TxId tid, Oid oid,
   if (entry == nullptr) return;
 
   Lsn lsn = NextLsn();
-  Cell* cell = new Cell;
+  Cell* cell = arena_.Allocate();
   if (options_.undo_redo) {
     // UNDO/REDO: account the before-image bytes.
     logged_size += options_.undo_image_bytes;
@@ -191,7 +200,7 @@ void EphemeralLogManager::WriteUpdate(TxId tid, Oid oid,
       if (old->stolen) EnqueueCompensation(old);
       obj->uncommitted.erase(it);
       Gen(old->generation).cells().Remove(old);
-      delete old;
+      arena_.Release(old);
       break;
     }
   }
@@ -285,19 +294,19 @@ void EphemeralLogManager::EnqueueCompensation(Cell* cell) {
 }
 
 void EphemeralLogManager::Commit(TxId tid,
-                                 std::function<void(TxId)> on_durable) {
+                                 workload::CommitCallback on_durable) {
   CommitInternal(tid, /*participants=*/0, std::move(on_durable),
                  /*allow_prepared=*/false);
 }
 
 void EphemeralLogManager::BranchCommit(TxId tid, uint64_t participants,
-                                       std::function<void(TxId)> on_durable) {
+                                       workload::CommitCallback on_durable) {
   CommitInternal(tid, participants, std::move(on_durable),
                  /*allow_prepared=*/true);
 }
 
 void EphemeralLogManager::CommitInternal(TxId tid, uint64_t participants,
-                                         std::function<void(TxId)> on_durable,
+                                         workload::CommitCallback on_durable,
                                          bool allow_prepared) {
   LttEntry* entry = ltt_.Find(tid);
   ELOG_CHECK(entry != nullptr) << "Commit for unknown tid " << tid;
@@ -335,10 +344,8 @@ void EphemeralLogManager::CommitInternal(TxId tid, uint64_t participants,
   MaybeCloseBatch(target);
 }
 
-void EphemeralLogManager::BranchPrepare(
-    TxId tid, uint64_t participants,
-    std::function<void(TxId, const std::vector<wal::LogRecord>&)>
-        on_prepared) {
+void EphemeralLogManager::BranchPrepare(TxId tid, uint64_t participants,
+                                        PreparedCallback on_prepared) {
   LttEntry* entry = ltt_.Find(tid);
   ELOG_CHECK(entry != nullptr) << "BranchPrepare for unknown tid " << tid;
   ELOG_CHECK(entry->state == TxState::kActive)
@@ -815,7 +822,7 @@ void EphemeralLogManager::RelocateCell(uint32_t g, Cell* cell) {
         // durability window.
         Gen(g).cells().Remove(cell);
         owner->tx_cell = nullptr;
-        delete cell;
+        arena_.Release(cell);
         unsafe_commit_drops_->Incr();
       } else {
         // §3: recirculation disabled and a record of a still-executing
@@ -911,7 +918,7 @@ bool EphemeralLogManager::HandleOverflow(Cell* cell) {
         // Committed transaction's tx record with nowhere to go.
         Gen(cell->generation).cells().Remove(cell);
         owner->tx_cell = nullptr;
-        delete cell;
+        arena_.Release(cell);
         unsafe_commit_drops_->Incr();
       }
       return true;
@@ -1023,7 +1030,7 @@ void EphemeralLogManager::ProcessCommitDurable(TxId tid, LttEntry* entry) {
 
   if (options_.release_on_commit) {
     // Firewall mode: all of the transaction's records are garbage now.
-    std::function<void(TxId)> callback = std::move(entry->on_commit_durable);
+    auto callback = std::move(entry->on_commit_durable);
     entry->on_commit_durable = nullptr;
     for (Oid oid : oids) {
       LotEntry* obj = lot_.Find(oid);
@@ -1075,7 +1082,7 @@ void EphemeralLogManager::ProcessCommitDurable(TxId tid, LttEntry* entry) {
     }
   }
 
-  std::function<void(TxId)> callback = std::move(entry->on_commit_durable);
+  auto callback = std::move(entry->on_commit_durable);
   entry->on_commit_durable = nullptr;
   if (entry->oids.empty()) {
     CleanupCommittedTransaction(tid, entry);
@@ -1190,7 +1197,7 @@ void EphemeralLogManager::DisposeDataCell(Cell* cell) {
   if (IsTerminalState(owner->state) && owner->oids.empty()) {
     CleanupCommittedTransaction(tid, owner);
   }
-  delete cell;
+  arena_.Release(cell);
 }
 
 void EphemeralLogManager::CleanupCommittedTransaction(TxId tid,
@@ -1201,7 +1208,7 @@ void EphemeralLogManager::CleanupCommittedTransaction(TxId tid,
     if (entry->tx_cell->link.linked()) {
       Gen(entry->tx_cell->generation).cells().Remove(entry->tx_cell);
     }
-    delete entry->tx_cell;
+    arena_.Release(entry->tx_cell);
   }
   bool erased = ltt_.Erase(tid);
   ELOG_CHECK(erased);
@@ -1232,7 +1239,7 @@ void EphemeralLogManager::DisposeTransaction(TxId tid, LttEntry* entry) {
     if (entry->tx_cell->link.linked()) {
       Gen(entry->tx_cell->generation).cells().Remove(entry->tx_cell);
     }
-    delete entry->tx_cell;
+    arena_.Release(entry->tx_cell);
   }
   bool erased = ltt_.Erase(tid);
   ELOG_CHECK(erased);
@@ -1267,6 +1274,12 @@ double EphemeralLogManager::modeled_memory_bytes() const {
 
 void EphemeralLogManager::UpdateMemoryGauge() {
   memory_->Set(executor_->Now(), modeled_memory_bytes());
+  if (lot_bytes_ != nullptr) {
+    const SimTime now = executor_->Now();
+    lot_bytes_->Set(now, static_cast<double>(lot_.MemoryBytes()));
+    ltt_bytes_->Set(now, static_cast<double>(ltt_.MemoryBytes()));
+    arena_bytes_->Set(now, static_cast<double>(arena_.bytes()));
+  }
 }
 
 void EphemeralLogManager::CheckInvariants() const {

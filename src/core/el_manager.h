@@ -30,6 +30,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/cell_arena.h"
 #include "core/generation.h"
 #include "core/log_manager.h"
 #include "core/options.h"
@@ -61,18 +62,16 @@ class EphemeralLogManager : public LogManager {
   // workload::TransactionSink
   TxId BeginTransaction(const workload::TransactionType& type) override;
   void WriteUpdate(TxId tid, Oid oid, uint32_t logged_size) override;
-  void Commit(TxId tid, std::function<void(TxId)> on_durable) override;
+  void Commit(TxId tid, workload::CommitCallback on_durable) override;
   void Abort(TxId tid) override;
 
   // Cross-shard branch protocol (see core/log_manager.h).
   void BranchBegin(TxId tid, const workload::TransactionType& type,
                    uint64_t participants) override;
-  void BranchPrepare(
-      TxId tid, uint64_t participants,
-      std::function<void(TxId, const std::vector<wal::LogRecord>&)>
-          on_prepared) override;
+  void BranchPrepare(TxId tid, uint64_t participants,
+                     PreparedCallback on_prepared) override;
   void BranchCommit(TxId tid, uint64_t participants,
-                    std::function<void(TxId)> on_durable) override;
+                    workload::CommitCallback on_durable) override;
   void BranchAbort(TxId tid) override;
 
   // LogManager
@@ -88,6 +87,12 @@ class EphemeralLogManager : public LogManager {
   const LogManagerOptions& options() const { return options_; }
   size_t lot_size() const { return lot_.size(); }
   size_t ltt_size() const { return ltt_.size(); }
+  /// Actual (not modeled) heap footprint of the LOT/LTT slot arrays and
+  /// the cell arena — what the opt-in core.{lot,ltt,cell_arena}.bytes
+  /// gauges report (see LogManagerOptions::core_memory_gauges).
+  size_t lot_table_bytes() const { return lot_.MemoryBytes(); }
+  size_t ltt_table_bytes() const { return ltt_.MemoryBytes(); }
+  const CellArena& cell_arena() const { return arena_; }
   const Generation& generation(uint32_t g) const { return *generations_[g]; }
   size_t num_generations() const { return generations_.size(); }
 
@@ -150,7 +155,7 @@ class EphemeralLogManager : public LogManager {
   /// (carrying `participants`) from kActive or — branch decision
   /// delivery only — kPrepared.
   void CommitInternal(TxId tid, uint64_t participants,
-                      std::function<void(TxId)> on_durable,
+                      workload::CommitCallback on_durable,
                       bool allow_prepared);
 
   Generation& Gen(uint32_t g) { return *generations_[g]; }
@@ -310,6 +315,9 @@ class EphemeralLogManager : public LogManager {
   std::vector<std::unique_ptr<Generation>> generations_;
   LoggedObjectTable lot_;
   LoggedTransactionTable ltt_;
+  /// Slab arena owning every Cell this manager allocates (see
+  /// core/cell_arena.h for the ownership rules).
+  CellArena arena_;
 
   TxId next_tid_ = 1;
   Lsn next_lsn_ = 1;
@@ -338,6 +346,11 @@ class EphemeralLogManager : public LogManager {
   sim::Counter* flush_failures_;
   sim::Counter* steals_;
   sim::Counter* compensations_;
+  /// Opt-in (options.core_memory_gauges) actual-footprint gauges; null
+  /// when disabled so no new sampler columns appear in byte-stable runs.
+  sim::Gauge* lot_bytes_ = nullptr;
+  sim::Gauge* ltt_bytes_ = nullptr;
+  sim::Gauge* arena_bytes_ = nullptr;
   bool steal_timer_armed_ = false;
 
   /// Re-entrancy guard for the forward-and-force-write step.

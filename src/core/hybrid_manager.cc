@@ -309,7 +309,6 @@ void HybridLogManager::AdvanceHeadOnce(uint32_t g) {
         };
         drives_->EnqueueUrgent(std::move(request));
       }
-      std::function<void(TxId)> none;
       ReleaseTransaction(tid, entry);
       continue;
     }
@@ -502,19 +501,19 @@ bool HybridLogManager::AppendFollowingResidence(TxId tid,
   }
 }
 
-void HybridLogManager::Commit(TxId tid, std::function<void(TxId)> on_durable) {
+void HybridLogManager::Commit(TxId tid, workload::CommitCallback on_durable) {
   CommitInternal(tid, /*participants=*/0, std::move(on_durable),
                  /*allow_prepared=*/false);
 }
 
 void HybridLogManager::BranchCommit(TxId tid, uint64_t participants,
-                                    std::function<void(TxId)> on_durable) {
+                                    workload::CommitCallback on_durable) {
   CommitInternal(tid, participants, std::move(on_durable),
                  /*allow_prepared=*/true);
 }
 
 void HybridLogManager::CommitInternal(TxId tid, uint64_t participants,
-                                      std::function<void(TxId)> on_durable,
+                                      workload::CommitCallback on_durable,
                                       bool allow_prepared) {
   HybridTx* entry = table_.Find(tid);
   ELOG_CHECK(entry != nullptr) << "Commit for unknown tid " << tid;
@@ -539,10 +538,8 @@ void HybridLogManager::CommitInternal(TxId tid, uint64_t participants,
   MaybeCloseBatch(entry->generation);
 }
 
-void HybridLogManager::BranchPrepare(
-    TxId tid, uint64_t participants,
-    std::function<void(TxId, const std::vector<wal::LogRecord>&)>
-        on_prepared) {
+void HybridLogManager::BranchPrepare(TxId tid, uint64_t participants,
+                                     PreparedCallback on_prepared) {
   HybridTx* entry = table_.Find(tid);
   ELOG_CHECK(entry != nullptr) << "BranchPrepare for unknown tid " << tid;
   ELOG_CHECK(entry->state == TxState::kActive);
@@ -663,7 +660,7 @@ void HybridLogManager::ProcessCommitDurable(TxId tid, HybridTx* entry) {
   }
   entry->unflushed = scheduled;
 
-  std::function<void(TxId)> callback = std::move(entry->on_commit_durable);
+  auto callback = std::move(entry->on_commit_durable);
   entry->on_commit_durable = nullptr;
   if (scheduled == 0) ReleaseTransaction(tid, entry);
   UpdateMemoryGauge();

@@ -37,7 +37,7 @@
 #include "obs/trace.h"
 #include "sim/metrics.h"
 #include "core/exec.h"
-#include "util/chained_hash_map.h"
+#include "util/flat_hash_map.h"
 
 namespace elog {
 
@@ -58,17 +58,16 @@ class HybridLogManager : public LogManager {
   // workload::TransactionSink
   TxId BeginTransaction(const workload::TransactionType& type) override;
   void WriteUpdate(TxId tid, Oid oid, uint32_t logged_size) override;
-  void Commit(TxId tid, std::function<void(TxId)> on_durable) override;
+  void Commit(TxId tid, workload::CommitCallback on_durable) override;
   void Abort(TxId tid) override;
 
   // Cross-shard branch protocol (see core/log_manager.h).
   void BranchBegin(TxId tid, const workload::TransactionType& type,
                    uint64_t participants) override;
   void BranchPrepare(TxId tid, uint64_t participants,
-                     std::function<void(TxId, const std::vector<wal::LogRecord>&)>
-                         on_prepared) override;
+                     PreparedCallback on_prepared) override;
   void BranchCommit(TxId tid, uint64_t participants,
-                    std::function<void(TxId)> on_durable) override;
+                    workload::CommitCallback on_durable) override;
   void BranchAbort(TxId tid) override;
 
   // LogManager
@@ -133,10 +132,10 @@ class HybridLogManager : public LogManager {
     std::vector<wal::LogRecord> records;
     /// Flushes still outstanding after commit.
     uint32_t unflushed = 0;
-    std::function<void(TxId)> on_commit_durable;
+    workload::CommitCallback on_commit_durable;
     /// Cross-shard branch only: fires at PREPARE durability with the
     /// branch's final data records (see LttEntry::on_prepared).
-    std::function<void(TxId, const std::vector<wal::LogRecord>&)> on_prepared;
+    PreparedCallback on_prepared;
   };
 
   Generation& Gen(uint32_t g) { return *generations_[g]; }
@@ -194,7 +193,7 @@ class HybridLogManager : public LogManager {
                         uint64_t participants);
   /// Shared body of Commit/BranchCommit.
   void CommitInternal(TxId tid, uint64_t participants,
-                      std::function<void(TxId)> on_durable,
+                      workload::CommitCallback on_durable,
                       bool allow_prepared);
 
   void OnBlockDurable(const std::vector<TxId>& commit_tids);
@@ -225,7 +224,10 @@ class HybridLogManager : public LogManager {
   std::vector<std::unique_ptr<Generation>> generations_;
   /// Transactions whose firewall marker is in a given (generation, slot).
   std::vector<std::vector<std::vector<TxId>>> markers_;
-  ChainedHashMap<TxId, HybridTx> table_;
+  /// Same flat layout as the EL manager's LOT/LTT; the only Insert is at
+  /// the top of StartTransaction, so entry pointers held across nested
+  /// GC (which only Finds/Erases) stay valid — see util/flat_hash_map.h.
+  FlatHashMap<TxId, HybridTx> table_;
 
   TxId next_tid_ = 1;
   Lsn next_lsn_ = 1;

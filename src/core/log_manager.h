@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/inline_callback.h"
 #include "util/check.h"
 #include "util/stats.h"
 #include "util/types.h"
@@ -16,6 +17,12 @@
 #include "workload/generator.h"
 
 namespace elog {
+
+/// Prepare acknowledgement for a cross-shard branch: fires at the
+/// PREPARE record's durable instant with the branch's final update
+/// records. Inline-storage and move-only, like workload::CommitCallback.
+using PreparedCallback =
+    sim::InlineFunction<void(TxId, const std::vector<wal::LogRecord>&)>;
 
 /// Receives transaction-kill notifications (the workload generator, via
 /// the database facade, so it stops issuing records for the victim).
@@ -121,10 +128,8 @@ class LogManager : public workload::TransactionSink {
   /// durable instant the branch is kPrepared and `on_prepared` fires with
   /// the branch's final update records. The branch can no longer be
   /// killed by policy and retains its records until the decision.
-  virtual void BranchPrepare(
-      TxId tid, uint64_t participants,
-      std::function<void(TxId, const std::vector<wal::LogRecord>&)>
-          on_prepared) {
+  virtual void BranchPrepare(TxId tid, uint64_t participants,
+                             PreparedCallback on_prepared) {
     (void)tid, (void)participants, (void)on_prepared;
     ELOG_CHECK(false) << "this manager does not host shard branches";
   }
@@ -134,7 +139,7 @@ class LogManager : public workload::TransactionSink {
   /// like Commit plus the mask) and from kPrepared (decision delivery to
   /// a prepared branch; its retained updates then flush normally).
   virtual void BranchCommit(TxId tid, uint64_t participants,
-                            std::function<void(TxId)> on_durable) {
+                            workload::CommitCallback on_durable) {
     (void)tid, (void)participants, (void)on_durable;
     ELOG_CHECK(false) << "this manager does not host shard branches";
   }

@@ -272,6 +272,13 @@ struct LogManagerOptions {
   uint32_t el_bytes_per_object = 40;
   uint32_t fw_bytes_per_transaction = 22;
 
+  /// Registers the *actual*-footprint gauges (core.lot.bytes,
+  /// core.ltt.bytes, core.cell_arena.bytes) and the cell-arena counters
+  /// alongside the modeled gauge above. Off by default: registering a
+  /// metric adds a sampler column, and committed SERIES artifacts are
+  /// byte-frozen (bench/fig6_memory and bench/lot_scale opt in).
+  bool core_memory_gauges = false;
+
   /// Log-device backend: the simulator (default) or a real WAL file.
   /// The file backend requires shards == 1 and no fault injection /
   /// duplexing / health features (those belong to the simulated fleet);

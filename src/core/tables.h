@@ -3,17 +3,30 @@
 // "The LOT has an entry for every data object which has at least one
 // non-garbage data log record somewhere in the log. Likewise, the LTT has
 // an entry for every transaction with a non-garbage tx log record."
-// Both are hash tables with chaining, per the paper's recommendation.
+//
+// The paper recommends hash tables with chaining; at the paper's 10⁷
+// objects that is fine, but the north-star 10⁸–10⁹ oids make the
+// per-entry heap node and its extra cache miss the dominant Begin/Write/
+// Commit cost. Both tables are therefore util::FlatHashMap — flat
+// open-addressing with group-probed tag bytes — with the chained map
+// retained as the behavioral oracle (util/chained_hash_map.h, A/B'd in
+// bench/micro_structures and fuzzed against in tests/flat_hash_map_test).
+//
+// Entry pointers returned by Find/Insert are stable across Erase but
+// invalidated by a rehashing Insert; the managers only Insert at the top
+// of Begin/WriteUpdate, before taking entry pointers (see the pointer-
+// stability notes in util/flat_hash_map.h).
 
 #ifndef ELOG_CORE_TABLES_H_
 #define ELOG_CORE_TABLES_H_
 
-#include <functional>
-#include <unordered_set>
 #include <vector>
 
 #include "core/cell.h"
-#include "util/chained_hash_map.h"
+#include "sim/inline_callback.h"
+#include "util/flat_hash_map.h"
+#include "util/inline_bucket_set.h"
+#include "util/inline_vec.h"
 #include "util/types.h"
 
 namespace elog {
@@ -60,12 +73,15 @@ inline bool IsCommitWindowState(TxState state) {
 struct LotEntry {
   /// Most recently committed, not-yet-flushed update.
   Cell* committed = nullptr;
-  /// Uncommitted updates, tagged with the writing transaction.
+  /// Uncommitted updates, tagged with the writing transaction. Almost
+  /// always 0 or 1 entries (one live writer per object in the paper's
+  /// workload; only UNDO/REDO overlap windows see more), so one slot is
+  /// inline and the whole LotEntry stays at 32 bytes.
   struct Uncommitted {
     TxId tid;
     Cell* cell;
   };
-  std::vector<Uncommitted> uncommitted;
+  InlineVector<Uncommitted, 1> uncommitted;
 
   bool empty() const { return committed == nullptr && uncommitted.empty(); }
 };
@@ -84,18 +100,23 @@ struct LttEntry {
   /// same cell object is re-pointed when a newer tx record is written.
   Cell* tx_cell = nullptr;
   /// Objects updated by this transaction that still have a non-garbage
-  /// data log record written by it.
-  std::unordered_set<Oid> oids;
-  /// Group-commit acknowledgement, invoked at t4.
-  std::function<void(TxId)> on_commit_durable;
+  /// data log record written by it. Flat inline node pool, no per-oid
+  /// heap node. Iteration order is behavior: the flush paths walk this
+  /// set, and the committed artifacts pin the resulting schedule — see
+  /// util/inline_bucket_set.h for the frozen order spec.
+  InlineBucketSet<Oid, 4> oids;
+  /// Group-commit acknowledgement, invoked at t4. Inline storage (48-byte
+  /// SBO) so Begin does not heap-allocate per transaction.
+  sim::InlineFunction<void(TxId)> on_commit_durable;
   /// Cross-shard branch only: invoked when the PREPARE record becomes
   /// durable, delivering the branch's final update records (the shard
   /// coordinator stashes them for the union commit hook).
-  std::function<void(TxId, const std::vector<wal::LogRecord>&)> on_prepared;
+  sim::InlineFunction<void(TxId, const std::vector<wal::LogRecord>&)>
+      on_prepared;
 };
 
-using LoggedObjectTable = ChainedHashMap<Oid, LotEntry>;
-using LoggedTransactionTable = ChainedHashMap<TxId, LttEntry>;
+using LoggedObjectTable = FlatHashMap<Oid, LotEntry>;
+using LoggedTransactionTable = FlatHashMap<TxId, LttEntry>;
 
 }  // namespace elog
 

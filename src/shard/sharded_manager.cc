@@ -112,16 +112,16 @@ TxId ShardedLogManager::BeginTransaction(
   TxId tid = next_tid_++;
   GlobalTx g;
   g.type = type;
-  auto [it, inserted] = global_.emplace(tid, std::move(g));
+  auto [entry, inserted] = global_.Insert(tid, std::move(g));
   ELOG_CHECK(inserted);
-  (void)it;
+  (void)entry;
   return tid;
 }
 
 bool ShardedLogManager::EnsureBranch(TxId tid, uint32_t s) {
-  auto it = global_.find(tid);
-  if (it == global_.end()) return false;
-  GlobalTx& g = it->second;
+  GlobalTx* entry = global_.Find(tid);
+  if (entry == nullptr) return false;
+  GlobalTx& g = *entry;
   uint64_t bit = 1ull << s;
   if ((g.live & bit) != 0) return true;
   ELOG_CHECK(g.phase == GlobalTx::Phase::kActive)
@@ -137,7 +137,7 @@ bool ShardedLogManager::EnsureBranch(TxId tid, uint32_t s) {
   g.live |= bit;
   workload::TransactionType type = g.type;  // the entry may die below
   shards_[s]->BranchBegin(tid, type, mask_for_begin);
-  return global_.find(tid) != global_.end();
+  return global_.Find(tid) != nullptr;
 }
 
 void ShardedLogManager::WriteUpdate(TxId tid, Oid oid, uint32_t logged_size) {
@@ -151,25 +151,25 @@ void ShardedLogManager::WriteUpdate(TxId tid, Oid oid, uint32_t logged_size) {
   UpdateMemoryGauge();
 }
 
-void ShardedLogManager::Commit(TxId tid, std::function<void(TxId)> on_durable) {
+void ShardedLogManager::Commit(TxId tid, workload::CommitCallback on_durable) {
   if (passthrough()) {
     shards_[0]->Commit(tid, std::move(on_durable));
     return;
   }
-  auto it = global_.find(tid);
-  ELOG_CHECK(it != global_.end()) << "commit of unknown tid " << tid;
-  ELOG_CHECK(it->second.phase == GlobalTx::Phase::kActive);
-  if (it->second.participants == 0) {
+  GlobalTx* entry = global_.Find(tid);
+  ELOG_CHECK(entry != nullptr) << "commit of unknown tid " << tid;
+  ELOG_CHECK(entry->phase == GlobalTx::Phase::kActive);
+  if (entry->participants == 0) {
     // The transaction wrote nothing. Open a branch anyway so its
     // BEGIN/COMMIT pair is logged and the acknowledgement rides a real
     // group-commit stream, exactly as in an unsharded run.
     if (!EnsureBranch(tid, static_cast<uint32_t>(tid % shards_.size()))) {
       return;
     }
-    it = global_.find(tid);
-    if (it == global_.end()) return;
+    entry = global_.Find(tid);
+    if (entry == nullptr) return;
   }
-  GlobalTx& g = it->second;
+  GlobalTx& g = *entry;
   g.on_durable = std::move(on_durable);
   const uint64_t mask = g.participants;
   const uint32_t home = g.home;
@@ -203,7 +203,7 @@ void ShardedLogManager::Commit(TxId tid, std::function<void(TxId)> on_durable) {
     // The prepare append can wedge the shard and kill this transaction
     // synchronously; the relay then erased the entry and aborted the
     // remaining branches — stop issuing prepares.
-    if (global_.find(tid) == global_.end()) return;
+    if (global_.Find(tid) == nullptr) return;
   }
 }
 
@@ -212,11 +212,11 @@ void ShardedLogManager::Abort(TxId tid) {
     shards_[0]->Abort(tid);
     return;
   }
-  auto it = global_.find(tid);
-  ELOG_CHECK(it != global_.end()) << "abort of unknown tid " << tid;
-  ELOG_CHECK(it->second.phase == GlobalTx::Phase::kActive);
-  GlobalTx g = std::move(it->second);
-  global_.erase(it);
+  GlobalTx* entry = global_.Find(tid);
+  ELOG_CHECK(entry != nullptr) << "abort of unknown tid " << tid;
+  ELOG_CHECK(entry->phase == GlobalTx::Phase::kActive);
+  GlobalTx g = std::move(*entry);
+  global_.Erase(tid);
   for (uint32_t k = 0; k < shards_.size(); ++k) {
     if ((g.live >> k) & 1) shards_[k]->BranchAbort(tid);
   }
@@ -228,9 +228,9 @@ void ShardedLogManager::Abort(TxId tid) {
 void ShardedLogManager::OnBranchPrepared(
     uint32_t shard, TxId tid, const std::vector<wal::LogRecord>& updates) {
   (void)shard;
-  auto it = global_.find(tid);
-  if (it == global_.end()) return;  // died between prepare and durability
-  GlobalTx& g = it->second;
+  GlobalTx* entry = global_.Find(tid);
+  if (entry == nullptr) return;  // died between prepare and durability
+  GlobalTx& g = *entry;
   if (g.phase != GlobalTx::Phase::kPreparing) return;
   g.branch_updates.insert(g.branch_updates.end(), updates.begin(),
                           updates.end());
@@ -249,10 +249,10 @@ void ShardedLogManager::OnInnerCommit(
   // reach commit durability is the home's deciding COMMIT; branch
   // commits delivered after the decision find no entry and are
   // swallowed (their updates were already reported via on_prepared).
-  auto it = global_.find(tid);
-  if (it == global_.end()) return;
+  GlobalTx* entry = global_.Find(tid);
+  if (entry == nullptr) return;
   if (commit_hook_ == nullptr) return;
-  GlobalTx& g = it->second;
+  GlobalTx& g = *entry;
   if (g.branch_updates.empty()) {
     commit_hook_(tid, updates);
     return;
@@ -263,10 +263,10 @@ void ShardedLogManager::OnInnerCommit(
 }
 
 void ShardedLogManager::OnHomeCommitDurable(TxId tid) {
-  auto it = global_.find(tid);
-  if (it == global_.end()) return;
-  GlobalTx g = std::move(it->second);
-  global_.erase(it);
+  GlobalTx* entry = global_.Find(tid);
+  if (entry == nullptr) return;
+  GlobalTx g = std::move(*entry);
+  global_.Erase(tid);
   // Deliver the decision to the surviving prepared branches first (their
   // COMMIT records shrink recovery's in-doubt window), then acknowledge
   // the client. The branch commits are fire-and-forget: the decision is
@@ -286,9 +286,9 @@ void ShardedLogManager::OnHomeCommitDurable(TxId tid) {
 }
 
 void ShardedLogManager::OnBranchKilled(uint32_t shard, TxId tid) {
-  auto it = global_.find(tid);
-  if (it == global_.end()) return;  // cascade echo or post-decision kill
-  GlobalTx& g = it->second;
+  GlobalTx* entry = global_.Find(tid);
+  if (entry == nullptr) return;  // cascade echo or post-decision kill
+  GlobalTx& g = *entry;
 
   if (g.phase == GlobalTx::Phase::kCommitting && shard != g.home) {
     // A prepared branch died after the decision was issued (an unsafe
@@ -302,7 +302,7 @@ void ShardedLogManager::OnBranchKilled(uint32_t shard, TxId tid) {
   // inside its commit window: the whole transaction dies. Erase first so
   // the cascading aborts' notifications are swallowed above.
   GlobalTx dead = std::move(g);
-  global_.erase(it);
+  global_.Erase(tid);
   bool cross = PopCount(dead.participants) > 1;
   for (uint32_t k = 0; k < shards_.size(); ++k) {
     if (k == shard) continue;  // the killer already disposed its branch

@@ -33,11 +33,11 @@
 
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/log_manager.h"
+#include "util/flat_hash_map.h"
 #include "obs/trace.h"
 #include "sim/metrics.h"
 #include "core/exec.h"
@@ -70,7 +70,7 @@ class ShardedLogManager : public LogManager {
   // branches the mask known so far).
   TxId BeginTransaction(const workload::TransactionType& type) override;
   void WriteUpdate(TxId tid, Oid oid, uint32_t logged_size) override;
-  void Commit(TxId tid, std::function<void(TxId)> on_durable) override;
+  void Commit(TxId tid, workload::CommitCallback on_durable) override;
   void Abort(TxId tid) override;
 
   // Hook wiring: forwarded to every shard (S = 1 forwards everything;
@@ -129,7 +129,7 @@ class ShardedLogManager : public LogManager {
     /// Final update records reported by prepared branches, collected so
     /// the outer commit hook sees the transaction's full write set.
     std::vector<wal::LogRecord> branch_updates;
-    std::function<void(TxId)> on_durable;
+    workload::CommitCallback on_durable;
   };
 
   /// Per-shard kill-listener adapter: the base KillListener interface
@@ -167,7 +167,11 @@ class ShardedLogManager : public LogManager {
   int trace_lane_ = 0;
 
   std::vector<std::unique_ptr<KillRelay>> relays_;
-  std::unordered_map<TxId, GlobalTx> global_;
+  /// Coordinator transaction table: same flat layout as the shard-local
+  /// LOT/LTT. The only Insert is in BeginTransaction (never nested under
+  /// a branch call), so GlobalTx pointers held across branch calls —
+  /// which can only Find/Erase through the kill relays — stay valid.
+  FlatHashMap<TxId, GlobalTx> global_;
   TxId next_tid_ = 1;
 
   // Typed metric handles (coordinator namespace "sharded.*").

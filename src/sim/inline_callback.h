@@ -3,12 +3,17 @@
 // The event kernel fires tens of millions of callbacks per simulated run;
 // std::function heap-allocates for any capture beyond its (implementation
 // defined, typically 16-byte) small-buffer and that allocator traffic
-// dominates EventQueue::Schedule. InlineCallback stores the callable
+// dominates EventQueue::Schedule. InlineFunction stores the callable
 // inline in a 48-byte buffer — enough for a `this` pointer plus a few
 // words of state — and refuses larger captures at compile time, so a new
 // call site can never silently reintroduce an allocation: it must shrink
 // its capture (e.g. capture an index instead of a struct copy) or stash
 // the state in a member reachable through `this`.
+//
+// InlineFunction<R(Args...)> is the general template; InlineCallback is
+// the event kernel's original void() alias. The LTT's per-transaction
+// hooks (core/tables.h) use the parameterized forms so that Begin no
+// longer pays a std::function heap allocation per transaction.
 
 #ifndef ELOG_SIM_INLINE_CALLBACK_H_
 #define ELOG_SIM_INLINE_CALLBACK_H_
@@ -22,48 +27,61 @@
 namespace elog {
 namespace sim {
 
-class InlineCallback {
+template <typename Signature>
+class InlineFunction;  // undefined; only the R(Args...) partial below
+
+template <typename R, typename... Args>
+class InlineFunction<R(Args...)> {
  public:
   /// Maximum capture size. 48 bytes fits every scheduling site in the
   /// tree; raising it grows every slot in the event arena, so prefer
   /// shrinking the capture at the call site.
   static constexpr size_t kInlineBytes = 48;
 
-  InlineCallback() = default;
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
 
   template <typename F, typename = std::enable_if_t<!std::is_same_v<
-                            std::decay_t<F>, InlineCallback>>>
-  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+                            std::decay_t<F>, InlineFunction>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
     using Fn = std::decay_t<F>;
     static_assert(sizeof(Fn) <= kInlineBytes,
-                  "capture exceeds InlineCallback::kInlineBytes: capture an "
+                  "capture exceeds InlineFunction::kInlineBytes: capture an "
                   "index or reach the state through a member instead");
     static_assert(alignof(Fn) <= alignof(std::max_align_t),
                   "over-aligned captures are not supported");
     static_assert(std::is_nothrow_move_constructible_v<Fn>,
                   "captured callable must be nothrow move constructible");
+    static_assert(std::is_invocable_r_v<R, Fn&, Args...>,
+                  "callable does not match the InlineFunction signature");
     ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
     ops_ = &OpsFor<Fn>::kOps;
   }
 
-  InlineCallback(InlineCallback&& other) noexcept { MoveFrom(other); }
-  InlineCallback& operator=(InlineCallback&& other) noexcept {
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(other); }
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
     if (this != &other) {
       Reset();
       MoveFrom(other);
     }
     return *this;
   }
-  InlineCallback(const InlineCallback&) = delete;
-  InlineCallback& operator=(const InlineCallback&) = delete;
-  ~InlineCallback() { Reset(); }
+  InlineFunction& operator=(std::nullptr_t) {
+    Reset();
+    return *this;
+  }
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+  ~InlineFunction() { Reset(); }
 
   /// Invokes the stored callable; must be non-empty.
-  void operator()() { ops_->invoke(buf_); }
+  R operator()(Args... args) {
+    return ops_->invoke(buf_, std::forward<Args>(args)...);
+  }
 
   explicit operator bool() const { return ops_ != nullptr; }
 
-  /// Destroys the stored callable, leaving the callback empty.
+  /// Destroys the stored callable, leaving the function empty.
   void Reset() {
     if (ops_ != nullptr) {
       if (ops_->destroy != nullptr) ops_->destroy(buf_);
@@ -73,7 +91,7 @@ class InlineCallback {
 
  private:
   struct Ops {
-    void (*invoke)(void*);
+    R (*invoke)(void*, Args&&...);
     /// Move-constructs *src into dst, then destroys *src. nullptr means
     /// the callable is trivially relocatable: memcpy the buffer instead.
     void (*relocate)(void* dst, void* src);
@@ -87,7 +105,9 @@ class InlineCallback {
 
   template <typename Fn>
   struct OpsFor {
-    static void Invoke(void* p) { (*static_cast<Fn*>(p))(); }
+    static R Invoke(void* p, Args&&... args) {
+      return (*static_cast<Fn*>(p))(std::forward<Args>(args)...);
+    }
     static void Relocate(void* dst, void* src) {
       Fn* from = static_cast<Fn*>(src);
       ::new (dst) Fn(std::move(*from));
@@ -99,7 +119,7 @@ class InlineCallback {
                               kTrivial<Fn> ? nullptr : &Destroy};
   };
 
-  void MoveFrom(InlineCallback& other) noexcept {
+  void MoveFrom(InlineFunction& other) noexcept {
     ops_ = other.ops_;
     if (ops_ != nullptr) {
       if (ops_->relocate != nullptr) {
@@ -114,6 +134,9 @@ class InlineCallback {
   alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
   const Ops* ops_ = nullptr;
 };
+
+/// The event kernel's callback type (the original InlineCallback).
+using InlineCallback = InlineFunction<void()>;
 
 }  // namespace sim
 }  // namespace elog

@@ -4,9 +4,16 @@
 // using transaction identifiers (tids) as keys. A hash table implementation
 // is therefore appropriate. The dynamic nature of the LTT strongly suggests
 // that chaining (rather than open addressing) is the most suitable
-// technique for collision resolution." The LOT is organized the same way,
-// keyed by oid. This container is that structure; it grows by doubling the
-// bucket array when the load factor exceeds 1.
+// technique for collision resolution."
+//
+// History has been kinder to open addressing than the paper expected: the
+// LOT/LTT now live in util::FlatHashMap (group-probed open addressing,
+// docs/perf.md "Core table layouts"), which wins on both ns/op and
+// bytes/object at the paper's scales. This map remains as the paper's
+// literal structure and as the behavioral oracle for FlatHashMap — the
+// differential fuzz in tests/flat_hash_map_test and the A/B gate in
+// bench/micro_structures run the two side by side. It grows by doubling
+// the bucket array when the load factor exceeds 1.
 
 #ifndef ELOG_UTIL_CHAINED_HASH_MAP_H_
 #define ELOG_UTIL_CHAINED_HASH_MAP_H_

@@ -1,0 +1,384 @@
+// Open-addressing hash map with group-probed control tags.
+//
+// The production table behind the LOT and LTT (core/tables.h). The
+// paper's chaining recommendation (§2.3) predates two decades of cache
+// hierarchy growth: at 10⁸ oids a pointer-per-entry layout spends every
+// probe on a dependent cache miss. FlatHashMap stores entries inline in
+// one contiguous slot array and keeps a parallel byte of control state
+// ("tag") per slot, so a lookup touches one 16-byte tag group (a single
+// SSE2 compare, or a SWAR fallback) and then at most the few slots whose
+// low 7 hash bits match. ChainedHashMap remains in the tree as the
+// behavioral oracle behind bench/micro_structures and the randomized
+// differential test (tests/flat_hash_map_test).
+//
+// Layout and algorithm:
+//   - capacity is a power of two, partitioned into aligned groups of
+//     kGroupWidth slots; probing walks groups (triangular sequence
+//     g += 1, 2, 3, ... masked), never individual slots;
+//   - each slot's tag is kEmpty, kDeleted, or the low 7 bits of the
+//     mixed hash (H2); group scans match H2 in parallel and a probe
+//     terminates at the first group containing an empty tag;
+//   - deletion is tag-based: an erased slot becomes kEmpty when its
+//     group still holds another empty tag (no probe can ever have walked
+//     past that group), otherwise kDeleted (a tombstone that keeps probe
+//     chains intact). Tombstones are reclaimed wholesale by the next
+//     rehash;
+//   - growth doubles capacity when (live + tombstones) would exceed a
+//     7/8 load factor; a table dominated by tombstones rehashes in
+//     place at the same capacity instead.
+//
+// Pointer stability contract (weaker than ChainedHashMap's): pointers
+// returned by Find/Insert remain valid across Erase of any key, but are
+// invalidated by any Insert that rehashes. Callers that cache an entry
+// pointer across an Insert into the same table must re-Find (the log
+// managers only insert at the top of Begin/WriteUpdate, never from
+// nested GC paths — see core/tables.h). Reserve() pre-sizes the table so
+// a known insertion phase performs no rehash at all.
+
+#ifndef ELOG_UTIL_FLAT_HASH_MAP_H_
+#define ELOG_UTIL_FLAT_HASH_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <new>
+#include <utility>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include "util/check.h"
+
+namespace elog {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class FlatHashMap {
+ public:
+#if defined(__SSE2__)
+  static constexpr size_t kGroupWidth = 16;
+#else
+  static constexpr size_t kGroupWidth = 8;
+#endif
+
+  explicit FlatHashMap(size_t initial_slots = kGroupWidth) {
+    size_t n = kGroupWidth;
+    while (n < initial_slots) n <<= 1;
+    Allocate(n);
+  }
+
+  ~FlatHashMap() {
+    DestroyAll();
+    Deallocate();
+  }
+
+  FlatHashMap(const FlatHashMap&) = delete;
+  FlatHashMap& operator=(const FlatHashMap&) = delete;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Slot count (the open-addressing analogue of bucket_count()).
+  size_t bucket_count() const { return capacity_; }
+
+  /// Returns a pointer to the value for `key`, or nullptr if absent.
+  V* Find(const K& key) {
+    const uint64_t h = MixedHash(key);
+    const uint8_t h2 = H2(h);
+    size_t group = H1(h) & group_mask_;
+    for (size_t step = 1;; ++step) {
+      const size_t base = group * kGroupWidth;
+      uint32_t match = GroupMatch(tags_ + base, h2);
+      while (match != 0) {
+        const size_t slot = base + CountTrailingZeros(match);
+        if (slots_[slot].key == key) return &slots_[slot].value;
+        match &= match - 1;
+      }
+      if (GroupMatchEmpty(tags_ + base) != 0) return nullptr;
+      group = (group + step) & group_mask_;
+    }
+  }
+  const V* Find(const K& key) const {
+    return const_cast<FlatHashMap*>(this)->Find(key);
+  }
+
+  bool Contains(const K& key) const { return Find(key) != nullptr; }
+
+  /// Inserts (key, value). Returns {pointer-to-value, true} on insert, or
+  /// {pointer-to-existing-value, false} if the key was already present.
+  /// An insert that grows the table invalidates all outstanding pointers.
+  std::pair<V*, bool> Insert(const K& key, V value) {
+    const uint64_t h = MixedHash(key);
+    const uint8_t h2 = H2(h);
+    size_t group = H1(h) & group_mask_;
+    size_t insert_slot = kNoSlot;
+    for (size_t step = 1;; ++step) {
+      const size_t base = group * kGroupWidth;
+      uint32_t match = GroupMatch(tags_ + base, h2);
+      while (match != 0) {
+        const size_t slot = base + CountTrailingZeros(match);
+        if (slots_[slot].key == key) return {&slots_[slot].value, false};
+        match &= match - 1;
+      }
+      const uint32_t not_full = GroupMatchNotFull(tags_ + base);
+      if (insert_slot == kNoSlot && not_full != 0) {
+        insert_slot = base + CountTrailingZeros(not_full);
+      }
+      if (GroupMatchEmpty(tags_ + base) != 0) break;
+      group = (group + step) & group_mask_;
+    }
+    // Key absent. `insert_slot` is the first empty-or-deleted slot on the
+    // probe path (it exists: the loop only exits at a group with an
+    // empty tag).
+    if (used_ + 1 > MaxUsed(capacity_)) {
+      Rehash(size_ >= capacity_ / 2 ? capacity_ * 2 : capacity_);
+      return Insert(std::move(key), std::move(value));
+    }
+    if (tags_[insert_slot] == kDeleted) {
+      --tombstones_;
+    } else {
+      ++used_;
+    }
+    tags_[insert_slot] = h2;
+    ::new (static_cast<void*>(&slots_[insert_slot])) Slot{key, std::move(value)};
+    ++size_;
+    return {&slots_[insert_slot].value, true};
+  }
+
+  /// Removes `key`. Returns true if it was present. Never moves or
+  /// invalidates other entries.
+  bool Erase(const K& key) {
+    const uint64_t h = MixedHash(key);
+    const uint8_t h2 = H2(h);
+    size_t group = H1(h) & group_mask_;
+    for (size_t step = 1;; ++step) {
+      const size_t base = group * kGroupWidth;
+      uint32_t match = GroupMatch(tags_ + base, h2);
+      while (match != 0) {
+        const size_t slot = base + CountTrailingZeros(match);
+        if (slots_[slot].key == key) {
+          slots_[slot].~Slot();
+          // Tag-based deletion: if this group still has an empty tag, no
+          // probe sequence has ever continued past it (probes stop at
+          // the first empty), so the slot can revert straight to empty.
+          // Otherwise it becomes a tombstone to keep longer probe chains
+          // reachable until the next rehash.
+          if (GroupMatchEmpty(tags_ + base) != 0) {
+            tags_[slot] = kEmpty;
+            --used_;
+          } else {
+            tags_[slot] = kDeleted;
+            ++tombstones_;
+          }
+          --size_;
+          return true;
+        }
+        match &= match - 1;
+      }
+      if (GroupMatchEmpty(tags_ + base) != 0) return false;
+      group = (group + step) & group_mask_;
+    }
+  }
+
+  /// Ensures `n` entries fit without any rehash (and therefore without
+  /// pointer invalidation) during the following inserts.
+  void Reserve(size_t n) {
+    size_t target = capacity_;
+    while (n > MaxUsed(target)) target <<= 1;
+    if (target != capacity_) Rehash(target);
+  }
+
+  /// Invokes fn(key, value&) for every entry, in slot order. `fn` must
+  /// not mutate the map.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (size_t slot = 0; slot < capacity_; ++slot) {
+      if (IsFull(tags_[slot])) fn(slots_[slot].key, slots_[slot].value);
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t slot = 0; slot < capacity_; ++slot) {
+      if (IsFull(tags_[slot])) {
+        fn(slots_[slot].key,
+           const_cast<const V&>(slots_[slot].value));
+      }
+    }
+  }
+
+  void Clear() {
+    DestroyAll();
+    std::memset(tags_, kEmpty, capacity_);
+    size_ = 0;
+    used_ = 0;
+    tombstones_ = 0;
+  }
+
+  /// Heap footprint of the table itself: the slot array plus the control
+  /// tags. Per-entry heap owned by V (spilled small-vectors etc.) is the
+  /// value's to account.
+  size_t MemoryBytes() const {
+    return capacity_ * sizeof(Slot) + capacity_ * sizeof(uint8_t);
+  }
+
+  /// Tombstone count (exposed for tests of the deletion strategy).
+  size_t tombstones() const { return tombstones_; }
+
+ private:
+  struct Slot {
+    K key;
+    V value;
+  };
+
+  static constexpr uint8_t kEmpty = 0x80;
+  static constexpr uint8_t kDeleted = 0xFE;
+  static constexpr size_t kNoSlot = static_cast<size_t>(-1);
+
+  static bool IsFull(uint8_t tag) { return (tag & 0x80) == 0; }
+
+  static uint64_t MixedHash(const K& key) {
+    // Same finalizer as ChainedHashMap::BucketIndex, so low-entropy key
+    // streams (sequential tids/oids under the identity std::hash) spread
+    // over groups.
+    uint64_t h = static_cast<uint64_t>(Hash{}(key));
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return h;
+  }
+
+  static size_t H1(uint64_t h) { return static_cast<size_t>(h >> 7); }
+  static uint8_t H2(uint64_t h) { return static_cast<uint8_t>(h & 0x7f); }
+
+  static int CountTrailingZeros(uint32_t mask) {
+    return __builtin_ctz(mask);
+  }
+
+#if defined(__SSE2__)
+  /// Bitmask of slots in the group whose tag equals `h2`.
+  static uint32_t GroupMatch(const uint8_t* tags, uint8_t h2) {
+    const __m128i group =
+        _mm_load_si128(reinterpret_cast<const __m128i*>(tags));
+    const __m128i needle = _mm_set1_epi8(static_cast<char>(h2));
+    return static_cast<uint32_t>(
+        _mm_movemask_epi8(_mm_cmpeq_epi8(group, needle)));
+  }
+  /// Bitmask of empty slots in the group.
+  static uint32_t GroupMatchEmpty(const uint8_t* tags) {
+    const __m128i group =
+        _mm_load_si128(reinterpret_cast<const __m128i*>(tags));
+    const __m128i needle = _mm_set1_epi8(static_cast<char>(kEmpty));
+    return static_cast<uint32_t>(
+        _mm_movemask_epi8(_mm_cmpeq_epi8(group, needle)));
+  }
+  /// Bitmask of empty-or-deleted slots (high tag bit set).
+  static uint32_t GroupMatchNotFull(const uint8_t* tags) {
+    const __m128i group =
+        _mm_load_si128(reinterpret_cast<const __m128i*>(tags));
+    return static_cast<uint32_t>(_mm_movemask_epi8(group));
+  }
+#else
+  // Portable byte-scan fallback for one 8-slot group. Exact (the SWAR
+  // zero-byte trick can false-positive on borrow propagation, and a
+  // phantom match would read an uninitialized slot); the compiler
+  // unrolls the fixed-trip loop.
+  static uint32_t GroupMatch(const uint8_t* tags, uint8_t h2) {
+    uint32_t mask = 0;
+    for (size_t i = 0; i < kGroupWidth; ++i) {
+      if (tags[i] == h2) mask |= 1u << i;
+    }
+    return mask;
+  }
+  static uint32_t GroupMatchEmpty(const uint8_t* tags) {
+    uint32_t mask = 0;
+    for (size_t i = 0; i < kGroupWidth; ++i) {
+      if (tags[i] == kEmpty) mask |= 1u << i;
+    }
+    return mask;
+  }
+  static uint32_t GroupMatchNotFull(const uint8_t* tags) {
+    uint32_t mask = 0;
+    for (size_t i = 0; i < kGroupWidth; ++i) {
+      if ((tags[i] & 0x80) != 0) mask |= 1u << i;
+    }
+    return mask;
+  }
+#endif
+
+  static size_t MaxUsed(size_t capacity) { return capacity - capacity / 8; }
+
+  void Allocate(size_t capacity) {
+    capacity_ = capacity;
+    group_mask_ = capacity / kGroupWidth - 1;
+    tags_ = static_cast<uint8_t*>(
+        ::operator new(capacity, std::align_val_t(kGroupWidth)));
+    std::memset(tags_, kEmpty, capacity);
+    slots_ = static_cast<Slot*>(
+        ::operator new(capacity * sizeof(Slot), std::align_val_t(alignof(Slot))));
+  }
+
+  void Deallocate() {
+    ::operator delete(tags_, std::align_val_t(kGroupWidth));
+    ::operator delete(slots_, std::align_val_t(alignof(Slot)));
+  }
+
+  void DestroyAll() {
+    for (size_t slot = 0; slot < capacity_; ++slot) {
+      if (IsFull(tags_[slot])) slots_[slot].~Slot();
+    }
+  }
+
+  void Rehash(size_t new_capacity) {
+    uint8_t* old_tags = tags_;
+    Slot* old_slots = slots_;
+    const size_t old_capacity = capacity_;
+    Allocate(new_capacity);
+    size_ = 0;
+    used_ = 0;
+    tombstones_ = 0;
+    for (size_t slot = 0; slot < old_capacity; ++slot) {
+      if (IsFull(old_tags[slot])) {
+        InsertFresh(std::move(old_slots[slot].key),
+                    std::move(old_slots[slot].value));
+        old_slots[slot].~Slot();
+      }
+    }
+    ::operator delete(old_tags, std::align_val_t(kGroupWidth));
+    ::operator delete(old_slots, std::align_val_t(alignof(Slot)));
+  }
+
+  /// Insert into a table known not to contain `key` and to have room (the
+  /// rehash path: no equality checks, no growth).
+  void InsertFresh(K key, V value) {
+    const uint64_t h = MixedHash(key);
+    size_t group = H1(h) & group_mask_;
+    for (size_t step = 1;; ++step) {
+      const size_t base = group * kGroupWidth;
+      const uint32_t not_full = GroupMatchNotFull(tags_ + base);
+      if (not_full != 0) {
+        const size_t slot = base + CountTrailingZeros(not_full);
+        tags_[slot] = H2(h);
+        ::new (static_cast<void*>(&slots_[slot]))
+            Slot{std::move(key), std::move(value)};
+        ++size_;
+        ++used_;
+        return;
+      }
+      group = (group + step) & group_mask_;
+    }
+  }
+
+  uint8_t* tags_ = nullptr;
+  Slot* slots_ = nullptr;
+  size_t capacity_ = 0;
+  size_t group_mask_ = 0;
+  /// Live entries.
+  size_t size_ = 0;
+  /// Slots not empty (live + tombstones); governs the load factor.
+  size_t used_ = 0;
+  size_t tombstones_ = 0;
+};
+
+}  // namespace elog
+
+#endif  // ELOG_UTIL_FLAT_HASH_MAP_H_

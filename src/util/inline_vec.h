@@ -1,0 +1,217 @@
+// Small-buffer sequence containers for the LOT/LTT hot entries.
+//
+// LotEntry::uncommitted almost always holds zero or one writers (the
+// unique-oid workload picker guarantees at most one live writer per
+// object; only UNDO/REDO overlap windows see more), and LttEntry's oid
+// set is a handful of objects for the paper's short transactions. A
+// std::vector / std::unordered_set charges a heap allocation and two
+// cache lines for those sizes; these containers keep the common case
+// inline inside the owning table slot and spill to the heap only beyond
+// N elements.
+//
+// InlineVector<T, N>  — std::vector subset (push_back / erase / index),
+//                       insertion-ordered, N elements inline.
+// InlineFlatSet<T, N> — sorted unique flat set (insert / erase / count),
+//                       iterates in ascending order, N elements inline.
+//
+// Both are move-only-friendly value types: moving relocates the inline
+// elements, so pointers into a moved-from container are invalid — which
+// matches their life inside FlatHashMap slots (entries only move on
+// rehash, when all entry pointers die anyway; see util/flat_hash_map.h).
+
+#ifndef ELOG_UTIL_INLINE_VEC_H_
+#define ELOG_UTIL_INLINE_VEC_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/check.h"
+
+namespace elog {
+
+template <typename T, size_t N>
+class InlineVector {
+  static_assert(N >= 1, "inline capacity must be at least 1");
+  static_assert(std::is_nothrow_move_constructible_v<T>,
+                "elements must be nothrow move constructible");
+
+ public:
+  InlineVector() = default;
+
+  InlineVector(InlineVector&& other) noexcept { MoveFrom(other); }
+  InlineVector& operator=(InlineVector&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  InlineVector(const InlineVector&) = delete;
+  InlineVector& operator=(const InlineVector&) = delete;
+
+  ~InlineVector() { Destroy(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  T& operator[](size_t i) { return data()[i]; }
+  const T& operator[](size_t i) const { return data()[i]; }
+  T& front() { return data()[0]; }
+  T& back() { return data()[size_ - 1]; }
+
+  void push_back(T value) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    ::new (static_cast<void*>(data() + size_)) T(std::move(value));
+    ++size_;
+  }
+
+  /// Erases the element at `pos`, shifting the tail down (std::vector
+  /// semantics: iterators at and after `pos` are invalidated).
+  T* erase(T* pos) {
+    ELOG_CHECK(pos >= begin() && pos < end());
+    for (T* it = pos; it + 1 != end(); ++it) *it = std::move(*(it + 1));
+    (end() - 1)->~T();
+    --size_;
+    return pos;
+  }
+
+  void clear() {
+    for (T& value : *this) value.~T();
+    size_ = 0;
+  }
+
+  /// True when the elements spilled out of the inline buffer.
+  bool spilled() const { return capacity_ > N; }
+
+  /// Heap bytes owned beyond the inline buffer (0 while inline).
+  size_t heap_bytes() const { return spilled() ? capacity_ * sizeof(T) : 0; }
+
+ protected:
+  T* data() {
+    return spilled() ? heap_
+                     : std::launder(reinterpret_cast<T*>(inline_));
+  }
+  const T* data() const {
+    return spilled() ? heap_
+                     : std::launder(reinterpret_cast<const T*>(inline_));
+  }
+
+ private:
+  void Grow(size_t new_capacity) {
+    T* fresh = static_cast<T*>(
+        ::operator new(new_capacity * sizeof(T), std::align_val_t(alignof(T))));
+    T* old = data();
+    for (size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(old[i]));
+      old[i].~T();
+    }
+    if (spilled()) {
+      ::operator delete(heap_, std::align_val_t(alignof(T)));
+    }
+    heap_ = fresh;
+    capacity_ = static_cast<uint32_t>(new_capacity);
+  }
+
+  void Destroy() {
+    clear();
+    if (spilled()) {
+      ::operator delete(heap_, std::align_val_t(alignof(T)));
+      capacity_ = N;
+    }
+  }
+
+  void MoveFrom(InlineVector& other) noexcept {
+    if (other.spilled()) {
+      // Steal the heap buffer outright.
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.capacity_ = N;
+      other.size_ = 0;
+    } else {
+      capacity_ = N;
+      size_ = other.size_;
+      T* src = other.data();
+      T* dst = data();
+      for (size_t i = 0; i < size_; ++i) {
+        ::new (static_cast<void*>(dst + i)) T(std::move(src[i]));
+        src[i].~T();
+      }
+      other.size_ = 0;
+    }
+  }
+
+  union {
+    alignas(T) unsigned char inline_[N * sizeof(T)];
+    T* heap_;
+  };
+  uint32_t size_ = 0;
+  uint32_t capacity_ = N;
+};
+
+/// Sorted unique flat set with N elements inline. Iteration is always in
+/// ascending order — a canonical, container-independent order, unlike
+/// the bucket order of the std::unordered_set it replaced.
+template <typename T, size_t N>
+class InlineFlatSet : private InlineVector<T, N> {
+  using Base = InlineVector<T, N>;
+
+ public:
+  using Base::Base;
+  using Base::begin;
+  using Base::empty;
+  using Base::end;
+  using Base::heap_bytes;
+  using Base::size;
+  using Base::spilled;
+
+  const T* begin() const { return Base::begin(); }
+  const T* end() const { return Base::end(); }
+
+  /// Inserts `value` if absent. Returns true on insertion.
+  bool insert(const T& value) {
+    T* pos = LowerBound(value);
+    if (pos != Base::end() && *pos == value) return false;
+    const size_t index = static_cast<size_t>(pos - Base::begin());
+    Base::push_back(value);  // may grow: recompute the position
+    T* data = Base::begin();
+    for (size_t i = Base::size() - 1; i > index; --i) {
+      data[i] = std::move(data[i - 1]);
+    }
+    data[index] = value;
+    return true;
+  }
+
+  /// Removes `value`. Returns the number of elements removed (0 or 1),
+  /// matching std::unordered_set::erase.
+  size_t erase(const T& value) {
+    T* pos = LowerBound(value);
+    if (pos == Base::end() || *pos != value) return 0;
+    Base::erase(pos);
+    return 1;
+  }
+
+  size_t count(const T& value) const {
+    const T* pos = const_cast<InlineFlatSet*>(this)->LowerBound(value);
+    return pos != end() && *pos == value ? 1 : 0;
+  }
+
+ private:
+  T* LowerBound(const T& value) {
+    return std::lower_bound(Base::begin(), Base::end(), value);
+  }
+};
+
+}  // namespace elog
+
+#endif  // ELOG_UTIL_INLINE_VEC_H_

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "obs/trace.h"
+#include "sim/inline_callback.h"
 #include "sim/metrics.h"
 #include "sim/simulator.h"
 #include "util/random.h"
@@ -39,6 +40,12 @@
 
 namespace elog {
 namespace workload {
+
+/// Commit acknowledgement callback, invoked at t4. Inline-storage (and
+/// move-only) rather than std::function so the commit path never
+/// heap-allocates per transaction; every implementor captures at most a
+/// few words (see sim/inline_callback.h).
+using CommitCallback = sim::InlineFunction<void(TxId)>;
 
 /// The consumer of the workload's log traffic — implemented by the log
 /// managers (EL, FW, hybrid).
@@ -57,7 +64,7 @@ class TransactionSink {
   /// The transaction writes its COMMIT record (t3) and waits; the sink
   /// must invoke `on_durable` at the instant the record is durable (t4),
   /// unless the transaction is killed first.
-  virtual void Commit(TxId tid, std::function<void(TxId)> on_durable) = 0;
+  virtual void Commit(TxId tid, CommitCallback on_durable) = 0;
 
   /// The transaction aborts; all its records become garbage immediately.
   virtual void Abort(TxId tid) = 0;

@@ -99,7 +99,7 @@ void RecordingSink::WriteUpdate(TxId tid, Oid oid, uint32_t logged_size) {
   inner_->WriteUpdate(tid, oid, logged_size);
 }
 
-void RecordingSink::Commit(TxId tid, std::function<void(TxId)> on_durable) {
+void RecordingSink::Commit(TxId tid, CommitCallback on_durable) {
   TraceEvent event;
   event.kind = TraceEvent::Kind::kCommit;
   event.when = simulator_->Now();

@@ -63,7 +63,7 @@ class RecordingSink : public TransactionSink {
 
   TxId BeginTransaction(const TransactionType& type) override;
   void WriteUpdate(TxId tid, Oid oid, uint32_t logged_size) override;
-  void Commit(TxId tid, std::function<void(TxId)> on_durable) override;
+  void Commit(TxId tid, CommitCallback on_durable) override;
   void Abort(TxId tid) override;
 
  private:

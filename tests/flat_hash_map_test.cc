@@ -1,0 +1,268 @@
+// FlatHashMap against its behavioral oracle (ChainedHashMap): a
+// randomized differential fuzz over mixed Find/Insert/Erase/ForEach
+// traffic, plus directed tests for the open-addressing edge cases the
+// fuzz is unlikely to hit head-on — growth boundaries, erase inside a
+// probe chain, tombstone reversion, pointer stability across Erase, and
+// degenerate keys (0, UINT64_MAX, all-colliding).
+
+#include "util/flat_hash_map.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/chained_hash_map.h"
+#include "util/random.h"
+
+namespace elog {
+namespace {
+
+TEST(FlatHashMapTest, InsertFindEraseBasics) {
+  FlatHashMap<uint64_t, int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(7), nullptr);
+
+  auto [v, inserted] = map.Insert(7, 70);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(*v, 70);
+  EXPECT_EQ(map.size(), 1u);
+
+  auto [v2, inserted2] = map.Insert(7, 71);
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(*v2, 70);  // existing value untouched
+  EXPECT_EQ(map.size(), 1u);
+
+  ASSERT_NE(map.Find(7), nullptr);
+  EXPECT_EQ(*map.Find(7), 70);
+  EXPECT_TRUE(map.Contains(7));
+
+  EXPECT_TRUE(map.Erase(7));
+  EXPECT_FALSE(map.Erase(7));
+  EXPECT_EQ(map.Find(7), nullptr);
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(FlatHashMapTest, DegenerateKeys) {
+  FlatHashMap<uint64_t, uint64_t> map;
+  const uint64_t keys[] = {0, 1, UINT64_MAX, UINT64_MAX - 1,
+                           uint64_t{1} << 63};
+  for (uint64_t k : keys) EXPECT_TRUE(map.Insert(k, ~k).second);
+  for (uint64_t k : keys) {
+    ASSERT_NE(map.Find(k), nullptr) << k;
+    EXPECT_EQ(*map.Find(k), ~k);
+  }
+  for (uint64_t k : keys) EXPECT_TRUE(map.Erase(k));
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(FlatHashMapTest, GrowthAcrossBoundaries) {
+  // Walk the size straight through several doublings; every key inserted
+  // so far must stay findable with its value after each rehash.
+  FlatHashMap<uint64_t, uint64_t> map;
+  constexpr uint64_t kN = 10'000;
+  for (uint64_t i = 0; i < kN; ++i) {
+    map.Insert(i * 0x9E3779B97F4A7C15ull, i);
+    if ((i & (i - 1)) == 0) {  // powers of two: cheap full re-check
+      for (uint64_t j = 0; j <= i; ++j) {
+        auto* v = map.Find(j * 0x9E3779B97F4A7C15ull);
+        ASSERT_NE(v, nullptr) << "lost key " << j << " at size " << i;
+        ASSERT_EQ(*v, j);
+      }
+    }
+  }
+  EXPECT_EQ(map.size(), kN);
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_NE(map.Find(i * 0x9E3779B97F4A7C15ull), nullptr);
+  }
+}
+
+/// Hash functor that sends every key to one group, forcing maximal probe
+/// chains (the worst case for deletion correctness).
+struct CollidingHash {
+  size_t operator()(uint64_t) const { return 12345; }
+};
+
+TEST(FlatHashMapTest, EraseInsideProbeChainAllColliding) {
+  // With every key colliding, entries string out across consecutive
+  // groups. Erasing from the middle must not cut off lookups of keys
+  // probed past the erased slot (the tombstone rule).
+  FlatHashMap<uint64_t, uint64_t, CollidingHash> map;
+  constexpr uint64_t kN = 200;
+  for (uint64_t i = 0; i < kN; ++i) map.Insert(i, i);
+  // Erase every third key, then verify the survivors.
+  for (uint64_t i = 0; i < kN; i += 3) EXPECT_TRUE(map.Erase(i));
+  for (uint64_t i = 0; i < kN; ++i) {
+    if (i % 3 == 0) {
+      EXPECT_EQ(map.Find(i), nullptr) << i;
+    } else {
+      ASSERT_NE(map.Find(i), nullptr) << i;
+      EXPECT_EQ(*map.Find(i), i);
+    }
+  }
+  // Refill the holes: reuses tombstoned slots rather than growing.
+  const size_t capacity_before = map.bucket_count();
+  for (uint64_t i = 0; i < kN; i += 3) map.Insert(i, i + 1000);
+  EXPECT_EQ(map.bucket_count(), capacity_before);
+  for (uint64_t i = 0; i < kN; i += 3) EXPECT_EQ(*map.Find(i), i + 1000);
+}
+
+TEST(FlatHashMapTest, EraseRevertsToEmptyWhenGroupHasEmpties) {
+  // A lone key in an otherwise empty map: its group still holds empty
+  // tags, so Erase must revert the slot to empty, not leave a tombstone.
+  FlatHashMap<uint64_t, int> map;
+  map.Insert(42, 1);
+  EXPECT_TRUE(map.Erase(42));
+  EXPECT_EQ(map.tombstones(), 0u);
+}
+
+TEST(FlatHashMapTest, PointerStabilityAcrossErase) {
+  // The manager contract: pointers returned by Find/Insert stay valid
+  // across Erase of *other* keys (only a rehashing Insert invalidates).
+  FlatHashMap<uint64_t, uint64_t> map;
+  constexpr uint64_t kN = 1000;
+  map.Reserve(kN);
+  std::vector<uint64_t*> ptrs;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ptrs.push_back(map.Insert(i, i * 7).first);
+  }
+  const size_t capacity = map.bucket_count();
+  for (uint64_t i = 0; i < kN; i += 2) map.Erase(i);
+  EXPECT_EQ(map.bucket_count(), capacity);  // Erase never rehashes
+  for (uint64_t i = 1; i < kN; i += 2) {
+    EXPECT_EQ(*ptrs[i], i * 7) << "pointer invalidated by Erase";
+    EXPECT_EQ(map.Find(i), ptrs[i]);
+  }
+}
+
+TEST(FlatHashMapTest, ReserveAvoidsRehash) {
+  FlatHashMap<uint64_t, uint64_t> map;
+  map.Reserve(5000);
+  const size_t capacity = map.bucket_count();
+  std::vector<uint64_t*> ptrs;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    ptrs.push_back(map.Insert(i, i).first);
+  }
+  EXPECT_EQ(map.bucket_count(), capacity);
+  for (uint64_t i = 0; i < 5000; ++i) EXPECT_EQ(*ptrs[i], i);
+}
+
+TEST(FlatHashMapTest, ForEachVisitsEveryEntryOnce) {
+  FlatHashMap<uint64_t, uint64_t> map;
+  for (uint64_t i = 0; i < 500; ++i) map.Insert(i, i + 1);
+  for (uint64_t i = 0; i < 500; i += 5) map.Erase(i);
+  std::map<uint64_t, uint64_t> seen;
+  map.ForEach([&](uint64_t k, uint64_t& v) {
+    EXPECT_TRUE(seen.emplace(k, v).second) << "duplicate visit of " << k;
+  });
+  EXPECT_EQ(seen.size(), map.size());
+  for (const auto& [k, v] : seen) {
+    EXPECT_NE(k % 5, 0u);
+    EXPECT_EQ(v, k + 1);
+  }
+}
+
+TEST(FlatHashMapTest, MoveOnlyValues) {
+  struct MoveOnly {
+    explicit MoveOnly(int x) : value(x) {}
+    MoveOnly(MoveOnly&&) noexcept = default;
+    MoveOnly& operator=(MoveOnly&&) noexcept = default;
+    MoveOnly(const MoveOnly&) = delete;
+    int value;
+  };
+  FlatHashMap<uint64_t, MoveOnly> map;
+  for (uint64_t i = 0; i < 100; ++i) map.Insert(i, MoveOnly(int(i)));
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_NE(map.Find(i), nullptr);
+    EXPECT_EQ(map.Find(i)->value, int(i));
+  }
+  for (uint64_t i = 0; i < 100; i += 2) EXPECT_TRUE(map.Erase(i));
+  EXPECT_EQ(map.size(), 50u);
+}
+
+/// The tentpole's correctness argument: a long random schedule of mixed
+/// operations applied in lockstep to FlatHashMap and the chained oracle,
+/// with identical results demanded at every step. Keys are drawn from a
+/// small universe so inserts collide with erased keys constantly,
+/// exercising tombstone reuse; a second pass uses a colliding hash.
+template <typename FlatHashT, typename ChainedHashT>
+void RunDifferentialFuzz(uint64_t seed, uint64_t universe, int ops) {
+  FlatHashMap<uint64_t, uint64_t, FlatHashT> flat;
+  ChainedHashMap<uint64_t, uint64_t, ChainedHashT> oracle;
+  Rng rng(seed);
+  for (int op = 0; op < ops; ++op) {
+    const uint64_t key = rng.NextBounded(universe);
+    switch (rng.NextBounded(4)) {
+      case 0:    // Insert
+      case 1: {  // (twice as likely, so the tables stay populated)
+        const uint64_t value = rng.NextUint64();
+        auto [fv, fnew] = flat.Insert(key, value);
+        auto [ov, onew] = oracle.Insert(key, value);
+        ASSERT_EQ(fnew, onew) << "op " << op << " key " << key;
+        ASSERT_EQ(*fv, *ov);
+        break;
+      }
+      case 2: {  // Erase
+        ASSERT_EQ(flat.Erase(key), oracle.Erase(key))
+            << "op " << op << " key " << key;
+        break;
+      }
+      case 3: {  // Find
+        uint64_t* fv = flat.Find(key);
+        uint64_t* ov = oracle.Find(key);
+        ASSERT_EQ(fv == nullptr, ov == nullptr)
+            << "op " << op << " key " << key;
+        if (fv != nullptr) ASSERT_EQ(*fv, *ov);
+        break;
+      }
+    }
+    ASSERT_EQ(flat.size(), oracle.size()) << "op " << op;
+  }
+  // Final sweep: identical contents, both directions.
+  size_t visited = 0;
+  flat.ForEach([&](uint64_t k, uint64_t& v) {
+    ++visited;
+    uint64_t* ov = oracle.Find(k);
+    ASSERT_NE(ov, nullptr) << k;
+    ASSERT_EQ(v, *ov);
+  });
+  ASSERT_EQ(visited, oracle.size());
+}
+
+TEST(FlatHashMapDifferentialTest, MixedOpsSmallUniverse) {
+  RunDifferentialFuzz<std::hash<uint64_t>, std::hash<uint64_t>>(
+      /*seed=*/1, /*universe=*/512, /*ops=*/200'000);
+}
+
+TEST(FlatHashMapDifferentialTest, MixedOpsLargeUniverse) {
+  RunDifferentialFuzz<std::hash<uint64_t>, std::hash<uint64_t>>(
+      /*seed=*/2, /*universe=*/1'000'000, /*ops=*/1'000'000);
+}
+
+TEST(FlatHashMapDifferentialTest, MixedOpsAllColliding) {
+  RunDifferentialFuzz<CollidingHash, CollidingHash>(
+      /*seed=*/3, /*universe=*/64, /*ops=*/50'000);
+}
+
+TEST(FlatHashMapDifferentialTest, MixedOpsSeveralSeeds) {
+  for (uint64_t seed = 10; seed < 16; ++seed) {
+    RunDifferentialFuzz<std::hash<uint64_t>, std::hash<uint64_t>>(
+        seed, /*universe=*/4096, /*ops=*/50'000);
+  }
+}
+
+TEST(FlatHashMapTest, MemoryBytesTracksCapacity) {
+  FlatHashMap<uint64_t, uint64_t> map;
+  const size_t initial = map.MemoryBytes();
+  EXPECT_GT(initial, 0u);
+  map.Reserve(100'000);
+  EXPECT_GT(map.MemoryBytes(), initial);
+  // Bytes/slot is the slot itself plus one tag byte.
+  EXPECT_EQ(map.MemoryBytes(),
+            map.bucket_count() * (sizeof(uint64_t) * 2 + 1));
+}
+
+}  // namespace
+}  // namespace elog

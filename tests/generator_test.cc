@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <vector>
 
 namespace elog {
@@ -39,10 +40,14 @@ class RecordingSink : public TransactionSink {
         {SinkEvent::kUpdate, tid, oid, logged_size, simulator_->Now()});
   }
 
-  void Commit(TxId tid, std::function<void(TxId)> on_durable) override {
+  void Commit(TxId tid, CommitCallback on_durable) override {
     events_.push_back({SinkEvent::kCommit, tid, 0, 0, simulator_->Now()});
-    simulator_->ScheduleAfter(ack_delay_,
-                              [tid, cb = std::move(on_durable)] { cb(tid); });
+    // Boxed: a CommitCallback is larger than an event's inline slot.
+    simulator_->ScheduleAfter(
+        ack_delay_,
+        [tid, cb = std::make_unique<CommitCallback>(std::move(on_durable))] {
+          (*cb)(tid);
+        });
   }
 
   void Abort(TxId tid) override {

@@ -1,0 +1,296 @@
+// InlineVector / InlineFlatSet / InlineBucketSet (the LOT/LTT entry
+// containers) and the InlineFunction kernel behind the commit callbacks:
+// inline/spill transitions, move semantics, ordering, and differential
+// behavior against the standard containers. InlineBucketSet's iteration
+// order is load-bearing (the committed artifacts pin the flush schedule
+// it produces), so it gets both a differential fuzz against the
+// historical container and self-contained pinned goldens that hold even
+// if the standard library's own order ever changes.
+
+#include "util/inline_vec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/inline_callback.h"
+#include "util/inline_bucket_set.h"
+#include "util/random.h"
+
+namespace elog {
+namespace {
+
+TEST(InlineVectorTest, StaysInlineUpToN) {
+  InlineVector<uint64_t, 4> vec;
+  for (uint64_t i = 0; i < 4; ++i) {
+    vec.push_back(i);
+    EXPECT_FALSE(vec.spilled());
+    EXPECT_EQ(vec.heap_bytes(), 0u);
+  }
+  vec.push_back(4);
+  EXPECT_TRUE(vec.spilled());
+  EXPECT_GT(vec.heap_bytes(), 0u);
+  for (uint64_t i = 0; i < 5; ++i) EXPECT_EQ(vec[i], i);
+}
+
+TEST(InlineVectorTest, EraseShiftsDown) {
+  InlineVector<int, 2> vec;
+  for (int i = 0; i < 6; ++i) vec.push_back(i);
+  vec.erase(vec.begin() + 2);  // {0,1,3,4,5}
+  vec.erase(vec.begin());      // {1,3,4,5}
+  ASSERT_EQ(vec.size(), 4u);
+  EXPECT_EQ(vec[0], 1);
+  EXPECT_EQ(vec[1], 3);
+  EXPECT_EQ(vec[3], 5);
+}
+
+TEST(InlineVectorTest, MoveStealsHeapRelocatesInline) {
+  // Inline: elements relocate.
+  InlineVector<uint64_t, 4> small;
+  small.push_back(7);
+  small.push_back(8);
+  InlineVector<uint64_t, 4> small2(std::move(small));
+  EXPECT_EQ(small.size(), 0u);
+  ASSERT_EQ(small2.size(), 2u);
+  EXPECT_EQ(small2[0], 7u);
+
+  // Spilled: the heap buffer moves wholesale, so element addresses hold.
+  InlineVector<uint64_t, 2> big;
+  for (uint64_t i = 0; i < 10; ++i) big.push_back(i);
+  const uint64_t* addr = &big[3];
+  InlineVector<uint64_t, 2> big2(std::move(big));
+  EXPECT_EQ(big.size(), 0u);
+  EXPECT_FALSE(big.spilled());
+  ASSERT_EQ(big2.size(), 10u);
+  EXPECT_EQ(&big2[3], addr);
+}
+
+TEST(InlineVectorTest, MoveOnlyElements) {
+  InlineVector<std::unique_ptr<int>, 2> vec;
+  for (int i = 0; i < 5; ++i) vec.push_back(std::make_unique<int>(i));
+  vec.erase(vec.begin() + 1);
+  ASSERT_EQ(vec.size(), 4u);
+  EXPECT_EQ(*vec[0], 0);
+  EXPECT_EQ(*vec[1], 2);
+  InlineVector<std::unique_ptr<int>, 2> moved(std::move(vec));
+  EXPECT_EQ(*moved[3], 4);
+}
+
+TEST(InlineFlatSetTest, SortedUniqueSemantics) {
+  InlineFlatSet<uint64_t, 4> set;
+  EXPECT_TRUE(set.insert(30));
+  EXPECT_TRUE(set.insert(10));
+  EXPECT_TRUE(set.insert(20));
+  EXPECT_FALSE(set.insert(10));  // duplicate
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.count(10), 1u);
+  EXPECT_EQ(set.count(11), 0u);
+  // Ascending iteration regardless of insertion order.
+  std::vector<uint64_t> order(set.begin(), set.end());
+  EXPECT_EQ(order, (std::vector<uint64_t>{10, 20, 30}));
+  EXPECT_EQ(set.erase(20), 1u);
+  EXPECT_EQ(set.erase(20), 0u);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(InlineFlatSetTest, DifferentialAgainstStdSet) {
+  InlineFlatSet<uint64_t, 4> flat;
+  std::set<uint64_t> oracle;
+  Rng rng(17);
+  for (int op = 0; op < 50'000; ++op) {
+    const uint64_t key = rng.NextBounded(64);
+    switch (rng.NextBounded(3)) {
+      case 0:
+        ASSERT_EQ(flat.insert(key), oracle.insert(key).second);
+        break;
+      case 1:
+        ASSERT_EQ(flat.erase(key), oracle.erase(key));
+        break;
+      case 2:
+        ASSERT_EQ(flat.count(key), oracle.count(key));
+        break;
+    }
+    ASSERT_EQ(flat.size(), oracle.size());
+  }
+  ASSERT_TRUE(std::equal(flat.begin(), flat.end(), oracle.begin(),
+                         oracle.end()));
+}
+
+TEST(InlineBucketSetTest, PinnedOrderGoldenSmall) {
+  // Hand-derived from the order spec in util/inline_bucket_set.h; holds
+  // with no reference to any library container. bucket_count is 13
+  // after the first insert, so 5, 18 and 31 share bucket 5 and 3, 16
+  // and 29 share bucket 3.
+  InlineBucketSet<uint64_t, 4> set;
+  EXPECT_EQ(set.bucket_count(), 1u);
+  EXPECT_TRUE(set.insert(5));  // empty bucket: head       -> [5]
+  EXPECT_EQ(set.bucket_count(), 13u);
+  EXPECT_TRUE(set.insert(18));  // before 5                -> [18 5]
+  EXPECT_TRUE(set.insert(3));   // empty bucket: head      -> [3 18 5]
+  EXPECT_TRUE(set.insert(31));  // before 18, mid-list     -> [3 31 18 5]
+  EXPECT_TRUE(set.insert(16));  // before 3 at head        -> [16 3 31 18 5]
+  EXPECT_FALSE(set.insert(31));
+  EXPECT_EQ(set.erase(18), 1u);  //                        -> [16 3 31 5]
+  EXPECT_TRUE(set.insert(29));   // before 16 at head      -> [29 16 3 31 5]
+  std::vector<uint64_t> order(set.begin(), set.end());
+  EXPECT_EQ(order, (std::vector<uint64_t>{29, 16, 3, 31, 5}));
+  EXPECT_TRUE(set.contains(31));
+  EXPECT_FALSE(set.contains(18));
+}
+
+TEST(InlineBucketSetTest, PinnedOrderGoldenAcrossRehash) {
+  // Inserting 0..12 stacks each at the head (13 distinct buckets):
+  // [12 .. 1 0]. The 14th insert grows 13 -> 29 buckets; the relink
+  // walks the old list in order, stacking at the new head, which
+  // reverses it; 13 then lands at the head of the reversed list.
+  InlineBucketSet<uint64_t, 4> set;
+  for (uint64_t v = 0; v <= 12; ++v) ASSERT_TRUE(set.insert(v));
+  EXPECT_EQ(set.bucket_count(), 13u);
+  std::vector<uint64_t> before(set.begin(), set.end());
+  EXPECT_EQ(before, (std::vector<uint64_t>{12, 11, 10, 9, 8, 7, 6, 5, 4, 3,
+                                           2, 1, 0}));
+  ASSERT_TRUE(set.insert(13));
+  EXPECT_EQ(set.bucket_count(), 29u);
+  std::vector<uint64_t> after(set.begin(), set.end());
+  EXPECT_EQ(after, (std::vector<uint64_t>{13, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9,
+                                          10, 11, 12}));
+}
+
+TEST(InlineBucketSetTest, GrowthScheduleMatchesSpec) {
+  // bucket_count transitions at the sizes the spec dictates.
+  InlineBucketSet<uint64_t, 4> set;
+  const std::vector<std::pair<size_t, size_t>> schedule = {
+      {1, 13}, {14, 29}, {30, 59}, {60, 127}, {128, 257}, {258, 541},
+      {542, 1109}, {1110, 2357}};
+  size_t expected = 1;
+  auto next = schedule.begin();
+  for (uint64_t i = 0; i < 1200; ++i) {
+    ASSERT_TRUE(set.insert(i * 0x9E3779B97F4A7C15ull));
+    if (next != schedule.end() && set.size() == next->first) {
+      expected = next->second;
+      ++next;
+    }
+    ASSERT_EQ(set.bucket_count(), expected) << "at size " << set.size();
+  }
+}
+
+TEST(InlineBucketSetTest, DifferentialAgainstUnorderedSet) {
+  // Lockstep fuzz against the container whose order the committed
+  // artifacts historically encoded. Full order compared after every op
+  // while small, sampled when large.
+  for (const uint64_t universe : {23ull, 100ull, 4096ull}) {
+    InlineBucketSet<uint64_t, 4> mine;
+    std::unordered_set<uint64_t> ref;
+    Rng rng(31 + universe);
+    for (int op = 0; op < 30'000; ++op) {
+      const uint64_t key = rng.NextBounded(universe);
+      if (rng.NextBounded(100) < 60) {
+        ASSERT_EQ(mine.insert(key), ref.insert(key).second);
+      } else {
+        ASSERT_EQ(mine.erase(key), ref.erase(key));
+      }
+      ASSERT_EQ(mine.size(), ref.size());
+      ASSERT_EQ(mine.bucket_count(), ref.bucket_count());
+      if (ref.size() <= 64 || op % 97 == 0) {
+        ASSERT_TRUE(std::equal(mine.begin(), mine.end(), ref.begin(),
+                               ref.end()))
+            << "order diverged at op " << op << " size " << ref.size();
+      }
+    }
+    ASSERT_TRUE(std::equal(mine.begin(), mine.end(), ref.begin(), ref.end()));
+  }
+}
+
+TEST(InlineBucketSetTest, StaysInlineForSmallSets) {
+  InlineBucketSet<uint64_t, 4> set;
+  for (uint64_t v = 0; v < 4; ++v) set.insert(v * 100);
+  EXPECT_EQ(set.heap_bytes(), 0u);
+  set.insert(999);
+  EXPECT_GT(set.heap_bytes(), 0u);
+}
+
+TEST(InlineBucketSetTest, EraseKeepsGrowthSchedule) {
+  // Erase never shrinks: like the node-based container, draining the
+  // set keeps its bucket schedule, so refilling replays the same orders.
+  InlineBucketSet<uint64_t, 4> set;
+  for (uint64_t v = 0; v < 20; ++v) set.insert(v);
+  EXPECT_EQ(set.bucket_count(), 29u);
+  for (uint64_t v = 0; v < 20; ++v) EXPECT_EQ(set.erase(v), 1u);
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.bucket_count(), 29u);
+  std::unordered_set<uint64_t> ref;
+  for (uint64_t v = 0; v < 20; ++v) ref.insert(v);
+  for (uint64_t v = 0; v < 20; ++v) ref.erase(v);
+  for (uint64_t v = 50; v < 70; ++v) {
+    set.insert(v);
+    ref.insert(v);
+  }
+  EXPECT_TRUE(std::equal(set.begin(), set.end(), ref.begin(), ref.end()));
+}
+
+TEST(InlineBucketSetTest, MoveTransfersOrderAndResetsSource) {
+  InlineBucketSet<uint64_t, 4> set;
+  for (uint64_t v = 0; v < 10; ++v) set.insert(v * 7);
+  const std::vector<uint64_t> order(set.begin(), set.end());
+  InlineBucketSet<uint64_t, 4> moved(std::move(set));
+  EXPECT_EQ(std::vector<uint64_t>(moved.begin(), moved.end()), order);
+  // Moved-from is a fresh set: empty, back to the initial schedule.
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.bucket_count(), 1u);
+  EXPECT_TRUE(set.insert(5));
+  EXPECT_EQ(set.bucket_count(), 13u);
+}
+
+TEST(InlineFunctionTest, InvokesWithArgumentsAndReturn) {
+  sim::InlineFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+  ASSERT_TRUE(add);
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(InlineFunctionTest, NullStates) {
+  sim::InlineFunction<void(uint64_t)> fn;
+  EXPECT_FALSE(fn);
+  fn = [](uint64_t) {};
+  EXPECT_TRUE(fn);
+  fn = nullptr;
+  EXPECT_FALSE(fn);
+}
+
+TEST(InlineFunctionTest, MoveTransfersStateAndCaptures) {
+  int calls = 0;
+  sim::InlineFunction<void(uint64_t)> fn = [&calls](uint64_t v) {
+    calls += static_cast<int>(v);
+  };
+  sim::InlineFunction<void(uint64_t)> moved = std::move(fn);
+  EXPECT_FALSE(fn);
+  ASSERT_TRUE(moved);
+  moved(5);
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(InlineFunctionTest, MoveOnlyCapture) {
+  auto box = std::make_unique<int>(41);
+  sim::InlineFunction<int()> fn = [box = std::move(box)] { return *box + 1; };
+  sim::InlineFunction<int()> moved = std::move(fn);
+  EXPECT_EQ(moved(), 42);
+}
+
+TEST(InlineFunctionTest, DestroysCaptureExactlyOnce) {
+  auto token = std::make_shared<int>(7);
+  EXPECT_EQ(token.use_count(), 1);
+  {
+    sim::InlineFunction<void()> fn = [token] {};
+    EXPECT_EQ(token.use_count(), 2);
+    sim::InlineFunction<void()> moved = std::move(fn);
+    EXPECT_EQ(token.use_count(), 2);  // relocated, not copied
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+}  // namespace
+}  // namespace elog

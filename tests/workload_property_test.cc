@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "sim/simulator.h"
 #include "workload/generator.h"
@@ -42,9 +43,13 @@ class CountingSink : public TransactionSink {
     ++updates_;
     bytes_ += logged_size;
   }
-  void Commit(TxId tid, std::function<void(TxId)> on_durable) override {
-    simulator_->ScheduleAfter(10 * kMillisecond,
-                              [tid, cb = std::move(on_durable)] { cb(tid); });
+  void Commit(TxId tid, CommitCallback on_durable) override {
+    // Boxed: a CommitCallback is larger than an event's inline slot.
+    simulator_->ScheduleAfter(
+        10 * kMillisecond,
+        [tid, cb = std::make_unique<CommitCallback>(std::move(on_durable))] {
+          (*cb)(tid);
+        });
   }
   void Abort(TxId) override {}
 
